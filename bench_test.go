@@ -1,0 +1,258 @@
+package tyresys
+
+// The benchmark harness: one benchmark per paper figure (Fig 1–3) and per
+// extended experiment (E1–E13), each regenerating the full dataset exactly
+// as cmd/experiments prints it, plus micro-benchmarks of the analysis
+// primitives. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// EXPERIMENTS.md records the datasets these produce alongside the
+// paper's qualitative claims.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/mc"
+	"repro/internal/profile"
+)
+
+func BenchmarkFig1Flow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2EnergyBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3InstantPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig3(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE1ScavengerSizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E1(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE2Optimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E2(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE3LeakageTemperature(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E3(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE4DrivingCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E4(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE5MonteCarlo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE6TxPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E6(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE7StorageSizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E7(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE8BatteryBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E8(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE9Compression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E9(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE10Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E10(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE11Downlink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E11(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE12Quality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E12(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpE13Fleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.E13(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the analysis primitives ---
+
+// benchStack builds the default node/harvester pair once per benchmark.
+func benchStack(b *testing.B) (*Node, *Harvester) {
+	b.Helper()
+	tyre := DefaultTyre()
+	nd, err := DefaultNode(tyre)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hv, err := DefaultHarvester(tyre)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return nd, hv
+}
+
+func BenchmarkPlanRound(b *testing.B) {
+	nd, _ := benchStack(b)
+	v := KMH(60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nd.PlanRound(v, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAverageRound(b *testing.B) {
+	nd, _ := benchStack(b)
+	v := KMH(60)
+	cond := NominalConditions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nd.AverageRound(v, cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBreakEvenSolve(b *testing.B) {
+	nd, hv := benchStack(b)
+	bal, err := NewBalance(nd, hv, DegC(20), NominalConditions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bal.BreakEven(KMH(5), KMH(200)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmulatorMixedCycle(b *testing.B) {
+	nd, hv := benchStack(b)
+	em, err := NewEmulator(EmulatorConfig{
+		Node: nd, Harvester: hv, Buffer: DefaultBuffer(),
+		InitialVoltage: Volts(3.0), Ambient: DegC(20), Base: NominalConditions(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cycle := profile.Mixed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Run(cycle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPowerTrace(b *testing.B) {
+	nd, _ := benchStack(b)
+	cond := NominalConditions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nd.PowerTrace(KMH(60), cond, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarlo100Trials(b *testing.B) {
+	nd, hv := benchStack(b)
+	cfg := mc.Config{
+		Node: nd, Harvester: hv,
+		Ambient: DegC(20), Vdd: Volts(1.8),
+		TempSigma: 5, VddSigma: 0.05, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Run(cfg, KMH(40), 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizationSearch(b *testing.B) {
+	nd, _ := benchStack(b)
+	cands := OptimizationCandidates(nd, DefaultConstraints())
+	cond := NominalConditions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimizeEnergy(nd, cands, KMH(40), cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Command experiments regenerates every figure of the paper (Fig 1–3) and
+// the extended ablation experiments (E1–E13) documented in DESIGN.md and
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                 # run everything
+//	experiments -fig 2          # only Fig 2
+//	experiments -exp E4         # only experiment E4
+//	experiments -out artifacts  # additionally write per-experiment .txt
+//	                            # plus CSV/SVG figure artefacts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/report"
+)
+
+// runner adapts each experiment to a common signature.
+type runner struct {
+	id  string
+	run func(io.Writer) error
+}
+
+func runners() []runner {
+	return []runner{
+		{"fig1", func(w io.Writer) error { _, err := exp.Fig1(w); return err }},
+		{"fig2", func(w io.Writer) error { _, err := exp.Fig2(w); return err }},
+		{"fig3", func(w io.Writer) error { _, err := exp.Fig3(w); return err }},
+		{"e1", func(w io.Writer) error { _, err := exp.E1(w); return err }},
+		{"e2", func(w io.Writer) error { _, err := exp.E2(w); return err }},
+		{"e3", func(w io.Writer) error { _, err := exp.E3(w); return err }},
+		{"e4", func(w io.Writer) error { _, err := exp.E4(w); return err }},
+		{"e5", func(w io.Writer) error { _, err := exp.E5(w); return err }},
+		{"e6", func(w io.Writer) error { _, err := exp.E6(w); return err }},
+		{"e7", func(w io.Writer) error { _, err := exp.E7(w); return err }},
+		{"e8", func(w io.Writer) error { _, err := exp.E8(w); return err }},
+		{"e9", func(w io.Writer) error { _, err := exp.E9(w); return err }},
+		{"e10", func(w io.Writer) error { _, err := exp.E10(w); return err }},
+		{"e11", func(w io.Writer) error { _, err := exp.E11(w); return err }},
+		{"e12", func(w io.Writer) error { _, err := exp.E12(w); return err }},
+		{"e13", func(w io.Writer) error { _, err := exp.E13(w); return err }},
+	}
+}
+
+func main() {
+	fig := flag.Int("fig", 0, "run only the given paper figure (1–3)")
+	expID := flag.String("exp", "", "run only the given extended experiment (E1–E13)")
+	outDir := flag.String("out", "", "also write per-experiment .txt and figure CSV/SVG artefacts to this directory")
+	flag.Parse()
+
+	var want string
+	switch {
+	case *fig != 0:
+		want = fmt.Sprintf("fig%d", *fig)
+	case *expID != "":
+		want = strings.ToLower(*expID)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	ran := 0
+	for _, r := range runners() {
+		if want != "" && r.id != want {
+			continue
+		}
+		if ran > 0 {
+			fmt.Println()
+			fmt.Println(strings.Repeat("=", 78))
+			fmt.Println()
+		}
+		out := io.Writer(os.Stdout)
+		var file *os.File
+		if *outDir != "" {
+			f, err := os.Create(filepath.Join(*outDir, r.id+".txt"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			file = f
+			out = io.MultiWriter(os.Stdout, f)
+		}
+		err := r.run(out)
+		if file != nil {
+			file.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: unknown selection %q (figures 1-3, experiments E1-E13)\n", want)
+		os.Exit(2)
+	}
+	if *outDir != "" {
+		if err := writeFigureArtifacts(*outDir, want); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: artefacts: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFigureArtifacts exports the Fig 2 sweep and Fig 3 trace as CSV and
+// SVG files, respecting the selection filter.
+func writeFigureArtifacts(dir, want string) error {
+	if want == "" || want == "fig2" {
+		res, err := exp.Fig2(io.Discard)
+		if err != nil {
+			return err
+		}
+		csvF, err := os.Create(filepath.Join(dir, "fig2.csv"))
+		if err != nil {
+			return err
+		}
+		defer csvF.Close()
+		if err := report.WriteSeriesCSV(csvF, res.Sweep.Generated, res.Sweep.Required); err != nil {
+			return err
+		}
+		svgF, err := os.Create(filepath.Join(dir, "fig2.svg"))
+		if err != nil {
+			return err
+		}
+		defer svgF.Close()
+		ch := &report.SVGChart{Title: "Fig 2 — energy balance per wheel round vs cruising speed"}
+		ch.Add(res.Sweep.Generated)
+		ch.Add(res.Sweep.Required)
+		if err := ch.Render(svgF); err != nil {
+			return err
+		}
+	}
+	if want == "" || want == "fig3" {
+		res, err := exp.Fig3(io.Discard)
+		if err != nil {
+			return err
+		}
+		csvF, err := os.Create(filepath.Join(dir, "fig3.csv"))
+		if err != nil {
+			return err
+		}
+		defer csvF.Close()
+		if err := report.WriteSeriesCSV(csvF, res.Trace); err != nil {
+			return err
+		}
+		svgF, err := os.Create(filepath.Join(dir, "fig3.svg"))
+		if err != nil {
+			return err
+		}
+		defer svgF.Close()
+		ch := &report.SVGChart{Title: "Fig 3 — instant power over a limited timing window"}
+		ch.Add(res.Trace)
+		if err := ch.Render(svgF); err != nil {
+			return err
+		}
+	}
+	return nil
+}

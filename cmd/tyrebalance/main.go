@@ -1,0 +1,159 @@
+// Command tyrebalance prints the Fig 2 energy balance of the default
+// Sensor Node: the generated and required energy per wheel round across
+// cruising speeds, the break-even point, and the operating windows.
+//
+// Usage:
+//
+//	tyrebalance [-min 5] [-max 180] [-points 80] [-ambient 20]
+//	            [-corner TT] [-scale 1.0] [-csv] [-optimized]
+//	tyrebalance -config scenario.json   # stack from tyreconfig -init
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/balance"
+	"repro/internal/cli"
+	"repro/internal/node"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/scavenger"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func main() {
+	minKMH := flag.Float64("min", 5, "sweep start in km/h")
+	maxKMH := flag.Float64("max", 180, "sweep end in km/h")
+	points := flag.Int("points", 80, "sweep points")
+	ambient := flag.Float64("ambient", 20, "ambient temperature in °C")
+	cornerName := flag.String("corner", "TT", "process corner (TT/FF/SS)")
+	scale := flag.Float64("scale", 1.0, "scavenger size scale factor")
+	csvOut := flag.Bool("csv", false, "emit the sweep as CSV instead of a chart")
+	cfgPath := flag.String("config", "", "scenario JSON (see tyreconfig -init); overrides -ambient/-corner/-scale")
+	optimized := flag.Bool("optimized", false, "overlay the duty-cycle-optimized node's required curve")
+	flag.Parse()
+
+	if err := run(*minKMH, *maxKMH, *points, *ambient, *cornerName, *scale, *csvOut, *cfgPath, *optimized); err != nil {
+		fmt.Fprintf(os.Stderr, "tyrebalance: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// buildAnalyzer assembles the node/harvester pair either from a scenario
+// file or from the default stack plus flags.
+func buildAnalyzer(ambient float64, cornerName string, scale float64, cfgPath string) (*balance.Analyzer, string, error) {
+	if cfgPath != "" {
+		stack, err := cli.LoadScenario(cfgPath)
+		if err != nil {
+			return nil, "", err
+		}
+		az, err := balance.New(stack.Node, stack.Harvester, stack.Ambient, stack.Base)
+		title := fmt.Sprintf("energy balance per wheel round (%s, %v ambient, %v corner)",
+			stack.Node.Name(), stack.Ambient, stack.Base.Corner)
+		return az, title, err
+	}
+	corner, err := power.ParseCorner(cornerName)
+	if err != nil {
+		return nil, "", err
+	}
+	tyre := wheel.Default()
+	nd, err := node.Default(tyre)
+	if err != nil {
+		return nil, "", err
+	}
+	hv, err := scavenger.New(scavenger.DefaultPiezo().Scaled(scale), scavenger.DefaultConditioner(), tyre)
+	if err != nil {
+		return nil, "", err
+	}
+	base := power.Nominal().WithCorner(corner)
+	az, err := balance.New(nd, hv, units.DegC(ambient), base)
+	title := fmt.Sprintf("energy balance per wheel round (%g°C ambient, %v corner, %g× scavenger)",
+		ambient, corner, scale)
+	return az, title, err
+}
+
+func run(minKMH, maxKMH float64, points int, ambient float64, cornerName string, scale float64, csvOut bool, cfgPath string, optimized bool) error {
+	az, title, err := buildAnalyzer(ambient, cornerName, scale, cfgPath)
+	if err != nil {
+		return err
+	}
+	vmin := units.KilometersPerHour(minKMH)
+	vmax := units.KilometersPerHour(maxKMH)
+	sw, err := az.Sweep(vmin, vmax, points)
+	if err != nil {
+		return err
+	}
+
+	// Optionally overlay the duty-cycle-optimized node's required curve
+	// — the paper's before/after picture in one chart.
+	var azOpt *balance.Analyzer
+	var swOpt *balance.Sweep
+	var applied []string
+	if optimized {
+		cands := opt.Candidates(az.Node(), opt.DefaultConstraints())
+		res, err := opt.MinimizeBreakEven(az, cands, vmin, vmax)
+		if err != nil {
+			return err
+		}
+		applied = res.Applied
+		azOpt, err = az.WithNode(res.Node)
+		if err != nil {
+			return err
+		}
+		swOpt, err = azOpt.Sweep(vmin, vmax, points)
+		if err != nil {
+			return err
+		}
+	}
+
+	if csvOut {
+		series := []*trace.Series{sw.Generated, sw.Required}
+		if swOpt != nil {
+			series = append(series, renamed(swOpt.Required, "required per round (optimized)"))
+		}
+		return report.WriteSeriesCSV(os.Stdout, series...)
+	}
+	ch := &report.Chart{
+		Title: title,
+		Width: 72, Height: 18,
+		Markers: []rune{'G', 'R', 'O'},
+	}
+	ch.Add(sw.Generated)
+	ch.Add(sw.Required)
+	if swOpt != nil {
+		ch.Add(renamed(swOpt.Required, "required per round (optimized)"))
+	}
+	if err := ch.Render(os.Stdout); err != nil {
+		return err
+	}
+	be, err := az.BreakEven(vmin, vmax)
+	if err != nil {
+		fmt.Printf("\nno break-even in [%g, %g] km/h: %v\n", minKMH, maxKMH, err)
+		return nil
+	}
+	fmt.Printf("\nbreak-even: %.1f km/h at %v per round\n", be.Speed.KMH(), be.Energy)
+	for _, win := range sw.OperatingWindows() {
+		fmt.Printf("operating window: %.1f – %.1f km/h\n", win.FromKMH, win.ToKMH)
+	}
+	if azOpt != nil {
+		beOpt, err := azOpt.BreakEven(vmin, vmax)
+		if err == nil {
+			fmt.Printf("optimized break-even: %.1f km/h (applied: %v)\n", beOpt.Speed.KMH(), applied)
+		}
+	}
+	return nil
+}
+
+// renamed clones a series under a new legend name.
+func renamed(s *trace.Series, name string) *trace.Series {
+	out := trace.NewSeries(name, s.XUnit(), s.YUnit())
+	for i := 0; i < s.Len(); i++ {
+		out.MustAppend(s.X(i), s.Y(i))
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+// Command tyrechar runs the first stage of the paper's flow standalone:
+// it characterises every functional block of the Sensor Node across the
+// working-condition grid (temperature × supply voltage × process corner ×
+// operating mode) and emits the resulting power database — the "dynamic
+// spreadsheet" — as CSV on stdout. The same CSV layout can be re-imported
+// to substitute measured data for the analytic models.
+//
+// Usage:
+//
+//	tyrechar > powerdb.csv
+//	tyrechar -query mcu,active,45,1.8,TT      # single lookup instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func main() {
+	query := flag.String("query", "", "lookup 'block,mode,temp_c,vdd_v,corner' instead of dumping the CSV")
+	flag.Parse()
+
+	if err := run(*query); err != nil {
+		fmt.Fprintf(os.Stderr, "tyrechar: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(query string) error {
+	nd, err := node.Default(wheel.Default())
+	if err != nil {
+		return err
+	}
+	d := db.New()
+	for _, role := range node.Roles() {
+		if err := d.Characterize(nd.Block(role), db.DefaultGrid()); err != nil {
+			return err
+		}
+	}
+	if query == "" {
+		return d.WriteCSV(os.Stdout)
+	}
+	parts := strings.Split(query, ",")
+	if len(parts) != 5 {
+		return fmt.Errorf("query needs 'block,mode,temp_c,vdd_v,corner', got %q", query)
+	}
+	temp, err1 := strconv.ParseFloat(parts[2], 64)
+	vdd, err2 := strconv.ParseFloat(parts[3], 64)
+	corner, err3 := power.ParseCorner(parts[4])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return fmt.Errorf("malformed query %q", query)
+	}
+	cond := power.Conditions{Temp: units.DegC(temp), Vdd: units.Volts(vdd), Corner: corner}
+	p, err := d.Lookup(parts[0], parts[1], cond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s/%s at %v: %v\n", parts[0], parts[1], cond, p)
+	return nil
+}

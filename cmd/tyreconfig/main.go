@@ -1,0 +1,75 @@
+// Command tyreconfig manages analysis scenario files: it emits the
+// default scenario as editable JSON and validates edited files, printing
+// a summary of what they build. tyrebalance and tyresim consume these
+// files via their -config flag.
+//
+// Usage:
+//
+//	tyreconfig -init > scenario.json     # write the default scenario
+//	tyreconfig -check scenario.json      # validate and summarise a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/node"
+	"repro/internal/report"
+)
+
+func main() {
+	initOut := flag.Bool("init", false, "print the default scenario JSON to stdout")
+	check := flag.String("check", "", "validate the given scenario file")
+	flag.Parse()
+
+	if err := run(*initOut, *check); err != nil {
+		fmt.Fprintf(os.Stderr, "tyreconfig: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(initOut bool, check string) error {
+	switch {
+	case initOut:
+		s, err := config.DefaultScenario()
+		if err != nil {
+			return err
+		}
+		return config.Save(os.Stdout, s)
+	case check != "":
+		f, err := os.Open(check)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		s, err := config.Load(f)
+		if err != nil {
+			return err
+		}
+		nd, hv, buf, ambient, base, err := s.Build()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid\n\n", check)
+		t := report.NewTable("component", "summary")
+		t.AddRowf("architecture", nd.Name())
+		blocks := ""
+		for i, role := range node.Roles() {
+			if i > 0 {
+				blocks += ", "
+			}
+			blocks += string(role)
+		}
+		t.AddRowf("blocks", blocks)
+		t.AddRowf("scavenger", hv.Source().Name())
+		t.AddRowf("buffer", fmt.Sprintf("%v usable %v", buf.C, buf.Usable()))
+		t.AddRowf("ambient", ambient)
+		t.AddRowf("conditions", base)
+		return t.Render(os.Stdout)
+	default:
+		flag.Usage()
+		return fmt.Errorf("choose -init or -check")
+	}
+}

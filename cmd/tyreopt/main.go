@@ -1,0 +1,114 @@
+// Command tyreopt runs the paper's duty-cycle-aware optimization step on
+// the baseline Sensor Node: it prints the per-block advisor analysis
+// (duty cycle, power split, recommended technique class), then searches
+// for the technique combination that minimises the break-even speed and
+// reports the resulting architecture.
+//
+// Usage:
+//
+//	tyreopt [-speed 60] [-ambient 20] [-maxage 5] [-minsamples 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/balance"
+	"repro/internal/cli"
+	"repro/internal/opt"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	speedKMH := flag.Float64("speed", 60, "duty-cycle profiling speed in km/h")
+	ambient := flag.Float64("ambient", 20, "ambient temperature in °C")
+	maxAge := flag.Float64("maxage", 5, "loosest tolerable telemetry age in seconds")
+	minSamples := flag.Int("minsamples", 16, "acquisition quality floor in samples per round")
+	cfgPath := flag.String("config", "", "scenario JSON (see tyreconfig -init); overrides -ambient")
+	flag.Parse()
+
+	if err := run(*speedKMH, *ambient, *maxAge, *minSamples, *cfgPath); err != nil {
+		fmt.Fprintf(os.Stderr, "tyreopt: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(speedKMH, ambient, maxAge float64, minSamples int, cfgPath string) error {
+	stack, err := cli.ResolveStack(cfgPath, 0, ambient)
+	if err != nil {
+		return err
+	}
+	nd, hv := stack.Node, stack.Harvester
+	tyre := nd.Tyre()
+	v := units.KilometersPerHour(speedKMH)
+	cond := stack.Base.WithTemp(tyre.SteadyTemperature(stack.Ambient, v))
+
+	recs, err := opt.Advise(nd, v, cond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("duty-cycle-aware analysis @ %.0f km/h (%v):\n\n", speedKMH, cond)
+	t := report.NewTable("block", "duty", "rest share", "node share", "advice")
+	for _, r := range recs {
+		t.AddRowf(r.Role,
+			fmt.Sprintf("%.3f%%", r.Duty*100),
+			fmt.Sprintf("%.0f%%", r.RestShare*100),
+			fmt.Sprintf("%.1f%%", r.ShareOfNode*100),
+			r.Rationale)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	az, err := balance.New(nd, hv, stack.Ambient, stack.Base)
+	if err != nil {
+		return err
+	}
+	cons := opt.Constraints{MaxDataAge: units.Sec(maxAge), MinSamples: minSamples}
+	cands := opt.Candidates(nd, cons)
+
+	// Standalone effect of each candidate before the combined search.
+	marginals, err := opt.MarginalAnalysis(az, cands,
+		units.KilometersPerHour(5), units.KilometersPerHour(200))
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nstandalone technique effects on the break-even speed:")
+	mt := report.NewTable("technique", "kind", "Δ break-even")
+	for _, m := range marginals {
+		delta := "inapplicable"
+		if m.Applicable {
+			delta = fmt.Sprintf("%+.2f km/h", m.DeltaKMH)
+		}
+		mt.AddRowf(m.Name, m.Kind, delta)
+	}
+	if err := mt.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	res, err := opt.MinimizeBreakEven(az, cands,
+		units.KilometersPerHour(5), units.KilometersPerHour(200))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\noptimization (%d candidates):\n", len(cands))
+	fmt.Printf("  applied:    %v\n", res.Applied)
+	fmt.Printf("  break-even: %.1f → %.1f km/h (%.0f%% lower activation speed)\n",
+		units.MetersPerSecond(res.Baseline).KMH(),
+		units.MetersPerSecond(res.Optimized).KMH(),
+		res.Improvement()*100)
+
+	before, err := nd.AverageRound(v, cond)
+	if err != nil {
+		return err
+	}
+	after, err := res.Node.AverageRound(v, cond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  energy/round @ %.0f km/h: %v → %v\n\n", speedKMH, before.Total(), after.Total())
+	fmt.Println("optimized per-round breakdown:")
+	return report.BreakdownTable(after).Render(os.Stdout)
+}

@@ -1,0 +1,104 @@
+// Command tyresim emulates the Sensor Node's energy balance over a long
+// timing window driven by a cruising-speed profile (the last stage of the
+// paper's analysis flow), reporting activity coverage, brown-outs and the
+// final buffer state.
+//
+// Usage:
+//
+//	tyresim -cycle mixed                # built-in: urban, extraurban, highway, wltp, mixed
+//	tyresim -speed 60 -minutes 10       # constant-speed run
+//	tyresim -profile speeds.csv         # recorded log: time_s,speed_kmh rows
+//	tyresim -config scenario.json       # stack from tyreconfig -init
+//	tyresim -cycle urban -repeat 4 -cap 1000 -optimized
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/balance"
+	"repro/internal/cli"
+	"repro/internal/emu"
+	"repro/internal/opt"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	cycle := flag.String("cycle", "", "built-in cycle: urban, extraurban, highway, wltp, mixed")
+	repeat := flag.Int("repeat", 1, "repeat the chosen cycle N times")
+	speedKMH := flag.Float64("speed", 0, "constant speed in km/h (alternative to -cycle)")
+	minutes := flag.Float64("minutes", 10, "duration for constant-speed runs")
+	profilePath := flag.String("profile", "", "CSV speed log (time_s,speed_kmh)")
+	capUF := flag.Float64("cap", 470, "storage capacitance in µF")
+	ambient := flag.Float64("ambient", 20, "ambient temperature in °C")
+	optimized := flag.Bool("optimized", false, "run the duty-cycle-optimized node instead of the baseline")
+	cfgPath := flag.String("config", "", "scenario JSON (see tyreconfig -init); overrides -cap/-ambient")
+	flag.Parse()
+
+	if err := run(*cycle, *repeat, *speedKMH, *minutes, *profilePath, *capUF, *ambient, *optimized, *cfgPath); err != nil {
+		fmt.Fprintf(os.Stderr, "tyresim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cycle string, repeat int, speedKMH, minutes float64, profilePath string, capUF, ambient float64, optimized bool, cfgPath string) error {
+	p, err := cli.PickProfile(cycle, repeat, speedKMH, minutes, profilePath)
+	if err != nil {
+		return err
+	}
+	stack, err := cli.ResolveStack(cfgPath, capUF, ambient)
+	if err != nil {
+		return err
+	}
+	nd := stack.Node
+	if optimized {
+		az, err := balance.New(nd, stack.Harvester, stack.Ambient, stack.Base)
+		if err != nil {
+			return err
+		}
+		cands := opt.Candidates(nd, opt.DefaultConstraints())
+		res, err := opt.MinimizeBreakEven(az, cands,
+			units.KilometersPerHour(5), units.KilometersPerHour(200))
+		if err != nil {
+			return err
+		}
+		nd = res.Node
+		fmt.Printf("optimized node (applied: %v)\n\n", res.Applied)
+	}
+	em, err := emu.New(emu.Config{
+		Node:           nd,
+		Harvester:      stack.Harvester,
+		Buffer:         stack.Buffer,
+		InitialVoltage: units.Volts(3.0),
+		Ambient:        stack.Ambient,
+		Base:           stack.Base,
+		RecordTraces:   true,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := em.Run(p)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("metric", "value")
+	t.AddRowf("window", res.Duration)
+	t.AddRowf("wheel rounds", res.Rounds)
+	t.AddRowf("monitored rounds", fmt.Sprintf("%d (%.1f%%)", res.ActiveRounds, res.Coverage()*100))
+	t.AddRowf("brown-outs", res.BrownOuts)
+	t.AddRowf("restarts", res.Restarts)
+	t.AddRowf("harvested", res.Harvested)
+	t.AddRowf("consumed", res.Consumed)
+	t.AddRowf("clipped (buffer full)", res.Clipped)
+	t.AddRowf("buffer self-discharge", res.Leaked)
+	t.AddRowf("final voltage", res.FinalVoltage)
+	t.AddRowf("min voltage", res.MinVoltage)
+	t.AddRowf("outages", fmt.Sprintf("%d (total %v, longest %v)",
+		len(res.Outages), res.Downtime(), res.LongestOutage()))
+	t.AddRowf("speed", report.Sparkline(res.Speed, 48))
+	t.AddRowf("buffer voltage", report.Sparkline(res.Voltage, 48))
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,30 @@
+package tyresys_test
+
+import (
+	"fmt"
+
+	tyresys "repro"
+)
+
+func Example() {
+	// The complete analysis through the public facade: build the default
+	// stack, find the break-even speed, optimize, and compare.
+	tyre := tyresys.DefaultTyre()
+	node, _ := tyresys.DefaultNode(tyre)
+	harvester, _ := tyresys.DefaultHarvester(tyre)
+	bal, err := tyresys.NewBalance(node, harvester, tyresys.DegC(20), tyresys.NominalConditions())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cands := tyresys.OptimizationCandidates(node, tyresys.DefaultConstraints())
+	res, err := tyresys.MinimizeBreakEven(bal, cands, tyresys.KMH(5), tyresys.KMH(200))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("activation speed: %.1f → %.1f km/h\n",
+		tyresys.MetersPerSecond(res.Baseline).KMH(),
+		tyresys.MetersPerSecond(res.Optimized).KMH())
+	// Output: activation speed: 39.2 → 20.6 km/h
+}

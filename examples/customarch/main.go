@@ -1,0 +1,64 @@
+// Customarch: the paper's "the user can even evaluate custom
+// architectures of the chip in order to strike a balance between energy
+// requirement and system performance". This example builds a
+// high-data-rate variant of the node (double the samples, bigger
+// packets), swaps the piezo scavenger for the electromagnetic one, and
+// compares break-even speeds across the four combinations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tyresys "repro"
+	"repro/internal/scavenger"
+)
+
+func main() {
+	tyre := tyresys.DefaultTyre()
+
+	standard, err := tyresys.DefaultNode(tyre)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A custom architecture: richer telemetry (64 samples per round,
+	// 48-byte packets) at the cost of energy.
+	cfg := tyresys.DefaultNodeConfig(tyre)
+	cfg.Name = "high-rate"
+	cfg.Acq = cfg.Acq.WithSamples(64)
+	cfg.PayloadBytes = 48
+	highRate, err := tyresys.NewNode(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	piezo, err := tyresys.DefaultHarvester(tyre)
+	if err != nil {
+		log.Fatal(err)
+	}
+	em, err := tyresys.NewHarvester(scavenger.DefaultElectromagnetic(), tyresys.DefaultConditioner(), tyre)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("architecture  scavenger         break-even")
+	for _, n := range []*tyresys.Node{standard, highRate} {
+		for _, h := range []struct {
+			name string
+			hv   *tyresys.Harvester
+		}{{"piezo-patch", piezo}, {"electromagnetic", em}} {
+			bal, err := tyresys.NewBalance(n, h.hv, tyresys.DegC(20), tyresys.NominalConditions())
+			if err != nil {
+				log.Fatal(err)
+			}
+			be, err := bal.BreakEven(tyresys.KMH(5), tyresys.KMH(200))
+			if err != nil {
+				fmt.Printf("%-12s  %-16s  none in range (%v)\n", n.Name(), h.name, err)
+				continue
+			}
+			fmt.Printf("%-12s  %-16s  %.1f km/h\n", n.Name(), h.name, be.Speed.KMH())
+		}
+	}
+	fmt.Println("\nhigher data rate costs activation speed; the scavenger choice shifts it too")
+}

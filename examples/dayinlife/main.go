@@ -1,0 +1,80 @@
+// Dayinlife: a 24-hour emulation of the self-powered node — overnight
+// parking (static drain only), a morning commute, a parked workday, and
+// an evening return. It shows the storage buffer cycling between the
+// drives and the node browning out during long parked stretches, then
+// recovering within seconds of the wheel turning — the behaviour that
+// makes the scavenger + small-buffer design viable where a battery is
+// not (see experiment E8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tyresys "repro"
+	"repro/internal/emu"
+	"repro/internal/profile"
+	"repro/internal/report"
+)
+
+func main() {
+	tyre := tyresys.DefaultTyre()
+	node, err := tyresys.DefaultNode(tyre)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harvester, err := tyresys.DefaultHarvester(tyre)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The day: 7 h overnight, urban+highway commute, 9 h parked at work,
+	// the return commute, and the evening at home.
+	parked := func(hours float64) tyresys.Profile {
+		return profile.Constant(0, tyresys.Hours(hours))
+	}
+	commute, err := profile.NewSequence(
+		profile.Urban(),
+		profile.Highway(6),
+		profile.Urban(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	day, err := profile.NewSequence(
+		parked(7), commute, parked(9), commute,
+		parked(24-7-9-2*commute.Duration().Seconds()/3600),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	em, err := tyresys.NewEmulator(emu.Config{
+		Node:           node,
+		Harvester:      harvester,
+		Buffer:         tyresys.DefaultBuffer(),
+		InitialVoltage: tyresys.Volts(3.0),
+		Ambient:        tyresys.DegC(15),
+		Base:           tyresys.NominalConditions(),
+		RecordTraces:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := em.Run(day)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("24 h with two %.0f-minute commutes:\n\n", commute.Duration().Seconds()/60)
+	fmt.Printf("  wheel rounds monitored: %d of %d (%.1f%% coverage while driving)\n",
+		res.ActiveRounds, res.Rounds, res.Coverage()*100)
+	fmt.Printf("  brown-outs: %d, restarts: %d\n", res.BrownOuts, res.Restarts)
+	fmt.Printf("  longest outage: %v (the parked stretches)\n", res.LongestOutage())
+	fmt.Printf("  harvested %v, consumed %v, clipped %v\n",
+		res.Harvested, res.Consumed, res.Clipped)
+	fmt.Printf("\n  speed over the day:   %s\n", report.Sparkline(res.Speed, 64))
+	fmt.Printf("  buffer voltage:       %s\n", report.Sparkline(res.Voltage, 64))
+	fmt.Println("\nparked stretches drain the buffer (no harvest), but the node is back")
+	fmt.Println("within seconds of rolling — no battery required, no battery to replace")
+}

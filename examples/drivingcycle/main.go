@@ -1,0 +1,80 @@
+// Drivingcycle: the paper's long-timing-window question — "can the
+// monitoring system be active during all the considered time?" — answered
+// by emulating the node over realistic speed profiles and comparing the
+// unoptimized baseline with the duty-cycle-optimized design.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tyresys "repro"
+)
+
+func main() {
+	tyre := tyresys.DefaultTyre()
+	baseline, err := tyresys.DefaultNode(tyre)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harvester, err := tyresys.DefaultHarvester(tyre)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Optimize a second node with the duty-cycle-aware search.
+	bal, err := tyresys.NewBalance(baseline, harvester, tyresys.DegC(20), tyresys.NominalConditions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cands := tyresys.OptimizationCandidates(baseline, tyresys.DefaultConstraints())
+	optRes, err := tyresys.MinimizeBreakEven(bal, cands, tyresys.KMH(5), tyresys.KMH(200))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized with: %v\n\n", optRes.Applied)
+
+	cycles := []struct {
+		name    string
+		profile tyresys.Profile
+	}{
+		{"urban (stop-and-go)", tyresys.UrbanCycle()},
+		{"extra-urban", tyresys.ExtraUrbanCycle()},
+		{"highway", tyresys.HighwayCycle(4)},
+		{"mixed", tyresys.MixedCycle()},
+	}
+
+	fmt.Println("cycle                 baseline   optimized   (monitored wheel rounds)")
+	for _, c := range cycles {
+		covBase, err := coverage(baseline, harvester, c.profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		covOpt, err := coverage(optRes.Node, harvester, c.profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s  %7.1f%%   %8.1f%%\n", c.name, covBase*100, covOpt*100)
+	}
+}
+
+// coverage emulates one profile and returns the fraction of wheel rounds
+// the node monitored.
+func coverage(node *tyresys.Node, h *tyresys.Harvester, p tyresys.Profile) (float64, error) {
+	em, err := tyresys.NewEmulator(tyresys.EmulatorConfig{
+		Node:           node,
+		Harvester:      h,
+		Buffer:         tyresys.DefaultBuffer(),
+		InitialVoltage: tyresys.Volts(3.0),
+		Ambient:        tyresys.DegC(20),
+		Base:           tyresys.NominalConditions(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	res, err := em.Run(p)
+	if err != nil {
+		return 0, err
+	}
+	return res.Coverage(), nil
+}

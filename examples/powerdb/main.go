@@ -1,0 +1,69 @@
+// Powerdb: the paper's "dynamic spreadsheet" in action. All data about
+// the power estimation of each functional block is collected into a
+// database parameterised on working conditions; the user queries it,
+// derives energy contributions, and can export/import CSV to substitute
+// measured data for the analytic models.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func main() {
+	// Step 1 of the flow: characterise every block over the
+	// temperature × Vdd × corner grid.
+	nd, err := node.Default(wheel.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := db.New()
+	for _, role := range node.Roles() {
+		if err := d.Characterize(nd.Block(role), db.DefaultGrid()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("characterised %d blocks into %d entries\n\n", len(d.Blocks()), d.Len())
+
+	// Query the spreadsheet: MCU active power across temperature, with
+	// bilinear interpolation between characterisation points.
+	fmt.Println("mcu/active power vs temperature (1.8 V, TT):")
+	for _, temp := range []float64{-20, 10, 37, 70, 85} {
+		cond := power.Conditions{Temp: units.DegC(temp), Vdd: units.Volts(1.8), Corner: power.TT}
+		p, err := d.Lookup("mcu", "active", cond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %5.0f°C: %v\n", temp, p)
+	}
+
+	// Derive an energy contribution: how much a 1.2 ms compute burst
+	// costs per round at a hot working point, per corner.
+	fmt.Println("\n1.2 ms mcu/active burst at 85°C / 1.8 V:")
+	for _, corner := range power.Corners() {
+		cond := power.Conditions{Temp: units.DegC(85), Vdd: units.Volts(1.8), Corner: corner}
+		e, err := d.EnergyEstimate("mcu", "active", cond, units.Milliseconds(1.2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %v: %v\n", corner, e)
+	}
+
+	// Round-trip through CSV — the interchange format for measured data.
+	var csv strings.Builder
+	if err := d.WriteCSV(&csv); err != nil {
+		log.Fatal(err)
+	}
+	back, err := db.ReadCSV(strings.NewReader(csv.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCSV round-trip: %d bytes, %d entries preserved\n", csv.Len(), back.Len())
+}

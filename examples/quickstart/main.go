@@ -1,0 +1,53 @@
+// Quickstart: build the default self-powered Sensor Node stack, ask at
+// which cruising speed it becomes self-sustaining (the paper's Fig 2
+// break-even point), and tabulate the energy balance at a few speeds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tyresys "repro"
+)
+
+func main() {
+	tyre := tyresys.DefaultTyre()
+	node, err := tyresys.DefaultNode(tyre)
+	if err != nil {
+		log.Fatal(err)
+	}
+	harvester, err := tyresys.DefaultHarvester(tyre)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The balance analyzer couples the node's leakage to the tyre
+	// temperature at each speed and compares the per-wheel-round energy
+	// demand with the scavenger's output.
+	bal, err := tyresys.NewBalance(node, harvester, tyresys.DegC(20), tyresys.NominalConditions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	be, err := bal.BreakEven(tyresys.KMH(5), tyresys.KMH(200))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("break-even speed: %.1f km/h (%v per round at the crossing)\n\n",
+		be.Speed.KMH(), be.Energy)
+
+	fmt.Println("speed     generated/round  required/round  verdict")
+	for _, kmh := range []float64{10, 20, 30, 50, 80, 130} {
+		v := tyresys.KMH(kmh)
+		gen := bal.GeneratedPerRound(v)
+		req, err := bal.RequiredPerRound(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "deficit"
+		if gen >= req {
+			verdict = "self-sustaining"
+		}
+		fmt.Printf("%3.0f km/h  %-15v  %-14v  %s\n", kmh, gen, req, verdict)
+	}
+}

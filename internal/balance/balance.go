@@ -1,0 +1,254 @@
+// Package balance computes the paper's central result: the energy balance
+// of the self-powered Sensor Node per wheel round across cruising speeds
+// (Fig 2). It pairs a node architecture with a scavenger harvester,
+// couples the circuit temperature to the tyre's speed-dependent
+// self-heating (static power is "mainly linked to the working
+// temperature"), sweeps the two energy-per-round curves, finds their
+// break-even intersection, and identifies the operating windows where the
+// balance is positive.
+package balance
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/scavenger"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Analyzer evaluates the energy balance of one node/harvester pairing
+// under fixed ambient conditions.
+type Analyzer struct {
+	nd      *node.Node
+	hv      *scavenger.Harvester
+	ambient units.Celsius
+	base    power.Conditions
+}
+
+// New builds an Analyzer. The node and harvester must be mounted in the
+// same tyre; base supplies Vdd and process corner, while its temperature
+// field is ignored — the working temperature is derived per speed from
+// the tyre thermal model at the given ambient.
+func New(nd *node.Node, hv *scavenger.Harvester, ambient units.Celsius, base power.Conditions) (*Analyzer, error) {
+	if nd == nil {
+		return nil, fmt.Errorf("balance: nil node")
+	}
+	if hv == nil {
+		return nil, fmt.Errorf("balance: nil harvester")
+	}
+	if nd.Tyre() != hv.Tyre() {
+		return nil, fmt.Errorf("balance: node tyre %+v differs from harvester tyre %+v",
+			nd.Tyre(), hv.Tyre())
+	}
+	return &Analyzer{nd: nd, hv: hv, ambient: ambient, base: base}, nil
+}
+
+// Node returns the analysed node.
+func (a *Analyzer) Node() *node.Node { return a.nd }
+
+// WithNode returns a copy of the analyzer evaluating a different node
+// (same harvester, ambient and base conditions) — how the optimizer
+// re-scores candidate architectures.
+func (a *Analyzer) WithNode(nd *node.Node) (*Analyzer, error) {
+	return New(nd, a.hv, a.ambient, a.base)
+}
+
+// Harvester returns the analysed harvester.
+func (a *Analyzer) Harvester() *scavenger.Harvester { return a.hv }
+
+// Ambient returns the ambient temperature of the analysis.
+func (a *Analyzer) Ambient() units.Celsius { return a.ambient }
+
+// ConditionsAt returns the working conditions at cruising speed v: the
+// base Vdd/corner with the circuit temperature set to the tyre's
+// steady-state temperature at that speed.
+func (a *Analyzer) ConditionsAt(v units.Speed) power.Conditions {
+	return a.base.WithTemp(a.nd.Tyre().SteadyTemperature(a.ambient, v))
+}
+
+// RequiredPerRound returns the node's steady-state energy demand per wheel
+// round at speed v.
+func (a *Analyzer) RequiredPerRound(v units.Speed) (units.Energy, error) {
+	bd, err := a.nd.AverageRound(v, a.ConditionsAt(v))
+	if err != nil {
+		return 0, err
+	}
+	return bd.Total(), nil
+}
+
+// GeneratedPerRound returns the harvester's net energy per wheel round at
+// speed v.
+func (a *Analyzer) GeneratedPerRound(v units.Speed) units.Energy {
+	return a.hv.EnergyPerRound(v)
+}
+
+// MarginPerRound returns generated − required per round at speed v;
+// positive means the monitoring system can run sustainably at that speed.
+func (a *Analyzer) MarginPerRound(v units.Speed) (units.Energy, error) {
+	req, err := a.RequiredPerRound(v)
+	if err != nil {
+		return 0, err
+	}
+	return a.GeneratedPerRound(v) - req, nil
+}
+
+// Sweep is the Fig 2 dataset: the generated and required
+// energy-per-round curves over a cruising-speed range (x in km/h,
+// y in µJ).
+type Sweep struct {
+	Generated *trace.Series
+	Required  *trace.Series
+}
+
+// Sweep evaluates both curves at n evenly spaced speeds in [vmin, vmax].
+// vmin must be positive (a stationary wheel has no round) and n ≥ 2.
+func (a *Analyzer) Sweep(vmin, vmax units.Speed, n int) (*Sweep, error) {
+	if vmin <= 0 {
+		return nil, fmt.Errorf("balance: sweep must start above 0, got %v", vmin)
+	}
+	if vmax <= vmin {
+		return nil, fmt.Errorf("balance: empty sweep range [%v, %v]", vmin, vmax)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("balance: sweep needs at least 2 points, got %d", n)
+	}
+	gen := trace.NewSeries("generated per round", "km/h", "µJ")
+	req := trace.NewSeries("required per round", "km/h", "µJ")
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		v := units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
+		r, err := a.RequiredPerRound(v)
+		if err != nil {
+			return nil, fmt.Errorf("balance: at %v: %w", v, err)
+		}
+		gen.MustAppend(v.KMH(), a.GeneratedPerRound(v).Microjoules())
+		req.MustAppend(v.KMH(), r.Microjoules())
+	}
+	return &Sweep{Generated: gen, Required: req}, nil
+}
+
+// BreakEven is the intersection of the generated and required curves —
+// the minimum cruising speed at which the monitoring system is
+// self-sustaining.
+type BreakEven struct {
+	// Speed is the break-even cruising speed.
+	Speed units.Speed
+	// Energy is the per-round energy where the curves cross.
+	Energy units.Energy
+	// Found reports whether a crossing exists in the searched range.
+	Found bool
+}
+
+// ErrNoBreakEven is wrapped by BreakEven when the margin does not change
+// sign in the searched range.
+var ErrNoBreakEven = errors.New("balance: no break-even in range")
+
+// BreakEven locates the lowest break-even speed in [vmin, vmax] by coarse
+// scan plus bisection on the per-round margin. If the margin is positive
+// across the whole range, the system is self-sustaining everywhere and the
+// result has Found=true with Speed=vmin; if it is negative everywhere the
+// error wraps ErrNoBreakEven.
+func (a *Analyzer) BreakEven(vmin, vmax units.Speed) (BreakEven, error) {
+	if vmin <= 0 || vmax <= vmin {
+		return BreakEven{}, fmt.Errorf("balance: invalid break-even range [%v, %v]", vmin, vmax)
+	}
+	const scanPoints = 64
+	margin := func(v units.Speed) (float64, error) {
+		m, err := a.MarginPerRound(v)
+		return m.Joules(), err
+	}
+	prevV := vmin
+	prevM, err := margin(prevV)
+	if err != nil {
+		return BreakEven{}, err
+	}
+	if prevM >= 0 {
+		req, _ := a.RequiredPerRound(vmin)
+		return BreakEven{Speed: vmin, Energy: req, Found: true}, nil
+	}
+	for i := 1; i <= scanPoints; i++ {
+		frac := float64(i) / scanPoints
+		v := units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
+		m, err := margin(v)
+		if err != nil {
+			return BreakEven{}, err
+		}
+		if m >= 0 {
+			be, err := a.bisect(prevV, v)
+			if err != nil {
+				return BreakEven{}, err
+			}
+			return be, nil
+		}
+		prevV, prevM = v, m
+	}
+	_ = prevM
+	return BreakEven{}, fmt.Errorf("%w: [%v, %v]", ErrNoBreakEven, vmin, vmax)
+}
+
+// bisect refines a bracketing interval [lo, hi] with margin(lo) < 0 ≤
+// margin(hi) down to 0.01 km/h.
+func (a *Analyzer) bisect(lo, hi units.Speed) (BreakEven, error) {
+	const tolKMH = 0.01
+	for hi.KMH()-lo.KMH() > tolKMH {
+		mid := units.MetersPerSecond((lo.MS() + hi.MS()) / 2)
+		m, err := a.MarginPerRound(mid)
+		if err != nil {
+			return BreakEven{}, err
+		}
+		if m >= 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	req, err := a.RequiredPerRound(hi)
+	if err != nil {
+		return BreakEven{}, err
+	}
+	return BreakEven{Speed: hi, Energy: req, Found: true}, nil
+}
+
+// Window is a cruising-speed interval (km/h) with non-negative margin —
+// an operating window of the monitoring system.
+type Window struct {
+	FromKMH, ToKMH float64
+}
+
+// OperatingWindows extracts the positive-margin speed intervals from a
+// sweep, using the crossings of the two curves.
+func (s *Sweep) OperatingWindows() []Window {
+	if s.Generated.Len() < 2 {
+		return nil
+	}
+	lo := s.Generated.X(0)
+	hi := s.Generated.X(s.Generated.Len() - 1)
+	crossings := trace.Crossings(s.Generated, s.Required)
+	edges := []float64{lo}
+	for _, c := range crossings {
+		if c.X > lo && c.X < hi {
+			edges = append(edges, c.X)
+		}
+	}
+	edges = append(edges, hi)
+	var wins []Window
+	for i := 0; i+1 < len(edges); i++ {
+		mid := (edges[i] + edges[i+1]) / 2
+		if s.Generated.At(mid) >= s.Required.At(mid) {
+			wins = append(wins, Window{FromKMH: edges[i], ToKMH: edges[i+1]})
+		}
+	}
+	// Merge adjacent windows that share an edge (tangent touch).
+	var merged []Window
+	for _, w := range wins {
+		if n := len(merged); n > 0 && units.AlmostEqual(merged[n-1].ToKMH, w.FromKMH, 1e-9) {
+			merged[n-1].ToKMH = w.ToKMH
+			continue
+		}
+		merged = append(merged, w)
+	}
+	return merged
+}

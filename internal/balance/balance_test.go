@@ -1,0 +1,269 @@
+package balance
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/rf"
+	"repro/internal/scavenger"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func kmh(v float64) units.Speed { return units.KilometersPerHour(v) }
+
+func defaultAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	tyre := wheel.Default()
+	nd, err := node.Default(tyre)
+	if err != nil {
+		t.Fatalf("node.Default: %v", err)
+	}
+	hv, err := scavenger.Default(tyre)
+	if err != nil {
+		t.Fatalf("scavenger.Default: %v", err)
+	}
+	a, err := New(nd, hv, units.DegC(20), power.Nominal())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return a
+}
+
+func TestNewValidation(t *testing.T) {
+	tyre := wheel.Default()
+	nd, _ := node.Default(tyre)
+	hv, _ := scavenger.Default(tyre)
+	if _, err := New(nil, hv, units.DegC(20), power.Nominal()); err == nil {
+		t.Error("nil node accepted")
+	}
+	if _, err := New(nd, nil, units.DegC(20), power.Nominal()); err == nil {
+		t.Error("nil harvester accepted")
+	}
+	// Mismatched tyres rejected.
+	other := tyre
+	other.Radius = 0.35
+	hv2, _ := scavenger.Default(other)
+	if _, err := New(nd, hv2, units.DegC(20), power.Nominal()); err == nil {
+		t.Error("mismatched tyres accepted")
+	}
+	a := defaultAnalyzer(t)
+	if a.Node() == nil || a.Harvester() == nil || a.Ambient() != units.DegC(20) {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestConditionsCoupleTyreTemperature(t *testing.T) {
+	a := defaultAnalyzer(t)
+	slow := a.ConditionsAt(kmh(10))
+	fast := a.ConditionsAt(kmh(150))
+	if fast.Temp <= slow.Temp {
+		t.Errorf("temperature not rising with speed: %v vs %v", fast.Temp, slow.Temp)
+	}
+	if slow.Vdd != power.Nominal().Vdd || slow.Corner != power.Nominal().Corner {
+		t.Error("base Vdd/corner not preserved")
+	}
+}
+
+func TestMarginSign(t *testing.T) {
+	a := defaultAnalyzer(t)
+	// Deficit at crawling speed, surplus at highway speed — the paper's
+	// qualitative Fig 2.
+	low, err := a.MarginPerRound(kmh(10))
+	if err != nil {
+		t.Fatalf("MarginPerRound(10): %v", err)
+	}
+	if low >= 0 {
+		t.Errorf("margin at 10 km/h = %v, want deficit", low)
+	}
+	high, err := a.MarginPerRound(kmh(120))
+	if err != nil {
+		t.Fatalf("MarginPerRound(120): %v", err)
+	}
+	if high <= 0 {
+		t.Errorf("margin at 120 km/h = %v, want surplus", high)
+	}
+}
+
+func TestBreakEvenInBand(t *testing.T) {
+	a := defaultAnalyzer(t)
+	be, err := a.BreakEven(kmh(5), kmh(200))
+	if err != nil {
+		t.Fatalf("BreakEven: %v", err)
+	}
+	if !be.Found {
+		t.Fatal("no break-even found")
+	}
+	// DESIGN.md expects the baseline (unoptimized) break-even in the
+	// 25–45 km/h band.
+	if be.Speed.KMH() < 25 || be.Speed.KMH() > 45 {
+		t.Errorf("break-even = %v, want 25–45 km/h", be.Speed)
+	}
+	if be.Energy <= 0 {
+		t.Errorf("break-even energy = %v", be.Energy)
+	}
+	// Margin is (nearly) zero at the break-even speed.
+	m, _ := a.MarginPerRound(be.Speed)
+	req, _ := a.RequiredPerRound(be.Speed)
+	if rel := m.Joules() / req.Joules(); rel < -1e-3 || rel > 0.05 {
+		t.Errorf("relative margin at break-even = %g, want ≈0", rel)
+	}
+}
+
+func TestBreakEvenEdgeCases(t *testing.T) {
+	a := defaultAnalyzer(t)
+	// Range entirely above break-even: found at vmin.
+	be, err := a.BreakEven(kmh(100), kmh(200))
+	if err != nil {
+		t.Fatalf("BreakEven(100,200): %v", err)
+	}
+	if !be.Found || be.Speed != kmh(100) {
+		t.Errorf("all-positive range: %+v", be)
+	}
+	// Range entirely below break-even: ErrNoBreakEven.
+	if _, err := a.BreakEven(kmh(6), kmh(12)); !errors.Is(err, ErrNoBreakEven) {
+		t.Errorf("all-negative range error = %v", err)
+	}
+	// Invalid ranges.
+	if _, err := a.BreakEven(0, kmh(100)); err == nil {
+		t.Error("zero vmin accepted")
+	}
+	if _, err := a.BreakEven(kmh(100), kmh(50)); err == nil {
+		t.Error("reversed range accepted")
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	a := defaultAnalyzer(t)
+	sw, err := a.Sweep(kmh(5), kmh(180), 60)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if sw.Generated.Len() != 60 || sw.Required.Len() != 60 {
+		t.Fatalf("sweep lengths %d/%d", sw.Generated.Len(), sw.Required.Len())
+	}
+	// Generated is non-decreasing; required is decreasing overall
+	// (less idle energy per shorter round).
+	genStart, genEnd := sw.Generated.Y(0), sw.Generated.Y(59)
+	if genEnd <= genStart {
+		t.Errorf("generated curve not rising: %g → %g", genStart, genEnd)
+	}
+	reqStart, reqEnd := sw.Required.Y(0), sw.Required.Y(59)
+	if reqEnd >= reqStart {
+		t.Errorf("required curve not falling: %g → %g", reqStart, reqEnd)
+	}
+	// Deficit at the left edge, surplus at the right edge.
+	if sw.Generated.Y(0) >= sw.Required.Y(0) {
+		t.Error("no deficit at low speed")
+	}
+	if sw.Generated.Y(59) <= sw.Required.Y(59) {
+		t.Error("no surplus at high speed")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	a := defaultAnalyzer(t)
+	if _, err := a.Sweep(0, kmh(100), 10); err == nil {
+		t.Error("zero vmin accepted")
+	}
+	if _, err := a.Sweep(kmh(50), kmh(50), 10); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := a.Sweep(kmh(5), kmh(100), 1); err == nil {
+		t.Error("single-point sweep accepted")
+	}
+}
+
+func TestOperatingWindows(t *testing.T) {
+	a := defaultAnalyzer(t)
+	sw, err := a.Sweep(kmh(5), kmh(180), 120)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	wins := sw.OperatingWindows()
+	if len(wins) != 1 {
+		t.Fatalf("windows = %+v, want exactly one", wins)
+	}
+	be, _ := a.BreakEven(kmh(5), kmh(180))
+	if diff := wins[0].FromKMH - be.Speed.KMH(); diff < -1.5 || diff > 1.5 {
+		t.Errorf("window start %g km/h vs break-even %g km/h", wins[0].FromKMH, be.Speed.KMH())
+	}
+	if !units.AlmostEqual(wins[0].ToKMH, 180, 1e-9) {
+		t.Errorf("window end = %g, want 180", wins[0].ToKMH)
+	}
+	// Degenerate sweep.
+	empty := &Sweep{Generated: sw.Generated.Window(0, -1), Required: sw.Required.Window(0, -1)}
+	if got := empty.OperatingWindows(); got != nil {
+		t.Errorf("empty sweep windows = %v", got)
+	}
+}
+
+func TestBetterScavengerLowersBreakEven(t *testing.T) {
+	// E1's mechanism: a larger scavenger shifts the generated curve up and
+	// the break-even left.
+	tyre := wheel.Default()
+	nd, _ := node.Default(tyre)
+	small, _ := scavenger.New(scavenger.DefaultPiezo().Scaled(0.5), scavenger.DefaultConditioner(), tyre)
+	big, _ := scavenger.New(scavenger.DefaultPiezo().Scaled(2.0), scavenger.DefaultConditioner(), tyre)
+	aSmall, _ := New(nd, small, units.DegC(20), power.Nominal())
+	aBig, _ := New(nd, big, units.DegC(20), power.Nominal())
+	beSmall, err := aSmall.BreakEven(kmh(5), kmh(200))
+	if err != nil {
+		t.Fatalf("small BreakEven: %v", err)
+	}
+	beBig, err := aBig.BreakEven(kmh(5), kmh(200))
+	if err != nil {
+		t.Fatalf("big BreakEven: %v", err)
+	}
+	if beBig.Speed >= beSmall.Speed {
+		t.Errorf("bigger scavenger did not lower break-even: %v vs %v", beBig.Speed, beSmall.Speed)
+	}
+}
+
+func TestHotterAmbientRaisesBreakEven(t *testing.T) {
+	// Leakage grows with temperature → more required energy → higher
+	// break-even speed.
+	tyre := wheel.Default()
+	nd, _ := node.Default(tyre)
+	hv, _ := scavenger.Default(tyre)
+	cold, _ := New(nd, hv, units.DegC(-10), power.Nominal())
+	hot, _ := New(nd, hv, units.DegC(45), power.Nominal())
+	beCold, err := cold.BreakEven(kmh(5), kmh(200))
+	if err != nil {
+		t.Fatalf("cold BreakEven: %v", err)
+	}
+	beHot, err := hot.BreakEven(kmh(5), kmh(200))
+	if err != nil {
+		t.Fatalf("hot BreakEven: %v", err)
+	}
+	if beHot.Speed <= beCold.Speed {
+		t.Errorf("hotter ambient did not raise break-even: %v vs %v", beHot.Speed, beCold.Speed)
+	}
+}
+
+func TestTxPolicyAffectsBreakEven(t *testing.T) {
+	// E6's mechanism: transmitting every round raises the required curve
+	// at low speed and pushes break-even up vs the latency-based policy.
+	tyre := wheel.Default()
+	nd, _ := node.Default(tyre)
+	everyRound, err := nd.WithTxPolicy(rf.EveryN{N: 1})
+	if err != nil {
+		t.Fatalf("WithTxPolicy: %v", err)
+	}
+	hv, _ := scavenger.Default(tyre)
+	aBase, _ := New(nd, hv, units.DegC(20), power.Nominal())
+	aHot, _ := New(everyRound, hv, units.DegC(20), power.Nominal())
+	beBase, err := aBase.BreakEven(kmh(5), kmh(200))
+	if err != nil {
+		t.Fatalf("base BreakEven: %v", err)
+	}
+	beEvery, err := aHot.BreakEven(kmh(5), kmh(200))
+	if err != nil {
+		t.Fatalf("every-round BreakEven: %v", err)
+	}
+	if beEvery.Speed <= beBase.Speed {
+		t.Errorf("TX-every-round did not raise break-even: %v vs %v", beEvery.Speed, beBase.Speed)
+	}
+}

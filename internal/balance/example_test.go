@@ -1,0 +1,62 @@
+package balance_test
+
+import (
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/scavenger"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func ExampleAnalyzer_BreakEven() {
+	// The paper's Fig 2 headline: the cruising speed at which the
+	// scavenger's output meets the system's demand.
+	tyre := wheel.Default()
+	nd, _ := node.Default(tyre)
+	hv, _ := scavenger.Default(tyre)
+	az, err := balance.New(nd, hv, units.DegC(20), power.Nominal())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	be, err := az.BreakEven(units.KilometersPerHour(5), units.KilometersPerHour(200))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("break-even: %.1f km/h\n", be.Speed.KMH())
+	// Output: break-even: 39.2 km/h
+}
+
+func ExampleAnalyzer_MarginPerRound() {
+	// Deficit below break-even, surplus above.
+	tyre := wheel.Default()
+	nd, _ := node.Default(tyre)
+	hv, _ := scavenger.Default(tyre)
+	az, _ := balance.New(nd, hv, units.DegC(20), power.Nominal())
+	for _, kmh := range []float64{20, 80} {
+		m, err := az.MarginPerRound(units.KilometersPerHour(kmh))
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		verdict := "surplus"
+		if m < 0 {
+			verdict = "deficit"
+		}
+		fmt.Printf("%.0f km/h: %s of %.1f µJ/round\n", kmh, verdict, abs(m.Microjoules()))
+	}
+	// Output:
+	// 20 km/h: deficit of 15.5 µJ/round
+	// 80 km/h: surplus of 18.9 µJ/round
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

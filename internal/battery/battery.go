@@ -1,0 +1,262 @@
+// Package battery models the baseline the paper's introduction argues
+// against: powering the in-tyre Sensor Node from a primary cell.
+// "Obviously, standard batteries cannot supply this chip for a full tyre
+// lifetime, therefore it is necessary to consider energy harvesting
+// devices." This package makes that claim checkable: primary-cell
+// characterisations (capacity, self-discharge, temperature derating,
+// pulse capability, mechanical ratings) are assessed against a tyre-life
+// mission profile, including the brutal in-tread environment — at
+// 200 km/h a tread-mounted node sees a sustained centripetal
+// acceleration above 1000 g.
+package battery
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Cell characterises one primary battery option.
+type Cell struct {
+	// Name identifies the cell in reports.
+	Name string
+	// Capacity is the nominal deliverable energy at 25 °C.
+	Capacity units.Energy
+	// MassGrams is the cell mass.
+	MassGrams float64
+	// SelfDischargePerYear is the fractional capacity loss per year at
+	// room temperature.
+	SelfDischargePerYear float64
+	// MaxPulsePower is the largest load pulse the chemistry sustains
+	// without collapsing (radio bursts must fit under it, or require a
+	// buffer capacitor).
+	MaxPulsePower units.Power
+	// GRating is the maximum sustained acceleration (in g) the package
+	// is specified for.
+	GRating float64
+	// ColdDeratePerDeg and HotDeratePerDeg linearly reduce the usable
+	// capacity per °C below/above 25 °C (fraction per degree).
+	ColdDeratePerDeg, HotDeratePerDeg float64
+}
+
+// Validate reports whether the cell parameters are physically meaningful.
+func (c Cell) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("battery: cell needs a name")
+	}
+	if c.Capacity <= 0 {
+		return fmt.Errorf("battery: non-positive capacity %v", c.Capacity)
+	}
+	if c.MassGrams <= 0 {
+		return fmt.Errorf("battery: non-positive mass %g g", c.MassGrams)
+	}
+	if c.SelfDischargePerYear < 0 || c.SelfDischargePerYear >= 1 {
+		return fmt.Errorf("battery: self-discharge %g outside [0, 1)", c.SelfDischargePerYear)
+	}
+	if c.MaxPulsePower <= 0 {
+		return fmt.Errorf("battery: non-positive pulse power %v", c.MaxPulsePower)
+	}
+	if c.GRating <= 0 {
+		return fmt.Errorf("battery: non-positive g rating %g", c.GRating)
+	}
+	if c.ColdDeratePerDeg < 0 || c.HotDeratePerDeg < 0 {
+		return fmt.Errorf("battery: negative derating slope")
+	}
+	return nil
+}
+
+// UsableCapacity applies temperature derating (floored at 10% of
+// nominal: even badly derated cells deliver something).
+func (c Cell) UsableCapacity(temp units.Celsius) units.Energy {
+	frac := 1.0
+	dt := temp.DegC() - 25
+	if dt < 0 {
+		frac -= c.ColdDeratePerDeg * -dt
+	} else {
+		frac -= c.HotDeratePerDeg * dt
+	}
+	frac = units.Clamp(frac, 0.1, 1)
+	return units.Energy(c.Capacity.Joules() * frac)
+}
+
+// Standard cells a TPMS designer would consider. Characterisations are
+// datasheet-order-of-magnitude: lithium coin cells (CR2032/CR2477), a
+// lithium thionyl-chloride AA bobbin, and a solid-state thin-film cell —
+// the only chemistry whose package survives tread-level g-loads.
+func CR2032() Cell {
+	return Cell{
+		Name:                 "CR2032 coin",
+		Capacity:             units.Joules(2430), // 225 mAh × 3 V
+		MassGrams:            3.1,
+		SelfDischargePerYear: 0.01,
+		MaxPulsePower:        units.Milliwatts(6), // ~2 mA pulse
+		GRating:              50,
+		ColdDeratePerDeg:     0.006, // lithium coin cells fade hard below 0 °C
+		HotDeratePerDeg:      0.002,
+	}
+}
+
+func CR2477() Cell {
+	return Cell{
+		Name:                 "CR2477 coin",
+		Capacity:             units.Joules(10800), // 1000 mAh × 3 V
+		MassGrams:            10.5,
+		SelfDischargePerYear: 0.01,
+		MaxPulsePower:        units.Milliwatts(9),
+		GRating:              50,
+		ColdDeratePerDeg:     0.006,
+		HotDeratePerDeg:      0.002,
+	}
+}
+
+func LiSOCl2AA() Cell {
+	return Cell{
+		Name:                 "Li-SOCl2 AA bobbin",
+		Capacity:             units.Joules(31000), // 2.4 Ah × 3.6 V
+		MassGrams:            17,
+		SelfDischargePerYear: 0.02,
+		MaxPulsePower:        units.Milliwatts(36), // 10 mA
+		GRating:              30,
+		ColdDeratePerDeg:     0.004,
+		HotDeratePerDeg:      0.001,
+	}
+}
+
+func ThinFilm() Cell {
+	return Cell{
+		Name:                 "thin-film solid-state",
+		Capacity:             units.Joules(10), // 0.7 mAh × 3.9 V
+		MassGrams:            0.45,
+		SelfDischargePerYear: 0.025,
+		MaxPulsePower:        units.Milliwatts(40),
+		GRating:              5000, // monolithic: survives the tread
+		ColdDeratePerDeg:     0.008,
+		HotDeratePerDeg:      0.001,
+	}
+}
+
+// StandardCells lists the assessed options.
+func StandardCells() []Cell {
+	return []Cell{CR2032(), CR2477(), LiSOCl2AA(), ThinFilm()}
+}
+
+// Mission is the deployment profile a power source must survive.
+type Mission struct {
+	// TyreLifeYears is the required service life.
+	TyreLifeYears float64
+	// DrivingHoursPerDay is the mean daily driving time.
+	DrivingHoursPerDay float64
+	// DrivingPower is the node's mean draw while driving.
+	DrivingPower units.Power
+	// ParkedPower is the node's rest draw while parked.
+	ParkedPower units.Power
+	// PeakPower is the largest instantaneous load (radio burst).
+	PeakPower units.Power
+	// MaxSpeed sets the worst-case centripetal load on a tread-mounted
+	// package.
+	MaxSpeed units.Speed
+	// TyreRadius is the mounting radius in metres.
+	TyreRadius float64
+	// WorstCaseTemp derates the capacity.
+	WorstCaseTemp units.Celsius
+	// MassBudgetGrams is the tread-mounting mass limit (balance and
+	// centrifugal retention).
+	MassBudgetGrams float64
+}
+
+// Validate reports whether the mission is well-formed.
+func (m Mission) Validate() error {
+	if m.TyreLifeYears <= 0 {
+		return fmt.Errorf("battery: non-positive tyre life %g years", m.TyreLifeYears)
+	}
+	if m.DrivingHoursPerDay < 0 || m.DrivingHoursPerDay > 24 {
+		return fmt.Errorf("battery: driving hours %g outside [0, 24]", m.DrivingHoursPerDay)
+	}
+	if m.DrivingPower < 0 || m.ParkedPower < 0 || m.PeakPower < 0 {
+		return fmt.Errorf("battery: negative mission power")
+	}
+	if m.TyreRadius <= 0 {
+		return fmt.Errorf("battery: non-positive tyre radius %g", m.TyreRadius)
+	}
+	if m.MassBudgetGrams <= 0 {
+		return fmt.Errorf("battery: non-positive mass budget %g g", m.MassBudgetGrams)
+	}
+	return nil
+}
+
+// DailyEnergy returns the node's mean daily consumption.
+func (m Mission) DailyEnergy() units.Energy {
+	driving := m.DrivingPower.OverTime(units.Hours(m.DrivingHoursPerDay))
+	parked := m.ParkedPower.OverTime(units.Hours(24 - m.DrivingHoursPerDay))
+	return driving + parked
+}
+
+// CentripetalG returns the sustained acceleration, in g, of a package
+// mounted at radius r when the vehicle drives at speed v.
+func CentripetalG(v units.Speed, r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return v.MS() * v.MS() / r / 9.81
+}
+
+// Assessment is the verdict for one cell against a mission.
+type Assessment struct {
+	Cell Cell
+	// LifetimeYears is how long the derated, self-discharging cell
+	// powers the mission's mean load.
+	LifetimeYears float64
+	// MeetsLifetime, MassOK, GLoadOK and PulseOK are the individual
+	// gates; Feasible is their conjunction.
+	MeetsLifetime, MassOK, GLoadOK, PulseOK bool
+	// GLoad is the worst-case sustained acceleration in g.
+	GLoad float64
+}
+
+// Feasible reports whether the cell passes every gate.
+func (a Assessment) Feasible() bool {
+	return a.MeetsLifetime && a.MassOK && a.GLoadOK && a.PulseOK
+}
+
+// Assess evaluates a cell against a mission.
+func Assess(c Cell, m Mission) (Assessment, error) {
+	if err := c.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Assessment{}, err
+	}
+	usable := c.UsableCapacity(m.WorstCaseTemp)
+	// Energy drain per year: mission load plus self-discharge of the
+	// nominal capacity.
+	loadPerYear := m.DailyEnergy().Joules() * 365
+	sdPerYear := c.Capacity.Joules() * c.SelfDischargePerYear
+	lifetime := math.Inf(1)
+	if loadPerYear+sdPerYear > 0 {
+		lifetime = usable.Joules() / (loadPerYear + sdPerYear)
+	}
+	a := Assessment{
+		Cell:          c,
+		LifetimeYears: lifetime,
+		GLoad:         CentripetalG(m.MaxSpeed, m.TyreRadius),
+	}
+	a.MeetsLifetime = lifetime >= m.TyreLifeYears
+	a.MassOK = c.MassGrams <= m.MassBudgetGrams
+	a.GLoadOK = c.GRating >= a.GLoad
+	a.PulseOK = c.MaxPulsePower >= m.PeakPower
+	return a, nil
+}
+
+// AssessAll evaluates every cell against the mission.
+func AssessAll(cells []Cell, m Mission) ([]Assessment, error) {
+	out := make([]Assessment, 0, len(cells))
+	for _, c := range cells {
+		a, err := Assess(c, m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,232 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// cyberTyreMission is the reference mission used across tests: 5-year
+// tyre life, 1.5 h/day driving, 70 µW driving / 35 µW parked draw,
+// 12 mW TX peaks, 240 km/h max speed, tread mounting at 0.3 m, 10 g mass
+// budget, 85 °C worst case.
+func cyberTyreMission() Mission {
+	return Mission{
+		TyreLifeYears:      5,
+		DrivingHoursPerDay: 1.5,
+		DrivingPower:       units.Microwatts(70),
+		ParkedPower:        units.Microwatts(35),
+		PeakPower:          units.Milliwatts(12),
+		MaxSpeed:           units.KilometersPerHour(240),
+		TyreRadius:         0.30,
+		WorstCaseTemp:      units.DegC(85),
+		MassBudgetGrams:    10,
+	}
+}
+
+func TestStandardCellsValid(t *testing.T) {
+	cells := StandardCells()
+	if len(cells) != 4 {
+		t.Fatalf("StandardCells = %d", len(cells))
+	}
+	for _, c := range cells {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestCellValidate(t *testing.T) {
+	base := CR2032()
+	mutations := []func(*Cell){
+		func(c *Cell) { c.Name = "" },
+		func(c *Cell) { c.Capacity = 0 },
+		func(c *Cell) { c.MassGrams = 0 },
+		func(c *Cell) { c.SelfDischargePerYear = -0.1 },
+		func(c *Cell) { c.SelfDischargePerYear = 1 },
+		func(c *Cell) { c.MaxPulsePower = 0 },
+		func(c *Cell) { c.GRating = 0 },
+		func(c *Cell) { c.ColdDeratePerDeg = -1 },
+	}
+	for i, mut := range mutations {
+		c := base
+		mut(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestUsableCapacityDerating(t *testing.T) {
+	c := CR2032()
+	nominal := c.UsableCapacity(units.DegC(25))
+	if nominal != c.Capacity {
+		t.Errorf("no derating at 25°C expected, got %v", nominal)
+	}
+	cold := c.UsableCapacity(units.DegC(-40))
+	hot := c.UsableCapacity(units.DegC(85))
+	if cold >= nominal || hot >= nominal {
+		t.Errorf("derating missing: cold %v hot %v nominal %v", cold, hot, nominal)
+	}
+	// Cold hits lithium coin cells harder than heat.
+	if cold >= hot {
+		t.Errorf("cold %v not below hot %v for a coin cell", cold, hot)
+	}
+	// Floor at 10%.
+	brutal := Cell{Name: "x", Capacity: 100, MassGrams: 1, MaxPulsePower: 1,
+		GRating: 1, ColdDeratePerDeg: 0.5}
+	if got := brutal.UsableCapacity(units.DegC(-40)); !units.AlmostEqual(got.Joules(), 10, 1e-9) {
+		t.Errorf("floor = %v, want 10J", got)
+	}
+}
+
+func TestMissionValidate(t *testing.T) {
+	base := cyberTyreMission()
+	mutations := []func(*Mission){
+		func(m *Mission) { m.TyreLifeYears = 0 },
+		func(m *Mission) { m.DrivingHoursPerDay = -1 },
+		func(m *Mission) { m.DrivingHoursPerDay = 25 },
+		func(m *Mission) { m.DrivingPower = -1 },
+		func(m *Mission) { m.TyreRadius = 0 },
+		func(m *Mission) { m.MassBudgetGrams = 0 },
+	}
+	for i, mut := range mutations {
+		m := base
+		mut(&m)
+		if m.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDailyEnergy(t *testing.T) {
+	m := cyberTyreMission()
+	// 70µW×1.5h + 35µW×22.5h = 0.378 + 2.835 = 3.213 J/day.
+	want := 70e-6*1.5*3600 + 35e-6*22.5*3600
+	if got := m.DailyEnergy(); !units.AlmostEqual(got.Joules(), want, 1e-9) {
+		t.Errorf("DailyEnergy = %v, want %g J", got, want)
+	}
+}
+
+func TestCentripetalG(t *testing.T) {
+	// At 240 km/h on a 0.3 m radius: (66.7²/0.3)/9.81 ≈ 1510 g.
+	g := CentripetalG(units.KilometersPerHour(240), 0.3)
+	if g < 1400 || g > 1600 {
+		t.Errorf("g-load at 240 km/h = %g, want ≈1510", g)
+	}
+	if CentripetalG(units.KilometersPerHour(100), 0) != 0 {
+		t.Error("zero radius should yield 0")
+	}
+}
+
+func TestAssessPaperClaim(t *testing.T) {
+	// The paper's motivating claim: no standard battery powers the node
+	// for a full tyre lifetime under in-tread constraints.
+	m := cyberTyreMission()
+	assessments, err := AssessAll(StandardCells(), m)
+	if err != nil {
+		t.Fatalf("AssessAll: %v", err)
+	}
+	for _, a := range assessments {
+		if a.Feasible() {
+			t.Errorf("%s assessed feasible — contradicts the paper's premise", a.Cell.Name)
+		}
+	}
+	byName := make(map[string]Assessment, len(assessments))
+	for _, a := range assessments {
+		byName[a.Cell.Name] = a
+	}
+	// Coin cells: enough energy for years but mechanically unmountable.
+	cr := byName["CR2477 coin"]
+	if cr.MeetsLifetime && cr.GLoadOK {
+		t.Error("CR2477 passed the g-load gate")
+	}
+	if cr.GLoadOK {
+		t.Errorf("coin cell g-rating %g survived %g g", cr.Cell.GRating, cr.GLoad)
+	}
+	// Thin-film: survives the tread but dies in weeks.
+	tf := byName["thin-film solid-state"]
+	if !tf.GLoadOK {
+		t.Error("thin-film failed the g-load gate")
+	}
+	if tf.MeetsLifetime {
+		t.Errorf("thin-film lifetime %g years meets the mission", tf.LifetimeYears)
+	}
+	if tf.LifetimeYears > 0.1 {
+		t.Errorf("thin-film lifetime %g years, want days-to-weeks", tf.LifetimeYears)
+	}
+	// The AA bobbin busts the mass budget.
+	aa := byName["Li-SOCl2 AA bobbin"]
+	if aa.MassOK {
+		t.Errorf("AA mass %g g within %g g budget", aa.Cell.MassGrams, m.MassBudgetGrams)
+	}
+	// Coin cells also cannot source the TX pulse directly.
+	if byName["CR2032 coin"].PulseOK {
+		t.Error("CR2032 passed the 12 mW pulse gate")
+	}
+}
+
+func TestAssessLifetimeMath(t *testing.T) {
+	// A 10 kJ ideal cell (no derating, no self-discharge) at 3.213 J/day
+	// lasts 10000/3.213/365 ≈ 8.53 years.
+	c := Cell{
+		Name: "ideal", Capacity: units.Joules(10000), MassGrams: 1,
+		MaxPulsePower: units.Watts(1), GRating: 1e6,
+	}
+	m := cyberTyreMission()
+	m.WorstCaseTemp = units.DegC(25)
+	a, err := Assess(c, m)
+	if err != nil {
+		t.Fatalf("Assess: %v", err)
+	}
+	want := 10000 / (m.DailyEnergy().Joules() * 365)
+	if !units.AlmostEqual(a.LifetimeYears, want, 1e-9) {
+		t.Errorf("lifetime = %g years, want %g", a.LifetimeYears, want)
+	}
+	if !a.MeetsLifetime || !a.Feasible() {
+		t.Errorf("ideal cell not feasible: %+v", a)
+	}
+	// Zero-load mission → infinite lifetime.
+	free := m
+	free.DrivingPower, free.ParkedPower = 0, 0
+	a2, _ := Assess(c, free)
+	if !math.IsInf(a2.LifetimeYears, 1) {
+		t.Errorf("zero-load lifetime = %g, want +Inf", a2.LifetimeYears)
+	}
+	// Errors propagate.
+	if _, err := Assess(Cell{}, m); err == nil {
+		t.Error("invalid cell accepted")
+	}
+	if _, err := Assess(c, Mission{}); err == nil {
+		t.Error("invalid mission accepted")
+	}
+	if _, err := AssessAll([]Cell{{}}, m); err == nil {
+		t.Error("AssessAll accepted invalid cell")
+	}
+}
+
+func TestQuickLifetimeMonotoneInLoad(t *testing.T) {
+	// More load never extends the lifetime.
+	c := CR2477()
+	f := func(a8, b8 uint8) bool {
+		pa := units.Microwatts(float64(a8) + 1)
+		pb := units.Microwatts(float64(b8) + 1)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		m := cyberTyreMission()
+		m.DrivingPower, m.ParkedPower = pa, pa
+		la, err1 := Assess(c, m)
+		m.DrivingPower, m.ParkedPower = pb, pb
+		lb, err2 := Assess(c, m)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return la.LifetimeYears >= lb.LifetimeYears
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

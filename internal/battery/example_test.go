@@ -1,0 +1,32 @@
+package battery_test
+
+import (
+	"fmt"
+
+	"repro/internal/battery"
+	"repro/internal/units"
+)
+
+func ExampleAssess() {
+	// Why the node must be scavenger-powered: the CR2477 coin cell has
+	// the energy for the mission but cannot survive tread mounting.
+	mission := battery.Mission{
+		TyreLifeYears:      5,
+		DrivingHoursPerDay: 1.5,
+		DrivingPower:       units.Microwatts(70),
+		ParkedPower:        units.Microwatts(35),
+		PeakPower:          units.Milliwatts(12),
+		MaxSpeed:           units.KilometersPerHour(240),
+		TyreRadius:         0.30,
+		WorstCaseTemp:      units.DegC(85),
+		MassBudgetGrams:    10,
+	}
+	a, err := battery.Assess(battery.CR2477(), mission)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("lifetime %.1f y (need %g), survives %d g at the tread: %v → feasible: %v\n",
+		a.LifetimeYears, mission.TyreLifeYears, int(a.GLoad), a.GLoadOK, a.Feasible())
+	// Output: lifetime 7.4 y (need 5), survives 1510 g at the tread: false → feasible: false
+}

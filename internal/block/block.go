@@ -1,0 +1,255 @@
+// Package block models one functional block of the Sensor Node — data
+// acquisition, computing, memory, radio, power management — as a set of
+// operating modes with per-mode power models plus mode-transition costs.
+//
+// The paper's methodology assigns every block a per-wheel-round schedule
+// and derives its duty cycle (active time over the round) from it; the
+// (dynamic power, static power, duty cycle) triple then drives the choice
+// of optimization technique. This package provides exactly those
+// primitives.
+package block
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Mode is an operating mode of a functional block.
+type Mode string
+
+// Standard modes. Blocks may define additional custom modes.
+const (
+	// Active: the block performs its function at full clock.
+	Active Mode = "active"
+	// Idle: clocked but not working (clock-gatable dynamic residue).
+	Idle Mode = "idle"
+	// Sleep: retention state — greatly reduced leakage, fast wake.
+	Sleep Mode = "sleep"
+	// Off: power-gated — negligible leakage, expensive wake.
+	Off Mode = "off"
+)
+
+// ModeSpec characterises a block in one mode: its power model and the
+// clock it runs at in that mode (zero for unclocked modes).
+type ModeSpec struct {
+	Model power.Model
+	Clock units.Frequency
+}
+
+// Transition is the cost of switching between two modes.
+type Transition struct {
+	Energy  units.Energy
+	Latency units.Seconds
+}
+
+// modePair keys the transition table.
+type modePair struct{ from, to Mode }
+
+// Config describes a block to be constructed with New.
+type Config struct {
+	Name        string
+	Modes       map[Mode]ModeSpec
+	Transitions map[[2]Mode]Transition
+}
+
+// Block is an immutable functional block description.
+type Block struct {
+	name        string
+	modes       map[Mode]ModeSpec
+	transitions map[modePair]Transition
+}
+
+// New validates cfg and builds a Block.
+func New(cfg Config) (*Block, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("block: empty name")
+	}
+	if len(cfg.Modes) == 0 {
+		return nil, fmt.Errorf("block %q: no modes", cfg.Name)
+	}
+	b := &Block{
+		name:        cfg.Name,
+		modes:       make(map[Mode]ModeSpec, len(cfg.Modes)),
+		transitions: make(map[modePair]Transition, len(cfg.Transitions)),
+	}
+	for m, spec := range cfg.Modes {
+		if m == "" {
+			return nil, fmt.Errorf("block %q: empty mode name", cfg.Name)
+		}
+		if err := spec.Model.Validate(); err != nil {
+			return nil, fmt.Errorf("block %q mode %q: %w", cfg.Name, m, err)
+		}
+		if spec.Clock < 0 {
+			return nil, fmt.Errorf("block %q mode %q: negative clock %v", cfg.Name, m, spec.Clock)
+		}
+		b.modes[m] = spec
+	}
+	for pair, tr := range cfg.Transitions {
+		from, to := pair[0], pair[1]
+		if _, ok := b.modes[from]; !ok {
+			return nil, fmt.Errorf("block %q: transition from unknown mode %q", cfg.Name, from)
+		}
+		if _, ok := b.modes[to]; !ok {
+			return nil, fmt.Errorf("block %q: transition to unknown mode %q", cfg.Name, to)
+		}
+		if tr.Energy < 0 || tr.Latency < 0 {
+			return nil, fmt.Errorf("block %q: negative transition cost %q→%q", cfg.Name, from, to)
+		}
+		b.transitions[modePair{from, to}] = tr
+	}
+	return b, nil
+}
+
+// MustNew is New for statically known-good configurations; it panics on
+// error. Architecture presets use it.
+func MustNew(cfg Config) *Block {
+	b, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Name returns the block name.
+func (b *Block) Name() string { return b.name }
+
+// Modes returns the block's modes in sorted order.
+func (b *Block) Modes() []Mode {
+	out := make([]Mode, 0, len(b.modes))
+	for m := range b.modes {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasMode reports whether the block defines mode m.
+func (b *Block) HasMode(m Mode) bool {
+	_, ok := b.modes[m]
+	return ok
+}
+
+// Spec returns the mode specification for m.
+func (b *Block) Spec(m Mode) (ModeSpec, error) {
+	spec, ok := b.modes[m]
+	if !ok {
+		return ModeSpec{}, fmt.Errorf("block %q: unknown mode %q", b.name, m)
+	}
+	return spec, nil
+}
+
+// Power returns the block's total power in mode m under the given
+// conditions.
+func (b *Block) Power(m Mode, cond power.Conditions) (units.Power, error) {
+	spec, err := b.Spec(m)
+	if err != nil {
+		return 0, err
+	}
+	return spec.Model.Total(cond, spec.Clock), nil
+}
+
+// Split returns the dynamic and static power components in mode m.
+func (b *Block) Split(m Mode, cond power.Conditions) (dynamic, static units.Power, err error) {
+	spec, err := b.Spec(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, s := spec.Model.Split(cond, spec.Clock)
+	return d, s, nil
+}
+
+// TransitionEdge is one entry of the block's transition-cost table.
+type TransitionEdge struct {
+	From, To Mode
+	Cost     Transition
+}
+
+// TransitionList returns the block's explicit transition costs in sorted
+// order (serialisation and reporting).
+func (b *Block) TransitionList() []TransitionEdge {
+	out := make([]TransitionEdge, 0, len(b.transitions))
+	for p, tr := range b.transitions {
+		out = append(out, TransitionEdge{From: p.from, To: p.to, Cost: tr})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// TransitionCost returns the cost of switching from one mode to another.
+// Unlisted transitions are free (zero cost); same-mode transitions are
+// always free.
+func (b *Block) TransitionCost(from, to Mode) Transition {
+	if from == to {
+		return Transition{}
+	}
+	return b.transitions[modePair{from, to}]
+}
+
+// WithModeModel returns a copy of the block with mode m's power model
+// replaced — the optimizer uses this to apply techniques without mutating
+// the baseline architecture.
+func (b *Block) WithModeModel(m Mode, model power.Model) (*Block, error) {
+	spec, err := b.Spec(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("block %q mode %q: %w", b.name, m, err)
+	}
+	nb := b.clone()
+	spec.Model = model
+	nb.modes[m] = spec
+	return nb, nil
+}
+
+// WithModeClock returns a copy with mode m's clock replaced (DVFS).
+func (b *Block) WithModeClock(m Mode, clock units.Frequency) (*Block, error) {
+	spec, err := b.Spec(m)
+	if err != nil {
+		return nil, err
+	}
+	if clock < 0 {
+		return nil, fmt.Errorf("block %q mode %q: negative clock", b.name, m)
+	}
+	nb := b.clone()
+	spec.Clock = clock
+	nb.modes[m] = spec
+	return nb, nil
+}
+
+// WithTransition returns a copy with the given transition cost set.
+func (b *Block) WithTransition(from, to Mode, tr Transition) (*Block, error) {
+	if !b.HasMode(from) || !b.HasMode(to) {
+		return nil, fmt.Errorf("block %q: transition %q→%q references unknown mode", b.name, from, to)
+	}
+	if tr.Energy < 0 || tr.Latency < 0 {
+		return nil, fmt.Errorf("block %q: negative transition cost", b.name)
+	}
+	nb := b.clone()
+	nb.transitions[modePair{from, to}] = tr
+	return nb, nil
+}
+
+// clone performs a deep copy of the block's maps.
+func (b *Block) clone() *Block {
+	nb := &Block{
+		name:        b.name,
+		modes:       make(map[Mode]ModeSpec, len(b.modes)),
+		transitions: make(map[modePair]Transition, len(b.transitions)),
+	}
+	for m, s := range b.modes {
+		nb.modes[m] = s
+	}
+	for p, t := range b.transitions {
+		nb.transitions[p] = t
+	}
+	return nb
+}

@@ -1,0 +1,221 @@
+package block
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// testBlock returns a representative MCU-like block:
+// active 300µW dynamic + 2µW leak, idle 30µW dyn + 2µW leak,
+// sleep 0 dyn + 0.2µW leak, with a sleep→active wake cost.
+func testBlock(t *testing.T) *Block {
+	t.Helper()
+	b, err := New(testConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return b
+}
+
+func testConfig() Config {
+	leak := func(uw float64) power.Leakage {
+		return power.Leakage{Nominal: units.Microwatts(uw), RefTemp: units.DegC(25), NominalVdd: units.Volts(1.8)}
+	}
+	dyn := func(uw float64, f units.Frequency) power.Dynamic {
+		return power.Dynamic{Nominal: units.Microwatts(uw), NominalVdd: units.Volts(1.8), NominalFreq: f}
+	}
+	clk := units.Megahertz(8)
+	return Config{
+		Name: "mcu",
+		Modes: map[Mode]ModeSpec{
+			Active: {Model: power.Model{Dynamic: dyn(300, clk), Leakage: leak(2)}, Clock: clk},
+			Idle:   {Model: power.Model{Dynamic: dyn(30, clk), Leakage: leak(2)}, Clock: clk},
+			Sleep:  {Model: power.Model{Leakage: leak(0.2)}},
+		},
+		Transitions: map[[2]Mode]Transition{
+			{Sleep, Active}: {Energy: units.Nanojoules(500), Latency: units.Microseconds(50)},
+		},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"empty name", func(c *Config) { c.Name = "" }},
+		{"no modes", func(c *Config) { c.Modes = nil }},
+		{"empty mode name", func(c *Config) { c.Modes[""] = c.Modes[Active] }},
+		{"invalid model", func(c *Config) {
+			spec := c.Modes[Active]
+			spec.Model.Dynamic.NominalVdd = 0
+			c.Modes[Active] = spec
+		}},
+		{"negative clock", func(c *Config) {
+			spec := c.Modes[Active]
+			spec.Clock = -1
+			c.Modes[Active] = spec
+		}},
+		{"transition from unknown mode", func(c *Config) {
+			c.Transitions[[2]Mode{"bogus", Active}] = Transition{}
+		}},
+		{"transition to unknown mode", func(c *Config) {
+			c.Transitions[[2]Mode{Active, "bogus"}] = Transition{}
+		}},
+		{"negative transition energy", func(c *Config) {
+			c.Transitions[[2]Mode{Active, Sleep}] = Transition{Energy: -1}
+		}},
+	}
+	for _, c := range cases {
+		cfg := testConfig()
+		c.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on bad config")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestModesAndSpec(t *testing.T) {
+	b := testBlock(t)
+	if b.Name() != "mcu" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	modes := b.Modes()
+	if len(modes) != 3 {
+		t.Fatalf("Modes = %v", modes)
+	}
+	// Sorted order.
+	for i := 1; i < len(modes); i++ {
+		if modes[i-1] >= modes[i] {
+			t.Errorf("modes not sorted: %v", modes)
+		}
+	}
+	if !b.HasMode(Active) || b.HasMode("bogus") {
+		t.Error("HasMode wrong")
+	}
+	if _, err := b.Spec("bogus"); err == nil || !strings.Contains(err.Error(), "unknown mode") {
+		t.Errorf("Spec(bogus) err = %v", err)
+	}
+}
+
+func TestPowerAndSplit(t *testing.T) {
+	b := testBlock(t)
+	cond := power.Nominal()
+	p, err := b.Power(Active, cond)
+	if err != nil {
+		t.Fatalf("Power: %v", err)
+	}
+	if !units.AlmostEqual(p.Microwatts(), 302, 1e-9) {
+		t.Errorf("active power = %v, want 302µW", p)
+	}
+	d, s, err := b.Split(Active, cond)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if !units.AlmostEqual(d.Microwatts(), 300, 1e-9) || !units.AlmostEqual(s.Microwatts(), 2, 1e-9) {
+		t.Errorf("split = %v/%v", d, s)
+	}
+	if _, err := b.Power("bogus", cond); err == nil {
+		t.Error("Power(bogus) no error")
+	}
+	if _, _, err := b.Split("bogus", cond); err == nil {
+		t.Error("Split(bogus) no error")
+	}
+	// Sleep mode: leakage only.
+	p, _ = b.Power(Sleep, cond)
+	if !units.AlmostEqual(p.Microwatts(), 0.2, 1e-9) {
+		t.Errorf("sleep power = %v, want 0.2µW", p)
+	}
+}
+
+func TestTransitionCost(t *testing.T) {
+	b := testBlock(t)
+	tr := b.TransitionCost(Sleep, Active)
+	if tr.Energy != units.Nanojoules(500) || tr.Latency != units.Microseconds(50) {
+		t.Errorf("Sleep→Active cost = %+v", tr)
+	}
+	if got := b.TransitionCost(Active, Sleep); got != (Transition{}) {
+		t.Errorf("unlisted transition cost = %+v, want zero", got)
+	}
+	if got := b.TransitionCost(Active, Active); got != (Transition{}) {
+		t.Errorf("same-mode transition cost = %+v, want zero", got)
+	}
+}
+
+func TestWithModeModelImmutability(t *testing.T) {
+	b := testBlock(t)
+	cond := power.Nominal()
+	newModel := power.Model{
+		Leakage: power.Leakage{Nominal: units.Microwatts(0.02), RefTemp: units.DegC(25), NominalVdd: units.Volts(1.8)},
+	}
+	nb, err := b.WithModeModel(Sleep, newModel)
+	if err != nil {
+		t.Fatalf("WithModeModel: %v", err)
+	}
+	pOld, _ := b.Power(Sleep, cond)
+	pNew, _ := nb.Power(Sleep, cond)
+	if !units.AlmostEqual(pOld.Microwatts(), 0.2, 1e-9) {
+		t.Errorf("original mutated: %v", pOld)
+	}
+	if !units.AlmostEqual(pNew.Microwatts(), 0.02, 1e-9) {
+		t.Errorf("copy power = %v, want 0.02µW", pNew)
+	}
+	if _, err := b.WithModeModel("bogus", newModel); err == nil {
+		t.Error("WithModeModel(bogus) no error")
+	}
+	bad := power.Model{Dynamic: power.Dynamic{Nominal: 1, NominalVdd: 0, NominalFreq: 1}}
+	if _, err := b.WithModeModel(Active, bad); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestWithModeClock(t *testing.T) {
+	b := testBlock(t)
+	nb, err := b.WithModeClock(Active, units.Megahertz(4))
+	if err != nil {
+		t.Fatalf("WithModeClock: %v", err)
+	}
+	pNew, _ := nb.Power(Active, power.Nominal())
+	// Half clock → dynamic halves: 150 + 2 = 152µW.
+	if !units.AlmostEqual(pNew.Microwatts(), 152, 1e-9) {
+		t.Errorf("half-clock power = %v, want 152µW", pNew)
+	}
+	if _, err := b.WithModeClock("bogus", units.Megahertz(1)); err == nil {
+		t.Error("WithModeClock(bogus) no error")
+	}
+	if _, err := b.WithModeClock(Active, -1); err == nil {
+		t.Error("negative clock accepted")
+	}
+}
+
+func TestWithTransition(t *testing.T) {
+	b := testBlock(t)
+	nb, err := b.WithTransition(Active, Sleep, Transition{Energy: units.Nanojoules(100)})
+	if err != nil {
+		t.Fatalf("WithTransition: %v", err)
+	}
+	if got := nb.TransitionCost(Active, Sleep).Energy; got != units.Nanojoules(100) {
+		t.Errorf("new transition energy = %v", got)
+	}
+	if got := b.TransitionCost(Active, Sleep).Energy; got != 0 {
+		t.Error("original block mutated")
+	}
+	if _, err := b.WithTransition("bogus", Sleep, Transition{}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := b.WithTransition(Active, Sleep, Transition{Latency: -1}); err == nil {
+		t.Error("negative latency accepted")
+	}
+}

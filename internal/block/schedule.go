@@ -1,0 +1,149 @@
+package block
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Slot is one contiguous stretch of a per-round schedule spent in a mode.
+type Slot struct {
+	Mode Mode
+	Dur  units.Seconds
+}
+
+// Schedule is the sequence of mode slots a block executes during one wheel
+// round — the paper's basic timing unit. A schedule is treated as cyclic:
+// the transition from the last slot back to the first is charged too,
+// because the round repeats in steady state.
+type Schedule struct {
+	slots []Slot
+}
+
+// NewSchedule validates the slots (non-negative durations, at least one
+// slot with positive total time) and returns a Schedule.
+func NewSchedule(slots ...Slot) (Schedule, error) {
+	var total units.Seconds
+	for i, s := range slots {
+		if s.Dur < 0 {
+			return Schedule{}, fmt.Errorf("block: slot %d has negative duration %v", i, s.Dur)
+		}
+		if s.Mode == "" {
+			return Schedule{}, fmt.Errorf("block: slot %d has empty mode", i)
+		}
+		total += s.Dur
+	}
+	if total <= 0 {
+		return Schedule{}, fmt.Errorf("block: schedule has no positive-duration slots")
+	}
+	cp := make([]Slot, len(slots))
+	copy(cp, slots)
+	return Schedule{slots: cp}, nil
+}
+
+// MustSchedule is NewSchedule for statically valid inputs.
+func MustSchedule(slots ...Slot) Schedule {
+	s, err := NewSchedule(slots...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Slots returns a copy of the schedule's slots.
+func (s Schedule) Slots() []Slot {
+	cp := make([]Slot, len(s.slots))
+	copy(cp, s.slots)
+	return cp
+}
+
+// Total returns the schedule length (the round period it was built for).
+func (s Schedule) Total() units.Seconds {
+	var t units.Seconds
+	for _, sl := range s.slots {
+		t += sl.Dur
+	}
+	return t
+}
+
+// TimeIn returns the total time spent in mode m.
+func (s Schedule) TimeIn(m Mode) units.Seconds {
+	var t units.Seconds
+	for _, sl := range s.slots {
+		if sl.Mode == m {
+			t += sl.Dur
+		}
+	}
+	return t
+}
+
+// DutyCycle returns the fraction of the round spent in Active mode — the
+// per-block duty cycle the paper's §II defines over a single wheel round.
+func (s Schedule) DutyCycle() float64 {
+	total := s.Total()
+	if total <= 0 {
+		return 0
+	}
+	return s.TimeIn(Active).Seconds() / total.Seconds()
+}
+
+// Transitions returns the cyclic sequence of mode changes the schedule
+// incurs per round (consecutive equal modes merge into no transition).
+func (s Schedule) Transitions() [][2]Mode {
+	n := len(s.slots)
+	if n == 0 {
+		return nil
+	}
+	var out [][2]Mode
+	for i := 0; i < n; i++ {
+		from := s.slots[i].Mode
+		to := s.slots[(i+1)%n].Mode
+		if from != to {
+			out = append(out, [2]Mode{from, to})
+		}
+	}
+	return out
+}
+
+// Breakdown separates a block's per-round energy into the components the
+// optimization advisor reasons about.
+type Breakdown struct {
+	Dynamic    units.Energy
+	Static     units.Energy
+	Transition units.Energy
+}
+
+// Total returns the summed per-round energy.
+func (bd Breakdown) Total() units.Energy {
+	return bd.Dynamic + bd.Static + bd.Transition
+}
+
+// RoundEnergy evaluates the energy the block consumes executing the
+// schedule once under the given conditions, split into dynamic, static and
+// transition components. Every slot mode must exist on the block.
+func (b *Block) RoundEnergy(s Schedule, cond power.Conditions) (Breakdown, error) {
+	var bd Breakdown
+	for _, sl := range s.slots {
+		d, st, err := b.Split(sl.Mode, cond)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		bd.Dynamic += d.OverTime(sl.Dur)
+		bd.Static += st.OverTime(sl.Dur)
+	}
+	for _, tr := range s.Transitions() {
+		bd.Transition += b.TransitionCost(tr[0], tr[1]).Energy
+	}
+	return bd, nil
+}
+
+// AveragePower returns the block's mean power over one round of the
+// schedule.
+func (b *Block) AveragePower(s Schedule, cond power.Conditions) (units.Power, error) {
+	bd, err := b.RoundEnergy(s, cond)
+	if err != nil {
+		return 0, err
+	}
+	return bd.Total().Over(s.Total()), nil
+}

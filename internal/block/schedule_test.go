@@ -1,0 +1,228 @@
+package block
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewSchedule(Slot{Mode: Active, Dur: -1}); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if _, err := NewSchedule(Slot{Mode: "", Dur: 1}); err == nil {
+		t.Error("empty mode accepted")
+	}
+	if _, err := NewSchedule(Slot{Mode: Active, Dur: 0}); err == nil {
+		t.Error("all-zero-duration schedule accepted")
+	}
+	s, err := NewSchedule(Slot{Mode: Active, Dur: units.Milliseconds(1)}, Slot{Mode: Sleep, Dur: 0})
+	if err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if got := len(s.Slots()); got != 2 {
+		t.Errorf("Slots len = %d", got)
+	}
+}
+
+func TestMustSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchedule did not panic")
+		}
+	}()
+	MustSchedule()
+}
+
+func TestScheduleAccounting(t *testing.T) {
+	s := MustSchedule(
+		Slot{Mode: Active, Dur: units.Milliseconds(2)},
+		Slot{Mode: Idle, Dur: units.Milliseconds(3)},
+		Slot{Mode: Sleep, Dur: units.Milliseconds(5)},
+	)
+	if got := s.Total(); !units.AlmostEqual(got.Milliseconds(), 10, 1e-12) {
+		t.Errorf("Total = %v", got)
+	}
+	if got := s.TimeIn(Active); !units.AlmostEqual(got.Milliseconds(), 2, 1e-12) {
+		t.Errorf("TimeIn(Active) = %v", got)
+	}
+	if got := s.TimeIn("bogus"); got != 0 {
+		t.Errorf("TimeIn(bogus) = %v", got)
+	}
+	if got := s.DutyCycle(); !units.AlmostEqual(got, 0.2, 1e-12) {
+		t.Errorf("DutyCycle = %g, want 0.2", got)
+	}
+}
+
+func TestScheduleSlotsCopy(t *testing.T) {
+	s := MustSchedule(Slot{Mode: Active, Dur: units.Milliseconds(1)})
+	sl := s.Slots()
+	sl[0].Dur = units.Sec(99)
+	if s.Total() != units.Milliseconds(1) {
+		t.Error("Slots() exposed internal state")
+	}
+	orig := []Slot{{Mode: Active, Dur: units.Milliseconds(1)}}
+	s2 := MustSchedule(orig...)
+	orig[0].Dur = units.Sec(99)
+	if s2.Total() != units.Milliseconds(1) {
+		t.Error("NewSchedule aliased caller slice")
+	}
+}
+
+func TestScheduleTransitionsCyclic(t *testing.T) {
+	s := MustSchedule(
+		Slot{Mode: Sleep, Dur: units.Milliseconds(5)},
+		Slot{Mode: Active, Dur: units.Milliseconds(1)},
+		Slot{Mode: Active, Dur: units.Milliseconds(1)}, // merge: no transition
+		Slot{Mode: Sleep, Dur: units.Milliseconds(3)},
+	)
+	trs := s.Transitions()
+	want := [][2]Mode{{Sleep, Active}, {Active, Sleep}}
+	if len(trs) != len(want) {
+		t.Fatalf("Transitions = %v, want %v", trs, want)
+	}
+	for i := range want {
+		if trs[i] != want[i] {
+			t.Errorf("transition %d = %v, want %v", i, trs[i], want[i])
+		}
+	}
+	// Single-mode schedule: no transitions (wraps to itself).
+	mono := MustSchedule(Slot{Mode: Active, Dur: units.Milliseconds(1)})
+	if got := mono.Transitions(); len(got) != 0 {
+		t.Errorf("single-mode transitions = %v", got)
+	}
+	if got := (Schedule{}).Transitions(); got != nil {
+		t.Errorf("zero schedule transitions = %v", got)
+	}
+	if got := (Schedule{}).DutyCycle(); got != 0 {
+		t.Errorf("zero schedule duty = %g", got)
+	}
+}
+
+func TestRoundEnergy(t *testing.T) {
+	b := testBlock(t)
+	cond := power.Nominal()
+	// 1 ms active (302µW), 9 ms sleep (0.2µW), cyclic transitions
+	// sleep→active (500nJ) and active→sleep (free).
+	s := MustSchedule(
+		Slot{Mode: Active, Dur: units.Milliseconds(1)},
+		Slot{Mode: Sleep, Dur: units.Milliseconds(9)},
+	)
+	bd, err := b.RoundEnergy(s, cond)
+	if err != nil {
+		t.Fatalf("RoundEnergy: %v", err)
+	}
+	wantDyn := 300e-6 * 1e-3
+	wantStat := 2e-6*1e-3 + 0.2e-6*9e-3
+	wantTr := 500e-9
+	if !units.AlmostEqual(bd.Dynamic.Joules(), wantDyn, 1e-9) {
+		t.Errorf("Dynamic = %v, want %g J", bd.Dynamic, wantDyn)
+	}
+	if !units.AlmostEqual(bd.Static.Joules(), wantStat, 1e-9) {
+		t.Errorf("Static = %v, want %g J", bd.Static, wantStat)
+	}
+	if !units.AlmostEqual(bd.Transition.Joules(), wantTr, 1e-9) {
+		t.Errorf("Transition = %v, want %g J", bd.Transition, wantTr)
+	}
+	if !units.AlmostEqual(bd.Total().Joules(), wantDyn+wantStat+wantTr, 1e-9) {
+		t.Errorf("Total = %v", bd.Total())
+	}
+	// Unknown mode in schedule.
+	badSched := MustSchedule(Slot{Mode: "bogus", Dur: units.Milliseconds(1)})
+	if _, err := b.RoundEnergy(badSched, cond); err == nil {
+		t.Error("unknown mode in schedule accepted")
+	}
+}
+
+func TestAveragePower(t *testing.T) {
+	b := testBlock(t)
+	s := MustSchedule(
+		Slot{Mode: Active, Dur: units.Milliseconds(1)},
+		Slot{Mode: Sleep, Dur: units.Milliseconds(9)},
+	)
+	avg, err := b.AveragePower(s, power.Nominal())
+	if err != nil {
+		t.Fatalf("AveragePower: %v", err)
+	}
+	bd, _ := b.RoundEnergy(s, power.Nominal())
+	want := bd.Total().Joules() / 10e-3
+	if !units.AlmostEqual(avg.Watts(), want, 1e-9) {
+		t.Errorf("AveragePower = %v, want %g W", avg, want)
+	}
+	badSched := MustSchedule(Slot{Mode: "bogus", Dur: units.Milliseconds(1)})
+	if _, err := b.AveragePower(badSched, power.Nominal()); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestRoundEnergyTemperatureRaisesStatic(t *testing.T) {
+	b := testBlock(t)
+	s := MustSchedule(
+		Slot{Mode: Active, Dur: units.Milliseconds(1)},
+		Slot{Mode: Sleep, Dur: units.Milliseconds(9)},
+	)
+	cold, _ := b.RoundEnergy(s, power.Nominal().WithTemp(units.DegC(0)))
+	hot, _ := b.RoundEnergy(s, power.Nominal().WithTemp(units.DegC(85)))
+	if hot.Static <= cold.Static {
+		t.Errorf("static energy not increasing with temperature: %v vs %v", hot.Static, cold.Static)
+	}
+	if !units.AlmostEqual(hot.Dynamic.Joules(), cold.Dynamic.Joules(), 1e-12) {
+		t.Errorf("dynamic energy changed with temperature: %v vs %v", hot.Dynamic, cold.Dynamic)
+	}
+}
+
+func TestQuickRoundEnergyScalesWithSleepTime(t *testing.T) {
+	// Longer sleep slot → strictly more static energy, same dynamic.
+	b := testBlock(t)
+	cond := power.Nominal()
+	f := func(aw, bw uint16) bool {
+		a := float64(aw%1000) + 1 // 1..1000 ms
+		bms := float64(bw%1000) + 1
+		if a > bms {
+			a, bms = bms, a
+		}
+		sa := MustSchedule(
+			Slot{Mode: Active, Dur: units.Milliseconds(1)},
+			Slot{Mode: Sleep, Dur: units.Milliseconds(a)},
+		)
+		sb := MustSchedule(
+			Slot{Mode: Active, Dur: units.Milliseconds(1)},
+			Slot{Mode: Sleep, Dur: units.Milliseconds(bms)},
+		)
+		ea, errA := b.RoundEnergy(sa, cond)
+		eb, errB := b.RoundEnergy(sb, cond)
+		if errA != nil || errB != nil {
+			return false
+		}
+		return ea.Static <= eb.Static &&
+			units.AlmostEqual(ea.Dynamic.Joules(), eb.Dynamic.Joules(), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDutyCycleBounds(t *testing.T) {
+	f := func(act, idl uint16) bool {
+		a := float64(act%1000) + 1
+		i := float64(idl % 1000)
+		s := MustSchedule(
+			Slot{Mode: Active, Dur: units.Milliseconds(a)},
+			Slot{Mode: Idle, Dur: units.Milliseconds(i)},
+		)
+		d := s.DutyCycle()
+		if math.IsNaN(d) || d < 0 || d > 1 {
+			return false
+		}
+		return units.AlmostEqual(d, a/(a+i), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

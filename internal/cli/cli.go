@@ -1,0 +1,123 @@
+// Package cli holds the plumbing shared by the command-line tools:
+// loading analysis scenarios, resolving built-in driving cycles, and
+// assembling the default stack — kept out of the main packages so it is
+// unit-testable.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/scavenger"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// Stack is everything an analysis or emulation run needs.
+type Stack struct {
+	Node      *node.Node
+	Harvester *scavenger.Harvester
+	Buffer    storage.Buffer
+	Ambient   units.Celsius
+	Base      power.Conditions
+}
+
+// LoadScenario reads a scenario file and builds its stack.
+func LoadScenario(path string) (Stack, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Stack{}, err
+	}
+	defer f.Close()
+	scen, err := config.Load(f)
+	if err != nil {
+		return Stack{}, err
+	}
+	nd, hv, buf, amb, base, err := scen.Build()
+	if err != nil {
+		return Stack{}, err
+	}
+	return Stack{Node: nd, Harvester: hv, Buffer: buf, Ambient: amb, Base: base}, nil
+}
+
+// DefaultStack assembles the reference stack with the given storage
+// capacitance (µF) and ambient temperature (°C).
+func DefaultStack(capUF, ambientC float64) (Stack, error) {
+	tyre := wheel.Default()
+	nd, err := node.Default(tyre)
+	if err != nil {
+		return Stack{}, err
+	}
+	hv, err := scavenger.Default(tyre)
+	if err != nil {
+		return Stack{}, err
+	}
+	buf := storage.Default()
+	if capUF > 0 {
+		buf.C = units.Microfarads(capUF)
+	}
+	return Stack{
+		Node:      nd,
+		Harvester: hv,
+		Buffer:    buf,
+		Ambient:   units.DegC(ambientC),
+		Base:      power.Nominal(),
+	}, nil
+}
+
+// ResolveStack loads the scenario when a path is given, otherwise the
+// default stack with the flag overrides.
+func ResolveStack(cfgPath string, capUF, ambientC float64) (Stack, error) {
+	if cfgPath != "" {
+		return LoadScenario(cfgPath)
+	}
+	return DefaultStack(capUF, ambientC)
+}
+
+// Cycle resolves a built-in driving-cycle name ("" means mixed).
+func Cycle(name string, repeat int) (profile.Profile, error) {
+	var base profile.Profile
+	switch name {
+	case "urban":
+		base = profile.Urban()
+	case "extraurban":
+		base = profile.ExtraUrban()
+	case "highway":
+		base = profile.Highway(3)
+	case "wltp":
+		base = profile.WLTP()
+	case "mixed", "":
+		base = profile.Mixed()
+	default:
+		return nil, fmt.Errorf("cli: unknown cycle %q (urban, extraurban, highway, wltp, mixed)", name)
+	}
+	if repeat > 1 {
+		return profile.Repeat(base, repeat), nil
+	}
+	return base, nil
+}
+
+// PickProfile resolves the tyresim-style profile selection: a CSV speed
+// log beats a constant speed beats a built-in cycle.
+func PickProfile(cycleName string, repeat int, speedKMH, minutes float64, csvPath string) (profile.Profile, error) {
+	switch {
+	case csvPath != "":
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return profile.ReadCSV(f)
+	case speedKMH > 0:
+		if minutes <= 0 {
+			return nil, fmt.Errorf("cli: constant-speed run needs a positive duration, got %g minutes", minutes)
+		}
+		return profile.Constant(units.KilometersPerHour(speedKMH), units.Minutes(minutes)), nil
+	}
+	return Cycle(cycleName, repeat)
+}

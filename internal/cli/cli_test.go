@@ -1,0 +1,129 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/units"
+)
+
+func TestDefaultStack(t *testing.T) {
+	s, err := DefaultStack(1000, 25)
+	if err != nil {
+		t.Fatalf("DefaultStack: %v", err)
+	}
+	if s.Node == nil || s.Harvester == nil {
+		t.Fatal("nil components")
+	}
+	if s.Buffer.C != units.Microfarads(1000) {
+		t.Errorf("capacitance = %v, want 1000µF", s.Buffer.C)
+	}
+	if s.Ambient != units.DegC(25) {
+		t.Errorf("ambient = %v", s.Ambient)
+	}
+	// Zero capUF keeps the default buffer.
+	s2, _ := DefaultStack(0, 20)
+	if s2.Buffer.C != units.Microfarads(470) {
+		t.Errorf("default capacitance = %v, want 470µF", s2.Buffer.C)
+	}
+}
+
+func TestLoadScenarioRoundTrip(t *testing.T) {
+	scen, err := config.DefaultScenario()
+	if err != nil {
+		t.Fatalf("DefaultScenario: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := config.Save(f, scen); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	f.Close()
+	s, err := LoadScenario(path)
+	if err != nil {
+		t.Fatalf("LoadScenario: %v", err)
+	}
+	if s.Node.Name() != "baseline" {
+		t.Errorf("node = %q", s.Node.Name())
+	}
+	// ResolveStack prefers the scenario.
+	s2, err := ResolveStack(path, 9999, 99)
+	if err != nil {
+		t.Fatalf("ResolveStack: %v", err)
+	}
+	if s2.Buffer.C != s.Buffer.C || s2.Ambient != s.Ambient {
+		t.Error("scenario values overridden by flags")
+	}
+	// Missing file errors.
+	if _, err := LoadScenario(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing scenario accepted")
+	}
+	// Garbage file errors.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := LoadScenario(bad); err == nil {
+		t.Error("garbage scenario accepted")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	for _, name := range []string{"urban", "extraurban", "highway", "wltp", "mixed", ""} {
+		p, err := Cycle(name, 1)
+		if err != nil {
+			t.Errorf("Cycle(%q): %v", name, err)
+			continue
+		}
+		if p.Duration() <= 0 {
+			t.Errorf("Cycle(%q) has no duration", name)
+		}
+	}
+	if _, err := Cycle("teleport", 1); err == nil {
+		t.Error("unknown cycle accepted")
+	}
+	// Repeat multiplies the duration.
+	one, _ := Cycle("urban", 1)
+	three, _ := Cycle("urban", 3)
+	if three.Duration() != 3*one.Duration() {
+		t.Errorf("repeat duration = %v, want 3× %v", three.Duration(), one.Duration())
+	}
+}
+
+func TestPickProfile(t *testing.T) {
+	// Constant speed.
+	p, err := PickProfile("", 1, 60, 5, "")
+	if err != nil {
+		t.Fatalf("constant: %v", err)
+	}
+	if p.Duration() != units.Minutes(5) {
+		t.Errorf("constant duration = %v", p.Duration())
+	}
+	if _, err := PickProfile("", 1, 60, 0, ""); err == nil {
+		t.Error("zero-duration constant accepted")
+	}
+	// CSV log wins over everything.
+	path := filepath.Join(t.TempDir(), "log.csv")
+	os.WriteFile(path, []byte("time_s,speed_kmh\n0,0\n10,50\n"), 0o644)
+	p, err = PickProfile("urban", 1, 60, 5, path)
+	if err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if p.Duration() != units.Sec(10) {
+		t.Errorf("csv duration = %v, want 10s", p.Duration())
+	}
+	if _, err := PickProfile("", 0, 0, 0, filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Error("missing CSV accepted")
+	}
+	// Falls back to cycles.
+	p, err = PickProfile("highway", 1, 0, 0, "")
+	if err != nil {
+		t.Fatalf("cycle: %v", err)
+	}
+	if p.Duration() <= 0 {
+		t.Error("cycle fallback empty")
+	}
+}

@@ -1,0 +1,446 @@
+// Package config serialises complete analysis scenarios — Sensor Node
+// architecture, scavenger, storage buffer and working conditions — to and
+// from JSON. The paper's evaluation platform lets the user "evaluate
+// custom architectures of the chip"; this package makes those custom
+// architectures persistent artefacts that the command-line tools load
+// with -config.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/rf"
+	"repro/internal/scavenger"
+	"repro/internal/sensing"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// Mode is the JSON form of one block operating mode.
+type Mode struct {
+	// Dynamic power model (αCV²f referenced to a characterisation point).
+	DynamicW     float64 `json:"dynamic_w,omitempty"`
+	DynNomVddV   float64 `json:"dyn_nom_vdd_v,omitempty"`
+	DynNomFreqHz float64 `json:"dyn_nom_freq_hz,omitempty"`
+	// Leakage model.
+	LeakW        float64 `json:"leak_w,omitempty"`
+	LeakRefTempC float64 `json:"leak_ref_temp_c,omitempty"`
+	LeakNomVddV  float64 `json:"leak_nom_vdd_v,omitempty"`
+	LeakThetaC   float64 `json:"leak_theta_c,omitempty"`
+	LeakVddExp   float64 `json:"leak_vdd_exp,omitempty"`
+	// ClockHz is the mode's operating clock (0 for unclocked modes).
+	ClockHz float64 `json:"clock_hz,omitempty"`
+}
+
+// Transition is the JSON form of one mode-transition cost.
+type Transition struct {
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	EnergyJ  float64 `json:"energy_j,omitempty"`
+	LatencyS float64 `json:"latency_s,omitempty"`
+}
+
+// Block is the JSON form of one functional block.
+type Block struct {
+	Modes       map[string]Mode `json:"modes"`
+	Transitions []Transition    `json:"transitions,omitempty"`
+}
+
+// Policy is the JSON form of a transmission policy.
+type Policy struct {
+	// Type is "every_n" or "max_latency".
+	Type string `json:"type"`
+	// N applies to every_n.
+	N int `json:"n,omitempty"`
+	// TargetS and Cap apply to max_latency.
+	TargetS float64 `json:"target_s,omitempty"`
+	Cap     int     `json:"cap,omitempty"`
+}
+
+// Architecture is the JSON form of a complete Sensor Node.
+type Architecture struct {
+	Name string `json:"name"`
+	Tyre struct {
+		RadiusM      float64 `json:"radius_m"`
+		PatchLengthM float64 `json:"patch_length_m"`
+		HeatingCoeff float64 `json:"heating_coeff"`
+	} `json:"tyre"`
+	Blocks      map[string]Block  `json:"blocks"`
+	RestModes   map[string]string `json:"rest_modes"`
+	Acquisition struct {
+		SamplesPerRound int     `json:"samples_per_round"`
+		SampleEnergyJ   float64 `json:"sample_energy_j"`
+		SampleTimeS     float64 `json:"sample_time_s"`
+		AuxPeriodRounds int     `json:"aux_period_rounds"`
+		AuxEnergyJ      float64 `json:"aux_energy_j"`
+		AuxTimeS        float64 `json:"aux_time_s"`
+	} `json:"acquisition"`
+	Compute struct {
+		CyclesPerSample    float64 `json:"cycles_per_sample"`
+		BaseCyclesPerRound float64 `json:"base_cycles_per_round"`
+	} `json:"compute"`
+	MCUClockHz float64 `json:"mcu_clock_hz"`
+	Radio      struct {
+		StartupEnergyJ float64 `json:"startup_energy_j"`
+		StartupTimeS   float64 `json:"startup_time_s"`
+		TxPowerW       float64 `json:"tx_power_w"`
+		BitRateHz      float64 `json:"bit_rate_hz"`
+		OverheadBytes  int     `json:"overhead_bytes"`
+		SleepPowerW    float64 `json:"sleep_power_w"`
+	} `json:"radio"`
+	TxPolicy      Policy  `json:"tx_policy"`
+	PayloadBytes  int     `json:"payload_bytes"`
+	LogWriteTimeS float64 `json:"log_write_time_s"`
+	// Receiver describes the optional downlink; all-zero disables it.
+	Receiver struct {
+		ListenPowerW   float64 `json:"listen_power_w,omitempty"`
+		WindowS        float64 `json:"window_s,omitempty"`
+		StartupEnergyJ float64 `json:"startup_energy_j,omitempty"`
+		StartupTimeS   float64 `json:"startup_time_s,omitempty"`
+	} `json:"receiver"`
+	RxPeriodRounds int `json:"rx_period_rounds,omitempty"`
+}
+
+// FromNode captures a node's full configuration.
+func FromNode(n *node.Node) Architecture {
+	cfg := n.Config()
+	var a Architecture
+	a.Name = cfg.Name
+	a.Tyre.RadiusM = cfg.Tyre.Radius
+	a.Tyre.PatchLengthM = cfg.Tyre.PatchLength
+	a.Tyre.HeatingCoeff = cfg.Tyre.HeatingCoeff
+	a.Blocks = make(map[string]Block, len(cfg.Blocks))
+	for role, blk := range cfg.Blocks {
+		a.Blocks[string(role)] = fromBlock(blk)
+	}
+	a.RestModes = make(map[string]string, len(cfg.RestModes))
+	for role, mode := range cfg.RestModes {
+		a.RestModes[string(role)] = string(mode)
+	}
+	a.Acquisition.SamplesPerRound = cfg.Acq.SamplesPerRound
+	a.Acquisition.SampleEnergyJ = cfg.Acq.SampleEnergy.Joules()
+	a.Acquisition.SampleTimeS = cfg.Acq.SampleTime.Seconds()
+	a.Acquisition.AuxPeriodRounds = cfg.Acq.AuxPeriodRounds
+	a.Acquisition.AuxEnergyJ = cfg.Acq.AuxEnergy.Joules()
+	a.Acquisition.AuxTimeS = cfg.Acq.AuxTime.Seconds()
+	a.Compute.CyclesPerSample = cfg.Compute.CyclesPerSample
+	a.Compute.BaseCyclesPerRound = cfg.Compute.BaseCyclesPerRound
+	a.MCUClockHz = cfg.MCUClock.Hertz()
+	a.Radio.StartupEnergyJ = cfg.Radio.StartupEnergy.Joules()
+	a.Radio.StartupTimeS = cfg.Radio.StartupTime.Seconds()
+	a.Radio.TxPowerW = cfg.Radio.TxPower.Watts()
+	a.Radio.BitRateHz = cfg.Radio.BitRate.Hertz()
+	a.Radio.OverheadBytes = cfg.Radio.OverheadBytes
+	a.Radio.SleepPowerW = cfg.Radio.SleepPower.Watts()
+	a.TxPolicy = fromPolicy(cfg.TxPolicy)
+	a.PayloadBytes = cfg.PayloadBytes
+	a.LogWriteTimeS = cfg.LogWriteTime.Seconds()
+	a.Receiver.ListenPowerW = cfg.Receiver.ListenPower.Watts()
+	a.Receiver.WindowS = cfg.Receiver.Window.Seconds()
+	a.Receiver.StartupEnergyJ = cfg.Receiver.StartupEnergy.Joules()
+	a.Receiver.StartupTimeS = cfg.Receiver.StartupTime.Seconds()
+	a.RxPeriodRounds = cfg.RxPeriodRounds
+	return a
+}
+
+// fromBlock captures one block.
+func fromBlock(blk *block.Block) Block {
+	b := Block{Modes: make(map[string]Mode)}
+	for _, m := range blk.Modes() {
+		spec, err := blk.Spec(m)
+		if err != nil {
+			continue // unreachable: Modes() only lists existing modes
+		}
+		b.Modes[string(m)] = Mode{
+			DynamicW:     spec.Model.Dynamic.Nominal.Watts(),
+			DynNomVddV:   spec.Model.Dynamic.NominalVdd.Volts(),
+			DynNomFreqHz: spec.Model.Dynamic.NominalFreq.Hertz(),
+			LeakW:        spec.Model.Leakage.Nominal.Watts(),
+			LeakRefTempC: spec.Model.Leakage.RefTemp.DegC(),
+			LeakNomVddV:  spec.Model.Leakage.NominalVdd.Volts(),
+			LeakThetaC:   spec.Model.Leakage.ThetaC,
+			LeakVddExp:   spec.Model.Leakage.VddExponent,
+			ClockHz:      spec.Clock.Hertz(),
+		}
+	}
+	for _, e := range blk.TransitionList() {
+		b.Transitions = append(b.Transitions, Transition{
+			From: string(e.From), To: string(e.To),
+			EnergyJ: e.Cost.Energy.Joules(), LatencyS: e.Cost.Latency.Seconds(),
+		})
+	}
+	return b
+}
+
+// fromPolicy captures a transmission policy; unknown implementations
+// degrade to every_n with N=1.
+func fromPolicy(p rf.Policy) Policy {
+	switch pol := p.(type) {
+	case rf.EveryN:
+		return Policy{Type: "every_n", N: pol.N}
+	case rf.MaxLatency:
+		return Policy{Type: "max_latency", TargetS: pol.Target.Seconds(), Cap: pol.Cap}
+	default:
+		return Policy{Type: "every_n", N: 1}
+	}
+}
+
+// ToNode materialises the architecture as a validated node.
+func (a Architecture) ToNode() (*node.Node, error) {
+	cfg := node.Config{
+		Name: a.Name,
+		Tyre: wheel.Tyre{
+			Radius:       a.Tyre.RadiusM,
+			PatchLength:  a.Tyre.PatchLengthM,
+			HeatingCoeff: a.Tyre.HeatingCoeff,
+		},
+		Blocks:    make(map[node.Role]*block.Block, len(a.Blocks)),
+		RestModes: make(map[node.Role]block.Mode, len(a.RestModes)),
+		Acq: sensing.Acquisition{
+			SamplesPerRound: a.Acquisition.SamplesPerRound,
+			SampleEnergy:    units.Joules(a.Acquisition.SampleEnergyJ),
+			SampleTime:      units.Sec(a.Acquisition.SampleTimeS),
+			AuxPeriodRounds: a.Acquisition.AuxPeriodRounds,
+			AuxEnergy:       units.Joules(a.Acquisition.AuxEnergyJ),
+			AuxTime:         units.Sec(a.Acquisition.AuxTimeS),
+		},
+		Compute: sensing.Compute{
+			CyclesPerSample:    a.Compute.CyclesPerSample,
+			BaseCyclesPerRound: a.Compute.BaseCyclesPerRound,
+		},
+		MCUClock: units.Hertz(a.MCUClockHz),
+		Radio: rf.Radio{
+			StartupEnergy: units.Joules(a.Radio.StartupEnergyJ),
+			StartupTime:   units.Sec(a.Radio.StartupTimeS),
+			TxPower:       units.Watts(a.Radio.TxPowerW),
+			BitRate:       units.Hertz(a.Radio.BitRateHz),
+			OverheadBytes: a.Radio.OverheadBytes,
+			SleepPower:    units.Watts(a.Radio.SleepPowerW),
+		},
+		PayloadBytes: a.PayloadBytes,
+		LogWriteTime: units.Sec(a.LogWriteTimeS),
+		Receiver: rf.Receiver{
+			ListenPower:   units.Watts(a.Receiver.ListenPowerW),
+			Window:        units.Sec(a.Receiver.WindowS),
+			StartupEnergy: units.Joules(a.Receiver.StartupEnergyJ),
+			StartupTime:   units.Sec(a.Receiver.StartupTimeS),
+		},
+		RxPeriodRounds: a.RxPeriodRounds,
+	}
+	pol, err := a.TxPolicy.toPolicy()
+	if err != nil {
+		return nil, err
+	}
+	cfg.TxPolicy = pol
+	// The radio role is derived inside node.New; build the rest.
+	names := make([]string, 0, len(a.Blocks))
+	for name := range a.Blocks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if name == string(node.RoleRadio) {
+			continue // derived from the Radio section
+		}
+		blk, err := a.Blocks[name].toBlock(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Blocks[node.Role(name)] = blk
+	}
+	for role, mode := range a.RestModes {
+		cfg.RestModes[node.Role(role)] = block.Mode(mode)
+	}
+	return node.New(cfg)
+}
+
+// toBlock materialises one block.
+func (b Block) toBlock(name string) (*block.Block, error) {
+	cfg := block.Config{
+		Name:        name,
+		Modes:       make(map[block.Mode]block.ModeSpec, len(b.Modes)),
+		Transitions: make(map[[2]block.Mode]block.Transition, len(b.Transitions)),
+	}
+	for m, spec := range b.Modes {
+		cfg.Modes[block.Mode(m)] = block.ModeSpec{
+			Model: power.Model{
+				Dynamic: power.Dynamic{
+					Nominal:     units.Watts(spec.DynamicW),
+					NominalVdd:  units.Volts(spec.DynNomVddV),
+					NominalFreq: units.Hertz(spec.DynNomFreqHz),
+				},
+				Leakage: power.Leakage{
+					Nominal:     units.Watts(spec.LeakW),
+					RefTemp:     units.DegC(spec.LeakRefTempC),
+					NominalVdd:  units.Volts(spec.LeakNomVddV),
+					ThetaC:      spec.LeakThetaC,
+					VddExponent: spec.LeakVddExp,
+				},
+			},
+			Clock: units.Hertz(spec.ClockHz),
+		}
+	}
+	for _, tr := range b.Transitions {
+		cfg.Transitions[[2]block.Mode{block.Mode(tr.From), block.Mode(tr.To)}] = block.Transition{
+			Energy:  units.Joules(tr.EnergyJ),
+			Latency: units.Sec(tr.LatencyS),
+		}
+	}
+	return block.New(cfg)
+}
+
+// toPolicy materialises a transmission policy.
+func (p Policy) toPolicy() (rf.Policy, error) {
+	switch p.Type {
+	case "every_n":
+		return rf.EveryN{N: p.N}, nil
+	case "max_latency":
+		return rf.MaxLatency{Target: units.Sec(p.TargetS), Cap: p.Cap}, nil
+	default:
+		return nil, fmt.Errorf("config: unknown TX policy type %q", p.Type)
+	}
+}
+
+// Scenario bundles everything one analysis run needs.
+type Scenario struct {
+	Architecture Architecture `json:"architecture"`
+	Scavenger    struct {
+		// Type is "piezo" or "electromagnetic".
+		Type string `json:"type"`
+		// Piezo parameters.
+		EMaxJ         float64 `json:"emax_j,omitempty"`
+		VSatKMH       float64 `json:"vsat_kmh,omitempty"`
+		Gamma         float64 `json:"gamma,omitempty"`
+		ActivationKMH float64 `json:"activation_kmh,omitempty"`
+		// Electromagnetic parameters.
+		K       float64 `json:"k,omitempty"`
+		EClampJ float64 `json:"eclamp_j,omitempty"`
+		// Conditioning chain.
+		PeakEfficiency float64 `json:"peak_efficiency"`
+		KneeW          float64 `json:"knee_w"`
+		QuiescentW     float64 `json:"quiescent_w"`
+	} `json:"scavenger"`
+	Buffer struct {
+		CapacitanceF      float64 `json:"capacitance_f"`
+		VMaxV             float64 `json:"vmax_v"`
+		VMinV             float64 `json:"vmin_v"`
+		VRestartV         float64 `json:"vrestart_v"`
+		SelfDischargeOhms float64 `json:"self_discharge_ohms"`
+	} `json:"buffer"`
+	AmbientC float64 `json:"ambient_c"`
+	VddV     float64 `json:"vdd_v"`
+	Corner   string  `json:"corner"`
+}
+
+// DefaultScenario captures the reference stack.
+func DefaultScenario() (Scenario, error) {
+	tyre := wheel.Default()
+	nd, err := node.Default(tyre)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var s Scenario
+	s.Architecture = FromNode(nd)
+	pz := scavenger.DefaultPiezo()
+	s.Scavenger.Type = "piezo"
+	s.Scavenger.EMaxJ = pz.EMax.Joules()
+	s.Scavenger.VSatKMH = pz.VSat.KMH()
+	s.Scavenger.Gamma = pz.Gamma
+	s.Scavenger.ActivationKMH = pz.Activation.KMH()
+	cd := scavenger.DefaultConditioner()
+	s.Scavenger.PeakEfficiency = cd.Peak
+	s.Scavenger.KneeW = cd.Knee.Watts()
+	s.Scavenger.QuiescentW = cd.Quiescent.Watts()
+	buf := storage.Default()
+	s.Buffer.CapacitanceF = buf.C.Farads()
+	s.Buffer.VMaxV = buf.VMax.Volts()
+	s.Buffer.VMinV = buf.VMin.Volts()
+	s.Buffer.VRestartV = buf.VRestart.Volts()
+	s.Buffer.SelfDischargeOhms = buf.SelfDischarge.Ohms()
+	s.AmbientC = 20
+	s.VddV = 1.8
+	s.Corner = "TT"
+	return s, nil
+}
+
+// Build materialises every component of the scenario.
+func (s Scenario) Build() (*node.Node, *scavenger.Harvester, storage.Buffer, units.Celsius, power.Conditions, error) {
+	fail := func(err error) (*node.Node, *scavenger.Harvester, storage.Buffer, units.Celsius, power.Conditions, error) {
+		return nil, nil, storage.Buffer{}, 0, power.Conditions{}, err
+	}
+	nd, err := s.Architecture.ToNode()
+	if err != nil {
+		return fail(err)
+	}
+	cond := scavenger.Conditioner{
+		Peak:      s.Scavenger.PeakEfficiency,
+		Knee:      units.Watts(s.Scavenger.KneeW),
+		Quiescent: units.Watts(s.Scavenger.QuiescentW),
+	}
+	var src scavenger.Source
+	switch s.Scavenger.Type {
+	case "piezo":
+		src = scavenger.Piezo{
+			EMax:       units.Joules(s.Scavenger.EMaxJ),
+			VSat:       units.KilometersPerHour(s.Scavenger.VSatKMH),
+			Gamma:      s.Scavenger.Gamma,
+			Activation: units.KilometersPerHour(s.Scavenger.ActivationKMH),
+		}
+	case "electromagnetic":
+		src = scavenger.Electromagnetic{
+			K:    s.Scavenger.K,
+			EMax: units.Joules(s.Scavenger.EClampJ),
+		}
+	default:
+		return fail(fmt.Errorf("config: unknown scavenger type %q", s.Scavenger.Type))
+	}
+	hv, err := scavenger.New(src, cond, nd.Tyre())
+	if err != nil {
+		return fail(err)
+	}
+	buf := storage.Buffer{
+		C:             units.Farads(s.Buffer.CapacitanceF),
+		VMax:          units.Volts(s.Buffer.VMaxV),
+		VMin:          units.Volts(s.Buffer.VMinV),
+		VRestart:      units.Volts(s.Buffer.VRestartV),
+		SelfDischarge: units.Ohms(s.Buffer.SelfDischargeOhms),
+	}
+	if err := buf.Validate(); err != nil {
+		return fail(err)
+	}
+	corner, err := power.ParseCorner(s.Corner)
+	if err != nil {
+		return fail(err)
+	}
+	base := power.Conditions{
+		Temp:   units.DegC(s.AmbientC),
+		Vdd:    units.Volts(s.VddV),
+		Corner: corner,
+	}
+	return nd, hv, buf, units.DegC(s.AmbientC), base, nil
+}
+
+// Save writes a scenario as indented JSON.
+func Save(w io.Writer, s Scenario) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Load reads a scenario from JSON.
+func Load(r io.Reader) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("config: decoding scenario: %w", err)
+	}
+	return s, nil
+}

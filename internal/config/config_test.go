@@ -1,0 +1,181 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/rf"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func kmh(v float64) units.Speed { return units.KilometersPerHour(v) }
+
+func TestArchitectureRoundTrip(t *testing.T) {
+	orig, err := node.Default(wheel.Default())
+	if err != nil {
+		t.Fatalf("node.Default: %v", err)
+	}
+	a := FromNode(orig)
+	back, err := a.ToNode()
+	if err != nil {
+		t.Fatalf("ToNode: %v", err)
+	}
+	// Behavioural equivalence: identical per-round energy at several
+	// operating points (this covers blocks, modes, transitions, policy,
+	// acquisition and clocks all at once).
+	for _, v := range []float64{15, 40, 90, 160} {
+		for _, temp := range []float64{0, 25, 85} {
+			cond := power.Nominal().WithTemp(units.DegC(temp))
+			e1, err1 := orig.AverageRound(kmh(v), cond)
+			e2, err2 := back.AverageRound(kmh(v), cond)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("AverageRound: %v / %v", err1, err2)
+			}
+			if !units.AlmostEqual(e1.Total().Joules(), e2.Total().Joules(), 1e-12) {
+				t.Errorf("round energy differs at %g km/h %g°C: %v vs %v",
+					v, temp, e1.Total(), e2.Total())
+			}
+		}
+	}
+	if back.Name() != orig.Name() {
+		t.Errorf("name = %q, want %q", back.Name(), orig.Name())
+	}
+	if back.RestMode(node.RoleMCU) != block.Idle {
+		t.Error("rest mode lost in round-trip")
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	s, err := DefaultScenario()
+	if err != nil {
+		t.Fatalf("DefaultScenario: %v", err)
+	}
+	var buf strings.Builder
+	if err := Save(&buf, s); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	nd1, hv1, buf1, amb1, base1, err := s.Build()
+	if err != nil {
+		t.Fatalf("Build original: %v", err)
+	}
+	nd2, hv2, buf2, amb2, base2, err := back.Build()
+	if err != nil {
+		t.Fatalf("Build loaded: %v", err)
+	}
+	if amb1 != amb2 || base1 != base2 || buf1 != buf2 {
+		t.Error("scenario scalars differ after round-trip")
+	}
+	// Harvester and node behave identically.
+	for _, v := range []float64{20, 60, 120} {
+		g1 := hv1.EnergyPerRound(kmh(v))
+		g2 := hv2.EnergyPerRound(kmh(v))
+		if !units.AlmostEqual(g1.Joules(), g2.Joules(), 1e-12) {
+			t.Errorf("harvester differs at %g km/h: %v vs %v", v, g1, g2)
+		}
+		e1, _ := nd1.AverageRound(kmh(v), base1)
+		e2, _ := nd2.AverageRound(kmh(v), base2)
+		if !units.AlmostEqual(e1.Total().Joules(), e2.Total().Joules(), 1e-12) {
+			t.Errorf("node differs at %g km/h", v)
+		}
+	}
+}
+
+func TestArchitectureReceiverRoundTrip(t *testing.T) {
+	cfg := node.DefaultConfig(wheel.Default())
+	cfg.Receiver = rf.DefaultReceiver()
+	cfg.RxPeriodRounds = 32
+	orig, err := node.New(cfg)
+	if err != nil {
+		t.Fatalf("node.New: %v", err)
+	}
+	back, err := FromNode(orig).ToNode()
+	if err != nil {
+		t.Fatalf("ToNode: %v", err)
+	}
+	p, err := back.PlanRound(kmh(60), 0)
+	if err != nil {
+		t.Fatalf("PlanRound: %v", err)
+	}
+	if !p.Rx {
+		t.Error("receiver lost in round-trip")
+	}
+	e1, _ := orig.AverageRound(kmh(60), power.Nominal())
+	e2, _ := back.AverageRound(kmh(60), power.Nominal())
+	if !units.AlmostEqual(e1.Total().Joules(), e2.Total().Joules(), 1e-12) {
+		t.Errorf("round energy differs: %v vs %v", e1.Total(), e2.Total())
+	}
+}
+
+func TestScenarioElectromagnetic(t *testing.T) {
+	s, _ := DefaultScenario()
+	s.Scavenger.Type = "electromagnetic"
+	s.Scavenger.K = 6.5e-8
+	s.Scavenger.EClampJ = 60e-6
+	_, hv, _, _, _, err := s.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if hv.Source().Name() != "electromagnetic" {
+		t.Errorf("source = %q", hv.Source().Name())
+	}
+}
+
+func TestScenarioBuildErrors(t *testing.T) {
+	mutations := map[string]func(*Scenario){
+		"bad scavenger type": func(s *Scenario) { s.Scavenger.Type = "nuclear" },
+		"bad corner":         func(s *Scenario) { s.Corner = "XY" },
+		"bad buffer":         func(s *Scenario) { s.Buffer.VMinV = 5 },
+		"bad architecture":   func(s *Scenario) { s.Architecture.MCUClockHz = 0 },
+		"bad policy":         func(s *Scenario) { s.Architecture.TxPolicy.Type = "telepathy" },
+	}
+	for name, mut := range mutations {
+		s, err := DefaultScenario()
+		if err != nil {
+			t.Fatalf("DefaultScenario: %v", err)
+		}
+		mut(&s)
+		if _, _, _, _, _, err := s.Build(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"bogus_field": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Load(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	cases := []rf.Policy{
+		rf.EveryN{N: 4},
+		rf.MaxLatency{Target: units.Sec(2), Cap: 16},
+	}
+	for _, pol := range cases {
+		p := fromPolicy(pol)
+		back, err := p.toPolicy()
+		if err != nil {
+			t.Fatalf("toPolicy: %v", err)
+		}
+		period := units.Milliseconds(100)
+		if got, want := back.RoundsBetweenTx(period), pol.RoundsBetweenTx(period); got != want {
+			t.Errorf("policy %T: rounds %d, want %d", pol, got, want)
+		}
+	}
+	// Unknown implementations degrade safely.
+	deg := fromPolicy(nil)
+	if deg.Type != "every_n" || deg.N != 1 {
+		t.Errorf("degraded policy = %+v", deg)
+	}
+}

@@ -1,0 +1,48 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// FuzzLoad feeds arbitrary bytes into the scenario decoder: it must
+// never panic, and any scenario that both decodes and builds must yield
+// a working node/harvester pair.
+func FuzzLoad(f *testing.F) {
+	if s, err := DefaultScenario(); err == nil {
+		var buf strings.Builder
+		if err := Save(&buf, s); err == nil {
+			f.Add(buf.String())
+		}
+	}
+	f.Add("{}")
+	f.Add("")
+	f.Add("not json")
+	f.Add(`{"ambient_c": 1e999}`)
+	f.Add(`{"corner": "XX"}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Load(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		nd, hv, buf, _, base, err := s.Build()
+		if err != nil {
+			return
+		}
+		if nd == nil || hv == nil {
+			t.Fatal("Build succeeded with nil components")
+		}
+		if buf.Validate() != nil {
+			t.Fatal("Build returned an invalid buffer")
+		}
+		// A built scenario must be able to answer the core question.
+		if _, err := nd.AverageRound(units60(), base); err != nil {
+			t.Fatalf("built node cannot evaluate a round: %v", err)
+		}
+	})
+}
+
+// units60 returns the fuzz evaluation speed.
+func units60() units.Speed { return units.KilometersPerHour(60) }

@@ -1,0 +1,218 @@
+// Package core implements the paper's primary contribution: the energy
+// analysis flow of Fig 1. Starting from a defined architecture it (1)
+// estimates each block's power under all working conditions into the
+// analysis database, (2) evaluates per-round energy contributions and
+// duty cycles, (3) selects and applies per-block optimizations with the
+// duty-cycle-aware advisor, (4) re-estimates the total, (5) integrates the
+// scavenger source model into the energy balance, and (6) emulates the
+// balance over a long timing window to identify the operating windows of
+// the monitoring system.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/db"
+	"repro/internal/emu"
+	"repro/internal/node"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/scavenger"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// Flow binds the inputs of one complete analysis run.
+type Flow struct {
+	// Node is the architecture under analysis.
+	Node *node.Node
+	// Harvester is the scavenger energy source (same tyre as Node).
+	Harvester *scavenger.Harvester
+	// Buffer is the storage element for the long-window emulation.
+	Buffer storage.Buffer
+	// Ambient is the air temperature the analysis assumes.
+	Ambient units.Celsius
+	// Base supplies Vdd and process corner (its temperature is derived
+	// from the tyre model per speed).
+	Base power.Conditions
+	// Constraints bound the optimization search.
+	Constraints opt.Constraints
+	// EvalSpeed is the cruising speed at which duty cycles are profiled
+	// and per-round energy minimised (0 = 60 km/h).
+	EvalSpeed units.Speed
+	// SweepMin, SweepMax and SweepPoints define the Fig 2 speed range
+	// (0 = 5–180 km/h × 80 points).
+	SweepMin, SweepMax units.Speed
+	SweepPoints        int
+	// Grid is the characterisation sweep for the power database
+	// (zero value = db.DefaultGrid()).
+	Grid db.CharacterizationGrid
+}
+
+// Report collects every stage's outputs.
+type Report struct {
+	// Architecture names the analysed baseline.
+	Architecture string
+	// PowerDB is the populated analysis database (flow step 1).
+	PowerDB *db.DB
+	// Advice is the per-block duty-cycle-aware analysis (steps 2–3).
+	Advice []opt.Recommendation
+	// Baseline per-round figures at EvalSpeed.
+	BaselineRound node.Breakdown
+	// Optimization is the search outcome (step 4): objective is the
+	// break-even speed in m/s.
+	Optimization opt.Result
+	// OptimizedNode is the re-estimated architecture.
+	OptimizedNode *node.Node
+	// OptimizedRound re-estimates the per-round energy after optimization.
+	OptimizedRound node.Breakdown
+	// BaselineBreakEven and OptimizedBreakEven integrate the source model
+	// (step 5).
+	BaselineBreakEven, OptimizedBreakEven balance.BreakEven
+	// BaselineSweep and OptimizedSweep are the Fig 2 curves.
+	BaselineSweep, OptimizedSweep *balance.Sweep
+	// Emulation is the long-window run of the optimized node (step 6);
+	// nil when the flow ran without a profile.
+	Emulation *emu.Result
+}
+
+// applyDefaults fills the zero-valued knobs.
+func (f *Flow) applyDefaults() {
+	if f.EvalSpeed <= 0 {
+		f.EvalSpeed = units.KilometersPerHour(60)
+	}
+	if f.SweepMin <= 0 {
+		f.SweepMin = units.KilometersPerHour(5)
+	}
+	if f.SweepMax <= f.SweepMin {
+		f.SweepMax = units.KilometersPerHour(180)
+	}
+	if f.SweepPoints < 2 {
+		f.SweepPoints = 80
+	}
+	if len(f.Grid.Temps) == 0 || len(f.Grid.Vdds) == 0 || len(f.Grid.Corners) == 0 {
+		f.Grid = db.DefaultGrid()
+	}
+}
+
+// Run executes the full flow. The profile drives the final long-window
+// emulation; pass nil to skip that stage.
+func (f Flow) Run(p profile.Profile) (*Report, error) {
+	if f.Node == nil {
+		return nil, fmt.Errorf("core: nil node")
+	}
+	if f.Harvester == nil {
+		return nil, fmt.Errorf("core: nil harvester")
+	}
+	f.applyDefaults()
+
+	rep := &Report{Architecture: f.Node.Name()}
+
+	// Step 1 — power estimation of every block into the database.
+	rep.PowerDB = db.New()
+	for _, role := range node.Roles() {
+		if err := rep.PowerDB.Characterize(f.Node.Block(role), f.Grid); err != nil {
+			return nil, fmt.Errorf("core: characterising %q: %w", role, err)
+		}
+	}
+
+	// Step 2 — energy evaluation at the working point.
+	condEval := f.Base.WithTemp(f.Node.Tyre().SteadyTemperature(f.Ambient, f.EvalSpeed))
+	baseRound, err := f.Node.AverageRound(f.EvalSpeed, condEval)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline evaluation: %w", err)
+	}
+	rep.BaselineRound = baseRound
+
+	// Step 3 — duty-cycle-aware technique selection.
+	rep.Advice, err = opt.Advise(f.Node, f.EvalSpeed, condEval)
+	if err != nil {
+		return nil, fmt.Errorf("core: advising: %w", err)
+	}
+
+	// Step 5 precondition — source model integration (needed as the
+	// optimization objective).
+	az, err := balance.New(f.Node, f.Harvester, f.Ambient, f.Base)
+	if err != nil {
+		return nil, err
+	}
+	rep.BaselineBreakEven, err = az.BreakEven(f.SweepMin, f.SweepMax)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline break-even: %w", err)
+	}
+	rep.BaselineSweep, err = az.Sweep(f.SweepMin, f.SweepMax, f.SweepPoints)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline sweep: %w", err)
+	}
+
+	// Step 4 — optimization and re-estimation.
+	cands := opt.Candidates(f.Node, f.Constraints)
+	rep.Optimization, err = opt.MinimizeBreakEven(az, cands, f.SweepMin, f.SweepMax)
+	if err != nil {
+		return nil, fmt.Errorf("core: optimizing: %w", err)
+	}
+	rep.OptimizedNode = rep.Optimization.Node
+	rep.OptimizedRound, err = rep.OptimizedNode.AverageRound(f.EvalSpeed, condEval)
+	if err != nil {
+		return nil, fmt.Errorf("core: re-estimation: %w", err)
+	}
+
+	azOpt, err := az.WithNode(rep.OptimizedNode)
+	if err != nil {
+		return nil, err
+	}
+	rep.OptimizedBreakEven, err = azOpt.BreakEven(f.SweepMin, f.SweepMax)
+	if err != nil {
+		return nil, fmt.Errorf("core: optimized break-even: %w", err)
+	}
+	rep.OptimizedSweep, err = azOpt.Sweep(f.SweepMin, f.SweepMax, f.SweepPoints)
+	if err != nil {
+		return nil, fmt.Errorf("core: optimized sweep: %w", err)
+	}
+
+	// Step 6 — long-window emulation of the optimized design.
+	if p != nil {
+		em, err := emu.New(emu.Config{
+			Node:           rep.OptimizedNode,
+			Harvester:      f.Harvester,
+			Buffer:         f.Buffer,
+			InitialVoltage: f.Buffer.VRestart,
+			Ambient:        f.Ambient,
+			Base:           f.Base,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: emulator setup: %w", err)
+		}
+		rep.Emulation, err = em.Run(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: emulating: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// DefaultFlow assembles the reference analysis: baseline node, default
+// piezo harvester and buffer on the default tyre at 20 °C ambient, TT
+// corner, default constraints.
+func DefaultFlow() (Flow, error) {
+	tyre := wheel.Default()
+	nd, err := node.Default(tyre)
+	if err != nil {
+		return Flow{}, err
+	}
+	hv, err := scavenger.Default(tyre)
+	if err != nil {
+		return Flow{}, err
+	}
+	return Flow{
+		Node:        nd,
+		Harvester:   hv,
+		Buffer:      storage.Default(),
+		Ambient:     units.DegC(20),
+		Base:        power.Nominal(),
+		Constraints: opt.DefaultConstraints(),
+	}, nil
+}

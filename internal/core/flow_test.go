@@ -1,0 +1,134 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+func TestDefaultFlowRunsEndToEnd(t *testing.T) {
+	f, err := DefaultFlow()
+	if err != nil {
+		t.Fatalf("DefaultFlow: %v", err)
+	}
+	rep, err := f.Run(profile.Mixed())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// Step 1: the database characterised all 7 blocks.
+	if got := len(rep.PowerDB.Blocks()); got != 7 {
+		t.Errorf("characterised blocks = %d, want 7", got)
+	}
+	if rep.PowerDB.Len() == 0 {
+		t.Error("empty power database")
+	}
+
+	// Steps 2–3: advice includes the MCU static flag.
+	var mcuAdvised bool
+	for _, rec := range rep.Advice {
+		if rec.Role == node.RoleMCU && rec.OptimizeStatic {
+			mcuAdvised = true
+		}
+	}
+	if !mcuAdvised {
+		t.Error("advisor did not flag the MCU's static energy")
+	}
+
+	// Step 4: the optimization reduced the per-round energy.
+	if rep.OptimizedRound.Total() >= rep.BaselineRound.Total() {
+		t.Errorf("re-estimated energy %v not below baseline %v",
+			rep.OptimizedRound.Total(), rep.BaselineRound.Total())
+	}
+	if len(rep.Optimization.Applied) == 0 {
+		t.Error("no techniques applied")
+	}
+
+	// Step 5: break-even moved down and both sweeps exist.
+	if !rep.BaselineBreakEven.Found || !rep.OptimizedBreakEven.Found {
+		t.Fatal("break-even not found")
+	}
+	if rep.OptimizedBreakEven.Speed >= rep.BaselineBreakEven.Speed {
+		t.Errorf("optimized break-even %v not below baseline %v",
+			rep.OptimizedBreakEven.Speed, rep.BaselineBreakEven.Speed)
+	}
+	base := rep.BaselineBreakEven.Speed.KMH()
+	if base < 25 || base > 45 {
+		t.Errorf("baseline break-even %g km/h outside band", base)
+	}
+	if rep.BaselineSweep == nil || rep.OptimizedSweep == nil {
+		t.Fatal("missing sweeps")
+	}
+	if rep.BaselineSweep.Generated.Len() != 80 {
+		t.Errorf("sweep points = %d, want 80", rep.BaselineSweep.Generated.Len())
+	}
+
+	// Step 6: the emulation ran over the mixed cycle with decent
+	// coverage for the optimized design.
+	if rep.Emulation == nil {
+		t.Fatal("no emulation result")
+	}
+	if rep.Emulation.Rounds == 0 {
+		t.Error("emulation saw no wheel rounds")
+	}
+	if cov := rep.Emulation.Coverage(); cov < 0.5 {
+		t.Errorf("optimized coverage over mixed cycle = %g, want ≥ 0.5", cov)
+	}
+	if rep.Architecture != "baseline" {
+		t.Errorf("Architecture = %q", rep.Architecture)
+	}
+}
+
+func TestFlowWithoutProfileSkipsEmulation(t *testing.T) {
+	f, err := DefaultFlow()
+	if err != nil {
+		t.Fatalf("DefaultFlow: %v", err)
+	}
+	// Narrow the sweep to keep this test fast.
+	f.SweepPoints = 20
+	rep, err := f.Run(nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Emulation != nil {
+		t.Error("emulation ran without a profile")
+	}
+}
+
+func TestFlowValidation(t *testing.T) {
+	f, _ := DefaultFlow()
+	f.Node = nil
+	if _, err := (f).Run(nil); err == nil || !strings.Contains(err.Error(), "nil node") {
+		t.Errorf("nil node error = %v", err)
+	}
+	f2, _ := DefaultFlow()
+	f2.Harvester = nil
+	if _, err := (f2).Run(nil); err == nil || !strings.Contains(err.Error(), "nil harvester") {
+		t.Errorf("nil harvester error = %v", err)
+	}
+}
+
+func TestFlowDefaults(t *testing.T) {
+	f, _ := DefaultFlow()
+	f.applyDefaults()
+	if f.EvalSpeed != units.KilometersPerHour(60) {
+		t.Errorf("EvalSpeed default = %v", f.EvalSpeed)
+	}
+	if f.SweepPoints != 80 {
+		t.Errorf("SweepPoints default = %d", f.SweepPoints)
+	}
+	if len(f.Grid.Temps) == 0 {
+		t.Error("Grid default empty")
+	}
+	// Explicit values survive.
+	f2, _ := DefaultFlow()
+	f2.EvalSpeed = units.KilometersPerHour(90)
+	f2.SweepPoints = 10
+	f2.applyDefaults()
+	if f2.EvalSpeed != units.KilometersPerHour(90) || f2.SweepPoints != 10 {
+		t.Error("explicit values overridden")
+	}
+}

@@ -1,0 +1,352 @@
+// Package db implements the paper's "dynamic spreadsheet": a complete
+// database for the energy analysis that collects the power estimation of
+// each functional block under every working and operating condition
+// (temperature, supply voltage, process corner, operating mode), supports
+// interpolation between characterisation points, derives energy
+// estimates, and round-trips through CSV so measured data can replace the
+// analytic models.
+package db
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/block"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Entry is one characterisation record: the power of one block in one
+// mode at one working condition.
+type Entry struct {
+	Block  string
+	Mode   string
+	Temp   units.Celsius
+	Vdd    units.Voltage
+	Corner power.Corner
+	Power  units.Power
+}
+
+// key identifies the (block, mode, corner) family an entry belongs to.
+type key struct {
+	blk    string
+	mode   string
+	corner power.Corner
+}
+
+// gridPoint is one (T, V) sample within a family.
+type gridPoint struct {
+	t, v float64
+	p    units.Power
+}
+
+// DB is the power database.
+type DB struct {
+	families map[key][]gridPoint
+	count    int
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{families: make(map[key][]gridPoint)}
+}
+
+// Len returns the number of stored entries.
+func (d *DB) Len() int { return d.count }
+
+// Add stores an entry. Duplicate (block, mode, corner, T, V) points are
+// rejected — a characterisation sweep never measures the same point twice
+// with different results silently.
+func (d *DB) Add(e Entry) error {
+	if e.Block == "" || e.Mode == "" {
+		return fmt.Errorf("db: entry needs block and mode names")
+	}
+	if e.Power < 0 {
+		return fmt.Errorf("db: negative power %v for %s/%s", e.Power, e.Block, e.Mode)
+	}
+	if e.Vdd < 0 {
+		return fmt.Errorf("db: negative Vdd %v for %s/%s", e.Vdd, e.Block, e.Mode)
+	}
+	k := key{e.Block, e.Mode, e.Corner}
+	for _, gp := range d.families[k] {
+		if gp.t == e.Temp.DegC() && gp.v == e.Vdd.Volts() {
+			return fmt.Errorf("db: duplicate point %s/%s/%v at (%v, %v)",
+				e.Block, e.Mode, e.Corner, e.Temp, e.Vdd)
+		}
+	}
+	d.families[k] = append(d.families[k], gridPoint{t: e.Temp.DegC(), v: e.Vdd.Volts(), p: e.Power})
+	d.count++
+	return nil
+}
+
+// Blocks returns the distinct block names, sorted.
+func (d *DB) Blocks() []string {
+	seen := make(map[string]bool)
+	for k := range d.families {
+		seen[k.blk] = true
+	}
+	out := make([]string, 0, len(seen))
+	for b := range seen {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Modes returns the distinct modes characterised for a block, sorted.
+func (d *DB) Modes(blk string) []string {
+	seen := make(map[string]bool)
+	for k := range d.families {
+		if k.blk == blk {
+			seen[k.mode] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrNotCharacterised is wrapped when a lookup has no data to answer from.
+var ErrNotCharacterised = errors.New("db: condition not characterised")
+
+// Lookup returns the power of blk in mode under the given conditions,
+// bilinearly interpolating over the (temperature, Vdd) characterisation
+// grid at the matching corner. Conditions outside the characterised hull
+// clamp to its edges (the spreadsheet answers with its nearest sweep).
+func (d *DB) Lookup(blk, mode string, cond power.Conditions) (units.Power, error) {
+	pts := d.families[key{blk, mode, cond.Corner}]
+	if len(pts) == 0 {
+		return 0, fmt.Errorf("%w: %s/%s at corner %v", ErrNotCharacterised, blk, mode, cond.Corner)
+	}
+	t := cond.Temp.DegC()
+	v := cond.Vdd.Volts()
+
+	// Collect the distinct grid axes.
+	ts := distinct(pts, func(gp gridPoint) float64 { return gp.t })
+	vs := distinct(pts, func(gp gridPoint) float64 { return gp.v })
+	t0, t1 := bracket(ts, t)
+	v0, v1 := bracket(vs, v)
+
+	at := func(tt, vv float64) (units.Power, bool) {
+		for _, gp := range pts {
+			if gp.t == tt && gp.v == vv {
+				return gp.p, true
+			}
+		}
+		return 0, false
+	}
+	p00, ok00 := at(t0, v0)
+	p01, ok01 := at(t0, v1)
+	p10, ok10 := at(t1, v0)
+	p11, ok11 := at(t1, v1)
+	if !ok00 || !ok01 || !ok10 || !ok11 {
+		return 0, fmt.Errorf("%w: %s/%s grid incomplete around (%g°C, %gV)",
+			ErrNotCharacterised, blk, mode, t, v)
+	}
+	ft := fraction(t0, t1, t)
+	fv := fraction(v0, v1, v)
+	low := units.Lerp(p00.Watts(), p01.Watts(), fv)
+	high := units.Lerp(p10.Watts(), p11.Watts(), fv)
+	return units.Power(units.Lerp(low, high, ft)), nil
+}
+
+// EnergyEstimate integrates a Lookup over a duration — the spreadsheet's
+// "contribution in terms of energy consumption" column.
+func (d *DB) EnergyEstimate(blk, mode string, cond power.Conditions, dur units.Seconds) (units.Energy, error) {
+	if dur < 0 {
+		return 0, fmt.Errorf("db: negative duration %v", dur)
+	}
+	p, err := d.Lookup(blk, mode, cond)
+	if err != nil {
+		return 0, err
+	}
+	return p.OverTime(dur), nil
+}
+
+// distinct extracts the sorted unique values of one axis.
+func distinct(pts []gridPoint, get func(gridPoint) float64) []float64 {
+	seen := make(map[float64]bool, len(pts))
+	var out []float64
+	for _, gp := range pts {
+		val := get(gp)
+		if !seen[val] {
+			seen[val] = true
+			out = append(out, val)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// bracket returns the grid values surrounding x, clamping at the edges.
+func bracket(axis []float64, x float64) (lo, hi float64) {
+	if x <= axis[0] {
+		return axis[0], axis[0]
+	}
+	if x >= axis[len(axis)-1] {
+		last := axis[len(axis)-1]
+		return last, last
+	}
+	idx := sort.SearchFloat64s(axis, x)
+	if axis[idx] == x {
+		return x, x
+	}
+	return axis[idx-1], axis[idx]
+}
+
+// fraction returns the interpolation weight of x in [a, b] (0 when a==b).
+func fraction(a, b, x float64) float64 {
+	if a == b {
+		return 0
+	}
+	return (x - a) / (b - a)
+}
+
+// CharacterizationGrid is the sweep used when populating the database
+// from analytic block models.
+type CharacterizationGrid struct {
+	Temps   []units.Celsius
+	Vdds    []units.Voltage
+	Corners []power.Corner
+}
+
+// DefaultGrid covers the automotive range: −20…85 °C, 1.2…1.8 V, all
+// corners.
+func DefaultGrid() CharacterizationGrid {
+	return CharacterizationGrid{
+		Temps:   []units.Celsius{-20, 0, 25, 50, 85},
+		Vdds:    []units.Voltage{1.2, 1.5, 1.8},
+		Corners: power.Corners(),
+	}
+}
+
+// Characterize sweeps a block's modes across the grid and stores the
+// resulting power estimates — the "power estimation of each functional
+// block collected into the spreadsheet" step of the paper's flow.
+func (d *DB) Characterize(blk *block.Block, grid CharacterizationGrid) error {
+	if blk == nil {
+		return fmt.Errorf("db: nil block")
+	}
+	if len(grid.Temps) == 0 || len(grid.Vdds) == 0 || len(grid.Corners) == 0 {
+		return fmt.Errorf("db: empty characterisation grid")
+	}
+	for _, mode := range blk.Modes() {
+		for _, corner := range grid.Corners {
+			for _, temp := range grid.Temps {
+				for _, vdd := range grid.Vdds {
+					cond := power.Conditions{Temp: temp, Vdd: vdd, Corner: corner}
+					p, err := blk.Power(mode, cond)
+					if err != nil {
+						return err
+					}
+					e := Entry{
+						Block: blk.Name(), Mode: string(mode),
+						Temp: temp, Vdd: vdd, Corner: corner, Power: p,
+					}
+					if err := d.Add(e); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// csvHeader is the canonical column layout.
+var csvHeader = []string{"block", "mode", "temp_c", "vdd_v", "corner", "power_w"}
+
+// WriteCSV dumps the database in a stable order.
+func (d *DB) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("db: writing header: %w", err)
+	}
+	keys := make([]key, 0, len(d.families))
+	for k := range d.families {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.blk != b.blk {
+			return a.blk < b.blk
+		}
+		if a.mode != b.mode {
+			return a.mode < b.mode
+		}
+		return a.corner < b.corner
+	})
+	for _, k := range keys {
+		pts := append([]gridPoint(nil), d.families[k]...)
+		sort.Slice(pts, func(i, j int) bool {
+			if pts[i].t != pts[j].t {
+				return pts[i].t < pts[j].t
+			}
+			return pts[i].v < pts[j].v
+		})
+		for _, gp := range pts {
+			rec := []string{
+				k.blk, k.mode,
+				strconv.FormatFloat(gp.t, 'g', -1, 64),
+				strconv.FormatFloat(gp.v, 'g', -1, 64),
+				k.corner.String(),
+				strconv.FormatFloat(gp.p.Watts(), 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("db: writing row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a database dump (or externally measured data in the same
+// layout).
+func ReadCSV(r io.Reader) (*DB, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	cr.TrimLeadingSpace = true
+	d := New()
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("db: reading CSV: %w", err)
+		}
+		row++
+		if row == 1 && rec[0] == csvHeader[0] {
+			continue // header
+		}
+		temp, err1 := strconv.ParseFloat(rec[2], 64)
+		vdd, err2 := strconv.ParseFloat(rec[3], 64)
+		pw, err3 := strconv.ParseFloat(rec[5], 64)
+		corner, err4 := power.ParseCorner(rec[4])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("db: CSV row %d: malformed fields %v", row, rec)
+		}
+		if math.IsNaN(temp) || math.IsNaN(vdd) || math.IsNaN(pw) {
+			return nil, fmt.Errorf("db: CSV row %d: NaN field", row)
+		}
+		e := Entry{
+			Block: rec[0], Mode: rec[1],
+			Temp: units.DegC(temp), Vdd: units.Volts(vdd),
+			Corner: corner, Power: units.Power(pw),
+		}
+		if err := d.Add(e); err != nil {
+			return nil, fmt.Errorf("db: CSV row %d: %w", row, err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,236 @@
+package db
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func addGrid(t *testing.T, d *DB) {
+	t.Helper()
+	// Simple separable grid: P = T_factor × V_factor µW at TT.
+	for _, temp := range []float64{0, 50} {
+		for _, vdd := range []float64{1.0, 2.0} {
+			e := Entry{
+				Block: "mcu", Mode: "active",
+				Temp: units.DegC(temp), Vdd: units.Volts(vdd),
+				Corner: power.TT,
+				Power:  units.Microwatts((temp + 10) * vdd),
+			}
+			if err := d.Add(e); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	d := New()
+	bad := []Entry{
+		{Block: "", Mode: "active", Power: 1},
+		{Block: "mcu", Mode: "", Power: 1},
+		{Block: "mcu", Mode: "active", Power: -1},
+		{Block: "mcu", Mode: "active", Vdd: -1},
+	}
+	for i, e := range bad {
+		if d.Add(e) == nil {
+			t.Errorf("bad entry %d accepted", i)
+		}
+	}
+	good := Entry{Block: "mcu", Mode: "active", Temp: 25, Vdd: 1.8, Power: 1}
+	if err := d.Add(good); err != nil {
+		t.Fatalf("good entry rejected: %v", err)
+	}
+	if err := d.Add(good); err == nil {
+		t.Error("duplicate point accepted")
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestBlocksAndModes(t *testing.T) {
+	d := New()
+	addGrid(t, d)
+	d.Add(Entry{Block: "mcu", Mode: "sleep", Temp: 25, Vdd: 1.8, Power: 1e-9})
+	d.Add(Entry{Block: "adc", Mode: "active", Temp: 25, Vdd: 1.8, Power: 1e-6})
+	if got := d.Blocks(); len(got) != 2 || got[0] != "adc" || got[1] != "mcu" {
+		t.Errorf("Blocks = %v", got)
+	}
+	if got := d.Modes("mcu"); len(got) != 2 || got[0] != "active" || got[1] != "sleep" {
+		t.Errorf("Modes = %v", got)
+	}
+	if got := d.Modes("none"); len(got) != 0 {
+		t.Errorf("Modes(none) = %v", got)
+	}
+}
+
+func TestLookupExactAndInterpolated(t *testing.T) {
+	d := New()
+	addGrid(t, d)
+	cond := power.Conditions{Temp: units.DegC(0), Vdd: units.Volts(1.0), Corner: power.TT}
+	// Exact grid point: (0+10)×1 = 10 µW.
+	p, err := d.Lookup("mcu", "active", cond)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if !units.AlmostEqual(p.Microwatts(), 10, 1e-9) {
+		t.Errorf("exact lookup = %v, want 10µW", p)
+	}
+	// Bilinear midpoint: T=25, V=1.5 → (25+10)×1.5 = 52.5 µW.
+	mid, err := d.Lookup("mcu", "active", power.Conditions{Temp: units.DegC(25), Vdd: units.Volts(1.5), Corner: power.TT})
+	if err != nil {
+		t.Fatalf("Lookup mid: %v", err)
+	}
+	if !units.AlmostEqual(mid.Microwatts(), 52.5, 1e-9) {
+		t.Errorf("bilinear lookup = %v, want 52.5µW", mid)
+	}
+	// Clamping outside the hull.
+	hot, _ := d.Lookup("mcu", "active", power.Conditions{Temp: units.DegC(200), Vdd: units.Volts(5), Corner: power.TT})
+	if !units.AlmostEqual(hot.Microwatts(), 120, 1e-9) { // (50+10)×2
+		t.Errorf("clamped lookup = %v, want 120µW", hot)
+	}
+	// Missing family.
+	if _, err := d.Lookup("mcu", "active", power.Conditions{Corner: power.FF}); !errors.Is(err, ErrNotCharacterised) {
+		t.Errorf("missing corner error = %v", err)
+	}
+	if _, err := d.Lookup("none", "active", cond); !errors.Is(err, ErrNotCharacterised) {
+		t.Errorf("missing block error = %v", err)
+	}
+}
+
+func TestLookupIncompleteGrid(t *testing.T) {
+	d := New()
+	// Three of four rectangle corners only.
+	d.Add(Entry{Block: "b", Mode: "m", Temp: 0, Vdd: 1, Power: 1e-6})
+	d.Add(Entry{Block: "b", Mode: "m", Temp: 0, Vdd: 2, Power: 2e-6})
+	d.Add(Entry{Block: "b", Mode: "m", Temp: 50, Vdd: 1, Power: 3e-6})
+	cond := power.Conditions{Temp: units.DegC(25), Vdd: units.Volts(1.5), Corner: power.TT}
+	if _, err := d.Lookup("b", "m", cond); !errors.Is(err, ErrNotCharacterised) {
+		t.Errorf("incomplete grid error = %v", err)
+	}
+}
+
+func TestEnergyEstimate(t *testing.T) {
+	d := New()
+	addGrid(t, d)
+	cond := power.Conditions{Temp: units.DegC(0), Vdd: units.Volts(1.0), Corner: power.TT}
+	e, err := d.EnergyEstimate("mcu", "active", cond, units.Milliseconds(100))
+	if err != nil {
+		t.Fatalf("EnergyEstimate: %v", err)
+	}
+	if !units.AlmostEqual(e.Joules(), 10e-6*0.1, 1e-12) {
+		t.Errorf("EnergyEstimate = %v, want 1µJ", e)
+	}
+	if _, err := d.EnergyEstimate("mcu", "active", cond, -1); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestCharacterizeNodeBlocks(t *testing.T) {
+	d := New()
+	grid := DefaultGrid()
+	mcu := node.DefaultMCU()
+	if err := d.Characterize(mcu, grid); err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	// 3 modes × 3 corners × 5 temps × 3 vdds = 135 entries.
+	if d.Len() != 135 {
+		t.Errorf("Len = %d, want 135", d.Len())
+	}
+	// The database must agree with the model at a grid point...
+	cond := power.Conditions{Temp: units.DegC(25), Vdd: units.Volts(1.8), Corner: power.TT}
+	fromDB, err := d.Lookup("mcu", "active", cond)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	fromModel, _ := mcu.Power("active", cond)
+	if !units.AlmostEqual(fromDB.Watts(), fromModel.Watts(), 1e-12) {
+		t.Errorf("db %v != model %v at grid point", fromDB, fromModel)
+	}
+	// ...and stay in the right ballpark between grid points. Linear
+	// interpolation over a 25 °C gap overestimates the exponential
+	// leakage mid-gap by up to ~30% — inherent to any spreadsheet over a
+	// coarse sweep, so the bound here is deliberately loose.
+	mid := power.Conditions{Temp: units.DegC(37), Vdd: units.Volts(1.65), Corner: power.FF}
+	dbP, err := d.Lookup("mcu", "sleep", mid)
+	if err != nil {
+		t.Fatalf("Lookup mid: %v", err)
+	}
+	modelP, _ := mcu.Power("sleep", mid)
+	ratio := dbP.Watts() / modelP.Watts()
+	if ratio < 0.75 || ratio > 1.35 {
+		t.Errorf("interpolation ratio = %g, want within ±35%%", ratio)
+	}
+	// Validation.
+	if err := d.Characterize(nil, grid); err == nil {
+		t.Error("nil block accepted")
+	}
+	if err := d.Characterize(mcu, CharacterizationGrid{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+	// Re-characterising collides with existing points.
+	if err := d.Characterize(mcu, grid); err == nil {
+		t.Error("duplicate characterisation accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := New()
+	if err := d.Characterize(node.DefaultMCU(), DefaultGrid()); err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	var buf strings.Builder
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if back.Len() != d.Len() {
+		t.Fatalf("round-trip Len %d != %d", back.Len(), d.Len())
+	}
+	cond := power.Conditions{Temp: units.DegC(50), Vdd: units.Volts(1.5), Corner: power.SS}
+	a, _ := d.Lookup("mcu", "idle", cond)
+	b, _ := back.Lookup("mcu", "idle", cond)
+	if !units.AlmostEqual(a.Watts(), b.Watts(), 1e-12) {
+		t.Errorf("round-trip lookup %v != %v", b, a)
+	}
+	// Stable output: writing again produces identical bytes.
+	var buf2 strings.Builder
+	if err := back.WriteCSV(&buf2); err != nil {
+		t.Fatalf("WriteCSV 2: %v", err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("CSV output not stable across round-trip")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad corner":    "block,mode,temp_c,vdd_v,corner,power_w\nmcu,active,25,1.8,XX,1e-6\n",
+		"bad number":    "mcu,active,hot,1.8,TT,1e-6\n",
+		"bad power":     "mcu,active,25,1.8,TT,watts\n",
+		"short row":     "mcu,active,25\n",
+		"negative":      "mcu,active,25,1.8,TT,-1\n",
+		"duplicate row": "mcu,active,25,1.8,TT,1e-6\nmcu,active,25,1.8,TT,2e-6\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Empty input yields an empty database.
+	d, err := ReadCSV(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("empty input: %v", err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("empty input Len = %d", d.Len())
+	}
+}

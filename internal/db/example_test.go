@@ -1,0 +1,29 @@
+package db_test
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func ExampleDB_Lookup() {
+	// The "dynamic spreadsheet": characterise a block once across the
+	// condition grid, then answer power queries anywhere inside it by
+	// bilinear interpolation.
+	d := db.New()
+	if err := d.Characterize(node.DefaultMCU(), db.DefaultGrid()); err != nil {
+		fmt.Println(err)
+		return
+	}
+	cond := power.Conditions{Temp: units.DegC(37), Vdd: units.Volts(1.65), Corner: power.FF}
+	p, err := d.Lookup("mcu", "idle", cond)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d entries; mcu/idle at %v ≈ %v\n", d.Len(), cond, p)
+	// Output: 135 entries; mcu/idle at 37°C/1.65V/FF ≈ 35.8µW
+}

@@ -1,0 +1,37 @@
+package db
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes into the power-database parser: it
+// must never panic, and any accepted database must round-trip through
+// WriteCSV/ReadCSV without loss.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("block,mode,temp_c,vdd_v,corner,power_w\nmcu,active,25,1.8,TT,1e-6\n")
+	f.Add("mcu,active,25,1.8,FF,3e-4\nmcu,active,85,1.8,FF,9e-4\n")
+	f.Add("")
+	f.Add("a,b,c\n")
+	f.Add("mcu,active,25,1.8,TT,-1\n")
+	f.Add("mcu,active,NaN,1.8,TT,1\n")
+	f.Add("mcu,active,25,1.8,XX,1\n")
+	f.Add("mcu,active,25,1.8,TT,1\nmcu,active,25,1.8,TT,2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if err := d.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted database failed to serialise: %v", err)
+		}
+		back, err := ReadCSV(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v", err)
+		}
+		if back.Len() != d.Len() {
+			t.Fatalf("round-trip lost entries: %d vs %d", back.Len(), d.Len())
+		}
+	})
+}

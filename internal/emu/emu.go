@@ -1,0 +1,302 @@
+// Package emu implements the last stage of the paper's analysis flow
+// (Fig 1): integrating the scavenger source model with the node's load and
+// "emulating the energy balance for a long timing window". Driven by a
+// cruising-speed profile, the emulator steps wheel round by wheel round,
+// tracking the storage element's charge, the tyre temperature (and hence
+// leakage), brown-outs with restart hysteresis, and activity coverage —
+// answering the paper's question of whether "the monitoring system can be
+// active during all the considered time".
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/scavenger"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// Config assembles an emulation run.
+type Config struct {
+	// Node is the Sensor Node architecture under test.
+	Node *node.Node
+	// Harvester is the energy source, mounted in the same tyre.
+	Harvester *scavenger.Harvester
+	// Buffer is the storage element between them.
+	Buffer storage.Buffer
+	// InitialVoltage is the buffer's starting voltage.
+	InitialVoltage units.Voltage
+	// Ambient is the air temperature of the run.
+	Ambient units.Celsius
+	// Base supplies Vdd and process corner; its temperature is ignored
+	// (the tyre thermal model provides the working temperature).
+	Base power.Conditions
+	// ThermalTau overrides the tyre thermal time constant (0 = default).
+	ThermalTau units.Seconds
+	// StoppedStep is the time step used while the vehicle is stationary
+	// or crawling below MinMonitorSpeed (0 = 100 ms).
+	StoppedStep units.Seconds
+	// MinMonitorSpeed is the slowest speed at which wheel rounds are
+	// stepped and counted (0 = 3 km/h). Below it the round period
+	// exceeds seconds: the emulator would otherwise take one giant step
+	// through speed-profile ramps, and a real node gates its monitoring
+	// off at crawl speeds anyway (the scavenger is below its activation
+	// threshold there).
+	MinMonitorSpeed units.Speed
+	// RecordTraces enables the voltage/speed/power time series in the
+	// result (per emulation step; sizeable for long runs).
+	RecordTraces bool
+}
+
+// Emulator runs speed profiles against a node/harvester/storage stack.
+type Emulator struct {
+	cfg Config
+}
+
+// New validates the configuration and returns an Emulator.
+func New(cfg Config) (*Emulator, error) {
+	if cfg.Node == nil {
+		return nil, fmt.Errorf("emu: nil node")
+	}
+	if cfg.Harvester == nil {
+		return nil, fmt.Errorf("emu: nil harvester")
+	}
+	if cfg.Node.Tyre() != cfg.Harvester.Tyre() {
+		return nil, fmt.Errorf("emu: node and harvester mounted in different tyres")
+	}
+	if err := cfg.Buffer.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialVoltage < 0 {
+		return nil, fmt.Errorf("emu: negative initial voltage %v", cfg.InitialVoltage)
+	}
+	if cfg.StoppedStep < 0 {
+		return nil, fmt.Errorf("emu: negative stopped step %v", cfg.StoppedStep)
+	}
+	if cfg.StoppedStep == 0 {
+		cfg.StoppedStep = units.Milliseconds(100)
+	}
+	if cfg.MinMonitorSpeed < 0 {
+		return nil, fmt.Errorf("emu: negative minimum monitoring speed %v", cfg.MinMonitorSpeed)
+	}
+	if cfg.MinMonitorSpeed == 0 {
+		cfg.MinMonitorSpeed = units.KilometersPerHour(3)
+	}
+	return &Emulator{cfg: cfg}, nil
+}
+
+// Result summarises one emulation run.
+type Result struct {
+	// Duration is the emulated time span.
+	Duration units.Seconds
+	// Rounds is the number of wheel rounds that occurred (vehicle moving).
+	Rounds int64
+	// ActiveRounds is how many of them the node monitored completely.
+	ActiveRounds int64
+	// BrownOuts counts supply collapses (node forced off mid-operation).
+	BrownOuts int
+	// Restarts counts recoveries through the hysteresis threshold.
+	Restarts int
+	// Harvested is the net energy stored from the scavenger (after
+	// conditioning and clipping).
+	Harvested units.Energy
+	// Clipped is harvested energy wasted because the buffer was full.
+	Clipped units.Energy
+	// Consumed is the energy delivered to the node.
+	Consumed units.Energy
+	// Leaked is the buffer's self-discharge loss.
+	Leaked units.Energy
+	// InitialEnergy and FinalEnergy are the buffer boundary states.
+	InitialEnergy, FinalEnergy units.Energy
+	// FinalVoltage is the buffer voltage at the end of the run.
+	FinalVoltage units.Voltage
+	// MinVoltage is the lowest buffer voltage seen.
+	MinVoltage units.Voltage
+	// Voltage, Speed and Power are per-step traces (nil unless
+	// Config.RecordTraces): buffer volts, km/h, and node draw in µW.
+	Voltage, Speed, Power *trace.Series
+	// Outages lists the time intervals during which the node was down
+	// (browned out and waiting for the restart threshold) — the
+	// complement of the paper's operating windows over the run.
+	Outages []Outage
+}
+
+// Outage is one interval of node downtime.
+type Outage struct {
+	Start, End units.Seconds
+}
+
+// Duration returns the outage length.
+func (o Outage) Duration() units.Seconds { return o.End - o.Start }
+
+// Downtime sums all outage durations.
+func (r *Result) Downtime() units.Seconds {
+	var total units.Seconds
+	for _, o := range r.Outages {
+		total += o.Duration()
+	}
+	return total
+}
+
+// LongestOutage returns the longest single outage (zero if none).
+func (r *Result) LongestOutage() units.Seconds {
+	var longest units.Seconds
+	for _, o := range r.Outages {
+		if d := o.Duration(); d > longest {
+			longest = d
+		}
+	}
+	return longest
+}
+
+// Coverage returns the fraction of wheel rounds the node monitored.
+func (r *Result) Coverage() float64 {
+	if r.Rounds == 0 {
+		return 0
+	}
+	return float64(r.ActiveRounds) / float64(r.Rounds)
+}
+
+// EnergyClosure returns the conservation residual
+// (initial + harvested − consumed − leaked − final), which should be ≈ 0.
+func (r *Result) EnergyClosure() units.Energy {
+	return r.InitialEnergy + r.Harvested - r.Consumed - r.Leaked - r.FinalEnergy
+}
+
+// Run emulates the profile from t=0 to its duration.
+func (e *Emulator) Run(p profile.Profile) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("emu: nil profile")
+	}
+	cfg := e.cfg
+	state, err := storage.NewState(cfg.Buffer, cfg.InitialVoltage)
+	if err != nil {
+		return nil, err
+	}
+	thermal := wheel.NewThermal(cfg.Node.Tyre(), cfg.Ambient, cfg.ThermalTau)
+
+	res := &Result{
+		Duration:      p.Duration(),
+		InitialEnergy: state.Energy(),
+		MinVoltage:    state.Voltage(),
+	}
+	if cfg.RecordTraces {
+		res.Voltage = trace.NewSeries("buffer voltage", "s", "V")
+		res.Speed = trace.NewSeries("speed", "s", "km/h")
+		res.Power = trace.NewSeries("node draw", "s", "µW")
+	}
+
+	on := state.CanRestart()
+	var t units.Seconds
+	var performed int64 // rounds completed by the node (drives aux/TX cadence)
+	var outageStart units.Seconds
+	if !on {
+		outageStart = 0
+	}
+	end := p.Duration()
+
+	for t < end {
+		v := p.SpeedAt(t)
+		moving := v >= cfg.MinMonitorSpeed && cfg.Node.RoundPeriod(v) > 0
+		var dt units.Seconds
+		if moving {
+			dt = cfg.Node.RoundPeriod(v)
+		} else {
+			dt = cfg.StoppedStep
+		}
+		if t+dt > end {
+			// Final partial step: scale harvest/load linearly.
+			dt = end - t
+			if dt <= 0 {
+				break
+			}
+			moving = false // treat the partial tail as static draw
+		}
+
+		temp := thermal.Step(cfg.Ambient, v, dt)
+		cond := cfg.Base.WithTemp(temp)
+
+		// Harvest.
+		var harvestPower units.Power
+		if v > 0 {
+			harvestPower = cfg.Harvester.Power(v)
+		}
+		stored, clipped := state.Charge(harvestPower.OverTime(dt))
+		res.Harvested += stored
+		res.Clipped += clipped
+
+		// Load.
+		var draw units.Energy
+		var stepPower units.Power
+		if on {
+			if moving {
+				plan, err := cfg.Node.PlanRound(v, performed)
+				if err != nil {
+					return nil, err
+				}
+				bd, err := cfg.Node.RoundEnergy(plan, cond)
+				if err != nil {
+					return nil, err
+				}
+				draw = bd.Total()
+			} else {
+				rest, err := cfg.Node.RestPower(cond)
+				if err != nil {
+					return nil, err
+				}
+				draw = rest.OverTime(dt)
+			}
+			delivered, shortfall := state.Discharge(draw)
+			res.Consumed += delivered
+			stepPower = delivered.Over(dt)
+			if shortfall > 0 {
+				// Supply collapsed: brown-out. The round (if any) is lost.
+				on = false
+				outageStart = t
+				res.BrownOuts++
+			} else if moving {
+				res.ActiveRounds++
+				performed++
+			}
+		}
+
+		if moving {
+			res.Rounds++
+		}
+
+		// Self-discharge.
+		res.Leaked += state.Leak(dt)
+
+		if !on && state.CanRestart() {
+			on = true
+			res.Restarts++
+			res.Outages = append(res.Outages, Outage{Start: outageStart, End: t + dt})
+		}
+
+		volts := state.Voltage()
+		if volts < res.MinVoltage {
+			res.MinVoltage = volts
+		}
+		if cfg.RecordTraces {
+			ts := t.Seconds()
+			res.Voltage.MustAppend(ts, volts.Volts())
+			res.Speed.MustAppend(ts, v.KMH())
+			res.Power.MustAppend(ts, stepPower.Microwatts())
+		}
+
+		t += dt
+	}
+
+	if !on {
+		// The run ends inside an outage.
+		res.Outages = append(res.Outages, Outage{Start: outageStart, End: end})
+	}
+	res.FinalEnergy = state.Energy()
+	res.FinalVoltage = state.Voltage()
+	return res, nil
+}

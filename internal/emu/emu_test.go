@@ -1,0 +1,405 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/scavenger"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func kmh(v float64) units.Speed { return units.KilometersPerHour(v) }
+
+func defaultConfig(t *testing.T) Config {
+	t.Helper()
+	tyre := wheel.Default()
+	nd, err := node.Default(tyre)
+	if err != nil {
+		t.Fatalf("node.Default: %v", err)
+	}
+	hv, err := scavenger.Default(tyre)
+	if err != nil {
+		t.Fatalf("scavenger.Default: %v", err)
+	}
+	return Config{
+		Node:           nd,
+		Harvester:      hv,
+		Buffer:         storage.Default(),
+		InitialVoltage: units.Volts(3.0),
+		Ambient:        units.DegC(20),
+		Base:           power.Nominal(),
+	}
+}
+
+func newEmulator(t *testing.T, cfg Config) *Emulator {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	good := defaultConfig(t)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"nil node", func(c *Config) { c.Node = nil }},
+		{"nil harvester", func(c *Config) { c.Harvester = nil }},
+		{"bad buffer", func(c *Config) { c.Buffer = storage.Buffer{} }},
+		{"negative voltage", func(c *Config) { c.InitialVoltage = -1 }},
+		{"negative stopped step", func(c *Config) { c.StoppedStep = -1 }},
+	}
+	for _, c := range cases {
+		cfg := good
+		c.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Mismatched tyres.
+	other := wheel.Default()
+	other.Radius = 0.35
+	hv2, _ := scavenger.Default(other)
+	cfg := good
+	cfg.Harvester = hv2
+	if _, err := New(cfg); err == nil {
+		t.Error("mismatched tyres accepted")
+	}
+}
+
+func TestRunNilProfile(t *testing.T) {
+	e := newEmulator(t, defaultConfig(t))
+	if _, err := e.Run(nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+}
+
+func TestHighwaySelfSustaining(t *testing.T) {
+	// Well above break-even the node must monitor every round without
+	// brown-outs and finish with a healthy buffer.
+	e := newEmulator(t, defaultConfig(t))
+	res, err := e.Run(profile.Constant(kmh(120), units.Minutes(5)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rounds < 2000 {
+		t.Errorf("rounds = %d, want thousands over 5 min at 120 km/h", res.Rounds)
+	}
+	if res.Coverage() != 1 {
+		t.Errorf("coverage = %g, want 1 (brownouts: %d)", res.Coverage(), res.BrownOuts)
+	}
+	if res.BrownOuts != 0 {
+		t.Errorf("brownouts = %d, want 0", res.BrownOuts)
+	}
+	// Surplus harvest: buffer ends full (some clipping expected).
+	if res.FinalVoltage.Volts() < 3.5 {
+		t.Errorf("final voltage = %v, want near VMax", res.FinalVoltage)
+	}
+	if res.Clipped <= 0 {
+		t.Error("no clipping during sustained surplus")
+	}
+}
+
+func TestCrawlDrainsAndBrownsOut(t *testing.T) {
+	// Far below break-even: the buffer drains, the node browns out, and
+	// coverage collapses.
+	cfg := defaultConfig(t)
+	cfg.InitialVoltage = units.Volts(2.5)
+	e := newEmulator(t, cfg)
+	res, err := e.Run(profile.Constant(kmh(10), units.Minutes(30)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.BrownOuts == 0 {
+		t.Fatal("no brown-out during 30 min crawl")
+	}
+	if res.Coverage() > 0.5 {
+		t.Errorf("coverage = %g, want low", res.Coverage())
+	}
+	if res.MinVoltage.Volts() > 1.81 {
+		t.Errorf("min voltage = %v, want at the brown-out floor", res.MinVoltage)
+	}
+}
+
+func TestStoppedVehicleStaticDrain(t *testing.T) {
+	// Parked: no rounds, no harvest, only static drain and leakage.
+	cfg := defaultConfig(t)
+	e := newEmulator(t, cfg)
+	res, err := e.Run(profile.Constant(0, units.Minutes(10)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Rounds != 0 || res.ActiveRounds != 0 {
+		t.Errorf("rounds while parked: %d/%d", res.ActiveRounds, res.Rounds)
+	}
+	if res.Harvested != 0 {
+		t.Errorf("harvested while parked: %v", res.Harvested)
+	}
+	if res.Consumed <= 0 {
+		t.Error("no static consumption while parked")
+	}
+	if res.FinalEnergy >= res.InitialEnergy {
+		t.Error("buffer did not drain while parked")
+	}
+	// With ~34 µW of rest draw, the buffer's ≈1.35 mJ of available energy
+	// lasts well under a minute: the node browns out and total consumption
+	// equals the initially available energy.
+	if res.BrownOuts < 1 {
+		t.Error("parked node never browned out")
+	}
+	buf := cfg.Buffer
+	avail := buf.C.StoredEnergy(cfg.InitialVoltage) - buf.C.StoredEnergy(buf.VMin)
+	if !units.AlmostEqual(res.Consumed.Joules(), avail.Joules(), 0.02) {
+		t.Errorf("parked consumption = %v, want ≈ available %v", res.Consumed, avail)
+	}
+	// Sanity: the drain lasted roughly available/restPower seconds, i.e.
+	// far less than the parked duration.
+	rest, _ := cfg.Node.RestPower(power.Nominal().WithTemp(units.DegC(20)))
+	lifetime := avail.Joules() / rest.Watts()
+	if lifetime > 120 {
+		t.Errorf("computed parked lifetime %g s, calibration drifted", lifetime)
+	}
+}
+
+func TestEnergyClosure(t *testing.T) {
+	e := newEmulator(t, defaultConfig(t))
+	for _, p := range []profile.Profile{
+		profile.Constant(kmh(120), units.Minutes(2)),
+		profile.Constant(kmh(15), units.Minutes(2)),
+		profile.Urban(),
+		profile.Mixed(),
+	} {
+		res, err := e.Run(p)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		closure := res.EnergyClosure().Joules()
+		scale := res.InitialEnergy.Joules() + res.Harvested.Joules()
+		if rel := closure / scale; rel > 1e-9 || rel < -1e-9 {
+			t.Errorf("energy closure residual %g J (rel %g) on %v", closure, rel, p.Duration())
+		}
+	}
+}
+
+func TestRestartHysteresis(t *testing.T) {
+	// Start below VRestart with a strong source: the node must stay off
+	// until the buffer recovers past the restart threshold, then run.
+	cfg := defaultConfig(t)
+	cfg.InitialVoltage = units.Volts(1.9) // above VMin, below VRestart
+	e := newEmulator(t, cfg)
+	res, err := e.Run(profile.Constant(kmh(120), units.Minutes(2)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Restarts < 1 {
+		t.Fatal("node never restarted")
+	}
+	if res.Coverage() <= 0 || res.Coverage() >= 1 {
+		t.Errorf("coverage = %g, want partial (off at start, on later)", res.Coverage())
+	}
+	if res.FinalVoltage.Volts() < 2.4 {
+		t.Errorf("final voltage = %v, want recovered", res.FinalVoltage)
+	}
+}
+
+func TestUrbanVsHighwayCoverage(t *testing.T) {
+	// E4's mechanism: urban stop-and-go yields lower coverage than
+	// highway cruising.
+	e := newEmulator(t, defaultConfig(t))
+	urban, err := e.Run(profile.Repeat(profile.Urban(), 6))
+	if err != nil {
+		t.Fatalf("urban Run: %v", err)
+	}
+	highway, err := e.Run(profile.Highway(6))
+	if err != nil {
+		t.Fatalf("highway Run: %v", err)
+	}
+	if highway.Coverage() < 0.95 {
+		t.Errorf("highway coverage = %g, want ≈1", highway.Coverage())
+	}
+	if urban.Coverage() >= highway.Coverage() {
+		t.Errorf("urban coverage %g not below highway %g", urban.Coverage(), highway.Coverage())
+	}
+}
+
+func TestRampsAreNotSkipped(t *testing.T) {
+	// Regression: a ramp starting at 0 km/h used to be sampled at a
+	// near-zero speed whose round period spanned minutes, causing the
+	// emulator to step over entire profile segments. The round count
+	// must roughly match distance / circumference.
+	e := newEmulator(t, defaultConfig(t))
+	ramp, err := profile.NewSequence(
+		profile.Ramp(0, kmh(50), units.Sec(20)),
+		profile.Constant(kmh(50), units.Sec(60)),
+		profile.Ramp(kmh(50), 0, units.Sec(20)),
+	)
+	if err != nil {
+		t.Fatalf("sequence: %v", err)
+	}
+	res, err := e.Run(ramp)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	dist, _ := profile.Distance(ramp, units.Sec(0.5))
+	wantRounds := dist / wheel.Default().Circumference()
+	got := float64(res.Rounds)
+	if got < 0.85*wantRounds || got > 1.1*wantRounds {
+		t.Errorf("rounds = %d, want ≈ %.0f (distance %.0f m)", res.Rounds, wantRounds, dist)
+	}
+	// Negative minimum speed rejected.
+	bad := defaultConfig(t)
+	bad.MinMonitorSpeed = units.MetersPerSecond(-1)
+	if _, err := New(bad); err == nil {
+		t.Error("negative MinMonitorSpeed accepted")
+	}
+}
+
+func TestOutageTracking(t *testing.T) {
+	// Highway: no outages. Crawl from a modest charge: one long outage
+	// ending at the run's end.
+	e := newEmulator(t, defaultConfig(t))
+	hw, err := e.Run(profile.Constant(kmh(120), units.Minutes(2)))
+	if err != nil {
+		t.Fatalf("highway Run: %v", err)
+	}
+	if len(hw.Outages) != 0 || hw.Downtime() != 0 || hw.LongestOutage() != 0 {
+		t.Errorf("highway outages = %+v", hw.Outages)
+	}
+	cfg := defaultConfig(t)
+	cfg.InitialVoltage = units.Volts(2.5)
+	crawl, err := newEmulator(t, cfg).Run(profile.Constant(kmh(10), units.Minutes(10)))
+	if err != nil {
+		t.Fatalf("crawl Run: %v", err)
+	}
+	if len(crawl.Outages) == 0 {
+		t.Fatal("crawl produced no outages")
+	}
+	last := crawl.Outages[len(crawl.Outages)-1]
+	if !units.AlmostEqual(last.End.Seconds(), crawl.Duration.Seconds(), 1e-9) {
+		t.Errorf("final outage ends at %v, want run end %v", last.End, crawl.Duration)
+	}
+	// Downtime is bounded by the run and consistent with coverage.
+	if crawl.Downtime() <= 0 || crawl.Downtime() > crawl.Duration {
+		t.Errorf("downtime = %v over %v", crawl.Downtime(), crawl.Duration)
+	}
+	if crawl.LongestOutage() > crawl.Downtime() {
+		t.Error("longest outage exceeds total downtime")
+	}
+	// Outages are ordered and non-overlapping.
+	for i := 1; i < len(crawl.Outages); i++ {
+		if crawl.Outages[i].Start < crawl.Outages[i-1].End {
+			t.Errorf("outages overlap: %+v", crawl.Outages)
+		}
+	}
+	// Recovery case: start below restart with a strong source — exactly
+	// one outage at the beginning, closed when the buffer recovers.
+	rec := defaultConfig(t)
+	rec.InitialVoltage = units.Volts(1.9)
+	recovery, err := newEmulator(t, rec).Run(profile.Constant(kmh(120), units.Minutes(2)))
+	if err != nil {
+		t.Fatalf("recovery Run: %v", err)
+	}
+	if len(recovery.Outages) != 1 {
+		t.Fatalf("recovery outages = %+v, want one", recovery.Outages)
+	}
+	if recovery.Outages[0].Start != 0 {
+		t.Errorf("recovery outage starts at %v, want 0", recovery.Outages[0].Start)
+	}
+	if recovery.Outages[0].End >= units.Seconds(recovery.Duration.Seconds()/2) {
+		t.Errorf("recovery outage too long: %+v", recovery.Outages[0])
+	}
+}
+
+func TestTracesRecorded(t *testing.T) {
+	cfg := defaultConfig(t)
+	cfg.RecordTraces = true
+	e := newEmulator(t, cfg)
+	res, err := e.Run(profile.Constant(kmh(60), units.Minutes(1)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for name, s := range map[string]interface{ Len() int }{
+		"voltage": res.Voltage, "speed": res.Speed, "power": res.Power,
+	} {
+		if s == nil || s.Len() == 0 {
+			t.Errorf("%s trace empty", name)
+		}
+	}
+	// Voltage stays within the window.
+	st := res.Voltage.Stats()
+	if st.Min < 0 || st.Max > 3.6+1e-9 {
+		t.Errorf("voltage range [%g, %g] outside buffer window", st.Min, st.Max)
+	}
+	// Traces disabled by default.
+	e2 := newEmulator(t, defaultConfig(t))
+	res2, _ := e2.Run(profile.Constant(kmh(60), units.Sec(10)))
+	if res2.Voltage != nil || res2.Speed != nil || res2.Power != nil {
+		t.Error("traces recorded despite RecordTraces=false")
+	}
+}
+
+func TestLargerBufferRidesThroughStops(t *testing.T) {
+	// E7's mechanism: a larger buffer bridges low-speed intervals that
+	// brown out a small one.
+	stopAndGo, err := profile.NewSequence(
+		profile.Constant(kmh(100), units.Minutes(2)), // charge up
+		profile.Constant(kmh(8), units.Minutes(4)),   // below break-even
+		profile.Constant(kmh(100), units.Minutes(1)),
+	)
+	if err != nil {
+		t.Fatalf("sequence: %v", err)
+	}
+	small := defaultConfig(t)
+	small.Buffer.C = units.Microfarads(47)
+	big := defaultConfig(t)
+	big.Buffer.C = units.Millifarads(10)
+	resSmall, err := newEmulator(t, small).Run(stopAndGo)
+	if err != nil {
+		t.Fatalf("small Run: %v", err)
+	}
+	resBig, err := newEmulator(t, big).Run(stopAndGo)
+	if err != nil {
+		t.Fatalf("big Run: %v", err)
+	}
+	if resSmall.BrownOuts == 0 {
+		t.Error("small buffer never browned out")
+	}
+	if resBig.Coverage() <= resSmall.Coverage() {
+		t.Errorf("big buffer coverage %g not above small %g", resBig.Coverage(), resSmall.Coverage())
+	}
+}
+
+func TestConstantSpeedMatchesAnalyticBalance(t *testing.T) {
+	// Integration cross-check: at constant speed, emulated average load
+	// power matches the node's analytic AveragePower under the same
+	// (steady-state) temperature.
+	cfg := defaultConfig(t)
+	e := newEmulator(t, cfg)
+	v := kmh(100)
+	dur := units.Minutes(10)
+	res, err := e.Run(profile.Constant(v, dur))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Coverage() != 1 {
+		t.Fatalf("coverage = %g; analytic comparison needs full activity", res.Coverage())
+	}
+	steady := cfg.Node.Tyre().SteadyTemperature(units.DegC(20), v)
+	want, err := cfg.Node.AveragePower(v, power.Nominal().WithTemp(steady))
+	if err != nil {
+		t.Fatalf("AveragePower: %v", err)
+	}
+	got := res.Consumed.Over(dur)
+	// The thermal transient keeps early leakage below steady state, so
+	// allow a few percent.
+	if got.Watts() < 0.93*want.Watts() || got.Watts() > 1.02*want.Watts() {
+		t.Errorf("emulated mean power %v vs analytic %v", got, want)
+	}
+}

@@ -1,0 +1,43 @@
+package emu_test
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/scavenger"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func ExampleEmulator_Run() {
+	// The last stage of the paper's flow: can the monitoring system stay
+	// active over a realistic urban stop-and-go cycle? (For the
+	// unoptimized baseline node: only partially.)
+	tyre := wheel.Default()
+	nd, _ := node.Default(tyre)
+	hv, _ := scavenger.Default(tyre)
+	em, err := emu.New(emu.Config{
+		Node:           nd,
+		Harvester:      hv,
+		Buffer:         storage.Default(),
+		InitialVoltage: units.Volts(3.0),
+		Ambient:        units.DegC(20),
+		Base:           power.Nominal(),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := em.Run(profile.Urban())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d wheel rounds, %.0f%% monitored, %d brown-out(s)\n",
+		res.Rounds, res.Coverage()*100, res.BrownOuts)
+	// Output: 526 wheel rounds, 65% monitored, 2 brown-out(s)
+}

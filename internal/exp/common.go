@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"repro/internal/balance"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/scavenger"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// Default analysis conditions shared by all experiments.
+var (
+	defaultAmbient = units.DegC(20)
+	sweepMin       = units.KilometersPerHour(5)
+	sweepMax       = units.KilometersPerHour(200)
+)
+
+// defaultTyre returns the reference tyre.
+func defaultTyre() wheel.Tyre { return wheel.Default() }
+
+// defaultAnalyzer builds the baseline node + default harvester analyzer.
+func defaultAnalyzer() (*balance.Analyzer, error) {
+	tyre := defaultTyre()
+	nd, err := node.Default(tyre)
+	if err != nil {
+		return nil, err
+	}
+	hv, err := scavenger.Default(tyre)
+	if err != nil {
+		return nil, err
+	}
+	return balance.New(nd, hv, defaultAmbient, power.Nominal())
+}

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsDeterministic re-runs every experiment twice and
+// requires byte-identical rendered output — the EXPERIMENTS.md numbers
+// must be reproducible, including the seeded Monte Carlo.
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	runs := map[string]func(io.Writer) error{
+		"fig2": func(w io.Writer) error { _, err := Fig2(w); return err },
+		"fig3": func(w io.Writer) error { _, err := Fig3(w); return err },
+		"e1":   func(w io.Writer) error { _, err := E1(w); return err },
+		"e3":   func(w io.Writer) error { _, err := E3(w); return err },
+		"e5":   func(w io.Writer) error { _, err := E5(w); return err },
+		"e6":   func(w io.Writer) error { _, err := E6(w); return err },
+		"e8":   func(w io.Writer) error { _, err := E8(w); return err },
+		"e9":   func(w io.Writer) error { _, err := E9(w); return err },
+	}
+	for name, run := range runs {
+		var a, b strings.Builder
+		if err := run(&a); err != nil {
+			t.Fatalf("%s first run: %v", name, err)
+		}
+		if err := run(&b); err != nil {
+			t.Fatalf("%s second run: %v", name, err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s output not deterministic", name)
+		}
+		if a.Len() == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/balance"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/rf"
+	"repro/internal/scavenger"
+	"repro/internal/units"
+)
+
+// E11Result is the downlink listen-budget dataset.
+type E11Result struct {
+	// PeriodsRounds sweeps the listen-window cadence (0 = no downlink).
+	PeriodsRounds []int
+	// BreakEvens are the resulting break-even speeds in km/h.
+	BreakEvens []float64
+	// EnergyPerRound40 is the per-round energy at 40 km/h in µJ.
+	EnergyPerRound40 []float64
+	// ReconfigLatency60 is the worst-case reconfiguration delay at
+	// 60 km/h in seconds.
+	ReconfigLatency60 []float64
+}
+
+// E11 prices the downlink: the car's elaboration unit can reconfigure
+// the node only during its listen windows, and every window costs
+// milliwatt-class receiver power. The sweep trades reconfiguration
+// latency against break-even speed — the same energy-vs-responsiveness
+// shape as the TX policy study (E6), on the receive side.
+func E11(w io.Writer) (*E11Result, error) {
+	tyre := defaultTyre()
+	hv, err := scavenger.Default(tyre)
+	if err != nil {
+		return nil, err
+	}
+	res := &E11Result{PeriodsRounds: []int{0, 256, 64, 16, 4}}
+	evalV := units.KilometersPerHour(40)
+	cond := power.Nominal().WithTemp(tyre.SteadyTemperature(defaultAmbient, evalV))
+	period60 := tyre.RoundPeriod(units.KilometersPerHour(60))
+
+	t := report.NewTable("listen cadence", "break-even", "energy/round @40km/h", "reconfig latency @60km/h")
+	for _, rxPeriod := range res.PeriodsRounds {
+		cfg := node.DefaultConfig(tyre)
+		label := "no downlink"
+		latency := 0.0
+		if rxPeriod > 0 {
+			cfg.Receiver = rf.DefaultReceiver()
+			cfg.RxPeriodRounds = rxPeriod
+			label = fmt.Sprintf("every %d rounds", rxPeriod)
+			latency = float64(rxPeriod) * period60.Seconds()
+		}
+		nd, err := node.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		az, err := balance.New(nd, hv, defaultAmbient, power.Nominal())
+		if err != nil {
+			return nil, err
+		}
+		be, err := az.BreakEven(sweepMin, sweepMax)
+		if err != nil {
+			return nil, err
+		}
+		bd, err := nd.AverageRound(evalV, cond)
+		if err != nil {
+			return nil, err
+		}
+		res.BreakEvens = append(res.BreakEvens, be.Speed.KMH())
+		res.EnergyPerRound40 = append(res.EnergyPerRound40, bd.Total().Microjoules())
+		res.ReconfigLatency60 = append(res.ReconfigLatency60, latency)
+		latencyStr := "—"
+		if rxPeriod > 0 {
+			latencyStr = fmt.Sprintf("%.2f s", latency)
+		}
+		t.AddRowf(label,
+			fmt.Sprintf("%.1f km/h", be.Speed.KMH()),
+			fmt.Sprintf("%.2f µJ", bd.Total().Microjoules()),
+			latencyStr)
+	}
+	fmt.Fprintln(w, "E11 — downlink listen budget: reconfiguration latency vs energy")
+	fmt.Fprintln(w)
+	if err := t.Render(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "\nlistening every 4 rounds costs measurable break-even; every 64+ rounds is nearly free")
+	return res, nil
+}

@@ -1,0 +1,427 @@
+package exp
+
+import (
+	"io"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestFig1(t *testing.T) {
+	var sb strings.Builder
+	res, err := Fig1(&sb)
+	if err != nil {
+		t.Fatalf("Fig1: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"power estimation", "technique selection", "break-even", "emulation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig1 output missing %q", want)
+		}
+	}
+	if res.Report.OptimizedBreakEven.Speed >= res.Report.BaselineBreakEven.Speed {
+		t.Error("flow did not reduce the break-even")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	var sb strings.Builder
+	res, err := Fig2(&sb)
+	if err != nil {
+		t.Fatalf("Fig2: %v", err)
+	}
+	// The paper's qualitative claims: one break-even in range, deficit
+	// below, surplus above, rising generated curve.
+	if !res.BreakEven.Found {
+		t.Fatal("no break-even")
+	}
+	if kmh := res.BreakEven.Speed.KMH(); kmh < 25 || kmh > 45 {
+		t.Errorf("break-even %g km/h outside band", kmh)
+	}
+	g, r := res.Sweep.Generated, res.Sweep.Required
+	if g.Y(0) >= r.Y(0) {
+		t.Error("no deficit at the low-speed end")
+	}
+	last := g.Len() - 1
+	if g.Y(last) <= r.Y(last) {
+		t.Error("no surplus at the high-speed end")
+	}
+	if wins := res.Sweep.OperatingWindows(); len(wins) != 1 {
+		t.Errorf("operating windows = %v, want one", wins)
+	}
+	out := sb.String()
+	for _, want := range []string{"break-even point", "operating window", "G", "R"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 output missing %q", want)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	var sb strings.Builder
+	res, err := Fig3(&sb)
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	// Spiky trace: mW-class peaks over a tens-of-µW baseline, mean well
+	// below the peak (short duty cycles).
+	if res.Stats.Max < 1000 {
+		t.Errorf("peak %g µW, want TX spike above 1 mW", res.Stats.Max)
+	}
+	if res.Stats.Min <= 0 || res.Stats.Min > 100 {
+		t.Errorf("baseline %g µW implausible", res.Stats.Min)
+	}
+	if res.Stats.Mean > res.Stats.Max/10 {
+		t.Errorf("mean %g µW too close to peak %g µW for a bursty trace",
+			res.Stats.Mean, res.Stats.Max)
+	}
+	if !strings.Contains(sb.String(), "instant power") {
+		t.Error("Fig3 output missing title")
+	}
+}
+
+func TestE1MonotoneBreakEven(t *testing.T) {
+	res, err := E1(io.Discard)
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	if len(res.BreakEvens) != len(res.Scales) {
+		t.Fatalf("lengths differ")
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(res.BreakEvens))) {
+		t.Errorf("break-even not decreasing with scavenger size: %v", res.BreakEvens)
+	}
+}
+
+func TestE2DutyAwareWins(t *testing.T) {
+	res, err := E2(io.Discard)
+	if err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	if !(res.DutyAwareKMH < res.NaiveKMH && res.NaiveKMH <= res.BaselineKMH) {
+		t.Errorf("ordering violated: duty %g, naive %g, base %g",
+			res.DutyAwareKMH, res.NaiveKMH, res.BaselineKMH)
+	}
+	if res.DutyRound >= res.BaselineRound {
+		t.Error("duty-aware optimization did not cut round energy")
+	}
+	if len(res.DutyApplied) == 0 {
+		t.Error("no duty-aware techniques applied")
+	}
+}
+
+func TestE3ExponentialGrowth(t *testing.T) {
+	res, err := E3(io.Discard)
+	if err != nil {
+		t.Fatalf("E3: %v", err)
+	}
+	for corner, series := range res.StaticPerRound {
+		if len(series) != len(res.TempsC) {
+			t.Fatalf("%s series length", corner)
+		}
+		for i := 1; i < len(series); i++ {
+			if series[i] <= series[i-1] {
+				t.Errorf("%s static energy not monotone at %g°C", corner, res.TempsC[i])
+			}
+		}
+	}
+	// FF > TT > SS at every temperature.
+	for i := range res.TempsC {
+		if !(res.StaticPerRound["FF"][i] > res.StaticPerRound["TT"][i] &&
+			res.StaticPerRound["TT"][i] > res.StaticPerRound["SS"][i]) {
+			t.Errorf("corner ordering violated at %g°C", res.TempsC[i])
+		}
+	}
+	// Exponential: 85°C static is several times the 25°C static.
+	tt := res.StaticPerRound["TT"]
+	if ratio := tt[4] / tt[2]; ratio < 5 {
+		t.Errorf("85/25°C static ratio = %g, want exponential growth > 5", ratio)
+	}
+}
+
+func TestE4OptimizationRecoversCoverage(t *testing.T) {
+	res, err := E4(io.Discard)
+	if err != nil {
+		t.Fatalf("E4: %v", err)
+	}
+	for i, cycle := range res.Cycles {
+		if res.Optimized[i] < res.Baseline[i]-1e-9 {
+			t.Errorf("%s: optimized coverage %g below baseline %g",
+				cycle, res.Optimized[i], res.Baseline[i])
+		}
+	}
+	// Highway is easy for both; urban separates them.
+	var urbanIdx, highwayIdx = -1, -1
+	for i, c := range res.Cycles {
+		if strings.Contains(c, "urban ×6") {
+			urbanIdx = i
+		}
+		if c == "highway" {
+			highwayIdx = i
+		}
+	}
+	if urbanIdx < 0 || highwayIdx < 0 {
+		t.Fatal("missing cycles")
+	}
+	if res.Baseline[highwayIdx] < 0.95 {
+		t.Errorf("baseline highway coverage = %g", res.Baseline[highwayIdx])
+	}
+	if res.Optimized[urbanIdx] <= res.Baseline[urbanIdx] {
+		t.Errorf("urban coverage not improved: %g vs %g",
+			res.Optimized[urbanIdx], res.Baseline[urbanIdx])
+	}
+}
+
+func TestE5YieldBand(t *testing.T) {
+	res, err := E5(io.Discard)
+	if err != nil {
+		t.Fatalf("E5: %v", err)
+	}
+	if res.Yields[0] > 0.05 {
+		t.Errorf("yield at %g km/h = %g, want ≈0", res.SpeedsKMH[0], res.Yields[0])
+	}
+	last := len(res.Yields) - 1
+	if res.Yields[last] < 0.95 {
+		t.Errorf("yield at %g km/h = %g, want ≈1", res.SpeedsKMH[last], res.Yields[last])
+	}
+	if !(res.QuantilesKMH[0] <= res.QuantilesKMH[1] && res.QuantilesKMH[1] <= res.QuantilesKMH[2]) {
+		t.Errorf("quantiles not ordered: %v", res.QuantilesKMH)
+	}
+	if spread := res.QuantilesKMH[2] - res.QuantilesKMH[0]; spread <= 0 || spread > 30 {
+		t.Errorf("break-even spread = %g km/h, want a moderate band", spread)
+	}
+}
+
+func TestE6LatencyEnergyTradeoff(t *testing.T) {
+	res, err := E6(io.Discard)
+	if err != nil {
+		t.Fatalf("E6: %v", err)
+	}
+	byName := make(map[string]int, len(res.Policies))
+	for i, p := range res.Policies {
+		byName[p] = i
+	}
+	every1 := byName["every-1-rounds"]
+	lat5 := byName["max-latency-5s"]
+	// Transmitting every round costs the most break-even; 5 s aggregation
+	// the least.
+	if res.BreakEvens[every1] <= res.BreakEvens[lat5] {
+		t.Errorf("every-round break-even %g not above 5s-aggregated %g",
+			res.BreakEvens[every1], res.BreakEvens[lat5])
+	}
+	// And the latency ordering is inverted.
+	if res.DataAgeAt60[every1] >= res.DataAgeAt60[lat5] {
+		t.Errorf("data-age ordering violated: %g vs %g",
+			res.DataAgeAt60[every1], res.DataAgeAt60[lat5])
+	}
+	// Latency policies respect their bound at 60 km/h.
+	if res.DataAgeAt60[byName["max-latency-1s"]] > 1.0+1e-9 {
+		t.Errorf("1s policy exceeded its bound: %g s", res.DataAgeAt60[byName["max-latency-1s"]])
+	}
+}
+
+func TestE8NoBatteryFeasible(t *testing.T) {
+	res, err := E8(io.Discard)
+	if err != nil {
+		t.Fatalf("E8: %v", err)
+	}
+	if res.AnyFeasible {
+		t.Error("a standard cell was assessed feasible — contradicts the paper's premise")
+	}
+	if len(res.Assessments) != 4 {
+		t.Fatalf("assessed %d cells", len(res.Assessments))
+	}
+	if res.GLoad < 1000 {
+		t.Errorf("worst-case g-load = %g, want >1000 g at 240 km/h tread mounting", res.GLoad)
+	}
+	// Each cell fails for its own, distinct reason.
+	var coinGFail, thinLifeFail, aaMassFail bool
+	for _, a := range res.Assessments {
+		switch a.Cell.Name {
+		case "CR2477 coin":
+			coinGFail = !a.GLoadOK && a.MeetsLifetime
+		case "thin-film solid-state":
+			thinLifeFail = a.GLoadOK && !a.MeetsLifetime
+		case "Li-SOCl2 AA bobbin":
+			aaMassFail = !a.MassOK
+		}
+	}
+	if !coinGFail || !thinLifeFail || !aaMassFail {
+		t.Errorf("failure-mode pattern wrong: coin %v thin %v aa %v",
+			coinGFail, thinLifeFail, aaMassFail)
+	}
+}
+
+func TestE9CompressionCrossover(t *testing.T) {
+	res, err := E9(io.Discard)
+	if err != nil {
+		t.Fatalf("E9: %v", err)
+	}
+	n := len(res.CyclesPerByte)
+	if len(res.DeltaAt20) != n || len(res.DeltaAt80) != n {
+		t.Fatal("length mismatch")
+	}
+	// Cheap encoder saves energy at low speed; the most expensive one
+	// costs energy.
+	if res.DeltaAt20[0] >= 0 {
+		t.Errorf("cheap compression at 20 km/h Δ=%g µJ, want saving", res.DeltaAt20[0])
+	}
+	if res.DeltaAt20[n-1] <= 0 {
+		t.Errorf("2560-cycle/B compression at 20 km/h Δ=%g µJ, want loss", res.DeltaAt20[n-1])
+	}
+	// Delta grows monotonically with encoder cost at both speeds.
+	for i := 1; i < n; i++ {
+		if res.DeltaAt20[i] <= res.DeltaAt20[i-1] || res.DeltaAt80[i] <= res.DeltaAt80[i-1] {
+			t.Errorf("delta not monotone in encoder cost at index %d", i)
+		}
+	}
+	// The saving is bigger at 20 km/h than at 80 km/h (packets are more
+	// frequent per round at low speed).
+	if res.DeltaAt20[0] >= res.DeltaAt80[0] {
+		t.Errorf("low-speed saving %g not below high-speed %g", res.DeltaAt20[0], res.DeltaAt80[0])
+	}
+}
+
+func TestE10SensitivitySigns(t *testing.T) {
+	res, err := E10(io.Discard)
+	if err != nil {
+		t.Fatalf("E10: %v", err)
+	}
+	if res.BaselineKMH < 25 || res.BaselineKMH > 45 {
+		t.Errorf("baseline break-even %g km/h outside band", res.BaselineKMH)
+	}
+	deltas := make(map[string]float64, len(res.Parameters))
+	for i, p := range res.Parameters {
+		deltas[p] = res.DeltaKMH[i]
+	}
+	// More harvest or better conversion must improve (lower) break-even.
+	for _, p := range []string{"scavenger EMax", "conditioner peak efficiency"} {
+		if deltas[p] >= 0 {
+			t.Errorf("%s +10%%: Δ=%+.2f km/h, want improvement", p, deltas[p])
+		}
+	}
+	// More consumption anywhere must worsen (raise) it.
+	for _, p := range []string{"mcu idle power", "mcu active power",
+		"frontend active power", "radio TX power", "samples per round"} {
+		if deltas[p] <= 0 {
+			t.Errorf("%s +10%%: Δ=%+.2f km/h, want degradation", p, deltas[p])
+		}
+	}
+	// In the unoptimized baseline the MCU idle power must dominate the
+	// load-side sensitivities — it is the advisor's top target.
+	if deltas["mcu idle power"] <= deltas["mcu active power"] {
+		t.Errorf("idle sensitivity %+.2f not above active %+.2f",
+			deltas["mcu idle power"], deltas["mcu active power"])
+	}
+}
+
+func TestE11DownlinkBudget(t *testing.T) {
+	res, err := E11(io.Discard)
+	if err != nil {
+		t.Fatalf("E11: %v", err)
+	}
+	n := len(res.PeriodsRounds)
+	if len(res.BreakEvens) != n || len(res.EnergyPerRound40) != n {
+		t.Fatal("length mismatch")
+	}
+	// Periods are ordered from no-downlink to most frequent: energy and
+	// break-even must be non-decreasing along the sweep.
+	for i := 1; i < n; i++ {
+		if res.EnergyPerRound40[i] < res.EnergyPerRound40[i-1]-1e-9 {
+			t.Errorf("energy fell with more listening at index %d: %v", i, res.EnergyPerRound40)
+		}
+		if res.BreakEvens[i] < res.BreakEvens[i-1]-0.05 {
+			t.Errorf("break-even fell with more listening at index %d: %v", i, res.BreakEvens)
+		}
+	}
+	// The most aggressive cadence must cost visibly more than none.
+	if res.EnergyPerRound40[n-1] <= res.EnergyPerRound40[0]*1.05 {
+		t.Errorf("every-4-rounds listening added <5%% energy: %v", res.EnergyPerRound40)
+	}
+	// Reconfiguration latency falls as listening gets more frequent.
+	if res.ReconfigLatency60[1] <= res.ReconfigLatency60[n-1] {
+		t.Errorf("latency ordering violated: %v", res.ReconfigLatency60)
+	}
+}
+
+func TestE12QualityEnergyPareto(t *testing.T) {
+	res, err := E12(io.Discard)
+	if err != nil {
+		t.Fatalf("E12: %v", err)
+	}
+	n := len(res.Samples)
+	for i := 1; i < n; i++ {
+		// More samples: more energy, higher break-even...
+		if res.EnergyPerRound[i] <= res.EnergyPerRound[i-1] {
+			t.Errorf("energy not rising with samples: %v", res.EnergyPerRound)
+		}
+		if res.BreakEvens[i] < res.BreakEvens[i-1]-0.05 {
+			t.Errorf("break-even fell with more samples: %v", res.BreakEvens)
+		}
+		// ...but better and faster estimates.
+		if res.SigmaPerRound[i] >= res.SigmaPerRound[i-1] {
+			t.Errorf("sigma not falling with samples: %v", res.SigmaPerRound)
+		}
+		if res.LatencyS[i] > res.LatencyS[i-1] {
+			t.Errorf("latency rose with more samples: %v", res.LatencyS)
+		}
+	}
+	// The Pareto front is real: no configuration dominates another on
+	// both axes.
+	if res.LatencyS[0] <= res.LatencyS[n-1] {
+		t.Error("8-sample latency not above 48-sample latency")
+	}
+	if res.EnergyPerRound[0] >= res.EnergyPerRound[n-1] {
+		t.Error("8-sample energy not below 48-sample energy")
+	}
+}
+
+func TestE13FleetGatedByWorstWheel(t *testing.T) {
+	res, err := E13(io.Discard)
+	if err != nil {
+		t.Fatalf("E13: %v", err)
+	}
+	if len(res.Positions) != 4 {
+		t.Fatalf("wheels = %d", len(res.Positions))
+	}
+	if res.WorstWheel >= res.MeanWheel {
+		t.Errorf("worst %g not below mean %g", res.WorstWheel, res.MeanWheel)
+	}
+	if res.FullVehicle > res.WorstWheel+1e-12 {
+		t.Errorf("full-vehicle %g above worst wheel %g", res.FullVehicle, res.WorstWheel)
+	}
+	// The spread must separate the corners measurably on the urban cycle.
+	var lo, hi = 2.0, -1.0
+	for _, c := range res.Coverages {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if hi-lo < 0.02 {
+		t.Errorf("corner coverages too uniform (%g..%g) for ±20%% spread", lo, hi)
+	}
+}
+
+func TestE7BiggerBufferBetterCoverage(t *testing.T) {
+	res, err := E7(io.Discard)
+	if err != nil {
+		t.Fatalf("E7: %v", err)
+	}
+	for i := 1; i < len(res.Coverages); i++ {
+		if res.Coverages[i] < res.Coverages[i-1]-1e-9 {
+			t.Errorf("coverage fell with larger buffer: %v", res.Coverages)
+		}
+	}
+	if res.Coverages[0] > 0.9 {
+		t.Errorf("smallest buffer coverage = %g, want visibly degraded", res.Coverages[0])
+	}
+	if res.Coverages[len(res.Coverages)-1] < res.Coverages[0] {
+		t.Error("largest buffer worse than smallest")
+	}
+	if res.BrownOuts[0] == 0 {
+		t.Error("smallest buffer never browned out")
+	}
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/balance"
+	"repro/internal/friction"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/scavenger"
+	"repro/internal/units"
+)
+
+// E12Result is the energy-vs-estimation-quality Pareto dataset.
+type E12Result struct {
+	Samples []int
+	// SigmaPerRound is the single-round friction-estimate uncertainty.
+	SigmaPerRound []float64
+	// LatencyS is the time to reach the target uncertainty at 60 km/h.
+	LatencyS []float64
+	// EnergyPerRound is the node energy per round at 60 km/h in µJ.
+	EnergyPerRound []float64
+	// BreakEvens in km/h.
+	BreakEvens []float64
+}
+
+// e12TargetSigma is the friction-estimate quality target (1σ of
+// friction-utilisation units) the latency column is computed against.
+const e12TargetSigma = 0.01
+
+// E12 sweeps the per-round sample count through the friction-estimator
+// model: fewer samples cut the acquisition and processing energy (and
+// the break-even speed) but raise the single-round uncertainty and the
+// time to a confident friction estimate — the energy/performance balance
+// the paper's evaluation platform exists to strike, with the performance
+// axis made physical.
+func E12(w io.Writer) (*E12Result, error) {
+	tyre := defaultTyre()
+	base, err := node.Default(tyre)
+	if err != nil {
+		return nil, err
+	}
+	hv, err := scavenger.Default(tyre)
+	if err != nil {
+		return nil, err
+	}
+	est := friction.Default()
+	evalV := units.KilometersPerHour(60)
+	cond := power.Nominal().WithTemp(tyre.SteadyTemperature(defaultAmbient, evalV))
+	period := tyre.RoundPeriod(evalV).Seconds()
+
+	res := &E12Result{Samples: []int{8, 16, 32, 48}}
+	t := report.NewTable("samples/round", "σ per round", "latency to σ=0.01 @60km/h",
+		"energy/round @60km/h", "break-even")
+	for _, n := range res.Samples {
+		cfg := base.Config()
+		cfg.Acq = cfg.Acq.WithSamples(n)
+		nd, err := node.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		bd, err := nd.AverageRound(evalV, cond)
+		if err != nil {
+			return nil, err
+		}
+		az, err := balance.New(nd, hv, defaultAmbient, power.Nominal())
+		if err != nil {
+			return nil, err
+		}
+		be, err := az.BreakEven(sweepMin, sweepMax)
+		if err != nil {
+			return nil, err
+		}
+		sigma := est.Sigma(n)
+		rounds := est.RoundsToTarget(n, e12TargetSigma)
+		latency := friction.DetectionLatency(rounds, period)
+		res.SigmaPerRound = append(res.SigmaPerRound, sigma)
+		res.LatencyS = append(res.LatencyS, latency)
+		res.EnergyPerRound = append(res.EnergyPerRound, bd.Total().Microjoules())
+		res.BreakEvens = append(res.BreakEvens, be.Speed.KMH())
+		t.AddRowf(n,
+			fmt.Sprintf("%.4f", sigma),
+			fmt.Sprintf("%.2f s", latency),
+			fmt.Sprintf("%.2f µJ", bd.Total().Microjoules()),
+			fmt.Sprintf("%.1f km/h", be.Speed.KMH()))
+	}
+	fmt.Fprintln(w, "E12 — acquisition depth: friction-estimate quality vs energy")
+	fmt.Fprintln(w)
+	if err := t.Render(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "\nfewer samples save energy and activation speed but slow the friction estimate")
+	return res, nil
+}

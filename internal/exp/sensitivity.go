@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/balance"
+	"repro/internal/block"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/scavenger"
+	"repro/internal/units"
+)
+
+// E10Result is the break-even sensitivity table.
+type E10Result struct {
+	// Parameters names each perturbed knob.
+	Parameters []string
+	// DeltaKMH is the break-even change for a +10% perturbation of the
+	// corresponding parameter (negative = break-even improves).
+	DeltaKMH []float64
+	// BaselineKMH anchors the deltas.
+	BaselineKMH float64
+}
+
+// E10 ranks design parameters by break-even sensitivity: each knob is
+// perturbed +10% and the break-even speed re-solved. This is the
+// "identify what are the functional blocks to be optimized" question of
+// the paper's conclusions, answered with finite differences on the
+// integrated model.
+func E10(w io.Writer) (*E10Result, error) {
+	tyre := defaultTyre()
+	nd, err := node.Default(tyre)
+	if err != nil {
+		return nil, err
+	}
+	hv, err := scavenger.Default(tyre)
+	if err != nil {
+		return nil, err
+	}
+	baseAz, err := balance.New(nd, hv, defaultAmbient, power.Nominal())
+	if err != nil {
+		return nil, err
+	}
+	baseBE, err := baseAz.BreakEven(sweepMin, sweepMax)
+	if err != nil {
+		return nil, err
+	}
+
+	// scaleModePower multiplies one mode's full power model by k.
+	scaleModePower := func(n *node.Node, role node.Role, mode block.Mode, k float64) (*node.Node, error) {
+		blk := n.Block(role)
+		spec, err := blk.Spec(mode)
+		if err != nil {
+			return nil, err
+		}
+		model := spec.Model
+		model.Dynamic.Nominal = units.Power(model.Dynamic.Nominal.Watts() * k)
+		model.Leakage.Nominal = units.Power(model.Leakage.Nominal.Watts() * k)
+		scaled, err := blk.WithModeModel(mode, model)
+		if err != nil {
+			return nil, err
+		}
+		return n.WithBlock(role, scaled)
+	}
+
+	type knob struct {
+		name    string
+		nodeMut func() (*node.Node, error)           // nil when the harvester changes instead
+		harvMut func() (*scavenger.Harvester, error) // nil when the node changes
+	}
+	const k = 1.10
+	knobs := []knob{
+		{name: "scavenger EMax", harvMut: func() (*scavenger.Harvester, error) {
+			return scavenger.New(scavenger.DefaultPiezo().Scaled(k), scavenger.DefaultConditioner(), tyre)
+		}},
+		{name: "conditioner peak efficiency", harvMut: func() (*scavenger.Harvester, error) {
+			cd := scavenger.DefaultConditioner()
+			cd.Peak = units.Clamp(cd.Peak*k, 0, 1)
+			return scavenger.New(scavenger.DefaultPiezo(), cd, tyre)
+		}},
+		{name: "mcu idle power", nodeMut: func() (*node.Node, error) {
+			return scaleModePower(nd, node.RoleMCU, block.Idle, k)
+		}},
+		{name: "mcu active power", nodeMut: func() (*node.Node, error) {
+			return scaleModePower(nd, node.RoleMCU, block.Active, k)
+		}},
+		{name: "frontend active power", nodeMut: func() (*node.Node, error) {
+			return scaleModePower(nd, node.RoleFrontend, block.Active, k)
+		}},
+		{name: "radio TX power", nodeMut: func() (*node.Node, error) {
+			cfg := nd.Config()
+			cfg.Radio.TxPower = units.Power(cfg.Radio.TxPower.Watts() * k)
+			return node.New(cfg)
+		}},
+		// +10% of 32 samples rounds to 35.
+		{name: "samples per round", nodeMut: func() (*node.Node, error) {
+			cfg := nd.Config()
+			cfg.Acq = cfg.Acq.WithSamples(35)
+			return node.New(cfg)
+		}},
+	}
+
+	res := &E10Result{BaselineKMH: baseBE.Speed.KMH()}
+	t := report.NewTable("parameter (+10%)", "break-even", "Δ vs baseline")
+	for _, kb := range knobs {
+		curNode, curHv := nd, hv
+		if kb.nodeMut != nil {
+			curNode, err = kb.nodeMut()
+			if err != nil {
+				return nil, fmt.Errorf("perturbing %s: %w", kb.name, err)
+			}
+		}
+		if kb.harvMut != nil {
+			curHv, err = kb.harvMut()
+			if err != nil {
+				return nil, fmt.Errorf("perturbing %s: %w", kb.name, err)
+			}
+		}
+		az, err := balance.New(curNode, curHv, defaultAmbient, power.Nominal())
+		if err != nil {
+			return nil, err
+		}
+		be, err := az.BreakEven(sweepMin, sweepMax)
+		if err != nil {
+			return nil, err
+		}
+		delta := be.Speed.KMH() - res.BaselineKMH
+		res.Parameters = append(res.Parameters, kb.name)
+		res.DeltaKMH = append(res.DeltaKMH, delta)
+		t.AddRowf(kb.name, fmt.Sprintf("%.2f km/h", be.Speed.KMH()),
+			fmt.Sprintf("%+.2f km/h", delta))
+	}
+	fmt.Fprintln(w, "E10 — break-even sensitivity to +10% parameter perturbations")
+	fmt.Fprintf(w, "\nbaseline break-even: %.2f km/h\n\n", res.BaselineKMH)
+	if err := t.Render(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "\nnegative Δ = break-even improves; the ranking tells the designer where to spend effort")
+	return res, nil
+}

@@ -1,0 +1,26 @@
+package friction_test
+
+import (
+	"fmt"
+
+	"repro/internal/friction"
+)
+
+func ExampleEstimator_Sigma() {
+	// Estimation uncertainty scales with 1/√samples: the optimizer's
+	// sample-trimming knob has a quantified quality cost.
+	est := friction.Default()
+	fmt.Printf("8 samples: σ=%.4f, 32 samples: σ=%.4f\n", est.Sigma(8), est.Sigma(32))
+	// Output: 8 samples: σ=0.0471, 32 samples: σ=0.0236
+}
+
+func ExampleEstimator_RoundsToTarget() {
+	// Reaching σ=0.01 by averaging rounds: trimming from 32 to 8 samples
+	// per round roughly quadruples the rounds needed.
+	est := friction.Default()
+	fmt.Println(est.RoundsToTarget(32, 0.01))
+	fmt.Println(est.RoundsToTarget(8, 0.01))
+	// Output:
+	// 6
+	// 23
+}

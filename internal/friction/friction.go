@@ -1,0 +1,103 @@
+// Package friction models the data-quality side of the monitoring
+// system: the Cyber Tyre's purpose (per the paper's introduction) is
+// "operating conditions analysis (i.e., potential friction)" from the
+// accelerometer samples captured during each contact-patch transit. The
+// estimator model here turns a per-round sample count into an estimation
+// uncertainty and a detection latency, giving the optimizer's
+// data-quality constraint a physical meaning: trimming samples saves
+// energy but degrades and slows the friction estimate — the "balance
+// between energy requirement and system performance" the paper's
+// evaluation platform is built to strike.
+package friction
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimator characterises the friction-potential estimator fed by the
+// patch-transit acceleration samples.
+type Estimator struct {
+	// NoiseFloor is the 1σ per-sample acceleration noise in m/s²
+	// (MEMS frontend + quantisation).
+	NoiseFloor float64
+	// FeatureGain converts one unit of friction utilisation into signal
+	// amplitude (m/s²) at the patch edges, where the tangential
+	// acceleration signature carries the information.
+	FeatureGain float64
+	// MinSamples is the floor below which the patch signature cannot be
+	// segmented at all and no estimate is produced.
+	MinSamples int
+}
+
+// Default returns an estimator representative of a tread-mounted MEMS
+// accelerometer: 0.8 m/s² sample noise, 6 m/s² of signature amplitude
+// per unit friction utilisation, 6-sample segmentation floor.
+func Default() Estimator {
+	return Estimator{NoiseFloor: 0.8, FeatureGain: 6.0, MinSamples: 6}
+}
+
+// Validate reports whether the estimator parameters are meaningful.
+func (e Estimator) Validate() error {
+	if e.NoiseFloor <= 0 {
+		return fmt.Errorf("friction: non-positive noise floor %g", e.NoiseFloor)
+	}
+	if e.FeatureGain <= 0 {
+		return fmt.Errorf("friction: non-positive feature gain %g", e.FeatureGain)
+	}
+	if e.MinSamples < 1 {
+		return fmt.Errorf("friction: minimum samples %d below 1", e.MinSamples)
+	}
+	return nil
+}
+
+// Sigma returns the 1σ uncertainty of a single-round friction estimate
+// from n patch samples (white-noise averaging: σ ∝ 1/√n). Below the
+// segmentation floor it returns +Inf — no estimate exists.
+func (e Estimator) Sigma(n int) float64 {
+	if n < e.MinSamples {
+		return math.Inf(1)
+	}
+	return e.NoiseFloor / (e.FeatureGain * math.Sqrt(float64(n)))
+}
+
+// RoundsToTarget returns how many rounds of estimates must be averaged
+// to reach the target 1σ uncertainty with n samples per round. It
+// returns 0 when no estimate is possible (n below the floor) or the
+// target is non-positive.
+func (e Estimator) RoundsToTarget(n int, target float64) int {
+	if target <= 0 {
+		return 0
+	}
+	s := e.Sigma(n)
+	if math.IsInf(s, 1) {
+		return 0
+	}
+	if s <= target {
+		return 1
+	}
+	return int(math.Ceil((s / target) * (s / target)))
+}
+
+// SamplesForSigma returns the smallest per-round sample count achieving
+// the target single-round uncertainty (at least the segmentation floor).
+// Non-positive targets return the floor.
+func (e Estimator) SamplesForSigma(target float64) int {
+	if target <= 0 {
+		return e.MinSamples
+	}
+	n := int(math.Ceil(math.Pow(e.NoiseFloor/(e.FeatureGain*target), 2)))
+	if n < e.MinSamples {
+		n = e.MinSamples
+	}
+	return n
+}
+
+// DetectionLatency converts a rounds-to-target figure into seconds at
+// the given wheel-round period.
+func DetectionLatency(rounds int, roundPeriodSeconds float64) float64 {
+	if rounds <= 0 || roundPeriodSeconds <= 0 {
+		return math.Inf(1)
+	}
+	return float64(rounds) * roundPeriodSeconds
+}

@@ -1,0 +1,150 @@
+package friction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default estimator invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Estimator{
+		{NoiseFloor: 0, FeatureGain: 1, MinSamples: 1},
+		{NoiseFloor: 1, FeatureGain: 0, MinSamples: 1},
+		{NoiseFloor: 1, FeatureGain: 1, MinSamples: 0},
+	}
+	for i, e := range bad {
+		if e.Validate() == nil {
+			t.Errorf("bad estimator %d accepted", i)
+		}
+	}
+}
+
+func TestSigma(t *testing.T) {
+	e := Default()
+	// Below the floor: no estimate.
+	if s := e.Sigma(5); !math.IsInf(s, 1) {
+		t.Errorf("Sigma(5) = %g, want +Inf", s)
+	}
+	// σ ∝ 1/√n: quadrupling the samples halves the uncertainty.
+	s8 := e.Sigma(8)
+	s32 := e.Sigma(32)
+	if math.Abs(s8/s32-2) > 1e-9 {
+		t.Errorf("σ ratio 8→32 samples = %g, want 2", s8/s32)
+	}
+	// Strictly decreasing above the floor.
+	prev := e.Sigma(e.MinSamples)
+	for n := e.MinSamples + 1; n <= 128; n++ {
+		cur := e.Sigma(n)
+		if cur >= prev {
+			t.Fatalf("Sigma not decreasing at n=%d", n)
+		}
+		prev = cur
+	}
+	// Absolute anchor: 32 samples → 0.8/(6·√32) ≈ 0.0236.
+	if got := e.Sigma(32); math.Abs(got-0.0236) > 0.001 {
+		t.Errorf("Sigma(32) = %g, want ≈0.0236", got)
+	}
+}
+
+func TestRoundsToTarget(t *testing.T) {
+	e := Default()
+	// Already at target: one round.
+	if got := e.RoundsToTarget(32, 1.0); got != 1 {
+		t.Errorf("loose target rounds = %d, want 1", got)
+	}
+	// Tight target: averaging kicks in quadratically.
+	r1 := e.RoundsToTarget(32, 0.01)
+	r2 := e.RoundsToTarget(32, 0.005)
+	if r1 < 2 {
+		t.Fatalf("0.01 target rounds = %d, want >1", r1)
+	}
+	if ratio := float64(r2) / float64(r1); ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("halving target multiplied rounds by %g, want ≈4", ratio)
+	}
+	// Fewer samples per round → more rounds for the same target.
+	if e.RoundsToTarget(8, 0.01) <= e.RoundsToTarget(32, 0.01) {
+		t.Error("fewer samples did not require more rounds")
+	}
+	// No estimate cases.
+	if got := e.RoundsToTarget(3, 0.01); got != 0 {
+		t.Errorf("below-floor rounds = %d, want 0", got)
+	}
+	if got := e.RoundsToTarget(32, 0); got != 0 {
+		t.Errorf("zero target rounds = %d, want 0", got)
+	}
+}
+
+func TestSamplesForSigma(t *testing.T) {
+	e := Default()
+	// Round-trip: the returned count actually achieves the target.
+	for _, target := range []float64{0.05, 0.02, 0.01} {
+		n := e.SamplesForSigma(target)
+		if got := e.Sigma(n); got > target+1e-12 {
+			t.Errorf("SamplesForSigma(%g) = %d gives σ=%g", target, n, got)
+		}
+		// One fewer sample misses it (unless clamped at the floor).
+		if n > e.MinSamples {
+			if got := e.Sigma(n - 1); got <= target {
+				t.Errorf("SamplesForSigma(%g) not minimal: %d-1 also achieves it", target, n)
+			}
+		}
+	}
+	// Loose targets clamp at the segmentation floor.
+	if got := e.SamplesForSigma(10); got != e.MinSamples {
+		t.Errorf("loose target samples = %d, want floor %d", got, e.MinSamples)
+	}
+	if got := e.SamplesForSigma(0); got != e.MinSamples {
+		t.Errorf("zero target samples = %d, want floor", got)
+	}
+}
+
+func TestDetectionLatency(t *testing.T) {
+	if got := DetectionLatency(10, 0.113); math.Abs(got-1.13) > 1e-9 {
+		t.Errorf("DetectionLatency = %g, want 1.13", got)
+	}
+	if got := DetectionLatency(0, 0.1); !math.IsInf(got, 1) {
+		t.Errorf("zero rounds latency = %g, want +Inf", got)
+	}
+	if got := DetectionLatency(5, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero period latency = %g, want +Inf", got)
+	}
+}
+
+func TestQuickSigmaMonotone(t *testing.T) {
+	e := Default()
+	f := func(a8, b8 uint8) bool {
+		a := int(a8%120) + e.MinSamples
+		b := int(b8%120) + e.MinSamples
+		if a > b {
+			a, b = b, a
+		}
+		return e.Sigma(a) >= e.Sigma(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundsTargetConsistent(t *testing.T) {
+	// Averaging the reported number of rounds actually reaches the
+	// target: σ/√rounds ≤ target.
+	e := Default()
+	f := func(n8 uint8, t16 uint16) bool {
+		n := int(n8%120) + e.MinSamples
+		target := float64(t16%1000)/10000 + 0.001 // 0.001..0.101
+		rounds := e.RoundsToTarget(n, target)
+		if rounds < 1 {
+			return false
+		}
+		return e.Sigma(n)/math.Sqrt(float64(rounds)) <= target*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

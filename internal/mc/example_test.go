@@ -1,0 +1,30 @@
+package mc_test
+
+import (
+	"fmt"
+
+	"repro/internal/mc"
+	"repro/internal/node"
+	"repro/internal/scavenger"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func ExampleRun() {
+	// Near the nominal break-even the yield is a coin flip: process
+	// corners and condition spread smear the sharp crossing into a band.
+	tyre := wheel.Default()
+	nd, _ := node.Default(tyre)
+	hv, _ := scavenger.Default(tyre)
+	out, err := mc.Run(mc.Config{
+		Node: nd, Harvester: hv,
+		Ambient: units.DegC(20), Vdd: units.Volts(1.8),
+		TempSigma: 5, VddSigma: 0.05, Seed: 42,
+	}, units.KilometersPerHour(39), 400)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("yield at 39 km/h: %.0f%% of %d parts\n", out.Yield()*100, out.Trials)
+	// Output: yield at 39 km/h: 43% of 400 parts
+}

@@ -1,0 +1,240 @@
+// Package mc runs deterministic-seed Monte Carlo analyses of the energy
+// balance over process variation and working-condition spread. The paper
+// lists process variation and working conditions (temperature, supply
+// voltage) among the parameters the evaluation platform must expose; this
+// package quantifies their effect as a yield: the fraction of fabricated
+// parts whose energy balance stays positive at a given cruising speed.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/scavenger"
+	"repro/internal/units"
+)
+
+// Config parameterises the sampled population.
+type Config struct {
+	// Node is the architecture under test.
+	Node *node.Node
+	// Harvester is the energy source (same tyre).
+	Harvester *scavenger.Harvester
+	// Ambient is the nominal air temperature; the per-trial working
+	// temperature is the tyre steady-state value plus a Gaussian offset.
+	Ambient units.Celsius
+	// Vdd is the nominal supply; per-trial values add a Gaussian offset.
+	Vdd units.Voltage
+	// TempSigma is the 1σ spread of the working temperature in °C
+	// (sensor placement, hot spots).
+	TempSigma float64
+	// VddSigma is the 1σ regulator spread in volts.
+	VddSigma float64
+	// CornerWeights gives the sampling probability of each process
+	// corner; nil means the default 68/16/16 TT/FF/SS split.
+	CornerWeights map[power.Corner]float64
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// defaultCornerWeights approximate a centred process distribution.
+func defaultCornerWeights() map[power.Corner]float64 {
+	return map[power.Corner]float64{power.TT: 0.68, power.FF: 0.16, power.SS: 0.16}
+}
+
+// validate checks the configuration.
+func (c *Config) validate() error {
+	if c.Node == nil {
+		return fmt.Errorf("mc: nil node")
+	}
+	if c.Harvester == nil {
+		return fmt.Errorf("mc: nil harvester")
+	}
+	if c.Node.Tyre() != c.Harvester.Tyre() {
+		return fmt.Errorf("mc: node and harvester tyres differ")
+	}
+	if c.TempSigma < 0 || c.VddSigma < 0 {
+		return fmt.Errorf("mc: negative sigma")
+	}
+	if c.Vdd <= 0 {
+		return fmt.Errorf("mc: non-positive nominal Vdd %v", c.Vdd)
+	}
+	for corner, w := range c.CornerWeights {
+		if w < 0 {
+			return fmt.Errorf("mc: negative weight for corner %v", corner)
+		}
+	}
+	return nil
+}
+
+// Outcome summarises a Monte Carlo run at one speed.
+type Outcome struct {
+	// Trials is the population size.
+	Trials int
+	// Positive counts trials with a non-negative per-round margin.
+	Positive int
+	// MeanMargin, MinMargin and MaxMargin summarise the margin
+	// distribution.
+	MeanMargin, MinMargin, MaxMargin units.Energy
+	// StdDev is the margin standard deviation in joules.
+	StdDev float64
+	// PerCorner counts the sampled corners.
+	PerCorner map[power.Corner]int
+}
+
+// Yield returns the fraction of parts with a positive energy balance.
+func (o Outcome) Yield() float64 {
+	if o.Trials == 0 {
+		return 0
+	}
+	return float64(o.Positive) / float64(o.Trials)
+}
+
+// sampleCorner draws a process corner from the weight table.
+func sampleCorner(rng *rand.Rand, weights map[power.Corner]float64) power.Corner {
+	corners := power.Corners()
+	var total float64
+	for _, c := range corners {
+		total += weights[c]
+	}
+	if total <= 0 {
+		return power.TT
+	}
+	x := rng.Float64() * total
+	for _, c := range corners {
+		x -= weights[c]
+		if x < 0 {
+			return c
+		}
+	}
+	return corners[len(corners)-1]
+}
+
+// Run samples `trials` parts and evaluates each one's per-round energy
+// margin at cruising speed v.
+func Run(cfg Config, v units.Speed, trials int) (Outcome, error) {
+	if err := cfg.validate(); err != nil {
+		return Outcome{}, err
+	}
+	if trials <= 0 {
+		return Outcome{}, fmt.Errorf("mc: non-positive trial count %d", trials)
+	}
+	weights := cfg.CornerWeights
+	if weights == nil {
+		weights = defaultCornerWeights()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := Outcome{Trials: trials, PerCorner: make(map[power.Corner]int, 3)}
+	gen := cfg.Harvester.EnergyPerRound(v)
+	baseTemp := cfg.Node.Tyre().SteadyTemperature(cfg.Ambient, v)
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		corner := sampleCorner(rng, weights)
+		out.PerCorner[corner]++
+		temp := units.DegC(baseTemp.DegC() + rng.NormFloat64()*cfg.TempSigma)
+		vdd := units.Volts(math.Max(cfg.Vdd.Volts()+rng.NormFloat64()*cfg.VddSigma, 0.1))
+		cond := power.Conditions{Temp: temp, Vdd: vdd, Corner: corner}
+		req, err := cfg.Node.AverageRound(v, cond)
+		if err != nil {
+			return Outcome{}, err
+		}
+		margin := gen - req.Total()
+		if i == 0 {
+			out.MinMargin, out.MaxMargin = margin, margin
+		}
+		if margin < out.MinMargin {
+			out.MinMargin = margin
+		}
+		if margin > out.MaxMargin {
+			out.MaxMargin = margin
+		}
+		if margin >= 0 {
+			out.Positive++
+		}
+		sum += margin.Joules()
+		sumSq += margin.Joules() * margin.Joules()
+	}
+	mean := sum / float64(trials)
+	out.MeanMargin = units.Energy(mean)
+	variance := sumSq/float64(trials) - mean*mean
+	if variance > 0 {
+		out.StdDev = math.Sqrt(variance)
+	}
+	return out, nil
+}
+
+// YieldCurve evaluates the positive-balance yield at n evenly spaced
+// speeds in [vmin, vmax], returning parallel slices of speed (km/h) and
+// yield — how the break-even point smears into a band under variation.
+func YieldCurve(cfg Config, vmin, vmax units.Speed, n, trials int) (speeds, yields []float64, err error) {
+	if vmin <= 0 || vmax <= vmin || n < 2 {
+		return nil, nil, fmt.Errorf("mc: invalid yield-curve range [%v, %v] × %d", vmin, vmax, n)
+	}
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		v := units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
+		// Re-seed per point so each speed sees the same part population.
+		o, err := Run(cfg, v, trials)
+		if err != nil {
+			return nil, nil, err
+		}
+		speeds = append(speeds, v.KMH())
+		yields = append(yields, o.Yield())
+	}
+	return speeds, yields, nil
+}
+
+// BreakEvenQuantiles estimates the distribution of per-part break-even
+// speeds: each trial fixes a part (corner, ΔT, ΔVdd) and scans speeds for
+// its first non-negative margin. It returns the requested quantiles in
+// km/h (parts that never break even in range are assigned vmax).
+func BreakEvenQuantiles(cfg Config, vmin, vmax units.Speed, scanPoints, trials int, quantiles []float64) ([]float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if vmin <= 0 || vmax <= vmin || scanPoints < 2 || trials <= 0 {
+		return nil, fmt.Errorf("mc: invalid break-even scan parameters")
+	}
+	weights := cfg.CornerWeights
+	if weights == nil {
+		weights = defaultCornerWeights()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	breakEvens := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		corner := sampleCorner(rng, weights)
+		dTemp := rng.NormFloat64() * cfg.TempSigma
+		dVdd := rng.NormFloat64() * cfg.VddSigma
+		be := vmax.KMH()
+		for j := 0; j < scanPoints; j++ {
+			frac := float64(j) / float64(scanPoints-1)
+			v := units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
+			temp := units.DegC(cfg.Node.Tyre().SteadyTemperature(cfg.Ambient, v).DegC() + dTemp)
+			vdd := units.Volts(math.Max(cfg.Vdd.Volts()+dVdd, 0.1))
+			cond := power.Conditions{Temp: temp, Vdd: vdd, Corner: corner}
+			req, err := cfg.Node.AverageRound(v, cond)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Harvester.EnergyPerRound(v) >= req.Total() {
+				be = v.KMH()
+				break
+			}
+		}
+		breakEvens = append(breakEvens, be)
+	}
+	sort.Float64s(breakEvens)
+	out := make([]float64, 0, len(quantiles))
+	for _, q := range quantiles {
+		if q < 0 || q > 1 {
+			return nil, fmt.Errorf("mc: quantile %g outside [0, 1]", q)
+		}
+		idx := int(q * float64(len(breakEvens)-1))
+		out = append(out, breakEvens[idx])
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package mc
+
+import (
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/scavenger"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func kmh(v float64) units.Speed { return units.KilometersPerHour(v) }
+
+func defaultMCConfig(t *testing.T) Config {
+	t.Helper()
+	tyre := wheel.Default()
+	nd, err := node.Default(tyre)
+	if err != nil {
+		t.Fatalf("node.Default: %v", err)
+	}
+	hv, err := scavenger.Default(tyre)
+	if err != nil {
+		t.Fatalf("scavenger.Default: %v", err)
+	}
+	return Config{
+		Node:      nd,
+		Harvester: hv,
+		Ambient:   units.DegC(20),
+		Vdd:       units.Volts(1.8),
+		TempSigma: 5,
+		VddSigma:  0.05,
+		Seed:      42,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := defaultMCConfig(t)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"nil node", func(c *Config) { c.Node = nil }},
+		{"nil harvester", func(c *Config) { c.Harvester = nil }},
+		{"negative temp sigma", func(c *Config) { c.TempSigma = -1 }},
+		{"negative vdd sigma", func(c *Config) { c.VddSigma = -1 }},
+		{"zero vdd", func(c *Config) { c.Vdd = 0 }},
+		{"negative weight", func(c *Config) { c.CornerWeights = map[power.Corner]float64{power.TT: -1} }},
+	}
+	for _, c := range cases {
+		cfg := good
+		c.mut(&cfg)
+		if _, err := Run(cfg, kmh(60), 10); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := Run(good, kmh(60), 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := defaultMCConfig(t)
+	a, err := Run(cfg, kmh(60), 200)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(cfg, kmh(60), 200)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Positive != b.Positive || a.MeanMargin != b.MeanMargin || a.StdDev != b.StdDev {
+		t.Error("same seed produced different outcomes")
+	}
+	cfg.Seed = 43
+	c, _ := Run(cfg, kmh(60), 200)
+	if c.MeanMargin == a.MeanMargin && c.Positive == a.Positive && c.StdDev == a.StdDev {
+		t.Error("different seed produced identical outcome")
+	}
+}
+
+func TestRunYieldExtremes(t *testing.T) {
+	cfg := defaultMCConfig(t)
+	// Far above break-even: (almost) everything passes.
+	high, err := Run(cfg, kmh(120), 300)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if high.Yield() < 0.99 {
+		t.Errorf("yield at 120 km/h = %g, want ≈1", high.Yield())
+	}
+	// Far below: nothing passes.
+	low, err := Run(cfg, kmh(10), 300)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if low.Yield() > 0.01 {
+		t.Errorf("yield at 10 km/h = %g, want ≈0", low.Yield())
+	}
+	// Near the nominal break-even (~36 km/h): mixed outcomes.
+	mid, err := Run(cfg, kmh(37), 300)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if mid.Yield() <= 0.02 || mid.Yield() >= 0.98 {
+		t.Errorf("yield near break-even = %g, want mixed", mid.Yield())
+	}
+	// Margin ordering sane.
+	if high.MinMargin > high.MeanMargin || high.MeanMargin > high.MaxMargin {
+		t.Error("margin ordering violated")
+	}
+	if high.StdDev <= 0 {
+		t.Error("zero margin spread despite variation")
+	}
+}
+
+func TestCornerSampling(t *testing.T) {
+	cfg := defaultMCConfig(t)
+	out, err := Run(cfg, kmh(60), 2000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	total := 0
+	for _, n := range out.PerCorner {
+		total += n
+	}
+	if total != 2000 {
+		t.Fatalf("corner counts sum %d", total)
+	}
+	// Default weights: TT ≈ 68%.
+	if frac := float64(out.PerCorner[power.TT]) / 2000; frac < 0.6 || frac > 0.76 {
+		t.Errorf("TT fraction = %g, want ≈0.68", frac)
+	}
+	// Forced corner.
+	cfg.CornerWeights = map[power.Corner]float64{power.FF: 1}
+	out2, _ := Run(cfg, kmh(60), 100)
+	if out2.PerCorner[power.FF] != 100 {
+		t.Errorf("forced FF sampling: %+v", out2.PerCorner)
+	}
+}
+
+func TestFFLeaksMoreThanSS(t *testing.T) {
+	// All-FF population must show a worse mean margin than all-SS.
+	cfg := defaultMCConfig(t)
+	cfg.TempSigma, cfg.VddSigma = 0, 0
+	cfg.CornerWeights = map[power.Corner]float64{power.FF: 1}
+	ff, err := Run(cfg, kmh(40), 50)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cfg.CornerWeights = map[power.Corner]float64{power.SS: 1}
+	ss, err := Run(cfg, kmh(40), 50)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ff.MeanMargin >= ss.MeanMargin {
+		t.Errorf("FF margin %v not below SS %v", ff.MeanMargin, ss.MeanMargin)
+	}
+}
+
+func TestYieldCurveMonotoneOverall(t *testing.T) {
+	cfg := defaultMCConfig(t)
+	speeds, yields, err := YieldCurve(cfg, kmh(15), kmh(80), 8, 150)
+	if err != nil {
+		t.Fatalf("YieldCurve: %v", err)
+	}
+	if len(speeds) != 8 || len(yields) != 8 {
+		t.Fatalf("lengths %d/%d", len(speeds), len(yields))
+	}
+	if yields[0] > 0.05 {
+		t.Errorf("yield at %g km/h = %g, want ≈0", speeds[0], yields[0])
+	}
+	if yields[7] < 0.95 {
+		t.Errorf("yield at %g km/h = %g, want ≈1", speeds[7], yields[7])
+	}
+	if _, _, err := YieldCurve(cfg, 0, kmh(80), 8, 10); err == nil {
+		t.Error("zero vmin accepted")
+	}
+}
+
+func TestBreakEvenQuantiles(t *testing.T) {
+	cfg := defaultMCConfig(t)
+	qs, err := BreakEvenQuantiles(cfg, kmh(10), kmh(100), 64, 200, []float64{0.05, 0.5, 0.95})
+	if err != nil {
+		t.Fatalf("BreakEvenQuantiles: %v", err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("quantiles = %v", qs)
+	}
+	// Ordered and around the nominal break-even band.
+	if !(qs[0] <= qs[1] && qs[1] <= qs[2]) {
+		t.Errorf("quantiles not ordered: %v", qs)
+	}
+	if qs[1] < 25 || qs[1] > 50 {
+		t.Errorf("median break-even %g km/h outside plausible band", qs[1])
+	}
+	if qs[2]-qs[0] <= 0 {
+		t.Error("no spread in break-even distribution")
+	}
+	if _, err := BreakEvenQuantiles(cfg, kmh(10), kmh(100), 64, 200, []float64{1.5}); err == nil {
+		t.Error("quantile > 1 accepted")
+	}
+	if _, err := BreakEvenQuantiles(cfg, kmh(10), kmh(100), 1, 200, []float64{0.5}); err == nil {
+		t.Error("single scan point accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package node
+
+import (
+	"repro/internal/block"
+	"repro/internal/power"
+	"repro/internal/rf"
+	"repro/internal/sensing"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// Characterisation constants shared by the default blocks (90 nm-class
+// low-power CMOS at 1.8 V / 25 °C typical corner).
+var (
+	defaultVdd  = units.Volts(1.8)
+	defaultTemp = units.DegC(25)
+)
+
+func leak(uw float64) power.Leakage {
+	return power.Leakage{Nominal: units.Microwatts(uw), RefTemp: defaultTemp, NominalVdd: defaultVdd}
+}
+
+func dyn(p units.Power, f units.Frequency) power.Dynamic {
+	return power.Dynamic{Nominal: p, NominalVdd: defaultVdd, NominalFreq: f}
+}
+
+// DefaultFrontend returns the analog frontend + ADC block: 1.2 mW while
+// converting at 20 kS/s (60 nJ per sample), 0.25 µW biased-off sleep.
+func DefaultFrontend() *block.Block {
+	sampleClk := units.Kilohertz(20)
+	return block.MustNew(block.Config{
+		Name: string(RoleFrontend),
+		Modes: map[block.Mode]block.ModeSpec{
+			block.Active: {Model: power.Model{Dynamic: dyn(units.Milliwatts(1.2), sampleClk), Leakage: leak(0.35)}, Clock: sampleClk},
+			block.Sleep:  {Model: power.Model{Leakage: leak(0.25)}},
+		},
+		Transitions: map[[2]block.Mode]block.Transition{
+			{block.Sleep, block.Active}: {Energy: units.Microjoules(0.2), Latency: units.Microseconds(20)},
+		},
+	})
+}
+
+// DefaultMCU returns the data computing block: 300 µW active at 8 MHz,
+// a 30 µW clocked-idle mode (the unoptimized baseline rest state), and a
+// 0.2 µW power-gated sleep with a 0.5 µJ / 50 µs wake cost.
+func DefaultMCU() *block.Block {
+	clk := units.Megahertz(8)
+	return block.MustNew(block.Config{
+		Name: string(RoleMCU),
+		Modes: map[block.Mode]block.ModeSpec{
+			block.Active: {Model: power.Model{Dynamic: dyn(units.Microwatts(300), clk), Leakage: leak(2)}, Clock: clk},
+			block.Idle:   {Model: power.Model{Dynamic: dyn(units.Microwatts(30), clk), Leakage: leak(2)}, Clock: clk},
+			block.Sleep:  {Model: power.Model{Leakage: leak(0.2)}},
+		},
+		Transitions: map[[2]block.Mode]block.Transition{
+			{block.Sleep, block.Active}: {Energy: units.Microjoules(0.5), Latency: units.Microseconds(50)},
+			{block.Idle, block.Active}:  {Latency: units.Microseconds(1)},
+		},
+	})
+}
+
+// DefaultSRAM returns the working memory: 150 µW active alongside the MCU,
+// 0.5 µW retention.
+func DefaultSRAM() *block.Block {
+	clk := units.Megahertz(8)
+	return block.MustNew(block.Config{
+		Name: string(RoleSRAM),
+		Modes: map[block.Mode]block.ModeSpec{
+			block.Active: {Model: power.Model{Dynamic: dyn(units.Microwatts(150), clk), Leakage: leak(1)}, Clock: clk},
+			block.Sleep:  {Model: power.Model{Leakage: leak(0.5)}},
+		},
+	})
+}
+
+// DefaultNVM returns the non-volatile log memory: 2.5 mW during writes,
+// fully power-gated otherwise, 0.3 µJ / 10 µs turn-on.
+func DefaultNVM() *block.Block {
+	clk := units.Megahertz(1)
+	return block.MustNew(block.Config{
+		Name: string(RoleNVM),
+		Modes: map[block.Mode]block.ModeSpec{
+			block.Active: {Model: power.Model{Dynamic: dyn(units.Milliwatts(2.5), clk), Leakage: leak(0.5)}, Clock: clk},
+			block.Off:    {},
+		},
+		Transitions: map[[2]block.Mode]block.Transition{
+			{block.Off, block.Active}: {Energy: units.Microjoules(0.3), Latency: units.Microseconds(10)},
+		},
+	})
+}
+
+// DefaultPMU returns the always-on power-management unit (0.8 µW
+// quiescent, modelled as leakage so it tracks temperature).
+func DefaultPMU() *block.Block {
+	return block.MustNew(block.Config{
+		Name: string(RolePMU),
+		Modes: map[block.Mode]block.ModeSpec{
+			block.Active: {Model: power.Model{Leakage: leak(0.8)}},
+		},
+	})
+}
+
+// DefaultClock returns the always-on 32.768 kHz timekeeping oscillator
+// (0.9 µW switching + 0.3 µW leakage).
+func DefaultClock() *block.Block {
+	clk := units.Kilohertz(32.768)
+	return block.MustNew(block.Config{
+		Name: string(RoleClock),
+		Modes: map[block.Mode]block.ModeSpec{
+			block.Active: {Model: power.Model{Dynamic: dyn(units.Microwatts(0.9), clk), Leakage: leak(0.3)}, Clock: clk},
+		},
+	})
+}
+
+// DefaultConfig returns the baseline Sensor Node architecture the
+// experiments start from. It is deliberately the *unoptimized* design of
+// the paper's narrative: the MCU rests in clocked idle (30 µW) instead of
+// power-gated sleep — the exact situation the duty-cycle-aware advisor is
+// meant to catch.
+func DefaultConfig(tyre wheel.Tyre) Config {
+	return Config{
+		Name: "baseline",
+		Tyre: tyre,
+		Blocks: map[Role]*block.Block{
+			RoleFrontend: DefaultFrontend(),
+			RoleMCU:      DefaultMCU(),
+			RoleSRAM:     DefaultSRAM(),
+			RoleNVM:      DefaultNVM(),
+			RolePMU:      DefaultPMU(),
+			RoleClock:    DefaultClock(),
+		},
+		RestModes: map[Role]block.Mode{
+			RoleFrontend: block.Sleep,
+			RoleMCU:      block.Idle, // unoptimized: clocked idle, not sleep
+			RoleSRAM:     block.Sleep,
+			RoleNVM:      block.Off,
+			RoleRadio:    block.Sleep,
+		},
+		Acq:          sensing.Default(),
+		Compute:      sensing.DefaultCompute(),
+		MCUClock:     units.Megahertz(8),
+		Radio:        rf.Default(),
+		TxPolicy:     rf.MaxLatency{Target: units.Sec(1)},
+		PayloadBytes: 20,
+		LogWriteTime: units.Microseconds(500),
+	}
+}
+
+// Default returns the validated baseline node on the given tyre.
+func Default(tyre wheel.Tyre) (*Node, error) {
+	return New(DefaultConfig(tyre))
+}

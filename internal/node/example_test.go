@@ -1,0 +1,79 @@
+package node_test
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func ExampleNode_AverageRound() {
+	// The "energy required by the whole system" per wheel round — the
+	// load side of the paper's Fig 2 — falls with speed because shorter
+	// rounds carry less idle energy.
+	nd, err := node.Default(wheel.Default())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, kmh := range []float64{20, 60, 120} {
+		bd, err := nd.AverageRound(units.KilometersPerHour(kmh), power.Nominal())
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%3.0f km/h: %4.1f µJ/round\n", kmh, bd.Total().Microjoules())
+	}
+	// Output:
+	//  20 km/h: 18.2 µJ/round
+	//  60 km/h:  7.6 µJ/round
+	// 120 km/h:  5.1 µJ/round
+}
+
+func ExampleNode_PlanRound() {
+	// Round 0 does everything: acquisition burst, processing, the
+	// auxiliary pressure/temperature measurement, the NVM log write and
+	// a radio packet. Round 1 only acquires and computes.
+	nd, err := node.Default(wheel.Default())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for idx := int64(0); idx < 2; idx++ {
+		p, err := nd.PlanRound(units.KilometersPerHour(60), idx)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("round %d: samples=%d aux=%v tx=%v (tx every %d rounds)\n",
+			p.Index, p.Samples, p.Aux, p.Tx, p.RoundsBetweenTx)
+	}
+	// Output:
+	// round 0: samples=32 aux=true tx=true (tx every 8 rounds)
+	// round 1: samples=32 aux=false tx=false (tx every 8 rounds)
+}
+
+func ExampleNode_DutyCycles() {
+	// The per-block duty cycle over a wheel round is the temporal signal
+	// the paper's optimization methodology adds to plain power figures.
+	nd, err := node.Default(wheel.Default())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dcs, err := nd.DutyCycles(units.KilometersPerHour(60), power.Nominal())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, dc := range dcs {
+		if dc.Role == node.RoleMCU || dc.Role == node.RolePMU {
+			fmt.Printf("%s: %.2f%% duty\n", dc.Role, dc.Active*100)
+		}
+	}
+	// Output:
+	// mcu: 1.05% duty
+	// pmu: 100.00% duty
+}

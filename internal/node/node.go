@@ -1,0 +1,327 @@
+// Package node composes the functional blocks of the paper's Sensor Node —
+// sensor data acquisition, data computing, memories, wireless
+// communication, power management and clocking — into a complete
+// architecture whose per-wheel-round behaviour can be planned, costed and
+// traced. It is the "architecture definition" entry point of the paper's
+// energy analysis flow (Fig 1): every downstream step (energy evaluation,
+// optimization, balance emulation) consumes a Node.
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/power"
+	"repro/internal/rf"
+	"repro/internal/sensing"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// Role identifies a functional block within the Sensor Node architecture.
+type Role string
+
+// The standard Sensor Node blocks.
+const (
+	// RoleFrontend is the analog sensor frontend + ADC.
+	RoleFrontend Role = "frontend"
+	// RoleMCU is the data computing system (DSP/MCU core).
+	RoleMCU Role = "mcu"
+	// RoleSRAM is the working memory, active alongside the MCU.
+	RoleSRAM Role = "sram"
+	// RoleNVM is the non-volatile log memory, written on auxiliary rounds.
+	RoleNVM Role = "nvm"
+	// RoleRadio is the wireless transmitter (built from an rf.Radio).
+	RoleRadio Role = "radio"
+	// RolePMU is the power-management unit (always on).
+	RolePMU Role = "pmu"
+	// RoleClock is the low-frequency timekeeping oscillator (always on).
+	RoleClock Role = "clock"
+)
+
+// Roles lists the standard roles in canonical report order.
+func Roles() []Role {
+	return []Role{RoleFrontend, RoleMCU, RoleSRAM, RoleNVM, RoleRadio, RolePMU, RoleClock}
+}
+
+// ErrStationary is returned by per-round computations when the wheel is
+// not rotating: there is no round to plan.
+var ErrStationary = errors.New("node: wheel stationary, no round defined")
+
+// Config assembles a Sensor Node.
+type Config struct {
+	// Name labels the architecture in reports.
+	Name string
+	// Tyre is the wheel the node is mounted in.
+	Tyre wheel.Tyre
+	// Blocks maps each standard role (except RoleRadio, which is derived
+	// from Radio below) to its block description.
+	Blocks map[Role]*block.Block
+	// RestModes gives the mode each duty-cycled block occupies outside
+	// its active slot. Always-on blocks (PMU, clock) are scheduled in
+	// Active for the whole round and need no entry.
+	RestModes map[Role]block.Mode
+	// Acq configures the per-round acquisition.
+	Acq sensing.Acquisition
+	// Compute configures the per-round processing load.
+	Compute sensing.Compute
+	// MCUClock is the computing clock (also used for the SRAM).
+	MCUClock units.Frequency
+	// Radio characterises the transmitter.
+	Radio rf.Radio
+	// TxPolicy decides the rounds between packets.
+	TxPolicy rf.Policy
+	// PayloadBytes is the telemetry packet payload size.
+	PayloadBytes int
+	// LogWriteTime is how long the NVM stays active logging on auxiliary
+	// rounds.
+	LogWriteTime units.Seconds
+	// Receiver optionally adds a downlink: the node opens a listen
+	// window every RxPeriodRounds so the car's elaboration unit can
+	// reconfigure it. The zero value disables the downlink.
+	Receiver rf.Receiver
+	// RxPeriodRounds is the listen-window cadence in wheel rounds;
+	// required ≥ 1 when Receiver is enabled.
+	RxPeriodRounds int
+}
+
+// RadioRx is the radio block's receive mode (present only when the
+// architecture configures a downlink receiver).
+const RadioRx = block.Mode("rx")
+
+// Node is an immutable, validated Sensor Node architecture.
+type Node struct {
+	cfg        Config
+	radioBlock *block.Block
+}
+
+// dutyCycledRoles are the roles that get an active slot plus a rest slot;
+// PMU and clock are always on.
+var dutyCycledRoles = []Role{RoleFrontend, RoleMCU, RoleSRAM, RoleNVM, RoleRadio}
+
+// New validates the configuration and builds a Node.
+func New(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("node: empty architecture name")
+	}
+	if err := cfg.Tyre.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Acq.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Compute.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MCUClock <= 0 {
+		return nil, fmt.Errorf("node: non-positive MCU clock %v", cfg.MCUClock)
+	}
+	if err := cfg.Radio.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TxPolicy == nil {
+		return nil, fmt.Errorf("node: nil TX policy")
+	}
+	if cfg.PayloadBytes < 0 {
+		return nil, fmt.Errorf("node: negative payload size %d", cfg.PayloadBytes)
+	}
+	if cfg.LogWriteTime < 0 {
+		return nil, fmt.Errorf("node: negative log write time %v", cfg.LogWriteTime)
+	}
+	if err := cfg.Receiver.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Receiver.Enabled() && cfg.RxPeriodRounds < 1 {
+		return nil, fmt.Errorf("node: downlink receiver enabled but RX period is %d rounds",
+			cfg.RxPeriodRounds)
+	}
+	for _, role := range []Role{RoleFrontend, RoleMCU, RoleSRAM, RoleNVM, RolePMU, RoleClock} {
+		if cfg.Blocks[role] == nil {
+			return nil, fmt.Errorf("node: missing block for role %q", role)
+		}
+	}
+	radioBlock, err := buildRadioBlock(cfg.Radio, cfg.Receiver)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{cfg: cloneConfig(cfg), radioBlock: radioBlock}
+	// Every duty-cycled block must define Active and its rest mode.
+	for _, role := range dutyCycledRoles {
+		blk := n.Block(role)
+		if !blk.HasMode(block.Active) {
+			return nil, fmt.Errorf("node: block %q lacks %q mode", role, block.Active)
+		}
+		rest := n.RestMode(role)
+		if !blk.HasMode(rest) {
+			return nil, fmt.Errorf("node: block %q lacks rest mode %q", role, rest)
+		}
+	}
+	for _, role := range []Role{RolePMU, RoleClock} {
+		if !n.Block(role).HasMode(block.Active) {
+			return nil, fmt.Errorf("node: block %q lacks %q mode", role, block.Active)
+		}
+	}
+	// The compute-time model uses MCUClock while block energy uses the
+	// block's own active clock; they must agree or DVFS maths silently
+	// splits (the MCU and SRAM are on the same clock domain).
+	for _, role := range []Role{RoleMCU, RoleSRAM} {
+		spec, err := n.Block(role).Spec(block.Active)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Clock != cfg.MCUClock {
+			return nil, fmt.Errorf("node: block %q active clock %v differs from MCUClock %v",
+				role, spec.Clock, cfg.MCUClock)
+		}
+	}
+	return n, nil
+}
+
+// cloneConfig deep-copies the maps so later caller mutations cannot reach
+// into the node.
+func cloneConfig(cfg Config) Config {
+	blocks := make(map[Role]*block.Block, len(cfg.Blocks))
+	for r, b := range cfg.Blocks {
+		blocks[r] = b
+	}
+	rest := make(map[Role]block.Mode, len(cfg.RestModes))
+	for r, m := range cfg.RestModes {
+		rest[r] = m
+	}
+	cfg.Blocks = blocks
+	cfg.RestModes = rest
+	return cfg
+}
+
+// buildRadioBlock derives the radio's block model from its rf
+// characterisation: Active draws TxPower (modelled as dynamic power at the
+// bit rate), Sleep draws SleepPower (modelled as leakage pinned to the
+// characterisation point), and the startup cost is the Sleep→Active
+// transition. When a downlink receiver is configured, an "rx" mode is
+// added drawing ListenPower, with the receiver's startup charged on
+// entry from either sleep or the TX state.
+func buildRadioBlock(r rf.Radio, rx rf.Receiver) (*block.Block, error) {
+	vdd := units.Volts(1.8)
+	cfg := block.Config{
+		Name: string(RoleRadio),
+		Modes: map[block.Mode]block.ModeSpec{
+			block.Active: {
+				Model: power.Model{Dynamic: power.Dynamic{
+					Nominal:     r.TxPower,
+					NominalVdd:  vdd,
+					NominalFreq: r.BitRate,
+				}},
+				Clock: r.BitRate,
+			},
+			block.Sleep: {
+				Model: power.Model{Leakage: power.Leakage{
+					Nominal:    r.SleepPower,
+					RefTemp:    units.DegC(25),
+					NominalVdd: vdd,
+				}},
+			},
+		},
+		Transitions: map[[2]block.Mode]block.Transition{
+			{block.Sleep, block.Active}: {Energy: r.StartupEnergy, Latency: r.StartupTime},
+		},
+	}
+	if rx.Enabled() {
+		cfg.Modes[RadioRx] = block.ModeSpec{
+			Model: power.Model{Dynamic: power.Dynamic{
+				Nominal:     rx.ListenPower,
+				NominalVdd:  vdd,
+				NominalFreq: r.BitRate,
+			}},
+			Clock: r.BitRate,
+		}
+		rxCost := block.Transition{Energy: rx.StartupEnergy, Latency: rx.StartupTime}
+		cfg.Transitions[[2]block.Mode{block.Sleep, RadioRx}] = rxCost
+		cfg.Transitions[[2]block.Mode{block.Active, RadioRx}] = rxCost
+	}
+	return block.New(cfg)
+}
+
+// Name returns the architecture name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Tyre returns the tyre the node is mounted in.
+func (n *Node) Tyre() wheel.Tyre { return n.cfg.Tyre }
+
+// Config returns a copy of the node's configuration.
+func (n *Node) Config() Config { return cloneConfig(n.cfg) }
+
+// Block returns the block serving the given role (nil for unknown roles).
+func (n *Node) Block(role Role) *block.Block {
+	if role == RoleRadio {
+		return n.radioBlock
+	}
+	return n.cfg.Blocks[role]
+}
+
+// RestMode returns the configured rest mode for a duty-cycled role,
+// defaulting to Sleep when unset.
+func (n *Node) RestMode(role Role) block.Mode {
+	if m, ok := n.cfg.RestModes[role]; ok {
+		return m
+	}
+	return block.Sleep
+}
+
+// RoundPeriod returns the wheel-round period at speed v.
+func (n *Node) RoundPeriod(v units.Speed) units.Seconds {
+	return n.cfg.Tyre.RoundPeriod(v)
+}
+
+// WithBlock returns a copy of the node with the block for role replaced.
+// The radio role cannot be replaced this way (use WithRadio).
+func (n *Node) WithBlock(role Role, b *block.Block) (*Node, error) {
+	if role == RoleRadio {
+		return nil, fmt.Errorf("node: radio block is derived from the rf.Radio config; use WithRadio")
+	}
+	if b == nil {
+		return nil, fmt.Errorf("node: nil block for role %q", role)
+	}
+	if _, ok := n.cfg.Blocks[role]; !ok {
+		return nil, fmt.Errorf("node: unknown role %q", role)
+	}
+	cfg := cloneConfig(n.cfg)
+	cfg.Blocks[role] = b
+	return New(cfg)
+}
+
+// WithRestMode returns a copy with the rest mode for a duty-cycled role
+// changed — the power/clock-gating knob of the optimizer.
+func (n *Node) WithRestMode(role Role, m block.Mode) (*Node, error) {
+	cfg := cloneConfig(n.cfg)
+	cfg.RestModes[role] = m
+	return New(cfg)
+}
+
+// WithTxPolicy returns a copy using a different transmission policy.
+func (n *Node) WithTxPolicy(p rf.Policy) (*Node, error) {
+	cfg := cloneConfig(n.cfg)
+	cfg.TxPolicy = p
+	return New(cfg)
+}
+
+// WithAcquisition returns a copy with a different acquisition setup.
+func (n *Node) WithAcquisition(a sensing.Acquisition) (*Node, error) {
+	cfg := cloneConfig(n.cfg)
+	cfg.Acq = a
+	return New(cfg)
+}
+
+// WithMCUClock returns a copy with a different computing clock (DVFS).
+func (n *Node) WithMCUClock(f units.Frequency) (*Node, error) {
+	cfg := cloneConfig(n.cfg)
+	cfg.MCUClock = f
+	return New(cfg)
+}
+
+// WithName returns a copy under a new architecture name.
+func (n *Node) WithName(name string) (*Node, error) {
+	cfg := cloneConfig(n.cfg)
+	cfg.Name = name
+	return New(cfg)
+}

@@ -1,0 +1,430 @@
+package node
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/power"
+	"repro/internal/rf"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func kmh(v float64) units.Speed { return units.KilometersPerHour(v) }
+
+func defaultNode(t *testing.T) *Node {
+	t.Helper()
+	n, err := Default(wheel.Default())
+	if err != nil {
+		t.Fatalf("Default: %v", err)
+	}
+	return n
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	n := defaultNode(t)
+	if n.Name() != "baseline" {
+		t.Errorf("Name = %q", n.Name())
+	}
+	if n.Tyre() != wheel.Default() {
+		t.Error("Tyre mismatch")
+	}
+	for _, role := range Roles() {
+		if n.Block(role) == nil {
+			t.Errorf("missing block for role %q", role)
+		}
+	}
+	if n.Block("bogus") != nil {
+		t.Error("unknown role returned a block")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tyre := wheel.Default()
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"empty name", func(c *Config) { c.Name = "" }},
+		{"bad tyre", func(c *Config) { c.Tyre = wheel.Tyre{} }},
+		{"bad acquisition", func(c *Config) { c.Acq.AuxPeriodRounds = 0 }},
+		{"bad compute", func(c *Config) { c.Compute.CyclesPerSample = -1 }},
+		{"zero MCU clock", func(c *Config) { c.MCUClock = 0 }},
+		{"bad radio", func(c *Config) { c.Radio.TxPower = 0 }},
+		{"nil policy", func(c *Config) { c.TxPolicy = nil }},
+		{"negative payload", func(c *Config) { c.PayloadBytes = -1 }},
+		{"negative log time", func(c *Config) { c.LogWriteTime = -1 }},
+		{"missing block", func(c *Config) { delete(c.Blocks, RoleMCU) }},
+		{"unknown rest mode", func(c *Config) { c.RestModes[RoleMCU] = "warp" }},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig(tyre)
+		c.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestRestModeDefaultsToSleep(t *testing.T) {
+	cfg := DefaultConfig(wheel.Default())
+	delete(cfg.RestModes, RoleFrontend)
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := n.RestMode(RoleFrontend); got != block.Sleep {
+		t.Errorf("default rest mode = %q, want sleep", got)
+	}
+}
+
+func TestConfigIsolation(t *testing.T) {
+	cfg := DefaultConfig(wheel.Default())
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Mutating the caller's maps after New must not affect the node.
+	cfg.RestModes[RoleMCU] = block.Sleep
+	delete(cfg.Blocks, RoleMCU)
+	if n.RestMode(RoleMCU) != block.Idle {
+		t.Error("caller mutation reached node rest modes")
+	}
+	if n.Block(RoleMCU) == nil {
+		t.Error("caller mutation reached node blocks")
+	}
+	// Config() returns an isolated copy too.
+	out := n.Config()
+	out.RestModes[RoleMCU] = block.Sleep
+	if n.RestMode(RoleMCU) != block.Idle {
+		t.Error("Config() exposed internal map")
+	}
+}
+
+func TestPlanRoundBasic(t *testing.T) {
+	n := defaultNode(t)
+	p, err := n.PlanRound(kmh(60), 0)
+	if err != nil {
+		t.Fatalf("PlanRound: %v", err)
+	}
+	if p.Samples != 32 {
+		t.Errorf("Samples = %d, want 32", p.Samples)
+	}
+	if !p.Aux || !p.Tx { // round 0 does everything
+		t.Errorf("round 0: aux=%v tx=%v, want both", p.Aux, p.Tx)
+	}
+	wantPeriod := wheel.Default().RoundPeriod(kmh(60))
+	if !units.AlmostEqual(p.Period.Seconds(), wantPeriod.Seconds(), 1e-12) {
+		t.Errorf("Period = %v, want %v", p.Period, wantPeriod)
+	}
+	// All 7 blocks scheduled, each schedule spanning the full round.
+	if len(p.Schedules) != 7 {
+		t.Fatalf("scheduled %d blocks, want 7", len(p.Schedules))
+	}
+	for role, sched := range p.Schedules {
+		if !units.AlmostEqual(sched.Total().Seconds(), p.Period.Seconds(), 1e-9) {
+			t.Errorf("%s schedule spans %v, want %v", role, sched.Total(), p.Period)
+		}
+	}
+	// Always-on blocks have 100% duty.
+	if got := p.Schedules[RolePMU].DutyCycle(); got != 1 {
+		t.Errorf("PMU duty = %g", got)
+	}
+	// Duty-cycled blocks are mostly at rest.
+	if got := p.Schedules[RoleMCU].DutyCycle(); got <= 0 || got > 0.05 {
+		t.Errorf("MCU duty = %g, want small positive", got)
+	}
+}
+
+func TestPlanRoundAuxAndTxCadence(t *testing.T) {
+	n := defaultNode(t)
+	v := kmh(60) // round ≈ 113 ms → MaxLatency(1s) gives 8 rounds between TX
+	p0, _ := n.PlanRound(v, 0)
+	if p0.RoundsBetweenTx < 2 {
+		t.Fatalf("RoundsBetweenTx = %d, want ≥ 2 at 60 km/h", p0.RoundsBetweenTx)
+	}
+	p1, _ := n.PlanRound(v, 1)
+	if p1.Aux || p1.Tx {
+		t.Errorf("round 1: aux=%v tx=%v, want neither", p1.Aux, p1.Tx)
+	}
+	// TX recurs at the policy period; aux at 16.
+	pt, _ := n.PlanRound(v, int64(p0.RoundsBetweenTx))
+	if !pt.Tx {
+		t.Errorf("round %d should transmit", p0.RoundsBetweenTx)
+	}
+	pa, _ := n.PlanRound(v, 16)
+	if !pa.Aux {
+		t.Error("round 16 should measure aux")
+	}
+	// Radio idle on non-TX rounds: single-slot schedule, zero active.
+	if got := p1.Schedules[RoleRadio].TimeIn(block.Active); got != 0 {
+		t.Errorf("non-TX round radio active %v", got)
+	}
+	if got := p1.Schedules[RoleNVM].TimeIn(block.Active); got != 0 {
+		t.Errorf("non-aux round NVM active %v", got)
+	}
+}
+
+func TestPlanRoundStationaryAndErrors(t *testing.T) {
+	n := defaultNode(t)
+	if _, err := n.PlanRound(0, 0); !errors.Is(err, ErrStationary) {
+		t.Errorf("stationary error = %v", err)
+	}
+	if _, err := n.PlanRound(kmh(60), -1); err == nil {
+		t.Error("negative round index accepted")
+	}
+}
+
+func TestPlanRoundSampleClampAtHighSpeed(t *testing.T) {
+	n := defaultNode(t)
+	// Default: 32 × 50 µs burst = 1.6 ms. At 300 km/h the dwell is
+	// 0.12 m / 83.3 m/s = 1.44 ms → fewer samples fit.
+	p, err := n.PlanRound(kmh(300), 1)
+	if err != nil {
+		t.Fatalf("PlanRound(300km/h): %v", err)
+	}
+	if p.Samples >= 32 {
+		t.Errorf("Samples = %d at 300 km/h, want clamped below 32", p.Samples)
+	}
+	if p.Samples < 25 {
+		t.Errorf("Samples = %d, clamped too hard", p.Samples)
+	}
+}
+
+func TestRoundEnergyBreakdown(t *testing.T) {
+	n := defaultNode(t)
+	cond := power.Nominal()
+	p, _ := n.PlanRound(kmh(60), 1) // plain round: no aux, no TX
+	bd, err := n.RoundEnergy(p, cond)
+	if err != nil {
+		t.Fatalf("RoundEnergy: %v", err)
+	}
+	var sum units.Energy
+	for _, b := range bd.PerBlock {
+		sum += b.Total()
+	}
+	if !units.AlmostEqual(sum.Joules(), bd.Total().Joules(), 1e-12) {
+		t.Errorf("per-block sum %v != total %v", sum, bd.Total())
+	}
+	if bd.Total() <= 0 {
+		t.Fatal("non-positive round energy")
+	}
+	// A TX round must cost more than a plain round.
+	pTx, _ := n.PlanRound(kmh(60), 0)
+	bdTx, _ := n.RoundEnergy(pTx, cond)
+	if bdTx.Total() <= bd.Total() {
+		t.Errorf("TX round %v not more expensive than plain round %v", bdTx.Total(), bd.Total())
+	}
+	// The radio's share on a TX round is roughly one packet.
+	pkt, _ := n.cfg.Radio.PacketEnergy(n.cfg.PayloadBytes)
+	radioE := bdTx.PerBlock[RoleRadio].Total()
+	if radioE.Joules() < 0.8*pkt.Joules() || radioE.Joules() > 1.2*pkt.Joules() {
+		t.Errorf("radio TX-round energy = %v, want ≈ packet %v", radioE, pkt)
+	}
+}
+
+func TestAverageRoundCalibration(t *testing.T) {
+	// Anchors the default architecture to the DESIGN.md energy budget:
+	// single-digit to low-double-digit µJ per round in the Fig 2 sweep
+	// range, falling as speed rises (less idle time per round).
+	n := defaultNode(t)
+	cond := power.Nominal()
+	e30, err := n.AverageRound(kmh(30), cond)
+	if err != nil {
+		t.Fatalf("AverageRound(30): %v", err)
+	}
+	e100, err := n.AverageRound(kmh(100), cond)
+	if err != nil {
+		t.Fatalf("AverageRound(100): %v", err)
+	}
+	if uj := e30.Total().Microjoules(); uj < 5 || uj > 25 {
+		t.Errorf("per-round energy at 30 km/h = %g µJ, want 5–25", uj)
+	}
+	if uj := e100.Total().Microjoules(); uj < 2 || uj > 12 {
+		t.Errorf("per-round energy at 100 km/h = %g µJ, want 2–12", uj)
+	}
+	if e100.Total() >= e30.Total() {
+		t.Errorf("per-round energy did not fall with speed: %v vs %v", e100.Total(), e30.Total())
+	}
+	// Average power: tens of µW.
+	pw, err := n.AveragePower(kmh(100), cond)
+	if err != nil {
+		t.Fatalf("AveragePower: %v", err)
+	}
+	if uw := pw.Microwatts(); uw < 20 || uw > 200 {
+		t.Errorf("average power at 100 km/h = %g µW, want 20–200", uw)
+	}
+}
+
+func TestAverageRoundMatchesExplicitMean(t *testing.T) {
+	n := defaultNode(t)
+	cond := power.Nominal()
+	v := kmh(60)
+	avg, err := n.AverageRound(v, cond)
+	if err != nil {
+		t.Fatalf("AverageRound: %v", err)
+	}
+	p0, _ := n.PlanRound(v, 0)
+	rounds := lcm(n.cfg.Acq.AuxPeriodRounds, p0.RoundsBetweenTx)
+	var sum units.Energy
+	for i := 0; i < rounds; i++ {
+		p, _ := n.PlanRound(v, int64(i))
+		bd, _ := n.RoundEnergy(p, cond)
+		sum += bd.Total()
+	}
+	want := sum.Joules() / float64(rounds)
+	if !units.AlmostEqual(avg.Total().Joules(), want, 1e-9) {
+		t.Errorf("AverageRound = %v, want %g J", avg.Total(), want)
+	}
+	if _, err := n.AverageRound(0, cond); !errors.Is(err, ErrStationary) {
+		t.Errorf("stationary AverageRound error = %v", err)
+	}
+	if _, err := n.AveragePower(0, cond); !errors.Is(err, ErrStationary) {
+		t.Errorf("stationary AveragePower error = %v", err)
+	}
+}
+
+func TestTemperatureRaisesRoundEnergy(t *testing.T) {
+	n := defaultNode(t)
+	v := kmh(40)
+	cold, _ := n.AverageRound(v, power.Nominal().WithTemp(units.DegC(0)))
+	hot, _ := n.AverageRound(v, power.Nominal().WithTemp(units.DegC(85)))
+	if hot.Static <= cold.Static {
+		t.Errorf("static energy not rising with temperature: %v vs %v", hot.Static, cold.Static)
+	}
+	if hot.Total() <= cold.Total() {
+		t.Errorf("total energy not rising with temperature: %v vs %v", hot.Total(), cold.Total())
+	}
+}
+
+func TestDutyCycles(t *testing.T) {
+	n := defaultNode(t)
+	dcs, err := n.DutyCycles(kmh(60), power.Nominal())
+	if err != nil {
+		t.Fatalf("DutyCycles: %v", err)
+	}
+	byRole := make(map[Role]DutyCycle, len(dcs))
+	for _, dc := range dcs {
+		byRole[dc.Role] = dc
+		if dc.Active < 0 || dc.Active > 1 {
+			t.Errorf("%s duty %g outside [0,1]", dc.Role, dc.Active)
+		}
+		if dc.DynamicShare < 0 || dc.DynamicShare > 1 {
+			t.Errorf("%s dynamic share %g outside [0,1]", dc.Role, dc.DynamicShare)
+		}
+	}
+	// Always-on blocks: 100% duty.
+	if byRole[RolePMU].Active != 1 || byRole[RoleClock].Active != 1 {
+		t.Errorf("always-on duty: pmu %g clock %g", byRole[RolePMU].Active, byRole[RoleClock].Active)
+	}
+	// The MCU has a short duty cycle — the paper's §II example.
+	if d := byRole[RoleMCU].Active; d <= 0 || d > 0.05 {
+		t.Errorf("MCU duty = %g, want (0, 0.05]", d)
+	}
+	// The frontend burst dominates the active time of duty-cycled blocks.
+	if byRole[RoleFrontend].Active <= byRole[RoleRadio].Active {
+		t.Error("frontend duty not above radio duty")
+	}
+	if _, err := n.DutyCycles(0, power.Nominal()); !errors.Is(err, ErrStationary) {
+		t.Errorf("stationary DutyCycles error = %v", err)
+	}
+}
+
+func TestWithRestModeChangesEnergy(t *testing.T) {
+	n := defaultNode(t)
+	cond := power.Nominal()
+	opt, err := n.WithRestMode(RoleMCU, block.Sleep)
+	if err != nil {
+		t.Fatalf("WithRestMode: %v", err)
+	}
+	v := kmh(30)
+	base, _ := n.AverageRound(v, cond)
+	slept, _ := opt.AverageRound(v, cond)
+	if slept.Total() >= base.Total() {
+		t.Errorf("sleeping MCU not cheaper: %v vs %v", slept.Total(), base.Total())
+	}
+	// Original untouched.
+	if n.RestMode(RoleMCU) != block.Idle {
+		t.Error("WithRestMode mutated original")
+	}
+	if _, err := n.WithRestMode(RoleMCU, "warp"); err == nil {
+		t.Error("unknown rest mode accepted")
+	}
+}
+
+func TestWithBlockAndWithTxPolicy(t *testing.T) {
+	n := defaultNode(t)
+	// Halve the MCU active power.
+	blk, err := DefaultMCU().WithModeModel(block.Active, power.Model{
+		Dynamic: power.Dynamic{Nominal: units.Microwatts(150), NominalVdd: units.Volts(1.8), NominalFreq: units.Megahertz(8)},
+		Leakage: power.Leakage{Nominal: units.Microwatts(2), RefTemp: units.DegC(25), NominalVdd: units.Volts(1.8)},
+	})
+	if err != nil {
+		t.Fatalf("WithModeModel: %v", err)
+	}
+	n2, err := n.WithBlock(RoleMCU, blk)
+	if err != nil {
+		t.Fatalf("WithBlock: %v", err)
+	}
+	v := kmh(60)
+	e1, _ := n.AverageRound(v, power.Nominal())
+	e2, _ := n2.AverageRound(v, power.Nominal())
+	if e2.Total() >= e1.Total() {
+		t.Errorf("cheaper MCU did not reduce energy: %v vs %v", e2.Total(), e1.Total())
+	}
+	if _, err := n.WithBlock(RoleRadio, blk); err == nil {
+		t.Error("radio WithBlock accepted")
+	}
+	if _, err := n.WithBlock("bogus", blk); err == nil {
+		t.Error("unknown role accepted")
+	}
+	if _, err := n.WithBlock(RoleMCU, nil); err == nil {
+		t.Error("nil block accepted")
+	}
+	// Rarer TX policy lowers average energy.
+	n3, err := n.WithTxPolicy(rf.EveryN{N: 64})
+	if err != nil {
+		t.Fatalf("WithTxPolicy: %v", err)
+	}
+	e3, _ := n3.AverageRound(v, power.Nominal())
+	if e3.Total() >= e1.Total() {
+		t.Errorf("rarer TX did not reduce energy: %v vs %v", e3.Total(), e1.Total())
+	}
+}
+
+func TestWithAcquisitionAndClockAndName(t *testing.T) {
+	n := defaultNode(t)
+	acq := n.cfg.Acq.WithSamples(8)
+	n2, err := n.WithAcquisition(acq)
+	if err != nil {
+		t.Fatalf("WithAcquisition: %v", err)
+	}
+	v := kmh(60)
+	e1, _ := n.AverageRound(v, power.Nominal())
+	e2, _ := n2.AverageRound(v, power.Nominal())
+	if e2.Total() >= e1.Total() {
+		t.Errorf("fewer samples did not reduce energy: %v vs %v", e2.Total(), e1.Total())
+	}
+	if _, err := n.WithMCUClock(0); err == nil {
+		t.Error("zero clock accepted")
+	}
+	n3, err := n.WithName("variant")
+	if err != nil {
+		t.Fatalf("WithName: %v", err)
+	}
+	if n3.Name() != "variant" || n.Name() != "baseline" {
+		t.Errorf("names: %q / %q", n3.Name(), n.Name())
+	}
+}
+
+func TestLcmGcd(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{16, 8, 16}, {16, 10, 80}, {1, 7, 7}, {0, 5, 1}, {-3, 5, 1},
+	}
+	for _, c := range cases {
+		if got := lcm(c.a, c.b); got != c.want {
+			t.Errorf("lcm(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

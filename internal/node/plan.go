@@ -1,0 +1,370 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/block"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Plan is the concrete activity of the Sensor Node during one specific
+// wheel round. Round indices distinguish ordinary rounds from auxiliary
+// (pressure/temperature + NVM log) rounds and transmission rounds.
+type Plan struct {
+	// Index is the round number the plan is for.
+	Index int64
+	// Period is the wheel-round duration at the planned speed.
+	Period units.Seconds
+	// Samples is the effective per-round sample count (the configured
+	// count clamped to what fits the contact-patch dwell at this speed).
+	Samples int
+	// Aux reports whether this round performs the auxiliary measurement.
+	Aux bool
+	// Tx reports whether this round transmits a packet.
+	Tx bool
+	// Rx reports whether this round opens a downlink listen window.
+	Rx bool
+	// RoundsBetweenTx is the policy decision at this speed.
+	RoundsBetweenTx int
+	// Schedules holds the per-block mode schedule for the round.
+	Schedules map[Role]block.Schedule
+	// Offsets place each duty-cycled block's first active slot on the
+	// round timeline (patch transit at t=0). Retained for compatibility;
+	// Timeline is the complete placement.
+	Offsets map[Role]units.Seconds
+	// Timeline places every non-rest slot of the round for instant-power
+	// tracing.
+	Timeline []TimelineSlot
+}
+
+// TimelineSlot is one placed non-rest activity within a round.
+type TimelineSlot struct {
+	Role  Role
+	Mode  block.Mode
+	Start units.Seconds
+	Dur   units.Seconds
+}
+
+// PlanRound lays out round idx at constant speed v: the acquisition burst
+// pinned to the contact patch at the start of the round, processing right
+// after it, then (on the respective rounds) the NVM log write and the
+// radio packet. It fails with ErrStationary at zero speed and with an
+// overrun error if the activity cannot fit the round period.
+func (n *Node) PlanRound(v units.Speed, idx int64) (*Plan, error) {
+	period := n.cfg.Tyre.RoundPeriod(v)
+	if period <= 0 {
+		return nil, ErrStationary
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("node: negative round index %d", idx)
+	}
+	dwell := n.cfg.Tyre.ContactDwell(v)
+	samples := n.cfg.Acq.SamplesPerRound
+	if fit := n.cfg.Acq.MaxSamplesInDwell(dwell); samples > fit {
+		samples = fit
+	}
+	burst := units.Seconds(float64(samples) * n.cfg.Acq.SampleTime.Seconds())
+
+	aux := idx%int64(n.cfg.Acq.AuxPeriodRounds) == 0
+	nTx := n.cfg.TxPolicy.RoundsBetweenTx(period)
+	if nTx < 1 {
+		nTx = 1
+	}
+	tx := idx%int64(nTx) == 0
+
+	frontActive := burst
+	if aux {
+		frontActive += n.cfg.Acq.AuxTime
+	}
+	computeT := n.cfg.Compute.TimePerRound(samples, n.cfg.MCUClock)
+	var nvmActive units.Seconds
+	if aux {
+		nvmActive = n.cfg.LogWriteTime
+	}
+	var onAir units.Seconds
+	if tx {
+		air, err := n.cfg.Radio.Airtime(n.cfg.PayloadBytes)
+		if err != nil {
+			return nil, err
+		}
+		onAir = air - n.cfg.Radio.StartupTime
+	}
+	rx := n.cfg.Receiver.Enabled() && idx%int64(n.cfg.RxPeriodRounds) == 0
+	var rxWin units.Seconds
+	if rx {
+		rxWin = n.cfg.Receiver.Window
+	}
+	total := frontActive + computeT + nvmActive + onAir + rxWin
+	if total > period {
+		return nil, fmt.Errorf("node: round overrun at %v: %v of activity in a %v round",
+			v, total, period)
+	}
+
+	p := &Plan{
+		Index:           idx,
+		Period:          period,
+		Samples:         samples,
+		Aux:             aux,
+		Tx:              tx,
+		Rx:              rx,
+		RoundsBetweenTx: nTx,
+		Schedules:       make(map[Role]block.Schedule, 7),
+		Offsets:         make(map[Role]units.Seconds, 5),
+	}
+
+	// Timeline: frontend → compute (mcu+sram) → nvm log → radio TX →
+	// radio RX window, all pinned after the patch transit at t=0.
+	add := func(role Role, mode block.Mode, start, dur units.Seconds) {
+		if dur <= 0 {
+			return
+		}
+		p.Timeline = append(p.Timeline, TimelineSlot{Role: role, Mode: mode, Start: start, Dur: dur})
+		if _, seen := p.Offsets[role]; !seen {
+			p.Offsets[role] = start
+		}
+	}
+	add(RoleFrontend, block.Active, 0, frontActive)
+	add(RoleMCU, block.Active, frontActive, computeT)
+	add(RoleSRAM, block.Active, frontActive, computeT)
+	add(RoleNVM, block.Active, frontActive+computeT, nvmActive)
+	txStart := frontActive + computeT + nvmActive
+	add(RoleRadio, block.Active, txStart, onAir)
+	add(RoleRadio, RadioRx, txStart+onAir, rxWin)
+
+	// Per-block schedules follow from the timeline plus the rest filler.
+	for _, role := range dutyCycledRoles {
+		rest := n.RestMode(role)
+		var slots []block.Slot
+		var busy units.Seconds
+		for _, ts := range p.Timeline {
+			if ts.Role == role {
+				slots = append(slots, block.Slot{Mode: ts.Mode, Dur: ts.Dur})
+				busy += ts.Dur
+			}
+		}
+		slots = append(slots, block.Slot{Mode: rest, Dur: period - busy})
+		sched, err := block.NewSchedule(slots...)
+		if err != nil {
+			return nil, fmt.Errorf("node: scheduling %q: %w", role, err)
+		}
+		p.Schedules[role] = sched
+	}
+	for _, role := range []Role{RolePMU, RoleClock} {
+		sched, err := block.NewSchedule(block.Slot{Mode: block.Active, Dur: period})
+		if err != nil {
+			return nil, fmt.Errorf("node: scheduling %q: %w", role, err)
+		}
+		p.Schedules[role] = sched
+	}
+	return p, nil
+}
+
+// Breakdown is the node-level per-round energy decomposition.
+type Breakdown struct {
+	// PerBlock holds each block's dynamic/static/transition split.
+	PerBlock map[Role]block.Breakdown
+	// Dynamic, Static and Transition aggregate across blocks.
+	Dynamic, Static, Transition units.Energy
+}
+
+// Total returns the node's whole per-round energy.
+func (bd Breakdown) Total() units.Energy {
+	return bd.Dynamic + bd.Static + bd.Transition
+}
+
+// RoundEnergy costs one planned round under the given conditions.
+func (n *Node) RoundEnergy(p *Plan, cond power.Conditions) (Breakdown, error) {
+	bd := Breakdown{PerBlock: make(map[Role]block.Breakdown, len(p.Schedules))}
+	for role, sched := range p.Schedules {
+		blk := n.Block(role)
+		if blk == nil {
+			return Breakdown{}, fmt.Errorf("node: no block for scheduled role %q", role)
+		}
+		b, err := blk.RoundEnergy(sched, cond)
+		if err != nil {
+			return Breakdown{}, fmt.Errorf("node: costing %q: %w", role, err)
+		}
+		bd.PerBlock[role] = b
+		bd.Dynamic += b.Dynamic
+		bd.Static += b.Static
+		bd.Transition += b.Transition
+	}
+	return bd, nil
+}
+
+// maxHyperPeriod bounds the number of rounds averaged by AverageRound; the
+// aux/TX pattern repeats with the LCM of the two periods, which stays tiny
+// for realistic configurations, but a pathological policy could explode it.
+const maxHyperPeriod = 4096
+
+// AverageRound returns the per-round energy at speed v averaged over one
+// full aux/TX hyper-period — the steady-state "energy required by the
+// whole system" per wheel round that the paper's Fig 2 plots against the
+// scavenger curve.
+func (n *Node) AverageRound(v units.Speed, cond power.Conditions) (Breakdown, error) {
+	period := n.cfg.Tyre.RoundPeriod(v)
+	if period <= 0 {
+		return Breakdown{}, ErrStationary
+	}
+	nTx := n.cfg.TxPolicy.RoundsBetweenTx(period)
+	if nTx < 1 {
+		nTx = 1
+	}
+	rounds := lcm(n.cfg.Acq.AuxPeriodRounds, nTx)
+	if n.cfg.Receiver.Enabled() {
+		rounds = lcm(rounds, n.cfg.RxPeriodRounds)
+	}
+	if rounds > maxHyperPeriod {
+		rounds = maxHyperPeriod
+	}
+	sum := Breakdown{PerBlock: make(map[Role]block.Breakdown, 7)}
+	for i := 0; i < rounds; i++ {
+		p, err := n.PlanRound(v, int64(i))
+		if err != nil {
+			return Breakdown{}, err
+		}
+		bd, err := n.RoundEnergy(p, cond)
+		if err != nil {
+			return Breakdown{}, err
+		}
+		sum.Dynamic += bd.Dynamic
+		sum.Static += bd.Static
+		sum.Transition += bd.Transition
+		for role, b := range bd.PerBlock {
+			acc := sum.PerBlock[role]
+			acc.Dynamic += b.Dynamic
+			acc.Static += b.Static
+			acc.Transition += b.Transition
+			sum.PerBlock[role] = acc
+		}
+	}
+	k := 1 / float64(rounds)
+	avg := Breakdown{PerBlock: make(map[Role]block.Breakdown, len(sum.PerBlock))}
+	avg.Dynamic = units.Energy(sum.Dynamic.Joules() * k)
+	avg.Static = units.Energy(sum.Static.Joules() * k)
+	avg.Transition = units.Energy(sum.Transition.Joules() * k)
+	for role, b := range sum.PerBlock {
+		avg.PerBlock[role] = block.Breakdown{
+			Dynamic:    units.Energy(b.Dynamic.Joules() * k),
+			Static:     units.Energy(b.Static.Joules() * k),
+			Transition: units.Energy(b.Transition.Joules() * k),
+		}
+	}
+	return avg, nil
+}
+
+// AveragePower returns the node's steady-state mean power at speed v.
+func (n *Node) AveragePower(v units.Speed, cond power.Conditions) (units.Power, error) {
+	bd, err := n.AverageRound(v, cond)
+	if err != nil {
+		return 0, err
+	}
+	return bd.Total().Over(n.cfg.Tyre.RoundPeriod(v)), nil
+}
+
+// DutyCycle describes one block's round-averaged utilisation together with
+// its power split — the triple the paper's optimization advisor reasons
+// about ("a block with high dynamic power but a short duty cycle should
+// also have its static power optimized").
+type DutyCycle struct {
+	Role Role
+	// Active is the fraction of the round spent in Active mode, averaged
+	// over the aux/TX hyper-period.
+	Active float64
+	// ActivePower and RestPower are the block's power in its two states.
+	ActivePower, RestPower units.Power
+	// DynamicShare is the fraction of the block's per-round energy that
+	// is dynamic (vs static + transition).
+	DynamicShare float64
+}
+
+// DutyCycles profiles every block at speed v under the given conditions.
+func (n *Node) DutyCycles(v units.Speed, cond power.Conditions) ([]DutyCycle, error) {
+	period := n.cfg.Tyre.RoundPeriod(v)
+	if period <= 0 {
+		return nil, ErrStationary
+	}
+	avg, err := n.AverageRound(v, cond)
+	if err != nil {
+		return nil, err
+	}
+	nTx := n.cfg.TxPolicy.RoundsBetweenTx(period)
+	rounds := lcm(n.cfg.Acq.AuxPeriodRounds, max(nTx, 1))
+	if n.cfg.Receiver.Enabled() {
+		rounds = lcm(rounds, n.cfg.RxPeriodRounds)
+	}
+	if rounds > maxHyperPeriod {
+		rounds = maxHyperPeriod
+	}
+	activeTime := make(map[Role]units.Seconds, 7)
+	for i := 0; i < rounds; i++ {
+		p, err := n.PlanRound(v, int64(i))
+		if err != nil {
+			return nil, err
+		}
+		for role, sched := range p.Schedules {
+			activeTime[role] += sched.TimeIn(block.Active)
+		}
+	}
+	out := make([]DutyCycle, 0, len(Roles()))
+	for _, role := range Roles() {
+		blk := n.Block(role)
+		dc := DutyCycle{Role: role}
+		dc.Active = units.Clamp(activeTime[role].Seconds()/(float64(rounds)*period.Seconds()), 0, 1)
+		if p, err := blk.Power(block.Active, cond); err == nil {
+			dc.ActivePower = p
+		}
+		rest := n.RestMode(role)
+		if role == RolePMU || role == RoleClock {
+			rest = block.Active
+		}
+		if p, err := blk.Power(rest, cond); err == nil {
+			dc.RestPower = p
+		}
+		if b, ok := avg.PerBlock[role]; ok && b.Total() > 0 {
+			dc.DynamicShare = b.Dynamic.Joules() / b.Total().Joules()
+		}
+		out = append(out, dc)
+	}
+	return out, nil
+}
+
+// RestPower returns the node's draw when the wheel is not rotating: every
+// duty-cycled block in its rest mode plus the always-on PMU and clock.
+// The long-window emulator charges this during stopped intervals, where
+// no wheel round exists to schedule.
+func (n *Node) RestPower(cond power.Conditions) (units.Power, error) {
+	var total units.Power
+	for _, role := range dutyCycledRoles {
+		p, err := n.Block(role).Power(n.RestMode(role), cond)
+		if err != nil {
+			return 0, err
+		}
+		total += p
+	}
+	for _, role := range []Role{RolePMU, RoleClock} {
+		p, err := n.Block(role).Power(block.Active, cond)
+		if err != nil {
+			return 0, err
+		}
+		total += p
+	}
+	return total, nil
+}
+
+// gcd returns the greatest common divisor of two positive ints.
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// lcm returns the least common multiple of two positive ints.
+func lcm(a, b int) int {
+	if a <= 0 || b <= 0 {
+		return 1
+	}
+	return a / gcd(a, b) * b
+}

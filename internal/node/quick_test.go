@@ -1,0 +1,127 @@
+package node
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/block"
+	"repro/internal/power"
+	"repro/internal/rf"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// randomizedConfigFixed derives a valid architecture variant from fuzz
+// bytes: sample count, TX policy, payload size, MCU rest mode, downlink
+// cadence and aux period.
+func randomizedConfigFixed(b [6]uint8) Config {
+	cfg := DefaultConfig(wheel.Default())
+	cfg.Acq = cfg.Acq.WithSamples(int(b[0]%60) + 4)
+	switch b[1] % 3 {
+	case 0:
+		cfg.TxPolicy = rf.EveryN{N: int(b[1]/3)%30 + 1}
+	case 1:
+		cfg.TxPolicy = rf.MaxLatency{Target: units.Sec(float64(b[1]%10)/2 + 0.5)}
+	default:
+		cfg.TxPolicy = rf.MaxLatency{Target: units.Sec(2), Cap: int(b[1]%20) + 1}
+	}
+	cfg.PayloadBytes = int(b[2]%56) + 4
+	if b[3]%2 == 0 {
+		cfg.RestModes[RoleMCU] = block.Sleep
+	} else {
+		cfg.RestModes[RoleMCU] = block.Idle
+	}
+	if b[4]%2 == 0 {
+		cfg.Receiver = rf.DefaultReceiver()
+		cfg.RxPeriodRounds = int(b[4]/2)%100 + 1
+	}
+	cfg.Acq.AuxPeriodRounds = int(b[5]%30) + 1
+	return cfg
+}
+
+// TestQuickRandomArchitectureInvariants checks that every architecture
+// variant the knobs can produce yields finite, positive, self-consistent
+// energy figures across the speed range.
+func TestQuickRandomArchitectureInvariants(t *testing.T) {
+	f := func(b [6]uint8, speed8 uint8) bool {
+		cfg := randomizedConfigFixed(b)
+		n, err := New(cfg)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		v := units.KilometersPerHour(float64(speed8%240) + 8)
+		cond := power.Nominal()
+		bd, err := n.AverageRound(v, cond)
+		if err != nil {
+			t.Logf("AverageRound at %v: %v", v, err)
+			return false
+		}
+		total := bd.Total().Joules()
+		if total <= 0 || math.IsNaN(total) || math.IsInf(total, 0) {
+			return false
+		}
+		// Components are individually non-negative and sum to the total.
+		if bd.Dynamic < 0 || bd.Static < 0 || bd.Transition < 0 {
+			return false
+		}
+		var sum float64
+		for _, pb := range bd.PerBlock {
+			if pb.Total() < 0 {
+				return false
+			}
+			sum += pb.Total().Joules()
+		}
+		if !units.AlmostEqual(sum, total, 1e-9) {
+			return false
+		}
+		// Average power stays in a physically plausible envelope
+		// (µW to low-mW for any of these variants).
+		avg, err := n.AveragePower(v, cond)
+		if err != nil {
+			return false
+		}
+		return avg.Microwatts() > 1 && avg.Microwatts() < 5000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPowerTraceMatchesRoundEnergy cross-checks the trace integral
+// against the schedule-based energy for random variants.
+func TestQuickPowerTraceMatchesRoundEnergy(t *testing.T) {
+	f := func(b [6]uint8) bool {
+		cfg := randomizedConfigFixed(b)
+		n, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		v := units.KilometersPerHour(60)
+		cond := power.Nominal()
+		const rounds = 4
+		tr, err := n.PowerTrace(v, cond, rounds)
+		if err != nil {
+			t.Logf("PowerTrace: %v", err)
+			return false
+		}
+		var want float64
+		for i := 0; i < rounds; i++ {
+			p, err := n.PlanRound(v, int64(i))
+			if err != nil {
+				return false
+			}
+			bd, err := n.RoundEnergy(p, cond)
+			if err != nil {
+				return false
+			}
+			// Transitions are impulsive: not in the trace.
+			want += bd.Total().Microjoules() - bd.Transition.Microjoules()
+		}
+		return units.AlmostEqual(tr.Integral(), want, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

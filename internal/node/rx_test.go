@@ -1,0 +1,169 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/power"
+	"repro/internal/rf"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// rxNode returns the baseline node with a downlink listening every 32
+// rounds.
+func rxNode(t *testing.T) *Node {
+	t.Helper()
+	cfg := DefaultConfig(wheel.Default())
+	cfg.Receiver = rf.DefaultReceiver()
+	cfg.RxPeriodRounds = 32
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New with receiver: %v", err)
+	}
+	return n
+}
+
+func TestReceiverValidation(t *testing.T) {
+	cfg := DefaultConfig(wheel.Default())
+	cfg.Receiver = rf.DefaultReceiver()
+	// Enabled receiver requires a period.
+	if _, err := New(cfg); err == nil {
+		t.Error("enabled receiver without RX period accepted")
+	}
+	cfg.RxPeriodRounds = 0
+	cfg.Receiver = rf.Receiver{ListenPower: -1, Window: 1}
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid receiver accepted")
+	}
+	// Disabled receiver needs no period.
+	cfg = DefaultConfig(wheel.Default())
+	if _, err := New(cfg); err != nil {
+		t.Errorf("zero receiver rejected: %v", err)
+	}
+}
+
+func TestRxRoundCadence(t *testing.T) {
+	n := rxNode(t)
+	v := kmh(60)
+	p0, err := n.PlanRound(v, 0)
+	if err != nil {
+		t.Fatalf("PlanRound: %v", err)
+	}
+	if !p0.Rx {
+		t.Error("round 0 should listen")
+	}
+	p1, _ := n.PlanRound(v, 1)
+	if p1.Rx {
+		t.Error("round 1 should not listen")
+	}
+	p32, _ := n.PlanRound(v, 32)
+	if !p32.Rx {
+		t.Error("round 32 should listen")
+	}
+	// The radio schedule carries the RX slot.
+	if got := p0.Schedules[RoleRadio].TimeIn(RadioRx); got != rf.DefaultReceiver().Window {
+		t.Errorf("radio RX time = %v, want %v", got, rf.DefaultReceiver().Window)
+	}
+	if got := p1.Schedules[RoleRadio].TimeIn(RadioRx); got != 0 {
+		t.Errorf("non-RX round radio RX time = %v", got)
+	}
+	// The timeline places RX after TX.
+	var txEnd, rxStart units.Seconds
+	for _, ts := range p0.Timeline {
+		if ts.Role == RoleRadio && ts.Mode == block.Active {
+			txEnd = ts.Start + ts.Dur
+		}
+		if ts.Role == RoleRadio && ts.Mode == RadioRx {
+			rxStart = ts.Start
+		}
+	}
+	if rxStart != txEnd {
+		t.Errorf("RX starts at %v, want right after TX end %v", rxStart, txEnd)
+	}
+}
+
+func TestRxEnergyCost(t *testing.T) {
+	base := defaultNode(t)
+	withRx := rxNode(t)
+	v, cond := kmh(60), power.Nominal()
+	eBase, err := base.AverageRound(v, cond)
+	if err != nil {
+		t.Fatalf("AverageRound: %v", err)
+	}
+	eRx, err := withRx.AverageRound(v, cond)
+	if err != nil {
+		t.Fatalf("AverageRound rx: %v", err)
+	}
+	if eRx.Total() <= eBase.Total() {
+		t.Fatalf("downlink did not cost energy: %v vs %v", eRx.Total(), eBase.Total())
+	}
+	// Cost ≈ window energy / period (plus listening's share of startup).
+	extra := eRx.Total().Joules() - eBase.Total().Joules()
+	want := rf.DefaultReceiver().WindowEnergy().Joules() / 32
+	if extra < 0.8*want || extra > 1.3*want {
+		t.Errorf("per-round RX cost = %g J, want ≈ %g", extra, want)
+	}
+	// Rarer listening costs less.
+	cfg := withRx.Config()
+	cfg.RxPeriodRounds = 128
+	rare, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eRare, _ := rare.AverageRound(v, cond)
+	if eRare.Total() >= eRx.Total() {
+		t.Errorf("rarer RX not cheaper: %v vs %v", eRare.Total(), eRx.Total())
+	}
+}
+
+func TestRxVisibleInPowerTrace(t *testing.T) {
+	// The listen window (≈4.5 mW) must appear in the instant-power trace
+	// between the acquisition burst (1.2 mW) and the TX spike (12 mW).
+	cfg := DefaultConfig(wheel.Default())
+	cfg.Receiver = rf.DefaultReceiver()
+	cfg.RxPeriodRounds = 4
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tr, err := n.PowerTrace(kmh(60), power.Nominal(), 4)
+	if err != nil {
+		t.Fatalf("PowerTrace: %v", err)
+	}
+	// Time in the 3–8 mW band ≈ one RX window over 4 rounds.
+	inBand := tr.XAbove(3000) - tr.XAbove(8000)
+	want := rf.DefaultReceiver().Window.Seconds()
+	if !units.AlmostEqual(inBand, want, 0.05) {
+		t.Errorf("RX-band time = %g s, want ≈ %g", inBand, want)
+	}
+}
+
+func TestRxHyperPeriodAveraging(t *testing.T) {
+	// AverageRound over the aux/TX/RX hyper-period must equal an explicit
+	// mean over that many rounds.
+	n := rxNode(t)
+	v, cond := kmh(60), power.Nominal()
+	avg, err := n.AverageRound(v, cond)
+	if err != nil {
+		t.Fatalf("AverageRound: %v", err)
+	}
+	p0, _ := n.PlanRound(v, 0)
+	rounds := lcm(lcm(16, p0.RoundsBetweenTx), 32)
+	var sum units.Energy
+	for i := 0; i < rounds; i++ {
+		p, err := n.PlanRound(v, int64(i))
+		if err != nil {
+			t.Fatalf("PlanRound(%d): %v", i, err)
+		}
+		bd, err := n.RoundEnergy(p, cond)
+		if err != nil {
+			t.Fatalf("RoundEnergy(%d): %v", i, err)
+		}
+		sum += bd.Total()
+	}
+	want := sum.Joules() / float64(rounds)
+	if !units.AlmostEqual(avg.Total().Joules(), want, 1e-9) {
+		t.Errorf("AverageRound = %g J, want %g", avg.Total().Joules(), want)
+	}
+}

@@ -1,0 +1,104 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// PowerTrace synthesises the node's instant power consumption over the
+// given number of consecutive wheel rounds at constant speed v — the
+// paper's Fig 3 ("instant power consumption of the Sensor Node during a
+// limited timing window"): a per-round acquisition/processing burst over
+// the always-on baseline, with taller transmission spikes on TX rounds.
+//
+// The series is a step waveform (duplicate time points encode the ideal
+// edges) with time in seconds and power in µW.
+func (n *Node) PowerTrace(v units.Speed, cond power.Conditions, rounds int) (*trace.Series, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("node: non-positive round count %d", rounds)
+	}
+	out := trace.NewSeries(fmt.Sprintf("%s instant power", n.cfg.Name), "s", "µW")
+	var t0 units.Seconds
+	for i := 0; i < rounds; i++ {
+		p, err := n.PlanRound(v, int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if err := n.appendRoundTrace(out, p, cond, t0); err != nil {
+			return nil, err
+		}
+		t0 += p.Period
+	}
+	return out, nil
+}
+
+// interval is one placed non-rest stretch on the round timeline.
+type interval struct {
+	role       Role
+	mode       block.Mode
+	start, end units.Seconds
+}
+
+// appendRoundTrace emits the step waveform of one planned round, offset by
+// t0 on the global time axis, using the plan's full timeline (so TX and
+// RX slots of the radio both appear).
+func (n *Node) appendRoundTrace(out *trace.Series, p *Plan, cond power.Conditions, t0 units.Seconds) error {
+	// Baseline: every duty-cycled block at rest plus the always-on blocks.
+	var baseline units.Power
+	restPower := make(map[Role]units.Power, len(dutyCycledRoles))
+	for _, role := range dutyCycledRoles {
+		pw, err := n.Block(role).Power(n.RestMode(role), cond)
+		if err != nil {
+			return err
+		}
+		restPower[role] = pw
+		baseline += pw
+	}
+	for _, role := range []Role{RolePMU, RoleClock} {
+		pw, err := n.Block(role).Power(block.Active, cond)
+		if err != nil {
+			return err
+		}
+		baseline += pw
+	}
+
+	ivs := make([]interval, 0, len(p.Timeline))
+	boundaries := []units.Seconds{0, p.Period}
+	for _, ts := range p.Timeline {
+		ivs = append(ivs, interval{role: ts.Role, mode: ts.Mode, start: ts.Start, end: ts.Start + ts.Dur})
+		boundaries = append(boundaries, ts.Start, ts.Start+ts.Dur)
+	}
+	sort.Slice(boundaries, func(i, j int) bool { return boundaries[i] < boundaries[j] })
+
+	prev := boundaries[0]
+	for _, b := range boundaries[1:] {
+		if b <= prev {
+			continue
+		}
+		mid := (prev + b) / 2
+		pw := baseline
+		for _, iv := range ivs {
+			if mid >= iv.start && mid < iv.end {
+				modeP, err := n.Block(iv.role).Power(iv.mode, cond)
+				if err != nil {
+					return err
+				}
+				pw += modeP - restPower[iv.role]
+			}
+		}
+		uw := pw.Microwatts()
+		if err := out.Append((t0 + prev).Seconds(), uw); err != nil {
+			return err
+		}
+		if err := out.Append((t0 + b).Seconds(), uw); err != nil {
+			return err
+		}
+		prev = b
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func TestPowerTraceShape(t *testing.T) {
+	n := defaultNode(t)
+	cond := power.Nominal()
+	v := kmh(60)
+	rounds := 8
+	tr, err := n.PowerTrace(v, cond, rounds)
+	if err != nil {
+		t.Fatalf("PowerTrace: %v", err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	// Spans exactly `rounds` wheel rounds.
+	wantSpan := float64(rounds) * n.RoundPeriod(v).Seconds()
+	gotSpan := tr.X(tr.Len()-1) - tr.X(0)
+	if !units.AlmostEqual(gotSpan, wantSpan, 1e-9) {
+		t.Errorf("trace span = %g s, want %g", gotSpan, wantSpan)
+	}
+	st := tr.Stats()
+	// Baseline floor is tens of µW; TX spikes reach the radio's mW range.
+	if st.Min <= 0 || st.Min > 100 {
+		t.Errorf("trace floor = %g µW, want small positive", st.Min)
+	}
+	if st.Max < 1000 {
+		t.Errorf("trace peak = %g µW, want > 1000 (TX spike)", st.Max)
+	}
+	// The integral of the trace matches the summed round energies
+	// (trace is in µW over seconds → µJ).
+	var wantE float64
+	for i := 0; i < rounds; i++ {
+		p, _ := n.PlanRound(v, int64(i))
+		bd, _ := n.RoundEnergy(p, cond)
+		// Transitions are impulsive and not in the trace.
+		wantE += bd.Total().Microjoules() - bd.Transition.Microjoules()
+	}
+	if got := tr.Integral(); !units.AlmostEqual(got, wantE, 1e-6) {
+		t.Errorf("trace integral = %g µJ, want %g", got, wantE)
+	}
+}
+
+func TestPowerTraceSpikeCadence(t *testing.T) {
+	n := defaultNode(t)
+	v := kmh(60)
+	tr, err := n.PowerTrace(v, power.Nominal(), 20)
+	if err != nil {
+		t.Fatalf("PowerTrace: %v", err)
+	}
+	// The radio spike (≈12 mW) appears only on TX rounds; acquisition
+	// bursts (≈1.2 mW) appear every round. Count time above thresholds.
+	p0, _ := n.PlanRound(v, 0)
+	period := p0.Period.Seconds()
+	txTime := tr.XAbove(10000) // above 10 mW: radio on-air time
+	air, _ := n.cfg.Radio.Airtime(n.cfg.PayloadBytes)
+	onAir := (air - n.cfg.Radio.StartupTime).Seconds()
+	wantTx := float64(1+(20-1)/p0.RoundsBetweenTx) * onAir
+	if !units.AlmostEqual(txTime, wantTx, 1e-6) {
+		t.Errorf("TX airtime in trace = %g s, want %g", txTime, wantTx)
+	}
+	burstTime := tr.XAbove(500) // above 0.5 mW: frontend bursts + TX
+	if burstTime < 20*n.cfg.Acq.BurstDuration().Seconds() {
+		t.Errorf("burst time %g below 20 bursts", burstTime)
+	}
+	if burstTime > 0.2*20*period {
+		t.Errorf("burst time %g implausibly large", burstTime)
+	}
+}
+
+func TestPowerTraceErrors(t *testing.T) {
+	n := defaultNode(t)
+	if _, err := n.PowerTrace(kmh(60), power.Nominal(), 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := n.PowerTrace(0, power.Nominal(), 5); err == nil {
+		t.Error("stationary trace accepted")
+	}
+}
+
+func TestPowerTraceHotterIsHigher(t *testing.T) {
+	n := defaultNode(t)
+	v := kmh(60)
+	cold, _ := n.PowerTrace(v, power.Nominal().WithTemp(units.DegC(0)), 3)
+	hot, _ := n.PowerTrace(v, power.Nominal().WithTemp(units.DegC(85)), 3)
+	if hot.Stats().Min <= cold.Stats().Min {
+		t.Errorf("hot baseline %g µW not above cold %g µW", hot.Stats().Min, cold.Stats().Min)
+	}
+}

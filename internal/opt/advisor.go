@@ -1,0 +1,111 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Recommendation is the advisor's verdict for one functional block: which
+// power component dominates its per-round energy given its duty cycle, and
+// which class of technique is therefore worth applying — the paper's §II
+// selection rule made executable.
+type Recommendation struct {
+	// Role is the block being advised on.
+	Role node.Role
+	// Duty is the block's active fraction of a wheel round.
+	Duty float64
+	// DynamicShare is the dynamic fraction of the block's round energy.
+	DynamicShare float64
+	// RestShare is the fraction of the block's round energy burnt in its
+	// rest state (idle/standby/leakage) — the temporal signal the paper
+	// adds on top of raw power figures.
+	RestShare float64
+	// ShareOfNode is the block's fraction of the whole node's round
+	// energy (prioritisation signal).
+	ShareOfNode float64
+	// OptimizeStatic advises attacking idle/static energy (deepen rest
+	// mode, power gate, clock gate the idle state).
+	OptimizeStatic bool
+	// OptimizeDynamic advises attacking active/dynamic energy (DVFS,
+	// microarchitectural work).
+	OptimizeDynamic bool
+	// Rationale explains the verdict in the paper's terms.
+	Rationale string
+}
+
+// Advisor thresholds: a block is "short duty cycle" below ShortDuty, and a
+// power component is worth attacking above ShareWorthwhile of the block's
+// round energy.
+const (
+	ShortDuty       = 0.05
+	ShareWorthwhile = 0.25
+)
+
+// Advise profiles every block of the node at cruising speed v and applies
+// the duty-cycle-aware rule: high dynamic share → optimize dynamic; but a
+// short duty cycle with a significant static share means the idle time
+// dominates the round, so static power must be optimized *too* — even for
+// blocks whose nameplate dynamic power dwarfs their leakage.
+func Advise(n *node.Node, v units.Speed, cond power.Conditions) ([]Recommendation, error) {
+	dcs, err := n.DutyCycles(v, cond)
+	if err != nil {
+		return nil, err
+	}
+	avg, err := n.AverageRound(v, cond)
+	if err != nil {
+		return nil, err
+	}
+	total := avg.Total().Joules()
+	period := n.RoundPeriod(v)
+	out := make([]Recommendation, 0, len(dcs))
+	for _, dc := range dcs {
+		rec := Recommendation{
+			Role:         dc.Role,
+			Duty:         dc.Active,
+			DynamicShare: dc.DynamicShare,
+		}
+		var blockTotal float64
+		if bd, ok := avg.PerBlock[dc.Role]; ok {
+			blockTotal = bd.Total().Joules()
+			if total > 0 {
+				rec.ShareOfNode = blockTotal / total
+			}
+		}
+		// Energy burnt outside the active slot per round (idle / standby /
+		// retention), as a fraction of the block's round energy.
+		if blockTotal > 0 && dc.Active < 1 {
+			restEnergy := dc.RestPower.OverTime(period).Joules() * (1 - dc.Active)
+			rec.RestShare = units.Clamp(restEnergy/blockTotal, 0, 1)
+		}
+		activeShare := 1 - rec.RestShare
+		switch {
+		case dc.Active >= 1:
+			// Always-on block: only its standing power can be reduced.
+			rec.OptimizeStatic = true
+			rec.Rationale = "always on: reduce standing power"
+		case dc.Active < ShortDuty && rec.RestShare >= ShareWorthwhile:
+			// The paper's example: high active power but a short duty
+			// cycle → the idle time dominates the round, so the static /
+			// standby consumption must be optimized too.
+			rec.OptimizeStatic = true
+			rec.OptimizeDynamic = activeShare >= ShareWorthwhile
+			rec.Rationale = fmt.Sprintf(
+				"short duty cycle (%.2f%%): idle time dominates the round, optimize static/standby power too",
+				dc.Active*100)
+		case activeShare >= ShareWorthwhile:
+			rec.OptimizeDynamic = true
+			rec.OptimizeStatic = rec.RestShare >= ShareWorthwhile
+			rec.Rationale = "active-burst energy dominates: optimize the dynamic power"
+		case rec.RestShare >= ShareWorthwhile:
+			rec.OptimizeStatic = true
+			rec.Rationale = "standby energy dominates: deepen the rest state"
+		default:
+			rec.Rationale = "no component worth attacking"
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

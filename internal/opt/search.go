@@ -1,0 +1,242 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/balance"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Result records what a search found.
+type Result struct {
+	// Node is the optimized architecture.
+	Node *node.Node
+	// Applied names the technique instances in application order.
+	Applied []string
+	// Baseline and Optimized are the objective values before and after
+	// (per-round energy in joules for MinimizeEnergy; break-even speed in
+	// m/s for MinimizeBreakEven).
+	Baseline, Optimized float64
+}
+
+// Improvement returns the relative objective reduction (0.3 = 30% better).
+func (r Result) Improvement() float64 {
+	if r.Baseline == 0 {
+		return 0
+	}
+	return (r.Baseline - r.Optimized) / r.Baseline
+}
+
+// maxExhaustiveCandidates caps the exhaustive subset search; beyond it
+// MinimizeEnergy falls back to greedy.
+const maxExhaustiveCandidates = 14
+
+// MinimizeEnergy finds the admissible technique combination (at most one
+// per slot) with the lowest per-round energy at cruising speed v. Up to
+// maxExhaustiveCandidates candidates the search is exhaustive; beyond
+// that it degrades to greedy. Techniques whose Apply fails on the current
+// architecture are skipped, never fatal.
+func MinimizeEnergy(n *node.Node, cands []Technique, v units.Speed, cond power.Conditions) (Result, error) {
+	base, err := n.AverageRound(v, cond)
+	if err != nil {
+		return Result{}, err
+	}
+	eval := func(nd *node.Node) (float64, error) {
+		bd, err := nd.AverageRound(v, cond)
+		if err != nil {
+			return 0, err
+		}
+		return bd.Total().Joules(), nil
+	}
+	res := Result{Node: n, Baseline: base.Total().Joules(), Optimized: base.Total().Joules()}
+	if len(cands) <= maxExhaustiveCandidates {
+		best, applied, obj := exhaustive(n, cands, eval, res.Baseline)
+		res.Node, res.Applied, res.Optimized = best, applied, obj
+		return res, nil
+	}
+	best, applied, obj := greedy(n, cands, eval, res.Baseline)
+	res.Node, res.Applied, res.Optimized = best, applied, obj
+	return res, nil
+}
+
+// MinimizeBreakEven greedily applies the technique that most lowers the
+// break-even speed within [vmin, vmax] until no candidate improves it —
+// the paper's stated challenge: "reduce the minimum speed for the
+// monitoring system activation".
+func MinimizeBreakEven(az *balance.Analyzer, cands []Technique, vmin, vmax units.Speed) (Result, error) {
+	eval := func(nd *node.Node) (float64, error) {
+		a2, err := az.WithNode(nd)
+		if err != nil {
+			return 0, err
+		}
+		be, err := a2.BreakEven(vmin, vmax)
+		if err != nil {
+			return 0, err
+		}
+		return be.Speed.MS(), nil
+	}
+	base, err := eval(az.Node())
+	if err != nil {
+		return Result{}, fmt.Errorf("opt: baseline break-even: %w", err)
+	}
+	best, applied, obj := greedy(az.Node(), cands, eval, base)
+	return Result{Node: best, Applied: applied, Baseline: base, Optimized: obj}, nil
+}
+
+// objective evaluates a node; an error marks the candidate inadmissible.
+type objective func(*node.Node) (float64, error)
+
+// exhaustive tries every slot-respecting subset of cands.
+func exhaustive(n *node.Node, cands []Technique, eval objective, baseObj float64) (*node.Node, []string, float64) {
+	bestNode, bestObj := n, baseObj
+	var bestApplied []string
+	var walk func(idx int, cur *node.Node, used map[string]bool, applied []string)
+	walk = func(idx int, cur *node.Node, used map[string]bool, applied []string) {
+		if idx == len(cands) {
+			return
+		}
+		// Skip candidate idx.
+		walk(idx+1, cur, used, applied)
+		c := cands[idx]
+		if used[c.Slot] {
+			return
+		}
+		next, err := c.Apply(cur)
+		if err != nil {
+			return
+		}
+		obj, err := eval(next)
+		if err != nil {
+			return
+		}
+		nextApplied := append(append([]string(nil), applied...), c.Name)
+		if obj < bestObj {
+			bestNode, bestObj = next, obj
+			bestApplied = nextApplied
+		}
+		used[c.Slot] = true
+		walk(idx+1, next, used, nextApplied)
+		delete(used, c.Slot)
+	}
+	walk(0, n, make(map[string]bool), nil)
+	return bestNode, bestApplied, bestObj
+}
+
+// greedy repeatedly applies the single best-improving candidate until no
+// candidate improves the objective.
+func greedy(n *node.Node, cands []Technique, eval objective, baseObj float64) (*node.Node, []string, float64) {
+	cur, curObj := n, baseObj
+	used := make(map[string]bool)
+	var applied []string
+	for {
+		bestIdx := -1
+		var bestNode *node.Node
+		bestObj := curObj
+		for i, c := range cands {
+			if used[c.Slot] {
+				continue
+			}
+			next, err := c.Apply(cur)
+			if err != nil {
+				continue
+			}
+			obj, err := eval(next)
+			if err != nil {
+				continue
+			}
+			if obj < bestObj {
+				bestIdx, bestNode, bestObj = i, next, obj
+			}
+		}
+		if bestIdx < 0 {
+			return cur, applied, curObj
+		}
+		used[cands[bestIdx].Slot] = true
+		applied = append(applied, cands[bestIdx].Name)
+		cur, curObj = bestNode, bestObj
+	}
+}
+
+// ApplyAll applies the named techniques in order, failing on the first
+// inapplicable one — used to re-materialise a search result from its
+// Applied list.
+func ApplyAll(n *node.Node, cands []Technique, names []string) (*node.Node, error) {
+	byName := make(map[string]Technique, len(cands))
+	for _, c := range cands {
+		byName[c.Name] = c
+	}
+	cur := n
+	for _, name := range names {
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("opt: unknown technique %q", name)
+		}
+		next, err := c.Apply(cur)
+		if err != nil {
+			return nil, fmt.Errorf("opt: applying %q: %w", name, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Marginal is one candidate's standalone effect on the objective.
+type Marginal struct {
+	// Name is the technique instance.
+	Name string
+	// Kind classifies it.
+	Kind Kind
+	// DeltaKMH is the break-even change when the technique is applied
+	// alone to the baseline (negative = improvement).
+	DeltaKMH float64
+	// Applicable is false when Apply failed on this architecture.
+	Applicable bool
+}
+
+// MarginalAnalysis evaluates every candidate standalone against the
+// baseline break-even — the "which single technique buys the most" table
+// a designer reads before committing to a combination. Results are
+// sorted most-improving first; inapplicable candidates sort last.
+func MarginalAnalysis(az *balance.Analyzer, cands []Technique, vmin, vmax units.Speed) ([]Marginal, error) {
+	base, err := az.BreakEven(vmin, vmax)
+	if err != nil {
+		return nil, fmt.Errorf("opt: baseline break-even: %w", err)
+	}
+	out := make([]Marginal, 0, len(cands))
+	for _, c := range cands {
+		m := Marginal{Name: c.Name, Kind: c.Kind}
+		if nd, err := c.Apply(az.Node()); err == nil {
+			if a2, err := az.WithNode(nd); err == nil {
+				if be, err := a2.BreakEven(vmin, vmax); err == nil {
+					m.Applicable = true
+					m.DeltaKMH = be.Speed.KMH() - base.Speed.KMH()
+				}
+			}
+		}
+		out = append(out, m)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Applicable != out[j].Applicable {
+			return out[i].Applicable
+		}
+		return out[i].DeltaKMH < out[j].DeltaKMH
+	})
+	return out, nil
+}
+
+// BreakEvenOf is a convenience reporting the break-even speed of a node
+// under an analyzer's source/ambient, in km/h.
+func BreakEvenOf(az *balance.Analyzer, nd *node.Node, vmin, vmax units.Speed) (float64, error) {
+	a2, err := az.WithNode(nd)
+	if err != nil {
+		return 0, err
+	}
+	be, err := a2.BreakEven(vmin, vmax)
+	if err != nil {
+		return 0, err
+	}
+	return be.Speed.KMH(), nil
+}

@@ -1,0 +1,340 @@
+// Package opt implements the optimization step of the paper's energy
+// analysis flow: selecting, per functional block, the technique that
+// actually reduces *energy* given the block's duty cycle over a wheel
+// round — not merely its power. The paper's §II example is the guiding
+// rule: "if we consider a functional block with high dynamic power and a
+// low leakage power we normally optimize the dynamic power only; but if
+// the block has a short duty cycle, it is worth optimizing the static
+// power too, since the idle time is significant."
+//
+// The package provides a technique catalogue (rest-mode deepening /
+// power gating, clock gating of idle states, DVFS, transmission
+// aggregation, acquisition trimming), a duty-cycle-aware advisor that
+// reproduces the paper's selection rule, and search routines that
+// minimise per-round energy or the break-even speed under data-quality
+// and latency constraints.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/block"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/rf"
+	"repro/internal/units"
+)
+
+// Technique is one applicable architecture transformation. Techniques are
+// pure: Apply returns a new node and never mutates its input.
+type Technique struct {
+	// Name identifies the concrete technique instance in reports,
+	// e.g. "power-gate-mcu" or "dvfs-mcu-2MHz".
+	Name string
+	// Slot groups mutually exclusive instances (two techniques sharing a
+	// slot touch the same knob and cannot be combined).
+	Slot string
+	// Kind classifies what the technique optimises.
+	Kind Kind
+	// Apply performs the transformation.
+	Apply func(*node.Node) (*node.Node, error)
+}
+
+// Kind classifies techniques by the power component they attack.
+type Kind int
+
+const (
+	// KindStatic techniques reduce idle/static energy (rest-mode
+	// deepening, power gating, idle clock gating).
+	KindStatic Kind = iota
+	// KindDynamic techniques reduce active/dynamic energy (DVFS).
+	KindDynamic
+	// KindDuty techniques reduce how much work is done per round
+	// (TX aggregation, acquisition trimming).
+	KindDuty
+)
+
+// String names the kind for reports.
+func (k Kind) String() string {
+	switch k {
+	case KindStatic:
+		return "static"
+	case KindDynamic:
+		return "dynamic"
+	case KindDuty:
+		return "duty"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Constraints bound what the search may trade away.
+type Constraints struct {
+	// MaxDataAge is the loosest tolerable telemetry latency; TX
+	// aggregation candidates stay within it. Zero forbids relaxing the
+	// transmission policy.
+	MaxDataAge units.Seconds
+	// MinSamples is the acquisition quality floor; sample-trimming
+	// candidates stay at or above it. Zero forbids trimming.
+	MinSamples int
+}
+
+// DefaultConstraints allow 5 s data age and 16-sample acquisition.
+func DefaultConstraints() Constraints {
+	return Constraints{MaxDataAge: units.Sec(5), MinSamples: 16}
+}
+
+// DeepenRest returns a technique moving role's rest state to the given
+// deeper mode (power gating / retention sleep).
+func DeepenRest(role node.Role, to block.Mode) Technique {
+	return Technique{
+		Name: fmt.Sprintf("deepen-rest-%s-%s", role, to),
+		Slot: "rest:" + string(role),
+		Kind: KindStatic,
+		Apply: func(n *node.Node) (*node.Node, error) {
+			return n.WithRestMode(role, to)
+		},
+	}
+}
+
+// ClockGateIdle returns a technique that gates the clock tree of role's
+// idle mode, removing the given fraction of the idle dynamic power.
+func ClockGateIdle(role node.Role, fraction float64) Technique {
+	return Technique{
+		Name: fmt.Sprintf("clock-gate-%s", role),
+		Slot: "rest:" + string(role),
+		Kind: KindStatic,
+		Apply: func(n *node.Node) (*node.Node, error) {
+			if fraction <= 0 || fraction > 1 {
+				return nil, fmt.Errorf("opt: clock-gate fraction %g outside (0, 1]", fraction)
+			}
+			blk := n.Block(role)
+			spec, err := blk.Spec(block.Idle)
+			if err != nil {
+				return nil, fmt.Errorf("opt: clock gating %q: %w", role, err)
+			}
+			model := spec.Model
+			model.Dynamic.Nominal = units.Power(model.Dynamic.Nominal.Watts() * (1 - fraction))
+			gated, err := blk.WithModeModel(block.Idle, model)
+			if err != nil {
+				return nil, err
+			}
+			return n.WithBlock(role, gated)
+		},
+	}
+}
+
+// DVFS returns a technique running the MCU/SRAM clock domain at the given
+// frequency with the supply scaled along the alpha-power rule (clamped to
+// vmin). Active dynamic power scales with (V/V0)²·(f/f0); the compute
+// time stretches accordingly via the node's schedule.
+func DVFS(freq units.Frequency, vth, vmin units.Voltage) Technique {
+	return Technique{
+		Name: fmt.Sprintf("dvfs-mcu-%v", freq),
+		Slot: "dvfs",
+		Kind: KindDynamic,
+		Apply: func(n *node.Node) (*node.Node, error) {
+			cfg := n.Config()
+			if freq <= 0 || freq > cfg.MCUClock {
+				return nil, fmt.Errorf("opt: DVFS frequency %v outside (0, %v]", freq, cfg.MCUClock)
+			}
+			// Rebuild the config atomically: the node validates that the
+			// MCU/SRAM active clocks agree with MCUClock, so the blocks
+			// and the clock must change together.
+			for _, role := range []node.Role{node.RoleMCU, node.RoleSRAM} {
+				scaled, err := scaleBlockForDVFS(cfg.Blocks[role], cfg.MCUClock, freq, vth, vmin)
+				if err != nil {
+					return nil, fmt.Errorf("opt: DVFS on %q: %w", role, err)
+				}
+				cfg.Blocks[role] = scaled
+			}
+			cfg.MCUClock = freq
+			return node.New(cfg)
+		},
+	}
+}
+
+// scaleBlockForDVFS rescales a block's clocked modes to the new operating
+// point: dynamic nominal power × (V'/V0)²·(f'/f0), clock set to f'.
+func scaleBlockForDVFS(blk *block.Block, f0, f units.Frequency, vth, vmin units.Voltage) (*block.Block, error) {
+	cur := blk
+	for _, mode := range blk.Modes() {
+		spec, err := blk.Spec(mode)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Clock <= 0 {
+			continue // unclocked mode: unaffected
+		}
+		v0 := spec.Model.Dynamic.NominalVdd
+		if v0 <= 0 {
+			v0 = units.Volts(1.8)
+		}
+		vNew := power.VddForFrequency(v0, f0, f, vth, vmin)
+		vr := vNew.Volts() / v0.Volts()
+		fr := f.Hertz() / f0.Hertz()
+		model := spec.Model
+		model.Dynamic.Nominal = units.Power(model.Dynamic.Nominal.Watts() * vr * vr * fr)
+		// Leakage scales with the lower rail too.
+		k := model.Leakage.VddExponent
+		if k == 0 {
+			k = power.DefaultVddExponent
+		}
+		leakScale := 1.0
+		for i := 0; i < int(k); i++ {
+			leakScale *= vr
+		}
+		model.Leakage.Nominal = units.Power(model.Leakage.Nominal.Watts() * leakScale)
+		cur, err = cur.WithModeModel(mode, model)
+		if err != nil {
+			return nil, err
+		}
+		cur, err = cur.WithModeClock(mode, f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// AggregateTx returns a technique relaxing the transmission policy to the
+// given data-age target (packets aggregate over more rounds).
+func AggregateTx(target units.Seconds) Technique {
+	return Technique{
+		Name: fmt.Sprintf("tx-aggregate-%v", target),
+		Slot: "tx",
+		Kind: KindDuty,
+		Apply: func(n *node.Node) (*node.Node, error) {
+			if target <= 0 {
+				return nil, fmt.Errorf("opt: non-positive TX aggregation target %v", target)
+			}
+			return n.WithTxPolicy(rf.MaxLatency{Target: target})
+		},
+	}
+}
+
+// TrimSamples returns a technique reducing the per-round acquisition to n
+// samples.
+func TrimSamples(n int) Technique {
+	return Technique{
+		Name: fmt.Sprintf("trim-samples-%d", n),
+		Slot: "acq",
+		Kind: KindDuty,
+		Apply: func(nd *node.Node) (*node.Node, error) {
+			if n <= 0 {
+				return nil, fmt.Errorf("opt: non-positive sample count %d", n)
+			}
+			cfg := nd.Config()
+			if n >= cfg.Acq.SamplesPerRound {
+				return nil, fmt.Errorf("opt: trim to %d is not below current %d samples",
+					n, cfg.Acq.SamplesPerRound)
+			}
+			return nd.WithAcquisition(cfg.Acq.WithSamples(n))
+		},
+	}
+}
+
+// CompressPayload returns a technique that compresses the telemetry
+// payload to ceil(ratio × bytes) in exchange for extra MCU work,
+// modelled as an incremental (per-round) encoder costing cyclesPerByte ×
+// original payload bytes each round. Fewer bits on the air trade against
+// more computing — worthwhile exactly when the radio dominates the
+// round budget (low speed, frequent packets).
+func CompressPayload(ratio, cyclesPerByte float64) Technique {
+	return Technique{
+		Name: fmt.Sprintf("compress-payload-%.2f", ratio),
+		Slot: "payload",
+		Kind: KindDuty,
+		Apply: func(n *node.Node) (*node.Node, error) {
+			if ratio <= 0 || ratio >= 1 {
+				return nil, fmt.Errorf("opt: compression ratio %g outside (0, 1)", ratio)
+			}
+			if cyclesPerByte < 0 {
+				return nil, fmt.Errorf("opt: negative compression cost %g cycles/byte", cyclesPerByte)
+			}
+			cfg := n.Config()
+			if cfg.PayloadBytes < 2 {
+				return nil, fmt.Errorf("opt: payload of %d bytes too small to compress", cfg.PayloadBytes)
+			}
+			orig := cfg.PayloadBytes
+			compressed := int(math.Ceil(float64(orig) * ratio))
+			if compressed >= orig {
+				return nil, fmt.Errorf("opt: ratio %g does not shrink a %d-byte payload", ratio, orig)
+			}
+			cfg.PayloadBytes = compressed
+			cfg.Compute.BaseCyclesPerRound += cyclesPerByte * float64(orig)
+			return node.New(cfg)
+		},
+	}
+}
+
+// Candidates builds the applicable technique instances for the node under
+// the given constraints. Duplicate slots are expected (e.g. several DVFS
+// points); the search combines at most one instance per slot.
+func Candidates(n *node.Node, cons Constraints) []Technique {
+	var out []Technique
+	// Rest-mode deepening: any duty-cycled block whose rest state is
+	// shallower than the deepest mode it offers.
+	depth := map[block.Mode]int{block.Active: 0, block.Idle: 1, block.Sleep: 2, block.Off: 3}
+	for _, role := range []node.Role{node.RoleFrontend, node.RoleMCU, node.RoleSRAM, node.RoleNVM, node.RoleRadio} {
+		blk := n.Block(role)
+		rest := n.RestMode(role)
+		deepest := rest
+		for _, m := range blk.Modes() {
+			if depth[m] > depth[deepest] {
+				deepest = m
+			}
+		}
+		if deepest != rest {
+			out = append(out, DeepenRest(role, deepest))
+		}
+		// Clock gating applies when the block idles with residual
+		// dynamic power and idling is its rest state.
+		if rest == block.Idle {
+			if spec, err := blk.Spec(block.Idle); err == nil && spec.Model.Dynamic.Nominal > 0 {
+				out = append(out, ClockGateIdle(role, 0.9))
+			}
+		}
+	}
+	// DVFS points at half / quarter the current clock.
+	cfg := n.Config()
+	vth, vmin := units.Volts(0.4), units.Volts(0.9)
+	for _, div := range []float64{2, 4} {
+		f := units.Frequency(cfg.MCUClock.Hertz() / div)
+		out = append(out, DVFS(f, vth, vmin))
+	}
+	// TX aggregation within the latency budget.
+	if cur, ok := cfg.TxPolicy.(rf.MaxLatency); !ok || cons.MaxDataAge > cur.Target {
+		if cons.MaxDataAge > 0 {
+			out = append(out, AggregateTx(cons.MaxDataAge))
+		}
+	}
+	// Acquisition trimming down to the quality floor.
+	if cons.MinSamples > 0 && cons.MinSamples < cfg.Acq.SamplesPerRound {
+		out = append(out, TrimSamples(cons.MinSamples))
+	}
+	// Lossless payload compression (delta/entropy coding of the sample
+	// stream): a 2:1 ratio at a modest per-round encoding cost.
+	if cfg.PayloadBytes >= 8 {
+		out = append(out, CompressPayload(0.5, 40))
+	}
+	return out
+}
+
+// FilterKind returns the candidates of the given kinds — e.g. the
+// "naive, dynamic-power-only" optimizer of experiment E2 uses
+// FilterKind(cands, KindDynamic).
+func FilterKind(cands []Technique, kinds ...Kind) []Technique {
+	keep := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		keep[k] = true
+	}
+	var out []Technique
+	for _, c := range cands {
+		if keep[c.Kind] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

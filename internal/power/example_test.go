@@ -1,0 +1,43 @@
+package power_test
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func ExampleLeakage_Power() {
+	// Leakage doubles roughly every 12.5 °C: compare 25 °C and 85 °C.
+	leak := power.Leakage{
+		Nominal:    units.Microwatts(2),
+		RefTemp:    units.DegC(25),
+		NominalVdd: units.Volts(1.8),
+	}
+	cold := leak.Power(power.Nominal())
+	hot := leak.Power(power.Nominal().WithTemp(units.DegC(85)))
+	fmt.Printf("25°C: %v, 85°C: %v (×%.0f)\n", cold, hot, hot.Watts()/cold.Watts())
+	// Output: 25°C: 2µW, 85°C: 55.8µW (×28)
+}
+
+func ExampleDynamic_Power() {
+	// αCV²f scaling: halving the supply quarters the switching power.
+	dyn := power.Dynamic{
+		Nominal:     units.Microwatts(300),
+		NominalVdd:  units.Volts(1.8),
+		NominalFreq: units.Megahertz(8),
+	}
+	full := dyn.Power(power.Nominal(), units.Megahertz(8))
+	half := dyn.Power(power.Nominal().WithVdd(units.Volts(0.9)), units.Megahertz(8))
+	fmt.Println(full, half)
+	// Output: 300µW 75µW
+}
+
+func ExampleVddForFrequency() {
+	// DVFS rule: the supply needed to run at 2 MHz instead of 8 MHz.
+	v := power.VddForFrequency(
+		units.Volts(1.8), units.Megahertz(8), units.Megahertz(2),
+		units.Volts(0.4), units.Volts(0.9))
+	fmt.Println(v)
+	// Output: 900mV
+}

@@ -1,0 +1,275 @@
+// Package power implements the per-block power models the paper's analysis
+// flow consumes: dynamic switching power (αCV²f), static leakage with its
+// exponential temperature dependence, supply-voltage scaling, and process
+// corners. The paper (§II) stresses that dynamic power is linked to the
+// operating mode and required performance while static power is mainly
+// linked to the working temperature — both dependencies are first-class
+// here.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Corner is a process corner. Leakage varies strongly across corners
+// (fast transistors leak more); dynamic power varies mildly.
+type Corner int
+
+const (
+	// TT is the typical corner (nominal).
+	TT Corner = iota
+	// FF is the fast corner: low thresholds, highest leakage.
+	FF
+	// SS is the slow corner: high thresholds, lowest leakage.
+	SS
+)
+
+// String returns the conventional two-letter corner name.
+func (c Corner) String() string {
+	switch c {
+	case TT:
+		return "TT"
+	case FF:
+		return "FF"
+	case SS:
+		return "SS"
+	default:
+		return fmt.Sprintf("Corner(%d)", int(c))
+	}
+}
+
+// ParseCorner converts a corner name ("TT", "FF", "SS") to a Corner.
+func ParseCorner(s string) (Corner, error) {
+	switch s {
+	case "TT", "tt":
+		return TT, nil
+	case "FF", "ff":
+		return FF, nil
+	case "SS", "ss":
+		return SS, nil
+	default:
+		return TT, fmt.Errorf("power: unknown process corner %q", s)
+	}
+}
+
+// Corners lists all modelled corners, typical first.
+func Corners() []Corner { return []Corner{TT, FF, SS} }
+
+// leakageCornerMult is the leakage multiplier vs TT — ~2.2× at FF and
+// ~0.45× at SS, representative of a 90 nm-class low-power process.
+func leakageCornerMult(c Corner) float64 {
+	switch c {
+	case FF:
+		return 2.2
+	case SS:
+		return 0.45
+	default:
+		return 1.0
+	}
+}
+
+// dynamicCornerMult is the (mild) dynamic-power multiplier vs TT, from
+// corner capacitance/slew differences.
+func dynamicCornerMult(c Corner) float64 {
+	switch c {
+	case FF:
+		return 1.05
+	case SS:
+		return 0.95
+	default:
+		return 1.0
+	}
+}
+
+// Conditions bundles the working conditions the paper's "dynamic
+// spreadsheet" is parameterised on: circuit temperature, supply voltage
+// and process corner.
+type Conditions struct {
+	Temp   units.Celsius
+	Vdd    units.Voltage
+	Corner Corner
+}
+
+// Nominal returns the reference working conditions used throughout the
+// toolkit: 25 °C, 1.8 V, typical corner.
+func Nominal() Conditions {
+	return Conditions{Temp: units.DegC(25), Vdd: units.Volts(1.8), Corner: TT}
+}
+
+// WithTemp returns a copy of c at the given temperature.
+func (c Conditions) WithTemp(t units.Celsius) Conditions { c.Temp = t; return c }
+
+// WithVdd returns a copy of c at the given supply voltage.
+func (c Conditions) WithVdd(v units.Voltage) Conditions { c.Vdd = v; return c }
+
+// WithCorner returns a copy of c at the given process corner.
+func (c Conditions) WithCorner(k Corner) Conditions { c.Corner = k; return c }
+
+// String renders the conditions compactly, e.g. "25°C/1.8V/TT".
+func (c Conditions) String() string {
+	return fmt.Sprintf("%v/%v/%v", c.Temp, c.Vdd, c.Corner)
+}
+
+// Dynamic models switching power: P = α · C_eff · Vdd² · f, referenced to a
+// nominal operating point so that a block can be characterised once and
+// re-evaluated under scaled conditions.
+type Dynamic struct {
+	// Nominal is the dynamic power at NominalVdd and NominalFreq, TT.
+	Nominal units.Power
+	// NominalVdd is the characterisation supply voltage.
+	NominalVdd units.Voltage
+	// NominalFreq is the characterisation clock frequency.
+	NominalFreq units.Frequency
+}
+
+// Validate reports whether the model parameters are physically meaningful.
+// The zero value is valid and models "no dynamic power" (e.g. a powered-off
+// mode).
+func (d Dynamic) Validate() error {
+	if d.Nominal < 0 {
+		return fmt.Errorf("power: negative nominal dynamic power %v", d.Nominal)
+	}
+	if d.Nominal == 0 {
+		return nil
+	}
+	if d.NominalVdd <= 0 {
+		return fmt.Errorf("power: non-positive nominal Vdd %v", d.NominalVdd)
+	}
+	if d.NominalFreq <= 0 {
+		return fmt.Errorf("power: non-positive nominal frequency %v", d.NominalFreq)
+	}
+	return nil
+}
+
+// Power evaluates dynamic power under the given conditions at clock
+// frequency f, scaling with (Vdd/V0)² · (f/f0) and the corner multiplier.
+func (d Dynamic) Power(cond Conditions, f units.Frequency) units.Power {
+	if f <= 0 || d.Nominal == 0 {
+		return 0
+	}
+	vr := cond.Vdd.Volts() / d.NominalVdd.Volts()
+	fr := f.Hertz() / d.NominalFreq.Hertz()
+	return units.Power(d.Nominal.Watts() * vr * vr * fr * dynamicCornerMult(cond.Corner))
+}
+
+// EnergyPerCycle returns the switching energy of one clock cycle at the
+// given conditions (α·C·Vdd², frequency-independent).
+func (d Dynamic) EnergyPerCycle(cond Conditions) units.Energy {
+	if d.NominalFreq <= 0 {
+		return 0
+	}
+	p := d.Power(cond, d.NominalFreq)
+	return p.OverTime(d.NominalFreq.Period())
+}
+
+// DefaultThetaC is the default exponential leakage temperature constant in
+// °C: leakage doubles roughly every 12.5 °C, i.e. θ = 12.5/ln 2 ≈ 18 °C,
+// representative of deep-submicron low-power CMOS.
+const DefaultThetaC = 18.03
+
+// DefaultVddExponent is the default leakage supply-voltage exponent
+// (DIBL-dominated sub-threshold leakage grows super-linearly in Vdd).
+const DefaultVddExponent = 2.0
+
+// Leakage models static power: P = P0 · (Vdd/V0)^k · exp((T−T0)/θ) · corner.
+type Leakage struct {
+	// Nominal is the leakage power at RefTemp, NominalVdd, TT.
+	Nominal units.Power
+	// RefTemp is the characterisation temperature.
+	RefTemp units.Celsius
+	// NominalVdd is the characterisation supply voltage.
+	NominalVdd units.Voltage
+	// ThetaC is the exponential temperature constant in °C; if zero,
+	// DefaultThetaC applies.
+	ThetaC float64
+	// VddExponent is the supply-voltage exponent; if zero,
+	// DefaultVddExponent applies.
+	VddExponent float64
+}
+
+// Validate reports whether the model parameters are physically meaningful.
+// The zero value is valid and models "no leakage" (e.g. a power-gated
+// domain that is fully cut).
+func (l Leakage) Validate() error {
+	if l.Nominal < 0 {
+		return fmt.Errorf("power: negative nominal leakage %v", l.Nominal)
+	}
+	if l.Nominal == 0 {
+		return nil
+	}
+	if l.NominalVdd <= 0 {
+		return fmt.Errorf("power: non-positive leakage nominal Vdd %v", l.NominalVdd)
+	}
+	if l.ThetaC < 0 {
+		return fmt.Errorf("power: negative leakage theta %g", l.ThetaC)
+	}
+	if l.VddExponent < 0 {
+		return fmt.Errorf("power: negative leakage Vdd exponent %g", l.VddExponent)
+	}
+	return nil
+}
+
+// Power evaluates static power under the given conditions.
+func (l Leakage) Power(cond Conditions) units.Power {
+	if l.Nominal == 0 {
+		return 0
+	}
+	theta := l.ThetaC
+	if theta == 0 {
+		theta = DefaultThetaC
+	}
+	k := l.VddExponent
+	if k == 0 {
+		k = DefaultVddExponent
+	}
+	vr := cond.Vdd.Volts() / l.NominalVdd.Volts()
+	if vr < 0 {
+		vr = 0
+	}
+	tFactor := math.Exp((cond.Temp.DegC() - l.RefTemp.DegC()) / theta)
+	return units.Power(l.Nominal.Watts() * math.Pow(vr, k) * tFactor * leakageCornerMult(cond.Corner))
+}
+
+// Model is the complete power model of one functional block mode:
+// dynamic + static.
+type Model struct {
+	Dynamic Dynamic
+	Leakage Leakage
+}
+
+// Validate checks both sub-models.
+func (m Model) Validate() error {
+	if err := m.Dynamic.Validate(); err != nil {
+		return err
+	}
+	return m.Leakage.Validate()
+}
+
+// Total returns dynamic + static power under the given conditions at
+// clock frequency f.
+func (m Model) Total(cond Conditions, f units.Frequency) units.Power {
+	return m.Dynamic.Power(cond, f) + m.Leakage.Power(cond)
+}
+
+// Split returns the dynamic and static components separately — the
+// paper's optimization advisor (§II) decides techniques from this split
+// together with the block's duty cycle.
+func (m Model) Split(cond Conditions, f units.Frequency) (dynamic, static units.Power) {
+	return m.Dynamic.Power(cond, f), m.Leakage.Power(cond)
+}
+
+// VddForFrequency returns the supply voltage needed to run at frequency f
+// given the nominal (V0, f0) operating point, using the common linear
+// alpha-power approximation f ∝ (V − Vth); the result is clamped to
+// [vmin, v0]. It is the voltage-scaling rule used by the DVFS technique.
+func VddForFrequency(v0 units.Voltage, f0, f units.Frequency, vth, vmin units.Voltage) units.Voltage {
+	if f0 <= 0 || f <= 0 {
+		return v0
+	}
+	ratio := f.Hertz() / f0.Hertz()
+	v := vth.Volts() + ratio*(v0.Volts()-vth.Volts())
+	return units.Volts(units.Clamp(v, vmin.Volts(), v0.Volts()))
+}

@@ -1,0 +1,259 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func nominalDynamic() Dynamic {
+	return Dynamic{
+		Nominal:     units.Microwatts(300),
+		NominalVdd:  units.Volts(1.8),
+		NominalFreq: units.Megahertz(8),
+	}
+}
+
+func nominalLeakage() Leakage {
+	return Leakage{
+		Nominal:    units.Microwatts(2),
+		RefTemp:    units.DegC(25),
+		NominalVdd: units.Volts(1.8),
+	}
+}
+
+func TestCornerString(t *testing.T) {
+	cases := map[Corner]string{TT: "TT", FF: "FF", SS: "SS", Corner(7): "Corner(7)"}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestParseCorner(t *testing.T) {
+	for _, s := range []string{"TT", "tt", "FF", "ff", "SS", "ss"} {
+		c, err := ParseCorner(s)
+		if err != nil {
+			t.Errorf("ParseCorner(%q) error: %v", s, err)
+		}
+		if !strings.EqualFold(c.String(), s) {
+			t.Errorf("ParseCorner(%q) = %v", s, c)
+		}
+	}
+	if _, err := ParseCorner("XX"); err == nil {
+		t.Error("ParseCorner(XX) did not fail")
+	}
+	if got := len(Corners()); got != 3 {
+		t.Errorf("Corners() returned %d corners", got)
+	}
+}
+
+func TestConditionsBuilders(t *testing.T) {
+	c := Nominal()
+	if c.Temp != units.DegC(25) || c.Vdd != units.Volts(1.8) || c.Corner != TT {
+		t.Fatalf("Nominal() = %+v", c)
+	}
+	c2 := c.WithTemp(units.DegC(85)).WithVdd(units.Volts(1.2)).WithCorner(FF)
+	if c2.Temp != units.DegC(85) || c2.Vdd != units.Volts(1.2) || c2.Corner != FF {
+		t.Errorf("builders = %+v", c2)
+	}
+	if c.Temp != units.DegC(25) {
+		t.Error("WithTemp mutated the receiver")
+	}
+	if s := c.String(); s != "25°C/1.8V/TT" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestDynamicNominalPoint(t *testing.T) {
+	d := nominalDynamic()
+	got := d.Power(Nominal(), units.Megahertz(8))
+	if !units.AlmostEqual(got.Microwatts(), 300, 1e-12) {
+		t.Errorf("power at nominal point = %v, want 300µW", got)
+	}
+}
+
+func TestDynamicScaling(t *testing.T) {
+	d := nominalDynamic()
+	// Half frequency → half power.
+	got := d.Power(Nominal(), units.Megahertz(4))
+	if !units.AlmostEqual(got.Microwatts(), 150, 1e-12) {
+		t.Errorf("half-frequency power = %v, want 150µW", got)
+	}
+	// Vdd 0.9 V (half) → quarter power.
+	got = d.Power(Nominal().WithVdd(units.Volts(0.9)), units.Megahertz(8))
+	if !units.AlmostEqual(got.Microwatts(), 75, 1e-12) {
+		t.Errorf("half-Vdd power = %v, want 75µW", got)
+	}
+	// FF corner slightly higher.
+	ff := d.Power(Nominal().WithCorner(FF), units.Megahertz(8))
+	ss := d.Power(Nominal().WithCorner(SS), units.Megahertz(8))
+	if ff <= d.Power(Nominal(), units.Megahertz(8)) || ss >= d.Power(Nominal(), units.Megahertz(8)) {
+		t.Errorf("corner ordering violated: FF=%v TT=300µW SS=%v", ff, ss)
+	}
+	if got := d.Power(Nominal(), 0); got != 0 {
+		t.Errorf("zero-frequency dynamic power = %v, want 0", got)
+	}
+}
+
+func TestDynamicEnergyPerCycle(t *testing.T) {
+	d := nominalDynamic()
+	e := d.EnergyPerCycle(Nominal())
+	want := 300e-6 / 8e6 // P/f
+	if !units.AlmostEqual(e.Joules(), want, 1e-12) {
+		t.Errorf("EnergyPerCycle = %v, want %g J", e, want)
+	}
+	if got := (Dynamic{}).EnergyPerCycle(Nominal()); got != 0 {
+		t.Errorf("zero model EnergyPerCycle = %v", got)
+	}
+}
+
+func TestDynamicValidate(t *testing.T) {
+	if err := nominalDynamic().Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []Dynamic{
+		{Nominal: -1, NominalVdd: 1.8, NominalFreq: 1e6},
+		{Nominal: 1e-6, NominalVdd: 0, NominalFreq: 1e6},
+		{Nominal: 1e-6, NominalVdd: 1.8, NominalFreq: 0},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+	if err := (Dynamic{}).Validate(); err != nil {
+		t.Errorf("zero dynamic model rejected: %v", err)
+	}
+}
+
+func TestLeakageTemperatureDependence(t *testing.T) {
+	l := nominalLeakage()
+	base := l.Power(Nominal())
+	if !units.AlmostEqual(base.Microwatts(), 2, 1e-12) {
+		t.Fatalf("leakage at reference = %v, want 2µW", base)
+	}
+	// +12.5 °C should roughly double (θ = 12.5/ln2).
+	hot := l.Power(Nominal().WithTemp(units.DegC(37.5)))
+	if ratio := hot.Watts() / base.Watts(); !units.AlmostEqual(ratio, 2, 0.01) {
+		t.Errorf("leakage ratio at +12.5°C = %g, want ≈2", ratio)
+	}
+	// Monotone increasing in temperature.
+	prev := l.Power(Nominal().WithTemp(units.DegC(-40)))
+	for temp := -30.0; temp <= 125; temp += 10 {
+		cur := l.Power(Nominal().WithTemp(units.DegC(temp)))
+		if cur <= prev {
+			t.Fatalf("leakage not monotone at %g°C: %v <= %v", temp, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLeakageVddAndCorner(t *testing.T) {
+	l := nominalLeakage()
+	// Default exponent 2: (0.9/1.8)² = 0.25.
+	low := l.Power(Nominal().WithVdd(units.Volts(0.9)))
+	if !units.AlmostEqual(low.Microwatts(), 0.5, 1e-9) {
+		t.Errorf("leakage at half Vdd = %v, want 0.5µW", low)
+	}
+	ff := l.Power(Nominal().WithCorner(FF))
+	ss := l.Power(Nominal().WithCorner(SS))
+	if !units.AlmostEqual(ff.Microwatts(), 2*2.2, 1e-9) {
+		t.Errorf("FF leakage = %v, want 4.4µW", ff)
+	}
+	if !units.AlmostEqual(ss.Microwatts(), 2*0.45, 1e-9) {
+		t.Errorf("SS leakage = %v, want 0.9µW", ss)
+	}
+	// Custom exponent.
+	l3 := l
+	l3.VddExponent = 3
+	got := l3.Power(Nominal().WithVdd(units.Volts(0.9)))
+	if !units.AlmostEqual(got.Microwatts(), 2*math.Pow(0.5, 3), 1e-9) {
+		t.Errorf("cubic-exponent leakage = %v", got)
+	}
+	// Negative voltage ratio clamps to zero rather than NaN.
+	if got := l.Power(Nominal().WithVdd(units.Volts(-1))); got != 0 {
+		t.Errorf("negative Vdd leakage = %v, want 0", got)
+	}
+}
+
+func TestLeakageValidate(t *testing.T) {
+	if err := nominalLeakage().Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []Leakage{
+		{Nominal: -1, NominalVdd: 1.8},
+		{Nominal: 1e-6, NominalVdd: 0},
+		{Nominal: 1e-6, NominalVdd: 1.8, ThetaC: -1},
+		{Nominal: 1e-6, NominalVdd: 1.8, VddExponent: -2},
+	}
+	for i, l := range bad {
+		if l.Validate() == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+	if err := (Leakage{}).Validate(); err != nil {
+		t.Errorf("zero leakage model rejected: %v", err)
+	}
+	if got := (Leakage{NominalVdd: 1.8}).Power(Nominal()); got != 0 {
+		t.Errorf("zero-nominal leakage = %v, want 0", got)
+	}
+}
+
+func TestModelTotalAndSplit(t *testing.T) {
+	m := Model{Dynamic: nominalDynamic(), Leakage: nominalLeakage()}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	total := m.Total(Nominal(), units.Megahertz(8))
+	dyn, stat := m.Split(Nominal(), units.Megahertz(8))
+	if !units.AlmostEqual(total.Watts(), dyn.Watts()+stat.Watts(), 1e-12) {
+		t.Errorf("Total %v != dyn %v + stat %v", total, dyn, stat)
+	}
+	if !units.AlmostEqual(total.Microwatts(), 302, 1e-9) {
+		t.Errorf("total = %v, want 302µW", total)
+	}
+	badDyn := m
+	badDyn.Dynamic.NominalVdd = 0
+	if badDyn.Validate() == nil {
+		t.Error("invalid dynamic accepted by Model.Validate")
+	}
+	badLeak := m
+	badLeak.Leakage.NominalVdd = 0
+	if badLeak.Validate() == nil {
+		t.Error("invalid leakage accepted by Model.Validate")
+	}
+}
+
+func TestVddForFrequency(t *testing.T) {
+	v0 := units.Volts(1.8)
+	f0 := units.Megahertz(8)
+	vth := units.Volts(0.4)
+	vmin := units.Volts(0.9)
+	// Full speed → nominal voltage.
+	if got := VddForFrequency(v0, f0, f0, vth, vmin); !units.AlmostEqual(got.Volts(), 1.8, 1e-12) {
+		t.Errorf("full-speed Vdd = %v", got)
+	}
+	// Half speed → Vth + 0.5·(V0−Vth) = 1.1 V.
+	if got := VddForFrequency(v0, f0, units.Megahertz(4), vth, vmin); !units.AlmostEqual(got.Volts(), 1.1, 1e-12) {
+		t.Errorf("half-speed Vdd = %v, want 1.1V", got)
+	}
+	// Very low frequency clamps at vmin.
+	if got := VddForFrequency(v0, f0, units.Hertz(1), vth, vmin); got != vmin {
+		t.Errorf("clamped Vdd = %v, want %v", got, vmin)
+	}
+	// Overclock clamps at v0.
+	if got := VddForFrequency(v0, f0, units.Megahertz(16), vth, vmin); got != v0 {
+		t.Errorf("overclock Vdd = %v, want %v", got, v0)
+	}
+	// Degenerate frequencies return v0.
+	if got := VddForFrequency(v0, 0, f0, vth, vmin); got != v0 {
+		t.Errorf("zero f0 Vdd = %v", got)
+	}
+	if got := VddForFrequency(v0, f0, 0, vth, vmin); got != v0 {
+		t.Errorf("zero f Vdd = %v", got)
+	}
+}

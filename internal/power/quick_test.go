@@ -1,0 +1,108 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func frac(v, lo, hi float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return lo
+	}
+	f := math.Abs(v) - math.Floor(math.Abs(v))
+	return lo + f*(hi-lo)
+}
+
+func TestQuickDynamicLinearInFrequency(t *testing.T) {
+	d := nominalDynamic()
+	f := func(fw, kw float64) bool {
+		fr := units.Hertz(frac(fw, 1e3, 20e6))
+		k := frac(kw, 0.1, 4)
+		p1 := d.Power(Nominal(), fr).Watts()
+		p2 := d.Power(Nominal(), units.Hertz(fr.Hertz()*k)).Watts()
+		return units.AlmostEqual(p2, p1*k, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDynamicQuadraticInVdd(t *testing.T) {
+	d := nominalDynamic()
+	f := func(vw float64) bool {
+		v := frac(vw, 0.5, 2.5)
+		p := d.Power(Nominal().WithVdd(units.Volts(v)), d.NominalFreq).Watts()
+		want := d.Nominal.Watts() * (v / 1.8) * (v / 1.8)
+		return units.AlmostEqual(p, want, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLeakageMonotoneInTemp(t *testing.T) {
+	l := nominalLeakage()
+	f := func(aw, bw float64) bool {
+		ta := frac(aw, -40, 125)
+		tb := frac(bw, -40, 125)
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		pa := l.Power(Nominal().WithTemp(units.DegC(ta)))
+		pb := l.Power(Nominal().WithTemp(units.DegC(tb)))
+		return pa <= pb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLeakageCornerOrdering(t *testing.T) {
+	l := nominalLeakage()
+	f := func(tw, vw float64) bool {
+		cond := Nominal().
+			WithTemp(units.DegC(frac(tw, -40, 125))).
+			WithVdd(units.Volts(frac(vw, 0.9, 2.0)))
+		ss := l.Power(cond.WithCorner(SS))
+		tt := l.Power(cond.WithCorner(TT))
+		ff := l.Power(cond.WithCorner(FF))
+		return ss < tt && tt < ff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVddForFrequencyBounded(t *testing.T) {
+	v0 := units.Volts(1.8)
+	f0 := units.Megahertz(8)
+	vth := units.Volts(0.4)
+	vmin := units.Volts(0.9)
+	f := func(fw float64) bool {
+		target := units.Hertz(frac(fw, 1, 30e6))
+		v := VddForFrequency(v0, f0, target, vth, vmin)
+		return v >= vmin && v <= v0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTotalIsSumOfSplit(t *testing.T) {
+	m := Model{Dynamic: nominalDynamic(), Leakage: nominalLeakage()}
+	f := func(tw, vw, fw float64) bool {
+		cond := Nominal().
+			WithTemp(units.DegC(frac(tw, -40, 125))).
+			WithVdd(units.Volts(frac(vw, 0.9, 2.0)))
+		fr := units.Hertz(frac(fw, 1e3, 20e6))
+		total := m.Total(cond, fr).Watts()
+		d, s := m.Split(cond, fr)
+		return units.AlmostEqual(total, d.Watts()+s.Watts(), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Table is a profile backed by sampled (time, speed) pairs — the shape a
+// recorded in-vehicle speed log has. It interpolates linearly between
+// samples.
+type Table struct {
+	series *trace.Series // x: seconds, y: km/h
+}
+
+// NewTable wraps a sampled speed series (x seconds, y km/h). The series
+// must have at least one sample and no negative speeds.
+func NewTable(s *trace.Series) (*Table, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, fmt.Errorf("profile: empty speed table")
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Y(i) < 0 {
+			return nil, fmt.Errorf("profile: negative speed %g km/h at t=%gs", s.Y(i), s.X(i))
+		}
+	}
+	return &Table{series: s}, nil
+}
+
+// SpeedAt evaluates the table at time t.
+func (tb *Table) SpeedAt(t units.Seconds) units.Speed {
+	return units.KilometersPerHour(tb.series.At(t.Seconds()))
+}
+
+// Duration returns the time span covered by the table.
+func (tb *Table) Duration() units.Seconds {
+	n := tb.series.Len()
+	return units.Seconds(tb.series.X(n-1) - tb.series.X(0))
+}
+
+// ReadCSV loads a speed log with rows "time_s,speed_kmh". A single header
+// row is skipped if its first field is not numeric. Time must be
+// non-decreasing.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	cr.TrimLeadingSpace = true
+	s := trace.NewSeries("speed", "s", "km/h")
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("profile: reading CSV: %w", err)
+		}
+		row++
+		t, errT := strconv.ParseFloat(rec[0], 64)
+		v, errV := strconv.ParseFloat(rec[1], 64)
+		if errT != nil || errV != nil {
+			if row == 1 { // header
+				continue
+			}
+			return nil, fmt.Errorf("profile: CSV row %d: non-numeric fields %q,%q", row, rec[0], rec[1])
+		}
+		if err := s.Append(t, v); err != nil {
+			return nil, fmt.Errorf("profile: CSV row %d: %w", row, err)
+		}
+	}
+	return NewTable(s)
+}
+
+// WriteCSV samples p every dt and writes "time_s,speed_kmh" rows with a
+// header.
+func WriteCSV(w io.Writer, p Profile, dt units.Seconds) error {
+	s, err := Sample(p, dt)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_s", "speed_kmh"}); err != nil {
+		return fmt.Errorf("profile: writing CSV header: %w", err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		rec := []string{
+			strconv.FormatFloat(s.X(i), 'g', -1, 64),
+			strconv.FormatFloat(s.Y(i), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("profile: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,177 @@
+package profile
+
+import "repro/internal/units"
+
+// kmh abbreviates the speed constructor for the cycle tables below.
+func kmh(v float64) units.Speed { return units.KilometersPerHour(v) }
+
+// Urban returns a synthetic urban driving cycle modelled on the ECE-15
+// elementary urban cycle: three stop-and-go phases reaching 15, 32 and
+// 50 km/h with idle periods, 195 s total, ≈ 1 km. Low mean speed makes it
+// the stress case for a rotation-powered sensor (long stretches below the
+// break-even speed).
+func Urban() *Piecewise {
+	return mustPiecewise(
+		Segment{From: 0, To: 0, Dur: units.Sec(11)},      // idle
+		Segment{From: 0, To: kmh(15), Dur: units.Sec(4)}, // accelerate
+		Segment{From: kmh(15), To: kmh(15), Dur: units.Sec(8)},
+		Segment{From: kmh(15), To: 0, Dur: units.Sec(5)}, // brake
+		Segment{From: 0, To: 0, Dur: units.Sec(21)},      // idle
+		Segment{From: 0, To: kmh(32), Dur: units.Sec(12)},
+		Segment{From: kmh(32), To: kmh(32), Dur: units.Sec(24)},
+		Segment{From: kmh(32), To: 0, Dur: units.Sec(11)},
+		Segment{From: 0, To: 0, Dur: units.Sec(21)}, // idle
+		Segment{From: 0, To: kmh(50), Dur: units.Sec(26)},
+		Segment{From: kmh(50), To: kmh(50), Dur: units.Sec(12)},
+		Segment{From: kmh(50), To: kmh(35), Dur: units.Sec(8)},
+		Segment{From: kmh(35), To: kmh(35), Dur: units.Sec(13)},
+		Segment{From: kmh(35), To: 0, Dur: units.Sec(12)},
+		Segment{From: 0, To: 0, Dur: units.Sec(7)}, // idle
+	)
+}
+
+// ExtraUrban returns a synthetic extra-urban cycle modelled on the EUDC:
+// sustained 50–120 km/h driving, 400 s total, ≈ 7 km. Mostly above the
+// expected break-even speed.
+func ExtraUrban() *Piecewise {
+	return mustPiecewise(
+		Segment{From: 0, To: 0, Dur: units.Sec(20)},
+		Segment{From: 0, To: kmh(70), Dur: units.Sec(41)},
+		Segment{From: kmh(70), To: kmh(70), Dur: units.Sec(50)},
+		Segment{From: kmh(70), To: kmh(50), Dur: units.Sec(8)},
+		Segment{From: kmh(50), To: kmh(50), Dur: units.Sec(69)},
+		Segment{From: kmh(50), To: kmh(70), Dur: units.Sec(13)},
+		Segment{From: kmh(70), To: kmh(70), Dur: units.Sec(50)},
+		Segment{From: kmh(70), To: kmh(100), Dur: units.Sec(35)},
+		Segment{From: kmh(100), To: kmh(100), Dur: units.Sec(30)},
+		Segment{From: kmh(100), To: kmh(120), Dur: units.Sec(20)},
+		Segment{From: kmh(120), To: kmh(120), Dur: units.Sec(10)},
+		Segment{From: kmh(120), To: 0, Dur: units.Sec(34)},
+		Segment{From: 0, To: 0, Dur: units.Sec(20)},
+	)
+}
+
+// Highway returns a synthetic motorway cruise: entry ramp to 120 km/h,
+// then the requested number of 160 s cruise blocks alternating between
+// 110 and 130 km/h, then an exit ramp. Always above break-even — the
+// energy-surplus case.
+func Highway(cruiseBlocks int) *Sequence {
+	if cruiseBlocks < 1 {
+		cruiseBlocks = 1
+	}
+	entry := mustPiecewise(Segment{From: 0, To: kmh(120), Dur: units.Sec(30)})
+	block := mustPiecewise(
+		Segment{From: kmh(120), To: kmh(110), Dur: units.Sec(15)},
+		Segment{From: kmh(110), To: kmh(110), Dur: units.Sec(60)},
+		Segment{From: kmh(110), To: kmh(130), Dur: units.Sec(20)},
+		Segment{From: kmh(130), To: kmh(130), Dur: units.Sec(50)},
+		Segment{From: kmh(130), To: kmh(120), Dur: units.Sec(15)},
+	)
+	exit := mustPiecewise(Segment{From: kmh(120), To: 0, Dur: units.Sec(40)})
+	parts := []Profile{entry}
+	for i := 0; i < cruiseBlocks; i++ {
+		parts = append(parts, block)
+	}
+	parts = append(parts, exit)
+	return mustSequence(parts...)
+}
+
+// Mixed returns the composite type-approval-style cycle the long-window
+// experiments use: four urban repetitions, one extra-urban leg, and a
+// highway stretch (≈ 26 minutes).
+func Mixed() *Sequence {
+	return mustSequence(Repeat(Urban(), 4), ExtraUrban(), Highway(3))
+}
+
+// WLTP returns a synthetic cycle modelled on the WLTP Class 3 profile:
+// four phases (Low 589 s / Medium 433 s / High 455 s / Extra-High 323 s,
+// 1800 s total, ≈ 25 km) with the standard phase peak speeds (56.5,
+// 76.6, 97.4 and 131.3 km/h). The segment structure is simplified —
+// pulses with the right peaks, phase durations and approximate phase
+// mean speeds — not the second-by-second regulatory table.
+func WLTP() *Sequence {
+	return mustSequence(wltpLow(), wltpMedium(), wltpHigh(), wltpExtraHigh())
+}
+
+// wltpLow is the 589 s urban phase (peak 56.5 km/h).
+func wltpLow() *Piecewise {
+	return mustPiecewise(
+		Segment{From: 0, To: 0, Dur: units.Sec(12)},
+		Segment{From: 0, To: kmh(25), Dur: units.Sec(10)},
+		Segment{From: kmh(25), To: kmh(25), Dur: units.Sec(30)},
+		Segment{From: kmh(25), To: 0, Dur: units.Sec(8)},
+		Segment{From: 0, To: 0, Dur: units.Sec(15)},
+		Segment{From: 0, To: kmh(45), Dur: units.Sec(16)},
+		Segment{From: kmh(45), To: kmh(45), Dur: units.Sec(30)},
+		Segment{From: kmh(45), To: kmh(20), Dur: units.Sec(8)},
+		Segment{From: kmh(20), To: kmh(20), Dur: units.Sec(25)},
+		Segment{From: kmh(20), To: 0, Dur: units.Sec(6)},
+		Segment{From: 0, To: 0, Dur: units.Sec(43)},
+		Segment{From: 0, To: kmh(56.5), Dur: units.Sec(20)},
+		Segment{From: kmh(56.5), To: kmh(56.5), Dur: units.Sec(50)},
+		Segment{From: kmh(56.5), To: 0, Dur: units.Sec(18)},
+		Segment{From: 0, To: 0, Dur: units.Sec(20)},
+		Segment{From: 0, To: kmh(30), Dur: units.Sec(10)},
+		Segment{From: kmh(30), To: kmh(30), Dur: units.Sec(60)},
+		Segment{From: kmh(30), To: 0, Dur: units.Sec(10)},
+		Segment{From: 0, To: 0, Dur: units.Sec(14)},
+		Segment{From: 0, To: kmh(25), Dur: units.Sec(14)},
+		Segment{From: kmh(25), To: kmh(25), Dur: units.Sec(120)},
+		Segment{From: kmh(25), To: 0, Dur: units.Sec(12)},
+		Segment{From: 0, To: 0, Dur: units.Sec(38)},
+	)
+}
+
+// wltpMedium is the 433 s phase (peak 76.6 km/h).
+func wltpMedium() *Piecewise {
+	return mustPiecewise(
+		Segment{From: 0, To: 0, Dur: units.Sec(10)},
+		Segment{From: 0, To: kmh(60), Dur: units.Sec(20)},
+		Segment{From: kmh(60), To: kmh(60), Dur: units.Sec(80)},
+		Segment{From: kmh(60), To: kmh(35), Dur: units.Sec(10)},
+		Segment{From: kmh(35), To: kmh(35), Dur: units.Sec(40)},
+		Segment{From: kmh(35), To: 0, Dur: units.Sec(10)},
+		Segment{From: 0, To: 0, Dur: units.Sec(15)},
+		Segment{From: 0, To: kmh(76.6), Dur: units.Sec(25)},
+		Segment{From: kmh(76.6), To: kmh(76.6), Dur: units.Sec(90)},
+		Segment{From: kmh(76.6), To: kmh(50), Dur: units.Sec(10)},
+		Segment{From: kmh(50), To: kmh(50), Dur: units.Sec(50)},
+		Segment{From: kmh(50), To: 0, Dur: units.Sec(15)},
+		Segment{From: 0, To: 0, Dur: units.Sec(58)},
+	)
+}
+
+// wltpHigh is the 455 s phase (peak 97.4 km/h).
+func wltpHigh() *Piecewise {
+	return mustPiecewise(
+		Segment{From: 0, To: 0, Dur: units.Sec(8)},
+		Segment{From: 0, To: kmh(70), Dur: units.Sec(25)},
+		Segment{From: kmh(70), To: kmh(70), Dur: units.Sec(120)},
+		Segment{From: kmh(70), To: kmh(45), Dur: units.Sec(12)},
+		Segment{From: kmh(45), To: kmh(45), Dur: units.Sec(35)},
+		Segment{From: kmh(45), To: 0, Dur: units.Sec(12)},
+		Segment{From: 0, To: 0, Dur: units.Sec(12)},
+		Segment{From: 0, To: kmh(97.4), Dur: units.Sec(35)},
+		Segment{From: kmh(97.4), To: kmh(97.4), Dur: units.Sec(105)},
+		Segment{From: kmh(97.4), To: kmh(60), Dur: units.Sec(15)},
+		Segment{From: kmh(60), To: kmh(60), Dur: units.Sec(30)},
+		Segment{From: kmh(60), To: 0, Dur: units.Sec(18)},
+		Segment{From: 0, To: 0, Dur: units.Sec(28)},
+	)
+}
+
+// wltpExtraHigh is the 323 s motorway phase (peak 131.3 km/h).
+func wltpExtraHigh() *Piecewise {
+	return mustPiecewise(
+		Segment{From: 0, To: kmh(80), Dur: units.Sec(25)},
+		Segment{From: kmh(80), To: kmh(80), Dur: units.Sec(35)},
+		Segment{From: kmh(80), To: kmh(110), Dur: units.Sec(20)},
+		Segment{From: kmh(110), To: kmh(110), Dur: units.Sec(65)},
+		Segment{From: kmh(110), To: kmh(131.3), Dur: units.Sec(25)},
+		Segment{From: kmh(131.3), To: kmh(131.3), Dur: units.Sec(80)},
+		Segment{From: kmh(131.3), To: kmh(90), Dur: units.Sec(18)},
+		Segment{From: kmh(90), To: kmh(90), Dur: units.Sec(20)},
+		Segment{From: kmh(90), To: 0, Dur: units.Sec(30)},
+		Segment{From: 0, To: 0, Dur: units.Sec(5)},
+	)
+}

@@ -1,0 +1,44 @@
+package profile_test
+
+import (
+	"fmt"
+
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+func ExampleUrban() {
+	st, err := profile.Summarize(profile.Urban(), units.Sec(0.5))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%v, %.0f m, max %.0f km/h\n", st.Duration, st.Distance, st.MaxSpeed.KMH())
+	// Output: 195s, 994 m, max 50 km/h
+}
+
+func ExampleWLTP() {
+	st, err := profile.Summarize(profile.WLTP(), units.Sec(0.5))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%v, %.1f km, max %.1f km/h\n",
+		st.Duration, st.Distance/1000, st.MaxSpeed.KMH())
+	// Output: 1.8ks, 25.1 km, max 131.3 km/h
+}
+
+func ExampleNewSequence() {
+	// Compose a commute: accelerate, cruise, brake.
+	p, err := profile.NewSequence(
+		profile.Ramp(0, units.KilometersPerHour(90), units.Sec(15)),
+		profile.Constant(units.KilometersPerHour(90), units.Minutes(5)),
+		profile.Ramp(units.KilometersPerHour(90), 0, units.Sec(20)),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%v at up to %.0f km/h\n", p.Duration(), p.SpeedAt(units.Minutes(2)).KMH())
+	// Output: 335s at up to 90 km/h
+}

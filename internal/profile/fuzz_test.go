@@ -1,0 +1,39 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// FuzzReadCSV feeds arbitrary bytes into the speed-log parser: it must
+// never panic, and any accepted table must satisfy the profile
+// invariants (non-negative duration and speeds).
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time_s,speed_kmh\n0,0\n10,50\n20,0\n")
+	f.Add("0,10\n1,20\n")
+	f.Add("")
+	f.Add("time_s,speed_kmh\n")
+	f.Add("a,b,c\n")
+	f.Add("0,-5\n")
+	f.Add("5,10\n3,20\n")
+	f.Add("1e999,1\n2e999,2\n")
+	f.Add("NaN,1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tb, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if tb.Duration() < 0 {
+			t.Fatalf("accepted table with negative duration %v", tb.Duration())
+		}
+		// Sampled speeds stay non-negative.
+		for frac := 0.0; frac <= 1.0; frac += 0.25 {
+			at := units.Seconds(tb.Duration().Seconds() * frac)
+			if v := tb.SpeedAt(at); v < 0 {
+				t.Fatalf("accepted table with negative speed %v at %v", v, at)
+			}
+		}
+	})
+}

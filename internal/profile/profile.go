@@ -1,0 +1,215 @@
+// Package profile provides cruising-speed profiles — speed as a function of
+// time — that drive the long-window energy-balance emulation of the paper
+// ("after setting a desired cruising speed profile ... user can evaluate if
+// the monitoring system can be active during all the considered time").
+//
+// Profiles compose from constant and ramp segments; synthetic urban,
+// extra-urban and highway driving cycles are provided, along with CSV
+// import/export for recorded speed logs.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Profile is a speed signal over a finite time window. SpeedAt clamps
+// outside [0, Duration]: before the start it returns the initial speed,
+// after the end the final speed.
+type Profile interface {
+	// SpeedAt returns the vehicle speed at time t from the profile start.
+	SpeedAt(t units.Seconds) units.Speed
+	// Duration returns the total profile length.
+	Duration() units.Seconds
+}
+
+// Segment is one linear speed ramp (From == To is a cruise; Dur of zero is
+// an instantaneous setpoint change and contributes no time).
+type Segment struct {
+	From, To units.Speed
+	Dur      units.Seconds
+}
+
+// Piecewise is a profile built from consecutive segments.
+type Piecewise struct {
+	segs  []Segment
+	total units.Seconds
+}
+
+// NewPiecewise builds a piecewise profile, rejecting negative durations and
+// negative speeds.
+func NewPiecewise(segs ...Segment) (*Piecewise, error) {
+	p := &Piecewise{}
+	for i, s := range segs {
+		if s.Dur < 0 {
+			return nil, fmt.Errorf("profile: segment %d has negative duration %v", i, s.Dur)
+		}
+		if s.From < 0 || s.To < 0 {
+			return nil, fmt.Errorf("profile: segment %d has negative speed", i)
+		}
+		p.segs = append(p.segs, s)
+		p.total += s.Dur
+	}
+	return p, nil
+}
+
+// mustPiecewise builds a piecewise profile from literal segments known to
+// be valid (used by the synthetic cycle constructors).
+func mustPiecewise(segs ...Segment) *Piecewise {
+	p, err := NewPiecewise(segs...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Duration returns the total profile length.
+func (p *Piecewise) Duration() units.Seconds { return p.total }
+
+// SpeedAt evaluates the profile at time t.
+func (p *Piecewise) SpeedAt(t units.Seconds) units.Speed {
+	if len(p.segs) == 0 {
+		return 0
+	}
+	if t <= 0 {
+		return p.segs[0].From
+	}
+	rem := t
+	for _, s := range p.segs {
+		if rem <= s.Dur {
+			if s.Dur == 0 {
+				return s.To
+			}
+			frac := rem.Seconds() / s.Dur.Seconds()
+			return units.Speed(units.Lerp(s.From.MS(), s.To.MS(), frac))
+		}
+		rem -= s.Dur
+	}
+	return p.segs[len(p.segs)-1].To
+}
+
+// Constant returns a cruise at speed v for the given duration.
+func Constant(v units.Speed, d units.Seconds) *Piecewise {
+	return mustPiecewise(Segment{From: v, To: v, Dur: d})
+}
+
+// Ramp returns a linear speed change from v0 to v1 over the duration.
+func Ramp(v0, v1 units.Speed, d units.Seconds) *Piecewise {
+	return mustPiecewise(Segment{From: v0, To: v1, Dur: d})
+}
+
+// Sequence concatenates profiles in order.
+type Sequence struct {
+	parts []Profile
+	total units.Seconds
+}
+
+// NewSequence builds a sequence from the given parts (nil parts are
+// rejected).
+func NewSequence(parts ...Profile) (*Sequence, error) {
+	s := &Sequence{}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("profile: nil part %d in sequence", i)
+		}
+		s.parts = append(s.parts, p)
+		s.total += p.Duration()
+	}
+	return s, nil
+}
+
+// mustSequence is NewSequence for statically valid inputs.
+func mustSequence(parts ...Profile) *Sequence {
+	s, err := NewSequence(parts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Duration returns the total sequence length.
+func (s *Sequence) Duration() units.Seconds { return s.total }
+
+// SpeedAt evaluates the sequence at time t.
+func (s *Sequence) SpeedAt(t units.Seconds) units.Speed {
+	if len(s.parts) == 0 {
+		return 0
+	}
+	if t <= 0 {
+		return s.parts[0].SpeedAt(0)
+	}
+	rem := t
+	for _, p := range s.parts {
+		if rem <= p.Duration() {
+			return p.SpeedAt(rem)
+		}
+		rem -= p.Duration()
+	}
+	last := s.parts[len(s.parts)-1]
+	return last.SpeedAt(last.Duration())
+}
+
+// Repeat returns p concatenated n times. n < 1 yields an empty sequence.
+func Repeat(p Profile, n int) *Sequence {
+	var parts []Profile
+	for i := 0; i < n; i++ {
+		parts = append(parts, p)
+	}
+	return mustSequence(parts...)
+}
+
+// Sample evaluates p every dt over its duration (inclusive endpoints) into
+// a speed-vs-time series in km/h. dt must be positive.
+func Sample(p Profile, dt units.Seconds) (*trace.Series, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("profile: non-positive sample step %v", dt)
+	}
+	s := trace.NewSeries("speed", "s", "km/h")
+	end := p.Duration().Seconds()
+	for t := 0.0; t < end; t += dt.Seconds() {
+		s.MustAppend(t, p.SpeedAt(units.Seconds(t)).KMH())
+	}
+	s.MustAppend(end, p.SpeedAt(p.Duration()).KMH())
+	return s, nil
+}
+
+// Distance integrates speed over the whole profile (trapezoidal on a dt
+// grid) and returns metres travelled.
+func Distance(p Profile, dt units.Seconds) (float64, error) {
+	s, err := Sample(p, dt)
+	if err != nil {
+		return 0, err
+	}
+	// Series is km/h vs s; integral is km/h·s → m = /3.6.
+	return s.Integral() / 3.6, nil
+}
+
+// Stats summarises a profile on a dt evaluation grid.
+type Stats struct {
+	Duration  units.Seconds
+	MeanSpeed units.Speed
+	MaxSpeed  units.Speed
+	Distance  float64 // metres
+	// StoppedTime is the time spent at (essentially) zero speed.
+	StoppedTime units.Seconds
+}
+
+// Summarize computes profile statistics on a dt grid.
+func Summarize(p Profile, dt units.Seconds) (Stats, error) {
+	s, err := Sample(p, dt)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := s.Stats()
+	dist, _ := Distance(p, dt)
+	stopped := st.Span - s.XAbove(0.5) // below 0.5 km/h counts as stopped
+	return Stats{
+		Duration:    p.Duration(),
+		MeanSpeed:   units.KilometersPerHour(st.Mean),
+		MaxSpeed:    units.KilometersPerHour(st.Max),
+		Distance:    dist,
+		StoppedTime: units.Seconds(stopped),
+	}, nil
+}

@@ -1,0 +1,354 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestConstant(t *testing.T) {
+	p := Constant(kmh(80), units.Sec(100))
+	if p.Duration() != units.Sec(100) {
+		t.Errorf("Duration = %v", p.Duration())
+	}
+	for _, tt := range []float64{-10, 0, 50, 100, 200} {
+		if got := p.SpeedAt(units.Sec(tt)); !units.AlmostEqual(got.KMH(), 80, 1e-12) {
+			t.Errorf("SpeedAt(%g) = %v, want 80km/h", tt, got)
+		}
+	}
+}
+
+func TestRamp(t *testing.T) {
+	p := Ramp(0, kmh(100), units.Sec(10))
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {5, 50}, {10, 100}, {15, 100},
+	}
+	for _, c := range cases {
+		if got := p.SpeedAt(units.Sec(c.t)); !units.AlmostEqual(got.KMH(), c.want, 1e-12) {
+			t.Errorf("SpeedAt(%g) = %v, want %g km/h", c.t, got, c.want)
+		}
+	}
+}
+
+func TestNewPiecewiseValidation(t *testing.T) {
+	if _, err := NewPiecewise(Segment{From: 0, To: kmh(10), Dur: units.Sec(-1)}); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if _, err := NewPiecewise(Segment{From: -1, To: kmh(10), Dur: units.Sec(1)}); err == nil {
+		t.Error("negative speed accepted")
+	}
+	empty, err := NewPiecewise()
+	if err != nil {
+		t.Fatalf("empty piecewise: %v", err)
+	}
+	if empty.SpeedAt(units.Sec(1)) != 0 || empty.Duration() != 0 {
+		t.Error("empty piecewise not zero")
+	}
+}
+
+func TestPiecewiseZeroDurationSegment(t *testing.T) {
+	p := mustPiecewise(
+		Segment{From: 0, To: 0, Dur: units.Sec(5)},
+		Segment{From: 0, To: kmh(60), Dur: 0}, // instantaneous jump
+		Segment{From: kmh(60), To: kmh(60), Dur: units.Sec(5)},
+	)
+	if got := p.SpeedAt(units.Sec(4.99)).KMH(); got != 0 {
+		t.Errorf("before jump = %g", got)
+	}
+	if got := p.SpeedAt(units.Sec(5.01)).KMH(); !units.AlmostEqual(got, 60, 1e-9) {
+		t.Errorf("after jump = %g, want 60", got)
+	}
+	if p.Duration() != units.Sec(10) {
+		t.Errorf("Duration = %v, want 10s", p.Duration())
+	}
+}
+
+func TestSequence(t *testing.T) {
+	s := mustSequence(
+		Constant(kmh(30), units.Sec(10)),
+		Ramp(kmh(30), kmh(90), units.Sec(10)),
+		Constant(kmh(90), units.Sec(10)),
+	)
+	if s.Duration() != units.Sec(30) {
+		t.Fatalf("Duration = %v", s.Duration())
+	}
+	cases := []struct{ t, want float64 }{
+		{0, 30}, {5, 30}, {15, 60}, {25, 90}, {99, 90}, {-5, 30},
+	}
+	for _, c := range cases {
+		if got := s.SpeedAt(units.Sec(c.t)); !units.AlmostEqual(got.KMH(), c.want, 1e-9) {
+			t.Errorf("SpeedAt(%g) = %v, want %g km/h", c.t, got, c.want)
+		}
+	}
+	if _, err := NewSequence(nil); err == nil {
+		t.Error("nil part accepted")
+	}
+	empty, _ := NewSequence()
+	if empty.SpeedAt(units.Sec(1)) != 0 {
+		t.Error("empty sequence speed not zero")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	p := Repeat(Constant(kmh(50), units.Sec(10)), 3)
+	if p.Duration() != units.Sec(30) {
+		t.Errorf("Duration = %v, want 30s", p.Duration())
+	}
+	if got := Repeat(Constant(kmh(50), units.Sec(10)), 0).Duration(); got != 0 {
+		t.Errorf("Repeat(_, 0) duration = %v", got)
+	}
+	if got := Repeat(Constant(kmh(50), units.Sec(10)), -2).Duration(); got != 0 {
+		t.Errorf("Repeat(_, -2) duration = %v", got)
+	}
+}
+
+func TestSample(t *testing.T) {
+	p := Ramp(0, kmh(100), units.Sec(10))
+	s, err := Sample(p, units.Sec(1))
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if s.Len() != 11 {
+		t.Fatalf("samples = %d, want 11", s.Len())
+	}
+	if s.Y(0) != 0 || !units.AlmostEqual(s.Y(10), 100, 1e-9) {
+		t.Errorf("endpoint samples = %g, %g", s.Y(0), s.Y(10))
+	}
+	if _, err := Sample(p, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	// 100 km/h for 36 s → 1 km.
+	p := Constant(kmh(100), units.Sec(36))
+	d, err := Distance(p, units.Sec(1))
+	if err != nil {
+		t.Fatalf("Distance: %v", err)
+	}
+	if !units.AlmostEqual(d, 1000, 1e-9) {
+		t.Errorf("Distance = %g m, want 1000", d)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p := mustSequence(
+		Constant(0, units.Sec(10)),
+		Constant(kmh(60), units.Sec(20)),
+	)
+	st, err := Summarize(p, units.Sec(0.1))
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if st.Duration != units.Sec(30) {
+		t.Errorf("Duration = %v", st.Duration)
+	}
+	if !units.AlmostEqual(st.MaxSpeed.KMH(), 60, 1e-9) {
+		t.Errorf("MaxSpeed = %v", st.MaxSpeed)
+	}
+	// Mean ≈ 40 km/h (60·20/30); the instantaneous step adds sampling blur.
+	if st.MeanSpeed.KMH() < 38 || st.MeanSpeed.KMH() > 42 {
+		t.Errorf("MeanSpeed = %v, want ≈40km/h", st.MeanSpeed)
+	}
+	if st.StoppedTime.Seconds() < 9 || st.StoppedTime.Seconds() > 11 {
+		t.Errorf("StoppedTime = %v, want ≈10s", st.StoppedTime)
+	}
+	if _, err := Summarize(p, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+}
+
+func TestUrbanCycleShape(t *testing.T) {
+	u := Urban()
+	if got := u.Duration().Seconds(); got != 195 {
+		t.Errorf("urban duration = %g s, want 195", got)
+	}
+	st, err := Summarize(u, units.Sec(0.5))
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if !units.AlmostEqual(st.MaxSpeed.KMH(), 50, 1e-9) {
+		t.Errorf("urban max speed = %v, want 50km/h", st.MaxSpeed)
+	}
+	// ECE-15 covers ≈ 0.99 km with mean ≈ 18 km/h.
+	if st.Distance < 900 || st.Distance > 1100 {
+		t.Errorf("urban distance = %g m, want ≈1000", st.Distance)
+	}
+	if st.MeanSpeed.KMH() < 15 || st.MeanSpeed.KMH() > 21 {
+		t.Errorf("urban mean speed = %v, want ≈18km/h", st.MeanSpeed)
+	}
+	if st.StoppedTime.Seconds() < 50 {
+		t.Errorf("urban stopped time = %v, want > 50s", st.StoppedTime)
+	}
+}
+
+func TestExtraUrbanCycleShape(t *testing.T) {
+	e := ExtraUrban()
+	if got := e.Duration().Seconds(); got != 400 {
+		t.Errorf("extra-urban duration = %g s, want 400", got)
+	}
+	st, err := Summarize(e, units.Sec(0.5))
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if !units.AlmostEqual(st.MaxSpeed.KMH(), 120, 1e-9) {
+		t.Errorf("extra-urban max = %v, want 120km/h", st.MaxSpeed)
+	}
+	if st.Distance < 6000 || st.Distance > 8000 {
+		t.Errorf("extra-urban distance = %g m, want ≈7000", st.Distance)
+	}
+}
+
+func TestHighwayCycleShape(t *testing.T) {
+	h := Highway(3)
+	st, err := Summarize(h, units.Sec(0.5))
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if !units.AlmostEqual(st.MaxSpeed.KMH(), 130, 1e-9) {
+		t.Errorf("highway max = %v, want 130km/h", st.MaxSpeed)
+	}
+	if st.MeanSpeed.KMH() < 100 {
+		t.Errorf("highway mean = %v, want >100km/h", st.MeanSpeed)
+	}
+	// Degenerate argument clamps to one block.
+	if got := Highway(0).Duration(); got != Highway(1).Duration() {
+		t.Errorf("Highway(0) duration %v != Highway(1) %v", got, Highway(1).Duration())
+	}
+}
+
+func TestMixedCycle(t *testing.T) {
+	m := Mixed()
+	want := 4*Urban().Duration() + ExtraUrban().Duration() + Highway(3).Duration()
+	if m.Duration() != want {
+		t.Errorf("mixed duration = %v, want %v", m.Duration(), want)
+	}
+	// Spot-check continuity of lookup across part boundaries.
+	atBoundary := m.SpeedAt(4 * Urban().Duration())
+	if atBoundary.KMH() > 1 {
+		t.Errorf("speed at urban/extra-urban boundary = %v, want ≈0", atBoundary)
+	}
+}
+
+func TestWLTPCycleShape(t *testing.T) {
+	w := WLTP()
+	if got := w.Duration().Seconds(); got != 1800 {
+		t.Errorf("WLTP duration = %g s, want 1800", got)
+	}
+	st, err := Summarize(w, units.Sec(0.5))
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if !units.AlmostEqual(st.MaxSpeed.KMH(), 131.3, 1e-9) {
+		t.Errorf("WLTP max speed = %v, want 131.3 km/h", st.MaxSpeed)
+	}
+	// Class 3 covers 23.25 km; the simplified segments stay within ±20%.
+	if st.Distance < 0.8*23250 || st.Distance > 1.2*23250 {
+		t.Errorf("WLTP distance = %g m, want ≈23250±20%%", st.Distance)
+	}
+	// Each phase's peak appears exactly where specified.
+	phases := []struct {
+		p    *Piecewise
+		dur  float64
+		peak float64
+	}{
+		{wltpLow(), 589, 56.5},
+		{wltpMedium(), 433, 76.6},
+		{wltpHigh(), 455, 97.4},
+		{wltpExtraHigh(), 323, 131.3},
+	}
+	for i, ph := range phases {
+		if got := ph.p.Duration().Seconds(); got != ph.dur {
+			t.Errorf("phase %d duration = %g s, want %g", i, got, ph.dur)
+		}
+		pst, err := Summarize(ph.p, units.Sec(0.25))
+		if err != nil {
+			t.Fatalf("phase %d Summarize: %v", i, err)
+		}
+		if !units.AlmostEqual(pst.MaxSpeed.KMH(), ph.peak, 1e-9) {
+			t.Errorf("phase %d peak = %v, want %g km/h", i, pst.MaxSpeed, ph.peak)
+		}
+	}
+	// Phase mean speeds rise monotonically (low → extra-high).
+	var prev float64
+	for i, ph := range phases {
+		pst, _ := Summarize(ph.p, units.Sec(0.25))
+		if pst.MeanSpeed.KMH() <= prev {
+			t.Errorf("phase %d mean %v not above previous %g", i, pst.MeanSpeed, prev)
+		}
+		prev = pst.MeanSpeed.KMH()
+	}
+}
+
+func TestCyclesNonNegativeSpeed(t *testing.T) {
+	for name, p := range map[string]Profile{
+		"urban": Urban(), "extraurban": ExtraUrban(), "highway": Highway(2), "mixed": Mixed(),
+		"wltp": WLTP(),
+	} {
+		s, err := Sample(p, units.Sec(0.25))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 0; i < s.Len(); i++ {
+			if s.Y(i) < 0 {
+				t.Fatalf("%s: negative speed %g at t=%g", name, s.Y(i), s.X(i))
+			}
+		}
+	}
+}
+
+func TestReadWriteCSVRoundTrip(t *testing.T) {
+	p := mustSequence(
+		Ramp(0, kmh(50), units.Sec(10)),
+		Constant(kmh(50), units.Sec(10)),
+	)
+	var buf strings.Builder
+	if err := WriteCSV(&buf, p, units.Sec(1)); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.Duration() != p.Duration() {
+		t.Errorf("round-trip duration = %v, want %v", got.Duration(), p.Duration())
+	}
+	for _, tt := range []float64{0, 5, 10, 15, 20} {
+		a := p.SpeedAt(units.Sec(tt)).KMH()
+		b := got.SpeedAt(units.Sec(tt)).KMH()
+		if !units.AlmostEqual(a, b, 1e-9) {
+			t.Errorf("round-trip speed at %gs: %g vs %g", tt, a, b)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"non-numeric body":  "time_s,speed_kmh\n0,10\nbad,20\n",
+		"wrong field count": "0,10,30\n",
+		"decreasing time":   "0,10\n5,20\n3,30\n",
+		"negative speed":    "0,10\n5,-2\n",
+		"empty":             "",
+		"header only":       "time_s,speed_kmh\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	// Headerless numeric data is fine.
+	tb, err := ReadCSV(strings.NewReader("0,0\n10,50\n"))
+	if err != nil {
+		t.Fatalf("headerless: %v", err)
+	}
+	if got := tb.SpeedAt(units.Sec(5)).KMH(); !units.AlmostEqual(got, 25, 1e-9) {
+		t.Errorf("headerless SpeedAt(5) = %g, want 25", got)
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(nil); err == nil {
+		t.Error("nil series accepted")
+	}
+}

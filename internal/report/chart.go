@@ -1,0 +1,135 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Chart renders one or more series as an ASCII line chart — the textual
+// counterpart of the paper's graphical tool output.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// Width and Height are the plot area size in characters (excluding
+	// axes); sensible defaults apply when zero.
+	Width, Height int
+	// Markers assigns each series its plot rune, cycling through a
+	// default set when empty.
+	Markers []rune
+	series  []*trace.Series
+}
+
+// defaultMarkers cycle when more series than markers are plotted.
+var defaultMarkers = []rune{'*', '+', 'o', 'x', '#'}
+
+// Add appends a series to the chart. Nil or empty series are ignored.
+func (c *Chart) Add(s *trace.Series) {
+	if s == nil || s.Len() == 0 {
+		return
+	}
+	c.series = append(c.series, s)
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	if len(c.series) == 0 {
+		return fmt.Errorf("report: chart has no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 18
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		xmin = math.Min(xmin, s.X(0))
+		xmax = math.Max(xmax, s.X(s.Len()-1))
+		st := s.Stats()
+		ymin = math.Min(ymin, st.Min)
+		ymax = math.Max(ymax, st.Max)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little vertical headroom keeps curves off the frame.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	colWidth := (xmax - xmin) / float64(width)
+	for si, s := range c.series {
+		marker := defaultMarkers[si%len(defaultMarkers)]
+		if si < len(c.Markers) {
+			marker = c.Markers[si]
+		}
+		// Each column plots the maximum of the signal across its x-span,
+		// so sub-column bursts (the Fig 3 acquisition and TX spikes)
+		// remain visible instead of falling between sample points.
+		idx := 0
+		for col := 0; col < width; col++ {
+			x0 := xmin + colWidth*float64(col)
+			x1 := x0 + colWidth
+			y := math.Max(s.At(x0), s.At(x1))
+			for idx < s.Len() && s.X(idx) < x0 {
+				idx++
+			}
+			for j := idx; j < s.Len() && s.X(j) <= x1; j++ {
+				y = math.Max(y, s.Y(j))
+			}
+			row := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+			if row >= 0 && row < height {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	yUnit := c.series[0].YUnit()
+	for r := 0; r < height; r++ {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		label := fmt.Sprintf("%10.3g |", yVal)
+		if _, err := fmt.Fprintf(w, "%s%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	xUnit := c.series[0].XUnit()
+	axis := fmt.Sprintf("%10.4g%s%*.4g %s", xmin, strings.Repeat(" ", 1), width-8, xmax, xUnit)
+	if _, err := fmt.Fprintln(w, axis); err != nil {
+		return err
+	}
+	// Legend.
+	for si, s := range c.series {
+		marker := defaultMarkers[si%len(defaultMarkers)]
+		if si < len(c.Markers) {
+			marker = c.Markers[si]
+		}
+		if _, err := fmt.Fprintf(w, "  %c %s [%s]\n", marker, s.Name(), yUnit); err != nil {
+			return err
+		}
+	}
+	return nil
+}

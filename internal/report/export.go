@@ -1,0 +1,107 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/block"
+	"repro/internal/node"
+	"repro/internal/trace"
+)
+
+// WriteSeriesCSV exports series in long format: series,x,y with one
+// header row. Series may have different grids.
+func WriteSeriesCSV(w io.Writer, series ...*trace.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series to export")
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "x", "y"}); err != nil {
+		return fmt.Errorf("report: writing CSV header: %w", err)
+	}
+	for _, s := range series {
+		if s == nil {
+			return fmt.Errorf("report: nil series")
+		}
+		for i := 0; i < s.Len(); i++ {
+			rec := []string{
+				s.Name(),
+				strconv.FormatFloat(s.X(i), 'g', -1, 64),
+				strconv.FormatFloat(s.Y(i), 'g', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("report: writing CSV: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// seriesJSON is the JSON export layout of one series.
+type seriesJSON struct {
+	Name  string    `json:"name"`
+	XUnit string    `json:"x_unit"`
+	YUnit string    `json:"y_unit"`
+	X     []float64 `json:"x"`
+	Y     []float64 `json:"y"`
+}
+
+// WriteSeriesJSON exports series as a JSON array of {name, units, x, y}.
+func WriteSeriesJSON(w io.Writer, series ...*trace.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series to export")
+	}
+	out := make([]seriesJSON, 0, len(series))
+	for _, s := range series {
+		if s == nil {
+			return fmt.Errorf("report: nil series")
+		}
+		sj := seriesJSON{Name: s.Name(), XUnit: s.XUnit(), YUnit: s.YUnit()}
+		for i := 0; i < s.Len(); i++ {
+			sj.X = append(sj.X, s.X(i))
+			sj.Y = append(sj.Y, s.Y(i))
+		}
+		out = append(out, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// BreakdownTable renders a node's per-round energy breakdown as a table
+// of per-block dynamic/static/transition energies with node shares,
+// sorted by total descending — the spreadsheet view the designer reads to
+// pick optimization targets.
+func BreakdownTable(bd node.Breakdown) *Table {
+	t := NewTable("block", "dynamic", "static", "transition", "total", "share")
+	type row struct {
+		role node.Role
+		b    block.Breakdown
+	}
+	rows := make([]row, 0, len(bd.PerBlock))
+	for role, b := range bd.PerBlock {
+		rows = append(rows, row{role, b})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].b.Total() != rows[j].b.Total() {
+			return rows[i].b.Total() > rows[j].b.Total()
+		}
+		return rows[i].role < rows[j].role
+	})
+	total := bd.Total().Joules()
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = r.b.Total().Joules() / total * 100
+		}
+		t.AddRowf(r.role, r.b.Dynamic, r.b.Static, r.b.Transition, r.b.Total(),
+			fmt.Sprintf("%.1f%%", share))
+	}
+	t.AddRowf("TOTAL", bd.Dynamic, bd.Static, bd.Transition, bd.Total(), "100.0%")
+	return t
+}

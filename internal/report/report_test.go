@@ -1,0 +1,240 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("speed", "60 km/h")
+	tb.AddRowf("energy", units.Microjoules(5.5))
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "5.5µJ") {
+		t.Errorf("formatted row = %q", lines[3])
+	}
+	// Columns align: "value" column starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "value")
+	if got := strings.Index(lines[2], "60 km/h"); got != idx {
+		t.Errorf("column misaligned: %d vs %d", got, idx)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "extra")
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(sb.String(), "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("speed", "60 km/h")
+	tb.AddRow("with|pipe", "x")
+	var sb strings.Builder
+	if err := tb.RenderMarkdown(&sb); err != nil {
+		t.Fatalf("RenderMarkdown: %v", err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "| name | value |" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "|---|---|" {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], `with\|pipe`) {
+		t.Errorf("pipe not escaped: %q", lines[3])
+	}
+	// Headerless table: first row becomes the header.
+	hl := NewTable()
+	hl.AddRow("a", "b")
+	hl.AddRow("1", "2")
+	var sb2 strings.Builder
+	if err := hl.RenderMarkdown(&sb2); err != nil {
+		t.Fatalf("headerless RenderMarkdown: %v", err)
+	}
+	if !strings.HasPrefix(sb2.String(), "| a | b |") {
+		t.Errorf("headerless output: %q", sb2.String())
+	}
+	// Fully empty table errors.
+	if err := NewTable().RenderMarkdown(&strings.Builder{}); err == nil {
+		t.Error("empty table rendered")
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	gen := trace.NewSeries("generated", "km/h", "µJ")
+	req := trace.NewSeries("required", "km/h", "µJ")
+	for v := 10.0; v <= 100; v += 10 {
+		gen.MustAppend(v, v*0.5)
+		req.MustAppend(v, 40-v*0.2)
+	}
+	ch := &Chart{Title: "energy balance", Width: 40, Height: 10, Markers: []rune{'G', 'R'}}
+	ch.Add(gen)
+	ch.Add(req)
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "energy balance") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "G") || !strings.Contains(out, "R") {
+		t.Error("markers missing")
+	}
+	if !strings.Contains(out, "generated") || !strings.Contains(out, "required") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "km/h") {
+		t.Error("x unit missing")
+	}
+	// Plot area height: 10 grid lines plus frame/labels/legend.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+10+2+2 {
+		t.Errorf("chart lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestChartDefaultsAndErrors(t *testing.T) {
+	ch := &Chart{}
+	if err := ch.Render(&strings.Builder{}); err == nil {
+		t.Error("empty chart rendered")
+	}
+	ch.Add(nil) // ignored
+	empty := trace.NewSeries("e", "", "")
+	ch.Add(empty) // ignored
+	if err := ch.Render(&strings.Builder{}); err == nil {
+		t.Error("chart with only empty series rendered")
+	}
+	// Flat series (zero y-range) still renders.
+	flat := trace.NewSeries("flat", "s", "W")
+	flat.MustAppend(0, 5)
+	flat.MustAppend(10, 5)
+	ch2 := &Chart{}
+	ch2.Add(flat)
+	var sb strings.Builder
+	if err := ch2.Render(&sb); err != nil {
+		t.Fatalf("flat Render: %v", err)
+	}
+	// Single-point series too.
+	single := trace.NewSeries("pt", "s", "W")
+	single.MustAppend(3, 1)
+	ch3 := &Chart{}
+	ch3.Add(single)
+	if err := ch3.Render(&strings.Builder{}); err != nil {
+		t.Fatalf("single-point Render: %v", err)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	a := trace.NewSeries("a", "s", "W")
+	a.MustAppend(0, 1)
+	a.MustAppend(1, 2)
+	b := trace.NewSeries("b", "s", "W")
+	b.MustAppend(0.5, 3)
+	var sb strings.Builder
+	if err := WriteSeriesCSV(&sb, a, b); err != nil {
+		t.Fatalf("WriteSeriesCSV: %v", err)
+	}
+	want := "series,x,y\na,0,1\na,1,2\nb,0.5,3\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+	if err := WriteSeriesCSV(&strings.Builder{}); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := WriteSeriesCSV(&strings.Builder{}, nil); err == nil {
+		t.Error("nil series accepted")
+	}
+}
+
+func TestWriteSeriesJSON(t *testing.T) {
+	a := trace.NewSeries("gen", "km/h", "µJ")
+	a.MustAppend(10, 1.5)
+	a.MustAppend(20, 3)
+	var sb strings.Builder
+	if err := WriteSeriesJSON(&sb, a); err != nil {
+		t.Fatalf("WriteSeriesJSON: %v", err)
+	}
+	var decoded []struct {
+		Name  string    `json:"name"`
+		XUnit string    `json:"x_unit"`
+		X     []float64 `json:"x"`
+		Y     []float64 `json:"y"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0].Name != "gen" || decoded[0].XUnit != "km/h" {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if len(decoded[0].X) != 2 || decoded[0].Y[1] != 3 {
+		t.Errorf("points = %+v", decoded[0])
+	}
+	if err := WriteSeriesJSON(&strings.Builder{}); err == nil {
+		t.Error("no series accepted")
+	}
+}
+
+func TestBreakdownTable(t *testing.T) {
+	nd, err := node.Default(wheel.Default())
+	if err != nil {
+		t.Fatalf("node.Default: %v", err)
+	}
+	bd, err := nd.AverageRound(units.KilometersPerHour(60), power.Nominal())
+	if err != nil {
+		t.Fatalf("AverageRound: %v", err)
+	}
+	tb := BreakdownTable(bd)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mcu", "radio", "frontend", "TOTAL", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by share: the first data row carries the largest share.
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	first := lines[2]
+	if !strings.Contains(first, "frontend") && !strings.Contains(first, "mcu") {
+		t.Errorf("top consumer row = %q, want frontend or mcu", first)
+	}
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// sparkGlyphs are the eight block-element levels of a sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a fixed-width single-line glyph strip —
+// compact enough to embed in a table cell (e.g. the buffer voltage over
+// an emulation run). Each column shows the mean of the signal across its
+// x-span, scaled to the series' own min/max. Empty series or
+// non-positive widths yield an empty string.
+func Sparkline(s *trace.Series, width int) string {
+	if s == nil || s.Len() == 0 || width <= 0 {
+		return ""
+	}
+	st := s.Stats()
+	lo, hi := st.Min, st.Max
+	span := hi - lo
+	xmin := s.X(0)
+	xmax := s.X(s.Len() - 1)
+	if xmax == xmin {
+		// Degenerate x-span: a flat strip at the mid level.
+		return strings.Repeat(string(sparkGlyphs[len(sparkGlyphs)/2]), width)
+	}
+	colW := (xmax - xmin) / float64(width)
+	var b strings.Builder
+	for col := 0; col < width; col++ {
+		x0 := xmin + colW*float64(col)
+		x1 := x0 + colW
+		mean := s.IntegralBetween(x0, x1) / colW
+		level := 0.5
+		if span > 0 {
+			level = (mean - lo) / span
+		}
+		idx := int(math.Round(level * float64(len(sparkGlyphs)-1)))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkGlyphs) {
+			idx = len(sparkGlyphs) - 1
+		}
+		b.WriteRune(sparkGlyphs[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/trace"
+)
+
+func TestSparklineShape(t *testing.T) {
+	// Rising ramp: first glyph lowest, last glyph highest.
+	s := trace.NewSeries("ramp", "s", "V")
+	for x := 0.0; x <= 10; x++ {
+		s.MustAppend(x, x)
+	}
+	sp := Sparkline(s, 20)
+	if got := utf8.RuneCountInString(sp); got != 20 {
+		t.Fatalf("width = %d, want 20", got)
+	}
+	runes := []rune(sp)
+	if runes[0] != '▁' {
+		t.Errorf("first glyph = %c, want ▁", runes[0])
+	}
+	if runes[len(runes)-1] != '█' {
+		t.Errorf("last glyph = %c, want █", runes[len(runes)-1])
+	}
+	// Monotone non-decreasing glyph levels for a ramp.
+	for i := 1; i < len(runes); i++ {
+		if strings.IndexRune(string(sparkGlyphs), runes[i]) <
+			strings.IndexRune(string(sparkGlyphs), runes[i-1]) {
+			t.Fatalf("ramp sparkline not monotone: %s", sp)
+		}
+	}
+}
+
+func TestSparklineFlatAndEdge(t *testing.T) {
+	flat := trace.NewSeries("flat", "s", "V")
+	flat.MustAppend(0, 3)
+	flat.MustAppend(10, 3)
+	sp := Sparkline(flat, 8)
+	if utf8.RuneCountInString(sp) != 8 {
+		t.Fatalf("flat width = %d", utf8.RuneCountInString(sp))
+	}
+	// All glyphs equal for a flat signal.
+	runes := []rune(sp)
+	for _, r := range runes {
+		if r != runes[0] {
+			t.Fatalf("flat sparkline not uniform: %s", sp)
+		}
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Error("nil series produced output")
+	}
+	if Sparkline(trace.NewSeries("", "", ""), 10) != "" {
+		t.Error("empty series produced output")
+	}
+	if Sparkline(flat, 0) != "" {
+		t.Error("zero width produced output")
+	}
+	// Single-point series (zero x-span) renders a mid-level strip.
+	single := trace.NewSeries("pt", "s", "V")
+	single.MustAppend(5, 1)
+	if got := utf8.RuneCountInString(Sparkline(single, 6)); got != 6 {
+		t.Errorf("single-point width = %d", got)
+	}
+}
+
+func TestSparklineSpike(t *testing.T) {
+	// A spike in the middle produces a peak there.
+	s := trace.NewSeries("spike", "s", "W")
+	s.MustAppend(0, 0)
+	s.MustAppend(4.9, 0)
+	s.MustAppend(5, 10)
+	s.MustAppend(5.1, 0)
+	s.MustAppend(10, 0)
+	sp := []rune(Sparkline(s, 11))
+	maxIdx, maxLevel := 0, -1
+	for i, r := range sp {
+		if l := strings.IndexRune(string(sparkGlyphs), r); l > maxLevel {
+			maxIdx, maxLevel = i, l
+		}
+	}
+	if maxIdx < 4 || maxIdx > 6 {
+		t.Errorf("spike peak at column %d of %d: %s", maxIdx, len(sp), string(sp))
+	}
+}

@@ -1,0 +1,140 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// SVGChart renders series as a standalone SVG line chart — the
+// publication-grade counterpart of the ASCII Chart, used by
+// `cmd/experiments -out` to write figure artefacts.
+type SVGChart struct {
+	// Title is drawn above the plot.
+	Title string
+	// Width and Height are the overall image size in pixels (defaults
+	// 720 × 420).
+	Width, Height int
+	// Colors assigns stroke colours per series, cycling through a
+	// default palette when exhausted.
+	Colors []string
+	series []*trace.Series
+}
+
+// defaultColors is a colour-blind-friendly palette.
+var defaultColors = []string{"#1b7837", "#c51b7d", "#2166ac", "#e08214", "#542788"}
+
+// Add appends a series (nil/empty ignored).
+func (c *SVGChart) Add(s *trace.Series) {
+	if s == nil || s.Len() == 0 {
+		return
+	}
+	c.series = append(c.series, s)
+}
+
+// Render writes the SVG document.
+func (c *SVGChart) Render(w io.Writer) error {
+	if len(c.series) == 0 {
+		return fmt.Errorf("report: SVG chart has no series")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 420
+	}
+	const (
+		marginLeft   = 64.0
+		marginRight  = 16.0
+		marginTop    = 36.0
+		marginBottom = 48.0
+	)
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		xmin = math.Min(xmin, s.X(0))
+		xmax = math.Max(xmax, s.X(s.Len()-1))
+		st := s.Stats()
+		ymin = math.Min(ymin, st.Min)
+		ymax = math.Max(ymax, st.Max)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	toX := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	toY := func(y float64) float64 { return marginTop + (ymax-y)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="22" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+			marginLeft, html.EscapeString(c.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	// Ticks and grid.
+	const ticks = 5
+	for i := 0; i <= ticks; i++ {
+		fx := float64(i) / ticks
+		xv := xmin + fx*(xmax-xmin)
+		yv := ymin + fx*(ymax-ymin)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			toX(xv), marginTop, toX(xv), marginTop+plotH)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n",
+			marginLeft, toY(yv), marginLeft+plotW, toY(yv))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%.4g</text>`+"\n",
+			toX(xv), marginTop+plotH+16, xv)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%.4g</text>`+"\n",
+			marginLeft-6, toY(yv)+4, yv)
+	}
+	// Axis unit labels.
+	fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, marginTop+plotH+34, html.EscapeString(c.series[0].XUnit()))
+	fmt.Fprintf(&b, `<text x="14" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, html.EscapeString(c.series[0].YUnit()))
+	// Series polylines.
+	for si, s := range c.series {
+		color := defaultColors[si%len(defaultColors)]
+		if si < len(c.Colors) {
+			color = c.Colors[si]
+		}
+		var pts strings.Builder
+		for i := 0; i < s.Len(); i++ {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.2f,%.2f", toX(s.X(i)), toY(s.Y(i)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			pts.String(), color)
+		// Legend entry.
+		ly := marginTop + 14 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="3"/>`+"\n",
+			marginLeft+plotW-150, ly, marginLeft+plotW-130, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginLeft+plotW-124, ly+4, html.EscapeString(s.Name()))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

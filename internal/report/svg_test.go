@@ -1,0 +1,107 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func testSeries(name string, f func(x float64) float64) *trace.Series {
+	s := trace.NewSeries(name, "km/h", "µJ")
+	for x := 0.0; x <= 100; x += 5 {
+		s.MustAppend(x, f(x))
+	}
+	return s
+}
+
+func TestSVGChartWellFormed(t *testing.T) {
+	ch := &SVGChart{Title: "energy balance"}
+	ch.Add(testSeries("generated", func(x float64) float64 { return 0.4 * x }))
+	ch.Add(testSeries("required", func(x float64) float64 { return 40 - 0.2*x }))
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	// Well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	for _, want := range []string{
+		"<svg", "polyline", "energy balance", "generated", "required", "km/h", "µJ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One polyline per series.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestSVGChartEscapesNames(t *testing.T) {
+	ch := &SVGChart{Title: `a <b> & "c"`}
+	s := trace.NewSeries("x<y>&", "s", "W")
+	s.MustAppend(0, 1)
+	s.MustAppend(1, 2)
+	ch.Add(s)
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "<b>") || strings.Contains(out, "x<y>") {
+		t.Error("unescaped markup in SVG text")
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML after escaping: %v", err)
+		}
+	}
+}
+
+func TestSVGChartEdgeCases(t *testing.T) {
+	if err := (&SVGChart{}).Render(&strings.Builder{}); err == nil {
+		t.Error("empty chart rendered")
+	}
+	// Flat and single-point series still render.
+	flat := trace.NewSeries("flat", "s", "W")
+	flat.MustAppend(0, 5)
+	flat.MustAppend(10, 5)
+	single := trace.NewSeries("pt", "s", "W")
+	single.MustAppend(3, 1)
+	for _, s := range []*trace.Series{flat, single} {
+		ch := &SVGChart{Width: 300, Height: 200}
+		ch.Add(s)
+		var sb strings.Builder
+		if err := ch.Render(&sb); err != nil {
+			t.Fatalf("%s Render: %v", s.Name(), err)
+		}
+		if strings.Contains(sb.String(), "NaN") || strings.Contains(sb.String(), "Inf") {
+			t.Errorf("%s produced NaN/Inf coordinates", s.Name())
+		}
+	}
+	// Custom colours honoured.
+	ch := &SVGChart{Colors: []string{"#123456"}}
+	ch.Add(flat)
+	var sb strings.Builder
+	if err := ch.Render(&sb); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(sb.String(), "#123456") {
+		t.Error("custom colour ignored")
+	}
+}

@@ -1,0 +1,149 @@
+// Package report renders the analysis tools' outputs: aligned text
+// tables, ASCII line charts (the "graphical representation of the energy
+// balance" of the paper's Fig 2 and the instant-power window of Fig 3),
+// per-block energy breakdowns, and CSV/JSON series export for external
+// plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are kept
+// and widen the table.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered
+// with %v.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// RenderMarkdown writes the table as a GitHub-flavoured Markdown table —
+// the format EXPERIMENTS.md records results in. Pipes in cells are
+// escaped; a table without headers renders its first row as the header.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	headers := t.headers
+	rows := t.rows
+	if len(headers) == 0 {
+		if len(rows) == 0 {
+			return fmt.Errorf("report: empty table")
+		}
+		headers, rows = rows[0], rows[1:]
+	}
+	cols := len(headers)
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	writeRow := func(row []string) error {
+		var sb strings.Builder
+		sb.WriteString("|")
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = esc(row[i])
+			}
+			sb.WriteString(" " + cell + " |")
+		}
+		_, err := fmt.Fprintln(w, sb.String())
+		return err
+	}
+	if err := writeRow(headers); err != nil {
+		return err
+	}
+	var sep strings.Builder
+	sep.WriteString("|")
+	for i := 0; i < cols; i++ {
+		sep.WriteString("---|")
+	}
+	if _, err := fmt.Fprintln(w, sep.String()); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	writeRow := func(row []string) error {
+		var sb strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			sb.WriteString(cell)
+			if i < cols-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(cell)+2))
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if len(t.headers) > 0 {
+		if err := writeRow(t.headers); err != nil {
+			return err
+		}
+		var sb strings.Builder
+		for i := 0; i < cols; i++ {
+			sb.WriteString(strings.Repeat("-", widths[i]))
+			if i < cols-1 {
+				sb.WriteString("  ")
+			}
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.rows {
+		if err := writeRow(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

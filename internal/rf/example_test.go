@@ -1,0 +1,39 @@
+package rf_test
+
+import (
+	"fmt"
+
+	"repro/internal/rf"
+	"repro/internal/units"
+)
+
+func ExampleRadio_PacketEnergy() {
+	r := rf.Default()
+	e, err := r.PacketEnergy(20) // 20-byte payload + 10 bytes framing
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(e)
+	// Output: 7.26µJ
+}
+
+func ExampleMaxLatency_RoundsBetweenTx() {
+	// The paper's observation: the TX duty cycle varies with cruising
+	// speed. With a 1 s data-age budget, short rounds at high speed fit
+	// more rounds between packets.
+	pol := rf.MaxLatency{Target: units.Sec(1)}
+	fmt.Println(pol.RoundsBetweenTx(units.Milliseconds(400))) // ~17 km/h
+	fmt.Println(pol.RoundsBetweenTx(units.Milliseconds(113))) // ~60 km/h
+	fmt.Println(pol.RoundsBetweenTx(units.Milliseconds(50)))  // ~135 km/h
+	// Output:
+	// 2
+	// 8
+	// 20
+}
+
+func ExampleReceiver_WindowEnergy() {
+	rx := rf.DefaultReceiver()
+	fmt.Println(rx.WindowEnergy()) // startup + 4.5 mW × 2 ms
+	// Output: 9.8µJ
+}

@@ -1,0 +1,220 @@
+// Package rf models the wireless communication device of the Sensor Node:
+// packet energetics (startup, overhead, payload bits) and transmission
+// policies. The paper observes that "the duty cycle of some functional
+// block (i.e. transmission blocks) can be different for cruising speed
+// variation" — the speed-adaptive policy here reproduces exactly that:
+// with a fixed data-latency target, the number of wheel rounds between
+// packets grows as rounds get shorter at high speed.
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Radio characterises a low-power packet transmitter.
+type Radio struct {
+	// StartupEnergy is spent settling the crystal/PLL before each burst.
+	StartupEnergy units.Energy
+	// StartupTime is the settling latency before the first bit.
+	StartupTime units.Seconds
+	// TxPower is the supply power drawn while bits are on the air.
+	TxPower units.Power
+	// BitRate is the over-the-air bit rate.
+	BitRate units.Frequency
+	// OverheadBytes covers preamble, sync word, header and CRC per packet.
+	OverheadBytes int
+	// SleepPower is the radio's off-state drain (kept by the node's
+	// schedule for the rest of the round).
+	SleepPower units.Power
+}
+
+// Default returns a representative 434 MHz-class TPMS transmitter:
+// 1.5 µJ / 300 µs startup, 12 mW on-air at 500 kbit/s, 10 bytes of
+// framing overhead, 50 nW sleep drain.
+func Default() Radio {
+	return Radio{
+		StartupEnergy: units.Microjoules(1.5),
+		StartupTime:   units.Microseconds(300),
+		TxPower:       units.Milliwatts(12),
+		BitRate:       units.Kilohertz(500),
+		OverheadBytes: 10,
+		SleepPower:    units.Nanowatts(50),
+	}
+}
+
+// Validate reports whether the radio parameters are physically meaningful.
+func (r Radio) Validate() error {
+	if r.StartupEnergy < 0 || r.StartupTime < 0 {
+		return fmt.Errorf("rf: negative startup cost")
+	}
+	if r.TxPower <= 0 {
+		return fmt.Errorf("rf: non-positive TX power %v", r.TxPower)
+	}
+	if r.BitRate <= 0 {
+		return fmt.Errorf("rf: non-positive bit rate %v", r.BitRate)
+	}
+	if r.OverheadBytes < 0 {
+		return fmt.Errorf("rf: negative overhead bytes %d", r.OverheadBytes)
+	}
+	if r.SleepPower < 0 {
+		return fmt.Errorf("rf: negative sleep power %v", r.SleepPower)
+	}
+	return nil
+}
+
+// Airtime returns the time the radio is active for one packet carrying
+// payloadBytes, including startup.
+func (r Radio) Airtime(payloadBytes int) (units.Seconds, error) {
+	if payloadBytes < 0 {
+		return 0, fmt.Errorf("rf: negative payload size %d", payloadBytes)
+	}
+	bits := float64(8 * (payloadBytes + r.OverheadBytes))
+	return r.StartupTime + units.Seconds(bits/r.BitRate.Hertz()), nil
+}
+
+// PacketEnergy returns the total energy of one packet carrying
+// payloadBytes: startup plus on-air power over the bit time.
+func (r Radio) PacketEnergy(payloadBytes int) (units.Energy, error) {
+	air, err := r.Airtime(payloadBytes)
+	if err != nil {
+		return 0, err
+	}
+	onAir := air - r.StartupTime
+	return r.StartupEnergy + r.TxPower.OverTime(onAir), nil
+}
+
+// EnergyPerBit returns the marginal energy per payload bit (excluding
+// startup and overhead amortisation) — a figure of merit for reports.
+func (r Radio) EnergyPerBit() units.Energy {
+	return r.TxPower.OverTime(r.BitRate.Period())
+}
+
+// Receiver characterises the downlink path: the node periodically opens
+// a listen window so the car's elaboration unit can reconfigure it
+// (sampling rates, TX policy, thresholds). Listening is expensive
+// relative to the µW budget, so the window cadence is a first-class
+// energy knob.
+type Receiver struct {
+	// ListenPower is the supply draw while the receiver is open.
+	ListenPower units.Power
+	// Window is how long each listen window stays open.
+	Window units.Seconds
+	// StartupEnergy and StartupTime cover the receiver chain settling.
+	StartupEnergy units.Energy
+	// StartupTime is the settling latency before the window opens.
+	StartupTime units.Seconds
+}
+
+// DefaultReceiver returns a representative low-power downlink receiver:
+// 4.5 mW while listening, 2 ms windows, 0.8 µJ / 150 µs startup.
+func DefaultReceiver() Receiver {
+	return Receiver{
+		ListenPower:   units.Milliwatts(4.5),
+		Window:        units.Milliseconds(2),
+		StartupEnergy: units.Microjoules(0.8),
+		StartupTime:   units.Microseconds(150),
+	}
+}
+
+// Validate reports whether the receiver parameters are physically
+// meaningful. The zero value is valid and means "no downlink".
+func (r Receiver) Validate() error {
+	if r == (Receiver{}) {
+		return nil
+	}
+	if r.ListenPower <= 0 {
+		return fmt.Errorf("rf: non-positive listen power %v", r.ListenPower)
+	}
+	if r.Window <= 0 {
+		return fmt.Errorf("rf: non-positive listen window %v", r.Window)
+	}
+	if r.StartupEnergy < 0 || r.StartupTime < 0 {
+		return fmt.Errorf("rf: negative receiver startup cost")
+	}
+	return nil
+}
+
+// Enabled reports whether a downlink is configured.
+func (r Receiver) Enabled() bool { return r != (Receiver{}) }
+
+// WindowEnergy returns the total energy of one listen window including
+// startup.
+func (r Receiver) WindowEnergy() units.Energy {
+	if !r.Enabled() {
+		return 0
+	}
+	return r.StartupEnergy + r.ListenPower.OverTime(r.Window)
+}
+
+// Policy decides how often the node transmits, expressed in wheel rounds
+// between consecutive packets as a function of the current round period.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// RoundsBetweenTx returns the number of wheel rounds between packets
+	// (always ≥ 1) for the given round period.
+	RoundsBetweenTx(roundPeriod units.Seconds) int
+}
+
+// EveryN transmits every fixed number of rounds regardless of speed.
+type EveryN struct {
+	N int
+}
+
+// Name implements Policy.
+func (p EveryN) Name() string { return fmt.Sprintf("every-%d-rounds", p.N) }
+
+// RoundsBetweenTx implements Policy; N < 1 is clamped to 1.
+func (p EveryN) RoundsBetweenTx(units.Seconds) int {
+	if p.N < 1 {
+		return 1
+	}
+	return p.N
+}
+
+// MaxLatency transmits as rarely as possible while keeping the age of the
+// freshest sensor data at the receiver below a target latency. At high
+// speed the rounds are short and many rounds fit inside the latency
+// budget; at low speed it degrades to transmitting every round.
+type MaxLatency struct {
+	// Target is the maximum tolerated data age.
+	Target units.Seconds
+	// Cap bounds the rounds between packets (0 means uncapped).
+	Cap int
+}
+
+// Name implements Policy.
+func (p MaxLatency) Name() string { return fmt.Sprintf("max-latency-%v", p.Target) }
+
+// RoundsBetweenTx implements Policy.
+func (p MaxLatency) RoundsBetweenTx(roundPeriod units.Seconds) int {
+	if roundPeriod <= 0 || p.Target <= 0 {
+		return 1
+	}
+	n := int(math.Floor(p.Target.Seconds() / roundPeriod.Seconds()))
+	if n < 1 {
+		n = 1
+	}
+	if p.Cap > 0 && n > p.Cap {
+		n = p.Cap
+	}
+	return n
+}
+
+// AmortizedRoundEnergy returns the per-round transmission energy under the
+// given policy at the given round period: one packet's energy spread over
+// the rounds between packets.
+func AmortizedRoundEnergy(r Radio, pol Policy, payloadBytes int, roundPeriod units.Seconds) (units.Energy, error) {
+	pkt, err := r.PacketEnergy(payloadBytes)
+	if err != nil {
+		return 0, err
+	}
+	n := pol.RoundsBetweenTx(roundPeriod)
+	if n < 1 {
+		n = 1
+	}
+	return units.Energy(pkt.Joules() / float64(n)), nil
+}

@@ -1,0 +1,188 @@
+package rf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default radio invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := Default()
+	mutations := []func(*Radio){
+		func(r *Radio) { r.StartupEnergy = -1 },
+		func(r *Radio) { r.StartupTime = -1 },
+		func(r *Radio) { r.TxPower = 0 },
+		func(r *Radio) { r.BitRate = 0 },
+		func(r *Radio) { r.OverheadBytes = -1 },
+		func(r *Radio) { r.SleepPower = -1 },
+	}
+	for i, mut := range mutations {
+		r := base
+		mut(&r)
+		if r.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	r := Default()
+	// 20-byte payload + 10 overhead = 240 bits at 500 kbit/s = 480 µs,
+	// plus 300 µs startup.
+	air, err := r.Airtime(20)
+	if err != nil {
+		t.Fatalf("Airtime: %v", err)
+	}
+	if !units.AlmostEqual(air.Seconds(), 780e-6, 1e-9) {
+		t.Errorf("Airtime(20) = %v, want 780µs", air)
+	}
+	if _, err := r.Airtime(-1); err == nil {
+		t.Error("negative payload accepted")
+	}
+	// Zero payload still carries the framing overhead.
+	air0, _ := r.Airtime(0)
+	if air0 <= r.StartupTime {
+		t.Errorf("zero-payload airtime = %v, want > startup", air0)
+	}
+}
+
+func TestPacketEnergy(t *testing.T) {
+	r := Default()
+	e, err := r.PacketEnergy(20)
+	if err != nil {
+		t.Fatalf("PacketEnergy: %v", err)
+	}
+	// 1.5µJ startup + 12mW × 480µs = 1.5µJ + 5.76µJ = 7.26µJ.
+	if !units.AlmostEqual(e.Microjoules(), 7.26, 1e-6) {
+		t.Errorf("PacketEnergy(20) = %v, want 7.26µJ", e)
+	}
+	if _, err := r.PacketEnergy(-1); err == nil {
+		t.Error("negative payload accepted")
+	}
+	// Monotone in payload size.
+	small, _ := r.PacketEnergy(4)
+	big, _ := r.PacketEnergy(64)
+	if small >= big {
+		t.Errorf("packet energy not monotone: %v >= %v", small, big)
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	r := Default()
+	// 12 mW / 500 kbit/s = 24 nJ/bit.
+	if got := r.EnergyPerBit(); !units.AlmostEqual(got.Joules(), 24e-9, 1e-9) {
+		t.Errorf("EnergyPerBit = %v, want 24nJ", got)
+	}
+}
+
+func TestEveryNPolicy(t *testing.T) {
+	p := EveryN{N: 8}
+	if got := p.RoundsBetweenTx(units.Milliseconds(50)); got != 8 {
+		t.Errorf("RoundsBetweenTx = %d, want 8", got)
+	}
+	if got := (EveryN{N: 0}).RoundsBetweenTx(units.Milliseconds(50)); got != 1 {
+		t.Errorf("clamped RoundsBetweenTx = %d, want 1", got)
+	}
+	if got := (EveryN{N: -3}).RoundsBetweenTx(0); got != 1 {
+		t.Errorf("negative-N RoundsBetweenTx = %d, want 1", got)
+	}
+	if p.Name() != "every-8-rounds" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestMaxLatencyPolicy(t *testing.T) {
+	p := MaxLatency{Target: units.Sec(1)}
+	// 100 ms rounds → 10 rounds fit in 1 s.
+	if got := p.RoundsBetweenTx(units.Milliseconds(100)); got != 10 {
+		t.Errorf("RoundsBetweenTx(100ms) = %d, want 10", got)
+	}
+	// Long rounds (low speed) → every round.
+	if got := p.RoundsBetweenTx(units.Sec(2)); got != 1 {
+		t.Errorf("RoundsBetweenTx(2s) = %d, want 1", got)
+	}
+	// Cap applies.
+	capped := MaxLatency{Target: units.Sec(1), Cap: 4}
+	if got := capped.RoundsBetweenTx(units.Milliseconds(100)); got != 4 {
+		t.Errorf("capped RoundsBetweenTx = %d, want 4", got)
+	}
+	// Degenerate inputs.
+	if got := p.RoundsBetweenTx(0); got != 1 {
+		t.Errorf("zero-period RoundsBetweenTx = %d, want 1", got)
+	}
+	if got := (MaxLatency{}).RoundsBetweenTx(units.Milliseconds(100)); got != 1 {
+		t.Errorf("zero-target RoundsBetweenTx = %d, want 1", got)
+	}
+	if (MaxLatency{Target: units.Sec(1)}).Name() != "max-latency-1s" {
+		t.Errorf("Name = %q", (MaxLatency{Target: units.Sec(1)}).Name())
+	}
+}
+
+func TestMaxLatencySpeedDependence(t *testing.T) {
+	// The paper's observation: TX blocks' duty cycle varies with cruising
+	// speed. Shorter rounds (faster) → more rounds between packets, so
+	// per-round TX energy falls with speed.
+	p := MaxLatency{Target: units.Sec(1)}
+	r := Default()
+	slow, _ := AmortizedRoundEnergy(r, p, 20, units.Milliseconds(400)) // ~17 km/h
+	fast, _ := AmortizedRoundEnergy(r, p, 20, units.Milliseconds(50))  // ~135 km/h
+	if fast >= slow {
+		t.Errorf("per-round TX energy not falling with speed: fast %v >= slow %v", fast, slow)
+	}
+}
+
+func TestAmortizedRoundEnergy(t *testing.T) {
+	r := Default()
+	pkt, _ := r.PacketEnergy(20)
+	got, err := AmortizedRoundEnergy(r, EveryN{N: 8}, 20, units.Milliseconds(100))
+	if err != nil {
+		t.Fatalf("AmortizedRoundEnergy: %v", err)
+	}
+	if !units.AlmostEqual(got.Joules(), pkt.Joules()/8, 1e-12) {
+		t.Errorf("amortized = %v, want pkt/8", got)
+	}
+	if _, err := AmortizedRoundEnergy(r, EveryN{N: 8}, -1, units.Milliseconds(100)); err == nil {
+		t.Error("negative payload accepted")
+	}
+}
+
+func TestQuickAmortizedBounded(t *testing.T) {
+	// Amortized per-round energy is always in (0, packet energy].
+	r := Default()
+	pkt, _ := r.PacketEnergy(20)
+	f := func(periodMS uint16, n uint8) bool {
+		period := units.Milliseconds(float64(periodMS%2000) + 1)
+		pol := EveryN{N: int(n)}
+		e, err := AmortizedRoundEnergy(r, pol, 20, period)
+		if err != nil {
+			return false
+		}
+		return e > 0 && e <= pkt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaxLatencyMonotoneInPeriod(t *testing.T) {
+	// Longer round period → fewer (or equal) rounds between packets.
+	p := MaxLatency{Target: units.Sec(2)}
+	f := func(aw, bw uint16) bool {
+		a := units.Milliseconds(float64(aw%3000) + 1)
+		b := units.Milliseconds(float64(bw%3000) + 1)
+		if a > b {
+			a, b = b, a
+		}
+		return p.RoundsBetweenTx(a) >= p.RoundsBetweenTx(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

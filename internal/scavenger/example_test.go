@@ -1,0 +1,46 @@
+package scavenger_test
+
+import (
+	"fmt"
+
+	"repro/internal/scavenger"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func ExampleHarvester_EnergyPerRound() {
+	// The generated-energy side of the paper's Fig 2: net energy per
+	// wheel round rises with cruising speed.
+	h, err := scavenger.Default(wheel.Default())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, kmh := range []float64{20, 40, 80, 160} {
+		v := units.KilometersPerHour(kmh)
+		fmt.Printf("%3.0f km/h: %5.1f µJ/round\n", kmh, h.EnergyPerRound(v).Microjoules())
+	}
+	// Output:
+	//  20 km/h:   2.4 µJ/round
+	//  40 km/h:  10.5 µJ/round
+	//  80 km/h:  25.4 µJ/round
+	// 160 km/h:  40.1 µJ/round
+}
+
+func ExamplePiezo_EnergyPerRevolution() {
+	// The raw source saturates: at VSat the output is half of EMax.
+	p := scavenger.DefaultPiezo()
+	fmt.Printf("at VSat (%v): %v of EMax %v\n",
+		p.VSat, p.EnergyPerRevolution(p.VSat), p.EMax)
+	// Output: at VSat (80km/h): 40µJ of EMax 80µJ
+}
+
+func ExampleConditioner_Efficiency() {
+	// Conversion efficiency droops at low input power — one reason the
+	// balance collapses at crawl speeds.
+	c := scavenger.DefaultConditioner()
+	fmt.Printf("%.0f%% at 5 µW, %.0f%% at 500 µW\n",
+		c.Efficiency(units.Microwatts(5))*100,
+		c.Efficiency(units.Microwatts(500))*100)
+	// Output: 22% at 5 µW, 64% at 500 µW
+}

@@ -1,0 +1,265 @@
+// Package scavenger models the energy-harvesting source that supplies the
+// Sensor Node during wheel rotation. The paper notes that the available
+// energy depends on the size of the scavenging device and, mostly, on the
+// tyre rotation speed; this package provides speed-dependent harvester
+// models (piezoelectric contact-patch and electromagnetic) plus the power
+// conditioning chain, and exposes the generated-energy-per-wheel-round
+// curve that forms one side of the Fig 2 energy balance.
+//
+// The proprietary Pirelli harvester characterisation is not available; the
+// models here reproduce the published qualitative behaviour (energy per
+// revolution rising superlinearly with speed and saturating, tens of µJ at
+// highway speed — cf. Ergen et al., IEEE TCAD 2009) and are fully
+// parameterised so measured data can be substituted.
+package scavenger
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// Source converts wheel rotation into raw (unconditioned) electrical
+// energy, characterised per revolution.
+type Source interface {
+	// Name identifies the source in reports.
+	Name() string
+	// EnergyPerRevolution returns the raw electrical energy produced
+	// during one wheel revolution at constant speed v.
+	EnergyPerRevolution(v units.Speed) units.Energy
+}
+
+// Piezo is a piezoelectric contact-patch harvester: each revolution the
+// tread element carrying the device transits the contact patch once and is
+// strained; the recovered energy grows superlinearly with speed (strain
+// rate) and saturates as the element's deformation limit is reached:
+//
+//	E(v) = EMax · r^Gamma / (1 + r^Gamma),   r = v / VSat
+//
+// below Activation the conditioning electronics cannot start and the
+// output is zero.
+type Piezo struct {
+	// EMax is the saturation energy per revolution.
+	EMax units.Energy
+	// VSat is the speed scale: at v = VSat the curve reaches EMax/2.
+	VSat units.Speed
+	// Gamma is the low-speed growth exponent (typically 1.5–2).
+	Gamma float64
+	// Activation is the minimum speed producing any output.
+	Activation units.Speed
+}
+
+// DefaultPiezo returns the reference harvester used by the toolkit's
+// presets: 80 µJ/rev saturation, half-output at 80 km/h, exponent 1.8,
+// 5 km/h activation threshold.
+func DefaultPiezo() Piezo {
+	return Piezo{
+		EMax:       units.Microjoules(80),
+		VSat:       units.KilometersPerHour(80),
+		Gamma:      1.8,
+		Activation: units.KilometersPerHour(5),
+	}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Piezo) Validate() error {
+	if p.EMax <= 0 {
+		return fmt.Errorf("scavenger: non-positive piezo EMax %v", p.EMax)
+	}
+	if p.VSat <= 0 {
+		return fmt.Errorf("scavenger: non-positive piezo VSat %v", p.VSat)
+	}
+	if p.Gamma <= 0 {
+		return fmt.Errorf("scavenger: non-positive piezo gamma %g", p.Gamma)
+	}
+	if p.Activation < 0 {
+		return fmt.Errorf("scavenger: negative piezo activation speed %v", p.Activation)
+	}
+	return nil
+}
+
+// Name implements Source.
+func (p Piezo) Name() string { return "piezo-patch" }
+
+// EnergyPerRevolution implements Source.
+func (p Piezo) EnergyPerRevolution(v units.Speed) units.Energy {
+	if v <= 0 || v < p.Activation {
+		return 0
+	}
+	r := v.MS() / p.VSat.MS()
+	rg := math.Pow(r, p.Gamma)
+	return units.Energy(p.EMax.Joules() * rg / (1 + rg))
+}
+
+// Scaled returns a copy with EMax multiplied by k — the "scavenger size"
+// knob of experiment E1 (a larger device harvests proportionally more).
+func (p Piezo) Scaled(k float64) Piezo {
+	p.EMax = units.Energy(p.EMax.Joules() * k)
+	return p
+}
+
+// Electromagnetic is a coil/eccentric-mass harvester whose per-revolution
+// energy grows quadratically with speed up to a clamp:
+//
+//	E(v) = min(K · v², EMax)
+type Electromagnetic struct {
+	// K is the quadratic coefficient in joules per (m/s)².
+	K float64
+	// EMax is the mechanical/electrical clamp per revolution.
+	EMax units.Energy
+}
+
+// DefaultElectromagnetic returns an EM harvester roughly matched to the
+// default piezo at mid speeds but with a harder clamp — the alternative
+// source for architecture-exploration runs.
+func DefaultElectromagnetic() Electromagnetic {
+	return Electromagnetic{K: 6.5e-8, EMax: units.Microjoules(60)}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (e Electromagnetic) Validate() error {
+	if e.K <= 0 {
+		return fmt.Errorf("scavenger: non-positive EM coefficient %g", e.K)
+	}
+	if e.EMax <= 0 {
+		return fmt.Errorf("scavenger: non-positive EM clamp %v", e.EMax)
+	}
+	return nil
+}
+
+// Name implements Source.
+func (e Electromagnetic) Name() string { return "electromagnetic" }
+
+// EnergyPerRevolution implements Source.
+func (e Electromagnetic) EnergyPerRevolution(v units.Speed) units.Energy {
+	if v <= 0 {
+		return 0
+	}
+	raw := e.K * v.MS() * v.MS()
+	return units.Energy(math.Min(raw, e.EMax.Joules()))
+}
+
+// Conditioner models the AC-DC rectification and regulation chain between
+// the raw source and the storage element. Its conversion efficiency droops
+// at low input power (rectifier thresholds dominate) and its own quiescent
+// draw is subtracted from the output:
+//
+//	P_out = max(0, Peak · P_in/(P_in + Knee) · P_in − Quiescent)
+type Conditioner struct {
+	// Peak is the asymptotic conversion efficiency (0, 1].
+	Peak float64
+	// Knee is the input power at which efficiency is half of Peak.
+	Knee units.Power
+	// Quiescent is the conditioning electronics' own draw.
+	Quiescent units.Power
+}
+
+// DefaultConditioner returns the reference conditioning chain: 65% peak
+// efficiency, 10 µW knee, 0.5 µW quiescent.
+func DefaultConditioner() Conditioner {
+	return Conditioner{Peak: 0.65, Knee: units.Microwatts(10), Quiescent: units.Microwatts(0.5)}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (c Conditioner) Validate() error {
+	if c.Peak <= 0 || c.Peak > 1 {
+		return fmt.Errorf("scavenger: conditioner peak efficiency %g outside (0, 1]", c.Peak)
+	}
+	if c.Knee < 0 {
+		return fmt.Errorf("scavenger: negative conditioner knee %v", c.Knee)
+	}
+	if c.Quiescent < 0 {
+		return fmt.Errorf("scavenger: negative conditioner quiescent %v", c.Quiescent)
+	}
+	return nil
+}
+
+// Efficiency returns the conversion efficiency at the given input power.
+func (c Conditioner) Efficiency(in units.Power) float64 {
+	if in <= 0 {
+		return 0
+	}
+	return c.Peak * in.Watts() / (in.Watts() + c.Knee.Watts())
+}
+
+// Output returns the net power delivered to storage for raw input power
+// in. It never goes negative: at very low input the chain simply produces
+// nothing (it does not drain storage; its quiescent draw only eats into
+// harvested power).
+func (c Conditioner) Output(in units.Power) units.Power {
+	if in <= 0 {
+		return 0
+	}
+	out := c.Efficiency(in)*in.Watts() - c.Quiescent.Watts()
+	if out < 0 {
+		return 0
+	}
+	return units.Power(out)
+}
+
+// Harvester binds a source and conditioner to a tyre, converting the
+// per-revolution characterisation into the speed-dependent power and
+// per-round energy the balance analysis consumes.
+type Harvester struct {
+	src  Source
+	cond Conditioner
+	tyre wheel.Tyre
+}
+
+// New builds a Harvester. The source must be non-nil and, when it exposes
+// a Validate() error method, valid; the conditioner and tyre are validated
+// too.
+func New(src Source, cond Conditioner, tyre wheel.Tyre) (*Harvester, error) {
+	if src == nil {
+		return nil, fmt.Errorf("scavenger: nil source")
+	}
+	if v, ok := src.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := cond.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tyre.Validate(); err != nil {
+		return nil, err
+	}
+	return &Harvester{src: src, cond: cond, tyre: tyre}, nil
+}
+
+// Default returns the toolkit's reference harvester: default piezo source
+// and conditioner on the given tyre.
+func Default(tyre wheel.Tyre) (*Harvester, error) {
+	return New(DefaultPiezo(), DefaultConditioner(), tyre)
+}
+
+// Source returns the underlying source.
+func (h *Harvester) Source() Source { return h.src }
+
+// Tyre returns the tyre the harvester is mounted in.
+func (h *Harvester) Tyre() wheel.Tyre { return h.tyre }
+
+// RawPower returns the unconditioned electrical power at speed v
+// (energy per revolution times revolution rate).
+func (h *Harvester) RawPower(v units.Speed) units.Power {
+	e := h.src.EnergyPerRevolution(v)
+	return units.Power(e.Joules() * h.tyre.RevsPerSecond(v))
+}
+
+// Power returns the net power delivered to storage at speed v.
+func (h *Harvester) Power(v units.Speed) units.Power {
+	return h.cond.Output(h.RawPower(v))
+}
+
+// EnergyPerRound returns the net energy delivered during one wheel round
+// at speed v — the "energy generated by scavenger device" curve of the
+// paper's Fig 2. Stationary wheels generate nothing.
+func (h *Harvester) EnergyPerRound(v units.Speed) units.Energy {
+	period := h.tyre.RoundPeriod(v)
+	if period <= 0 {
+		return 0
+	}
+	return h.Power(v).OverTime(period)
+}

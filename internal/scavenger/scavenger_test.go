@@ -1,0 +1,236 @@
+package scavenger
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func kmh(v float64) units.Speed { return units.KilometersPerHour(v) }
+
+func TestPiezoValidate(t *testing.T) {
+	if err := DefaultPiezo().Validate(); err != nil {
+		t.Fatalf("default piezo invalid: %v", err)
+	}
+	bad := []Piezo{
+		{EMax: 0, VSat: 1, Gamma: 1},
+		{EMax: 1, VSat: 0, Gamma: 1},
+		{EMax: 1, VSat: 1, Gamma: 0},
+		{EMax: 1, VSat: 1, Gamma: 1, Activation: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad piezo %d accepted", i)
+		}
+	}
+}
+
+func TestPiezoCurveShape(t *testing.T) {
+	p := DefaultPiezo()
+	if got := p.EnergyPerRevolution(0); got != 0 {
+		t.Errorf("stationary energy = %v", got)
+	}
+	if got := p.EnergyPerRevolution(kmh(3)); got != 0 {
+		t.Errorf("below-activation energy = %v, want 0", got)
+	}
+	// At VSat, exactly half of EMax.
+	half := p.EnergyPerRevolution(p.VSat)
+	if !units.AlmostEqual(half.Microjoules(), 40, 1e-9) {
+		t.Errorf("energy at VSat = %v, want 40µJ", half)
+	}
+	// Monotone increasing above activation.
+	prev := units.Energy(0)
+	for v := 6.0; v <= 250; v += 2 {
+		cur := p.EnergyPerRevolution(kmh(v))
+		if cur <= prev {
+			t.Fatalf("piezo energy not monotone at %g km/h: %v <= %v", v, cur, prev)
+		}
+		prev = cur
+	}
+	// Never exceeds saturation.
+	if top := p.EnergyPerRevolution(kmh(1000)); top >= p.EMax {
+		t.Errorf("energy %v reached EMax %v", top, p.EMax)
+	}
+	// Name for reports.
+	if p.Name() != "piezo-patch" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestPiezoScaled(t *testing.T) {
+	p := DefaultPiezo()
+	big := p.Scaled(2)
+	if !units.AlmostEqual(big.EMax.Microjoules(), 160, 1e-9) {
+		t.Errorf("scaled EMax = %v", big.EMax)
+	}
+	if p.EMax != units.Microjoules(80) {
+		t.Error("Scaled mutated receiver")
+	}
+	v := kmh(60)
+	if ratio := big.EnergyPerRevolution(v).Joules() / p.EnergyPerRevolution(v).Joules(); !units.AlmostEqual(ratio, 2, 1e-9) {
+		t.Errorf("scaled output ratio = %g, want 2", ratio)
+	}
+}
+
+func TestElectromagnetic(t *testing.T) {
+	e := DefaultElectromagnetic()
+	if err := e.Validate(); err != nil {
+		t.Fatalf("default EM invalid: %v", err)
+	}
+	if e.Name() != "electromagnetic" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if got := e.EnergyPerRevolution(0); got != 0 {
+		t.Errorf("stationary EM energy = %v", got)
+	}
+	// Quadratic region: doubling speed quadruples energy.
+	e1 := e.EnergyPerRevolution(kmh(20))
+	e2 := e.EnergyPerRevolution(kmh(40))
+	if !units.AlmostEqual(e2.Joules()/e1.Joules(), 4, 1e-9) {
+		t.Errorf("EM quadratic ratio = %g, want 4", e2.Joules()/e1.Joules())
+	}
+	// Clamp at EMax.
+	if got := e.EnergyPerRevolution(kmh(500)); got != e.EMax {
+		t.Errorf("clamped EM energy = %v, want %v", got, e.EMax)
+	}
+	bad := []Electromagnetic{{K: 0, EMax: 1}, {K: 1, EMax: 0}}
+	for i, b := range bad {
+		if b.Validate() == nil {
+			t.Errorf("bad EM %d accepted", i)
+		}
+	}
+}
+
+func TestConditioner(t *testing.T) {
+	c := DefaultConditioner()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default conditioner invalid: %v", err)
+	}
+	bad := []Conditioner{
+		{Peak: 0}, {Peak: 1.5}, {Peak: 0.5, Knee: -1}, {Peak: 0.5, Quiescent: -1},
+	}
+	for i, b := range bad {
+		if b.Validate() == nil {
+			t.Errorf("bad conditioner %d accepted", i)
+		}
+	}
+	// Efficiency: zero at no input, half of peak at the knee, approaching
+	// peak at high input.
+	if got := c.Efficiency(0); got != 0 {
+		t.Errorf("efficiency at 0 = %g", got)
+	}
+	if got := c.Efficiency(c.Knee); !units.AlmostEqual(got, c.Peak/2, 1e-9) {
+		t.Errorf("efficiency at knee = %g, want %g", got, c.Peak/2)
+	}
+	if got := c.Efficiency(units.Watts(1)); got < 0.99*c.Peak {
+		t.Errorf("asymptotic efficiency = %g, want ≈%g", got, c.Peak)
+	}
+	// Output never negative; tiny input swallowed by quiescent draw.
+	if got := c.Output(units.Nanowatts(10)); got != 0 {
+		t.Errorf("tiny-input output = %v, want 0", got)
+	}
+	if got := c.Output(0); got != 0 {
+		t.Errorf("zero-input output = %v", got)
+	}
+	// Healthy input: positive, less than input.
+	in := units.Microwatts(500)
+	out := c.Output(in)
+	if out <= 0 || out >= in {
+		t.Errorf("output %v out of range for input %v", out, in)
+	}
+}
+
+func TestHarvesterNewValidation(t *testing.T) {
+	tyre := wheel.Default()
+	if _, err := New(nil, DefaultConditioner(), tyre); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New(Piezo{}, DefaultConditioner(), tyre); err == nil {
+		t.Error("invalid piezo accepted")
+	}
+	if _, err := New(DefaultPiezo(), Conditioner{}, tyre); err == nil {
+		t.Error("invalid conditioner accepted")
+	}
+	if _, err := New(DefaultPiezo(), DefaultConditioner(), wheel.Tyre{}); err == nil {
+		t.Error("invalid tyre accepted")
+	}
+	h, err := Default(tyre)
+	if err != nil {
+		t.Fatalf("Default: %v", err)
+	}
+	if h.Source().Name() != "piezo-patch" {
+		t.Errorf("Source = %q", h.Source().Name())
+	}
+	if h.Tyre() != tyre {
+		t.Error("Tyre() mismatch")
+	}
+}
+
+func TestHarvesterPowerAndEnergyPerRound(t *testing.T) {
+	h, err := Default(wheel.Default())
+	if err != nil {
+		t.Fatalf("Default: %v", err)
+	}
+	// Stationary: nothing.
+	if h.RawPower(0) != 0 || h.Power(0) != 0 || h.EnergyPerRound(0) != 0 {
+		t.Error("stationary harvester produced energy")
+	}
+	// At 100 km/h the default harvester delivers hundreds of µW net.
+	p := h.Power(kmh(100))
+	if p.Microwatts() < 200 || p.Microwatts() > 800 {
+		t.Errorf("net power at 100km/h = %v, want 200–800µW", p)
+	}
+	// Energy per round consistency: P · T.
+	e := h.EnergyPerRound(kmh(100))
+	wantE := p.OverTime(h.Tyre().RoundPeriod(kmh(100)))
+	if !units.AlmostEqual(e.Joules(), wantE.Joules(), 1e-12) {
+		t.Errorf("EnergyPerRound = %v, want %v", e, wantE)
+	}
+	// Net power is below raw power.
+	if h.Power(kmh(100)) >= h.RawPower(kmh(100)) {
+		t.Error("conditioning did not reduce power")
+	}
+}
+
+func TestHarvesterEnergyPerRoundMonotone(t *testing.T) {
+	// Above the activation region, net energy per round should rise with
+	// speed across the range Fig 2 sweeps (more strain energy per patch
+	// transit and better conditioning efficiency).
+	h, _ := Default(wheel.Default())
+	prev := units.Energy(0)
+	for v := 10.0; v <= 200; v += 5 {
+		cur := h.EnergyPerRound(kmh(v))
+		if cur < prev {
+			t.Fatalf("net energy per round fell at %g km/h: %v < %v", v, cur, prev)
+		}
+		prev = cur
+	}
+	if prev <= 0 {
+		t.Fatal("no energy harvested at 200 km/h")
+	}
+}
+
+func TestQuickHarvesterNonNegative(t *testing.T) {
+	h, _ := Default(wheel.Default())
+	f := func(vw uint16) bool {
+		v := kmh(float64(vw % 3000 / 10))
+		return h.Power(v) >= 0 && h.EnergyPerRound(v) >= 0 && h.RawPower(v) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConditionerOutputBounded(t *testing.T) {
+	c := DefaultConditioner()
+	f := func(pw uint32) bool {
+		in := units.Nanowatts(float64(pw % 1e9)) // up to 1 W
+		out := c.Output(in)
+		return out >= 0 && out.Watts() <= in.Watts()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

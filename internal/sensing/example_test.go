@@ -1,0 +1,31 @@
+package sensing_test
+
+import (
+	"fmt"
+
+	"repro/internal/sensing"
+	"repro/internal/units"
+)
+
+func ExampleAcquisition_RoundEnergy() {
+	// The per-round acquisition budget: a 32-sample burst plus the
+	// amortised share of the slower pressure/temperature measurement.
+	a := sensing.Default()
+	fmt.Printf("burst %v over %v, total %v per round\n",
+		a.BurstEnergy(), a.BurstDuration(), a.RoundEnergy())
+	// Output: burst 1.92µJ over 1.6ms, total 1.98µJ per round
+}
+
+func ExampleAcquisition_MaxSamplesInDwell() {
+	// At 260+ km/h the contact-patch dwell shrinks below the configured
+	// burst: the node clamps the sample count to what physically fits.
+	a := sensing.Default()
+	fmt.Println(a.MaxSamplesInDwell(units.Milliseconds(1.44))) // dwell at ~300 km/h
+	// Output: 28
+}
+
+func ExampleCompute_TimePerRound() {
+	c := sensing.DefaultCompute()
+	fmt.Println(c.TimePerRound(32, units.Megahertz(8)))
+	// Output: 1.19ms
+}

@@ -1,0 +1,154 @@
+// Package sensing models the data-acquisition side of the Sensor Node:
+// contact-patch-triggered accelerometer bursts (the tyre-friction signal
+// of the Cyber Tyre lives in the patch transit), slower auxiliary
+// pressure/temperature measurements, and the computing load the acquired
+// samples impose on the node's DSP/MCU. The paper's energy database is
+// parameterised on "the number of data to be acquired" — these types are
+// that knob.
+package sensing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Acquisition describes what is sampled every wheel round.
+type Acquisition struct {
+	// SamplesPerRound is the number of accelerometer/strain samples
+	// captured during the contact-patch transit each round.
+	SamplesPerRound int
+	// SampleEnergy is the analog-frontend + ADC energy per sample.
+	SampleEnergy units.Energy
+	// SampleTime is the conversion time per sample (sets the burst
+	// duration and the minimum ADC clock).
+	SampleTime units.Seconds
+	// AuxPeriodRounds is how many rounds pass between auxiliary
+	// pressure/temperature measurements (≥ 1).
+	AuxPeriodRounds int
+	// AuxEnergy is the energy of one auxiliary measurement.
+	AuxEnergy units.Energy
+	// AuxTime is the duration of one auxiliary measurement.
+	AuxTime units.Seconds
+}
+
+// Default returns the reference acquisition: 32 accelerometer samples per
+// patch transit at 50 µs / 60 nJ each (a 20 kS/s µW-class MEMS frontend,
+// 1.6 ms burst), plus a pressure/temperature reading every 16 rounds
+// costing 0.9 µJ / 120 µs.
+func Default() Acquisition {
+	return Acquisition{
+		SamplesPerRound: 32,
+		SampleEnergy:    units.Nanojoules(60),
+		SampleTime:      units.Microseconds(50),
+		AuxPeriodRounds: 16,
+		AuxEnergy:       units.Microjoules(0.9),
+		AuxTime:         units.Microseconds(120),
+	}
+}
+
+// Validate reports whether the acquisition parameters are meaningful.
+func (a Acquisition) Validate() error {
+	if a.SamplesPerRound < 0 {
+		return fmt.Errorf("sensing: negative samples per round %d", a.SamplesPerRound)
+	}
+	if a.SampleEnergy < 0 || a.SampleTime < 0 {
+		return fmt.Errorf("sensing: negative per-sample cost")
+	}
+	if a.AuxPeriodRounds < 1 {
+		return fmt.Errorf("sensing: aux period %d rounds, must be ≥ 1", a.AuxPeriodRounds)
+	}
+	if a.AuxEnergy < 0 || a.AuxTime < 0 {
+		return fmt.Errorf("sensing: negative auxiliary cost")
+	}
+	return nil
+}
+
+// BurstDuration returns the duration of the per-round sampling burst.
+func (a Acquisition) BurstDuration() units.Seconds {
+	return units.Seconds(float64(a.SamplesPerRound) * a.SampleTime.Seconds())
+}
+
+// BurstEnergy returns the energy of the per-round sampling burst.
+func (a Acquisition) BurstEnergy() units.Energy {
+	return units.Energy(float64(a.SamplesPerRound) * a.SampleEnergy.Joules())
+}
+
+// AmortizedAuxEnergy returns the per-round share of the auxiliary
+// measurements.
+func (a Acquisition) AmortizedAuxEnergy() units.Energy {
+	return units.Energy(a.AuxEnergy.Joules() / float64(a.AuxPeriodRounds))
+}
+
+// RoundEnergy returns the total per-round acquisition energy (burst plus
+// amortised auxiliary share).
+func (a Acquisition) RoundEnergy() units.Energy {
+	return a.BurstEnergy() + a.AmortizedAuxEnergy()
+}
+
+// FitsPatch reports whether the sampling burst fits inside the
+// contact-patch dwell time; if it does not, the configured sample count
+// cannot be captured at this speed.
+func (a Acquisition) FitsPatch(dwell units.Seconds) bool {
+	return a.BurstDuration() <= dwell
+}
+
+// MaxSamplesInDwell returns the largest sample count that fits in the
+// given patch dwell time.
+func (a Acquisition) MaxSamplesInDwell(dwell units.Seconds) int {
+	if a.SampleTime <= 0 || dwell <= 0 {
+		return 0
+	}
+	// The relative epsilon absorbs binary representation error at exact
+	// multiples (e.g. a 3911 µs dwell with 0.25 µs samples).
+	return int(math.Floor(dwell.Seconds() / a.SampleTime.Seconds() * (1 + 1e-12)))
+}
+
+// WithSamples returns a copy with a different per-round sample count —
+// the optimizer's duty-trimming knob.
+func (a Acquisition) WithSamples(n int) Acquisition {
+	a.SamplesPerRound = n
+	return a
+}
+
+// Compute models the processing the acquired data demands from the
+// node's DSP/MCU (feature extraction for the friction estimate).
+type Compute struct {
+	// CyclesPerSample is the per-sample processing cost.
+	CyclesPerSample float64
+	// BaseCyclesPerRound is the fixed per-round cost (bookkeeping,
+	// protocol stack, state estimation update).
+	BaseCyclesPerRound float64
+}
+
+// DefaultCompute returns the reference processing load: 220 cycles per
+// sample plus a fixed 2500 cycles per round.
+func DefaultCompute() Compute {
+	return Compute{CyclesPerSample: 220, BaseCyclesPerRound: 2500}
+}
+
+// Validate reports whether the compute parameters are meaningful.
+func (c Compute) Validate() error {
+	if c.CyclesPerSample < 0 || c.BaseCyclesPerRound < 0 {
+		return fmt.Errorf("sensing: negative compute cost")
+	}
+	return nil
+}
+
+// CyclesPerRound returns the processing cycles one round of n samples
+// requires.
+func (c Compute) CyclesPerRound(n int) float64 {
+	if n < 0 {
+		n = 0
+	}
+	return c.BaseCyclesPerRound + c.CyclesPerSample*float64(n)
+}
+
+// TimePerRound returns how long the processing takes at clock f.
+func (c Compute) TimePerRound(n int, f units.Frequency) units.Seconds {
+	if f <= 0 {
+		return 0
+	}
+	return units.Seconds(c.CyclesPerRound(n) / f.Hertz())
+}

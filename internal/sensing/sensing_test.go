@@ -1,0 +1,169 @@
+package sensing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default acquisition invalid: %v", err)
+	}
+	if err := DefaultCompute().Validate(); err != nil {
+		t.Fatalf("default compute invalid: %v", err)
+	}
+}
+
+func TestAcquisitionValidate(t *testing.T) {
+	base := Default()
+	mutations := []func(*Acquisition){
+		func(a *Acquisition) { a.SamplesPerRound = -1 },
+		func(a *Acquisition) { a.SampleEnergy = -1 },
+		func(a *Acquisition) { a.SampleTime = -1 },
+		func(a *Acquisition) { a.AuxPeriodRounds = 0 },
+		func(a *Acquisition) { a.AuxEnergy = -1 },
+		func(a *Acquisition) { a.AuxTime = -1 },
+	}
+	for i, mut := range mutations {
+		a := base
+		mut(&a)
+		if a.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestBurstAccounting(t *testing.T) {
+	a := Default()
+	// 32 × 50 µs = 1.6 ms burst.
+	if got := a.BurstDuration(); !units.AlmostEqual(got.Seconds(), 1.6e-3, 1e-12) {
+		t.Errorf("BurstDuration = %v, want 1.6ms", got)
+	}
+	// 32 × 60 nJ = 1.92 µJ.
+	if got := a.BurstEnergy(); !units.AlmostEqual(got.Joules(), 1.92e-6, 1e-12) {
+		t.Errorf("BurstEnergy = %v, want 1.92µJ", got)
+	}
+	// Aux amortisation: 0.9 µJ / 16.
+	if got := a.AmortizedAuxEnergy(); !units.AlmostEqual(got.Joules(), 0.9e-6/16, 1e-12) {
+		t.Errorf("AmortizedAuxEnergy = %v", got)
+	}
+	want := a.BurstEnergy().Joules() + a.AmortizedAuxEnergy().Joules()
+	if got := a.RoundEnergy(); !units.AlmostEqual(got.Joules(), want, 1e-12) {
+		t.Errorf("RoundEnergy = %v, want %g J", got, want)
+	}
+}
+
+func TestFitsPatch(t *testing.T) {
+	a := Default() // 1.6 ms burst
+	if !a.FitsPatch(units.Milliseconds(2)) {
+		t.Error("1.6ms burst should fit 2ms dwell")
+	}
+	if a.FitsPatch(units.Milliseconds(1)) {
+		t.Error("1.6ms burst should not fit 1ms dwell")
+	}
+	// At 200 km/h the default tyre dwell is 0.12 m / 55.6 m/s ≈ 2.16 ms —
+	// still above the 1.6 ms burst; sanity anchor for the node schedule.
+	if !a.FitsPatch(units.Milliseconds(2.16)) {
+		t.Error("burst should fit highway dwell")
+	}
+}
+
+func TestMaxSamplesInDwell(t *testing.T) {
+	a := Default()
+	if got := a.MaxSamplesInDwell(units.Milliseconds(2)); got != 40 {
+		t.Errorf("MaxSamplesInDwell(2ms) = %d, want 40", got)
+	}
+	if got := a.MaxSamplesInDwell(0); got != 0 {
+		t.Errorf("MaxSamplesInDwell(0) = %d", got)
+	}
+	zero := a
+	zero.SampleTime = 0
+	if got := zero.MaxSamplesInDwell(units.Microseconds(10)); got != 0 {
+		t.Errorf("zero sample time MaxSamplesInDwell = %d", got)
+	}
+}
+
+func TestWithSamples(t *testing.T) {
+	a := Default()
+	b := a.WithSamples(8)
+	if b.SamplesPerRound != 8 {
+		t.Errorf("WithSamples = %d", b.SamplesPerRound)
+	}
+	if a.SamplesPerRound != 32 {
+		t.Error("WithSamples mutated receiver")
+	}
+	// Quarter the samples → quarter the burst energy.
+	if ratio := b.BurstEnergy().Joules() / a.BurstEnergy().Joules(); !units.AlmostEqual(ratio, 0.25, 1e-12) {
+		t.Errorf("burst energy ratio = %g, want 0.25", ratio)
+	}
+}
+
+func TestComputeValidate(t *testing.T) {
+	if (Compute{CyclesPerSample: -1}).Validate() == nil {
+		t.Error("negative cycles per sample accepted")
+	}
+	if (Compute{BaseCyclesPerRound: -1}).Validate() == nil {
+		t.Error("negative base cycles accepted")
+	}
+}
+
+func TestCyclesPerRound(t *testing.T) {
+	c := DefaultCompute()
+	if got := c.CyclesPerRound(32); got != 2500+220*32 {
+		t.Errorf("CyclesPerRound(32) = %g", got)
+	}
+	if got := c.CyclesPerRound(0); got != 2500 {
+		t.Errorf("CyclesPerRound(0) = %g", got)
+	}
+	if got := c.CyclesPerRound(-5); got != 2500 {
+		t.Errorf("CyclesPerRound(-5) = %g, want base only", got)
+	}
+}
+
+func TestTimePerRound(t *testing.T) {
+	c := DefaultCompute()
+	// 9540 cycles at 8 MHz = 1.1925 ms.
+	got := c.TimePerRound(32, units.Megahertz(8))
+	if !units.AlmostEqual(got.Seconds(), 9540.0/8e6, 1e-12) {
+		t.Errorf("TimePerRound = %v", got)
+	}
+	if got := c.TimePerRound(32, 0); got != 0 {
+		t.Errorf("zero-clock TimePerRound = %v", got)
+	}
+}
+
+func TestQuickRoundEnergyMonotoneInSamples(t *testing.T) {
+	a := Default()
+	f := func(x, y uint8) bool {
+		n1, n2 := int(x), int(y)
+		if n1 > n2 {
+			n1, n2 = n2, n1
+		}
+		return a.WithSamples(n1).RoundEnergy() <= a.WithSamples(n2).RoundEnergy()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMaxSamplesFit(t *testing.T) {
+	// The reported max sample count always actually fits; one more never
+	// does.
+	a := Default()
+	f := func(us uint16) bool {
+		dwell := units.Microseconds(float64(us%5000) + 1)
+		n := a.MaxSamplesInDwell(dwell)
+		// n fits up to float representation error of the burst duration.
+		burst := a.WithSamples(n).BurstDuration().Seconds()
+		if burst > dwell.Seconds()*(1+1e-9) {
+			return false
+		}
+		// Two more samples definitely do not fit.
+		return !a.WithSamples(n + 2).FitsPatch(dwell)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package storage_test
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+func ExampleBuffer_Usable() {
+	// The default 470 µF buffer holds ≈2.3 mJ between the brown-out
+	// floor (1.8 V) and the clamp (3.6 V) — a few hundred wheel rounds
+	// of ride-through at µJ-class round budgets.
+	buf := storage.Default()
+	fmt.Println(buf.Usable())
+	// Output: 2.28mJ
+}
+
+func ExampleState_Discharge() {
+	// Draining past the floor collapses the supply: the shortfall is the
+	// brown-out signal the emulator acts on.
+	s, _ := storage.NewState(storage.Default(), units.Volts(2.0))
+	delivered, shortfall := s.Discharge(units.Millijoules(10))
+	fmt.Printf("delivered %v, shortfall %v, at %v\n", delivered, shortfall, s.Voltage())
+	// Output: delivered 179µJ, shortfall 9.82mJ, at 1.8V
+}

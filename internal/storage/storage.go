@@ -1,0 +1,170 @@
+// Package storage models the energy buffer between the scavenger and the
+// Sensor Node: a (super)capacitor with a usable voltage window, charge
+// clipping at the top of the window, brown-out at the bottom with restart
+// hysteresis, and resistive self-discharge. The long-window emulator
+// tracks a Buffer's State to decide, round by round, whether the
+// monitoring system can stay active — the paper's "operating window"
+// identification.
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Buffer describes the storage element and its operating window.
+type Buffer struct {
+	// C is the storage capacitance.
+	C units.Capacitance
+	// VMax is the top of the window; harvested charge beyond it is
+	// clipped (shunted by the overvoltage protection).
+	VMax units.Voltage
+	// VMin is the brown-out threshold: below it the node cannot operate.
+	VMin units.Voltage
+	// VRestart is the restart threshold after a brown-out (hysteresis:
+	// VMin ≤ VRestart ≤ VMax), preventing rapid on/off cycling.
+	VRestart units.Voltage
+	// SelfDischarge is the equivalent parallel leakage resistance.
+	// Non-positive disables self-discharge.
+	SelfDischarge units.Resistance
+}
+
+// Default returns the reference buffer: 470 µF, 1.8–3.6 V window,
+// 2.4 V restart, 10 MΩ self-discharge (≈ 2.3 mJ usable).
+func Default() Buffer {
+	return Buffer{
+		C:             units.Microfarads(470),
+		VMax:          units.Volts(3.6),
+		VMin:          units.Volts(1.8),
+		VRestart:      units.Volts(2.4),
+		SelfDischarge: units.Ohms(10e6),
+	}
+}
+
+// Validate reports whether the buffer parameters are physically
+// meaningful.
+func (b Buffer) Validate() error {
+	if b.C <= 0 {
+		return fmt.Errorf("storage: non-positive capacitance %v", b.C)
+	}
+	if b.VMin < 0 {
+		return fmt.Errorf("storage: negative VMin %v", b.VMin)
+	}
+	if b.VRestart < b.VMin {
+		return fmt.Errorf("storage: VRestart %v below VMin %v", b.VRestart, b.VMin)
+	}
+	if b.VMax < b.VRestart {
+		return fmt.Errorf("storage: VMax %v below VRestart %v", b.VMax, b.VRestart)
+	}
+	if b.VMax <= b.VMin {
+		return fmt.Errorf("storage: empty voltage window [%v, %v]", b.VMin, b.VMax)
+	}
+	return nil
+}
+
+// Capacity returns the total energy at VMax.
+func (b Buffer) Capacity() units.Energy { return b.C.StoredEnergy(b.VMax) }
+
+// Usable returns the energy between VMin and VMax — what the node can
+// actually draw.
+func (b Buffer) Usable() units.Energy {
+	return b.Capacity() - b.C.StoredEnergy(b.VMin)
+}
+
+// State is the time-varying charge state of a Buffer.
+type State struct {
+	buf    Buffer
+	energy units.Energy
+}
+
+// NewState returns a State charged to v0 (clamped into [0, VMax]).
+func NewState(buf Buffer, v0 units.Voltage) (*State, error) {
+	if err := buf.Validate(); err != nil {
+		return nil, err
+	}
+	v := units.Volts(units.Clamp(v0.Volts(), 0, buf.VMax.Volts()))
+	return &State{buf: buf, energy: buf.C.StoredEnergy(v)}, nil
+}
+
+// Buffer returns the static buffer description.
+func (s *State) Buffer() Buffer { return s.buf }
+
+// Energy returns the currently stored energy.
+func (s *State) Energy() units.Energy { return s.energy }
+
+// Voltage returns the current capacitor voltage.
+func (s *State) Voltage() units.Voltage { return s.buf.C.VoltageForEnergy(s.energy) }
+
+// Available returns the energy the node may draw before hitting VMin.
+func (s *State) Available() units.Energy {
+	floor := s.buf.C.StoredEnergy(s.buf.VMin)
+	if s.energy <= floor {
+		return 0
+	}
+	return s.energy - floor
+}
+
+// Headroom returns the energy the buffer can still absorb before VMax.
+func (s *State) Headroom() units.Energy {
+	cap := s.buf.Capacity()
+	if s.energy >= cap {
+		return 0
+	}
+	return cap - s.energy
+}
+
+// AboveMin reports whether the supply is above the brown-out threshold.
+func (s *State) AboveMin() bool { return s.Voltage() >= s.buf.VMin }
+
+// CanRestart reports whether a browned-out node may start again
+// (voltage above the restart hysteresis threshold).
+func (s *State) CanRestart() bool { return s.Voltage() >= s.buf.VRestart }
+
+// Charge adds harvested energy, clipping at VMax. It returns the energy
+// actually stored and the clipped excess. Negative input is rejected as a
+// programming error via panic, since harvest is physically non-negative.
+func (s *State) Charge(e units.Energy) (stored, clipped units.Energy) {
+	if e < 0 {
+		panic(fmt.Sprintf("storage: negative charge %v", e))
+	}
+	head := s.Headroom()
+	if e <= head {
+		s.energy += e
+		return e, 0
+	}
+	s.energy += head
+	return head, e - head
+}
+
+// Discharge draws load energy down to the VMin floor. It returns the
+// energy actually delivered and the shortfall (demand that could not be
+// met); any shortfall means the supply collapsed mid-draw — a brown-out.
+// Negative input panics.
+func (s *State) Discharge(e units.Energy) (delivered, shortfall units.Energy) {
+	if e < 0 {
+		panic(fmt.Sprintf("storage: negative discharge %v", e))
+	}
+	avail := s.Available()
+	if e <= avail {
+		s.energy -= e
+		return e, 0
+	}
+	s.energy -= avail
+	return avail, e - avail
+}
+
+// Leak applies resistive self-discharge over dt and returns the energy
+// lost. The exact RC solution is used (E(t) = E₀·e^(−2t/RC)), so large
+// steps remain stable. Disabled (non-positive) resistance leaks nothing.
+func (s *State) Leak(dt units.Seconds) units.Energy {
+	if dt <= 0 || s.buf.SelfDischarge <= 0 || s.energy <= 0 {
+		return 0
+	}
+	rc := s.buf.SelfDischarge.Ohms() * s.buf.C.Farads()
+	factor := math.Exp(-2 * dt.Seconds() / rc)
+	lost := units.Energy(s.energy.Joules() * (1 - factor))
+	s.energy -= lost
+	return lost
+}

@@ -1,0 +1,238 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default buffer invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Buffer{
+		{C: 0, VMax: 3.6, VMin: 1.8, VRestart: 2.4},
+		{C: 470e-6, VMax: 3.6, VMin: -1, VRestart: 2.4},
+		{C: 470e-6, VMax: 3.6, VMin: 2.5, VRestart: 2.4}, // restart below min
+		{C: 470e-6, VMax: 2.0, VMin: 1.8, VRestart: 2.4}, // max below restart
+		{C: 470e-6, VMax: 1.8, VMin: 1.8, VRestart: 1.8}, // empty window
+	}
+	for i, b := range bad {
+		if b.Validate() == nil {
+			t.Errorf("bad buffer %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestCapacityAndUsable(t *testing.T) {
+	b := Default()
+	wantCap := 0.5 * 470e-6 * 3.6 * 3.6
+	if got := b.Capacity(); !units.AlmostEqual(got.Joules(), wantCap, 1e-12) {
+		t.Errorf("Capacity = %v, want %g J", got, wantCap)
+	}
+	wantUsable := wantCap - 0.5*470e-6*1.8*1.8
+	if got := b.Usable(); !units.AlmostEqual(got.Joules(), wantUsable, 1e-12) {
+		t.Errorf("Usable = %v, want %g J", got, wantUsable)
+	}
+}
+
+func TestNewState(t *testing.T) {
+	b := Default()
+	s, err := NewState(b, units.Volts(3.0))
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	if !units.AlmostEqual(s.Voltage().Volts(), 3.0, 1e-9) {
+		t.Errorf("initial voltage = %v", s.Voltage())
+	}
+	if s.Buffer() != b {
+		t.Error("Buffer() mismatch")
+	}
+	// Initial voltage clamps into [0, VMax].
+	s2, _ := NewState(b, units.Volts(10))
+	if !units.AlmostEqual(s2.Voltage().Volts(), 3.6, 1e-9) {
+		t.Errorf("overvoltage initial state = %v", s2.Voltage())
+	}
+	s3, _ := NewState(b, units.Volts(-1))
+	if s3.Voltage() != 0 {
+		t.Errorf("negative initial voltage state = %v", s3.Voltage())
+	}
+	if _, err := NewState(Buffer{}, units.Volts(1)); err == nil {
+		t.Error("invalid buffer accepted")
+	}
+}
+
+func TestChargeAndClip(t *testing.T) {
+	s, _ := NewState(Default(), units.Volts(3.5))
+	head := s.Headroom()
+	stored, clipped := s.Charge(units.Energy(head.Joules() / 2))
+	if clipped != 0 || !units.AlmostEqual(stored.Joules(), head.Joules()/2, 1e-12) {
+		t.Errorf("partial charge: stored %v clipped %v", stored, clipped)
+	}
+	// Overfill: clip the excess.
+	stored, clipped = s.Charge(units.Millijoules(100))
+	if stored <= 0 || clipped <= 0 {
+		t.Errorf("overfill: stored %v clipped %v", stored, clipped)
+	}
+	if !units.AlmostEqual(s.Voltage().Volts(), 3.6, 1e-9) {
+		t.Errorf("voltage after overfill = %v, want VMax", s.Voltage())
+	}
+	if s.Headroom() != 0 {
+		t.Errorf("headroom at full = %v", s.Headroom())
+	}
+	// Charging a full buffer: everything clipped.
+	stored, clipped = s.Charge(units.Microjoules(10))
+	if stored != 0 || !units.AlmostEqual(clipped.Microjoules(), 10, 1e-12) {
+		t.Errorf("full-buffer charge: stored %v clipped %v", stored, clipped)
+	}
+}
+
+func TestDischargeAndBrownout(t *testing.T) {
+	s, _ := NewState(Default(), units.Volts(2.0))
+	avail := s.Available()
+	if avail <= 0 {
+		t.Fatal("no available energy at 2.0V")
+	}
+	delivered, shortfall := s.Discharge(units.Energy(avail.Joules() / 2))
+	if shortfall != 0 || !units.AlmostEqual(delivered.Joules(), avail.Joules()/2, 1e-12) {
+		t.Errorf("partial discharge: delivered %v shortfall %v", delivered, shortfall)
+	}
+	// Drain past the floor: stops at VMin.
+	delivered, shortfall = s.Discharge(units.Millijoules(100))
+	if shortfall <= 0 {
+		t.Error("no shortfall reported when draining past VMin")
+	}
+	if !units.AlmostEqual(s.Voltage().Volts(), 1.8, 1e-9) {
+		t.Errorf("voltage after over-drain = %v, want VMin", s.Voltage())
+	}
+	if s.Available() != 0 {
+		t.Errorf("available after drain = %v", s.Available())
+	}
+	// Still "above min" exactly at the floor; cannot restart though.
+	if !s.AboveMin() {
+		t.Error("AboveMin false exactly at VMin")
+	}
+	if s.CanRestart() {
+		t.Error("CanRestart true below VRestart")
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	s, _ := NewState(Default(), units.Volts(1.8))
+	if s.CanRestart() {
+		t.Fatal("restart allowed at VMin")
+	}
+	// Charge up to just below restart: still blocked.
+	target := s.Buffer().C.StoredEnergy(units.Volts(2.39))
+	s.Charge(target - s.Energy())
+	if s.CanRestart() {
+		t.Error("restart allowed below VRestart")
+	}
+	// Cross the restart threshold.
+	target = s.Buffer().C.StoredEnergy(units.Volts(2.41))
+	s.Charge(target - s.Energy())
+	if !s.CanRestart() {
+		t.Error("restart blocked above VRestart")
+	}
+}
+
+func TestLeak(t *testing.T) {
+	b := Default()
+	s, _ := NewState(b, units.Volts(3.0))
+	e0 := s.Energy()
+	lost := s.Leak(units.Sec(10))
+	if lost <= 0 {
+		t.Fatal("no leakage over 10s")
+	}
+	rc := b.SelfDischarge.Ohms() * b.C.Farads()
+	wantE := e0.Joules() * math.Exp(-2*10/rc)
+	if !units.AlmostEqual(s.Energy().Joules(), wantE, 1e-9) {
+		t.Errorf("energy after leak = %v, want %g J", s.Energy(), wantE)
+	}
+	// Conservation: lost + remaining = initial.
+	if !units.AlmostEqual(lost.Joules()+s.Energy().Joules(), e0.Joules(), 1e-12) {
+		t.Error("leak does not conserve energy")
+	}
+	// Disabled self-discharge.
+	nb := b
+	nb.SelfDischarge = 0
+	s2, _ := NewState(nb, units.Volts(3.0))
+	if got := s2.Leak(units.Hours(10)); got != 0 {
+		t.Errorf("disabled self-discharge leaked %v", got)
+	}
+	// Degenerate steps.
+	if got := s.Leak(0); got != 0 {
+		t.Errorf("zero-dt leak = %v", got)
+	}
+	if got := s.Leak(units.Sec(-1)); got != 0 {
+		t.Errorf("negative-dt leak = %v", got)
+	}
+}
+
+func TestChargeDischargePanicOnNegative(t *testing.T) {
+	s, _ := NewState(Default(), units.Volts(3.0))
+	for name, fn := range map[string]func(){
+		"charge":    func() { s.Charge(units.Joules(-1)) },
+		"discharge": func() { s.Discharge(units.Joules(-1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with negative energy did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickEnergyConservation(t *testing.T) {
+	// stored − drawn + charged − clipped − leaked is always consistent
+	// with the state's energy, and voltage stays within [0, VMax].
+	f := func(ops []uint16) bool {
+		s, _ := NewState(Default(), units.Volts(2.5))
+		ledger := s.Energy().Joules()
+		for i, op := range ops {
+			amt := units.Microjoules(float64(op % 2000))
+			switch i % 3 {
+			case 0:
+				stored, _ := s.Charge(amt)
+				ledger += stored.Joules()
+			case 1:
+				delivered, _ := s.Discharge(amt)
+				ledger -= delivered.Joules()
+			case 2:
+				lost := s.Leak(units.Sec(float64(op % 60)))
+				ledger -= lost.Joules()
+			}
+			v := s.Voltage().Volts()
+			if v < -1e-9 || v > 3.6+1e-9 {
+				return false
+			}
+			if !units.AlmostEqual(ledger, s.Energy().Joules(), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDischargeNeverBelowFloor(t *testing.T) {
+	floor := Default().C.StoredEnergy(Default().VMin).Joules()
+	f := func(draw uint32) bool {
+		s, _ := NewState(Default(), units.Volts(3.6))
+		s.Discharge(units.Nanojoules(float64(draw)))
+		return s.Energy().Joules() >= floor-1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+func ExampleSeries_Integral() {
+	// A 1 W square pulse lasting 2 s inside a 5 s window.
+	s := trace.NewSeries("pulse", "s", "W")
+	for _, pt := range [][2]float64{{0, 0}, {1, 0}, {1, 1}, {3, 1}, {3, 0}, {5, 0}} {
+		s.MustAppend(pt[0], pt[1])
+	}
+	fmt.Printf("%.0f J\n", s.Integral())
+	// Output: 2 J
+}
+
+func ExampleCrossings() {
+	// A rising generated-energy curve against a falling required curve:
+	// the crossing is the break-even point.
+	gen := trace.NewSeries("generated", "km/h", "µJ")
+	req := trace.NewSeries("required", "km/h", "µJ")
+	for v := 0.0; v <= 100; v += 10 {
+		gen.MustAppend(v, 0.4*v)
+		req.MustAppend(v, 40-0.6*v)
+	}
+	pts := trace.Crossings(gen, req)
+	fmt.Printf("break-even at %.0f km/h, %.0f µJ\n", pts[0].X, pts[0].Y)
+	// Output: break-even at 40 km/h, 16 µJ
+}
+
+func ExampleSeries_XAbove() {
+	// Time a power trace spends above a threshold.
+	s := trace.NewSeries("power", "s", "µW")
+	for _, pt := range [][2]float64{{0, 10}, {1, 10}, {1, 500}, {2, 500}, {2, 10}, {4, 10}} {
+		s.MustAppend(pt[0], pt[1])
+	}
+	fmt.Printf("%.0f s above 100 µW\n", s.XAbove(100))
+	// Output: 1 s above 100 µW
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// randomSeries builds a deterministic pseudo-random series from a seed.
+func randomSeries(seed int64, n int) *Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSeries("rand", "s", "W")
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += rng.Float64()
+		s.MustAppend(x, rng.Float64()*10-2)
+	}
+	return s
+}
+
+func TestQuickIntegralAdditivity(t *testing.T) {
+	// ∫[a,c] = ∫[a,b] + ∫[b,c] for any interior split point.
+	f := func(seed int64, split float64) bool {
+		s := randomSeries(seed, 12)
+		a, c := s.X(0), s.X(s.Len()-1)
+		frac := math.Abs(split) - math.Floor(math.Abs(split))
+		b := a + frac*(c-a)
+		lhs := s.IntegralBetween(a, b) + s.IntegralBetween(b, c)
+		rhs := s.IntegralBetween(a, c)
+		return units.AlmostEqual(lhs, rhs, 1e-9) || math.Abs(lhs-rhs) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntegralLinearity(t *testing.T) {
+	// ∫ k·f = k·∫ f.
+	f := func(seed int64, kRaw float64) bool {
+		if math.IsNaN(kRaw) || math.IsInf(kRaw, 0) {
+			return true
+		}
+		k := math.Mod(kRaw, 100)
+		s := randomSeries(seed, 10)
+		lhs := s.Scale(k).Integral()
+		rhs := k * s.Integral()
+		return units.AlmostEqual(lhs, rhs, 1e-9) || math.Abs(lhs-rhs) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAtWithinEnvelope(t *testing.T) {
+	// Interpolated values never leave the [min, max] envelope of samples.
+	f := func(seed int64, xq float64) bool {
+		s := randomSeries(seed, 8)
+		st := s.Stats()
+		frac := math.Abs(xq) - math.Floor(math.Abs(xq))
+		x := s.X(0) + frac*(s.X(s.Len()-1)-s.X(0))
+		v := s.At(x)
+		return v >= st.Min-1e-12 && v <= st.Max+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWindowIntegralMatches(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw float64) bool {
+		s := randomSeries(seed, 10)
+		lo, hi := s.X(0), s.X(s.Len()-1)
+		fa := math.Abs(aRaw) - math.Floor(math.Abs(aRaw))
+		fb := math.Abs(bRaw) - math.Floor(math.Abs(bRaw))
+		x0 := lo + fa*(hi-lo)
+		x1 := lo + fb*(hi-lo)
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		w := s.Window(x0, x1)
+		if w.Len() == 0 {
+			return x1-x0 < 1e-9
+		}
+		return units.AlmostEqual(w.Integral(), s.IntegralBetween(x0, x1), 1e-9) ||
+			math.Abs(w.Integral()-s.IntegralBetween(x0, x1)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickXAboveBounded(t *testing.T) {
+	// Time above any threshold never exceeds the span and is non-negative.
+	f := func(seed int64, thr float64) bool {
+		if math.IsNaN(thr) || math.IsInf(thr, 0) {
+			return true
+		}
+		s := randomSeries(seed, 10)
+		above := s.XAbove(math.Mod(thr, 12))
+		span := s.X(s.Len()-1) - s.X(0)
+		return above >= 0 && above <= span+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickResamplePreservesEndpoints(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSeries(seed, 6)
+		r := s.Resample((s.X(s.Len()-1) - s.X(0)) / 7)
+		if r.Len() < 2 {
+			return false
+		}
+		return r.X(0) == s.X(0) && r.X(r.Len()-1) == s.X(s.Len()-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

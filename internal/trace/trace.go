@@ -1,0 +1,345 @@
+// Package trace provides sampled-signal containers for the energy-analysis
+// toolkit: time series of instant power (Fig 3 of the paper), curves of
+// per-round energy versus cruising speed (Fig 2), and the numeric
+// operations the analysis flow needs on them — trapezoidal integration,
+// interpolation, resampling, statistics, and crossing detection (the
+// break-even point is the crossing of the generated and required curves).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Series is a piecewise-linear signal y(x) sampled at non-decreasing x.
+// For time series x is seconds; for speed sweeps x is km/h. Duplicate x
+// values are allowed and model ideal steps (square power waveforms).
+type Series struct {
+	name  string
+	xunit string
+	yunit string
+	x     []float64
+	y     []float64
+}
+
+// ErrNonMonotonic is returned by Append when x would decrease.
+var ErrNonMonotonic = errors.New("trace: x values must be non-decreasing")
+
+// NewSeries returns an empty series with the given name and axis units
+// (used by reports; empty strings are fine).
+func NewSeries(name, xunit, yunit string) *Series {
+	return &Series{name: name, xunit: xunit, yunit: yunit}
+}
+
+// Name returns the series name.
+func (s *Series) Name() string { return s.name }
+
+// XUnit returns the x-axis unit label.
+func (s *Series) XUnit() string { return s.xunit }
+
+// YUnit returns the y-axis unit label.
+func (s *Series) YUnit() string { return s.yunit }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.x) }
+
+// X returns the i-th sample position.
+func (s *Series) X(i int) float64 { return s.x[i] }
+
+// Y returns the i-th sample value.
+func (s *Series) Y(i int) float64 { return s.y[i] }
+
+// Append adds a sample. x must be >= the last appended x.
+func (s *Series) Append(x, y float64) error {
+	if math.IsNaN(x) || math.IsNaN(y) {
+		return fmt.Errorf("trace: NaN sample (%g, %g) in series %q", x, y, s.name)
+	}
+	if n := len(s.x); n > 0 && x < s.x[n-1] {
+		return fmt.Errorf("%w: %g after %g in series %q", ErrNonMonotonic, x, s.x[n-1], s.name)
+	}
+	s.x = append(s.x, x)
+	s.y = append(s.y, y)
+	return nil
+}
+
+// MustAppend is Append for programmatic construction where monotonicity is
+// guaranteed by the caller; it panics on error.
+func (s *Series) MustAppend(x, y float64) {
+	if err := s.Append(x, y); err != nil {
+		panic(err)
+	}
+}
+
+// At evaluates the piecewise-linear interpolant at x. Outside the sampled
+// range it clamps to the first/last value. At a duplicate-x step it returns
+// the value after the step. An empty series evaluates to 0.
+func (s *Series) At(x float64) float64 {
+	n := len(s.x)
+	if n == 0 {
+		return 0
+	}
+	if x <= s.x[0] {
+		return s.y[0]
+	}
+	if x >= s.x[n-1] {
+		return s.y[n-1]
+	}
+	i := s.searchSegment(x)
+	x0, x1 := s.x[i], s.x[i+1]
+	if x1 == x0 {
+		return s.y[i+1]
+	}
+	t := (x - x0) / (x1 - x0)
+	return units.Lerp(s.y[i], s.y[i+1], t)
+}
+
+// searchSegment returns i such that x is in [x[i], x[i+1]] with x strictly
+// inside the sampled range. For duplicate x it returns the last segment
+// starting at or before x.
+func (s *Series) searchSegment(x float64) int {
+	lo, hi := 0, len(s.x)-2
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.x[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Integral returns the trapezoidal integral of the whole series in
+// y-unit·x-unit (e.g. W·s = J for an instant-power time series).
+func (s *Series) Integral() float64 {
+	var sum float64
+	for i := 1; i < len(s.x); i++ {
+		sum += 0.5 * (s.y[i] + s.y[i-1]) * (s.x[i] - s.x[i-1])
+	}
+	return sum
+}
+
+// IntegralBetween integrates over [x0, x1] ∩ sampled range using the
+// piecewise-linear interpolant. x0 > x1 yields the negated integral.
+func (s *Series) IntegralBetween(x0, x1 float64) float64 {
+	if len(s.x) == 0 {
+		return 0
+	}
+	if x0 > x1 {
+		return -s.IntegralBetween(x1, x0)
+	}
+	lo := math.Max(x0, s.x[0])
+	hi := math.Min(x1, s.x[len(s.x)-1])
+	if lo >= hi {
+		return 0
+	}
+	var sum float64
+	prevX, prevY := lo, s.At(lo)
+	for i := 0; i < len(s.x); i++ {
+		if s.x[i] <= lo {
+			continue
+		}
+		if s.x[i] >= hi {
+			break
+		}
+		sum += 0.5 * (s.y[i] + prevY) * (s.x[i] - prevX)
+		prevX, prevY = s.x[i], s.y[i]
+	}
+	sum += 0.5 * (s.At(hi) + prevY) * (hi - prevX)
+	return sum
+}
+
+// Stats summarises a series.
+type Stats struct {
+	Min, Max       float64
+	Mean           float64 // integral-weighted mean over the x span
+	Count          int
+	Span           float64 // x[last] - x[first]
+	ArgMin, ArgMax float64
+}
+
+// Stats computes summary statistics. The mean is the integral divided by
+// the span (time-weighted for time series); for zero span it is the plain
+// sample average. An empty series yields the zero Stats.
+func (s *Series) Stats() Stats {
+	n := len(s.x)
+	if n == 0 {
+		return Stats{}
+	}
+	st := Stats{Min: s.y[0], Max: s.y[0], Count: n, ArgMin: s.x[0], ArgMax: s.x[0]}
+	var plain float64
+	for i, v := range s.y {
+		plain += v
+		if v < st.Min {
+			st.Min, st.ArgMin = v, s.x[i]
+		}
+		if v > st.Max {
+			st.Max, st.ArgMax = v, s.x[i]
+		}
+	}
+	st.Span = s.x[n-1] - s.x[0]
+	if st.Span > 0 {
+		st.Mean = s.Integral() / st.Span
+	} else {
+		st.Mean = plain / float64(n)
+	}
+	return st
+}
+
+// Resample returns a new series sampled uniformly every dx across the
+// original span (inclusive of both ends). dx must be positive and the
+// series non-empty, otherwise an empty clone is returned.
+func (s *Series) Resample(dx float64) *Series {
+	out := NewSeries(s.name, s.xunit, s.yunit)
+	if dx <= 0 || len(s.x) == 0 {
+		return out
+	}
+	start, end := s.x[0], s.x[len(s.x)-1]
+	for x := start; x < end; x += dx {
+		out.MustAppend(x, s.At(x))
+	}
+	out.MustAppend(end, s.At(end))
+	return out
+}
+
+// Window returns the sub-series with x in [x0, x1], adding interpolated
+// boundary samples so integrals over the window are preserved.
+func (s *Series) Window(x0, x1 float64) *Series {
+	out := NewSeries(s.name, s.xunit, s.yunit)
+	if len(s.x) == 0 || x0 > x1 {
+		return out
+	}
+	lo := math.Max(x0, s.x[0])
+	hi := math.Min(x1, s.x[len(s.x)-1])
+	if lo > hi {
+		return out
+	}
+	out.MustAppend(lo, s.At(lo))
+	for i := range s.x {
+		if s.x[i] > lo && s.x[i] < hi {
+			out.MustAppend(s.x[i], s.y[i])
+		}
+	}
+	if hi > lo {
+		out.MustAppend(hi, s.At(hi))
+	}
+	return out
+}
+
+// Scale returns a copy with every y multiplied by k.
+func (s *Series) Scale(k float64) *Series {
+	out := NewSeries(s.name, s.xunit, s.yunit)
+	for i := range s.x {
+		out.MustAppend(s.x[i], s.y[i]*k)
+	}
+	return out
+}
+
+// XAbove returns the total x-extent (e.g. time) during which the
+// interpolated signal is strictly above the threshold.
+func (s *Series) XAbove(threshold float64) float64 {
+	var total float64
+	for i := 1; i < len(s.x); i++ {
+		x0, x1 := s.x[i-1], s.x[i]
+		y0, y1 := s.y[i-1], s.y[i]
+		dx := x1 - x0
+		if dx == 0 {
+			continue
+		}
+		above0, above1 := y0 > threshold, y1 > threshold
+		switch {
+		case above0 && above1:
+			total += dx
+		case !above0 && !above1:
+			// segment may still graze the threshold only at a point: no extent
+		default:
+			// one crossing inside the segment
+			t := (threshold - y0) / (y1 - y0)
+			if above0 {
+				total += dx * t
+			} else {
+				total += dx * (1 - t)
+			}
+		}
+	}
+	return total
+}
+
+// Point is an (x, y) pair, e.g. a break-even point (speed, energy).
+type Point struct {
+	X, Y float64
+}
+
+// Crossings returns the points where series a and b intersect, evaluated on
+// the union of their sample grids restricted to the overlapping x-range.
+// Tangency points (touch without sign change) are reported once. The
+// series must each have at least two samples; otherwise nil is returned.
+func Crossings(a, b *Series) []Point {
+	if a.Len() < 2 || b.Len() < 2 {
+		return nil
+	}
+	lo := math.Max(a.x[0], b.x[0])
+	hi := math.Min(a.x[len(a.x)-1], b.x[len(b.x)-1])
+	if lo >= hi {
+		return nil
+	}
+	grid := unionGrid(a.x, b.x, lo, hi)
+	diff := make([]float64, len(grid))
+	for i, x := range grid {
+		diff[i] = a.At(x) - b.At(x)
+	}
+	var pts []Point
+	for i, x := range grid {
+		if diff[i] == 0 {
+			// Exact touch at a grid node. A coincident stretch yields one
+			// point per node; appendPoint merges equal-x duplicates only.
+			pts = appendPoint(pts, Point{x, a.At(x)})
+			continue
+		}
+		if i+1 < len(grid) && diff[i]*diff[i+1] < 0 {
+			t := diff[i] / (diff[i] - diff[i+1])
+			cx := units.Lerp(x, grid[i+1], t)
+			pts = appendPoint(pts, Point{cx, a.At(cx)})
+		}
+	}
+	return pts
+}
+
+// appendPoint appends p unless it duplicates the previous point's x.
+func appendPoint(pts []Point, p Point) []Point {
+	if n := len(pts); n > 0 && units.AlmostEqual(pts[n-1].X, p.X, 1e-12) {
+		return pts
+	}
+	return append(pts, p)
+}
+
+// unionGrid merges the two sorted sample grids restricted to [lo, hi],
+// deduplicating and including both boundaries.
+func unionGrid(ax, bx []float64, lo, hi float64) []float64 {
+	grid := make([]float64, 0, len(ax)+len(bx)+2)
+	grid = append(grid, lo)
+	i, j := 0, 0
+	push := func(v float64) {
+		if v <= lo || v >= hi {
+			return
+		}
+		if grid[len(grid)-1] != v {
+			grid = append(grid, v)
+		}
+	}
+	for i < len(ax) || j < len(bx) {
+		switch {
+		case j >= len(bx) || (i < len(ax) && ax[i] <= bx[j]):
+			push(ax[i])
+			i++
+		default:
+			push(bx[j])
+			j++
+		}
+	}
+	grid = append(grid, hi)
+	return grid
+}

@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func mk(t *testing.T, pts ...float64) *Series {
+	t.Helper()
+	if len(pts)%2 != 0 {
+		t.Fatal("mk needs x,y pairs")
+	}
+	s := NewSeries("test", "s", "W")
+	for i := 0; i < len(pts); i += 2 {
+		if err := s.Append(pts[i], pts[i+1]); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	return s
+}
+
+func TestAppendMonotonicity(t *testing.T) {
+	s := NewSeries("p", "s", "W")
+	if err := s.Append(0, 1); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := s.Append(1, 2); err != nil {
+		t.Fatalf("second append: %v", err)
+	}
+	if err := s.Append(1, 3); err != nil { // duplicate x allowed (step)
+		t.Fatalf("duplicate-x append: %v", err)
+	}
+	if err := s.Append(0.5, 0); err == nil {
+		t.Fatal("decreasing x accepted")
+	} else if !strings.Contains(err.Error(), "non-decreasing") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if err := s.Append(math.NaN(), 0); err == nil {
+		t.Fatal("NaN x accepted")
+	}
+	if err := s.Append(2, math.NaN()); err == nil {
+		t.Fatal("NaN y accepted")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	s := mk(t, 0, 0, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend with decreasing x did not panic")
+		}
+	}()
+	s.MustAppend(0.5, 0)
+}
+
+func TestAtInterpolation(t *testing.T) {
+	s := mk(t, 0, 0, 10, 100)
+	cases := []struct{ x, want float64 }{
+		{-5, 0},   // clamped left
+		{0, 0},    // endpoint
+		{5, 50},   // midpoint
+		{10, 100}, // endpoint
+		{20, 100}, // clamped right
+		{2.5, 25},
+	}
+	for _, c := range cases {
+		if got := s.At(c.x); !units.AlmostEqual(got, c.want, 1e-12) {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	if got := NewSeries("", "", "").At(3); got != 0 {
+		t.Errorf("empty series At = %g, want 0", got)
+	}
+}
+
+func TestAtStep(t *testing.T) {
+	// Square step at x=1: value 0 before, 5 after.
+	s := mk(t, 0, 0, 1, 0, 1, 5, 2, 5)
+	if got := s.At(0.999); !units.AlmostEqual(got, 0, 1e-9) {
+		t.Errorf("At just before step = %g, want 0", got)
+	}
+	if got := s.At(1); got != 5 {
+		t.Errorf("At step = %g, want 5 (post-step value)", got)
+	}
+	if got := s.At(1.5); got != 5 {
+		t.Errorf("At after step = %g, want 5", got)
+	}
+}
+
+func TestIntegral(t *testing.T) {
+	// Triangle 0→10 over 0..2: area = 10.
+	s := mk(t, 0, 0, 2, 10)
+	if got := s.Integral(); !units.AlmostEqual(got, 10, 1e-12) {
+		t.Errorf("Integral = %g, want 10", got)
+	}
+	// Square pulse: 1W for 1s inside 3s window.
+	sq := mk(t, 0, 0, 1, 0, 1, 1, 2, 1, 2, 0, 3, 0)
+	if got := sq.Integral(); !units.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("square pulse Integral = %g, want 1", got)
+	}
+	if got := mk(t, 5, 3).Integral(); got != 0 {
+		t.Errorf("single-sample Integral = %g, want 0", got)
+	}
+}
+
+func TestIntegralBetween(t *testing.T) {
+	s := mk(t, 0, 0, 2, 10) // y = 5x
+	cases := []struct{ x0, x1, want float64 }{
+		{0, 2, 10},
+		{0, 1, 2.5},
+		{1, 2, 7.5},
+		{0.5, 1.5, 0.5 * (2.5 + 7.5)},
+		{-1, 3, 10}, // clipped to range
+		{2, 0, -10}, // reversed
+		{3, 5, 0},   // outside
+		{1, 1, 0},   // degenerate
+	}
+	for _, c := range cases {
+		if got := s.IntegralBetween(c.x0, c.x1); !units.AlmostEqual(got, c.want, 1e-9) {
+			t.Errorf("IntegralBetween(%g,%g) = %g, want %g", c.x0, c.x1, got, c.want)
+		}
+	}
+	if got := NewSeries("", "", "").IntegralBetween(0, 1); got != 0 {
+		t.Errorf("empty IntegralBetween = %g", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := mk(t, 0, 2, 1, 4, 2, 0)
+	st := s.Stats()
+	if st.Min != 0 || st.Max != 4 {
+		t.Errorf("Min/Max = %g/%g, want 0/4", st.Min, st.Max)
+	}
+	if st.ArgMin != 2 || st.ArgMax != 1 {
+		t.Errorf("ArgMin/ArgMax = %g/%g, want 2/1", st.ArgMin, st.ArgMax)
+	}
+	if st.Count != 3 || st.Span != 2 {
+		t.Errorf("Count/Span = %d/%g, want 3/2", st.Count, st.Span)
+	}
+	// Integral = 3 + 2 = 5; mean = 2.5.
+	if !units.AlmostEqual(st.Mean, 2.5, 1e-12) {
+		t.Errorf("Mean = %g, want 2.5", st.Mean)
+	}
+	// Zero-span series falls back to plain average.
+	z := mk(t, 1, 2, 1, 6)
+	if got := z.Stats().Mean; !units.AlmostEqual(got, 4, 1e-12) {
+		t.Errorf("zero-span Mean = %g, want 4", got)
+	}
+	if (NewSeries("", "", "").Stats() != Stats{}) {
+		t.Error("empty Stats not zero")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := mk(t, 0, 0, 2, 10)
+	r := s.Resample(0.5)
+	if r.Len() != 5 {
+		t.Fatalf("resampled Len = %d, want 5", r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		wantX := float64(i) * 0.5
+		if !units.AlmostEqual(r.X(i), wantX, 1e-12) || !units.AlmostEqual(r.Y(i), 5*wantX, 1e-12) {
+			t.Errorf("sample %d = (%g, %g), want (%g, %g)", i, r.X(i), r.Y(i), wantX, 5*wantX)
+		}
+	}
+	if got := s.Resample(0).Len(); got != 0 {
+		t.Errorf("Resample(0) Len = %d, want 0", got)
+	}
+	if got := NewSeries("n", "s", "W").Resample(1).Len(); got != 0 {
+		t.Errorf("empty Resample Len = %d, want 0", got)
+	}
+	// Non-multiple span keeps the exact endpoint.
+	e := mk(t, 0, 0, 1, 3).Resample(0.4)
+	if last := e.X(e.Len() - 1); last != 1 {
+		t.Errorf("resample endpoint = %g, want 1", last)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := mk(t, 0, 0, 2, 10, 4, 0)
+	w := s.Window(1, 3)
+	if w.Len() != 3 {
+		t.Fatalf("window Len = %d, want 3", w.Len())
+	}
+	if !units.AlmostEqual(w.Integral(), s.IntegralBetween(1, 3), 1e-12) {
+		t.Errorf("window integral %g != IntegralBetween %g", w.Integral(), s.IntegralBetween(1, 3))
+	}
+	if got := s.Window(3, 1).Len(); got != 0 {
+		t.Errorf("reversed Window Len = %d, want 0", got)
+	}
+	if got := s.Window(10, 20).Len(); got != 0 {
+		t.Errorf("disjoint Window Len = %d, want 0", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := mk(t, 0, 1, 1, 2)
+	d := s.Scale(3)
+	if d.Y(0) != 3 || d.Y(1) != 6 {
+		t.Errorf("Scale values = %g, %g, want 3, 6", d.Y(0), d.Y(1))
+	}
+	if s.Y(0) != 1 {
+		t.Error("Scale mutated receiver")
+	}
+	if d.Name() != "test" || d.XUnit() != "s" || d.YUnit() != "W" {
+		t.Error("Scale dropped metadata")
+	}
+}
+
+func TestXAbove(t *testing.T) {
+	// Triangle up to 10 at x=1, down to 0 at x=2; above 5 for x in (0.5,1.5).
+	s := mk(t, 0, 0, 1, 10, 2, 0)
+	if got := s.XAbove(5); !units.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("XAbove(5) = %g, want 1", got)
+	}
+	if got := s.XAbove(10); got != 0 { // touches only at a point
+		t.Errorf("XAbove(10) = %g, want 0", got)
+	}
+	if got := s.XAbove(-1); !units.AlmostEqual(got, 2, 1e-12) {
+		t.Errorf("XAbove(-1) = %g, want 2 (entire span)", got)
+	}
+	// Step series: 0 then 5 after x=1 until x=3.
+	sq := mk(t, 0, 0, 1, 0, 1, 5, 3, 5)
+	if got := sq.XAbove(2); !units.AlmostEqual(got, 2, 1e-12) {
+		t.Errorf("step XAbove(2) = %g, want 2", got)
+	}
+}
+
+func TestCrossingsBasic(t *testing.T) {
+	// Rising line crosses falling line once at x=1 (y=5).
+	a := mk(t, 0, 0, 2, 10)
+	b := mk(t, 0, 10, 2, 0)
+	pts := Crossings(a, b)
+	if len(pts) != 1 {
+		t.Fatalf("crossings = %d, want 1 (%v)", len(pts), pts)
+	}
+	if !units.AlmostEqual(pts[0].X, 1, 1e-12) || !units.AlmostEqual(pts[0].Y, 5, 1e-12) {
+		t.Errorf("crossing at (%g, %g), want (1, 5)", pts[0].X, pts[0].Y)
+	}
+}
+
+func TestCrossingsMultiple(t *testing.T) {
+	// Zigzag vs constant 5: crossings at 0.5, 1.5, 2.5.
+	a := mk(t, 0, 0, 1, 10, 2, 0, 3, 10)
+	b := mk(t, 0, 5, 3, 5)
+	pts := Crossings(a, b)
+	if len(pts) != 3 {
+		t.Fatalf("crossings = %d, want 3 (%v)", len(pts), pts)
+	}
+	want := []float64{0.5, 1.5, 2.5}
+	for i, w := range want {
+		if !units.AlmostEqual(pts[i].X, w, 1e-12) {
+			t.Errorf("crossing %d at x=%g, want %g", i, pts[i].X, w)
+		}
+	}
+}
+
+func TestCrossingsGridNodesNotShared(t *testing.T) {
+	// Curves sampled on different grids still cross correctly.
+	a := mk(t, 0, 0, 3, 9)             // y = 3x
+	b := mk(t, 0, 6, 1, 4, 2, 2, 3, 0) // y = 6-2x; crossing at x=1.2, y=3.6
+	pts := Crossings(a, b)
+	if len(pts) != 1 {
+		t.Fatalf("crossings = %d, want 1 (%v)", len(pts), pts)
+	}
+	if !units.AlmostEqual(pts[0].X, 1.2, 1e-9) || !units.AlmostEqual(pts[0].Y, 3.6, 1e-9) {
+		t.Errorf("crossing at (%g, %g), want (1.2, 3.6)", pts[0].X, pts[0].Y)
+	}
+}
+
+func TestCrossingsTangentAndNone(t *testing.T) {
+	// Parabola-ish touch: a dips to exactly 5 at x=1 where b is constant 5.
+	a := mk(t, 0, 8, 1, 5, 2, 8)
+	b := mk(t, 0, 5, 2, 5)
+	pts := Crossings(a, b)
+	if len(pts) != 1 {
+		t.Fatalf("tangent crossings = %d, want 1 (%v)", len(pts), pts)
+	}
+	if !units.AlmostEqual(pts[0].X, 1, 1e-12) {
+		t.Errorf("tangent at x=%g, want 1", pts[0].X)
+	}
+	// Disjoint curves: no crossings.
+	c := mk(t, 0, 100, 2, 100)
+	if pts := Crossings(a, c); len(pts) != 0 {
+		t.Errorf("disjoint crossings = %v, want none", pts)
+	}
+	// Non-overlapping x ranges.
+	d := mk(t, 10, 0, 12, 0)
+	if pts := Crossings(a, d); pts != nil {
+		t.Errorf("non-overlapping ranges crossings = %v, want nil", pts)
+	}
+	// Degenerate series.
+	if pts := Crossings(mk(t, 0, 0), b); pts != nil {
+		t.Errorf("single-sample crossings = %v, want nil", pts)
+	}
+}

@@ -1,0 +1,38 @@
+package units_test
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+func ExamplePower_OverTime() {
+	// One radio packet: 12 mW on the air for 480 µs.
+	onAir := units.Milliwatts(12).OverTime(units.Microseconds(480))
+	fmt.Println(onAir)
+	// Output: 5.76µJ
+}
+
+func ExampleEnergy_Over() {
+	// 10 µJ per wheel round, 100 ms rounds → average power.
+	avg := units.Microjoules(10).Over(units.Milliseconds(100))
+	fmt.Println(avg)
+	// Output: 100µW
+}
+
+func ExampleCapacitance_StoredEnergy() {
+	buf := units.Microfarads(470)
+	fmt.Println(buf.StoredEnergy(units.Volts(3.6)))
+	// Output: 3.05mJ
+}
+
+func ExampleSpeed() {
+	v := units.KilometersPerHour(36)
+	fmt.Printf("%.0f m/s, %s\n", v.MS(), v)
+	// Output: 10 m/s, 36km/h
+}
+
+func ExampleCelsius_Kelvin() {
+	fmt.Println(units.DegC(25).Kelvin())
+	// Output: 298.15
+}

@@ -1,0 +1,90 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// bounded maps an arbitrary float into a well-behaved positive range so the
+// quick-check properties exercise realistic magnitudes rather than Inf/NaN.
+func bounded(v float64, lo, hi float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return lo
+	}
+	frac := math.Abs(v) - math.Floor(math.Abs(v))
+	return lo + frac*(hi-lo)
+}
+
+func TestQuickPowerEnergyRoundTrip(t *testing.T) {
+	// (P over t) spread back over t recovers P.
+	f := func(pw, tw float64) bool {
+		p := Watts(bounded(pw, 1e-9, 10))
+		d := Sec(bounded(tw, 1e-6, 1e4))
+		back := p.OverTime(d).Over(d)
+		return AlmostEqual(back.Watts(), p.Watts(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCapEnergyVoltageRoundTrip(t *testing.T) {
+	f := func(cw, vw float64) bool {
+		c := Farads(bounded(cw, 1e-9, 1))
+		v := Volts(bounded(vw, 0.1, 10))
+		back := c.VoltageForEnergy(c.StoredEnergy(v))
+		return AlmostEqual(back.Volts(), v.Volts(), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpeedRoundTrip(t *testing.T) {
+	f := func(sw float64) bool {
+		kmh := bounded(sw, 0, 300)
+		return AlmostEqual(KilometersPerHour(kmh).KMH(), kmh, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEnergyAdditivity(t *testing.T) {
+	// Energy over two consecutive windows equals energy over the union.
+	f := func(pw, aw, bw float64) bool {
+		p := Watts(bounded(pw, 1e-9, 10))
+		a := Sec(bounded(aw, 1e-6, 100))
+		b := Sec(bounded(bw, 1e-6, 100))
+		lhs := p.OverTime(a).Joules() + p.OverTime(b).Joules()
+		rhs := p.OverTime(a + b).Joules()
+		return AlmostEqual(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClampIdempotentAndBounded(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		c := Clamp(v, -5, 5)
+		return c >= -5 && c <= 5 && Clamp(c, -5, 5) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFormatSINeverEmpty(t *testing.T) {
+	f := func(v float64) bool {
+		s := formatSI(v, "W")
+		return len(s) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// siPrefix maps decade exponents (multiples of 3) to SI prefixes.
+var siPrefixes = map[int]string{
+	-12: "p",
+	-9:  "n",
+	-6:  "µ",
+	-3:  "m",
+	0:   "",
+	3:   "k",
+	6:   "M",
+	9:   "G",
+}
+
+// formatSI renders v with an auto-selected SI prefix and three significant
+// digits, e.g. formatSI(1.234e-5, "W") == "12.3µW". Zero, NaN and infinities
+// render without a prefix.
+func formatSI(v float64, unit string) string {
+	if v == 0 {
+		return "0" + unit
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Sprintf("%g%s", v, unit)
+	}
+	exp := int(math.Floor(math.Log10(math.Abs(v)) / 3))
+	decade := exp * 3
+	if decade < -12 {
+		decade = -12
+	}
+	if decade > 9 {
+		decade = 9
+	}
+	scaled := v / math.Pow(10, float64(decade))
+	// Rounding the scaled value can push it to 1000, which belongs to the
+	// next prefix (999.96 → "1.00k" not "1000").
+	if math.Abs(scaled) >= 999.995 && decade < 9 {
+		decade += 3
+		scaled = v / math.Pow(10, float64(decade))
+	}
+	return trimFloat(scaled, 3) + siPrefixes[decade] + unit
+}
+
+// trimFloat formats v with the given number of significant digits and drops
+// a trailing exponent-free zero tail ("1.50" stays, "1.00" → "1").
+func trimFloat(v float64, sig int) string {
+	s := strconv.FormatFloat(v, 'g', sig, 64)
+	// FormatFloat 'g' may emit exponent notation for very small/large
+	// scaled values; those only occur for out-of-table decades.
+	if strings.ContainsAny(s, "eE") {
+		return s
+	}
+	return s
+}
+
+// AlmostEqual reports whether a and b agree within the given relative
+// tolerance (falling back to absolute comparison near zero). It is the
+// comparison primitive for tests and for solver termination.
+func AlmostEqual(a, b, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	largest := math.Max(math.Abs(a), math.Abs(b))
+	if largest < 1e-30 {
+		return diff < 1e-30
+	}
+	return diff/largest <= relTol
+}
+
+// Clamp limits v to the closed interval [lo, hi]. It panics if lo > hi,
+// because a reversed interval is always a programming error.
+func Clamp(v, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("units.Clamp: reversed interval [%g, %g]", lo, hi))
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a (t=0) and b (t=1). t outside [0,1]
+// extrapolates.
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }

@@ -1,0 +1,254 @@
+// Package units provides typed physical quantities for the energy-analysis
+// toolkit: power, energy, voltage, time, temperature, speed and friends.
+//
+// Each quantity is a defined type over float64 holding the value in its SI
+// base unit (watts, joules, volts, seconds, ...). The distinct types prevent
+// the classic spreadsheet failure mode of mixing µW with mW or J with Wh
+// without an explicit conversion, while staying allocation-free and cheap
+// enough for inner simulation loops.
+package units
+
+import "math"
+
+// Power is electrical power in watts.
+type Power float64
+
+// Power constructors.
+func Watts(w float64) Power      { return Power(w) }
+func Milliwatts(m float64) Power { return Power(m * 1e-3) }
+func Microwatts(u float64) Power { return Power(u * 1e-6) }
+func Nanowatts(n float64) Power  { return Power(n * 1e-9) }
+
+// Watts returns the power in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Milliwatts returns the power in milliwatts.
+func (p Power) Milliwatts() float64 { return float64(p) * 1e3 }
+
+// Microwatts returns the power in microwatts.
+func (p Power) Microwatts() float64 { return float64(p) * 1e6 }
+
+// OverTime returns the energy dissipated by a constant power p over the
+// duration d. Negative durations yield negative energy; callers validate.
+func (p Power) OverTime(d Seconds) Energy { return Energy(float64(p) * float64(d)) }
+
+// String renders the power with an auto-selected SI prefix, e.g. "12.4µW".
+func (p Power) String() string { return formatSI(float64(p), "W") }
+
+// Energy is energy in joules.
+type Energy float64
+
+// Energy constructors.
+func Joules(j float64) Energy      { return Energy(j) }
+func Millijoules(m float64) Energy { return Energy(m * 1e-3) }
+func Microjoules(u float64) Energy { return Energy(u * 1e-6) }
+func Nanojoules(n float64) Energy  { return Energy(n * 1e-9) }
+
+// Joules returns the energy in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// Microjoules returns the energy in microjoules.
+func (e Energy) Microjoules() float64 { return float64(e) * 1e6 }
+
+// Millijoules returns the energy in millijoules.
+func (e Energy) Millijoules() float64 { return float64(e) * 1e3 }
+
+// Over returns the average power of energy e spread over duration d.
+// It returns 0 for non-positive durations rather than Inf/NaN, because the
+// callers (per-round averages) treat a degenerate round as "no power".
+func (e Energy) Over(d Seconds) Power {
+	if d <= 0 {
+		return 0
+	}
+	return Power(float64(e) / float64(d))
+}
+
+// String renders the energy with an auto-selected SI prefix, e.g. "31.2µJ".
+func (e Energy) String() string { return formatSI(float64(e), "J") }
+
+// Voltage is electric potential in volts.
+type Voltage float64
+
+// Volts constructs a Voltage from volts.
+func Volts(v float64) Voltage { return Voltage(v) }
+
+// Millivolts constructs a Voltage from millivolts.
+func Millivolts(mv float64) Voltage { return Voltage(mv * 1e-3) }
+
+// Volts returns the voltage in volts.
+func (v Voltage) Volts() float64 { return float64(v) }
+
+// String renders the voltage, e.g. "1.80V".
+func (v Voltage) String() string { return formatSI(float64(v), "V") }
+
+// Current is electric current in amperes.
+type Current float64
+
+// Amps constructs a Current from amperes.
+func Amps(a float64) Current { return Current(a) }
+
+// Microamps constructs a Current from microamperes.
+func Microamps(ua float64) Current { return Current(ua * 1e-6) }
+
+// Amps returns the current in amperes.
+func (c Current) Amps() float64 { return float64(c) }
+
+// Microamps returns the current in microamperes.
+func (c Current) Microamps() float64 { return float64(c) * 1e6 }
+
+// AtVoltage returns the power drawn by current c at voltage v.
+func (c Current) AtVoltage(v Voltage) Power { return Power(float64(c) * float64(v)) }
+
+// String renders the current, e.g. "350µA".
+func (c Current) String() string { return formatSI(float64(c), "A") }
+
+// Capacitance is capacitance in farads.
+type Capacitance float64
+
+// Farads constructs a Capacitance from farads.
+func Farads(f float64) Capacitance { return Capacitance(f) }
+
+// Microfarads constructs a Capacitance from microfarads.
+func Microfarads(uf float64) Capacitance { return Capacitance(uf * 1e-6) }
+
+// Millifarads constructs a Capacitance from millifarads.
+func Millifarads(mf float64) Capacitance { return Capacitance(mf * 1e-3) }
+
+// Farads returns the capacitance in farads.
+func (c Capacitance) Farads() float64 { return float64(c) }
+
+// StoredEnergy returns the energy held by capacitance c charged to voltage v
+// (½CV²).
+func (c Capacitance) StoredEnergy(v Voltage) Energy {
+	return Energy(0.5 * float64(c) * float64(v) * float64(v))
+}
+
+// VoltageForEnergy returns the voltage at which capacitance c holds energy e.
+// Non-positive energies and capacitances yield 0 V.
+func (c Capacitance) VoltageForEnergy(e Energy) Voltage {
+	if e <= 0 || c <= 0 {
+		return 0
+	}
+	return Voltage(math.Sqrt(2 * float64(e) / float64(c)))
+}
+
+// String renders the capacitance, e.g. "470µF".
+func (c Capacitance) String() string { return formatSI(float64(c), "F") }
+
+// Resistance is electrical resistance in ohms.
+type Resistance float64
+
+// Ohms constructs a Resistance from ohms.
+func Ohms(r float64) Resistance { return Resistance(r) }
+
+// Ohms returns the resistance in ohms.
+func (r Resistance) Ohms() float64 { return float64(r) }
+
+// String renders the resistance, e.g. "4.70kΩ".
+func (r Resistance) String() string { return formatSI(float64(r), "Ω") }
+
+// Seconds is a duration in seconds. The toolkit uses float seconds rather
+// than time.Duration because simulation steps routinely reach microseconds
+// and arithmetic (division by round periods, integration) stays exact in
+// the float domain.
+type Seconds float64
+
+// Sec constructs a duration from seconds.
+func Sec(s float64) Seconds { return Seconds(s) }
+
+// Milliseconds constructs a duration from milliseconds.
+func Milliseconds(ms float64) Seconds { return Seconds(ms * 1e-3) }
+
+// Microseconds constructs a duration from microseconds.
+func Microseconds(us float64) Seconds { return Seconds(us * 1e-6) }
+
+// Minutes constructs a duration from minutes.
+func Minutes(m float64) Seconds { return Seconds(m * 60) }
+
+// Hours constructs a duration from hours.
+func Hours(h float64) Seconds { return Seconds(h * 3600) }
+
+// Seconds returns the duration in seconds.
+func (s Seconds) Seconds() float64 { return float64(s) }
+
+// Milliseconds returns the duration in milliseconds.
+func (s Seconds) Milliseconds() float64 { return float64(s) * 1e3 }
+
+// String renders the duration, e.g. "1.20ms".
+func (s Seconds) String() string { return formatSI(float64(s), "s") }
+
+// Celsius is a temperature in degrees Celsius. Temperatures are affine, not
+// linear, so Celsius deliberately has no arithmetic helpers beyond deltas.
+type Celsius float64
+
+// DegC constructs a temperature from degrees Celsius.
+func DegC(c float64) Celsius { return Celsius(c) }
+
+// DegC returns the temperature in degrees Celsius.
+func (t Celsius) DegC() float64 { return float64(t) }
+
+// Kelvin returns the absolute temperature in kelvin.
+func (t Celsius) Kelvin() float64 { return float64(t) + 273.15 }
+
+// String renders the temperature, e.g. "25.0°C".
+func (t Celsius) String() string {
+	return trimFloat(float64(t), 3) + "°C"
+}
+
+// Speed is a vehicle speed stored in metres per second.
+type Speed float64
+
+// MetersPerSecond constructs a Speed from m/s.
+func MetersPerSecond(ms float64) Speed { return Speed(ms) }
+
+// KilometersPerHour constructs a Speed from km/h.
+func KilometersPerHour(kmh float64) Speed { return Speed(kmh / 3.6) }
+
+// MS returns the speed in metres per second.
+func (s Speed) MS() float64 { return float64(s) }
+
+// KMH returns the speed in kilometres per hour.
+func (s Speed) KMH() float64 { return float64(s) * 3.6 }
+
+// String renders the speed in km/h, the unit the paper's figures use.
+func (s Speed) String() string {
+	return trimFloat(s.KMH(), 4) + "km/h"
+}
+
+// Frequency is a frequency in hertz.
+type Frequency float64
+
+// Hertz constructs a Frequency from hertz.
+func Hertz(hz float64) Frequency { return Frequency(hz) }
+
+// Kilohertz constructs a Frequency from kilohertz.
+func Kilohertz(khz float64) Frequency { return Frequency(khz * 1e3) }
+
+// Megahertz constructs a Frequency from megahertz.
+func Megahertz(mhz float64) Frequency { return Frequency(mhz * 1e6) }
+
+// Hertz returns the frequency in hertz.
+func (f Frequency) Hertz() float64 { return float64(f) }
+
+// Period returns the period of one cycle, or 0 for non-positive frequencies.
+func (f Frequency) Period() Seconds {
+	if f <= 0 {
+		return 0
+	}
+	return Seconds(1 / float64(f))
+}
+
+// String renders the frequency, e.g. "32.8kHz".
+func (f Frequency) String() string { return formatSI(float64(f), "Hz") }
+
+// Charge is electric charge in coulombs.
+type Charge float64
+
+// Coulombs constructs a Charge from coulombs.
+func Coulombs(c float64) Charge { return Charge(c) }
+
+// Coulombs returns the charge in coulombs.
+func (q Charge) Coulombs() float64 { return float64(q) }
+
+// String renders the charge, e.g. "120µC".
+func (q Charge) String() string { return formatSI(float64(q), "C") }

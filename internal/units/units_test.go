@@ -1,0 +1,268 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerConversions(t *testing.T) {
+	cases := []struct {
+		p     Power
+		watts float64
+	}{
+		{Watts(1), 1},
+		{Milliwatts(250), 0.25},
+		{Microwatts(42), 42e-6},
+		{Nanowatts(900), 9e-7},
+	}
+	for _, c := range cases {
+		if !AlmostEqual(c.p.Watts(), c.watts, 1e-12) {
+			t.Errorf("Watts() = %g, want %g", c.p.Watts(), c.watts)
+		}
+	}
+	if got := Milliwatts(1.5).Microwatts(); !AlmostEqual(got, 1500, 1e-12) {
+		t.Errorf("Microwatts() = %g, want 1500", got)
+	}
+	if got := Watts(0.002).Milliwatts(); !AlmostEqual(got, 2, 1e-12) {
+		t.Errorf("Milliwatts() = %g, want 2", got)
+	}
+}
+
+func TestPowerOverTime(t *testing.T) {
+	e := Milliwatts(2).OverTime(Milliseconds(500))
+	if !AlmostEqual(e.Joules(), 1e-3, 1e-12) {
+		t.Errorf("2mW over 500ms = %v, want 1mJ", e)
+	}
+	if got := Watts(1).OverTime(Sec(-1)).Joules(); got != -1 {
+		t.Errorf("negative duration energy = %g, want -1", got)
+	}
+}
+
+func TestEnergyOver(t *testing.T) {
+	p := Microjoules(100).Over(Milliseconds(10))
+	if !AlmostEqual(p.Milliwatts(), 10, 1e-12) {
+		t.Errorf("100µJ over 10ms = %v, want 10mW", p)
+	}
+	if got := Joules(5).Over(0); got != 0 {
+		t.Errorf("energy over zero duration = %v, want 0", got)
+	}
+	if got := Joules(5).Over(Sec(-2)); got != 0 {
+		t.Errorf("energy over negative duration = %v, want 0", got)
+	}
+}
+
+func TestEnergyConversions(t *testing.T) {
+	if got := Millijoules(3).Microjoules(); !AlmostEqual(got, 3000, 1e-12) {
+		t.Errorf("Microjoules() = %g, want 3000", got)
+	}
+	if got := Microjoules(500).Millijoules(); !AlmostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Millijoules() = %g, want 0.5", got)
+	}
+	if got := Nanojoules(1e6).Joules(); !AlmostEqual(got, 1e-3, 1e-12) {
+		t.Errorf("Joules() = %g, want 1e-3", got)
+	}
+}
+
+func TestCurrentAtVoltage(t *testing.T) {
+	p := Microamps(100).AtVoltage(Volts(1.8))
+	if !AlmostEqual(p.Microwatts(), 180, 1e-12) {
+		t.Errorf("100µA @ 1.8V = %v, want 180µW", p)
+	}
+	if got := Millivolts(3300).Volts(); !AlmostEqual(got, 3.3, 1e-12) {
+		t.Errorf("Millivolts(3300) = %g V, want 3.3", got)
+	}
+	if got := Amps(0.001).Microamps(); !AlmostEqual(got, 1000, 1e-12) {
+		t.Errorf("Microamps() = %g, want 1000", got)
+	}
+}
+
+func TestCapacitanceEnergy(t *testing.T) {
+	c := Microfarads(470)
+	e := c.StoredEnergy(Volts(3.0))
+	want := 0.5 * 470e-6 * 9.0
+	if !AlmostEqual(e.Joules(), want, 1e-12) {
+		t.Errorf("stored energy = %g J, want %g", e.Joules(), want)
+	}
+	// Round-trip energy → voltage.
+	v := c.VoltageForEnergy(e)
+	if !AlmostEqual(v.Volts(), 3.0, 1e-12) {
+		t.Errorf("round-trip voltage = %g, want 3", v.Volts())
+	}
+	if got := c.VoltageForEnergy(Joules(-1)); got != 0 {
+		t.Errorf("voltage for negative energy = %v, want 0", got)
+	}
+	if got := Farads(0).VoltageForEnergy(Joules(1)); got != 0 {
+		t.Errorf("voltage for zero capacitance = %v, want 0", got)
+	}
+	if got := Millifarads(1).Farads(); !AlmostEqual(got, 1e-3, 1e-12) {
+		t.Errorf("Millifarads(1) = %g F, want 1e-3", got)
+	}
+}
+
+func TestSecondsConversions(t *testing.T) {
+	if got := Milliseconds(1500).Seconds(); !AlmostEqual(got, 1.5, 1e-12) {
+		t.Errorf("Milliseconds(1500) = %g s, want 1.5", got)
+	}
+	if got := Microseconds(250).Milliseconds(); !AlmostEqual(got, 0.25, 1e-12) {
+		t.Errorf("Microseconds(250) = %g ms, want 0.25", got)
+	}
+	if got := Minutes(2).Seconds(); got != 120 {
+		t.Errorf("Minutes(2) = %g s, want 120", got)
+	}
+	if got := Hours(1.5).Seconds(); got != 5400 {
+		t.Errorf("Hours(1.5) = %g s, want 5400", got)
+	}
+}
+
+func TestCelsius(t *testing.T) {
+	if got := DegC(25).Kelvin(); !AlmostEqual(got, 298.15, 1e-12) {
+		t.Errorf("25°C = %g K, want 298.15", got)
+	}
+	if got := DegC(-40).DegC(); got != -40 {
+		t.Errorf("DegC round-trip = %g, want -40", got)
+	}
+	if s := DegC(25).String(); s != "25°C" {
+		t.Errorf("String() = %q, want \"25°C\"", s)
+	}
+}
+
+func TestSpeedConversions(t *testing.T) {
+	if got := KilometersPerHour(36).MS(); !AlmostEqual(got, 10, 1e-12) {
+		t.Errorf("36 km/h = %g m/s, want 10", got)
+	}
+	if got := MetersPerSecond(20).KMH(); !AlmostEqual(got, 72, 1e-12) {
+		t.Errorf("20 m/s = %g km/h, want 72", got)
+	}
+	if s := KilometersPerHour(50).String(); s != "50km/h" {
+		t.Errorf("String() = %q, want \"50km/h\"", s)
+	}
+}
+
+func TestFrequency(t *testing.T) {
+	if got := Kilohertz(32.768).Hertz(); !AlmostEqual(got, 32768, 1e-12) {
+		t.Errorf("Kilohertz(32.768) = %g Hz", got)
+	}
+	if got := Megahertz(8).Hertz(); got != 8e6 {
+		t.Errorf("Megahertz(8) = %g Hz, want 8e6", got)
+	}
+	p := Hertz(100).Period()
+	if !AlmostEqual(p.Seconds(), 0.01, 1e-12) {
+		t.Errorf("period of 100Hz = %v, want 10ms", p)
+	}
+	if got := Hertz(0).Period(); got != 0 {
+		t.Errorf("period of 0Hz = %v, want 0", got)
+	}
+	if got := Hertz(-5).Period(); got != 0 {
+		t.Errorf("period of -5Hz = %v, want 0", got)
+	}
+}
+
+func TestCharge(t *testing.T) {
+	if got := Coulombs(0.5).Coulombs(); got != 0.5 {
+		t.Errorf("Coulombs round-trip = %g", got)
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{0, "W", "0W"},
+		{1.0, "W", "1W"},
+		{12.34e-6, "W", "12.3µW"},
+		{999e-3, "W", "999mW"},
+		{1500, "Hz", "1.5kHz"},
+		{2.5e6, "Hz", "2.5MHz"},
+		{-42e-9, "J", "-42nJ"},
+		{3.3, "V", "3.3V"},
+		{1e-13, "A", "0.1pA"}, // below the prefix table: stays in pico
+		{5e10, "Hz", "50GHz"},
+		{999.996e-3, "W", "1W"}, // rounding promotes to next prefix
+	}
+	for _, c := range cases {
+		if got := formatSI(c.v, c.unit); got != c.want {
+			t.Errorf("formatSI(%g, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+	if got := formatSI(math.NaN(), "W"); got != "NaNW" {
+		t.Errorf("formatSI(NaN) = %q", got)
+	}
+	if got := formatSI(math.Inf(1), "W"); got != "+InfW" {
+		t.Errorf("formatSI(+Inf) = %q", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Microwatts(42).String(), "42µW"},
+		{Microjoules(31.2).String(), "31.2µJ"},
+		{Volts(1.8).String(), "1.8V"},
+		{Microamps(350).String(), "350µA"},
+		{Microfarads(470).String(), "470µF"},
+		{Ohms(4700).String(), "4.7kΩ"},
+		{Milliseconds(1.2).String(), "1.2ms"},
+		{Kilohertz(32.8).String(), "32.8kHz"},
+		{Coulombs(120e-6).String(), "120µC"},
+		{Power(0).String(), "0W"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 10); got != 5 {
+		t.Errorf("Clamp(5,0,10) = %g", got)
+	}
+	if got := Clamp(-1, 0, 10); got != 0 {
+		t.Errorf("Clamp(-1,0,10) = %g", got)
+	}
+	if got := Clamp(11, 0, 10); got != 10 {
+		t.Errorf("Clamp(11,0,10) = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp with reversed interval did not panic")
+		}
+	}()
+	Clamp(1, 10, 0)
+}
+
+func TestLerp(t *testing.T) {
+	if got := Lerp(0, 10, 0.5); got != 5 {
+		t.Errorf("Lerp(0,10,0.5) = %g", got)
+	}
+	if got := Lerp(2, 4, 0); got != 2 {
+		t.Errorf("Lerp(2,4,0) = %g", got)
+	}
+	if got := Lerp(2, 4, 1); got != 4 {
+		t.Errorf("Lerp(2,4,1) = %g", got)
+	}
+	if got := Lerp(0, 10, 1.5); got != 15 { // extrapolates
+		t.Errorf("Lerp(0,10,1.5) = %g", got)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1.0, 1.0, 0) {
+		t.Error("identical values not equal")
+	}
+	if !AlmostEqual(100, 100.0001, 1e-5) {
+		t.Error("within tolerance not equal")
+	}
+	if AlmostEqual(100, 101, 1e-5) {
+		t.Error("outside tolerance reported equal")
+	}
+	if !AlmostEqual(0, 1e-31, 1e-9) {
+		t.Error("near-zero absolute comparison failed")
+	}
+	if AlmostEqual(0, 1e-20, 1e-9) {
+		t.Error("0 vs 1e-20 should differ under near-zero absolute rule")
+	}
+}

@@ -1,0 +1,39 @@
+package vehicle_test
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/scavenger"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/vehicle"
+	"repro/internal/wheel"
+)
+
+func ExampleRun() {
+	// The full system: four self-powered nodes, one elaboration unit.
+	// With a weak rear-right scavenger, the complete-vehicle view is
+	// gated by that corner.
+	nd, _ := node.Default(wheel.Default())
+	res, err := vehicle.Run(vehicle.Config{
+		Node:           nd,
+		Source:         scavenger.DefaultPiezo(),
+		Conditioner:    scavenger.DefaultConditioner(),
+		HarvestSpread:  map[vehicle.Position]float64{vehicle.RearRight: 0.7},
+		Buffer:         storage.Default(),
+		InitialVoltage: units.Volts(3.0),
+		Ambient:        units.DegC(20),
+		Base:           power.Nominal(),
+	}, profile.Urban())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	worst, cov := res.WorstWheel()
+	fmt.Printf("worst wheel: %s at %.0f%% (others %.0f%%)\n",
+		worst, cov*100, res.Coverage(vehicle.FrontLeft)*100)
+	// Output: worst wheel: RR at 51% (others 65%)
+}

@@ -1,0 +1,201 @@
+// Package vehicle models the system level the paper's introduction
+// describes: four self-powered Sensor Nodes — one per tyre — reporting to
+// the elaboration unit connected to the junction box. The four wheels
+// share an architecture but not a harvester: part-to-part scavenger
+// spread and mounting differences make each corner's energy balance its
+// own, and the elaboration unit's view (complete four-wheel data) is
+// gated by the worst wheel.
+package vehicle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/emu"
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/scavenger"
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+// Position identifies a wheel.
+type Position string
+
+// The four corners.
+const (
+	FrontLeft  Position = "FL"
+	FrontRight Position = "FR"
+	RearLeft   Position = "RL"
+	RearRight  Position = "RR"
+)
+
+// Positions lists the wheels in canonical order.
+func Positions() []Position {
+	return []Position{FrontLeft, FrontRight, RearLeft, RearRight}
+}
+
+// Config assembles a four-wheel run.
+type Config struct {
+	// Node is the common Sensor Node architecture.
+	Node *node.Node
+	// Source is the nominal scavenger; per-wheel spread scales its EMax.
+	Source scavenger.Piezo
+	// Conditioner is the common conditioning chain.
+	Conditioner scavenger.Conditioner
+	// HarvestSpread holds per-wheel EMax multipliers (part-to-part and
+	// mounting variation). Missing wheels default to 1.0.
+	HarvestSpread map[Position]float64
+	// Buffer is the per-node storage element.
+	Buffer storage.Buffer
+	// InitialVoltage starts every buffer.
+	InitialVoltage units.Voltage
+	// Ambient and Base are the common working conditions.
+	Ambient units.Celsius
+	Base    power.Conditions
+}
+
+// Result is the four-wheel outcome.
+type Result struct {
+	// PerWheel holds each corner's emulation result.
+	PerWheel map[Position]*emu.Result
+}
+
+// Run emulates the same speed profile at all four corners. The corner
+// emulations are independent (the Node is immutable and each wheel has
+// its own harvester and buffer state), so they run concurrently.
+func Run(cfg Config, p profile.Profile) (*Result, error) {
+	if cfg.Node == nil {
+		return nil, fmt.Errorf("vehicle: nil node")
+	}
+	if p == nil {
+		return nil, fmt.Errorf("vehicle: nil profile")
+	}
+	positions := Positions()
+	results := make([]*emu.Result, len(positions))
+	errs := make([]error, len(positions))
+	var wg sync.WaitGroup
+	for i, pos := range positions {
+		scale := 1.0
+		if s, ok := cfg.HarvestSpread[pos]; ok {
+			scale = s
+		}
+		if scale <= 0 {
+			return nil, fmt.Errorf("vehicle: non-positive harvest scale %g at %s", scale, pos)
+		}
+		wg.Add(1)
+		go func(i int, pos Position, scale float64) {
+			defer wg.Done()
+			hv, err := scavenger.New(cfg.Source.Scaled(scale), cfg.Conditioner, cfg.Node.Tyre())
+			if err != nil {
+				errs[i] = fmt.Errorf("vehicle: %s harvester: %w", pos, err)
+				return
+			}
+			em, err := emu.New(emu.Config{
+				Node:           cfg.Node,
+				Harvester:      hv,
+				Buffer:         cfg.Buffer,
+				InitialVoltage: cfg.InitialVoltage,
+				Ambient:        cfg.Ambient,
+				Base:           cfg.Base,
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("vehicle: %s emulator: %w", pos, err)
+				return
+			}
+			r, err := em.Run(p)
+			if err != nil {
+				errs[i] = fmt.Errorf("vehicle: %s run: %w", pos, err)
+				return
+			}
+			results[i] = r
+		}(i, pos, scale)
+	}
+	wg.Wait()
+	res := &Result{PerWheel: make(map[Position]*emu.Result, len(positions))}
+	for i, pos := range positions {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.PerWheel[pos] = results[i]
+	}
+	return res, nil
+}
+
+// Coverage returns one wheel's monitored-round fraction.
+func (r *Result) Coverage(pos Position) float64 {
+	if w, ok := r.PerWheel[pos]; ok {
+		return w.Coverage()
+	}
+	return 0
+}
+
+// WorstWheel returns the corner with the lowest coverage.
+func (r *Result) WorstWheel() (Position, float64) {
+	worst := Position("")
+	worstCov := 2.0
+	for _, pos := range Positions() {
+		if w, ok := r.PerWheel[pos]; ok && w.Coverage() < worstCov {
+			worst, worstCov = pos, w.Coverage()
+		}
+	}
+	if worst == "" {
+		return "", 0
+	}
+	return worst, worstCov
+}
+
+// MeanCoverage averages the four corners.
+func (r *Result) MeanCoverage() float64 {
+	var sum float64
+	var n int
+	for _, w := range r.PerWheel {
+		sum += w.Coverage()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// FullVehicleEstimate approximates the fraction of wheel rounds during
+// which the elaboration unit held fresh data from all four corners,
+// assuming independent outage timing: the product of the per-wheel
+// coverages. (Outages actually correlate through the shared speed
+// profile, so this is a lower-bound style estimate; per-wheel numbers
+// are the primary result.)
+func (r *Result) FullVehicleEstimate() float64 {
+	prod := 1.0
+	any := false
+	for _, w := range r.PerWheel {
+		prod *= w.Coverage()
+		any = true
+	}
+	if !any {
+		return 0
+	}
+	return prod
+}
+
+// CoverageTable returns position/coverage pairs sorted by position, for
+// reports.
+func (r *Result) CoverageTable() []struct {
+	Position Position
+	Coverage float64
+} {
+	out := make([]struct {
+		Position Position
+		Coverage float64
+	}, 0, len(r.PerWheel))
+	for pos, w := range r.PerWheel {
+		out = append(out, struct {
+			Position Position
+			Coverage float64
+		}{pos, w.Coverage()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Position < out[j].Position })
+	return out
+}

@@ -1,0 +1,125 @@
+package vehicle
+
+import (
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/scavenger"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	nd, err := node.Default(wheel.Default())
+	if err != nil {
+		t.Fatalf("node.Default: %v", err)
+	}
+	return Config{
+		Node:           nd,
+		Source:         scavenger.DefaultPiezo(),
+		Conditioner:    scavenger.DefaultConditioner(),
+		Buffer:         storage.Default(),
+		InitialVoltage: units.Volts(3.0),
+		Ambient:        units.DegC(20),
+		Base:           power.Nominal(),
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := testConfig(t)
+	if _, err := Run(Config{}, profile.Urban()); err == nil {
+		t.Error("nil node accepted")
+	}
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+	bad := cfg
+	bad.HarvestSpread = map[Position]float64{FrontLeft: 0}
+	if _, err := Run(bad, profile.Urban()); err == nil {
+		t.Error("zero harvest scale accepted")
+	}
+}
+
+func TestUniformFleetIsUniform(t *testing.T) {
+	cfg := testConfig(t)
+	res, err := Run(cfg, profile.Urban())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.PerWheel) != 4 {
+		t.Fatalf("wheels = %d", len(res.PerWheel))
+	}
+	// All wheels identical without spread.
+	ref := res.Coverage(FrontLeft)
+	for _, pos := range Positions() {
+		if got := res.Coverage(pos); got != ref {
+			t.Errorf("%s coverage %g != FL %g under uniform config", pos, got, ref)
+		}
+	}
+	if got := res.MeanCoverage(); !units.AlmostEqual(got, ref, 1e-12) {
+		t.Errorf("mean = %g, want %g", got, ref)
+	}
+	_, worst := res.WorstWheel()
+	if worst != ref {
+		t.Errorf("worst = %g, want %g", worst, ref)
+	}
+}
+
+func TestSpreadOrdersCoverage(t *testing.T) {
+	// Weaker harvesters yield lower coverage on the urban stress cycle.
+	cfg := testConfig(t)
+	cfg.HarvestSpread = map[Position]float64{
+		FrontLeft:  1.0,
+		FrontRight: 0.9,
+		RearLeft:   0.75,
+		RearRight:  0.6,
+	}
+	res, err := Run(cfg, profile.Repeat(profile.Urban(), 3))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	order := []Position{FrontLeft, FrontRight, RearLeft, RearRight}
+	for i := 1; i < len(order); i++ {
+		if res.Coverage(order[i]) > res.Coverage(order[i-1])+1e-9 {
+			t.Errorf("%s coverage %g above stronger %s %g",
+				order[i], res.Coverage(order[i]), order[i-1], res.Coverage(order[i-1]))
+		}
+	}
+	pos, worst := res.WorstWheel()
+	if pos != RearRight {
+		t.Errorf("worst wheel = %s, want RR", pos)
+	}
+	if worst >= res.Coverage(FrontLeft) {
+		t.Error("worst coverage not below best")
+	}
+	// Full-vehicle estimate is below the worst single wheel... no — it is
+	// below or equal to the worst wheel (product of ≤1 factors).
+	if res.FullVehicleEstimate() > worst+1e-12 {
+		t.Errorf("full-vehicle %g above worst wheel %g", res.FullVehicleEstimate(), worst)
+	}
+	// Table sorted by position.
+	tab := res.CoverageTable()
+	if len(tab) != 4 || tab[0].Position != FrontLeft || tab[3].Position != RearRight {
+		t.Errorf("table order: %+v", tab)
+	}
+}
+
+func TestEmptyResultAccessors(t *testing.T) {
+	empty := &Result{}
+	if empty.Coverage("XX") != 0 {
+		t.Error("unknown wheel coverage not 0")
+	}
+	if _, cov := empty.WorstWheel(); cov != 0 {
+		t.Error("empty worst coverage not 0")
+	}
+	if empty.MeanCoverage() != 0 {
+		t.Error("empty mean not 0")
+	}
+	if empty.FullVehicleEstimate() != 0 {
+		t.Error("empty full-vehicle not 0")
+	}
+}

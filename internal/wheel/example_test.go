@@ -1,0 +1,37 @@
+package wheel_test
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+func ExampleTyre_RoundPeriod() {
+	// The wheel round is the basic timing unit of the analysis: at
+	// 60 km/h the default 0.30 m tyre rotates once every ≈113 ms.
+	tyre := wheel.Default()
+	period := tyre.RoundPeriod(units.KilometersPerHour(60))
+	fmt.Printf("%.0f ms per round, %.1f rev/s\n",
+		period.Milliseconds(), tyre.RevsPerSecond(units.KilometersPerHour(60)))
+	// Output: 113 ms per round, 8.8 rev/s
+}
+
+func ExampleTyre_SteadyTemperature() {
+	// Rolling losses heat the tyre with the square of speed; leakage
+	// follows the working temperature, so this coupling matters.
+	tyre := wheel.Default()
+	fmt.Printf("%.0f°C at 50 km/h, %.0f°C at 150 km/h (20°C ambient)\n",
+		tyre.SteadyTemperature(units.DegC(20), units.KilometersPerHour(50)).DegC(),
+		tyre.SteadyTemperature(units.DegC(20), units.KilometersPerHour(150)).DegC())
+	// Output: 26°C at 50 km/h, 70°C at 150 km/h (20°C ambient)
+}
+
+func ExampleTyre_ContactDwell() {
+	// The in-tread sensor is strained (and sampled) only while inside
+	// the contact patch.
+	tyre := wheel.Default()
+	fmt.Printf("%.1f ms dwell at 100 km/h\n",
+		tyre.ContactDwell(units.KilometersPerHour(100)).Milliseconds())
+	// Output: 4.3 ms dwell at 100 km/h
+}

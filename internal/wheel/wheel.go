@@ -1,0 +1,136 @@
+// Package wheel models the tyre/wheel substrate of the monitoring system:
+// the kinematics that make one wheel round the basic timing unit of the
+// paper's methodology (round period vs cruising speed, contact-patch dwell
+// that gates sensor acquisition) and the tyre thermal behaviour that drives
+// the leakage component of the power model.
+package wheel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Tyre describes the geometric and thermal parameters of one tyre.
+type Tyre struct {
+	// Radius is the loaded rolling radius in metres.
+	Radius float64
+	// PatchLength is the contact-patch length in metres; a tread-mounted
+	// sensor sees one patch transit per revolution and the piezo
+	// scavenger is strained during it.
+	PatchLength float64
+	// HeatingCoeff is the steady-state tyre self-heating coefficient in
+	// °C per (km/h)²: T_tyre = T_ambient + HeatingCoeff · v².
+	HeatingCoeff float64
+}
+
+// Default returns a representative passenger-car tyre: 0.30 m rolling
+// radius (≈ 205/55R16), 0.12 m contact patch, and a heating coefficient
+// that yields ≈ +22 °C above ambient at 100 km/h.
+func Default() Tyre {
+	return Tyre{Radius: 0.30, PatchLength: 0.12, HeatingCoeff: 2.2e-3}
+}
+
+// Validate reports whether the tyre parameters are physically meaningful.
+func (t Tyre) Validate() error {
+	if t.Radius <= 0 {
+		return fmt.Errorf("wheel: non-positive radius %g m", t.Radius)
+	}
+	if t.PatchLength <= 0 {
+		return fmt.Errorf("wheel: non-positive contact-patch length %g m", t.PatchLength)
+	}
+	if t.PatchLength >= t.Circumference() {
+		return fmt.Errorf("wheel: contact patch %g m exceeds circumference %g m",
+			t.PatchLength, t.Circumference())
+	}
+	if t.HeatingCoeff < 0 {
+		return fmt.Errorf("wheel: negative heating coefficient %g", t.HeatingCoeff)
+	}
+	return nil
+}
+
+// Circumference returns the rolling circumference in metres.
+func (t Tyre) Circumference() float64 { return 2 * math.Pi * t.Radius }
+
+// RoundPeriod returns the duration of one wheel round at speed v, the
+// paper's basic timing unit. A stationary or reversing wheel returns 0,
+// meaning "not rotating" — callers must treat that case explicitly.
+func (t Tyre) RoundPeriod(v units.Speed) units.Seconds {
+	if v <= 0 {
+		return 0
+	}
+	return units.Seconds(t.Circumference() / v.MS())
+}
+
+// RevsPerSecond returns the wheel rotation rate at speed v.
+func (t Tyre) RevsPerSecond(v units.Speed) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return v.MS() / t.Circumference()
+}
+
+// ContactDwell returns the time a tread element (and the in-tyre sensor)
+// spends inside the contact patch during one revolution at speed v.
+// Stationary wheels return 0.
+func (t Tyre) ContactDwell(v units.Speed) units.Seconds {
+	if v <= 0 {
+		return 0
+	}
+	return units.Seconds(t.PatchLength / v.MS())
+}
+
+// RevolutionsOver returns the (fractional) number of wheel rounds completed
+// over the duration d at constant speed v.
+func (t Tyre) RevolutionsOver(v units.Speed, d units.Seconds) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return t.RevsPerSecond(v) * d.Seconds()
+}
+
+// SteadyTemperature returns the steady-state tyre temperature at ambient
+// temperature amb and constant speed v (self-heating grows with the square
+// of speed, dominated by hysteretic rolling losses).
+func (t Tyre) SteadyTemperature(amb units.Celsius, v units.Speed) units.Celsius {
+	kmh := math.Max(v.KMH(), 0)
+	return units.DegC(amb.DegC() + t.HeatingCoeff*kmh*kmh)
+}
+
+// DefaultThermalTau is the default first-order tyre thermal time constant.
+// Tyres take minutes, not seconds, to warm up.
+const DefaultThermalTau = units.Seconds(300)
+
+// Thermal tracks the tyre temperature with first-order lag toward the
+// steady-state value, for use by the long-window emulator.
+type Thermal struct {
+	tyre Tyre
+	tau  units.Seconds
+	temp units.Celsius
+}
+
+// NewThermal returns a thermal tracker starting at the ambient temperature.
+// A non-positive tau falls back to DefaultThermalTau.
+func NewThermal(tyre Tyre, amb units.Celsius, tau units.Seconds) *Thermal {
+	if tau <= 0 {
+		tau = DefaultThermalTau
+	}
+	return &Thermal{tyre: tyre, tau: tau, temp: amb}
+}
+
+// Temp returns the current tyre temperature.
+func (th *Thermal) Temp() units.Celsius { return th.temp }
+
+// Step advances the thermal state by dt at ambient amb and speed v, and
+// returns the updated temperature. The update is the exact first-order
+// solution so arbitrarily large steps remain stable.
+func (th *Thermal) Step(amb units.Celsius, v units.Speed, dt units.Seconds) units.Celsius {
+	if dt <= 0 {
+		return th.temp
+	}
+	target := th.tyre.SteadyTemperature(amb, v)
+	alpha := 1 - math.Exp(-dt.Seconds()/th.tau.Seconds())
+	th.temp = units.DegC(units.Lerp(th.temp.DegC(), target.DegC(), alpha))
+	return th.temp
+}

@@ -1,0 +1,213 @@
+package wheel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default tyre invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Tyre{
+		{Radius: 0, PatchLength: 0.1},
+		{Radius: -1, PatchLength: 0.1},
+		{Radius: 0.3, PatchLength: 0},
+		{Radius: 0.3, PatchLength: 3}, // patch longer than circumference
+		{Radius: 0.3, PatchLength: 0.1, HeatingCoeff: -1},
+	}
+	for i, ty := range bad {
+		if ty.Validate() == nil {
+			t.Errorf("bad tyre %d accepted: %+v", i, ty)
+		}
+	}
+}
+
+func TestCircumference(t *testing.T) {
+	ty := Tyre{Radius: 0.30, PatchLength: 0.12}
+	want := 2 * math.Pi * 0.30
+	if got := ty.Circumference(); !units.AlmostEqual(got, want, 1e-12) {
+		t.Errorf("Circumference = %g, want %g", got, want)
+	}
+}
+
+func TestRoundPeriod(t *testing.T) {
+	ty := Default()
+	// At 1.885 m circumference, 67.86 km/h (18.85 m/s) → 0.1 s per round.
+	v := units.MetersPerSecond(ty.Circumference() * 10)
+	if got := ty.RoundPeriod(v); !units.AlmostEqual(got.Seconds(), 0.1, 1e-12) {
+		t.Errorf("RoundPeriod = %v, want 100ms", got)
+	}
+	if got := ty.RoundPeriod(0); got != 0 {
+		t.Errorf("stationary RoundPeriod = %v, want 0", got)
+	}
+	if got := ty.RoundPeriod(units.MetersPerSecond(-5)); got != 0 {
+		t.Errorf("reversing RoundPeriod = %v, want 0", got)
+	}
+}
+
+func TestRevsPerSecond(t *testing.T) {
+	ty := Default()
+	v := units.KilometersPerHour(100)
+	revs := ty.RevsPerSecond(v)
+	// 27.78 m/s / 1.885 m ≈ 14.7 rev/s.
+	if revs < 14 || revs > 15.5 {
+		t.Errorf("RevsPerSecond(100km/h) = %g, want ≈14.7", revs)
+	}
+	// Consistency: revs · period = 1.
+	if prod := revs * ty.RoundPeriod(v).Seconds(); !units.AlmostEqual(prod, 1, 1e-12) {
+		t.Errorf("revs × period = %g, want 1", prod)
+	}
+	if got := ty.RevsPerSecond(0); got != 0 {
+		t.Errorf("stationary RevsPerSecond = %g", got)
+	}
+}
+
+func TestContactDwell(t *testing.T) {
+	ty := Default()
+	v := units.MetersPerSecond(12)
+	want := 0.12 / 12.0
+	if got := ty.ContactDwell(v); !units.AlmostEqual(got.Seconds(), want, 1e-12) {
+		t.Errorf("ContactDwell = %v, want %gs", got, want)
+	}
+	// Dwell is always shorter than the round period for a valid tyre.
+	if ty.ContactDwell(v) >= ty.RoundPeriod(v) {
+		t.Error("contact dwell not shorter than round period")
+	}
+	if got := ty.ContactDwell(0); got != 0 {
+		t.Errorf("stationary ContactDwell = %v", got)
+	}
+}
+
+func TestRevolutionsOver(t *testing.T) {
+	ty := Default()
+	v := units.MetersPerSecond(ty.Circumference()) // 1 rev/s
+	if got := ty.RevolutionsOver(v, units.Sec(10)); !units.AlmostEqual(got, 10, 1e-12) {
+		t.Errorf("RevolutionsOver = %g, want 10", got)
+	}
+	if got := ty.RevolutionsOver(v, 0); got != 0 {
+		t.Errorf("zero-duration revolutions = %g", got)
+	}
+	if got := ty.RevolutionsOver(v, units.Sec(-1)); got != 0 {
+		t.Errorf("negative-duration revolutions = %g", got)
+	}
+}
+
+func TestSteadyTemperature(t *testing.T) {
+	ty := Default()
+	amb := units.DegC(20)
+	if got := ty.SteadyTemperature(amb, 0); got != amb {
+		t.Errorf("stationary temperature = %v, want ambient", got)
+	}
+	at100 := ty.SteadyTemperature(amb, units.KilometersPerHour(100))
+	if !units.AlmostEqual(at100.DegC(), 42, 0.01) {
+		t.Errorf("temperature at 100km/h = %v, want ≈42°C", at100)
+	}
+	// Monotone in speed.
+	prev := ty.SteadyTemperature(amb, 0)
+	for kmh := 10.0; kmh <= 200; kmh += 10 {
+		cur := ty.SteadyTemperature(amb, units.KilometersPerHour(kmh))
+		if cur <= prev {
+			t.Fatalf("steady temperature not monotone at %g km/h", kmh)
+		}
+		prev = cur
+	}
+	// Negative speed treated as stationary.
+	if got := ty.SteadyTemperature(amb, units.MetersPerSecond(-10)); got != amb {
+		t.Errorf("negative-speed temperature = %v, want ambient", got)
+	}
+}
+
+func TestThermalConvergence(t *testing.T) {
+	ty := Default()
+	amb := units.DegC(20)
+	th := NewThermal(ty, amb, units.Sec(100))
+	if th.Temp() != amb {
+		t.Fatalf("initial temperature = %v, want ambient", th.Temp())
+	}
+	v := units.KilometersPerHour(100)
+	target := ty.SteadyTemperature(amb, v)
+	// After one time constant, ≈63% of the way.
+	th.Step(amb, v, units.Sec(100))
+	frac := (th.Temp().DegC() - amb.DegC()) / (target.DegC() - amb.DegC())
+	if !units.AlmostEqual(frac, 1-math.Exp(-1), 1e-9) {
+		t.Errorf("after 1τ fraction = %g, want %g", frac, 1-math.Exp(-1))
+	}
+	// After many constants, converged.
+	th.Step(amb, v, units.Sec(10000))
+	if !units.AlmostEqual(th.Temp().DegC(), target.DegC(), 1e-6) {
+		t.Errorf("converged temperature = %v, want %v", th.Temp(), target)
+	}
+	// Cooling back down when stopped.
+	th.Step(amb, 0, units.Sec(10000))
+	if !units.AlmostEqual(th.Temp().DegC(), amb.DegC(), 1e-6) {
+		t.Errorf("cooled temperature = %v, want ambient", th.Temp())
+	}
+}
+
+func TestThermalStepEdge(t *testing.T) {
+	th := NewThermal(Default(), units.DegC(20), 0) // tau defaults
+	before := th.Temp()
+	if got := th.Step(units.DegC(20), units.KilometersPerHour(100), 0); got != before {
+		t.Errorf("zero-dt step changed temperature: %v", got)
+	}
+	if got := th.Step(units.DegC(20), units.KilometersPerHour(100), units.Sec(-5)); got != before {
+		t.Errorf("negative-dt step changed temperature: %v", got)
+	}
+	// Large single step is stable (no overshoot past the target).
+	target := Default().SteadyTemperature(units.DegC(20), units.KilometersPerHour(100))
+	th.Step(units.DegC(20), units.KilometersPerHour(100), units.Hours(10))
+	if th.Temp().DegC() > target.DegC()+1e-9 {
+		t.Errorf("large step overshot: %v > %v", th.Temp(), target)
+	}
+}
+
+func TestQuickThermalBounded(t *testing.T) {
+	// Temperature always stays between ambient and the hottest steady state
+	// seen, for any step sequence.
+	ty := Default()
+	amb := units.DegC(15)
+	f := func(steps []uint8) bool {
+		th := NewThermal(ty, amb, units.Sec(200))
+		maxTarget := amb.DegC()
+		for _, b := range steps {
+			v := units.KilometersPerHour(float64(b)) // 0..255 km/h
+			tgt := ty.SteadyTemperature(amb, v).DegC()
+			if tgt > maxTarget {
+				maxTarget = tgt
+			}
+			got := th.Step(amb, v, units.Sec(30)).DegC()
+			if got < amb.DegC()-1e-9 || got > maxTarget+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundPeriodMonotone(t *testing.T) {
+	// Faster speed → shorter round period.
+	ty := Default()
+	f := func(aw, bw uint16) bool {
+		a := float64(aw%3000)/10 + 0.1 // 0.1..300 km/h
+		b := float64(bw%3000)/10 + 0.1
+		if a > b {
+			a, b = b, a
+		}
+		pa := ty.RoundPeriod(units.KilometersPerHour(a))
+		pb := ty.RoundPeriod(units.KilometersPerHour(b))
+		return pa >= pb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package tyresys is the public API of the energy-analysis toolkit for
+// self-powered tyre monitoring systems — a reproduction of Bonanno, Bocca
+// and Sabatini, "Energy Analysis Methods and Tools for Modeling and
+// Optimizing Monitoring Tyre Systems", DATE 2011.
+//
+// The toolkit models a scavenger-powered in-tyre Sensor Node (acquisition
+// frontend, MCU/DSP, memories, radio, power management) whose basic timing
+// unit is one wheel round, and provides the paper's complete analysis
+// flow: per-block power estimation into a condition-parameterised
+// database, per-round energy evaluation and duty-cycle profiling,
+// duty-cycle-aware optimization, energy-balance sweeps against the
+// scavenger curve with break-even extraction (Fig 2), instant-power
+// tracing (Fig 3), and long-timing-window emulation over driving-cycle
+// speed profiles.
+//
+// Quick start:
+//
+//	flow, err := tyresys.NewDefaultFlow()
+//	if err != nil { ... }
+//	report, err := flow.Run(tyresys.MixedCycle())
+//	fmt.Println(report.BaselineBreakEven.Speed)   // ≈ 39 km/h
+//	fmt.Println(report.OptimizedBreakEven.Speed)  // ≈ 21 km/h
+//
+// The facade re-exports the toolkit's main types as aliases; the
+// sub-systems live in internal/ packages and are fully reachable through
+// these aliases.
+package tyresys
+
+import (
+	"repro/internal/balance"
+	"repro/internal/battery"
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/db"
+	"repro/internal/emu"
+	"repro/internal/friction"
+	"repro/internal/mc"
+	"repro/internal/node"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/rf"
+	"repro/internal/scavenger"
+	"repro/internal/sensing"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// Physical quantity types (SI-based, see units docs).
+type (
+	// Power is electrical power in watts.
+	Power = units.Power
+	// Energy is energy in joules.
+	Energy = units.Energy
+	// Voltage is electric potential in volts.
+	Voltage = units.Voltage
+	// Seconds is a duration in seconds.
+	Seconds = units.Seconds
+	// Celsius is a temperature in °C.
+	Celsius = units.Celsius
+	// Speed is a vehicle speed (constructors take km/h or m/s).
+	Speed = units.Speed
+	// Frequency is a clock or bit-rate frequency in hertz.
+	Frequency = units.Frequency
+	// Capacitance is capacitance in farads.
+	Capacitance = units.Capacitance
+)
+
+// Quantity constructors.
+var (
+	Microwatts      = units.Microwatts
+	Milliwatts      = units.Milliwatts
+	Watts           = units.Watts
+	Microjoules     = units.Microjoules
+	Millijoules     = units.Millijoules
+	Joules          = units.Joules
+	Volts           = units.Volts
+	Sec             = units.Sec
+	Milliseconds    = units.Milliseconds
+	Minutes         = units.Minutes
+	Hours           = units.Hours
+	DegC            = units.DegC
+	KMH             = units.KilometersPerHour
+	MetersPerSecond = units.MetersPerSecond
+	Megahertz       = units.Megahertz
+	Kilohertz       = units.Kilohertz
+	Microfarads     = units.Microfarads
+	Millifarads     = units.Millifarads
+)
+
+// Core model types.
+type (
+	// Tyre is the wheel geometry and thermal model.
+	Tyre = wheel.Tyre
+	// Node is a Sensor Node architecture.
+	Node = node.Node
+	// NodeConfig assembles a custom Node for node-level exploration.
+	NodeConfig = node.Config
+	// Role identifies a functional block within the node.
+	Role = node.Role
+	// Block is one functional block (modes, power models, transitions).
+	Block = block.Block
+	// Mode is a block operating mode.
+	Mode = block.Mode
+	// Conditions are working conditions: temperature, Vdd, corner.
+	Conditions = power.Conditions
+	// Corner is a process corner (TT/FF/SS).
+	Corner = power.Corner
+	// Harvester is a scavenger source + conditioning chain on a tyre.
+	Harvester = scavenger.Harvester
+	// Piezo is the contact-patch piezoelectric source model.
+	Piezo = scavenger.Piezo
+	// Buffer is the storage element (supercap with voltage window).
+	Buffer = storage.Buffer
+	// Radio characterises the transmitter.
+	Radio = rf.Radio
+	// TxPolicy decides rounds between packets.
+	TxPolicy = rf.Policy
+	// Acquisition configures per-round sensing.
+	Acquisition = sensing.Acquisition
+	// Series is a sampled signal (time series or speed sweep curve).
+	Series = trace.Series
+)
+
+// Analysis types.
+type (
+	// Flow is the paper's Fig 1 analysis pipeline.
+	Flow = core.Flow
+	// Report is a Flow run's full output.
+	Report = core.Report
+	// Balance analyses energy generated vs required per wheel round.
+	Balance = balance.Analyzer
+	// BreakEven is the Fig 2 curve intersection.
+	BreakEven = balance.BreakEven
+	// Sweep is the Fig 2 dataset (generated and required curves).
+	Sweep = balance.Sweep
+	// Emulator runs long-timing-window emulations.
+	Emulator = emu.Emulator
+	// EmulatorConfig assembles an emulation run.
+	EmulatorConfig = emu.Config
+	// EmulationResult summarises a long-window run.
+	EmulationResult = emu.Result
+	// Profile is a speed-vs-time driving profile.
+	Profile = profile.Profile
+	// Technique is one optimization transformation.
+	Technique = opt.Technique
+	// Recommendation is the duty-cycle-aware advisor's per-block verdict.
+	Recommendation = opt.Recommendation
+	// OptResult is an optimization search outcome.
+	OptResult = opt.Result
+	// Constraints bound what the optimizer may trade away.
+	Constraints = opt.Constraints
+	// PowerDB is the "dynamic spreadsheet" power/energy database.
+	PowerDB = db.DB
+	// MonteCarlo configures process/condition variation analysis.
+	MonteCarlo = mc.Config
+	// MonteCarloOutcome summarises a variation run.
+	MonteCarloOutcome = mc.Outcome
+	// BatteryCell is a primary-cell characterisation (the baseline the
+	// scavenger replaces).
+	BatteryCell = battery.Cell
+	// BatteryMission is the deployment profile a power source must
+	// survive.
+	BatteryMission = battery.Mission
+	// BatteryAssessment is a cell-vs-mission verdict.
+	BatteryAssessment = battery.Assessment
+	// FrictionEstimator models the friction-estimate quality per round.
+	FrictionEstimator = friction.Estimator
+)
+
+// Standard block roles.
+const (
+	RoleFrontend = node.RoleFrontend
+	RoleMCU      = node.RoleMCU
+	RoleSRAM     = node.RoleSRAM
+	RoleNVM      = node.RoleNVM
+	RoleRadio    = node.RoleRadio
+	RolePMU      = node.RolePMU
+	RoleClock    = node.RoleClock
+)
+
+// Block modes.
+const (
+	ModeActive = block.Active
+	ModeIdle   = block.Idle
+	ModeSleep  = block.Sleep
+	ModeOff    = block.Off
+)
+
+// Process corners.
+const (
+	TT = power.TT
+	FF = power.FF
+	SS = power.SS
+)
+
+// DefaultTyre returns the reference passenger-car tyre (0.30 m rolling
+// radius).
+func DefaultTyre() Tyre { return wheel.Default() }
+
+// DefaultNode returns the calibrated baseline Sensor Node on the tyre —
+// deliberately unoptimized (MCU idles instead of sleeping), as the flow's
+// starting point.
+func DefaultNode(t Tyre) (*Node, error) { return node.Default(t) }
+
+// NewNode builds a custom architecture.
+func NewNode(cfg NodeConfig) (*Node, error) { return node.New(cfg) }
+
+// DefaultNodeConfig returns the baseline configuration for customisation.
+func DefaultNodeConfig(t Tyre) NodeConfig { return node.DefaultConfig(t) }
+
+// DefaultHarvester returns the reference piezo contact-patch harvester.
+func DefaultHarvester(t Tyre) (*Harvester, error) { return scavenger.Default(t) }
+
+// NewHarvester builds a harvester from a source and conditioning chain.
+func NewHarvester(src scavenger.Source, cond scavenger.Conditioner, t Tyre) (*Harvester, error) {
+	return scavenger.New(src, cond, t)
+}
+
+// DefaultPiezo returns the reference piezo source (80 µJ/rev saturation).
+func DefaultPiezo() Piezo { return scavenger.DefaultPiezo() }
+
+// DefaultConditioner returns the reference power-conditioning chain.
+func DefaultConditioner() scavenger.Conditioner { return scavenger.DefaultConditioner() }
+
+// DefaultBuffer returns the reference 470 µF storage element.
+func DefaultBuffer() Buffer { return storage.Default() }
+
+// NominalConditions returns 25 °C / 1.8 V / TT.
+func NominalConditions() Conditions { return power.Nominal() }
+
+// NewBalance pairs a node and harvester for Fig 2 analysis at the given
+// ambient temperature.
+func NewBalance(n *Node, h *Harvester, ambient Celsius, base Conditions) (*Balance, error) {
+	return balance.New(n, h, ambient, base)
+}
+
+// NewEmulator builds a long-window emulator.
+func NewEmulator(cfg EmulatorConfig) (*Emulator, error) { return emu.New(cfg) }
+
+// NewDefaultFlow assembles the reference end-to-end analysis.
+func NewDefaultFlow() (Flow, error) { return core.DefaultFlow() }
+
+// Driving-cycle profiles.
+func UrbanCycle() Profile      { return profile.Urban() }
+func ExtraUrbanCycle() Profile { return profile.ExtraUrban() }
+func HighwayCycle(blocks int) Profile {
+	return profile.Highway(blocks)
+}
+func MixedCycle() Profile { return profile.Mixed() }
+
+// WLTPCycle returns the WLTP-Class-3-inspired 1800 s cycle.
+func WLTPCycle() Profile { return profile.WLTP() }
+
+// ConstantSpeed returns a constant-speed profile.
+func ConstantSpeed(v Speed, d Seconds) Profile { return profile.Constant(v, d) }
+
+// Advise runs the duty-cycle-aware per-block advisor (the paper's §II
+// rule) at cruising speed v.
+func Advise(n *Node, v Speed, cond Conditions) ([]Recommendation, error) {
+	return opt.Advise(n, v, cond)
+}
+
+// OptimizationCandidates enumerates the applicable techniques.
+func OptimizationCandidates(n *Node, cons Constraints) []Technique {
+	return opt.Candidates(n, cons)
+}
+
+// DefaultConstraints allow 5 s data age and a 16-sample floor.
+func DefaultConstraints() Constraints { return opt.DefaultConstraints() }
+
+// MinimizeBreakEven searches for the technique set that most lowers the
+// minimum activation speed.
+func MinimizeBreakEven(b *Balance, cands []Technique, vmin, vmax Speed) (OptResult, error) {
+	return opt.MinimizeBreakEven(b, cands, vmin, vmax)
+}
+
+// MinimizeEnergy searches for the technique set minimising per-round
+// energy at cruising speed v.
+func MinimizeEnergy(n *Node, cands []Technique, v Speed, cond Conditions) (OptResult, error) {
+	return opt.MinimizeEnergy(n, cands, v, cond)
+}
+
+// RunMonteCarlo samples `trials` parts under process/condition variation
+// at cruising speed v.
+func RunMonteCarlo(cfg MonteCarlo, v Speed, trials int) (MonteCarloOutcome, error) {
+	return mc.Run(cfg, v, trials)
+}
+
+// StandardBatteryCells lists the primary-cell options E8 assesses.
+func StandardBatteryCells() []BatteryCell { return battery.StandardCells() }
+
+// AssessBattery evaluates one cell against a mission (lifetime, mass,
+// g-load and pulse gates).
+func AssessBattery(c BatteryCell, m BatteryMission) (BatteryAssessment, error) {
+	return battery.Assess(c, m)
+}
+
+// DefaultFrictionEstimator returns the reference friction-estimate
+// quality model.
+func DefaultFrictionEstimator() FrictionEstimator { return friction.Default() }

@@ -1,0 +1,172 @@
+package tyresys
+
+import (
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the documented quick-start path through
+// the public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	tyre := DefaultTyre()
+	nd, err := DefaultNode(tyre)
+	if err != nil {
+		t.Fatalf("DefaultNode: %v", err)
+	}
+	hv, err := DefaultHarvester(tyre)
+	if err != nil {
+		t.Fatalf("DefaultHarvester: %v", err)
+	}
+	bal, err := NewBalance(nd, hv, DegC(20), NominalConditions())
+	if err != nil {
+		t.Fatalf("NewBalance: %v", err)
+	}
+	be, err := bal.BreakEven(KMH(5), KMH(200))
+	if err != nil {
+		t.Fatalf("BreakEven: %v", err)
+	}
+	if !be.Found || be.Speed.KMH() < 25 || be.Speed.KMH() > 45 {
+		t.Errorf("break-even = %+v, want 25–45 km/h", be)
+	}
+}
+
+func TestFacadeOptimizationPath(t *testing.T) {
+	tyre := DefaultTyre()
+	nd, _ := DefaultNode(tyre)
+	hv, _ := DefaultHarvester(tyre)
+	bal, _ := NewBalance(nd, hv, DegC(20), NominalConditions())
+
+	recs, err := Advise(nd, KMH(60), NominalConditions())
+	if err != nil {
+		t.Fatalf("Advise: %v", err)
+	}
+	if len(recs) != 7 {
+		t.Errorf("recommendations = %d, want 7", len(recs))
+	}
+	cands := OptimizationCandidates(nd, DefaultConstraints())
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	res, err := MinimizeBreakEven(bal, cands, KMH(5), KMH(200))
+	if err != nil {
+		t.Fatalf("MinimizeBreakEven: %v", err)
+	}
+	if res.Optimized >= res.Baseline {
+		t.Error("no break-even improvement through the facade")
+	}
+	eres, err := MinimizeEnergy(nd, cands, KMH(60), NominalConditions())
+	if err != nil {
+		t.Fatalf("MinimizeEnergy: %v", err)
+	}
+	if eres.Improvement() <= 0 {
+		t.Error("no energy improvement through the facade")
+	}
+}
+
+func TestFacadeEmulationPath(t *testing.T) {
+	tyre := DefaultTyre()
+	nd, _ := DefaultNode(tyre)
+	hv, _ := DefaultHarvester(tyre)
+	em, err := NewEmulator(EmulatorConfig{
+		Node:           nd,
+		Harvester:      hv,
+		Buffer:         DefaultBuffer(),
+		InitialVoltage: Volts(3.0),
+		Ambient:        DegC(20),
+		Base:           NominalConditions(),
+	})
+	if err != nil {
+		t.Fatalf("NewEmulator: %v", err)
+	}
+	res, err := em.Run(ConstantSpeed(KMH(100), Minutes(1)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Coverage() != 1 {
+		t.Errorf("coverage at 100 km/h = %g", res.Coverage())
+	}
+}
+
+func TestFacadeMonteCarlo(t *testing.T) {
+	tyre := DefaultTyre()
+	nd, _ := DefaultNode(tyre)
+	hv, _ := DefaultHarvester(tyre)
+	out, err := RunMonteCarlo(MonteCarlo{
+		Node: nd, Harvester: hv,
+		Ambient: DegC(20), Vdd: Volts(1.8),
+		TempSigma: 5, VddSigma: 0.05, Seed: 7,
+	}, KMH(120), 100)
+	if err != nil {
+		t.Fatalf("RunMonteCarlo: %v", err)
+	}
+	if out.Yield() < 0.95 {
+		t.Errorf("yield at 120 km/h = %g", out.Yield())
+	}
+}
+
+func TestFacadeBatteryAndFriction(t *testing.T) {
+	cells := StandardBatteryCells()
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	mission := BatteryMission{
+		TyreLifeYears:      5,
+		DrivingHoursPerDay: 1.5,
+		DrivingPower:       Microwatts(70),
+		ParkedPower:        Microwatts(35),
+		PeakPower:          Milliwatts(12),
+		MaxSpeed:           KMH(240),
+		TyreRadius:         0.3,
+		WorstCaseTemp:      DegC(85),
+		MassBudgetGrams:    10,
+	}
+	for _, c := range cells {
+		a, err := AssessBattery(c, mission)
+		if err != nil {
+			t.Fatalf("AssessBattery(%s): %v", c.Name, err)
+		}
+		if a.Feasible() {
+			t.Errorf("%s feasible through facade", c.Name)
+		}
+	}
+	est := DefaultFrictionEstimator()
+	if est.Sigma(8) <= est.Sigma(32) {
+		t.Error("friction sigma ordering wrong")
+	}
+}
+
+func TestFacadeCycles(t *testing.T) {
+	for name, p := range map[string]Profile{
+		"urban":   UrbanCycle(),
+		"extra":   ExtraUrbanCycle(),
+		"highway": HighwayCycle(2),
+		"mixed":   MixedCycle(),
+		"wltp":    WLTPCycle(),
+	} {
+		if p.Duration() <= 0 {
+			t.Errorf("%s cycle has no duration", name)
+		}
+	}
+}
+
+func TestFacadeCustomArchitecture(t *testing.T) {
+	cfg := DefaultNodeConfig(DefaultTyre())
+	cfg.Name = "custom"
+	cfg.PayloadBytes = 8
+	nd, err := NewNode(cfg)
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	if nd.Name() != "custom" {
+		t.Errorf("Name = %q", nd.Name())
+	}
+	// Custom harvester through the facade.
+	pz := DefaultPiezo()
+	pz.EMax = Microjoules(120)
+	hv, err := NewHarvester(pz, DefaultConditioner(), DefaultTyre())
+	if err != nil {
+		t.Fatalf("NewHarvester: %v", err)
+	}
+	if hv.Source().Name() != "piezo-patch" {
+		t.Errorf("source = %q", hv.Source().Name())
+	}
+}
