@@ -256,3 +256,139 @@ func BenchmarkOptimizationSearch(b *testing.B) {
 		}
 	}
 }
+
+// --- before/after benchmarks of the parallel engine and memo layer ---
+//
+// Each pair measures one hot path twice: the Baseline variant pins
+// Workers=1 and disables the node's evaluation cache (Node.WithoutCache),
+// reproducing the seed's serial, memo-free code path; the plain variant
+// uses the default pool and caches. BENCH_PR1.json records both sides.
+
+func BenchmarkSweep(b *testing.B) {
+	nd, hv := benchStack(b)
+	bal, err := NewBalance(nd, hv, DegC(20), NominalConditions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bal.Sweep(KMH(5), KMH(180), 80); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepBaseline(b *testing.B) {
+	nd, hv := benchStack(b)
+	bal, err := NewBalance(nd.WithoutCache(), hv, DegC(20), NominalConditions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bal = bal.WithWorkers(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bal.Sweep(KMH(5), KMH(180), 80); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// mcYieldConfig parameterises the yield-curve pair.
+func mcYieldConfig(nd *Node, hv *Harvester, workers int) mc.Config {
+	return mc.Config{
+		Node: nd, Harvester: hv,
+		Ambient: DegC(20), Vdd: Volts(1.8),
+		TempSigma: 5, VddSigma: 0.05, Seed: 1,
+		Workers: workers,
+	}
+}
+
+func BenchmarkMCYield(b *testing.B) {
+	nd, hv := benchStack(b)
+	cfg := mcYieldConfig(nd, hv, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mc.YieldCurve(cfg, KMH(20), KMH(80), 10, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMCYieldBaseline(b *testing.B) {
+	nd, hv := benchStack(b)
+	cfg := mcYieldConfig(nd.WithoutCache(), hv, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mc.YieldCurve(cfg, KMH(20), KMH(80), 10, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimizeBreakEven(b *testing.B) {
+	nd, hv := benchStack(b)
+	bal, err := NewBalance(nd, hv, DegC(20), NominalConditions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := OptimizationCandidates(nd, DefaultConstraints())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimizeBreakEven(bal, cands, KMH(5), KMH(200)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimizeBreakEvenBaseline(b *testing.B) {
+	nd, hv := benchStack(b)
+	base := nd.WithoutCache()
+	bal, err := NewBalance(base, hv, DegC(20), NominalConditions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bal = bal.WithWorkers(1)
+	cands := OptimizationCandidates(base, DefaultConstraints())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimizeBreakEven(bal, cands, KMH(5), KMH(200), WithOptWorkers(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmulatorLongRun(b *testing.B) {
+	nd, hv := benchStack(b)
+	em, err := NewEmulator(EmulatorConfig{
+		Node: nd, Harvester: hv, Buffer: DefaultBuffer(),
+		InitialVoltage: Volts(3.0), Ambient: DegC(20), Base: NominalConditions(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cycle := profile.Repeat(profile.Mixed(), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Run(cycle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmulatorLongRunBaseline(b *testing.B) {
+	nd, hv := benchStack(b)
+	em, err := NewEmulator(EmulatorConfig{
+		Node: nd.WithoutCache(), Harvester: hv, Buffer: DefaultBuffer(),
+		InitialVoltage: Volts(3.0), Ambient: DegC(20), Base: NominalConditions(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cycle := profile.Repeat(profile.Mixed(), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Run(cycle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

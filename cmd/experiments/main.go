@@ -9,6 +9,7 @@
 //	experiments -exp E4         # only experiment E4
 //	experiments -out artifacts  # additionally write per-experiment .txt
 //	                            # plus CSV/SVG figure artefacts
+//	experiments -workers 4      # evaluation pool width, 0 = all cores
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/par"
 	"repro/internal/report"
 )
 
@@ -54,7 +56,9 @@ func main() {
 	fig := flag.Int("fig", 0, "run only the given paper figure (1–3)")
 	expID := flag.String("exp", "", "run only the given extended experiment (E1–E13)")
 	outDir := flag.String("out", "", "also write per-experiment .txt and figure CSV/SVG artefacts to this directory")
+	workers := flag.Int("workers", 0, "evaluation worker pool width (0 = all cores); affects speed only, never results")
 	flag.Parse()
+	par.SetDefaultWorkers(*workers)
 
 	var want string
 	switch {

@@ -6,6 +6,7 @@
 //
 //	tyrebalance [-min 5] [-max 180] [-points 80] [-ambient 20]
 //	            [-corner TT] [-scale 1.0] [-csv] [-optimized]
+//	            [-workers 0]   # evaluation pool width, 0 = all cores
 //	tyrebalance -config scenario.json   # stack from tyreconfig -init
 package main
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/node"
 	"repro/internal/opt"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/report"
 	"repro/internal/scavenger"
@@ -36,7 +38,9 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit the sweep as CSV instead of a chart")
 	cfgPath := flag.String("config", "", "scenario JSON (see tyreconfig -init); overrides -ambient/-corner/-scale")
 	optimized := flag.Bool("optimized", false, "overlay the duty-cycle-optimized node's required curve")
+	workers := flag.Int("workers", 0, "evaluation worker pool width (0 = all cores); affects speed only, never results")
 	flag.Parse()
+	par.SetDefaultWorkers(*workers)
 
 	if err := run(*minKMH, *maxKMH, *points, *ambient, *cornerName, *scale, *csvOut, *cfgPath, *optimized); err != nil {
 		fmt.Fprintf(os.Stderr, "tyrebalance: %v\n", err)

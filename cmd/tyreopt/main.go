@@ -7,6 +7,7 @@
 // Usage:
 //
 //	tyreopt [-speed 60] [-ambient 20] [-maxage 5] [-minsamples 16]
+//	        [-workers 0]   # evaluation pool width, 0 = all cores
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"repro/internal/balance"
 	"repro/internal/cli"
 	"repro/internal/opt"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/units"
 )
@@ -27,7 +29,9 @@ func main() {
 	maxAge := flag.Float64("maxage", 5, "loosest tolerable telemetry age in seconds")
 	minSamples := flag.Int("minsamples", 16, "acquisition quality floor in samples per round")
 	cfgPath := flag.String("config", "", "scenario JSON (see tyreconfig -init); overrides -ambient")
+	workers := flag.Int("workers", 0, "evaluation worker pool width (0 = all cores); affects speed only, never results")
 	flag.Parse()
+	par.SetDefaultWorkers(*workers)
 
 	if err := run(*speedKMH, *ambient, *maxAge, *minSamples, *cfgPath); err != nil {
 		fmt.Fprintf(os.Stderr, "tyreopt: %v\n", err)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/node"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/scavenger"
 	"repro/internal/trace"
@@ -21,11 +22,18 @@ import (
 
 // Analyzer evaluates the energy balance of one node/harvester pairing
 // under fixed ambient conditions.
+//
+// Sweep and BreakEven fan their per-speed evaluations out through the
+// internal/par pool. Parallelism never changes results: every point is
+// computed from the same immutable node and collected in index order (see
+// the par package's determinism contract), so Workers=1 and Workers=N are
+// byte-identical.
 type Analyzer struct {
 	nd      *node.Node
 	hv      *scavenger.Harvester
 	ambient units.Celsius
 	base    power.Conditions
+	workers int
 }
 
 // New builds an Analyzer. The node and harvester must be mounted in the
@@ -50,11 +58,33 @@ func New(nd *node.Node, hv *scavenger.Harvester, ambient units.Celsius, base pow
 func (a *Analyzer) Node() *node.Node { return a.nd }
 
 // WithNode returns a copy of the analyzer evaluating a different node
-// (same harvester, ambient and base conditions) — how the optimizer
-// re-scores candidate architectures.
+// (same harvester, ambient, base conditions and worker count) — how the
+// optimizer re-scores candidate architectures.
 func (a *Analyzer) WithNode(nd *node.Node) (*Analyzer, error) {
-	return New(nd, a.hv, a.ambient, a.base)
+	na, err := New(nd, a.hv, a.ambient, a.base)
+	if err != nil {
+		return nil, err
+	}
+	na.workers = a.workers
+	return na, nil
 }
+
+// WithWorkers returns a copy of the analyzer whose Sweep and BreakEven use
+// a pool of n workers; n <= 0 selects the process default
+// (par.DefaultWorkers). Worker count affects wall-clock time only, never
+// results.
+func (a *Analyzer) WithWorkers(n int) *Analyzer {
+	cp := *a
+	if n < 0 {
+		n = 0
+	}
+	cp.workers = n
+	return &cp
+}
+
+// Workers returns the analyzer's configured pool width (0 = process
+// default).
+func (a *Analyzer) Workers() int { return a.workers }
 
 // Harvester returns the analysed harvester.
 func (a *Analyzer) Harvester() *scavenger.Harvester { return a.hv }
@@ -115,17 +145,27 @@ func (a *Analyzer) Sweep(vmin, vmax units.Speed, n int) (*Sweep, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("balance: sweep needs at least 2 points, got %d", n)
 	}
-	gen := trace.NewSeries("generated per round", "km/h", "µJ")
-	req := trace.NewSeries("required per round", "km/h", "µJ")
-	for i := 0; i < n; i++ {
+	type point struct {
+		v        units.Speed
+		gen, req float64
+	}
+	pts, err := par.Map(a.workers, n, func(i int) (point, error) {
 		frac := float64(i) / float64(n-1)
 		v := units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
 		r, err := a.RequiredPerRound(v)
 		if err != nil {
-			return nil, fmt.Errorf("balance: at %v: %w", v, err)
+			return point{}, fmt.Errorf("balance: at %v: %w", v, err)
 		}
-		gen.MustAppend(v.KMH(), a.GeneratedPerRound(v).Microjoules())
-		req.MustAppend(v.KMH(), r.Microjoules())
+		return point{v: v, gen: a.GeneratedPerRound(v).Microjoules(), req: r.Microjoules()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	gen := trace.NewSeries("generated per round", "km/h", "µJ")
+	req := trace.NewSeries("required per round", "km/h", "µJ")
+	for _, p := range pts {
+		gen.MustAppend(p.v.KMH(), p.gen)
+		req.MustAppend(p.v.KMH(), p.req)
 	}
 	return &Sweep{Generated: gen, Required: req}, nil
 }
@@ -151,42 +191,47 @@ var ErrNoBreakEven = errors.New("balance: no break-even in range")
 // across the whole range, the system is self-sustaining everywhere and the
 // result has Found=true with Speed=vmin; if it is negative everywhere the
 // error wraps ErrNoBreakEven.
+//
+// The scan runs as a chunked wavefront on the analyzer's worker pool
+// (par.First): chunks of scan points are evaluated concurrently but the
+// crossing reported is always the lowest-index sign change, exactly the
+// one the serial early-exit loop would find. Scan, bisection and the final
+// energy read-out all share the node's memoized evaluation path, so the
+// RequiredPerRound value backing a scan point is computed once even though
+// margin and energy extraction both need it.
 func (a *Analyzer) BreakEven(vmin, vmax units.Speed) (BreakEven, error) {
 	if vmin <= 0 || vmax <= vmin {
 		return BreakEven{}, fmt.Errorf("balance: invalid break-even range [%v, %v]", vmin, vmax)
 	}
 	const scanPoints = 64
-	margin := func(v units.Speed) (float64, error) {
-		m, err := a.MarginPerRound(v)
-		return m.Joules(), err
+	// speedAt maps scan index 0..scanPoints onto [vmin, vmax]; index 0 is
+	// exactly vmin (Lerp(a, b, 0) == a).
+	speedAt := func(i int) units.Speed {
+		frac := float64(i) / scanPoints
+		return units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
 	}
-	prevV := vmin
-	prevM, err := margin(prevV)
+	idx, err := par.First(a.workers, scanPoints+1, func(i int) (bool, error) {
+		m, err := a.MarginPerRound(speedAt(i))
+		if err != nil {
+			return false, err
+		}
+		return m.Joules() >= 0, nil
+	})
 	if err != nil {
 		return BreakEven{}, err
 	}
-	if prevM >= 0 {
+	switch {
+	case idx == 0:
+		// Non-negative margin already at vmin: self-sustaining across the
+		// whole range. The energy read-out is a cache hit — the margin
+		// evaluation above already computed this round.
 		req, _ := a.RequiredPerRound(vmin)
 		return BreakEven{Speed: vmin, Energy: req, Found: true}, nil
+	case idx > 0:
+		return a.bisect(speedAt(idx-1), speedAt(idx))
+	default:
+		return BreakEven{}, fmt.Errorf("%w: [%v, %v]", ErrNoBreakEven, vmin, vmax)
 	}
-	for i := 1; i <= scanPoints; i++ {
-		frac := float64(i) / scanPoints
-		v := units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
-		m, err := margin(v)
-		if err != nil {
-			return BreakEven{}, err
-		}
-		if m >= 0 {
-			be, err := a.bisect(prevV, v)
-			if err != nil {
-				return BreakEven{}, err
-			}
-			return be, nil
-		}
-		prevV, prevM = v, m
-	}
-	_ = prevM
-	return BreakEven{}, fmt.Errorf("%w: [%v, %v]", ErrNoBreakEven, vmin, vmax)
 }
 
 // bisect refines a bracketing interval [lo, hi] with margin(lo) < 0 ≤

@@ -55,11 +55,15 @@ type Config struct {
 	Transitions map[[2]Mode]Transition
 }
 
-// Block is an immutable functional block description.
+// Block is an immutable functional block description. The embedded power
+// cache (see cache.go) memoizes the per-mode power split per Conditions;
+// because every With* mutator clones into a fresh Block, cache entries can
+// never describe stale models.
 type Block struct {
 	name        string
 	modes       map[Mode]ModeSpec
 	transitions map[modePair]Transition
+	pcache      *powerCache
 }
 
 // New validates cfg and builds a Block.
@@ -74,6 +78,7 @@ func New(cfg Config) (*Block, error) {
 		name:        cfg.Name,
 		modes:       make(map[Mode]ModeSpec, len(cfg.Modes)),
 		transitions: make(map[modePair]Transition, len(cfg.Transitions)),
+		pcache:      newPowerCache(),
 	}
 	for m, spec := range cfg.Modes {
 		if m == "" {
@@ -142,23 +147,24 @@ func (b *Block) Spec(m Mode) (ModeSpec, error) {
 }
 
 // Power returns the block's total power in mode m under the given
-// conditions.
+// conditions. It is served from the memoized split; the sum of the two
+// split components is Model.Total by definition, so caching changes no
+// result bits.
 func (b *Block) Power(m Mode, cond power.Conditions) (units.Power, error) {
-	spec, err := b.Spec(m)
+	v, err := b.split(m, cond)
 	if err != nil {
 		return 0, err
 	}
-	return spec.Model.Total(cond, spec.Clock), nil
+	return v.dynamic + v.static, nil
 }
 
 // Split returns the dynamic and static power components in mode m.
 func (b *Block) Split(m Mode, cond power.Conditions) (dynamic, static units.Power, err error) {
-	spec, err := b.Spec(m)
+	v, err := b.split(m, cond)
 	if err != nil {
 		return 0, 0, err
 	}
-	d, s := spec.Model.Split(cond, spec.Clock)
-	return d, s, nil
+	return v.dynamic, v.static, nil
 }
 
 // TransitionEdge is one entry of the block's transition-cost table.
@@ -244,6 +250,7 @@ func (b *Block) clone() *Block {
 		name:        b.name,
 		modes:       make(map[Mode]ModeSpec, len(b.modes)),
 		transitions: make(map[modePair]Transition, len(b.transitions)),
+		pcache:      newPowerCache(),
 	}
 	for m, s := range b.modes {
 		nb.modes[m] = s

@@ -2,8 +2,16 @@ package exp
 
 import (
 	"io"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/balance"
+	"repro/internal/mc"
+	"repro/internal/node"
+	"repro/internal/par"
+	"repro/internal/power"
+	"repro/internal/scavenger"
 )
 
 // TestExperimentsDeterministic re-runs every experiment twice and
@@ -38,4 +46,92 @@ func TestExperimentsDeterministic(t *testing.T) {
 			t.Errorf("%s produced no output", name)
 		}
 	}
+}
+
+// TestWorkersInvariance pins the parallel evaluation engine's central
+// guarantee: the pool width changes wall-clock time only, never a single
+// bit of any result. It compares Workers=1 (the seed's serial loops)
+// against Workers=8 at full float precision for the Fig 2 sweep and
+// break-even, a seeded Monte Carlo run, and the complete rendered Fig 2
+// experiment.
+func TestWorkersInvariance(t *testing.T) {
+	tyre := defaultTyre()
+	nd, err := node.Default(tyre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, err := scavenger.Default(tyre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	az, err := balance.New(nd, hv, defaultAmbient, power.Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("sweep", func(t *testing.T) {
+		s1, err := az.WithWorkers(1).Sweep(sweepMin, sweepMax, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s8, err := az.WithWorkers(8).Sweep(sweepMin, sweepMax, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < s1.Required.Len(); i++ {
+			if s1.Required.X(i) != s8.Required.X(i) || s1.Required.Y(i) != s8.Required.Y(i) ||
+				s1.Generated.Y(i) != s8.Generated.Y(i) {
+				t.Fatalf("sweep point %d differs between 1 and 8 workers", i)
+			}
+		}
+	})
+
+	t.Run("breakeven", func(t *testing.T) {
+		be1, err := az.WithWorkers(1).BreakEven(sweepMin, sweepMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be8, err := az.WithWorkers(8).BreakEven(sweepMin, sweepMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if be1 != be8 {
+			t.Fatalf("break-even differs: %+v vs %+v", be1, be8)
+		}
+	})
+
+	t.Run("montecarlo", func(t *testing.T) {
+		cfg := mc.Config{
+			Node: nd, Harvester: hv, Ambient: defaultAmbient,
+			Vdd: power.Nominal().Vdd, TempSigma: 5, VddSigma: 0.05, Seed: 42,
+		}
+		cfg.Workers = 1
+		o1, err := mc.Run(cfg, sweepMax, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = 8
+		o8, err := mc.Run(cfg, sweepMax, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(o1, o8) {
+			t.Fatalf("Monte Carlo outcome differs:\n 1 worker: %+v\n 8 workers: %+v", o1, o8)
+		}
+	})
+
+	t.Run("fig2", func(t *testing.T) {
+		render := func(workers int) string {
+			par.SetDefaultWorkers(workers)
+			defer par.SetDefaultWorkers(0)
+			var sb strings.Builder
+			if _, err := Fig2(&sb); err != nil {
+				t.Fatal(err)
+			}
+			return sb.String()
+		}
+		if render(1) != render(8) {
+			t.Fatal("Fig2 rendered output differs between 1 and 8 workers")
+		}
+	})
 }

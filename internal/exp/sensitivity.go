@@ -7,6 +7,7 @@ import (
 	"repro/internal/balance"
 	"repro/internal/block"
 	"repro/internal/node"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/report"
 	"repro/internal/scavenger"
@@ -104,32 +105,42 @@ func E10(w io.Writer) (*E10Result, error) {
 
 	res := &E10Result{BaselineKMH: baseBE.Speed.KMH()}
 	t := report.NewTable("parameter (+10%)", "break-even", "Δ vs baseline")
-	for _, kb := range knobs {
+	// Each knob's perturb-and-resolve is independent of the others; fan
+	// them out and fold the table rows back in knob order.
+	beKMHs, err := par.Map(0, len(knobs), func(i int) (float64, error) {
+		kb := knobs[i]
 		curNode, curHv := nd, hv
+		var err error
 		if kb.nodeMut != nil {
 			curNode, err = kb.nodeMut()
 			if err != nil {
-				return nil, fmt.Errorf("perturbing %s: %w", kb.name, err)
+				return 0, fmt.Errorf("perturbing %s: %w", kb.name, err)
 			}
 		}
 		if kb.harvMut != nil {
 			curHv, err = kb.harvMut()
 			if err != nil {
-				return nil, fmt.Errorf("perturbing %s: %w", kb.name, err)
+				return 0, fmt.Errorf("perturbing %s: %w", kb.name, err)
 			}
 		}
 		az, err := balance.New(curNode, curHv, defaultAmbient, power.Nominal())
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		be, err := az.BreakEven(sweepMin, sweepMax)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		delta := be.Speed.KMH() - res.BaselineKMH
+		return be.Speed.KMH(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, kb := range knobs {
+		delta := beKMHs[i] - res.BaselineKMH
 		res.Parameters = append(res.Parameters, kb.name)
 		res.DeltaKMH = append(res.DeltaKMH, delta)
-		t.AddRowf(kb.name, fmt.Sprintf("%.2f km/h", be.Speed.KMH()),
+		t.AddRowf(kb.name, fmt.Sprintf("%.2f km/h", beKMHs[i]),
 			fmt.Sprintf("%+.2f km/h", delta))
 	}
 	fmt.Fprintln(w, "E10 — break-even sensitivity to +10% parameter perturbations")

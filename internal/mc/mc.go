@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/node"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/scavenger"
 	"repro/internal/units"
@@ -39,6 +40,12 @@ type Config struct {
 	CornerWeights map[power.Corner]float64
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers bounds the evaluation pool; 0 selects the process default
+	// (par.DefaultWorkers). All trial parameters are drawn serially from
+	// the single seeded stream before any evaluation starts, and results
+	// aggregate in trial order, so Workers affects wall-clock time only —
+	// never the sampled population or the statistics.
+	Workers int
 }
 
 // defaultCornerWeights approximate a centred process distribution.
@@ -131,18 +138,31 @@ func Run(cfg Config, v units.Speed, trials int) (Outcome, error) {
 	out := Outcome{Trials: trials, PerCorner: make(map[power.Corner]int, 3)}
 	gen := cfg.Harvester.EnergyPerRound(v)
 	baseTemp := cfg.Node.Tyre().SteadyTemperature(cfg.Ambient, v)
-	var sum, sumSq float64
-	for i := 0; i < trials; i++ {
+	// Draw every trial's parameters serially from the single seeded stream
+	// — the exact draw sequence of the serial implementation — then fan the
+	// (pure, RNG-free) evaluations out across the pool and fold the margins
+	// back in trial order. The sampled population and every accumulated
+	// statistic are identical for any worker count.
+	conds := make([]power.Conditions, trials)
+	for i := range conds {
 		corner := sampleCorner(rng, weights)
-		out.PerCorner[corner]++
 		temp := units.DegC(baseTemp.DegC() + rng.NormFloat64()*cfg.TempSigma)
 		vdd := units.Volts(math.Max(cfg.Vdd.Volts()+rng.NormFloat64()*cfg.VddSigma, 0.1))
-		cond := power.Conditions{Temp: temp, Vdd: vdd, Corner: corner}
-		req, err := cfg.Node.AverageRound(v, cond)
+		conds[i] = power.Conditions{Temp: temp, Vdd: vdd, Corner: corner}
+	}
+	margins, err := par.Map(cfg.Workers, trials, func(i int) (units.Energy, error) {
+		req, err := cfg.Node.AverageRound(v, conds[i])
 		if err != nil {
-			return Outcome{}, err
+			return 0, err
 		}
-		margin := gen - req.Total()
+		return gen - req.Total(), nil
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	var sum, sumSq float64
+	for i, margin := range margins {
+		out.PerCorner[conds[i].Corner]++
 		if i == 0 {
 			out.MinMargin, out.MaxMargin = margin, margin
 		}
@@ -204,28 +224,41 @@ func BreakEvenQuantiles(cfg Config, vmin, vmax units.Speed, scanPoints, trials i
 		weights = defaultCornerWeights()
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	breakEvens := make([]float64, 0, trials)
-	for i := 0; i < trials; i++ {
-		corner := sampleCorner(rng, weights)
-		dTemp := rng.NormFloat64() * cfg.TempSigma
-		dVdd := rng.NormFloat64() * cfg.VddSigma
+	// Serial parameter draw, parallel per-part speed scans (see Run).
+	type part struct {
+		corner      power.Corner
+		dTemp, dVdd float64
+	}
+	parts := make([]part, trials)
+	for i := range parts {
+		parts[i] = part{
+			corner: sampleCorner(rng, weights),
+			dTemp:  rng.NormFloat64() * cfg.TempSigma,
+			dVdd:   rng.NormFloat64() * cfg.VddSigma,
+		}
+	}
+	breakEvens, err := par.Map(cfg.Workers, trials, func(i int) (float64, error) {
+		p := parts[i]
 		be := vmax.KMH()
 		for j := 0; j < scanPoints; j++ {
 			frac := float64(j) / float64(scanPoints-1)
 			v := units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
-			temp := units.DegC(cfg.Node.Tyre().SteadyTemperature(cfg.Ambient, v).DegC() + dTemp)
-			vdd := units.Volts(math.Max(cfg.Vdd.Volts()+dVdd, 0.1))
-			cond := power.Conditions{Temp: temp, Vdd: vdd, Corner: corner}
+			temp := units.DegC(cfg.Node.Tyre().SteadyTemperature(cfg.Ambient, v).DegC() + p.dTemp)
+			vdd := units.Volts(math.Max(cfg.Vdd.Volts()+p.dVdd, 0.1))
+			cond := power.Conditions{Temp: temp, Vdd: vdd, Corner: p.corner}
 			req, err := cfg.Node.AverageRound(v, cond)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if cfg.Harvester.EnergyPerRound(v) >= req.Total() {
 				be = v.KMH()
 				break
 			}
 		}
-		breakEvens = append(breakEvens, be)
+		return be, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Float64s(breakEvens)
 	out := make([]float64, 0, len(quantiles))

@@ -1,0 +1,219 @@
+package node
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// The evaluation cache memoizes the node's pure per-round computations so
+// the repeated-evaluation loops of the analysis flow — speed sweeps,
+// break-even scans, Monte Carlo trials, optimizer re-scoring and the
+// emulator's round-by-round stepping — stop rebuilding identical plans and
+// power breakdowns. Three invariants make this sound:
+//
+//  1. A Node is immutable: every With* mutator returns a fresh Node (with
+//     a fresh, empty cache) through New, so a cache entry can never
+//     describe anything but its own node.
+//  2. Every memoized function is pure and is cached on its *exact* inputs
+//     (speed, the aux/TX/RX round pattern, power.Conditions). A hit
+//     returns the very value a recomputation would produce, bit for bit —
+//     the cache never restructures arithmetic, so all golden outputs are
+//     unchanged.
+//  3. Cached values are shared, read-only structures: the *Plan returned
+//     by PlanRound and the Breakdown.PerBlock maps returned by
+//     RoundEnergy/AverageRound must not be mutated by callers.
+//
+// Two storage shapes serve two access patterns. The per-round tables
+// (plans, round energies, rest power) are small direct-mapped arrays of
+// lock-free atomic slots: the emulator walks them with a new working
+// temperature every round during thermal transients, and a hash-indexed
+// overwrite costs next to nothing on those pure-miss stretches, while
+// constant-cruise stretches — where speed and converged temperature repeat
+// exactly — hit every round. The hyper-period averages, in contrast, are
+// revisited across whole analyses (the break-even scan re-reads sweep
+// points, the optimizer re-scores architectures at the same speeds), so
+// they live in a mutex-guarded map that is flushed wholesale when it
+// reaches cacheCap entries (epoch eviction) to bound growth.
+
+// cacheCap bounds the averages memo table.
+const cacheCap = 4096
+
+// Direct-mapped table sizes; powers of two so the hash masks cheaply.
+const (
+	planSlots  = 256
+	roundSlots = 512
+	restSlots  = 64
+)
+
+// The condition-keyed tables (rounds, rest) track their consecutive-miss
+// streak: past bypassAfter misses the callers stop probing and storing
+// (every probeEvery-th call still probes so the table re-engages once
+// conditions stabilise). The emulator's thermal transients present a new
+// temperature every round, and on that pure-miss workload the bypass
+// reduces cache overhead to two atomic integer operations. Perf-only
+// state — bypassed calls compute exactly what a probe-and-miss would.
+const (
+	bypassAfter = 128
+	probeEvery  = 64
+)
+
+// planKey identifies a round plan: plans depend on the speed and on which
+// of the auxiliary / transmit / receive activities the round index selects,
+// never on the index itself.
+type planKey struct {
+	v           units.Speed
+	aux, tx, rx bool
+}
+
+// energyKey identifies a costed round: the plan pattern plus the working
+// conditions.
+type energyKey struct {
+	plan planKey
+	cond power.Conditions
+}
+
+// avgKey identifies a hyper-period average: speed plus conditions.
+type avgKey struct {
+	v    units.Speed
+	cond power.Conditions
+}
+
+// mix folds x into h (a splitmix64-style round); used only to pick a
+// cache slot, never to decide equality — every hit re-checks the full key.
+func mix(h, x uint64) uint64 {
+	h ^= x
+	h *= 0x9E3779B97F4A7C15
+	return h ^ (h >> 29)
+}
+
+func (k planKey) hash() uint64 {
+	h := mix(0x243F6A8885A308D3, math.Float64bits(float64(k.v)))
+	var flags uint64
+	if k.aux {
+		flags |= 1
+	}
+	if k.tx {
+		flags |= 2
+	}
+	if k.rx {
+		flags |= 4
+	}
+	return mix(h, flags)
+}
+
+func condHash(c power.Conditions) uint64 {
+	h := mix(0x13198A2E03707344, math.Float64bits(float64(c.Temp)))
+	h = mix(h, math.Float64bits(float64(c.Vdd)))
+	return mix(h, uint64(c.Corner))
+}
+
+func (k energyKey) hash() uint64 { return mix(k.plan.hash(), condHash(k.cond)) }
+
+type planEntry struct {
+	key planKey
+	p   *Plan
+}
+
+type roundEntry struct {
+	key energyKey
+	bd  Breakdown
+}
+
+type restEntry struct {
+	cond power.Conditions
+	p    units.Power
+}
+
+// evalCache is the node's memo store. All methods are safe for concurrent
+// use; the parallel evaluation engine shares one node across its workers.
+type evalCache struct {
+	plans  [planSlots]atomic.Pointer[planEntry]
+	rounds [roundSlots]atomic.Pointer[roundEntry]
+	rest   [restSlots]atomic.Pointer[restEntry]
+
+	roundMiss atomic.Uint32
+	restMiss  atomic.Uint32
+
+	mu   sync.Mutex
+	avgs map[avgKey]Breakdown
+}
+
+// bypass reports whether a condition-keyed lookup should skip the table
+// entirely, advancing the streak when it does.
+func bypass(streak *atomic.Uint32) bool {
+	if s := streak.Load(); s >= bypassAfter && s%probeEvery != 0 {
+		streak.Add(1)
+		return true
+	}
+	return false
+}
+
+func newEvalCache() *evalCache {
+	return &evalCache{avgs: make(map[avgKey]Breakdown)}
+}
+
+func (c *evalCache) plan(k planKey) (*Plan, bool) {
+	if e := c.plans[k.hash()&(planSlots-1)].Load(); e != nil && e.key == k {
+		return e.p, true
+	}
+	return nil, false
+}
+
+func (c *evalCache) storePlan(k planKey, p *Plan) {
+	c.plans[k.hash()&(planSlots-1)].Store(&planEntry{key: k, p: p})
+}
+
+func (c *evalCache) round(k energyKey) (Breakdown, bool) {
+	if e := c.rounds[k.hash()&(roundSlots-1)].Load(); e != nil && e.key == k {
+		c.roundMiss.Store(0)
+		return e.bd, true
+	}
+	c.roundMiss.Add(1)
+	return Breakdown{}, false
+}
+
+func (c *evalCache) storeRound(k energyKey, bd Breakdown) {
+	c.rounds[k.hash()&(roundSlots-1)].Store(&roundEntry{key: k, bd: bd})
+}
+
+func (c *evalCache) avg(k avgKey) (Breakdown, bool) {
+	c.mu.Lock()
+	bd, ok := c.avgs[k]
+	c.mu.Unlock()
+	return bd, ok
+}
+
+func (c *evalCache) storeAvg(k avgKey, bd Breakdown) {
+	c.mu.Lock()
+	if len(c.avgs) >= cacheCap {
+		c.avgs = make(map[avgKey]Breakdown)
+	}
+	c.avgs[k] = bd
+	c.mu.Unlock()
+}
+
+func (c *evalCache) restPower(cond power.Conditions) (units.Power, bool) {
+	if e := c.rest[condHash(cond)&(restSlots-1)].Load(); e != nil && e.cond == cond {
+		c.restMiss.Store(0)
+		return e.p, true
+	}
+	c.restMiss.Add(1)
+	return 0, false
+}
+
+func (c *evalCache) storeRestPower(cond power.Conditions, p units.Power) {
+	c.rest[condHash(cond)&(restSlots-1)].Store(&restEntry{cond: cond, p: p})
+}
+
+// WithoutCache returns a view of the node with plan/energy memoization
+// disabled: every per-round computation runs from scratch. The benchmark
+// suite uses it to isolate the cache contribution; analyses never need it.
+func (n *Node) WithoutCache() *Node {
+	cp := *n
+	cp.cache = nil
+	return &cp
+}

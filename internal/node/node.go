@@ -90,10 +90,14 @@ type Config struct {
 // architecture configures a downlink receiver).
 const RadioRx = block.Mode("rx")
 
-// Node is an immutable, validated Sensor Node architecture.
+// Node is an immutable, validated Sensor Node architecture. The embedded
+// evaluation cache (see cache.go) memoizes per-round plans and energy
+// breakdowns; because every With* mutator builds a fresh Node through New,
+// cache entries can never outlive or cross architectures.
 type Node struct {
 	cfg        Config
 	radioBlock *block.Block
+	cache      *evalCache
 }
 
 // dutyCycledRoles are the roles that get an active slot plus a rest slot;
@@ -145,7 +149,7 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &Node{cfg: cloneConfig(cfg), radioBlock: radioBlock}
+	n := &Node{cfg: cloneConfig(cfg), radioBlock: radioBlock, cache: newEvalCache()}
 	// Every duty-cycled block must define Active and its rest mode.
 	for _, role := range dutyCycledRoles {
 		blk := n.Block(role)

@@ -2,6 +2,7 @@ package node
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/block"
 	"repro/internal/power"
@@ -36,6 +37,14 @@ type Plan struct {
 	// Timeline places every non-rest slot of the round for instant-power
 	// tracing.
 	Timeline []TimelineSlot
+
+	// key links a cache-built plan back to its memo entry so RoundEnergy
+	// can cost it by table lookup. Hand-assembled Plans have a nil key and
+	// always take the uncached path.
+	key *planKey
+	// roles caches the canonical iteration order of Schedules (computed
+	// once per built plan) so costing avoids re-deriving it per call.
+	roles []Role
 }
 
 // TimelineSlot is one placed non-rest activity within a round.
@@ -51,6 +60,11 @@ type TimelineSlot struct {
 // after it, then (on the respective rounds) the NVM log write and the
 // radio packet. It fails with ErrStationary at zero speed and with an
 // overrun error if the activity cannot fit the round period.
+//
+// A plan depends on the round index only through which of the aux/TX/RX
+// activities it selects, so plans are memoized per (speed, aux, tx, rx).
+// The returned Plan shares its schedules and timeline with the cache and
+// must be treated as read-only.
 func (n *Node) PlanRound(v units.Speed, idx int64) (*Plan, error) {
 	period := n.cfg.Tyre.RoundPeriod(v)
 	if period <= 0 {
@@ -59,19 +73,43 @@ func (n *Node) PlanRound(v units.Speed, idx int64) (*Plan, error) {
 	if idx < 0 {
 		return nil, fmt.Errorf("node: negative round index %d", idx)
 	}
-	dwell := n.cfg.Tyre.ContactDwell(v)
-	samples := n.cfg.Acq.SamplesPerRound
-	if fit := n.cfg.Acq.MaxSamplesInDwell(dwell); samples > fit {
-		samples = fit
-	}
-	burst := units.Seconds(float64(samples) * n.cfg.Acq.SampleTime.Seconds())
-
 	aux := idx%int64(n.cfg.Acq.AuxPeriodRounds) == 0
 	nTx := n.cfg.TxPolicy.RoundsBetweenTx(period)
 	if nTx < 1 {
 		nTx = 1
 	}
 	tx := idx%int64(nTx) == 0
+	rx := n.cfg.Receiver.Enabled() && idx%int64(n.cfg.RxPeriodRounds) == 0
+	if n.cache == nil {
+		return n.buildPlan(v, idx, period, aux, nTx, tx, rx)
+	}
+	key := planKey{v: v, aux: aux, tx: tx, rx: rx}
+	cached, ok := n.cache.plan(key)
+	if !ok {
+		built, err := n.buildPlan(v, idx, period, aux, nTx, tx, rx)
+		if err != nil {
+			return nil, err
+		}
+		built.key = &key
+		n.cache.storePlan(key, built)
+		cached = built
+	}
+	// Return a shallow copy so Index reflects this call; the schedules,
+	// offsets and timeline stay shared with the cache entry.
+	cp := *cached
+	cp.Index = idx
+	return &cp, nil
+}
+
+// buildPlan lays the round out from scratch (the pre-memoization body of
+// PlanRound).
+func (n *Node) buildPlan(v units.Speed, idx int64, period units.Seconds, aux bool, nTx int, tx, rx bool) (*Plan, error) {
+	dwell := n.cfg.Tyre.ContactDwell(v)
+	samples := n.cfg.Acq.SamplesPerRound
+	if fit := n.cfg.Acq.MaxSamplesInDwell(dwell); samples > fit {
+		samples = fit
+	}
+	burst := units.Seconds(float64(samples) * n.cfg.Acq.SampleTime.Seconds())
 
 	frontActive := burst
 	if aux {
@@ -90,7 +128,6 @@ func (n *Node) PlanRound(v units.Speed, idx int64) (*Plan, error) {
 		}
 		onAir = air - n.cfg.Radio.StartupTime
 	}
-	rx := n.cfg.Receiver.Enabled() && idx%int64(n.cfg.RxPeriodRounds) == 0
 	var rxWin units.Seconds
 	if rx {
 		rxWin = n.cfg.Receiver.Window
@@ -157,6 +194,7 @@ func (n *Node) PlanRound(v units.Speed, idx int64) (*Plan, error) {
 		}
 		p.Schedules[role] = sched
 	}
+	p.roles = scheduledRoles(p)
 	return p, nil
 }
 
@@ -173,10 +211,64 @@ func (bd Breakdown) Total() units.Energy {
 	return bd.Dynamic + bd.Static + bd.Transition
 }
 
-// RoundEnergy costs one planned round under the given conditions.
+// RoundEnergy costs one planned round under the given conditions. Results
+// for cache-built plans are memoized per (plan pattern, conditions); the
+// returned Breakdown's PerBlock map is shared and must be treated as
+// read-only.
 func (n *Node) RoundEnergy(p *Plan, cond power.Conditions) (Breakdown, error) {
+	if n.cache == nil || p.key == nil || bypass(&n.cache.roundMiss) {
+		return n.costRound(p, cond)
+	}
+	key := energyKey{plan: *p.key, cond: cond}
+	if bd, ok := n.cache.round(key); ok {
+		return bd, nil
+	}
+	bd, err := n.costRound(p, cond)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	n.cache.storeRound(key, bd)
+	return bd, nil
+}
+
+// scheduledRoles returns the plan's scheduled roles in canonical order
+// (standard roles first, any custom roles sorted after) so the node-level
+// energy sums accumulate in a fixed order — floating-point addition is not
+// associative, and a map-ordered walk here would smear the last ulp of
+// every result run to run.
+func scheduledRoles(p *Plan) []Role {
+	out := make([]Role, 0, len(p.Schedules))
+	for _, role := range Roles() {
+		if _, ok := p.Schedules[role]; ok {
+			out = append(out, role)
+		}
+	}
+	if len(out) == len(p.Schedules) {
+		return out
+	}
+	std := make(map[Role]bool, len(out))
+	for _, role := range out {
+		std[role] = true
+	}
+	extra := make([]Role, 0, len(p.Schedules)-len(out))
+	for role := range p.Schedules {
+		if !std[role] {
+			extra = append(extra, role)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return append(out, extra...)
+}
+
+// costRound is the uncached body of RoundEnergy.
+func (n *Node) costRound(p *Plan, cond power.Conditions) (Breakdown, error) {
+	roles := p.roles
+	if roles == nil { // hand-assembled plan
+		roles = scheduledRoles(p)
+	}
 	bd := Breakdown{PerBlock: make(map[Role]block.Breakdown, len(p.Schedules))}
-	for role, sched := range p.Schedules {
+	for _, role := range roles {
+		sched := p.Schedules[role]
 		blk := n.Block(role)
 		if blk == nil {
 			return Breakdown{}, fmt.Errorf("node: no block for scheduled role %q", role)
@@ -202,7 +294,32 @@ const maxHyperPeriod = 4096
 // full aux/TX hyper-period — the steady-state "energy required by the
 // whole system" per wheel round that the paper's Fig 2 plots against the
 // scavenger curve.
+//
+// Results are memoized per (speed, conditions): the balance sweep, the
+// break-even bisection and the optimizer's repeated re-scoring all funnel
+// through here, and revisited evaluation points become table lookups. The
+// returned Breakdown's PerBlock map is shared and must be treated as
+// read-only.
 func (n *Node) AverageRound(v units.Speed, cond power.Conditions) (Breakdown, error) {
+	if n.cache == nil {
+		return n.averageRound(v, cond)
+	}
+	key := avgKey{v: v, cond: cond}
+	if bd, ok := n.cache.avg(key); ok {
+		return bd, nil
+	}
+	bd, err := n.averageRound(v, cond)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	n.cache.storeAvg(key, bd)
+	return bd, nil
+}
+
+// averageRound is the uncached body of AverageRound. Its round loop still
+// hits the plan and round-energy memos: a hyper-period of dozens of rounds
+// collapses onto the handful of distinct aux/TX/RX patterns.
+func (n *Node) averageRound(v units.Speed, cond power.Conditions) (Breakdown, error) {
 	period := n.cfg.Tyre.RoundPeriod(v)
 	if period <= 0 {
 		return Breakdown{}, ErrStationary
@@ -333,8 +450,25 @@ func (n *Node) DutyCycles(v units.Speed, cond power.Conditions) ([]DutyCycle, er
 // RestPower returns the node's draw when the wheel is not rotating: every
 // duty-cycled block in its rest mode plus the always-on PMU and clock.
 // The long-window emulator charges this during stopped intervals, where
-// no wheel round exists to schedule.
+// no wheel round exists to schedule; results are memoized per Conditions
+// so idle stretches cost one table lookup per step.
 func (n *Node) RestPower(cond power.Conditions) (units.Power, error) {
+	if n.cache == nil || bypass(&n.cache.restMiss) {
+		return n.restPower(cond)
+	}
+	if p, ok := n.cache.restPower(cond); ok {
+		return p, nil
+	}
+	p, err := n.restPower(cond)
+	if err != nil {
+		return 0, err
+	}
+	n.cache.storeRestPower(cond, p)
+	return p, nil
+}
+
+// restPower is the uncached body of RestPower.
+func (n *Node) restPower(cond power.Conditions) (units.Power, error) {
 	var total units.Power
 	for _, role := range dutyCycledRoles {
 		p, err := n.Block(role).Power(n.RestMode(role), cond)

@@ -6,9 +6,39 @@ import (
 
 	"repro/internal/balance"
 	"repro/internal/node"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/units"
 )
+
+// Option configures a search. Searches parallelise candidate scoring over
+// the internal/par pool; selection is always performed serially in the
+// candidate order of the seed implementation, so worker count never
+// changes which architecture wins.
+type Option func(*options)
+
+type options struct {
+	workers int
+}
+
+// WithWorkers bounds the candidate-scoring pool; n <= 0 selects the
+// process default (par.DefaultWorkers).
+func WithWorkers(n int) Option {
+	return func(o *options) {
+		if n < 0 {
+			n = 0
+		}
+		o.workers = n
+	}
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
 
 // Result records what a search found.
 type Result struct {
@@ -39,7 +69,8 @@ const maxExhaustiveCandidates = 14
 // maxExhaustiveCandidates candidates the search is exhaustive; beyond
 // that it degrades to greedy. Techniques whose Apply fails on the current
 // architecture are skipped, never fatal.
-func MinimizeEnergy(n *node.Node, cands []Technique, v units.Speed, cond power.Conditions) (Result, error) {
+func MinimizeEnergy(n *node.Node, cands []Technique, v units.Speed, cond power.Conditions, opts ...Option) (Result, error) {
+	o := buildOptions(opts)
 	base, err := n.AverageRound(v, cond)
 	if err != nil {
 		return Result{}, err
@@ -53,11 +84,11 @@ func MinimizeEnergy(n *node.Node, cands []Technique, v units.Speed, cond power.C
 	}
 	res := Result{Node: n, Baseline: base.Total().Joules(), Optimized: base.Total().Joules()}
 	if len(cands) <= maxExhaustiveCandidates {
-		best, applied, obj := exhaustive(n, cands, eval, res.Baseline)
+		best, applied, obj := exhaustive(n, cands, eval, res.Baseline, o.workers)
 		res.Node, res.Applied, res.Optimized = best, applied, obj
 		return res, nil
 	}
-	best, applied, obj := greedy(n, cands, eval, res.Baseline)
+	best, applied, obj := greedy(n, cands, eval, res.Baseline, o.workers)
 	res.Node, res.Applied, res.Optimized = best, applied, obj
 	return res, nil
 }
@@ -66,7 +97,8 @@ func MinimizeEnergy(n *node.Node, cands []Technique, v units.Speed, cond power.C
 // break-even speed within [vmin, vmax] until no candidate improves it —
 // the paper's stated challenge: "reduce the minimum speed for the
 // monitoring system activation".
-func MinimizeBreakEven(az *balance.Analyzer, cands []Technique, vmin, vmax units.Speed) (Result, error) {
+func MinimizeBreakEven(az *balance.Analyzer, cands []Technique, vmin, vmax units.Speed, opts ...Option) (Result, error) {
+	o := buildOptions(opts)
 	eval := func(nd *node.Node) (float64, error) {
 		a2, err := az.WithNode(nd)
 		if err != nil {
@@ -82,73 +114,149 @@ func MinimizeBreakEven(az *balance.Analyzer, cands []Technique, vmin, vmax units
 	if err != nil {
 		return Result{}, fmt.Errorf("opt: baseline break-even: %w", err)
 	}
-	best, applied, obj := greedy(az.Node(), cands, eval, base)
+	best, applied, obj := greedy(az.Node(), cands, eval, base, o.workers)
 	return Result{Node: best, Applied: applied, Baseline: base, Optimized: obj}, nil
 }
 
 // objective evaluates a node; an error marks the candidate inadmissible.
 type objective func(*node.Node) (float64, error)
 
-// exhaustive tries every slot-respecting subset of cands.
-func exhaustive(n *node.Node, cands []Technique, eval objective, baseObj float64) (*node.Node, []string, float64) {
+// subsetState is one visited node of the exhaustive search tree: a
+// slot-respecting candidate subset whose Apply chain and evaluation both
+// succeeded.
+type subsetState struct {
+	// indices are the candidate indices of the subset in ascending order —
+	// the order the DFS applies them in.
+	indices []int
+	nd      *node.Node
+	obj     float64
+	slots   map[string]bool
+}
+
+// rank is the subset's visit rank in the seed's depth-first walk: the walk
+// recurses "skip idx first, then include idx", which enumerates subsets in
+// ascending order of the bit mask whose most significant bit is candidate
+// 0. Lower rank = visited earlier.
+func (s *subsetState) rank(k int) uint64 {
+	var r uint64
+	for _, i := range s.indices {
+		r |= 1 << uint(k-1-i)
+	}
+	return r
+}
+
+// exhaustive tries every slot-respecting subset of cands. The search runs
+// level-synchronously: all size-m subsets extend to size m+1 in one
+// parallel wave (each extension is an independent Apply+eval of the
+// parent's node). A subset is visited exactly when the serial DFS would
+// visit it — an Apply or eval failure prunes the subset and every
+// extension, just as the recursive walk returned early — and the winner is
+// selected serially in DFS visit order with a strict-improvement test, so
+// ties resolve to the same subset the serial walk kept.
+func exhaustive(n *node.Node, cands []Technique, eval objective, baseObj float64, workers int) (*node.Node, []string, float64) {
+	k := len(cands)
+	frontier := []*subsetState{{nd: n, slots: map[string]bool{}}}
+	visited := make([]*subsetState, 0, 1<<uint(k))
+	for len(frontier) > 0 {
+		// Enumerate every legal extension of the current level.
+		type ext struct {
+			parent *subsetState
+			cand   int
+		}
+		var exts []ext
+		for _, s := range frontier {
+			start := 0
+			if len(s.indices) > 0 {
+				start = s.indices[len(s.indices)-1] + 1
+			}
+			for i := start; i < k; i++ {
+				if !s.slots[cands[i].Slot] {
+					exts = append(exts, ext{parent: s, cand: i})
+				}
+			}
+		}
+		states, _ := par.Map(workers, len(exts), func(j int) (*subsetState, error) {
+			e := exts[j]
+			next, err := cands[e.cand].Apply(e.parent.nd)
+			if err != nil {
+				return nil, nil
+			}
+			obj, err := eval(next)
+			if err != nil {
+				return nil, nil
+			}
+			slots := make(map[string]bool, len(e.parent.slots)+1)
+			for sl := range e.parent.slots {
+				slots[sl] = true
+			}
+			slots[cands[e.cand].Slot] = true
+			indices := append(append([]int(nil), e.parent.indices...), e.cand)
+			return &subsetState{indices: indices, nd: next, obj: obj, slots: slots}, nil
+		})
+		frontier = frontier[:0]
+		for _, s := range states {
+			if s != nil {
+				frontier = append(frontier, s)
+				visited = append(visited, s)
+			}
+		}
+	}
+	sort.Slice(visited, func(i, j int) bool { return visited[i].rank(k) < visited[j].rank(k) })
 	bestNode, bestObj := n, baseObj
 	var bestApplied []string
-	var walk func(idx int, cur *node.Node, used map[string]bool, applied []string)
-	walk = func(idx int, cur *node.Node, used map[string]bool, applied []string) {
-		if idx == len(cands) {
-			return
+	for _, s := range visited {
+		if s.obj < bestObj {
+			bestNode, bestObj = s.nd, s.obj
+			bestApplied = s.applied(cands)
 		}
-		// Skip candidate idx.
-		walk(idx+1, cur, used, applied)
-		c := cands[idx]
-		if used[c.Slot] {
-			return
-		}
-		next, err := c.Apply(cur)
-		if err != nil {
-			return
-		}
-		obj, err := eval(next)
-		if err != nil {
-			return
-		}
-		nextApplied := append(append([]string(nil), applied...), c.Name)
-		if obj < bestObj {
-			bestNode, bestObj = next, obj
-			bestApplied = nextApplied
-		}
-		used[c.Slot] = true
-		walk(idx+1, next, used, nextApplied)
-		delete(used, c.Slot)
 	}
-	walk(0, n, make(map[string]bool), nil)
 	return bestNode, bestApplied, bestObj
 }
 
+// applied materialises the subset's technique names in application order.
+func (s *subsetState) applied(cands []Technique) []string {
+	names := make([]string, len(s.indices))
+	for j, i := range s.indices {
+		names[j] = cands[i].Name
+	}
+	return names
+}
+
 // greedy repeatedly applies the single best-improving candidate until no
-// candidate improves the objective.
-func greedy(n *node.Node, cands []Technique, eval objective, baseObj float64) (*node.Node, []string, float64) {
+// candidate improves the objective. Each iteration scores all admissible
+// candidates in parallel and then selects serially in candidate order with
+// a strict-improvement test — the same winner the serial loop picked.
+func greedy(n *node.Node, cands []Technique, eval objective, baseObj float64, workers int) (*node.Node, []string, float64) {
+	type scored struct {
+		nd  *node.Node
+		obj float64
+		ok  bool
+	}
 	cur, curObj := n, baseObj
 	used := make(map[string]bool)
 	var applied []string
 	for {
-		bestIdx := -1
-		var bestNode *node.Node
-		bestObj := curObj
-		for i, c := range cands {
+		results, _ := par.Map(workers, len(cands), func(i int) (scored, error) {
+			c := cands[i]
 			if used[c.Slot] {
-				continue
+				return scored{}, nil
 			}
 			next, err := c.Apply(cur)
 			if err != nil {
-				continue
+				return scored{}, nil
 			}
 			obj, err := eval(next)
 			if err != nil {
-				continue
+				return scored{}, nil
 			}
-			if obj < bestObj {
-				bestIdx, bestNode, bestObj = i, next, obj
+			return scored{nd: next, obj: obj, ok: true}, nil
+		})
+		bestIdx := -1
+		var bestNode *node.Node
+		bestObj := curObj
+		for i, r := range results {
+			if r.ok && r.obj < bestObj {
+				bestIdx, bestNode, bestObj = i, r.nd, r.obj
 			}
 		}
 		if bestIdx < 0 {
@@ -200,13 +308,14 @@ type Marginal struct {
 // baseline break-even — the "which single technique buys the most" table
 // a designer reads before committing to a combination. Results are
 // sorted most-improving first; inapplicable candidates sort last.
-func MarginalAnalysis(az *balance.Analyzer, cands []Technique, vmin, vmax units.Speed) ([]Marginal, error) {
+func MarginalAnalysis(az *balance.Analyzer, cands []Technique, vmin, vmax units.Speed, opts ...Option) ([]Marginal, error) {
+	o := buildOptions(opts)
 	base, err := az.BreakEven(vmin, vmax)
 	if err != nil {
 		return nil, fmt.Errorf("opt: baseline break-even: %w", err)
 	}
-	out := make([]Marginal, 0, len(cands))
-	for _, c := range cands {
+	out, _ := par.Map(o.workers, len(cands), func(i int) (Marginal, error) {
+		c := cands[i]
 		m := Marginal{Name: c.Name, Kind: c.Kind}
 		if nd, err := c.Apply(az.Node()); err == nil {
 			if a2, err := az.WithNode(nd); err == nil {
@@ -216,8 +325,8 @@ func MarginalAnalysis(az *balance.Analyzer, cands []Technique, vmin, vmax units.
 				}
 			}
 		}
-		out = append(out, m)
-	}
+		return m, nil
+	})
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Applicable != out[j].Applicable {
 			return out[i].Applicable

@@ -1,0 +1,159 @@
+// Package par is the toolkit's parallel evaluation engine: a bounded
+// worker pool with deterministic, index-ordered result collection. Every
+// repeated-evaluation loop of the analysis flow — the Fig 2 speed sweep,
+// the break-even scan, Monte Carlo trials, optimizer candidate scoring and
+// the four-wheel fleet emulation — fans its independent evaluations out
+// through this package.
+//
+// Determinism contract: workers only change *when* an index is evaluated,
+// never *what* is evaluated or how results are combined. Results are
+// written into an index-addressed slice and reduced in index order by the
+// caller; when several indices fail, the error reported is the one with
+// the lowest index, regardless of completion order. A run with Workers=1
+// is therefore byte-identical to a run with Workers=N for any N.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide pool width used when a Workers
+// option is left at zero. Zero means "resolve to runtime.GOMAXPROCS(0) at
+// call time" so the pool follows the scheduler default.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default pool width used by every
+// analysis entry point whose Workers option is zero. n <= 0 restores the
+// GOMAXPROCS default. The cmd/* binaries expose this as their -workers
+// flag.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the current process-wide default pool width.
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Resolve maps a Workers option to a concrete pool width: n >= 1 is used
+// as-is, anything else falls back to the process default.
+func Resolve(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return DefaultWorkers()
+}
+
+// ForEach evaluates fn(i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 resolves via Resolve). It returns the error of
+// the lowest failing index, or nil. All indices are always attempted —
+// errors do not cancel in-flight work — so side effects (writes into a
+// caller slice) are complete for every index whose fn returned nil.
+//
+// With workers == 1 the indices run in ascending order on the calling
+// goroutine, with no goroutine overhead — the serial loop the seed code
+// used, byte for byte.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map evaluates fn(i) for every i in [0, n) on at most workers goroutines
+// and returns the results in index order. On error it returns the error of
+// the lowest failing index together with the partial results (entries of
+// failed indices are zero values).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}
+
+// First evaluates fn over [0, n) in ascending chunks of the pool width and
+// returns the lowest index for which fn reported a hit, or -1. Within a
+// chunk all indices are evaluated concurrently; chunks after the first hit
+// are never started, so with workers == 1 this is exactly the seed's
+// early-exit scan loop. The hit decision must depend only on the index
+// (not on evaluation order) for the result to be deterministic.
+func First(workers, n int, fn func(i int) (bool, error)) (int, error) {
+	workers = Resolve(workers)
+	if workers < 1 {
+		workers = 1
+	}
+	for lo := 0; lo < n; lo += workers {
+		hi := lo + workers
+		if hi > n {
+			hi = n
+		}
+		hits := make([]bool, hi-lo)
+		errs := make([]error, hi-lo)
+		ForEach(workers, hi-lo, func(j int) error {
+			hits[j], errs[j] = fn(lo + j)
+			return nil
+		})
+		// Scan the chunk in ascending order, interleaving hits and errors:
+		// a serial loop that finds a hit at index i never evaluates i+1, so
+		// a concurrent error at a higher index than the first hit must not
+		// surface.
+		for j := range hits {
+			if errs[j] != nil {
+				return -1, errs[j]
+			}
+			if hits[j] {
+				return lo + j, nil
+			}
+		}
+	}
+	return -1, nil
+}

@@ -1,0 +1,138 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachLowestError(t *testing.T) {
+	e7 := errors.New("seven")
+	e3 := errors.New("three")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 10, func(i int) error {
+			switch i {
+			case 7:
+				return e7
+			case 3:
+				return e3
+			default:
+				return nil
+			}
+		})
+		if !errors.Is(err, e3) {
+			t.Fatalf("workers=%d: got %v, want lowest-index error %v", workers, err, e3)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := ForEach(workers, 64, func(i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent evaluations, pool width %d", p, workers)
+	}
+}
+
+func TestFirstDeterministic(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		idx, err := First(workers, 50, func(i int) (bool, error) { return i >= 23, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != 23 {
+			t.Fatalf("workers=%d: first hit %d, want 23", workers, idx)
+		}
+	}
+}
+
+func TestFirstNoHit(t *testing.T) {
+	idx, err := First(4, 10, func(i int) (bool, error) { return false, nil })
+	if err != nil || idx != -1 {
+		t.Fatalf("got (%d, %v), want (-1, nil)", idx, err)
+	}
+}
+
+func TestFirstStopsAfterHitChunk(t *testing.T) {
+	const workers = 4
+	var evaluated atomic.Int64
+	idx, err := First(workers, 1000, func(i int) (bool, error) {
+		evaluated.Add(1)
+		return i == 1, nil
+	})
+	if err != nil || idx != 1 {
+		t.Fatalf("got (%d, %v), want (1, nil)", idx, err)
+	}
+	if n := evaluated.Load(); n > workers {
+		t.Fatalf("evaluated %d indices, want at most the first chunk of %d", n, workers)
+	}
+}
+
+func TestFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := First(4, 10, func(i int) (bool, error) {
+		if i == 2 {
+			return false, boom
+		}
+		return false, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+}
+
+func TestResolveAndDefaults(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	if got := Resolve(5); got != 5 {
+		t.Fatalf("Resolve(5) = %d", got)
+	}
+	SetDefaultWorkers(3)
+	if got := Resolve(0); got != 3 {
+		t.Fatalf("Resolve(0) with default 3 = %d", got)
+	}
+	SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers() = %d, want >= 1", got)
+	}
+}
+
+func ExampleMap() {
+	squares, _ := Map(4, 5, func(i int) (int, error) { return i * i, nil })
+	fmt.Println(squares)
+	// Output: [0 1 4 9 16]
+}

@@ -10,10 +10,10 @@ package vehicle
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/emu"
 	"repro/internal/node"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/profile"
 	"repro/internal/scavenger"
@@ -65,7 +65,9 @@ type Result struct {
 
 // Run emulates the same speed profile at all four corners. The corner
 // emulations are independent (the Node is immutable and each wheel has
-// its own harvester and buffer state), so they run concurrently.
+// its own harvester and buffer state), so they run on the shared
+// internal/par pool; the first corner (in canonical order) to fail
+// determines the reported error.
 func Run(cfg Config, p profile.Profile) (*Result, error) {
 	if cfg.Node == nil {
 		return nil, fmt.Errorf("vehicle: nil node")
@@ -74,51 +76,44 @@ func Run(cfg Config, p profile.Profile) (*Result, error) {
 		return nil, fmt.Errorf("vehicle: nil profile")
 	}
 	positions := Positions()
-	results := make([]*emu.Result, len(positions))
-	errs := make([]error, len(positions))
-	var wg sync.WaitGroup
+	scales := make([]float64, len(positions))
 	for i, pos := range positions {
-		scale := 1.0
+		scales[i] = 1.0
 		if s, ok := cfg.HarvestSpread[pos]; ok {
-			scale = s
+			scales[i] = s
 		}
-		if scale <= 0 {
-			return nil, fmt.Errorf("vehicle: non-positive harvest scale %g at %s", scale, pos)
+		if scales[i] <= 0 {
+			return nil, fmt.Errorf("vehicle: non-positive harvest scale %g at %s", scales[i], pos)
 		}
-		wg.Add(1)
-		go func(i int, pos Position, scale float64) {
-			defer wg.Done()
-			hv, err := scavenger.New(cfg.Source.Scaled(scale), cfg.Conditioner, cfg.Node.Tyre())
-			if err != nil {
-				errs[i] = fmt.Errorf("vehicle: %s harvester: %w", pos, err)
-				return
-			}
-			em, err := emu.New(emu.Config{
-				Node:           cfg.Node,
-				Harvester:      hv,
-				Buffer:         cfg.Buffer,
-				InitialVoltage: cfg.InitialVoltage,
-				Ambient:        cfg.Ambient,
-				Base:           cfg.Base,
-			})
-			if err != nil {
-				errs[i] = fmt.Errorf("vehicle: %s emulator: %w", pos, err)
-				return
-			}
-			r, err := em.Run(p)
-			if err != nil {
-				errs[i] = fmt.Errorf("vehicle: %s run: %w", pos, err)
-				return
-			}
-			results[i] = r
-		}(i, pos, scale)
 	}
-	wg.Wait()
+	results, err := par.Map(0, len(positions), func(i int) (*emu.Result, error) {
+		pos := positions[i]
+		hv, err := scavenger.New(cfg.Source.Scaled(scales[i]), cfg.Conditioner, cfg.Node.Tyre())
+		if err != nil {
+			return nil, fmt.Errorf("vehicle: %s harvester: %w", pos, err)
+		}
+		em, err := emu.New(emu.Config{
+			Node:           cfg.Node,
+			Harvester:      hv,
+			Buffer:         cfg.Buffer,
+			InitialVoltage: cfg.InitialVoltage,
+			Ambient:        cfg.Ambient,
+			Base:           cfg.Base,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("vehicle: %s emulator: %w", pos, err)
+		}
+		r, err := em.Run(p)
+		if err != nil {
+			return nil, fmt.Errorf("vehicle: %s run: %w", pos, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{PerWheel: make(map[Position]*emu.Result, len(positions))}
 	for i, pos := range positions {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		res.PerWheel[pos] = results[i]
 	}
 	return res, nil

@@ -21,6 +21,28 @@
 //	fmt.Println(report.BaselineBreakEven.Speed)   // ≈ 39 km/h
 //	fmt.Println(report.OptimizedBreakEven.Speed)  // ≈ 21 km/h
 //
+// # Concurrency and determinism
+//
+// The repeated-evaluation loops — energy-balance sweeps, break-even
+// scans, Monte Carlo trials, optimizer candidate scoring and four-wheel
+// fleet emulation — run on a bounded worker pool. The pool width is the
+// process default (all cores) unless overridden per analysis (the
+// Balance WithWorkers method, the MonteCarlo Workers field, the opt
+// WithWorkers option) or process-wide with SetDefaultWorkers; the cmd/*
+// binaries expose the latter as -workers. Parallelism is purely a
+// wall-clock knob: evaluations are pure functions of immutable inputs,
+// results are collected in index order, and random populations are drawn
+// serially before evaluation begins, so any worker count produces
+// byte-identical output (including the golden artifacts).
+//
+// Repeated evaluations are also memoized. A Node caches its round plans
+// and energy breakdowns and a Block caches its per-mode power split per
+// working condition; both types are immutable — every WithBlock /
+// WithModeModel style mutator returns a fresh copy with a fresh, empty
+// cache — so a cached value can never describe a stale architecture, and
+// a cache hit returns exactly the bits a recomputation would. Caches are
+// bounded and safe for concurrent use.
+//
 // The facade re-exports the toolkit's main types as aliases; the
 // sub-systems live in internal/ packages and are fully reachable through
 // these aliases.
@@ -37,6 +59,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/node"
 	"repro/internal/opt"
+	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/profile"
 	"repro/internal/rf"
@@ -271,17 +294,33 @@ func OptimizationCandidates(n *Node, cons Constraints) []Technique {
 // DefaultConstraints allow 5 s data age and a 16-sample floor.
 func DefaultConstraints() Constraints { return opt.DefaultConstraints() }
 
+// OptOption configures a search (e.g. opt.WithWorkers).
+type OptOption = opt.Option
+
+// WithOptWorkers bounds the optimizer's candidate-scoring pool; n <= 0
+// selects the process default.
+func WithOptWorkers(n int) OptOption { return opt.WithWorkers(n) }
+
 // MinimizeBreakEven searches for the technique set that most lowers the
 // minimum activation speed.
-func MinimizeBreakEven(b *Balance, cands []Technique, vmin, vmax Speed) (OptResult, error) {
-	return opt.MinimizeBreakEven(b, cands, vmin, vmax)
+func MinimizeBreakEven(b *Balance, cands []Technique, vmin, vmax Speed, opts ...OptOption) (OptResult, error) {
+	return opt.MinimizeBreakEven(b, cands, vmin, vmax, opts...)
 }
 
 // MinimizeEnergy searches for the technique set minimising per-round
 // energy at cruising speed v.
-func MinimizeEnergy(n *Node, cands []Technique, v Speed, cond Conditions) (OptResult, error) {
-	return opt.MinimizeEnergy(n, cands, v, cond)
+func MinimizeEnergy(n *Node, cands []Technique, v Speed, cond Conditions, opts ...OptOption) (OptResult, error) {
+	return opt.MinimizeEnergy(n, cands, v, cond, opts...)
 }
+
+// SetDefaultWorkers sets the process-wide worker-pool width used by every
+// analysis whose Workers option is left at zero; n <= 0 restores the
+// all-cores default. Worker count never changes results, only wall-clock
+// time.
+func SetDefaultWorkers(n int) { par.SetDefaultWorkers(n) }
+
+// DefaultWorkers reports the current process-wide worker-pool width.
+func DefaultWorkers() int { return par.DefaultWorkers() }
 
 // RunMonteCarlo samples `trials` parts under process/condition variation
 // at cruising speed v.
