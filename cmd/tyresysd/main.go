@@ -1,0 +1,99 @@
+// Command tyresysd serves the toolkit's full analysis flow as a
+// long-lived HTTP/JSON service: the Fig 2 energy-balance sweep,
+// break-even extraction, Monte Carlo yield, architecture optimization
+// and long-window emulation as POST endpoints, with request coalescing,
+// an LRU result cache, admission control and per-endpoint counters.
+//
+// Usage:
+//
+//	tyresysd [-addr :8080] [-workers 0] [-max-inflight 16]
+//	         [-cache 512] [-timeout 60s]
+//
+// Endpoints (request bodies are the tyreconfig scenario format plus
+// per-analysis parameters; empty body {} analyses the reference stack):
+//
+//	POST /v1/balance     Fig 2 sweep + break-even + operating windows
+//	POST /v1/breakeven   break-even point only
+//	POST /v1/montecarlo  yield under process/condition variation
+//	POST /v1/optimize    technique search (breakeven or energy objective)
+//	POST /v1/emulate     long-window emulation over a driving cycle
+//	GET  /v1/stats       per-endpoint counters, cache and pool state
+//	GET  /v1/healthz     liveness (503 while draining)
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: listeners stop, in-flight
+// evaluations drain, then stragglers are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "evaluation worker pool width (0 = all cores); affects speed only, never results")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent evaluations before 429 (0 = 2× cores)")
+	cacheEntries := flag.Int("cache", 512, "LRU result-cache capacity (negative disables)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-evaluation deadline (negative disables)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight evaluations")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *maxInFlight, *cacheEntries, *timeout, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "tyresysd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, maxInFlight, cacheEntries int, timeout, drain time.Duration) error {
+	api := serve.NewServer(serve.Options{
+		Workers:        workers,
+		MaxInFlight:    maxInFlight,
+		CacheEntries:   cacheEntries,
+		RequestTimeout: timeout,
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           api,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("tyresysd: listening on %s\n", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("tyresysd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// http.Server.Shutdown stops the listeners and waits for active
+	// handlers (and with them the evaluations they block on); the API
+	// drain then sweeps up anything detached and cancels the base
+	// context.
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := api.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Println("tyresysd: stopped")
+	return nil
+}

@@ -9,6 +9,7 @@
 package balance
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -136,6 +137,13 @@ type Sweep struct {
 // Sweep evaluates both curves at n evenly spaced speeds in [vmin, vmax].
 // vmin must be positive (a stationary wheel has no round) and n ≥ 2.
 func (a *Analyzer) Sweep(vmin, vmax units.Speed, n int) (*Sweep, error) {
+	return a.SweepCtx(context.Background(), vmin, vmax, n)
+}
+
+// SweepCtx is Sweep with cooperative cancellation: a done ctx aborts the
+// per-speed fan-out and returns the context error. Cancellation never
+// changes results — a run that completes is byte-identical to Sweep.
+func (a *Analyzer) SweepCtx(ctx context.Context, vmin, vmax units.Speed, n int) (*Sweep, error) {
 	if vmin <= 0 {
 		return nil, fmt.Errorf("balance: sweep must start above 0, got %v", vmin)
 	}
@@ -149,7 +157,7 @@ func (a *Analyzer) Sweep(vmin, vmax units.Speed, n int) (*Sweep, error) {
 		v        units.Speed
 		gen, req float64
 	}
-	pts, err := par.Map(a.workers, n, func(i int) (point, error) {
+	pts, err := par.MapCtx(ctx, a.workers, n, func(i int) (point, error) {
 		frac := float64(i) / float64(n-1)
 		v := units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
 		r, err := a.RequiredPerRound(v)
@@ -200,6 +208,13 @@ var ErrNoBreakEven = errors.New("balance: no break-even in range")
 // RequiredPerRound value backing a scan point is computed once even though
 // margin and energy extraction both need it.
 func (a *Analyzer) BreakEven(vmin, vmax units.Speed) (BreakEven, error) {
+	return a.BreakEvenCtx(context.Background(), vmin, vmax)
+}
+
+// BreakEvenCtx is BreakEven with cooperative cancellation: a done ctx
+// aborts the scan (between wavefront chunks) and the bisection (between
+// iterations) with the context error.
+func (a *Analyzer) BreakEvenCtx(ctx context.Context, vmin, vmax units.Speed) (BreakEven, error) {
 	if vmin <= 0 || vmax <= vmin {
 		return BreakEven{}, fmt.Errorf("balance: invalid break-even range [%v, %v]", vmin, vmax)
 	}
@@ -210,7 +225,7 @@ func (a *Analyzer) BreakEven(vmin, vmax units.Speed) (BreakEven, error) {
 		frac := float64(i) / scanPoints
 		return units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
 	}
-	idx, err := par.First(a.workers, scanPoints+1, func(i int) (bool, error) {
+	idx, err := par.FirstCtx(ctx, a.workers, scanPoints+1, func(i int) (bool, error) {
 		m, err := a.MarginPerRound(speedAt(i))
 		if err != nil {
 			return false, err
@@ -228,7 +243,7 @@ func (a *Analyzer) BreakEven(vmin, vmax units.Speed) (BreakEven, error) {
 		req, _ := a.RequiredPerRound(vmin)
 		return BreakEven{Speed: vmin, Energy: req, Found: true}, nil
 	case idx > 0:
-		return a.bisect(speedAt(idx-1), speedAt(idx))
+		return a.bisect(ctx, speedAt(idx-1), speedAt(idx))
 	default:
 		return BreakEven{}, fmt.Errorf("%w: [%v, %v]", ErrNoBreakEven, vmin, vmax)
 	}
@@ -236,9 +251,12 @@ func (a *Analyzer) BreakEven(vmin, vmax units.Speed) (BreakEven, error) {
 
 // bisect refines a bracketing interval [lo, hi] with margin(lo) < 0 ≤
 // margin(hi) down to 0.01 km/h.
-func (a *Analyzer) bisect(lo, hi units.Speed) (BreakEven, error) {
+func (a *Analyzer) bisect(ctx context.Context, lo, hi units.Speed) (BreakEven, error) {
 	const tolKMH = 0.01
 	for hi.KMH()-lo.KMH() > tolKMH {
+		if err := ctx.Err(); err != nil {
+			return BreakEven{}, err
+		}
 		mid := units.MetersPerSecond((lo.MS() + hi.MS()) / 2)
 		m, err := a.MarginPerRound(mid)
 		if err != nil {

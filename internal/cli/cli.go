@@ -27,6 +27,18 @@ type Stack struct {
 	Base      power.Conditions
 }
 
+// BuildStack materialises a decoded scenario as a Stack — the single
+// assembly path shared by the command-line tools (LoadScenario) and the
+// analysis service (internal/serve), so scenario files and API request
+// bodies are one format with one validation story.
+func BuildStack(scen config.Scenario) (Stack, error) {
+	nd, hv, buf, amb, base, err := scen.Build()
+	if err != nil {
+		return Stack{}, err
+	}
+	return Stack{Node: nd, Harvester: hv, Buffer: buf, Ambient: amb, Base: base}, nil
+}
+
 // LoadScenario reads a scenario file and builds its stack.
 func LoadScenario(path string) (Stack, error) {
 	f, err := os.Open(path)
@@ -38,11 +50,7 @@ func LoadScenario(path string) (Stack, error) {
 	if err != nil {
 		return Stack{}, err
 	}
-	nd, hv, buf, amb, base, err := scen.Build()
-	if err != nil {
-		return Stack{}, err
-	}
-	return Stack{Node: nd, Harvester: hv, Buffer: buf, Ambient: amb, Base: base}, nil
+	return BuildStack(scen)
 }
 
 // DefaultStack assembles the reference stack with the given storage

@@ -1,8 +1,10 @@
 package cli
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/config"
@@ -125,5 +127,114 @@ func TestPickProfile(t *testing.T) {
 	}
 	if p.Duration() <= 0 {
 		t.Error("cycle fallback empty")
+	}
+}
+
+// TestLoadScenarioErrorPaths walks the rejection surface: missing files,
+// malformed JSON, structurally valid scenarios with out-of-range units,
+// and unknown knobs. Each starts from the shipped reference scenario
+// with one field broken, so a pass proves that exact check fired (not
+// some earlier decode failure).
+func TestLoadScenarioErrorPaths(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "examples", "scenarios", "reference.json"))
+	if err != nil {
+		t.Fatalf("reading reference scenario: %v", err)
+	}
+	// mutate re-decodes the pristine reference and overwrites one leaf.
+	mutate := func(t *testing.T, path []string, v any) string {
+		t.Helper()
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("reference scenario unparsable: %v", err)
+		}
+		cur := m
+		for _, k := range path[:len(path)-1] {
+			next, ok := cur[k].(map[string]any)
+			if !ok {
+				t.Fatalf("reference scenario has no object at %q", k)
+			}
+			cur = next
+		}
+		cur[path[len(path)-1]] = v
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), "scenario.json")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	literal := func(t *testing.T, body string) string {
+		t.Helper()
+		p := filepath.Join(t.TempDir(), "scenario.json")
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cases := []struct {
+		name    string
+		path    func(t *testing.T) string
+		wantErr string
+	}{
+		{"missing file", func(t *testing.T) string {
+			return filepath.Join(t.TempDir(), "does-not-exist.json")
+		}, "no such file"},
+		{"empty file", func(t *testing.T) string {
+			return literal(t, "")
+		}, "decoding scenario"},
+		{"malformed JSON", func(t *testing.T) string {
+			return literal(t, `{"architecture":`)
+		}, "decoding scenario"},
+		{"unknown field", func(t *testing.T) string {
+			return literal(t, `{"flux_capacitor": true}`)
+		}, "flux_capacitor"},
+		{"negative capacitance", func(t *testing.T) string {
+			return mutate(t, []string{"buffer", "capacitance_f"}, -1.0)
+		}, "non-positive capacitance"},
+		{"vmin above vmax", func(t *testing.T) string {
+			return mutate(t, []string{"buffer", "vmin_v"}, 5.0)
+		}, "VRestart"},
+		{"restart below vmin", func(t *testing.T) string {
+			return mutate(t, []string{"buffer", "vrestart_v"}, 0.5)
+		}, "VRestart"},
+		{"negative tyre radius", func(t *testing.T) string {
+			return mutate(t, []string{"architecture", "tyre", "radius_m"}, -0.3)
+		}, "non-positive radius"},
+		{"unknown process corner", func(t *testing.T) string {
+			return mutate(t, []string{"corner"}, "XX")
+		}, "unknown process corner"},
+		{"unknown tx policy", func(t *testing.T) string {
+			return mutate(t, []string{"architecture", "tx_policy", "type"}, "telepathy")
+		}, "unknown TX policy"},
+		{"negative payload", func(t *testing.T) string {
+			return mutate(t, []string{"architecture", "payload_bytes"}, -5)
+		}, "negative payload"},
+		{"non-positive piezo gamma", func(t *testing.T) string {
+			return mutate(t, []string{"scavenger", "gamma"}, -1.0)
+		}, "gamma"},
+		{"zero radio bit rate", func(t *testing.T) string {
+			return mutate(t, []string{"architecture", "radio", "bit_rate_hz"}, 0)
+		}, "bit rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadScenario(tc.path(t))
+			if err == nil {
+				t.Fatal("invalid scenario accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// The pristine reference must of course still load.
+	p := literal(t, string(raw))
+	if _, err := LoadScenario(p); err != nil {
+		t.Fatalf("reference scenario rejected: %v", err)
 	}
 }

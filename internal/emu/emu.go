@@ -9,6 +9,7 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/node"
@@ -170,6 +171,18 @@ func (r *Result) EnergyClosure() units.Energy {
 
 // Run emulates the profile from t=0 to its duration.
 func (e *Emulator) Run(p profile.Profile) (*Result, error) {
+	return e.RunCtx(context.Background(), p)
+}
+
+// cancelCheckEvery is how many emulation steps pass between context
+// polls in RunCtx — cheap enough to be invisible, frequent enough that a
+// request timeout lands within milliseconds of wall-clock.
+const cancelCheckEvery = 1024
+
+// RunCtx is Run with cooperative cancellation: the round-by-round loop
+// polls ctx every cancelCheckEvery steps and aborts with the context
+// error. Cancellation never changes the result of a run that completes.
+func (e *Emulator) RunCtx(ctx context.Context, p profile.Profile) (*Result, error) {
 	if p == nil {
 		return nil, fmt.Errorf("emu: nil profile")
 	}
@@ -200,7 +213,14 @@ func (e *Emulator) Run(p profile.Profile) (*Result, error) {
 	}
 	end := p.Duration()
 
+	var steps int64
 	for t < end {
+		if steps%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		v := p.SpeedAt(t)
 		moving := v >= cfg.MinMonitorSpeed && cfg.Node.RoundPeriod(v) > 0
 		var dt units.Seconds

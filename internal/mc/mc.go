@@ -7,6 +7,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -124,6 +125,14 @@ func sampleCorner(rng *rand.Rand, weights map[power.Corner]float64) power.Corner
 // Run samples `trials` parts and evaluates each one's per-round energy
 // margin at cruising speed v.
 func Run(cfg Config, v units.Speed, trials int) (Outcome, error) {
+	return RunCtx(context.Background(), cfg, v, trials)
+}
+
+// RunCtx is Run with cooperative cancellation: a done ctx aborts the
+// trial fan-out and returns the context error. The sampled population is
+// always drawn in full before evaluation, so cancellation never changes
+// the statistics of a run that completes.
+func RunCtx(ctx context.Context, cfg Config, v units.Speed, trials int) (Outcome, error) {
 	if err := cfg.validate(); err != nil {
 		return Outcome{}, err
 	}
@@ -150,7 +159,7 @@ func Run(cfg Config, v units.Speed, trials int) (Outcome, error) {
 		vdd := units.Volts(math.Max(cfg.Vdd.Volts()+rng.NormFloat64()*cfg.VddSigma, 0.1))
 		conds[i] = power.Conditions{Temp: temp, Vdd: vdd, Corner: corner}
 	}
-	margins, err := par.Map(cfg.Workers, trials, func(i int) (units.Energy, error) {
+	margins, err := par.MapCtx(ctx, cfg.Workers, trials, func(i int) (units.Energy, error) {
 		req, err := cfg.Node.AverageRound(v, conds[i])
 		if err != nil {
 			return 0, err

@@ -1,0 +1,223 @@
+package node
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// The differential harness: every memoized entry point must produce
+// bit-identical results with the cache enabled and disabled. A cached
+// node and its WithoutCache() twin share the same immutable config, so
+// any divergence is a caching bug (stale entry, key collision, shared
+// mutable state), not a modelling difference.
+
+// conditionsFrom derives evaluation conditions from fuzz bytes, spanning
+// temperature, supply voltage and all three process corners.
+func conditionsFrom(b [3]uint8) power.Conditions {
+	return power.Conditions{
+		Temp:   units.DegC(float64(int(b[0])%166) - 40), // [-40, 125] °C
+		Vdd:    units.Volts(1.2 + float64(b[1]%13)*0.05),
+		Corner: power.Corner(int(b[2]) % 3),
+	}
+}
+
+// diffBreakdown asserts two breakdowns are bit-identical, including the
+// per-block split.
+func diffBreakdown(t *testing.T, what string, got, want Breakdown) bool {
+	t.Helper()
+	ok := true
+	if got.Dynamic != want.Dynamic || got.Static != want.Static || got.Transition != want.Transition {
+		t.Logf("%s aggregate diverged: cached %+v vs uncached %+v", what, got, want)
+		ok = false
+	}
+	if len(got.PerBlock) != len(want.PerBlock) {
+		t.Logf("%s per-block size diverged: %d vs %d", what, len(got.PerBlock), len(want.PerBlock))
+		return false
+	}
+	for role, w := range want.PerBlock {
+		g, present := got.PerBlock[role]
+		if !present || g != w {
+			t.Logf("%s per-block[%v] diverged: cached %+v vs uncached %+v", what, role, g, w)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// diffOnce compares every cached entry point against the uncached twin
+// for one (speed, round index, conditions) triple.
+func diffOnce(t *testing.T, cached, bare *Node, v units.Speed, idx int64, cond power.Conditions) bool {
+	t.Helper()
+	pc, err1 := cached.PlanRound(v, idx)
+	pb, err2 := bare.PlanRound(v, idx)
+	if (err1 == nil) != (err2 == nil) {
+		t.Logf("PlanRound error divergence at v=%v idx=%d: cached %v vs uncached %v", v, idx, err1, err2)
+		return false
+	}
+	if err1 != nil {
+		return true // both reject: equivalent behaviour
+	}
+	if pc.Samples != pb.Samples || pc.Aux != pb.Aux || pc.Tx != pb.Tx || pc.Rx != pb.Rx ||
+		pc.Period != pb.Period || pc.RoundsBetweenTx != pb.RoundsBetweenTx {
+		t.Logf("PlanRound diverged at v=%v idx=%d: cached %+v vs uncached %+v", v, idx, pc, pb)
+		return false
+	}
+	ok := true
+	ec, err1 := cached.RoundEnergy(pc, cond)
+	eb, err2 := bare.RoundEnergy(pb, cond)
+	if (err1 == nil) != (err2 == nil) {
+		t.Logf("RoundEnergy error divergence: %v vs %v", err1, err2)
+		return false
+	}
+	if err1 == nil && !diffBreakdown(t, "RoundEnergy", ec, eb) {
+		ok = false
+	}
+	// Cross-check: costing the *uncached* plan on the cached node must
+	// also agree — plans from either node are interchangeable.
+	if err1 == nil {
+		ex, err := cached.RoundEnergy(pb, cond)
+		if err != nil || !diffBreakdown(t, "RoundEnergy(cross-plan)", ex, eb) {
+			ok = false
+		}
+	}
+	ac, err1 := cached.AverageRound(v, cond)
+	ab, err2 := bare.AverageRound(v, cond)
+	if (err1 == nil) != (err2 == nil) {
+		t.Logf("AverageRound error divergence: %v vs %v", err1, err2)
+		return false
+	}
+	if err1 == nil && !diffBreakdown(t, "AverageRound", ac, ab) {
+		ok = false
+	}
+	rc, err1 := cached.RestPower(cond)
+	rb, err2 := bare.RestPower(cond)
+	if (err1 == nil) != (err2 == nil) {
+		t.Logf("RestPower error divergence: %v vs %v", err1, err2)
+		return false
+	}
+	if err1 == nil && rc != rb {
+		t.Logf("RestPower diverged: cached %v vs uncached %v", rc, rb)
+		ok = false
+	}
+	return ok
+}
+
+// TestDifferentialCacheRandomized is the property: for randomized
+// architectures, speeds, round indices and conditions, the cached and
+// cache-free evaluations agree exactly. Each architecture is probed at
+// several points so the memo tables are exercised warm, not just cold.
+func TestDifferentialCacheRandomized(t *testing.T) {
+	f := func(arch [6]uint8, probes [8][5]uint8) bool {
+		cached, err := New(randomizedConfigFixed(arch))
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return false
+		}
+		bare := cached.WithoutCache()
+		for _, p := range probes {
+			v := units.KilometersPerHour(float64(int(p[0])%240) + 3)
+			idx := int64(p[1])
+			cond := conditionsFrom([3]uint8{p[2], p[3], p[4]})
+			// Twice per probe: the second pass hits the warm tables,
+			// so a stale or collided entry would surface here.
+			if !diffOnce(t, cached, bare, v, idx, cond) {
+				return false
+			}
+			if !diffOnce(t, cached, bare, v, idx, cond) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialCacheCollisions drives many more distinct (speed,
+// index, condition) triples than the direct-mapped tables have slots
+// (planSlots=256, roundSlots=512), forcing slot collisions and
+// overwrites, then re-verifies equality on a second pass over the same
+// triples — the pass where a wrong-entry hit would be served.
+func TestDifferentialCacheCollisions(t *testing.T) {
+	cached := defaultNode(t)
+	bare := cached.WithoutCache()
+	rng := rand.New(rand.NewSource(7))
+	type probe struct {
+		v    units.Speed
+		idx  int64
+		cond power.Conditions
+	}
+	n := 3 * roundSlots
+	if testing.Short() {
+		n = roundSlots
+	}
+	probes := make([]probe, n)
+	for i := range probes {
+		probes[i] = probe{
+			v:    units.KilometersPerHour(3 + rng.Float64()*237),
+			idx:  int64(rng.Intn(64)),
+			cond: conditionsFrom([3]uint8{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))}),
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, p := range probes {
+			if !diffOnce(t, cached, bare, p.v, p.idx, p.cond) {
+				t.Fatalf("pass %d probe %d: cached and uncached evaluation diverged", pass, i)
+			}
+		}
+	}
+}
+
+// TestDifferentialCacheMissStreakBypass marches through a long run of
+// never-repeating conditions so the average-round cache's miss streak
+// crosses bypassAfter and the adaptive bypass engages (with periodic
+// probes every probeEvery calls). Equality must hold through the
+// bypassed regime and after returning to a repeating workload.
+func TestDifferentialCacheMissStreakBypass(t *testing.T) {
+	cached := defaultNode(t)
+	bare := cached.WithoutCache()
+	v := units.KilometersPerHour(60)
+	// Phase 1: unique conditions well past the bypass threshold.
+	steps := 2*bypassAfter + 3*probeEvery
+	for i := 0; i < steps; i++ {
+		cond := power.Conditions{
+			Temp:   units.DegC(20 + float64(i)*0.01),
+			Vdd:    units.Volts(1.8),
+			Corner: power.Corner(i % 3),
+		}
+		ac, err1 := cached.AverageRound(v, cond)
+		ab, err2 := bare.AverageRound(v, cond)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("step %d: AverageRound errors: cached %v, uncached %v", i, err1, err2)
+		}
+		if !diffBreakdown(t, "AverageRound(bypass)", ac, ab) {
+			t.Fatalf("step %d: divergence while miss-streak bypass active", i)
+		}
+	}
+	// Phase 2: a repeating workload re-engages the cache via the
+	// periodic probes; results must still match and stay stable across
+	// repeat calls of the same condition.
+	cond := power.Nominal()
+	want, err := bare.AverageRound(v, cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*probeEvery; i++ {
+		got, err := cached.AverageRound(v, cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diffBreakdown(t, "AverageRound(re-engaged)", got, want) {
+			t.Fatalf("call %d after bypass: cached result drifted", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -70,6 +71,14 @@ const maxExhaustiveCandidates = 14
 // that it degrades to greedy. Techniques whose Apply fails on the current
 // architecture are skipped, never fatal.
 func MinimizeEnergy(n *node.Node, cands []Technique, v units.Speed, cond power.Conditions, opts ...Option) (Result, error) {
+	return MinimizeEnergyCtx(context.Background(), n, cands, v, cond, opts...)
+}
+
+// MinimizeEnergyCtx is MinimizeEnergy with cooperative cancellation: a
+// done ctx aborts the search between scoring waves and returns the
+// context error. Cancellation never changes which subset wins a search
+// that completes.
+func MinimizeEnergyCtx(ctx context.Context, n *node.Node, cands []Technique, v units.Speed, cond power.Conditions, opts ...Option) (Result, error) {
 	o := buildOptions(opts)
 	base, err := n.AverageRound(v, cond)
 	if err != nil {
@@ -84,11 +93,17 @@ func MinimizeEnergy(n *node.Node, cands []Technique, v units.Speed, cond power.C
 	}
 	res := Result{Node: n, Baseline: base.Total().Joules(), Optimized: base.Total().Joules()}
 	if len(cands) <= maxExhaustiveCandidates {
-		best, applied, obj := exhaustive(n, cands, eval, res.Baseline, o.workers)
+		best, applied, obj, err := exhaustive(ctx, n, cands, eval, res.Baseline, o.workers)
+		if err != nil {
+			return Result{}, err
+		}
 		res.Node, res.Applied, res.Optimized = best, applied, obj
 		return res, nil
 	}
-	best, applied, obj := greedy(n, cands, eval, res.Baseline, o.workers)
+	best, applied, obj, err := greedy(ctx, n, cands, eval, res.Baseline, o.workers)
+	if err != nil {
+		return Result{}, err
+	}
 	res.Node, res.Applied, res.Optimized = best, applied, obj
 	return res, nil
 }
@@ -98,13 +113,20 @@ func MinimizeEnergy(n *node.Node, cands []Technique, v units.Speed, cond power.C
 // the paper's stated challenge: "reduce the minimum speed for the
 // monitoring system activation".
 func MinimizeBreakEven(az *balance.Analyzer, cands []Technique, vmin, vmax units.Speed, opts ...Option) (Result, error) {
+	return MinimizeBreakEvenCtx(context.Background(), az, cands, vmin, vmax, opts...)
+}
+
+// MinimizeBreakEvenCtx is MinimizeBreakEven with cooperative
+// cancellation: ctx is threaded into every candidate's break-even scan
+// and a done ctx aborts the greedy search with the context error.
+func MinimizeBreakEvenCtx(ctx context.Context, az *balance.Analyzer, cands []Technique, vmin, vmax units.Speed, opts ...Option) (Result, error) {
 	o := buildOptions(opts)
 	eval := func(nd *node.Node) (float64, error) {
 		a2, err := az.WithNode(nd)
 		if err != nil {
 			return 0, err
 		}
-		be, err := a2.BreakEven(vmin, vmax)
+		be, err := a2.BreakEvenCtx(ctx, vmin, vmax)
 		if err != nil {
 			return 0, err
 		}
@@ -112,9 +134,15 @@ func MinimizeBreakEven(az *balance.Analyzer, cands []Technique, vmin, vmax units
 	}
 	base, err := eval(az.Node())
 	if err != nil {
+		if ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
 		return Result{}, fmt.Errorf("opt: baseline break-even: %w", err)
 	}
-	best, applied, obj := greedy(az.Node(), cands, eval, base, o.workers)
+	best, applied, obj, err := greedy(ctx, az.Node(), cands, eval, base, o.workers)
+	if err != nil {
+		return Result{}, err
+	}
 	return Result{Node: best, Applied: applied, Baseline: base, Optimized: obj}, nil
 }
 
@@ -153,7 +181,7 @@ func (s *subsetState) rank(k int) uint64 {
 // extension, just as the recursive walk returned early — and the winner is
 // selected serially in DFS visit order with a strict-improvement test, so
 // ties resolve to the same subset the serial walk kept.
-func exhaustive(n *node.Node, cands []Technique, eval objective, baseObj float64, workers int) (*node.Node, []string, float64) {
+func exhaustive(ctx context.Context, n *node.Node, cands []Technique, eval objective, baseObj float64, workers int) (*node.Node, []string, float64, error) {
 	k := len(cands)
 	frontier := []*subsetState{{nd: n, slots: map[string]bool{}}}
 	visited := make([]*subsetState, 0, 1<<uint(k))
@@ -175,7 +203,7 @@ func exhaustive(n *node.Node, cands []Technique, eval objective, baseObj float64
 				}
 			}
 		}
-		states, _ := par.Map(workers, len(exts), func(j int) (*subsetState, error) {
+		states, _ := par.MapCtx(ctx, workers, len(exts), func(j int) (*subsetState, error) {
 			e := exts[j]
 			next, err := cands[e.cand].Apply(e.parent.nd)
 			if err != nil {
@@ -193,6 +221,11 @@ func exhaustive(n *node.Node, cands []Technique, eval objective, baseObj float64
 			indices := append(append([]int(nil), e.parent.indices...), e.cand)
 			return &subsetState{indices: indices, nd: next, obj: obj, slots: slots}, nil
 		})
+		// An eval failure prunes a subset silently, but a cancelled search
+		// must not pass pruned-everything off as a completed one.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, err
+		}
 		frontier = frontier[:0]
 		for _, s := range states {
 			if s != nil {
@@ -210,7 +243,7 @@ func exhaustive(n *node.Node, cands []Technique, eval objective, baseObj float64
 			bestApplied = s.applied(cands)
 		}
 	}
-	return bestNode, bestApplied, bestObj
+	return bestNode, bestApplied, bestObj, nil
 }
 
 // applied materialises the subset's technique names in application order.
@@ -226,7 +259,7 @@ func (s *subsetState) applied(cands []Technique) []string {
 // candidate improves the objective. Each iteration scores all admissible
 // candidates in parallel and then selects serially in candidate order with
 // a strict-improvement test — the same winner the serial loop picked.
-func greedy(n *node.Node, cands []Technique, eval objective, baseObj float64, workers int) (*node.Node, []string, float64) {
+func greedy(ctx context.Context, n *node.Node, cands []Technique, eval objective, baseObj float64, workers int) (*node.Node, []string, float64, error) {
 	type scored struct {
 		nd  *node.Node
 		obj float64
@@ -236,7 +269,7 @@ func greedy(n *node.Node, cands []Technique, eval objective, baseObj float64, wo
 	used := make(map[string]bool)
 	var applied []string
 	for {
-		results, _ := par.Map(workers, len(cands), func(i int) (scored, error) {
+		results, _ := par.MapCtx(ctx, workers, len(cands), func(i int) (scored, error) {
 			c := cands[i]
 			if used[c.Slot] {
 				return scored{}, nil
@@ -251,6 +284,11 @@ func greedy(n *node.Node, cands []Technique, eval objective, baseObj float64, wo
 			}
 			return scored{nd: next, obj: obj, ok: true}, nil
 		})
+		// A cancelled wave has evaluated an arbitrary prefix of the
+		// candidates; surfacing it keeps "no candidate improved" honest.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, err
+		}
 		bestIdx := -1
 		var bestNode *node.Node
 		bestObj := curObj
@@ -260,7 +298,7 @@ func greedy(n *node.Node, cands []Technique, eval objective, baseObj float64, wo
 			}
 		}
 		if bestIdx < 0 {
-			return cur, applied, curObj
+			return cur, applied, curObj, nil
 		}
 		used[cands[bestIdx].Slot] = true
 		applied = append(applied, cands[bestIdx].Name)

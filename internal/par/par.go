@@ -14,6 +14,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -62,8 +63,18 @@ func Resolve(n int) int {
 // goroutine, with no goroutine overhead — the serial loop the seed code
 // used, byte for byte.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// no new index is started (in-flight evaluations still finish) and the
+// context error is returned, taking precedence over any per-index error —
+// a cancelled run's outputs are incomplete and must be discarded. With a
+// never-cancelled context the behaviour — including the error-selection
+// rule — is exactly ForEach's.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = Resolve(workers)
 	if workers > n {
@@ -72,6 +83,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers <= 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -85,7 +99,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -95,6 +109,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -108,8 +125,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // the lowest failing index together with the partial results (entries of
 // failed indices are zero values).
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation (see ForEachCtx): on a done
+// context it returns the context error and a partial result slice that
+// must be discarded.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err
@@ -127,11 +151,20 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // early-exit scan loop. The hit decision must depend only on the index
 // (not on evaluation order) for the result to be deterministic.
 func First(workers, n int, fn func(i int) (bool, error)) (int, error) {
+	return FirstCtx(context.Background(), workers, n, fn)
+}
+
+// FirstCtx is First with cooperative cancellation (see ForEachCtx):
+// between chunks a done context aborts the scan with the context error.
+func FirstCtx(ctx context.Context, workers, n int, fn func(i int) (bool, error)) (int, error) {
 	workers = Resolve(workers)
 	if workers < 1 {
 		workers = 1
 	}
 	for lo := 0; lo < n; lo += workers {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
 		hi := lo + workers
 		if hi > n {
 			hi = n

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The service's central promise: caching, coalescing, worker count and
+// request interleaving are invisible in response bytes. These tests pin
+// it by comparing a concurrent many-worker server against a serial
+// single-worker baseline, byte for byte. CI runs the package under
+// -race, so the same tests double as the data-race probe for the
+// singleflight group, LRU and stats counters.
+
+// testServer builds an httptest server around a fresh API instance.
+func testServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	api := NewServer(opts)
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+	return api, srv
+}
+
+// post sends one JSON request and returns status, body and the
+// X-Result-Source header.
+func post(t *testing.T, url, path, body string) (int, []byte, string) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s response: %v", path, err)
+	}
+	return resp.StatusCode, b, resp.Header.Get("X-Result-Source")
+}
+
+// statsFor fetches /v1/stats and returns one endpoint's counters.
+func statsFor(t *testing.T, url, endpoint string) EndpointStats {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	return sr.Endpoints[endpoint]
+}
+
+// requestMatrix is the distinct request set both servers are driven
+// with: every endpoint, cheap parameters.
+var requestMatrix = []struct {
+	path, body string
+}{
+	{"/v1/balance", `{"min_kmh":20,"max_kmh":120,"points":16}`},
+	{"/v1/breakeven", `{"min_kmh":10,"max_kmh":150}`},
+	{"/v1/montecarlo", `{"speed_kmh":80,"trials":64,"seed":42}`},
+	{"/v1/optimize", `{"objective":"energy","speed_kmh":60}`},
+	{"/v1/emulate", `{"speed_kmh":50,"minutes":2}`},
+}
+
+// TestConcurrentIdenticalRequestsDeterministic fires N identical and M
+// distinct requests concurrently at a many-worker server and checks
+// every body is byte-identical to a serial single-worker baseline, and
+// that identical requests were answered by at most one evaluation each
+// (the rest coalesced or cache-hit).
+func TestConcurrentIdenticalRequestsDeterministic(t *testing.T) {
+	// Serial baseline: one worker, caching disabled so every request is
+	// an independent end-to-end evaluation.
+	_, serial := testServer(t, Options{Workers: 1, CacheEntries: -1, MaxInFlight: 1})
+	baseline := make(map[string][]byte, len(requestMatrix))
+	for _, rq := range requestMatrix {
+		status, body, _ := post(t, serial.URL, rq.path, rq.body)
+		if status != http.StatusOK {
+			t.Fatalf("baseline %s: status %d: %s", rq.path, status, body)
+		}
+		baseline[rq.path] = body
+	}
+
+	// Concurrent server: wide pool, cache and coalescing on.
+	const identical = 8 // copies of each distinct request
+	_, conc := testServer(t, Options{Workers: 8, MaxInFlight: 64})
+	var wg sync.WaitGroup
+	errs := make(chan error, identical*len(requestMatrix))
+	for _, rq := range requestMatrix {
+		for i := 0; i < identical; i++ {
+			wg.Add(1)
+			go func(path, body string) {
+				defer wg.Done()
+				status, got, _ := post(t, conc.URL, path, body)
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d: %s", path, status, got)
+					return
+				}
+				if !bytes.Equal(got, baseline[path]) {
+					errs <- fmt.Errorf("%s: concurrent body differs from serial baseline\n got: %s\nwant: %s", path, got, baseline[path])
+				}
+			}(rq.path, rq.body)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Coalescing must be observable: per endpoint, one request computed
+	// and the other identical ones either joined its flight or hit the
+	// cache it filled.
+	for _, rq := range requestMatrix {
+		name := strings.TrimPrefix(rq.path, "/v1/")
+		st := statsFor(t, conc.URL, name)
+		if st.Computed != 1 {
+			t.Errorf("%s: computed = %d, want exactly 1 evaluation for %d identical requests", name, st.Computed, identical)
+		}
+		if st.Coalesced+st.CacheHits != identical-1 {
+			t.Errorf("%s: coalesced(%d) + cache_hits(%d) = %d, want %d", name, st.Coalesced, st.CacheHits, st.Coalesced+st.CacheHits, identical-1)
+		}
+		if st.OK != identical {
+			t.Errorf("%s: ok = %d, want %d", name, st.OK, identical)
+		}
+	}
+}
+
+// TestWorkerCountInvariantBytes runs the matrix on servers with pool
+// widths 1, 2 and 7 and demands identical bytes — the service-level
+// restatement of the engine's workers-invariance property.
+func TestWorkerCountInvariantBytes(t *testing.T) {
+	bodies := make(map[string]map[int][]byte)
+	for _, workers := range []int{1, 2, 7} {
+		_, srv := testServer(t, Options{Workers: workers, CacheEntries: -1})
+		for _, rq := range requestMatrix {
+			status, body, _ := post(t, srv.URL, rq.path, rq.body)
+			if status != http.StatusOK {
+				t.Fatalf("workers=%d %s: status %d: %s", workers, rq.path, status, body)
+			}
+			if bodies[rq.path] == nil {
+				bodies[rq.path] = make(map[int][]byte)
+			}
+			bodies[rq.path][workers] = body
+		}
+	}
+	for path, byWorkers := range bodies {
+		want := byWorkers[1]
+		for workers, got := range byWorkers {
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: workers=%d body differs from workers=1", path, workers)
+			}
+		}
+	}
+}
+
+// TestCacheHitIdenticalBytes repeats one request against a caching
+// server and checks the second answer comes from the cache with the
+// same bytes.
+func TestCacheHitIdenticalBytes(t *testing.T) {
+	_, srv := testServer(t, Options{Workers: 2})
+	const body = `{"min_kmh":10,"max_kmh":90}`
+	status, first, src := post(t, srv.URL, "/v1/breakeven", body)
+	if status != http.StatusOK {
+		t.Fatalf("first request: status %d: %s", status, first)
+	}
+	if src != "computed" {
+		t.Fatalf("first request source = %q, want computed", src)
+	}
+	status, second, src := post(t, srv.URL, "/v1/breakeven", body)
+	if status != http.StatusOK {
+		t.Fatalf("second request: status %d: %s", status, second)
+	}
+	if src != "cache" {
+		t.Fatalf("second request source = %q, want cache", src)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("cache hit returned different bytes:\n first: %s\nsecond: %s", first, second)
+	}
+	if st := statsFor(t, srv.URL, "breakeven"); st.CacheHits != 1 || st.Computed != 1 {
+		t.Errorf("stats: cache_hits=%d computed=%d, want 1 and 1", st.CacheHits, st.Computed)
+	}
+}
+
+// TestCanonicalKeyCoalescesEquivalentBodies sends the same logical
+// request spelled three different ways (reordered fields, extra
+// whitespace, defaults written out) and expects one evaluation total.
+func TestCanonicalKeyCoalescesEquivalentBodies(t *testing.T) {
+	_, srv := testServer(t, Options{Workers: 2})
+	spellings := []string{
+		`{"min_kmh":5,"max_kmh":180}`,
+		`{ "max_kmh" : 180 , "min_kmh" : 5 }`,
+		`{}`, // min/max default to 5 and 180
+	}
+	var bodies [][]byte
+	for i, s := range spellings {
+		status, b, _ := post(t, srv.URL, "/v1/breakeven", s)
+		if status != http.StatusOK {
+			t.Fatalf("spelling %d: status %d: %s", i, status, b)
+		}
+		bodies = append(bodies, b)
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("spelling %d returned different bytes", i)
+		}
+	}
+	if st := statsFor(t, srv.URL, "breakeven"); st.Computed != 1 {
+		t.Errorf("computed = %d, want 1: equivalent spellings must share one canonical key", st.Computed)
+	}
+}
+
+// TestGracefulShutdownDrains verifies Shutdown lets an in-flight
+// evaluation finish and then refuses new work with 503.
+func TestGracefulShutdownDrains(t *testing.T) {
+	api, srv := testServer(t, Options{Workers: 2})
+	status, body, _ := post(t, srv.URL, "/v1/breakeven", `{}`)
+	if status != http.StatusOK {
+		t.Fatalf("pre-shutdown request: status %d: %s", status, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := api.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	status, body, _ = post(t, srv.URL, "/v1/montecarlo", `{"trials":8}`)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown evaluation: status %d, want 503: %s", status, body)
+	}
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", resp.StatusCode)
+	}
+}

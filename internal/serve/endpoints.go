@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/balance"
+	"repro/internal/cli"
+	"repro/internal/config"
+	"repro/internal/emu"
+	"repro/internal/mc"
+	"repro/internal/opt"
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+// buildStack materialises the request's scenario (or the reference one)
+// through the same assembly path the CLI tools use.
+func buildStack(scen *config.Scenario) (cli.Stack, error) {
+	if scen == nil {
+		def, err := config.DefaultScenario()
+		if err != nil {
+			return cli.Stack{}, err
+		}
+		return cli.BuildStack(def)
+	}
+	return cli.BuildStack(*scen)
+}
+
+// BreakEvenPoint is the JSON form of a break-even result. Found=false
+// means the margin never turns positive in the searched range — a valid
+// answer, not an error.
+type BreakEvenPoint struct {
+	Found    bool    `json:"found"`
+	SpeedKMH float64 `json:"speed_kmh,omitempty"`
+	EnergyUJ float64 `json:"energy_uj,omitempty"`
+}
+
+// OperatingWindow is a positive-margin speed interval.
+type OperatingWindow struct {
+	FromKMH float64 `json:"from_kmh"`
+	ToKMH   float64 `json:"to_kmh"`
+}
+
+// BalanceResponse is the /v1/balance payload: the Fig 2 dataset.
+type BalanceResponse struct {
+	SpeedsKMH   []float64         `json:"speeds_kmh"`
+	GeneratedUJ []float64         `json:"generated_uj"`
+	RequiredUJ  []float64         `json:"required_uj"`
+	BreakEven   BreakEvenPoint    `json:"breakeven"`
+	Windows     []OperatingWindow `json:"windows"`
+}
+
+// runBalance evaluates the Fig 2 sweep for one request.
+func runBalance(ctx context.Context, st cli.Stack, req BalanceRequest, workers int) (any, error) {
+	az, err := newAnalyzer(st, workers)
+	if err != nil {
+		return nil, err
+	}
+	vmin := units.KilometersPerHour(req.MinKMH)
+	vmax := units.KilometersPerHour(req.MaxKMH)
+	sw, err := az.SweepCtx(ctx, vmin, vmax, req.Points)
+	if err != nil {
+		return nil, err
+	}
+	resp := BalanceResponse{
+		SpeedsKMH:   make([]float64, sw.Generated.Len()),
+		GeneratedUJ: make([]float64, sw.Generated.Len()),
+		RequiredUJ:  make([]float64, sw.Required.Len()),
+		Windows:     []OperatingWindow{},
+	}
+	for i := 0; i < sw.Generated.Len(); i++ {
+		resp.SpeedsKMH[i] = sw.Generated.X(i)
+		resp.GeneratedUJ[i] = sw.Generated.Y(i)
+		resp.RequiredUJ[i] = sw.Required.Y(i)
+	}
+	for _, w := range sw.OperatingWindows() {
+		resp.Windows = append(resp.Windows, OperatingWindow{FromKMH: w.FromKMH, ToKMH: w.ToKMH})
+	}
+	be, err := breakEvenPoint(ctx, az, vmin, vmax)
+	if err != nil {
+		return nil, err
+	}
+	resp.BreakEven = be
+	return resp, nil
+}
+
+// BreakEvenResponse is the /v1/breakeven payload.
+type BreakEvenResponse struct {
+	BreakEven BreakEvenPoint `json:"breakeven"`
+}
+
+// runBreakEven locates the activation speed for one request.
+func runBreakEven(ctx context.Context, st cli.Stack, req BreakEvenRequest, workers int) (any, error) {
+	az, err := newAnalyzer(st, workers)
+	if err != nil {
+		return nil, err
+	}
+	be, err := breakEvenPoint(ctx, az,
+		units.KilometersPerHour(req.MinKMH), units.KilometersPerHour(req.MaxKMH))
+	if err != nil {
+		return nil, err
+	}
+	return BreakEvenResponse{BreakEven: be}, nil
+}
+
+// MonteCarloResponse is the /v1/montecarlo payload.
+type MonteCarloResponse struct {
+	Trials       int            `json:"trials"`
+	Positive     int            `json:"positive"`
+	Yield        float64        `json:"yield"`
+	MeanMarginUJ float64        `json:"mean_margin_uj"`
+	MinMarginUJ  float64        `json:"min_margin_uj"`
+	MaxMarginUJ  float64        `json:"max_margin_uj"`
+	StdDevJ      float64        `json:"stddev_j"`
+	PerCorner    map[string]int `json:"per_corner"`
+}
+
+// runMonteCarlo samples the part population for one request.
+func runMonteCarlo(ctx context.Context, st cli.Stack, req MonteCarloRequest, workers int) (any, error) {
+	cfg := mc.Config{
+		Node:      st.Node,
+		Harvester: st.Harvester,
+		Ambient:   st.Ambient,
+		Vdd:       st.Base.Vdd,
+		TempSigma: req.TempSigmaC,
+		VddSigma:  req.VddSigmaV,
+		Seed:      req.Seed,
+		Workers:   workers,
+	}
+	out, err := mc.RunCtx(ctx, cfg, units.KilometersPerHour(req.SpeedKMH), req.Trials)
+	if err != nil {
+		return nil, err
+	}
+	resp := MonteCarloResponse{
+		Trials:       out.Trials,
+		Positive:     out.Positive,
+		Yield:        out.Yield(),
+		MeanMarginUJ: out.MeanMargin.Microjoules(),
+		MinMarginUJ:  out.MinMargin.Microjoules(),
+		MaxMarginUJ:  out.MaxMargin.Microjoules(),
+		StdDevJ:      out.StdDev,
+		PerCorner:    make(map[string]int, len(out.PerCorner)),
+	}
+	for corner, n := range out.PerCorner {
+		resp.PerCorner[corner.String()] = n
+	}
+	return resp, nil
+}
+
+// OptimizeResponse is the /v1/optimize payload. Baseline/Optimized are
+// km/h for the breakeven objective and µJ per round for energy.
+type OptimizeResponse struct {
+	Objective   string   `json:"objective"`
+	Applied     []string `json:"applied"`
+	Baseline    float64  `json:"baseline"`
+	Optimized   float64  `json:"optimized"`
+	Improvement float64  `json:"improvement"`
+}
+
+// runOptimize searches the technique space for one request.
+func runOptimize(ctx context.Context, st cli.Stack, req OptimizeRequest, workers int) (any, error) {
+	cons := opt.DefaultConstraints()
+	if req.MaxDataAgeS > 0 {
+		cons.MaxDataAge = units.Sec(req.MaxDataAgeS)
+	}
+	if req.MinSamplesPerRound > 0 {
+		cons.MinSamples = req.MinSamplesPerRound
+	}
+	cands := opt.Candidates(st.Node, cons)
+	var res opt.Result
+	var err error
+	var toUnits func(float64) float64
+	switch req.Objective {
+	case "energy":
+		v := units.KilometersPerHour(req.SpeedKMH)
+		cond := st.Base.WithTemp(st.Node.Tyre().SteadyTemperature(st.Ambient, v))
+		res, err = opt.MinimizeEnergyCtx(ctx, st.Node, cands, v, cond, opt.WithWorkers(workers))
+		toUnits = func(j float64) float64 { return units.Energy(j).Microjoules() }
+	default: // "breakeven"
+		az, aerr := newAnalyzer(st, workers)
+		if aerr != nil {
+			return nil, aerr
+		}
+		res, err = opt.MinimizeBreakEvenCtx(ctx, az, cands,
+			units.KilometersPerHour(req.MinKMH), units.KilometersPerHour(req.MaxKMH),
+			opt.WithWorkers(workers))
+		toUnits = func(ms float64) float64 { return units.MetersPerSecond(ms).KMH() }
+	}
+	if err != nil {
+		return nil, err
+	}
+	applied := res.Applied
+	if applied == nil {
+		applied = []string{}
+	}
+	return OptimizeResponse{
+		Objective:   req.Objective,
+		Applied:     applied,
+		Baseline:    toUnits(res.Baseline),
+		Optimized:   toUnits(res.Optimized),
+		Improvement: res.Improvement(),
+	}, nil
+}
+
+// EmulateResponse is the /v1/emulate payload: the long-window summary.
+type EmulateResponse struct {
+	DurationS      float64 `json:"duration_s"`
+	Rounds         int64   `json:"rounds"`
+	ActiveRounds   int64   `json:"active_rounds"`
+	Coverage       float64 `json:"coverage"`
+	BrownOuts      int     `json:"brownouts"`
+	Restarts       int     `json:"restarts"`
+	Outages        int     `json:"outages"`
+	DowntimeS      float64 `json:"downtime_s"`
+	LongestOutageS float64 `json:"longest_outage_s"`
+	HarvestedUJ    float64 `json:"harvested_uj"`
+	ClippedUJ      float64 `json:"clipped_uj"`
+	ConsumedUJ     float64 `json:"consumed_uj"`
+	LeakedUJ       float64 `json:"leaked_uj"`
+	FinalVoltageV  float64 `json:"final_voltage_v"`
+	MinVoltageV    float64 `json:"min_voltage_v"`
+}
+
+// runEmulate steps the stack through the requested profile.
+func runEmulate(ctx context.Context, st cli.Stack, req EmulateRequest, workers int) (any, error) {
+	var p profile.Profile
+	var err error
+	if req.SpeedKMH > 0 {
+		p = profile.Constant(units.KilometersPerHour(req.SpeedKMH), units.Minutes(req.Minutes))
+	} else {
+		p, err = cli.Cycle(req.Cycle, req.Repeat)
+		if err != nil {
+			return nil, badRequestError{err}
+		}
+	}
+	initial := st.Buffer.VRestart
+	if req.InitialV > 0 {
+		initial = units.Volts(req.InitialV)
+	}
+	em, err := emu.New(emu.Config{
+		Node:           st.Node,
+		Harvester:      st.Harvester,
+		Buffer:         st.Buffer,
+		InitialVoltage: initial,
+		Ambient:        st.Ambient,
+		Base:           st.Base,
+	})
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	res, err := em.RunCtx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return EmulateResponse{
+		DurationS:      res.Duration.Seconds(),
+		Rounds:         res.Rounds,
+		ActiveRounds:   res.ActiveRounds,
+		Coverage:       res.Coverage(),
+		BrownOuts:      res.BrownOuts,
+		Restarts:       res.Restarts,
+		Outages:        len(res.Outages),
+		DowntimeS:      res.Downtime().Seconds(),
+		LongestOutageS: res.LongestOutage().Seconds(),
+		HarvestedUJ:    res.Harvested.Microjoules(),
+		ClippedUJ:      res.Clipped.Microjoules(),
+		ConsumedUJ:     res.Consumed.Microjoules(),
+		LeakedUJ:       res.Leaked.Microjoules(),
+		FinalVoltageV:  res.FinalVoltage.Volts(),
+		MinVoltageV:    res.MinVoltage.Volts(),
+	}, nil
+}
+
+// newAnalyzer builds the stack's balance analyzer with the service pool
+// width.
+func newAnalyzer(st cli.Stack, workers int) (*balance.Analyzer, error) {
+	az, err := balance.New(st.Node, st.Harvester, st.Ambient, st.Base)
+	if err != nil {
+		return nil, err
+	}
+	return az.WithWorkers(workers), nil
+}
+
+// breakEvenPoint runs the break-even search, folding the legitimate
+// "no crossing in range" outcome into Found=false.
+func breakEvenPoint(ctx context.Context, az *balance.Analyzer, vmin, vmax units.Speed) (BreakEvenPoint, error) {
+	be, err := az.BreakEvenCtx(ctx, vmin, vmax)
+	if err != nil {
+		if errors.Is(err, balance.ErrNoBreakEven) {
+			return BreakEvenPoint{Found: false}, nil
+		}
+		return BreakEvenPoint{}, err
+	}
+	return BreakEvenPoint{
+		Found:    be.Found,
+		SpeedKMH: be.Speed.KMH(),
+		EnergyUJ: be.Energy.Microjoules(),
+	}, nil
+}
+
+// badRequestError marks an evaluation-time failure the client caused
+// (e.g. an unknown cycle name) so the handler reports 400, not 500.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodeRequest feeds arbitrary bytes through every endpoint's
+// request decoder: decoding must never panic, and any body that decodes
+// must yield a stable canonical key — the same bytes decoded twice
+// produce the same coalescing key, or caching would silently stop
+// working for that request shape.
+//
+// The seed corpus is the shipped examples plus the reference scenario
+// (examples/scenarios), each crossed with all five endpoints by the
+// fuzzer's endpoint selector byte.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds, _ := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	for _, path := range seeds {
+		if raw, err := os.ReadFile(path); err == nil {
+			for ep := byte(0); ep < 5; ep++ {
+				f.Add(ep, string(raw))
+			}
+		}
+	}
+	f.Add(byte(0), `{}`)
+	f.Add(byte(1), ``)
+	f.Add(byte(2), `not json`)
+	f.Add(byte(3), `{"speed_kmh": 1e999}`)
+	f.Add(byte(4), `{"scenario":{}}`)
+	f.Add(byte(0), `{"points": -1}`)
+	f.Add(byte(2), `{"seed": 9223372036854775807}`)
+
+	type decodeFn func(body string) (string, error)
+	decoders := []decodeFn{
+		func(body string) (string, error) {
+			var req BalanceRequest
+			if err := decodeStrict(bytes.NewReader([]byte(body)), &req); err != nil {
+				return "", err
+			}
+			req.defaults()
+			if err := req.validate(); err != nil {
+				return "", err
+			}
+			return canonicalKey("balance", req)
+		},
+		func(body string) (string, error) {
+			var req BreakEvenRequest
+			if err := decodeStrict(bytes.NewReader([]byte(body)), &req); err != nil {
+				return "", err
+			}
+			req.defaults()
+			if err := req.validate(); err != nil {
+				return "", err
+			}
+			return canonicalKey("breakeven", req)
+		},
+		func(body string) (string, error) {
+			var req MonteCarloRequest
+			if err := decodeStrict(bytes.NewReader([]byte(body)), &req); err != nil {
+				return "", err
+			}
+			req.defaults()
+			if err := req.validate(); err != nil {
+				return "", err
+			}
+			return canonicalKey("montecarlo", req)
+		},
+		func(body string) (string, error) {
+			var req OptimizeRequest
+			if err := decodeStrict(bytes.NewReader([]byte(body)), &req); err != nil {
+				return "", err
+			}
+			req.defaults()
+			if err := req.validate(); err != nil {
+				return "", err
+			}
+			return canonicalKey("optimize", req)
+		},
+		func(body string) (string, error) {
+			var req EmulateRequest
+			if err := decodeStrict(bytes.NewReader([]byte(body)), &req); err != nil {
+				return "", err
+			}
+			req.defaults()
+			if err := req.validate(); err != nil {
+				return "", err
+			}
+			return canonicalKey("emulate", req)
+		},
+	}
+
+	f.Fuzz(func(t *testing.T, endpoint byte, body string) {
+		dec := decoders[int(endpoint)%len(decoders)]
+		key1, err := dec(body)
+		if err != nil {
+			return // rejected bodies just need to not panic
+		}
+		if key1 == "" {
+			t.Fatal("accepted request produced an empty canonical key")
+		}
+		key2, err := dec(body)
+		if err != nil {
+			t.Fatalf("second decode of an accepted body failed: %v", err)
+		}
+		if key2 != key1 {
+			t.Fatalf("canonical key unstable: %q then %q", key1, key2)
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a mutex-guarded LRU of marshalled response bodies,
+// keyed by the canonical request hash. It sits above the per-node memo
+// tables: a hit skips scenario building and the whole evaluation, not
+// just the per-round arithmetic. Values are immutable byte slices shared
+// between the cache and response writers — callers must not mutate them.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+// cacheEntry is one cached response body.
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns a cache holding up to capacity entries;
+// capacity <= 0 disables caching (every get misses, every add is a
+// no-op).
+func newResultCache(capacity int) *resultCache {
+	c := &resultCache{cap: capacity}
+	if capacity > 0 {
+		c.ll = list.New()
+		c.m = make(map[string]*list.Element, capacity)
+	}
+	return c
+}
+
+// get returns the cached body for key, marking it most recently used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// add stores body under key, evicting the least recently used entry
+// when the cache is full.
+func (c *resultCache) add(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

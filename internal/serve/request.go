@@ -1,0 +1,289 @@
+// Package serve exposes the paper's full analysis flow as a long-lived
+// HTTP/JSON service: the Fig 2 energy-balance sweep, break-even
+// extraction, Monte Carlo yield analysis, architecture optimization and
+// long-window emulation become POST endpoints over the same engine the
+// command-line tools drive. Scenario payloads reuse internal/config, so
+// a tyreconfig scenario file and an API request body are one format.
+//
+// The service owns the concurrency story so the engine doesn't have to:
+// admission control bounds concurrent evaluations (429 beyond the
+// limit), identical in-flight requests are coalesced through a
+// singleflight group keyed by a canonical request hash, completed
+// results live in an LRU cache above the per-node memo tables, and every
+// evaluation runs under a deadline threaded as a context.Context into
+// the sweep/Monte-Carlo/optimizer loops. Because the engine is
+// deterministic for any worker count, a cached, coalesced or freshly
+// computed response to the same request is byte-identical — caching and
+// coalescing are invisible except in /v1/stats.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/config"
+)
+
+// Request size and parameter ceilings. They bound the work one request
+// can demand, so admission control reasons about request counts alone.
+const (
+	// MaxBodyBytes caps a request body.
+	MaxBodyBytes = 1 << 20
+	// maxSweepPoints caps /v1/balance sweep resolution.
+	maxSweepPoints = 4096
+	// maxTrials caps /v1/montecarlo population size.
+	maxTrials = 1_000_000
+	// maxEmulateMinutes caps a constant-speed emulation.
+	maxEmulateMinutes = 24 * 60
+	// maxCycleRepeat caps driving-cycle repetition.
+	maxCycleRepeat = 200
+)
+
+// BalanceRequest asks for the Fig 2 sweep: both energy-per-round curves,
+// the break-even point and the operating windows.
+type BalanceRequest struct {
+	// Scenario is the full analysis scenario (the tyreconfig file
+	// format); omitted means the reference stack.
+	Scenario *config.Scenario `json:"scenario,omitempty"`
+	// MinKMH/MaxKMH bound the sweep (defaults 5 and 180 km/h).
+	MinKMH float64 `json:"min_kmh,omitempty"`
+	MaxKMH float64 `json:"max_kmh,omitempty"`
+	// Points is the sweep resolution (default 80).
+	Points int `json:"points,omitempty"`
+}
+
+// defaults fills unset fields; the canonical hash is computed after this
+// step, so explicit defaults and omitted fields coalesce.
+func (r *BalanceRequest) defaults() {
+	if r.MinKMH == 0 {
+		r.MinKMH = 5
+	}
+	if r.MaxKMH == 0 {
+		r.MaxKMH = 180
+	}
+	if r.Points == 0 {
+		r.Points = 80
+	}
+}
+
+func (r *BalanceRequest) validate() error {
+	if err := checkRange(r.MinKMH, r.MaxKMH); err != nil {
+		return err
+	}
+	if r.Points < 2 || r.Points > maxSweepPoints {
+		return fmt.Errorf("points must be in [2, %d], got %d", maxSweepPoints, r.Points)
+	}
+	return nil
+}
+
+// BreakEvenRequest asks only for the minimum self-sustaining speed.
+type BreakEvenRequest struct {
+	Scenario *config.Scenario `json:"scenario,omitempty"`
+	// MinKMH/MaxKMH bound the search (defaults 5 and 180 km/h).
+	MinKMH float64 `json:"min_kmh,omitempty"`
+	MaxKMH float64 `json:"max_kmh,omitempty"`
+}
+
+func (r *BreakEvenRequest) defaults() {
+	if r.MinKMH == 0 {
+		r.MinKMH = 5
+	}
+	if r.MaxKMH == 0 {
+		r.MaxKMH = 180
+	}
+}
+
+func (r *BreakEvenRequest) validate() error { return checkRange(r.MinKMH, r.MaxKMH) }
+
+// MonteCarloRequest asks for the yield under process/condition spread at
+// one cruising speed.
+type MonteCarloRequest struct {
+	Scenario *config.Scenario `json:"scenario,omitempty"`
+	// SpeedKMH is the evaluated cruising speed (default 60).
+	SpeedKMH float64 `json:"speed_kmh,omitempty"`
+	// Trials is the population size (default 1000).
+	Trials int `json:"trials,omitempty"`
+	// TempSigmaC and VddSigmaV are the 1σ spreads (defaults 5 °C and
+	// 0.05 V).
+	TempSigmaC float64 `json:"temp_sigma_c,omitempty"`
+	VddSigmaV  float64 `json:"vdd_sigma_v,omitempty"`
+	// Seed makes the run reproducible (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+func (r *MonteCarloRequest) defaults() {
+	if r.SpeedKMH == 0 {
+		r.SpeedKMH = 60
+	}
+	if r.Trials == 0 {
+		r.Trials = 1000
+	}
+	if r.TempSigmaC == 0 {
+		r.TempSigmaC = 5
+	}
+	if r.VddSigmaV == 0 {
+		r.VddSigmaV = 0.05
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+}
+
+func (r *MonteCarloRequest) validate() error {
+	if r.SpeedKMH <= 0 || r.SpeedKMH > 400 {
+		return fmt.Errorf("speed_kmh must be in (0, 400], got %g", r.SpeedKMH)
+	}
+	if r.Trials < 1 || r.Trials > maxTrials {
+		return fmt.Errorf("trials must be in [1, %d], got %d", maxTrials, r.Trials)
+	}
+	if r.TempSigmaC < 0 || r.VddSigmaV < 0 {
+		return fmt.Errorf("sigmas must be non-negative")
+	}
+	return nil
+}
+
+// OptimizeRequest asks for the technique search. Objective "breakeven"
+// (default) minimises the activation speed over [min_kmh, max_kmh];
+// "energy" minimises per-round energy at speed_kmh.
+type OptimizeRequest struct {
+	Scenario  *config.Scenario `json:"scenario,omitempty"`
+	Objective string           `json:"objective,omitempty"`
+	MinKMH    float64          `json:"min_kmh,omitempty"`
+	MaxKMH    float64          `json:"max_kmh,omitempty"`
+	SpeedKMH  float64          `json:"speed_kmh,omitempty"`
+	// MaxDataAgeS and MinSamplesPerRound bound what the optimizer may
+	// trade away (defaults from opt.DefaultConstraints).
+	MaxDataAgeS        float64 `json:"max_data_age_s,omitempty"`
+	MinSamplesPerRound int     `json:"min_samples_per_round,omitempty"`
+}
+
+func (r *OptimizeRequest) defaults() {
+	if r.Objective == "" {
+		r.Objective = "breakeven"
+	}
+	if r.MinKMH == 0 {
+		r.MinKMH = 5
+	}
+	if r.MaxKMH == 0 {
+		r.MaxKMH = 180
+	}
+	if r.SpeedKMH == 0 {
+		r.SpeedKMH = 60
+	}
+}
+
+func (r *OptimizeRequest) validate() error {
+	switch r.Objective {
+	case "breakeven", "energy":
+	default:
+		return fmt.Errorf("objective must be \"breakeven\" or \"energy\", got %q", r.Objective)
+	}
+	if err := checkRange(r.MinKMH, r.MaxKMH); err != nil {
+		return err
+	}
+	if r.SpeedKMH <= 0 || r.SpeedKMH > 400 {
+		return fmt.Errorf("speed_kmh must be in (0, 400], got %g", r.SpeedKMH)
+	}
+	if r.MaxDataAgeS < 0 || r.MinSamplesPerRound < 0 {
+		return fmt.Errorf("constraints must be non-negative")
+	}
+	return nil
+}
+
+// EmulateRequest asks for a long-timing-window emulation over a built-in
+// driving cycle, or at constant speed when speed_kmh and minutes are
+// set (constant speed wins when both are given).
+type EmulateRequest struct {
+	Scenario *config.Scenario `json:"scenario,omitempty"`
+	// Cycle names a built-in profile: urban, extraurban, highway, wltp
+	// or mixed (default mixed).
+	Cycle string `json:"cycle,omitempty"`
+	// Repeat replays the cycle back to back (default 1).
+	Repeat int `json:"repeat,omitempty"`
+	// SpeedKMH/Minutes select a constant-speed run instead.
+	SpeedKMH float64 `json:"speed_kmh,omitempty"`
+	Minutes  float64 `json:"minutes,omitempty"`
+	// InitialV is the buffer's starting voltage (default: the buffer's
+	// restart threshold).
+	InitialV float64 `json:"initial_v,omitempty"`
+}
+
+func (r *EmulateRequest) defaults() {
+	if r.Cycle == "" && r.SpeedKMH == 0 {
+		r.Cycle = "mixed"
+	}
+	if r.Repeat == 0 {
+		r.Repeat = 1
+	}
+}
+
+func (r *EmulateRequest) validate() error {
+	if r.Repeat < 1 || r.Repeat > maxCycleRepeat {
+		return fmt.Errorf("repeat must be in [1, %d], got %d", maxCycleRepeat, r.Repeat)
+	}
+	if r.SpeedKMH < 0 || r.SpeedKMH > 400 {
+		return fmt.Errorf("speed_kmh must be in [0, 400], got %g", r.SpeedKMH)
+	}
+	if r.SpeedKMH > 0 {
+		if r.Minutes <= 0 || r.Minutes > maxEmulateMinutes {
+			return fmt.Errorf("constant-speed emulation needs minutes in (0, %d], got %g", maxEmulateMinutes, r.Minutes)
+		}
+	}
+	if r.InitialV < 0 {
+		return fmt.Errorf("initial_v must be non-negative, got %g", r.InitialV)
+	}
+	return nil
+}
+
+// checkRange validates a [min, max] km/h speed interval.
+func checkRange(minKMH, maxKMH float64) error {
+	if minKMH <= 0 || maxKMH <= minKMH || maxKMH > 400 {
+		return fmt.Errorf("speed range must satisfy 0 < min_kmh < max_kmh <= 400, got [%g, %g]", minKMH, maxKMH)
+	}
+	return nil
+}
+
+// decodeStrict decodes one JSON value into dst, rejecting unknown
+// fields (anywhere in the tree, including inside the embedded scenario)
+// and trailing garbage — the same strictness internal/config applies to
+// scenario files.
+func decodeStrict(r io.Reader, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("decoding request: trailing data after JSON body")
+	}
+	return nil
+}
+
+// canonicalKey hashes a default-filled request into the singleflight /
+// cache key. Marshalling the typed struct (not the raw body) makes the
+// key canonical: field order, whitespace and spelled-out defaults in the
+// original JSON all map to the same bytes, and encoding/json renders map
+// keys (the scenario's block tables) sorted.
+func canonicalKey(endpoint string, req any) (string, error) {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return endpoint + ":" + fmt.Sprintf("%x", sum[:16]), nil
+}
+
+// marshalBody renders a response deterministically: compact JSON with a
+// trailing newline. Struct field order is fixed and map keys sort, so
+// identical results are identical bytes.
+func marshalBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

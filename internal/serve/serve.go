@@ -1,0 +1,407 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Options configure a Server. The zero value selects sensible defaults.
+type Options struct {
+	// Workers is the evaluation pool width every request runs with;
+	// 0 selects the process default (all cores). Worker count never
+	// changes response bytes, only latency.
+	Workers int
+	// MaxInFlight bounds concurrent evaluations; requests beyond it are
+	// rejected with 429 instead of queueing (coalesced requests share
+	// their leader's slot and are never rejected). Default: twice the
+	// core count.
+	MaxInFlight int
+	// CacheEntries is the LRU result-cache capacity; 0 selects the
+	// default (512), negative disables caching.
+	CacheEntries int
+	// RequestTimeout bounds one evaluation; it is threaded as a context
+	// deadline into the sweep/Monte-Carlo/optimizer/emulation loops.
+	// 0 selects the default (60 s), negative disables the deadline.
+	RequestTimeout time.Duration
+}
+
+// endpoints are the POST analysis routes, by name.
+var endpoints = []string{"balance", "breakeven", "montecarlo", "optimize", "emulate"}
+
+// Server is the tyresysd request engine: decoding, admission control,
+// coalescing, result caching and stats around the analysis packages. It
+// implements http.Handler; transport concerns (listeners, TLS,
+// connection draining) belong to the enclosing http.Server.
+type Server struct {
+	opts    Options
+	mux     *http.ServeMux
+	sem     chan struct{}
+	flights flightGroup
+	cache   *resultCache
+	stats   map[string]*endpointStats
+
+	// base is cancelled by Shutdown: evaluations run under it so a
+	// stopping server aborts work no client is waiting on. Evaluations
+	// deliberately do NOT run under their request's context — a
+	// coalesced flight may be serving followers whose requests are
+	// still live after the leader's client hung up.
+	base   context.Context
+	cancel context.CancelFunc
+
+	// draining gates new evaluations during shutdown while in-flight
+	// ones finish.
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// NewServer builds a Server.
+func NewServer(opts Options) *Server {
+	if opts.MaxInFlight == 0 {
+		opts.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxInFlight < 1 {
+		opts.MaxInFlight = 1
+	}
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 512
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = 60 * time.Second
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:   opts,
+		mux:    http.NewServeMux(),
+		sem:    make(chan struct{}, opts.MaxInFlight),
+		cache:  newResultCache(opts.CacheEntries),
+		stats:  make(map[string]*endpointStats, len(endpoints)),
+		base:   base,
+		cancel: cancel,
+	}
+	for _, name := range endpoints {
+		s.stats[name] = &endpointStats{}
+	}
+	s.mux.HandleFunc("/v1/balance", s.analysisHandler("balance", decodeBalance))
+	s.mux.HandleFunc("/v1/breakeven", s.analysisHandler("breakeven", decodeBreakEven))
+	s.mux.HandleFunc("/v1/montecarlo", s.analysisHandler("montecarlo", decodeMonteCarlo))
+	s.mux.HandleFunc("/v1/optimize", s.analysisHandler("optimize", decodeOptimize))
+	s.mux.HandleFunc("/v1/emulate", s.analysisHandler("emulate", decodeEmulate))
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP dispatches to the v1 routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown drains the server: new evaluations are refused with 503,
+// in-flight ones are waited for until ctx expires, then the base context
+// is cancelled so stragglers abort. Call after (not instead of) the
+// enclosing http.Server's Shutdown, which drains connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.cancel()
+	return err
+}
+
+// evaluator runs one decoded request; the concrete request lives in the
+// closure a decoder built.
+type evaluator func(ctx context.Context, workers int) (any, error)
+
+// decoder parses and validates one endpoint's request body, returning
+// the canonical coalescing key and the evaluation closure.
+type decoder func(r *http.Request) (key string, run evaluator, err error)
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// analysisHandler wraps an endpoint decoder in the shared pipeline:
+// decode → cache lookup → singleflight → admission control → evaluate
+// under deadline → cache store. Every path that returns bytes for a
+// given canonical key returns the same bytes: responses are marshalled
+// once by the flight leader and shared verbatim by followers and cache
+// hits, and the engine itself is deterministic, so a recomputation after
+// eviction re-produces them bit for bit.
+func (s *Server) analysisHandler(name string, dec decoder) http.HandlerFunc {
+	st := s.stats[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		st.requests.Add(1)
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, mustMarshal(errorBody{"POST only"}))
+			return
+		}
+		key, run, err := dec(r)
+		if err != nil {
+			st.badRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+			return
+		}
+		if body, ok := s.cache.get(key); ok {
+			st.cacheHits.Add(1)
+			st.ok.Add(1)
+			w.Header().Set("X-Result-Source", "cache")
+			writeJSON(w, http.StatusOK, body)
+			return
+		}
+		body, status, shared := s.flights.do(key, func() ([]byte, int) {
+			return s.evaluate(key, st, run)
+		})
+		source := "computed"
+		if shared {
+			st.coalesced.Add(1)
+			source = "coalesced"
+		}
+		switch {
+		case status == http.StatusOK:
+			st.ok.Add(1)
+		case status == http.StatusTooManyRequests:
+			st.rejected.Add(1)
+		case status == http.StatusBadRequest:
+			st.badRequests.Add(1)
+		default:
+			st.errored.Add(1)
+		}
+		w.Header().Set("X-Result-Source", source)
+		writeJSON(w, status, body)
+	}
+}
+
+// evaluate is the flight-leader path: admission control, deadline,
+// evaluation, marshalling, cache store.
+func (s *Server) evaluate(key string, st *endpointStats, run evaluator) ([]byte, int) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return mustMarshal(errorBody{"server shutting down"}), http.StatusServiceUnavailable
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		return mustMarshal(errorBody{"overloaded: too many evaluations in flight"}), http.StatusTooManyRequests
+	}
+	defer func() { <-s.sem }()
+
+	ctx := s.base
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	result, err := run(ctx, s.opts.Workers)
+	st.computed.Add(1)
+	st.evalMicros.Add(time.Since(start).Microseconds())
+	if err != nil {
+		var bad badRequestError
+		switch {
+		case errors.As(err, &bad):
+			return mustMarshal(errorBody{err.Error()}), http.StatusBadRequest
+		case errors.Is(err, context.DeadlineExceeded):
+			return mustMarshal(errorBody{"evaluation deadline exceeded"}), http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			return mustMarshal(errorBody{"server shutting down"}), http.StatusServiceUnavailable
+		default:
+			return mustMarshal(errorBody{err.Error()}), http.StatusInternalServerError
+		}
+	}
+	body, err := marshalBody(result)
+	if err != nil {
+		return mustMarshal(errorBody{err.Error()}), http.StatusInternalServerError
+	}
+	s.cache.add(key, body)
+	return body, http.StatusOK
+}
+
+// handleStats renders the counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, mustMarshal(errorBody{"GET only"}))
+		return
+	}
+	resp := StatsResponse{
+		InFlight:      len(s.sem),
+		MaxInFlight:   s.opts.MaxInFlight,
+		CacheEntries:  s.cache.len(),
+		CacheCapacity: s.opts.CacheEntries,
+		Workers:       s.opts.Workers,
+		Endpoints:     make(map[string]EndpointStats, len(s.stats)),
+	}
+	for name, st := range s.stats {
+		resp.Endpoints[name] = st.snapshot()
+	}
+	body, err := marshalBody(resp)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleHealth reports liveness; 503 while draining.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"draining"}))
+		return
+	}
+	writeJSON(w, http.StatusOK, []byte("{\"ok\":true}\n"))
+}
+
+// writeJSON writes a pre-marshalled JSON body.
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// mustMarshal renders small control payloads (errors) whose marshalling
+// cannot fail.
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{"error":"internal marshalling failure"}`)
+	}
+	return append(b, '\n')
+}
+
+// Decoders: one per endpoint, all the same shape — strict-decode the
+// typed request, fill defaults, validate, build the stack (a scenario
+// problem is the client's fault and must 400 before consuming an
+// admission slot), and close over everything the evaluation needs.
+
+func decodeBalance(r *http.Request) (string, evaluator, error) {
+	var req BalanceRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		return "", nil, err
+	}
+	req.defaults()
+	if err := req.validate(); err != nil {
+		return "", nil, err
+	}
+	key, err := canonicalKey("balance", req)
+	if err != nil {
+		return "", nil, err
+	}
+	st, err := buildStack(req.Scenario)
+	if err != nil {
+		return "", nil, err
+	}
+	return key, func(ctx context.Context, workers int) (any, error) {
+		return runBalance(ctx, st, req, workers)
+	}, nil
+}
+
+func decodeBreakEven(r *http.Request) (string, evaluator, error) {
+	var req BreakEvenRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		return "", nil, err
+	}
+	req.defaults()
+	if err := req.validate(); err != nil {
+		return "", nil, err
+	}
+	key, err := canonicalKey("breakeven", req)
+	if err != nil {
+		return "", nil, err
+	}
+	st, err := buildStack(req.Scenario)
+	if err != nil {
+		return "", nil, err
+	}
+	return key, func(ctx context.Context, workers int) (any, error) {
+		return runBreakEven(ctx, st, req, workers)
+	}, nil
+}
+
+func decodeMonteCarlo(r *http.Request) (string, evaluator, error) {
+	var req MonteCarloRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		return "", nil, err
+	}
+	req.defaults()
+	if err := req.validate(); err != nil {
+		return "", nil, err
+	}
+	key, err := canonicalKey("montecarlo", req)
+	if err != nil {
+		return "", nil, err
+	}
+	st, err := buildStack(req.Scenario)
+	if err != nil {
+		return "", nil, err
+	}
+	return key, func(ctx context.Context, workers int) (any, error) {
+		return runMonteCarlo(ctx, st, req, workers)
+	}, nil
+}
+
+func decodeOptimize(r *http.Request) (string, evaluator, error) {
+	var req OptimizeRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		return "", nil, err
+	}
+	req.defaults()
+	if err := req.validate(); err != nil {
+		return "", nil, err
+	}
+	key, err := canonicalKey("optimize", req)
+	if err != nil {
+		return "", nil, err
+	}
+	st, err := buildStack(req.Scenario)
+	if err != nil {
+		return "", nil, err
+	}
+	return key, func(ctx context.Context, workers int) (any, error) {
+		return runOptimize(ctx, st, req, workers)
+	}, nil
+}
+
+func decodeEmulate(r *http.Request) (string, evaluator, error) {
+	var req EmulateRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		return "", nil, err
+	}
+	req.defaults()
+	if err := req.validate(); err != nil {
+		return "", nil, err
+	}
+	key, err := canonicalKey("emulate", req)
+	if err != nil {
+		return "", nil, err
+	}
+	st, err := buildStack(req.Scenario)
+	if err != nil {
+		return "", nil, err
+	}
+	return key, func(ctx context.Context, workers int) (any, error) {
+		return runEmulate(ctx, st, req, workers)
+	}, nil
+}

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Handler-level error paths: every rejection must happen before an
+// admission slot is consumed and must come back as a JSON error body
+// with the right status and counter.
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, srv := testServer(t, Options{})
+	resp, err := http.Get(srv.URL + "/v1/balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on analysis endpoint: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestBadRequestBodies(t *testing.T) {
+	_, srv := testServer(t, Options{})
+	cases := []struct {
+		name, path, body, wantErr string
+	}{
+		{"malformed JSON", "/v1/balance", `{"min_kmh":`, "decoding request"},
+		{"unknown field", "/v1/balance", `{"bogus":1}`, "bogus"},
+		{"trailing garbage", "/v1/balance", `{} {}`, "trailing data"},
+		{"inverted range", "/v1/breakeven", `{"min_kmh":100,"max_kmh":10}`, "speed range must satisfy"},
+		{"range too fast", "/v1/breakeven", `{"min_kmh":10,"max_kmh":900}`, "speed range must satisfy"},
+		{"zero points", "/v1/balance", `{"points":1}`, "points must be in"},
+		{"too many points", "/v1/balance", fmt.Sprintf(`{"points":%d}`, maxSweepPoints+1), "points must be in"},
+		{"negative trials", "/v1/montecarlo", `{"trials":-5}`, "trials must be in"},
+		{"too many trials", "/v1/montecarlo", fmt.Sprintf(`{"trials":%d}`, maxTrials+1), "trials must be in"},
+		{"negative sigma", "/v1/montecarlo", `{"temp_sigma_c":-1}`, "sigmas must be non-negative"},
+		{"bad objective", "/v1/optimize", `{"objective":"cheapest"}`, "objective must be"},
+		{"bad cycle", "/v1/emulate", `{"cycle":"autobahn"}`, "cycle"},
+		{"speed without minutes", "/v1/emulate", `{"speed_kmh":50}`, "minutes"},
+		{"excess repeat", "/v1/emulate", fmt.Sprintf(`{"repeat":%d}`, maxCycleRepeat+1), "repeat must be in"},
+		{"negative initial voltage", "/v1/emulate", `{"initial_v":-0.1}`, "initial_v"},
+		{"unknown scenario field", "/v1/balance", `{"scenario":{"bogus_block":1}}`, "bogus_block"},
+		{"unbuildable scenario", "/v1/balance", `{"scenario":{"scavenger":{"type":"fusion"}}}`, "unknown TX policy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body, _ := post(t, srv.URL, tc.path, tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", status, body)
+			}
+			if !strings.Contains(string(body), tc.wantErr) {
+				t.Fatalf("error body %q does not mention %q", body, tc.wantErr)
+			}
+		})
+	}
+	// Every case must have been counted as a bad request. None may have
+	// evaluated — except the unknown-cycle one, which by design fails at
+	// evaluation time (cycle names live in internal/cli, not validate()).
+	total := int64(0)
+	for _, name := range endpoints {
+		st := statsFor(t, srv.URL, name)
+		total += st.BadRequests
+		wantComputed := int64(0)
+		if name == "emulate" {
+			wantComputed = 1
+		}
+		if st.Computed != wantComputed {
+			t.Errorf("%s: computed = %d after rejected requests, want %d", name, st.Computed, wantComputed)
+		}
+	}
+	if total != int64(len(cases)) {
+		t.Errorf("bad_requests total = %d, want %d", total, len(cases))
+	}
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	_, srv := testServer(t, Options{})
+	big := `{"min_kmh":5,"max_kmh":180,"pad":"` + strings.Repeat("x", MaxBodyBytes) + `"}`
+	status, _, _ := post(t, srv.URL, "/v1/breakeven", big)
+	if status != http.StatusBadRequest {
+		t.Fatalf("oversized body: status %d, want 400", status)
+	}
+}
+
+// TestAdmissionControl saturates a MaxInFlight=1 server's admission
+// slot directly (the test lives in-package, so it can hold the
+// semaphore the way a long evaluation would), then checks a distinct
+// request is rejected with 429 while an identical in-flight one
+// coalesces — followers never need a slot of their own.
+func TestAdmissionControl(t *testing.T) {
+	api, srv := testServer(t, Options{Workers: 1, MaxInFlight: 1, CacheEntries: -1})
+	api.sem <- struct{}{} // occupy the only slot
+	defer func() { <-api.sem }()
+
+	status, body, _ := post(t, srv.URL, "/v1/breakeven", `{}`)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("overload probe: status %d, want 429: %s", status, body)
+	}
+	if !strings.Contains(string(body), "overloaded") {
+		t.Fatalf("429 body %q does not mention overload", body)
+	}
+	if st := statsFor(t, srv.URL, "breakeven"); st.Rejected != 1 {
+		t.Errorf("breakeven rejected = %d, want 1", st.Rejected)
+	}
+
+	// Pre-register a flight under the canonical key of an emulate
+	// request, send that exact request, and resolve the flight: the
+	// request must coalesce onto it and succeed with the leader's bytes
+	// even though the admission slot is still taken.
+	req := EmulateRequest{Cycle: "urban"}
+	req.defaults()
+	key, err := canonicalKey("emulate", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flight{done: make(chan struct{})}
+	api.flights.mu.Lock()
+	if api.flights.m == nil {
+		api.flights.m = make(map[string]*flight)
+	}
+	api.flights.m[key] = f
+	api.flights.mu.Unlock()
+
+	type answer struct {
+		status int
+		body   []byte
+		src    string
+	}
+	got := make(chan answer, 1)
+	go func() {
+		status, body, src := post(t, srv.URL, "/v1/emulate", `{"cycle":"urban"}`)
+		got <- answer{status, body, src}
+	}()
+	// Wait for the request to reach the handler, give it time to block
+	// on the flight, then publish the leader result.
+	deadline := time.Now().Add(5 * time.Second)
+	for statsFor(t, srv.URL, "emulate").Requests == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("emulate request never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+	leaderBody := []byte("{\"fake\":\"leader result\"}\n")
+	f.body, f.status = leaderBody, http.StatusOK
+	api.flights.mu.Lock()
+	delete(api.flights.m, key)
+	api.flights.mu.Unlock()
+	close(f.done)
+
+	a := <-got
+	if a.status != http.StatusOK {
+		t.Fatalf("coalesced request: status %d, want 200: %s", a.status, a.body)
+	}
+	if a.src != "coalesced" {
+		t.Errorf("coalesced request source = %q, want coalesced", a.src)
+	}
+	if string(a.body) != string(leaderBody) {
+		t.Errorf("coalesced body = %q, want the leader's bytes", a.body)
+	}
+	st := statsFor(t, srv.URL, "emulate")
+	if st.Computed != 0 || st.Coalesced != 1 || st.OK != 1 {
+		t.Errorf("emulate stats computed=%d coalesced=%d ok=%d, want 0, 1, 1", st.Computed, st.Coalesced, st.OK)
+	}
+}
+
+// TestRequestTimeout runs a deliberately long evaluation under a tiny
+// deadline and expects 504 via context cancellation, proving the
+// deadline reaches the engine loops.
+func TestRequestTimeout(t *testing.T) {
+	_, srv := testServer(t, Options{Workers: 1, RequestTimeout: 20 * time.Millisecond})
+	status, body, _ := post(t, srv.URL, "/v1/montecarlo", `{"trials":1000000}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", status, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Fatalf("error body %q does not mention the deadline", body)
+	}
+	if st := statsFor(t, srv.URL, "montecarlo"); st.Errored != 1 {
+		t.Errorf("errored = %d, want 1", st.Errored)
+	}
+}
+
+// TestTimedOutResultNotCached checks a failed evaluation leaves no cache
+// entry behind: a retry with a generous deadline must recompute.
+func TestTimedOutResultNotCached(t *testing.T) {
+	api, srv := testServer(t, Options{Workers: 1, RequestTimeout: 20 * time.Millisecond})
+	status, _, _ := post(t, srv.URL, "/v1/montecarlo", `{"trials":1000000}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", status)
+	}
+	if n := api.cache.len(); n != 0 {
+		t.Fatalf("cache holds %d entries after a failed evaluation, want 0", n)
+	}
+}
+
+// Unit tests for the coalescing and caching primitives.
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const followers = 16
+	var wg sync.WaitGroup
+	results := make([][]byte, followers+1)
+	shared := make([]bool, followers+1)
+	run := func(i int) {
+		defer wg.Done()
+		body, status, sh := g.do("k", func() ([]byte, int) {
+			calls.Add(1)
+			<-release
+			return []byte("payload"), 200
+		})
+		if status != 200 {
+			t.Errorf("call %d: status %d", i, status)
+		}
+		results[i] = body
+		shared[i] = sh
+	}
+	wg.Add(1)
+	go run(0)
+	// Let the leader enter fn before the followers pile in. The flight
+	// map entry existing is the observable signal.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		n := len(g.m)
+		g.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader never registered its flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go run(i)
+	}
+	time.Sleep(10 * time.Millisecond) // give followers time to block on the flight
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	sharedCount := 0
+	for i, b := range results {
+		if string(b) != "payload" {
+			t.Errorf("call %d: body %q", i, b)
+		}
+		if shared[i] {
+			sharedCount++
+		}
+	}
+	if sharedCount != followers {
+		t.Errorf("%d calls reported shared, want %d", sharedCount, followers)
+	}
+	// After the flight closes, the same key starts a new evaluation.
+	_, _, sh := g.do("k", func() ([]byte, int) { calls.Add(1); return nil, 200 })
+	if sh || calls.Load() != 2 {
+		t.Errorf("post-flight call: shared=%v calls=%d, want fresh evaluation", sh, calls.Load())
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.add("a", []byte("A"))
+	c.add("b", []byte("B"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted prematurely")
+	}
+	c.add("c", []byte("C")) // evicts b: a was touched more recently
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	for key, want := range map[string]string{"a": "A", "c": "C"} {
+		got, ok := c.get(key)
+		if !ok || string(got) != want {
+			t.Fatalf("get(%q) = %q, %v; want %q", key, got, ok, want)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	// Re-adding an existing key updates in place, no growth.
+	c.add("a", []byte("A2"))
+	if got, _ := c.get("a"); string(got) != "A2" {
+		t.Fatalf("overwrite: get(a) = %q, want A2", got)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len after overwrite = %d, want 2", c.len())
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.add("a", []byte("A"))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatalf("disabled cache len = %d, want 0", c.len())
+	}
+}

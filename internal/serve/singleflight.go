@@ -1,0 +1,51 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent identical work: while a key's leader
+// call is in flight, every other caller with the same key blocks and
+// receives the leader's bytes instead of evaluating again. Keys are the
+// canonical request hashes (see canonicalKey), so two requests coalesce
+// exactly when their decoded, default-filled bodies are identical —
+// formatting, field order and omitted-default differences in the raw
+// JSON never split a flight.
+//
+// Unlike a result cache, a flight lives only as long as its leader: the
+// entry is removed before the followers are released, so a later
+// identical request starts a fresh evaluation (or hits the LRU above).
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress leader call.
+type flight struct {
+	done   chan struct{}
+	body   []byte
+	status int
+}
+
+// do runs fn once per key at a time. The boolean reports whether this
+// caller shared another caller's result (i.e. was coalesced).
+func (g *flightGroup) do(key string, fn func() ([]byte, int)) (body []byte, status int, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.body, f.status, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.body, f.status = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.body, f.status, false
+}

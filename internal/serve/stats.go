@@ -1,0 +1,63 @@
+package serve
+
+import "sync/atomic"
+
+// endpointStats counts one endpoint's request outcomes. All fields are
+// atomics; a /v1/stats read is a near-instant snapshot, not a consistent
+// cut — counters may be mid-update while it renders.
+type endpointStats struct {
+	requests    atomic.Int64 // every request routed to the endpoint
+	ok          atomic.Int64 // 200 responses (computed, coalesced or cached)
+	badRequests atomic.Int64 // 400: undecodable/invalid body or scenario
+	rejected    atomic.Int64 // 429: admission control refused the evaluation
+	errored     atomic.Int64 // 5xx: evaluation failure, timeout or shutdown
+	coalesced   atomic.Int64 // requests that shared another request's in-flight evaluation
+	cacheHits   atomic.Int64 // requests served from the LRU result cache
+	computed    atomic.Int64 // evaluations actually run (flight leaders)
+	evalMicros  atomic.Int64 // total wall-clock µs spent in those evaluations
+}
+
+// EndpointStats is the JSON snapshot of one endpoint's counters.
+type EndpointStats struct {
+	Requests    int64 `json:"requests"`
+	OK          int64 `json:"ok"`
+	BadRequests int64 `json:"bad_requests"`
+	Rejected    int64 `json:"rejected"`
+	Errored     int64 `json:"errored"`
+	Coalesced   int64 `json:"coalesced"`
+	CacheHits   int64 `json:"cache_hits"`
+	Computed    int64 `json:"computed"`
+	EvalMicros  int64 `json:"eval_micros"`
+}
+
+// snapshot captures the counters.
+func (s *endpointStats) snapshot() EndpointStats {
+	return EndpointStats{
+		Requests:    s.requests.Load(),
+		OK:          s.ok.Load(),
+		BadRequests: s.badRequests.Load(),
+		Rejected:    s.rejected.Load(),
+		Errored:     s.errored.Load(),
+		Coalesced:   s.coalesced.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		Computed:    s.computed.Load(),
+		EvalMicros:  s.evalMicros.Load(),
+	}
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	// InFlight is the number of evaluations currently holding an
+	// admission slot; MaxInFlight is the slot count.
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight"`
+	// CacheEntries / CacheCapacity describe the LRU result cache.
+	CacheEntries  int `json:"cache_entries"`
+	CacheCapacity int `json:"cache_capacity"`
+	// Workers is the evaluation pool width requests run with (0 = all
+	// cores at evaluation time).
+	Workers int `json:"workers"`
+	// Endpoints maps endpoint name (e.g. "balance") to its counters;
+	// JSON object keys render sorted, so the payload layout is stable.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}

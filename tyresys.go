@@ -65,6 +65,7 @@ import (
 	"repro/internal/rf"
 	"repro/internal/scavenger"
 	"repro/internal/sensing"
+	"repro/internal/serve"
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -327,6 +328,24 @@ func DefaultWorkers() int { return par.DefaultWorkers() }
 func RunMonteCarlo(cfg MonteCarlo, v Speed, trials int) (MonteCarloOutcome, error) {
 	return mc.Run(cfg, v, trials)
 }
+
+// Service types: the cmd/tyresysd analysis service, embeddable as an
+// http.Handler. The server coalesces identical in-flight requests,
+// caches results in an LRU above the per-node memo tables, bounds
+// concurrent evaluations (429 beyond the limit) and threads per-request
+// deadlines into the evaluation loops; /v1/stats exposes the counters.
+type (
+	// Server is the HTTP/JSON analysis service.
+	Server = serve.Server
+	// ServerOptions configure the service.
+	ServerOptions = serve.Options
+	// ServerStats is the /v1/stats payload shape.
+	ServerStats = serve.StatsResponse
+)
+
+// NewServer builds the analysis service. Mount it on any http.Server or
+// run cmd/tyresysd for the flag-configured standalone daemon.
+func NewServer(opts ServerOptions) *Server { return serve.NewServer(opts) }
 
 // StandardBatteryCells lists the primary-cell options E8 assesses.
 func StandardBatteryCells() []BatteryCell { return battery.StandardCells() }
