@@ -7,7 +7,7 @@
 // Usage:
 //
 //	tyresysd [-addr :8080] [-workers 0] [-max-inflight 16]
-//	         [-cache 512] [-timeout 60s]
+//	         [-cache 512] [-timeout 60s] [-log] [-pprof]
 //
 // Endpoints (request bodies are the tyreconfig scenario format plus
 // per-analysis parameters; empty body {} analyses the reference stack):
@@ -18,7 +18,15 @@
 //	POST /v1/optimize    technique search (breakeven or energy objective)
 //	POST /v1/emulate     long-window emulation over a driving cycle
 //	GET  /v1/stats       per-endpoint counters, cache and pool state
+//	GET  /v1/metrics     Prometheus text exposition (latency histograms,
+//	                     admission/cache/memo counters, pool saturation)
 //	GET  /v1/healthz     liveness (503 while draining)
+//
+// -log writes one structured line per analysis request to stderr
+// (endpoint, canonical-key prefix, result source, status, wall µs).
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ —
+// off by default because profiling endpoints don't belong on an
+// unattended service.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: listeners stop, in-flight
 // evaluations drain, then stragglers are cancelled.
@@ -35,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -45,24 +54,42 @@ func main() {
 	cacheEntries := flag.Int("cache", 512, "LRU result-cache capacity (negative disables)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-evaluation deadline (negative disables)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight evaluations")
+	logReqs := flag.Bool("log", false, "log one structured line per analysis request to stderr")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *maxInFlight, *cacheEntries, *timeout, *drain); err != nil {
+	if err := run(*addr, *workers, *maxInFlight, *cacheEntries, *timeout, *drain, *logReqs, *pprofOn); err != nil {
 		fmt.Fprintf(os.Stderr, "tyresysd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxInFlight, cacheEntries int, timeout, drain time.Duration) error {
-	api := serve.NewServer(serve.Options{
+func run(addr string, workers, maxInFlight, cacheEntries int, timeout, drain time.Duration, logReqs, pprofOn bool) error {
+	opts := serve.Options{
 		Workers:        workers,
 		MaxInFlight:    maxInFlight,
 		CacheEntries:   cacheEntries,
 		RequestTimeout: timeout,
-	})
+	}
+	if logReqs {
+		opts.Logger = obs.NewLineLogger(os.Stderr)
+	}
+	api := serve.NewServer(opts)
+
+	// The API server owns /v1; the outer mux exists only so pprof can be
+	// mounted beside it when asked for. Without -pprof the handler IS the
+	// API server and /debug/pprof/ 404s like any other unknown path.
+	var handler http.Handler = api
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", api)
+		obs.RegisterPprof(mux)
+		handler = mux
+	}
+
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           api,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/scavenger"
@@ -157,7 +158,14 @@ func (a *Analyzer) SweepCtx(ctx context.Context, vmin, vmax units.Speed, n int) 
 		v        units.Speed
 		gen, req float64
 	}
+	// The tracer is resolved once per sweep; with none attached the per
+	// point cost is a single nil check, and trace events never influence
+	// the evaluation (see internal/obs).
+	tr := obs.TracerFrom(ctx)
 	pts, err := par.MapCtx(ctx, a.workers, n, func(i int) (point, error) {
+		if tr != nil {
+			tr.SweepPoint(i, n)
+		}
 		frac := float64(i) / float64(n-1)
 		v := units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
 		r, err := a.RequiredPerRound(v)
@@ -225,7 +233,11 @@ func (a *Analyzer) BreakEvenCtx(ctx context.Context, vmin, vmax units.Speed) (Br
 		frac := float64(i) / scanPoints
 		return units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
 	}
+	tr := obs.TracerFrom(ctx)
 	idx, err := par.FirstCtx(ctx, a.workers, scanPoints+1, func(i int) (bool, error) {
+		if tr != nil {
+			tr.SweepPoint(i, scanPoints+1)
+		}
 		m, err := a.MarginPerRound(speedAt(i))
 		if err != nil {
 			return false, err

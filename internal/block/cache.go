@@ -27,6 +27,10 @@ type powerCache struct {
 	// pure-miss workload degenerates to the uncached computation plus two
 	// atomic integer operations. Perf-only state: it never changes values.
 	missStreak atomic.Uint32
+	// hits/misses are cumulative instrumentation counters surfaced by
+	// Block.CacheStats; bypassed lookups count as misses (they compute
+	// exactly what a probe-and-miss would). Never read on the split path.
+	hits, misses atomic.Uint64
 }
 
 // splitSlots is a power of two so the hash masks cheaply.
@@ -87,6 +91,7 @@ func (b *Block) split(m Mode, cond power.Conditions) (splitVal, error) {
 	c := b.pcache
 	if streak := c.missStreak.Load(); streak >= bypassAfter && streak%probeEvery != 0 {
 		c.missStreak.Add(1)
+		c.misses.Add(1)
 		d, s := spec.Model.Split(cond, spec.Clock)
 		return splitVal{dynamic: d, static: s}, nil
 	}
@@ -94,11 +99,32 @@ func (b *Block) split(m Mode, cond power.Conditions) (splitVal, error) {
 	slot := &c.splits[k.hash()&(splitSlots-1)]
 	if e := slot.Load(); e != nil && e.key == k {
 		c.missStreak.Store(0)
+		c.hits.Add(1)
 		return e.val, nil
 	}
 	c.missStreak.Add(1)
+	c.misses.Add(1)
 	d, s := spec.Model.Split(cond, spec.Clock)
 	v := splitVal{dynamic: d, static: s}
 	slot.Store(&splitEntry{key: k, val: v})
 	return v, nil
+}
+
+// CacheStats is a point-in-time snapshot of the block's power-split memo
+// table: cumulative hits and misses plus the live consecutive-miss streak
+// driving the adaptive bypass. Instrumentation only — reading it never
+// perturbs the cache, and the fields are read individually, not as one
+// consistent cut.
+type CacheStats struct {
+	Hits, Misses uint64
+	MissStreak   uint32
+}
+
+// CacheStats snapshots the block's memo counters.
+func (b *Block) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:       b.pcache.hits.Load(),
+		Misses:     b.pcache.misses.Load(),
+		MissStreak: b.pcache.missStreak.Load(),
+	}
 }

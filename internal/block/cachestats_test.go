@@ -1,0 +1,61 @@
+package block
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// TestCacheStatsCountsSplits pins the CacheStats accessor the analysis
+// service's metrics endpoint reads: first lookup misses, identical
+// repeat hits, and bypassed lookups (sustained miss streak) keep
+// counting as misses with the streak visible.
+func TestCacheStatsCountsSplits(t *testing.T) {
+	b, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := power.Conditions{Temp: units.DegC(25), Vdd: units.Volts(1.8), Corner: power.Corner(0)}
+
+	if s := b.CacheStats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("fresh block stats = %+v, want zeros", s)
+	}
+	if _, err := b.Power(Active, cond); err != nil {
+		t.Fatal(err)
+	}
+	if s := b.CacheStats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("after first lookup: %+v, want exactly one miss", s)
+	}
+	if _, err := b.Power(Active, cond); err != nil {
+		t.Fatal(err)
+	}
+	if s := b.CacheStats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("after repeat lookup: %+v, want one hit, one miss", s)
+	}
+
+	// A thermal-transient-shaped workload: every condition fresh. The
+	// cache flips into bypass past bypassAfter consecutive misses; the
+	// bypassed lookups must still be accounted as misses.
+	const fresh = bypassAfter + 10
+	for i := 0; i < fresh; i++ {
+		c := power.Conditions{
+			Temp:   units.DegC(25 + float64(i+1)*0.01),
+			Vdd:    units.Volts(1.8),
+			Corner: power.Corner(0),
+		}
+		if _, err := b.Power(Active, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := b.CacheStats()
+	if s.MissStreak < bypassAfter {
+		t.Errorf("miss streak = %d, want >= %d (bypass engaged)", s.MissStreak, bypassAfter)
+	}
+	if want := uint64(1 + fresh); s.Misses != want {
+		t.Errorf("misses = %d, want %d (bypassed lookups count as misses)", s.Misses, want)
+	}
+	if s.Hits != 1 {
+		t.Errorf("hits = %d, want 1 (fresh conditions never hit)", s.Hits)
+	}
+}

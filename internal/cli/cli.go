@@ -87,6 +87,24 @@ func ResolveStack(cfgPath string, capUF, ambientC float64) (Stack, error) {
 	return DefaultStack(capUF, ambientC)
 }
 
+// CycleNames lists the built-in driving-cycle names Cycle accepts, in
+// the order the CLI help text documents them. "" (meaning mixed) is
+// accepted too but not listed.
+func CycleNames() []string {
+	return []string{"urban", "extraurban", "highway", "wltp", "mixed"}
+}
+
+// KnownCycle reports whether name resolves via Cycle without error.
+// It lets request validation reject a bad cycle before any evaluation
+// resources are committed, without building the profile twice.
+func KnownCycle(name string) bool {
+	switch name {
+	case "urban", "extraurban", "highway", "wltp", "mixed", "":
+		return true
+	}
+	return false
+}
+
 // Cycle resolves a built-in driving-cycle name ("" means mixed).
 func Cycle(name string, repeat int) (profile.Profile, error) {
 	var base profile.Profile

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/profile"
 	"repro/internal/scavenger"
@@ -213,6 +214,9 @@ func (e *Emulator) RunCtx(ctx context.Context, p profile.Profile) (*Result, erro
 	}
 	end := p.Duration()
 
+	// Resolved once per run: an absent tracer costs one nil check per
+	// round, and trace events never influence the emulation.
+	tr := obs.TracerFrom(ctx)
 	var steps int64
 	for t < end {
 		if steps%cancelCheckEvery == 0 {
@@ -221,6 +225,9 @@ func (e *Emulator) RunCtx(ctx context.Context, p profile.Profile) (*Result, erro
 			}
 		}
 		steps++
+		if tr != nil {
+			tr.EmuRound(steps)
+		}
 		v := p.SpeedAt(t)
 		moving := v >= cfg.MinMonitorSpeed && cfg.Node.RoundPeriod(v) > 0
 		var dt units.Seconds

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/power"
 	"repro/internal/scavenger"
@@ -159,7 +160,13 @@ func RunCtx(ctx context.Context, cfg Config, v units.Speed, trials int) (Outcome
 		vdd := units.Volts(math.Max(cfg.Vdd.Volts()+rng.NormFloat64()*cfg.VddSigma, 0.1))
 		conds[i] = power.Conditions{Temp: temp, Vdd: vdd, Corner: corner}
 	}
+	// Tracer resolved once per run: no tracer means one nil check per
+	// trial, and trace events never touch the statistics.
+	tr := obs.TracerFrom(ctx)
 	margins, err := par.MapCtx(ctx, cfg.Workers, trials, func(i int) (units.Energy, error) {
+		if tr != nil {
+			tr.MCTrial(i, trials)
+		}
 		req, err := cfg.Node.AverageRound(v, conds[i])
 		if err != nil {
 			return 0, err

@@ -130,6 +130,12 @@ type restEntry struct {
 
 // evalCache is the node's memo store. All methods are safe for concurrent
 // use; the parallel evaluation engine shares one node across its workers.
+//
+// The per-table hit/miss counters are instrumentation only (surfaced
+// through Node.CacheStats for the service metrics endpoint): they are
+// plain atomic adds on paths that already touch shared atomics, never
+// feed back into any caching decision, and cost well under the 2%
+// overhead budget the observability layer is held to.
 type evalCache struct {
 	plans  [planSlots]atomic.Pointer[planEntry]
 	rounds [roundSlots]atomic.Pointer[roundEntry]
@@ -137,6 +143,11 @@ type evalCache struct {
 
 	roundMiss atomic.Uint32
 	restMiss  atomic.Uint32
+
+	planHits, planMisses   atomic.Uint64
+	roundHits, roundMisses atomic.Uint64
+	restHits, restMisses   atomic.Uint64
+	avgHits, avgMisses     atomic.Uint64
 
 	mu   sync.Mutex
 	avgs map[avgKey]Breakdown
@@ -156,10 +167,31 @@ func newEvalCache() *evalCache {
 	return &evalCache{avgs: make(map[avgKey]Breakdown)}
 }
 
+// bypassRound / bypassRest are the counting wrappers the plan.go callers
+// use: a bypassed lookup computes exactly what a probe-and-miss would, so
+// it is accounted as a miss.
+func (c *evalCache) bypassRound() bool {
+	if bypass(&c.roundMiss) {
+		c.roundMisses.Add(1)
+		return true
+	}
+	return false
+}
+
+func (c *evalCache) bypassRest() bool {
+	if bypass(&c.restMiss) {
+		c.restMisses.Add(1)
+		return true
+	}
+	return false
+}
+
 func (c *evalCache) plan(k planKey) (*Plan, bool) {
 	if e := c.plans[k.hash()&(planSlots-1)].Load(); e != nil && e.key == k {
+		c.planHits.Add(1)
 		return e.p, true
 	}
+	c.planMisses.Add(1)
 	return nil, false
 }
 
@@ -170,9 +202,11 @@ func (c *evalCache) storePlan(k planKey, p *Plan) {
 func (c *evalCache) round(k energyKey) (Breakdown, bool) {
 	if e := c.rounds[k.hash()&(roundSlots-1)].Load(); e != nil && e.key == k {
 		c.roundMiss.Store(0)
+		c.roundHits.Add(1)
 		return e.bd, true
 	}
 	c.roundMiss.Add(1)
+	c.roundMisses.Add(1)
 	return Breakdown{}, false
 }
 
@@ -184,6 +218,11 @@ func (c *evalCache) avg(k avgKey) (Breakdown, bool) {
 	c.mu.Lock()
 	bd, ok := c.avgs[k]
 	c.mu.Unlock()
+	if ok {
+		c.avgHits.Add(1)
+	} else {
+		c.avgMisses.Add(1)
+	}
 	return bd, ok
 }
 
@@ -199,9 +238,11 @@ func (c *evalCache) storeAvg(k avgKey, bd Breakdown) {
 func (c *evalCache) restPower(cond power.Conditions) (units.Power, bool) {
 	if e := c.rest[condHash(cond)&(restSlots-1)].Load(); e != nil && e.cond == cond {
 		c.restMiss.Store(0)
+		c.restHits.Add(1)
 		return e.p, true
 	}
 	c.restMiss.Add(1)
+	c.restMisses.Add(1)
 	return 0, false
 }
 
@@ -216,4 +257,45 @@ func (n *Node) WithoutCache() *Node {
 	cp := *n
 	cp.cache = nil
 	return &cp
+}
+
+// CacheStats is a point-in-time snapshot of the node's memoization
+// tables: cumulative hit/miss counts per table plus the live
+// consecutive-miss streaks that drive the adaptive bypass (a streak at or
+// past the bypass threshold means the condition-keyed tables are being
+// skipped). Counts are read individually from atomics, not as one
+// consistent cut — adjacent fields may be mid-update relative to each
+// other, which is fine for rate observation. A bypassed lookup counts as
+// a miss: it computes exactly what a probe-and-miss would.
+type CacheStats struct {
+	PlanHits, PlanMisses   uint64
+	RoundHits, RoundMisses uint64
+	RestHits, RestMisses   uint64
+	AvgHits, AvgMisses     uint64
+	// RoundMissStreak / RestMissStreak are the current consecutive-miss
+	// streaks of the two bypass-guarded tables.
+	RoundMissStreak, RestMissStreak uint32
+}
+
+// CacheStats snapshots the node's memo-table counters. A node built by
+// WithoutCache reports zeros. The snapshot is instrumentation for the
+// analysis service's metrics endpoint; reading it never perturbs the
+// cache.
+func (n *Node) CacheStats() CacheStats {
+	c := n.cache
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		PlanHits:        c.planHits.Load(),
+		PlanMisses:      c.planMisses.Load(),
+		RoundHits:       c.roundHits.Load(),
+		RoundMisses:     c.roundMisses.Load(),
+		RestHits:        c.restHits.Load(),
+		RestMisses:      c.restMisses.Load(),
+		AvgHits:         c.avgHits.Load(),
+		AvgMisses:       c.avgMisses.Load(),
+		RoundMissStreak: c.roundMiss.Load(),
+		RestMissStreak:  c.restMiss.Load(),
+	}
 }

@@ -1,0 +1,51 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// TestCacheStatsCountsHitsAndMisses pins the CacheStats accessor the
+// analysis service's metrics endpoint reads: a fresh node reports zeros,
+// a first evaluation records misses, an identical repeat records hits,
+// and a cache-disabled node stays at zero.
+func TestCacheStatsCountsHitsAndMisses(t *testing.T) {
+	n := defaultNode(t)
+	cond := power.Conditions{Temp: units.DegC(25), Vdd: units.Volts(1.8), Corner: power.Corner(0)}
+	v := kmh(60)
+
+	if s := n.CacheStats(); s != (CacheStats{}) {
+		t.Fatalf("fresh node stats = %+v, want zeros", s)
+	}
+	if _, err := n.AverageRound(v, cond); err != nil {
+		t.Fatal(err)
+	}
+	s1 := n.CacheStats()
+	if s1.AvgMisses == 0 || s1.PlanMisses == 0 || s1.RoundMisses == 0 {
+		t.Fatalf("first evaluation recorded no misses: %+v", s1)
+	}
+	if s1.AvgHits != 0 {
+		t.Fatalf("first evaluation recorded an avg hit: %+v", s1)
+	}
+
+	if _, err := n.AverageRound(v, cond); err != nil {
+		t.Fatal(err)
+	}
+	s2 := n.CacheStats()
+	if s2.AvgHits != s1.AvgHits+1 {
+		t.Errorf("repeat AverageRound: avg hits %d -> %d, want one more", s1.AvgHits, s2.AvgHits)
+	}
+	if s2.AvgMisses != s1.AvgMisses {
+		t.Errorf("repeat AverageRound added avg misses: %d -> %d", s1.AvgMisses, s2.AvgMisses)
+	}
+
+	bare := n.WithoutCache()
+	if _, err := bare.AverageRound(v, cond); err != nil {
+		t.Fatal(err)
+	}
+	if s := bare.CacheStats(); s != (CacheStats{}) {
+		t.Errorf("WithoutCache stats = %+v, want zeros", s)
+	}
+}

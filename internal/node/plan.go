@@ -216,7 +216,7 @@ func (bd Breakdown) Total() units.Energy {
 // returned Breakdown's PerBlock map is shared and must be treated as
 // read-only.
 func (n *Node) RoundEnergy(p *Plan, cond power.Conditions) (Breakdown, error) {
-	if n.cache == nil || p.key == nil || bypass(&n.cache.roundMiss) {
+	if n.cache == nil || p.key == nil || n.cache.bypassRound() {
 		return n.costRound(p, cond)
 	}
 	key := energyKey{plan: *p.key, cond: cond}
@@ -453,7 +453,7 @@ func (n *Node) DutyCycles(v units.Speed, cond power.Conditions) ([]DutyCycle, er
 // no wheel round exists to schedule; results are memoized per Conditions
 // so idle stretches cost one table lookup per step.
 func (n *Node) RestPower(cond power.Conditions) (units.Power, error) {
-	if n.cache == nil || bypass(&n.cache.restMiss) {
+	if n.cache == nil || n.cache.bypassRest() {
 		return n.restPower(cond)
 	}
 	if p, ok := n.cache.restPower(cond); ok {

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Record is the structured log entry for one served analysis request:
+// enough to attribute a response to its canonical request identity and
+// to its result source without ever logging the request body.
+type Record struct {
+	// Time is when the request finished.
+	Time time.Time
+	// Endpoint is the analysis endpoint name (e.g. "balance").
+	Endpoint string
+	// Key is a prefix of the canonical request key — long enough to
+	// correlate coalesced/cached requests, short enough to keep lines
+	// compact. Empty when the request was rejected before keying.
+	Key string
+	// Source is where the response bytes came from: "computed",
+	// "coalesced" or "cache"; empty for rejections and errors that
+	// never produced a result.
+	Source string
+	// Status is the HTTP status written.
+	Status int
+	// WallMicros is the request's wall-clock time in microseconds,
+	// decode to last response byte.
+	WallMicros int64
+}
+
+// Logger is the pluggable request-log hook. Implementations must be safe
+// for concurrent use; the server calls it once per analysis request,
+// after the response is written, so a slow logger can delay the handler
+// goroutine but never the response.
+type Logger interface {
+	LogRequest(Record)
+}
+
+// LineLogger writes one logfmt-style line per record to an io.Writer,
+// serialised by a mutex so concurrent handlers never interleave lines.
+type LineLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLineLogger returns a LineLogger writing to w.
+func NewLineLogger(w io.Writer) *LineLogger {
+	return &LineLogger{w: w}
+}
+
+// LogRequest renders the record as a single line:
+//
+//	time=2026-08-05T12:00:00.000Z endpoint=balance key=balance:ab12cd34 source=computed status=200 wall_us=532
+func (l *LineLogger) LogRequest(rec Record) {
+	key := rec.Key
+	if key == "" {
+		key = "-"
+	}
+	source := rec.Source
+	if source == "" {
+		source = "-"
+	}
+	line := fmt.Sprintf("time=%s endpoint=%s key=%s source=%s status=%d wall_us=%d\n",
+		rec.Time.UTC().Format("2006-01-02T15:04:05.000Z"),
+		rec.Endpoint, key, source, rec.Status, rec.WallMicros)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, line)
+}

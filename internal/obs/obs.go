@@ -1,0 +1,256 @@
+// Package obs is the toolkit's zero-dependency observability layer:
+// counters, gauges and fixed-bucket histograms rendered in the Prometheus
+// text exposition format, a structured per-request log record, an
+// evaluation-trace hook threaded through context, and opt-in
+// net/http/pprof wiring. The analysis service (internal/serve) uses it to
+// make the engine's memo-hit rates, admission-slot occupancy and request
+// latencies observable without changing a single response byte.
+//
+// The package deliberately mirrors the discipline of the paper's own
+// methodology: energy accounting is only trustworthy when every
+// contribution is attributed exactly, and the same holds for the service
+// serving those numbers. Everything here is instrumentation-only — no
+// metric, log line or trace event may influence evaluation results, and
+// every primitive is safe for concurrent use.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric label pair. Labels render in the order given at
+// registration, so a fixed registration order yields a byte-stable
+// exposition.
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing metric value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotonic;
+// this is not checked — counters are trusted internal plumbing).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket histogram of float64 observations (the
+// service uses seconds). Buckets are cumulative at render time, matching
+// the Prometheus exposition; observations above the highest bound land
+// only in the implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // one per bound; +Inf is implicit via total
+	total   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefLatencyBuckets are the default request-latency bucket bounds in
+// seconds: sub-millisecond cache hits through the 60 s default deadline.
+var DefLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// newHistogram builds a histogram over sorted bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	for i, bound := range h.bounds {
+		if v <= bound {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// metricKind is the TYPE line value of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one labelled sample (or histogram) within a family.
+type series struct {
+	labels []Label
+	value  func() float64 // counter/gauge
+	hist   *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format (version 0.0.4). Families and series render in
+// registration order, so a fixed wiring order produces a byte-stable
+// layout — values aside. Registration is expected at construction time;
+// it is mutex-guarded anyway so late additions stay safe.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register appends a series under name, creating the family on first use.
+func (r *Registry) register(name, help string, kind metricKind, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.byName[name] = f
+		r.fams = append(r.fams, f)
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, &series{
+		labels: labels,
+		value:  func() float64 { return float64(c.Value()) },
+	})
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// render time — how pre-existing atomic counters (endpoint stats, cache
+// counters) are surfaced without double accounting.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindCounter, &series{labels: labels, value: fn})
+}
+
+// GaugeFunc registers a gauge series read from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, &series{labels: labels, value: fn})
+}
+
+// Histogram registers and returns a histogram series over the given
+// bucket bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := newHistogram(bounds)
+	r.register(name, help, kindHistogram, &series{labels: labels, hist: h})
+	return h
+}
+
+// WriteText renders the registry in the Prometheus text format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			if s.hist != nil {
+				writeHistogram(&b, f.name, s)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(s.labels), formatValue(s.value()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with an
+// le label, the implicit +Inf bucket, then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	var cum int64
+	for i, bound := range s.hist.bounds {
+		cum += s.hist.counts[i].Load()
+		labels := append(append([]Label(nil), s.labels...), Label{"le", formatValue(bound)})
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(labels), cum)
+	}
+	total := s.hist.Count()
+	labels := append(append([]Label(nil), s.labels...), Label{"le", "+Inf"})
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(labels), total)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, renderLabels(s.labels), formatValue(s.hist.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, renderLabels(s.labels), total)
+}
+
+// renderLabels formats a label set as {k="v",...}, empty for no labels.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip float, so integral values print without a decimal point.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, quotes and newlines in label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryRendersPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests served.", Label{"endpoint", "balance"})
+	c.Add(3)
+	r.CounterFunc("test_requests_total", "Requests served.",
+		func() float64 { return 7 }, Label{"endpoint", "emulate"})
+	r.GaugeFunc("test_inflight", "Evaluations in flight.", func() float64 { return 2 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1}, Label{"endpoint", "balance"})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total{endpoint="balance"} 3
+test_requests_total{endpoint="emulate"} 7
+# HELP test_inflight Evaluations in flight.
+# TYPE test_inflight gauge
+test_inflight 2
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{endpoint="balance",le="0.1"} 1
+test_latency_seconds_bucket{endpoint="balance",le="1"} 2
+test_latency_seconds_bucket{endpoint="balance",le="+Inf"} 3
+test_latency_seconds_sum{endpoint="balance"} 5.55
+test_latency_seconds_count{endpoint="balance"} 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3})
+	var wg sync.WaitGroup
+	const n = 100
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h.Observe(float64(i % 5))
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != n {
+		t.Errorf("count = %d, want %d", h.Count(), n)
+	}
+	// 0+1+2+3+4 per 5 observations.
+	if want := float64(n / 5 * 10); h.Sum() != want {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("esc", "line\none", func() float64 { return 1 },
+		Label{"k", `va"l\ue` + "\n"})
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP esc line\none`) {
+		t.Errorf("help not escaped: %q", out)
+	}
+	if !strings.Contains(out, `esc{k="va\"l\\ue\n"} 1`) {
+		t.Errorf("label not escaped: %q", out)
+	}
+}
+
+func TestLineLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLineLogger(&buf)
+	l.LogRequest(Record{
+		Time:       time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		Endpoint:   "balance",
+		Key:        "balance:ab12cd34",
+		Source:     "computed",
+		Status:     200,
+		WallMicros: 532,
+	})
+	l.LogRequest(Record{Time: time.Unix(0, 0), Endpoint: "emulate", Status: 400, WallMicros: 7})
+	want := "time=2026-08-05T12:00:00.000Z endpoint=balance key=balance:ab12cd34 source=computed status=200 wall_us=532\n" +
+		"time=1970-01-01T00:00:00.000Z endpoint=emulate key=- source=- status=400 wall_us=7\n"
+	if got := buf.String(); got != want {
+		t.Errorf("log lines:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// countingTracer counts events; used across the serve tests too.
+type countingTracer struct {
+	sweep, trial, round int64
+	mu                  sync.Mutex
+}
+
+func (c *countingTracer) SweepPoint(i, n int) { c.mu.Lock(); c.sweep++; c.mu.Unlock() }
+func (c *countingTracer) MCTrial(i, n int)    { c.mu.Lock(); c.trial++; c.mu.Unlock() }
+func (c *countingTracer) EmuRound(step int64) { c.mu.Lock(); c.round++; c.mu.Unlock() }
+
+func TestTracerContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if got := TracerFrom(ctx); got != nil {
+		t.Fatalf("TracerFrom(empty) = %v, want nil", got)
+	}
+	if got := WithTracer(ctx, nil); got != ctx {
+		t.Fatal("WithTracer(nil) must return the context unchanged")
+	}
+	tr := &countingTracer{}
+	got := TracerFrom(WithTracer(ctx, tr))
+	if got != Tracer(tr) {
+		t.Fatalf("TracerFrom = %v, want the attached tracer", got)
+	}
+}
+
+func TestRegisterPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	RegisterPprof(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d, want 200", resp.StatusCode)
+	}
+	// A mux without the registration must not serve the routes.
+	bare := httptest.NewServer(http.NewServeMux())
+	defer bare.Close()
+	resp2, err := http.Get(bare.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("unregistered mux serves pprof — opt-in broken")
+	}
+}

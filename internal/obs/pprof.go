@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof mounts the net/http/pprof handlers under /debug/pprof/
+// on mux. It exists so profiling stays opt-in: tyresysd only calls this
+// behind its -pprof flag, and a server built without it exposes nothing
+// — the pprof import's side registration on http.DefaultServeMux never
+// reaches a hand-built mux.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

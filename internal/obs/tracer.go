@@ -1,0 +1,45 @@
+package obs
+
+import "context"
+
+// Tracer receives coarse-grained evaluation progress events so long
+// evaluations are attributable while they run: which sweep point, Monte
+// Carlo trial or emulation round the engine is on. Implementations must
+// be safe for concurrent use — sweep points and trials are delivered
+// from the parallel pool's worker goroutines — and must be cheap or
+// sampling: the emulator steps millions of rounds in a long window.
+//
+// Tracing is instrumentation only. The engine never lets a tracer
+// influence results: events carry indices, not values, and a traced run
+// is byte-identical to an untraced one.
+type Tracer interface {
+	// SweepPoint reports one evaluated point of a balance sweep or
+	// break-even scan (index in [0, total)).
+	SweepPoint(index, total int)
+	// MCTrial reports one evaluated Monte Carlo trial (index in
+	// [0, total)).
+	MCTrial(index, total int)
+	// EmuRound reports one emulation step (a wheel round while moving,
+	// a stopped-interval step otherwise). step counts from 1.
+	EmuRound(step int64)
+}
+
+// tracerKey is the context key for the evaluation tracer.
+type tracerKey struct{}
+
+// WithTracer returns a context carrying t; a nil t returns ctx unchanged
+// so the engine's nil-tracer fast path stays a single comparison.
+func WithTracer(ctx context.Context, t Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil. Engine loops call
+// this once per evaluation and branch on nil per event — the fast path
+// with no tracer attached is one pointer comparison per event.
+func TracerFrom(ctx context.Context) Tracer {
+	t, _ := ctx.Value(tracerKey{}).(Tracer)
+	return t
+}

@@ -1,0 +1,55 @@
+package par
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestActiveWorkersGauge pins the pool-saturation gauge the analysis
+// service's metrics endpoint reads: zero when idle, at least one (and
+// never more than the pool width) inside a running body, zero again
+// after the pool drains.
+func TestActiveWorkersGauge(t *testing.T) {
+	if n := ActiveWorkers(); n != 0 {
+		t.Fatalf("idle gauge = %d, want 0", n)
+	}
+
+	// Serial branch (workers == 1): the caller itself is the worker.
+	serial := 0
+	if err := ForEach(1, 3, func(i int) error {
+		if n := ActiveWorkers(); n > serial {
+			serial = n
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if serial != 1 {
+		t.Errorf("serial gauge inside body = %d, want 1", serial)
+	}
+
+	// Parallel branch: the gauge must stay within [1, workers]. The
+	// exact peak depends on scheduling, so only the bounds are pinned.
+	const workers = 4
+	var mu sync.Mutex
+	peak := 0
+	if err := ForEach(workers, 64, func(i int) error {
+		n := ActiveWorkers()
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if peak < 1 || peak > workers {
+		t.Errorf("parallel gauge peak = %d, want within [1, %d]", peak, workers)
+	}
+	if n := ActiveWorkers(); n != 0 {
+		t.Errorf("gauge after drain = %d, want 0", n)
+	}
+}

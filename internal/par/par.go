@@ -25,6 +25,19 @@ import (
 // call time" so the pool follows the scheduler default.
 var defaultWorkers atomic.Int64
 
+// activeWorkers counts goroutines (or the calling goroutine, in the
+// serial fast path) currently executing inside a ForEachCtx body,
+// process-wide. Pure instrumentation for the service's saturation gauge:
+// two atomic adds per pool entry/exit, amortised over the whole batch,
+// never read on the evaluation path.
+var activeWorkers atomic.Int64
+
+// ActiveWorkers reports how many pool workers are currently evaluating,
+// across every concurrent ForEach/Map/First call in the process.
+func ActiveWorkers() int {
+	return int(activeWorkers.Load())
+}
+
 // SetDefaultWorkers sets the process-wide default pool width used by every
 // analysis entry point whose Workers option is zero. n <= 0 restores the
 // GOMAXPROCS default. The cmd/* binaries expose this as their -workers
@@ -81,6 +94,8 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 		workers = n
 	}
 	if workers <= 1 {
+		activeWorkers.Add(1)
+		defer activeWorkers.Add(-1)
 		var firstErr error
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
@@ -99,6 +114,8 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			activeWorkers.Add(1)
+			defer activeWorkers.Add(-1)
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Regression tests for the serving-path correctness fixes: failed
+// flight leaders no longer poison their followers, explicit zero-valued
+// fields no longer coalesce with defaults, unknown cycle names 400 at
+// decode time, and the marshalling fallback keeps the newline contract.
+
+// TestFlightGroupRetriesAfterFailedLeader drives the flight group
+// directly: followers blocked on a leader that fails must not inherit
+// the failure — each retries and ends with its own (or a retry
+// leader's) 200.
+func TestFlightGroupRetriesAfterFailedLeader(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var leaderRuns, retryRuns atomic.Int64
+
+	leaderDone := make(chan int, 1)
+	go func() {
+		_, status, _ := g.do("k", func() ([]byte, int) {
+			leaderRuns.Add(1)
+			close(started)
+			<-release
+			return []byte(`{"error":"overloaded"}` + "\n"), http.StatusTooManyRequests
+		})
+		leaderDone <- status
+	}()
+	<-started
+
+	const followers = 3
+	type outcome struct {
+		status int
+		body   string
+		shared bool
+	}
+	results := make(chan outcome, followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			body, status, shared := g.do("k", func() ([]byte, int) {
+				retryRuns.Add(1)
+				return []byte("ok\n"), http.StatusOK
+			})
+			results <- outcome{status, string(body), shared}
+		}()
+	}
+	waitFor(t, func() bool { return g.waiting("k") == followers })
+	close(release)
+
+	if status := <-leaderDone; status != http.StatusTooManyRequests {
+		t.Fatalf("leader status = %d, want 429", status)
+	}
+	for i := 0; i < followers; i++ {
+		r := <-results
+		if r.status != http.StatusOK || r.body != "ok\n" {
+			t.Errorf("follower inherited leader failure: status %d body %q", r.status, r.body)
+		}
+	}
+	if n := leaderRuns.Load(); n != 1 {
+		t.Errorf("leader fn ran %d times, want 1", n)
+	}
+	if n := retryRuns.Load(); n < 1 || n > followers {
+		t.Errorf("retry fn ran %d times, want within [1, %d]", n, followers)
+	}
+	if n := g.waiting("k"); n != 0 {
+		t.Errorf("waiters after completion = %d, want 0", n)
+	}
+}
+
+// TestFollowerRetriesAfterLeader429 exercises the same contract through
+// the full HTTP pipeline: a request that coalesces onto a leader which
+// then fails with 429 must retry, evaluate for itself and answer 200 —
+// and the stats must show a computed success, never a rejection or a
+// coalesced increment.
+func TestFollowerRetriesAfterLeader429(t *testing.T) {
+	api, ts := testServer(t, Options{Workers: 1, MaxInFlight: 2, CacheEntries: -1})
+
+	req := EmulateRequest{SpeedKMH: 40, Minutes: 1}
+	req.defaults()
+	key, err := canonicalKey("emulate", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install a fake in-flight leader under the follower's canonical key.
+	f := &flight{done: make(chan struct{})}
+	api.flights.mu.Lock()
+	api.flights.m = map[string]*flight{key: f}
+	api.flights.mu.Unlock()
+
+	type reply struct {
+		status int
+		source string
+		err    error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/emulate", "application/json",
+			strings.NewReader(`{"speed_kmh":40,"minutes":1}`))
+		if err != nil {
+			ch <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		ch <- reply{status: resp.StatusCode, source: resp.Header.Get("X-Result-Source")}
+	}()
+
+	// Once the request is blocked on the fake leader, fail the leader the
+	// way the real admission path would.
+	waitFor(t, func() bool { return api.flights.waiting(key) == 1 })
+	f.body = mustMarshal(errorBody{"overloaded: too many evaluations in flight"})
+	f.status = http.StatusTooManyRequests
+	api.flights.mu.Lock()
+	delete(api.flights.m, key)
+	api.flights.mu.Unlock()
+	close(f.done)
+
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("follower of failed leader answered %d, want 200", r.status)
+	}
+	if r.source != "computed" {
+		t.Fatalf("result source = %q, want \"computed\" (the retry evaluated for itself)", r.source)
+	}
+	st := statsFor(t, ts.URL, "emulate")
+	if st.OK != 1 || st.Rejected != 0 || st.Coalesced != 0 || st.Computed != 1 {
+		t.Errorf("stats after retry = %+v, want ok=1 rejected=0 coalesced=0 computed=1", st)
+	}
+}
+
+// TestExplicitZeroFieldsDistinctKeys pins the presence-tracking fix:
+// an explicit zero in a presence-tracked field is a different request
+// than an omitted field, while spelling out the default still coalesces
+// with omitting it (canonical-key stability).
+func TestExplicitZeroFieldsDistinctKeys(t *testing.T) {
+	mcKey := func(body string) string {
+		t.Helper()
+		var req MonteCarloRequest
+		if err := decodeStrict(strings.NewReader(body), &req); err != nil {
+			t.Fatal(err)
+		}
+		req.defaults()
+		if err := req.validate(); err != nil {
+			t.Fatal(err)
+		}
+		key, err := canonicalKey("montecarlo", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return key
+	}
+	emuKey := func(body string) string {
+		t.Helper()
+		var req EmulateRequest
+		if err := decodeStrict(strings.NewReader(body), &req); err != nil {
+			t.Fatal(err)
+		}
+		req.defaults()
+		if err := req.validate(); err != nil {
+			t.Fatal(err)
+		}
+		key, err := canonicalKey("emulate", req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return key
+	}
+
+	base := mcKey(`{"speed_kmh":80,"trials":64}`)
+	if mcKey(`{"speed_kmh":80,"trials":64,"seed":0}`) == base {
+		t.Error("explicit seed 0 coalesced with omitted seed (default 1)")
+	}
+	if mcKey(`{"speed_kmh":80,"trials":64,"seed":1}`) != base {
+		t.Error("explicit seed 1 (the default) split from omitted seed")
+	}
+	if mcKey(`{"speed_kmh":80,"trials":64,"temp_sigma_c":0}`) == base {
+		t.Error("explicit temp_sigma_c 0 coalesced with omitted (default 5)")
+	}
+	if mcKey(`{"speed_kmh":80,"trials":64,"temp_sigma_c":5,"vdd_sigma_v":0.05}`) != base {
+		t.Error("spelled-out sigma defaults split from omitted sigmas")
+	}
+
+	emuBase := emuKey(`{"speed_kmh":50,"minutes":2}`)
+	if emuKey(`{"speed_kmh":50,"minutes":2,"initial_v":0}`) == emuBase {
+		t.Error("explicit initial_v 0 (drained buffer) coalesced with omitted initial_v (restart threshold)")
+	}
+	if emuKey(`{"cycle":"mixed"}`) != emuKey(`{}`) {
+		t.Error("spelled-out default cycle split from omitted cycle")
+	}
+
+	// End to end: the explicit-zero requests are valid and evaluate.
+	_, ts := testServer(t, Options{Workers: 2, CacheEntries: -1})
+	for _, rq := range []struct{ path, body string }{
+		{"/v1/montecarlo", `{"speed_kmh":80,"trials":64,"seed":0}`},
+		{"/v1/montecarlo", `{"speed_kmh":80,"trials":64,"temp_sigma_c":0,"vdd_sigma_v":0}`},
+		{"/v1/emulate", `{"speed_kmh":50,"minutes":1,"initial_v":0}`},
+	} {
+		if status, body, _ := post(t, ts.URL, rq.path, rq.body); status != http.StatusOK {
+			t.Errorf("POST %s %s: status %d, body %s", rq.path, rq.body, status, body)
+		}
+	}
+}
+
+// TestUnknownCycleRejectedAtDecode pins the decode-time cycle check: a
+// bogus cycle name must 400 before consuming an admission slot (no
+// computed evaluation), with an error naming the valid cycles.
+func TestUnknownCycleRejectedAtDecode(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1, CacheEntries: -1})
+	status, body, _ := post(t, ts.URL, "/v1/emulate", `{"cycle":"autobahn"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown cycle: status %d, want 400", status)
+	}
+	if !bytes.Contains(body, []byte("unknown cycle")) || !bytes.Contains(body, []byte("wltp")) {
+		t.Errorf("error body %s does not name the problem and the valid cycles", body)
+	}
+	st := statsFor(t, ts.URL, "emulate")
+	if st.BadRequests != 1 || st.Computed != 0 {
+		t.Errorf("stats = %+v, want bad_requests=1 computed=0 (rejected before evaluation)", st)
+	}
+
+	// Constant-speed runs ignore the cycle field; a bogus name there must
+	// keep being accepted (validate only gates the cycle that will run).
+	status, body, _ = post(t, ts.URL, "/v1/emulate", `{"cycle":"autobahn","speed_kmh":50,"minutes":1}`)
+	if status != http.StatusOK {
+		t.Fatalf("constant-speed run with ignored bogus cycle: status %d, body %s, want 200", status, body)
+	}
+}
+
+// TestMustMarshalFallbackNewline pins the fallback body contract: every
+// body the server writes is newline-terminated valid JSON, including
+// the can't-happen marshalling-failure fallback.
+func TestMustMarshalFallbackNewline(t *testing.T) {
+	b := mustMarshal(map[string]any{"bad": make(chan int)})
+	if len(b) == 0 || b[len(b)-1] != '\n' {
+		t.Fatalf("fallback body %q is not newline-terminated", b)
+	}
+	var v struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(b, &v); err != nil || v.Error == "" {
+		t.Fatalf("fallback body %q is not a JSON error envelope: %v", b, err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -123,9 +123,9 @@ func runMonteCarlo(ctx context.Context, st cli.Stack, req MonteCarloRequest, wor
 		Harvester: st.Harvester,
 		Ambient:   st.Ambient,
 		Vdd:       st.Base.Vdd,
-		TempSigma: req.TempSigmaC,
-		VddSigma:  req.VddSigmaV,
-		Seed:      req.Seed,
+		TempSigma: *req.TempSigmaC,
+		VddSigma:  *req.VddSigmaV,
+		Seed:      *req.Seed,
 		Workers:   workers,
 	}
 	out, err := mc.RunCtx(ctx, cfg, units.KilometersPerHour(req.SpeedKMH), req.Trials)
@@ -235,8 +235,8 @@ func runEmulate(ctx context.Context, st cli.Stack, req EmulateRequest, workers i
 		}
 	}
 	initial := st.Buffer.VRestart
-	if req.InitialV > 0 {
-		initial = units.Volts(req.InitialV)
+	if req.InitialV != nil {
+		initial = units.Volts(*req.InitialV)
 	}
 	em, err := emu.New(emu.Config{
 		Node:           st.Node,

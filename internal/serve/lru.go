@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // resultCache is a mutex-guarded LRU of marshalled response bodies,
@@ -15,6 +16,12 @@ type resultCache struct {
 	cap int
 	ll  *list.List // front = most recently used
 	m   map[string]*list.Element
+
+	// hits/misses count get outcomes cumulatively for the metrics
+	// endpoint (a disabled cache counts every lookup as a miss, which is
+	// what it behaves like). Atomics, not mutex state: the miss path on a
+	// disabled cache never takes the lock.
+	hits, misses atomic.Int64
 }
 
 // cacheEntry is one cached response body.
@@ -38,14 +45,17 @@ func newResultCache(capacity int) *resultCache {
 // get returns the cached body for key, marking it most recently used.
 func (c *resultCache) get(key string) ([]byte, bool) {
 	if c.cap <= 0 {
+		c.misses.Add(1)
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
+		c.misses.Add(1)
 		return nil, false
 	}
+	c.hits.Add(1)
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).body, true
 }

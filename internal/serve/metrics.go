@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/cli"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// metricsContentType is the Prometheus text exposition media type.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// serveMetrics owns the server's metric registry. Almost everything is
+// surfaced lazily — CounterFunc/GaugeFunc series read the pre-existing
+// endpointStats atomics, the admission semaphore, the LRU counters and
+// the par pool gauge at render time, so a scrape costs the scraper, not
+// the serving path. The only per-request instrumentation on the hot path
+// is one histogram observation per request and the absorb call after
+// each evaluation, both plain atomic adds.
+//
+// Registration order below is deliberate and fixed: families render in
+// first-registration order and series in registration order, so the
+// exposition layout is byte-stable and the golden test can pin it.
+type serveMetrics struct {
+	reg     *obs.Registry
+	latency map[string]*obs.Histogram
+
+	// Engine memo counters. Every evaluation runs against a freshly
+	// built stack, so the node/block CacheStats read after a run are
+	// exactly that evaluation's delta; absorb folds them into these
+	// cumulative counters. Optimizer candidate nodes (fresh nodes with
+	// fresh caches) are not captured — the counters describe the
+	// request's base stack.
+	nodeHits, nodeMisses map[string]*obs.Counter // keyed by memo table
+	blockHits, blockMiss *obs.Counter
+}
+
+// nodeMemoTables names the node memo tables in exposition order.
+var nodeMemoTables = []string{"plan", "round", "rest", "avg"}
+
+// counterOf adapts a pre-existing atomic counter into a render-time read.
+func counterOf(v *atomic.Int64) func() float64 {
+	return func() float64 { return float64(v.Load()) }
+}
+
+// newServeMetrics wires the registry against a server's internals.
+func newServeMetrics(s *Server) *serveMetrics {
+	m := &serveMetrics{
+		reg:        obs.NewRegistry(),
+		latency:    make(map[string]*obs.Histogram, len(endpoints)),
+		nodeHits:   make(map[string]*obs.Counter, len(nodeMemoTables)),
+		nodeMisses: make(map[string]*obs.Counter, len(nodeMemoTables)),
+	}
+	r := m.reg
+
+	for _, ep := range endpoints {
+		st := s.stats[ep]
+		r.CounterFunc("tyresysd_requests_total",
+			"Requests routed to the endpoint, before any decoding.",
+			counterOf(&st.requests), obs.Label{Key: "endpoint", Value: ep})
+	}
+	for _, ep := range endpoints {
+		st := s.stats[ep]
+		for _, oc := range []struct {
+			name string
+			v    *atomic.Int64
+		}{
+			{"ok", &st.ok},
+			{"bad_request", &st.badRequests},
+			{"payload_too_large", &st.tooLarge},
+			{"rejected", &st.rejected},
+			{"error", &st.errored},
+		} {
+			r.CounterFunc("tyresysd_responses_total",
+				"Responses by outcome: ok (200), bad_request (400), payload_too_large (413), rejected (429), error (5xx/504).",
+				counterOf(oc.v),
+				obs.Label{Key: "endpoint", Value: ep},
+				obs.Label{Key: "outcome", Value: oc.name})
+		}
+	}
+	for _, ep := range endpoints {
+		st := s.stats[ep]
+		r.CounterFunc("tyresysd_coalesced_total",
+			"Requests that shared another in-flight request's successful evaluation.",
+			counterOf(&st.coalesced), obs.Label{Key: "endpoint", Value: ep})
+	}
+	for _, ep := range endpoints {
+		st := s.stats[ep]
+		r.CounterFunc("tyresysd_computed_total",
+			"Evaluations actually run (flight leaders).",
+			counterOf(&st.computed), obs.Label{Key: "endpoint", Value: ep})
+	}
+	for _, ep := range endpoints {
+		st := s.stats[ep]
+		micros := &st.evalMicros
+		r.CounterFunc("tyresysd_eval_seconds_total",
+			"Total wall-clock seconds spent inside evaluations.",
+			func() float64 { return float64(micros.Load()) / 1e6 },
+			obs.Label{Key: "endpoint", Value: ep})
+	}
+	for _, ep := range endpoints {
+		m.latency[ep] = r.Histogram("tyresysd_request_seconds",
+			"End-to-end request latency, decode through response marshalling.",
+			obs.DefLatencyBuckets, obs.Label{Key: "endpoint", Value: ep})
+	}
+
+	r.GaugeFunc("tyresysd_inflight",
+		"Evaluations currently holding an admission slot.",
+		func() float64 { return float64(len(s.sem)) })
+	r.GaugeFunc("tyresysd_admission_slots",
+		"Admission-control slot capacity (Options.MaxInFlight).",
+		func() float64 { return float64(s.opts.MaxInFlight) })
+	r.GaugeFunc("tyresysd_result_cache_entries",
+		"Entries currently in the LRU result cache.",
+		func() float64 { return float64(s.cache.len()) })
+	r.GaugeFunc("tyresysd_result_cache_capacity",
+		"LRU result cache capacity (Options.CacheEntries).",
+		func() float64 { return float64(s.opts.CacheEntries) })
+	r.CounterFunc("tyresysd_result_cache_lookups_total",
+		"LRU result-cache lookups by outcome.",
+		counterOf(&s.cache.hits), obs.Label{Key: "outcome", Value: "hit"})
+	r.CounterFunc("tyresysd_result_cache_lookups_total",
+		"LRU result-cache lookups by outcome.",
+		counterOf(&s.cache.misses), obs.Label{Key: "outcome", Value: "miss"})
+	r.GaugeFunc("tyresysd_par_active_workers",
+		"Evaluation-pool workers currently executing, process-wide.",
+		func() float64 { return float64(par.ActiveWorkers()) })
+
+	for _, table := range nodeMemoTables {
+		m.nodeHits[table] = r.Counter("tyresysd_node_memo_total",
+			"Node memo-table lookups absorbed from completed evaluations.",
+			obs.Label{Key: "table", Value: table},
+			obs.Label{Key: "outcome", Value: "hit"})
+		m.nodeMisses[table] = r.Counter("tyresysd_node_memo_total",
+			"Node memo-table lookups absorbed from completed evaluations.",
+			obs.Label{Key: "table", Value: table},
+			obs.Label{Key: "outcome", Value: "miss"})
+	}
+	m.blockHits = r.Counter("tyresysd_block_memo_total",
+		"Block power-split memo lookups absorbed from completed evaluations.",
+		obs.Label{Key: "outcome", Value: "hit"})
+	m.blockMiss = r.Counter("tyresysd_block_memo_total",
+		"Block power-split memo lookups absorbed from completed evaluations.",
+		obs.Label{Key: "outcome", Value: "miss"})
+	return m
+}
+
+// absorb folds one completed evaluation's engine memo counters into the
+// cumulative metrics. Each request decodes into a freshly built stack,
+// so the stack's CacheStats at this point describe exactly this
+// evaluation; followers of a coalesced flight never evaluate, so their
+// (all-zero) stacks are never absorbed.
+func (m *serveMetrics) absorb(st cli.Stack) {
+	if st.Node == nil {
+		return
+	}
+	cs := st.Node.CacheStats()
+	for _, t := range []struct {
+		table        string
+		hits, misses uint64
+	}{
+		{"plan", cs.PlanHits, cs.PlanMisses},
+		{"round", cs.RoundHits, cs.RoundMisses},
+		{"rest", cs.RestHits, cs.RestMisses},
+		{"avg", cs.AvgHits, cs.AvgMisses},
+	} {
+		m.nodeHits[t.table].Add(int64(t.hits))
+		m.nodeMisses[t.table].Add(int64(t.misses))
+	}
+	for _, role := range node.Roles() {
+		b := st.Node.Block(role)
+		if b == nil {
+			continue
+		}
+		bs := b.CacheStats()
+		m.blockHits.Add(int64(bs.Hits))
+		m.blockMiss.Add(int64(bs.Misses))
+	}
+}
+
+// handleMetrics renders the registry in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, mustMarshal(errorBody{"GET only"}))
+		return
+	}
+	var buf bytes.Buffer
+	if err := s.metrics.reg.WriteText(&buf); err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	w.Header().Set("Content-Type", metricsContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// scrape fetches /v1/metrics and returns the body and content type.
+func scrape(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: status %d, body %s", resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// parseMetrics maps every sample line ("name{labels} value") to its
+// value, keyed by the full series name including labels.
+func parseMetrics(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in line %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestMetricsGoldenFresh pins the full exposition of a fresh server —
+// family order, HELP/TYPE lines, label order, bucket layout — against a
+// golden file. Fixed Options because the admission-slot and cache
+// capacity gauges render configuration. Regenerate with:
+//
+//	go test ./internal/serve/ -run TestMetricsGoldenFresh -update
+func TestMetricsGoldenFresh(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2, MaxInFlight: 4, CacheEntries: 8})
+	body, ct := scrape(t, ts.URL)
+	if ct != metricsContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, metricsContentType)
+	}
+
+	golden := filepath.Join("testdata", "metrics_fresh.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != string(want) {
+		t.Errorf("exposition drifted from %s (regenerate with -update if intended)\ngot:\n%s", golden, body)
+	}
+}
+
+// TestMetricsAfterTraffic checks the counters actually count: one
+// computed evaluation plus one cache hit must show up in the request,
+// response, latency-histogram, result-cache and engine-memo series.
+func TestMetricsAfterTraffic(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2, MaxInFlight: 4, CacheEntries: 8})
+	const body = `{"min_kmh":20,"max_kmh":120,"points":16}`
+	for i, wantSource := range []string{"computed", "cache"} {
+		status, _, source := post(t, ts.URL, "/v1/balance", body)
+		if status != http.StatusOK || source != wantSource {
+			t.Fatalf("request %d: status %d source %q, want 200 %q", i, status, source, wantSource)
+		}
+	}
+
+	text, _ := scrape(t, ts.URL)
+	m := parseMetrics(t, text)
+	for series, want := range map[string]float64{
+		`tyresysd_requests_total{endpoint="balance"}`:               2,
+		`tyresysd_responses_total{endpoint="balance",outcome="ok"}`: 2,
+		`tyresysd_computed_total{endpoint="balance"}`:               1,
+		`tyresysd_request_seconds_count{endpoint="balance"}`:        2,
+		`tyresysd_result_cache_lookups_total{outcome="hit"}`:        1,
+		`tyresysd_result_cache_lookups_total{outcome="miss"}`:       1,
+		`tyresysd_result_cache_entries`:                             1,
+		`tyresysd_result_cache_capacity`:                            8,
+		`tyresysd_admission_slots`:                                  4,
+		`tyresysd_inflight`:                                         0,
+		`tyresysd_par_active_workers`:                               0,
+	} {
+		if got, ok := m[series]; !ok {
+			t.Errorf("series %s missing from exposition", series)
+		} else if got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+	// The sweep evaluated a fresh stack: its memo tables must have
+	// recorded misses that absorb folded into the cumulative counters.
+	for _, series := range []string{
+		`tyresysd_node_memo_total{table="plan",outcome="miss"}`,
+		`tyresysd_node_memo_total{table="avg",outcome="miss"}`,
+		`tyresysd_block_memo_total{outcome="miss"}`,
+	} {
+		if m[series] <= 0 {
+			t.Errorf("%s = %g, want > 0 after a computed sweep", series, m[series])
+		}
+	}
+	// The +Inf bucket must agree with the count (cumulative buckets).
+	inf := `tyresysd_request_seconds_bucket{endpoint="balance",le="+Inf"}`
+	if m[inf] != 2 {
+		t.Errorf("%s = %g, want 2", inf, m[inf])
+	}
+}
+
+// TestMetricsMethodNotAllowed: the metrics route is GET only.
+func TestMetricsMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+	resp, err := http.Post(ts.URL+"/v1/metrics", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/metrics: status %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// recordingLogger captures every request record for assertion.
+type recordingLogger struct {
+	mu   sync.Mutex
+	recs []obs.Record
+}
+
+func (l *recordingLogger) LogRequest(r obs.Record) {
+	l.mu.Lock()
+	l.recs = append(l.recs, r)
+	l.mu.Unlock()
+}
+
+func (l *recordingLogger) records() []obs.Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]obs.Record(nil), l.recs...)
+}
+
+// countTracer counts engine events without touching the results.
+type countTracer struct {
+	sweeps, trials, rounds atomic.Int64
+}
+
+func (c *countTracer) SweepPoint(i, n int) { c.sweeps.Add(1) }
+func (c *countTracer) MCTrial(i, n int)    { c.trials.Add(1) }
+func (c *countTracer) EmuRound(step int64) { c.rounds.Add(1) }
+
+// TestObservabilityNeverChangesResponseBytes is the determinism
+// contract for the whole observability layer: a server with logging and
+// tracing enabled — and a concurrent metrics scraper hammering it —
+// answers the full request matrix with bytes identical to a plain
+// server's, while the logger and tracer demonstrably saw the traffic.
+func TestObservabilityNeverChangesResponseBytes(t *testing.T) {
+	_, plain := testServer(t, Options{Workers: 2, CacheEntries: -1})
+	baseline := make(map[string][]byte, len(requestMatrix))
+	for _, rq := range requestMatrix {
+		status, body, _ := post(t, plain.URL, rq.path, rq.body)
+		if status != http.StatusOK {
+			t.Fatalf("baseline %s: status %d: %s", rq.path, status, body)
+		}
+		baseline[rq.path] = body
+	}
+
+	lg := &recordingLogger{}
+	tr := &countTracer{}
+	_, instr := testServer(t, Options{Workers: 2, CacheEntries: -1, Logger: lg, Tracer: tr})
+
+	// A scraper racing the requests: metrics collection must be safe
+	// under concurrency and invisible in analysis responses.
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(instr.URL + "/v1/metrics")
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+
+	for _, rq := range requestMatrix {
+		status, body, source := post(t, instr.URL, rq.path, rq.body)
+		if status != http.StatusOK {
+			t.Fatalf("instrumented %s: status %d: %s", rq.path, status, body)
+		}
+		if source != "computed" {
+			t.Errorf("instrumented %s: source %q, want computed (cache disabled)", rq.path, source)
+		}
+		if !bytes.Equal(body, baseline[rq.path]) {
+			t.Errorf("%s: instrumented response differs from plain server\n got: %s\nwant: %s", rq.path, body, baseline[rq.path])
+		}
+	}
+	close(stop)
+	scraper.Wait()
+
+	if n := tr.sweeps.Load(); n == 0 {
+		t.Error("tracer saw no sweep points (balance/breakeven/optimize ran)")
+	}
+	if n := tr.trials.Load(); n == 0 {
+		t.Error("tracer saw no Monte Carlo trials")
+	}
+	if n := tr.rounds.Load(); n == 0 {
+		t.Error("tracer saw no emulation rounds")
+	}
+
+	recs := lg.records()
+	if len(recs) != len(requestMatrix) {
+		t.Fatalf("logger captured %d records, want %d (one per analysis request)", len(recs), len(requestMatrix))
+	}
+	for _, r := range recs {
+		if r.Status != http.StatusOK || r.Source != "computed" {
+			t.Errorf("record %+v: want status 200 source computed", r)
+		}
+		if want := r.Endpoint + ":"; len(r.Key) != len(want)+8 || r.Key[:len(want)] != want {
+			t.Errorf("record key %q: want %q plus eight hex digits", r.Key, want)
+		}
+		if r.WallMicros <= 0 {
+			t.Errorf("record %+v: non-positive wall time", r)
+		}
+		if r.Time.IsZero() {
+			t.Errorf("record %+v: zero timestamp", r)
+		}
+	}
+}
+
+// BenchmarkObservabilityOverhead measures the engine-level cost of an
+// armed tracer against the nil fast path on the Fig 2 sweep — the
+// instrumentation's only per-event hot-path presence. The ISSUE budget
+// is <2% on the serving benchmarks; compare:
+//
+//	go test -bench BenchmarkObservabilityOverhead -benchtime=1x ./internal/serve/
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	st, err := buildStack(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := BalanceRequest{}
+	req.defaults()
+
+	b.Run("bare", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if _, err := runBalance(ctx, st, req, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		tr := &countTracer{}
+		ctx := obs.WithTracer(context.Background(), tr)
+		for i := 0; i < b.N; i++ {
+			if _, err := runBalance(ctx, st, req, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if tr.sweeps.Load() == 0 {
+			b.Fatal("tracer saw no sweep points")
+		}
+	})
+}

@@ -23,7 +23,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/config"
 )
 
@@ -107,11 +109,17 @@ type MonteCarloRequest struct {
 	// Trials is the population size (default 1000).
 	Trials int `json:"trials,omitempty"`
 	// TempSigmaC and VddSigmaV are the 1σ spreads (defaults 5 °C and
-	// 0.05 V).
-	TempSigmaC float64 `json:"temp_sigma_c,omitempty"`
-	VddSigmaV  float64 `json:"vdd_sigma_v,omitempty"`
-	// Seed makes the run reproducible (default 1).
-	Seed int64 `json:"seed,omitempty"`
+	// 0.05 V). Pointers so an explicit 0 — a deliberately degenerate
+	// spread — is distinguishable from an omitted field: only nil takes
+	// the default. With omitempty a nil pointer is omitted from the
+	// canonical-key marshal exactly like the old zero value was, so keys
+	// for requests that never touch these fields are unchanged.
+	TempSigmaC *float64 `json:"temp_sigma_c,omitempty"`
+	VddSigmaV  *float64 `json:"vdd_sigma_v,omitempty"`
+	// Seed makes the run reproducible (default 1). A pointer for the
+	// same reason: seed 0 is a legitimate, distinct stream and must not
+	// silently coalesce with seed 1.
+	Seed *int64 `json:"seed,omitempty"`
 }
 
 func (r *MonteCarloRequest) defaults() {
@@ -121,14 +129,14 @@ func (r *MonteCarloRequest) defaults() {
 	if r.Trials == 0 {
 		r.Trials = 1000
 	}
-	if r.TempSigmaC == 0 {
-		r.TempSigmaC = 5
+	if r.TempSigmaC == nil {
+		r.TempSigmaC = ptrFloat(5)
 	}
-	if r.VddSigmaV == 0 {
-		r.VddSigmaV = 0.05
+	if r.VddSigmaV == nil {
+		r.VddSigmaV = ptrFloat(0.05)
 	}
-	if r.Seed == 0 {
-		r.Seed = 1
+	if r.Seed == nil {
+		r.Seed = ptrInt64(1)
 	}
 }
 
@@ -139,7 +147,7 @@ func (r *MonteCarloRequest) validate() error {
 	if r.Trials < 1 || r.Trials > maxTrials {
 		return fmt.Errorf("trials must be in [1, %d], got %d", maxTrials, r.Trials)
 	}
-	if r.TempSigmaC < 0 || r.VddSigmaV < 0 {
+	if *r.TempSigmaC < 0 || *r.VddSigmaV < 0 {
 		return fmt.Errorf("sigmas must be non-negative")
 	}
 	return nil
@@ -206,9 +214,12 @@ type EmulateRequest struct {
 	// SpeedKMH/Minutes select a constant-speed run instead.
 	SpeedKMH float64 `json:"speed_kmh,omitempty"`
 	Minutes  float64 `json:"minutes,omitempty"`
-	// InitialV is the buffer's starting voltage (default: the buffer's
-	// restart threshold).
-	InitialV float64 `json:"initial_v,omitempty"`
+	// InitialV is the buffer's starting voltage. A pointer because zero
+	// is meaningful — "start from a fully drained buffer" — and must not
+	// silently fall back to the default; nil (the field omitted) means
+	// the buffer's restart threshold. defaults() deliberately leaves it
+	// nil: the threshold lives in the scenario's buffer, not here.
+	InitialV *float64 `json:"initial_v,omitempty"`
 }
 
 func (r *EmulateRequest) defaults() {
@@ -231,12 +242,25 @@ func (r *EmulateRequest) validate() error {
 		if r.Minutes <= 0 || r.Minutes > maxEmulateMinutes {
 			return fmt.Errorf("constant-speed emulation needs minutes in (0, %d], got %g", maxEmulateMinutes, r.Minutes)
 		}
+	} else if !cli.KnownCycle(r.Cycle) {
+		// Reject a bad cycle name here, at decode time, so the request
+		// 400s before consuming an admission slot or counting as a
+		// computed evaluation — the same contract every other scenario
+		// problem gets. Constant-speed runs ignore the cycle field, so
+		// they keep accepting whatever it says.
+		return fmt.Errorf("unknown cycle %q (one of: %s)",
+			r.Cycle, strings.Join(cli.CycleNames(), ", "))
 	}
-	if r.InitialV < 0 {
-		return fmt.Errorf("initial_v must be non-negative, got %g", r.InitialV)
+	if r.InitialV != nil && *r.InitialV < 0 {
+		return fmt.Errorf("initial_v must be non-negative, got %g", *r.InitialV)
 	}
 	return nil
 }
+
+// ptrFloat / ptrInt64 build the default values defaults() fills
+// presence-tracked fields with.
+func ptrFloat(v float64) *float64 { return &v }
+func ptrInt64(v int64) *int64     { return &v }
 
 // checkRange validates a [min, max] km/h speed interval.
 func checkRange(minKMH, maxKMH float64) error {
@@ -249,9 +273,12 @@ func checkRange(minKMH, maxKMH float64) error {
 // decodeStrict decodes one JSON value into dst, rejecting unknown
 // fields (anywhere in the tree, including inside the embedded scenario)
 // and trailing garbage — the same strictness internal/config applies to
-// scenario files.
+// scenario files. Body-size enforcement is the handler's job: it wraps
+// the request body in http.MaxBytesReader before decoding, whose typed
+// error surfaces through the %w wrap here so oversized bodies map to a
+// 413, not a misleading truncation-shaped parse error.
 func decodeStrict(r io.Reader, dst any) error {
-	dec := json.NewDecoder(io.LimitReader(r, MaxBodyBytes))
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		return fmt.Errorf("decoding request: %w", err)

@@ -4,10 +4,15 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/cli"
+	"repro/internal/obs"
 )
 
 // Options configure a Server. The zero value selects sensible defaults.
@@ -28,6 +33,17 @@ type Options struct {
 	// deadline into the sweep/Monte-Carlo/optimizer/emulation loops.
 	// 0 selects the default (60 s), negative disables the deadline.
 	RequestTimeout time.Duration
+	// Logger, when set, receives one structured record per analysis
+	// request: endpoint, canonical-key prefix, result source (computed /
+	// coalesced / cache), status and wall time. nil (the default)
+	// disables request logging; the hot path then carries a single nil
+	// check. Implementations must be safe for concurrent use.
+	Logger obs.Logger
+	// Tracer, when set, is threaded through the evaluation context and
+	// receives sweep-point, Monte-Carlo-trial and emulation-round events.
+	// nil (the default) keeps the engine on its nil-tracer fast path.
+	// Tracing, like all observability here, never changes response bytes.
+	Tracer obs.Tracer
 }
 
 // endpoints are the POST analysis routes, by name.
@@ -44,6 +60,7 @@ type Server struct {
 	flights flightGroup
 	cache   *resultCache
 	stats   map[string]*endpointStats
+	metrics *serveMetrics
 
 	// base is cancelled by Shutdown: evaluations run under it so a
 	// stopping server aborts work no client is waiting on. Evaluations
@@ -87,12 +104,14 @@ func NewServer(opts Options) *Server {
 	for _, name := range endpoints {
 		s.stats[name] = &endpointStats{}
 	}
+	s.metrics = newServeMetrics(s)
 	s.mux.HandleFunc("/v1/balance", s.analysisHandler("balance", decodeBalance))
 	s.mux.HandleFunc("/v1/breakeven", s.analysisHandler("breakeven", decodeBreakEven))
 	s.mux.HandleFunc("/v1/montecarlo", s.analysisHandler("montecarlo", decodeMonteCarlo))
 	s.mux.HandleFunc("/v1/optimize", s.analysisHandler("optimize", decodeOptimize))
 	s.mux.HandleFunc("/v1/emulate", s.analysisHandler("emulate", decodeEmulate))
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
 	return s
 }
@@ -128,8 +147,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 type evaluator func(ctx context.Context, workers int) (any, error)
 
 // decoder parses and validates one endpoint's request body, returning
-// the canonical coalescing key and the evaluation closure.
-type decoder func(r *http.Request) (key string, run evaluator, err error)
+// the canonical coalescing key, the freshly built stack (so the metrics
+// layer can absorb its memo counters after evaluation) and the
+// evaluation closure.
+type decoder func(r *http.Request) (key string, stack cli.Stack, run evaluator, err error)
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
@@ -145,28 +166,69 @@ type errorBody struct {
 // eviction re-produces them bit for bit.
 func (s *Server) analysisHandler(name string, dec decoder) http.HandlerFunc {
 	st := s.stats[name]
+	hist := s.metrics.latency[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		st.requests.Add(1)
+		start := time.Now()
+		// finish records the request's latency observation and, when a
+		// Logger is configured, its structured log line. Called exactly
+		// once on every exit path; it runs before the body is written so
+		// a slow log sink can never be blamed on response time, only on
+		// handler throughput.
+		finish := func(key, source string, status int) {
+			wall := time.Since(start)
+			hist.Observe(wall.Seconds())
+			if lg := s.opts.Logger; lg != nil {
+				lg.LogRequest(obs.Record{
+					Time:       time.Now().UTC(),
+					Endpoint:   name,
+					Key:        keyPrefix(key),
+					Source:     source,
+					Status:     status,
+					WallMicros: wall.Microseconds(),
+				})
+			}
+		}
 		if r.Method != http.MethodPost {
+			finish("", "", http.StatusMethodNotAllowed)
 			writeJSON(w, http.StatusMethodNotAllowed, mustMarshal(errorBody{"POST only"}))
 			return
 		}
-		key, run, err := dec(r)
+		// MaxBytesReader (not a silent LimitReader) so an oversized body
+		// surfaces as a typed error the decode path below maps to 413 —
+		// instead of truncating at the cap and failing with a confusing
+		// "unexpected EOF" parse error. It also closes the connection so
+		// the client stops streaming a body nobody will read.
+		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+		key, stack, run, err := dec(r)
 		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				st.tooLarge.Add(1)
+				finish(key, "", http.StatusRequestEntityTooLarge)
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					mustMarshal(errorBody{fmt.Sprintf("request body exceeds %d bytes", MaxBodyBytes)}))
+				return
+			}
 			st.badRequests.Add(1)
+			finish(key, "", http.StatusBadRequest)
 			writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
 			return
 		}
 		if body, ok := s.cache.get(key); ok {
 			st.cacheHits.Add(1)
 			st.ok.Add(1)
+			finish(key, "cache", http.StatusOK)
 			w.Header().Set("X-Result-Source", "cache")
 			writeJSON(w, http.StatusOK, body)
 			return
 		}
 		body, status, shared := s.flights.do(key, func() ([]byte, int) {
-			return s.evaluate(key, st, run)
+			return s.evaluate(key, st, stack, run)
 		})
+		// shared implies status 200: the flight group only shares
+		// successful leader results, so a coalesced counter increment
+		// always pairs with an ok increment.
 		source := "computed"
 		if shared {
 			st.coalesced.Add(1)
@@ -182,14 +244,25 @@ func (s *Server) analysisHandler(name string, dec decoder) http.HandlerFunc {
 		default:
 			st.errored.Add(1)
 		}
+		finish(key, source, status)
 		w.Header().Set("X-Result-Source", source)
 		writeJSON(w, status, body)
 	}
 }
 
+// keyPrefix truncates a canonical key ("endpoint:32 hex chars") for the
+// request log: the endpoint plus eight hex digits identify a flight in
+// log greps without bloating every line with the full hash.
+func keyPrefix(key string) string {
+	if i := strings.IndexByte(key, ':'); i >= 0 && len(key) > i+9 {
+		return key[:i+9]
+	}
+	return key
+}
+
 // evaluate is the flight-leader path: admission control, deadline,
 // evaluation, marshalling, cache store.
-func (s *Server) evaluate(key string, st *endpointStats, run evaluator) ([]byte, int) {
+func (s *Server) evaluate(key string, st *endpointStats, stack cli.Stack, run evaluator) ([]byte, int) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -212,10 +285,17 @@ func (s *Server) evaluate(key string, st *endpointStats, run evaluator) ([]byte,
 		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
 		defer cancel()
 	}
+	if tr := s.opts.Tracer; tr != nil {
+		ctx = obs.WithTracer(ctx, tr)
+	}
 	start := time.Now()
 	result, err := run(ctx, s.opts.Workers)
 	st.computed.Add(1)
 	st.evalMicros.Add(time.Since(start).Microseconds())
+	// The stack was built for this request alone, so its memo counters
+	// are this evaluation's delta — fold them into the cumulative
+	// engine-cache metrics whether the run succeeded or not.
+	s.metrics.absorb(stack)
 	if err != nil {
 		var bad badRequestError
 		switch {
@@ -286,7 +366,9 @@ func writeJSON(w http.ResponseWriter, status int, body []byte) {
 func mustMarshal(v any) []byte {
 	b, err := json.Marshal(v)
 	if err != nil {
-		return []byte(`{"error":"internal marshalling failure"}`)
+		// Keep the trailing newline the success path appends: every body
+		// the server writes is newline-terminated, fallback included.
+		return []byte(`{"error":"internal marshalling failure"}` + "\n")
 	}
 	return append(b, '\n')
 }
@@ -296,112 +378,112 @@ func mustMarshal(v any) []byte {
 // problem is the client's fault and must 400 before consuming an
 // admission slot), and close over everything the evaluation needs.
 
-func decodeBalance(r *http.Request) (string, evaluator, error) {
+func decodeBalance(r *http.Request) (string, cli.Stack, evaluator, error) {
 	var req BalanceRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	req.defaults()
 	if err := req.validate(); err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	key, err := canonicalKey("balance", req)
 	if err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	st, err := buildStack(req.Scenario)
 	if err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
-	return key, func(ctx context.Context, workers int) (any, error) {
+	return key, st, func(ctx context.Context, workers int) (any, error) {
 		return runBalance(ctx, st, req, workers)
 	}, nil
 }
 
-func decodeBreakEven(r *http.Request) (string, evaluator, error) {
+func decodeBreakEven(r *http.Request) (string, cli.Stack, evaluator, error) {
 	var req BreakEvenRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	req.defaults()
 	if err := req.validate(); err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	key, err := canonicalKey("breakeven", req)
 	if err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	st, err := buildStack(req.Scenario)
 	if err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
-	return key, func(ctx context.Context, workers int) (any, error) {
+	return key, st, func(ctx context.Context, workers int) (any, error) {
 		return runBreakEven(ctx, st, req, workers)
 	}, nil
 }
 
-func decodeMonteCarlo(r *http.Request) (string, evaluator, error) {
+func decodeMonteCarlo(r *http.Request) (string, cli.Stack, evaluator, error) {
 	var req MonteCarloRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	req.defaults()
 	if err := req.validate(); err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	key, err := canonicalKey("montecarlo", req)
 	if err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	st, err := buildStack(req.Scenario)
 	if err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
-	return key, func(ctx context.Context, workers int) (any, error) {
+	return key, st, func(ctx context.Context, workers int) (any, error) {
 		return runMonteCarlo(ctx, st, req, workers)
 	}, nil
 }
 
-func decodeOptimize(r *http.Request) (string, evaluator, error) {
+func decodeOptimize(r *http.Request) (string, cli.Stack, evaluator, error) {
 	var req OptimizeRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	req.defaults()
 	if err := req.validate(); err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	key, err := canonicalKey("optimize", req)
 	if err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	st, err := buildStack(req.Scenario)
 	if err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
-	return key, func(ctx context.Context, workers int) (any, error) {
+	return key, st, func(ctx context.Context, workers int) (any, error) {
 		return runOptimize(ctx, st, req, workers)
 	}, nil
 }
 
-func decodeEmulate(r *http.Request) (string, evaluator, error) {
+func decodeEmulate(r *http.Request) (string, cli.Stack, evaluator, error) {
 	var req EmulateRequest
 	if err := decodeStrict(r.Body, &req); err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	req.defaults()
 	if err := req.validate(); err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	key, err := canonicalKey("emulate", req)
 	if err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
 	st, err := buildStack(req.Scenario)
 	if err != nil {
-		return "", nil, err
+		return "", cli.Stack{}, nil, err
 	}
-	return key, func(ctx context.Context, workers int) (any, error) {
+	return key, st, func(ctx context.Context, workers int) (any, error) {
 		return runEmulate(ctx, st, req, workers)
 	}, nil
 }

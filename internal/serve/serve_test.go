@@ -60,19 +60,16 @@ func TestBadRequestBodies(t *testing.T) {
 			}
 		})
 	}
-	// Every case must have been counted as a bad request. None may have
-	// evaluated — except the unknown-cycle one, which by design fails at
-	// evaluation time (cycle names live in internal/cli, not validate()).
+	// Every case must have been counted as a bad request and none may
+	// have evaluated: rejection — including the unknown-cycle one, which
+	// validate() now checks against cli.KnownCycle — happens before an
+	// admission slot is consumed or computed is incremented.
 	total := int64(0)
 	for _, name := range endpoints {
 		st := statsFor(t, srv.URL, name)
 		total += st.BadRequests
-		wantComputed := int64(0)
-		if name == "emulate" {
-			wantComputed = 1
-		}
-		if st.Computed != wantComputed {
-			t.Errorf("%s: computed = %d after rejected requests, want %d", name, st.Computed, wantComputed)
+		if st.Computed != 0 {
+			t.Errorf("%s: computed = %d after rejected requests, want 0", name, st.Computed)
 		}
 	}
 	if total != int64(len(cases)) {
@@ -80,12 +77,25 @@ func TestBadRequestBodies(t *testing.T) {
 	}
 }
 
+// TestOversizedBodyRejected checks bodies over MaxBodyBytes come back
+// as a distinct 413 with its own counter — not a silent truncation at
+// the cap followed by a confusing "unexpected EOF" 400.
 func TestOversizedBodyRejected(t *testing.T) {
 	_, srv := testServer(t, Options{})
 	big := `{"min_kmh":5,"max_kmh":180,"pad":"` + strings.Repeat("x", MaxBodyBytes) + `"}`
-	status, _, _ := post(t, srv.URL, "/v1/breakeven", big)
-	if status != http.StatusBadRequest {
-		t.Fatalf("oversized body: status %d, want 400", status)
+	status, body, _ := post(t, srv.URL, "/v1/breakeven", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413: %s", status, body)
+	}
+	if !strings.Contains(string(body), "exceeds") {
+		t.Fatalf("413 body %q does not mention the size limit", body)
+	}
+	st := statsFor(t, srv.URL, "breakeven")
+	if st.PayloadTooLarge != 1 {
+		t.Errorf("payload_too_large = %d, want 1", st.PayloadTooLarge)
+	}
+	if st.BadRequests != 0 {
+		t.Errorf("bad_requests = %d, want 0 — oversize must not masquerade as 400", st.BadRequests)
 	}
 }
 

@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"net/http"
+	"sync"
+)
 
 // flightGroup coalesces concurrent identical work: while a key's leader
 // call is in flight, every other caller with the same key blocks and
@@ -9,6 +12,19 @@ import "sync"
 // exactly when their decoded, default-filled bodies are identical —
 // formatting, field order and omitted-default differences in the raw
 // JSON never split a flight.
+//
+// Only successful (200) leader results are shared. A leader can fail for
+// reasons that are strictly its own — it lost the admission-control race
+// (429), it arrived mid-drain (503), its deadline expired (504) — and a
+// follower that merely waited on it has consumed none of those
+// resources. Sharing such failures verbatim would break the documented
+// contract that coalesced requests are never rejected by admission
+// control. So on a non-200 outcome the followers are released to retry
+// the flight themselves: each loops back, and either joins a newer
+// in-flight leader or becomes the leader of a fresh evaluation (which
+// then passes through admission control in its own right). Deterministic
+// failures (a 400 scenario the decoder could not catch) simply fail
+// again for each retrier — correctness over shared-error throughput.
 //
 // Unlike a result cache, a flight lives only as long as its leader: the
 // entry is removed before the followers are released, so a later
@@ -23,29 +39,56 @@ type flight struct {
 	done   chan struct{}
 	body   []byte
 	status int
+	// waiters counts callers currently blocked on done (guarded by the
+	// group mutex). Observability only: tests use it to release a blocked
+	// leader at the right moment, and it never affects the flight.
+	waiters int
 }
 
 // do runs fn once per key at a time. The boolean reports whether this
-// caller shared another caller's result (i.e. was coalesced).
+// caller shared another caller's successful result (i.e. was coalesced);
+// a caller that waited on a failed leader and then evaluated for itself
+// reports shared=false, because the bytes it returns are its own.
 func (g *flightGroup) do(key string, fn func() ([]byte, int)) (body []byte, status int, shared bool) {
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[string]*flight)
-	}
-	if f, ok := g.m[key]; ok {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flight)
+		}
+		if f, ok := g.m[key]; ok {
+			f.waiters++
+			g.mu.Unlock()
+			<-f.done
+			if f.status == http.StatusOK {
+				return f.body, f.status, true
+			}
+			// The leader failed; its failure is not ours. Retry the
+			// flight: the entry was removed before done closed, so the
+			// next iteration either finds a newer leader or starts one.
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		g.m[key] = f
 		g.mu.Unlock()
-		<-f.done
-		return f.body, f.status, true
+
+		f.body, f.status = fn()
+
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+		return f.body, f.status, false
 	}
-	f := &flight{done: make(chan struct{})}
-	g.m[key] = f
-	g.mu.Unlock()
+}
 
-	f.body, f.status = fn()
-
+// waiting reports how many callers are currently blocked on key's
+// in-flight leader (zero when no flight is active). Tests use it to
+// sequence a follower against a deliberately blocked leader.
+func (g *flightGroup) waiting(key string) int {
 	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(f.done)
-	return f.body, f.status, false
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f.waiters
+	}
+	return 0
 }

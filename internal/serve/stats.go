@@ -9,6 +9,7 @@ type endpointStats struct {
 	requests    atomic.Int64 // every request routed to the endpoint
 	ok          atomic.Int64 // 200 responses (computed, coalesced or cached)
 	badRequests atomic.Int64 // 400: undecodable/invalid body or scenario
+	tooLarge    atomic.Int64 // 413: body exceeded MaxBodyBytes
 	rejected    atomic.Int64 // 429: admission control refused the evaluation
 	errored     atomic.Int64 // 5xx: evaluation failure, timeout or shutdown
 	coalesced   atomic.Int64 // requests that shared another request's in-flight evaluation
@@ -22,26 +23,31 @@ type EndpointStats struct {
 	Requests    int64 `json:"requests"`
 	OK          int64 `json:"ok"`
 	BadRequests int64 `json:"bad_requests"`
-	Rejected    int64 `json:"rejected"`
-	Errored     int64 `json:"errored"`
-	Coalesced   int64 `json:"coalesced"`
-	CacheHits   int64 `json:"cache_hits"`
-	Computed    int64 `json:"computed"`
-	EvalMicros  int64 `json:"eval_micros"`
+	// PayloadTooLarge counts bodies over the MaxBodyBytes cap (413) —
+	// split from BadRequests so clients sending oversized scenarios see
+	// a distinct signal, not a generic parse failure.
+	PayloadTooLarge int64 `json:"payload_too_large"`
+	Rejected        int64 `json:"rejected"`
+	Errored         int64 `json:"errored"`
+	Coalesced       int64 `json:"coalesced"`
+	CacheHits       int64 `json:"cache_hits"`
+	Computed        int64 `json:"computed"`
+	EvalMicros      int64 `json:"eval_micros"`
 }
 
 // snapshot captures the counters.
 func (s *endpointStats) snapshot() EndpointStats {
 	return EndpointStats{
-		Requests:    s.requests.Load(),
-		OK:          s.ok.Load(),
-		BadRequests: s.badRequests.Load(),
-		Rejected:    s.rejected.Load(),
-		Errored:     s.errored.Load(),
-		Coalesced:   s.coalesced.Load(),
-		CacheHits:   s.cacheHits.Load(),
-		Computed:    s.computed.Load(),
-		EvalMicros:  s.evalMicros.Load(),
+		Requests:        s.requests.Load(),
+		OK:              s.ok.Load(),
+		BadRequests:     s.badRequests.Load(),
+		PayloadTooLarge: s.tooLarge.Load(),
+		Rejected:        s.rejected.Load(),
+		Errored:         s.errored.Load(),
+		Coalesced:       s.coalesced.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		Computed:        s.computed.Load(),
+		EvalMicros:      s.evalMicros.Load(),
 	}
 }
 

@@ -49,6 +49,9 @@
 package tyresys
 
 import (
+	"io"
+	"net/http"
+
 	"repro/internal/balance"
 	"repro/internal/battery"
 	"repro/internal/block"
@@ -58,6 +61,7 @@ import (
 	"repro/internal/friction"
 	"repro/internal/mc"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/par"
 	"repro/internal/power"
@@ -346,6 +350,28 @@ type (
 // NewServer builds the analysis service. Mount it on any http.Server or
 // run cmd/tyresysd for the flag-configured standalone daemon.
 func NewServer(opts ServerOptions) *Server { return serve.NewServer(opts) }
+
+// Observability types: the service's pluggable request log and
+// evaluation tracer (ServerOptions.Logger / ServerOptions.Tracer), plus
+// GET /v1/metrics on the server itself. All instrumentation is
+// guaranteed not to change response bytes.
+type (
+	// RequestRecord is one structured request-log entry.
+	RequestRecord = obs.Record
+	// RequestLogger receives one RequestRecord per analysis request.
+	RequestLogger = obs.Logger
+	// EvalTracer receives sweep-point / Monte-Carlo-trial /
+	// emulation-round events from inside evaluations.
+	EvalTracer = obs.Tracer
+)
+
+// NewLineLogger returns a RequestLogger writing one plain-text line per
+// request to w (what tyresysd -log wires to stderr).
+func NewLineLogger(w io.Writer) RequestLogger { return obs.NewLineLogger(w) }
+
+// RegisterPprof mounts net/http/pprof under /debug/pprof/ on mux —
+// opt-in profiling for embedded servers (tyresysd exposes it as -pprof).
+func RegisterPprof(mux *http.ServeMux) { obs.RegisterPprof(mux) }
 
 // StandardBatteryCells lists the primary-cell options E8 assesses.
 func StandardBatteryCells() []BatteryCell { return battery.StandardCells() }
