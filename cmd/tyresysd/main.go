@@ -8,19 +8,33 @@
 //
 //	tyresysd [-addr :8080] [-workers 0] [-max-inflight 16]
 //	         [-cache 512] [-timeout 60s] [-log] [-pprof]
+//	         [-jobs-dir DIR] [-job-workers 2] [-max-jobs 64]
 //
 // Endpoints (request bodies are the tyreconfig scenario format plus
 // per-analysis parameters; empty body {} analyses the reference stack):
 //
-//	POST /v1/balance     Fig 2 sweep + break-even + operating windows
-//	POST /v1/breakeven   break-even point only
-//	POST /v1/montecarlo  yield under process/condition variation
-//	POST /v1/optimize    technique search (breakeven or energy objective)
-//	POST /v1/emulate     long-window emulation over a driving cycle
-//	GET  /v1/stats       per-endpoint counters, cache and pool state
-//	GET  /v1/metrics     Prometheus text exposition (latency histograms,
-//	                     admission/cache/memo counters, pool saturation)
-//	GET  /v1/healthz     liveness (503 while draining)
+//	POST   /v1/balance          Fig 2 sweep + break-even + operating windows
+//	POST   /v1/breakeven        break-even point only
+//	POST   /v1/montecarlo       yield under process/condition variation
+//	POST   /v1/optimize         technique search (breakeven or energy objective)
+//	POST   /v1/emulate          long-window emulation over a driving cycle
+//	POST   /v1/jobs             submit a batch job (any kind above, or "fleet":
+//	                            one emulation per wheel with scaled harvesters);
+//	                            202 + Location
+//	GET    /v1/jobs             list jobs in submission order
+//	GET    /v1/jobs/{id}        status: progress, throughput, ETA
+//	GET    /v1/jobs/{id}/result NDJSON chunk stream + terminal aggregate line
+//	DELETE /v1/jobs/{id}        cooperative cancel (next chunk boundary)
+//	GET    /v1/stats            per-endpoint counters, cache, pool and job state
+//	GET    /v1/metrics          Prometheus text exposition (latency histograms,
+//	                            admission/cache/memo counters, pool saturation,
+//	                            job queue depth and chunk latency)
+//	GET    /v1/healthz          liveness (503 while draining)
+//
+// -jobs-dir persists batch-job checkpoints: a job interrupted by a
+// restart resumes from its last completed chunk on the next boot and
+// its final aggregate is byte-identical to an uninterrupted run.
+// Without it jobs still work but die with the process.
 //
 // -log writes one structured line per analysis request to stderr
 // (endpoint, canonical-key prefix, result source, status, wall µs).
@@ -56,25 +70,37 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight evaluations")
 	logReqs := flag.Bool("log", false, "log one structured line per analysis request to stderr")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	jobsDir := flag.String("jobs-dir", "", "batch-job checkpoint directory (empty = in-memory jobs, lost on restart)")
+	jobWorkers := flag.Int("job-workers", 0, "concurrent batch-job executors (0 = default 2)")
+	maxJobs := flag.Int("max-jobs", 0, "max incomplete batch jobs before 429 (0 = default 64)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *maxInFlight, *cacheEntries, *timeout, *drain, *logReqs, *pprofOn); err != nil {
+	opts := serve.Options{
+		Workers:        *workers,
+		MaxInFlight:    *maxInFlight,
+		CacheEntries:   *cacheEntries,
+		RequestTimeout: *timeout,
+		JobsDir:        *jobsDir,
+		JobExecutors:   *jobWorkers,
+		MaxJobs:        *maxJobs,
+	}
+	if *logReqs {
+		opts.Logger = obs.NewLineLogger(os.Stderr)
+	}
+	if err := run(*addr, opts, *drain, *pprofOn); err != nil {
 		fmt.Fprintf(os.Stderr, "tyresysd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxInFlight, cacheEntries int, timeout, drain time.Duration, logReqs, pprofOn bool) error {
-	opts := serve.Options{
-		Workers:        workers,
-		MaxInFlight:    maxInFlight,
-		CacheEntries:   cacheEntries,
-		RequestTimeout: timeout,
+func run(addr string, opts serve.Options, drain time.Duration, pprofOn bool) error {
+	api, err := serve.NewServer(opts)
+	if err != nil {
+		return err
 	}
-	if logReqs {
-		opts.Logger = obs.NewLineLogger(os.Stderr)
+	if n := api.ReplayedJobs(); n > 0 {
+		fmt.Printf("tyresysd: resumed %d checkpointed job(s) from %s\n", n, opts.JobsDir)
 	}
-	api := serve.NewServer(opts)
 
 	// The API server owns /v1; the outer mux exists only so pprof can be
 	// mounted beside it when asked for. Without -pprof the handler IS the

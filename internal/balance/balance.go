@@ -1,11 +1,3 @@
-// Package balance computes the paper's central result: the energy balance
-// of the self-powered Sensor Node per wheel round across cruising speeds
-// (Fig 2). It pairs a node architecture with a scavenger harvester,
-// couples the circuit temperature to the tyre's speed-dependent
-// self-heating (static power is "mainly linked to the working
-// temperature"), sweeps the two energy-per-round curves, finds their
-// break-even intersection, and identifies the operating windows where the
-// balance is positive.
 package balance
 
 import (

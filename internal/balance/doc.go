@@ -1,0 +1,14 @@
+// Package balance computes the paper's central result: the energy balance
+// of the self-powered Sensor Node per wheel round across cruising speeds
+// (Fig 2). It pairs a node architecture with a scavenger harvester,
+// couples the circuit temperature to the tyre's speed-dependent
+// self-heating (static power is "mainly linked to the working
+// temperature"), sweeps the two energy-per-round curves, finds their
+// break-even intersection, and identifies the operating windows where the
+// balance is positive.
+//
+// The entry points are New (build an Analyzer from a node, harvester
+// and conditions), Analyzer.SweepCtx (the Fig 2 generated/required
+// curves), Analyzer.BreakEvenCtx (the activation-speed intersection) and
+// Sweep.OperatingWindows (the positive-balance speed intervals).
+package balance

@@ -1,13 +1,3 @@
-// Package battery models the baseline the paper's introduction argues
-// against: powering the in-tyre Sensor Node from a primary cell.
-// "Obviously, standard batteries cannot supply this chip for a full tyre
-// lifetime, therefore it is necessary to consider energy harvesting
-// devices." This package makes that claim checkable: primary-cell
-// characterisations (capacity, self-discharge, temperature derating,
-// pulse capability, mechanical ratings) are assessed against a tyre-life
-// mission profile, including the brutal in-tread environment — at
-// 200 km/h a tread-mounted node sees a sustained centripetal
-// acceleration above 1000 g.
 package battery
 
 import (

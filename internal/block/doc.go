@@ -1,0 +1,14 @@
+// Package block models one functional block of the Sensor Node — data
+// acquisition, computing, memory, radio, power management — as a set of
+// operating modes with per-mode power models plus mode-transition costs.
+//
+// The paper's methodology assigns every block a per-wheel-round schedule
+// and derives its duty cycle (active time over the round) from it; the
+// (dynamic power, static power, duty cycle) triple then drives the choice
+// of optimization technique. This package provides exactly those
+// primitives.
+//
+// The entry points are New (build a Block from a Config of ModeSpecs)
+// and Block.RoundEnergy / Block.AveragePower over a Schedule — the
+// returned Breakdown attributes static and dynamic energy per mode.
+package block

@@ -1,7 +1,3 @@
-// Package cli holds the plumbing shared by the command-line tools:
-// loading analysis scenarios, resolving built-in driving cycles, and
-// assembling the default stack — kept out of the main packages so it is
-// unit-testable.
 package cli
 
 import (

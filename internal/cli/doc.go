@@ -1,0 +1,10 @@
+// Package cli holds the plumbing shared by the command-line tools:
+// loading analysis scenarios, resolving built-in driving cycles, and
+// assembling the default stack — kept out of the main packages so it is
+// unit-testable.
+//
+// The entry points are DefaultStack / LoadScenario / ResolveStack
+// (assemble the analysis Stack from defaults, a scenario file, or the
+// standard flag combination), Cycle / PickProfile (resolve
+// driving-cycle profiles) and CycleNames.
+package cli

@@ -1,9 +1,3 @@
-// Package config serialises complete analysis scenarios — Sensor Node
-// architecture, scavenger, storage buffer and working conditions — to and
-// from JSON. The paper's evaluation platform lets the user "evaluate
-// custom architectures of the chip"; this package makes those custom
-// architectures persistent artefacts that the command-line tools load
-// with -config.
 package config
 
 import (

@@ -1,0 +1,12 @@
+// Package config serialises complete analysis scenarios — Sensor Node
+// architecture, scavenger, storage buffer and working conditions — to and
+// from JSON. The paper's evaluation platform lets the user "evaluate
+// custom architectures of the chip"; this package makes those custom
+// architectures persistent artefacts that the command-line tools load
+// with -config.
+//
+// The entry points are Load / Save (scenario JSON round-trip) and
+// Scenario.Stack-building via internal/cli; the Scenario type is the
+// schema shared by the CLI tools' -config flag and the HTTP service's
+// request bodies.
+package config

@@ -1,0 +1,15 @@
+// Package core implements the paper's primary contribution: the energy
+// analysis flow of Fig 1. Starting from a defined architecture it (1)
+// estimates each block's power under all working conditions into the
+// analysis database, (2) evaluates per-round energy contributions and
+// duty cycles, (3) selects and applies per-block optimizations with the
+// duty-cycle-aware advisor, (4) re-estimates the total, (5) integrates the
+// scavenger source model into the energy balance, and (6) emulates the
+// balance over a long timing window to identify the operating windows of
+// the monitoring system.
+//
+// The entry point is DefaultFlow followed by Flow.Run, which executes
+// the whole pipeline and returns a Report; the individual stages remain
+// independently usable through their own packages (db, opt, balance,
+// emu).
+package core

@@ -1,10 +1,3 @@
-// Package db implements the paper's "dynamic spreadsheet": a complete
-// database for the energy analysis that collects the power estimation of
-// each functional block under every working and operating condition
-// (temperature, supply voltage, process corner, operating mode), supports
-// interpolation between characterisation points, derives energy
-// estimates, and round-trips through CSV so measured data can replace the
-// analytic models.
 package db
 
 import (

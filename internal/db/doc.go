@@ -1,0 +1,13 @@
+// Package db implements the paper's "dynamic spreadsheet": a complete
+// database for the energy analysis that collects the power estimation of
+// each functional block under every working and operating condition
+// (temperature, supply voltage, process corner, operating mode), supports
+// interpolation between characterisation points, derives energy
+// estimates, and round-trips through CSV so measured data can replace the
+// analytic models.
+//
+// The entry points are New and DB.Characterize (fill a DB over a
+// CharacterizationGrid), DB.Lookup / DB.EnergyEstimate (interpolated
+// per-condition estimates) and ReadCSV / WriteCSV (replace analytic
+// models with measured data).
+package db

@@ -1,0 +1,16 @@
+// Package emu implements the last stage of the paper's analysis flow
+// (Fig 1): integrating the scavenger source model with the node's load and
+// "emulating the energy balance for a long timing window". Driven by a
+// cruising-speed profile, the emulator steps wheel round by wheel round,
+// tracking the storage element's charge, the tyre temperature (and hence
+// leakage), brown-outs with restart hysteresis, and activity coverage —
+// answering the paper's question of whether "the monitoring system can be
+// active during all the considered time".
+//
+// The entry points are New and Emulator.RunCtx for one-shot runs, and
+// the resumable session API — Emulator.Start, Session.RunUntil,
+// Session.Snapshot and Emulator.Resume — that the batch-job layer
+// (internal/jobs, internal/serve) checkpoints long emulations with.
+// Snapshot/Resume round-trips are exact: a chunked run is bit-identical
+// to a continuous one.
+package emu

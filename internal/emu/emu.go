@@ -1,11 +1,3 @@
-// Package emu implements the last stage of the paper's analysis flow
-// (Fig 1): integrating the scavenger source model with the node's load and
-// "emulating the energy balance for a long timing window". Driven by a
-// cruising-speed profile, the emulator steps wheel round by wheel round,
-// tracking the storage element's charge, the tyre temperature (and hence
-// leakage), brown-outs with restart hysteresis, and activity coverage —
-// answering the paper's question of whether "the monitoring system can be
-// active during all the considered time".
 package emu
 
 import (
@@ -13,14 +5,12 @@ import (
 	"fmt"
 
 	"repro/internal/node"
-	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/profile"
 	"repro/internal/scavenger"
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/units"
-	"repro/internal/wheel"
 )
 
 // Config assembles an emulation run.
@@ -183,147 +173,17 @@ const cancelCheckEvery = 1024
 // RunCtx is Run with cooperative cancellation: the round-by-round loop
 // polls ctx every cancelCheckEvery steps and aborts with the context
 // error. Cancellation never changes the result of a run that completes.
+//
+// RunCtx is a Session driven to the profile end in one segment — the
+// same loop the checkpointed batch path runs in chunks, so the two can
+// never drift apart.
 func (e *Emulator) RunCtx(ctx context.Context, p profile.Profile) (*Result, error) {
-	if p == nil {
-		return nil, fmt.Errorf("emu: nil profile")
-	}
-	cfg := e.cfg
-	state, err := storage.NewState(cfg.Buffer, cfg.InitialVoltage)
+	s, err := e.Start(p)
 	if err != nil {
 		return nil, err
 	}
-	thermal := wheel.NewThermal(cfg.Node.Tyre(), cfg.Ambient, cfg.ThermalTau)
-
-	res := &Result{
-		Duration:      p.Duration(),
-		InitialEnergy: state.Energy(),
-		MinVoltage:    state.Voltage(),
+	if err := s.RunUntil(ctx, s.End()); err != nil {
+		return nil, err
 	}
-	if cfg.RecordTraces {
-		res.Voltage = trace.NewSeries("buffer voltage", "s", "V")
-		res.Speed = trace.NewSeries("speed", "s", "km/h")
-		res.Power = trace.NewSeries("node draw", "s", "µW")
-	}
-
-	on := state.CanRestart()
-	var t units.Seconds
-	var performed int64 // rounds completed by the node (drives aux/TX cadence)
-	var outageStart units.Seconds
-	if !on {
-		outageStart = 0
-	}
-	end := p.Duration()
-
-	// Resolved once per run: an absent tracer costs one nil check per
-	// round, and trace events never influence the emulation.
-	tr := obs.TracerFrom(ctx)
-	var steps int64
-	for t < end {
-		if steps%cancelCheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		steps++
-		if tr != nil {
-			tr.EmuRound(steps)
-		}
-		v := p.SpeedAt(t)
-		moving := v >= cfg.MinMonitorSpeed && cfg.Node.RoundPeriod(v) > 0
-		var dt units.Seconds
-		if moving {
-			dt = cfg.Node.RoundPeriod(v)
-		} else {
-			dt = cfg.StoppedStep
-		}
-		if t+dt > end {
-			// Final partial step: scale harvest/load linearly.
-			dt = end - t
-			if dt <= 0 {
-				break
-			}
-			moving = false // treat the partial tail as static draw
-		}
-
-		temp := thermal.Step(cfg.Ambient, v, dt)
-		cond := cfg.Base.WithTemp(temp)
-
-		// Harvest.
-		var harvestPower units.Power
-		if v > 0 {
-			harvestPower = cfg.Harvester.Power(v)
-		}
-		stored, clipped := state.Charge(harvestPower.OverTime(dt))
-		res.Harvested += stored
-		res.Clipped += clipped
-
-		// Load.
-		var draw units.Energy
-		var stepPower units.Power
-		if on {
-			if moving {
-				plan, err := cfg.Node.PlanRound(v, performed)
-				if err != nil {
-					return nil, err
-				}
-				bd, err := cfg.Node.RoundEnergy(plan, cond)
-				if err != nil {
-					return nil, err
-				}
-				draw = bd.Total()
-			} else {
-				rest, err := cfg.Node.RestPower(cond)
-				if err != nil {
-					return nil, err
-				}
-				draw = rest.OverTime(dt)
-			}
-			delivered, shortfall := state.Discharge(draw)
-			res.Consumed += delivered
-			stepPower = delivered.Over(dt)
-			if shortfall > 0 {
-				// Supply collapsed: brown-out. The round (if any) is lost.
-				on = false
-				outageStart = t
-				res.BrownOuts++
-			} else if moving {
-				res.ActiveRounds++
-				performed++
-			}
-		}
-
-		if moving {
-			res.Rounds++
-		}
-
-		// Self-discharge.
-		res.Leaked += state.Leak(dt)
-
-		if !on && state.CanRestart() {
-			on = true
-			res.Restarts++
-			res.Outages = append(res.Outages, Outage{Start: outageStart, End: t + dt})
-		}
-
-		volts := state.Voltage()
-		if volts < res.MinVoltage {
-			res.MinVoltage = volts
-		}
-		if cfg.RecordTraces {
-			ts := t.Seconds()
-			res.Voltage.MustAppend(ts, volts.Volts())
-			res.Speed.MustAppend(ts, v.KMH())
-			res.Power.MustAppend(ts, stepPower.Microwatts())
-		}
-
-		t += dt
-	}
-
-	if !on {
-		// The run ends inside an outage.
-		res.Outages = append(res.Outages, Outage{Start: outageStart, End: end})
-	}
-	res.FinalEnergy = state.Energy()
-	res.FinalVoltage = state.Voltage()
-	return res, nil
+	return s.Result()
 }

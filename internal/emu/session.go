@@ -1,0 +1,371 @@
+package emu
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// Session is a resumable emulation run: the same round-by-round loop as
+// RunCtx, but stoppable at any emulated time and serialisable through
+// Snapshot/Resume. The batch-job subsystem decomposes long emulations
+// into Session segments checkpointed between chunks; RunCtx itself is a
+// Session driven to the end in one call, so the two paths cannot drift.
+//
+// Determinism contract: the step sequence depends only on the profile
+// and configuration, never on where segment boundaries fall. A run
+// split into arbitrary RunUntil segments — including across a
+// Snapshot/Resume round-trip — produces a Result bit-identical to an
+// uninterrupted run.
+type Session struct {
+	cfg     Config
+	p       profile.Profile
+	end     units.Seconds
+	state   *storage.State
+	thermal *wheel.Thermal
+	res     *Result
+
+	on          bool
+	t           units.Seconds
+	steps       int64
+	performed   int64 // rounds completed by the node (drives aux/TX cadence)
+	outageStart units.Seconds
+	finalized   bool
+}
+
+// Start begins a session at t=0 with the emulator's configured initial
+// state.
+func (e *Emulator) Start(p profile.Profile) (*Session, error) {
+	if p == nil {
+		return nil, fmt.Errorf("emu: nil profile")
+	}
+	cfg := e.cfg
+	state, err := storage.NewState(cfg.Buffer, cfg.InitialVoltage)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Duration:      p.Duration(),
+		InitialEnergy: state.Energy(),
+		MinVoltage:    state.Voltage(),
+	}
+	if cfg.RecordTraces {
+		res.Voltage = trace.NewSeries("buffer voltage", "s", "V")
+		res.Speed = trace.NewSeries("speed", "s", "km/h")
+		res.Power = trace.NewSeries("node draw", "s", "µW")
+	}
+	return &Session{
+		cfg:     cfg,
+		p:       p,
+		end:     p.Duration(),
+		state:   state,
+		thermal: wheel.NewThermal(cfg.Node.Tyre(), cfg.Ambient, cfg.ThermalTau),
+		res:     res,
+		on:      state.CanRestart(),
+	}, nil
+}
+
+// Now returns the current emulated time.
+func (s *Session) Now() units.Seconds { return s.t }
+
+// End returns the profile duration the session runs to.
+func (s *Session) End() units.Seconds { return s.end }
+
+// Done reports whether the session has consumed the whole profile.
+func (s *Session) Done() bool { return s.t >= s.end }
+
+// RunUntil advances the emulation until the current time reaches `until`
+// (clamped to the profile end) or ctx is done. Step boundaries are
+// determined by the wheel-round cadence alone: a step begun just before
+// `until` completes in full, so segment boundaries never split or
+// truncate a step and chunked runs stay bit-identical to continuous
+// ones.
+func (s *Session) RunUntil(ctx context.Context, until units.Seconds) error {
+	if until > s.end {
+		until = s.end
+	}
+	cfg := s.cfg
+	res := s.res
+	// Resolved once per segment: an absent tracer costs one nil check per
+	// round, and trace events never influence the emulation.
+	tr := obs.TracerFrom(ctx)
+	for s.t < until {
+		if s.steps%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		s.steps++
+		if tr != nil {
+			tr.EmuRound(s.steps)
+		}
+		t := s.t
+		v := s.p.SpeedAt(t)
+		moving := v >= cfg.MinMonitorSpeed && cfg.Node.RoundPeriod(v) > 0
+		var dt units.Seconds
+		if moving {
+			dt = cfg.Node.RoundPeriod(v)
+		} else {
+			dt = cfg.StoppedStep
+		}
+		if t+dt > s.end {
+			// Final partial step: scale harvest/load linearly.
+			dt = s.end - t
+			if dt <= 0 {
+				s.t = s.end
+				break
+			}
+			moving = false // treat the partial tail as static draw
+		}
+
+		temp := s.thermal.Step(cfg.Ambient, v, dt)
+		cond := cfg.Base.WithTemp(temp)
+
+		// Harvest.
+		var harvestPower units.Power
+		if v > 0 {
+			harvestPower = cfg.Harvester.Power(v)
+		}
+		stored, clipped := s.state.Charge(harvestPower.OverTime(dt))
+		res.Harvested += stored
+		res.Clipped += clipped
+
+		// Load.
+		var draw units.Energy
+		var stepPower units.Power
+		if s.on {
+			if moving {
+				plan, err := cfg.Node.PlanRound(v, s.performed)
+				if err != nil {
+					return err
+				}
+				bd, err := cfg.Node.RoundEnergy(plan, cond)
+				if err != nil {
+					return err
+				}
+				draw = bd.Total()
+			} else {
+				rest, err := cfg.Node.RestPower(cond)
+				if err != nil {
+					return err
+				}
+				draw = rest.OverTime(dt)
+			}
+			delivered, shortfall := s.state.Discharge(draw)
+			res.Consumed += delivered
+			stepPower = delivered.Over(dt)
+			if shortfall > 0 {
+				// Supply collapsed: brown-out. The round (if any) is lost.
+				s.on = false
+				s.outageStart = t
+				res.BrownOuts++
+			} else if moving {
+				res.ActiveRounds++
+				s.performed++
+			}
+		}
+
+		if moving {
+			res.Rounds++
+		}
+
+		// Self-discharge.
+		res.Leaked += s.state.Leak(dt)
+
+		if !s.on && s.state.CanRestart() {
+			s.on = true
+			res.Restarts++
+			res.Outages = append(res.Outages, Outage{Start: s.outageStart, End: t + dt})
+		}
+
+		volts := s.state.Voltage()
+		if volts < res.MinVoltage {
+			res.MinVoltage = volts
+		}
+		if cfg.RecordTraces {
+			ts := t.Seconds()
+			res.Voltage.MustAppend(ts, volts.Volts())
+			res.Speed.MustAppend(ts, v.KMH())
+			res.Power.MustAppend(ts, stepPower.Microwatts())
+		}
+
+		s.t = t + dt
+	}
+	return nil
+}
+
+// Result finalises and returns the run summary. It may only be called on
+// a Done session; finalisation (closing a trailing outage, reading the
+// boundary state) happens once, so repeated calls return the same
+// pointer.
+func (s *Session) Result() (*Result, error) {
+	if !s.Done() {
+		return nil, fmt.Errorf("emu: session at t=%v of %v is not done", s.t, s.end)
+	}
+	if !s.finalized {
+		if !s.on {
+			// The run ends inside an outage.
+			s.res.Outages = append(s.res.Outages, Outage{Start: s.outageStart, End: s.end})
+		}
+		s.res.FinalEnergy = s.state.Energy()
+		s.res.FinalVoltage = s.state.Voltage()
+		s.finalized = true
+	}
+	return s.res, nil
+}
+
+// Progress is a cheap cumulative summary of a session so far — what the
+// batch path reports per chunk. Unlike Snapshot it works on finalised
+// and trace-recording sessions alike, and carries no resume state.
+type Progress struct {
+	TS           float64 `json:"t_s"`
+	Rounds       int64   `json:"rounds"`
+	ActiveRounds int64   `json:"active_rounds"`
+	BrownOuts    int     `json:"brownouts"`
+	Restarts     int     `json:"restarts"`
+	BufferJ      float64 `json:"buffer_j"`
+	VoltageV     float64 `json:"voltage_v"`
+}
+
+// Progress reports the session's cumulative counters at the current
+// emulated time.
+func (s *Session) Progress() Progress {
+	return Progress{
+		TS:           s.t.Seconds(),
+		Rounds:       s.res.Rounds,
+		ActiveRounds: s.res.ActiveRounds,
+		BrownOuts:    s.res.BrownOuts,
+		Restarts:     s.res.Restarts,
+		BufferJ:      s.state.Energy().Joules(),
+		VoltageV:     s.state.Voltage().Volts(),
+	}
+}
+
+// Snapshot is the complete serialisable mid-run state of a Session: the
+// loop variables, the storage element's exact energy, the tyre thermal
+// state and the partial Result tallies. Every field is a float64 or
+// integer, and Go's JSON encoding round-trips float64 exactly (shortest
+// round-trip form), so a snapshot written to a checkpoint log and read
+// back resumes on the identical trajectory.
+type Snapshot struct {
+	// DurationS pins the profile the snapshot belongs to; Resume rejects
+	// a profile of a different duration.
+	DurationS float64 `json:"duration_s"`
+	// TS is the emulated time reached; Steps/Performed are the loop
+	// counters; On/OutageStartS carry the brown-out state machine.
+	TS           float64 `json:"t_s"`
+	Steps        int64   `json:"steps"`
+	Performed    int64   `json:"performed"`
+	On           bool    `json:"on"`
+	OutageStartS float64 `json:"outage_start_s"`
+	// BufferJ is the storage element's exact stored energy (restored via
+	// storage.Restore, not through a lossy voltage round-trip);
+	// TyreTempC is the thermal tracker state.
+	BufferJ   float64 `json:"buffer_j"`
+	TyreTempC float64 `json:"tyre_temp_c"`
+	// The partial Result tallies accumulated so far.
+	Rounds       int64        `json:"rounds"`
+	ActiveRounds int64        `json:"active_rounds"`
+	BrownOuts    int          `json:"brownouts"`
+	Restarts     int          `json:"restarts"`
+	HarvestedJ   float64      `json:"harvested_j"`
+	ClippedJ     float64      `json:"clipped_j"`
+	ConsumedJ    float64      `json:"consumed_j"`
+	LeakedJ      float64      `json:"leaked_j"`
+	InitialJ     float64      `json:"initial_j"`
+	MinVoltageV  float64      `json:"min_voltage_v"`
+	Outages      [][2]float64 `json:"outages,omitempty"`
+}
+
+// Snapshot captures the session's state. Trace-recording sessions cannot
+// be snapshotted (the per-step series would dominate every checkpoint);
+// the batch path never records traces.
+func (s *Session) Snapshot() (Snapshot, error) {
+	if s.cfg.RecordTraces {
+		return Snapshot{}, fmt.Errorf("emu: cannot snapshot a trace-recording session")
+	}
+	if s.finalized {
+		return Snapshot{}, fmt.Errorf("emu: cannot snapshot a finalised session")
+	}
+	snap := Snapshot{
+		DurationS:    s.end.Seconds(),
+		TS:           s.t.Seconds(),
+		Steps:        s.steps,
+		Performed:    s.performed,
+		On:           s.on,
+		OutageStartS: s.outageStart.Seconds(),
+		BufferJ:      s.state.Energy().Joules(),
+		TyreTempC:    s.thermal.Temp().DegC(),
+		Rounds:       s.res.Rounds,
+		ActiveRounds: s.res.ActiveRounds,
+		BrownOuts:    s.res.BrownOuts,
+		Restarts:     s.res.Restarts,
+		HarvestedJ:   s.res.Harvested.Joules(),
+		ClippedJ:     s.res.Clipped.Joules(),
+		ConsumedJ:    s.res.Consumed.Joules(),
+		LeakedJ:      s.res.Leaked.Joules(),
+		InitialJ:     s.res.InitialEnergy.Joules(),
+		MinVoltageV:  s.res.MinVoltage.Volts(),
+	}
+	for _, o := range s.res.Outages {
+		snap.Outages = append(snap.Outages, [2]float64{o.Start.Seconds(), o.End.Seconds()})
+	}
+	return snap, nil
+}
+
+// Resume reconstructs a session from a snapshot taken against the same
+// profile and configuration. The caller is responsible for rebuilding an
+// identical Emulator (the batch path re-plans from the persisted request
+// spec); a mismatched profile duration is caught here, other config
+// drift silently changes the remainder of the run.
+func (e *Emulator) Resume(p profile.Profile, snap Snapshot) (*Session, error) {
+	if p == nil {
+		return nil, fmt.Errorf("emu: nil profile")
+	}
+	cfg := e.cfg
+	if cfg.RecordTraces {
+		return nil, fmt.Errorf("emu: cannot resume a trace-recording emulation")
+	}
+	if d := p.Duration().Seconds(); d != snap.DurationS {
+		return nil, fmt.Errorf("emu: snapshot is for a %gs profile, got %gs", snap.DurationS, d)
+	}
+	state, err := storage.Restore(cfg.Buffer, units.Energy(snap.BufferJ))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Duration:      p.Duration(),
+		InitialEnergy: units.Energy(snap.InitialJ),
+		MinVoltage:    units.Volts(snap.MinVoltageV),
+		Rounds:        snap.Rounds,
+		ActiveRounds:  snap.ActiveRounds,
+		BrownOuts:     snap.BrownOuts,
+		Restarts:      snap.Restarts,
+		Harvested:     units.Energy(snap.HarvestedJ),
+		Clipped:       units.Energy(snap.ClippedJ),
+		Consumed:      units.Energy(snap.ConsumedJ),
+		Leaked:        units.Energy(snap.LeakedJ),
+	}
+	for _, o := range snap.Outages {
+		res.Outages = append(res.Outages, Outage{Start: units.Seconds(o[0]), End: units.Seconds(o[1])})
+	}
+	return &Session{
+		cfg:         cfg,
+		p:           p,
+		end:         p.Duration(),
+		state:       state,
+		thermal:     wheel.NewThermalAt(cfg.Node.Tyre(), units.DegC(snap.TyreTempC), cfg.ThermalTau),
+		res:         res,
+		on:          snap.On,
+		t:           units.Seconds(snap.TS),
+		steps:       snap.Steps,
+		performed:   snap.Performed,
+		outageStart: units.Seconds(snap.OutageStartS),
+	}, nil
+}

@@ -1,0 +1,189 @@
+package emu
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+// sessionResult drives a session to the end in segments of the given
+// emulated length, passing each segment boundary through a JSON
+// Snapshot/Resume round-trip when roundTrip is set.
+func sessionResult(t *testing.T, cfg Config, segment units.Seconds, roundTrip bool) *Result {
+	t.Helper()
+	e := newEmulator(t, cfg)
+	p := testProfile()
+	s, err := e.Start(p)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	ctx := context.Background()
+	for !s.Done() {
+		until := s.Now() + segment
+		if err := s.RunUntil(ctx, until); err != nil {
+			t.Fatalf("RunUntil(%v): %v", until, err)
+		}
+		if roundTrip && !s.Done() {
+			snap, err := s.Snapshot()
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			blob, err := json.Marshal(snap)
+			if err != nil {
+				t.Fatalf("marshal snapshot: %v", err)
+			}
+			var back Snapshot
+			if err := json.Unmarshal(blob, &back); err != nil {
+				t.Fatalf("unmarshal snapshot: %v", err)
+			}
+			// Resume on a freshly built emulator, as the batch path does
+			// after a process restart.
+			s, err = newEmulator(t, cfg).Resume(testProfile(), back)
+			if err != nil {
+				t.Fatalf("Resume: %v", err)
+			}
+		}
+	}
+	res, err := s.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	return res
+}
+
+// testProfile is a profile long and varied enough to include brown-outs,
+// restarts, stopped stretches and the thermal transient.
+func testProfile() profile.Profile {
+	return mixedShortProfile{}
+}
+
+// mixedShortProfile: 25 min with fast/slow/stopped phases.
+type mixedShortProfile struct{}
+
+func (mixedShortProfile) Duration() units.Seconds { return units.Minutes(25) }
+func (mixedShortProfile) SpeedAt(t units.Seconds) units.Speed {
+	switch sec := t.Seconds(); {
+	case sec < 300:
+		return kmh(110)
+	case sec < 600:
+		return 0 // parked: pure leakage + rest draw
+	case sec < 900:
+		return kmh(15) // crawl, marginal harvest
+	case sec < 1200:
+		return kmh(70)
+	default:
+		return kmh(30)
+	}
+}
+
+// TestSessionMatchesRunCtx pins the tentpole determinism contract:
+// chunked sessions — with and without a JSON snapshot round-trip at
+// every boundary — produce a Result identical field-for-field (bit-exact
+// floats included) to the one-shot RunCtx path.
+func TestSessionMatchesRunCtx(t *testing.T) {
+	cfg := defaultConfig(t)
+	e := newEmulator(t, cfg)
+	want, err := e.RunCtx(context.Background(), testProfile())
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if want.BrownOuts == 0 || want.Restarts == 0 {
+		t.Fatalf("test profile too tame: %d brownouts, %d restarts — outage state machine unexercised",
+			want.BrownOuts, want.Restarts)
+	}
+	for _, c := range []struct {
+		name      string
+		segment   units.Seconds
+		roundTrip bool
+	}{
+		{"one segment", units.Minutes(25), false},
+		{"60s segments", units.Seconds(60), false},
+		{"uneven segments", units.Seconds(97.3), false},
+		{"60s segments with snapshot round-trip", units.Seconds(60), true},
+		{"7s segments with snapshot round-trip", units.Seconds(7), true},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			got := sessionResult(t, cfg, c.segment, c.roundTrip)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("chunked result differs from RunCtx\ngot:  %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestSessionGuards covers the misuse paths: Result before done,
+// Snapshot with traces on, Resume against the wrong profile.
+func TestSessionGuards(t *testing.T) {
+	cfg := defaultConfig(t)
+	s, err := newEmulator(t, cfg).Start(testProfile())
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if _, err := s.Result(); err == nil {
+		t.Error("Result on an unfinished session succeeded")
+	}
+	if err := s.RunUntil(context.Background(), units.Seconds(30)); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	short := profileOfDuration{units.Minutes(1)}
+	if _, err := newEmulator(t, cfg).Resume(short, snap); err == nil {
+		t.Error("Resume with a mismatched profile duration succeeded")
+	}
+
+	traced := cfg
+	traced.RecordTraces = true
+	ts, err := newEmulator(t, traced).Start(testProfile())
+	if err != nil {
+		t.Fatalf("Start traced: %v", err)
+	}
+	if _, err := ts.Snapshot(); err == nil {
+		t.Error("Snapshot of a trace-recording session succeeded")
+	}
+	if _, err := newEmulator(t, traced).Resume(testProfile(), snap); err == nil {
+		t.Error("Resume of a trace-recording emulation succeeded")
+	}
+}
+
+type profileOfDuration struct{ d units.Seconds }
+
+func (p profileOfDuration) Duration() units.Seconds           { return p.d }
+func (p profileOfDuration) SpeedAt(units.Seconds) units.Speed { return 0 }
+
+// TestSessionCancellation: a done context aborts RunUntil with the
+// context error and the session can still continue afterwards with an
+// undamaged trajectory (cancellation lands between steps, never inside
+// one).
+func TestSessionCancellation(t *testing.T) {
+	cfg := defaultConfig(t)
+	want, err := newEmulator(t, cfg).RunCtx(context.Background(), testProfile())
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	s, err := newEmulator(t, cfg).Start(testProfile())
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.RunUntil(cancelled, s.End()); err != context.Canceled {
+		t.Fatalf("RunUntil on cancelled ctx: got %v, want context.Canceled", err)
+	}
+	if err := s.RunUntil(context.Background(), s.End()); err != nil {
+		t.Fatalf("RunUntil after cancellation: %v", err)
+	}
+	got, err := s.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-cancellation result differs from uninterrupted run")
+	}
+}

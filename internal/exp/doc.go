@@ -1,0 +1,11 @@
+// Package exp regenerates every figure of the paper and the extended
+// ablation experiments DESIGN.md defines (E1–E13). Each experiment is a
+// function that computes the dataset, renders it as tables/ASCII charts
+// to a writer, and returns the numbers so benchmarks and tests can assert
+// the expected shape. cmd/experiments is a thin dispatcher over this
+// package.
+//
+// The entry points are the Fig*/E* functions (one per figure or
+// experiment), each taking a writer for its rendered tables and charts
+// and returning its dataset as a typed result.
+package exp

@@ -1,13 +1,3 @@
-// Package friction models the data-quality side of the monitoring
-// system: the Cyber Tyre's purpose (per the paper's introduction) is
-// "operating conditions analysis (i.e., potential friction)" from the
-// accelerometer samples captured during each contact-patch transit. The
-// estimator model here turns a per-round sample count into an estimation
-// uncertainty and a detection latency, giving the optimizer's
-// data-quality constraint a physical meaning: trimming samples saves
-// energy but degrades and slows the friction estimate — the "balance
-// between energy requirement and system performance" the paper's
-// evaluation platform is built to strike.
 package friction
 
 import (

@@ -1,0 +1,24 @@
+// Package jobs is the checkpointing asynchronous batch-job manager
+// behind tyresysd's /v1/jobs endpoints — the paper's long-horizon
+// analyses ("emulating the energy balance for a long timing window",
+// fleet-scale what-ifs) made restartable and streamable instead of
+// being squeezed through one synchronous request deadline.
+//
+// A job is a Spec (kind + raw analysis request) decomposed by a
+// PlanFunc into a Plan of chunks: sequential plans thread a carry from
+// chunk to chunk (emulation time segments carrying an emu.Snapshot),
+// independent plans fan chunks out on the internal/par pool (Monte
+// Carlo trial ranges, sweep point ranges, fleet wheels). The Manager
+// runs jobs on a dedicated bounded executor pool — admission-controlled
+// separately from the interactive serving slots — appends each
+// completed chunk to a filesystem checkpoint log (spec.json /
+// chunks.ndjson / done.json per job), and replays incomplete jobs on
+// construction, so a process restart resumes mid-job instead of
+// starting over. The determinism contract on Plan makes a resumed
+// job's final aggregate byte-identical to an uninterrupted run.
+//
+// Key entry points: New (boot + replay), Manager.Submit, Job.Status,
+// Job.StreamResult (NDJSON chunk stream + terminal aggregate line),
+// Manager.Cancel, Manager.Close (leaves incomplete jobs on disk for
+// the next boot).
+package jobs

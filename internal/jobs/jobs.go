@@ -1,0 +1,695 @@
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/par"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The job lifecycle: Pending → Running → one of the terminal states.
+const (
+	Pending   State = "pending"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// States lists all states in canonical order (metrics and docs).
+func States() []State { return []State{Pending, Running, Done, Failed, Cancelled} }
+
+// terminal reports whether a state is final.
+func terminal(s State) bool { return s == Done || s == Failed || s == Cancelled }
+
+// ErrQueueFull is returned by Submit when the incomplete-job bound is
+// reached; the serving layer maps it to 429.
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// Options configure a Manager. The zero value is usable: in-memory
+// checkpoints, one executor, a 64-job bound.
+type Options struct {
+	// Dir is the checkpoint root. Jobs checkpoint their chunk progress
+	// there and incomplete jobs are replayed from it on construction —
+	// restart survival. Empty keeps everything in memory (tests, or
+	// explicitly ephemeral deployments).
+	Dir string
+	// Executors bounds how many jobs run concurrently (default 1). This
+	// pool is dedicated to batch work: it is bounded independently of —
+	// and admission-controlled separately from — the interactive
+	// serving slots, so batch jobs never starve synchronous analyses.
+	Executors int
+	// ChunkParallelism bounds the chunk fan-out of one independent
+	// (non-sequential) job across the internal/par pool (default 1;
+	// sequential jobs always run one chunk at a time).
+	ChunkParallelism int
+	// MaxJobs bounds incomplete (pending+running) jobs (default 64).
+	MaxJobs int
+	// OnChunk, when set, observes each completed chunk's wall time in
+	// seconds — the serving layer points it at a latency histogram.
+	OnChunk func(seconds float64)
+}
+
+// Manager owns the asynchronous batch jobs: submission, the dedicated
+// executor pool, checkpointing, boot replay, cancellation and result
+// streaming.
+type Manager struct {
+	opts  Options
+	plan  PlanFunc
+	store *store // nil when Dir == ""
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	queue  chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission/replay order for List
+	replayed int
+	closed   bool
+}
+
+// Job is one tracked batch job. All mutable fields are guarded by mu;
+// watchers block on the notify channel, which is closed and replaced on
+// every update.
+type Job struct {
+	spec    Spec
+	created time.Time
+
+	mu     sync.Mutex
+	notify chan struct{}
+	state  State
+	errMsg string
+
+	records   []ChunkRecord // completion order (replay order after boot)
+	haveChunk map[int]bool
+	aggregate json.RawMessage
+
+	chunks      int
+	totalWeight int64
+	doneWeight  int64
+	// Session throughput: weight completed and time elapsed in THIS
+	// process run — replayed chunks don't count, so the rounds/sec and
+	// ETA reported right after a resume stay honest.
+	sessionWeight int64
+	sessionStart  time.Time
+	resumed       bool
+
+	cancelJob       context.CancelFunc
+	cancelRequested bool
+}
+
+// New builds a Manager, replays incomplete jobs from the checkpoint
+// root (when configured) and starts the executor pool.
+func New(opts Options, plan PlanFunc) (*Manager, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("jobs: nil plan func")
+	}
+	if opts.Executors < 1 {
+		opts.Executors = 1
+	}
+	if opts.ChunkParallelism < 1 {
+		opts.ChunkParallelism = 1
+	}
+	if opts.MaxJobs < 1 {
+		opts.MaxJobs = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:   opts,
+		plan:   plan,
+		ctx:    ctx,
+		cancel: cancel,
+		jobs:   make(map[string]*Job),
+	}
+	var replay []persisted
+	if opts.Dir != "" {
+		st, err := newStore(opts.Dir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.store = st
+		if replay, err = st.load(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
+	// The queue bounds incomplete jobs; replayed ones ride on top of the
+	// configured bound so a full checkpoint directory still boots.
+	m.queue = make(chan *Job, opts.MaxJobs+len(replay))
+	for _, p := range replay {
+		j := m.register(p.spec, len(p.chunks) > 0)
+		for _, rec := range p.chunks {
+			if j.haveChunk[rec.Chunk] {
+				continue // duplicate append from a crashed run
+			}
+			j.haveChunk[rec.Chunk] = true
+			j.records = append(j.records, rec)
+		}
+		if p.done != nil {
+			j.state = p.done.State
+			j.errMsg = p.done.Error
+			j.aggregate = p.done.Aggregate
+			continue
+		}
+		m.replayed++
+		m.queue <- j
+	}
+	for i := 0; i < opts.Executors; i++ {
+		m.wg.Add(1)
+		go m.executor()
+	}
+	return m, nil
+}
+
+// Replayed reports how many incomplete jobs were re-enqueued from the
+// checkpoint log at construction.
+func (m *Manager) Replayed() int { return m.replayed }
+
+// register creates the in-memory Job for a spec.
+func (m *Manager) register(spec Spec, resumed bool) *Job {
+	j := &Job{
+		spec:      spec,
+		created:   time.Now(),
+		notify:    make(chan struct{}),
+		state:     Pending,
+		haveChunk: make(map[int]bool),
+		resumed:   resumed,
+	}
+	m.mu.Lock()
+	m.jobs[spec.ID] = j
+	m.order = append(m.order, spec.ID)
+	m.mu.Unlock()
+	return j
+}
+
+// Submit validates the request by planning it eagerly, persists the
+// spec, and enqueues the job. The returned Job is already visible to
+// Get/List.
+func (m *Manager) Submit(kind string, request json.RawMessage) (*Job, error) {
+	plan, err := m.plan(kind, request)
+	if err != nil {
+		return nil, err
+	}
+	if err := validatePlan(plan); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("jobs: manager closed")
+	}
+	m.mu.Unlock()
+	spec := Spec{ID: newID(), Kind: kind, Request: request}
+	if m.store != nil {
+		if err := m.store.createJob(spec); err != nil {
+			return nil, err
+		}
+	}
+	j := m.register(spec, false)
+	j.chunks = plan.NumChunks()
+	j.totalWeight = planWeight(plan)
+	select {
+	case m.queue <- j:
+	default:
+		// Bounded queue full: forget the job again.
+		m.mu.Lock()
+		delete(m.jobs, spec.ID)
+		m.order = m.order[:len(m.order)-1]
+		m.mu.Unlock()
+		if m.store != nil {
+			m.store.remove(spec.ID)
+		}
+		return nil, ErrQueueFull
+	}
+	return j, nil
+}
+
+// Get returns a tracked job.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns every tracked job's status in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.Get(id); ok {
+			out = append(out, j.Status())
+		}
+	}
+	return out
+}
+
+// Cancel requests cooperative cancellation. It reports whether the job
+// exists; cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return true
+	}
+	j.cancelRequested = true
+	cancel := j.cancelJob
+	pending := j.state == Pending
+	if pending {
+		// Not yet picked up: finalise here; the executor skips
+		// cancelled jobs when it eventually drains them.
+		j.state = Cancelled
+		j.bump()
+	}
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if pending && m.store != nil {
+		m.store.finish(id, doneRecord{State: Cancelled})
+	}
+	return true
+}
+
+// QueueDepth reports jobs waiting for an executor.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// StateCounts returns the number of tracked jobs per state.
+func (m *Manager) StateCounts() map[State]int {
+	out := make(map[State]int, len(States()))
+	for _, s := range States() {
+		out[s] = 0
+	}
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		out[j.state]++
+		j.mu.Unlock()
+	}
+	return out
+}
+
+// Close stops the executor pool: running chunks are cancelled, nothing
+// further is persisted, and incomplete jobs stay incomplete on disk so
+// the next Manager over the same Dir replays them. Close waits for the
+// executors until ctx expires.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// executor is one worker of the dedicated batch pool.
+func (m *Manager) executor() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case j := <-m.queue:
+			m.runJob(j)
+		}
+	}
+}
+
+// runJob drives one job to a terminal state (or abandons it mid-chunk
+// when the manager closes, leaving the checkpoint to a future replay).
+func (m *Manager) runJob(j *Job) {
+	j.mu.Lock()
+	if terminal(j.state) { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	jctx, cancel := context.WithCancel(m.ctx)
+	defer cancel()
+	j.cancelJob = cancel
+	j.state = Running
+	j.sessionStart = time.Now()
+	j.bump()
+	j.mu.Unlock()
+
+	plan, err := m.plan(j.spec.Kind, j.spec.Request)
+	if err == nil {
+		err = validatePlan(plan)
+	}
+	if err != nil {
+		m.finish(j, Failed, nil, err)
+		return
+	}
+	j.mu.Lock()
+	j.chunks = plan.NumChunks()
+	j.totalWeight = planWeight(plan)
+	for i := 0; i < plan.NumChunks(); i++ {
+		if j.haveChunk[i] {
+			j.doneWeight += plan.ChunkWeight(i)
+		}
+	}
+	j.mu.Unlock()
+
+	if plan.Sequential() {
+		err = m.runSequential(jctx, j, plan)
+	} else {
+		err = m.runIndependent(jctx, j, plan)
+	}
+	if err != nil {
+		m.fail(j, err)
+		return
+	}
+
+	results, finalCarry, err := j.orderedResults(plan)
+	if err == nil {
+		var agg []byte
+		agg, err = plan.Aggregate(jctx, results, finalCarry)
+		if err == nil {
+			m.finish(j, Done, agg, nil)
+			return
+		}
+	}
+	m.fail(j, err)
+}
+
+// runSequential executes the remaining chunks in order, threading the
+// carry. Replayed records must form a prefix — sequential chunks are
+// only ever persisted in order.
+func (m *Manager) runSequential(ctx context.Context, j *Job, plan Plan) error {
+	n := plan.NumChunks()
+	next := 0
+	var carry []byte
+	j.mu.Lock()
+	for next < n && j.haveChunk[next] {
+		next++
+	}
+	if next > 0 {
+		last, ok := j.chunkRecord(next - 1)
+		if !ok {
+			j.mu.Unlock()
+			return fmt.Errorf("jobs: checkpoint log lost chunk %d", next-1)
+		}
+		carry = last.Carry
+	}
+	j.mu.Unlock()
+	for i := next; i < n; i++ {
+		start := time.Now()
+		result, nextCarry, err := plan.RunChunk(ctx, i, carry)
+		if err != nil {
+			return err
+		}
+		if err := m.record(j, ChunkRecord{Chunk: i, Result: result, Carry: nextCarry},
+			plan.ChunkWeight(i), start); err != nil {
+			return err
+		}
+		carry = nextCarry
+	}
+	return nil
+}
+
+// runIndependent fans the remaining chunks out on the internal/par pool.
+// The first chunk error (by completion, not index) cancels the remaining
+// fan-out; par's lowest-index error selection doesn't apply because the
+// inner context masks it — jobs report whichever failure stopped them.
+func (m *Manager) runIndependent(ctx context.Context, j *Job, plan Plan) error {
+	j.mu.Lock()
+	var todo []int
+	for i := 0; i < plan.NumChunks(); i++ {
+		if !j.haveChunk[i] {
+			todo = append(todo, i)
+		}
+	}
+	j.mu.Unlock()
+	if len(todo) == 0 {
+		return nil
+	}
+	fanCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			stop()
+		}
+		errMu.Unlock()
+	}
+	par.ForEachCtx(fanCtx, m.opts.ChunkParallelism, len(todo), func(k int) error {
+		i := todo[k]
+		start := time.Now()
+		result, _, err := plan.RunChunk(fanCtx, i, nil)
+		if err != nil {
+			fail(err)
+			return nil
+		}
+		if err := m.record(j, ChunkRecord{Chunk: i, Result: result},
+			plan.ChunkWeight(i), start); err != nil {
+			fail(err)
+		}
+		return nil
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// record persists and publishes one completed chunk.
+func (m *Manager) record(j *Job, rec ChunkRecord, weight int64, started time.Time) error {
+	if m.store != nil {
+		if err := m.store.appendChunk(j.spec.ID, rec); err != nil {
+			return err
+		}
+	}
+	if m.opts.OnChunk != nil {
+		m.opts.OnChunk(time.Since(started).Seconds())
+	}
+	j.mu.Lock()
+	j.haveChunk[rec.Chunk] = true
+	j.records = append(j.records, rec)
+	j.doneWeight += weight
+	j.sessionWeight += weight
+	j.bump()
+	j.mu.Unlock()
+	return nil
+}
+
+// orderedResults collects the chunk results in chunk order plus the
+// final sequential carry.
+func (j *Job) orderedResults(plan Plan) ([][]byte, []byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := plan.NumChunks()
+	results := make([][]byte, n)
+	byChunk := make(map[int]ChunkRecord, len(j.records))
+	for _, rec := range j.records {
+		byChunk[rec.Chunk] = rec
+	}
+	for i := 0; i < n; i++ {
+		rec, ok := byChunk[i]
+		if !ok {
+			return nil, nil, fmt.Errorf("jobs: chunk %d missing at aggregation", i)
+		}
+		results[i] = rec.Result
+	}
+	var finalCarry []byte
+	if plan.Sequential() {
+		finalCarry = byChunk[n-1].Carry
+	}
+	return results, finalCarry, nil
+}
+
+// chunkRecord looks a chunk up by index (caller holds j.mu).
+func (j *Job) chunkRecord(i int) (ChunkRecord, bool) {
+	for _, rec := range j.records {
+		if rec.Chunk == i {
+			return rec, true
+		}
+	}
+	return ChunkRecord{}, false
+}
+
+// fail routes a job error to the right terminal state: a cancellation
+// requested through Cancel terminates as Cancelled; a manager shutdown
+// leaves the job un-finalised (still incomplete on disk, in-memory state
+// back to Pending) so a restart resumes it; anything else is Failed.
+func (m *Manager) fail(j *Job, err error) {
+	if errors.Is(err, context.Canceled) {
+		j.mu.Lock()
+		requested := j.cancelRequested
+		j.mu.Unlock()
+		if requested {
+			m.finish(j, Cancelled, nil, nil)
+			return
+		}
+		if m.ctx.Err() != nil {
+			j.mu.Lock()
+			j.state = Pending
+			j.bump()
+			j.mu.Unlock()
+			return
+		}
+	}
+	m.finish(j, Failed, nil, err)
+}
+
+// finish moves a job to a terminal state and persists the terminal
+// record.
+func (m *Manager) finish(j *Job, state State, aggregate []byte, err error) {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.aggregate = aggregate
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.bump()
+	rec := doneRecord{State: state, Error: j.errMsg, Aggregate: j.aggregate}
+	j.mu.Unlock()
+	if m.store != nil {
+		m.store.finish(j.spec.ID, rec)
+	}
+}
+
+// bump wakes every watcher (caller holds j.mu).
+func (j *Job) bump() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.spec.ID }
+
+// Kind returns the job's analysis kind.
+func (j *Job) Kind() string { return j.spec.Kind }
+
+// Aggregate returns the final payload of a Done job.
+func (j *Job) Aggregate() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Done {
+		return nil, false
+	}
+	return j.aggregate, true
+}
+
+// streamLine is one line of the NDJSON result stream: chunk lines first
+// (in completion order), then exactly one terminal line.
+type streamLine struct {
+	Chunk  *int            `json:"chunk,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	// Terminal line fields.
+	Done      bool            `json:"done,omitempty"`
+	State     State           `json:"state,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Aggregate json.RawMessage `json:"aggregate,omitempty"`
+}
+
+// StreamResult writes the job's result stream to w as NDJSON: one line
+// per completed chunk as it completes, then a terminal line carrying the
+// aggregate (state "done") or the failure. flush (optional) runs after
+// every line — the serving layer passes http.Flusher so long jobs
+// stream. Returns ctx.Err() if the watcher gives up first.
+func (j *Job) StreamResult(ctx context.Context, w io.Writer, flush func()) error {
+	next := 0
+	for {
+		j.mu.Lock()
+		for next < len(j.records) {
+			rec := j.records[next]
+			next++
+			j.mu.Unlock()
+			i := rec.Chunk
+			if err := writeLine(w, streamLine{Chunk: &i, Result: rec.Result}, flush); err != nil {
+				return err
+			}
+			j.mu.Lock()
+		}
+		if terminal(j.state) {
+			line := streamLine{Done: true, State: j.state, Error: j.errMsg, Aggregate: j.aggregate}
+			j.mu.Unlock()
+			return writeLine(w, line, flush)
+		}
+		wait := j.notify
+		j.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-wait:
+		}
+	}
+}
+
+// writeLine marshals one NDJSON line.
+func writeLine(w io.Writer, line streamLine, flush func()) error {
+	blob, err := json.Marshal(line)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(blob, '\n')); err != nil {
+		return err
+	}
+	if flush != nil {
+		flush()
+	}
+	return nil
+}
+
+// planWeight sums the chunk weights (minimum 1 so progress fractions
+// are always defined).
+func planWeight(p Plan) int64 {
+	var total int64
+	for i := 0; i < p.NumChunks(); i++ {
+		if w := p.ChunkWeight(i); w > 0 {
+			total += w
+		}
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total
+}
+
+// newID returns a fresh job identifier.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: entropy unavailable: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,407 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// toyPlan sums the integers [0, n) in chunks of size step. Sequential
+// mode threads the running sum through the carry; independent mode
+// emits per-chunk partial sums and aggregates them at the end. Both
+// produce the same final JSON, so tests can compare across modes.
+type toyPlan struct {
+	n, step    int
+	sequential bool
+	// chunkDelay slows each chunk down (cancellation tests).
+	chunkDelay time.Duration
+	// failAt makes that chunk index error out (-1 = never).
+	failAt int
+	// ran counts RunChunk invocations across the plan's lifetime.
+	ran *atomic.Int64
+	// block, when non-nil, is closed to release chunks that wait on it.
+	block chan struct{}
+}
+
+type toyChunkResult struct {
+	Chunk int `json:"chunk"`
+	Sum   int `json:"sum"`
+}
+
+type toyCarry struct {
+	Total int `json:"total"`
+}
+
+func (p *toyPlan) NumChunks() int {
+	return (p.n + p.step - 1) / p.step
+}
+
+func (p *toyPlan) ChunkWeight(i int) int64 {
+	lo, hi := p.bounds(i)
+	return int64(hi - lo)
+}
+
+func (p *toyPlan) Sequential() bool { return p.sequential }
+
+func (p *toyPlan) bounds(i int) (lo, hi int) {
+	lo = i * p.step
+	hi = lo + p.step
+	if hi > p.n {
+		hi = p.n
+	}
+	return lo, hi
+}
+
+func (p *toyPlan) RunChunk(ctx context.Context, i int, carry []byte) (result, next []byte, err error) {
+	if p.ran != nil {
+		p.ran.Add(1)
+	}
+	if p.block != nil {
+		select {
+		case <-p.block:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	if p.chunkDelay > 0 {
+		select {
+		case <-time.After(p.chunkDelay):
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+	if i == p.failAt {
+		return nil, nil, fmt.Errorf("toy chunk %d exploded", i)
+	}
+	lo, hi := p.bounds(i)
+	sum := 0
+	for v := lo; v < hi; v++ {
+		sum += v
+	}
+	result, err = json.Marshal(toyChunkResult{Chunk: i, Sum: sum})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !p.sequential {
+		return result, nil, nil
+	}
+	var c toyCarry
+	if len(carry) > 0 {
+		if err := json.Unmarshal(carry, &c); err != nil {
+			return nil, nil, err
+		}
+	}
+	c.Total += sum
+	next, err = json.Marshal(c)
+	return result, next, err
+}
+
+func (p *toyPlan) Aggregate(ctx context.Context, results [][]byte, finalCarry []byte) ([]byte, error) {
+	if p.sequential {
+		var c toyCarry
+		if err := json.Unmarshal(finalCarry, &c); err != nil {
+			return nil, err
+		}
+		return json.Marshal(map[string]int{"total": c.Total})
+	}
+	total := 0
+	for _, blob := range results {
+		var r toyChunkResult
+		if err := json.Unmarshal(blob, &r); err != nil {
+			return nil, err
+		}
+		total += r.Sum
+	}
+	return json.Marshal(map[string]int{"total": total})
+}
+
+// toyPlanner builds toyPlans from requests {"n":..,"step":..,"seq":..};
+// the extra knobs are injected per-test through the override.
+func toyPlanner(override func(*toyPlan)) PlanFunc {
+	return func(kind string, request json.RawMessage) (Plan, error) {
+		if kind != "toy" {
+			return nil, fmt.Errorf("unknown kind %q", kind)
+		}
+		var req struct {
+			N    int  `json:"n"`
+			Step int  `json:"step"`
+			Seq  bool `json:"seq"`
+		}
+		if err := json.Unmarshal(request, &req); err != nil {
+			return nil, err
+		}
+		if req.N < 1 || req.Step < 1 {
+			return nil, fmt.Errorf("bad toy request")
+		}
+		p := &toyPlan{n: req.N, step: req.Step, sequential: req.Seq, failAt: -1}
+		if override != nil {
+			override(p)
+		}
+		return p, nil
+	}
+}
+
+func mustManager(t *testing.T, opts Options, plan PlanFunc) *Manager {
+	t.Helper()
+	m, err := New(opts, plan)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	})
+	return m
+}
+
+func submit(t *testing.T, m *Manager, request string) *Job {
+	t.Helper()
+	j, err := m.Submit("toy", json.RawMessage(request))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	return j
+}
+
+func waitDone(t *testing.T, j *Job) Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st := j.Wait(ctx.Done())
+	if !terminal(st.State) {
+		t.Fatalf("job %s did not finish: %+v", j.ID(), st)
+	}
+	return st
+}
+
+// TestJobModes runs the same sum in sequential and independent mode and
+// checks aggregate, status bookkeeping, and the NDJSON stream shape.
+func TestJobModes(t *testing.T) {
+	for _, seq := range []bool{true, false} {
+		t.Run(fmt.Sprintf("seq=%v", seq), func(t *testing.T) {
+			m := mustManager(t, Options{Executors: 2, ChunkParallelism: 3}, toyPlanner(nil))
+			j := submit(t, m, fmt.Sprintf(`{"n":100,"step":7,"seq":%v}`, seq))
+			st := waitDone(t, j)
+			if st.State != Done {
+				t.Fatalf("state %s (err %q), want done", st.State, st.Error)
+			}
+			if st.Chunks != 15 || st.CompletedChunks != 15 {
+				t.Errorf("chunks %d/%d, want 15/15", st.CompletedChunks, st.Chunks)
+			}
+			if st.Progress != 1 {
+				t.Errorf("progress %v, want 1", st.Progress)
+			}
+			agg, ok := j.Aggregate()
+			if !ok {
+				t.Fatal("no aggregate on a done job")
+			}
+			if want := `{"total":4950}`; string(agg) != want {
+				t.Errorf("aggregate %s, want %s", agg, want)
+			}
+
+			var sb strings.Builder
+			if err := j.StreamResult(context.Background(), &sb, nil); err != nil {
+				t.Fatalf("StreamResult: %v", err)
+			}
+			lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+			if len(lines) != 16 {
+				t.Fatalf("stream has %d lines, want 15 chunks + terminal", len(lines))
+			}
+			var last streamLine
+			if err := json.Unmarshal([]byte(lines[15]), &last); err != nil {
+				t.Fatalf("terminal line: %v", err)
+			}
+			if !last.Done || last.State != Done || string(last.Aggregate) != `{"total":4950}` {
+				t.Errorf("terminal line %+v", last)
+			}
+			total := 0
+			for _, ln := range lines[:15] {
+				var sl streamLine
+				if err := json.Unmarshal([]byte(ln), &sl); err != nil {
+					t.Fatalf("chunk line %q: %v", ln, err)
+				}
+				var r toyChunkResult
+				if err := json.Unmarshal(sl.Result, &r); err != nil {
+					t.Fatalf("chunk result: %v", err)
+				}
+				total += r.Sum
+			}
+			if total != 4950 {
+				t.Errorf("streamed chunk sums total %d, want 4950", total)
+			}
+		})
+	}
+}
+
+// TestJobFailure: a chunk error fails the job with the chunk's message
+// and the stream terminates with state "failed".
+func TestJobFailure(t *testing.T) {
+	m := mustManager(t, Options{}, toyPlanner(func(p *toyPlan) { p.failAt = 3 }))
+	j := submit(t, m, `{"n":50,"step":10,"seq":true}`)
+	st := waitDone(t, j)
+	if st.State != Failed || !strings.Contains(st.Error, "chunk 3 exploded") {
+		t.Fatalf("status %+v, want failed on chunk 3", st)
+	}
+	if _, ok := j.Aggregate(); ok {
+		t.Error("failed job returned an aggregate")
+	}
+}
+
+// TestSubmitValidation: planning runs at submission, so a bad request
+// never becomes a job.
+func TestSubmitValidation(t *testing.T) {
+	m := mustManager(t, Options{}, toyPlanner(nil))
+	if _, err := m.Submit("toy", json.RawMessage(`{"n":0,"step":1}`)); err == nil {
+		t.Error("bad request accepted")
+	}
+	if _, err := m.Submit("nope", json.RawMessage(`{}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if len(m.List()) != 0 {
+		t.Errorf("rejected submissions left %d jobs tracked", len(m.List()))
+	}
+}
+
+// TestQueueFull: MaxJobs bounds incomplete jobs; a rejected submission
+// leaves no trace; completions free capacity again.
+func TestQueueFull(t *testing.T) {
+	block := make(chan struct{})
+	m := mustManager(t, Options{MaxJobs: 2, Executors: 1},
+		toyPlanner(func(p *toyPlan) { p.block = block }))
+	a := submit(t, m, `{"n":10,"step":10}`)
+	b := submit(t, m, `{"n":10,"step":10}`)
+	if _, err := m.Submit("toy", json.RawMessage(`{"n":10,"step":10}`)); err != ErrQueueFull {
+		t.Fatalf("third submit: %v, want ErrQueueFull", err)
+	}
+	if got := len(m.List()); got != 2 {
+		t.Fatalf("List has %d jobs after rejection, want 2", got)
+	}
+	close(block)
+	waitDone(t, a)
+	waitDone(t, b)
+	c := submit(t, m, `{"n":10,"step":10}`)
+	if st := waitDone(t, c); st.State != Done {
+		t.Fatalf("post-drain submit finished %s", st.State)
+	}
+}
+
+// TestCancellation covers satellite #5's second half: cancelling a
+// running job lands in state "cancelled", the result stream terminates,
+// and no goroutines leak.
+func TestCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		m := mustManager(t, Options{Executors: 2, ChunkParallelism: 2},
+			toyPlanner(func(p *toyPlan) { p.chunkDelay = 20 * time.Millisecond }))
+		j := submit(t, m, `{"n":100000,"step":1,"seq":true}`)
+		// Let it make some progress first.
+		deadline := time.Now().Add(5 * time.Second)
+		for j.Status().CompletedChunks < 2 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if !m.Cancel(j.ID()) {
+			t.Fatal("Cancel: job not found")
+		}
+		st := waitDone(t, j)
+		if st.State != Cancelled {
+			t.Fatalf("state %s, want cancelled", st.State)
+		}
+		// The stream of a cancelled job terminates rather than hanging.
+		var sb strings.Builder
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := j.StreamResult(ctx, &sb, nil); err != nil {
+			t.Fatalf("StreamResult after cancel: %v", err)
+		}
+		if !strings.Contains(sb.String(), `"state":"cancelled"`) {
+			t.Errorf("stream terminal line missing cancelled state:\n%s", sb.String())
+		}
+		// Cancelling a pending job and a missing job.
+		if m.Cancel("jdoesnotexist") {
+			t.Error("Cancel of unknown id reported success")
+		}
+	}()
+	// The deferred Close above stops the executors; give the runtime a
+	// moment and bound the goroutine delta (satellite #5 leak check).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutines leaked: %d before, %d after\n%s",
+			before, after, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestCancelPending: a job cancelled while still queued never runs.
+func TestCancelPending(t *testing.T) {
+	block := make(chan struct{})
+	var ran atomic.Int64
+	m := mustManager(t, Options{Executors: 1, MaxJobs: 4},
+		toyPlanner(func(p *toyPlan) { p.block = block; p.ran = &ran }))
+	blocker := submit(t, m, `{"n":10,"step":10}`)
+	queued := submit(t, m, `{"n":10,"step":10}`)
+	if !m.Cancel(queued.ID()) {
+		t.Fatal("Cancel queued job: not found")
+	}
+	if st := queued.Status(); st.State != Cancelled {
+		t.Fatalf("queued job state %s, want cancelled immediately", st.State)
+	}
+	close(block)
+	waitDone(t, blocker)
+	waitDone(t, queued)
+	// Only the blocker's single chunk may have run.
+	if got := ran.Load(); got != 1 {
+		t.Errorf("%d chunks ran, want 1 (cancelled job must not execute)", got)
+	}
+}
+
+// TestStateCounts checks the metrics feed.
+func TestStateCounts(t *testing.T) {
+	block := make(chan struct{})
+	m := mustManager(t, Options{Executors: 1, MaxJobs: 8},
+		toyPlanner(func(p *toyPlan) { p.block = block }))
+	running := submit(t, m, `{"n":10,"step":10}`)
+	pending := submit(t, m, `{"n":10,"step":10}`)
+	deadline := time.Now().Add(5 * time.Second)
+	for running.Status().State != Running && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	counts := m.StateCounts()
+	if counts[Running] != 1 || counts[Pending] != 1 {
+		t.Errorf("counts %+v, want 1 running / 1 pending", counts)
+	}
+	if m.QueueDepth() != 1 {
+		t.Errorf("queue depth %d, want 1", m.QueueDepth())
+	}
+	close(block)
+	waitDone(t, running)
+	waitDone(t, pending)
+	counts = m.StateCounts()
+	if counts[Done] != 2 {
+		t.Errorf("counts %+v, want 2 done", counts)
+	}
+}
+
+// TestOnChunkHook: the chunk-latency hook fires once per chunk.
+func TestOnChunkHook(t *testing.T) {
+	var fired atomic.Int64
+	m := mustManager(t, Options{OnChunk: func(s float64) {
+		if s < 0 {
+			t.Errorf("negative chunk latency %v", s)
+		}
+		fired.Add(1)
+	}}, toyPlanner(nil))
+	j := submit(t, m, `{"n":30,"step":10,"seq":true}`)
+	waitDone(t, j)
+	if fired.Load() != 3 {
+		t.Errorf("OnChunk fired %d times, want 3", fired.Load())
+	}
+}

@@ -1,0 +1,76 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// Spec is the persisted description of one job: everything needed to
+// re-plan it after a process restart. Request is the raw analysis
+// request body; the manager never interprets it — the PlanFunc does.
+type Spec struct {
+	ID      string          `json:"id"`
+	Kind    string          `json:"kind"`
+	Request json.RawMessage `json:"request"`
+}
+
+// Plan is one job decomposed into chunks. Plans are rebuilt from the
+// Spec on every (re)start, so they carry no state of their own beyond
+// what planning derives from the request; all run state lives in the
+// chunk records the manager checkpoints.
+//
+// Determinism contract: chunk decomposition must be a pure function of
+// the request (fixed chunk count and boundaries), chunk results must
+// depend only on (index, carry), and Aggregate only on its inputs — so a
+// job resumed from any checkpoint prefix produces the same aggregate
+// bytes as an uninterrupted run.
+type Plan interface {
+	// NumChunks returns the fixed chunk count (≥ 1).
+	NumChunks() int
+	// ChunkWeight estimates chunk i's work (engine rounds / trials /
+	// sweep points) for progress fractions, throughput and ETA. Any
+	// consistent positive unit works.
+	ChunkWeight(i int) int64
+	// Sequential reports whether chunks must run in ascending order,
+	// each receiving the carry emitted by its predecessor (checkpointed
+	// emulation segments). Independent plans run their chunks on the
+	// evaluation pool and always receive a nil carry.
+	Sequential() bool
+	// RunChunk evaluates chunk i and returns its result payload (one
+	// NDJSON line in the job's result stream, persisted in the
+	// checkpoint log) and, for sequential plans, the carry for chunk
+	// i+1 (the final chunk's carry is handed to Aggregate).
+	RunChunk(ctx context.Context, i int, carry []byte) (result, next []byte, err error)
+	// Aggregate folds the chunk results (in chunk order, all present)
+	// into the job's final payload. finalCarry is the last chunk's
+	// carry for sequential plans, nil otherwise.
+	Aggregate(ctx context.Context, results [][]byte, finalCarry []byte) ([]byte, error)
+}
+
+// PlanFunc builds the Plan for a job spec. It must validate the request
+// — Submit runs it eagerly so a bad request fails at submission, not
+// first execution — and be deterministic so a restart re-plans the
+// identical decomposition.
+type PlanFunc func(kind string, request json.RawMessage) (Plan, error)
+
+// ChunkRecord is one completed chunk: what the checkpoint log stores and
+// the result stream replays.
+type ChunkRecord struct {
+	Chunk  int             `json:"chunk"`
+	Result json.RawMessage `json:"result"`
+	// Carry is the sequential carry emitted by the chunk; omitted for
+	// independent plans.
+	Carry json.RawMessage `json:"carry,omitempty"`
+}
+
+// validatePlan sanity-checks a freshly built plan.
+func validatePlan(p Plan) error {
+	if p == nil {
+		return fmt.Errorf("jobs: planner returned a nil plan")
+	}
+	if p.NumChunks() < 1 {
+		return fmt.Errorf("jobs: plan has %d chunks", p.NumChunks())
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRestartResume is the package-level half of satellite #5's
+// crash/restart test: run a sequential job partway, tear the manager
+// down mid-flight (as a crash or deploy would), bring a fresh manager
+// up over the same checkpoint directory, and require (a) the job is
+// replayed and finishes, (b) its aggregate is byte-identical to an
+// uninterrupted run, and (c) already-checkpointed chunks are not
+// re-executed.
+func TestRestartResume(t *testing.T) {
+	dir := t.TempDir()
+
+	// Reference: uninterrupted run of the same request.
+	ref := mustManager(t, Options{}, toyPlanner(nil))
+	want, ok := waitAggregate(t, submit(t, ref, `{"n":100,"step":10,"seq":true}`))
+	if !ok {
+		t.Fatal("reference job produced no aggregate")
+	}
+
+	// Phase 1: run until a few chunks are checkpointed, then Close —
+	// which cancels mid-chunk and must leave the job incomplete on disk.
+	release := make(chan struct{})
+	gate := func(p *toyPlan) {
+		p.block = release
+	}
+	m1, err := New(Options{Dir: dir}, toyPlanner(gate))
+	if err != nil {
+		t.Fatalf("New m1: %v", err)
+	}
+	j1, err := m1.Submit("toy", json.RawMessage(`{"n":100,"step":10,"seq":true}`))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	id := j1.ID()
+	// Release chunks one at a time until three are durably checkpointed.
+	for deadline := time.Now().Add(10 * time.Second); j1.Status().CompletedChunks < 3; {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out at %d chunks", j1.Status().CompletedChunks)
+		}
+		select {
+		case release <- struct{}{}:
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := m1.Close(ctx); err != nil {
+		t.Fatalf("Close m1: %v", err)
+	}
+	cancel()
+	if _, err := os.Stat(filepath.Join(dir, id, "done.json")); !os.IsNotExist(err) {
+		t.Fatalf("interrupted job has a terminal record (err=%v) — resume impossible", err)
+	}
+
+	// Phase 2: fresh manager over the same directory. Chunks run freely
+	// now, and re-execution of checkpointed chunks is forbidden.
+	var reran atomic.Int64
+	m2, err := New(Options{Dir: dir}, toyPlanner(func(p *toyPlan) { p.ran = &reran }))
+	if err != nil {
+		t.Fatalf("New m2: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m2.Close(ctx)
+	}()
+	if m2.Replayed() != 1 {
+		t.Fatalf("Replayed() = %d, want 1", m2.Replayed())
+	}
+	j2, ok := m2.Get(id)
+	if !ok {
+		t.Fatalf("replayed job %s not tracked", id)
+	}
+	st := waitDone(t, j2)
+	if st.State != Done {
+		t.Fatalf("resumed job finished %s (err %q)", st.State, st.Error)
+	}
+	if !st.Resumed {
+		t.Error("resumed job not flagged Resumed")
+	}
+	got, ok := j2.Aggregate()
+	if !ok {
+		t.Fatal("resumed job has no aggregate")
+	}
+	if string(got) != string(want) {
+		t.Errorf("resumed aggregate %s != uninterrupted %s", got, want)
+	}
+	if st.CompletedChunks != 10 {
+		t.Errorf("resumed job reports %d chunks, want 10", st.CompletedChunks)
+	}
+	// At least the three durably checkpointed chunks must not re-run.
+	if got := reran.Load(); got > 7 {
+		t.Errorf("phase 2 re-executed %d chunks, want ≤ 7 (3 were checkpointed)", got)
+	}
+
+	// Phase 3: a third boot sees the job as terminal, replays nothing,
+	// and still serves status, aggregate and the full result stream.
+	m3, err := New(Options{Dir: dir}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New m3: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m3.Close(ctx)
+	}()
+	if m3.Replayed() != 0 {
+		t.Errorf("terminal job replayed: Replayed() = %d", m3.Replayed())
+	}
+	j3, ok := m3.Get(id)
+	if !ok {
+		t.Fatal("terminal job not loaded on third boot")
+	}
+	if st := j3.Status(); st.State != Done || st.CompletedChunks != 10 {
+		t.Errorf("third-boot status %+v", st)
+	}
+	if agg, ok := j3.Aggregate(); !ok || string(agg) != string(want) {
+		t.Errorf("third-boot aggregate %s, want %s", agg, want)
+	}
+}
+
+// waitAggregate waits for completion and returns the aggregate.
+func waitAggregate(t *testing.T, j *Job) ([]byte, bool) {
+	t.Helper()
+	if st := waitDone(t, j); st.State != Done {
+		t.Fatalf("job finished %s: %s", st.State, st.Error)
+	}
+	return j.Aggregate()
+}
+
+// TestRestartResumeIndependent: the same crash/replay cycle for an
+// independent (parallel) plan, where the checkpointed chunk set need
+// not be a prefix.
+func TestRestartResumeIndependent(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	m1, err := New(Options{Dir: dir, ChunkParallelism: 4},
+		toyPlanner(func(p *toyPlan) { p.block = release }))
+	if err != nil {
+		t.Fatalf("New m1: %v", err)
+	}
+	j1, err := m1.Submit("toy", json.RawMessage(`{"n":64,"step":4}`))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	id := j1.ID()
+	for deadline := time.Now().Add(10 * time.Second); j1.Status().CompletedChunks < 5; {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out at %d chunks", j1.Status().CompletedChunks)
+		}
+		select {
+		case release <- struct{}{}:
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := m1.Close(ctx); err != nil {
+		t.Fatalf("Close m1: %v", err)
+	}
+	cancel()
+
+	m2, err := New(Options{Dir: dir, ChunkParallelism: 4}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New m2: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m2.Close(ctx)
+	}()
+	j2, ok := m2.Get(id)
+	if !ok {
+		t.Fatalf("job %s not replayed", id)
+	}
+	st := waitDone(t, j2)
+	if st.State != Done {
+		t.Fatalf("resumed parallel job finished %s (err %q)", st.State, st.Error)
+	}
+	agg, _ := j2.Aggregate()
+	if want := fmt.Sprintf(`{"total":%d}`, 64*63/2); string(agg) != want {
+		t.Errorf("aggregate %s, want %s", agg, want)
+	}
+}
+
+// TestTornFinalLine: a crash mid-append leaves a truncated last chunk
+// line; replay drops it and re-runs that chunk instead of failing.
+func TestTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := New(Options{Dir: dir}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New m1: %v", err)
+	}
+	j1, err := m1.Submit("toy", json.RawMessage(`{"n":30,"step":10,"seq":true}`))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	id := j1.ID()
+	waitDone(t, j1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	m1.Close(ctx)
+	cancel()
+
+	// Simulate the crash: drop the terminal record and tear the final
+	// chunk line in half.
+	if err := os.Remove(filepath.Join(dir, id, "done.json")); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, id, "chunks.ndjson")
+	blob, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, blob[:len(blob)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := New(Options{Dir: dir}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New m2 over torn log: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m2.Close(ctx)
+	}()
+	j2, ok := m2.Get(id)
+	if !ok {
+		t.Fatal("torn job not replayed")
+	}
+	st := waitDone(t, j2)
+	if st.State != Done {
+		t.Fatalf("torn-log job finished %s (err %q)", st.State, st.Error)
+	}
+	if agg, _ := j2.Aggregate(); string(agg) != `{"total":435}` {
+		t.Errorf("aggregate %s, want {\"total\":435}", agg)
+	}
+}

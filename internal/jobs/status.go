@@ -1,0 +1,85 @@
+package jobs
+
+import "time"
+
+// Status is the externally visible snapshot of a job, shaped for the
+// GET /v1/jobs/{id} response.
+type Status struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Chunks and CompletedChunks describe the checkpoint decomposition.
+	Chunks          int `json:"chunks"`
+	CompletedChunks int `json:"completed_chunks"`
+	// Progress is the completed fraction of the plan's total weight
+	// (engine rounds / trials / sweep points), in [0, 1].
+	Progress float64 `json:"progress"`
+	// RoundsPerSec is the throughput of this process run — weight
+	// completed since the executor picked the job up, per wall second.
+	// Replayed chunks are excluded so the figure stays honest after a
+	// restart. Zero until the first chunk of the session completes.
+	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
+	// ETASeconds estimates the remaining wall time from RoundsPerSec;
+	// zero when unknown (no throughput yet) or when the job is terminal.
+	ETASeconds float64 `json:"eta_s,omitempty"`
+	// Resumed marks jobs that were replayed from the checkpoint log
+	// after a process restart.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:              j.spec.ID,
+		Kind:            j.spec.Kind,
+		State:           j.state,
+		Error:           j.errMsg,
+		Chunks:          j.chunks,
+		CompletedChunks: len(j.records),
+		Resumed:         j.resumed,
+	}
+	if j.totalWeight > 0 {
+		st.Progress = float64(j.doneWeight) / float64(j.totalWeight)
+		if st.Progress > 1 {
+			st.Progress = 1
+		}
+	}
+	if terminal(j.state) {
+		if j.state == Done {
+			st.Progress = 1
+		}
+		return st
+	}
+	if j.sessionWeight > 0 && !j.sessionStart.IsZero() {
+		elapsed := time.Since(j.sessionStart).Seconds()
+		if elapsed > 0 {
+			st.RoundsPerSec = float64(j.sessionWeight) / elapsed
+			if remaining := j.totalWeight - j.doneWeight; remaining > 0 && st.RoundsPerSec > 0 {
+				st.ETASeconds = float64(remaining) / st.RoundsPerSec
+			}
+		}
+	}
+	return st
+}
+
+// Wait blocks until the job reaches a terminal state or the context
+// expires, and returns the final status.
+func (j *Job) Wait(done <-chan struct{}) Status {
+	for {
+		j.mu.Lock()
+		if terminal(j.state) {
+			j.mu.Unlock()
+			return j.Status()
+		}
+		wait := j.notify
+		j.mu.Unlock()
+		select {
+		case <-done:
+			return j.Status()
+		case <-wait:
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// store is the filesystem checkpoint log: one directory per job under
+// the root, holding
+//
+//	spec.json     the Spec, written once at submission
+//	chunks.ndjson one ChunkRecord per line, appended as chunks complete
+//	done.json     the terminal record, written once at completion
+//
+// A job directory with a spec but no done.json is an incomplete job; on
+// boot the manager replays its chunk log and re-enqueues the remainder.
+// Appends go through O_APPEND single writes, so a crash can at worst
+// truncate the final line — loadChunks drops a trailing partial line
+// instead of failing the whole replay.
+type store struct {
+	root string
+}
+
+// doneRecord is the terminal state of a finished job.
+type doneRecord struct {
+	State     State           `json:"state"`
+	Error     string          `json:"error,omitempty"`
+	Aggregate json.RawMessage `json:"aggregate,omitempty"`
+}
+
+func newStore(root string) (*store, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: checkpoint root: %w", err)
+	}
+	return &store{root: root}, nil
+}
+
+func (s *store) dir(id string) string { return filepath.Join(s.root, id) }
+
+// createJob persists a new job's spec.
+func (s *store) createJob(spec Spec) error {
+	dir := s.dir(spec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("jobs: job dir: %w", err)
+	}
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "spec.json"), append(blob, '\n'), 0o644)
+}
+
+// appendChunk logs one completed chunk. The record is marshalled to a
+// single line and written with one O_APPEND write so concurrent chunk
+// completions of a parallel plan never interleave bytes.
+func (s *store) appendChunk(id string, rec ChunkRecord) error {
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir(id), "chunks.ndjson"),
+		os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(blob, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// finish writes the terminal record.
+func (s *store) finish(id string, rec doneRecord) error {
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.dir(id), "done.json"), append(blob, '\n'), 0o644)
+}
+
+// remove deletes a job's directory (cancelled jobs keep nothing).
+func (s *store) remove(id string) error {
+	return os.RemoveAll(s.dir(id))
+}
+
+// persisted is one job read back from disk.
+type persisted struct {
+	spec   Spec
+	chunks []ChunkRecord
+	done   *doneRecord // nil for incomplete jobs
+}
+
+// load reads every job directory under the root, sorted by ID so replay
+// order is stable.
+func (s *store) load() ([]persisted, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []persisted
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		p, err := s.loadJob(e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("jobs: replaying %s: %w", e.Name(), err)
+		}
+		if p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].spec.ID < out[j].spec.ID })
+	return out, nil
+}
+
+// loadJob reads one job directory; a directory without a readable spec
+// is skipped (half-created submission), not an error.
+func (s *store) loadJob(id string) (*persisted, error) {
+	dir := s.dir(id)
+	blob, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var p persisted
+	if err := json.Unmarshal(blob, &p.spec); err != nil {
+		return nil, fmt.Errorf("spec.json: %w", err)
+	}
+	if p.spec.ID != id {
+		return nil, fmt.Errorf("spec.json ID %q does not match directory", p.spec.ID)
+	}
+	if p.chunks, err = s.loadChunks(id); err != nil {
+		return nil, err
+	}
+	if blob, err := os.ReadFile(filepath.Join(dir, "done.json")); err == nil {
+		var d doneRecord
+		if err := json.Unmarshal(blob, &d); err != nil {
+			return nil, fmt.Errorf("done.json: %w", err)
+		}
+		p.done = &d
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// loadChunks replays a chunk log. A torn final line (crash mid-append)
+// is dropped; any earlier malformed line fails the job's replay.
+func (s *store) loadChunks(id string) ([]ChunkRecord, error) {
+	f, err := os.Open(filepath.Join(s.dir(id), "chunks.ndjson"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []ChunkRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), maxChunkLineBytes)
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			return nil, pendingErr
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec ChunkRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			// Only acceptable as the last line of the file.
+			pendingErr = fmt.Errorf("chunks.ndjson: %w", err)
+			continue
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("chunks.ndjson: %w", err)
+	}
+	return out, nil
+}
+
+// maxChunkLineBytes bounds one persisted chunk record; far above any
+// real chunk result, far below anything that could hurt.
+const maxChunkLineBytes = 16 << 20

@@ -1,0 +1,11 @@
+// Package mc runs deterministic-seed Monte Carlo analyses of the energy
+// balance over process variation and working-condition spread. The paper
+// lists process variation and working conditions (temperature, supply
+// voltage) among the parameters the evaluation platform must expose; this
+// package quantifies their effect as a yield: the fraction of fabricated
+// parts whose energy balance stays positive at a given cruising speed.
+//
+// The entry points are RunCtx (one-shot analysis), the chunkable pair
+// RunRangeCtx / Merge that the batch-job layer checkpoints trial ranges
+// with, and the sweep helpers YieldCurve and BreakEvenQuantiles.
+package mc

@@ -1,9 +1,3 @@
-// Package mc runs deterministic-seed Monte Carlo analyses of the energy
-// balance over process variation and working-condition spread. The paper
-// lists process variation and working conditions (temperature, supply
-// voltage) among the parameters the evaluation platform must expose; this
-// package quantifies their effect as a yield: the fraction of fabricated
-// parts whose energy balance stays positive at a given cruising speed.
 package mc
 
 import (
@@ -133,26 +127,63 @@ func Run(cfg Config, v units.Speed, trials int) (Outcome, error) {
 // trial fan-out and returns the context error. The sampled population is
 // always drawn in full before evaluation, so cancellation never changes
 // the statistics of a run that completes.
+//
+// RunCtx is a single-range RunRangeCtx folded through Merge — the exact
+// path the batch-job subsystem takes chunk by chunk — so the one-shot
+// and chunked implementations cannot drift.
 func RunCtx(ctx context.Context, cfg Config, v units.Speed, trials int) (Outcome, error) {
-	if err := cfg.validate(); err != nil {
+	part, err := RunRangeCtx(ctx, cfg, v, trials, 0, trials)
+	if err != nil {
 		return Outcome{}, err
 	}
+	return Merge(trials, []Partial{part})
+}
+
+// Partial summarises the margins of trials [Lo, Hi) of a larger
+// population. Partials covering a whole population merge into the
+// Outcome the serial run would produce; every field is exact except the
+// float sums, whose grouping across partial boundaries can differ from
+// the serial fold in the last bits. All fields survive a JSON
+// round-trip exactly (units.Energy is a float64; integer map keys
+// encode as strings), so partials can live in a checkpoint log.
+type Partial struct {
+	Lo        int                  `json:"lo"`
+	Hi        int                  `json:"hi"`
+	Positive  int                  `json:"positive"`
+	Sum       float64              `json:"sum_j"`
+	SumSq     float64              `json:"sum_sq_j2"`
+	Min       units.Energy         `json:"min_j"`
+	Max       units.Energy         `json:"max_j"`
+	PerCorner map[power.Corner]int `json:"per_corner"`
+}
+
+// RunRangeCtx samples the full `trials` population (the draw is serial
+// from the single seeded stream, so every range sees the identical
+// population) and evaluates only trials [lo, hi), returning their
+// partial statistics. The batch-job subsystem runs one range per chunk.
+func RunRangeCtx(ctx context.Context, cfg Config, v units.Speed, trials, lo, hi int) (Partial, error) {
+	if err := cfg.validate(); err != nil {
+		return Partial{}, err
+	}
 	if trials <= 0 {
-		return Outcome{}, fmt.Errorf("mc: non-positive trial count %d", trials)
+		return Partial{}, fmt.Errorf("mc: non-positive trial count %d", trials)
+	}
+	if lo < 0 || hi > trials || lo >= hi {
+		return Partial{}, fmt.Errorf("mc: trial range [%d, %d) outside population of %d", lo, hi, trials)
 	}
 	weights := cfg.CornerWeights
 	if weights == nil {
 		weights = defaultCornerWeights()
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	out := Outcome{Trials: trials, PerCorner: make(map[power.Corner]int, 3)}
 	gen := cfg.Harvester.EnergyPerRound(v)
 	baseTemp := cfg.Node.Tyre().SteadyTemperature(cfg.Ambient, v)
 	// Draw every trial's parameters serially from the single seeded stream
 	// — the exact draw sequence of the serial implementation — then fan the
-	// (pure, RNG-free) evaluations out across the pool and fold the margins
-	// back in trial order. The sampled population and every accumulated
-	// statistic are identical for any worker count.
+	// (pure, RNG-free) evaluations of the requested range out across the
+	// pool and fold the margins back in trial order. The sampled population
+	// and every accumulated statistic are identical for any worker count
+	// and any range decomposition.
 	conds := make([]power.Conditions, trials)
 	for i := range conds {
 		corner := sampleCorner(rng, weights)
@@ -163,7 +194,8 @@ func RunCtx(ctx context.Context, cfg Config, v units.Speed, trials int) (Outcome
 	// Tracer resolved once per run: no tracer means one nil check per
 	// trial, and trace events never touch the statistics.
 	tr := obs.TracerFrom(ctx)
-	margins, err := par.MapCtx(ctx, cfg.Workers, trials, func(i int) (units.Energy, error) {
+	margins, err := par.MapCtx(ctx, cfg.Workers, hi-lo, func(k int) (units.Energy, error) {
+		i := lo + k
 		if tr != nil {
 			tr.MCTrial(i, trials)
 		}
@@ -174,25 +206,62 @@ func RunCtx(ctx context.Context, cfg Config, v units.Speed, trials int) (Outcome
 		return gen - req.Total(), nil
 	})
 	if err != nil {
-		return Outcome{}, err
+		return Partial{}, err
 	}
-	var sum, sumSq float64
-	for i, margin := range margins {
-		out.PerCorner[conds[i].Corner]++
-		if i == 0 {
-			out.MinMargin, out.MaxMargin = margin, margin
+	part := Partial{Lo: lo, Hi: hi, PerCorner: make(map[power.Corner]int, 3)}
+	for k, margin := range margins {
+		part.PerCorner[conds[lo+k].Corner]++
+		if k == 0 {
+			part.Min, part.Max = margin, margin
 		}
-		if margin < out.MinMargin {
-			out.MinMargin = margin
+		if margin < part.Min {
+			part.Min = margin
 		}
-		if margin > out.MaxMargin {
-			out.MaxMargin = margin
+		if margin > part.Max {
+			part.Max = margin
 		}
 		if margin >= 0 {
-			out.Positive++
+			part.Positive++
 		}
-		sum += margin.Joules()
-		sumSq += margin.Joules() * margin.Joules()
+		part.Sum += margin.Joules()
+		part.SumSq += margin.Joules() * margin.Joules()
+	}
+	return part, nil
+}
+
+// Merge folds ordered partials covering exactly [0, trials) into the
+// Outcome. Counts, extrema and corner tallies are exact; the mean and
+// standard deviation are deterministic for a fixed decomposition.
+func Merge(trials int, parts []Partial) (Outcome, error) {
+	if trials <= 0 {
+		return Outcome{}, fmt.Errorf("mc: non-positive trial count %d", trials)
+	}
+	next := 0
+	out := Outcome{Trials: trials, PerCorner: make(map[power.Corner]int, 3)}
+	var sum, sumSq float64
+	for _, p := range parts {
+		if p.Lo != next || p.Hi <= p.Lo {
+			return Outcome{}, fmt.Errorf("mc: partial [%d, %d) does not continue coverage at %d", p.Lo, p.Hi, next)
+		}
+		next = p.Hi
+		if p.Lo == 0 {
+			out.MinMargin, out.MaxMargin = p.Min, p.Max
+		}
+		if p.Min < out.MinMargin {
+			out.MinMargin = p.Min
+		}
+		if p.Max > out.MaxMargin {
+			out.MaxMargin = p.Max
+		}
+		out.Positive += p.Positive
+		sum += p.Sum
+		sumSq += p.SumSq
+		for corner, n := range p.PerCorner {
+			out.PerCorner[corner] += n
+		}
+	}
+	if next != trials {
+		return Outcome{}, fmt.Errorf("mc: partials cover [0, %d) of %d trials", next, trials)
 	}
 	mean := sum / float64(trials)
 	out.MeanMargin = units.Energy(mean)

@@ -1,0 +1,13 @@
+// Package node composes the functional blocks of the paper's Sensor Node —
+// sensor data acquisition, data computing, memories, wireless
+// communication, power management and clocking — into a complete
+// architecture whose per-wheel-round behaviour can be planned, costed and
+// traced. It is the "architecture definition" entry point of the paper's
+// energy analysis flow (Fig 1): every downstream step (energy evaluation,
+// optimization, balance emulation) consumes a Node.
+//
+// The entry points are Default (the paper's reference architecture),
+// New (a custom composition), Node.PlanRound / Node.RoundEnergy (the
+// per-wheel-round schedule and its cost) and Node.DutyCycles (the
+// advisor's input in internal/opt).
+package node

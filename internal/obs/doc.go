@@ -1,0 +1,19 @@
+// Package obs is the toolkit's zero-dependency observability layer:
+// counters, gauges and fixed-bucket histograms rendered in the Prometheus
+// text exposition format, a structured per-request log record, an
+// evaluation-trace hook threaded through context, and opt-in
+// net/http/pprof wiring. The analysis service (internal/serve) uses it to
+// make the engine's memo-hit rates, admission-slot occupancy and request
+// latencies observable without changing a single response byte.
+//
+// The package deliberately mirrors the discipline of the paper's own
+// methodology: energy accounting is only trustworthy when every
+// contribution is attributed exactly, and the same holds for the service
+// serving those numbers. Everything here is instrumentation-only — no
+// metric, log line or trace event may influence evaluation results, and
+// every primitive is safe for concurrent use.
+//
+// The entry points are NewRegistry (metrics), NewLineLogger (request
+// log), WithTracer / TracerFrom (evaluation tracing through context)
+// and RegisterPprof.
+package obs

@@ -1,18 +1,3 @@
-// Package opt implements the optimization step of the paper's energy
-// analysis flow: selecting, per functional block, the technique that
-// actually reduces *energy* given the block's duty cycle over a wheel
-// round — not merely its power. The paper's §II example is the guiding
-// rule: "if we consider a functional block with high dynamic power and a
-// low leakage power we normally optimize the dynamic power only; but if
-// the block has a short duty cycle, it is worth optimizing the static
-// power too, since the idle time is significant."
-//
-// The package provides a technique catalogue (rest-mode deepening /
-// power gating, clock gating of idle states, DVFS, transmission
-// aggregation, acquisition trimming), a duty-cycle-aware advisor that
-// reproduces the paper's selection rule, and search routines that
-// minimise per-round energy or the break-even speed under data-quality
-// and latency constraints.
 package opt
 
 import (

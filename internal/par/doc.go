@@ -1,0 +1,18 @@
+// Package par is the toolkit's parallel evaluation engine: a bounded
+// worker pool with deterministic, index-ordered result collection. Every
+// repeated-evaluation loop of the analysis flow — the Fig 2 speed sweep,
+// the break-even scan, Monte Carlo trials, optimizer candidate scoring and
+// the four-wheel fleet emulation — fans its independent evaluations out
+// through this package.
+//
+// Determinism contract: workers only change *when* an index is evaluated,
+// never *what* is evaluated or how results are combined. Results are
+// written into an index-addressed slice and reduced in index order by the
+// caller; when several indices fail, the error reported is the one with
+// the lowest index, regardless of completion order. A run with Workers=1
+// is therefore byte-identical to a run with Workers=N for any N.
+//
+// The entry points are ForEachCtx / MapCtx / FirstCtx (context-aware
+// fan-out), their plain variants, and SetDefaultWorkers for the
+// process-wide pool width.
+package par

@@ -1,10 +1,3 @@
-// Package power implements the per-block power models the paper's analysis
-// flow consumes: dynamic switching power (αCV²f), static leakage with its
-// exponential temperature dependence, supply-voltage scaling, and process
-// corners. The paper (§II) stresses that dynamic power is linked to the
-// operating mode and required performance while static power is mainly
-// linked to the working temperature — both dependencies are first-class
-// here.
 package power
 
 import (

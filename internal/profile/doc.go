@@ -1,0 +1,14 @@
+// Package profile provides cruising-speed profiles — speed as a function of
+// time — that drive the long-window energy-balance emulation of the paper
+// ("after setting a desired cruising speed profile ... user can evaluate if
+// the monitoring system can be active during all the considered time").
+//
+// Profiles compose from constant and ramp segments; synthetic urban,
+// extra-urban and highway driving cycles are provided, along with CSV
+// import/export for recorded speed logs.
+//
+// The entry points are Constant, Ramp and Sequence for building
+// profiles; Urban, ExtraUrban, Highway, WLTP and Mixed for the
+// built-in cycles; Repeat for back-to-back replay; and ReadCSV /
+// WriteCSV for recorded speed logs.
+package profile

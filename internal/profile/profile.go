@@ -1,11 +1,3 @@
-// Package profile provides cruising-speed profiles — speed as a function of
-// time — that drive the long-window energy-balance emulation of the paper
-// ("after setting a desired cruising speed profile ... user can evaluate if
-// the monitoring system can be active during all the considered time").
-//
-// Profiles compose from constant and ramp segments; synthetic urban,
-// extra-urban and highway driving cycles are provided, along with CSV
-// import/export for recorded speed logs.
 package profile
 
 import (

@@ -1,0 +1,9 @@
+// Package report renders the analysis tools' outputs: aligned text
+// tables, ASCII line charts (the "graphical representation of the energy
+// balance" of the paper's Fig 2 and the instant-power window of Fig 3),
+// per-block energy breakdowns, and CSV/JSON series export for external
+// plotting.
+//
+// The entry points are Table (aligned text tables), Chart / SVGChart
+// (ASCII and SVG line charts), Sparkline and the WriteSeries* exporters.
+package report

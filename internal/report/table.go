@@ -1,8 +1,3 @@
-// Package report renders the analysis tools' outputs: aligned text
-// tables, ASCII line charts (the "graphical representation of the energy
-// balance" of the paper's Fig 2 and the instant-power window of Fig 3),
-// per-block energy breakdowns, and CSV/JSON series export for external
-// plotting.
 package report
 
 import (

@@ -1,10 +1,3 @@
-// Package rf models the wireless communication device of the Sensor Node:
-// packet energetics (startup, overhead, payload bits) and transmission
-// policies. The paper observes that "the duty cycle of some functional
-// block (i.e. transmission blocks) can be different for cruising speed
-// variation" — the speed-adaptive policy here reproduces exactly that:
-// with a fixed data-latency target, the number of wheel rounds between
-// packets grows as rounds get shorter at high speed.
 package rf
 
 import (

@@ -1,0 +1,19 @@
+// Package scavenger models the energy-harvesting source that supplies the
+// Sensor Node during wheel rotation. The paper notes that the available
+// energy depends on the size of the scavenging device and, mostly, on the
+// tyre rotation speed; this package provides speed-dependent harvester
+// models (piezoelectric contact-patch and electromagnetic) plus the power
+// conditioning chain, and exposes the generated-energy-per-wheel-round
+// curve that forms one side of the Fig 2 energy balance.
+//
+// The proprietary Pirelli harvester characterisation is not available; the
+// models here reproduce the published qualitative behaviour (energy per
+// revolution rising superlinearly with speed and saturating, tens of µJ at
+// highway speed — cf. Ergen et al., IEEE TCAD 2009) and are fully
+// parameterised so measured data can be substituted.
+//
+// The entry points are New / Default (a Source plus its Conditioner),
+// the Piezo and Electromagnetic source models, Harvester.EnergyPerRound
+// (one side of the Fig 2 balance) and Harvester.Scaled (per-wheel
+// mounting spread for fleet emulation).
+package scavenger

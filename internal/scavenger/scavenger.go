@@ -1,16 +1,3 @@
-// Package scavenger models the energy-harvesting source that supplies the
-// Sensor Node during wheel rotation. The paper notes that the available
-// energy depends on the size of the scavenging device and, mostly, on the
-// tyre rotation speed; this package provides speed-dependent harvester
-// models (piezoelectric contact-patch and electromagnetic) plus the power
-// conditioning chain, and exposes the generated-energy-per-wheel-round
-// curve that forms one side of the Fig 2 energy balance.
-//
-// The proprietary Pirelli harvester characterisation is not available; the
-// models here reproduce the published qualitative behaviour (energy per
-// revolution rising superlinearly with speed and saturating, tens of µJ at
-// highway speed — cf. Ergen et al., IEEE TCAD 2009) and are fully
-// parameterised so measured data can be substituted.
 package scavenger
 
 import (
@@ -237,6 +224,29 @@ func Default(tyre wheel.Tyre) (*Harvester, error) {
 
 // Source returns the underlying source.
 func (h *Harvester) Source() Source { return h.src }
+
+// scaledSource multiplies a source's raw energy by a fixed factor —
+// part-to-part and mounting spread applied to an already-built source of
+// any kind, where Piezo.Scaled only covers the piezo parameterisation.
+type scaledSource struct {
+	src Source
+	k   float64
+}
+
+func (s scaledSource) Name() string { return s.src.Name() }
+func (s scaledSource) EnergyPerRevolution(v units.Speed) units.Energy {
+	return units.Energy(s.src.EnergyPerRevolution(v).Joules() * s.k)
+}
+
+// Scaled returns a harvester whose raw per-revolution energy is scaled
+// by k (conditioner and tyre unchanged) — how the four-wheel fleet path
+// applies per-corner scavenger spread to a scenario-built harvester.
+func (h *Harvester) Scaled(k float64) (*Harvester, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("scavenger: non-positive harvest scale %g", k)
+	}
+	return &Harvester{src: scaledSource{src: h.src, k: k}, cond: h.cond, tyre: h.tyre}, nil
+}
 
 // Tyre returns the tyre the harvester is mounted in.
 func (h *Harvester) Tyre() wheel.Tyre { return h.tyre }

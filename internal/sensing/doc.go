@@ -1,0 +1,12 @@
+// Package sensing models the data-acquisition side of the Sensor Node:
+// contact-patch-triggered accelerometer bursts (the tyre-friction signal
+// of the Cyber Tyre lives in the patch transit), slower auxiliary
+// pressure/temperature measurements, and the computing load the acquired
+// samples impose on the node's DSP/MCU. The paper's energy database is
+// parameterised on "the number of data to be acquired" — these types are
+// that knob.
+//
+// The entry points are Acquisition (contact-patch burst parameters and
+// their per-round energy/data volume) and Compute (the processing load
+// those samples impose).
+package sensing

@@ -24,7 +24,10 @@ import (
 // testServer builds an httptest server around a fresh API instance.
 func testServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	api := NewServer(opts)
+	api, err := NewServer(opts)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
 	srv := httptest.NewServer(api)
 	t.Cleanup(srv.Close)
 	return api, srv

@@ -1,0 +1,23 @@
+// Package serve exposes the paper's full analysis flow as a long-lived
+// HTTP/JSON service: the Fig 2 energy-balance sweep, break-even
+// extraction, Monte Carlo yield analysis, architecture optimization and
+// long-window emulation become POST endpoints over the same engine the
+// command-line tools drive. Scenario payloads reuse internal/config, so
+// a tyreconfig scenario file and an API request body are one format.
+//
+// The service owns the concurrency story so the engine doesn't have to:
+// admission control bounds concurrent evaluations (429 beyond the
+// limit), identical in-flight requests are coalesced through a
+// singleflight group keyed by a canonical request hash, completed
+// results live in an LRU cache above the per-node memo tables, and every
+// evaluation runs under a deadline threaded as a context.Context into
+// the sweep/Monte-Carlo/optimizer loops. Because the engine is
+// deterministic for any worker count, a cached, coalesced or freshly
+// computed response to the same request is byte-identical — caching and
+// coalescing are invisible except in /v1/stats.
+//
+// The entry points are NewServer and Options; everything else is the
+// HTTP surface itself — the five synchronous POST analyses, the
+// /v1/jobs batch-job endpoints backed by internal/jobs, and the
+// /v1/stats, /v1/metrics and /v1/healthz observability routes.
+package serve

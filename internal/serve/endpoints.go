@@ -11,6 +11,7 @@ import (
 	"repro/internal/mc"
 	"repro/internal/opt"
 	"repro/internal/profile"
+	"repro/internal/scavenger"
 	"repro/internal/units"
 )
 
@@ -63,11 +64,23 @@ func runBalance(ctx context.Context, st cli.Stack, req BalanceRequest, workers i
 	if err != nil {
 		return nil, err
 	}
+	be, err := breakEvenPoint(ctx, az, vmin, vmax)
+	if err != nil {
+		return nil, err
+	}
+	return sweepResponse(sw, be), nil
+}
+
+// sweepResponse shapes a completed sweep into the response payload —
+// shared by the synchronous handler and the batch aggregate so the two
+// cannot drift.
+func sweepResponse(sw *balance.Sweep, be BreakEvenPoint) BalanceResponse {
 	resp := BalanceResponse{
 		SpeedsKMH:   make([]float64, sw.Generated.Len()),
 		GeneratedUJ: make([]float64, sw.Generated.Len()),
 		RequiredUJ:  make([]float64, sw.Required.Len()),
 		Windows:     []OperatingWindow{},
+		BreakEven:   be,
 	}
 	for i := 0; i < sw.Generated.Len(); i++ {
 		resp.SpeedsKMH[i] = sw.Generated.X(i)
@@ -77,12 +90,7 @@ func runBalance(ctx context.Context, st cli.Stack, req BalanceRequest, workers i
 	for _, w := range sw.OperatingWindows() {
 		resp.Windows = append(resp.Windows, OperatingWindow{FromKMH: w.FromKMH, ToKMH: w.ToKMH})
 	}
-	be, err := breakEvenPoint(ctx, az, vmin, vmax)
-	if err != nil {
-		return nil, err
-	}
-	resp.BreakEven = be
-	return resp, nil
+	return resp
 }
 
 // BreakEvenResponse is the /v1/breakeven payload.
@@ -118,7 +126,18 @@ type MonteCarloResponse struct {
 
 // runMonteCarlo samples the part population for one request.
 func runMonteCarlo(ctx context.Context, st cli.Stack, req MonteCarloRequest, workers int) (any, error) {
-	cfg := mc.Config{
+	cfg := mcConfig(st, req, workers)
+	out, err := mc.RunCtx(ctx, cfg, units.KilometersPerHour(req.SpeedKMH), req.Trials)
+	if err != nil {
+		return nil, err
+	}
+	return mcResponse(out), nil
+}
+
+// mcConfig assembles the mc configuration for one request — shared by
+// the synchronous handler and the batch planner.
+func mcConfig(st cli.Stack, req MonteCarloRequest, workers int) mc.Config {
+	return mc.Config{
 		Node:      st.Node,
 		Harvester: st.Harvester,
 		Ambient:   st.Ambient,
@@ -128,10 +147,10 @@ func runMonteCarlo(ctx context.Context, st cli.Stack, req MonteCarloRequest, wor
 		Seed:      *req.Seed,
 		Workers:   workers,
 	}
-	out, err := mc.RunCtx(ctx, cfg, units.KilometersPerHour(req.SpeedKMH), req.Trials)
-	if err != nil {
-		return nil, err
-	}
+}
+
+// mcResponse shapes a Monte Carlo outcome into the response payload.
+func mcResponse(out mc.Outcome) MonteCarloResponse {
 	resp := MonteCarloResponse{
 		Trials:       out.Trials,
 		Positive:     out.Positive,
@@ -145,7 +164,7 @@ func runMonteCarlo(ctx context.Context, st cli.Stack, req MonteCarloRequest, wor
 	for corner, n := range out.PerCorner {
 		resp.PerCorner[corner.String()] = n
 	}
-	return resp, nil
+	return resp
 }
 
 // OptimizeResponse is the /v1/optimize payload. Baseline/Optimized are
@@ -224,6 +243,21 @@ type EmulateResponse struct {
 
 // runEmulate steps the stack through the requested profile.
 func runEmulate(ctx context.Context, st cli.Stack, req EmulateRequest, workers int) (any, error) {
+	em, p, err := emulatorFor(st, st.Harvester, req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := em.RunCtx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return emulateResponse(res), nil
+}
+
+// emulatorFor builds the emulator and profile for one emulate-shaped
+// request — shared by the synchronous handler and the batch planner
+// (which substitutes a per-wheel scaled harvester for fleet jobs).
+func emulatorFor(st cli.Stack, hv *scavenger.Harvester, req EmulateRequest) (*emu.Emulator, profile.Profile, error) {
 	var p profile.Profile
 	var err error
 	if req.SpeedKMH > 0 {
@@ -231,7 +265,7 @@ func runEmulate(ctx context.Context, st cli.Stack, req EmulateRequest, workers i
 	} else {
 		p, err = cli.Cycle(req.Cycle, req.Repeat)
 		if err != nil {
-			return nil, badRequestError{err}
+			return nil, nil, badRequestError{err}
 		}
 	}
 	initial := st.Buffer.VRestart
@@ -240,19 +274,20 @@ func runEmulate(ctx context.Context, st cli.Stack, req EmulateRequest, workers i
 	}
 	em, err := emu.New(emu.Config{
 		Node:           st.Node,
-		Harvester:      st.Harvester,
+		Harvester:      hv,
 		Buffer:         st.Buffer,
 		InitialVoltage: initial,
 		Ambient:        st.Ambient,
 		Base:           st.Base,
 	})
 	if err != nil {
-		return nil, badRequestError{err}
+		return nil, nil, badRequestError{err}
 	}
-	res, err := em.RunCtx(ctx, p)
-	if err != nil {
-		return nil, err
-	}
+	return em, p, nil
+}
+
+// emulateResponse shapes an emulation result into the response payload.
+func emulateResponse(res *emu.Result) EmulateResponse {
 	return EmulateResponse{
 		DurationS:      res.Duration.Seconds(),
 		Rounds:         res.Rounds,
@@ -269,7 +304,7 @@ func runEmulate(ctx context.Context, st cli.Stack, req EmulateRequest, workers i
 		LeakedUJ:       res.Leaked.Microjoules(),
 		FinalVoltageV:  res.FinalVoltage.Volts(),
 		MinVoltageV:    res.MinVoltage.Volts(),
-	}, nil
+	}
 }
 
 // newAnalyzer builds the stack's balance analyzer with the service pool

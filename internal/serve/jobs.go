@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/jobs"
+)
+
+// HTTP surface of the batch-job subsystem: submission, listing, status,
+// NDJSON result streaming and cancellation. None of these endpoints
+// consume interactive admission slots — submission only enqueues, and
+// the reads are cheap snapshots — so a server saturated with batch work
+// still answers status checks.
+
+// JobSubmitRequest is the POST /v1/jobs payload: an analysis kind plus
+// the kind's request document, verbatim — the same JSON the synchronous
+// endpoint of that kind accepts (the "fleet" kind exists only here).
+type JobSubmitRequest struct {
+	Kind    string          `json:"kind"`
+	Request json.RawMessage `json:"request"`
+}
+
+// FleetRequest is the request document of the "fleet" job kind: one
+// emulation per wheel position, each with the scavenger output scaled
+// by the wheel's factor. The embedded fields are exactly /v1/emulate's.
+type FleetRequest struct {
+	EmulateRequest
+	// Wheels maps wheel position names to scavenger output scale
+	// factors. Empty selects the default four-corner spread.
+	Wheels map[string]float64 `json:"wheels,omitempty"`
+}
+
+func (r *FleetRequest) defaults() {
+	r.EmulateRequest.defaults()
+	if len(r.Wheels) == 0 {
+		// Front wheels run slightly hotter mounts (lower coupling), the
+		// loaded rear-left slightly better — a plausible installation
+		// spread, not a paper-calibrated one.
+		r.Wheels = map[string]float64{"FL": 1.0, "FR": 0.97, "RL": 1.03, "RR": 0.94}
+	}
+}
+
+func (r *FleetRequest) validate() error {
+	if err := r.EmulateRequest.validate(); err != nil {
+		return err
+	}
+	if len(r.Wheels) > maxFleetWheels {
+		return fmt.Errorf("wheels: at most %d entries, got %d", maxFleetWheels, len(r.Wheels))
+	}
+	for name, scale := range r.Wheels {
+		if strings.TrimSpace(name) == "" {
+			return fmt.Errorf("wheels: empty wheel name")
+		}
+		if !(scale > 0) {
+			return fmt.Errorf("wheels[%s]: scale must be positive, got %v", name, scale)
+		}
+	}
+	return nil
+}
+
+// FleetWheelResult is one wheel's emulation outcome within a fleet job.
+type FleetWheelResult struct {
+	Wheel string  `json:"wheel"`
+	Scale float64 `json:"scale"`
+	EmulateResponse
+}
+
+// FleetResponse is the aggregate of a fleet job: per-wheel outcomes in
+// sorted wheel order plus the cross-wheel summary a fleet operator
+// actually triages by (the worst wheel bounds the system).
+type FleetResponse struct {
+	Wheels         []FleetWheelResult `json:"wheels"`
+	WorstWheel     string             `json:"worst_wheel"`
+	MinCoverage    float64            `json:"min_coverage"`
+	MeanCoverage   float64            `json:"mean_coverage"`
+	TotalDowntimeS float64            `json:"total_downtime_s"`
+	TotalBrownouts int                `json:"total_brownouts"`
+}
+
+// JobsStats is the batch-job section of /v1/stats.
+type JobsStats struct {
+	Submitted  int64          `json:"submitted"`
+	Replayed   int            `json:"replayed"`
+	QueueDepth int            `json:"queue_depth"`
+	States     map[string]int `json:"states"`
+}
+
+func (s *Server) jobsStats() JobsStats {
+	js := JobsStats{
+		Submitted:  s.jobsSubmitted.Load(),
+		Replayed:   s.jobs.Replayed(),
+		QueueDepth: s.jobs.QueueDepth(),
+		States:     make(map[string]int, len(jobs.States())),
+	}
+	for state, n := range s.jobs.StateCounts() {
+		js.States[string(state)] = n
+	}
+	return js
+}
+
+// handleJobSubmit accepts a batch job: 202 with a Location header and
+// the initial status on success, 429 when the incomplete-job bound is
+// reached, 503 while draining. The request is planned (decoded and
+// validated) synchronously so malformed submissions fail with 400 now,
+// not as a Failed job later.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"server shutting down"}))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	var req JobSubmitRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				mustMarshal(errorBody{fmt.Sprintf("request body exceeds %d bytes", MaxBodyBytes)}))
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	if req.Kind == "" {
+		kinds := jobKinds()
+		sort.Strings(kinds)
+		writeJSON(w, http.StatusBadRequest,
+			mustMarshal(errorBody{fmt.Sprintf("kind is required (one of: %s)", strings.Join(kinds, ", "))}))
+		return
+	}
+	job, err := s.jobs.Submit(req.Kind, req.Request)
+	if err != nil {
+		if errors.Is(err, jobs.ErrQueueFull) {
+			writeJSON(w, http.StatusTooManyRequests, mustMarshal(errorBody{err.Error()}))
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	s.jobsSubmitted.Add(1)
+	body, err := marshalBody(job.Status())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, body)
+}
+
+// jobListResponse is the GET /v1/jobs payload.
+type jobListResponse struct {
+	Jobs []jobs.Status `json:"jobs"`
+}
+
+// handleJobList renders every tracked job's status in submission order.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	list := s.jobs.List()
+	if list == nil {
+		list = []jobs.Status{}
+	}
+	body, err := marshalBody(jobListResponse{Jobs: list})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// lookupJob resolves the {id} path segment, writing the 404 itself when
+// the job is unknown.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, mustMarshal(errorBody{fmt.Sprintf("no job %q", id)}))
+		return nil, false
+	}
+	return job, true
+}
+
+// handleJobStatus reports one job's progress: state, completed chunks,
+// progress fraction, throughput and ETA.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	body, err := marshalBody(job.Status())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleJobResult streams the job's chunk results as NDJSON, one line
+// per completed chunk as it completes, then a terminal line with the
+// aggregate. The stream follows a running job live; on a finished job
+// it replays the checkpoint log and returns immediately.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	var flush func()
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	// A streaming error means the client went away or the connection
+	// broke — there is no response left to write an error into.
+	_ = job.StreamResult(r.Context(), w, flush)
+}
+
+// handleJobCancel requests cooperative cancellation: a queued job is
+// cancelled immediately, a running one at its next chunk boundary. The
+// response is the status observed right after the request — typically
+// still "running" for an active job; poll the status endpoint for the
+// terminal state.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	s.jobs.Cancel(job.ID())
+	body, err := marshalBody(job.Status())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}

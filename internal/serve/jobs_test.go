@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// The batch-job acceptance contract: a job's final aggregate is
+// byte-identical to the synchronous endpoint's answer for the same
+// request — across chunking, across parallel chunk execution, and
+// across a process restart mid-run.
+
+// submitJob posts one job and returns its decoded initial status.
+func submitJob(t *testing.T, url, kind, request string) jobs.Status {
+	t.Helper()
+	body := fmt.Sprintf(`{"kind":%q,"request":%s}`, kind, request)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e errorBody
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST /v1/jobs: status %d: %s", resp.StatusCode, e.Error)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+st.ID {
+		t.Fatalf("Location = %q, want /v1/jobs/%s", loc, st.ID)
+	}
+	return st
+}
+
+// jobStatus fetches one job's status.
+func jobStatus(t *testing.T, url, id string) jobs.Status {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET /v1/jobs/%s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s: status %d", id, resp.StatusCode)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return st
+}
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(t *testing.T, url, id string) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := jobStatus(t, url, id)
+		switch st.State {
+		case jobs.Done, jobs.Failed, jobs.Cancelled:
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after 60s", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// streamLines fetches /result and splits the NDJSON stream.
+func streamLines(t *testing.T, url, id string) []map[string]json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var lines []map[string]json.RawMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	return lines
+}
+
+// TestJobEmulateByteIdentity is the acceptance test's first half: an
+// emulation decomposed into many checkpointed segments aggregates to
+// exactly the bytes /v1/emulate returns for the same request.
+func TestJobEmulateByteIdentity(t *testing.T) {
+	req := `{"cycle":"urban","repeat":2}`
+	opts := Options{Workers: 2}
+	opts.emuChunkSeconds = 30 // urban×2 = 390 s → 13 segments
+	_, srv := testServer(t, opts)
+
+	code, syncBody, _ := post(t, srv.URL, "/v1/emulate", req)
+	if code != http.StatusOK {
+		t.Fatalf("sync emulate: status %d: %s", code, syncBody)
+	}
+
+	st := submitJob(t, srv.URL, "emulate", req)
+	if st.Chunks != 13 {
+		t.Errorf("chunks = %d, want 13", st.Chunks)
+	}
+	final := waitJob(t, srv.URL, st.ID)
+	if final.State != jobs.Done {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	if final.Progress != 1 {
+		t.Errorf("terminal progress = %v, want 1", final.Progress)
+	}
+
+	lines := streamLines(t, srv.URL, st.ID)
+	if len(lines) != 13+1 {
+		t.Fatalf("stream has %d lines, want 14", len(lines))
+	}
+	last := lines[len(lines)-1]
+	if string(last["state"]) != `"done"` {
+		t.Fatalf("terminal line state = %s", last["state"])
+	}
+	got := append([]byte(last["aggregate"]), '\n')
+	if !bytes.Equal(got, syncBody) {
+		t.Errorf("job aggregate differs from sync /v1/emulate response\njob:  %s\nsync: %s", got, syncBody)
+	}
+}
+
+// TestJobServerRestartResume is the acceptance test's second half: a
+// fleet emulation submitted against a checkpoint directory survives the
+// server process being torn down mid-run — a fresh server over the same
+// directory replays the log, finishes the remaining chunks, and the
+// aggregate is byte-identical to an uninterrupted run's.
+func TestJobServerRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	// Big enough (urban×100 = 19500 s → 975 segments) that the shutdown
+	// below reliably lands while chunks are still being produced.
+	req := `{"cycle":"urban","repeat":100}`
+	mkOpts := func() Options {
+		o := Options{Workers: 2, JobsDir: dir, JobExecutors: 1}
+		o.emuChunkSeconds = 20
+		return o
+	}
+
+	// Reference: the same job run to completion without interruption, on
+	// a server with its own scratch directory.
+	refOpts := mkOpts()
+	refOpts.JobsDir = t.TempDir()
+	_, refSrv := testServer(t, refOpts)
+	refSt := submitJob(t, refSrv.URL, "emulate", req)
+	refFinal := waitJob(t, refSrv.URL, refSt.ID)
+	if refFinal.State != jobs.Done {
+		t.Fatalf("reference job ended %s (%s)", refFinal.State, refFinal.Error)
+	}
+	refLines := streamLines(t, refSrv.URL, refSt.ID)
+	refAgg := refLines[len(refLines)-1]["aggregate"]
+
+	// Phase 1: start the job, let a few chunks checkpoint, kill the
+	// server mid-run.
+	api1, srv1 := testServer(t, mkOpts())
+	st := submitJob(t, srv1.URL, "emulate", req)
+	deadline := time.Now().Add(30 * time.Second)
+	for jobStatus(t, srv1.URL, st.ID).CompletedChunks < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("no chunks completed in 30s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv1.Close()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	err := api1.Shutdown(sctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Phase 2: a fresh server over the same directory resumes and
+	// finishes the job.
+	api2, srv2 := testServer(t, mkOpts())
+	if api2.ReplayedJobs() != 1 {
+		t.Fatalf("replayed %d jobs, want 1", api2.ReplayedJobs())
+	}
+	mid := jobStatus(t, srv2.URL, st.ID)
+	if !mid.Resumed {
+		t.Error("resumed flag not set after replay")
+	}
+	final := waitJob(t, srv2.URL, st.ID)
+	if final.State != jobs.Done {
+		t.Fatalf("resumed job ended %s (%s)", final.State, final.Error)
+	}
+	lines := streamLines(t, srv2.URL, st.ID)
+	agg := lines[len(lines)-1]["aggregate"]
+	if !bytes.Equal(agg, refAgg) {
+		t.Errorf("resumed aggregate differs from uninterrupted run\nresumed: %s\nref:     %s", agg, refAgg)
+	}
+}
+
+// TestJobFleetStream runs the bulk "fleet" kind: one emulation per
+// wheel, streamed as NDJSON, aggregated into the per-fleet summary.
+func TestJobFleetStream(t *testing.T) {
+	_, srv := testServer(t, Options{Workers: 2})
+	st := submitJob(t, srv.URL, "fleet", `{"cycle":"urban"}`)
+	if st.Chunks != 4 {
+		t.Fatalf("fleet chunks = %d, want 4 (default wheel spread)", st.Chunks)
+	}
+	final := waitJob(t, srv.URL, st.ID)
+	if final.State != jobs.Done {
+		t.Fatalf("fleet job ended %s (%s)", final.State, final.Error)
+	}
+
+	lines := streamLines(t, srv.URL, st.ID)
+	if len(lines) != 5 {
+		t.Fatalf("stream has %d lines, want 5", len(lines))
+	}
+	var resp FleetResponse
+	if err := json.Unmarshal(lines[4]["aggregate"], &resp); err != nil {
+		t.Fatalf("decoding fleet aggregate: %v", err)
+	}
+	wantOrder := []string{"FL", "FR", "RL", "RR"}
+	if len(resp.Wheels) != 4 {
+		t.Fatalf("aggregate has %d wheels, want 4", len(resp.Wheels))
+	}
+	for i, w := range resp.Wheels {
+		if w.Wheel != wantOrder[i] {
+			t.Errorf("wheel[%d] = %s, want %s (sorted order)", i, w.Wheel, wantOrder[i])
+		}
+		if w.Rounds <= 0 {
+			t.Errorf("wheel %s: no rounds emulated", w.Wheel)
+		}
+	}
+	if resp.WorstWheel == "" {
+		t.Error("worst_wheel empty")
+	}
+	if resp.MinCoverage > resp.MeanCoverage {
+		t.Errorf("min coverage %v > mean %v", resp.MinCoverage, resp.MeanCoverage)
+	}
+	// The scaled harvesters must actually differ: a wheel at 0.94×
+	// cannot harvest more than the same wheel at 1.03×.
+	byName := map[string]FleetWheelResult{}
+	for _, w := range resp.Wheels {
+		byName[w.Wheel] = w
+	}
+	if byName["RR"].HarvestedUJ >= byName["RL"].HarvestedUJ {
+		t.Errorf("RR (0.94×) harvested %v µJ >= RL (1.03×) %v µJ",
+			byName["RR"].HarvestedUJ, byName["RL"].HarvestedUJ)
+	}
+}
+
+// TestJobCancelEndpoint cancels a running job through DELETE and sees
+// it reach the cancelled terminal state, with the stream's terminal
+// line agreeing.
+func TestJobCancelEndpoint(t *testing.T) {
+	opts := Options{Workers: 2}
+	opts.emuChunkSeconds = 10 // many small chunks → prompt cancellation point
+	_, srv := testServer(t, opts)
+	st := submitJob(t, srv.URL, "emulate", `{"cycle":"mixed","repeat":50}`)
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+
+	final := waitJob(t, srv.URL, st.ID)
+	if final.State != jobs.Cancelled {
+		t.Fatalf("state after cancel = %s, want cancelled", final.State)
+	}
+	lines := streamLines(t, srv.URL, st.ID)
+	last := lines[len(lines)-1]
+	if string(last["state"]) != `"cancelled"` {
+		t.Errorf("stream terminal state = %s, want \"cancelled\"", last["state"])
+	}
+}
+
+// TestJobSubmitErrors pins the submission error contract: bad kind and
+// invalid request documents 400 at submit time, unknown ids 404.
+func TestJobSubmitErrors(t *testing.T) {
+	_, srv := testServer(t, Options{})
+	for name, body := range map[string]string{
+		"unknown kind":    `{"kind":"nope","request":{}}`,
+		"missing kind":    `{"request":{}}`,
+		"invalid request": `{"kind":"emulate","request":{"cycle":"not-a-cycle"}}`,
+		"unknown field":   `{"kind":"fleet","request":{"wheellz":{}}}`,
+		"bad scale":       `{"kind":"fleet","request":{"wheels":{"FL":-1}}}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/v1/jobs/jdeadbeef", "/v1/jobs/jdeadbeef/result"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestJobQueueFull pins the 429 path: with a single executor occupied
+// and the incomplete-job bound reached, the next submission is refused
+// without being recorded.
+func TestJobQueueFull(t *testing.T) {
+	opts := Options{Workers: 1, JobExecutors: 1, MaxJobs: 1}
+	opts.emuChunkSeconds = 5
+	_, srv := testServer(t, opts)
+
+	first := submitJob(t, srv.URL, "emulate", `{"cycle":"mixed","repeat":40}`)
+	deadline := time.Now().Add(10 * time.Second)
+	for jobStatus(t, srv.URL, first.ID).State == jobs.Pending {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Executor busy with job 1; the queue (capacity 1) takes job 2.
+	second := submitJob(t, srv.URL, "emulate", `{"cycle":"mixed","repeat":41}`)
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"emulate","request":{"cycle":"mixed","repeat":42}}`))
+	if err != nil {
+		t.Fatalf("third submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: status %d, want 429", resp.StatusCode)
+	}
+
+	// The refused job left no trace; the two accepted ones are listed.
+	listResp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatalf("GET /v1/jobs: %v", err)
+	}
+	defer listResp.Body.Close()
+	var list struct {
+		Jobs []jobs.Status `json:"jobs"`
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatalf("decoding list: %v", err)
+	}
+	if len(list.Jobs) != 2 {
+		t.Fatalf("list has %d jobs, want 2", len(list.Jobs))
+	}
+	if list.Jobs[0].ID != first.ID || list.Jobs[1].ID != second.ID {
+		t.Errorf("list order = %s, %s; want %s, %s",
+			list.Jobs[0].ID, list.Jobs[1].ID, first.ID, second.ID)
+	}
+}
+
+// TestReadOnlyEndpointsBypassAdmission pins the satellite contract: the
+// observability and job-inspection GETs never consume interactive
+// admission slots, so a saturated server still answers them.
+func TestReadOnlyEndpointsBypassAdmission(t *testing.T) {
+	api, srv := testServer(t, Options{MaxInFlight: 1})
+
+	// Occupy the only admission slot directly.
+	api.sem <- struct{}{}
+	defer func() { <-api.sem }()
+
+	// Evaluations are refused...
+	code, _, _ := post(t, srv.URL, "/v1/breakeven", `{}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("POST with slots exhausted: status %d, want 429", code)
+	}
+	// ...while every read-only endpoint still answers.
+	for _, path := range []string{"/v1/stats", "/v1/metrics", "/v1/healthz", "/v1/jobs"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s with slots exhausted: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// Submission and status of a batch job also bypass admission: the
+	// dedicated executor pool, not the interactive slots, runs chunks.
+	st := submitJob(t, srv.URL, "breakeven", `{}`)
+	final := waitJob(t, srv.URL, st.ID)
+	if final.State != jobs.Done {
+		t.Errorf("batch job under admission saturation ended %s (%s)", final.State, final.Error)
+	}
+}
+
+// TestStatsJobsSection checks /v1/stats carries the job counters.
+func TestStatsJobsSection(t *testing.T) {
+	_, srv := testServer(t, Options{})
+	st := submitJob(t, srv.URL, "breakeven", `{}`)
+	waitJob(t, srv.URL, st.ID)
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	if stats.Jobs.Submitted != 1 {
+		t.Errorf("jobs.submitted = %d, want 1", stats.Jobs.Submitted)
+	}
+	if stats.Jobs.States["done"] != 1 {
+		t.Errorf("jobs.states[done] = %d, want 1", stats.Jobs.States["done"])
+	}
+}

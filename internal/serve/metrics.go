@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cli"
+	"repro/internal/jobs"
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -37,6 +38,10 @@ type serveMetrics struct {
 	// request's base stack.
 	nodeHits, nodeMisses map[string]*obs.Counter // keyed by memo table
 	blockHits, blockMiss *obs.Counter
+
+	// jobChunk observes one checkpointed batch-job chunk's wall time; the
+	// jobs manager calls it through the OnChunk hook.
+	jobChunk *obs.Histogram
 }
 
 // nodeMemoTables names the node memo tables in exposition order.
@@ -146,6 +151,27 @@ func newServeMetrics(s *Server) *serveMetrics {
 	m.blockMiss = r.Counter("tyresysd_block_memo_total",
 		"Block power-split memo lookups absorbed from completed evaluations.",
 		obs.Label{Key: "outcome", Value: "miss"})
+
+	// Batch-job metrics. Registered last so the families above keep their
+	// golden-pinned exposition offsets. The gauges read the manager
+	// lazily at render time; s.jobs is assigned right after this
+	// constructor returns and no scrape can precede NewServer completing.
+	r.CounterFunc("tyresysd_jobs_submitted_total",
+		"Batch jobs accepted by POST /v1/jobs.",
+		counterOf(&s.jobsSubmitted))
+	r.GaugeFunc("tyresysd_jobs_queue_depth",
+		"Batch jobs waiting for a job executor.",
+		func() float64 { return float64(s.jobs.QueueDepth()) })
+	for _, state := range jobs.States() {
+		state := state
+		r.GaugeFunc("tyresysd_jobs",
+			"Tracked batch jobs by state.",
+			func() float64 { return float64(s.jobs.StateCounts()[state]) },
+			obs.Label{Key: "state", Value: string(state)})
+	}
+	m.jobChunk = r.Histogram("tyresysd_job_chunk_seconds",
+		"Wall time of one checkpointed batch-job chunk.",
+		obs.DefLatencyBuckets)
 	return m
 }
 

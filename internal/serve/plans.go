@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/balance"
+	"repro/internal/cli"
+	"repro/internal/emu"
+	"repro/internal/jobs"
+	"repro/internal/mc"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Batch-job planning: every /v1/jobs kind decomposes its request into
+// checkpointable chunks. Decomposition is a pure function of the
+// request (and the fixed chunk-size constants), so a job re-planned
+// after a process restart resumes against the identical chunk grid.
+const (
+	// balanceChunkPoints is the sweep-point count per balance chunk.
+	balanceChunkPoints = 64
+	// mcChunkTrials is the trial count per Monte Carlo chunk.
+	mcChunkTrials = 4096
+	// defaultEmuChunkSeconds is the emulated time per checkpointed
+	// emulation segment (Server.emuChunkSeconds; a field so tests can
+	// shrink it).
+	defaultEmuChunkSeconds = 300
+	// jobChunkParallelism bounds the chunk fan-out of one independent
+	// job across the evaluation pool.
+	jobChunkParallelism = 4
+	// maxFleetWheels bounds a fleet job's wheel map.
+	maxFleetWheels = 16
+)
+
+// jobKinds lists the accepted /v1/jobs kinds: every synchronous
+// analysis endpoint plus the fleet bulk emulation.
+func jobKinds() []string { return append(append([]string{}, endpoints...), "fleet") }
+
+// planJob is the jobs.PlanFunc behind /v1/jobs: it strict-decodes the
+// persisted request exactly like the synchronous endpoints do and
+// builds the kind's chunk decomposition.
+func (s *Server) planJob(kind string, request json.RawMessage) (jobs.Plan, error) {
+	if len(request) == 0 {
+		request = json.RawMessage("{}")
+	}
+	switch kind {
+	case "balance":
+		var req BalanceRequest
+		if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
+			return nil, err
+		}
+		req.defaults()
+		if err := req.validate(); err != nil {
+			return nil, err
+		}
+		st, err := buildStack(req.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		return &balancePlan{req: req, st: st, workers: s.opts.Workers}, nil
+	case "breakeven":
+		_, _, run, err := decodeBreakEven(bytes.NewReader(request))
+		if err != nil {
+			return nil, err
+		}
+		return &singlePlan{run: run, workers: s.opts.Workers}, nil
+	case "optimize":
+		_, _, run, err := decodeOptimize(bytes.NewReader(request))
+		if err != nil {
+			return nil, err
+		}
+		return &singlePlan{run: run, workers: s.opts.Workers}, nil
+	case "montecarlo":
+		var req MonteCarloRequest
+		if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
+			return nil, err
+		}
+		req.defaults()
+		if err := req.validate(); err != nil {
+			return nil, err
+		}
+		st, err := buildStack(req.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		return &montecarloPlan{req: req, st: st, workers: s.opts.Workers}, nil
+	case "emulate":
+		var req EmulateRequest
+		if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
+			return nil, err
+		}
+		req.defaults()
+		if err := req.validate(); err != nil {
+			return nil, err
+		}
+		st, err := buildStack(req.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		_, p, err := emulatorFor(st, st.Harvester, req)
+		if err != nil {
+			return nil, err
+		}
+		seg := s.emuChunkSeconds
+		n := int(math.Ceil(p.Duration().Seconds() / seg))
+		if n < 1 {
+			n = 1
+		}
+		return &emulatePlan{req: req, st: st, end: p.Duration().Seconds(), seg: seg, n: n}, nil
+	case "fleet":
+		var req FleetRequest
+		if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
+			return nil, err
+		}
+		req.defaults()
+		if err := req.validate(); err != nil {
+			return nil, err
+		}
+		st, err := buildStack(req.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		_, p, err := emulatorFor(st, st.Harvester, req.EmulateRequest)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, len(req.Wheels))
+		for name := range req.Wheels {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return &fleetPlan{req: req, st: st, names: names, durS: p.Duration().Seconds()}, nil
+	default:
+		return nil, fmt.Errorf("unknown job kind %q (one of: balance, breakeven, montecarlo, optimize, emulate, fleet)", kind)
+	}
+}
+
+// compactJSON marshals a chunk/aggregate payload without the trailing
+// newline marshalBody appends — checkpoint-log lines and NDJSON stream
+// lines must be newline-free. The HTTP layer re-appends the newline
+// when serving an aggregate as a response body, restoring byte
+// equality with the synchronous endpoints.
+func compactJSON(v any) ([]byte, error) { return json.Marshal(v) }
+
+// singlePlan wraps an indivisible analysis (breakeven, optimize) as a
+// one-chunk job: no intermediate checkpoints, but the same submission,
+// streaming and lifecycle surface as the chunked kinds.
+type singlePlan struct {
+	run     evaluator
+	workers int
+}
+
+func (p *singlePlan) NumChunks() int        { return 1 }
+func (p *singlePlan) ChunkWeight(int) int64 { return 1 }
+func (p *singlePlan) Sequential() bool      { return false }
+func (p *singlePlan) RunChunk(ctx context.Context, _ int, _ []byte) ([]byte, []byte, error) {
+	res, err := p.run(ctx, p.workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	blob, err := compactJSON(res)
+	return blob, nil, err
+}
+func (p *singlePlan) Aggregate(_ context.Context, results [][]byte, _ []byte) ([]byte, error) {
+	return results[0], nil
+}
+
+// balancePlan chunks the Fig 2 sweep by point ranges. Every chunk
+// evaluates its global indices with the exact grid formula SweepCtx
+// uses (frac = i/(n-1)), so the reassembled curves are byte-identical
+// to the synchronous sweep.
+type balancePlan struct {
+	req     BalanceRequest
+	st      cli.Stack
+	workers int
+}
+
+// balanceChunkResult is one chunk's slice of the sweep grid.
+type balanceChunkResult struct {
+	Lo          int       `json:"lo"`
+	SpeedsKMH   []float64 `json:"speeds_kmh"`
+	GeneratedUJ []float64 `json:"generated_uj"`
+	RequiredUJ  []float64 `json:"required_uj"`
+}
+
+func (p *balancePlan) NumChunks() int {
+	return (p.req.Points + balanceChunkPoints - 1) / balanceChunkPoints
+}
+
+func (p *balancePlan) bounds(i int) (lo, hi int) {
+	lo = i * balanceChunkPoints
+	hi = lo + balanceChunkPoints
+	if hi > p.req.Points {
+		hi = p.req.Points
+	}
+	return lo, hi
+}
+
+func (p *balancePlan) ChunkWeight(i int) int64 {
+	lo, hi := p.bounds(i)
+	return int64(hi - lo)
+}
+
+func (p *balancePlan) Sequential() bool { return false }
+
+func (p *balancePlan) RunChunk(ctx context.Context, i int, _ []byte) ([]byte, []byte, error) {
+	az, err := newAnalyzer(p.st, p.workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	lo, hi := p.bounds(i)
+	out := balanceChunkResult{
+		Lo:          lo,
+		SpeedsKMH:   make([]float64, 0, hi-lo),
+		GeneratedUJ: make([]float64, 0, hi-lo),
+		RequiredUJ:  make([]float64, 0, hi-lo),
+	}
+	vmin := units.KilometersPerHour(p.req.MinKMH)
+	vmax := units.KilometersPerHour(p.req.MaxKMH)
+	for g := lo; g < hi; g++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		frac := float64(g) / float64(p.req.Points-1)
+		v := units.MetersPerSecond(units.Lerp(vmin.MS(), vmax.MS(), frac))
+		r, err := az.RequiredPerRound(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("balance: at %v: %w", v, err)
+		}
+		out.SpeedsKMH = append(out.SpeedsKMH, v.KMH())
+		out.GeneratedUJ = append(out.GeneratedUJ, az.GeneratedPerRound(v).Microjoules())
+		out.RequiredUJ = append(out.RequiredUJ, r.Microjoules())
+	}
+	blob, err := compactJSON(out)
+	return blob, nil, err
+}
+
+func (p *balancePlan) Aggregate(ctx context.Context, results [][]byte, _ []byte) ([]byte, error) {
+	gen := trace.NewSeries("generated per round", "km/h", "µJ")
+	req := trace.NewSeries("required per round", "km/h", "µJ")
+	for _, blob := range results {
+		var chunk balanceChunkResult
+		if err := json.Unmarshal(blob, &chunk); err != nil {
+			return nil, err
+		}
+		for k := range chunk.SpeedsKMH {
+			gen.MustAppend(chunk.SpeedsKMH[k], chunk.GeneratedUJ[k])
+			req.MustAppend(chunk.SpeedsKMH[k], chunk.RequiredUJ[k])
+		}
+	}
+	az, err := newAnalyzer(p.st, p.workers)
+	if err != nil {
+		return nil, err
+	}
+	be, err := breakEvenPoint(ctx, az,
+		units.KilometersPerHour(p.req.MinKMH), units.KilometersPerHour(p.req.MaxKMH))
+	if err != nil {
+		return nil, err
+	}
+	return compactJSON(sweepResponse(&balance.Sweep{Generated: gen, Required: req}, be))
+}
+
+// montecarloPlan chunks the population by trial ranges. Every chunk
+// redraws the full population from the seeded stream (the draw is
+// cheap; the margin evaluations are not) and evaluates only its range,
+// so the sampled parts are identical to the synchronous run. Counts,
+// extrema and corner tallies aggregate exactly; the mean/stddev fold
+// is deterministic for the fixed chunk grid but may differ from the
+// synchronous response in the last float bits.
+type montecarloPlan struct {
+	req     MonteCarloRequest
+	st      cli.Stack
+	workers int
+}
+
+func (p *montecarloPlan) NumChunks() int {
+	return (p.req.Trials + mcChunkTrials - 1) / mcChunkTrials
+}
+
+func (p *montecarloPlan) bounds(i int) (lo, hi int) {
+	lo = i * mcChunkTrials
+	hi = lo + mcChunkTrials
+	if hi > p.req.Trials {
+		hi = p.req.Trials
+	}
+	return lo, hi
+}
+
+func (p *montecarloPlan) ChunkWeight(i int) int64 {
+	lo, hi := p.bounds(i)
+	return int64(hi - lo)
+}
+
+func (p *montecarloPlan) Sequential() bool { return false }
+
+func (p *montecarloPlan) RunChunk(ctx context.Context, i int, _ []byte) ([]byte, []byte, error) {
+	lo, hi := p.bounds(i)
+	part, err := mc.RunRangeCtx(ctx, mcConfig(p.st, p.req, p.workers),
+		units.KilometersPerHour(p.req.SpeedKMH), p.req.Trials, lo, hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	blob, err := compactJSON(part)
+	return blob, nil, err
+}
+
+func (p *montecarloPlan) Aggregate(_ context.Context, results [][]byte, _ []byte) ([]byte, error) {
+	parts := make([]mc.Partial, len(results))
+	for i, blob := range results {
+		if err := json.Unmarshal(blob, &parts[i]); err != nil {
+			return nil, err
+		}
+	}
+	out, err := mc.Merge(p.req.Trials, parts)
+	if err != nil {
+		return nil, err
+	}
+	return compactJSON(mcResponse(out))
+}
+
+// emulatePlan decomposes a long emulation into sequential time
+// segments. Each chunk resumes the emu.Session from the previous
+// chunk's Snapshot carry, advances one segment, and checkpoints the new
+// snapshot; the final chunk finishes the run and carries the complete
+// EmulateResponse, which Aggregate returns verbatim. Segment boundaries
+// never split an emulation step, so the aggregate is byte-identical to
+// the synchronous /v1/emulate answer for the same request.
+type emulatePlan struct {
+	req EmulateRequest
+	st  cli.Stack
+	end float64 // profile duration, seconds
+	seg float64 // segment length, seconds
+	n   int
+}
+
+func (p *emulatePlan) NumChunks() int   { return p.n }
+func (p *emulatePlan) Sequential() bool { return true }
+
+func (p *emulatePlan) ChunkWeight(i int) int64 {
+	from := float64(i) * p.seg
+	to := from + p.seg
+	if to > p.end {
+		to = p.end
+	}
+	w := int64(to - from)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (p *emulatePlan) RunChunk(ctx context.Context, i int, carry []byte) ([]byte, []byte, error) {
+	em, prof, err := emulatorFor(p.st, p.st.Harvester, p.req)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sess *emu.Session
+	if i == 0 {
+		sess, err = em.Start(prof)
+	} else {
+		var snap emu.Snapshot
+		if err := json.Unmarshal(carry, &snap); err != nil {
+			return nil, nil, fmt.Errorf("emulate chunk %d: bad carry: %w", i, err)
+		}
+		sess, err = em.Resume(prof, snap)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	until := units.Seconds(float64(i+1) * p.seg)
+	if err := sess.RunUntil(ctx, until); err != nil {
+		return nil, nil, err
+	}
+	result, err := compactJSON(sess.Progress())
+	if err != nil {
+		return nil, nil, err
+	}
+	if sess.Done() {
+		res, err := sess.Result()
+		if err != nil {
+			return nil, nil, err
+		}
+		next, err := compactJSON(emulateResponse(res))
+		return result, next, err
+	}
+	snap, err := sess.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	next, err := compactJSON(snap)
+	return result, next, err
+}
+
+func (p *emulatePlan) Aggregate(_ context.Context, _ [][]byte, finalCarry []byte) ([]byte, error) {
+	if len(finalCarry) == 0 {
+		return nil, fmt.Errorf("emulate: final chunk carried no response")
+	}
+	return finalCarry, nil
+}
+
+// fleetPlan runs one emulation per wheel, each with the scavenger
+// output scaled by the wheel's factor — the per-corner mounting and
+// load asymmetry of a four-wheel installation. Chunks are independent
+// (one wheel each) and aggregate into the fleet summary in sorted
+// wheel order.
+type fleetPlan struct {
+	req   FleetRequest
+	st    cli.Stack
+	names []string
+	durS  float64
+}
+
+func (p *fleetPlan) NumChunks() int   { return len(p.names) }
+func (p *fleetPlan) Sequential() bool { return false }
+func (p *fleetPlan) ChunkWeight(int) int64 {
+	w := int64(p.durS)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (p *fleetPlan) RunChunk(ctx context.Context, i int, _ []byte) ([]byte, []byte, error) {
+	name := p.names[i]
+	scale := p.req.Wheels[name]
+	hv, err := p.st.Harvester.Scaled(scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	em, prof, err := emulatorFor(p.st, hv, p.req.EmulateRequest)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := em.RunCtx(ctx, prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	blob, err := compactJSON(FleetWheelResult{
+		Wheel:           name,
+		Scale:           scale,
+		EmulateResponse: emulateResponse(res),
+	})
+	return blob, nil, err
+}
+
+func (p *fleetPlan) Aggregate(_ context.Context, results [][]byte, _ []byte) ([]byte, error) {
+	resp := FleetResponse{Wheels: make([]FleetWheelResult, len(results))}
+	for i, blob := range results {
+		if err := json.Unmarshal(blob, &resp.Wheels[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i, w := range resp.Wheels {
+		if i == 0 || w.Coverage < resp.MinCoverage {
+			resp.MinCoverage = w.Coverage
+			resp.WorstWheel = w.Wheel
+		}
+		resp.MeanCoverage += w.Coverage / float64(len(resp.Wheels))
+		resp.TotalDowntimeS += w.DowntimeS
+		resp.TotalBrownouts += w.BrownOuts
+	}
+	return compactJSON(resp)
+}

@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 )
 
@@ -44,6 +47,25 @@ type Options struct {
 	// nil (the default) keeps the engine on its nil-tracer fast path.
 	// Tracing, like all observability here, never changes response bytes.
 	Tracer obs.Tracer
+	// JobsDir is the batch-job checkpoint root for the /v1/jobs
+	// endpoints. When set, chunk progress is persisted there and
+	// incomplete jobs are replayed on the next NewServer over the same
+	// directory — jobs survive a process restart. Empty (the default)
+	// keeps jobs in memory only; the endpoints still work, but a restart
+	// forgets them.
+	JobsDir string
+	// JobExecutors bounds how many batch jobs run concurrently (default
+	// 2). The pool is dedicated: batch work never competes for the
+	// interactive admission slots above.
+	JobExecutors int
+	// MaxJobs bounds incomplete (pending + running) jobs; submissions
+	// beyond it are rejected with 429 (default 64).
+	MaxJobs int
+
+	// emuChunkSeconds overrides the emulation checkpoint segment length
+	// (default defaultEmuChunkSeconds). Unexported: a test seam, set
+	// before NewServer so replayed jobs re-plan against it race-free.
+	emuChunkSeconds float64
 }
 
 // endpoints are the POST analysis routes, by name.
@@ -62,6 +84,13 @@ type Server struct {
 	stats   map[string]*endpointStats
 	metrics *serveMetrics
 
+	// jobs is the /v1/jobs batch manager; jobsSubmitted counts accepted
+	// submissions. emuChunkSeconds is the emulation checkpoint segment
+	// length (a field, not a constant, so tests can shrink it).
+	jobs            *jobs.Manager
+	jobsSubmitted   atomic.Int64
+	emuChunkSeconds float64
+
 	// base is cancelled by Shutdown: evaluations run under it so a
 	// stopping server aborts work no client is waiting on. Evaluations
 	// deliberately do NOT run under their request's context — a
@@ -77,8 +106,10 @@ type Server struct {
 	inflight sync.WaitGroup
 }
 
-// NewServer builds a Server.
-func NewServer(opts Options) *Server {
+// NewServer builds a Server. The only error source is the batch-job
+// checkpoint directory (creation or replay of a corrupt log); with
+// Options.JobsDir empty it cannot fail.
+func NewServer(opts Options) (*Server, error) {
 	if opts.MaxInFlight == 0 {
 		opts.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
 	}
@@ -91,42 +122,74 @@ func NewServer(opts Options) *Server {
 	if opts.RequestTimeout == 0 {
 		opts.RequestTimeout = 60 * time.Second
 	}
+	if opts.JobExecutors == 0 {
+		opts.JobExecutors = 2
+	}
+	if opts.emuChunkSeconds == 0 {
+		opts.emuChunkSeconds = defaultEmuChunkSeconds
+	}
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:   opts,
-		mux:    http.NewServeMux(),
-		sem:    make(chan struct{}, opts.MaxInFlight),
-		cache:  newResultCache(opts.CacheEntries),
-		stats:  make(map[string]*endpointStats, len(endpoints)),
-		base:   base,
-		cancel: cancel,
+		opts:            opts,
+		mux:             http.NewServeMux(),
+		sem:             make(chan struct{}, opts.MaxInFlight),
+		cache:           newResultCache(opts.CacheEntries),
+		stats:           make(map[string]*endpointStats, len(endpoints)),
+		base:            base,
+		cancel:          cancel,
+		emuChunkSeconds: opts.emuChunkSeconds,
 	}
 	for _, name := range endpoints {
 		s.stats[name] = &endpointStats{}
 	}
 	s.metrics = newServeMetrics(s)
+	mgr, err := jobs.New(jobs.Options{
+		Dir:              opts.JobsDir,
+		Executors:        opts.JobExecutors,
+		ChunkParallelism: jobChunkParallelism,
+		MaxJobs:          opts.MaxJobs,
+		OnChunk:          func(sec float64) { s.metrics.jobChunk.Observe(sec) },
+	}, s.planJob)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("serve: batch jobs: %w", err)
+	}
+	s.jobs = mgr
 	s.mux.HandleFunc("/v1/balance", s.analysisHandler("balance", decodeBalance))
 	s.mux.HandleFunc("/v1/breakeven", s.analysisHandler("breakeven", decodeBreakEven))
 	s.mux.HandleFunc("/v1/montecarlo", s.analysisHandler("montecarlo", decodeMonteCarlo))
 	s.mux.HandleFunc("/v1/optimize", s.analysisHandler("optimize", decodeOptimize))
 	s.mux.HandleFunc("/v1/emulate", s.analysisHandler("emulate", decodeEmulate))
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
-	return s
+	return s, nil
 }
+
+// ReplayedJobs reports how many incomplete batch jobs were resumed from
+// the checkpoint directory at construction (tyresysd logs it on boot).
+func (s *Server) ReplayedJobs() int { return s.jobs.Replayed() }
 
 // ServeHTTP dispatches to the v1 routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Shutdown drains the server: new evaluations are refused with 503,
-// in-flight ones are waited for until ctx expires, then the base context
-// is cancelled so stragglers abort. Call after (not instead of) the
+// Shutdown drains the server: new evaluations and job submissions are
+// refused with 503, in-flight evaluations are waited for until ctx
+// expires, then the base context is cancelled so stragglers abort. The
+// batch-job manager is closed alongside: running chunks are cancelled
+// and incomplete jobs stay checkpointed on disk, to be replayed by the
+// next NewServer over the same JobsDir. Call after (not instead of) the
 // enclosing http.Server's Shutdown, which drains connections.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	jerr := s.jobs.Close(ctx)
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -139,6 +202,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	s.cancel()
+	if err == nil {
+		err = jerr
+	}
 	return err
 }
 
@@ -149,8 +215,10 @@ type evaluator func(ctx context.Context, workers int) (any, error)
 // decoder parses and validates one endpoint's request body, returning
 // the canonical coalescing key, the freshly built stack (so the metrics
 // layer can absorb its memo counters after evaluation) and the
-// evaluation closure.
-type decoder func(r *http.Request) (key string, stack cli.Stack, run evaluator, err error)
+// evaluation closure. Decoders read from a plain io.Reader so the batch
+// planner can reuse them against persisted job specs, not just live
+// request bodies.
+type decoder func(body io.Reader) (key string, stack cli.Stack, run evaluator, err error)
 
 // errorBody is the JSON error envelope.
 type errorBody struct {
@@ -200,7 +268,7 @@ func (s *Server) analysisHandler(name string, dec decoder) http.HandlerFunc {
 		// "unexpected EOF" parse error. It also closes the connection so
 		// the client stops streaming a body nobody will read.
 		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
-		key, stack, run, err := dec(r)
+		key, stack, run, err := dec(r.Body)
 		if err != nil {
 			var mbe *http.MaxBytesError
 			if errors.As(err, &mbe) {
@@ -330,6 +398,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheCapacity: s.opts.CacheEntries,
 		Workers:       s.opts.Workers,
 		Endpoints:     make(map[string]EndpointStats, len(s.stats)),
+		Jobs:          s.jobsStats(),
 	}
 	for name, st := range s.stats {
 		resp.Endpoints[name] = st.snapshot()
@@ -378,9 +447,9 @@ func mustMarshal(v any) []byte {
 // problem is the client's fault and must 400 before consuming an
 // admission slot), and close over everything the evaluation needs.
 
-func decodeBalance(r *http.Request) (string, cli.Stack, evaluator, error) {
+func decodeBalance(body io.Reader) (string, cli.Stack, evaluator, error) {
 	var req BalanceRequest
-	if err := decodeStrict(r.Body, &req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
 	req.defaults()
@@ -400,9 +469,9 @@ func decodeBalance(r *http.Request) (string, cli.Stack, evaluator, error) {
 	}, nil
 }
 
-func decodeBreakEven(r *http.Request) (string, cli.Stack, evaluator, error) {
+func decodeBreakEven(body io.Reader) (string, cli.Stack, evaluator, error) {
 	var req BreakEvenRequest
-	if err := decodeStrict(r.Body, &req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
 	req.defaults()
@@ -422,9 +491,9 @@ func decodeBreakEven(r *http.Request) (string, cli.Stack, evaluator, error) {
 	}, nil
 }
 
-func decodeMonteCarlo(r *http.Request) (string, cli.Stack, evaluator, error) {
+func decodeMonteCarlo(body io.Reader) (string, cli.Stack, evaluator, error) {
 	var req MonteCarloRequest
-	if err := decodeStrict(r.Body, &req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
 	req.defaults()
@@ -444,9 +513,9 @@ func decodeMonteCarlo(r *http.Request) (string, cli.Stack, evaluator, error) {
 	}, nil
 }
 
-func decodeOptimize(r *http.Request) (string, cli.Stack, evaluator, error) {
+func decodeOptimize(body io.Reader) (string, cli.Stack, evaluator, error) {
 	var req OptimizeRequest
-	if err := decodeStrict(r.Body, &req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
 	req.defaults()
@@ -466,9 +535,9 @@ func decodeOptimize(r *http.Request) (string, cli.Stack, evaluator, error) {
 	}, nil
 }
 
-func decodeEmulate(r *http.Request) (string, cli.Stack, evaluator, error) {
+func decodeEmulate(body io.Reader) (string, cli.Stack, evaluator, error) {
 	var req EmulateRequest
-	if err := decodeStrict(r.Body, &req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
 	req.defaults()

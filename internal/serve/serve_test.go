@@ -255,7 +255,15 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go run(i)
 	}
-	time.Sleep(10 * time.Millisecond) // give followers time to block on the flight
+	// Wait until every follower is actually blocked on the flight before
+	// releasing the leader — a sleep here flakes under race-detector
+	// load, with late followers starting fresh evaluations of their own.
+	for g.waiting("k") < followers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d followers subscribed to the flight", g.waiting("k"))
+		}
+		time.Sleep(time.Millisecond)
+	}
 	close(release)
 	wg.Wait()
 	if got := calls.Load(); got != 1 {

@@ -66,4 +66,6 @@ type StatsResponse struct {
 	// Endpoints maps endpoint name (e.g. "balance") to its counters;
 	// JSON object keys render sorted, so the payload layout is stable.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+	// Jobs describes the batch-job subsystem behind /v1/jobs.
+	Jobs JobsStats `json:"jobs"`
 }

@@ -1,0 +1,13 @@
+// Package storage models the energy buffer between the scavenger and the
+// Sensor Node: a (super)capacitor with a usable voltage window, charge
+// clipping at the top of the window, brown-out at the bottom with restart
+// hysteresis, and resistive self-discharge. The long-window emulator
+// tracks a Buffer's State to decide, round by round, whether the
+// monitoring system can stay active — the paper's "operating window"
+// identification.
+//
+// The entry points are Buffer (the element's characterisation),
+// NewState / State.Charge / State.Discharge (the simulated charge state
+// the emulator steps) and Restore (exact state reconstruction from a
+// checkpointed energy, used by emulation resume).
+package storage

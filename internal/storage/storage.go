@@ -1,10 +1,3 @@
-// Package storage models the energy buffer between the scavenger and the
-// Sensor Node: a (super)capacitor with a usable voltage window, charge
-// clipping at the top of the window, brown-out at the bottom with restart
-// hysteresis, and resistive self-discharge. The long-window emulator
-// tracks a Buffer's State to decide, round by round, whether the
-// monitoring system can stay active — the paper's "operating window"
-// identification.
 package storage
 
 import (
@@ -86,6 +79,21 @@ func NewState(buf Buffer, v0 units.Voltage) (*State, error) {
 	}
 	v := units.Volts(units.Clamp(v0.Volts(), 0, buf.VMax.Volts()))
 	return &State{buf: buf, energy: buf.C.StoredEnergy(v)}, nil
+}
+
+// Restore reconstructs a State holding exactly e — the checkpoint/resume
+// path. NewState squares a voltage into energy, so round-tripping a
+// mid-run state through volts would lose the last bit; restoring the
+// stored energy verbatim keeps a resumed emulation on the identical
+// float trajectory. e outside [0, Capacity] is a corrupt checkpoint.
+func Restore(buf Buffer, e units.Energy) (*State, error) {
+	if err := buf.Validate(); err != nil {
+		return nil, err
+	}
+	if e < 0 || e > buf.Capacity() {
+		return nil, fmt.Errorf("storage: restored energy %v outside [0, %v]", e, buf.Capacity())
+	}
+	return &State{buf: buf, energy: e}, nil
 }
 
 // Buffer returns the static buffer description.

@@ -1,0 +1,10 @@
+// Package trace provides sampled-signal containers for the energy-analysis
+// toolkit: time series of instant power (Fig 3 of the paper), curves of
+// per-round energy versus cruising speed (Fig 2), and the numeric
+// operations the analysis flow needs on them — trapezoidal integration,
+// interpolation, resampling, statistics, and crossing detection (the
+// break-even point is the crossing of the generated and required curves).
+//
+// The entry points are NewSeries, Series.Append / MustAppend,
+// Series.Stats and the interpolating Series.At.
+package trace

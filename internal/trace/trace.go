@@ -1,9 +1,3 @@
-// Package trace provides sampled-signal containers for the energy-analysis
-// toolkit: time series of instant power (Fig 3 of the paper), curves of
-// per-round energy versus cruising speed (Fig 2), and the numeric
-// operations the analysis flow needs on them — trapezoidal integration,
-// interpolation, resampling, statistics, and crossing detection (the
-// break-even point is the crossing of the generated and required curves).
 package trace
 
 import (

@@ -1,0 +1,13 @@
+// Package units provides typed physical quantities for the energy-analysis
+// toolkit: power, energy, voltage, time, temperature, speed and friends.
+//
+// Each quantity is a defined type over float64 holding the value in its SI
+// base unit (watts, joules, volts, seconds, ...). The distinct types prevent
+// the classic spreadsheet failure mode of mixing µW with mW or J with Wh
+// without an explicit conversion, while staying allocation-free and cheap
+// enough for inner simulation loops.
+//
+// The entry points are the quantity types (Energy, Power, Voltage,
+// Speed, Seconds, ...), their constructor/accessor pairs, and the
+// numeric helpers Lerp, Clamp and AlmostEqual.
+package units

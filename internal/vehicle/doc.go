@@ -1,0 +1,11 @@
+// Package vehicle models the system level the paper's introduction
+// describes: four self-powered Sensor Nodes — one per tyre — reporting to
+// the elaboration unit connected to the junction box. The four wheels
+// share an architecture but not a harvester: part-to-part scavenger
+// spread and mounting differences make each corner's energy balance its
+// own, and the elaboration unit's view (complete four-wheel data) is
+// gated by the worst wheel.
+//
+// The entry points are Config (the per-wheel fleet description),
+// Run (emulate all wheels) and Result (the per-position outcomes).
+package vehicle

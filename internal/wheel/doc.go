@@ -1,0 +1,11 @@
+// Package wheel models the tyre/wheel substrate of the monitoring system:
+// the kinematics that make one wheel round the basic timing unit of the
+// paper's methodology (round period vs cruising speed, contact-patch dwell
+// that gates sensor acquisition) and the tyre thermal behaviour that drives
+// the leakage component of the power model.
+//
+// The entry points are Tyre (geometry: rolling circumference, loaded
+// radius), NewThermal / Thermal.Step (the speed-driven temperature
+// state the emulator couples leakage to) and NewThermalAt (resume from
+// a checkpointed temperature).
+package wheel

@@ -1,8 +1,3 @@
-// Package wheel models the tyre/wheel substrate of the monitoring system:
-// the kinematics that make one wheel round the basic timing unit of the
-// paper's methodology (round period vs cruising speed, contact-patch dwell
-// that gates sensor acquisition) and the tyre thermal behaviour that drives
-// the leakage component of the power model.
 package wheel
 
 import (
@@ -117,6 +112,15 @@ func NewThermal(tyre Tyre, amb units.Celsius, tau units.Seconds) *Thermal {
 		tau = DefaultThermalTau
 	}
 	return &Thermal{tyre: tyre, tau: tau, temp: amb}
+}
+
+// NewThermalAt returns a tracker whose temperature is restored to temp —
+// the checkpoint/resume path, bypassing the start-at-ambient assumption
+// so a resumed emulation continues the exact first-order trajectory.
+func NewThermalAt(tyre Tyre, temp units.Celsius, tau units.Seconds) *Thermal {
+	// Step takes the ambient per call, so the constructor's second
+	// argument is purely the starting temperature.
+	return NewThermal(tyre, temp, tau)
 }
 
 // Temp returns the current tyre temperature.

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Docs-integrity gate, run by CI and runnable locally:
+#
+#   sh scripts/check-docs.sh
+#
+# 1. go vet over the whole module.
+# 2. Every internal package must carry a doc.go whose comment starts
+#    with the canonical "// Package <name>" form, so `go doc
+#    repro/internal/<pkg>` always has something to say.
+# 3. Every relative link in README.md and ARCHITECTURE.md must point at
+#    a file that exists, so the docs can't silently rot as files move.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== package comments"
+fail=0
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if [ ! -f "$dir/doc.go" ]; then
+        echo "FAIL: $dir has no doc.go"
+        fail=1
+        continue
+    fi
+    if ! grep -q "^// Package $pkg " "$dir/doc.go"; then
+        echo "FAIL: $dir/doc.go does not start its comment with '// Package $pkg '"
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] || exit 1
+echo "   all internal packages documented"
+
+echo "== relative links"
+for doc in README.md ARCHITECTURE.md; do
+    # Pull out markdown link targets, keep only relative file paths
+    # (skip URLs and intra-page #anchors), drop any #fragment suffix.
+    grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//' |
+        grep -v '^[a-z][a-z]*:' | grep -v '^#' | sed 's/#.*$//' |
+        sort -u | while read -r target; do
+        [ -n "$target" ] || continue
+        if [ ! -e "$target" ]; then
+            echo "FAIL: $doc links to missing file: $target"
+            exit 1
+        fi
+    done
+done
+echo "   all relative links resolve"

@@ -348,8 +348,10 @@ type (
 )
 
 // NewServer builds the analysis service. Mount it on any http.Server or
-// run cmd/tyresysd for the flag-configured standalone daemon.
-func NewServer(opts ServerOptions) *Server { return serve.NewServer(opts) }
+// run cmd/tyresysd for the flag-configured standalone daemon. The only
+// error source is the batch-job checkpoint directory
+// (ServerOptions.JobsDir); with it empty NewServer cannot fail.
+func NewServer(opts ServerOptions) (*Server, error) { return serve.NewServer(opts) }
 
 // Observability types: the service's pluggable request log and
 // evaluation tracer (ServerOptions.Logger / ServerOptions.Tracer), plus
