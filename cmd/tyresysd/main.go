@@ -9,6 +9,7 @@
 //	tyresysd [-addr :8080] [-workers 0] [-max-inflight 16]
 //	         [-cache 512] [-timeout 60s] [-log] [-pprof]
 //	         [-jobs-dir DIR] [-job-workers 2] [-max-jobs 64]
+//	         [-jobs-fsync=true]
 //
 // Endpoints (request bodies are the tyreconfig scenario format plus
 // per-analysis parameters; empty body {} analyses the reference stack):
@@ -34,7 +35,15 @@
 // -jobs-dir persists batch-job checkpoints: a job interrupted by a
 // restart resumes from its last completed chunk on the next boot and
 // its final aggregate is byte-identical to an uninterrupted run.
-// Without it jobs still work but die with the process.
+// Without it jobs still work but die with the process. Job specs and
+// terminal records are written atomically (temp file + fsync + rename),
+// chunk appends are fsynced and verified; -jobs-fsync=false trades the
+// per-chunk fsync for append throughput — a crash may then cost
+// re-running a job's most recent chunks, never its identity or a torn
+// log. A checkpoint directory that turns out corrupt at boot never
+// stops the daemon: unreadable job directories are moved to
+// <jobs-dir>/quarantine and reported on stderr, /v1/stats and
+// /v1/metrics.
 //
 // -log writes one structured line per analysis request to stderr
 // (endpoint, canonical-key prefix, result source, status, wall µs).
@@ -54,6 +63,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -73,6 +84,7 @@ func main() {
 	jobsDir := flag.String("jobs-dir", "", "batch-job checkpoint directory (empty = in-memory jobs, lost on restart)")
 	jobWorkers := flag.Int("job-workers", 0, "concurrent batch-job executors (0 = default 2)")
 	maxJobs := flag.Int("max-jobs", 0, "max incomplete batch jobs before 429 (0 = default 64)")
+	jobsFsync := flag.Bool("jobs-fsync", true, "fsync each batch-job chunk append (false trades crash durability of a job's newest chunks for throughput)")
 	flag.Parse()
 
 	opts := serve.Options{
@@ -83,6 +95,7 @@ func main() {
 		JobsDir:        *jobsDir,
 		JobExecutors:   *jobWorkers,
 		MaxJobs:        *maxJobs,
+		JobsNoSync:     !*jobsFsync,
 	}
 	if *logReqs {
 		opts.Logger = obs.NewLineLogger(os.Stderr)
@@ -100,6 +113,10 @@ func run(addr string, opts serve.Options, drain time.Duration, pprofOn bool) err
 	}
 	if n := api.ReplayedJobs(); n > 0 {
 		fmt.Printf("tyresysd: resumed %d checkpointed job(s) from %s\n", n, opts.JobsDir)
+	}
+	if q := api.QuarantinedJobs(); len(q) > 0 {
+		fmt.Fprintf(os.Stderr, "tyresysd: quarantined %d unreadable job dir(s) to %s: %s\n",
+			len(q), filepath.Join(opts.JobsDir, "quarantine"), strings.Join(q, ", "))
 	}
 
 	// The API server owns /v1; the outer mux exists only so pprof can be

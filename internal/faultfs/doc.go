@@ -1,0 +1,19 @@
+// Package faultfs is the filesystem fault-injection harness behind the
+// jobs subsystem's crash-safety tests. It wraps the real filesystem as
+// a vfs.FS, records every mutating operation (mkdir, open, write,
+// sync, close, rename, remove, truncate, directory fsync), and injects
+// faults at chosen operation indices: transient errors (ENOSPC), short
+// writes that persist only a prefix of the payload, fsync failures, and
+// crash-points after which every further mutation fails — simulating a
+// kill -9 whose surviving disk state a restarted process must recover
+// from.
+//
+// The intended use is a crash-point matrix: run a scenario once over a
+// recording FS to enumerate its N mutating operations, then re-run it N
+// times, crashing at each index (and mid-write for write indices), and
+// assert the restart invariant after every cell — see
+// internal/jobs/crash_test.go.
+//
+// Key entry points: New, FS.InjectCrash, FS.InjectErr,
+// FS.InjectShortWrite, FS.InjectErrFrom, FS.Ops, ErrCrashed.
+package faultfs

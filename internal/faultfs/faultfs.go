@@ -1,0 +1,255 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/vfs"
+)
+
+// ErrCrashed is returned by every mutating operation after a simulated
+// crash-point has fired: the "process" is dead as far as the disk is
+// concerned, nothing it does mutates state anymore.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// Op is one recorded mutating filesystem operation. The sequence of Ops
+// from a clean recording run enumerates the kill-points of a scenario:
+// a crash-point matrix re-runs the scenario once per index.
+type Op struct {
+	Index int
+	// Kind is the operation: mkdir, open, write, sync, close, rename,
+	// remove, removeall, truncate, syncdir.
+	Kind string
+	Path string
+}
+
+// fault is one injected failure, keyed by mutating-op index.
+type fault struct {
+	err     error // returned instead of performing the op
+	partial int   // for write ops: bytes persisted before the failure
+	crash   bool  // freeze the filesystem after injecting
+}
+
+// FS wraps the real filesystem, counting every mutating operation and
+// injecting faults at chosen indices. It implements vfs.FS, so any
+// subsystem writing through that seam — today the jobs checkpoint store
+// — can be crash-tested. Reads always pass through un-faulted: after a
+// simulated crash the code under test keeps running in-process, but
+// since every mutation fails, whatever it reads can no longer change
+// the on-disk state a post-crash restart will see.
+//
+// The model covers torn/short writes, transient errors (ENOSPC and
+// friends), fsync failures and halted operation sequences. It does not
+// model page-cache loss: bytes written before a crash count as
+// persisted, which is exactly the guarantee fsync is there to buy —
+// the matrix verifies the ordering and atomicity logic around it.
+type FS struct {
+	mu      sync.Mutex
+	ops     []Op
+	faults  map[int]fault
+	crashed bool
+}
+
+// New returns a recording FS with no faults armed.
+func New() *FS {
+	return &FS{faults: make(map[int]fault)}
+}
+
+// InjectCrash arms a crash-point at mutating-op index op: the op fails
+// without being applied (a write persists partialBytes first) and every
+// later mutation fails with ErrCrashed.
+func (f *FS) InjectCrash(op, partialBytes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults[op] = fault{err: ErrCrashed, partial: partialBytes, crash: true}
+}
+
+// InjectErr arms a transient fault: op index op fails with err without
+// being applied, everything after proceeds normally.
+func (f *FS) InjectErr(op int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults[op] = fault{err: err}
+}
+
+// InjectShortWrite arms a transient short write: if op index op is a
+// write, bytes of it are persisted before err is returned; the
+// filesystem keeps working afterwards (the retry path's bread and
+// butter).
+func (f *FS) InjectShortWrite(op, bytes int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults[op] = fault{err: err, partial: bytes}
+}
+
+// InjectErrFrom makes every mutating op from index op on fail with err
+// without crashing — a disk that is persistently full but still
+// readable.
+func (f *FS) InjectErrFrom(op int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Far more ops than any scenario performs.
+	for i := op; i < op+100000; i++ {
+		f.faults[i] = fault{err: err}
+	}
+}
+
+// Ops returns the mutating operations recorded so far, in order.
+func (f *FS) Ops() []Op {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Op(nil), f.ops...)
+}
+
+// Crashed reports whether an armed crash-point has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// begin records one mutating op and resolves any armed fault for it.
+// It returns the fault to inject, or nil to proceed.
+func (f *FS) begin(kind, path string) *fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return &fault{err: ErrCrashed}
+	}
+	idx := len(f.ops)
+	f.ops = append(f.ops, Op{Index: idx, Kind: kind, Path: path})
+	if ft, ok := f.faults[idx]; ok {
+		if ft.crash {
+			f.crashed = true
+		}
+		return &ft
+	}
+	return nil
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if ft := f.begin("mkdir", path); ft != nil {
+		return ft.err
+	}
+	return os.MkdirAll(path, perm)
+}
+
+// file is the write handle: each Write/Sync/Close is its own
+// kill-point.
+type file struct {
+	fs *FS
+	f  *os.File
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (vfs.File, error) {
+	if ft := f.begin("open", name); ft != nil {
+		return nil, ft.err
+	}
+	h, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, f: h}, nil
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	if ft := w.fs.begin("write", w.f.Name()); ft != nil {
+		n := 0
+		if ft.partial > 0 {
+			// A torn write: part of the payload reaches the disk before
+			// the failure. Clamp so "partial" never silently succeeds.
+			k := ft.partial
+			if k >= len(p) {
+				k = len(p) - 1
+			}
+			if k > 0 {
+				n, _ = w.f.Write(p[:k])
+			}
+		}
+		return n, ft.err
+	}
+	return w.f.Write(p)
+}
+
+func (w *file) Sync() error {
+	if ft := w.fs.begin("sync", w.f.Name()); ft != nil {
+		return ft.err
+	}
+	return w.f.Sync()
+}
+
+// Close always releases the real descriptor — leaking fds would poison
+// later matrix cells — but reports the injected failure.
+func (w *file) Close() error {
+	ft := w.fs.begin("close", w.f.Name())
+	err := w.f.Close()
+	if ft != nil {
+		return ft.err
+	}
+	return err
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (f *FS) ReadDir(name string) ([]iofs.DirEntry, error) { return os.ReadDir(name) }
+
+func (f *FS) Size(name string) (int64, error) {
+	info, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if ft := f.begin("rename", oldpath); ft != nil {
+		return ft.err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if ft := f.begin("remove", name); ft != nil {
+		return ft.err
+	}
+	return os.Remove(name)
+}
+
+func (f *FS) RemoveAll(path string) error {
+	if ft := f.begin("removeall", path); ft != nil {
+		return ft.err
+	}
+	return os.RemoveAll(path)
+}
+
+func (f *FS) Truncate(name string, size int64) error {
+	if ft := f.begin("truncate", name); ft != nil {
+		return ft.err
+	}
+	return os.Truncate(name, size)
+}
+
+func (f *FS) SyncDir(path string) error {
+	if ft := f.begin("syncdir", path); ft != nil {
+		return ft.err
+	}
+	d, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// String renders an op for matrix-cell test names.
+func (o Op) String() string {
+	return fmt.Sprintf("%03d_%s_%s", o.Index, o.Kind, filepath.Base(o.Path))
+}

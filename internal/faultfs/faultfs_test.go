@@ -1,0 +1,170 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestRecording: mutating ops are counted in order, reads are not.
+func TestRecording(t *testing.T) {
+	fs := New()
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := fs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile(filepath.Join(sub, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads must not shift the op numbering the matrix depends on.
+	if _, err := fs.ReadFile(filepath.Join(sub, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Size(filepath.Join(sub, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"mkdir", "open", "write", "sync", "close", "syncdir"}
+	ops := fs.Ops()
+	if len(ops) != len(want) {
+		t.Fatalf("recorded %d ops %v, want %d", len(ops), ops, len(want))
+	}
+	for i, op := range ops {
+		if op.Kind != want[i] || op.Index != i {
+			t.Errorf("op %d = %+v, want kind %s index %d", i, op, want[i], i)
+		}
+	}
+}
+
+// TestCrashFreezes: the crashing op fails, every later mutation fails
+// with ErrCrashed and is not recorded (numbering stays comparable to
+// the recording run), and nothing mutates the disk anymore.
+func TestCrashFreezes(t *testing.T) {
+	fs := New()
+	dir := t.TempDir()
+	fs.InjectCrash(1, 0)
+	if err := fs.MkdirAll(filepath.Join(dir, "a"), 0o755); err != nil {
+		t.Fatalf("op 0 before the crash-point: %v", err)
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, "b"), 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash op error = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() = false after the crash-point fired")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b")); !os.IsNotExist(err) {
+		t.Fatal("crashing mkdir still created the directory")
+	}
+	if err := fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "c")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a")); err != nil {
+		t.Fatal("post-crash rename mutated the disk")
+	}
+	if got := len(fs.Ops()); got != 2 {
+		t.Fatalf("recorded %d ops, want 2 (post-crash ops must not be recorded)", got)
+	}
+	// Reads still work: the code under test may keep running in-process.
+	if _, err := fs.ReadDir(dir); err != nil {
+		t.Fatalf("post-crash read: %v", err)
+	}
+}
+
+// TestShortWrite: an armed short write persists exactly the prefix and
+// reports the injected error; the filesystem keeps working after.
+func TestShortWrite(t *testing.T) {
+	fs := New()
+	path := filepath.Join(t.TempDir(), "log")
+	fs.InjectShortWrite(1, 3, syscall.ENOSPC)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644) // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello world")) // op 1: torn
+	if n != 3 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write = (%d, %v), want (3, ENOSPC)", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != "hel" {
+		t.Fatalf("disk holds %q, want the 3-byte prefix", blob)
+	}
+	// Transient: a fresh write goes through untouched.
+	f, err = fs.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("lo")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if blob, _ := os.ReadFile(path); string(blob) != "hello" {
+		t.Fatalf("disk holds %q after recovery append, want %q", blob, "hello")
+	}
+}
+
+// TestPartialClamp: a "partial" at least as long as the payload is
+// clamped so an injected write failure can never silently succeed.
+func TestPartialClamp(t *testing.T) {
+	fs := New()
+	path := filepath.Join(t.TempDir(), "log")
+	fs.InjectCrash(1, 1000)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcd"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write = %v, want ErrCrashed", err)
+	}
+	if n >= 4 {
+		t.Fatalf("partial write persisted the full payload (n=%d)", n)
+	}
+}
+
+// TestInjectErrFrom: everything from the index on fails, without the
+// crash semantics — reads keep working, ops keep being recorded.
+func TestInjectErrFrom(t *testing.T) {
+	fs := New()
+	dir := t.TempDir()
+	fs.InjectErrFrom(1, syscall.ENOSPC)
+	if err := fs.MkdirAll(filepath.Join(dir, "a"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := fs.MkdirAll(filepath.Join(dir, "b"), 0o755); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("op %d error = %v, want ENOSPC", i+1, err)
+		}
+	}
+	if fs.Crashed() {
+		t.Fatal("InjectErrFrom must not set crashed")
+	}
+	if got := len(fs.Ops()); got != 4 {
+		t.Fatalf("recorded %d ops, want 4 (ENOSPC ops still count)", got)
+	}
+}

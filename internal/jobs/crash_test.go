@@ -1,0 +1,485 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// The crash-point matrix: enumerate every mutating filesystem operation
+// of a full job run, then re-run the scenario once per operation with a
+// simulated crash at that point (and once more mid-write for each write
+// site), restart over the surviving bytes, and require the invariant
+// from the issue: the restarted manager always boots, never quarantines
+// a pure-crash directory, and every job it still knows about resumes to
+// an aggregate byte-identical to an uninterrupted run.
+
+// noBackoff keeps the store's append retries instant; the matrix runs
+// hundreds of cells.
+func noBackoff(int) {}
+
+// crashReqs are the scenarios the matrix runs: one sequential plan
+// (carry threading, prefix replay) and one independent plan (fan-out
+// replay). Both sum 0..39 → aggregate {"total":780}.
+var crashReqs = map[string]string{
+	"seq": `{"n":40,"step":10,"seq":true}`,
+	"ind": `{"n":40,"step":10}`,
+}
+
+const crashAggregate = `{"total":780}`
+
+// recordOps runs the scenario to completion over a recording faultfs
+// and returns the mutating-op sequence — the kill-point list.
+func recordOps(t *testing.T, req string) []faultfs.Op {
+	t.Helper()
+	rec := faultfs.New()
+	m, err := New(Options{Dir: t.TempDir(), FS: rec, retryBackoff: noBackoff}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("recording New: %v", err)
+	}
+	j, err := m.Submit("toy", json.RawMessage(req))
+	if err != nil {
+		t.Fatalf("recording Submit: %v", err)
+	}
+	if st := waitDone(t, j); st.State != Done {
+		t.Fatalf("recording run finished %s: %s", st.State, st.Error)
+	}
+	closeManager(t, m)
+	ops := rec.Ops()
+	if len(ops) < 15 {
+		t.Fatalf("recorded only %d mutating ops — the store stopped going through vfs?", len(ops))
+	}
+	return ops
+}
+
+func closeManager(t *testing.T, m *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestCrashPointMatrix(t *testing.T) {
+	for mode, req := range crashReqs {
+		t.Run(mode, func(t *testing.T) {
+			for _, op := range recordOps(t, req) {
+				partials := []int{0}
+				if op.Kind == "write" {
+					// Mid-write crash: a prefix of the payload reaches
+					// the disk (a torn line, a half-written temp file).
+					partials = append(partials, 5)
+				}
+				for _, partial := range partials {
+					op, partial := op, partial
+					t.Run(fmt.Sprintf("%s_p%d", op, partial), func(t *testing.T) {
+						runCrashCell(t, req, op, partial)
+					})
+				}
+			}
+		})
+	}
+}
+
+// runCrashCell is one matrix cell: crash at op, restart, assert.
+func runCrashCell(t *testing.T, req string, op faultfs.Op, partial int) {
+	dir := t.TempDir()
+	ffs := faultfs.New()
+	ffs.InjectCrash(op.Index, partial)
+
+	m1, err := New(Options{Dir: dir, FS: ffs, retryBackoff: noBackoff}, toyPlanner(nil))
+	var id string
+	var submitErr error
+	if err != nil {
+		// Construction can only fail when the crash hit the checkpoint
+		// root's own MkdirAll — an operational error, not corruption.
+		if op.Index != 0 {
+			t.Fatalf("New failed at crash op %v: %v", op, err)
+		}
+		submitErr = err // nothing was ever acked
+	} else {
+		var j *Job
+		j, submitErr = m1.Submit("toy", json.RawMessage(req))
+		if submitErr == nil {
+			id = j.ID()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			j.Wait(ctx.Done())
+			cancel()
+		}
+		closeManager(t, m1)
+	}
+
+	// The restart: real filesystem over whatever survived the crash.
+	m2, err := New(Options{Dir: dir}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("boot after crash at %v failed: %v", op, err)
+	}
+	defer closeManager(t, m2)
+	if q := m2.Quarantined(); len(q) != 0 {
+		t.Fatalf("pure crash at %v quarantined %v — repair should have handled it", op, q)
+	}
+	list := m2.List()
+	if submitErr == nil && len(list) != 1 {
+		t.Fatalf("acked job lost after crash at %v (replayed %d jobs)", op, len(list))
+	}
+	if id != "" {
+		if _, ok := m2.Get(id); !ok {
+			t.Fatalf("acked job %s not tracked after restart", id)
+		}
+	}
+	// A job may exist even when Submit errored: the spec became durable
+	// and only the ack path crashed. Either way, every surviving job
+	// must run to the reference aggregate.
+	for _, st := range list {
+		j2, ok := m2.Get(st.ID)
+		if !ok {
+			t.Fatalf("listed job %s not gettable", st.ID)
+		}
+		fin := waitDone(t, j2)
+		if fin.State != Done {
+			t.Fatalf("replayed job finished %s (%s), want done", fin.State, fin.Error)
+		}
+		agg, _ := j2.Aggregate()
+		if string(agg) != crashAggregate {
+			t.Errorf("crash at %v: aggregate %s, want %s", op, agg, crashAggregate)
+		}
+	}
+}
+
+// TestTransientFaultMatrix injects a single transient error (ENOSPC; a
+// short write for write sites) at every operation of the sequential
+// scenario — no crash, the filesystem recovers immediately. The store's
+// retry-with-backoff must absorb faults on the append path; faults on
+// the spec path surface as a clean ErrPersistence submission error with
+// the manager fully operational afterwards; faults on the terminal
+// path cost only the restart-side re-run. In every case the process
+// keeps serving and a restart converges to the reference aggregate.
+func TestTransientFaultMatrix(t *testing.T) {
+	req := crashReqs["seq"]
+	for _, op := range recordOps(t, req) {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := faultfs.New()
+			if op.Kind == "write" {
+				ffs.InjectShortWrite(op.Index, 3, syscall.ENOSPC)
+			} else {
+				ffs.InjectErr(op.Index, syscall.ENOSPC)
+			}
+			m1, err := New(Options{Dir: dir, FS: ffs, retryBackoff: noBackoff}, toyPlanner(nil))
+			if err != nil {
+				if op.Index != 0 {
+					t.Fatalf("New failed on transient fault at %v: %v", op, err)
+				}
+				return
+			}
+			j, serr := m1.Submit("toy", json.RawMessage(req))
+			if serr != nil {
+				// The fault hit the spec write. The error must identify
+				// the store, not the request, and the manager must keep
+				// serving: the next submission runs end to end.
+				if !errors.Is(serr, ErrPersistence) {
+					t.Fatalf("spec-write fault surfaced as %v, want ErrPersistence", serr)
+				}
+				j2 := submit(t, m1, req)
+				if st := waitDone(t, j2); st.State != Done {
+					t.Fatalf("post-fault submission finished %s: %s", st.State, st.Error)
+				}
+			} else {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				st := j.Wait(ctx.Done())
+				cancel()
+				if st.State != Done {
+					t.Fatalf("single transient fault at %v failed the job: %s (%s)",
+						op, st.State, st.Error)
+				}
+				agg, _ := j.Aggregate()
+				if string(agg) != crashAggregate {
+					t.Errorf("aggregate %s, want %s", agg, crashAggregate)
+				}
+			}
+			closeManager(t, m1)
+
+			// Whatever the fault left behind must boot and converge.
+			m2, err := New(Options{Dir: dir}, toyPlanner(nil))
+			if err != nil {
+				t.Fatalf("boot after transient fault: %v", err)
+			}
+			defer closeManager(t, m2)
+			for _, st := range m2.List() {
+				j2, _ := m2.Get(st.ID)
+				fin := waitDone(t, j2)
+				if fin.State != Done {
+					t.Fatalf("job %s finished %s after restart: %s", st.ID, fin.State, fin.Error)
+				}
+				if agg, _ := j2.Aggregate(); string(agg) != crashAggregate {
+					t.Errorf("aggregate %s, want %s", agg, crashAggregate)
+				}
+			}
+		})
+	}
+}
+
+// TestPersistenceLostDegradedMode: the disk goes away for good mid-run.
+// The affected job must fail cleanly with the persistence marker, the
+// manager must keep serving (submissions answer ErrPersistence, status
+// and cancel still work, the executor is not wedged), and a restart
+// over a healed disk resumes from the durable prefix to the identical
+// aggregate.
+func TestPersistenceLostDegradedMode(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultfs.New()
+	// Let the spec and the first chunk land, then pull the disk: ops
+	// 0..7 are root+spec creation, 8..11 the first chunk's append.
+	ffs.InjectErrFrom(12, syscall.ENOSPC)
+	m, err := New(Options{Dir: dir, FS: ffs, retryBackoff: noBackoff}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j := submit(t, m, crashReqs["seq"])
+	st := waitDone(t, j)
+	if st.State != Failed {
+		t.Fatalf("job finished %s, want failed (persistence lost)", st.State)
+	}
+	if !strings.Contains(st.Error, "persistence lost") {
+		t.Errorf("failure message %q does not carry the persistence marker", st.Error)
+	}
+	if got := m.PersistFailures(); got != 1 {
+		t.Errorf("PersistFailures = %d, want 1", got)
+	}
+	// Degraded, not wedged: the manager still answers.
+	if _, err := m.Submit("toy", json.RawMessage(crashReqs["seq"])); !errors.Is(err, ErrPersistence) {
+		t.Errorf("degraded-mode Submit error = %v, want ErrPersistence", err)
+	}
+	if !m.Cancel(j.ID()) {
+		t.Error("Cancel stopped working in degraded mode")
+	}
+	if len(m.List()) != 1 {
+		t.Errorf("List sees %d jobs, want 1", len(m.List()))
+	}
+	closeManager(t, m)
+
+	// The disk comes back: the durable prefix resumes byte-identically.
+	m2, err := New(Options{Dir: dir}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New after heal: %v", err)
+	}
+	defer closeManager(t, m2)
+	if m2.Replayed() != 1 {
+		t.Fatalf("Replayed = %d, want 1", m2.Replayed())
+	}
+	j2, ok := m2.Get(j.ID())
+	if !ok {
+		t.Fatal("job not replayed after heal")
+	}
+	if fin := waitDone(t, j2); fin.State != Done {
+		t.Fatalf("healed job finished %s: %s", fin.State, fin.Error)
+	}
+	if agg, _ := j2.Aggregate(); string(agg) != crashAggregate {
+		t.Errorf("aggregate %s, want %s", agg, crashAggregate)
+	}
+}
+
+// TestQuarantineCorruptDirs: corruption beyond repair (unparsable spec,
+// spec/directory mismatch) must never fail the boot — the directories
+// move to <dir>/quarantine, are reported via Quarantined and the
+// OnQuarantine hook, and healthy neighbours replay untouched.
+func TestQuarantineCorruptDirs(t *testing.T) {
+	dir := t.TempDir()
+
+	// A healthy, completed job to prove neighbours survive.
+	m0, err := New(Options{Dir: dir}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New m0: %v", err)
+	}
+	good := submit(t, m0, `{"n":20,"step":10,"seq":true}`)
+	waitDone(t, good)
+	closeManager(t, m0)
+
+	// Corruption: spec that isn't JSON, and a spec whose ID lies.
+	for id, spec := range map[string]string{
+		"jbadspec":  `{"id": truncated garbage`,
+		"jmismatch": `{"id":"jsomeoneelse","kind":"toy","request":{"n":10,"step":5}}`,
+	} {
+		if err := os.MkdirAll(filepath.Join(dir, id), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, id, "spec.json"), []byte(spec), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A half-created submission (no spec.json): skipped, not quarantined.
+	if err := os.MkdirAll(filepath.Join(dir, "jhalf"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var hooked []string
+	m1, err := New(Options{Dir: dir, OnQuarantine: func(id string) { hooked = append(hooked, id) }},
+		toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New over corrupt dirs failed — the boot contract is broken: %v", err)
+	}
+	defer closeManager(t, m1)
+	want := []string{"jbadspec", "jmismatch"}
+	if got := m1.Quarantined(); !equalStrings(got, want) {
+		t.Fatalf("Quarantined = %v, want %v", got, want)
+	}
+	if !equalStrings(hooked, want) {
+		t.Errorf("OnQuarantine saw %v, want %v", hooked, want)
+	}
+	for _, id := range want {
+		if _, err := os.Stat(filepath.Join(dir, quarantineDir, id, "spec.json")); err != nil {
+			t.Errorf("quarantined %s not moved under %s: %v", id, quarantineDir, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, id)); !os.IsNotExist(err) {
+			t.Errorf("corrupt dir %s still in the root (err=%v)", id, err)
+		}
+	}
+	if _, ok := m1.Get(good.ID()); !ok {
+		t.Error("healthy job lost while quarantining its neighbours")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jhalf")); err != nil {
+		t.Errorf("half-created dir should be left in place: %v", err)
+	}
+
+	// A second boot must not rescan quarantine/ as a job directory.
+	m2, err := New(Options{Dir: dir}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("second boot: %v", err)
+	}
+	defer closeManager(t, m2)
+	if got := m2.Quarantined(); len(got) != 0 {
+		t.Errorf("second boot re-quarantined %v", got)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTornMidFileLine covers satellite #3's replay half directly: a
+// short write glued to a later successful append leaves one malformed
+// line in the middle of the log. Replay must truncate at the tear and
+// re-run from there — not fail the job forever.
+func TestTornMidFileLine(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := New(Options{Dir: dir}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j := submit(t, m1, `{"n":40,"step":10,"seq":true}`)
+	waitDone(t, j)
+	id := j.ID()
+	closeManager(t, m1)
+
+	// Rebuild the log as the pre-fix writer could have left it: chunk 0
+	// intact, then a torn fragment of chunk 1 glued to a complete chunk
+	// 2 on the same line, then chunk 3 intact.
+	logPath := filepath.Join(dir, id, "chunks.ndjson")
+	blob, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(blob), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 chunk lines, got %d", len(lines))
+	}
+	glued := lines[0] + lines[1][:9] + lines[2] + lines[3]
+	if err := os.WriteFile(logPath, []byte(glued), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, id, "done.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := New(Options{Dir: dir}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New over mid-file tear: %v", err)
+	}
+	defer closeManager(t, m2)
+	j2, ok := m2.Get(id)
+	if !ok {
+		t.Fatal("torn job not replayed")
+	}
+	st := waitDone(t, j2)
+	if st.State != Done {
+		t.Fatalf("torn-log job finished %s (%s)", st.State, st.Error)
+	}
+	if agg, _ := j2.Aggregate(); string(agg) != crashAggregate {
+		t.Errorf("aggregate %s, want %s", agg, crashAggregate)
+	}
+	// The repair must have truncated the tear away so the log is clean.
+	repaired, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(string(repaired), "\n"), "\n") {
+		var rec ChunkRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Errorf("post-repair log line %d still malformed: %v", i, err)
+		}
+	}
+}
+
+// TestTornDoneJSON covers satellite #1: a torn terminal record must
+// read as "incomplete, re-run", not a fatal replay error.
+func TestTornDoneJSON(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := New(Options{Dir: dir}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	j := submit(t, m1, `{"n":40,"step":10,"seq":true}`)
+	waitDone(t, j)
+	id := j.ID()
+	closeManager(t, m1)
+
+	donePath := filepath.Join(dir, id, "done.json")
+	blob, err := os.ReadFile(donePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(donePath, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := New(Options{Dir: dir}, toyPlanner(nil))
+	if err != nil {
+		t.Fatalf("New over torn done.json: %v", err)
+	}
+	defer closeManager(t, m2)
+	if m2.Replayed() != 1 {
+		t.Fatalf("Replayed = %d, want 1 (torn terminal record = incomplete job)", m2.Replayed())
+	}
+	if len(m2.Quarantined()) != 0 {
+		t.Fatalf("torn done.json quarantined the job; it should re-run")
+	}
+	j2, ok := m2.Get(id)
+	if !ok {
+		t.Fatal("job not replayed")
+	}
+	if st := waitDone(t, j2); st.State != Done {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+	if agg, _ := j2.Aggregate(); string(agg) != crashAggregate {
+		t.Errorf("aggregate %s, want %s", agg, crashAggregate)
+	}
+}

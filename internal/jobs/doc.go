@@ -17,8 +17,34 @@
 // starting over. The determinism contract on Plan makes a resumed
 // job's final aggregate byte-identical to an uninterrupted run.
 //
-// Key entry points: New (boot + replay), Manager.Submit, Job.Status,
-// Job.StreamResult (NDJSON chunk stream + terminal aggregate line),
-// Manager.Cancel, Manager.Close (leaves incomplete jobs on disk for
-// the next boot).
+// # Durability contract
+//
+// The checkpoint store is crash-safe end to end; the crash-point matrix
+// in crash_test.go kills it (via internal/faultfs) at every mutating
+// filesystem operation and verifies the restart each time.
+//
+//   - kill -9 at any instant: spec.json and done.json are written
+//     atomically (temp file + fsync + rename + directory fsync) — each
+//     is absent or complete, never torn. Chunk appends are
+//     length-verified and fsynced (Options.NoSync trades that fsync for
+//     throughput, bounded to re-running a job's newest chunks). The
+//     terminal record is made durable before the in-memory state flips,
+//     so a job observed terminal is never forgotten by the next boot.
+//   - ENOSPC and transient write errors: appends truncate any torn tail
+//     and retry with backoff. An outage outliving the retries fails
+//     only the affected job — wrapped in ErrPersistence, counted by
+//     PersistFailures — and the Manager keeps serving (degraded
+//     "persistence lost" mode) instead of wedging an executor.
+//   - corrupt directories: replay truncates a chunk log at its first
+//     malformed line (even mid-file; the dropped chunks re-run) and
+//     treats an unparsable done.json as "incomplete, re-run". A
+//     directory corrupt beyond repair is moved to <Dir>/quarantine at
+//     construction and reported via Quarantined/OnQuarantine. New never
+//     returns an error for on-disk corruption — one rotten job must not
+//     keep a daemon from booting.
+//
+// Key entry points: New (boot + replay + quarantine), Manager.Submit,
+// Job.Status, Job.StreamResult (NDJSON chunk stream + terminal
+// aggregate line), Manager.Cancel, Manager.Close (leaves incomplete
+// jobs on disk for the next boot), ErrPersistence.
 package jobs

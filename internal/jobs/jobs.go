@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/par"
+	"repro/internal/vfs"
 )
 
 // State is a job's lifecycle position.
@@ -36,6 +38,15 @@ func terminal(s State) bool { return s == Done || s == Failed || s == Cancelled 
 // reached; the serving layer maps it to 429.
 var ErrQueueFull = errors.New("jobs: queue full")
 
+// ErrPersistence marks checkpoint-store failures that survived the
+// store's own retries: the disk stopped accepting writes (ENOSPC, a
+// vanished directory, a failing device). Submit wraps spec-write
+// failures in it so the serving layer can answer 503 instead of blaming
+// the request, and a job failed mid-run for this reason carries it in
+// its error message — the manager keeps serving in this degraded
+// "persistence lost" state rather than wedging an executor.
+var ErrPersistence = errors.New("jobs: checkpoint persistence lost")
+
 // Options configure a Manager. The zero value is usable: in-memory
 // checkpoints, one executor, a 64-job bound.
 type Options struct {
@@ -58,6 +69,23 @@ type Options struct {
 	// OnChunk, when set, observes each completed chunk's wall time in
 	// seconds — the serving layer points it at a latency histogram.
 	OnChunk func(seconds float64)
+	// NoSync skips the fsync after each chunk append, trading the
+	// durability of the most recent chunks against a crash for append
+	// throughput. Spec and terminal records are always written
+	// atomically with fsync regardless — NoSync can cost re-running the
+	// tail of a job, never its identity or a torn log.
+	NoSync bool
+	// OnQuarantine, when set, observes each corrupt job directory moved
+	// to <Dir>/quarantine at construction — the serving layer logs it.
+	OnQuarantine func(id string)
+	// FS overrides the filesystem the checkpoint store writes through;
+	// nil selects the real one. Tests inject internal/faultfs here to
+	// drive the store through ENOSPC, short writes, fsync failures and
+	// crash-points.
+	FS vfs.FS
+	// retryBackoff overrides the append-retry backoff (test seam: the
+	// crash matrix runs hundreds of scenarios and must not sleep).
+	retryBackoff func(attempt int)
 }
 
 // Manager owns the asynchronous batch jobs: submission, the dedicated
@@ -78,6 +106,12 @@ type Manager struct {
 	order    []string // submission/replay order for List
 	replayed int
 	closed   bool
+
+	// quarantined lists the job directories moved aside at construction;
+	// persistLost counts jobs failed because the checkpoint store
+	// stopped accepting writes. Both feed /v1/stats and /v1/metrics.
+	quarantined []string
+	persistLost atomic.Int64
 }
 
 // Job is one tracked batch job. All mutable fields are guarded by mu;
@@ -135,15 +169,32 @@ func New(opts Options, plan PlanFunc) (*Manager, error) {
 	}
 	var replay []persisted
 	if opts.Dir != "" {
-		st, err := newStore(opts.Dir)
+		fsys := opts.FS
+		if fsys == nil {
+			fsys = vfs.OS{}
+		}
+		st, err := newStore(opts.Dir, fsys, opts.NoSync)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
+		if opts.retryBackoff != nil {
+			st.backoff = opts.retryBackoff
+		}
 		m.store = st
-		if replay, err = st.load(); err != nil {
+		// load never fails on per-job corruption — unreadable directories
+		// are quarantined and reported, the daemon boots regardless. The
+		// only error left is an unreadable checkpoint root itself.
+		var quarantined []string
+		if replay, quarantined, err = st.load(); err != nil {
 			cancel()
 			return nil, err
+		}
+		m.quarantined = quarantined
+		if opts.OnQuarantine != nil {
+			for _, id := range quarantined {
+				opts.OnQuarantine(id)
+			}
 		}
 	}
 	// The queue bounds incomplete jobs; replayed ones ride on top of the
@@ -177,6 +228,15 @@ func New(opts Options, plan PlanFunc) (*Manager, error) {
 // Replayed reports how many incomplete jobs were re-enqueued from the
 // checkpoint log at construction.
 func (m *Manager) Replayed() int { return m.replayed }
+
+// Quarantined returns the IDs of job directories that could not be
+// replayed at construction and were moved to <Dir>/quarantine, sorted.
+func (m *Manager) Quarantined() []string { return append([]string(nil), m.quarantined...) }
+
+// PersistFailures reports how many jobs this manager failed because the
+// checkpoint store stopped accepting writes (the degraded
+// "persistence lost" path).
+func (m *Manager) PersistFailures() int64 { return m.persistLost.Load() }
 
 // register creates the in-memory Job for a spec.
 func (m *Manager) register(spec Spec, resumed bool) *Job {
@@ -215,7 +275,10 @@ func (m *Manager) Submit(kind string, request json.RawMessage) (*Job, error) {
 	spec := Spec{ID: newID(), Kind: kind, Request: request}
 	if m.store != nil {
 		if err := m.store.createJob(spec); err != nil {
-			return nil, err
+			// The request was fine — the disk refused the spec. Mark it
+			// as a persistence failure so the serving layer answers 503,
+			// not 400.
+			return nil, fmt.Errorf("%w: %v", ErrPersistence, err)
 		}
 	}
 	j := m.register(spec, false)
@@ -487,11 +550,14 @@ func (m *Manager) runIndependent(ctx context.Context, j *Job, plan Plan) error {
 	return ctx.Err()
 }
 
-// record persists and publishes one completed chunk.
+// record persists and publishes one completed chunk. The store already
+// retries transient append failures with backoff; an error surviving
+// that is a lost checkpoint disk, wrapped in ErrPersistence so fail
+// lands the job in the clean degraded path.
 func (m *Manager) record(j *Job, rec ChunkRecord, weight int64, started time.Time) error {
 	if m.store != nil {
 		if err := m.store.appendChunk(j.spec.ID, rec); err != nil {
-			return err
+			return fmt.Errorf("%w: %v", ErrPersistence, err)
 		}
 	}
 	if m.opts.OnChunk != nil {
@@ -545,8 +611,15 @@ func (j *Job) chunkRecord(i int) (ChunkRecord, bool) {
 // fail routes a job error to the right terminal state: a cancellation
 // requested through Cancel terminates as Cancelled; a manager shutdown
 // leaves the job un-finalised (still incomplete on disk, in-memory state
-// back to Pending) so a restart resumes it; anything else is Failed.
+// back to Pending) so a restart resumes it; anything else is Failed. A
+// persistence failure is additionally counted — the job fails cleanly
+// and the executor moves on to the next job (degraded mode) instead of
+// wedging; what was durably checkpointed before the disk went away is
+// still there for a replay after the operator fixes it.
 func (m *Manager) fail(j *Job, err error) {
+	if errors.Is(err, ErrPersistence) {
+		m.persistLost.Add(1)
+	}
 	if errors.Is(err, context.Canceled) {
 		j.mu.Lock()
 		requested := j.cancelRequested
@@ -566,9 +639,28 @@ func (m *Manager) fail(j *Job, err error) {
 	m.finish(j, Failed, nil, err)
 }
 
-// finish moves a job to a terminal state and persists the terminal
-// record.
+// finish persists the terminal record, then moves the job to its
+// terminal state. Persist-before-publish matters: the moment a watcher
+// observes a terminal state, the terminal record is already durable —
+// so "the job reported done and then the restart forgot it" cannot
+// happen. A failed terminal write is deliberately not fatal: this
+// process keeps serving the in-memory result, and the next boot merely
+// replays the job as incomplete and re-derives the same aggregate
+// (determinism contract) — strictly better than wedging here.
 func (m *Manager) finish(j *Job, state State, aggregate []byte, err error) {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Unlock()
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	if m.store != nil {
+		m.store.finish(j.spec.ID, doneRecord{State: state, Error: msg, Aggregate: aggregate})
+	}
 	j.mu.Lock()
 	if terminal(j.state) {
 		j.mu.Unlock()
@@ -576,15 +668,9 @@ func (m *Manager) finish(j *Job, state State, aggregate []byte, err error) {
 	}
 	j.state = state
 	j.aggregate = aggregate
-	if err != nil {
-		j.errMsg = err.Error()
-	}
+	j.errMsg = msg
 	j.bump()
-	rec := doneRecord{State: state, Error: j.errMsg, Aggregate: j.aggregate}
 	j.mu.Unlock()
-	if m.store != nil {
-		m.store.finish(j.spec.ID, rec)
-	}
 }
 
 // bump wakes every watcher (caller holds j.mu).

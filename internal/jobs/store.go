@@ -1,13 +1,16 @@
 package jobs
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/vfs"
 )
 
 // store is the filesystem checkpoint log: one directory per job under
@@ -19,12 +22,39 @@ import (
 //
 // A job directory with a spec but no done.json is an incomplete job; on
 // boot the manager replays its chunk log and re-enqueues the remainder.
-// Appends go through O_APPEND single writes, so a crash can at worst
-// truncate the final line — loadChunks drops a trailing partial line
-// instead of failing the whole replay.
+//
+// Durability: spec.json and done.json are written atomically (temp file
+// + fsync + rename + directory fsync), so they are either absent or
+// complete — never torn. Chunk appends are verified for length and
+// fsynced (unless noSync trades the last chunks for throughput); a
+// short write is repaired in place by truncating back to the pre-append
+// size and retried with backoff, so a later successful append can never
+// bury a malformed line mid-file. Replay repairs anyway: the first
+// malformed or unterminated line of a chunk log is truncated away along
+// with everything after it (those chunks simply re-run). A directory
+// that still defies replay is quarantined by load, never fatal.
 type store struct {
-	root string
+	root   string
+	fs     vfs.FS
+	noSync bool
+	// backoff sleeps before append retry n (n ≥ 1); a test seam so the
+	// crash matrix doesn't pay real wall time.
+	backoff func(attempt int)
+
+	// mu guards appendLocks; each per-job lock serialises appends,
+	// repairs and removal of that job's directory so truncate-and-retry
+	// never races a concurrent append or a RemoveAll.
+	mu          sync.Mutex
+	appendLocks map[string]*sync.Mutex
 }
+
+// appendAttempts bounds the retries of one chunk append before the
+// error is surfaced as a persistence failure.
+const appendAttempts = 3
+
+// quarantineDir is the subdirectory of the root that unreadable job
+// directories are moved into at boot.
+const quarantineDir = "quarantine"
 
 // doneRecord is the terminal state of a finished job.
 type doneRecord struct {
@@ -33,61 +63,150 @@ type doneRecord struct {
 	Aggregate json.RawMessage `json:"aggregate,omitempty"`
 }
 
-func newStore(root string) (*store, error) {
-	if err := os.MkdirAll(root, 0o755); err != nil {
+func newStore(root string, fsys vfs.FS, noSync bool) (*store, error) {
+	if err := fsys.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: checkpoint root: %w", err)
 	}
-	return &store{root: root}, nil
+	return &store{
+		root:        root,
+		fs:          fsys,
+		noSync:      noSync,
+		backoff:     func(attempt int) { time.Sleep(time.Duration(attempt*attempt) * 5 * time.Millisecond) },
+		appendLocks: make(map[string]*sync.Mutex),
+	}, nil
 }
 
 func (s *store) dir(id string) string { return filepath.Join(s.root, id) }
 
-// createJob persists a new job's spec.
+// lock returns the per-job append/remove lock.
+func (s *store) lock(id string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.appendLocks[id]
+	if l == nil {
+		l = &sync.Mutex{}
+		s.appendLocks[id] = l
+	}
+	return l
+}
+
+// writeAtomic writes blob to path via temp file + fsync + rename +
+// directory fsync, so path is either absent, its previous content, or
+// the complete new content — a crash can never leave it torn.
+func (s *store) writeAtomic(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(blob)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		s.fs.Remove(tmp) // best effort; leftover .tmp files are ignored on replay
+		return werr
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	return s.fs.SyncDir(filepath.Dir(path))
+}
+
+// createJob persists a new job's spec. The atomic spec write is the
+// job's durability point: before the rename lands, a crash leaves a
+// half-created directory that replay skips.
 func (s *store) createJob(spec Spec) error {
 	dir := s.dir(spec.ID)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("jobs: job dir: %w", err)
 	}
 	blob, err := json.Marshal(spec)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "spec.json"), append(blob, '\n'), 0o644)
+	return s.writeAtomic(filepath.Join(dir, "spec.json"), append(blob, '\n'))
 }
 
 // appendChunk logs one completed chunk. The record is marshalled to a
-// single line and written with one O_APPEND write so concurrent chunk
-// completions of a parallel plan never interleave bytes.
+// single line, appended under the job's lock, length-verified and
+// fsynced. A failed or short append is repaired immediately — the file
+// is truncated back to its pre-append size — and retried with backoff,
+// so transient errors (ENOSPC races, interrupted syscalls) don't fail
+// the job and a permanent one still leaves a clean, replayable log.
 func (s *store) appendChunk(id string, rec ChunkRecord) error {
 	blob, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	f, err := os.OpenFile(filepath.Join(s.dir(id), "chunks.ndjson"),
-		os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
+	line := append(blob, '\n')
+	l := s.lock(id)
+	l.Lock()
+	defer l.Unlock()
+	path := filepath.Join(s.dir(id), "chunks.ndjson")
+	var lastErr error
+	for attempt := 0; attempt < appendAttempts; attempt++ {
+		if attempt > 0 {
+			s.backoff(attempt)
+		}
+		size, err := s.fs.Size(path)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				lastErr = err
+				continue
+			}
+			size = 0
+		}
+		f, err := s.fs.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		n, werr := f.Write(line)
+		if werr == nil && !s.noSync {
+			werr = f.Sync()
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr == nil && n != len(line) {
+			werr = fmt.Errorf("jobs: short append: %d of %d bytes", n, len(line))
+		}
+		if werr == nil {
+			return nil
+		}
+		lastErr = werr
+		// Repair the torn tail now, while we hold the lock: if this
+		// truncate fails too, replay's tail repair is the backstop.
+		s.fs.Truncate(path, size)
 	}
-	_, werr := f.Write(append(blob, '\n'))
-	cerr := f.Close()
-	if werr != nil {
-		return werr
-	}
-	return cerr
+	return lastErr
 }
 
-// finish writes the terminal record.
+// finish writes the terminal record atomically: done.json is either
+// absent (incomplete job, will resume) or complete — an unparsable one
+// can only come from outside interference and is treated as absent.
 func (s *store) finish(id string, rec doneRecord) error {
 	blob, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(s.dir(id), "done.json"), append(blob, '\n'), 0o644)
+	return s.writeAtomic(filepath.Join(s.dir(id), "done.json"), append(blob, '\n'))
 }
 
-// remove deletes a job's directory (cancelled jobs keep nothing).
+// remove deletes a job's directory (cancelled jobs keep nothing). It
+// takes the job's append lock so a racing in-flight appendChunk either
+// completes first or fails cleanly on the missing directory — it can
+// never recreate state mid-removal.
 func (s *store) remove(id string) error {
-	return os.RemoveAll(s.dir(id))
+	l := s.lock(id)
+	l.Lock()
+	defer l.Unlock()
+	return s.fs.RemoveAll(s.dir(id))
 }
 
 // persisted is one job read back from disk.
@@ -98,34 +217,57 @@ type persisted struct {
 }
 
 // load reads every job directory under the root, sorted by ID so replay
-// order is stable.
-func (s *store) load() ([]persisted, error) {
-	entries, err := os.ReadDir(s.root)
+// order is stable. A directory that cannot be replayed is moved to
+// <root>/quarantine/<id> and reported in the second return value — one
+// corrupt job must never keep the daemon from booting, so load only
+// errors when the root itself is unreadable.
+func (s *store) load() ([]persisted, []string, error) {
+	entries, err := s.fs.ReadDir(s.root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []persisted
+	var quarantined []string
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || e.Name() == quarantineDir {
 			continue
 		}
 		p, err := s.loadJob(e.Name())
 		if err != nil {
-			return nil, fmt.Errorf("jobs: replaying %s: %w", e.Name(), err)
+			// Unreadable beyond repair: move it aside (best effort — if
+			// even the rename fails the directory is merely skipped this
+			// boot) and keep going.
+			s.quarantine(e.Name())
+			quarantined = append(quarantined, e.Name())
+			continue
 		}
 		if p != nil {
 			out = append(out, *p)
 		}
 	}
+	sort.Strings(quarantined)
 	sort.Slice(out, func(i, j int) bool { return out[i].spec.ID < out[j].spec.ID })
-	return out, nil
+	return out, quarantined, nil
 }
 
-// loadJob reads one job directory; a directory without a readable spec
-// is skipped (half-created submission), not an error.
+// quarantine moves a job directory under <root>/quarantine, clearing
+// any leftover from an earlier quarantine of the same ID.
+func (s *store) quarantine(id string) error {
+	if err := s.fs.MkdirAll(filepath.Join(s.root, quarantineDir), 0o755); err != nil {
+		return err
+	}
+	dst := filepath.Join(s.root, quarantineDir, id)
+	s.fs.RemoveAll(dst)
+	return s.fs.Rename(s.dir(id), dst)
+}
+
+// loadJob reads one job directory; a directory without a spec.json is
+// skipped (half-created submission, pre-durability crash), not an
+// error. Errors from this function mean the directory defies replay and
+// the caller quarantines it.
 func (s *store) loadJob(id string) (*persisted, error) {
 	dir := s.dir(id)
-	blob, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	blob, err := s.fs.ReadFile(filepath.Join(dir, "spec.json"))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -142,51 +284,73 @@ func (s *store) loadJob(id string) (*persisted, error) {
 	if p.chunks, err = s.loadChunks(id); err != nil {
 		return nil, err
 	}
-	if blob, err := os.ReadFile(filepath.Join(dir, "done.json")); err == nil {
+	donePath := filepath.Join(dir, "done.json")
+	if blob, err := s.fs.ReadFile(donePath); err == nil {
 		var d doneRecord
-		if err := json.Unmarshal(blob, &d); err != nil {
-			return nil, fmt.Errorf("done.json: %w", err)
+		if err := json.Unmarshal(blob, &d); err != nil || d.State == "" {
+			// done.json is written atomically, so a torn one means
+			// outside interference. The chunk log is still authoritative:
+			// drop the record and treat the job as incomplete — it
+			// re-runs from its checkpoint instead of failing replay.
+			s.fs.Remove(donePath)
+		} else {
+			p.done = &d
 		}
-		p.done = &d
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
 	return &p, nil
 }
 
-// loadChunks replays a chunk log. A torn final line (crash mid-append)
-// is dropped; any earlier malformed line fails the job's replay.
+// loadChunks replays a chunk log, repairing it as it goes: the first
+// malformed, oversized or unterminated line — a torn append that
+// escaped the writer's own truncate-and-retry repair, wherever it sits
+// in the file — is truncated away together with everything after it.
+// The dropped chunks simply re-run; for sequential plans anything after
+// a lost chunk would be unusable anyway.
 func (s *store) loadChunks(id string) ([]ChunkRecord, error) {
-	f, err := os.Open(filepath.Join(s.dir(id), "chunks.ndjson"))
+	path := filepath.Join(s.dir(id), "chunks.ndjson")
+	blob, err := s.fs.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	var out []ChunkRecord
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), maxChunkLineBytes)
-	var pendingErr error
-	for sc.Scan() {
-		if pendingErr != nil {
-			return nil, pendingErr
+	offset := 0
+	for offset < len(blob) {
+		nl := bytes.IndexByte(blob[offset:], '\n')
+		terminated := nl >= 0
+		var line []byte
+		if terminated {
+			line = blob[offset : offset+nl]
+		} else {
+			line = blob[offset:]
 		}
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			var rec ChunkRecord
+			bad := len(line) > maxChunkLineBytes || !terminated
+			if !bad {
+				bad = json.Unmarshal(trimmed, &rec) != nil
+			}
+			if bad {
+				if terr := s.fs.Truncate(path, int64(offset)); terr != nil {
+					return nil, fmt.Errorf("chunks.ndjson: repairing torn line at byte %d: %w", offset, terr)
+				}
+				return out, nil
+			}
+			out = append(out, rec)
+		} else if !terminated {
+			// Whitespace tail without a newline: torn, but harmlessly —
+			// truncate it so the next append starts on a clean boundary.
+			if terr := s.fs.Truncate(path, int64(offset)); terr != nil {
+				return nil, fmt.Errorf("chunks.ndjson: repairing torn tail at byte %d: %w", offset, terr)
+			}
+			return out, nil
 		}
-		var rec ChunkRecord
-		if err := json.Unmarshal([]byte(line), &rec); err != nil {
-			// Only acceptable as the last line of the file.
-			pendingErr = fmt.Errorf("chunks.ndjson: %w", err)
-			continue
-		}
-		out = append(out, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("chunks.ndjson: %w", err)
+		offset += nl + 1
 	}
 	return out, nil
 }

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/jobs"
+)
+
+// The serving layer's half of the durability contract: a corrupt job
+// directory never stops the daemon from booting (it is quarantined and
+// surfaced through stats and metrics), and a dead checkpoint disk turns
+// submissions into clean 503s instead of 400s or a wedged server.
+
+func getStats(t *testing.T, url string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	return st
+}
+
+// TestServeQuarantineBoot seeds a corrupt job directory and proves the
+// boot contract end to end through the HTTP surface.
+func TestServeQuarantineBoot(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "jrotten")
+	if err := os.MkdirAll(corrupt, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(corrupt, "spec.json"),
+		[]byte(`{"id": not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	api, srv := testServer(t, Options{JobsDir: dir})
+	if got := api.QuarantinedJobs(); len(got) != 1 || got[0] != "jrotten" {
+		t.Fatalf("QuarantinedJobs = %v, want [jrotten]", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "jrotten", "spec.json")); err != nil {
+		t.Errorf("corrupt dir not moved to quarantine: %v", err)
+	}
+	if _, err := os.Stat(corrupt); !os.IsNotExist(err) {
+		t.Errorf("corrupt dir still under the root (err=%v)", err)
+	}
+
+	st := getStats(t, srv.URL)
+	if st.Jobs.Quarantined != 1 {
+		t.Errorf("stats jobs.quarantined = %d, want 1", st.Jobs.Quarantined)
+	}
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("GET /v1/metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "tyresysd_jobs_quarantined 1") {
+		t.Errorf("metrics missing tyresysd_jobs_quarantined 1")
+	}
+
+	// The quarantined wreck must not block new work.
+	sub := submitJob(t, srv.URL, "emulate", `{"cycle":"urban","repeat":1}`)
+	if fin := waitJob(t, srv.URL, sub.ID); fin.State != jobs.Done {
+		t.Fatalf("job after quarantine boot ended %s (%s)", fin.State, fin.Error)
+	}
+}
+
+// TestServeSubmitPersistenceLost boots a server whose checkpoint disk
+// dies right after the root is created: every submission must answer
+// 503 (retryable, not the client's fault) while the read endpoints and
+// the rest of the server keep working.
+func TestServeSubmitPersistenceLost(t *testing.T) {
+	ffs := faultfs.New()
+	ffs.InjectErrFrom(1, syscall.ENOSPC) // op 0 is the checkpoint root's MkdirAll
+	opts := Options{JobsDir: t.TempDir()}
+	opts.jobsFS = ffs
+	_, srv := testServer(t, opts)
+
+	body := `{"kind":"emulate","request":{"cycle":"urban","repeat":1}}`
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on dead disk: status %d, want 503", resp.StatusCode)
+	}
+	var e errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	if !strings.Contains(e.Error, "persistence lost") {
+		t.Errorf("error %q missing the persistence marker", e.Error)
+	}
+
+	// Not wedged: listing answers, and the synchronous analysis path —
+	// which never touches the job disk — still serves.
+	if lresp, err := http.Get(srv.URL + "/v1/jobs"); err != nil || lresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs after 503: %v (status %v)", err, lresp.StatusCode)
+	} else {
+		lresp.Body.Close()
+	}
+	code, _, _ := post(t, srv.URL, "/v1/balance", `{}`)
+	if code != http.StatusOK {
+		t.Fatalf("sync /v1/balance on dead job disk: status %d, want 200", code)
+	}
+}

@@ -88,14 +88,22 @@ type JobsStats struct {
 	Replayed   int            `json:"replayed"`
 	QueueDepth int            `json:"queue_depth"`
 	States     map[string]int `json:"states"`
+	// Quarantined counts corrupt job directories moved aside at boot;
+	// PersistFailures counts jobs failed because the checkpoint store
+	// stopped accepting writes (the degraded "persistence lost" path).
+	// Non-zero values mean the operator should look at the disk.
+	Quarantined     int   `json:"quarantined"`
+	PersistFailures int64 `json:"persist_failures"`
 }
 
 func (s *Server) jobsStats() JobsStats {
 	js := JobsStats{
-		Submitted:  s.jobsSubmitted.Load(),
-		Replayed:   s.jobs.Replayed(),
-		QueueDepth: s.jobs.QueueDepth(),
-		States:     make(map[string]int, len(jobs.States())),
+		Submitted:       s.jobsSubmitted.Load(),
+		Replayed:        s.jobs.Replayed(),
+		QueueDepth:      s.jobs.QueueDepth(),
+		States:          make(map[string]int, len(jobs.States())),
+		Quarantined:     len(s.jobs.Quarantined()),
+		PersistFailures: s.jobs.PersistFailures(),
 	}
 	for state, n := range s.jobs.StateCounts() {
 		js.States[string(state)] = n
@@ -137,11 +145,17 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.jobs.Submit(req.Kind, req.Request)
 	if err != nil {
-		if errors.Is(err, jobs.ErrQueueFull) {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
 			writeJSON(w, http.StatusTooManyRequests, mustMarshal(errorBody{err.Error()}))
-			return
+		case errors.Is(err, jobs.ErrPersistence):
+			// The request was fine — the checkpoint disk refused the spec.
+			// 503, not 400: the client should retry once the operator
+			// fixes the disk.
+			writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{err.Error()}))
+		default:
+			writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
 		}
-		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
 		return
 	}
 	s.jobsSubmitted.Add(1)

@@ -172,6 +172,12 @@ func newServeMetrics(s *Server) *serveMetrics {
 	m.jobChunk = r.Histogram("tyresysd_job_chunk_seconds",
 		"Wall time of one checkpointed batch-job chunk.",
 		obs.DefLatencyBuckets)
+	r.GaugeFunc("tyresysd_jobs_quarantined",
+		"Corrupt batch-job directories moved to <JobsDir>/quarantine at boot instead of failing it.",
+		func() float64 { return float64(len(s.jobs.Quarantined())) })
+	r.CounterFunc("tyresysd_jobs_persist_failures_total",
+		"Batch jobs failed because the checkpoint store stopped accepting writes (degraded persistence-lost mode).",
+		func() float64 { return float64(s.jobs.PersistFailures()) })
 	return m
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/vfs"
 )
 
 // Options configure a Server. The zero value selects sensible defaults.
@@ -61,6 +62,19 @@ type Options struct {
 	// MaxJobs bounds incomplete (pending + running) jobs; submissions
 	// beyond it are rejected with 429 (default 64).
 	MaxJobs int
+	// JobsNoSync skips the fsync after each batch-job chunk append,
+	// trading the durability of a job's most recent chunks against a
+	// crash for append throughput. Job specs and terminal records stay
+	// fully durable either way — a crash can cost re-running the tail of
+	// a job, never its identity or result integrity. tyresysd exposes
+	// this as -jobs-fsync (on by default).
+	JobsNoSync bool
+
+	// jobsFS overrides the filesystem the job checkpoint store writes
+	// through. Unexported: a test seam for internal/faultfs, so the
+	// serving layer's degraded persistence paths (503 on submit, failed
+	// jobs, quarantine metrics) can be driven deterministically.
+	jobsFS vfs.FS
 
 	// emuChunkSeconds overrides the emulation checkpoint segment length
 	// (default defaultEmuChunkSeconds). Unexported: a test seam, set
@@ -148,6 +162,8 @@ func NewServer(opts Options) (*Server, error) {
 		Executors:        opts.JobExecutors,
 		ChunkParallelism: jobChunkParallelism,
 		MaxJobs:          opts.MaxJobs,
+		NoSync:           opts.JobsNoSync,
+		FS:               opts.jobsFS,
 		OnChunk:          func(sec float64) { s.metrics.jobChunk.Observe(sec) },
 	}, s.planJob)
 	if err != nil {
@@ -174,6 +190,11 @@ func NewServer(opts Options) (*Server, error) {
 // ReplayedJobs reports how many incomplete batch jobs were resumed from
 // the checkpoint directory at construction (tyresysd logs it on boot).
 func (s *Server) ReplayedJobs() int { return s.jobs.Replayed() }
+
+// QuarantinedJobs returns the IDs of corrupt job directories moved to
+// <JobsDir>/quarantine at construction instead of failing the boot
+// (tyresysd logs them on boot; /v1/stats and /v1/metrics count them).
+func (s *Server) QuarantinedJobs() []string { return s.jobs.Quarantined() }
 
 // ServeHTTP dispatches to the v1 routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

@@ -1,0 +1,11 @@
+// Package vfs is the narrow filesystem interface durable subsystems
+// write through — the seam that makes crash-safety testable. The jobs
+// checkpoint store performs every disk operation via vfs.FS, so
+// internal/faultfs can interpose ENOSPC, short writes, fsync failures
+// and kill-points at each one and a crash-point matrix can prove the
+// store recovers from all of them; production code runs on vfs.OS, the
+// direct os-package passthrough.
+//
+// Key entry points: FS (the interface), File (the writable handle),
+// OS (the real filesystem).
+package vfs

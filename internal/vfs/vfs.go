@@ -1,0 +1,83 @@
+package vfs
+
+import (
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts every filesystem operation a durable subsystem performs,
+// so tests can interpose a fault-injecting implementation (see
+// internal/faultfs) and drive it through ENOSPC, short writes, fsync
+// failures and simulated crashes at every write site. Production code
+// always runs on OS; the interface being a subsystem's only path to the
+// disk — no direct os calls — is what makes a crash-point matrix over
+// its operations exhaustive.
+//
+// Methods mirror the os package. Implementations must be safe for
+// concurrent use.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// OpenFile opens for writing (durable state is read back via
+	// ReadFile/ReadDir only); flag is an os.O_* combination.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]iofs.DirEntry, error)
+	// Size reports a file's current length (snapshotted before an
+	// append so a torn write can be truncated away).
+	Size(name string) (int64, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory, making a preceding rename durable.
+	SyncDir(path string) error
+}
+
+// File is the writable handle FS.OpenFile returns.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OS is the production FS: a direct passthrough to the os package.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) ReadDir(name string) ([]iofs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OS) Size(name string) (int64, error) {
+	info, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Clean(path))
+	if err != nil {
+		return err
+	}
+	// Some filesystems refuse fsync on directories; losing the rename's
+	// durability there is strictly no worse than not syncing at all.
+	_ = d.Sync()
+	return d.Close()
+}
