@@ -375,11 +375,15 @@ func BenchmarkEmulatorLongRun(b *testing.B) {
 	}
 }
 
-func BenchmarkEmulatorLongRunBaseline(b *testing.B) {
+// BenchmarkEmulatorLongRunFast measures the interpolated-table kernel
+// (EmulatorConfig.Fast): the same run with every per-round exponential
+// replaced by a piecewise-linear table lookup.
+func BenchmarkEmulatorLongRunFast(b *testing.B) {
 	nd, hv := benchStack(b)
 	em, err := NewEmulator(EmulatorConfig{
-		Node: nd.WithoutCache(), Harvester: hv, Buffer: DefaultBuffer(),
+		Node: nd, Harvester: hv, Buffer: DefaultBuffer(),
 		InitialVoltage: Volts(3.0), Ambient: DegC(20), Base: NominalConditions(),
+		Fast: true,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -390,5 +394,74 @@ func BenchmarkEmulatorLongRunBaseline(b *testing.B) {
 		if _, err := em.Run(cycle); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEmulatorLongRunBaseline reproduces the pre-kernel hot path:
+// LegacyEval selects the per-block object evaluation and WithoutCache
+// strips the node memo layer, matching the seed's per-round cost.
+func BenchmarkEmulatorLongRunBaseline(b *testing.B) {
+	nd, hv := benchStack(b)
+	em, err := NewEmulator(EmulatorConfig{
+		Node: nd.WithoutCache(), Harvester: hv, Buffer: DefaultBuffer(),
+		InitialVoltage: Volts(3.0), Ambient: DegC(20), Base: NominalConditions(),
+		LegacyEval: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cycle := profile.Repeat(profile.Mixed(), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := em.Run(cycle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmulatorKernelDirtyRatio sweeps profiles with different
+// ramp/cruise mixes and reports the kernel's dirty-block ratio alongside
+// ns/op: cruise-heavy profiles recompute almost nothing (template memo
+// hits), ramp-heavy ones re-fold the per-role arrays every round. The
+// dirty-blocks/round metric is the incremental-recompute story in one
+// number.
+func BenchmarkEmulatorKernelDirtyRatio(b *testing.B) {
+	cycles := []struct {
+		name string
+		prof profile.Profile
+	}{
+		{"cruise80", profile.Constant(KMH(80), Minutes(30))},
+		{"urban", profile.Repeat(profile.Urban(), 8)},
+		{"highway", profile.Highway(10)},
+		{"mixed", profile.Mixed()},
+	}
+	for _, c := range cycles {
+		b.Run(c.name, func(b *testing.B) {
+			nd, hv := benchStack(b)
+			em, err := NewEmulator(EmulatorConfig{
+				Node: nd, Harvester: hv, Buffer: DefaultBuffer(),
+				InitialVoltage: Volts(3.0), Ambient: DegC(20), Base: NominalConditions(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			before := nd.CacheStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := em.Run(c.prof); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			after := nd.CacheStats()
+			dirty := float64(after.KernelDirtyBlocks - before.KernelDirtyBlocks)
+			clean := float64(after.KernelCleanBlocks - before.KernelCleanBlocks)
+			if total := dirty + clean; total > 0 {
+				b.ReportMetric(dirty/total, "dirty-ratio")
+			}
+			if rounds := float64(after.KernelRounds - before.KernelRounds); rounds > 0 {
+				b.ReportMetric(dirty/rounds, "dirty-blocks/round")
+			}
+		})
 	}
 }

@@ -13,4 +13,17 @@
 // (internal/jobs, internal/serve) checkpoints long emulations with.
 // Snapshot/Resume round-trips are exact: a chunked run is bit-identical
 // to a continuous one.
+//
+// The per-round hot path runs on node.FlatEval, an incremental
+// struct-of-arrays kernel with dirty-tracked recomputation. Config
+// selects its mode: the zero value is exact (bit-identical to the
+// per-block PlanRound/RoundEnergy path, so goldens and Snapshot
+// contracts are unchanged), Config.Fast switches static leakage to
+// interpolated temperature-factor tables (documented ≤ ~1e-4 relative
+// error, exact out-of-range fallback), and Config.LegacyEval bypasses
+// the kernel entirely, keeping the per-block walk alive as the
+// reference implementation. The kernel holds only caches that are pure
+// functions of (node, base conditions, temperature), so Snapshot
+// carries no kernel state and Resume rebuilds it; chunked runs remain
+// bit-identical to continuous ones in both modes.
 package emu

@@ -43,6 +43,19 @@ type Config struct {
 	// RecordTraces enables the voltage/speed/power time series in the
 	// result (per emulation step; sizeable for long runs).
 	RecordTraces bool
+	// Fast switches the evaluation kernel from exact to interpolated
+	// temperature factors (piecewise-linear power tables; see
+	// node.FlatEval). The zero value is the exact mode: bit-identical to
+	// the pre-kernel per-block evaluation, as all golden artifacts
+	// require. Fast mode trades a documented ≤ ~1e-4 relative error on
+	// static power for skipping every per-round exponential.
+	Fast bool
+	// LegacyEval disables the struct-of-arrays kernel entirely and runs
+	// the per-block object path (PlanRound + RoundEnergy + RestPower).
+	// Results are bit-identical to the exact kernel; this is the
+	// reference implementation the property tests and before/after
+	// benchmarks compare against.
+	LegacyEval bool
 }
 
 // Emulator runs speed profiles against a node/harvester/storage stack.

@@ -1,0 +1,153 @@
+package emu
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+// runWith runs the test profile (or p, if given) to completion under the
+// supplied config mutation and returns the result.
+func runWith(t *testing.T, p profile.Profile, mut func(*Config)) *Result {
+	t.Helper()
+	cfg := defaultConfig(t)
+	if mut != nil {
+		mut(&cfg)
+	}
+	res, err := newEmulator(t, cfg).RunCtx(context.Background(), p)
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	return res
+}
+
+// TestKernelMatchesLegacyEval is the tentpole's end-to-end property test:
+// the struct-of-arrays kernel in exact mode produces a Result identical
+// field-for-field (bit-exact floats included) to the per-block legacy
+// evaluation path, across the standard driving cycles and the local mixed
+// profile with brown-outs and stopped stretches.
+func TestKernelMatchesLegacyEval(t *testing.T) {
+	profiles := map[string]profile.Profile{
+		"mixed-short": testProfile(),
+		"urban":       profile.Urban(),
+		"extra-urban": profile.ExtraUrban(),
+		"wltp":        profile.WLTP(),
+	}
+	for name, p := range profiles {
+		t.Run(name, func(t *testing.T) {
+			legacy := runWith(t, p, func(c *Config) { c.LegacyEval = true })
+			kernel := runWith(t, p, nil)
+			if !reflect.DeepEqual(kernel, legacy) {
+				t.Errorf("kernel result differs from legacy evaluation\nkernel: %+v\nlegacy: %+v", kernel, legacy)
+			}
+		})
+	}
+}
+
+// TestSessionMatchesRunCtxFast re-runs the chunked-session determinism
+// contract in fast (interpolated) mode, including JSON snapshot
+// round-trips at segment boundaries: a snapshot taken with Fast set
+// resumes byte-identical, because the kernel holds only caches that are
+// pure functions of (node, base conditions, temperature) and therefore
+// needs no snapshot state of its own.
+func TestSessionMatchesRunCtxFast(t *testing.T) {
+	cfg := defaultConfig(t)
+	cfg.Fast = true
+	want, err := newEmulator(t, cfg).RunCtx(context.Background(), testProfile())
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	for _, c := range []struct {
+		name      string
+		segment   float64
+		roundTrip bool
+	}{
+		{"60s segments", 60, false},
+		{"60s segments with snapshot round-trip", 60, true},
+		{"7s segments with snapshot round-trip", 7, true},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			got := sessionResult(t, cfg, units.Seconds(c.segment), c.roundTrip)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("chunked fast result differs from RunCtx\ngot:  %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestFastWithinBoundOfExact pins the interpolated mode's accuracy at the
+// emulation level. Each round's static energy carries at most the
+// documented (step/θ)²/8 ≈ 1e-4 relative lerp error, and dynamic and
+// transition energies are exact, so run-level energy aggregates stay
+// within ~1e-4 relative of the exact mode. Counting outputs (rounds,
+// brown-outs, restarts) are threshold-crossing events; the perturbation
+// is orders of magnitude below the hysteresis window, so they match
+// exactly on these profiles.
+func TestFastWithinBoundOfExact(t *testing.T) {
+	profiles := map[string]profile.Profile{
+		"mixed-short": testProfile(),
+		"urban":       profile.Urban(),
+	}
+	for name, p := range profiles {
+		t.Run(name, func(t *testing.T) {
+			exact := runWith(t, p, nil)
+			fast := runWith(t, p, func(c *Config) { c.Fast = true })
+			const bound = 2e-4
+			relClose := func(what string, a, b float64) {
+				t.Helper()
+				denom := math.Max(math.Abs(b), 1e-12)
+				if rel := math.Abs(a-b) / denom; rel > bound {
+					t.Errorf("%s: fast %.12g vs exact %.12g (rel %.3g > %g)", what, a, b, rel, bound)
+				}
+			}
+			relClose("Consumed", fast.Consumed.Joules(), exact.Consumed.Joules())
+			relClose("Harvested", fast.Harvested.Joules(), exact.Harvested.Joules())
+			relClose("Leaked", fast.Leaked.Joules(), exact.Leaked.Joules())
+			relClose("FinalEnergy", fast.FinalEnergy.Joules(), exact.FinalEnergy.Joules())
+			if fast.Rounds != exact.Rounds {
+				t.Errorf("Rounds: fast %d vs exact %d", fast.Rounds, exact.Rounds)
+			}
+			if fast.BrownOuts != exact.BrownOuts || fast.Restarts != exact.Restarts {
+				t.Errorf("outage counts: fast %d/%d vs exact %d/%d",
+					fast.BrownOuts, fast.Restarts, exact.BrownOuts, exact.Restarts)
+			}
+			if fast.ActiveRounds != exact.ActiveRounds {
+				t.Errorf("ActiveRounds: fast %d vs exact %d", fast.ActiveRounds, exact.ActiveRounds)
+			}
+		})
+	}
+}
+
+// TestKernelStatsSurface checks that emulation runs fold kernel counters
+// into the node's cache statistics: exact runs report rounds and
+// dirty/clean block counts, fast runs additionally report table hits.
+func TestKernelStatsSurface(t *testing.T) {
+	cfg := defaultConfig(t)
+	before := cfg.Node.CacheStats()
+	if _, err := newEmulator(t, cfg).RunCtx(context.Background(), testProfile()); err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	mid := cfg.Node.CacheStats()
+	if mid.KernelRounds <= before.KernelRounds {
+		t.Error("exact run recorded no kernel rounds")
+	}
+	if mid.KernelCleanBlocks <= before.KernelCleanBlocks {
+		t.Error("exact run recorded no clean blocks — dirty tracking inactive")
+	}
+	if mid.KernelTableHits != before.KernelTableHits {
+		t.Error("exact run recorded table hits")
+	}
+	fastCfg := cfg
+	fastCfg.Fast = true
+	if _, err := newEmulator(t, fastCfg).RunCtx(context.Background(), testProfile()); err != nil {
+		t.Fatalf("RunCtx fast: %v", err)
+	}
+	after := cfg.Node.CacheStats()
+	if after.KernelTableHits <= mid.KernelTableHits {
+		t.Error("fast run recorded no table hits")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/storage"
@@ -37,6 +38,18 @@ type Session struct {
 	performed   int64 // rounds completed by the node (drives aux/TX cadence)
 	outageStart units.Seconds
 	finalized   bool
+
+	// kern is the struct-of-arrays evaluation kernel (nil when
+	// Config.LegacyEval selects the per-block reference path). It holds
+	// only caches that are pure functions of the node, the base
+	// conditions and the working temperature, so it carries no resume
+	// state: Snapshot/Resume round-trips need no kernel fields and a
+	// resumed session rebuilds bit-identical values on first use.
+	kern *node.FlatEval
+	// hLastV/hLastP memoize the harvester power, a pure function of
+	// speed, across the constant-speed stretches of a profile.
+	hLastV units.Speed
+	hLastP units.Power
 }
 
 // Start begins a session at t=0 with the emulator's configured initial
@@ -60,6 +73,10 @@ func (e *Emulator) Start(p profile.Profile) (*Session, error) {
 		res.Speed = trace.NewSeries("speed", "s", "km/h")
 		res.Power = trace.NewSeries("node draw", "s", "µW")
 	}
+	kern, err := newKernel(cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &Session{
 		cfg:     cfg,
 		p:       p,
@@ -68,7 +85,17 @@ func (e *Emulator) Start(p profile.Profile) (*Session, error) {
 		thermal: wheel.NewThermal(cfg.Node.Tyre(), cfg.Ambient, cfg.ThermalTau),
 		res:     res,
 		on:      state.CanRestart(),
+		kern:    kern,
 	}, nil
+}
+
+// newKernel builds the session's evaluation kernel, honouring the
+// LegacyEval escape hatch.
+func newKernel(cfg Config) (*node.FlatEval, error) {
+	if cfg.LegacyEval {
+		return nil, nil
+	}
+	return node.NewFlatEval(cfg.Node, cfg.Base, !cfg.Fast)
 }
 
 // Now returns the current emulated time.
@@ -95,6 +122,11 @@ func (s *Session) RunUntil(ctx context.Context, until units.Seconds) error {
 	// Resolved once per segment: an absent tracer costs one nil check per
 	// round, and trace events never influence the emulation.
 	tr := obs.TracerFrom(ctx)
+	if s.kern != nil {
+		// Kernel counters fold into the node's shared CacheStats once per
+		// segment, keeping atomics out of the round loop.
+		defer s.kern.FlushStats()
+	}
 	for s.t < until {
 		if s.steps%cancelCheckEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -125,12 +157,15 @@ func (s *Session) RunUntil(ctx context.Context, until units.Seconds) error {
 		}
 
 		temp := s.thermal.Step(cfg.Ambient, v, dt)
-		cond := cfg.Base.WithTemp(temp)
 
-		// Harvest.
+		// Harvest. Harvester.Power is a pure function of speed, memoized
+		// across the constant-speed stretches of the profile.
 		var harvestPower units.Power
 		if v > 0 {
-			harvestPower = cfg.Harvester.Power(v)
+			if v != s.hLastV {
+				s.hLastV, s.hLastP = v, cfg.Harvester.Power(v)
+			}
+			harvestPower = s.hLastP
 		}
 		stored, clipped := s.state.Charge(harvestPower.OverTime(dt))
 		res.Harvested += stored
@@ -141,17 +176,31 @@ func (s *Session) RunUntil(ctx context.Context, until units.Seconds) error {
 		var stepPower units.Power
 		if s.on {
 			if moving {
-				plan, err := cfg.Node.PlanRound(v, s.performed)
-				if err != nil {
-					return err
+				if s.kern != nil {
+					d, err := s.kern.RoundDraw(v, s.performed, temp)
+					if err != nil {
+						return err
+					}
+					draw = d
+				} else {
+					plan, err := cfg.Node.PlanRound(v, s.performed)
+					if err != nil {
+						return err
+					}
+					bd, err := cfg.Node.RoundEnergy(plan, cfg.Base.WithTemp(temp))
+					if err != nil {
+						return err
+					}
+					draw = bd.Total()
 				}
-				bd, err := cfg.Node.RoundEnergy(plan, cond)
-				if err != nil {
-					return err
-				}
-				draw = bd.Total()
 			} else {
-				rest, err := cfg.Node.RestPower(cond)
+				var rest units.Power
+				var err error
+				if s.kern != nil {
+					rest, err = s.kern.RestPower(temp)
+				} else {
+					rest, err = cfg.Node.RestPower(cfg.Base.WithTemp(temp))
+				}
 				if err != nil {
 					return err
 				}
@@ -355,6 +404,10 @@ func (e *Emulator) Resume(p profile.Profile, snap Snapshot) (*Session, error) {
 	for _, o := range snap.Outages {
 		res.Outages = append(res.Outages, Outage{Start: units.Seconds(o[0]), End: units.Seconds(o[1])})
 	}
+	kern, err := newKernel(cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &Session{
 		cfg:         cfg,
 		p:           p,
@@ -367,5 +420,6 @@ func (e *Emulator) Resume(p profile.Profile, snap Snapshot) (*Session, error) {
 		steps:       snap.Steps,
 		performed:   snap.Performed,
 		outageStart: units.Seconds(snap.OutageStartS),
+		kern:        kern,
 	}, nil
 }

@@ -149,6 +149,11 @@ type evalCache struct {
 	restHits, restMisses   atomic.Uint64
 	avgHits, avgMisses     atomic.Uint64
 
+	// Kernel counters: FlatEval sessions accumulate locally and fold in
+	// via FlushStats once per emulation segment (never per round).
+	kernelRounds, kernelDirty, kernelClean atomic.Uint64
+	kernelTableHits, kernelTableFallbacks  atomic.Uint64
+
 	mu   sync.Mutex
 	avgs map[avgKey]Breakdown
 }
@@ -275,6 +280,13 @@ type CacheStats struct {
 	// RoundMissStreak / RestMissStreak are the current consecutive-miss
 	// streaks of the two bypass-guarded tables.
 	RoundMissStreak, RestMissStreak uint32
+	// Kernel counters aggregated from FlatEval emulation sessions (see
+	// flat.go): rounds evaluated through the struct-of-arrays kernel,
+	// per-role dirty/clean recompute outcomes, and interpolation-table
+	// hit/fallback outcomes (fast mode only; exact mode counts neither).
+	KernelRounds                          uint64
+	KernelDirtyBlocks, KernelCleanBlocks  uint64
+	KernelTableHits, KernelTableFallbacks uint64
 }
 
 // CacheStats snapshots the node's memo-table counters. A node built by
@@ -297,5 +309,11 @@ func (n *Node) CacheStats() CacheStats {
 		AvgMisses:       c.avgMisses.Load(),
 		RoundMissStreak: c.roundMiss.Load(),
 		RestMissStreak:  c.restMiss.Load(),
+
+		KernelRounds:         c.kernelRounds.Load(),
+		KernelDirtyBlocks:    c.kernelDirty.Load(),
+		KernelCleanBlocks:    c.kernelClean.Load(),
+		KernelTableHits:      c.kernelTableHits.Load(),
+		KernelTableFallbacks: c.kernelTableFallbacks.Load(),
 	}
 }

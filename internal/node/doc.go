@@ -10,4 +10,20 @@
 // New (a custom composition), Node.PlanRound / Node.RoundEnergy (the
 // per-wheel-round schedule and its cost) and Node.DutyCycles (the
 // advisor's input in internal/opt).
+//
+// NewFlatEval builds the emulator's struct-of-arrays round kernel: the
+// node's blocks are flattened, per (samples, aux, tx, rx) template, into
+// parallel slot arrays whose evaluation is a branch-free multiply-add
+// fold with zero allocations per round (FlatEval.RoundDraw,
+// FlatEval.RestPower). Recomputation is dirty-tracked — per role the
+// kernel memoizes against the round period and a temperature epoch, so
+// an unchanged round is a cache hit, a temperature change re-folds only
+// the static-leakage terms, and a period change re-folds the role. In
+// exact mode (the default) the kernel reproduces PlanRound +
+// RoundEnergy bit for bit — same float operations in the same
+// association — which TestFlatEvalExactMatchesLegacy pins; interpolated
+// mode swaps the temperature-factor exponential for a block.FactorTable
+// lookup (≤ ~1e-4 relative error on static power, exact fallback
+// outside the table range). FlatEval.Stats feeds the kernel counters on
+// /v1/metrics.
 package node

@@ -1,0 +1,533 @@
+package node
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/block"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// FlatEval is the emulator's struct-of-arrays evaluation kernel: the
+// node's per-round energy, flattened out of the per-block object calls
+// into parallel slot arrays that one goroutine walks allocation-free.
+//
+// The flattening exploits what is constant during an emulation run. Vdd
+// and the process corner are fixed (the session evaluates
+// Base.WithTemp(T) every round), so each block mode collapses to a
+// constant dynamic power plus power.StaticCoeffs with temperature as the
+// only free variable. The round layout depends on the speed solely
+// through the round period and the dwell-clamped sample count: for a
+// fixed (samples, aux, tx, rx) key every slot duration is either a
+// template constant or an affine function of the period (the rest filler
+// is period − busy, the always-on blocks span the whole period). A
+// template is therefore built once per key — at most
+// (SamplesPerRound+1)·8 of them — and a round at any speed, including a
+// fresh ramp speed every round, reduces to a handful of multiply-adds.
+//
+// Dirty tracking: a run-global epoch is bumped whenever the working
+// temperature changes bit-for-bit; each role caches its static energy
+// keyed on (epoch, period) and is recomputed only when stale ("dirty").
+// On constant-speed, converged-temperature stretches the whole template
+// short-circuits to its cached total. The temperature factors
+// exp((T−refT)/θ) are shared across every mode with the same (refT, θ)
+// and evaluated once per temperature change — exactly (exact mode) or
+// via block.FactorTable piecewise-linear interpolation (fast mode, with
+// exact-exp fallback outside the table range).
+//
+// Exactness contract: in exact mode every fold replicates the legacy
+// path operation for operation — block.RoundEnergy's per-slot dynamic
+// and static accumulation in slot order, costRound's role order
+// (scheduledRoles), restPower's rest-then-always-on order, and
+// Breakdown.Total's (Dynamic+Static)+Transition — so RoundDraw and
+// RestPower are bit-identical to PlanRound+RoundEnergy and
+// Node.RestPower. Fast mode changes only the temperature factor
+// (documented ≤ ~1e-4 relative error on static power; dynamic and
+// transition energies stay exact).
+//
+// A FlatEval is single-goroutine state (one per emulation session) over
+// an immutable Node; its counters are flushed into the node's shared
+// CacheStats via FlushStats.
+type FlatEval struct {
+	n     *Node
+	cond  power.Conditions // base conditions; Temp field unused
+	exact bool
+
+	// temperature-factor groups, deduplicated by (refC, theta)
+	groups   []tfGroup
+	groupIdx map[tfKey]int32
+	tempC    float64
+	haveTemp bool
+	epoch    uint64
+
+	// last-speed memo: the per-round derivation of (period, samples, nTx)
+	haveV       bool
+	lastV       units.Speed
+	lastPeriod  units.Seconds
+	lastSamples int
+	lastNTx     int64
+
+	// templates[samples][aux|tx<<1|rx<<2], built lazily
+	templates [][8]*flatTemplate
+
+	rest      []flatRestEntry
+	restEpoch uint64
+	restW     float64
+	restValid bool
+
+	// airtime is speed-independent; resolved once so TX templates build
+	// without re-deriving it (airErr surfaces on the first TX round, as
+	// the legacy plan build would).
+	onAir  units.Seconds
+	airErr error
+
+	stats   KernelStats
+	flushed KernelStats
+}
+
+// KernelStats are FlatEval's cumulative counters: rounds evaluated,
+// per-role recompute outcomes (dirty = re-folded, clean = served from the
+// incremental cache) and temperature-table outcomes (hit = interpolated,
+// fallback = out-of-range exact exponential; exact mode counts neither).
+type KernelStats struct {
+	Rounds         uint64
+	DirtyBlocks    uint64
+	CleanBlocks    uint64
+	TableHits      uint64
+	TableFallbacks uint64
+}
+
+type tfKey struct{ refC, theta float64 }
+
+type tfGroup struct {
+	refC, theta float64
+	table       *block.FactorTable // nil in exact mode
+	tf          float64
+}
+
+// slot duration kinds: a template constant, the rest filler
+// (period − busy), or the full round period (always-on blocks).
+type slotKind uint8
+
+const (
+	slotConst slotKind = iota
+	slotRest
+	slotPeriod
+)
+
+type flatSlot struct {
+	dynW  float64
+	coeff power.StaticCoeffs
+	group int32 // index into groups; −1 when the slot has no leakage
+	kind  slotKind
+	durS  units.Seconds // kind == slotConst only
+}
+
+type flatRole struct {
+	slots []flatSlot
+	// busy is the summed duration of the role's non-rest slots, folded in
+	// slot order exactly as buildPlan accumulates it, so the rest filler
+	// duration period − busy matches the legacy schedule bit for bit.
+	busy      units.Seconds
+	hasStatic bool
+
+	lastPeriod units.Seconds
+	epoch      uint64
+	dynJ       float64
+	staticJ    float64
+}
+
+type flatTemplate struct {
+	roles []flatRole
+	// transJ is the node-level transition energy: constant per template
+	// because the cyclic slot-mode sequence never depends on the period.
+	transJ float64
+	// totalActivity reproduces buildPlan's overrun guard for speeds other
+	// than the one the template was built at.
+	totalActivity units.Seconds
+
+	lastPeriod units.Seconds
+	epoch      uint64
+	totalJ     float64
+	valid      bool
+}
+
+type flatRestEntry struct {
+	dynW  float64
+	coeff power.StaticCoeffs
+	group int32
+}
+
+// NewFlatEval builds the kernel for n under the fixed supply voltage and
+// corner of base (its temperature is ignored). exact selects bit-exact
+// temperature factors; otherwise interpolation tables are used.
+func NewFlatEval(n *Node, base power.Conditions, exact bool) (*FlatEval, error) {
+	f := &FlatEval{
+		n:         n,
+		cond:      base,
+		exact:     exact,
+		groupIdx:  make(map[tfKey]int32),
+		templates: make([][8]*flatTemplate, n.cfg.Acq.SamplesPerRound+1),
+	}
+	f.onAir, f.airErr = txOnAir(n.cfg)
+	if err := f.buildRest(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// txOnAir resolves the speed-independent on-air duration of a TX slot.
+func txOnAir(cfg Config) (units.Seconds, error) {
+	air, err := cfg.Radio.Airtime(cfg.PayloadBytes)
+	if err != nil {
+		return 0, err
+	}
+	return air - cfg.Radio.StartupTime, nil
+}
+
+// group interns a (refC, theta) temperature-factor group, building its
+// interpolation table in fast mode. A group created after the first
+// setTemp inherits the current temperature's factor immediately.
+func (f *FlatEval) group(c power.StaticCoeffs) int32 {
+	k := tfKey{refC: c.RefC, theta: c.Theta}
+	if gi, ok := f.groupIdx[k]; ok {
+		return gi
+	}
+	g := tfGroup{refC: c.RefC, theta: c.Theta}
+	if !f.exact {
+		g.table = block.NewFactorTable(c.RefC, c.Theta, block.TableLoC, block.TableHiC, block.TableStepC)
+	}
+	if f.haveTemp {
+		g.tf = f.factor(&g, f.tempC)
+	}
+	gi := int32(len(f.groups))
+	f.groups = append(f.groups, g)
+	f.groupIdx[k] = gi
+	return gi
+}
+
+// factor evaluates one group's temperature factor at tc — interpolated
+// with exact fallback in fast mode, the exact exponential otherwise.
+func (f *FlatEval) factor(g *tfGroup, tc float64) float64 {
+	if g.table != nil {
+		if v, ok := g.table.Lookup(tc); ok {
+			f.stats.TableHits++
+			return v
+		}
+		f.stats.TableFallbacks++
+	}
+	return math.Exp((tc - g.refC) / g.theta)
+}
+
+// setTemp refreshes every group's temperature factor when the working
+// temperature changes bit-for-bit, bumping the dirty-tracking epoch.
+func (f *FlatEval) setTemp(t units.Celsius) {
+	tc := t.DegC()
+	if f.haveTemp && tc == f.tempC {
+		return
+	}
+	f.tempC = tc
+	f.haveTemp = true
+	f.epoch++
+	for i := range f.groups {
+		g := &f.groups[i]
+		g.tf = f.factor(g, tc)
+	}
+}
+
+// slotDur resolves a slot's duration at the given round period.
+func (fr *flatRole) slotDur(sl *flatSlot, period units.Seconds) units.Seconds {
+	switch sl.kind {
+	case slotRest:
+		return period - fr.busy
+	case slotPeriod:
+		return period
+	default:
+		return sl.durS
+	}
+}
+
+// evalDyn folds the role's dynamic energy in slot order, replicating
+// block.RoundEnergy's Dynamic accumulation.
+func (fr *flatRole) evalDyn(period units.Seconds) float64 {
+	var e float64
+	for i := range fr.slots {
+		sl := &fr.slots[i]
+		e += sl.dynW * float64(fr.slotDur(sl, period))
+	}
+	return e
+}
+
+// evalStatic folds the role's static energy in slot order at the current
+// temperature factors.
+func (f *FlatEval) evalStatic(fr *flatRole, period units.Seconds) float64 {
+	var e float64
+	for i := range fr.slots {
+		sl := &fr.slots[i]
+		var p float64
+		if sl.group >= 0 {
+			p = sl.coeff.At(f.groups[sl.group].tf)
+		}
+		e += p * float64(fr.slotDur(sl, period))
+	}
+	return e
+}
+
+// RoundDraw returns the node's total energy for round idx at speed v and
+// tyre temperature temp — the kernel equivalent of
+// PlanRound(v, idx) + RoundEnergy(plan, Base.WithTemp(temp)).Total().
+// Allocation-free once the (samples, pattern) template exists.
+func (f *FlatEval) RoundDraw(v units.Speed, idx int64, temp units.Celsius) (units.Energy, error) {
+	if !f.haveV || v != f.lastV {
+		period := f.n.cfg.Tyre.RoundPeriod(v)
+		if period <= 0 {
+			return 0, ErrStationary
+		}
+		nTx := f.n.cfg.TxPolicy.RoundsBetweenTx(period)
+		if nTx < 1 {
+			nTx = 1
+		}
+		samples := f.n.cfg.Acq.SamplesPerRound
+		if fit := f.n.cfg.Acq.MaxSamplesInDwell(f.n.cfg.Tyre.ContactDwell(v)); samples > fit {
+			samples = fit
+		}
+		f.lastV, f.lastPeriod, f.lastNTx, f.lastSamples = v, period, int64(nTx), samples
+		f.haveV = true
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("node: negative round index %d", idx)
+	}
+	cfg := &f.n.cfg
+	aux := idx%int64(cfg.Acq.AuxPeriodRounds) == 0
+	tx := idx%f.lastNTx == 0
+	rx := cfg.Receiver.Enabled() && idx%int64(cfg.RxPeriodRounds) == 0
+	pat := 0
+	if aux {
+		pat |= 1
+	}
+	if tx {
+		pat |= 2
+	}
+	if rx {
+		pat |= 4
+	}
+	tp := f.templates[f.lastSamples][pat]
+	if tp == nil {
+		built, err := f.buildTemplate(v, idx, f.lastPeriod, f.lastSamples, aux, int(f.lastNTx), tx, rx)
+		if err != nil {
+			return 0, err
+		}
+		f.templates[f.lastSamples][pat] = built
+		tp = built
+	}
+	period := f.lastPeriod
+	if tp.totalActivity > period {
+		return 0, fmt.Errorf("node: round overrun at %v: %v of activity in a %v round",
+			v, tp.totalActivity, period)
+	}
+	f.setTemp(temp)
+	f.stats.Rounds++
+	if tp.valid && tp.lastPeriod == period && tp.epoch == f.epoch {
+		f.stats.CleanBlocks += uint64(len(tp.roles))
+		return units.Energy(tp.totalJ), nil
+	}
+	for i := range tp.roles {
+		fr := &tp.roles[i]
+		switch {
+		case fr.lastPeriod != period || fr.epoch == 0:
+			f.stats.DirtyBlocks++
+			fr.dynJ = fr.evalDyn(period)
+			fr.staticJ = f.evalStatic(fr, period)
+			fr.lastPeriod = period
+			fr.epoch = f.epoch
+		case fr.epoch != f.epoch:
+			if fr.hasStatic {
+				f.stats.DirtyBlocks++
+				fr.staticJ = f.evalStatic(fr, period)
+			} else {
+				f.stats.CleanBlocks++
+			}
+			fr.epoch = f.epoch
+		default:
+			f.stats.CleanBlocks++
+		}
+	}
+	// Node-level folds in role order, then Breakdown.Total's
+	// (Dynamic+Static)+Transition.
+	var dynT, statT float64
+	for i := range tp.roles {
+		dynT += tp.roles[i].dynJ
+		statT += tp.roles[i].staticJ
+	}
+	tp.totalJ = (dynT + statT) + tp.transJ
+	tp.lastPeriod = period
+	tp.epoch = f.epoch
+	tp.valid = true
+	return units.Energy(tp.totalJ), nil
+}
+
+// RestPower returns the node's stationary draw at tyre temperature temp —
+// the kernel equivalent of RestPower(Base.WithTemp(temp)).
+func (f *FlatEval) RestPower(temp units.Celsius) (units.Power, error) {
+	f.setTemp(temp)
+	if f.restValid && f.restEpoch == f.epoch {
+		f.stats.CleanBlocks += uint64(len(f.rest))
+		return units.Power(f.restW), nil
+	}
+	var total float64
+	for i := range f.rest {
+		e := &f.rest[i]
+		var st float64
+		if e.group >= 0 {
+			st = e.coeff.At(f.groups[e.group].tf)
+		}
+		total += e.dynW + st
+	}
+	f.stats.DirtyBlocks += uint64(len(f.rest))
+	f.restW = total
+	f.restEpoch = f.epoch
+	f.restValid = true
+	return units.Power(total), nil
+}
+
+// Stats returns the kernel's cumulative counters.
+func (f *FlatEval) Stats() KernelStats { return f.stats }
+
+// FlushStats folds the counters accumulated since the previous flush into
+// the node's shared CacheStats atomics (a no-op on cache-less nodes). The
+// emulation session calls it once per segment, keeping the hot loop free
+// of atomic traffic.
+func (f *FlatEval) FlushStats() {
+	d := KernelStats{
+		Rounds:         f.stats.Rounds - f.flushed.Rounds,
+		DirtyBlocks:    f.stats.DirtyBlocks - f.flushed.DirtyBlocks,
+		CleanBlocks:    f.stats.CleanBlocks - f.flushed.CleanBlocks,
+		TableHits:      f.stats.TableHits - f.flushed.TableHits,
+		TableFallbacks: f.stats.TableFallbacks - f.flushed.TableFallbacks,
+	}
+	f.flushed = f.stats
+	c := f.n.cache
+	if c == nil {
+		return
+	}
+	c.kernelRounds.Add(d.Rounds)
+	c.kernelDirty.Add(d.DirtyBlocks)
+	c.kernelClean.Add(d.CleanBlocks)
+	c.kernelTableHits.Add(d.TableHits)
+	c.kernelTableFallbacks.Add(d.TableFallbacks)
+}
+
+// buildTemplate flattens the (samples, aux, tx, rx) round layout. The
+// plan is laid out by the same buildPlan the legacy path uses, then each
+// role's schedule is classified positionally: duty-cycled roles are
+// [timeline slots..., rest filler], always-on roles are one full-period
+// slot. Dynamic powers, static coefficients and the constant transition
+// energy are resolved once here; idx and v only seed the build and must
+// select the same (samples, aux, tx, rx) key.
+func (f *FlatEval) buildTemplate(v units.Speed, idx int64, period units.Seconds, samples int, aux bool, nTx int, tx, rx bool) (*flatTemplate, error) {
+	cfg := &f.n.cfg
+	if tx && f.airErr != nil {
+		return nil, f.airErr
+	}
+	// Reproduce buildPlan's activity-total fold for the overrun guard.
+	burst := units.Seconds(float64(samples) * cfg.Acq.SampleTime.Seconds())
+	frontActive := burst
+	if aux {
+		frontActive += cfg.Acq.AuxTime
+	}
+	computeT := cfg.Compute.TimePerRound(samples, cfg.MCUClock)
+	var nvmActive units.Seconds
+	if aux {
+		nvmActive = cfg.LogWriteTime
+	}
+	var onAir units.Seconds
+	if tx {
+		onAir = f.onAir
+	}
+	var rxWin units.Seconds
+	if rx {
+		rxWin = cfg.Receiver.Window
+	}
+	p, err := f.n.buildPlan(v, idx, period, aux, nTx, tx, rx)
+	if err != nil {
+		return nil, err
+	}
+	tp := &flatTemplate{
+		roles:         make([]flatRole, 0, len(p.roles)),
+		totalActivity: frontActive + computeT + nvmActive + onAir + rxWin,
+	}
+	alwaysOn := map[Role]bool{RolePMU: true, RoleClock: true}
+	for _, role := range p.roles {
+		blk := f.n.Block(role)
+		if blk == nil {
+			return nil, fmt.Errorf("node: no block for scheduled role %q", role)
+		}
+		sched := p.Schedules[role]
+		slots := sched.Slots()
+		fr := flatRole{slots: make([]flatSlot, 0, len(slots))}
+		for i, sl := range slots {
+			mp, err := blk.ModePower(sl.Mode, f.cond)
+			if err != nil {
+				return nil, fmt.Errorf("node: costing %q: %w", role, err)
+			}
+			fs := flatSlot{dynW: mp.Dynamic, coeff: mp.Static, group: -1}
+			if !mp.Static.Zero {
+				fs.group = f.group(mp.Static)
+				fr.hasStatic = true
+			}
+			switch {
+			case alwaysOn[role]:
+				fs.kind = slotPeriod
+			case i == len(slots)-1:
+				// buildPlan appends the rest filler last, always.
+				fs.kind = slotRest
+			default:
+				fs.kind = slotConst
+				fs.durS = sl.Dur
+				fr.busy += sl.Dur
+			}
+			fr.slots = append(fr.slots, fs)
+		}
+		// The per-role transition energy is constant: the cyclic mode
+		// sequence (zero-duration slots included) never depends on the
+		// period. Fold per role first, then into the node total, matching
+		// the legacy RoundEnergy/costRound association exactly.
+		var roleTrans float64
+		for _, tr := range sched.Transitions() {
+			roleTrans += blk.TransitionCost(tr[0], tr[1]).Energy.Joules()
+		}
+		tp.transJ += roleTrans
+		tp.roles = append(tp.roles, fr)
+	}
+	return tp, nil
+}
+
+// buildRest flattens the stationary-draw entry list in restPower's fold
+// order: duty-cycled roles in their rest modes, then the always-on PMU
+// and clock in Active.
+func (f *FlatEval) buildRest() error {
+	add := func(role Role, mode block.Mode) error {
+		mp, err := f.n.Block(role).ModePower(mode, f.cond)
+		if err != nil {
+			return err
+		}
+		e := flatRestEntry{dynW: mp.Dynamic, coeff: mp.Static, group: -1}
+		if !mp.Static.Zero {
+			e.group = f.group(mp.Static)
+		}
+		f.rest = append(f.rest, e)
+		return nil
+	}
+	for _, role := range dutyCycledRoles {
+		if err := add(role, f.n.RestMode(role)); err != nil {
+			return err
+		}
+	}
+	for _, role := range []Role{RolePMU, RoleClock} {
+		if err := add(role, block.Active); err != nil {
+			return err
+		}
+	}
+	return nil
+}

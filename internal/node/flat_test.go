@@ -1,0 +1,284 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/rf"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// flatTestNodes returns the architectures the kernel equivalence tests
+// sweep: the default node, a downlink-enabled node (exercises the RX
+// pattern bit and the radio rx mode), a non-typical corner/Vdd, and a
+// max-latency TX policy (speed-dependent nTx).
+func flatTestNodes(t *testing.T) map[string]struct {
+	n    *Node
+	base power.Conditions
+} {
+	t.Helper()
+	def, err := Default(wheel.Default())
+	if err != nil {
+		t.Fatalf("Default: %v", err)
+	}
+	rx := rxNode(t)
+	ffCfg := DefaultConfig(wheel.Default())
+	ff, err := New(ffCfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mlCfg := DefaultConfig(wheel.Default())
+	mlCfg.TxPolicy = rf.MaxLatency{Target: units.Sec(2), Cap: 64}
+	ml, err := New(mlCfg)
+	if err != nil {
+		t.Fatalf("New max-latency: %v", err)
+	}
+	nom := power.Nominal()
+	return map[string]struct {
+		n    *Node
+		base power.Conditions
+	}{
+		"default":     {def, nom},
+		"rx":          {rx, nom},
+		"ff-lowvdd":   {ff, power.Conditions{Temp: units.DegC(25), Vdd: units.Volts(1.62), Corner: power.FF}},
+		"max-latency": {ml, nom},
+	}
+}
+
+// flatSweepPoints crosses speeds (including high speeds that clamp the
+// sample count and crawl speeds near the period limit), round indices
+// (covering every aux/TX/RX pattern) and temperatures (in- and
+// out-of-table, plus non-monotone revisits to exercise dirty tracking).
+var flatSweepSpeeds = []float64{4, 11.3, 30, 50, 59.9, 60, 88.8, 120, 180, 240, 320}
+var flatSweepTemps = []float64{-50, -10, 0, 19.999, 20, 25, 33.33, 47, 80, 120, 170, 47, 25}
+
+// TestFlatEvalExactMatchesLegacy pins the tentpole's exactness contract:
+// in exact mode the kernel's RoundDraw and RestPower are bit-identical
+// to the per-block PlanRound + RoundEnergy + RestPower path, across
+// architectures, speeds, round indices and temperatures.
+func TestFlatEvalExactMatchesLegacy(t *testing.T) {
+	for name, tc := range flatTestNodes(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := NewFlatEval(tc.n, tc.base, true)
+			if err != nil {
+				t.Fatalf("NewFlatEval: %v", err)
+			}
+			for _, kmhV := range flatSweepSpeeds {
+				v := units.KilometersPerHour(kmhV)
+				for idx := int64(0); idx < 40; idx++ {
+					for _, tC := range flatSweepTemps {
+						temp := units.DegC(tC)
+						cond := tc.base.WithTemp(temp)
+						got, err := f.RoundDraw(v, idx, temp)
+						if err != nil {
+							t.Fatalf("RoundDraw(%v, %d, %v): %v", v, idx, temp, err)
+						}
+						plan, err := tc.n.PlanRound(v, idx)
+						if err != nil {
+							t.Fatalf("PlanRound: %v", err)
+						}
+						bd, err := tc.n.RoundEnergy(plan, cond)
+						if err != nil {
+							t.Fatalf("RoundEnergy: %v", err)
+						}
+						if want := bd.Total(); got != want {
+							t.Fatalf("RoundDraw(%v, idx=%d, %v) = %.17g J, legacy %.17g J (Δ %g)",
+								v, idx, temp, got.Joules(), want.Joules(), got.Joules()-want.Joules())
+						}
+					}
+				}
+			}
+			for _, tC := range flatSweepTemps {
+				temp := units.DegC(tC)
+				got, err := f.RestPower(temp)
+				if err != nil {
+					t.Fatalf("RestPower: %v", err)
+				}
+				want, err := tc.n.RestPower(tc.base.WithTemp(temp))
+				if err != nil {
+					t.Fatalf("legacy RestPower: %v", err)
+				}
+				if got != want {
+					t.Fatalf("RestPower(%v) = %.17g W, legacy %.17g W", temp, got.Watts(), want.Watts())
+				}
+			}
+		})
+	}
+}
+
+// TestFlatEvalErrorsMatchLegacy checks the kernel reproduces the legacy
+// error cases: stationary wheel and negative round index.
+func TestFlatEvalErrorsMatchLegacy(t *testing.T) {
+	n, err := Default(wheel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFlatEval(n, power.Nominal(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RoundDraw(0, 0, units.DegC(25)); err != ErrStationary {
+		t.Errorf("stationary: got %v, want ErrStationary", err)
+	}
+	if _, err := f.RoundDraw(kmh(60), -1, units.DegC(25)); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+// TestFlatEvalInterpolatedWithinBound pins the fast mode's documented
+// accuracy: interpolated static power differs from exact by at most the
+// (step/θ)²/8 piecewise-linear bound (≈ 9.6e-5 relative with the default
+// θ), so whole-round energies — which also contain exact dynamic and
+// transition terms — stay within 1e-4 relative everywhere in the table
+// range. Outside the range the fallback path is exact.
+func TestFlatEvalInterpolatedWithinBound(t *testing.T) {
+	for name, tc := range flatTestNodes(t) {
+		t.Run(name, func(t *testing.T) {
+			exact, err := NewFlatEval(tc.n, tc.base, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := NewFlatEval(tc.n, tc.base, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const bound = 1e-4
+			for _, kmhV := range flatSweepSpeeds {
+				v := units.KilometersPerHour(kmhV)
+				for idx := int64(0); idx < 20; idx++ {
+					for _, tC := range flatSweepTemps {
+						temp := units.DegC(tC)
+						e, err := exact.RoundDraw(v, idx, temp)
+						if err != nil {
+							t.Fatal(err)
+						}
+						g, err := fast.RoundDraw(v, idx, temp)
+						if err != nil {
+							t.Fatal(err)
+						}
+						rel := math.Abs(g.Joules()-e.Joules()) / e.Joules()
+						if rel > bound {
+							t.Fatalf("fast RoundDraw(%v, %d, %v) off by %.3g relative (> %g)",
+								v, idx, temp, rel, bound)
+						}
+						if tC < -45 || tC > 165 {
+							// Fallback region: exact exp, so bit-identical.
+							if g != e {
+								t.Fatalf("fallback at %v not exact: %.17g vs %.17g", temp, g.Joules(), e.Joules())
+							}
+						}
+					}
+				}
+			}
+			st := fast.Stats()
+			if st.TableHits == 0 {
+				t.Error("fast mode recorded no table hits")
+			}
+			if st.TableFallbacks == 0 {
+				t.Error("out-of-range temps recorded no fallbacks")
+			}
+			if est := exact.Stats(); est.TableHits != 0 || est.TableFallbacks != 0 {
+				t.Errorf("exact mode touched the table: %+v", est)
+			}
+		})
+	}
+}
+
+// TestFlatEvalDirtyTracking checks the incremental recompute logic:
+// repeated identical rounds are clean, and temperature or speed changes
+// dirty exactly the affected state.
+func TestFlatEvalDirtyTracking(t *testing.T) {
+	n, err := Default(wheel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFlatEval(n, power.Nominal(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := kmh(60)
+	temp := units.DegC(40)
+	// Same non-pattern round index class (idx 1, 3 are plain rounds with
+	// the default config), same temp: after the first evaluation the
+	// template total short-circuits.
+	if _, err := f.RoundDraw(v, 1, temp); err != nil {
+		t.Fatal(err)
+	}
+	before := f.Stats()
+	if _, err := f.RoundDraw(v, 3, temp); err != nil {
+		t.Fatal(err)
+	}
+	after := f.Stats()
+	if d := after.DirtyBlocks - before.DirtyBlocks; d != 0 {
+		t.Errorf("identical round dirtied %d blocks", d)
+	}
+	if c := after.CleanBlocks - before.CleanBlocks; c == 0 {
+		t.Error("identical round counted no clean blocks")
+	}
+	// A new temperature dirties the static state.
+	before = after
+	if _, err := f.RoundDraw(v, 5, units.DegC(41)); err != nil {
+		t.Fatal(err)
+	}
+	after = f.Stats()
+	if d := after.DirtyBlocks - before.DirtyBlocks; d == 0 {
+		t.Error("temperature change dirtied no blocks")
+	}
+	if after.Rounds != 3 {
+		t.Errorf("Rounds = %d, want 3", after.Rounds)
+	}
+}
+
+// TestFlatEvalZeroAllocRound is the CI allocation gate: once a
+// (samples, pattern) template exists, RoundDraw and RestPower allocate
+// nothing per round in either mode — including rounds that change
+// temperature every call (the thermal-transient worst case) and rounds
+// that change speed every call (ramps).
+func TestFlatEvalZeroAllocRound(t *testing.T) {
+	n, err := Default(wheel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		exact bool
+	}{{"exact", true}, {"fast", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			f, err := NewFlatEval(n, power.Nominal(), mode.exact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			speeds := []units.Speed{kmh(50), kmh(60), kmh(70.5), kmh(88)}
+			// Warm up: build every template this loop can touch.
+			for _, v := range speeds {
+				for idx := int64(0); idx < 64; idx++ {
+					if _, err := f.RoundDraw(v, idx, units.DegC(30)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if _, err := f.RestPower(units.DegC(30)); err != nil {
+				t.Fatal(err)
+			}
+			var idx int64
+			var i int
+			allocs := testing.AllocsPerRun(2000, func() {
+				v := speeds[i%len(speeds)]
+				temp := units.DegC(30 + float64(i%13)*0.37)
+				if _, err := f.RoundDraw(v, idx, temp); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.RestPower(temp); err != nil {
+					t.Fatal(err)
+				}
+				idx++
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("kernel inner loop allocates %.1f per round, want 0", allocs)
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package power
+
+import "math"
+
+// StaticCoeffs is a Leakage model specialised to a fixed supply voltage
+// and process corner, leaving temperature as the only free variable:
+//
+//	P(T) = (Base · exp((T − RefC)/Theta)) · Mult
+//
+// Base folds the nominal leakage and the Vdd scaling term, Mult is the
+// corner multiplier, and RefC/Theta are the (resolved) exponential
+// temperature parameters. The factorisation mirrors Leakage.Power term by
+// term — Power evaluates P0·pow(vr,k) first, then the temperature factor,
+// then the corner multiplier, all left-associated — so At(Factor(T)) is
+// bit-identical to Leakage.Power at the same conditions. The emulator
+// kernel (internal/node's FlatEval) precomputes coefficients once per
+// block mode and shares one temperature factor across every mode with the
+// same (RefC, Theta), turning the per-round leakage evaluation into one
+// multiply-add per slot.
+type StaticCoeffs struct {
+	// Base is Nominal · (Vdd/V0)^k in watts.
+	Base float64
+	// RefC is the characterisation temperature in °C.
+	RefC float64
+	// Theta is the exponential temperature constant in °C with the
+	// package default already applied.
+	Theta float64
+	// Mult is the leakage corner multiplier.
+	Mult float64
+	// Zero marks a no-leakage model (Nominal == 0): At always returns 0,
+	// matching Leakage.Power's early return regardless of conditions.
+	Zero bool
+}
+
+// Coeffs specialises the leakage model to cond's supply voltage and
+// corner. Coeffs(cond).At(Coeffs(cond).Factor(T)) reproduces
+// Power(cond.WithTemp(T)) bit for bit for every temperature T.
+func (l Leakage) Coeffs(cond Conditions) StaticCoeffs {
+	if l.Nominal == 0 {
+		return StaticCoeffs{Zero: true}
+	}
+	theta := l.ThetaC
+	if theta == 0 {
+		theta = DefaultThetaC
+	}
+	k := l.VddExponent
+	if k == 0 {
+		k = DefaultVddExponent
+	}
+	vr := cond.Vdd.Volts() / l.NominalVdd.Volts()
+	if vr < 0 {
+		vr = 0
+	}
+	return StaticCoeffs{
+		Base:  l.Nominal.Watts() * math.Pow(vr, k),
+		RefC:  l.RefTemp.DegC(),
+		Theta: theta,
+		Mult:  leakageCornerMult(cond.Corner),
+	}
+}
+
+// Factor returns the exact exponential temperature factor at tempC — the
+// same math.Exp term Leakage.Power evaluates.
+func (c StaticCoeffs) Factor(tempC float64) float64 {
+	return math.Exp((tempC - c.RefC) / c.Theta)
+}
+
+// At evaluates the static power in watts at a precomputed temperature
+// factor tf (exact, from Factor, or interpolated from a lookup table).
+func (c StaticCoeffs) At(tf float64) float64 {
+	if c.Zero {
+		return 0
+	}
+	return c.Base * tf * c.Mult
+}

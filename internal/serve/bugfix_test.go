@@ -87,6 +87,7 @@ func TestFollowerRetriesAfterLeader429(t *testing.T) {
 
 	req := EmulateRequest{SpeedKMH: 40, Minutes: 1}
 	req.defaults()
+	req.resolveFast(false)
 	key, err := canonicalKey("emulate", req)
 	if err != nil {
 		t.Fatal(err)
@@ -169,6 +170,7 @@ func TestExplicitZeroFieldsDistinctKeys(t *testing.T) {
 			t.Fatal(err)
 		}
 		req.defaults()
+		req.resolveFast(false)
 		if err := req.validate(); err != nil {
 			t.Fatal(err)
 		}

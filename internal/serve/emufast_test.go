@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestEmulateFastKnob pins the request-level kernel-mode contract on a
+// default (exact) server: omitting "fast" and spelling the server
+// default explicitly coalesce onto one cache entry, while "fast": true
+// is a distinct computation with its own key.
+func TestEmulateFastKnob(t *testing.T) {
+	_, srv := testServer(t, Options{Workers: 1})
+	const base = `{"speed_kmh":40,"minutes":1`
+
+	status, exactBody, src := post(t, srv.URL, "/v1/emulate", base+`}`)
+	if status != http.StatusOK || src != "computed" {
+		t.Fatalf("omitted fast: status %d source %q, want 200 computed", status, src)
+	}
+	status, sameBody, src := post(t, srv.URL, "/v1/emulate", base+`,"fast":false}`)
+	if status != http.StatusOK || src != "cache" {
+		t.Fatalf("explicit fast=false: status %d source %q, want 200 cache (coalesced with omitted)", status, src)
+	}
+	if string(sameBody) != string(exactBody) {
+		t.Error("explicit fast=false served different bytes than the omitted-field request")
+	}
+	status, _, src = post(t, srv.URL, "/v1/emulate", base+`,"fast":true}`)
+	if status != http.StatusOK || src != "computed" {
+		t.Fatalf("fast=true: status %d source %q, want a fresh 200 computed", status, src)
+	}
+}
+
+// TestEmulateServerFastDefault flips the default with Options.EmuFast:
+// an omitted field now resolves to fast, coalescing with "fast": true,
+// and "fast": false opts one request back onto the exact kernel.
+func TestEmulateServerFastDefault(t *testing.T) {
+	_, srv := testServer(t, Options{Workers: 1, EmuFast: true})
+	const base = `{"speed_kmh":40,"minutes":1`
+
+	status, _, src := post(t, srv.URL, "/v1/emulate", base+`}`)
+	if status != http.StatusOK || src != "computed" {
+		t.Fatalf("omitted fast: status %d source %q, want 200 computed", status, src)
+	}
+	status, _, src = post(t, srv.URL, "/v1/emulate", base+`,"fast":true}`)
+	if status != http.StatusOK || src != "cache" {
+		t.Fatalf("explicit fast=true: status %d source %q, want 200 cache (coalesced with omitted)", status, src)
+	}
+	status, _, src = post(t, srv.URL, "/v1/emulate", base+`,"fast":false}`)
+	if status != http.StatusOK || src != "computed" {
+		t.Fatalf("fast=false opt-out: status %d source %q, want a fresh 200 computed", status, src)
+	}
+}
+
+// metricValue extracts one series' value from a /v1/metrics exposition.
+func metricValue(t *testing.T, exposition, series string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\S+)$`)
+	m := re.FindStringSubmatch(exposition)
+	if m == nil {
+		t.Fatalf("series %q not found in exposition", series)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("series %q value %q: %v", series, m[1], err)
+	}
+	return v
+}
+
+// TestKernelMetricsAbsorbed runs one exact and one fast emulation and
+// checks the kernel counters the evaluations folded into the node cache
+// stats surface on /v1/metrics: rounds and dirty/clean blocks from both
+// runs, table hits only from the fast one.
+func TestKernelMetricsAbsorbed(t *testing.T) {
+	_, srv := testServer(t, Options{Workers: 1, CacheEntries: -1})
+	if status, body, _ := post(t, srv.URL, "/v1/emulate", `{"speed_kmh":60,"minutes":2}`); status != http.StatusOK {
+		t.Fatalf("exact emulate: status %d: %s", status, body)
+	}
+	exposition, _ := scrape(t, srv.URL)
+	rounds := metricValue(t, exposition, "tyresysd_kernel_rounds_total")
+	if rounds == 0 {
+		t.Error("no kernel rounds absorbed after an exact emulation")
+	}
+	clean := metricValue(t, exposition, `tyresysd_kernel_blocks_total{outcome="clean"}`)
+	dirty := metricValue(t, exposition, `tyresysd_kernel_blocks_total{outcome="dirty"}`)
+	if clean == 0 || dirty == 0 {
+		t.Errorf("kernel block counters clean=%v dirty=%v, want both > 0", clean, dirty)
+	}
+	if hits := metricValue(t, exposition, `tyresysd_kernel_table_total{outcome="hit"}`); hits != 0 {
+		t.Errorf("exact emulation recorded %v table hits, want 0", hits)
+	}
+
+	if status, body, _ := post(t, srv.URL, "/v1/emulate", `{"speed_kmh":60,"minutes":2,"fast":true}`); status != http.StatusOK {
+		t.Fatalf("fast emulate: status %d: %s", status, body)
+	}
+	exposition, _ = scrape(t, srv.URL)
+	if hits := metricValue(t, exposition, `tyresysd_kernel_table_total{outcome="hit"}`); hits == 0 {
+		t.Error("fast emulation recorded no table hits")
+	}
+	if got := metricValue(t, exposition, "tyresysd_kernel_rounds_total"); got <= rounds {
+		t.Errorf("kernel rounds did not grow after the fast run: %v -> %v", rounds, got)
+	}
+}
+
+// TestEmulateFastRejectsGarbage keeps the strict-decode contract on the
+// new field: a non-boolean "fast" is a 400, not a silent default.
+func TestEmulateFastRejectsGarbage(t *testing.T) {
+	_, srv := testServer(t, Options{Workers: 1})
+	status, body, _ := post(t, srv.URL, "/v1/emulate", `{"cycle":"urban","fast":"yes"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("fast=\"yes\": status %d, want 400: %s", status, body)
+	}
+	if !strings.Contains(string(body), "fast") {
+		t.Errorf("400 body %q does not name the offending field", body)
+	}
+}

@@ -279,6 +279,7 @@ func emulatorFor(st cli.Stack, hv *scavenger.Harvester, req EmulateRequest) (*em
 		InitialVoltage: initial,
 		Ambient:        st.Ambient,
 		Base:           st.Base,
+		Fast:           req.Fast != nil && *req.Fast,
 	})
 	if err != nil {
 		return nil, nil, badRequestError{err}

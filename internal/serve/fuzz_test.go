@@ -85,6 +85,7 @@ func FuzzDecodeRequest(f *testing.F) {
 				return "", err
 			}
 			req.defaults()
+			req.resolveFast(false)
 			if err := req.validate(); err != nil {
 				return "", err
 			}

@@ -42,6 +42,14 @@ type serveMetrics struct {
 	// jobChunk observes one checkpointed batch-job chunk's wall time; the
 	// jobs manager calls it through the OnChunk hook.
 	jobChunk *obs.Histogram
+
+	// Emulator-kernel counters, absorbed like the memo counters above:
+	// rounds evaluated through node.FlatEval, block recomputations by
+	// dirty-tracking outcome, and interpolation-table lookups by outcome
+	// (fast mode only; exact mode never touches the tables).
+	kernelRounds                          *obs.Counter
+	kernelDirty, kernelClean              *obs.Counter
+	kernelTableHits, kernelTableFallbacks *obs.Counter
 }
 
 // nodeMemoTables names the node memo tables in exposition order.
@@ -178,6 +186,24 @@ func newServeMetrics(s *Server) *serveMetrics {
 	r.CounterFunc("tyresysd_jobs_persist_failures_total",
 		"Batch jobs failed because the checkpoint store stopped accepting writes (degraded persistence-lost mode).",
 		func() float64 { return float64(s.jobs.PersistFailures()) })
+
+	// Emulator-kernel metrics. Registered after the job families for the
+	// same reason those follow the memo families: appended families keep
+	// every earlier family's golden-pinned exposition offset.
+	m.kernelRounds = r.Counter("tyresysd_kernel_rounds_total",
+		"Wheel rounds evaluated through the struct-of-arrays emulator kernel.")
+	m.kernelDirty = r.Counter("tyresysd_kernel_blocks_total",
+		"Kernel per-role round evaluations by dirty-tracking outcome: dirty (recomputed) or clean (carried forward).",
+		obs.Label{Key: "outcome", Value: "dirty"})
+	m.kernelClean = r.Counter("tyresysd_kernel_blocks_total",
+		"Kernel per-role round evaluations by dirty-tracking outcome: dirty (recomputed) or clean (carried forward).",
+		obs.Label{Key: "outcome", Value: "clean"})
+	m.kernelTableHits = r.Counter("tyresysd_kernel_table_total",
+		"Interpolated temperature-factor table lookups by outcome: hit (in range, lerped) or fallback (out of range, exact exp).",
+		obs.Label{Key: "outcome", Value: "hit"})
+	m.kernelTableFallbacks = r.Counter("tyresysd_kernel_table_total",
+		"Interpolated temperature-factor table lookups by outcome: hit (in range, lerped) or fallback (out of range, exact exp).",
+		obs.Label{Key: "outcome", Value: "fallback"})
 	return m
 }
 
@@ -212,6 +238,11 @@ func (m *serveMetrics) absorb(st cli.Stack) {
 		m.blockHits.Add(int64(bs.Hits))
 		m.blockMiss.Add(int64(bs.Misses))
 	}
+	m.kernelRounds.Add(int64(cs.KernelRounds))
+	m.kernelDirty.Add(int64(cs.KernelDirtyBlocks))
+	m.kernelClean.Add(int64(cs.KernelCleanBlocks))
+	m.kernelTableHits.Add(int64(cs.KernelTableHits))
+	m.kernelTableFallbacks.Add(int64(cs.KernelTableFallbacks))
 }
 
 // handleMetrics renders the registry in the Prometheus text format.

@@ -95,6 +95,7 @@ func (s *Server) planJob(kind string, request json.RawMessage) (jobs.Plan, error
 			return nil, err
 		}
 		req.defaults()
+		req.resolveFast(s.opts.EmuFast)
 		if err := req.validate(); err != nil {
 			return nil, err
 		}
@@ -118,6 +119,7 @@ func (s *Server) planJob(kind string, request json.RawMessage) (jobs.Plan, error
 			return nil, err
 		}
 		req.defaults()
+		req.EmulateRequest.resolveFast(s.opts.EmuFast)
 		if err := req.validate(); err != nil {
 			return nil, err
 		}

@@ -203,6 +203,14 @@ type EmulateRequest struct {
 	// the buffer's restart threshold. defaults() deliberately leaves it
 	// nil: the threshold lives in the scenario's buffer, not here.
 	InitialV *float64 `json:"initial_v,omitempty"`
+	// Fast selects the interpolated-table emulation kernel (emu.Config.
+	// Fast): skips the per-round exponential for a documented ≤ ~1e-4
+	// relative error on static power. A pointer so an omitted field can
+	// inherit the server default (tyresysd -emu-fast); resolveFast fills
+	// it before the canonical key is computed, so an omitted field and an
+	// explicitly spelled server default coalesce onto one cache entry —
+	// and requests with different effective modes never share one.
+	Fast *bool `json:"fast,omitempty"`
 }
 
 func (r *EmulateRequest) defaults() {
@@ -211,6 +219,18 @@ func (r *EmulateRequest) defaults() {
 	}
 	if r.Repeat == 0 {
 		r.Repeat = 1
+	}
+}
+
+// resolveFast fills an omitted fast field with the server's default
+// emulation mode. Separate from defaults() because the default is an
+// Options knob, not a request-shape constant; every decode path
+// (synchronous handler, batch planner, fleet planner) calls it right
+// after defaults() and before canonicalKey.
+func (r *EmulateRequest) resolveFast(serverDefault bool) {
+	if r.Fast == nil {
+		v := serverDefault
+		r.Fast = &v
 	}
 }
 

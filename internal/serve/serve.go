@@ -62,6 +62,12 @@ type Options struct {
 	// MaxJobs bounds incomplete (pending + running) jobs; submissions
 	// beyond it are rejected with 429 (default 64).
 	MaxJobs int
+	// EmuFast makes the interpolated-table emulation kernel the default
+	// for /v1/emulate and emulate-shaped batch jobs: requests that omit
+	// the "fast" field inherit it (an explicit "fast" always wins).
+	// tyresysd exposes this as -emu-fast. Off by default: the exact
+	// kernel is bit-identical to the pre-kernel evaluation.
+	EmuFast bool
 	// JobsNoSync skips the fsync after each batch-job chunk append,
 	// trading the durability of a job's most recent chunks against a
 	// crash for append throughput. Job specs and terminal records stay
@@ -175,7 +181,7 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/breakeven", s.analysisHandler("breakeven", decodeBreakEven))
 	s.mux.HandleFunc("/v1/montecarlo", s.analysisHandler("montecarlo", decodeMonteCarlo))
 	s.mux.HandleFunc("/v1/optimize", s.analysisHandler("optimize", decodeOptimize))
-	s.mux.HandleFunc("/v1/emulate", s.analysisHandler("emulate", decodeEmulate))
+	s.mux.HandleFunc("/v1/emulate", s.analysisHandler("emulate", s.decodeEmulate))
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
@@ -556,12 +562,17 @@ func decodeOptimize(body io.Reader) (string, cli.Stack, evaluator, error) {
 	}, nil
 }
 
-func decodeEmulate(body io.Reader) (string, cli.Stack, evaluator, error) {
+// decodeEmulate is a method, unlike its free-function siblings: the
+// emulation kernel mode has a server-level default (Options.EmuFast)
+// that must be resolved into the request before the canonical key is
+// computed.
+func (s *Server) decodeEmulate(body io.Reader) (string, cli.Stack, evaluator, error) {
 	var req EmulateRequest
 	if err := decodeStrict(body, &req); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
 	req.defaults()
+	req.resolveFast(s.opts.EmuFast)
 	if err := req.validate(); err != nil {
 		return "", cli.Stack{}, nil, err
 	}

@@ -126,6 +126,7 @@ func TestAdmissionControl(t *testing.T) {
 	// even though the admission slot is still taken.
 	req := EmulateRequest{Cycle: "urban"}
 	req.defaults()
+	req.resolveFast(false)
 	key, err := canonicalKey("emulate", req)
 	if err != nil {
 		t.Fatal(err)

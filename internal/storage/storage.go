@@ -70,6 +70,13 @@ func (b Buffer) Usable() units.Energy {
 type State struct {
 	buf    Buffer
 	energy units.Energy
+	// lastDt/lastFactor memoize Leak's step-size exponential: the decay
+	// factor is a pure function of dt (R and C are fixed per buffer), and
+	// the emulator's step size is constant over cruise and stopped
+	// stretches, so the exp re-evaluates only when dt changes. Not
+	// serialised: a restored State recomputes on first use.
+	lastDt     units.Seconds
+	lastFactor float64
 }
 
 // NewState returns a State charged to v0 (clamped into [0, VMax]).
@@ -170,9 +177,12 @@ func (s *State) Leak(dt units.Seconds) units.Energy {
 	if dt <= 0 || s.buf.SelfDischarge <= 0 || s.energy <= 0 {
 		return 0
 	}
-	rc := s.buf.SelfDischarge.Ohms() * s.buf.C.Farads()
-	factor := math.Exp(-2 * dt.Seconds() / rc)
-	lost := units.Energy(s.energy.Joules() * (1 - factor))
+	if dt != s.lastDt || s.lastFactor == 0 {
+		rc := s.buf.SelfDischarge.Ohms() * s.buf.C.Farads()
+		s.lastFactor = math.Exp(-2 * dt.Seconds() / rc)
+		s.lastDt = dt
+	}
+	lost := units.Energy(s.energy.Joules() * (1 - s.lastFactor))
 	s.energy -= lost
 	return lost
 }

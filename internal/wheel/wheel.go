@@ -103,6 +103,12 @@ type Thermal struct {
 	tyre Tyre
 	tau  units.Seconds
 	temp units.Celsius
+	// lastDt/lastAlpha memoize the step-size exponential: the emulator
+	// steps with the wheel-round period, which is constant over cruise
+	// stretches, so the exp re-evaluates only when dt changes. alpha is a
+	// pure function of dt (tau is fixed), so the memo is bit-exact.
+	lastDt    units.Seconds
+	lastAlpha float64
 }
 
 // NewThermal returns a thermal tracker starting at the ambient temperature.
@@ -134,7 +140,10 @@ func (th *Thermal) Step(amb units.Celsius, v units.Speed, dt units.Seconds) unit
 		return th.temp
 	}
 	target := th.tyre.SteadyTemperature(amb, v)
-	alpha := 1 - math.Exp(-dt.Seconds()/th.tau.Seconds())
-	th.temp = units.DegC(units.Lerp(th.temp.DegC(), target.DegC(), alpha))
+	if dt != th.lastDt {
+		th.lastAlpha = 1 - math.Exp(-dt.Seconds()/th.tau.Seconds())
+		th.lastDt = dt
+	}
+	th.temp = units.DegC(units.Lerp(th.temp.DegC(), target.DegC(), th.lastAlpha))
 	return th.temp
 }
