@@ -1,0 +1,301 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client speaks the tyresysd /v1 API. The zero value is not usable; call
+// New.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080" — no
+	// trailing slash, no /v1 suffix.
+	BaseURL string
+	// HTTP is the underlying HTTP client. New installs http.DefaultClient;
+	// tests and the in-process load-generator mode swap in a client whose
+	// Transport routes straight into an http.Handler.
+	HTTP *http.Client
+}
+
+// New returns a Client for the given base URL ("http://host:port").
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: http.DefaultClient}
+}
+
+// APIError is a non-2xx response carrying the server's JSON error
+// envelope ({"error": "..."}). Body holds the raw response when the
+// envelope did not decode.
+type APIError struct {
+	Status  int
+	Message string
+	Body    []byte
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server returned %d: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("server returned %d", e.Status)
+}
+
+// RawResult is an exact server response: status, the X-Result-Source
+// header (cache / coalesced / computed on analysis endpoints, empty
+// elsewhere), the full response headers and the verbatim body bytes.
+type RawResult struct {
+	Status int
+	Source string
+	Header http.Header
+	Body   []byte
+}
+
+// PostRaw POSTs a JSON body to a /v1 path and returns the exact response
+// without interpreting the status. This is the byte-identity primitive:
+// the determinism tests compare RawResult.Body across the cache,
+// coalesce and recompute paths, and tyreload uses Source to attribute
+// each response.
+func (c *Client) PostRaw(ctx context.Context, path string, body []byte) (RawResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return RawResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return RawResult{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return RawResult{}, err
+	}
+	return RawResult{
+		Status: resp.StatusCode,
+		Source: resp.Header.Get("X-Result-Source"),
+		Header: resp.Header,
+		Body:   data,
+	}, nil
+}
+
+// getRaw GETs a path and returns status + body.
+func (c *Client) getRaw(ctx context.Context, path string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// apiErr wraps a non-2xx body in an *APIError, decoding the error
+// envelope when present.
+func apiErr(status int, body []byte) error {
+	var env struct {
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(body, &env)
+	return &APIError{Status: status, Message: env.Error, Body: body}
+}
+
+// postJSON marshals req, POSTs it and decodes a 200 response into out.
+func (c *Client) postJSON(ctx context.Context, path string, reqDoc, out any) error {
+	body, err := json.Marshal(reqDoc)
+	if err != nil {
+		return err
+	}
+	res, err := c.PostRaw(ctx, path, body)
+	if err != nil {
+		return err
+	}
+	if res.Status != http.StatusOK && res.Status != http.StatusAccepted {
+		return apiErr(res.Status, res.Body)
+	}
+	return json.Unmarshal(res.Body, out)
+}
+
+// Balance runs POST /v1/balance.
+func (c *Client) Balance(ctx context.Context, req BalanceRequest) (BalanceResponse, error) {
+	var out BalanceResponse
+	err := c.postJSON(ctx, "/v1/balance", req, &out)
+	return out, err
+}
+
+// BreakEven runs POST /v1/breakeven.
+func (c *Client) BreakEven(ctx context.Context, req BreakEvenRequest) (BreakEvenResponse, error) {
+	var out BreakEvenResponse
+	err := c.postJSON(ctx, "/v1/breakeven", req, &out)
+	return out, err
+}
+
+// MonteCarlo runs POST /v1/montecarlo.
+func (c *Client) MonteCarlo(ctx context.Context, req MonteCarloRequest) (MonteCarloResponse, error) {
+	var out MonteCarloResponse
+	err := c.postJSON(ctx, "/v1/montecarlo", req, &out)
+	return out, err
+}
+
+// Optimize runs POST /v1/optimize.
+func (c *Client) Optimize(ctx context.Context, req OptimizeRequest) (OptimizeResponse, error) {
+	var out OptimizeResponse
+	err := c.postJSON(ctx, "/v1/optimize", req, &out)
+	return out, err
+}
+
+// Emulate runs POST /v1/emulate.
+func (c *Client) Emulate(ctx context.Context, req EmulateRequest) (EmulateResponse, error) {
+	var out EmulateResponse
+	err := c.postJSON(ctx, "/v1/emulate", req, &out)
+	return out, err
+}
+
+// SubmitJob POSTs /v1/jobs and returns the accepted job's status.
+func (c *Client) SubmitJob(ctx context.Context, req JobSubmitRequest) (JobStatus, error) {
+	var out JobStatus
+	err := c.postJSON(ctx, "/v1/jobs", req, &out)
+	return out, err
+}
+
+// Job fetches GET /v1/jobs/{id}.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	status, body, err := c.getRaw(ctx, "/v1/jobs/"+id)
+	if err != nil {
+		return out, err
+	}
+	if status != http.StatusOK {
+		return out, apiErr(status, body)
+	}
+	return out, json.Unmarshal(body, &out)
+}
+
+// Jobs fetches GET /v1/jobs.
+func (c *Client) Jobs(ctx context.Context) (JobList, error) {
+	var out JobList
+	status, body, err := c.getRaw(ctx, "/v1/jobs")
+	if err != nil {
+		return out, err
+	}
+	if status != http.StatusOK {
+		return out, apiErr(status, body)
+	}
+	return out, json.Unmarshal(body, &out)
+}
+
+// CancelJob issues DELETE /v1/jobs/{id} and returns the resulting
+// status document.
+func (c *Client) CancelJob(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, apiErr(resp.StatusCode, body)
+	}
+	return out, json.Unmarshal(body, &out)
+}
+
+// WaitJob polls GET /v1/jobs/{id} until the state is terminal or the
+// context ends, re-polling at the given interval.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// JobResult fetches GET /v1/jobs/{id}/result and decodes the NDJSON
+// stream: all chunk lines plus the single terminal line.
+func (c *Client) JobResult(ctx context.Context, id string) ([]JobStreamLine, error) {
+	status, body, err := c.getRaw(ctx, "/v1/jobs/"+id+"/result")
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiErr(status, body)
+	}
+	return DecodeJobStream(bytes.NewReader(body))
+}
+
+// Stats fetches GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	status, body, err := c.getRaw(ctx, "/v1/stats")
+	if err != nil {
+		return out, err
+	}
+	if status != http.StatusOK {
+		return out, apiErr(status, body)
+	}
+	return out, json.Unmarshal(body, &out)
+}
+
+// MetricsRaw fetches the GET /v1/metrics text exposition verbatim.
+func (c *Client) MetricsRaw(ctx context.Context) ([]byte, error) {
+	status, body, err := c.getRaw(ctx, "/v1/metrics")
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, apiErr(status, body)
+	}
+	return body, nil
+}
+
+// Metrics fetches and parses GET /v1/metrics.
+func (c *Client) Metrics(ctx context.Context) (MetricSet, error) {
+	body, err := c.MetricsRaw(ctx)
+	if err != nil {
+		return MetricSet{}, err
+	}
+	return ParseMetrics(body)
+}
+
+// Health fetches GET /v1/healthz; nil means the server reported healthy.
+func (c *Client) Health(ctx context.Context) error {
+	status, body, err := c.getRaw(ctx, "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return apiErr(status, body)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+// Package client is the typed Go SDK for the tyresysd analysis service.
+//
+// It owns the canonical wire types of the /v1 API — request and response
+// structs for every analysis endpoint, the batch-job submission and
+// status documents, the NDJSON job-result stream lines and the /v1/stats
+// payload — and a small HTTP client that speaks them. The serving layer
+// (internal/serve) aliases these types rather than redeclaring them, so
+// the server, this SDK, the tyreload load generator and the test
+// harnesses cannot drift apart: there is exactly one definition of every
+// field, including the pointer-presence fields ("seed": 0, "initial_v":
+// 0, "fast": false) whose explicit zero values are semantically distinct
+// from omission.
+//
+// The package also carries the two response decoders that are not plain
+// JSON documents: DecodeJobStream for the NDJSON chunk stream of
+// GET /v1/jobs/{id}/result, and ParseMetrics for the Prometheus text
+// exposition of GET /v1/metrics. Both are pure functions over bytes and
+// are fuzzed from recorded server responses.
+//
+// Entry points (verified by client tests): New, Client.Balance,
+// Client.BreakEven, Client.MonteCarlo, Client.Optimize, Client.Emulate,
+// Client.SubmitJob, Client.JobResult, Client.Stats, Client.Metrics,
+// DecodeJobStream, ParseMetrics.
+package client

@@ -1,0 +1,194 @@
+package client_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/client"
+)
+
+// Fuzzers for the two pure decoders the client exposes: the NDJSON
+// job-stream reader and the metrics exposition parser. Both promise
+// "arbitrary bytes never panic — they produce an error", and on success
+// their outputs obey structural invariants the rest of the toolchain
+// (tyreload, the serve test harness) leans on. Seeds come from recorded
+// live-server output in testdata/ (refresh with
+// `go test ./client/ -run TestRecordTestdata -record`) plus hand-built
+// edge cases.
+
+// seedFromTestdata adds every recorded file matching the pattern to the
+// fuzz corpus.
+func seedFromTestdata(f *testing.F, pattern string) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", pattern))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatalf("no testdata matching %s: run `go test ./client/ -run TestRecordTestdata -record`", pattern)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+}
+
+func FuzzDecodeJobStream(f *testing.F) {
+	seedFromTestdata(f, "*.ndjson")
+	f.Add([]byte(`{"done":true,"state":"done","aggregate":{"rounds":1}}` + "\n"))
+	f.Add([]byte(`{"chunk":0,"result":{}}` + "\n" + `{"done":true,"state":"failed","error":"x"}` + "\n"))
+	f.Add([]byte(`{"chunk":0}` + "\n" + `{"chunk":1}` + "\n"))                  // truncated: no terminal
+	f.Add([]byte(`{"done":true,"state":"running"}` + "\n"))                     // non-terminal state on terminal line
+	f.Add([]byte(`{"done":true,"state":"done"}` + "\n" + `{"chunk":2}` + "\n")) // data after terminal
+	f.Add([]byte(`{"result":{}}` + "\n"))                                       // neither chunk nor terminal
+	f.Add([]byte("not json\n"))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lines, err := client.DecodeJobStream(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is fine; panicking is the bug being hunted
+		}
+		// Structural invariants of every accepted stream.
+		if len(lines) == 0 {
+			t.Fatal("accepted stream with zero lines")
+		}
+		for i, l := range lines {
+			last := i == len(lines)-1
+			if l.Terminal() != last {
+				t.Fatalf("line %d: Terminal()=%v at position %d of %d — exactly the last line may be terminal", i, l.Terminal(), i, len(lines))
+			}
+			if last {
+				if !l.State.Terminal() {
+					t.Fatalf("terminal line carries non-terminal state %q", l.State)
+				}
+			} else if l.Chunk == nil {
+				t.Fatalf("line %d accepted with neither chunk index nor done flag", i)
+			}
+		}
+		// Round-trip: re-rendering the decoded lines as NDJSON must
+		// decode to the same stream (the decoder and the struct's JSON
+		// tags agree).
+		var buf bytes.Buffer
+		for _, l := range lines {
+			b, err := json.Marshal(l)
+			if err != nil {
+				t.Fatalf("re-marshalling accepted line: %v", err)
+			}
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		again, err := client.DecodeJobStream(&buf)
+		if err != nil {
+			t.Fatalf("re-rendered stream rejected: %v", err)
+		}
+		if len(again) != len(lines) {
+			t.Fatalf("re-decode has %d lines, want %d", len(again), len(lines))
+		}
+	})
+}
+
+func FuzzParseMetrics(f *testing.F) {
+	seedFromTestdata(f, "*.txt")
+	f.Add([]byte("a 1\n"))
+	f.Add([]byte(`b{x="y"} 2` + "\n"))
+	f.Add([]byte(`c{x="a\"b",z="n\nl"} +Inf 1234567890` + "\n")) // escapes + timestamp
+	f.Add([]byte("# HELP d something\n# TYPE d counter\nd NaN\n"))
+	f.Add([]byte(`e{x=}` + "\n"))
+	f.Add([]byte(`f{x="unterminated` + "\n"))
+	f.Add([]byte("g\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := client.ParseMetrics(data)
+		if err != nil {
+			return // rejection is fine, panics are not
+		}
+		// Every accepted sample must be findable through the lookup API
+		// and survive a render → re-parse cycle with the same value.
+		var buf bytes.Buffer
+		for _, s := range m.Samples() {
+			v, ok := m.Value(s.Name, s.Labels...)
+			if !ok {
+				t.Fatalf("sample %s not findable via Value", s.Key())
+			}
+			if !sameFloat(v, s.Value) {
+				t.Fatalf("Value(%s) = %v, sample holds %v", s.Key(), v, s.Value)
+			}
+			buf.WriteString(renderSample(s))
+			buf.WriteByte('\n')
+		}
+		again, err := client.ParseMetrics(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-rendered exposition rejected: %v\n%s", err, buf.Bytes())
+		}
+		got, want := again.Samples(), m.Samples()
+		if len(got) != len(want) {
+			t.Fatalf("re-parse has %d samples, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Key() != want[i].Key() || !sameFloat(got[i].Value, want[i].Value) {
+				t.Fatalf("re-parse sample %d = %s %v, want %s %v", i, got[i].Key(), got[i].Value, want[i].Key(), want[i].Value)
+			}
+		}
+	})
+}
+
+// renderSample writes one exposition line back out, escaping label
+// values the way the format requires.
+func renderSample(s client.Sample) string {
+	var b bytes.Buffer
+	b.WriteString(s.Name)
+	if len(s.Labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range s.Labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			for _, c := range []byte(l.Value) {
+				switch c {
+				case '\\', '"':
+					b.WriteByte('\\')
+					b.WriteByte(c)
+				case '\n':
+					b.WriteString(`\n`)
+				default:
+					b.WriteByte(c)
+				}
+			}
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	switch {
+	case math.IsInf(s.Value, 1):
+		b.WriteString("+Inf")
+	case math.IsInf(s.Value, -1):
+		b.WriteString("-Inf")
+	case math.IsNaN(s.Value):
+		b.WriteString("NaN")
+	default:
+		b.WriteString(strconv.FormatFloat(s.Value, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// sameFloat compares sample values treating every NaN as equal.
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}

@@ -1,0 +1,229 @@
+package client
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one series sample of a Prometheus text exposition: a metric
+// name, its label pairs (sorted by key) and the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label is one name="value" label pair.
+type Label struct {
+	Key, Value string
+}
+
+// Key renders the sample's canonical identity: name{k1="v1",k2="v2"}
+// with labels sorted by key, or the bare name when unlabelled.
+func (s Sample) Key() string { return seriesKey(s.Name, s.Labels) }
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MetricSet is a parsed /v1/metrics scrape. It is a point-in-time
+// snapshot; the load generator takes one before and one after a run and
+// works with Deltas of the cumulative counters.
+type MetricSet struct {
+	byKey   map[string]float64
+	samples []Sample
+}
+
+// Samples returns every sample in exposition order.
+func (m MetricSet) Samples() []Sample { return m.samples }
+
+// Value returns the sample matching the name and exactly the given
+// labels (order-insensitive), and whether it exists.
+func (m MetricSet) Value(name string, labels ...Label) (float64, bool) {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	v, ok := m.byKey[seriesKey(name, ls)]
+	return v, ok
+}
+
+// Sum adds every sample of the named family whose label set includes all
+// the given pairs — e.g. Sum("tyresysd_coalesced_total") totals across
+// endpoints, Sum("tyresysd_responses_total", Label{"outcome", "rejected"})
+// totals the 429s.
+func (m MetricSet) Sum(name string, labels ...Label) float64 {
+	total := 0.0
+	for _, s := range m.samples {
+		if s.Name != name {
+			continue
+		}
+		if sampleHas(s, labels) {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+func sampleHas(s Sample, want []Label) bool {
+	for _, w := range want {
+		found := false
+		for _, l := range s.Labels {
+			if l.Key == w.Key && l.Value == w.Value {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Delta returns this set's Sum minus prev's — the counted events between
+// the two scrapes. Meaningful for counters only; gauges can go anywhere.
+func (m MetricSet) Delta(prev MetricSet, name string, labels ...Label) float64 {
+	return m.Sum(name, labels...) - prev.Sum(name, labels...)
+}
+
+// ParseMetrics parses a Prometheus 0.0.4 text exposition. Comment and
+// blank lines are skipped; every sample line must be
+// "name[{labels}] value" with a float value ("+Inf"/"-Inf"/"NaN"
+// included), and a series may appear at most once — a duplicate would
+// make Value and Sum disagree about it, so it is an error, exactly as
+// Prometheus itself treats it. Arbitrary bytes never panic — they
+// produce an error (fuzzed from recorded scrapes).
+func ParseMetrics(text []byte) (MetricSet, error) {
+	m := MetricSet{byKey: make(map[string]float64)}
+	for n, line := range strings.Split(string(text), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return MetricSet{}, fmt.Errorf("metrics line %d: %w", n+1, err)
+		}
+		key := sample.Key()
+		if _, dup := m.byKey[key]; dup {
+			return MetricSet{}, fmt.Errorf("metrics line %d: duplicate series %s", n+1, key)
+		}
+		m.byKey[key] = sample.Value
+		m.samples = append(m.samples, sample)
+	}
+	return m, nil
+}
+
+// parseSampleLine splits one exposition sample line.
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[i+1 : end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		j := strings.IndexByte(rest, ' ')
+		if j < 0 {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		s.Name = rest[:j]
+		rest = strings.TrimSpace(rest[j+1:])
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	// A timestamp after the value is legal exposition; take field one.
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	s.Value = v
+	sort.Slice(s.Labels, func(i, j int) bool { return s.Labels[i].Key < s.Labels[j].Key })
+	return s, nil
+}
+
+// parseLabels splits `k1="v1",k2="v2"`, handling \" \\ \n escapes in
+// values.
+func parseLabels(body string) ([]Label, error) {
+	var labels []Label
+	rest := body
+	for strings.TrimSpace(rest) != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if key == "" {
+			return nil, fmt.Errorf("empty label name")
+		}
+		rest = strings.TrimSpace(rest[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(rest[i])
+				default:
+					val.WriteByte('\\')
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		rest = strings.TrimSpace(rest)
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		} else if rest != "" {
+			return nil, fmt.Errorf("junk between labels")
+		}
+	}
+	return labels, nil
+}

@@ -1,0 +1,220 @@
+package client
+
+import "encoding/json"
+
+// Response documents of the /v1 analysis endpoints. Field order is load-
+// bearing: the server marshals these structs directly, responses are
+// compared byte-for-byte across the cache/coalesce/recompute paths, and
+// the client round-trip tests re-marshal decoded responses and demand
+// the original bytes back. Reordering or renaming a field is a wire
+// change and will fail those pins.
+
+// BreakEvenPoint is the JSON form of a break-even result. Found=false
+// means the margin never turns positive in the searched range — a valid
+// answer, not an error.
+type BreakEvenPoint struct {
+	Found    bool    `json:"found"`
+	SpeedKMH float64 `json:"speed_kmh,omitempty"`
+	EnergyUJ float64 `json:"energy_uj,omitempty"`
+}
+
+// OperatingWindow is a positive-margin speed interval.
+type OperatingWindow struct {
+	FromKMH float64 `json:"from_kmh"`
+	ToKMH   float64 `json:"to_kmh"`
+}
+
+// BalanceResponse is the /v1/balance payload: the Fig 2 dataset.
+type BalanceResponse struct {
+	SpeedsKMH   []float64         `json:"speeds_kmh"`
+	GeneratedUJ []float64         `json:"generated_uj"`
+	RequiredUJ  []float64         `json:"required_uj"`
+	BreakEven   BreakEvenPoint    `json:"breakeven"`
+	Windows     []OperatingWindow `json:"windows"`
+}
+
+// BreakEvenResponse is the /v1/breakeven payload.
+type BreakEvenResponse struct {
+	BreakEven BreakEvenPoint `json:"breakeven"`
+}
+
+// MonteCarloResponse is the /v1/montecarlo payload.
+type MonteCarloResponse struct {
+	Trials       int            `json:"trials"`
+	Positive     int            `json:"positive"`
+	Yield        float64        `json:"yield"`
+	MeanMarginUJ float64        `json:"mean_margin_uj"`
+	MinMarginUJ  float64        `json:"min_margin_uj"`
+	MaxMarginUJ  float64        `json:"max_margin_uj"`
+	StdDevJ      float64        `json:"stddev_j"`
+	PerCorner    map[string]int `json:"per_corner"`
+}
+
+// OptimizeResponse is the /v1/optimize payload. Baseline/Optimized are
+// km/h for the breakeven objective and µJ per round for energy.
+type OptimizeResponse struct {
+	Objective   string   `json:"objective"`
+	Applied     []string `json:"applied"`
+	Baseline    float64  `json:"baseline"`
+	Optimized   float64  `json:"optimized"`
+	Improvement float64  `json:"improvement"`
+}
+
+// EmulateResponse is the /v1/emulate payload: the long-window summary.
+type EmulateResponse struct {
+	DurationS      float64 `json:"duration_s"`
+	Rounds         int64   `json:"rounds"`
+	ActiveRounds   int64   `json:"active_rounds"`
+	Coverage       float64 `json:"coverage"`
+	BrownOuts      int     `json:"brownouts"`
+	Restarts       int     `json:"restarts"`
+	Outages        int     `json:"outages"`
+	DowntimeS      float64 `json:"downtime_s"`
+	LongestOutageS float64 `json:"longest_outage_s"`
+	HarvestedUJ    float64 `json:"harvested_uj"`
+	ClippedUJ      float64 `json:"clipped_uj"`
+	ConsumedUJ     float64 `json:"consumed_uj"`
+	LeakedUJ       float64 `json:"leaked_uj"`
+	FinalVoltageV  float64 `json:"final_voltage_v"`
+	MinVoltageV    float64 `json:"min_voltage_v"`
+}
+
+// FleetWheelResult is one wheel's emulation outcome within a fleet job.
+type FleetWheelResult struct {
+	Wheel string  `json:"wheel"`
+	Scale float64 `json:"scale"`
+	EmulateResponse
+}
+
+// FleetResponse is the aggregate of a fleet job: per-wheel outcomes in
+// sorted wheel order plus the cross-wheel summary a fleet operator
+// actually triages by (the worst wheel bounds the system).
+type FleetResponse struct {
+	Wheels         []FleetWheelResult `json:"wheels"`
+	WorstWheel     string             `json:"worst_wheel"`
+	MinCoverage    float64            `json:"min_coverage"`
+	MeanCoverage   float64            `json:"mean_coverage"`
+	TotalDowntimeS float64            `json:"total_downtime_s"`
+	TotalBrownouts int                `json:"total_brownouts"`
+}
+
+// EndpointStats is the JSON snapshot of one endpoint's counters in the
+// /v1/stats payload.
+type EndpointStats struct {
+	Requests    int64 `json:"requests"`
+	OK          int64 `json:"ok"`
+	BadRequests int64 `json:"bad_requests"`
+	// PayloadTooLarge counts bodies over the MaxBodyBytes cap (413) —
+	// split from BadRequests so clients sending oversized scenarios see
+	// a distinct signal, not a generic parse failure.
+	PayloadTooLarge int64 `json:"payload_too_large"`
+	Rejected        int64 `json:"rejected"`
+	Errored         int64 `json:"errored"`
+	Coalesced       int64 `json:"coalesced"`
+	CacheHits       int64 `json:"cache_hits"`
+	Computed        int64 `json:"computed"`
+	EvalMicros      int64 `json:"eval_micros"`
+}
+
+// JobsStats is the batch-job section of /v1/stats.
+type JobsStats struct {
+	Submitted  int64          `json:"submitted"`
+	Replayed   int            `json:"replayed"`
+	QueueDepth int            `json:"queue_depth"`
+	States     map[string]int `json:"states"`
+	// Quarantined counts corrupt job directories moved aside at boot;
+	// PersistFailures counts jobs failed because the checkpoint store
+	// stopped accepting writes (the degraded "persistence lost" path).
+	// Non-zero values mean the operator should look at the disk.
+	Quarantined     int   `json:"quarantined"`
+	PersistFailures int64 `json:"persist_failures"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	// InFlight is the number of evaluations currently holding an
+	// admission slot; MaxInFlight is the slot count.
+	InFlight    int `json:"in_flight"`
+	MaxInFlight int `json:"max_in_flight"`
+	// CacheEntries / CacheCapacity describe the LRU result cache.
+	CacheEntries  int `json:"cache_entries"`
+	CacheCapacity int `json:"cache_capacity"`
+	// Workers is the evaluation pool width requests run with (0 = all
+	// cores at evaluation time).
+	Workers int `json:"workers"`
+	// Endpoints maps endpoint name (e.g. "balance") to its counters;
+	// JSON object keys render sorted, so the payload layout is stable.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	// Jobs describes the batch-job subsystem behind /v1/jobs.
+	Jobs JobsStats `json:"jobs"`
+}
+
+// JobSubmitRequest is the POST /v1/jobs payload: an analysis kind plus
+// the kind's request document, verbatim — the same JSON the synchronous
+// endpoint of that kind accepts (the "fleet" kind exists only here).
+// Request stays raw bytes on purpose: the server re-decodes and persists
+// it verbatim, so the client must not round-trip it through a map and
+// reorder keys.
+type JobSubmitRequest struct {
+	Kind    string          `json:"kind"`
+	Request json.RawMessage `json:"request"`
+}
+
+// NewJobSubmit marshals a typed request document into a submission
+// payload for the given kind.
+func NewJobSubmit(kind string, doc any) (JobSubmitRequest, error) {
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return JobSubmitRequest{}, err
+	}
+	return JobSubmitRequest{Kind: kind, Request: raw}, nil
+}
+
+// JobState is a batch job's lifecycle state as it appears on the wire.
+type JobState string
+
+// The job states, mirroring internal/jobs: pending → running → one of
+// done / failed / cancelled.
+const (
+	JobPending   JobState = "pending"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobStatus is the GET /v1/jobs/{id} document — the wire mirror of the
+// server's jobs.Status, field for field and in the same order, so a
+// decoded status re-marshals to the server's exact bytes (pinned by the
+// client round-trip tests).
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Kind  string   `json:"kind"`
+	State JobState `json:"state"`
+	Error string   `json:"error,omitempty"`
+	// Chunks and CompletedChunks describe the checkpoint decomposition.
+	Chunks          int `json:"chunks"`
+	CompletedChunks int `json:"completed_chunks"`
+	// Progress is the completed fraction of the plan's total weight
+	// (engine rounds / trials / sweep points), in [0, 1].
+	Progress float64 `json:"progress"`
+	// RoundsPerSec is the throughput of this process run; zero until the
+	// first chunk of the session completes.
+	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
+	// ETASeconds estimates the remaining wall time from RoundsPerSec;
+	// zero when unknown or terminal.
+	ETASeconds float64 `json:"eta_s,omitempty"`
+	// Resumed marks jobs replayed from the checkpoint log after a
+	// process restart.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// JobList is the GET /v1/jobs payload.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+}

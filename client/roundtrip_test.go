@@ -1,0 +1,360 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/serve"
+)
+
+// These tests pin the client/server wire contract from the outside: a
+// typed request marshals to the same canonical JSON a hand-written body
+// would, and a decoded response re-marshals to the server's exact bytes
+// (field order, omitempty choices and the trailing newline included).
+// A drift in either direction — a renamed field, a reordered struct, a
+// pointer field losing presence semantics — fails here before any
+// external consumer sees it.
+
+var record = flag.Bool("record", false, "re-record testdata fuzz seeds from a live server")
+
+// startServer boots an in-process server and returns a typed client
+// bound to it.
+func startServer(t *testing.T, opts serve.Options) (*client.Client, *httptest.Server) {
+	t.Helper()
+	api, err := serve.NewServer(opts)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+	return client.New(srv.URL), srv
+}
+
+// remarshal renders a decoded response the way the server does: compact
+// JSON plus the trailing newline.
+func remarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("re-marshalling response: %v", err)
+	}
+	return append(b, '\n')
+}
+
+// TestTypedRoundTripByteIdentity drives every synchronous endpoint
+// twice — once through the typed method, once through PostRaw with the
+// typed request's own marshalled bytes — and demands (a) the raw path
+// cache-hits (same canonical key: typed marshalling introduces no
+// phantom fields) and (b) the typed response re-marshals to the raw
+// body byte for byte. The montecarlo and emulate cases use the
+// presence-tracked pointers at their explicit zero values (seed 0,
+// initial_v 0, fast false), the spellings that once collapsed into
+// "omitted" and must never again.
+func TestTypedRoundTripByteIdentity(t *testing.T) {
+	c, _ := startServer(t, serve.Options{Workers: 2, CacheEntries: 32})
+	ctx := context.Background()
+
+	cases := []struct {
+		name     string
+		path     string
+		req      any
+		wantBody string // substring the marshalled request must contain
+		call     func() (any, error)
+	}{
+		{
+			name: "balance", path: "/v1/balance",
+			req: client.BalanceRequest{MinKMH: 20, MaxKMH: 120, Points: 16},
+			call: func() (any, error) {
+				return c.Balance(ctx, client.BalanceRequest{MinKMH: 20, MaxKMH: 120, Points: 16})
+			},
+		},
+		{
+			name: "breakeven", path: "/v1/breakeven",
+			req: client.BreakEvenRequest{MinKMH: 10, MaxKMH: 150},
+			call: func() (any, error) {
+				return c.BreakEven(ctx, client.BreakEvenRequest{MinKMH: 10, MaxKMH: 150})
+			},
+		},
+		{
+			name: "montecarlo explicit seed 0", path: "/v1/montecarlo",
+			req:      client.MonteCarloRequest{SpeedKMH: 80, Trials: 64, Seed: client.Int64(0)},
+			wantBody: `"seed":0`,
+			call: func() (any, error) {
+				return c.MonteCarlo(ctx, client.MonteCarloRequest{SpeedKMH: 80, Trials: 64, Seed: client.Int64(0)})
+			},
+		},
+		{
+			name: "optimize", path: "/v1/optimize",
+			req: client.OptimizeRequest{Objective: "energy", SpeedKMH: 60},
+			call: func() (any, error) {
+				return c.Optimize(ctx, client.OptimizeRequest{Objective: "energy", SpeedKMH: 60})
+			},
+		},
+		{
+			name: "emulate explicit initial_v 0 fast false", path: "/v1/emulate",
+			req:      client.EmulateRequest{SpeedKMH: 50, Minutes: 1, InitialV: client.Float64(0), Fast: client.Bool(false)},
+			wantBody: `"initial_v":0`,
+			call: func() (any, error) {
+				return c.Emulate(ctx, client.EmulateRequest{SpeedKMH: 50, Minutes: 1, InitialV: client.Float64(0), Fast: client.Bool(false)})
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			typed, err := tc.call()
+			if err != nil {
+				t.Fatalf("typed call: %v", err)
+			}
+			raw, err := json.Marshal(tc.req)
+			if err != nil {
+				t.Fatalf("marshalling request: %v", err)
+			}
+			if tc.wantBody != "" && !strings.Contains(string(raw), tc.wantBody) {
+				t.Fatalf("marshalled request %s lacks %s: explicit zero collapsed into omitted", raw, tc.wantBody)
+			}
+			res, err := c.PostRaw(ctx, tc.path, raw)
+			if err != nil {
+				t.Fatalf("PostRaw: %v", err)
+			}
+			if res.Status != http.StatusOK {
+				t.Fatalf("raw request: status %d: %s", res.Status, res.Body)
+			}
+			if res.Source != "cache" {
+				t.Errorf("raw request source = %q, want cache: typed and raw spellings must share one canonical key", res.Source)
+			}
+			if got := remarshal(t, typed); !bytes.Equal(got, res.Body) {
+				t.Errorf("typed response re-marshal differs from wire bytes\n got: %s\nwant: %s", got, res.Body)
+			}
+		})
+	}
+}
+
+// TestExplicitZeroPointerKeysDistinct pins the presence semantics from
+// the typed side: an explicit zero in a pointer field is a different
+// canonical key than the omitted field, while an explicitly spelled
+// server default coalesces with omission.
+func TestExplicitZeroPointerKeysDistinct(t *testing.T) {
+	c, _ := startServer(t, serve.Options{Workers: 2, CacheEntries: 32})
+	ctx := context.Background()
+
+	post := func(req any, path string) string {
+		t.Helper()
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.PostRaw(ctx, path, raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != http.StatusOK {
+			t.Fatalf("POST %s: status %d: %s", path, res.Status, res.Body)
+		}
+		return res.Source
+	}
+
+	// seed omitted (defaults to 1) vs explicit seed 0: distinct keys.
+	if src := post(client.MonteCarloRequest{SpeedKMH: 70, Trials: 32}, "/v1/montecarlo"); src != "computed" {
+		t.Fatalf("omitted seed: source %q, want computed", src)
+	}
+	if src := post(client.MonteCarloRequest{SpeedKMH: 70, Trials: 32, Seed: client.Int64(0)}, "/v1/montecarlo"); src != "computed" {
+		t.Errorf("explicit seed 0: source %q, want a fresh computed — seed 0 must not coalesce with the default", src)
+	}
+	// initial_v omitted (restart threshold) vs explicit 0 (drained
+	// buffer): distinct keys.
+	if src := post(client.EmulateRequest{SpeedKMH: 45, Minutes: 1}, "/v1/emulate"); src != "computed" {
+		t.Fatalf("omitted initial_v: source %q, want computed", src)
+	}
+	if src := post(client.EmulateRequest{SpeedKMH: 45, Minutes: 1, InitialV: client.Float64(0)}, "/v1/emulate"); src != "computed" {
+		t.Errorf("explicit initial_v 0: source %q, want a fresh computed", src)
+	}
+	// fast:false spells the exact-kernel server default out loud: same
+	// key as omitting the field on a default server.
+	if src := post(client.EmulateRequest{SpeedKMH: 45, Minutes: 1, Fast: client.Bool(false)}, "/v1/emulate"); src != "cache" {
+		t.Errorf("explicit fast=false: source %q, want cache — the spelled-out server default must coalesce with omission", src)
+	}
+}
+
+// TestJobRoundTrip submits a typed batch job, follows it to completion
+// and pins both wire shapes on the way: the status document re-marshals
+// to the server's exact bytes, and the NDJSON result stream decodes
+// through the strict decoder with the chunk/terminal layout intact.
+func TestJobRoundTrip(t *testing.T) {
+	c, srv := startServer(t, serve.Options{Workers: 2, JobsDir: t.TempDir()})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sub, err := client.NewJobSubmit("emulate", client.EmulateRequest{Cycle: "urban", Repeat: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitJob(ctx, sub)
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if st.ID == "" || st.Kind != "emulate" {
+		t.Fatalf("submit status = %+v, want an id and kind emulate", st)
+	}
+	fin, err := c.WaitJob(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if fin.State != client.JobDone {
+		t.Fatalf("job ended %s (%s), want done", fin.State, fin.Error)
+	}
+
+	// Status byte identity: GET the document raw and compare against the
+	// typed decode re-marshalled.
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawStatus, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Job: %v", err)
+	}
+	if got := remarshal(t, typed); !bytes.Equal(got, rawStatus) {
+		t.Errorf("JobStatus re-marshal differs from wire bytes\n got: %s\nwant: %s", got, rawStatus)
+	}
+
+	// Stream shape: chunk lines indexed and in order, one terminal line
+	// carrying the done state and an aggregate that decodes as an
+	// emulation summary.
+	lines, err := c.JobResult(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("JobResult: %v", err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("stream has %d lines, want chunks plus a terminal line", len(lines))
+	}
+	for i, l := range lines[:len(lines)-1] {
+		if l.Terminal() || l.Chunk == nil || *l.Chunk != i {
+			t.Fatalf("line %d = %+v, want chunk index %d", i, l, i)
+		}
+	}
+	last := lines[len(lines)-1]
+	if !last.Terminal() || last.State != client.JobDone {
+		t.Fatalf("terminal line = %+v, want done/done", last)
+	}
+	var agg client.EmulateResponse
+	if err := json.Unmarshal(last.Aggregate, &agg); err != nil {
+		t.Fatalf("decoding aggregate: %v", err)
+	}
+	if agg.Rounds <= 0 || agg.DurationS <= 0 {
+		t.Errorf("aggregate = %+v, want positive rounds and duration", agg)
+	}
+}
+
+// TestStatsAndMetricsRoundTrip pins the two observability documents:
+// /v1/stats re-marshals byte-identically, and a live /v1/metrics scrape
+// parses with the counters the traffic just generated.
+func TestStatsAndMetricsRoundTrip(t *testing.T) {
+	c, srv := startServer(t, serve.Options{Workers: 2, CacheEntries: 8})
+	ctx := context.Background()
+	if _, err := c.BreakEven(ctx, client.BreakEvenRequest{}); err != nil {
+		t.Fatalf("BreakEven: %v", err)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawStats, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if got := remarshal(t, st); !bytes.Equal(got, rawStats) {
+		t.Errorf("StatsResponse re-marshal differs from wire bytes\n got: %s\nwant: %s", got, rawStats)
+	}
+	if st.Endpoints["breakeven"].Computed != 1 {
+		t.Errorf("stats breakeven.computed = %d, want 1", st.Endpoints["breakeven"].Computed)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if v, ok := m.Value("tyresysd_requests_total", client.Label{Key: "endpoint", Value: "breakeven"}); !ok || v != 1 {
+		t.Errorf("tyresysd_requests_total{endpoint=breakeven} = %v (present %v), want 1", v, ok)
+	}
+}
+
+// TestRecordTestdata re-records the fuzz seed corpus from a live
+// server: a real NDJSON job stream and a real metrics scrape. Run with
+//
+//	go test ./client/ -run TestRecordTestdata -record
+//
+// when the wire format changes deliberately; the committed files keep
+// the fuzzers honest about what production bytes look like.
+func TestRecordTestdata(t *testing.T) {
+	if !*record {
+		t.Skip("recording disabled; pass -record to refresh testdata")
+	}
+	c, srv := startServer(t, serve.Options{Workers: 2, JobsDir: t.TempDir()})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sub, err := client.NewJobSubmit("fleet", client.FleetRequest{
+		EmulateRequest: client.EmulateRequest{Cycle: "urban", Repeat: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitJob(ctx, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := c.WaitJob(ctx, st.ID, 10*time.Millisecond); err != nil || fin.State != client.JobDone {
+		t.Fatalf("fleet job: %+v, %v", fin, err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.DecodeJobStream(bytes.NewReader(stream)); err != nil {
+		t.Fatalf("recorded stream does not decode: %v", err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join("testdata", "jobstream_fleet.ndjson"), stream, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	scrape, err := c.MetricsRaw(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ParseMetrics(scrape); err != nil {
+		t.Fatalf("recorded scrape does not parse: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join("testdata", "metrics_scrape.txt"), scrape, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JobStreamLine is one line of the GET /v1/jobs/{id}/result NDJSON
+// stream: chunk lines first (in completion order), then exactly one
+// terminal line carrying the aggregate or the failure.
+type JobStreamLine struct {
+	// Chunk is the chunk index of a result line; nil on the terminal
+	// line. A pointer because chunk 0 is a real index.
+	Chunk  *int            `json:"chunk,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	// Terminal line fields.
+	Done      bool            `json:"done,omitempty"`
+	State     JobState        `json:"state,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	Aggregate json.RawMessage `json:"aggregate,omitempty"`
+}
+
+// Terminal reports whether the line is the stream's terminal line.
+func (l JobStreamLine) Terminal() bool { return l.Done }
+
+// maxStreamLineBytes bounds one NDJSON line; a fleet aggregate over the
+// maximum wheel count stays far under it.
+const maxStreamLineBytes = 1 << 24
+
+// DecodeJobStream reads a complete NDJSON job-result stream: zero or
+// more chunk lines followed by exactly one terminal line, nothing after
+// it. It is strict — a malformed line, a terminal line that is not last,
+// a missing terminal line or a chunk line with no index is an error, not
+// a silent truncation — and panics never: arbitrary bytes produce an
+// error (fuzzed from recorded server responses).
+func DecodeJobStream(r io.Reader) ([]JobStreamLine, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxStreamLineBytes)
+	var lines []JobStreamLine
+	sawTerminal := false
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if sawTerminal {
+			return nil, fmt.Errorf("job stream: data after the terminal line")
+		}
+		var line JobStreamLine
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&line); err != nil {
+			return nil, fmt.Errorf("job stream line %d: %w", len(lines), err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("job stream line %d: trailing data", len(lines))
+		}
+		if line.Done {
+			sawTerminal = true
+			if !line.State.Terminal() {
+				return nil, fmt.Errorf("job stream: terminal line with non-terminal state %q", line.State)
+			}
+		} else if line.Chunk == nil {
+			return nil, fmt.Errorf("job stream line %d: neither a chunk nor the terminal line", len(lines))
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("job stream: %w", err)
+	}
+	if !sawTerminal {
+		return nil, fmt.Errorf("job stream: truncated before the terminal line")
+	}
+	return lines, nil
+}

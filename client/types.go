@@ -1,0 +1,335 @@
+package client
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/config"
+)
+
+// Endpoints names the POST analysis routes, in route-registration order.
+// The serving layer iterates this same slice, so an endpoint added here
+// without a handler (or vice versa) fails tests immediately.
+var Endpoints = []string{"balance", "breakeven", "montecarlo", "optimize", "emulate"}
+
+// Request parameter ceilings. They bound the work one request can
+// demand, so the server's admission control reasons about request counts
+// alone. Validate methods enforce them client-side too: a request that
+// would 400 never earns a round trip.
+const (
+	// MaxSweepPoints caps /v1/balance sweep resolution.
+	MaxSweepPoints = 4096
+	// MaxTrials caps /v1/montecarlo population size.
+	MaxTrials = 1_000_000
+	// MaxEmulateMinutes caps a constant-speed emulation.
+	MaxEmulateMinutes = 24 * 60
+	// MaxCycleRepeat caps driving-cycle repetition.
+	MaxCycleRepeat = 200
+	// MaxFleetWheels bounds a fleet job's wheel map.
+	MaxFleetWheels = 16
+)
+
+// BalanceRequest asks for the Fig 2 sweep: both energy-per-round curves,
+// the break-even point and the operating windows.
+type BalanceRequest struct {
+	// Scenario is the full analysis scenario (the tyreconfig file
+	// format); omitted means the reference stack.
+	Scenario *config.Scenario `json:"scenario,omitempty"`
+	// MinKMH/MaxKMH bound the sweep (defaults 5 and 180 km/h).
+	MinKMH float64 `json:"min_kmh,omitempty"`
+	MaxKMH float64 `json:"max_kmh,omitempty"`
+	// Points is the sweep resolution (default 80).
+	Points int `json:"points,omitempty"`
+}
+
+// Defaults fills unset fields; the server computes its canonical
+// coalescing hash after this step, so explicit defaults and omitted
+// fields coalesce.
+func (r *BalanceRequest) Defaults() {
+	if r.MinKMH == 0 {
+		r.MinKMH = 5
+	}
+	if r.MaxKMH == 0 {
+		r.MaxKMH = 180
+	}
+	if r.Points == 0 {
+		r.Points = 80
+	}
+}
+
+// Validate reports the first request-shape problem, mirroring the
+// server's decode-time checks.
+func (r *BalanceRequest) Validate() error {
+	if err := checkRange(r.MinKMH, r.MaxKMH); err != nil {
+		return err
+	}
+	if r.Points < 2 || r.Points > MaxSweepPoints {
+		return fmt.Errorf("points must be in [2, %d], got %d", MaxSweepPoints, r.Points)
+	}
+	return nil
+}
+
+// BreakEvenRequest asks only for the minimum self-sustaining speed.
+type BreakEvenRequest struct {
+	Scenario *config.Scenario `json:"scenario,omitempty"`
+	// MinKMH/MaxKMH bound the search (defaults 5 and 180 km/h).
+	MinKMH float64 `json:"min_kmh,omitempty"`
+	MaxKMH float64 `json:"max_kmh,omitempty"`
+}
+
+// Defaults fills unset fields.
+func (r *BreakEvenRequest) Defaults() {
+	if r.MinKMH == 0 {
+		r.MinKMH = 5
+	}
+	if r.MaxKMH == 0 {
+		r.MaxKMH = 180
+	}
+}
+
+// Validate reports the first request-shape problem.
+func (r *BreakEvenRequest) Validate() error { return checkRange(r.MinKMH, r.MaxKMH) }
+
+// MonteCarloRequest asks for the yield under process/condition spread at
+// one cruising speed.
+type MonteCarloRequest struct {
+	Scenario *config.Scenario `json:"scenario,omitempty"`
+	// SpeedKMH is the evaluated cruising speed (default 60).
+	SpeedKMH float64 `json:"speed_kmh,omitempty"`
+	// Trials is the population size (default 1000).
+	Trials int `json:"trials,omitempty"`
+	// TempSigmaC and VddSigmaV are the 1σ spreads (defaults 5 °C and
+	// 0.05 V). Pointers so an explicit 0 — a deliberately degenerate
+	// spread — is distinguishable from an omitted field: only nil takes
+	// the default. With omitempty a nil pointer is omitted from the
+	// canonical-key marshal exactly like the old zero value was, so keys
+	// for requests that never touch these fields are unchanged.
+	TempSigmaC *float64 `json:"temp_sigma_c,omitempty"`
+	VddSigmaV  *float64 `json:"vdd_sigma_v,omitempty"`
+	// Seed makes the run reproducible (default 1). A pointer for the
+	// same reason: seed 0 is a legitimate, distinct stream and must not
+	// silently coalesce with seed 1.
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// Defaults fills unset fields, including the presence-tracked pointers.
+func (r *MonteCarloRequest) Defaults() {
+	if r.SpeedKMH == 0 {
+		r.SpeedKMH = 60
+	}
+	if r.Trials == 0 {
+		r.Trials = 1000
+	}
+	if r.TempSigmaC == nil {
+		r.TempSigmaC = Float64(5)
+	}
+	if r.VddSigmaV == nil {
+		r.VddSigmaV = Float64(0.05)
+	}
+	if r.Seed == nil {
+		r.Seed = Int64(1)
+	}
+}
+
+// Validate reports the first request-shape problem. Call Defaults first:
+// the sigma checks dereference the presence-tracked pointers.
+func (r *MonteCarloRequest) Validate() error {
+	if r.SpeedKMH <= 0 || r.SpeedKMH > 400 {
+		return fmt.Errorf("speed_kmh must be in (0, 400], got %g", r.SpeedKMH)
+	}
+	if r.Trials < 1 || r.Trials > MaxTrials {
+		return fmt.Errorf("trials must be in [1, %d], got %d", MaxTrials, r.Trials)
+	}
+	if *r.TempSigmaC < 0 || *r.VddSigmaV < 0 {
+		return fmt.Errorf("sigmas must be non-negative")
+	}
+	return nil
+}
+
+// OptimizeRequest asks for the technique search. Objective "breakeven"
+// (default) minimises the activation speed over [min_kmh, max_kmh];
+// "energy" minimises per-round energy at speed_kmh.
+type OptimizeRequest struct {
+	Scenario  *config.Scenario `json:"scenario,omitempty"`
+	Objective string           `json:"objective,omitempty"`
+	MinKMH    float64          `json:"min_kmh,omitempty"`
+	MaxKMH    float64          `json:"max_kmh,omitempty"`
+	SpeedKMH  float64          `json:"speed_kmh,omitempty"`
+	// MaxDataAgeS and MinSamplesPerRound bound what the optimizer may
+	// trade away (defaults from opt.DefaultConstraints).
+	MaxDataAgeS        float64 `json:"max_data_age_s,omitempty"`
+	MinSamplesPerRound int     `json:"min_samples_per_round,omitempty"`
+}
+
+// Defaults fills unset fields.
+func (r *OptimizeRequest) Defaults() {
+	if r.Objective == "" {
+		r.Objective = "breakeven"
+	}
+	if r.MinKMH == 0 {
+		r.MinKMH = 5
+	}
+	if r.MaxKMH == 0 {
+		r.MaxKMH = 180
+	}
+	if r.SpeedKMH == 0 {
+		r.SpeedKMH = 60
+	}
+}
+
+// Validate reports the first request-shape problem.
+func (r *OptimizeRequest) Validate() error {
+	switch r.Objective {
+	case "breakeven", "energy":
+	default:
+		return fmt.Errorf("objective must be \"breakeven\" or \"energy\", got %q", r.Objective)
+	}
+	if err := checkRange(r.MinKMH, r.MaxKMH); err != nil {
+		return err
+	}
+	if r.SpeedKMH <= 0 || r.SpeedKMH > 400 {
+		return fmt.Errorf("speed_kmh must be in (0, 400], got %g", r.SpeedKMH)
+	}
+	if r.MaxDataAgeS < 0 || r.MinSamplesPerRound < 0 {
+		return fmt.Errorf("constraints must be non-negative")
+	}
+	return nil
+}
+
+// EmulateRequest asks for a long-timing-window emulation over a built-in
+// driving cycle, or at constant speed when speed_kmh and minutes are
+// set (constant speed wins when both are given).
+type EmulateRequest struct {
+	Scenario *config.Scenario `json:"scenario,omitempty"`
+	// Cycle names a built-in profile: urban, extraurban, highway, wltp
+	// or mixed (default mixed).
+	Cycle string `json:"cycle,omitempty"`
+	// Repeat replays the cycle back to back (default 1).
+	Repeat int `json:"repeat,omitempty"`
+	// SpeedKMH/Minutes select a constant-speed run instead.
+	SpeedKMH float64 `json:"speed_kmh,omitempty"`
+	Minutes  float64 `json:"minutes,omitempty"`
+	// InitialV is the buffer's starting voltage. A pointer because zero
+	// is meaningful — "start from a fully drained buffer" — and must not
+	// silently fall back to the default; nil (the field omitted) means
+	// the buffer's restart threshold. Defaults deliberately leaves it
+	// nil: the threshold lives in the scenario's buffer, not here.
+	InitialV *float64 `json:"initial_v,omitempty"`
+	// Fast selects the interpolated-table emulation kernel (emu.Config.
+	// Fast): skips the per-round exponential for a documented ≤ ~1e-4
+	// relative error on static power. A pointer so an omitted field can
+	// inherit the server default (tyresysd -emu-fast); ResolveFast fills
+	// it before the canonical key is computed, so an omitted field and an
+	// explicitly spelled server default coalesce onto one cache entry —
+	// and requests with different effective modes never share one.
+	Fast *bool `json:"fast,omitempty"`
+}
+
+// Defaults fills unset fields.
+func (r *EmulateRequest) Defaults() {
+	if r.Cycle == "" && r.SpeedKMH == 0 {
+		r.Cycle = "mixed"
+	}
+	if r.Repeat == 0 {
+		r.Repeat = 1
+	}
+}
+
+// ResolveFast fills an omitted fast field with the server's default
+// emulation mode. Separate from Defaults because the default is a
+// server-options knob, not a request-shape constant; every server decode
+// path (synchronous handler, batch planner, fleet planner) calls it
+// right after Defaults and before the canonical key is computed.
+func (r *EmulateRequest) ResolveFast(serverDefault bool) {
+	if r.Fast == nil {
+		v := serverDefault
+		r.Fast = &v
+	}
+}
+
+// Validate reports the first request-shape problem.
+func (r *EmulateRequest) Validate() error {
+	if r.Repeat < 1 || r.Repeat > MaxCycleRepeat {
+		return fmt.Errorf("repeat must be in [1, %d], got %d", MaxCycleRepeat, r.Repeat)
+	}
+	if r.SpeedKMH < 0 || r.SpeedKMH > 400 {
+		return fmt.Errorf("speed_kmh must be in [0, 400], got %g", r.SpeedKMH)
+	}
+	if r.SpeedKMH > 0 {
+		if r.Minutes <= 0 || r.Minutes > MaxEmulateMinutes {
+			return fmt.Errorf("constant-speed emulation needs minutes in (0, %d], got %g", MaxEmulateMinutes, r.Minutes)
+		}
+	} else if !cli.KnownCycle(r.Cycle) {
+		// Reject a bad cycle name at decode/validate time, so the request
+		// 400s before consuming an admission slot or counting as a
+		// computed evaluation — the same contract every other scenario
+		// problem gets. Constant-speed runs ignore the cycle field, so
+		// they keep accepting whatever it says.
+		return fmt.Errorf("unknown cycle %q (one of: %s)",
+			r.Cycle, strings.Join(cli.CycleNames(), ", "))
+	}
+	if r.InitialV != nil && *r.InitialV < 0 {
+		return fmt.Errorf("initial_v must be non-negative, got %g", *r.InitialV)
+	}
+	return nil
+}
+
+// FleetRequest is the request document of the "fleet" job kind: one
+// emulation per wheel position, each with the scavenger output scaled
+// by the wheel's factor. The embedded fields are exactly /v1/emulate's.
+type FleetRequest struct {
+	EmulateRequest
+	// Wheels maps wheel position names to scavenger output scale
+	// factors. Empty selects the default four-corner spread.
+	Wheels map[string]float64 `json:"wheels,omitempty"`
+}
+
+// Defaults fills unset fields, including the default wheel spread.
+func (r *FleetRequest) Defaults() {
+	r.EmulateRequest.Defaults()
+	if len(r.Wheels) == 0 {
+		// Front wheels run slightly hotter mounts (lower coupling), the
+		// loaded rear-left slightly better — a plausible installation
+		// spread, not a paper-calibrated one.
+		r.Wheels = map[string]float64{"FL": 1.0, "FR": 0.97, "RL": 1.03, "RR": 0.94}
+	}
+}
+
+// Validate reports the first request-shape problem.
+func (r *FleetRequest) Validate() error {
+	if err := r.EmulateRequest.Validate(); err != nil {
+		return err
+	}
+	if len(r.Wheels) > MaxFleetWheels {
+		return fmt.Errorf("wheels: at most %d entries, got %d", MaxFleetWheels, len(r.Wheels))
+	}
+	for name, scale := range r.Wheels {
+		if strings.TrimSpace(name) == "" {
+			return fmt.Errorf("wheels: empty wheel name")
+		}
+		if !(scale > 0) {
+			return fmt.Errorf("wheels[%s]: scale must be positive, got %v", name, scale)
+		}
+	}
+	return nil
+}
+
+// Float64 / Int64 / Bool build the pointer values the presence-tracked
+// request fields take: client.Float64(0) is an explicit zero, nil is an
+// omitted field.
+func Float64(v float64) *float64 { return &v }
+
+// Int64 returns a pointer to v; see Float64.
+func Int64(v int64) *int64 { return &v }
+
+// Bool returns a pointer to v; see Float64.
+func Bool(v bool) *bool { return &v }
+
+// checkRange validates a [min, max] km/h speed interval.
+func checkRange(minKMH, maxKMH float64) error {
+	if minKMH <= 0 || maxKMH <= minKMH || maxKMH > 400 {
+		return fmt.Errorf("speed range must satisfy 0 < min_kmh < max_kmh <= 400, got [%g, %g]", minKMH, maxKMH)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// In-process mode: -inproc boots a tyresysd request engine inside the
+// load generator and drives it over a loopback listener — real HTTP,
+// real concurrency, no external process. The SLO gate runs in this mode
+// so CI needs no daemon management, and -inject-latency can wrap the
+// handler with a deterministic stall to prove the gate fails when the
+// server regresses.
+
+// inprocMaxInFlight is deliberately generous: the gate measures reuse
+// and latency, not admission behaviour, and a CI machine slow enough to
+// stack up arrivals must not turn that into 429 flakes.
+const (
+	inprocMaxInFlight = 256
+	inprocCacheSize   = 512
+)
+
+// startInproc boots the engine and serves it on 127.0.0.1. It returns
+// the base URL and a shutdown func that drains the engine.
+func startInproc(injectLatency time.Duration) (string, func(), error) {
+	api, err := serve.NewServer(serve.Options{
+		MaxInFlight:  inprocMaxInFlight,
+		CacheEntries: inprocCacheSize,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	var handler http.Handler = api
+	if injectLatency > 0 {
+		handler = injectLatencyHandler(api, injectLatency)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		_ = api.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// injectLatencyHandler stalls every analysis POST by d before letting
+// the engine see it. Reads (stats, metrics, health, job status) pass
+// through untouched so the before/after scrapes stay instant. This
+// exists purely for the gate's negative test: with d well above the SLO
+// p99 bound, every measured latency breaches and the gate must fail.
+func injectLatencyHandler(next http.Handler, d time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

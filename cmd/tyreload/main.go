@@ -1,0 +1,244 @@
+// Command tyreload is an open-loop load generator for tyresysd. It
+// replays a configurable traffic mix — the five synchronous analysis
+// endpoints plus batch-job submissions with NDJSON result streaming —
+// against a running daemon (or an in-process engine with -inproc),
+// scrapes /v1/metrics before and after, and emits a machine-readable
+// report: per-endpoint p50/p95/p99 latency, throughput, coalesce and
+// LRU hit rates, admission rejections and errors.
+//
+// Usage:
+//
+//	tyreload [-target http://host:8080 | -inproc] [-rate 50] [-duration 5s]
+//	         [-requests 0] [-mix balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,jobs=1]
+//	         [-variants 3] [-seed 1] [-scenarios examples/scenarios]
+//	         [-timeout 30s] [-out report.json] [-slo scripts/slo.json]
+//	         [-inject-latency 0]
+//
+// Open-loop means arrivals are scheduled at a fixed rate independent of
+// completions: request i fires at i/rate seconds after start whether or
+// not earlier requests have answered, the way real traffic does. A
+// server that slows down therefore accumulates in-flight work and shows
+// it as latency — closed-loop generators hide exactly that failure mode
+// by waiting for each response before sending the next request.
+//
+// Request bodies are drawn deterministically (-seed) from small pools of
+// -variants distinct requests per endpoint, perturbed from the
+// examples/scenarios templates. Re-drawn variants share a canonical key
+// on the server, so a run deliberately contains coalescable duplicates;
+// the report's reuse_rate ((coalesced + cache_hits) / ok) measures how
+// much of that duplication the server actually absorbed. With k distinct
+// keys over n requests the expected rate is (n - k) / n, independent of
+// machine speed — which is why the SLO gate pins it.
+//
+// -slo evaluates the report against a policy file and exits 1 on breach;
+// scripts/slo-gate.sh wires that into CI with -inproc and a fixed seed.
+// -inject-latency (with -inproc) stalls every analysis POST by the given
+// duration — the gate's negative test proves a breach actually fails.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/client"
+)
+
+func main() {
+	target := flag.String("target", "", "base URL of a running tyresysd (e.g. http://127.0.0.1:8080)")
+	inproc := flag.Bool("inproc", false, "boot an in-process engine on loopback instead of -target")
+	rate := flag.Float64("rate", 50, "arrival rate, requests/second (open loop)")
+	duration := flag.Duration("duration", 5*time.Second, "schedule length; total = rate × duration")
+	requests := flag.Int("requests", 0, "total arrivals (overrides -duration when > 0)")
+	mixSpec := flag.String("mix", "balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,jobs=1",
+		"traffic mix as name=weight pairs over balance, breakeven, montecarlo, optimize, emulate, jobs")
+	variants := flag.Int("variants", 3, "distinct request bodies per endpoint; further draws duplicate them")
+	seed := flag.Int64("seed", 1, "schedule RNG seed; same flags + seed = identical request sequence")
+	scenarios := flag.String("scenarios", "examples/scenarios", "directory with the *-request.json templates")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (jobs: submit-to-terminal-line)")
+	out := flag.String("out", "", "write the JSON report here (always printed to stdout)")
+	sloPath := flag.String("slo", "", "evaluate the report against this policy file; exit 1 on breach")
+	injectLatency := flag.Duration("inject-latency", 0, "with -inproc: stall every analysis POST by this much (gate negative test)")
+	flag.Parse()
+
+	if err := run(*target, *inproc, *rate, *duration, *requests, *mixSpec, *variants,
+		*seed, *scenarios, *timeout, *out, *sloPath, *injectLatency); err != nil {
+		fmt.Fprintf(os.Stderr, "tyreload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(target string, inproc bool, rate float64, duration time.Duration, requests int,
+	mixSpec string, variants int, seed int64, scenarios string, timeout time.Duration,
+	out, sloPath string, injectLatency time.Duration) error {
+	if rate <= 0 {
+		return fmt.Errorf("-rate must be positive")
+	}
+	if (target == "") == !inproc {
+		return fmt.Errorf("exactly one of -target or -inproc is required")
+	}
+	if injectLatency > 0 && !inproc {
+		return fmt.Errorf("-inject-latency needs -inproc (it wraps the in-process handler)")
+	}
+
+	mix, err := parseMix(mixSpec)
+	if err != nil {
+		return err
+	}
+	pools, err := variantPools(scenarios, variants)
+	if err != nil {
+		return err
+	}
+	total := requests
+	if total <= 0 {
+		total = int(rate * duration.Seconds())
+	}
+	if total < 1 {
+		total = 1
+	}
+	plan, err := buildSchedule(rate, total, mix, pools, seed)
+	if err != nil {
+		return err
+	}
+
+	if inproc {
+		base, shutdown, err := startInproc(injectLatency)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		target = base
+	}
+	c := client.New(target)
+
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("target %s not healthy: %w", target, err)
+	}
+	before, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("scraping metrics before the run: %w", err)
+	}
+
+	outcomes := fire(ctx, c, plan, timeout)
+
+	// The after-scrape waits for nothing: every outcome is final (jobs
+	// included — their latency spans the terminal stream line).
+	wall := outcomes.wall
+	after, err := c.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("scraping metrics after the run: %w", err)
+	}
+
+	rep := buildReport(outcomes.list, before, after, wall)
+	rep.Target = target
+	rep.Mix = mixNames(mix)
+	rep.Seed = seed
+	rep.RatePerSec = rate
+	rep.Variants = variants
+	rep.DistinctKeys = scheduleKeyCount(plan)
+
+	if sloPath != "" {
+		policy, err := loadSLO(sloPath)
+		if err != nil {
+			return err
+		}
+		res := evaluateSLO(rep, policy)
+		rep.SLO = &res
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if _, err := os.Stdout.Write(blob); err != nil {
+		return err
+	}
+	if out != "" {
+		if err := os.WriteFile(out, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	if rep.SLO != nil {
+		printSLO(*rep.SLO)
+		if !rep.SLO.Pass {
+			return fmt.Errorf("SLO breached")
+		}
+	}
+	return nil
+}
+
+// fired collects the run's outcomes plus its wall-clock span.
+type fired struct {
+	list []outcome
+	wall time.Duration
+}
+
+// fire executes the open-loop plan: each arrival launches at its
+// scheduled offset regardless of earlier completions, and the call
+// returns once every launched request has an outcome.
+func fire(ctx context.Context, c *client.Client, plan []arrival, timeout time.Duration) fired {
+	results := make([]outcome, len(plan))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, a := range plan {
+		if d := a.at - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, a arrival) {
+			defer wg.Done()
+			results[i] = issue(ctx, c, a, timeout)
+		}(i, a)
+	}
+	wg.Wait()
+	return fired{list: results, wall: time.Since(start)}
+}
+
+// issue runs one scheduled request to its final outcome.
+func issue(ctx context.Context, c *client.Client, a arrival, timeout time.Duration) outcome {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	o := outcome{endpoint: a.endpoint}
+	begin := time.Now()
+	if a.endpoint == "jobs" {
+		o.status, o.err = runJob(ctx, c, a.job)
+	} else {
+		var res client.RawResult
+		res, o.err = c.PostRaw(ctx, "/v1/"+a.endpoint, a.body)
+		o.status, o.source = res.Status, res.Source
+	}
+	o.dur = time.Since(begin)
+	return o
+}
+
+// runJob submits a batch job and streams its NDJSON result to the
+// terminal line — the jobs pseudo-endpoint's latency is the full
+// submit-to-aggregate span. The result stream follows a running job
+// live, so no status polling is needed.
+func runJob(ctx context.Context, c *client.Client, job client.JobSubmitRequest) (int, error) {
+	st, err := c.SubmitJob(ctx, job)
+	if err != nil {
+		if ae, ok := err.(*client.APIError); ok {
+			return ae.Status, err
+		}
+		return 0, err
+	}
+	lines, err := c.JobResult(ctx, st.ID)
+	if err != nil {
+		if ae, ok := err.(*client.APIError); ok {
+			return ae.Status, err
+		}
+		return 0, err
+	}
+	last := lines[len(lines)-1]
+	if last.State != client.JobDone {
+		return 200, fmt.Errorf("job %s ended %s: %s", st.ID, last.State, last.Error)
+	}
+	return 200, nil
+}

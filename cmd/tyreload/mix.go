@@ -1,0 +1,295 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/client"
+)
+
+// A traffic mix is a weighted blend of the five synchronous analysis
+// endpoints plus the "jobs" pseudo-endpoint (submit a fleet batch job
+// and stream its NDJSON result to the terminal line). Each endpoint
+// draws its bodies from a small pool of `-variants` distinct requests
+// perturbed from the examples/scenarios templates, so a run deliberately
+// repeats canonical keys: duplicates either coalesce onto an in-flight
+// evaluation or hit the LRU result cache, and the report's reuse rate
+// measures exactly that.
+
+// mixEntry is one weighted component of the traffic mix.
+type mixEntry struct {
+	name   string
+	weight int
+}
+
+// parseMix parses "balance=2,breakeven=1,jobs=1" into entries, rejecting
+// unknown endpoint names and non-positive weights. Zero-weight entries
+// are allowed and dropped, so one flag string can toggle components.
+func parseMix(spec string) ([]mixEntry, error) {
+	known := map[string]bool{"jobs": true}
+	for _, ep := range client.Endpoints {
+		known[ep] = true
+	}
+	var mix []mixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want name=weight", part)
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("mix entry %q: unknown endpoint (one of: %s, jobs)",
+				part, strings.Join(client.Endpoints, ", "))
+		}
+		w, err := strconv.Atoi(weightStr)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a non-negative integer", part)
+		}
+		if w == 0 {
+			continue
+		}
+		mix = append(mix, mixEntry{name: name, weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("mix %q selects nothing", spec)
+	}
+	return mix, nil
+}
+
+// arrival is one scheduled request of the open-loop plan: fire at `at`
+// after the run starts, regardless of how earlier requests are doing.
+type arrival struct {
+	at       time.Duration
+	endpoint string // one of client.Endpoints, or "jobs"
+	body     []byte // POST body for sync endpoints; nil for jobs
+	job      client.JobSubmitRequest
+}
+
+// loadTemplate strict-decodes one examples/scenarios request file into
+// dst. The templates double as documentation; loading them here keeps
+// tyreload honest about their shape.
+func loadTemplate(dir, name string, dst any) error {
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	return nil
+}
+
+// variantPools builds, per endpoint, `variants` distinct request bodies
+// perturbed from the scenario templates. Bodies within a pool are
+// byte-identical across draws (same marshal of the same struct), so any
+// two requests drawing the same variant share a canonical key on the
+// server. The emulate pool deliberately exercises the presence-tracked
+// pointer fields: one variant omits initial_v, one pins the explicit
+// zero ("start from a drained buffer"), further ones sweep real
+// voltages.
+func variantPools(dir string, variants int) (map[string][][]byte, error) {
+	if variants < 1 {
+		variants = 1
+	}
+	pools := make(map[string][][]byte, len(client.Endpoints))
+
+	var balT client.BalanceRequest
+	if err := loadTemplate(dir, "balance-request.json", &balT); err != nil {
+		return nil, err
+	}
+	var mcT client.MonteCarloRequest
+	if err := loadTemplate(dir, "montecarlo-request.json", &mcT); err != nil {
+		return nil, err
+	}
+	var optT client.OptimizeRequest
+	if err := loadTemplate(dir, "optimize-request.json", &optT); err != nil {
+		return nil, err
+	}
+	var emuT client.EmulateRequest
+	if err := loadTemplate(dir, "emulate-request.json", &emuT); err != nil {
+		return nil, err
+	}
+
+	for v := 0; v < variants; v++ {
+		bal := balT
+		bal.Points = 64 + v // distinct sweep resolutions → distinct keys
+		if err := appendVariant(pools, "balance", bal); err != nil {
+			return nil, err
+		}
+
+		be := client.BreakEvenRequest{MinKMH: 5, MaxKMH: 180 - float64(v)}
+		if err := appendVariant(pools, "breakeven", be); err != nil {
+			return nil, err
+		}
+
+		mc := mcT
+		mc.Trials = 2000                 // bounded work per request at load-test rates
+		mc.Seed = client.Int64(int64(v)) // includes the explicit seed:0 stream
+		if err := appendVariant(pools, "montecarlo", mc); err != nil {
+			return nil, err
+		}
+
+		opt := optT
+		opt.MinKMH = 5 + float64(v)
+		if err := appendVariant(pools, "optimize", opt); err != nil {
+			return nil, err
+		}
+
+		emu := emuT
+		emu.Repeat = 1
+		switch v % 3 {
+		case 0:
+			emu.InitialV = nil // omitted: start at the buffer's restart threshold
+		case 1:
+			emu.InitialV = client.Float64(0) // explicit zero: drained buffer
+		default:
+			emu.InitialV = client.Float64(2.5 + 0.1*float64(v))
+		}
+		if err := appendVariant(pools, "emulate", emu); err != nil {
+			return nil, err
+		}
+	}
+	return pools, nil
+}
+
+// appendVariant validates and marshals one perturbed request into its
+// endpoint's pool — an invalid perturbation is a tyreload bug and should
+// fail loudly before any load is generated.
+func appendVariant(pools map[string][][]byte, endpoint string, req any) error {
+	if err := validateFilled(endpoint, req); err != nil {
+		return fmt.Errorf("%s variant: %w", endpoint, err)
+	}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	pools[endpoint] = append(pools[endpoint], blob)
+	return nil
+}
+
+// validateFilled applies Defaults then Validate on a copy of the typed
+// request, mirroring the server's decode path.
+func validateFilled(endpoint string, req any) error {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	check := func(r interface {
+		Defaults()
+		Validate() error
+	}) error {
+		if err := json.Unmarshal(blob, r); err != nil {
+			return err
+		}
+		r.Defaults()
+		if emu, ok := r.(*client.EmulateRequest); ok {
+			emu.ResolveFast(false)
+		}
+		return r.Validate()
+	}
+	switch endpoint {
+	case "balance":
+		return check(&client.BalanceRequest{})
+	case "breakeven":
+		return check(&client.BreakEvenRequest{})
+	case "montecarlo":
+		return check(&client.MonteCarloRequest{})
+	case "optimize":
+		return check(&client.OptimizeRequest{})
+	case "emulate":
+		return check(&client.EmulateRequest{})
+	default:
+		return nil
+	}
+}
+
+// fleetJob builds the batch job the "jobs" mix component submits: a
+// four-wheel fleet emulation over a short constant-speed window — small
+// enough to finish within a load-test tick, wide enough to stream four
+// chunk lines plus the terminal aggregate.
+func fleetJob(v int) (client.JobSubmitRequest, error) {
+	req := client.FleetRequest{
+		EmulateRequest: client.EmulateRequest{
+			SpeedKMH: 60 + float64(v%5),
+			Minutes:  0.5,
+		},
+	}
+	return client.NewJobSubmit("fleet", req)
+}
+
+// buildSchedule lays out the full open-loop plan: `total` arrivals at a
+// fixed inter-arrival gap of 1/rate, each assigned an endpoint by
+// weighted draw and a body by uniform draw from the endpoint's variant
+// pool. The schedule is a pure function of (rate, total, mix, pools,
+// seed): two runs with the same flags issue byte-identical request
+// sequences at the same offsets.
+func buildSchedule(rate float64, total int, mix []mixEntry, pools map[string][][]byte, seed int64) ([]arrival, error) {
+	rng := rand.New(rand.NewSource(seed))
+	weightSum := 0
+	for _, m := range mix {
+		weightSum += m.weight
+	}
+	gap := time.Duration(float64(time.Second) / rate)
+	plan := make([]arrival, 0, total)
+	jobSeq := 0
+	for i := 0; i < total; i++ {
+		pick := rng.Intn(weightSum)
+		var name string
+		for _, m := range mix {
+			if pick < m.weight {
+				name = m.name
+				break
+			}
+			pick -= m.weight
+		}
+		a := arrival{at: time.Duration(i) * gap, endpoint: name}
+		if name == "jobs" {
+			job, err := fleetJob(jobSeq)
+			if err != nil {
+				return nil, err
+			}
+			a.job = job
+			jobSeq++
+		} else {
+			pool := pools[name]
+			a.body = pool[rng.Intn(len(pool))]
+		}
+		plan = append(plan, a)
+	}
+	return plan, nil
+}
+
+// scheduleKeyCount counts the distinct (endpoint, body) pairs of a plan
+// — the number of evaluations a perfectly reusing server would compute.
+func scheduleKeyCount(plan []arrival) int {
+	seen := make(map[string]bool)
+	for _, a := range plan {
+		if a.endpoint == "jobs" {
+			continue
+		}
+		seen[a.endpoint+":"+string(a.body)] = true
+	}
+	return len(seen)
+}
+
+// mixNames renders the mix for the report header.
+func mixNames(mix []mixEntry) string {
+	parts := make([]string, len(mix))
+	for i, m := range mix {
+		parts[i] = fmt.Sprintf("%s=%d", m.name, m.weight)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

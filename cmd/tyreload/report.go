@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/client"
+)
+
+// outcome is one completed request as the load loop recorded it.
+type outcome struct {
+	endpoint string
+	status   int // HTTP status; 0 on transport error
+	source   string
+	dur      time.Duration
+	err      error
+}
+
+// EndpointReport aggregates one endpoint's outcomes. Latencies are
+// client-observed wall time: request issue to full body read (for the
+// jobs pseudo-endpoint: submission to the decoded terminal stream line).
+type EndpointReport struct {
+	Requests int            `json:"requests"`
+	OK       int            `json:"ok"`
+	Rejected int            `json:"rejected"` // 429: admission control
+	Errors   int            `json:"errors"`   // transport failures + any other non-2xx
+	Statuses map[string]int `json:"statuses"`
+	P50MS    float64        `json:"p50_ms"`
+	P95MS    float64        `json:"p95_ms"`
+	P99MS    float64        `json:"p99_ms"`
+	MeanMS   float64        `json:"mean_ms"`
+	MaxMS    float64        `json:"max_ms"`
+}
+
+// MetricsDelta is the server-side story of the run: the change in the
+// cumulative /v1/metrics counters between the before and after scrapes.
+type MetricsDelta struct {
+	ResponsesOK float64 `json:"responses_ok"`
+	Coalesced   float64 `json:"coalesced"`
+	CacheHits   float64 `json:"cache_hits"`
+	Computed    float64 `json:"computed"`
+	Rejected    float64 `json:"rejected"`
+	// CoalesceRate and CacheHitRate attribute reused responses:
+	// coalesced/ok and cache_hits/ok. ReuseRate is their sum — the
+	// fraction of 200s that did not pay for an evaluation. With v
+	// variants per endpoint and n ≫ v requests it approaches 1 - v·e/n,
+	// which is what the SLO gate pins (timing-independent, unlike
+	// the coalesce/cache split, which depends on arrival phasing).
+	CoalesceRate float64 `json:"coalesce_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	ReuseRate    float64 `json:"reuse_rate"`
+}
+
+// Report is the machine-readable result of one tyreload run
+// (BENCH_PR7.json is one of these).
+type Report struct {
+	Target        string                    `json:"target"`
+	Mix           string                    `json:"mix"`
+	Seed          int64                     `json:"seed"`
+	RatePerSec    float64                   `json:"rate_per_sec"`
+	Variants      int                       `json:"variants"`
+	DistinctKeys  int                       `json:"distinct_keys"`
+	Requests      int                       `json:"requests"`
+	OK            int                       `json:"ok"`
+	Rejected      int                       `json:"rejected"`
+	Errors        int                       `json:"errors"`
+	WallSeconds   float64                   `json:"wall_seconds"`
+	ThroughputRPS float64                   `json:"throughput_rps"`
+	Endpoints     map[string]EndpointReport `json:"endpoints"`
+	Metrics       MetricsDelta              `json:"metrics"`
+	SLO           *SLOResult                `json:"slo,omitempty"`
+}
+
+// percentile returns the nearest-rank percentile (p in (0,100]) of a
+// sorted duration slice, in milliseconds.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted)) + 0.999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return float64(sorted[rank-1]) / float64(time.Millisecond)
+}
+
+// buildReport folds the per-request outcomes and the two metric scrapes
+// into the run report.
+func buildReport(outcomes []outcome, before, after client.MetricSet, wall time.Duration) Report {
+	rep := Report{Endpoints: make(map[string]EndpointReport)}
+	byEndpoint := make(map[string][]time.Duration)
+	for _, o := range outcomes {
+		er := rep.Endpoints[o.endpoint]
+		er.Requests++
+		if er.Statuses == nil {
+			er.Statuses = make(map[string]int)
+		}
+		switch {
+		case o.status == 429:
+			// An admission rejection is a rejection even when it surfaced
+			// as an *APIError (the jobs pseudo-endpoint path).
+			er.Rejected++
+			er.Statuses["429"]++
+		case o.err != nil:
+			er.Errors++
+			er.Statuses["transport_error"]++
+		case o.status == 200 || o.status == 202:
+			er.OK++
+			er.Statuses[fmt.Sprint(o.status)]++
+			byEndpoint[o.endpoint] = append(byEndpoint[o.endpoint], o.dur)
+		default:
+			er.Errors++
+			er.Statuses[fmt.Sprint(o.status)]++
+		}
+		rep.Endpoints[o.endpoint] = er
+	}
+	for ep, durs := range byEndpoint {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		er := rep.Endpoints[ep]
+		er.P50MS = percentile(durs, 50)
+		er.P95MS = percentile(durs, 95)
+		er.P99MS = percentile(durs, 99)
+		er.MaxMS = percentile(durs, 100)
+		var sum time.Duration
+		for _, d := range durs {
+			sum += d
+		}
+		er.MeanMS = float64(sum) / float64(len(durs)) / float64(time.Millisecond)
+		rep.Endpoints[ep] = er
+	}
+	for _, er := range rep.Endpoints {
+		rep.Requests += er.Requests
+		rep.OK += er.OK
+		rep.Rejected += er.Rejected
+		rep.Errors += er.Errors
+	}
+	rep.WallSeconds = wall.Seconds()
+	if rep.WallSeconds > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / rep.WallSeconds
+	}
+
+	d := MetricsDelta{
+		ResponsesOK: after.Delta(before, "tyresysd_responses_total", client.Label{Key: "outcome", Value: "ok"}),
+		Coalesced:   after.Delta(before, "tyresysd_coalesced_total"),
+		CacheHits:   after.Delta(before, "tyresysd_result_cache_lookups_total", client.Label{Key: "outcome", Value: "hit"}),
+		Computed:    after.Delta(before, "tyresysd_computed_total"),
+		Rejected:    after.Delta(before, "tyresysd_responses_total", client.Label{Key: "outcome", Value: "rejected"}),
+	}
+	if d.ResponsesOK > 0 {
+		d.CoalesceRate = d.Coalesced / d.ResponsesOK
+		d.CacheHitRate = d.CacheHits / d.ResponsesOK
+		d.ReuseRate = d.CoalesceRate + d.CacheHitRate
+	}
+	rep.Metrics = d
+	return rep
+}
+
+// SLOPolicy is the gate policy document (scripts/slo.json). Zero-valued
+// bounds are not checked, so a policy states only what it pins.
+type SLOPolicy struct {
+	// MaxP99MS bounds every endpoint's p99 latency. Deliberately
+	// generous: the gate's regression teeth are the reuse rate and the
+	// error/reject counts, which do not depend on machine speed; the p99
+	// bound exists to catch order-of-magnitude stalls (and to let the
+	// negative test prove the gate can fail).
+	MaxP99MS float64 `json:"max_p99_ms"`
+	// MinReuseRate bounds (coalesced + cache hits) / ok from below. For
+	// a schedule with k distinct keys and n ≫ k OK responses the
+	// achievable rate is (n - k) / n regardless of timing.
+	MinReuseRate float64 `json:"min_reuse_rate"`
+	// MaxErrors / MaxRejected bound the absolute counts.
+	MaxErrors   int `json:"max_errors"`
+	MaxRejected int `json:"max_rejected"`
+}
+
+// SLOCheck is one evaluated bound.
+type SLOCheck struct {
+	Name  string  `json:"name"`
+	Pass  bool    `json:"pass"`
+	Got   float64 `json:"got"`
+	Bound float64 `json:"bound"`
+}
+
+// SLOResult is the gate verdict embedded in the report.
+type SLOResult struct {
+	Pass   bool       `json:"pass"`
+	Checks []SLOCheck `json:"checks"`
+}
+
+// loadSLO reads and strict-decodes a policy file.
+func loadSLO(path string) (SLOPolicy, error) {
+	var p SLOPolicy
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return p, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return p, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// evaluateSLO applies the policy to a report.
+func evaluateSLO(rep Report, p SLOPolicy) SLOResult {
+	res := SLOResult{Pass: true}
+	add := func(name string, got, bound float64, pass bool) {
+		res.Checks = append(res.Checks, SLOCheck{Name: name, Pass: pass, Got: got, Bound: bound})
+		if !pass {
+			res.Pass = false
+		}
+	}
+	if p.MaxP99MS > 0 {
+		worst, worstEp := 0.0, ""
+		for ep, er := range rep.Endpoints {
+			if er.P99MS > worst {
+				worst, worstEp = er.P99MS, ep
+			}
+		}
+		add("p99_ms("+worstEp+")", worst, p.MaxP99MS, worst <= p.MaxP99MS)
+	}
+	if p.MinReuseRate > 0 {
+		add("reuse_rate", rep.Metrics.ReuseRate, p.MinReuseRate, rep.Metrics.ReuseRate >= p.MinReuseRate)
+	}
+	add("errors", float64(rep.Errors), float64(p.MaxErrors), rep.Errors <= p.MaxErrors)
+	add("rejected", float64(rep.Rejected), float64(p.MaxRejected), rep.Rejected <= p.MaxRejected)
+	return res
+}
+
+// printSLO renders the verdict for humans (the gate script greps the
+// exit code, not this text).
+func printSLO(res SLOResult) {
+	for _, c := range res.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Printf("slo %-24s %s  got %.4g  bound %.4g\n", c.Name, mark, c.Got, c.Bound)
+	}
+}

@@ -86,8 +86,8 @@ func TestFollowerRetriesAfterLeader429(t *testing.T) {
 	api, ts := testServer(t, Options{Workers: 1, MaxInFlight: 2, CacheEntries: -1})
 
 	req := EmulateRequest{SpeedKMH: 40, Minutes: 1}
-	req.defaults()
-	req.resolveFast(false)
+	req.Defaults()
+	req.ResolveFast(false)
 	key, err := canonicalKey("emulate", req)
 	if err != nil {
 		t.Fatal(err)
@@ -153,8 +153,8 @@ func TestExplicitZeroFieldsDistinctKeys(t *testing.T) {
 		if err := decodeStrict(strings.NewReader(body), &req); err != nil {
 			t.Fatal(err)
 		}
-		req.defaults()
-		if err := req.validate(); err != nil {
+		req.Defaults()
+		if err := req.Validate(); err != nil {
 			t.Fatal(err)
 		}
 		key, err := canonicalKey("montecarlo", req)
@@ -169,9 +169,9 @@ func TestExplicitZeroFieldsDistinctKeys(t *testing.T) {
 		if err := decodeStrict(strings.NewReader(body), &req); err != nil {
 			t.Fatal(err)
 		}
-		req.defaults()
-		req.resolveFast(false)
-		if err := req.validate(); err != nil {
+		req.Defaults()
+		req.ResolveFast(false)
+		if err := req.Validate(); err != nil {
 			t.Fatal(err)
 		}
 		key, err := canonicalKey("emulate", req)

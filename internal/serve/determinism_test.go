@@ -5,13 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
-	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/client"
 )
 
 // The service's central promise: caching, coalescing, worker count and
@@ -21,48 +22,8 @@ import (
 // -race, so the same tests double as the data-race probe for the
 // singleflight group, LRU and stats counters.
 
-// testServer builds an httptest server around a fresh API instance.
-func testServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
-	t.Helper()
-	api, err := NewServer(opts)
-	if err != nil {
-		t.Fatalf("NewServer: %v", err)
-	}
-	srv := httptest.NewServer(api)
-	t.Cleanup(srv.Close)
-	return api, srv
-}
-
-// post sends one JSON request and returns status, body and the
-// X-Result-Source header.
-func post(t *testing.T, url, path, body string) (int, []byte, string) {
-	t.Helper()
-	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatalf("POST %s: %v", path, err)
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatalf("reading %s response: %v", path, err)
-	}
-	return resp.StatusCode, b, resp.Header.Get("X-Result-Source")
-}
-
-// statsFor fetches /v1/stats and returns one endpoint's counters.
-func statsFor(t *testing.T, url, endpoint string) EndpointStats {
-	t.Helper()
-	resp, err := http.Get(url + "/v1/stats")
-	if err != nil {
-		t.Fatalf("GET /v1/stats: %v", err)
-	}
-	defer resp.Body.Close()
-	var sr StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		t.Fatalf("decoding stats: %v", err)
-	}
-	return sr.Endpoints[endpoint]
-}
+// The harness helpers (testServer, post, statsFor, ...) live in
+// harness_test.go, built on the typed repro/client SDK.
 
 // requestMatrix is the distinct request set both servers are driven
 // with: every endpoint, cheap parameters.
@@ -221,6 +182,140 @@ func TestCanonicalKeyCoalescesEquivalentBodies(t *testing.T) {
 	if st := statsFor(t, srv.URL, "breakeven"); st.Computed != 1 {
 		t.Errorf("computed = %d, want 1: equivalent spellings must share one canonical key", st.Computed)
 	}
+}
+
+// TestConcurrentMixedLoadDeterministic extends the byte-identity pin to
+// the full traffic shape tyreload generates: every sync endpoint
+// including both emulate kernel modes, duplicated coalescable copies,
+// and batch jobs — all in flight at once on a wide server, compared
+// against a serial single-worker baseline. Sync responses must be
+// byte-identical; job result streams must carry byte-identical chunk
+// results (compared in chunk order — completion order across concurrent
+// jobs is scheduling, not contract) and a byte-identical terminal line.
+func TestConcurrentMixedLoadDeterministic(t *testing.T) {
+	mixed := append(append([]struct{ path, body string }{}, requestMatrix...),
+		struct{ path, body string }{"/v1/emulate", `{"speed_kmh":50,"minutes":2,"fast":true}`},
+		struct{ path, body string }{"/v1/emulate", `{"speed_kmh":50,"minutes":2,"fast":false}`},
+	)
+	jobSpecs := []struct{ kind, request string }{
+		{"emulate", `{"cycle":"urban","repeat":2}`},
+		{"fleet", `{"cycle":"urban","repeat":1}`},
+	}
+
+	// Serial baseline: one worker, one admission slot, caching off.
+	_, serial := testServer(t, Options{Workers: 1, CacheEntries: -1, MaxInFlight: 1, JobsDir: t.TempDir()})
+	syncBase := make(map[string][]byte, len(mixed))
+	for _, rq := range mixed {
+		status, body, _ := post(t, serial.URL, rq.path, rq.body)
+		if status != http.StatusOK {
+			t.Fatalf("baseline %s %s: status %d: %s", rq.path, rq.body, status, body)
+		}
+		syncBase[rq.path+rq.body] = body
+	}
+	jobBase := make(map[string][]string, len(jobSpecs))
+	for _, js := range jobSpecs {
+		sub := submitJob(t, serial.URL, js.kind, js.request)
+		if fin := waitJob(t, serial.URL, sub.ID); fin.State != client.JobDone {
+			t.Fatalf("baseline %s job ended %s (%s)", js.kind, fin.State, fin.Error)
+		}
+		jobBase[js.kind] = streamStrings(t, serial.URL, sub.ID)
+	}
+
+	// Concurrent server: wide pool, cache and coalescing on, everything
+	// in flight at once.
+	const copies = 4
+	_, conc := testServer(t, Options{Workers: 8, MaxInFlight: 64, JobsDir: t.TempDir()})
+	var wg sync.WaitGroup
+	errs := make(chan error, copies*(len(mixed)+len(jobSpecs)))
+	for i := 0; i < copies; i++ {
+		for _, rq := range mixed {
+			wg.Add(1)
+			go func(path, body string) {
+				defer wg.Done()
+				res, err := apiClient(conc.URL).PostRaw(context.Background(), path, []byte(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Status != http.StatusOK {
+					errs <- fmt.Errorf("%s %s: status %d: %s", path, body, res.Status, res.Body)
+					return
+				}
+				if !bytes.Equal(res.Body, syncBase[path+body]) {
+					errs <- fmt.Errorf("%s %s: concurrent body differs from serial baseline", path, body)
+				}
+			}(rq.path, rq.body)
+		}
+		for _, js := range jobSpecs {
+			wg.Add(1)
+			go func(kind, request string) {
+				defer wg.Done()
+				c := apiClient(conc.URL)
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				defer cancel()
+				sub, err := client.NewJobSubmit(kind, json.RawMessage(request))
+				if err != nil {
+					errs <- err
+					return
+				}
+				st, err := c.SubmitJob(ctx, sub)
+				if err != nil {
+					errs <- fmt.Errorf("%s job submit: %w", kind, err)
+					return
+				}
+				fin, err := c.WaitJob(ctx, st.ID, 10*time.Millisecond)
+				if err != nil || fin.State != client.JobDone {
+					errs <- fmt.Errorf("%s job ended %s (%s): %v", kind, fin.State, fin.Error, err)
+					return
+				}
+				got := streamStrings(t, conc.URL, st.ID)
+				want := jobBase[kind]
+				if len(got) != len(want) {
+					errs <- fmt.Errorf("%s job: %d stream lines, baseline has %d", kind, len(got), len(want))
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						errs <- fmt.Errorf("%s job stream line %d differs from serial baseline\n got: %s\nwant: %s", kind, i, got[i], want[i])
+						return
+					}
+				}
+			}(js.kind, js.request)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The duplicated copies must have been answered by at most one
+	// evaluation per distinct emulate key — and there are exactly two:
+	// the matrix's omitted-fast request and the explicit fast:false
+	// variant spell the same canonical key on a default (exact) server,
+	// while fast:true is its own computation.
+	if st := statsFor(t, conc.URL, "emulate"); st.Computed != 2 {
+		t.Errorf("emulate computed = %d, want 2 distinct keys across the mixed load (omitted fast and fast:false must coalesce)", st.Computed)
+	}
+}
+
+// streamStrings fetches a job's NDJSON result and returns one string
+// per line with the chunk lines sorted by chunk index, so streams from
+// concurrently executed jobs compare positionally.
+func streamStrings(t *testing.T, url, id string) []string {
+	t.Helper()
+	lines := streamLines(t, url, id)
+	chunks := lines[:len(lines)-1]
+	sort.SliceStable(chunks, func(i, j int) bool { return *chunks[i].Chunk < *chunks[j].Chunk })
+	out := make([]string, 0, len(lines))
+	for _, l := range lines {
+		b, err := json.Marshal(l)
+		if err != nil {
+			t.Fatalf("re-marshalling stream line: %v", err)
+		}
+		out = append(out, string(b))
+	}
+	return out
 }
 
 // TestGracefulShutdownDrains verifies Shutdown lets an in-flight

@@ -10,28 +10,14 @@ import (
 	"syscall"
 	"testing"
 
+	"repro/client"
 	"repro/internal/faultfs"
-	"repro/internal/jobs"
 )
 
 // The serving layer's half of the durability contract: a corrupt job
 // directory never stops the daemon from booting (it is quarantined and
 // surfaced through stats and metrics), and a dead checkpoint disk turns
 // submissions into clean 503s instead of 400s or a wedged server.
-
-func getStats(t *testing.T, url string) StatsResponse {
-	t.Helper()
-	resp, err := http.Get(url + "/v1/stats")
-	if err != nil {
-		t.Fatalf("GET /v1/stats: %v", err)
-	}
-	defer resp.Body.Close()
-	var st StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatalf("decoding stats: %v", err)
-	}
-	return st
-}
 
 // TestServeQuarantineBoot seeds a corrupt job directory and proves the
 // boot contract end to end through the HTTP surface.
@@ -73,7 +59,7 @@ func TestServeQuarantineBoot(t *testing.T) {
 
 	// The quarantined wreck must not block new work.
 	sub := submitJob(t, srv.URL, "emulate", `{"cycle":"urban","repeat":1}`)
-	if fin := waitJob(t, srv.URL, sub.ID); fin.State != jobs.Done {
+	if fin := waitJob(t, srv.URL, sub.ID); fin.State != client.JobDone {
 		t.Fatalf("job after quarantine boot ended %s (%s)", fin.State, fin.Error)
 	}
 }

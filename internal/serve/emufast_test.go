@@ -2,8 +2,6 @@ package serve
 
 import (
 	"net/http"
-	"regexp"
-	"strconv"
 	"strings"
 	"testing"
 )
@@ -54,20 +52,7 @@ func TestEmulateServerFastDefault(t *testing.T) {
 	}
 }
 
-// metricValue extracts one series' value from a /v1/metrics exposition.
-func metricValue(t *testing.T, exposition, series string) float64 {
-	t.Helper()
-	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\S+)$`)
-	m := re.FindStringSubmatch(exposition)
-	if m == nil {
-		t.Fatalf("series %q not found in exposition", series)
-	}
-	v, err := strconv.ParseFloat(m[1], 64)
-	if err != nil {
-		t.Fatalf("series %q value %q: %v", series, m[1], err)
-	}
-	return v
-}
+// metricValue lives in harness_test.go, built on client.ParseMetrics.
 
 // TestKernelMetricsAbsorbed runs one exact and one fast emulation and
 // checks the kernel counters the evaluations folded into the node cache

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"repro/client"
 	"repro/internal/balance"
 	"repro/internal/cli"
 	"repro/internal/config"
@@ -28,29 +29,26 @@ func buildStack(scen *config.Scenario) (cli.Stack, error) {
 	return cli.BuildStack(*scen)
 }
 
-// BreakEvenPoint is the JSON form of a break-even result. Found=false
-// means the margin never turns positive in the searched range — a valid
-// answer, not an error.
-type BreakEvenPoint struct {
-	Found    bool    `json:"found"`
-	SpeedKMH float64 `json:"speed_kmh,omitempty"`
-	EnergyUJ float64 `json:"energy_uj,omitempty"`
-}
-
-// OperatingWindow is a positive-margin speed interval.
-type OperatingWindow struct {
-	FromKMH float64 `json:"from_kmh"`
-	ToKMH   float64 `json:"to_kmh"`
-}
-
-// BalanceResponse is the /v1/balance payload: the Fig 2 dataset.
-type BalanceResponse struct {
-	SpeedsKMH   []float64         `json:"speeds_kmh"`
-	GeneratedUJ []float64         `json:"generated_uj"`
-	RequiredUJ  []float64         `json:"required_uj"`
-	BreakEven   BreakEvenPoint    `json:"breakeven"`
-	Windows     []OperatingWindow `json:"windows"`
-}
+// The response documents are owned by the top-level client package and
+// aliased here — see request.go for why. Field order in those structs is
+// load-bearing: responses are compared byte-for-byte across the cache,
+// coalesce and recompute paths.
+type (
+	// BreakEvenPoint is the JSON form of a break-even result.
+	BreakEvenPoint = client.BreakEvenPoint
+	// OperatingWindow is a positive-margin speed interval.
+	OperatingWindow = client.OperatingWindow
+	// BalanceResponse is the /v1/balance payload: the Fig 2 dataset.
+	BalanceResponse = client.BalanceResponse
+	// BreakEvenResponse is the /v1/breakeven payload.
+	BreakEvenResponse = client.BreakEvenResponse
+	// MonteCarloResponse is the /v1/montecarlo payload.
+	MonteCarloResponse = client.MonteCarloResponse
+	// OptimizeResponse is the /v1/optimize payload.
+	OptimizeResponse = client.OptimizeResponse
+	// EmulateResponse is the /v1/emulate payload.
+	EmulateResponse = client.EmulateResponse
+)
 
 // runBalance evaluates the Fig 2 sweep for one request.
 func runBalance(ctx context.Context, st cli.Stack, req BalanceRequest, workers int) (any, error) {
@@ -93,11 +91,6 @@ func sweepResponse(sw *balance.Sweep, be BreakEvenPoint) BalanceResponse {
 	return resp
 }
 
-// BreakEvenResponse is the /v1/breakeven payload.
-type BreakEvenResponse struct {
-	BreakEven BreakEvenPoint `json:"breakeven"`
-}
-
 // runBreakEven locates the activation speed for one request.
 func runBreakEven(ctx context.Context, st cli.Stack, req BreakEvenRequest, workers int) (any, error) {
 	az, err := newAnalyzer(st, workers)
@@ -110,18 +103,6 @@ func runBreakEven(ctx context.Context, st cli.Stack, req BreakEvenRequest, worke
 		return nil, err
 	}
 	return BreakEvenResponse{BreakEven: be}, nil
-}
-
-// MonteCarloResponse is the /v1/montecarlo payload.
-type MonteCarloResponse struct {
-	Trials       int            `json:"trials"`
-	Positive     int            `json:"positive"`
-	Yield        float64        `json:"yield"`
-	MeanMarginUJ float64        `json:"mean_margin_uj"`
-	MinMarginUJ  float64        `json:"min_margin_uj"`
-	MaxMarginUJ  float64        `json:"max_margin_uj"`
-	StdDevJ      float64        `json:"stddev_j"`
-	PerCorner    map[string]int `json:"per_corner"`
 }
 
 // runMonteCarlo samples the part population for one request.
@@ -167,16 +148,6 @@ func mcResponse(out mc.Outcome) MonteCarloResponse {
 	return resp
 }
 
-// OptimizeResponse is the /v1/optimize payload. Baseline/Optimized are
-// km/h for the breakeven objective and µJ per round for energy.
-type OptimizeResponse struct {
-	Objective   string   `json:"objective"`
-	Applied     []string `json:"applied"`
-	Baseline    float64  `json:"baseline"`
-	Optimized   float64  `json:"optimized"`
-	Improvement float64  `json:"improvement"`
-}
-
 // runOptimize searches the technique space for one request.
 func runOptimize(ctx context.Context, st cli.Stack, req OptimizeRequest, workers int) (any, error) {
 	cons := opt.DefaultConstraints()
@@ -220,25 +191,6 @@ func runOptimize(ctx context.Context, st cli.Stack, req OptimizeRequest, workers
 		Optimized:   toUnits(res.Optimized),
 		Improvement: res.Improvement(),
 	}, nil
-}
-
-// EmulateResponse is the /v1/emulate payload: the long-window summary.
-type EmulateResponse struct {
-	DurationS      float64 `json:"duration_s"`
-	Rounds         int64   `json:"rounds"`
-	ActiveRounds   int64   `json:"active_rounds"`
-	Coverage       float64 `json:"coverage"`
-	BrownOuts      int     `json:"brownouts"`
-	Restarts       int     `json:"restarts"`
-	Outages        int     `json:"outages"`
-	DowntimeS      float64 `json:"downtime_s"`
-	LongestOutageS float64 `json:"longest_outage_s"`
-	HarvestedUJ    float64 `json:"harvested_uj"`
-	ClippedUJ      float64 `json:"clipped_uj"`
-	ConsumedUJ     float64 `json:"consumed_uj"`
-	LeakedUJ       float64 `json:"leaked_uj"`
-	FinalVoltageV  float64 `json:"final_voltage_v"`
-	MinVoltageV    float64 `json:"min_voltage_v"`
 }
 
 // runEmulate steps the stack through the requested profile.

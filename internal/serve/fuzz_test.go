@@ -40,8 +40,8 @@ func FuzzDecodeRequest(f *testing.F) {
 			if err := decodeStrict(bytes.NewReader([]byte(body)), &req); err != nil {
 				return "", err
 			}
-			req.defaults()
-			if err := req.validate(); err != nil {
+			req.Defaults()
+			if err := req.Validate(); err != nil {
 				return "", err
 			}
 			return canonicalKey("balance", req)
@@ -51,8 +51,8 @@ func FuzzDecodeRequest(f *testing.F) {
 			if err := decodeStrict(bytes.NewReader([]byte(body)), &req); err != nil {
 				return "", err
 			}
-			req.defaults()
-			if err := req.validate(); err != nil {
+			req.Defaults()
+			if err := req.Validate(); err != nil {
 				return "", err
 			}
 			return canonicalKey("breakeven", req)
@@ -62,8 +62,8 @@ func FuzzDecodeRequest(f *testing.F) {
 			if err := decodeStrict(bytes.NewReader([]byte(body)), &req); err != nil {
 				return "", err
 			}
-			req.defaults()
-			if err := req.validate(); err != nil {
+			req.Defaults()
+			if err := req.Validate(); err != nil {
 				return "", err
 			}
 			return canonicalKey("montecarlo", req)
@@ -73,8 +73,8 @@ func FuzzDecodeRequest(f *testing.F) {
 			if err := decodeStrict(bytes.NewReader([]byte(body)), &req); err != nil {
 				return "", err
 			}
-			req.defaults()
-			if err := req.validate(); err != nil {
+			req.Defaults()
+			if err := req.Validate(); err != nil {
 				return "", err
 			}
 			return canonicalKey("optimize", req)
@@ -84,9 +84,9 @@ func FuzzDecodeRequest(f *testing.F) {
 			if err := decodeStrict(bytes.NewReader([]byte(body)), &req); err != nil {
 				return "", err
 			}
-			req.defaults()
-			req.resolveFast(false)
-			if err := req.validate(); err != nil {
+			req.Defaults()
+			req.ResolveFast(false)
+			if err := req.Validate(); err != nil {
 				return "", err
 			}
 			return canonicalKey("emulate", req)

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// Shared test harness: every serve test file builds its server and
+// speaks to it through these helpers, which are themselves built on the
+// typed repro/client SDK. That makes the client a load-bearing part of
+// the test suite — a wire-type drift between client and server fails
+// here before any external consumer sees it — and keeps the helper
+// definitions in exactly one place.
+
+// testServer builds an httptest server around a fresh API instance.
+func testServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	api, err := NewServer(opts)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+	return api, srv
+}
+
+// apiClient wraps a test server's base URL in the typed SDK client.
+func apiClient(url string) *client.Client { return client.New(url) }
+
+// post sends one JSON request and returns status, body and the
+// X-Result-Source header.
+func post(t *testing.T, url, path, body string) (int, []byte, string) {
+	t.Helper()
+	res, err := apiClient(url).PostRaw(context.Background(), path, []byte(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	return res.Status, res.Body, res.Source
+}
+
+// getStats fetches and decodes /v1/stats.
+func getStats(t *testing.T, url string) StatsResponse {
+	t.Helper()
+	sr, err := apiClient(url).Stats(context.Background())
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	return sr
+}
+
+// statsFor fetches /v1/stats and returns one endpoint's counters.
+func statsFor(t *testing.T, url, endpoint string) EndpointStats {
+	t.Helper()
+	return getStats(t, url).Endpoints[endpoint]
+}
+
+// submitJob posts one job and returns its decoded initial status,
+// checking the 202 + Location contract on the way.
+func submitJob(t *testing.T, url, kind, request string) client.JobStatus {
+	t.Helper()
+	body := `{"kind":"` + kind + `","request":` + request + `}`
+	res, err := apiClient(url).PostRaw(context.Background(), "/v1/jobs", []byte(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	if res.Status != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs: status %d: %s", res.Status, res.Body)
+	}
+	var st client.JobStatus
+	if err := jsonUnmarshalStrict(res.Body, &st); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	if loc := res.Header.Get("Location"); loc != "/v1/jobs/"+st.ID {
+		t.Fatalf("Location = %q, want /v1/jobs/%s", loc, st.ID)
+	}
+	return st
+}
+
+// jobStatus fetches one job's status.
+func jobStatus(t *testing.T, url, id string) client.JobStatus {
+	t.Helper()
+	st, err := apiClient(url).Job(context.Background(), id)
+	if err != nil {
+		t.Fatalf("GET /v1/jobs/%s: %v", id, err)
+	}
+	return st
+}
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(t *testing.T, url, id string) client.JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := apiClient(url).WaitJob(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("waiting for job %s (last state %s): %v", id, st.State, err)
+	}
+	return st
+}
+
+// streamLines fetches /result and decodes the NDJSON stream through the
+// client's strict decoder, checking the content type on the way — so
+// every jobs test doubles as a DecodeJobStream integration check
+// against live server output.
+func streamLines(t *testing.T, url, id string) []client.JobStreamLine {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	lines, err := client.DecodeJobStream(resp.Body)
+	if err != nil {
+		t.Fatalf("decoding job stream: %v", err)
+	}
+	return lines
+}
+
+// jsonUnmarshalStrict decodes one JSON document rejecting unknown
+// fields, so response-shape drift fails tests instead of being dropped.
+func jsonUnmarshalStrict(data []byte, dst any) error {
+	return decodeStrict(bytes.NewReader(data), dst)
+}
+
+// scrape fetches /v1/metrics and returns the body and content type.
+func scrape(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: status %d, body %s", resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// parseMetrics maps every exposition sample to its value, keyed by the
+// canonical series name (labels sorted by key, not exposition order).
+// Parsing goes through the client's fuzzed decoder.
+func parseMetrics(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	set, err := client.ParseMetrics([]byte(text))
+	if err != nil {
+		t.Fatalf("parsing exposition: %v", err)
+	}
+	out := make(map[string]float64)
+	for _, s := range set.Samples() {
+		out[s.Key()] = s.Value
+	}
+	return out
+}
+
+// metricValue extracts one series' value from a /v1/metrics exposition.
+func metricValue(t *testing.T, exposition, series string) float64 {
+	t.Helper()
+	v, ok := parseMetrics(t, exposition)[series]
+	if !ok {
+		t.Fatalf("series %q not found in exposition", series)
+	}
+	return v
+}

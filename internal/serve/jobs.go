@@ -1,13 +1,13 @@
 package serve
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strings"
 
+	"repro/client"
 	"repro/internal/jobs"
 )
 
@@ -17,84 +17,21 @@ import (
 // the reads are cheap snapshots — so a server saturated with batch work
 // still answers status checks.
 
-// JobSubmitRequest is the POST /v1/jobs payload: an analysis kind plus
-// the kind's request document, verbatim — the same JSON the synchronous
-// endpoint of that kind accepts (the "fleet" kind exists only here).
-type JobSubmitRequest struct {
-	Kind    string          `json:"kind"`
-	Request json.RawMessage `json:"request"`
-}
-
-// FleetRequest is the request document of the "fleet" job kind: one
-// emulation per wheel position, each with the scavenger output scaled
-// by the wheel's factor. The embedded fields are exactly /v1/emulate's.
-type FleetRequest struct {
-	EmulateRequest
-	// Wheels maps wheel position names to scavenger output scale
-	// factors. Empty selects the default four-corner spread.
-	Wheels map[string]float64 `json:"wheels,omitempty"`
-}
-
-func (r *FleetRequest) defaults() {
-	r.EmulateRequest.defaults()
-	if len(r.Wheels) == 0 {
-		// Front wheels run slightly hotter mounts (lower coupling), the
-		// loaded rear-left slightly better — a plausible installation
-		// spread, not a paper-calibrated one.
-		r.Wheels = map[string]float64{"FL": 1.0, "FR": 0.97, "RL": 1.03, "RR": 0.94}
-	}
-}
-
-func (r *FleetRequest) validate() error {
-	if err := r.EmulateRequest.validate(); err != nil {
-		return err
-	}
-	if len(r.Wheels) > maxFleetWheels {
-		return fmt.Errorf("wheels: at most %d entries, got %d", maxFleetWheels, len(r.Wheels))
-	}
-	for name, scale := range r.Wheels {
-		if strings.TrimSpace(name) == "" {
-			return fmt.Errorf("wheels: empty wheel name")
-		}
-		if !(scale > 0) {
-			return fmt.Errorf("wheels[%s]: scale must be positive, got %v", name, scale)
-		}
-	}
-	return nil
-}
-
-// FleetWheelResult is one wheel's emulation outcome within a fleet job.
-type FleetWheelResult struct {
-	Wheel string  `json:"wheel"`
-	Scale float64 `json:"scale"`
-	EmulateResponse
-}
-
-// FleetResponse is the aggregate of a fleet job: per-wheel outcomes in
-// sorted wheel order plus the cross-wheel summary a fleet operator
-// actually triages by (the worst wheel bounds the system).
-type FleetResponse struct {
-	Wheels         []FleetWheelResult `json:"wheels"`
-	WorstWheel     string             `json:"worst_wheel"`
-	MinCoverage    float64            `json:"min_coverage"`
-	MeanCoverage   float64            `json:"mean_coverage"`
-	TotalDowntimeS float64            `json:"total_downtime_s"`
-	TotalBrownouts int                `json:"total_brownouts"`
-}
-
-// JobsStats is the batch-job section of /v1/stats.
-type JobsStats struct {
-	Submitted  int64          `json:"submitted"`
-	Replayed   int            `json:"replayed"`
-	QueueDepth int            `json:"queue_depth"`
-	States     map[string]int `json:"states"`
-	// Quarantined counts corrupt job directories moved aside at boot;
-	// PersistFailures counts jobs failed because the checkpoint store
-	// stopped accepting writes (the degraded "persistence lost" path).
-	// Non-zero values mean the operator should look at the disk.
-	Quarantined     int   `json:"quarantined"`
-	PersistFailures int64 `json:"persist_failures"`
-}
+// The batch-job wire types are owned by the top-level client package and
+// aliased here — see request.go for why. FleetRequest's Defaults and
+// Validate live there with the type.
+type (
+	// JobSubmitRequest is the POST /v1/jobs payload.
+	JobSubmitRequest = client.JobSubmitRequest
+	// FleetRequest is the request document of the "fleet" job kind.
+	FleetRequest = client.FleetRequest
+	// FleetWheelResult is one wheel's emulation outcome within a fleet job.
+	FleetWheelResult = client.FleetWheelResult
+	// FleetResponse is the aggregate of a fleet job.
+	FleetResponse = client.FleetResponse
+	// JobsStats is the batch-job section of /v1/stats.
+	JobsStats = client.JobsStats
+)
 
 func (s *Server) jobsStats() JobsStats {
 	js := JobsStats{

@@ -1,16 +1,15 @@
 package serve
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/client"
 	"repro/internal/jobs"
 )
 
@@ -19,94 +18,8 @@ import (
 // request — across chunking, across parallel chunk execution, and
 // across a process restart mid-run.
 
-// submitJob posts one job and returns its decoded initial status.
-func submitJob(t *testing.T, url, kind, request string) jobs.Status {
-	t.Helper()
-	body := fmt.Sprintf(`{"kind":%q,"request":%s}`, kind, request)
-	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
-	if err != nil {
-		t.Fatalf("POST /v1/jobs: %v", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		var e errorBody
-		json.NewDecoder(resp.Body).Decode(&e)
-		t.Fatalf("POST /v1/jobs: status %d: %s", resp.StatusCode, e.Error)
-	}
-	var st jobs.Status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatalf("decoding submit response: %v", err)
-	}
-	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+st.ID {
-		t.Fatalf("Location = %q, want /v1/jobs/%s", loc, st.ID)
-	}
-	return st
-}
-
-// jobStatus fetches one job's status.
-func jobStatus(t *testing.T, url, id string) jobs.Status {
-	t.Helper()
-	resp, err := http.Get(url + "/v1/jobs/" + id)
-	if err != nil {
-		t.Fatalf("GET /v1/jobs/%s: %v", id, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /v1/jobs/%s: status %d", id, resp.StatusCode)
-	}
-	var st jobs.Status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatalf("decoding status: %v", err)
-	}
-	return st
-}
-
-// waitJob polls until the job reaches a terminal state.
-func waitJob(t *testing.T, url, id string) jobs.Status {
-	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for {
-		st := jobStatus(t, url, id)
-		switch st.State {
-		case jobs.Done, jobs.Failed, jobs.Cancelled:
-			return st
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job %s still %s after 60s", id, st.State)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-}
-
-// streamLines fetches /result and splits the NDJSON stream.
-func streamLines(t *testing.T, url, id string) []map[string]json.RawMessage {
-	t.Helper()
-	resp, err := http.Get(url + "/v1/jobs/" + id + "/result")
-	if err != nil {
-		t.Fatalf("GET result: %v", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET result: status %d", resp.StatusCode)
-	}
-	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
-		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
-	}
-	var lines []map[string]json.RawMessage
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		var m map[string]json.RawMessage
-		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
-			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
-		}
-		lines = append(lines, m)
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatalf("reading stream: %v", err)
-	}
-	return lines
-}
+// The job harness helpers (submitJob, jobStatus, waitJob, streamLines)
+// live in harness_test.go, built on the typed repro/client SDK.
 
 // TestJobEmulateByteIdentity is the acceptance test's first half: an
 // emulation decomposed into many checkpointed segments aggregates to
@@ -127,7 +40,7 @@ func TestJobEmulateByteIdentity(t *testing.T) {
 		t.Errorf("chunks = %d, want 13", st.Chunks)
 	}
 	final := waitJob(t, srv.URL, st.ID)
-	if final.State != jobs.Done {
+	if final.State != client.JobDone {
 		t.Fatalf("job ended %s (%s)", final.State, final.Error)
 	}
 	if final.Progress != 1 {
@@ -139,10 +52,10 @@ func TestJobEmulateByteIdentity(t *testing.T) {
 		t.Fatalf("stream has %d lines, want 14", len(lines))
 	}
 	last := lines[len(lines)-1]
-	if string(last["state"]) != `"done"` {
-		t.Fatalf("terminal line state = %s", last["state"])
+	if last.State != client.JobDone {
+		t.Fatalf("terminal line state = %s", last.State)
 	}
-	got := append([]byte(last["aggregate"]), '\n')
+	got := append([]byte(last.Aggregate), '\n')
 	if !bytes.Equal(got, syncBody) {
 		t.Errorf("job aggregate differs from sync /v1/emulate response\njob:  %s\nsync: %s", got, syncBody)
 	}
@@ -171,11 +84,11 @@ func TestJobServerRestartResume(t *testing.T) {
 	_, refSrv := testServer(t, refOpts)
 	refSt := submitJob(t, refSrv.URL, "emulate", req)
 	refFinal := waitJob(t, refSrv.URL, refSt.ID)
-	if refFinal.State != jobs.Done {
+	if refFinal.State != client.JobDone {
 		t.Fatalf("reference job ended %s (%s)", refFinal.State, refFinal.Error)
 	}
 	refLines := streamLines(t, refSrv.URL, refSt.ID)
-	refAgg := refLines[len(refLines)-1]["aggregate"]
+	refAgg := refLines[len(refLines)-1].Aggregate
 
 	// Phase 1: start the job, let a few chunks checkpoint, kill the
 	// server mid-run.
@@ -207,11 +120,11 @@ func TestJobServerRestartResume(t *testing.T) {
 		t.Error("resumed flag not set after replay")
 	}
 	final := waitJob(t, srv2.URL, st.ID)
-	if final.State != jobs.Done {
+	if final.State != client.JobDone {
 		t.Fatalf("resumed job ended %s (%s)", final.State, final.Error)
 	}
 	lines := streamLines(t, srv2.URL, st.ID)
-	agg := lines[len(lines)-1]["aggregate"]
+	agg := lines[len(lines)-1].Aggregate
 	if !bytes.Equal(agg, refAgg) {
 		t.Errorf("resumed aggregate differs from uninterrupted run\nresumed: %s\nref:     %s", agg, refAgg)
 	}
@@ -226,7 +139,7 @@ func TestJobFleetStream(t *testing.T) {
 		t.Fatalf("fleet chunks = %d, want 4 (default wheel spread)", st.Chunks)
 	}
 	final := waitJob(t, srv.URL, st.ID)
-	if final.State != jobs.Done {
+	if final.State != client.JobDone {
 		t.Fatalf("fleet job ended %s (%s)", final.State, final.Error)
 	}
 
@@ -235,7 +148,7 @@ func TestJobFleetStream(t *testing.T) {
 		t.Fatalf("stream has %d lines, want 5", len(lines))
 	}
 	var resp FleetResponse
-	if err := json.Unmarshal(lines[4]["aggregate"], &resp); err != nil {
+	if err := json.Unmarshal(lines[4].Aggregate, &resp); err != nil {
 		t.Fatalf("decoding fleet aggregate: %v", err)
 	}
 	wantOrder := []string{"FL", "FR", "RL", "RR"}
@@ -288,13 +201,13 @@ func TestJobCancelEndpoint(t *testing.T) {
 	}
 
 	final := waitJob(t, srv.URL, st.ID)
-	if final.State != jobs.Cancelled {
+	if final.State != client.JobCancelled {
 		t.Fatalf("state after cancel = %s, want cancelled", final.State)
 	}
 	lines := streamLines(t, srv.URL, st.ID)
 	last := lines[len(lines)-1]
-	if string(last["state"]) != `"cancelled"` {
-		t.Errorf("stream terminal state = %s, want \"cancelled\"", last["state"])
+	if last.State != client.JobCancelled {
+		t.Errorf("stream terminal state = %s, want cancelled", last.State)
 	}
 }
 
@@ -340,7 +253,7 @@ func TestJobQueueFull(t *testing.T) {
 
 	first := submitJob(t, srv.URL, "emulate", `{"cycle":"mixed","repeat":40}`)
 	deadline := time.Now().Add(10 * time.Second)
-	for jobStatus(t, srv.URL, first.ID).State == jobs.Pending {
+	for jobStatus(t, srv.URL, first.ID).State == client.JobPending {
 		if time.Now().After(deadline) {
 			t.Fatal("first job never started")
 		}
@@ -410,7 +323,7 @@ func TestReadOnlyEndpointsBypassAdmission(t *testing.T) {
 	// dedicated executor pool, not the interactive slots, runs chunks.
 	st := submitJob(t, srv.URL, "breakeven", `{}`)
 	final := waitJob(t, srv.URL, st.ID)
-	if final.State != jobs.Done {
+	if final.State != client.JobDone {
 		t.Errorf("batch job under admission saturation ended %s (%s)", final.State, final.Error)
 	}
 }

@@ -6,52 +6,14 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"testing"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
-// scrape fetches /v1/metrics and returns the body and content type.
-func scrape(t *testing.T, url string) (string, string) {
-	t.Helper()
-	resp, err := http.Get(url + "/v1/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /v1/metrics: status %d, body %s", resp.StatusCode, body)
-	}
-	return string(body), resp.Header.Get("Content-Type")
-}
-
-// parseMetrics maps every sample line ("name{labels} value") to its
-// value, keyed by the full series name including labels.
-func parseMetrics(t *testing.T, text string) map[string]float64 {
-	t.Helper()
-	out := make(map[string]float64)
-	for _, line := range strings.Split(text, "\n") {
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		i := strings.LastIndexByte(line, ' ')
-		if i < 0 {
-			t.Fatalf("malformed exposition line %q", line)
-		}
-		v, err := strconv.ParseFloat(line[i+1:], 64)
-		if err != nil {
-			t.Fatalf("malformed value in line %q: %v", line, err)
-		}
-		out[line[:i]] = v
-	}
-	return out
-}
+// scrape and parseMetrics live in harness_test.go, built on the
+// client's fuzzed exposition decoder.
 
 // TestMetricsGoldenFresh pins the full exposition of a fresh server —
 // family order, HELP/TYPE lines, label order, bucket layout — against a
@@ -118,8 +80,8 @@ func TestMetricsAfterTraffic(t *testing.T) {
 	// The sweep evaluated a fresh stack: its memo tables must have
 	// recorded misses that absorb folded into the cumulative counters.
 	for _, series := range []string{
-		`tyresysd_node_memo_total{table="plan",outcome="miss"}`,
-		`tyresysd_node_memo_total{table="avg",outcome="miss"}`,
+		`tyresysd_node_memo_total{outcome="miss",table="plan"}`,
+		`tyresysd_node_memo_total{outcome="miss",table="avg"}`,
 		`tyresysd_block_memo_total{outcome="miss"}`,
 	} {
 		if m[series] <= 0 {

@@ -136,7 +136,7 @@ func BenchmarkObservabilityOverhead(b *testing.B) {
 		b.Fatal(err)
 	}
 	req := BalanceRequest{}
-	req.defaults()
+	req.Defaults()
 
 	b.Run("bare", func(b *testing.B) {
 		ctx := context.Background()

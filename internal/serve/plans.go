@@ -33,8 +33,6 @@ const (
 	// jobChunkParallelism bounds the chunk fan-out of one independent
 	// job across the evaluation pool.
 	jobChunkParallelism = 4
-	// maxFleetWheels bounds a fleet job's wheel map.
-	maxFleetWheels = 16
 )
 
 // jobKinds lists the accepted /v1/jobs kinds: every synchronous
@@ -54,8 +52,8 @@ func (s *Server) planJob(kind string, request json.RawMessage) (jobs.Plan, error
 		if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
 			return nil, err
 		}
-		req.defaults()
-		if err := req.validate(); err != nil {
+		req.Defaults()
+		if err := req.Validate(); err != nil {
 			return nil, err
 		}
 		st, err := buildStack(req.Scenario)
@@ -80,8 +78,8 @@ func (s *Server) planJob(kind string, request json.RawMessage) (jobs.Plan, error
 		if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
 			return nil, err
 		}
-		req.defaults()
-		if err := req.validate(); err != nil {
+		req.Defaults()
+		if err := req.Validate(); err != nil {
 			return nil, err
 		}
 		st, err := buildStack(req.Scenario)
@@ -94,9 +92,9 @@ func (s *Server) planJob(kind string, request json.RawMessage) (jobs.Plan, error
 		if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
 			return nil, err
 		}
-		req.defaults()
-		req.resolveFast(s.opts.EmuFast)
-		if err := req.validate(); err != nil {
+		req.Defaults()
+		req.ResolveFast(s.opts.EmuFast)
+		if err := req.Validate(); err != nil {
 			return nil, err
 		}
 		st, err := buildStack(req.Scenario)
@@ -118,9 +116,9 @@ func (s *Server) planJob(kind string, request json.RawMessage) (jobs.Plan, error
 		if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
 			return nil, err
 		}
-		req.defaults()
-		req.EmulateRequest.resolveFast(s.opts.EmuFast)
-		if err := req.validate(); err != nil {
+		req.Defaults()
+		req.EmulateRequest.ResolveFast(s.opts.EmuFast)
+		if err := req.Validate(); err != nil {
 			return nil, err
 		}
 		st, err := buildStack(req.Scenario)

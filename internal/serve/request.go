@@ -6,272 +6,51 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"strings"
 
-	"repro/internal/cli"
-	"repro/internal/config"
+	"repro/client"
 )
 
-// Request size and parameter ceilings. They bound the work one request
-// can demand, so admission control reasons about request counts alone.
+// The request documents of the /v1 analysis endpoints are owned by the
+// top-level client package — the typed SDK the load generator and the
+// test harnesses speak — and aliased here so the server compiles against
+// the exact same structs. One definition means the wire format cannot
+// drift between the server, the SDK and the tests; in particular the
+// presence-tracked pointer fields (seed, temp_sigma_c, vdd_sigma_v,
+// initial_v, fast) keep their explicit-zero-vs-omitted semantics
+// everywhere at once.
+type (
+	// BalanceRequest asks for the Fig 2 sweep.
+	BalanceRequest = client.BalanceRequest
+	// BreakEvenRequest asks only for the minimum self-sustaining speed.
+	BreakEvenRequest = client.BreakEvenRequest
+	// MonteCarloRequest asks for the yield under process/condition spread.
+	MonteCarloRequest = client.MonteCarloRequest
+	// OptimizeRequest asks for the technique search.
+	OptimizeRequest = client.OptimizeRequest
+	// EmulateRequest asks for a long-timing-window emulation.
+	EmulateRequest = client.EmulateRequest
+)
+
+// Request size and parameter ceilings. The parameter ceilings live with
+// the request types in the client package; MaxBodyBytes is a serving
+// concern (http.MaxBytesReader) and stays here.
 const (
 	// MaxBodyBytes caps a request body.
 	MaxBodyBytes = 1 << 20
 	// maxSweepPoints caps /v1/balance sweep resolution.
-	maxSweepPoints = 4096
+	maxSweepPoints = client.MaxSweepPoints
 	// maxTrials caps /v1/montecarlo population size.
-	maxTrials = 1_000_000
+	maxTrials = client.MaxTrials
 	// maxEmulateMinutes caps a constant-speed emulation.
-	maxEmulateMinutes = 24 * 60
+	maxEmulateMinutes = client.MaxEmulateMinutes
 	// maxCycleRepeat caps driving-cycle repetition.
-	maxCycleRepeat = 200
+	maxCycleRepeat = client.MaxCycleRepeat
 )
 
-// BalanceRequest asks for the Fig 2 sweep: both energy-per-round curves,
-// the break-even point and the operating windows.
-type BalanceRequest struct {
-	// Scenario is the full analysis scenario (the tyreconfig file
-	// format); omitted means the reference stack.
-	Scenario *config.Scenario `json:"scenario,omitempty"`
-	// MinKMH/MaxKMH bound the sweep (defaults 5 and 180 km/h).
-	MinKMH float64 `json:"min_kmh,omitempty"`
-	MaxKMH float64 `json:"max_kmh,omitempty"`
-	// Points is the sweep resolution (default 80).
-	Points int `json:"points,omitempty"`
-}
-
-// defaults fills unset fields; the canonical hash is computed after this
-// step, so explicit defaults and omitted fields coalesce.
-func (r *BalanceRequest) defaults() {
-	if r.MinKMH == 0 {
-		r.MinKMH = 5
-	}
-	if r.MaxKMH == 0 {
-		r.MaxKMH = 180
-	}
-	if r.Points == 0 {
-		r.Points = 80
-	}
-}
-
-func (r *BalanceRequest) validate() error {
-	if err := checkRange(r.MinKMH, r.MaxKMH); err != nil {
-		return err
-	}
-	if r.Points < 2 || r.Points > maxSweepPoints {
-		return fmt.Errorf("points must be in [2, %d], got %d", maxSweepPoints, r.Points)
-	}
-	return nil
-}
-
-// BreakEvenRequest asks only for the minimum self-sustaining speed.
-type BreakEvenRequest struct {
-	Scenario *config.Scenario `json:"scenario,omitempty"`
-	// MinKMH/MaxKMH bound the search (defaults 5 and 180 km/h).
-	MinKMH float64 `json:"min_kmh,omitempty"`
-	MaxKMH float64 `json:"max_kmh,omitempty"`
-}
-
-func (r *BreakEvenRequest) defaults() {
-	if r.MinKMH == 0 {
-		r.MinKMH = 5
-	}
-	if r.MaxKMH == 0 {
-		r.MaxKMH = 180
-	}
-}
-
-func (r *BreakEvenRequest) validate() error { return checkRange(r.MinKMH, r.MaxKMH) }
-
-// MonteCarloRequest asks for the yield under process/condition spread at
-// one cruising speed.
-type MonteCarloRequest struct {
-	Scenario *config.Scenario `json:"scenario,omitempty"`
-	// SpeedKMH is the evaluated cruising speed (default 60).
-	SpeedKMH float64 `json:"speed_kmh,omitempty"`
-	// Trials is the population size (default 1000).
-	Trials int `json:"trials,omitempty"`
-	// TempSigmaC and VddSigmaV are the 1σ spreads (defaults 5 °C and
-	// 0.05 V). Pointers so an explicit 0 — a deliberately degenerate
-	// spread — is distinguishable from an omitted field: only nil takes
-	// the default. With omitempty a nil pointer is omitted from the
-	// canonical-key marshal exactly like the old zero value was, so keys
-	// for requests that never touch these fields are unchanged.
-	TempSigmaC *float64 `json:"temp_sigma_c,omitempty"`
-	VddSigmaV  *float64 `json:"vdd_sigma_v,omitempty"`
-	// Seed makes the run reproducible (default 1). A pointer for the
-	// same reason: seed 0 is a legitimate, distinct stream and must not
-	// silently coalesce with seed 1.
-	Seed *int64 `json:"seed,omitempty"`
-}
-
-func (r *MonteCarloRequest) defaults() {
-	if r.SpeedKMH == 0 {
-		r.SpeedKMH = 60
-	}
-	if r.Trials == 0 {
-		r.Trials = 1000
-	}
-	if r.TempSigmaC == nil {
-		r.TempSigmaC = ptrFloat(5)
-	}
-	if r.VddSigmaV == nil {
-		r.VddSigmaV = ptrFloat(0.05)
-	}
-	if r.Seed == nil {
-		r.Seed = ptrInt64(1)
-	}
-}
-
-func (r *MonteCarloRequest) validate() error {
-	if r.SpeedKMH <= 0 || r.SpeedKMH > 400 {
-		return fmt.Errorf("speed_kmh must be in (0, 400], got %g", r.SpeedKMH)
-	}
-	if r.Trials < 1 || r.Trials > maxTrials {
-		return fmt.Errorf("trials must be in [1, %d], got %d", maxTrials, r.Trials)
-	}
-	if *r.TempSigmaC < 0 || *r.VddSigmaV < 0 {
-		return fmt.Errorf("sigmas must be non-negative")
-	}
-	return nil
-}
-
-// OptimizeRequest asks for the technique search. Objective "breakeven"
-// (default) minimises the activation speed over [min_kmh, max_kmh];
-// "energy" minimises per-round energy at speed_kmh.
-type OptimizeRequest struct {
-	Scenario  *config.Scenario `json:"scenario,omitempty"`
-	Objective string           `json:"objective,omitempty"`
-	MinKMH    float64          `json:"min_kmh,omitempty"`
-	MaxKMH    float64          `json:"max_kmh,omitempty"`
-	SpeedKMH  float64          `json:"speed_kmh,omitempty"`
-	// MaxDataAgeS and MinSamplesPerRound bound what the optimizer may
-	// trade away (defaults from opt.DefaultConstraints).
-	MaxDataAgeS        float64 `json:"max_data_age_s,omitempty"`
-	MinSamplesPerRound int     `json:"min_samples_per_round,omitempty"`
-}
-
-func (r *OptimizeRequest) defaults() {
-	if r.Objective == "" {
-		r.Objective = "breakeven"
-	}
-	if r.MinKMH == 0 {
-		r.MinKMH = 5
-	}
-	if r.MaxKMH == 0 {
-		r.MaxKMH = 180
-	}
-	if r.SpeedKMH == 0 {
-		r.SpeedKMH = 60
-	}
-}
-
-func (r *OptimizeRequest) validate() error {
-	switch r.Objective {
-	case "breakeven", "energy":
-	default:
-		return fmt.Errorf("objective must be \"breakeven\" or \"energy\", got %q", r.Objective)
-	}
-	if err := checkRange(r.MinKMH, r.MaxKMH); err != nil {
-		return err
-	}
-	if r.SpeedKMH <= 0 || r.SpeedKMH > 400 {
-		return fmt.Errorf("speed_kmh must be in (0, 400], got %g", r.SpeedKMH)
-	}
-	if r.MaxDataAgeS < 0 || r.MinSamplesPerRound < 0 {
-		return fmt.Errorf("constraints must be non-negative")
-	}
-	return nil
-}
-
-// EmulateRequest asks for a long-timing-window emulation over a built-in
-// driving cycle, or at constant speed when speed_kmh and minutes are
-// set (constant speed wins when both are given).
-type EmulateRequest struct {
-	Scenario *config.Scenario `json:"scenario,omitempty"`
-	// Cycle names a built-in profile: urban, extraurban, highway, wltp
-	// or mixed (default mixed).
-	Cycle string `json:"cycle,omitempty"`
-	// Repeat replays the cycle back to back (default 1).
-	Repeat int `json:"repeat,omitempty"`
-	// SpeedKMH/Minutes select a constant-speed run instead.
-	SpeedKMH float64 `json:"speed_kmh,omitempty"`
-	Minutes  float64 `json:"minutes,omitempty"`
-	// InitialV is the buffer's starting voltage. A pointer because zero
-	// is meaningful — "start from a fully drained buffer" — and must not
-	// silently fall back to the default; nil (the field omitted) means
-	// the buffer's restart threshold. defaults() deliberately leaves it
-	// nil: the threshold lives in the scenario's buffer, not here.
-	InitialV *float64 `json:"initial_v,omitempty"`
-	// Fast selects the interpolated-table emulation kernel (emu.Config.
-	// Fast): skips the per-round exponential for a documented ≤ ~1e-4
-	// relative error on static power. A pointer so an omitted field can
-	// inherit the server default (tyresysd -emu-fast); resolveFast fills
-	// it before the canonical key is computed, so an omitted field and an
-	// explicitly spelled server default coalesce onto one cache entry —
-	// and requests with different effective modes never share one.
-	Fast *bool `json:"fast,omitempty"`
-}
-
-func (r *EmulateRequest) defaults() {
-	if r.Cycle == "" && r.SpeedKMH == 0 {
-		r.Cycle = "mixed"
-	}
-	if r.Repeat == 0 {
-		r.Repeat = 1
-	}
-}
-
-// resolveFast fills an omitted fast field with the server's default
-// emulation mode. Separate from defaults() because the default is an
-// Options knob, not a request-shape constant; every decode path
-// (synchronous handler, batch planner, fleet planner) calls it right
-// after defaults() and before canonicalKey.
-func (r *EmulateRequest) resolveFast(serverDefault bool) {
-	if r.Fast == nil {
-		v := serverDefault
-		r.Fast = &v
-	}
-}
-
-func (r *EmulateRequest) validate() error {
-	if r.Repeat < 1 || r.Repeat > maxCycleRepeat {
-		return fmt.Errorf("repeat must be in [1, %d], got %d", maxCycleRepeat, r.Repeat)
-	}
-	if r.SpeedKMH < 0 || r.SpeedKMH > 400 {
-		return fmt.Errorf("speed_kmh must be in [0, 400], got %g", r.SpeedKMH)
-	}
-	if r.SpeedKMH > 0 {
-		if r.Minutes <= 0 || r.Minutes > maxEmulateMinutes {
-			return fmt.Errorf("constant-speed emulation needs minutes in (0, %d], got %g", maxEmulateMinutes, r.Minutes)
-		}
-	} else if !cli.KnownCycle(r.Cycle) {
-		// Reject a bad cycle name here, at decode time, so the request
-		// 400s before consuming an admission slot or counting as a
-		// computed evaluation — the same contract every other scenario
-		// problem gets. Constant-speed runs ignore the cycle field, so
-		// they keep accepting whatever it says.
-		return fmt.Errorf("unknown cycle %q (one of: %s)",
-			r.Cycle, strings.Join(cli.CycleNames(), ", "))
-	}
-	if r.InitialV != nil && *r.InitialV < 0 {
-		return fmt.Errorf("initial_v must be non-negative, got %g", *r.InitialV)
-	}
-	return nil
-}
-
-// ptrFloat / ptrInt64 build the default values defaults() fills
+// ptrFloat / ptrInt64 build the default values Defaults() fills
 // presence-tracked fields with.
-func ptrFloat(v float64) *float64 { return &v }
-func ptrInt64(v int64) *int64     { return &v }
-
-// checkRange validates a [min, max] km/h speed interval.
-func checkRange(minKMH, maxKMH float64) error {
-	if minKMH <= 0 || maxKMH <= minKMH || maxKMH > 400 {
-		return fmt.Errorf("speed range must satisfy 0 < min_kmh < max_kmh <= 400, got [%g, %g]", minKMH, maxKMH)
-	}
-	return nil
-}
+func ptrFloat(v float64) *float64 { return client.Float64(v) }
+func ptrInt64(v int64) *int64     { return client.Int64(v) }
 
 // decodeStrict decodes one JSON value into dst, rejecting unknown
 // fields (anywhere in the tree, including inside the embedded scenario)

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/client"
 	"repro/internal/cli"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -88,8 +89,10 @@ type Options struct {
 	emuChunkSeconds float64
 }
 
-// endpoints are the POST analysis routes, by name.
-var endpoints = []string{"balance", "breakeven", "montecarlo", "optimize", "emulate"}
+// endpoints are the POST analysis routes, by name — the client package's
+// canonical list, so an endpoint added there without a handler here (or
+// vice versa) fails tests immediately.
+var endpoints = client.Endpoints
 
 // Server is the tyresysd request engine: decoding, admission control,
 // coalescing, result caching and stats around the analysis packages. It
@@ -479,8 +482,8 @@ func decodeBalance(body io.Reader) (string, cli.Stack, evaluator, error) {
 	if err := decodeStrict(body, &req); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
-	req.defaults()
-	if err := req.validate(); err != nil {
+	req.Defaults()
+	if err := req.Validate(); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
 	key, err := canonicalKey("balance", req)
@@ -501,8 +504,8 @@ func decodeBreakEven(body io.Reader) (string, cli.Stack, evaluator, error) {
 	if err := decodeStrict(body, &req); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
-	req.defaults()
-	if err := req.validate(); err != nil {
+	req.Defaults()
+	if err := req.Validate(); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
 	key, err := canonicalKey("breakeven", req)
@@ -523,8 +526,8 @@ func decodeMonteCarlo(body io.Reader) (string, cli.Stack, evaluator, error) {
 	if err := decodeStrict(body, &req); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
-	req.defaults()
-	if err := req.validate(); err != nil {
+	req.Defaults()
+	if err := req.Validate(); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
 	key, err := canonicalKey("montecarlo", req)
@@ -545,8 +548,8 @@ func decodeOptimize(body io.Reader) (string, cli.Stack, evaluator, error) {
 	if err := decodeStrict(body, &req); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
-	req.defaults()
-	if err := req.validate(); err != nil {
+	req.Defaults()
+	if err := req.Validate(); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
 	key, err := canonicalKey("optimize", req)
@@ -571,9 +574,9 @@ func (s *Server) decodeEmulate(body io.Reader) (string, cli.Stack, evaluator, er
 	if err := decodeStrict(body, &req); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
-	req.defaults()
-	req.resolveFast(s.opts.EmuFast)
-	if err := req.validate(); err != nil {
+	req.Defaults()
+	req.ResolveFast(s.opts.EmuFast)
+	if err := req.Validate(); err != nil {
 		return "", cli.Stack{}, nil, err
 	}
 	key, err := canonicalKey("emulate", req)

@@ -125,8 +125,8 @@ func TestAdmissionControl(t *testing.T) {
 	// request must coalesce onto it and succeed with the leader's bytes
 	// even though the admission slot is still taken.
 	req := EmulateRequest{Cycle: "urban"}
-	req.defaults()
-	req.resolveFast(false)
+	req.Defaults()
+	req.ResolveFast(false)
 	key, err := canonicalKey("emulate", req)
 	if err != nil {
 		t.Fatal(err)

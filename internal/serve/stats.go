@@ -1,6 +1,10 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/client"
+)
 
 // endpointStats counts one endpoint's request outcomes. All fields are
 // atomics; a /v1/stats read is a near-instant snapshot, not a consistent
@@ -18,22 +22,14 @@ type endpointStats struct {
 	evalMicros  atomic.Int64 // total wall-clock µs spent in those evaluations
 }
 
-// EndpointStats is the JSON snapshot of one endpoint's counters.
-type EndpointStats struct {
-	Requests    int64 `json:"requests"`
-	OK          int64 `json:"ok"`
-	BadRequests int64 `json:"bad_requests"`
-	// PayloadTooLarge counts bodies over the MaxBodyBytes cap (413) —
-	// split from BadRequests so clients sending oversized scenarios see
-	// a distinct signal, not a generic parse failure.
-	PayloadTooLarge int64 `json:"payload_too_large"`
-	Rejected        int64 `json:"rejected"`
-	Errored         int64 `json:"errored"`
-	Coalesced       int64 `json:"coalesced"`
-	CacheHits       int64 `json:"cache_hits"`
-	Computed        int64 `json:"computed"`
-	EvalMicros      int64 `json:"eval_micros"`
-}
+// EndpointStats and StatsResponse are owned by the top-level client
+// package and aliased here — see request.go for why.
+type (
+	// EndpointStats is the JSON snapshot of one endpoint's counters.
+	EndpointStats = client.EndpointStats
+	// StatsResponse is the /v1/stats payload.
+	StatsResponse = client.StatsResponse
+)
 
 // snapshot captures the counters.
 func (s *endpointStats) snapshot() EndpointStats {
@@ -49,23 +45,4 @@ func (s *endpointStats) snapshot() EndpointStats {
 		Computed:        s.computed.Load(),
 		EvalMicros:      s.evalMicros.Load(),
 	}
-}
-
-// StatsResponse is the /v1/stats payload.
-type StatsResponse struct {
-	// InFlight is the number of evaluations currently holding an
-	// admission slot; MaxInFlight is the slot count.
-	InFlight    int `json:"in_flight"`
-	MaxInFlight int `json:"max_in_flight"`
-	// CacheEntries / CacheCapacity describe the LRU result cache.
-	CacheEntries  int `json:"cache_entries"`
-	CacheCapacity int `json:"cache_capacity"`
-	// Workers is the evaluation pool width requests run with (0 = all
-	// cores at evaluation time).
-	Workers int `json:"workers"`
-	// Endpoints maps endpoint name (e.g. "balance") to its counters;
-	// JSON object keys render sorted, so the payload layout is stable.
-	Endpoints map[string]EndpointStats `json:"endpoints"`
-	// Jobs describes the batch-job subsystem behind /v1/jobs.
-	Jobs JobsStats `json:"jobs"`
 }

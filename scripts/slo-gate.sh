@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# slo-gate.sh — CI gate over a deterministic tyreload run.
+#
+# Runs the open-loop load generator against an in-process tyresysd
+# engine with a fixed seed and evaluates the report against
+# scripts/slo.json. The policy deliberately pins machine-independent
+# signals hard and timing only loosely:
+#
+#   * reuse_rate >= 0.5 — with 3 variants x 5 endpoints = 15 distinct
+#     canonical keys over ~200 requests, the achievable rate is ~0.93;
+#     a server that stops coalescing or caching lands near 0 and fails
+#     regardless of how fast the machine is.
+#   * errors == 0, rejected == 0 — the in-process engine runs with 256
+#     admission slots, so any 429 or 5xx is a real regression, not load.
+#   * p99 <= 5000 ms per endpoint — an order-of-magnitude stall guard,
+#     generous enough for the slowest shared runner.
+#
+# The negative test re-runs with -inject-latency 6s and requires the
+# gate to FAIL, proving the p99 bound has teeth.
+#
+# Usage: scripts/slo-gate.sh [report-out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR7.json}"
+
+echo "== slo-gate: positive run (must pass)"
+go run ./cmd/tyreload \
+  -inproc \
+  -rate 50 -duration 4s \
+  -variants 3 -seed 1 \
+  -slo scripts/slo.json \
+  -out "$OUT"
+
+echo "== slo-gate: negative run (injected 6s stall must fail the gate)"
+if go run ./cmd/tyreload \
+  -inproc -inject-latency 6s \
+  -rate 5 -duration 2s \
+  -mix balance=1 -variants 1 -seed 1 \
+  -timeout 30s \
+  -slo scripts/slo.json \
+  -out /dev/null >/dev/null 2>&1; then
+  echo "slo-gate: NEGATIVE TEST FAILED — injected latency did not breach the SLO" >&2
+  exit 1
+fi
+echo "== slo-gate: OK (positive passed, negative failed as required)"
