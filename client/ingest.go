@@ -1,0 +1,309 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The telemetry ingest wire format. POST /v1/ingest accepts NDJSON: one
+// IngestSample object per line, possibly mixing vehicles within one
+// request. temp_c and vdd_v are presence-tracked pointers — `"temp_c":0`
+// is a measured zero degrees and must survive decoding, while an omitted
+// field means "not measured this round" and takes the reference-scenario
+// default. This is exactly the dropped-zero bug class the emulate
+// endpoint's initial_v hit in an earlier release; the regression tests in
+// ingest_zero_test.go pin it for these types.
+
+// Ingest parameter ceilings and defaults, shared with the server.
+const (
+	// MaxIngestSamples caps samples per ingest request (the body-size cap
+	// bounds bytes; this bounds decode work).
+	MaxIngestSamples = 10000
+	// DefaultTempC fills an omitted temp_c: the reference scenario's
+	// ambient.
+	DefaultTempC = 20.0
+	// DefaultVddV fills an omitted vdd_v: the reference scenario's rail.
+	DefaultVddV = 1.8
+)
+
+// Operating-mode names on the wire, mapped to the compact IDs the store
+// keeps. IDs are append-only: they appear in persisted blocks.
+var (
+	modeIDs   = map[string]uint8{"active": 0, "lowpower": 1, "standby": 2, "off": 3}
+	modeNames = []string{"active", "lowpower", "standby", "off"}
+)
+
+// ModeID maps a wire mode name to its stored ID.
+func ModeID(name string) (uint8, bool) {
+	id, ok := modeIDs[name]
+	return id, ok
+}
+
+// ModeName maps a stored mode ID back to its wire name.
+func ModeName(id uint8) (string, bool) {
+	if int(id) < len(modeNames) {
+		return modeNames[id], true
+	}
+	return "", false
+}
+
+// vehicleRE is the series-name grammar, mirrored from the store: path-
+// safe, no separators, at most 64 characters.
+var vehicleRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// ValidVehicle reports whether name is an acceptable vehicle/series
+// name.
+func ValidVehicle(name string) bool {
+	return vehicleRE.MatchString(name) && strings.Trim(name, ".") != "" && name != "quarantine"
+}
+
+// IngestSample is one NDJSON line of POST /v1/ingest: one wheel-round
+// telemetry report from one vehicle's tyre node.
+type IngestSample struct {
+	Vehicle  string  `json:"vehicle"`
+	TSMS     int64   `json:"ts_ms"`
+	SpeedKMH float64 `json:"speed_kmh"`
+	// TempC and VddV are presence-tracked: an explicit zero is a
+	// measurement, an omitted field takes the reference default.
+	TempC *float64 `json:"temp_c,omitempty"`
+	VddV  *float64 `json:"vdd_v,omitempty"`
+	// HarvestedUJ / ConsumedUJ are the round's measured energy flows.
+	HarvestedUJ float64 `json:"harvested_uj"`
+	ConsumedUJ  float64 `json:"consumed_uj"`
+	// Mode is the node operating mode ("active" when omitted).
+	Mode string `json:"mode,omitempty"`
+	// Flags carries diagnostic bits verbatim.
+	Flags uint8 `json:"flags,omitempty"`
+}
+
+// Defaults fills omitted fields in place.
+func (s *IngestSample) Defaults() {
+	if s.TempC == nil {
+		s.TempC = Float64(DefaultTempC)
+	}
+	if s.VddV == nil {
+		s.VddV = Float64(DefaultVddV)
+	}
+	if s.Mode == "" {
+		s.Mode = "active"
+	}
+}
+
+// Validate checks a default-filled sample.
+func (s *IngestSample) Validate() error {
+	if !ValidVehicle(s.Vehicle) {
+		return fmt.Errorf("vehicle %q must match [A-Za-z0-9._-]{1,64} (and not be dots-only or %q)", s.Vehicle, "quarantine")
+	}
+	if s.TSMS <= 0 {
+		return fmt.Errorf("ts_ms %d must be a positive Unix-milliseconds timestamp", s.TSMS)
+	}
+	if math.IsNaN(s.SpeedKMH) || s.SpeedKMH < 0 || s.SpeedKMH > 500 {
+		return fmt.Errorf("speed_kmh %v outside [0, 500]", s.SpeedKMH)
+	}
+	if t := *s.TempC; math.IsNaN(t) || t < -60 || t > 200 {
+		return fmt.Errorf("temp_c %v outside [-60, 200]", t)
+	}
+	if v := *s.VddV; math.IsNaN(v) || v < 0 || v > 6 {
+		return fmt.Errorf("vdd_v %v outside [0, 6]", v)
+	}
+	if math.IsNaN(s.HarvestedUJ) || math.IsInf(s.HarvestedUJ, 0) || s.HarvestedUJ < 0 {
+		return fmt.Errorf("harvested_uj %v must be finite and non-negative", s.HarvestedUJ)
+	}
+	if math.IsNaN(s.ConsumedUJ) || math.IsInf(s.ConsumedUJ, 0) || s.ConsumedUJ < 0 {
+		return fmt.Errorf("consumed_uj %v must be finite and non-negative", s.ConsumedUJ)
+	}
+	if _, ok := ModeID(s.Mode); !ok {
+		return fmt.Errorf("mode %q unknown (one of: %s)", s.Mode, strings.Join(modeNames, ", "))
+	}
+	return nil
+}
+
+// EncodeIngestNDJSON renders samples as the NDJSON body POST /v1/ingest
+// accepts, one compact JSON object per line.
+func EncodeIngestNDJSON(samples []IngestSample) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range samples {
+		if err := enc.Encode(&samples[i]); err != nil {
+			return nil, fmt.Errorf("sample %d: %w", i, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// IngestResponse is the POST /v1/ingest payload.
+type IngestResponse struct {
+	// Accepted counts samples appended to the store; Vehicles counts the
+	// distinct series they touched.
+	Accepted int `json:"accepted"`
+	Vehicles int `json:"vehicles"`
+}
+
+// SeriesSample is one stored sample as GET /v1/series and /v1/monitor
+// render it. Unlike the ingest form every field is concrete: stored
+// values always exist, and explicit zeros must render (a presence-
+// tracked omitempty here would re-introduce the dropped-zero bug on the
+// read side).
+type SeriesSample struct {
+	TSMS        int64   `json:"ts_ms"`
+	SpeedKMH    float64 `json:"speed_kmh"`
+	TempC       float64 `json:"temp_c"`
+	VddV        float64 `json:"vdd_v"`
+	HarvestedUJ float64 `json:"harvested_uj"`
+	ConsumedUJ  float64 `json:"consumed_uj"`
+	Mode        string  `json:"mode"`
+	Flags       uint8   `json:"flags"`
+}
+
+// SeriesResponse is the GET /v1/series/{vehicle} payload.
+type SeriesResponse struct {
+	Vehicle string `json:"vehicle"`
+	FromMS  int64  `json:"from_ms"`
+	ToMS    int64  `json:"to_ms"`
+	Count   int    `json:"count"`
+	// Samples is never null: an empty range renders as [].
+	Samples []SeriesSample `json:"samples"`
+}
+
+// MonitorResponse is the GET /v1/monitor/{vehicle} payload: continuous
+// break-even status over the vehicle's most recent rounds, measured
+// energy against the balance engine's model.
+type MonitorResponse struct {
+	Vehicle string `json:"vehicle"`
+	// Samples is the window size actually used; FromMS/ToMS its bounds.
+	Samples int   `json:"samples"`
+	FromMS  int64 `json:"from_ms"`
+	ToMS    int64 `json:"to_ms"`
+	// Window means of the measured telemetry.
+	MeanSpeedKMH    float64 `json:"mean_speed_kmh"`
+	MeanTempC       float64 `json:"mean_temp_c"`
+	MeanVddV        float64 `json:"mean_vdd_v"`
+	MeanHarvestedUJ float64 `json:"mean_harvested_uj"`
+	MeanConsumedUJ  float64 `json:"mean_consumed_uj"`
+	// RequiredUJ is the model's per-round demand at the window's mean
+	// speed and measured mean temperature; ModelGeneratedUJ the model's
+	// harvest prediction at that speed (what the harvester *should*
+	// deliver — a large gap to MeanHarvestedUJ flags a degrading
+	// harvester).
+	RequiredUJ       float64 `json:"required_uj"`
+	ModelGeneratedUJ float64 `json:"model_generated_uj"`
+	// MarginUJ = MeanHarvestedUJ − RequiredUJ; Sustainable is its sign:
+	// whether the vehicle's measured harvest covers the modelled demand.
+	MarginUJ    float64 `json:"margin_uj"`
+	Sustainable bool    `json:"sustainable"`
+	// BreakEven is the reference-scenario activation speed, for "how far
+	// below self-sustaining is this vehicle" triage.
+	BreakEven BreakEvenPoint `json:"breakeven"`
+}
+
+// TsdbStats is the telemetry-store section of /v1/stats, present only
+// when the server runs with a store configured.
+type TsdbStats struct {
+	Series          int   `json:"series"`
+	Samples         int64 `json:"samples"`
+	BufferedSamples int64 `json:"buffered_samples"`
+	Blocks          int64 `json:"blocks"`
+	DiskBytes       int64 `json:"disk_bytes"`
+	Quarantined     int   `json:"quarantined"`
+	IngestedSamples int64 `json:"ingested_samples"`
+	IngestedBytes   int64 `json:"ingested_bytes"`
+}
+
+// GetRaw GETs a /v1 path and returns the exact response — the GET-side
+// byte-identity primitive, mirroring PostRaw.
+func (c *Client) GetRaw(ctx context.Context, path string) (RawResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return RawResult{}, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return RawResult{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return RawResult{}, err
+	}
+	return RawResult{
+		Status: resp.StatusCode,
+		Source: resp.Header.Get("X-Result-Source"),
+		Header: resp.Header,
+		Body:   data,
+	}, nil
+}
+
+// IngestNDJSON POSTs a raw NDJSON body to /v1/ingest.
+func (c *Client) IngestNDJSON(ctx context.Context, body []byte) (IngestResponse, error) {
+	var out IngestResponse
+	res, err := c.PostRaw(ctx, "/v1/ingest", body)
+	if err != nil {
+		return out, err
+	}
+	if res.Status != http.StatusOK {
+		return out, apiErr(res.Status, res.Body)
+	}
+	return out, json.Unmarshal(res.Body, &out)
+}
+
+// Ingest encodes samples as NDJSON and POSTs them to /v1/ingest.
+func (c *Client) Ingest(ctx context.Context, samples []IngestSample) (IngestResponse, error) {
+	body, err := EncodeIngestNDJSON(samples)
+	if err != nil {
+		return IngestResponse{}, err
+	}
+	return c.IngestNDJSON(ctx, body)
+}
+
+// Series fetches GET /v1/series/{vehicle}. fromMS/toMS bound the range
+// inclusively; pass toMS = 0 for "no upper bound" (the server treats a
+// zero upper bound as open-ended).
+func (c *Client) Series(ctx context.Context, vehicle string, fromMS, toMS int64) (SeriesResponse, error) {
+	var out SeriesResponse
+	q := url.Values{}
+	if fromMS != 0 {
+		q.Set("from_ms", strconv.FormatInt(fromMS, 10))
+	}
+	if toMS != 0 {
+		q.Set("to_ms", strconv.FormatInt(toMS, 10))
+	}
+	path := "/v1/series/" + url.PathEscape(vehicle)
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	status, body, err := c.getRaw(ctx, path)
+	if err != nil {
+		return out, err
+	}
+	if status != http.StatusOK {
+		return out, apiErr(status, body)
+	}
+	return out, json.Unmarshal(body, &out)
+}
+
+// Monitor fetches GET /v1/monitor/{vehicle}. window is the number of
+// most-recent samples to evaluate; 0 selects the server default.
+func (c *Client) Monitor(ctx context.Context, vehicle string, window int) (MonitorResponse, error) {
+	var out MonitorResponse
+	path := "/v1/monitor/" + url.PathEscape(vehicle)
+	if window > 0 {
+		path += "?window=" + strconv.Itoa(window)
+	}
+	status, body, err := c.getRaw(ctx, path)
+	if err != nil {
+		return out, err
+	}
+	if status != http.StatusOK {
+		return out, apiErr(status, body)
+	}
+	return out, json.Unmarshal(body, &out)
+}

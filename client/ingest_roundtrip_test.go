@@ -1,0 +1,159 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/client"
+	"repro/internal/serve"
+)
+
+// ingestServer boots an in-process server with a telemetry store.
+func ingestServer(t *testing.T) *client.Client {
+	t.Helper()
+	c, _ := startServer(t, serve.Options{
+		Workers: 2, TSDBDir: t.TempDir(),
+		TSDBFlushSamples: 8, TSDBFlushInterval: -1, TSDBNoSync: true,
+	})
+	return c
+}
+
+// TestIngestRoundTripByteIdentity extends the wire-contract pins to the
+// telemetry endpoints: the typed Ingest/Series/Monitor decodes must
+// re-marshal to the server's exact bytes, and the typed NDJSON encoding
+// must keep explicit zeros spelled out on the wire.
+func TestIngestRoundTripByteIdentity(t *testing.T) {
+	c := ingestServer(t)
+	ctx := context.Background()
+
+	samples := []client.IngestSample{
+		{
+			Vehicle: "rt-1", TSMS: 1000, SpeedKMH: 72.5,
+			TempC: client.Float64(0), VddV: client.Float64(0), // the dropped-zero spellings
+			HarvestedUJ: 41.25, ConsumedUJ: 38.5, Mode: "lowpower", Flags: 3,
+		},
+		{Vehicle: "rt-1", TSMS: 1100, SpeedKMH: 73, HarvestedUJ: 42, ConsumedUJ: 39},
+	}
+	body, err := client.EncodeIngestNDJSON(samples)
+	if err != nil {
+		t.Fatalf("EncodeIngestNDJSON: %v", err)
+	}
+	// The explicit zeros must be on the wire, not collapsed into omitted.
+	first := strings.SplitN(string(body), "\n", 2)[0]
+	for _, want := range []string{`"temp_c":0`, `"vdd_v":0`} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("encoded line %s lacks %s: explicit zero collapsed into omitted", first, want)
+		}
+	}
+	// And the omitted spellings must stay omitted.
+	second := strings.SplitN(string(body), "\n", 3)[1]
+	for _, stray := range []string{`"temp_c"`, `"vdd_v"`, `"mode"`, `"flags"`} {
+		if strings.Contains(second, stray) {
+			t.Fatalf("encoded line %s spells out omitted field %s", second, stray)
+		}
+	}
+
+	// Ingest: typed decode vs raw wire bytes.
+	typed, err := c.Ingest(ctx, samples)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	res, err := c.PostRaw(ctx, "/v1/ingest", body)
+	if err != nil {
+		t.Fatalf("PostRaw ingest: %v", err)
+	}
+	if res.Status != http.StatusOK {
+		t.Fatalf("raw ingest: status %d: %s", res.Status, res.Body)
+	}
+	if got := remarshal(t, typed); !bytes.Equal(got, res.Body) {
+		t.Errorf("IngestResponse re-marshal differs from wire bytes\n got: %s\nwant: %s", got, res.Body)
+	}
+
+	// Series: typed decode vs raw wire bytes, same query spelling.
+	sr, err := c.Series(ctx, "rt-1", 1000, 1100)
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	raw, err := c.GetRaw(ctx, "/v1/series/rt-1?from_ms=1000&to_ms=1100")
+	if err != nil {
+		t.Fatalf("GetRaw series: %v", err)
+	}
+	if raw.Status != http.StatusOK {
+		t.Fatalf("raw series: status %d: %s", raw.Status, raw.Body)
+	}
+	if got := remarshal(t, sr); !bytes.Equal(got, raw.Body) {
+		t.Errorf("SeriesResponse re-marshal differs from wire bytes\n got: %s\nwant: %s", got, raw.Body)
+	}
+	// The stored explicit zeros render concretely on the read side.
+	if !strings.Contains(string(raw.Body), `"temp_c":0,`) {
+		t.Errorf("series wire body %s lacks the stored temp_c zero", raw.Body)
+	}
+
+	// Monitor: typed decode vs raw wire bytes.
+	mon, err := c.Monitor(ctx, "rt-1", 4)
+	if err != nil {
+		t.Fatalf("Monitor: %v", err)
+	}
+	raw, err = c.GetRaw(ctx, "/v1/monitor/rt-1?window=4")
+	if err != nil {
+		t.Fatalf("GetRaw monitor: %v", err)
+	}
+	if raw.Status != http.StatusOK {
+		t.Fatalf("raw monitor: status %d: %s", raw.Status, raw.Body)
+	}
+	if got := remarshal(t, mon); !bytes.Equal(got, raw.Body) {
+		t.Errorf("MonitorResponse re-marshal differs from wire bytes\n got: %s\nwant: %s", got, raw.Body)
+	}
+
+	// Stats with a store: the tsdb section re-marshals byte-identically
+	// too (the omitempty pointer renders when present).
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Tsdb == nil {
+		t.Fatal("stats.tsdb missing with a store configured")
+	}
+	raw, err = c.GetRaw(ctx, "/v1/stats")
+	if err != nil {
+		t.Fatalf("GetRaw stats: %v", err)
+	}
+	if got := remarshal(t, st); !bytes.Equal(got, raw.Body) {
+		t.Errorf("StatsResponse re-marshal differs from wire bytes\n got: %s\nwant: %s", got, raw.Body)
+	}
+}
+
+// TestIngestSampleDecodePresence pins the decode direction of the
+// pointer-presence contract at the type level: an explicit zero decodes
+// as a non-nil pointer to zero, an omitted field as nil — before and
+// after Defaults.
+func TestIngestSampleDecodePresence(t *testing.T) {
+	var explicit client.IngestSample
+	if err := json.Unmarshal([]byte(`{"vehicle":"v","ts_ms":1,"speed_kmh":1,"temp_c":0,"vdd_v":0,"harvested_uj":0,"consumed_uj":0}`), &explicit); err != nil {
+		t.Fatal(err)
+	}
+	if explicit.TempC == nil || *explicit.TempC != 0 || explicit.VddV == nil || *explicit.VddV != 0 {
+		t.Fatalf("explicit zeros decoded as %+v, want non-nil pointers to 0", explicit)
+	}
+	explicit.Defaults()
+	if *explicit.TempC != 0 || *explicit.VddV != 0 {
+		t.Fatalf("Defaults clobbered explicit zeros: temp=%v vdd=%v", *explicit.TempC, *explicit.VddV)
+	}
+
+	var omitted client.IngestSample
+	if err := json.Unmarshal([]byte(`{"vehicle":"v","ts_ms":1,"speed_kmh":1,"harvested_uj":0,"consumed_uj":0}`), &omitted); err != nil {
+		t.Fatal(err)
+	}
+	if omitted.TempC != nil || omitted.VddV != nil {
+		t.Fatalf("omitted fields decoded as %+v, want nil pointers", omitted)
+	}
+	omitted.Defaults()
+	if *omitted.TempC != client.DefaultTempC || *omitted.VddV != client.DefaultVddV || omitted.Mode != "active" {
+		t.Fatalf("Defaults = temp %v vdd %v mode %q, want %v/%v/active",
+			*omitted.TempC, *omitted.VddV, omitted.Mode, client.DefaultTempC, client.DefaultVddV)
+	}
+}

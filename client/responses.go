@@ -147,6 +147,11 @@ type StatsResponse struct {
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	// Jobs describes the batch-job subsystem behind /v1/jobs.
 	Jobs JobsStats `json:"jobs"`
+	// Tsdb describes the telemetry store behind /v1/ingest. A pointer
+	// with omitempty so servers running without a store render exactly
+	// the pre-ingest payload — the byte-identity pins on this document
+	// must not move when the store is disabled.
+	Tsdb *TsdbStats `json:"tsdb,omitempty"`
 }
 
 // JobSubmitRequest is the POST /v1/jobs payload: an analysis kind plus

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"repro/internal/serve"
@@ -25,13 +26,24 @@ const (
 )
 
 // startInproc boots the engine and serves it on 127.0.0.1. It returns
-// the base URL and a shutdown func that drains the engine.
+// the base URL and a shutdown func that drains the engine. The engine
+// carries a throwaway telemetry store so the "ingest" mix component
+// works out of the box: a small flush threshold forces real chunk seals
+// during a short run, fsync off because the store dies with the run.
 func startInproc(injectLatency time.Duration) (string, func(), error) {
+	tsdbDir, err := os.MkdirTemp("", "tyreload-tsdb-*")
+	if err != nil {
+		return "", nil, err
+	}
 	api, err := serve.NewServer(serve.Options{
-		MaxInFlight:  inprocMaxInFlight,
-		CacheEntries: inprocCacheSize,
+		MaxInFlight:      inprocMaxInFlight,
+		CacheEntries:     inprocCacheSize,
+		TSDBDir:          tsdbDir,
+		TSDBFlushSamples: 64,
+		TSDBNoSync:       true,
 	})
 	if err != nil {
+		os.RemoveAll(tsdbDir)
 		return "", nil, err
 	}
 	var handler http.Handler = api
@@ -49,6 +61,7 @@ func startInproc(injectLatency time.Duration) (string, func(), error) {
 		defer cancel()
 		_ = srv.Shutdown(ctx)
 		_ = api.Shutdown(ctx)
+		_ = os.RemoveAll(tsdbDir)
 	}
 	return "http://" + ln.Addr().String(), shutdown, nil
 }

@@ -1,15 +1,17 @@
 // Command tyreload is an open-loop load generator for tyresysd. It
 // replays a configurable traffic mix — the five synchronous analysis
-// endpoints plus batch-job submissions with NDJSON result streaming —
-// against a running daemon (or an in-process engine with -inproc),
-// scrapes /v1/metrics before and after, and emits a machine-readable
-// report: per-endpoint p50/p95/p99 latency, throughput, coalesce and
-// LRU hit rates, admission rejections and errors.
+// endpoints, batch-job submissions with NDJSON result streaming, and
+// NDJSON telemetry ingest into the embedded time-series store — against
+// a running daemon (or an in-process engine with -inproc), scrapes
+// /v1/metrics before and after, and emits a machine-readable report:
+// per-endpoint p50/p95/p99 latency, throughput, coalesce and LRU hit
+// rates, admission rejections and errors, plus ingest throughput and
+// on-disk compression when the mix ingests.
 //
 // Usage:
 //
 //	tyreload [-target http://host:8080 | -inproc] [-rate 50] [-duration 5s]
-//	         [-requests 0] [-mix balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,jobs=1]
+//	         [-requests 0] [-mix balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,jobs=1,ingest=2]
 //	         [-variants 3] [-seed 1] [-scenarios examples/scenarios]
 //	         [-timeout 30s] [-out report.json] [-slo scripts/slo.json]
 //	         [-inject-latency 0]
@@ -54,8 +56,8 @@ func main() {
 	rate := flag.Float64("rate", 50, "arrival rate, requests/second (open loop)")
 	duration := flag.Duration("duration", 5*time.Second, "schedule length; total = rate × duration")
 	requests := flag.Int("requests", 0, "total arrivals (overrides -duration when > 0)")
-	mixSpec := flag.String("mix", "balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,jobs=1",
-		"traffic mix as name=weight pairs over balance, breakeven, montecarlo, optimize, emulate, jobs")
+	mixSpec := flag.String("mix", "balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,jobs=1,ingest=2",
+		"traffic mix as name=weight pairs over balance, breakeven, montecarlo, optimize, emulate, jobs, ingest")
 	variants := flag.Int("variants", 3, "distinct request bodies per endpoint; further draws duplicate them")
 	seed := flag.Int64("seed", 1, "schedule RNG seed; same flags + seed = identical request sequence")
 	scenarios := flag.String("scenarios", "examples/scenarios", "directory with the *-request.json templates")

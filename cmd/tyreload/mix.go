@@ -15,13 +15,17 @@ import (
 )
 
 // A traffic mix is a weighted blend of the five synchronous analysis
-// endpoints plus the "jobs" pseudo-endpoint (submit a fleet batch job
-// and stream its NDJSON result to the terminal line). Each endpoint
-// draws its bodies from a small pool of `-variants` distinct requests
-// perturbed from the examples/scenarios templates, so a run deliberately
-// repeats canonical keys: duplicates either coalesce onto an in-flight
-// evaluation or hit the LRU result cache, and the report's reuse rate
-// measures exactly that.
+// endpoints plus two pseudo-endpoints: "jobs" (submit a fleet batch job
+// and stream its NDJSON result to the terminal line) and "ingest" (POST
+// an NDJSON telemetry batch into the embedded time-series store). Each
+// analysis endpoint draws its bodies from a small pool of `-variants`
+// distinct requests perturbed from the examples/scenarios templates, so
+// a run deliberately repeats canonical keys: duplicates either coalesce
+// onto an in-flight evaluation or hit the LRU result cache, and the
+// report's reuse rate measures exactly that. Ingest bodies are the
+// opposite — every batch is new data (a deterministic fleet drive
+// cycle), measuring append throughput and on-disk compression instead
+// of reuse.
 
 // mixEntry is one weighted component of the traffic mix.
 type mixEntry struct {
@@ -33,7 +37,7 @@ type mixEntry struct {
 // unknown endpoint names and non-positive weights. Zero-weight entries
 // are allowed and dropped, so one flag string can toggle components.
 func parseMix(spec string) ([]mixEntry, error) {
-	known := map[string]bool{"jobs": true}
+	known := map[string]bool{"jobs": true, "ingest": true}
 	for _, ep := range client.Endpoints {
 		known[ep] = true
 	}
@@ -48,7 +52,7 @@ func parseMix(spec string) ([]mixEntry, error) {
 			return nil, fmt.Errorf("mix entry %q: want name=weight", part)
 		}
 		if !known[name] {
-			return nil, fmt.Errorf("mix entry %q: unknown endpoint (one of: %s, jobs)",
+			return nil, fmt.Errorf("mix entry %q: unknown endpoint (one of: %s, jobs, ingest)",
 				part, strings.Join(client.Endpoints, ", "))
 		}
 		w, err := strconv.Atoi(weightStr)
@@ -215,6 +219,52 @@ func validateFilled(endpoint string, req any) error {
 	}
 }
 
+// Ingest batch shape: vehicles per batch × rounds per vehicle. Sized so
+// one arrival carries a realistic fleet report (~48 samples, a few KB
+// of NDJSON) without dominating the schedule's wall clock.
+const (
+	ingestVehicles    = 4
+	ingestBatchRounds = 12
+)
+
+// ingestBatch renders the seq-th NDJSON telemetry batch of the run: a
+// deterministic quantised drive cycle continued across batches, so
+// timestamps advance monotonically per vehicle and consecutive samples
+// stay delta-friendly — the signal shape the store's codecs are built
+// for, and the one a real fleet produces. Quantisation steps (1/16
+// km/h and °C, 1/1024 V, 1/16 µJ) mirror realistic sensor resolution.
+func ingestBatch(seq int) ([]byte, error) {
+	samples := make([]client.IngestSample, 0, ingestVehicles*ingestBatchRounds)
+	for v := 0; v < ingestVehicles; v++ {
+		base := int64(1_700_000_000_000) + int64(seq)*int64(ingestBatchRounds)*100
+		for r := 0; r < ingestBatchRounds; r++ {
+			i := seq*ingestBatchRounds + r
+			speed := 40 + float64((i*7+v*13)%640)/16
+			mode := "active"
+			if speed < 45 {
+				mode = "lowpower"
+			}
+			samples = append(samples, client.IngestSample{
+				Vehicle:     fmt.Sprintf("lt-%02d", v),
+				TSMS:        base + int64(r)*100,
+				SpeedKMH:    speed,
+				TempC:       client.Float64(15 + float64((i*3+v)%320)/16),
+				VddV:        client.Float64(1.5 + float64((i+v*5)%512)/1024),
+				HarvestedUJ: float64((i*5+v)%1024) / 16,
+				ConsumedUJ:  float64((i*3+v*7)%1024) / 16,
+				Mode:        mode,
+				Flags:       uint8(i % 4),
+			})
+		}
+	}
+	for i := range samples {
+		if err := samples[i].Validate(); err != nil {
+			return nil, fmt.Errorf("ingest batch %d sample %d: %w", seq, i, err)
+		}
+	}
+	return client.EncodeIngestNDJSON(samples)
+}
+
 // fleetJob builds the batch job the "jobs" mix component submits: a
 // four-wheel fleet emulation over a short constant-speed window — small
 // enough to finish within a load-test tick, wide enough to stream four
@@ -243,7 +293,7 @@ func buildSchedule(rate float64, total int, mix []mixEntry, pools map[string][][
 	}
 	gap := time.Duration(float64(time.Second) / rate)
 	plan := make([]arrival, 0, total)
-	jobSeq := 0
+	jobSeq, ingestSeq := 0, 0
 	for i := 0; i < total; i++ {
 		pick := rng.Intn(weightSum)
 		var name string
@@ -255,14 +305,22 @@ func buildSchedule(rate float64, total int, mix []mixEntry, pools map[string][][
 			pick -= m.weight
 		}
 		a := arrival{at: time.Duration(i) * gap, endpoint: name}
-		if name == "jobs" {
+		switch name {
+		case "jobs":
 			job, err := fleetJob(jobSeq)
 			if err != nil {
 				return nil, err
 			}
 			a.job = job
 			jobSeq++
-		} else {
+		case "ingest":
+			body, err := ingestBatch(ingestSeq)
+			if err != nil {
+				return nil, err
+			}
+			a.body = body
+			ingestSeq++
+		default:
 			pool := pools[name]
 			a.body = pool[rng.Intn(len(pool))]
 		}
@@ -273,10 +331,12 @@ func buildSchedule(rate float64, total int, mix []mixEntry, pools map[string][][
 
 // scheduleKeyCount counts the distinct (endpoint, body) pairs of a plan
 // — the number of evaluations a perfectly reusing server would compute.
+// Jobs and ingest arrivals don't participate: neither is coalescable
+// (every job is its own execution, every ingest batch is new data).
 func scheduleKeyCount(plan []arrival) int {
 	seen := make(map[string]bool)
 	for _, a := range plan {
-		if a.endpoint == "jobs" {
+		if a.endpoint == "jobs" || a.endpoint == "ingest" {
 			continue
 		}
 		seen[a.endpoint+":"+string(a.body)] = true

@@ -55,8 +55,31 @@ type MetricsDelta struct {
 	ReuseRate    float64 `json:"reuse_rate"`
 }
 
+// IngestReport is the telemetry-ingest story of the run, from the
+// server-side metric deltas: accepted samples and raw NDJSON bytes from
+// the ingest counters, on-disk cost from the store gauges. Present only
+// when the run ingested anything.
+type IngestReport struct {
+	Samples  float64 `json:"samples"`
+	RawBytes float64 `json:"raw_bytes"`
+	// SealedSamples/DiskBytes cover what reached disk during the run;
+	// the buffered tail has no on-disk cost yet and is excluded from the
+	// compression accounting.
+	SealedSamples float64 `json:"sealed_samples"`
+	DiskBytes     float64 `json:"disk_bytes"`
+	// DiskBytesPerSample = DiskBytes / SealedSamples;
+	// CompressionRatio = (RawBytes / Samples) / DiskBytesPerSample —
+	// how many times smaller a stored sample is than its NDJSON form.
+	DiskBytesPerSample float64 `json:"disk_bytes_per_sample"`
+	CompressionRatio   float64 `json:"compression_ratio"`
+	// SamplesPerSec is accepted samples over the run's wall clock.
+	SamplesPerSec float64 `json:"samples_per_sec"`
+	// Errors counts non-2xx ingest responses observed client-side.
+	Errors int `json:"errors"`
+}
+
 // Report is the machine-readable result of one tyreload run
-// (BENCH_PR7.json is one of these).
+// (BENCH_PR8.json is one of these).
 type Report struct {
 	Target        string                    `json:"target"`
 	Mix           string                    `json:"mix"`
@@ -72,21 +95,29 @@ type Report struct {
 	ThroughputRPS float64                   `json:"throughput_rps"`
 	Endpoints     map[string]EndpointReport `json:"endpoints"`
 	Metrics       MetricsDelta              `json:"metrics"`
+	Ingest        *IngestReport             `json:"ingest,omitempty"`
 	SLO           *SLOResult                `json:"slo,omitempty"`
 }
 
-// percentile returns the nearest-rank percentile (p in (0,100]) of a
-// sorted duration slice, in milliseconds.
-func percentile(sorted []time.Duration, p float64) float64 {
-	if len(sorted) == 0 {
+// percentile returns the nearest-rank percentile (integer p in (0,100])
+// of a sorted duration slice, in milliseconds. The rank is ⌈p·n/100⌉
+// computed in exact integer arithmetic: the old float spelling
+// `int(p/100*n + 0.999999)` rounded p·n/100 through binary fractions
+// (95/100 and 99/100 are not representable) and fudged the ceiling with
+// an epsilon, so boundary ranks could land one element off — p95 of 20
+// samples must be exactly the 19th, p100 exactly the max, p50 of 2
+// exactly the 1st.
+func percentile(sorted []time.Duration, p int) float64 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	rank := int(p/100*float64(len(sorted)) + 0.999999)
+	rank := (p*n + 99) / 100
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(sorted) {
-		rank = len(sorted)
+	if rank > n {
+		rank = n
 	}
 	return float64(sorted[rank-1]) / float64(time.Millisecond)
 }
@@ -159,6 +190,28 @@ func buildReport(outcomes []outcome, before, after client.MetricSet, wall time.D
 		d.ReuseRate = d.CoalesceRate + d.CacheHitRate
 	}
 	rep.Metrics = d
+
+	if samples := after.Delta(before, "tyresysd_ingest_samples_total"); samples > 0 {
+		ing := IngestReport{
+			Samples:       samples,
+			RawBytes:      after.Delta(before, "tyresysd_ingest_bytes_total"),
+			SealedSamples: after.Delta(before, "tyresysd_tsdb_samples"),
+			DiskBytes:     after.Delta(before, "tyresysd_tsdb_disk_bytes"),
+		}
+		if ing.SealedSamples > 0 {
+			ing.DiskBytesPerSample = ing.DiskBytes / ing.SealedSamples
+			if ing.DiskBytesPerSample > 0 {
+				ing.CompressionRatio = (ing.RawBytes / ing.Samples) / ing.DiskBytesPerSample
+			}
+		}
+		if rep.WallSeconds > 0 {
+			ing.SamplesPerSec = samples / rep.WallSeconds
+		}
+		if er, ok := rep.Endpoints["ingest"]; ok {
+			ing.Errors = er.Errors + er.Rejected
+		}
+		rep.Ingest = &ing
+	}
 	return rep
 }
 
@@ -178,6 +231,18 @@ type SLOPolicy struct {
 	// MaxErrors / MaxRejected bound the absolute counts.
 	MaxErrors   int `json:"max_errors"`
 	MaxRejected int `json:"max_rejected"`
+	// MaxIngestErrors bounds non-2xx ingest responses when the mix
+	// ingests (every batch tyreload sends is valid, so any rejection is
+	// a server-side regression — machine-independent like the counts
+	// above). MinIngestSamplesPerSec is a floor on accepted telemetry
+	// throughput, set an order of magnitude under what a laptop
+	// sustains so only a collapse trips it. MinCompressionRatio pins the
+	// store's bytes-per-sample advantage over raw NDJSON — a codec
+	// regression shows here regardless of machine speed. All three are
+	// skipped when the run ingested nothing.
+	MaxIngestErrors        int     `json:"max_ingest_errors"`
+	MinIngestSamplesPerSec float64 `json:"min_ingest_samples_per_sec"`
+	MinCompressionRatio    float64 `json:"min_compression_ratio"`
 }
 
 // SLOCheck is one evaluated bound.
@@ -232,6 +297,18 @@ func evaluateSLO(rep Report, p SLOPolicy) SLOResult {
 	}
 	add("errors", float64(rep.Errors), float64(p.MaxErrors), rep.Errors <= p.MaxErrors)
 	add("rejected", float64(rep.Rejected), float64(p.MaxRejected), rep.Rejected <= p.MaxRejected)
+	if rep.Ingest != nil {
+		add("ingest_errors", float64(rep.Ingest.Errors), float64(p.MaxIngestErrors),
+			rep.Ingest.Errors <= p.MaxIngestErrors)
+		if p.MinIngestSamplesPerSec > 0 {
+			add("ingest_samples_per_sec", rep.Ingest.SamplesPerSec, p.MinIngestSamplesPerSec,
+				rep.Ingest.SamplesPerSec >= p.MinIngestSamplesPerSec)
+		}
+		if p.MinCompressionRatio > 0 {
+			add("compression_ratio", rep.Ingest.CompressionRatio, p.MinCompressionRatio,
+				rep.Ingest.CompressionRatio >= p.MinCompressionRatio)
+		}
+	}
 	return res
 }
 

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// ladder returns n sorted durations 1ms, 2ms, …, n ms, so the k-th
+// ranked element is exactly k milliseconds and every expectation below
+// can be read off directly.
+func ladder(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return out
+}
+
+// TestPercentileBoundaryRanks pins the nearest-rank definition
+// rank = ⌈p·n/100⌉ at exactly the boundaries where p·n/100 is integral
+// — the cases the old float spelling (p/100*n + 0.999999) could push
+// one rank high when the binary rounding of p/100 landed above the
+// true quotient.
+func TestPercentileBoundaryRanks(t *testing.T) {
+	cases := []struct {
+		n, p     int
+		wantRank int // 1-based element that must be returned
+	}{
+		// n=1: every percentile is the only element.
+		{1, 1, 1}, {1, 50, 1}, {1, 99, 1}, {1, 100, 1},
+		// n=2: p50 is exactly the 1st element (50·2/100 = 1), p51 the 2nd.
+		{2, 50, 1}, {2, 51, 2}, {2, 99, 2}, {2, 100, 2},
+		// n=20: p95 is exactly the 19th (95·20/100 = 19), not the max.
+		{20, 95, 19}, {20, 96, 20}, {20, 50, 10}, {20, 5, 1}, {20, 100, 20},
+		// n=100: every integral percentile is its own rank.
+		{100, 1, 1}, {100, 50, 50}, {100, 95, 95}, {100, 99, 99}, {100, 100, 100},
+		// Non-integral p·n/100 rounds up.
+		{3, 50, 2}, {3, 99, 3}, {7, 25, 2},
+	}
+	for _, tc := range cases {
+		got := percentile(ladder(tc.n), tc.p)
+		want := float64(tc.wantRank)
+		if got != want {
+			t.Errorf("percentile(n=%d, p=%d) = %vms, want rank %d (%vms)", tc.n, tc.p, got, tc.wantRank, want)
+		}
+	}
+	if got := percentile(nil, 99); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+}
+
+// TestPercentileMatchesDefinitionExhaustively cross-checks the integer
+// rank against the mathematical definition ⌈p·n/100⌉ for every n up to
+// 250 and every integer percentile — no fudge factor survives this.
+func TestPercentileMatchesDefinitionExhaustively(t *testing.T) {
+	for n := 1; n <= 250; n++ {
+		sorted := ladder(n)
+		for p := 1; p <= 100; p++ {
+			rank := (p*n + 99) / 100 // ⌈p·n/100⌉ for positive ints
+			if ceil := (p*n)/100 + boolInt(p*n%100 != 0); rank != ceil {
+				t.Fatalf("rank formula broke: n=%d p=%d: %d vs %d", n, p, rank, ceil)
+			}
+			if got, want := percentile(sorted, p), float64(rank); got != want {
+				t.Fatalf("percentile(n=%d, p=%d) = %v, want %v", n, p, got, want)
+			}
+		}
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -10,6 +10,7 @@
 //	         [-cache 512] [-timeout 60s] [-log] [-pprof]
 //	         [-jobs-dir DIR] [-job-workers 2] [-max-jobs 64]
 //	         [-jobs-fsync=true] [-emu-fast]
+//	         [-tsdb-dir DIR] [-tsdb-flush 256] [-tsdb-fsync=true]
 //
 // Endpoints (request bodies are the tyreconfig scenario format plus
 // per-analysis parameters; empty body {} analyses the reference stack):
@@ -26,6 +27,12 @@
 //	GET    /v1/jobs/{id}        status: progress, throughput, ETA
 //	GET    /v1/jobs/{id}/result NDJSON chunk stream + terminal aggregate line
 //	DELETE /v1/jobs/{id}        cooperative cancel (next chunk boundary)
+//	POST   /v1/ingest           NDJSON telemetry samples into the embedded
+//	                            time-series store (requires -tsdb-dir)
+//	GET    /v1/series/{vehicle} range query over one vehicle's stored samples
+//	                            (?from_ms=&to_ms=, inclusive, 0/omitted = open)
+//	GET    /v1/monitor/{vehicle} continuous break-even status over the most
+//	                            recent samples (?window=64)
 //	GET    /v1/stats            per-endpoint counters, cache, pool and job state
 //	GET    /v1/metrics          Prometheus text exposition (latency histograms,
 //	                            admission/cache/memo counters, pool saturation,
@@ -44,6 +51,16 @@
 // stops the daemon: unreadable job directories are moved to
 // <jobs-dir>/quarantine and reported on stderr, /v1/stats and
 // /v1/metrics.
+//
+// -tsdb-dir enables the telemetry path: /v1/ingest appends per-vehicle
+// samples to a chunked, compressed, append-only store (delta-delta
+// timestamps, XOR floats, run-length mode/flag columns) whose sealed
+// chunks are length-prefixed, checksummed and fsynced, so a crash never
+// costs more than the unsealed buffer and a torn tail repairs itself on
+// the next boot. Corrupt series files quarantine to
+// <tsdb-dir>/quarantine instead of failing the boot, mirroring the
+// jobs store. -tsdb-fsync=false trades the newest chunk's crash
+// durability for append throughput.
 //
 // -emu-fast makes the interpolated-table emulation kernel the default
 // for /v1/emulate and emulate-shaped batch jobs: per-round exponentials
@@ -94,18 +111,24 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 0, "max incomplete batch jobs before 429 (0 = default 64)")
 	jobsFsync := flag.Bool("jobs-fsync", true, "fsync each batch-job chunk append (false trades crash durability of a job's newest chunks for throughput)")
 	emuFast := flag.Bool("emu-fast", false, "default emulations to the interpolated-table kernel (requests override with the \"fast\" field)")
+	tsdbDir := flag.String("tsdb-dir", "", "telemetry time-series store directory for /v1/ingest (empty disables the telemetry endpoints)")
+	tsdbFlush := flag.Int("tsdb-flush", 0, "buffered samples per vehicle before a chunk seals (0 = default 256)")
+	tsdbFsync := flag.Bool("tsdb-fsync", true, "fsync each sealed telemetry chunk (false trades crash durability of the newest chunk for throughput)")
 	flag.Parse()
 
 	opts := serve.Options{
-		Workers:        *workers,
-		MaxInFlight:    *maxInFlight,
-		CacheEntries:   *cacheEntries,
-		RequestTimeout: *timeout,
-		JobsDir:        *jobsDir,
-		JobExecutors:   *jobWorkers,
-		MaxJobs:        *maxJobs,
-		JobsNoSync:     !*jobsFsync,
-		EmuFast:        *emuFast,
+		Workers:          *workers,
+		MaxInFlight:      *maxInFlight,
+		CacheEntries:     *cacheEntries,
+		RequestTimeout:   *timeout,
+		JobsDir:          *jobsDir,
+		JobExecutors:     *jobWorkers,
+		MaxJobs:          *maxJobs,
+		JobsNoSync:       !*jobsFsync,
+		EmuFast:          *emuFast,
+		TSDBDir:          *tsdbDir,
+		TSDBFlushSamples: *tsdbFlush,
+		TSDBNoSync:       !*tsdbFsync,
 	}
 	if *logReqs {
 		opts.Logger = obs.NewLineLogger(os.Stderr)
@@ -127,6 +150,10 @@ func run(addr string, opts serve.Options, drain time.Duration, pprofOn bool) err
 	if q := api.QuarantinedJobs(); len(q) > 0 {
 		fmt.Fprintf(os.Stderr, "tyresysd: quarantined %d unreadable job dir(s) to %s: %s\n",
 			len(q), filepath.Join(opts.JobsDir, "quarantine"), strings.Join(q, ", "))
+	}
+	if q := api.QuarantinedSeries(); len(q) > 0 {
+		fmt.Fprintf(os.Stderr, "tyresysd: quarantined %d unreadable telemetry series to %s: %s\n",
+			len(q), filepath.Join(opts.TSDBDir, "quarantine"), strings.Join(q, ", "))
 	}
 
 	// The API server owns /v1; the outer mux exists only so pprof can be

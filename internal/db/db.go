@@ -38,15 +38,29 @@ type gridPoint struct {
 	p    units.Power
 }
 
+// pointKey identifies one characterised grid point exactly. Duplicate
+// detection and grid probes are exact-match on the stored float values
+// (map equality), never tolerance-based — the same contract the old
+// linear scan's == had, at O(1) per point instead of O(points in the
+// family), which turned database loading quadratic per family.
+type pointKey struct {
+	key
+	t, v float64
+}
+
 // DB is the power database.
 type DB struct {
 	families map[key][]gridPoint
+	points   map[pointKey]units.Power
 	count    int
 }
 
 // New returns an empty database.
 func New() *DB {
-	return &DB{families: make(map[key][]gridPoint)}
+	return &DB{
+		families: make(map[key][]gridPoint),
+		points:   make(map[pointKey]units.Power),
+	}
 }
 
 // Len returns the number of stored entries.
@@ -66,13 +80,13 @@ func (d *DB) Add(e Entry) error {
 		return fmt.Errorf("db: negative Vdd %v for %s/%s", e.Vdd, e.Block, e.Mode)
 	}
 	k := key{e.Block, e.Mode, e.Corner}
-	for _, gp := range d.families[k] {
-		if gp.t == e.Temp.DegC() && gp.v == e.Vdd.Volts() {
-			return fmt.Errorf("db: duplicate point %s/%s/%v at (%v, %v)",
-				e.Block, e.Mode, e.Corner, e.Temp, e.Vdd)
-		}
+	pk := pointKey{key: k, t: e.Temp.DegC(), v: e.Vdd.Volts()}
+	if _, dup := d.points[pk]; dup {
+		return fmt.Errorf("db: duplicate point %s/%s/%v at (%v, %v)",
+			e.Block, e.Mode, e.Corner, e.Temp, e.Vdd)
 	}
-	d.families[k] = append(d.families[k], gridPoint{t: e.Temp.DegC(), v: e.Vdd.Volts(), p: e.Power})
+	d.points[pk] = e.Power
+	d.families[k] = append(d.families[k], gridPoint{t: pk.t, v: pk.v, p: e.Power})
 	d.count++
 	return nil
 }
@@ -129,12 +143,8 @@ func (d *DB) Lookup(blk, mode string, cond power.Conditions) (units.Power, error
 	v0, v1 := bracket(vs, v)
 
 	at := func(tt, vv float64) (units.Power, bool) {
-		for _, gp := range pts {
-			if gp.t == tt && gp.v == vv {
-				return gp.p, true
-			}
-		}
-		return 0, false
+		p, ok := d.points[pointKey{key: key{blk, mode, cond.Corner}, t: tt, v: vv}]
+		return p, ok
 	}
 	p00, ok00 := at(t0, v0)
 	p01, ok01 := at(t0, v1)

@@ -1,0 +1,108 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// syntheticEntries builds a dense characterisation sweep: families×
+// points entries across distinct (block, mode, corner) families, each
+// family a temps×vdds grid sized to hit the requested points count.
+func syntheticEntries(families, pointsPerFamily int) []Entry {
+	corners := power.Corners()
+	var out []Entry
+	for f := 0; f < families; f++ {
+		blk := fmt.Sprintf("blk%02d", f/4)
+		mode := fmt.Sprintf("mode%d", f%4)
+		corner := corners[f%len(corners)]
+		for p := 0; p < pointsPerFamily; p++ {
+			out = append(out, Entry{
+				Block: blk, Mode: mode, Corner: corner,
+				Temp:  units.DegC(float64(p/16)*5 - 20),
+				Vdd:   units.Volts(1.2 + float64(p%16)*0.05),
+				Power: units.Power(1e-6 * float64(p+1)),
+			})
+		}
+	}
+	return out
+}
+
+// TestAddDuplicateDetectionAtScale pins the map-backed index against
+// the behaviour the linear scan had: every duplicate rejected, every
+// distinct point accepted, and Lookup still finds the exact grid points
+// — on a family large enough that a broken index would show.
+func TestAddDuplicateDetectionAtScale(t *testing.T) {
+	entries := syntheticEntries(8, 256)
+	d := New()
+	for i, e := range entries {
+		if err := d.Add(e); err != nil {
+			t.Fatalf("Add %d: %v", i, err)
+		}
+	}
+	if d.Len() != len(entries) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(entries))
+	}
+	for i, e := range entries {
+		if err := d.Add(e); err == nil {
+			t.Fatalf("re-Add %d accepted a duplicate of %+v", i, e)
+		}
+	}
+	if d.Len() != len(entries) {
+		t.Fatalf("Len moved to %d after rejected duplicates", d.Len())
+	}
+	// Exact grid-point lookups hit the stored powers (fraction 0 both
+	// axes → bilinear interpolation returns the corner point itself).
+	for _, e := range []Entry{entries[0], entries[100], entries[len(entries)-1]} {
+		got, err := d.Lookup(e.Block, e.Mode, power.Conditions{Temp: e.Temp, Vdd: e.Vdd, Corner: e.Corner})
+		if err != nil {
+			t.Fatalf("Lookup %+v: %v", e, err)
+		}
+		if got != e.Power {
+			t.Errorf("Lookup(%s/%s %v,%v) = %v, want the stored %v", e.Block, e.Mode, e.Temp, e.Vdd, got, e.Power)
+		}
+	}
+}
+
+// BenchmarkDBLoad measures bulk Add throughput — the load path that was
+// quadratic per family when duplicate detection scanned the family
+// slice on every insert.
+func BenchmarkDBLoad(b *testing.B) {
+	entries := syntheticEntries(16, 512)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := New()
+		for _, e := range entries {
+			if err := d.Add(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(entries)), "entries/op")
+}
+
+// BenchmarkDBReadCSV measures the end-to-end CSV load, Add cost
+// included.
+func BenchmarkDBReadCSV(b *testing.B) {
+	d := New()
+	for _, e := range syntheticEntries(16, 512) {
+		if err := d.Add(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	if err := d.WriteCSV(&buf); err != nil {
+		b.Fatal(err)
+	}
+	dump := buf.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV(strings.NewReader(dump)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

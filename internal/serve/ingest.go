@@ -1,0 +1,420 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/client"
+	"repro/internal/tsdb"
+	"repro/internal/units"
+)
+
+// The telemetry endpoints: POST /v1/ingest streams NDJSON wheel-round
+// samples into the embedded store, GET /v1/series/{vehicle} reads a
+// time range back, GET /v1/monitor/{vehicle} evaluates continuous
+// break-even status over the most recent rounds via the balance engine.
+// All three answer 503 when the server runs without Options.TSDBDir —
+// the store is a deployment choice, not a request error.
+
+// Wire aliases, mirroring request.go: the client package owns the
+// ingest/series/monitor documents.
+type (
+	// IngestSample is one NDJSON telemetry line.
+	IngestSample = client.IngestSample
+	// IngestResponse is the POST /v1/ingest payload.
+	IngestResponse = client.IngestResponse
+	// SeriesResponse is the GET /v1/series/{vehicle} payload.
+	SeriesResponse = client.SeriesResponse
+	// SeriesSample is one rendered stored sample.
+	SeriesSample = client.SeriesSample
+	// MonitorResponse is the GET /v1/monitor/{vehicle} payload.
+	MonitorResponse = client.MonitorResponse
+)
+
+// Monitor window bounds: count of most-recent samples evaluated.
+const (
+	defaultMonitorWindow = 64
+	maxMonitorWindow     = 4096
+)
+
+// maxIngestLineBytes bounds one NDJSON line in the scanner; far above
+// any real sample, far below the request cap.
+const maxIngestLineBytes = 64 << 10
+
+// ingestStats carries the ingest path's counters (the metrics
+// registry reads them lazily, like endpointStats).
+type ingestStats struct {
+	requests    atomic.Int64
+	ok          atomic.Int64
+	badRequests atomic.Int64
+	tooLarge    atomic.Int64
+	errored     atomic.Int64
+	unavailable atomic.Int64
+	samples     atomic.Int64
+	bytes       atomic.Int64
+}
+
+// breakEvenOnce computes the reference-scenario break-even point at
+// most once per server: every /v1/monitor response embeds it, the
+// reference stack never changes within a process, and the bisection is
+// far too heavy to re-run per telemetry poll.
+type breakEvenOnce struct {
+	once  sync.Once
+	point BreakEvenPoint
+	err   error
+}
+
+func (b *breakEvenOnce) get(s *Server) (BreakEvenPoint, error) {
+	b.once.Do(func() {
+		st, err := buildStack(nil)
+		if err != nil {
+			b.err = err
+			return
+		}
+		az, err := newAnalyzer(st, s.opts.Workers)
+		if err != nil {
+			b.err = err
+			return
+		}
+		b.point, b.err = breakEvenPoint(s.base, az,
+			units.KilometersPerHour(5), units.KilometersPerHour(180))
+	})
+	return b.point, b.err
+}
+
+// storeUnavailable answers for all three endpoints when no store is
+// configured.
+func (s *Server) storeUnavailable(w http.ResponseWriter) {
+	s.ingest.unavailable.Add(1)
+	writeJSON(w, http.StatusServiceUnavailable,
+		mustMarshal(errorBody{"telemetry store not configured (start tyresysd with -tsdb-dir)"}))
+}
+
+// handleIngest decodes an NDJSON batch, groups it per vehicle in
+// arrival order and appends each group to the store. The whole batch is
+// validated before anything is appended: a bad line rejects the request
+// with its line number and nothing is stored — partial ingestion would
+// make client retries ambiguous.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.ingest.requests.Add(1)
+	if s.tsdb == nil {
+		s.storeUnavailable(w)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+
+	type group struct {
+		vehicle string
+		samples []tsdb.Sample
+	}
+	var groups []group
+	byVehicle := map[string]int{}
+	total := 0
+	rawBytes := 0
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 4096), maxIngestLineBytes)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		rawBytes += len(sc.Bytes()) + 1
+		if len(line) == 0 {
+			continue
+		}
+		if total >= maxIngestSamples {
+			s.ingest.badRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest,
+				mustMarshal(errorBody{fmt.Sprintf("too many samples: request caps at %d", maxIngestSamples)}))
+			return
+		}
+		var smp IngestSample
+		if err := decodeStrict(bytes.NewReader(line), &smp); err != nil {
+			s.ingest.badRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest,
+				mustMarshal(errorBody{fmt.Sprintf("line %d: %v", lineNo, err)}))
+			return
+		}
+		smp.Defaults()
+		if err := smp.Validate(); err != nil {
+			s.ingest.badRequests.Add(1)
+			writeJSON(w, http.StatusBadRequest,
+				mustMarshal(errorBody{fmt.Sprintf("line %d: %v", lineNo, err)}))
+			return
+		}
+		mode, _ := client.ModeID(smp.Mode) // Validate pinned it to a known name
+		rec := tsdb.Sample{
+			TSMS:        smp.TSMS,
+			SpeedKMH:    smp.SpeedKMH,
+			TempC:       *smp.TempC,
+			VddV:        *smp.VddV,
+			HarvestedUJ: smp.HarvestedUJ,
+			ConsumedUJ:  smp.ConsumedUJ,
+			Mode:        mode,
+			Flags:       smp.Flags,
+		}
+		gi, ok := byVehicle[smp.Vehicle]
+		if !ok {
+			gi = len(groups)
+			byVehicle[smp.Vehicle] = gi
+			groups = append(groups, group{vehicle: smp.Vehicle})
+		}
+		groups[gi].samples = append(groups[gi].samples, rec)
+		total++
+	}
+	if err := sc.Err(); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.ingest.tooLarge.Add(1)
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				mustMarshal(errorBody{fmt.Sprintf("request body exceeds %d bytes", MaxBodyBytes)}))
+			return
+		}
+		s.ingest.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	if total == 0 {
+		s.ingest.badRequests.Add(1)
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{"empty ingest body: want NDJSON samples"}))
+		return
+	}
+
+	for _, g := range groups {
+		if err := s.tsdb.Append(g.vehicle, g.samples...); err != nil {
+			// The store could not persist a sealed block: telemetry is
+			// being lost, surface it loudly as a server-side failure.
+			s.ingest.errored.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{err.Error()}))
+			return
+		}
+	}
+	s.ingest.ok.Add(1)
+	s.ingest.samples.Add(int64(total))
+	s.ingest.bytes.Add(int64(rawBytes))
+	body, err := marshalBody(IngestResponse{Accepted: total, Vehicles: len(groups)})
+	if err != nil {
+		s.ingest.errored.Add(1)
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// queryInt64 parses an optional integer query parameter.
+func queryInt64(r *http.Request, name string) (int64, bool, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, false, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("%s: %q is not an integer", name, raw)
+	}
+	return v, true, nil
+}
+
+// renderSamples maps stored samples onto the wire form. Mode IDs
+// outside the wire vocabulary (possible only for blocks written by a
+// newer build) render as their decimal value rather than failing the
+// read path.
+func renderSamples(in []tsdb.Sample) []SeriesSample {
+	out := make([]SeriesSample, len(in))
+	for i, sm := range in {
+		mode, ok := client.ModeName(sm.Mode)
+		if !ok {
+			mode = strconv.Itoa(int(sm.Mode))
+		}
+		out[i] = SeriesSample{
+			TSMS:        sm.TSMS,
+			SpeedKMH:    sm.SpeedKMH,
+			TempC:       sm.TempC,
+			VddV:        sm.VddV,
+			HarvestedUJ: sm.HarvestedUJ,
+			ConsumedUJ:  sm.ConsumedUJ,
+			Mode:        mode,
+			Flags:       sm.Flags,
+		}
+	}
+	return out
+}
+
+// handleSeries answers a range query over one vehicle's stored samples.
+// from_ms/to_ms bound the range inclusively; omitted bounds are open
+// (to_ms also treats 0 as open so clients can pass the zero value).
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	if s.tsdb == nil {
+		s.storeUnavailable(w)
+		return
+	}
+	vehicle := r.PathValue("vehicle")
+	if !tsdb.ValidVehicle(vehicle) {
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{fmt.Sprintf("invalid vehicle name %q", vehicle)}))
+		return
+	}
+	fromMS, _, err := queryInt64(r, "from_ms")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	toMS, toSet, err := queryInt64(r, "to_ms")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	queryTo := toMS
+	if !toSet || toMS == 0 {
+		queryTo = int64(1<<63 - 1)
+	}
+	samples, ok, err := s.tsdb.Query(vehicle, fromMS, queryTo)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, mustMarshal(errorBody{fmt.Sprintf("unknown vehicle %q", vehicle)}))
+		return
+	}
+	resp := SeriesResponse{
+		Vehicle: vehicle,
+		FromMS:  fromMS,
+		ToMS:    toMS,
+		Count:   len(samples),
+		Samples: renderSamples(samples),
+	}
+	body, err := marshalBody(resp)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleMonitor evaluates the continuous break-even status of one
+// vehicle over its most recent rounds: measured means against the
+// balance engine's per-round demand at the measured temperature.
+func (s *Server) handleMonitor(w http.ResponseWriter, r *http.Request) {
+	if s.tsdb == nil {
+		s.storeUnavailable(w)
+		return
+	}
+	vehicle := r.PathValue("vehicle")
+	if !tsdb.ValidVehicle(vehicle) {
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{fmt.Sprintf("invalid vehicle name %q", vehicle)}))
+		return
+	}
+	window := defaultMonitorWindow
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 || n > maxMonitorWindow {
+			writeJSON(w, http.StatusBadRequest,
+				mustMarshal(errorBody{fmt.Sprintf("window: want an integer in [1, %d]", maxMonitorWindow)}))
+			return
+		}
+		window = n
+	}
+	samples, ok, err := s.tsdb.Tail(vehicle, window)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	if !ok || len(samples) == 0 {
+		writeJSON(w, http.StatusNotFound,
+			mustMarshal(errorBody{fmt.Sprintf("no samples for vehicle %q", vehicle)}))
+		return
+	}
+
+	var speed, temp, vdd, harvested, consumed float64
+	fromMS, toMS := samples[0].TSMS, samples[0].TSMS
+	for _, sm := range samples {
+		speed += sm.SpeedKMH
+		temp += sm.TempC
+		vdd += sm.VddV
+		harvested += sm.HarvestedUJ
+		consumed += sm.ConsumedUJ
+		if sm.TSMS < fromMS {
+			fromMS = sm.TSMS
+		}
+		if sm.TSMS > toMS {
+			toMS = sm.TSMS
+		}
+	}
+	n := float64(len(samples))
+	speed, temp, vdd, harvested, consumed = speed/n, temp/n, vdd/n, harvested/n, consumed/n
+
+	// The model side: per-round demand at the window's mean speed under
+	// the *measured* mean temperature (the whole point of telemetry is
+	// not trusting the thermal model), and the harvest the model
+	// predicts at that speed for degradation triage.
+	st, err := buildStack(nil)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	v := units.KilometersPerHour(speed)
+	bd, err := st.Node.AverageRound(v, st.Base.WithTemp(units.Celsius(temp)))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	requiredUJ := bd.Total().Microjoules()
+	generatedUJ := st.Harvester.EnergyPerRound(v).Microjoules()
+	be, err := s.monitorBE.get(s)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+
+	resp := MonitorResponse{
+		Vehicle:          vehicle,
+		Samples:          len(samples),
+		FromMS:           fromMS,
+		ToMS:             toMS,
+		MeanSpeedKMH:     speed,
+		MeanTempC:        temp,
+		MeanVddV:         vdd,
+		MeanHarvestedUJ:  harvested,
+		MeanConsumedUJ:   consumed,
+		RequiredUJ:       requiredUJ,
+		ModelGeneratedUJ: generatedUJ,
+		MarginUJ:         harvested - requiredUJ,
+		Sustainable:      harvested-requiredUJ >= 0,
+		BreakEven:        be,
+	}
+	body, err := marshalBody(resp)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// tsdbStats snapshots the store for /v1/stats; nil when the server runs
+// without one (the field then omits entirely, keeping the pre-ingest
+// payload byte-identical).
+func (s *Server) tsdbStats() *client.TsdbStats {
+	if s.tsdb == nil {
+		return nil
+	}
+	st := s.tsdb.Stat()
+	return &client.TsdbStats{
+		Series:          st.Series,
+		Samples:         int64(st.Samples),
+		BufferedSamples: int64(st.Buffered),
+		Blocks:          int64(st.Blocks),
+		DiskBytes:       st.DiskBytes,
+		Quarantined:     st.Quarantined,
+		IngestedSamples: s.ingest.samples.Load(),
+		IngestedBytes:   s.ingest.bytes.Load(),
+	}
+}
+
+// maxIngestSamples caps samples per request; the client package owns
+// the number.
+const maxIngestSamples = client.MaxIngestSamples

@@ -1,0 +1,427 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// tsdbOptions is the standard test-server configuration with a
+// telemetry store: tiny flush threshold so tests exercise the sealed
+// path, background flusher off so timing stays deterministic, fsync off
+// for speed (durability is the tsdb package's own test surface).
+func tsdbOptions(t *testing.T) Options {
+	t.Helper()
+	return Options{
+		Workers:           2,
+		TSDBDir:           t.TempDir(),
+		TSDBFlushSamples:  8,
+		TSDBFlushInterval: -1,
+		TSDBNoSync:        true,
+	}
+}
+
+// ingestBody renders hand-written NDJSON lines.
+func ingestBody(lines ...string) string { return strings.Join(lines, "\n") + "\n" }
+
+// sampleLine renders one well-formed telemetry line.
+func sampleLine(vehicle string, ts int64, speed float64) string {
+	return fmt.Sprintf(`{"vehicle":%q,"ts_ms":%d,"speed_kmh":%g,"temp_c":25,"vdd_v":1.9,"harvested_uj":40,"consumed_uj":35}`,
+		vehicle, ts, speed)
+}
+
+// TestIngestSeriesRoundTrip drives the full path: NDJSON in, range
+// query out, every stored field intact, across the buffered and sealed
+// regimes and multiple vehicles in one batch.
+func TestIngestSeriesRoundTrip(t *testing.T) {
+	_, srv := testServer(t, tsdbOptions(t))
+	c := apiClient(srv.URL)
+	ctx := context.Background()
+
+	var samples []client.IngestSample
+	for i := 0; i < 20; i++ {
+		samples = append(samples, client.IngestSample{
+			Vehicle:     "truck-7",
+			TSMS:        int64(1000 + i*100),
+			SpeedKMH:    60 + float64(i),
+			TempC:       client.Float64(25.5),
+			VddV:        client.Float64(1.85),
+			HarvestedUJ: 42.5,
+			ConsumedUJ:  40.25,
+			Mode:        "active",
+			Flags:       uint8(i % 4),
+		})
+	}
+	samples = append(samples, client.IngestSample{
+		Vehicle: "car-2", TSMS: 5000, SpeedKMH: 30,
+		HarvestedUJ: 10, ConsumedUJ: 12,
+	})
+	resp, err := c.Ingest(ctx, samples)
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if resp.Accepted != 21 || resp.Vehicles != 2 {
+		t.Fatalf("IngestResponse = %+v, want 21 accepted over 2 vehicles", resp)
+	}
+
+	sr, err := c.Series(ctx, "truck-7", 0, 0)
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	if sr.Count != 20 || len(sr.Samples) != 20 {
+		t.Fatalf("series count = %d (%d samples), want 20", sr.Count, len(sr.Samples))
+	}
+	for i, sm := range sr.Samples {
+		want := samples[i]
+		if sm.TSMS != want.TSMS || sm.SpeedKMH != want.SpeedKMH ||
+			sm.TempC != *want.TempC || sm.VddV != *want.VddV ||
+			sm.HarvestedUJ != want.HarvestedUJ || sm.ConsumedUJ != want.ConsumedUJ ||
+			sm.Mode != want.Mode || sm.Flags != want.Flags {
+			t.Fatalf("sample %d = %+v, want the ingested %+v", i, sm, want)
+		}
+	}
+
+	// Range bounds are inclusive and honoured mid-series.
+	sr, err = c.Series(ctx, "truck-7", 1500, 2100)
+	if err != nil {
+		t.Fatalf("Series range: %v", err)
+	}
+	if sr.Count != 7 || sr.Samples[0].TSMS != 1500 || sr.Samples[6].TSMS != 2100 {
+		t.Fatalf("range [1500,2100] = %d samples spanning [%d,%d], want 7 spanning [1500,2100]",
+			sr.Count, sr.Samples[0].TSMS, sr.Samples[sr.Count-1].TSMS)
+	}
+
+	// The omitted-field vehicle got the reference defaults.
+	sr, err = c.Series(ctx, "car-2", 0, 0)
+	if err != nil {
+		t.Fatalf("Series car-2: %v", err)
+	}
+	if sr.Count != 1 || sr.Samples[0].TempC != client.DefaultTempC ||
+		sr.Samples[0].VddV != client.DefaultVddV || sr.Samples[0].Mode != "active" {
+		t.Fatalf("car-2 sample = %+v, want reference defaults (temp %v, vdd %v, active)",
+			sr.Samples[0], client.DefaultTempC, client.DefaultVddV)
+	}
+}
+
+// TestIngestExplicitZeroSurvives pins the dropped-zero regression for
+// the ingest path: `"temp_c":0` and `"vdd_v":0` are measurements and
+// must come back as zeros, not as the 20°C / 1.8V defaults an omitted
+// field takes. This is the exact bug class the emulate endpoint's
+// initial_v once shipped.
+func TestIngestExplicitZeroSurvives(t *testing.T) {
+	_, srv := testServer(t, tsdbOptions(t))
+	c := apiClient(srv.URL)
+	ctx := context.Background()
+
+	body := ingestBody(
+		`{"vehicle":"zero","ts_ms":1000,"speed_kmh":50,"temp_c":0,"vdd_v":0,"harvested_uj":5,"consumed_uj":5}`,
+		`{"vehicle":"zero","ts_ms":1100,"speed_kmh":50,"harvested_uj":5,"consumed_uj":5}`,
+	)
+	if _, err := c.IngestNDJSON(ctx, []byte(body)); err != nil {
+		t.Fatalf("IngestNDJSON: %v", err)
+	}
+	sr, err := c.Series(ctx, "zero", 0, 0)
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	if sr.Count != 2 {
+		t.Fatalf("count = %d, want 2", sr.Count)
+	}
+	if got := sr.Samples[0]; got.TempC != 0 || got.VddV != 0 {
+		t.Errorf("explicit zeros came back as temp=%v vdd=%v — presence dropped, the zero collapsed into the default",
+			got.TempC, got.VddV)
+	}
+	if got := sr.Samples[1]; got.TempC != client.DefaultTempC || got.VddV != client.DefaultVddV {
+		t.Errorf("omitted fields came back as temp=%v vdd=%v, want defaults %v/%v",
+			got.TempC, got.VddV, client.DefaultTempC, client.DefaultVddV)
+	}
+}
+
+// TestIngestRejectsBadLines pins the all-or-nothing contract: a bad
+// line rejects the whole batch with its line number and nothing is
+// stored.
+func TestIngestRejectsBadLines(t *testing.T) {
+	_, srv := testServer(t, tsdbOptions(t))
+	c := apiClient(srv.URL)
+	ctx := context.Background()
+
+	cases := []struct {
+		name, line, wantErr string
+	}{
+		{"unknown field", `{"vehicle":"v1","ts_ms":1,"speed_kmh":1,"harvested_uj":0,"consumed_uj":0,"bogus":1}`, "line 2"},
+		{"negative speed", `{"vehicle":"v1","ts_ms":1,"speed_kmh":-4,"harvested_uj":0,"consumed_uj":0}`, "speed_kmh"},
+		{"zero timestamp", `{"vehicle":"v1","ts_ms":0,"speed_kmh":1,"harvested_uj":0,"consumed_uj":0}`, "ts_ms"},
+		{"bad vehicle", `{"vehicle":"a/b","ts_ms":1,"speed_kmh":1,"harvested_uj":0,"consumed_uj":0}`, "vehicle"},
+		{"unknown mode", `{"vehicle":"v1","ts_ms":1,"speed_kmh":1,"harvested_uj":0,"consumed_uj":0,"mode":"warp"}`, "mode"},
+		{"not json", `not json at all`, "line 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := ingestBody(sampleLine("v1", 1000, 50), tc.line)
+			status, respBody, _ := post(t, srv.URL, "/v1/ingest", body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400: %s", status, respBody)
+			}
+			if !strings.Contains(string(respBody), tc.wantErr) {
+				t.Errorf("error %s does not mention %q", respBody, tc.wantErr)
+			}
+		})
+	}
+
+	// Nothing from any rejected batch was stored — including the valid
+	// first lines.
+	if _, err := c.Series(ctx, "v1", 0, 0); err == nil {
+		t.Fatalf("series v1 exists after rejected batches; ingest is not all-or-nothing")
+	}
+
+	// An empty body is a bad request too.
+	if status, _, _ := post(t, srv.URL, "/v1/ingest", "\n\n"); status != http.StatusBadRequest {
+		t.Fatalf("empty body: status %d, want 400", status)
+	}
+}
+
+// TestIngestWithoutStore pins the 503 contract on all three endpoints
+// when the server runs without Options.TSDBDir, and that /v1/stats then
+// omits the tsdb section entirely.
+func TestIngestWithoutStore(t *testing.T) {
+	_, srv := testServer(t, Options{Workers: 2})
+	c := apiClient(srv.URL)
+	ctx := context.Background()
+
+	if status, body, _ := post(t, srv.URL, "/v1/ingest", sampleLine("v1", 1000, 50)+"\n"); status != http.StatusServiceUnavailable {
+		t.Fatalf("ingest without store: status %d (%s), want 503", status, body)
+	}
+	if _, err := c.Series(ctx, "v1", 0, 0); err == nil {
+		t.Fatal("series without store: want an error")
+	}
+	if _, err := c.Monitor(ctx, "v1", 0); err == nil {
+		t.Fatal("monitor without store: want an error")
+	}
+	if st := getStats(t, srv.URL); st.Tsdb != nil {
+		t.Fatalf("stats.tsdb = %+v without a store, want omitted", st.Tsdb)
+	}
+}
+
+// TestSeriesErrors pins the read-path error contract.
+func TestSeriesErrors(t *testing.T) {
+	_, srv := testServer(t, tsdbOptions(t))
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		res, err := apiClient(srv.URL).GetRaw(context.Background(), path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return res.Status, string(res.Body)
+	}
+
+	if status, body := get("/v1/series/no-such-vehicle"); status != http.StatusNotFound {
+		t.Errorf("unknown vehicle: status %d (%s), want 404", status, body)
+	}
+	if status, body := get("/v1/series/..."); status != http.StatusBadRequest {
+		t.Errorf("invalid vehicle: status %d (%s), want 400", status, body)
+	}
+	if status, body := get("/v1/series/v1?from_ms=abc"); status != http.StatusBadRequest {
+		t.Errorf("bad from_ms: status %d (%s), want 400", status, body)
+	}
+	if status, body := get("/v1/monitor/v1?window=0"); status != http.StatusBadRequest {
+		t.Errorf("window 0: status %d (%s), want 400", status, body)
+	}
+	if status, body := get("/v1/monitor/no-such-vehicle"); status != http.StatusNotFound {
+		t.Errorf("monitor unknown vehicle: status %d (%s), want 404", status, body)
+	}
+}
+
+// TestMonitorBreakEvenStatus drives /v1/monitor against two telemetry
+// regimes — a fast warm vehicle harvesting plenty and a slow cold one
+// harvesting almost nothing — and checks the balance-engine verdicts.
+func TestMonitorBreakEvenStatus(t *testing.T) {
+	_, srv := testServer(t, tsdbOptions(t))
+	c := apiClient(srv.URL)
+	ctx := context.Background()
+
+	mk := func(vehicle string, speed, harvested float64) []client.IngestSample {
+		var out []client.IngestSample
+		for i := 0; i < 10; i++ {
+			out = append(out, client.IngestSample{
+				Vehicle: vehicle, TSMS: int64(1000 + i*100), SpeedKMH: speed,
+				TempC: client.Float64(25), VddV: client.Float64(1.8),
+				HarvestedUJ: harvested, ConsumedUJ: harvested * 0.8,
+			})
+		}
+		return out
+	}
+	if _, err := c.Ingest(ctx, mk("healthy", 120, 500)); err != nil {
+		t.Fatalf("Ingest healthy: %v", err)
+	}
+	if _, err := c.Ingest(ctx, mk("starving", 15, 0.5)); err != nil {
+		t.Fatalf("Ingest starving: %v", err)
+	}
+
+	healthy, err := c.Monitor(ctx, "healthy", 0)
+	if err != nil {
+		t.Fatalf("Monitor healthy: %v", err)
+	}
+	if healthy.Samples != 10 || healthy.FromMS != 1000 || healthy.ToMS != 1900 {
+		t.Errorf("window = %d samples [%d,%d], want 10 over [1000,1900]",
+			healthy.Samples, healthy.FromMS, healthy.ToMS)
+	}
+	if healthy.MeanSpeedKMH != 120 || healthy.MeanHarvestedUJ != 500 {
+		t.Errorf("means = %+v, want speed 120 harvested 500", healthy)
+	}
+	if healthy.RequiredUJ <= 0 {
+		t.Errorf("required_uj = %v, want positive model demand", healthy.RequiredUJ)
+	}
+	if !healthy.Sustainable || healthy.MarginUJ != 500-healthy.RequiredUJ {
+		t.Errorf("healthy verdict = sustainable=%v margin=%v (required %v), want sustainable with margin 500-required",
+			healthy.Sustainable, healthy.MarginUJ, healthy.RequiredUJ)
+	}
+	if !healthy.BreakEven.Found || healthy.BreakEven.SpeedKMH <= 0 {
+		t.Errorf("breakeven = %+v, want the reference point found", healthy.BreakEven)
+	}
+
+	starving, err := c.Monitor(ctx, "starving", 4)
+	if err != nil {
+		t.Fatalf("Monitor starving: %v", err)
+	}
+	if starving.Samples != 4 {
+		t.Errorf("window = %d, want the requested 4", starving.Samples)
+	}
+	if starving.Sustainable || starving.MarginUJ >= 0 {
+		t.Errorf("starving verdict = sustainable=%v margin=%v, want unsustainable", starving.Sustainable, starving.MarginUJ)
+	}
+	if starving.BreakEven != healthy.BreakEven {
+		t.Errorf("reference break-even differs per vehicle: %+v vs %+v", starving.BreakEven, healthy.BreakEven)
+	}
+}
+
+// TestIngestSurvivesRestart pins serve-level durability: sealed samples
+// ingested through the API come back after the server process is torn
+// down and a new one opens the same directory.
+func TestIngestSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Workers: 2, TSDBDir: dir,
+		TSDBFlushSamples: 8, TSDBFlushInterval: -1, TSDBNoSync: true,
+	}
+	api, srv := testServer(t, opts)
+	c := apiClient(srv.URL)
+	ctx := context.Background()
+
+	var samples []client.IngestSample
+	for i := 0; i < 30; i++ {
+		samples = append(samples, client.IngestSample{
+			Vehicle: "persist", TSMS: int64(1000 + i), SpeedKMH: 80,
+			HarvestedUJ: 1, ConsumedUJ: 1,
+		})
+	}
+	if _, err := c.Ingest(ctx, samples); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	before, err := c.Series(ctx, "persist", 0, 0)
+	if err != nil {
+		t.Fatalf("Series before restart: %v", err)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	if err := api.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	cancel()
+	srv.Close()
+
+	_, srv2 := testServer(t, opts)
+	after, err := apiClient(srv2.URL).Series(ctx, "persist", 0, 0)
+	if err != nil {
+		t.Fatalf("Series after restart: %v", err)
+	}
+	// Shutdown flushes the buffered tail, so the full series survives.
+	if after.Count != before.Count {
+		t.Fatalf("series count %d after restart, want %d", after.Count, before.Count)
+	}
+	for i := range before.Samples {
+		if before.Samples[i] != after.Samples[i] {
+			t.Fatalf("sample %d differs after restart: %+v vs %+v", i, before.Samples[i], after.Samples[i])
+		}
+	}
+}
+
+// TestIngestStatsAndMetrics pins the observability surface: the stats
+// tsdb section and the ingest/tsdb metric families track real traffic.
+func TestIngestStatsAndMetrics(t *testing.T) {
+	_, srv := testServer(t, tsdbOptions(t))
+	c := apiClient(srv.URL)
+	ctx := context.Background()
+
+	var samples []client.IngestSample
+	for i := 0; i < 20; i++ {
+		samples = append(samples, client.IngestSample{
+			Vehicle: "m1", TSMS: int64(1000 + i), SpeedKMH: 60,
+			HarvestedUJ: 2, ConsumedUJ: 2,
+		})
+	}
+	if _, err := c.Ingest(ctx, samples); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	post(t, srv.URL, "/v1/ingest", "junk\n") // one bad_request outcome
+
+	st := getStats(t, srv.URL)
+	if st.Tsdb == nil {
+		t.Fatal("stats.tsdb missing with a store configured")
+	}
+	if st.Tsdb.IngestedSamples != 20 || st.Tsdb.Series != 1 {
+		t.Errorf("stats.tsdb = %+v, want 20 ingested samples in 1 series", st.Tsdb)
+	}
+	if st.Tsdb.Samples+st.Tsdb.BufferedSamples != 20 {
+		t.Errorf("sealed %d + buffered %d != 20", st.Tsdb.Samples, st.Tsdb.BufferedSamples)
+	}
+	if st.Tsdb.Samples > 0 && (st.Tsdb.Blocks == 0 || st.Tsdb.DiskBytes == 0) {
+		t.Errorf("sealed samples with blocks=%d disk_bytes=%d", st.Tsdb.Blocks, st.Tsdb.DiskBytes)
+	}
+	if st.Tsdb.IngestedBytes == 0 {
+		t.Error("ingested_bytes = 0 after accepted traffic")
+	}
+
+	text, _ := scrape(t, srv.URL)
+	for series, want := range map[string]float64{
+		`tyresysd_ingest_requests_total`:                         2,
+		`tyresysd_ingest_responses_total{outcome="ok"}`:          1,
+		`tyresysd_ingest_responses_total{outcome="bad_request"}`: 1,
+		`tyresysd_ingest_samples_total`:                          20,
+		`tyresysd_tsdb_series`:                                   1,
+	} {
+		if got := metricValue(t, text, series); got != want {
+			t.Errorf("%s = %v, want %v", series, got, want)
+		}
+	}
+	if got := metricValue(t, text, `tyresysd_tsdb_samples`); got != float64(st.Tsdb.Samples) {
+		t.Errorf("tyresysd_tsdb_samples = %v, stats says %d", got, st.Tsdb.Samples)
+	}
+	if st.Tsdb.Samples > 0 {
+		if flushes := metricValue(t, text, `tyresysd_ingest_flush_seconds_count`); flushes == 0 {
+			t.Error("sealed blocks but tyresysd_ingest_flush_seconds_count = 0")
+		}
+	}
+}
+
+// TestIngestCapsAndLimits pins the request ceilings: the sample cap and
+// the body cap both reject cleanly.
+func TestIngestCapsAndLimits(t *testing.T) {
+	_, srv := testServer(t, tsdbOptions(t))
+
+	// MaxBodyBytes trips first for a body this large; either 400 (cap
+	// mid-scan surfaces as scanner error) or 413 is acceptable — what
+	// matters is a clean rejection and nothing stored.
+	big := strings.Repeat(sampleLine("cap", 1000, 50)+"\n", 12000)
+	status, body, _ := post(t, srv.URL, "/v1/ingest", big)
+	if status != http.StatusRequestEntityTooLarge && status != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d (%s), want 413 or 400", status, body)
+	}
+	if _, err := apiClient(srv.URL).Series(context.Background(), "cap", 0, 0); err == nil {
+		t.Fatal("series exists after rejected oversized batch")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/tsdb"
 )
 
 // metricsContentType is the Prometheus text exposition media type.
@@ -50,6 +51,10 @@ type serveMetrics struct {
 	kernelRounds                          *obs.Counter
 	kernelDirty, kernelClean              *obs.Counter
 	kernelTableHits, kernelTableFallbacks *obs.Counter
+
+	// ingestFlush observes one telemetry-store block seal (buffer →
+	// fsynced chunk on disk); the store calls it through OnFlush.
+	ingestFlush *obs.Histogram
 }
 
 // nodeMemoTables names the node memo tables in exposition order.
@@ -204,6 +209,65 @@ func newServeMetrics(s *Server) *serveMetrics {
 	m.kernelTableFallbacks = r.Counter("tyresysd_kernel_table_total",
 		"Interpolated temperature-factor table lookups by outcome: hit (in range, lerped) or fallback (out of range, exact exp).",
 		obs.Label{Key: "outcome", Value: "fallback"})
+
+	// Telemetry ingest + store metrics, appended after the kernel
+	// families to keep every earlier family's golden-pinned offset. The
+	// counters read the ingestStats atomics lazily; the store gauges
+	// nil-check s.tsdb at render time because the store is optional
+	// (Options.TSDBDir empty → families render with zero values, keeping
+	// the exposition layout identical either way).
+	r.CounterFunc("tyresysd_ingest_requests_total",
+		"POST /v1/ingest requests, before any decoding.",
+		counterOf(&s.ingest.requests))
+	for _, oc := range []struct {
+		name string
+		v    *atomic.Int64
+	}{
+		{"ok", &s.ingest.ok},
+		{"bad_request", &s.ingest.badRequests},
+		{"payload_too_large", &s.ingest.tooLarge},
+		{"unavailable", &s.ingest.unavailable},
+		{"error", &s.ingest.errored},
+	} {
+		r.CounterFunc("tyresysd_ingest_responses_total",
+			"Ingest responses by outcome: ok (200), bad_request (400), payload_too_large (413), unavailable (503, store off or append failed), error (500).",
+			counterOf(oc.v), obs.Label{Key: "outcome", Value: oc.name})
+	}
+	r.CounterFunc("tyresysd_ingest_samples_total",
+		"Telemetry samples accepted into the time-series store.",
+		counterOf(&s.ingest.samples))
+	r.CounterFunc("tyresysd_ingest_bytes_total",
+		"Raw NDJSON bytes of accepted ingest requests (the compression-ratio numerator).",
+		counterOf(&s.ingest.bytes))
+	storeGauge := func(read func(st tsdb.Stats) float64) func() float64 {
+		return func() float64 {
+			if s.tsdb == nil {
+				return 0
+			}
+			return read(s.tsdb.Stat())
+		}
+	}
+	r.GaugeFunc("tyresysd_tsdb_series",
+		"Vehicle series tracked by the time-series store.",
+		storeGauge(func(st tsdb.Stats) float64 { return float64(st.Series) }))
+	r.GaugeFunc("tyresysd_tsdb_samples",
+		"Samples persisted in sealed chunks across all series.",
+		storeGauge(func(st tsdb.Stats) float64 { return float64(st.Samples) }))
+	r.GaugeFunc("tyresysd_tsdb_buffered_samples",
+		"Samples buffered in memory awaiting a chunk seal.",
+		storeGauge(func(st tsdb.Stats) float64 { return float64(st.Buffered) }))
+	r.GaugeFunc("tyresysd_tsdb_blocks",
+		"Sealed compressed chunks on disk across all series.",
+		storeGauge(func(st tsdb.Stats) float64 { return float64(st.Blocks) }))
+	r.GaugeFunc("tyresysd_tsdb_disk_bytes",
+		"Bytes on disk across all series files (the compression-ratio denominator).",
+		storeGauge(func(st tsdb.Stats) float64 { return float64(st.DiskBytes) }))
+	r.GaugeFunc("tyresysd_tsdb_quarantined",
+		"Corrupt series files moved to <TSDBDir>/quarantine at boot instead of failing it.",
+		storeGauge(func(st tsdb.Stats) float64 { return float64(st.Quarantined) }))
+	m.ingestFlush = r.Histogram("tyresysd_ingest_flush_seconds",
+		"Wall time of one telemetry chunk seal: encode, append, fsync.",
+		obs.DefLatencyBuckets)
 	return m
 }
 

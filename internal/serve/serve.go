@@ -17,6 +17,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/tsdb"
 	"repro/internal/vfs"
 )
 
@@ -77,11 +78,32 @@ type Options struct {
 	// this as -jobs-fsync (on by default).
 	JobsNoSync bool
 
+	// TSDBDir is the telemetry-store root for the /v1/ingest, /v1/series
+	// and /v1/monitor endpoints. Empty (the default) disables the store:
+	// those endpoints answer 503. When set, ingested samples persist as
+	// compressed blocks under it and series survive restarts.
+	TSDBDir string
+	// TSDBFlushSamples seals a vehicle's buffered samples into a durable
+	// compressed block at this count (default 256).
+	TSDBFlushSamples int
+	// TSDBFlushInterval bounds how long a trickle of samples can sit
+	// buffered and undurable (default 2 s; negative disables the
+	// background flusher).
+	TSDBFlushInterval time.Duration
+	// TSDBNoSync skips the per-block fsync, trading the most recent
+	// blocks against a crash for ingest throughput — the telemetry twin
+	// of JobsNoSync. tyresysd exposes this as -tsdb-fsync (on by
+	// default).
+	TSDBNoSync bool
+
 	// jobsFS overrides the filesystem the job checkpoint store writes
 	// through. Unexported: a test seam for internal/faultfs, so the
 	// serving layer's degraded persistence paths (503 on submit, failed
 	// jobs, quarantine metrics) can be driven deterministically.
 	jobsFS vfs.FS
+
+	// tsdbFS is jobsFS's twin for the telemetry store.
+	tsdbFS vfs.FS
 
 	// emuChunkSeconds overrides the emulation checkpoint segment length
 	// (default defaultEmuChunkSeconds). Unexported: a test seam, set
@@ -113,6 +135,14 @@ type Server struct {
 	jobs            *jobs.Manager
 	jobsSubmitted   atomic.Int64
 	emuChunkSeconds float64
+
+	// tsdb is the telemetry store behind /v1/ingest (nil when
+	// Options.TSDBDir is empty — the metrics gauges and handlers all
+	// nil-check it). ingest holds the ingest-path counters; monitorBE
+	// computes the reference break-even for /v1/monitor at most once.
+	tsdb      *tsdb.Store
+	ingest    ingestStats
+	monitorBE breakEvenOnce
 
 	// base is cancelled by Shutdown: evaluations run under it so a
 	// stopping server aborts work no client is waiting on. Evaluations
@@ -166,6 +196,21 @@ func NewServer(opts Options) (*Server, error) {
 		s.stats[name] = &endpointStats{}
 	}
 	s.metrics = newServeMetrics(s)
+	if opts.TSDBDir != "" {
+		store, err := tsdb.Open(tsdb.Options{
+			Dir:           opts.TSDBDir,
+			FS:            opts.tsdbFS,
+			FlushSamples:  opts.TSDBFlushSamples,
+			FlushInterval: opts.TSDBFlushInterval,
+			NoSync:        opts.TSDBNoSync,
+			OnFlush:       func(sec float64) { s.metrics.ingestFlush.Observe(sec) },
+		})
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("serve: telemetry store: %w", err)
+		}
+		s.tsdb = store
+	}
 	mgr, err := jobs.New(jobs.Options{
 		Dir:              opts.JobsDir,
 		Executors:        opts.JobExecutors,
@@ -177,6 +222,9 @@ func NewServer(opts Options) (*Server, error) {
 	}, s.planJob)
 	if err != nil {
 		cancel()
+		if s.tsdb != nil {
+			s.tsdb.Close()
+		}
 		return nil, fmt.Errorf("serve: batch jobs: %w", err)
 	}
 	s.jobs = mgr
@@ -190,6 +238,9 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/series/{vehicle}", s.handleSeries)
+	s.mux.HandleFunc("GET /v1/monitor/{vehicle}", s.handleMonitor)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
@@ -204,6 +255,16 @@ func (s *Server) ReplayedJobs() int { return s.jobs.Replayed() }
 // <JobsDir>/quarantine at construction instead of failing the boot
 // (tyresysd logs them on boot; /v1/stats and /v1/metrics count them).
 func (s *Server) QuarantinedJobs() []string { return s.jobs.Quarantined() }
+
+// QuarantinedSeries returns the telemetry series files moved to
+// <TSDBDir>/quarantine at construction instead of failing the boot.
+// Empty when the server runs without a store.
+func (s *Server) QuarantinedSeries() []string {
+	if s.tsdb == nil {
+		return nil
+	}
+	return s.tsdb.Quarantined()
+}
 
 // ServeHTTP dispatches to the v1 routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -232,8 +293,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	s.cancel()
+	var terr error
+	if s.tsdb != nil {
+		// Close after the drain: a final flush seals every vehicle's
+		// buffered samples so a graceful shutdown loses nothing.
+		terr = s.tsdb.Close()
+	}
 	if err == nil {
 		err = jerr
+	}
+	if err == nil {
+		err = terr
 	}
 	return err
 }
@@ -429,6 +499,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Workers:       s.opts.Workers,
 		Endpoints:     make(map[string]EndpointStats, len(s.stats)),
 		Jobs:          s.jobsStats(),
+		Tsdb:          s.tsdbStats(),
 	}
 	for name, st := range s.stats {
 		resp.Endpoints[name] = st.snapshot()

@@ -1,0 +1,248 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// A sealed block is the unit of durability: one columnar, compressed,
+// CRC-protected batch of samples for a single series. On disk a series
+// file is a sequence of length-prefixed blocks:
+//
+//	uint32 LE record length | block bytes (record length of them)
+//
+// and a block is:
+//
+//	"TSB1" | count uint32 LE | minTS int64 LE | maxTS int64 LE |
+//	ncols byte | ncols × (colID byte, codecID byte, uvarint payloadLen) |
+//	payloads in header order | CRC32-IEEE uint32 LE over everything above
+//
+// The CRC covers the magic through the last payload byte, so any torn
+// or bit-flipped record fails closed. minTS/maxTS let range queries
+// skip whole blocks without touching the codecs.
+
+// Column IDs — the wire names of Sample's fields. Like codec IDs they
+// are append-only: decoding tolerates unknown columns being absent only
+// by failing, so removing one is a format break.
+const (
+	colTS      byte = 0
+	colSpeed   byte = 1
+	colTemp    byte = 2
+	colVdd     byte = 3
+	colHarvest byte = 4
+	colConsume byte = 5
+	colMode    byte = 6
+	colFlags   byte = 7
+	numColumns      = 8
+)
+
+const blockMagic = "TSB1"
+
+// maxBlockBytes bounds a record length read off disk before any
+// allocation happens; a sane block of maxBufferedSamples samples is far
+// below this even fully incompressible.
+const maxBlockBytes = 8 << 20
+
+// Sample is one telemetry round from one vehicle's tyre node: the
+// wheel-round measurement tuple from the paper's monitoring loop.
+type Sample struct {
+	TSMS        int64   // sample timestamp, Unix milliseconds
+	SpeedKMH    float64 // vehicle speed during the round
+	TempC       float64 // in-tyre temperature
+	VddV        float64 // node supply voltage
+	HarvestedUJ float64 // energy harvested this round, µJ
+	ConsumedUJ  float64 // energy consumed this round, µJ
+	Mode        uint8   // operating-mode ID (client maps names ↔ IDs)
+	Flags       uint8   // diagnostic flag bits
+}
+
+// encodeBlock seals samples into one block (without the file-level
+// length prefix). Timestamps use delta-delta, float columns XOR, byte
+// columns RLE.
+func encodeBlock(samples []Sample) []byte {
+	n := len(samples)
+	ts := make([]int64, n)
+	floatCols := [5][]float64{}
+	for i := range floatCols {
+		floatCols[i] = make([]float64, n)
+	}
+	mode := make([]byte, n)
+	flags := make([]byte, n)
+	for i, s := range samples {
+		ts[i] = s.TSMS
+		floatCols[0][i] = s.SpeedKMH
+		floatCols[1][i] = s.TempC
+		floatCols[2][i] = s.VddV
+		floatCols[3][i] = s.HarvestedUJ
+		floatCols[4][i] = s.ConsumedUJ
+		mode[i] = s.Mode
+		flags[i] = s.Flags
+	}
+
+	tsC := intCodecs[codecDeltaDelta]
+	fC := floatCodecs[codecXORFloat]
+	bC := byteCodecs[codecRLEByte]
+
+	payloads := make([][]byte, numColumns)
+	codecOf := make([]byte, numColumns)
+	payloads[colTS], codecOf[colTS] = tsC.encode(nil, ts), tsC.id()
+	for i, col := range []byte{colSpeed, colTemp, colVdd, colHarvest, colConsume} {
+		payloads[col], codecOf[col] = fC.encode(nil, floatCols[i]), fC.id()
+	}
+	payloads[colMode], codecOf[colMode] = bC.encode(nil, mode), bC.id()
+	payloads[colFlags], codecOf[colFlags] = bC.encode(nil, flags), bC.id()
+
+	// True extrema, not first/last: samples are normally appended in time
+	// order but range pruning must stay correct even when they are not.
+	minTS, maxTS := ts[0], ts[0]
+	for _, t := range ts[1:] {
+		if t < minTS {
+			minTS = t
+		}
+		if t > maxTS {
+			maxTS = t
+		}
+	}
+
+	buf := make([]byte, 0, 64)
+	buf = append(buf, blockMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(minTS))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(maxTS))
+	buf = append(buf, numColumns)
+	for col := byte(0); col < numColumns; col++ {
+		buf = append(buf, col, codecOf[col])
+		buf = binary.AppendUvarint(buf, uint64(len(payloads[col])))
+	}
+	for col := byte(0); col < numColumns; col++ {
+		buf = append(buf, payloads[col]...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf
+}
+
+// blockMeta is the cheap part of a block: enough to range-prune without
+// decoding any column payload.
+type blockMeta struct {
+	count        int
+	minTS, maxTS int64
+}
+
+// peekBlockMeta validates the envelope (magic, header sanity, CRC) and
+// returns the block's metadata without decoding columns.
+func peekBlockMeta(data []byte) (blockMeta, error) {
+	if len(data) < len(blockMagic)+4+8+8+1+4 {
+		return blockMeta{}, fmt.Errorf("tsdb: block of %d bytes is shorter than its header", len(data))
+	}
+	if string(data[:4]) != blockMagic {
+		return blockMeta{}, fmt.Errorf("tsdb: bad block magic %q", data[:4])
+	}
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(data[:len(data)-4]); got != sum {
+		return blockMeta{}, fmt.Errorf("tsdb: block CRC mismatch: stored %08x, computed %08x", sum, got)
+	}
+	m := blockMeta{
+		count: int(binary.LittleEndian.Uint32(data[4:])),
+		minTS: int64(binary.LittleEndian.Uint64(data[8:])),
+		maxTS: int64(binary.LittleEndian.Uint64(data[16:])),
+	}
+	if m.count <= 0 || m.count > maxBlockBytes {
+		return blockMeta{}, fmt.Errorf("tsdb: block claims %d samples", m.count)
+	}
+	return m, nil
+}
+
+// decodeBlock verifies and fully decodes one block back into samples.
+func decodeBlock(data []byte) ([]Sample, error) {
+	m, err := peekBlockMeta(data)
+	if err != nil {
+		return nil, err
+	}
+	body := data[:len(data)-4] // CRC verified by peekBlockMeta
+	off := 24
+	ncols := int(body[off])
+	off++
+	if ncols != numColumns {
+		return nil, fmt.Errorf("tsdb: block has %d columns, want %d", ncols, numColumns)
+	}
+	type colHdr struct {
+		id, codec byte
+		length    int
+	}
+	hdrs := make([]colHdr, ncols)
+	for i := range hdrs {
+		if off+2 > len(body) {
+			return nil, fmt.Errorf("tsdb: block header truncated at column %d", i)
+		}
+		h := colHdr{id: body[off], codec: body[off+1]}
+		off += 2
+		l, k := binary.Uvarint(body[off:])
+		if k <= 0 || l > maxBlockBytes {
+			return nil, fmt.Errorf("tsdb: bad payload length for column %d", h.id)
+		}
+		off += k
+		h.length = int(l)
+		hdrs[i] = h
+	}
+
+	var ts []int64
+	floats := map[byte][]float64{}
+	bytesCols := map[byte][]byte{}
+	for _, h := range hdrs {
+		if off+h.length > len(body) {
+			return nil, fmt.Errorf("tsdb: payload for column %d overruns block", h.id)
+		}
+		payload := body[off : off+h.length]
+		off += h.length
+		switch h.id {
+		case colTS:
+			c, ok := intCodecs[h.codec]
+			if !ok {
+				return nil, fmt.Errorf("tsdb: unknown int codec 0x%02x for column %d", h.codec, h.id)
+			}
+			if ts, err = c.decode(payload, m.count); err != nil {
+				return nil, err
+			}
+		case colSpeed, colTemp, colVdd, colHarvest, colConsume:
+			c, ok := floatCodecs[h.codec]
+			if !ok {
+				return nil, fmt.Errorf("tsdb: unknown float codec 0x%02x for column %d", h.codec, h.id)
+			}
+			if floats[h.id], err = c.decode(payload, m.count); err != nil {
+				return nil, err
+			}
+		case colMode, colFlags:
+			c, ok := byteCodecs[h.codec]
+			if !ok {
+				return nil, fmt.Errorf("tsdb: unknown byte codec 0x%02x for column %d", h.codec, h.id)
+			}
+			if bytesCols[h.id], err = c.decode(payload, m.count); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("tsdb: unknown column ID %d", h.id)
+		}
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("tsdb: block has %d bytes past its last payload", len(body)-off)
+	}
+	if ts == nil || len(floats) != 5 || len(bytesCols) != 2 {
+		return nil, fmt.Errorf("tsdb: block is missing columns")
+	}
+
+	out := make([]Sample, m.count)
+	for i := range out {
+		out[i] = Sample{
+			TSMS:        ts[i],
+			SpeedKMH:    floats[colSpeed][i],
+			TempC:       floats[colTemp][i],
+			VddV:        floats[colVdd][i],
+			HarvestedUJ: floats[colHarvest][i],
+			ConsumedUJ:  floats[colConsume][i],
+			Mode:        bytesCols[colMode][i],
+			Flags:       bytesCols[colFlags][i],
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,294 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func requireInt64s(t *testing.T, want, got []int64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("length mismatch: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("value %d: want %d, got %d", i, want[i], got[i])
+		}
+	}
+}
+
+// requireFloatsBitExact compares by bit pattern, so NaN payloads and
+// the sign of zero count.
+func requireFloatsBitExact(t *testing.T, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("length mismatch: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("value %d: want %v (%016x), got %v (%016x)",
+				i, want[i], math.Float64bits(want[i]), got[i], math.Float64bits(got[i]))
+		}
+	}
+}
+
+func TestDeltaDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	walk := make([]int64, 500)
+	at := int64(1700000000000)
+	for i := range walk {
+		at += 100 + rng.Int63n(7) - 3 // jittery ~100 ms cadence
+		walk[i] = at
+	}
+	cases := map[string][]int64{
+		"single":        {42},
+		"constant gap":  {0, 100, 200, 300, 400},
+		"negative":      {-5, -10, -100, 0, 50},
+		"extremes":      {math.MinInt64, math.MaxInt64, 0, math.MinInt64, math.MaxInt64},
+		"jittery walk":  walk,
+		"overflow wrap": {math.MaxInt64 - 1, math.MinInt64 + 2, math.MaxInt64 - 3},
+	}
+	c := deltaDeltaCodec{}
+	for name, vals := range cases {
+		enc := c.encode(nil, vals)
+		dec, err := c.decode(enc, len(vals))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		requireInt64s(t, vals, dec)
+	}
+	// A near-constant cadence must land close to a byte per timestamp.
+	enc := c.encode(nil, walk)
+	if perTS := float64(len(enc)) / float64(len(walk)); perTS > 2 {
+		t.Fatalf("jittery walk encodes to %.2f bytes/timestamp, want ≤ 2 (8 raw)", perTS)
+	}
+}
+
+func TestFloatCodecsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	random := make([]float64, 300)
+	for i := range random {
+		random[i] = math.Float64frombits(rng.Uint64())
+	}
+	quantised := make([]float64, 300)
+	v := 60.0
+	for i := range quantised {
+		v += float64(rng.Intn(9)-4) / 16
+		quantised[i] = v
+	}
+	cases := map[string][]float64{
+		"single":    {3.14},
+		"constant":  {1.8, 1.8, 1.8, 1.8},
+		"specials":  {0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), math.Float64frombits(0x7ff8000000000001), 5e-324, math.MaxFloat64},
+		"random":    random,
+		"quantised": quantised,
+	}
+	for id, c := range floatCodecs {
+		for name, vals := range cases {
+			enc := c.encode(nil, vals)
+			dec, err := c.decode(enc, len(vals))
+			if err != nil {
+				t.Fatalf("codec 0x%02x %s: decode: %v", id, name, err)
+			}
+			requireFloatsBitExact(t, vals, dec)
+		}
+	}
+	// The XOR codec must beat raw storage decisively on quantised
+	// slowly-varying data — that is its whole reason to exist.
+	xor := floatCodecs[codecXORFloat].encode(nil, quantised)
+	raw := floatCodecs[codecRawFloat].encode(nil, quantised)
+	if len(xor)*2 > len(raw) {
+		t.Fatalf("XOR codec: %d bytes vs %d raw — expected at least 2x", len(xor), len(raw))
+	}
+}
+
+func TestRLEByteRoundTrip(t *testing.T) {
+	alternating := make([]byte, 101)
+	for i := range alternating {
+		alternating[i] = byte(i % 2)
+	}
+	long := make([]byte, 5000) // all zero: one run with a multi-byte uvarint
+	cases := map[string][]byte{
+		"single":      {7},
+		"runs":        {0, 0, 0, 1, 1, 2, 0, 0},
+		"alternating": alternating,
+		"long run":    long,
+	}
+	c := rleByteCodec{}
+	for name, vals := range cases {
+		enc := c.encode(nil, vals)
+		dec, err := c.decode(enc, len(vals))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if string(dec) != string(vals) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+	if enc := c.encode(nil, long); len(enc) > 4 {
+		t.Fatalf("5000-byte run encodes to %d bytes, want ≤ 4", len(enc))
+	}
+}
+
+// TestCodecDecodeCorruption feeds every codec truncated and trailing-
+// garbage payloads: decoding must error, never panic or fabricate
+// values.
+func TestCodecDecodeCorruption(t *testing.T) {
+	ints := []int64{1000, 1100, 1207, 1300}
+	floats := []float64{1.8, 1.79, 1.81, 1.8}
+	bs := []byte{0, 0, 1, 1}
+
+	intEnc := deltaDeltaCodec{}.encode(nil, ints)
+	for cut := 0; cut < len(intEnc); cut++ {
+		if _, err := (deltaDeltaCodec{}).decode(intEnc[:cut], len(ints)); err == nil {
+			t.Fatalf("delta-delta: truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+	if _, err := (deltaDeltaCodec{}).decode(append(append([]byte{}, intEnc...), 0x00), len(ints)); err == nil {
+		t.Fatal("delta-delta: trailing garbage decoded cleanly")
+	}
+
+	for id, c := range floatCodecs {
+		enc := c.encode(nil, floats)
+		// Cut inside the first raw value so every codec must notice.
+		if _, err := c.decode(enc[:4], len(floats)); err == nil {
+			t.Fatalf("float codec 0x%02x: truncation decoded cleanly", id)
+		}
+	}
+
+	bEnc := rleByteCodec{}.encode(nil, bs)
+	if _, err := (rleByteCodec{}).decode(bEnc[:1], len(bs)); err == nil {
+		t.Fatal("RLE: truncation decoded cleanly")
+	}
+	if _, err := (rleByteCodec{}).decode(append(append([]byte{}, bEnc...), 0x01, 0x07), len(bs)); err == nil {
+		t.Fatal("RLE: trailing garbage decoded cleanly")
+	}
+	// A run longer than the column must be rejected, not allocated.
+	if _, err := (rleByteCodec{}).decode([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0x01}, 4); err == nil {
+		t.Fatal("RLE: oversized run decoded cleanly")
+	}
+}
+
+// requireSamplesBitExact compares sample slices field by field with
+// bit-exact float comparison.
+func requireSamplesBitExact(t *testing.T, want, got []Sample) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("length mismatch: want %d samples, got %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		same := w.TSMS == g.TSMS && w.Mode == g.Mode && w.Flags == g.Flags &&
+			math.Float64bits(w.SpeedKMH) == math.Float64bits(g.SpeedKMH) &&
+			math.Float64bits(w.TempC) == math.Float64bits(g.TempC) &&
+			math.Float64bits(w.VddV) == math.Float64bits(g.VddV) &&
+			math.Float64bits(w.HarvestedUJ) == math.Float64bits(g.HarvestedUJ) &&
+			math.Float64bits(w.ConsumedUJ) == math.Float64bits(g.ConsumedUJ)
+		if !same {
+			t.Fatalf("sample %d: want %+v, got %+v", i, w, g)
+		}
+	}
+}
+
+// driveCycleSamples synthesises a deterministic quantised drive cycle —
+// the same shape tyreload's ingest generator produces, and the workload
+// the compression claims in EXPERIMENTS.md are made against.
+func driveCycleSamples(seed int64, n int) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, n)
+	ts := int64(1700000000000)
+	speed, temp := 60.0, 25.0
+	for i := range out {
+		ts += 100 + int64(rng.Intn(5)) - 2
+		speed += float64(rng.Intn(17)-8) / 16
+		if speed < 5 {
+			speed = 5
+		}
+		temp += float64(rng.Intn(3)-1) / 16
+		mode := uint8(0)
+		if speed < 20 {
+			mode = 1
+		}
+		out[i] = Sample{
+			TSMS:        ts,
+			SpeedKMH:    speed,
+			TempC:       temp,
+			VddV:        1.8 + float64(rng.Intn(3)-1)/1024,
+			HarvestedUJ: math.Round(speed*1.5*16) / 16,
+			ConsumedUJ:  math.Round((200+float64(rng.Intn(8)))*16) / 16,
+			Mode:        mode,
+			Flags:       0,
+		}
+	}
+	return out
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 255, 256, 1000} {
+		samples := driveCycleSamples(int64(n), n)
+		dec, err := decodeBlock(encodeBlock(samples))
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		requireSamplesBitExact(t, samples, dec)
+	}
+}
+
+func TestBlockRejectsCorruption(t *testing.T) {
+	block := encodeBlock(driveCycleSamples(3, 64))
+	for _, i := range []int{0, 4, 10, 25, len(block) / 2, len(block) - 1} {
+		bad := append([]byte(nil), block...)
+		bad[i] ^= 0x40
+		if _, err := decodeBlock(bad); err == nil {
+			t.Fatalf("flipping byte %d of %d decoded cleanly", i, len(block))
+		}
+	}
+	for _, cut := range []int{0, 3, 20, len(block) - 1} {
+		if _, err := decodeBlock(block[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+}
+
+// TestBlockCompressionRatio pins the tentpole's storage claim at the
+// block level: a quantised drive cycle must compress at least 4x
+// against the raw fixed-width encoding (50 bytes/sample) and, a
+// fortiori, against its NDJSON wire form (~150 bytes/sample).
+func TestBlockCompressionRatio(t *testing.T) {
+	samples := driveCycleSamples(7, 256)
+	block := encodeBlock(samples)
+	const rawBytesPerSample = 8 + 5*8 + 2
+	perSample := float64(len(block)) / float64(len(samples))
+	if ratio := rawBytesPerSample / perSample; ratio < 4 {
+		t.Fatalf("drive cycle compresses %.1fx vs raw columns (%.1f bytes/sample), want ≥ 4x",
+			ratio, perSample)
+	}
+	t.Logf("block: %d samples in %d bytes (%.2f bytes/sample, %.1fx vs raw %d)",
+		len(samples), len(block), perSample, rawBytesPerSample/perSample, rawBytesPerSample)
+}
+
+func BenchmarkBlockEncode(b *testing.B) {
+	samples := driveCycleSamples(11, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		encodeBlock(samples)
+	}
+}
+
+func BenchmarkBlockDecode(b *testing.B) {
+	block := encodeBlock(driveCycleSamples(11, 256))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeBlock(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleSample() {
+	s := Sample{TSMS: 1700000000000, SpeedKMH: 60, TempC: 25, VddV: 1.8, HarvestedUJ: 90, ConsumedUJ: 204, Mode: 0}
+	fmt.Println(s.TSMS, s.SpeedKMH)
+	// Output: 1700000000000 60
+}

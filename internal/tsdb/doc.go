@@ -1,0 +1,20 @@
+// Package tsdb is the embedded time-series store behind the fleet
+// telemetry ingest path: a chunked, append-only, per-vehicle log of
+// wheel-round samples (speed, temperature, Vdd, harvested and consumed
+// energy, mode, flags) with per-column compression.
+//
+// Samples buffer in memory per series and seal into columnar blocks —
+// delta-delta timestamps, Gorilla-style XOR floats, run-length-encoded
+// byte columns — each block CRC-protected and length-prefixed in the
+// series file. Codecs are pluggable: the block header records the codec
+// ID per column and decoding dispatches through a registry, so formats
+// can evolve without breaking blocks already on disk. Compression is
+// lossless to the bit: decoded samples are byte-identical to what was
+// ingested.
+//
+// All I/O goes through the internal/vfs seam and follows the same
+// durability discipline as internal/jobs: length-verified fsynced
+// appends with truncate-and-retry repair, torn-tail truncation on
+// replay, and quarantine-not-crash boot for series files that defy
+// repair. See Store for the precise contract.
+package tsdb

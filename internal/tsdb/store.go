@@ -1,0 +1,546 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// Store is the embedded per-series time-series store. One file per
+// series (`<root>/<vehicle>.tsb`) holds length-prefixed compressed
+// blocks; incoming samples buffer in memory per series and seal into a
+// block when the buffer reaches FlushSamples, when the background
+// flusher ticks, or on Close/Flush.
+//
+// Durability contract (mirrors internal/jobs):
+//   - A sealed block is appended with the length-verified fsync
+//     discipline: size snapshot → O_APPEND write → length check → fsync
+//     (unless NoSync) → on any failure truncate back to the snapshot and
+//     retry with backoff. Once the append returns, the block survives a
+//     crash.
+//   - Samples still in the head buffer are *not* durable; a crash loses
+//     at most the buffered tail (bounded by FlushSamples and the flush
+//     interval). Graceful Close flushes them.
+//   - Replay repairs rather than refuses: the first torn, truncated or
+//     CRC-invalid record and everything after it is truncated away. A
+//     series file that defies even repair is moved to <root>/quarantine/
+//     — boot never fails on one bad series.
+type Store struct {
+	root    string
+	fs      vfs.FS
+	noSync  bool
+	flushAt int
+	onFlush func(seconds float64)
+	// backoff sleeps before append retry n (n ≥ 1); a test seam so the
+	// crash matrix doesn't pay real wall time.
+	backoff func(attempt int)
+
+	mu          sync.Mutex
+	series      map[string]*series
+	quarantined []string
+	stopFlusher chan struct{}
+	flusherDone chan struct{}
+	closed      bool
+}
+
+// series is one vehicle's state: its on-disk file plus the head buffer.
+// Its lock serialises appends, flushes and queries for the series, so
+// truncate-and-retry repair never races a concurrent read of the file.
+type series struct {
+	mu        sync.Mutex
+	path      string
+	size      int64       // valid (replayed or append-verified) file length
+	blocks    []blockMeta // metadata per sealed block, in file order
+	persisted int         // total samples across sealed blocks
+	buf       []Sample    // head buffer, not yet durable
+}
+
+// Options configures Open. The zero value of every field is usable:
+// production FS, 256-sample blocks, 2 s flush interval, fsync on.
+type Options struct {
+	// Dir is the store root; created if absent. Required.
+	Dir string
+	// FS is the filesystem seam; vfs.OS when nil.
+	FS vfs.FS
+	// FlushSamples seals a series' buffer into a block when it reaches
+	// this many samples. Default 256.
+	FlushSamples int
+	// FlushInterval is the background flusher period, bounding how long
+	// a trickle of samples can sit undurable. Default 2 s; negative
+	// disables the background flusher (tests drive Flush directly).
+	FlushInterval time.Duration
+	// NoSync skips the per-append fsync, trading the last blocks on a
+	// crash for throughput — same knob and caveats as jobs.
+	NoSync bool
+	// OnFlush, when set, observes each flush's wall duration in seconds
+	// (the serve layer points a histogram here).
+	OnFlush func(seconds float64)
+}
+
+const (
+	defaultFlushSamples  = 256
+	defaultFlushInterval = 2 * time.Second
+	// maxBufferedSamples caps a series' head buffer when appends keep
+	// failing: beyond this, Append reports the persistence error instead
+	// of growing without bound.
+	maxBufferedSamples = 8192
+	appendAttempts     = 3
+	quarantineDir      = "quarantine"
+	seriesExt          = ".tsb"
+)
+
+// vehicleRE is the series-name grammar: path-safe, no separators, and
+// short enough for a filename everywhere.
+var vehicleRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// ValidVehicle reports whether name is an acceptable series name.
+func ValidVehicle(name string) bool {
+	if !vehicleRE.MatchString(name) {
+		return false
+	}
+	// The grammar admits dots; dot-only names are path navigation.
+	if strings.Trim(name, ".") == "" {
+		return false
+	}
+	return name != quarantineDir
+}
+
+// Open loads (and repairs) every series under opts.Dir. Corrupt series
+// files are quarantined, never fatal: Open errors only when the root
+// itself is unusable. Check Quarantined for what was set aside.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("tsdb: Options.Dir is required")
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	flushAt := opts.FlushSamples
+	if flushAt <= 0 {
+		flushAt = defaultFlushSamples
+	}
+	interval := opts.FlushInterval
+	if interval == 0 {
+		interval = defaultFlushInterval
+	}
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tsdb: store root: %w", err)
+	}
+	s := &Store{
+		root:    opts.Dir,
+		fs:      fsys,
+		noSync:  opts.NoSync,
+		flushAt: flushAt,
+		onFlush: opts.OnFlush,
+		backoff: func(attempt int) { time.Sleep(time.Duration(attempt*attempt) * 5 * time.Millisecond) },
+		series:  make(map[string]*series),
+	}
+	entries, err := fsys.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: store root: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, seriesExt) {
+			continue
+		}
+		vehicle := strings.TrimSuffix(name, seriesExt)
+		if !ValidVehicle(vehicle) {
+			continue
+		}
+		ser := &series{path: filepath.Join(opts.Dir, name)}
+		if err := s.replay(ser); err != nil {
+			// Beyond repair: set the file aside (best effort — if even
+			// the rename fails it is merely skipped this boot).
+			s.quarantine(name)
+			s.quarantined = append(s.quarantined, vehicle)
+			continue
+		}
+		s.series[vehicle] = ser
+	}
+	sort.Strings(s.quarantined)
+	if interval > 0 {
+		s.stopFlusher = make(chan struct{})
+		s.flusherDone = make(chan struct{})
+		go s.flushLoop(interval)
+	}
+	return s, nil
+}
+
+// replay walks a series file, validating each length-prefixed record
+// and repairing the tail: the first record that is truncated, oversized
+// or fails its CRC is cut off together with everything after it. Errors
+// mean the repair itself failed (the caller quarantines).
+func (s *Store) replay(ser *series) error {
+	blob, err := s.fs.ReadFile(ser.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	offset := 0
+	for offset < len(blob) {
+		rest := blob[offset:]
+		var bad bool
+		var recEnd int
+		if len(rest) < 4 {
+			bad = true
+		} else {
+			n := int(binary.LittleEndian.Uint32(rest))
+			recEnd = 4 + n
+			bad = n <= 0 || n > maxBlockBytes || recEnd > len(rest)
+		}
+		var m blockMeta
+		if !bad {
+			m, err = peekBlockMeta(rest[4:recEnd])
+			bad = err != nil
+		}
+		if bad {
+			if terr := s.fs.Truncate(ser.path, int64(offset)); terr != nil {
+				return fmt.Errorf("tsdb: repairing torn record at byte %d: %w", offset, terr)
+			}
+			break
+		}
+		ser.blocks = append(ser.blocks, m)
+		ser.persisted += m.count
+		offset += recEnd
+	}
+	ser.size = int64(offset)
+	return nil
+}
+
+// quarantine moves a series file under <root>/quarantine, clearing any
+// leftover from an earlier quarantine of the same name.
+func (s *Store) quarantine(name string) error {
+	if err := s.fs.MkdirAll(filepath.Join(s.root, quarantineDir), 0o755); err != nil {
+		return err
+	}
+	dst := filepath.Join(s.root, quarantineDir, name)
+	s.fs.Remove(dst)
+	return s.fs.Rename(filepath.Join(s.root, name), dst)
+}
+
+// Quarantined lists the series set aside at Open, sorted.
+func (s *Store) Quarantined() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.quarantined...)
+}
+
+// Vehicles lists the live series names, sorted.
+func (s *Store) Vehicles() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.series))
+	for v := range s.series {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// get returns the series for vehicle, creating it if create is set.
+func (s *Store) get(vehicle string, create bool) (*series, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("tsdb: store is closed")
+	}
+	ser := s.series[vehicle]
+	if ser == nil && create {
+		ser = &series{path: filepath.Join(s.root, vehicle+seriesExt)}
+		s.series[vehicle] = ser
+	}
+	return ser, nil
+}
+
+// Append buffers samples for vehicle, sealing and persisting a block
+// whenever the buffer reaches the flush threshold. An error means a
+// sealed block could not be made durable after retries; the samples
+// stay buffered (up to a cap) and the next append or flush retries.
+func (s *Store) Append(vehicle string, samples ...Sample) error {
+	if !ValidVehicle(vehicle) {
+		return fmt.Errorf("tsdb: invalid vehicle name %q", vehicle)
+	}
+	if len(samples) == 0 {
+		return nil
+	}
+	ser, err := s.get(vehicle, true)
+	if err != nil {
+		return err
+	}
+	ser.mu.Lock()
+	defer ser.mu.Unlock()
+	if len(ser.buf)+len(samples) > maxBufferedSamples {
+		return fmt.Errorf("tsdb: %s: head buffer full (%d samples) — persistence failing?", vehicle, len(ser.buf))
+	}
+	ser.buf = append(ser.buf, samples...)
+	for len(ser.buf) >= s.flushAt {
+		if err := s.sealLocked(ser, s.flushAt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sealLocked seals the first n buffered samples into a block and
+// appends it durably. Caller holds ser.mu.
+func (s *Store) sealLocked(ser *series, n int) error {
+	if n > len(ser.buf) {
+		n = len(ser.buf)
+	}
+	if n == 0 {
+		return nil
+	}
+	start := time.Now()
+	block := encodeBlock(ser.buf[:n])
+	rec := binary.LittleEndian.AppendUint32(make([]byte, 0, 4+len(block)), uint32(len(block)))
+	rec = append(rec, block...)
+
+	var lastErr error
+	for attempt := 0; attempt < appendAttempts; attempt++ {
+		if attempt > 0 {
+			s.backoff(attempt)
+		}
+		size, err := s.fs.Size(ser.path)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				lastErr = err
+				continue
+			}
+			size = 0
+		}
+		if size > ser.size {
+			// Garbage tail from an earlier append whose repair-truncate
+			// also failed: cut it now so record offsets stay contiguous.
+			if terr := s.fs.Truncate(ser.path, ser.size); terr != nil {
+				lastErr = terr
+				continue
+			}
+			size = ser.size
+		} else if size < ser.size {
+			lastErr = fmt.Errorf("tsdb: %s shrank under us (%d < %d)", ser.path, size, ser.size)
+			continue
+		}
+		f, err := s.fs.OpenFile(ser.path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		wrote, werr := f.Write(rec)
+		if werr == nil && !s.noSync {
+			werr = f.Sync()
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr == nil && wrote != len(rec) {
+			werr = fmt.Errorf("tsdb: short append: %d of %d bytes", wrote, len(rec))
+		}
+		if werr == nil {
+			meta, _ := peekBlockMeta(block)
+			ser.blocks = append(ser.blocks, meta)
+			ser.persisted += n
+			ser.size = size + int64(len(rec))
+			ser.buf = append(ser.buf[:0], ser.buf[n:]...)
+			if s.onFlush != nil {
+				s.onFlush(time.Since(start).Seconds())
+			}
+			return nil
+		}
+		lastErr = werr
+		// Repair the torn tail now, while we hold the lock: if this
+		// truncate fails too, replay's tail repair is the backstop.
+		s.fs.Truncate(ser.path, size)
+	}
+	return lastErr
+}
+
+// Flush seals every series' buffered samples, regardless of threshold.
+// The first error is returned but every series is attempted.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	all := make([]*series, 0, len(s.series))
+	for _, ser := range s.series {
+		all = append(all, ser)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, ser := range all {
+		ser.mu.Lock()
+		err := s.sealLocked(ser, len(ser.buf))
+		ser.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// flushLoop is the background flusher.
+func (s *Store) flushLoop(interval time.Duration) {
+	defer close(s.flusherDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopFlusher:
+			return
+		case <-t.C:
+			s.Flush() // errors retry next tick; Append surfaces them too
+		}
+	}
+}
+
+// Query returns vehicle's samples with fromMS ≤ TSMS ≤ toMS in storage
+// order: sealed blocks are re-read and re-decoded from disk (pruned by
+// block time range), then the head buffer. The second return value
+// reports whether the series exists at all.
+func (s *Store) Query(vehicle string, fromMS, toMS int64) ([]Sample, bool, error) {
+	ser, err := s.get(vehicle, false)
+	if err != nil || ser == nil {
+		return nil, false, err
+	}
+	ser.mu.Lock()
+	defer ser.mu.Unlock()
+	out, err := s.scanLocked(ser, fromMS, toMS)
+	if err != nil {
+		return nil, true, err
+	}
+	for _, sm := range ser.buf {
+		if sm.TSMS >= fromMS && sm.TSMS <= toMS {
+			out = append(out, sm)
+		}
+	}
+	return out, true, nil
+}
+
+// scanLocked decodes the on-disk blocks overlapping [fromMS, toMS].
+// Caller holds ser.mu.
+func (s *Store) scanLocked(ser *series, fromMS, toMS int64) ([]Sample, error) {
+	if len(ser.blocks) == 0 {
+		return nil, nil
+	}
+	blob, err := s.fs.ReadFile(ser.path)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: %s: %w", ser.path, err)
+	}
+	if int64(len(blob)) < ser.size {
+		return nil, fmt.Errorf("tsdb: %s: file shrank under us (%d < %d)", ser.path, len(blob), ser.size)
+	}
+	var out []Sample
+	offset := 0
+	for _, m := range ser.blocks {
+		n := int(binary.LittleEndian.Uint32(blob[offset:]))
+		rec := blob[offset+4 : offset+4+n]
+		offset += 4 + n
+		if m.maxTS < fromMS || m.minTS > toMS {
+			continue
+		}
+		samples, err := decodeBlock(rec)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: %s: block at byte %d: %w", ser.path, offset-4-n, err)
+		}
+		for _, sm := range samples {
+			if sm.TSMS >= fromMS && sm.TSMS <= toMS {
+				out = append(out, sm)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Tail returns up to n of vehicle's most recent samples in storage
+// order (buffered tail first preference, then sealed blocks walking
+// backwards). The second return value reports series existence.
+func (s *Store) Tail(vehicle string, n int) ([]Sample, bool, error) {
+	ser, err := s.get(vehicle, false)
+	if err != nil || ser == nil {
+		return nil, false, err
+	}
+	ser.mu.Lock()
+	defer ser.mu.Unlock()
+	if n <= 0 {
+		return nil, true, nil
+	}
+	if n <= len(ser.buf) {
+		return append([]Sample(nil), ser.buf[len(ser.buf)-n:]...), true, nil
+	}
+	// Need sealed samples too: decode everything (embedded scale) and
+	// keep the tail. Block counts could bound this walk, but the whole
+	// file is already one ReadFile away.
+	all, err := s.scanLocked(ser, minInt64, maxInt64)
+	if err != nil {
+		return nil, true, err
+	}
+	all = append(all, ser.buf...)
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all, true, nil
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// Stats is a point-in-time snapshot of the store's footprint.
+type Stats struct {
+	Series      int   // live series count
+	Samples     int   // samples in sealed (durable) blocks
+	Buffered    int   // samples in head buffers, not yet durable
+	Blocks      int   // sealed blocks across all series
+	DiskBytes   int64 // total bytes of series files (valid lengths)
+	Quarantined int   // series set aside at Open
+}
+
+// Stat snapshots the store.
+func (s *Store) Stat() Stats {
+	s.mu.Lock()
+	all := make([]*series, 0, len(s.series))
+	for _, ser := range s.series {
+		all = append(all, ser)
+	}
+	st := Stats{Series: len(all), Quarantined: len(s.quarantined)}
+	s.mu.Unlock()
+	for _, ser := range all {
+		ser.mu.Lock()
+		st.Samples += ser.persisted
+		st.Buffered += len(ser.buf)
+		st.Blocks += len(ser.blocks)
+		st.DiskBytes += ser.size
+		ser.mu.Unlock()
+	}
+	return st
+}
+
+// Close stops the background flusher and flushes every head buffer. A
+// closed store rejects further appends and queries.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	if s.stopFlusher != nil {
+		close(s.stopFlusher)
+		<-s.flusherDone
+	}
+	err := s.Flush()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return err
+}

@@ -14,6 +14,12 @@
 #     admission slots, so any 429 or 5xx is a real regression, not load.
 #   * p99 <= 5000 ms per endpoint — an order-of-magnitude stall guard,
 #     generous enough for the slowest shared runner.
+#   * ingest_errors == 0 — every telemetry batch tyreload sends is
+#     valid, so any ingest rejection is a server regression.
+#   * ingest samples/sec >= 100 — an order of magnitude under what a
+#     laptop sustains; only a throughput collapse trips it.
+#   * compression_ratio >= 4 — stored bytes/sample at least 4x smaller
+#     than the raw NDJSON, machine-independent (codec behaviour only).
 #
 # The negative test re-runs with -inject-latency 6s and requires the
 # gate to FAIL, proving the p99 bound has teeth.
@@ -22,7 +28,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
 
 echo "== slo-gate: positive run (must pass)"
 go run ./cmd/tyreload \
