@@ -2,6 +2,7 @@ package client
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -101,6 +102,57 @@ func sampleHas(s Sample, want []Label) bool {
 // the two scrapes. Meaningful for counters only; gauges can go anywhere.
 func (m MetricSet) Delta(prev MetricSet, name string, labels ...Label) float64 {
 	return m.Sum(name, labels...) - prev.Sum(name, labels...)
+}
+
+// MergeMetrics folds several parsed scrapes into one set by summing
+// samples that share a series key — the dispatcher's /v1/metrics fan-in
+// over its workers. Sample order is first-appearance order across the
+// inputs in argument order, so merging byte-stable worker expositions
+// yields a byte-stable merged exposition.
+//
+// Summation is exactly right for counters and for histogram series
+// (every _bucket line is a cumulative counter per `le`, and _sum/_count
+// are counters, so bucket-wise addition is the correct histogram
+// merge). Gauges also sum: for the additive gauges tyresysd exposes
+// (inflight, cache entries, queue depths, tsdb sizes) the sum is the
+// cluster total, and for capacity-style gauges it is the cluster
+// capacity. A non-additive gauge (a temperature, a ratio) would merge
+// meaninglessly — the exposition this client speaks has none, and the
+// contract is documented here so one is never added without a merge
+// story.
+func MergeMetrics(sets ...MetricSet) MetricSet {
+	out := MetricSet{byKey: make(map[string]float64)}
+	index := make(map[string]int)
+	for _, set := range sets {
+		for _, s := range set.samples {
+			key := s.Key()
+			if i, ok := index[key]; ok {
+				out.samples[i].Value += s.Value
+				out.byKey[key] += s.Value
+				continue
+			}
+			index[key] = len(out.samples)
+			out.samples = append(out.samples, s)
+			out.byKey[key] = s.Value
+		}
+	}
+	return out
+}
+
+// WriteText renders the set as Prometheus text exposition sample lines
+// (no HELP/TYPE headers — merged samples carry no type information;
+// Prometheus treats them as untyped). The output round-trips through
+// ParseMetrics.
+func (m MetricSet) WriteText(w io.Writer) error {
+	var b strings.Builder
+	for _, s := range m.samples {
+		b.WriteString(s.Key())
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatFloat(s.Value, 'g', -1, 64))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // ParseMetrics parses a Prometheus 0.0.4 text exposition. Comment and

@@ -1,0 +1,167 @@
+package client
+
+import (
+	"strings"
+	"testing"
+)
+
+// The dispatcher's /v1/metrics fan-in parses each worker's exposition
+// with ParseMetrics and folds them with MergeMetrics. These tests pin
+// the merge semantics that fan-in depends on: same-keyed series sum,
+// distinct label sets stay distinct, histogram buckets add bucket-wise,
+// and gauges merge as documented cluster aggregates.
+
+func mustParse(t *testing.T, text string) MetricSet {
+	t.Helper()
+	m, err := ParseMetrics([]byte(text))
+	if err != nil {
+		t.Fatalf("ParseMetrics: %v", err)
+	}
+	return m
+}
+
+func wantValue(t *testing.T, m MetricSet, want float64, name string, labels ...Label) {
+	t.Helper()
+	got, ok := m.Value(name, labels...)
+	if !ok {
+		t.Fatalf("series %s %v missing from merged set", name, labels)
+	}
+	if got != want {
+		t.Fatalf("series %s %v = %v, want %v", name, labels, got, want)
+	}
+}
+
+// TestMergeMetricsDuplicateFamilies is the core fan-in case: every
+// worker exposes the same counter families, and the merged set must sum
+// per series while keeping differently-labelled series apart.
+func TestMergeMetricsDuplicateFamilies(t *testing.T) {
+	w1 := mustParse(t, `
+tyresysd_requests_total{endpoint="balance"} 10
+tyresysd_requests_total{endpoint="emulate"} 3
+tyresysd_computed_total{endpoint="balance"} 7
+`)
+	w2 := mustParse(t, `
+tyresysd_requests_total{endpoint="balance"} 5
+tyresysd_requests_total{endpoint="montecarlo"} 2
+tyresysd_computed_total{endpoint="balance"} 1
+`)
+	m := MergeMetrics(w1, w2)
+
+	wantValue(t, m, 15, "tyresysd_requests_total", Label{"endpoint", "balance"})
+	wantValue(t, m, 3, "tyresysd_requests_total", Label{"endpoint", "emulate"})
+	wantValue(t, m, 2, "tyresysd_requests_total", Label{"endpoint", "montecarlo"})
+	wantValue(t, m, 8, "tyresysd_computed_total", Label{"endpoint", "balance"})
+	if got := m.Sum("tyresysd_requests_total"); got != 20 {
+		t.Fatalf("family sum = %v, want 20", got)
+	}
+	if n := len(m.Samples()); n != 4 {
+		t.Fatalf("merged set has %d samples, want 4 (3 distinct + 1 deduped + 1 deduped)", n)
+	}
+}
+
+// TestMergeMetricsHistogramBuckets pins the histogram merge: _bucket
+// series are cumulative counters per `le`, so bucket-wise addition (and
+// summed _sum/_count) is the correct cross-worker histogram fold.
+func TestMergeMetricsHistogramBuckets(t *testing.T) {
+	w1 := mustParse(t, `
+tyresysd_request_seconds_bucket{endpoint="balance",le="0.01"} 4
+tyresysd_request_seconds_bucket{endpoint="balance",le="0.1"} 9
+tyresysd_request_seconds_bucket{endpoint="balance",le="+Inf"} 10
+tyresysd_request_seconds_sum{endpoint="balance"} 0.5
+tyresysd_request_seconds_count{endpoint="balance"} 10
+`)
+	w2 := mustParse(t, `
+tyresysd_request_seconds_bucket{endpoint="balance",le="0.01"} 1
+tyresysd_request_seconds_bucket{endpoint="balance",le="0.1"} 2
+tyresysd_request_seconds_bucket{endpoint="balance",le="+Inf"} 3
+tyresysd_request_seconds_sum{endpoint="balance"} 1.25
+tyresysd_request_seconds_count{endpoint="balance"} 3
+`)
+	m := MergeMetrics(w1, w2)
+
+	wantValue(t, m, 5, "tyresysd_request_seconds_bucket",
+		Label{"endpoint", "balance"}, Label{"le", "0.01"})
+	wantValue(t, m, 11, "tyresysd_request_seconds_bucket",
+		Label{"endpoint", "balance"}, Label{"le", "0.1"})
+	wantValue(t, m, 13, "tyresysd_request_seconds_bucket",
+		Label{"endpoint", "balance"}, Label{"le", "+Inf"})
+	wantValue(t, m, 1.75, "tyresysd_request_seconds_sum", Label{"endpoint", "balance"})
+	wantValue(t, m, 13, "tyresysd_request_seconds_count", Label{"endpoint", "balance"})
+
+	// The merged histogram must stay internally consistent: the +Inf
+	// bucket equals the count, and buckets stay monotone in le.
+	inf, _ := m.Value("tyresysd_request_seconds_bucket",
+		Label{"endpoint", "balance"}, Label{"le", "+Inf"})
+	count, _ := m.Value("tyresysd_request_seconds_count", Label{"endpoint", "balance"})
+	if inf != count {
+		t.Fatalf("+Inf bucket %v != count %v after merge", inf, count)
+	}
+}
+
+// TestMergeMetricsConflictingGauges pins the documented gauge contract:
+// gauges sum, which reads as the cluster total for additive gauges and
+// the cluster capacity for capacity gauges. Workers reporting different
+// values (the "conflict" case) therefore merge into their sum, never
+// into one worker's value silently winning.
+func TestMergeMetricsConflictingGauges(t *testing.T) {
+	w1 := mustParse(t, `
+tyresysd_inflight 2
+tyresysd_admission_slots 16
+tyresysd_result_cache_entries 100
+`)
+	w2 := mustParse(t, `
+tyresysd_inflight 5
+tyresysd_admission_slots 32
+tyresysd_result_cache_entries 7
+`)
+	m := MergeMetrics(w1, w2)
+	wantValue(t, m, 7, "tyresysd_inflight")
+	wantValue(t, m, 48, "tyresysd_admission_slots")
+	wantValue(t, m, 107, "tyresysd_result_cache_entries")
+}
+
+// TestMergeMetricsOrderAndRoundTrip pins the exposition contract the
+// dispatcher relies on: first-appearance sample order, and WriteText
+// output that ParseMetrics accepts back unchanged.
+func TestMergeMetricsOrderAndRoundTrip(t *testing.T) {
+	w1 := mustParse(t, "a_total 1\nb_total{x=\"1\"} 2\n")
+	w2 := mustParse(t, "c_total 4\na_total 8\n")
+	m := MergeMetrics(w1, w2)
+
+	var order []string
+	for _, s := range m.Samples() {
+		order = append(order, s.Key())
+	}
+	want := []string{"a_total", `b_total{x="1"}`, "c_total"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("merged order = %v, want %v", order, want)
+	}
+
+	var b strings.Builder
+	if err := m.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	back := mustParse(t, b.String())
+	if len(back.Samples()) != len(m.Samples()) {
+		t.Fatalf("round trip lost samples: %d -> %d", len(m.Samples()), len(back.Samples()))
+	}
+	wantValue(t, back, 9, "a_total")
+	wantValue(t, back, 2, "b_total", Label{"x", "1"})
+	wantValue(t, back, 4, "c_total")
+}
+
+// TestMergeMetricsSingleAndEmpty covers the degenerate fan-ins: one
+// worker (identity) and zero workers (empty set, not nil panics).
+func TestMergeMetricsSingleAndEmpty(t *testing.T) {
+	w := mustParse(t, "a_total 3\n")
+	m := MergeMetrics(w)
+	wantValue(t, m, 3, "a_total")
+
+	empty := MergeMetrics()
+	if len(empty.Samples()) != 0 {
+		t.Fatalf("empty merge has samples: %v", empty.Samples())
+	}
+	if _, ok := empty.Value("a_total"); ok {
+		t.Fatal("empty merge resolved a value")
+	}
+}

@@ -1,0 +1,159 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Pool is a multi-worker client: an ordered set of named Clients plus
+// the two distribution primitives a dispatcher (or a multi-target load
+// generator) needs — a bounded concurrent fan-out across every worker,
+// and a sequential failover walk that retries each worker before moving
+// to the next. The pool itself holds no liveness state; callers that
+// track worker health pass the subset they consider live.
+type Pool struct {
+	// Workers in priority order. Try walks them from a caller-chosen
+	// start; FanOut visits all of them.
+	Workers []*Worker
+	// MaxConcurrent bounds FanOut's parallelism; 0 means all at once.
+	MaxConcurrent int
+	// Retries is how many times one worker is attempted before Try moves
+	// on (and how often FanOut re-attempts a failing worker); 0 and 1
+	// both mean a single attempt.
+	Retries int
+	// Backoff is the pause between attempts against the same worker.
+	Backoff time.Duration
+}
+
+// Worker is one named pool member. The name is the cluster identity
+// (what X-Tyresys-Shard reports and the ring hashes); the embedded
+// Client speaks to it.
+type Worker struct {
+	Name string
+	*Client
+}
+
+// NewPool builds a pool from target specs, each "name=url" or a bare
+// URL (the name then defaults to the URL's host part, or the URL
+// itself). Names must be unique — they are shard identities.
+func NewPool(targets []string) (*Pool, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("pool: no targets")
+	}
+	p := &Pool{}
+	seen := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		name, url := SplitTarget(t)
+		if url == "" {
+			return nil, fmt.Errorf("pool: empty target in %q", t)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("pool: duplicate worker name %q", name)
+		}
+		seen[name] = true
+		p.Workers = append(p.Workers, &Worker{Name: name, Client: New(url)})
+	}
+	return p, nil
+}
+
+// SplitTarget splits one "name=url" (or bare URL) target spec. A bare
+// URL names the worker by its host:port part when present, else by the
+// URL itself.
+func SplitTarget(t string) (name, url string) {
+	t = strings.TrimSpace(t)
+	if i := strings.IndexByte(t, '='); i >= 0 && !strings.Contains(t[:i], "/") {
+		return strings.TrimSpace(t[:i]), strings.TrimSpace(t[i+1:])
+	}
+	name = t
+	if rest, ok := strings.CutPrefix(name, "http://"); ok {
+		name = rest
+	} else if rest, ok := strings.CutPrefix(name, "https://"); ok {
+		name = rest
+	}
+	name = strings.TrimRight(name, "/")
+	return name, t
+}
+
+// attempt runs fn against one worker with the pool's per-worker retry
+// policy: up to Retries tries, Backoff between them, aborting early
+// when ctx ends.
+func (p *Pool) attempt(ctx context.Context, w *Worker, fn func(ctx context.Context, w *Worker) error) error {
+	tries := p.Retries
+	if tries < 1 {
+		tries = 1
+	}
+	var err error
+	for i := 0; i < tries; i++ {
+		if i > 0 && p.Backoff > 0 {
+			select {
+			case <-time.After(p.Backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if err = ctx.Err(); err != nil {
+			return err
+		}
+		if err = fn(ctx, w); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// FanOut runs fn against every worker concurrently, at most
+// MaxConcurrent at a time, applying the per-worker retry policy. It
+// returns one slot per worker, indexed like Workers: nil for success,
+// the last attempt's error otherwise. FanOut itself never fails — the
+// caller decides how many worker failures it tolerates.
+func (p *Pool) FanOut(ctx context.Context, fn func(ctx context.Context, w *Worker) error) []error {
+	errs := make([]error, len(p.Workers))
+	sem := make(chan struct{}, p.fanWidth())
+	done := make(chan int, len(p.Workers))
+	for i := range p.Workers {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = p.attempt(ctx, p.Workers[i], fn)
+			done <- i
+		}(i)
+	}
+	for range p.Workers {
+		<-done
+	}
+	return errs
+}
+
+func (p *Pool) fanWidth() int {
+	if p.MaxConcurrent > 0 && p.MaxConcurrent < len(p.Workers) {
+		return p.MaxConcurrent
+	}
+	if len(p.Workers) == 0 {
+		return 1
+	}
+	return len(p.Workers)
+}
+
+// Try walks the workers in order starting at index start (wrapping
+// around), applying the per-worker retry policy, until one call
+// succeeds. It returns nil on the first success and the last error
+// once every worker has been exhausted — the failover primitive behind
+// proxying and remote chunk execution.
+func (p *Pool) Try(ctx context.Context, start int, fn func(ctx context.Context, w *Worker) error) error {
+	if len(p.Workers) == 0 {
+		return fmt.Errorf("pool: no workers")
+	}
+	var err error
+	for k := 0; k < len(p.Workers); k++ {
+		w := p.Workers[(start+k)%len(p.Workers)]
+		if err = p.attempt(ctx, w, fn); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,92 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+)
+
+// The internal cluster endpoints. A tyredisp dispatcher executes batch
+// jobs by decomposing them on a worker (POST /v1/plan), running each
+// chunk on whichever worker the consistent-hash ring assigns (POST
+// /v1/chunk) and folding the ordered results back together on a worker
+// (POST /v1/aggregate). All three are served by every tyresysd: the
+// planner and the aggregate logic stay engine-side, so the dispatcher
+// never links the analysis engine and the distributed result is built
+// by exactly the code path the single-process job runner uses — which
+// is what keeps the two byte-identical.
+
+// PlanRequest asks a worker to decompose a job request into its chunk
+// grid. Kind and Request are exactly the POST /v1/jobs submission
+// fields; Request stays raw bytes so the worker decodes the verbatim
+// document.
+type PlanRequest struct {
+	Kind    string          `json:"kind"`
+	Request json.RawMessage `json:"request"`
+}
+
+// PlanResponse is the chunk grid: a pure function of the request, so
+// every worker (and every re-plan after a dispatcher restart) produces
+// the same decomposition.
+type PlanResponse struct {
+	Kind       string `json:"kind"`
+	Chunks     int    `json:"chunks"`
+	Sequential bool   `json:"sequential"`
+	// Weights holds ChunkWeight(i) for each chunk — progress/ETA inputs.
+	Weights []int64 `json:"weights"`
+}
+
+// ChunkRequest asks a worker to evaluate one chunk of a job. The worker
+// re-plans from Kind+Request (planning is deterministic) and runs chunk
+// Chunk; Carry threads the previous chunk's carry for sequential plans.
+type ChunkRequest struct {
+	Kind    string          `json:"kind"`
+	Request json.RawMessage `json:"request"`
+	Chunk   int             `json:"chunk"`
+	Carry   json.RawMessage `json:"carry,omitempty"`
+}
+
+// ChunkResponse is one evaluated chunk: the checkpoint-log result line
+// plus, for sequential plans, the carry for the next chunk.
+type ChunkResponse struct {
+	Chunk  int             `json:"chunk"`
+	Result json.RawMessage `json:"result"`
+	Carry  json.RawMessage `json:"carry,omitempty"`
+}
+
+// AggregateRequest asks a worker to fold ordered chunk results into the
+// job's terminal aggregate — the same Plan.Aggregate the worker's own
+// job runner calls, so the distributed aggregate is byte-identical to a
+// single-process run.
+type AggregateRequest struct {
+	Kind    string            `json:"kind"`
+	Request json.RawMessage   `json:"request"`
+	Results []json.RawMessage `json:"results"`
+	// FinalCarry is the last chunk's carry (sequential plans only).
+	FinalCarry json.RawMessage `json:"final_carry,omitempty"`
+}
+
+// AggregateResponse carries the terminal aggregate verbatim.
+type AggregateResponse struct {
+	Aggregate json.RawMessage `json:"aggregate"`
+}
+
+// PlanJob runs POST /v1/plan.
+func (c *Client) PlanJob(ctx context.Context, req PlanRequest) (PlanResponse, error) {
+	var out PlanResponse
+	err := c.postJSON(ctx, "/v1/plan", req, &out)
+	return out, err
+}
+
+// RunChunk runs POST /v1/chunk.
+func (c *Client) RunChunk(ctx context.Context, req ChunkRequest) (ChunkResponse, error) {
+	var out ChunkResponse
+	err := c.postJSON(ctx, "/v1/chunk", req, &out)
+	return out, err
+}
+
+// AggregateJob runs POST /v1/aggregate.
+func (c *Client) AggregateJob(ctx context.Context, req AggregateRequest) (AggregateResponse, error) {
+	var out AggregateResponse
+	err := c.postJSON(ctx, "/v1/aggregate", req, &out)
+	return out, err
+}

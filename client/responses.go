@@ -152,6 +152,23 @@ type StatsResponse struct {
 	// the pre-ingest payload — the byte-identity pins on this document
 	// must not move when the store is disabled.
 	Tsdb *TsdbStats `json:"tsdb,omitempty"`
+	// Dispatcher is set only by tyredisp: its own routing-layer section,
+	// appended after the field-wise-summed worker snapshot above. A
+	// pointer with omitempty for the same reason as Tsdb — a worker's
+	// /v1/stats bytes never change because this field exists.
+	Dispatcher *DispatcherStats `json:"dispatcher,omitempty"`
+}
+
+// DispatcherStats is the tyredisp section of a dispatcher's /v1/stats:
+// cluster membership plus the dispatcher-owned batch-job manager
+// (distinct from the summed worker Jobs section — jobs submitted to the
+// dispatcher are tracked here and only their chunks appear on workers).
+type DispatcherStats struct {
+	Workers       int       `json:"workers"`
+	LiveWorkers   int       `json:"live_workers"`
+	QueriedShards int       `json:"queried_shards"`
+	JobsSubmitted int64     `json:"jobs_submitted"`
+	Jobs          JobsStats `json:"jobs"`
 }
 
 // JobSubmitRequest is the POST /v1/jobs payload: an analysis kind plus

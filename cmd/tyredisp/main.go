@@ -1,0 +1,159 @@
+// Command tyredisp is the tyresys dispatcher: it presents N tyresysd
+// workers as one /v1 API. Clients speak to it exactly as they would to
+// a single daemon — same endpoints, same request and response bodies,
+// same error envelope — while behind it requests shard across the
+// fleet by consistent hash.
+//
+// Usage:
+//
+//	tyredisp -workers a=http://h1:8080,b=http://h2:8080 [-addr :8080]
+//	         [-heartbeat-interval 1s] [-heartbeat-timeout 500ms]
+//	         [-heartbeat-misses 3] [-replicas 128] [-timeout 60s]
+//	         [-retry-backoff 100ms] [-jobs-dir DIR] [-job-workers 2]
+//	         [-max-jobs 64] [-jobs-fsync=true] [-drain 30s] [-pprof]
+//
+// Routing, in one paragraph: the five analysis endpoints hash the
+// default-filled request body — every spelling of the same request
+// lands on the same worker and therefore in the same worker cache;
+// /v1/ingest splits an NDJSON batch by vehicle and appends each group
+// on the shard owning that vehicle; /v1/series and /v1/monitor route
+// by the same vehicle key, so reads land where writes went; /v1/stats
+// and /v1/metrics fan out to every live worker and merge; batch jobs
+// submitted here are planned and aggregated on workers, their chunks
+// executed remotely with re-queue when a worker dies mid-chunk — the
+// final aggregate is byte-identical to a single-process run.
+//
+// Worker liveness comes from HTTP heartbeats: every -heartbeat-interval
+// each worker's /v1/healthz is probed with a -heartbeat-timeout bound;
+// -heartbeat-misses consecutive failures mark it dead (its keys remap
+// to the ring's next live workers), one success marks it live again
+// (its keys come home). GET /v1/workers shows the registry.
+//
+// -jobs-dir persists the dispatcher's own batch-job checkpoints with
+// the same durability story as tyresysd: a dispatcher restart replays
+// incomplete jobs and re-runs only their missing chunks.
+//
+// SIGINT/SIGTERM drain gracefully: listeners stop, the job manager
+// checkpoints and stops, the heartbeat loop stops. Workers are
+// separate processes and are never touched.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.String("workers", "", "comma-separated worker list, each name=url or a bare URL (required)")
+	hbInterval := flag.Duration("heartbeat-interval", time.Second, "worker health-probe period")
+	hbTimeout := flag.Duration("heartbeat-timeout", 500*time.Millisecond, "single health-probe deadline")
+	hbMisses := flag.Int("heartbeat-misses", 3, "consecutive probe failures before a worker is marked dead")
+	replicas := flag.Int("replicas", 0, "virtual nodes per worker on the hash ring (0 = default 128)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-proxied-request deadline, failover attempts included")
+	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "pause between job-chunk re-queue rounds")
+	jobsDir := flag.String("jobs-dir", "", "dispatcher batch-job checkpoint directory (empty = in-memory jobs, lost on restart)")
+	jobWorkers := flag.Int("job-workers", 0, "concurrent batch-job executors (0 = default 2)")
+	maxJobs := flag.Int("max-jobs", 0, "max incomplete batch jobs before 429 (0 = default 64)")
+	jobsFsync := flag.Bool("jobs-fsync", true, "fsync each batch-job chunk append (false trades crash durability of a job's newest chunks for throughput)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.Parse()
+
+	if *workers == "" {
+		fmt.Fprintln(os.Stderr, "tyredisp: -workers is required (comma-separated name=url list)")
+		os.Exit(2)
+	}
+	opts := dispatch.Options{
+		Targets:           splitTargets(*workers),
+		HeartbeatInterval: *hbInterval,
+		HeartbeatTimeout:  *hbTimeout,
+		HeartbeatMisses:   *hbMisses,
+		Replicas:          *replicas,
+		RequestTimeout:    *timeout,
+		RetryBackoff:      *retryBackoff,
+		JobsDir:           *jobsDir,
+		JobExecutors:      *jobWorkers,
+		MaxJobs:           *maxJobs,
+		JobsNoSync:        !*jobsFsync,
+	}
+	if err := run(*addr, opts, *drain, *pprofOn); err != nil {
+		fmt.Fprintf(os.Stderr, "tyredisp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// splitTargets turns the -workers flag value into the Options target
+// list. Empty elements (trailing commas) are dropped; everything else
+// is validated by the pool constructor.
+func splitTargets(spec string) []string {
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func run(addr string, opts dispatch.Options, drain time.Duration, pprofOn bool) error {
+	d, err := dispatch.New(opts)
+	if err != nil {
+		return err
+	}
+	if n := d.ReplayedJobs(); n > 0 {
+		fmt.Printf("tyredisp: resumed %d checkpointed job(s) from %s\n", n, opts.JobsDir)
+	}
+
+	var handler http.Handler = d
+	if pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", d)
+		obs.RegisterPprof(mux)
+		handler = mux
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("tyredisp: dispatching %d worker(s) on %s\n", len(opts.Targets), addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("tyredisp: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := d.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Println("tyredisp: stopped")
+	return nil
+}

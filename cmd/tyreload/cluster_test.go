@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// TestClusterServesFullMix is the acceptance check for the dispatcher-
+// fronted cluster mode: a 3-worker in-process cluster serves the full
+// default traffic mix — all five analysis endpoints, fleet batch jobs
+// with NDJSON result streaming, and NDJSON telemetry ingest — with
+// zero errors. Every outcome must be a transport-level success with a
+// 200 (sync endpoints render 200; the jobs pseudo-endpoint records 200
+// only when the job reaches the done state).
+func TestClusterServesFullMix(t *testing.T) {
+	base, shutdown, err := startInprocCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	mix, err := parseMix("balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,jobs=1,ingest=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pools, err := variantPools("../../examples/scenarios", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 96
+	plan, err := buildSchedule(400, total, mix, pools, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := client.New(base)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("dispatcher not healthy: %v", err)
+	}
+
+	got := fire(ctx, []*client.Client{c}, plan, 60*time.Second)
+	if len(got.list) != total {
+		t.Fatalf("fired %d outcomes, want %d", len(got.list), total)
+	}
+	perEndpoint := map[string]int{}
+	for i, o := range got.list {
+		if o.err != nil {
+			t.Errorf("arrival %d (%s): %v", i, o.endpoint, o.err)
+			continue
+		}
+		if o.status != 200 {
+			t.Errorf("arrival %d (%s): status %d, want 200", i, o.endpoint, o.status)
+		}
+		perEndpoint[o.endpoint]++
+	}
+	// The default mix weights every component, so a schedule of this
+	// length must exercise all of them — a silent zero here would turn
+	// the test into a partial check without failing it.
+	for _, name := range []string{"balance", "breakeven", "montecarlo", "optimize", "emulate", "jobs", "ingest"} {
+		if perEndpoint[name] == 0 {
+			t.Errorf("mix component %s never fired (per-endpoint counts: %v)", name, perEndpoint)
+		}
+	}
+
+	// The cluster actually sharded: the merged stats must report all
+	// three workers live and the summed ingest totals.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dispatcher == nil {
+		t.Fatal("merged stats carry no dispatcher section")
+	}
+	if st.Dispatcher.Workers != 3 || st.Dispatcher.LiveWorkers != 3 || st.Dispatcher.QueriedShards != 3 {
+		t.Fatalf("dispatcher stats = %+v, want 3 workers, all live, all queried", st.Dispatcher)
+	}
+	if st.Tsdb == nil || st.Tsdb.IngestedSamples == 0 {
+		t.Fatalf("cluster ingested nothing: tsdb = %+v", st.Tsdb)
+	}
+}

@@ -2,11 +2,13 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/serve"
 )
 
@@ -64,6 +66,86 @@ func startInproc(injectLatency time.Duration) (string, func(), error) {
 		_ = os.RemoveAll(tsdbDir)
 	}
 	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// startInprocCluster boots n engines plus a tyredisp dispatcher in
+// front, all on loopback, and returns the dispatcher's base URL — the
+// one-command cluster for measuring dispatcher scaling. Each engine
+// gets its own throwaway telemetry store; heartbeats run fast so the
+// cluster is fully live by the time the function returns (the
+// dispatcher's constructor probes every worker synchronously).
+func startInprocCluster(n int) (string, func(), error) {
+	if n < 1 {
+		return "", nil, fmt.Errorf("-inproc-workers must be at least 1")
+	}
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	fail := func(err error) (string, func(), error) {
+		cleanup()
+		return "", nil, err
+	}
+
+	targets := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%d", i)
+		tsdbDir, err := os.MkdirTemp("", "tyreload-tsdb-*")
+		if err != nil {
+			return fail(err)
+		}
+		cleanups = append(cleanups, func() { _ = os.RemoveAll(tsdbDir) })
+		api, err := serve.NewServer(serve.Options{
+			MaxInFlight:      inprocMaxInFlight,
+			CacheEntries:     inprocCacheSize,
+			NodeName:         name,
+			TSDBDir:          tsdbDir,
+			TSDBFlushSamples: 64,
+			TSDBNoSync:       true,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = api.Shutdown(context.Background())
+			return fail(err)
+		}
+		srv := &http.Server{Handler: api, ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = srv.Serve(ln) }()
+		cleanups = append(cleanups, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+			_ = api.Shutdown(ctx)
+		})
+		targets = append(targets, name+"=http://"+ln.Addr().String())
+	}
+
+	d, err := dispatch.New(dispatch.Options{
+		Targets:           targets,
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatTimeout:  time.Second,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = d.Shutdown(context.Background())
+		return fail(err)
+	}
+	srv := &http.Server{Handler: d, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	cleanups = append(cleanups, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		_ = d.Shutdown(ctx)
+	})
+	return "http://" + ln.Addr().String(), cleanup, nil
 }
 
 // injectLatencyHandler stalls every analysis POST by d before letting

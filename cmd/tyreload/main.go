@@ -10,7 +10,8 @@
 //
 // Usage:
 //
-//	tyreload [-target http://host:8080 | -inproc] [-rate 50] [-duration 5s]
+//	tyreload [-target http://host:8080 | -targets a=URL,b=URL |
+//	          -inproc | -inproc-workers N] [-rate 50] [-duration 5s]
 //	         [-requests 0] [-mix balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,jobs=1,ingest=2]
 //	         [-variants 3] [-seed 1] [-scenarios examples/scenarios]
 //	         [-timeout 30s] [-out report.json] [-slo scripts/slo.json]
@@ -36,6 +37,14 @@
 // scripts/slo-gate.sh wires that into CI with -inproc and a fixed seed.
 // -inject-latency (with -inproc) stalls every analysis POST by the given
 // duration — the gate's negative test proves a breach actually fails.
+//
+// Cluster modes: -targets takes a comma-separated name=url list and
+// spreads arrivals round-robin across the endpoints (each endpoint may
+// be a worker or a dispatcher; the before/after metric scrapes merge
+// across all of them). -inproc-workers N boots N in-process engines
+// plus a tyredisp dispatcher in front, all on loopback, and drives the
+// dispatcher — the one-command way to measure dispatcher scaling
+// (EXPERIMENTS.md's BENCH_PR9 uses it with N = 1, 2, 4).
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,7 +62,9 @@ import (
 
 func main() {
 	target := flag.String("target", "", "base URL of a running tyresysd (e.g. http://127.0.0.1:8080)")
+	targets := flag.String("targets", "", "comma-separated name=url endpoints; arrivals round-robin across them")
 	inproc := flag.Bool("inproc", false, "boot an in-process engine on loopback instead of -target")
+	inprocWorkers := flag.Int("inproc-workers", 0, "boot N in-process engines behind an in-process dispatcher and drive the dispatcher")
 	rate := flag.Float64("rate", 50, "arrival rate, requests/second (open loop)")
 	duration := flag.Duration("duration", 5*time.Second, "schedule length; total = rate × duration")
 	requests := flag.Int("requests", 0, "total arrivals (overrides -duration when > 0)")
@@ -67,23 +79,57 @@ func main() {
 	injectLatency := flag.Duration("inject-latency", 0, "with -inproc: stall every analysis POST by this much (gate negative test)")
 	flag.Parse()
 
-	if err := run(*target, *inproc, *rate, *duration, *requests, *mixSpec, *variants,
+	m := modeFlags{
+		target:        *target,
+		targets:       *targets,
+		inproc:        *inproc,
+		inprocWorkers: *inprocWorkers,
+	}
+	if err := run(m, *rate, *duration, *requests, *mixSpec, *variants,
 		*seed, *scenarios, *timeout, *out, *sloPath, *injectLatency); err != nil {
 		fmt.Fprintf(os.Stderr, "tyreload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(target string, inproc bool, rate float64, duration time.Duration, requests int,
+// modeFlags is the mutually-exclusive target selection: exactly one of
+// a single URL, a round-robin endpoint list, a single in-process
+// engine, or an in-process dispatcher-fronted cluster.
+type modeFlags struct {
+	target        string
+	targets       string
+	inproc        bool
+	inprocWorkers int
+}
+
+// selected counts how many modes were asked for.
+func (m modeFlags) selected() int {
+	n := 0
+	if m.target != "" {
+		n++
+	}
+	if m.targets != "" {
+		n++
+	}
+	if m.inproc {
+		n++
+	}
+	if m.inprocWorkers > 0 {
+		n++
+	}
+	return n
+}
+
+func run(m modeFlags, rate float64, duration time.Duration, requests int,
 	mixSpec string, variants int, seed int64, scenarios string, timeout time.Duration,
 	out, sloPath string, injectLatency time.Duration) error {
 	if rate <= 0 {
 		return fmt.Errorf("-rate must be positive")
 	}
-	if (target == "") == !inproc {
-		return fmt.Errorf("exactly one of -target or -inproc is required")
+	if m.selected() != 1 {
+		return fmt.Errorf("exactly one of -target, -targets, -inproc or -inproc-workers is required")
 	}
-	if injectLatency > 0 && !inproc {
+	if injectLatency > 0 && !m.inproc {
 		return fmt.Errorf("-inject-latency needs -inproc (it wraps the in-process handler)")
 	}
 
@@ -107,37 +153,64 @@ func run(target string, inproc bool, rate float64, duration time.Duration, reque
 		return err
 	}
 
-	if inproc {
+	var (
+		clients   []*client.Client
+		repTarget string
+	)
+	switch {
+	case m.inproc:
 		base, shutdown, err := startInproc(injectLatency)
 		if err != nil {
 			return err
 		}
 		defer shutdown()
-		target = base
+		clients = []*client.Client{client.New(base)}
+		repTarget = base
+	case m.inprocWorkers > 0:
+		base, shutdown, err := startInprocCluster(m.inprocWorkers)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		clients = []*client.Client{client.New(base)}
+		repTarget = fmt.Sprintf("%s (dispatcher, %d in-process workers)", base, m.inprocWorkers)
+	case m.targets != "":
+		pool, err := client.NewPool(strings.Split(m.targets, ","))
+		if err != nil {
+			return err
+		}
+		for _, w := range pool.Workers {
+			clients = append(clients, w.Client)
+		}
+		repTarget = m.targets
+	default:
+		clients = []*client.Client{client.New(m.target)}
+		repTarget = m.target
 	}
-	c := client.New(target)
 
 	ctx := context.Background()
-	if err := c.Health(ctx); err != nil {
-		return fmt.Errorf("target %s not healthy: %w", target, err)
+	for _, c := range clients {
+		if err := c.Health(ctx); err != nil {
+			return fmt.Errorf("target not healthy: %w", err)
+		}
 	}
-	before, err := c.Metrics(ctx)
+	before, err := scrapeAll(ctx, clients)
 	if err != nil {
 		return fmt.Errorf("scraping metrics before the run: %w", err)
 	}
 
-	outcomes := fire(ctx, c, plan, timeout)
+	outcomes := fire(ctx, clients, plan, timeout)
 
 	// The after-scrape waits for nothing: every outcome is final (jobs
 	// included — their latency spans the terminal stream line).
 	wall := outcomes.wall
-	after, err := c.Metrics(ctx)
+	after, err := scrapeAll(ctx, clients)
 	if err != nil {
 		return fmt.Errorf("scraping metrics after the run: %w", err)
 	}
 
 	rep := buildReport(outcomes.list, before, after, wall)
-	rep.Target = target
+	rep.Target = repTarget
 	rep.Mix = mixNames(mix)
 	rep.Seed = seed
 	rep.RatePerSec = rate
@@ -175,6 +248,24 @@ func run(target string, inproc bool, rate float64, duration time.Duration, reque
 	return nil
 }
 
+// scrapeAll scrapes /v1/metrics from every client and merges the
+// expositions — with a single target this is just its scrape; with
+// -targets the report's deltas become cluster totals.
+func scrapeAll(ctx context.Context, clients []*client.Client) (client.MetricSet, error) {
+	sets := make([]client.MetricSet, 0, len(clients))
+	for _, c := range clients {
+		ms, err := c.Metrics(ctx)
+		if err != nil {
+			return client.MetricSet{}, err
+		}
+		sets = append(sets, ms)
+	}
+	if len(sets) == 1 {
+		return sets[0], nil
+	}
+	return client.MergeMetrics(sets...), nil
+}
+
 // fired collects the run's outcomes plus its wall-clock span.
 type fired struct {
 	list []outcome
@@ -183,8 +274,10 @@ type fired struct {
 
 // fire executes the open-loop plan: each arrival launches at its
 // scheduled offset regardless of earlier completions, and the call
-// returns once every launched request has an outcome.
-func fire(ctx context.Context, c *client.Client, plan []arrival, timeout time.Duration) fired {
+// returns once every launched request has an outcome. With several
+// clients, arrival i goes to client i mod n — round-robin by schedule
+// position, so the split is deterministic for a given seed.
+func fire(ctx context.Context, clients []*client.Client, plan []arrival, timeout time.Duration) fired {
 	results := make([]outcome, len(plan))
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -195,7 +288,7 @@ func fire(ctx context.Context, c *client.Client, plan []arrival, timeout time.Du
 		wg.Add(1)
 		go func(i int, a arrival) {
 			defer wg.Done()
-			results[i] = issue(ctx, c, a, timeout)
+			results[i] = issue(ctx, clients[i%len(clients)], a, timeout)
 		}(i, a)
 	}
 	wg.Wait()

@@ -11,6 +11,7 @@
 //	         [-jobs-dir DIR] [-job-workers 2] [-max-jobs 64]
 //	         [-jobs-fsync=true] [-emu-fast]
 //	         [-tsdb-dir DIR] [-tsdb-flush 256] [-tsdb-fsync=true]
+//	         [-node-name NAME]
 //
 // Endpoints (request bodies are the tyreconfig scenario format plus
 // per-analysis parameters; empty body {} analyses the reference stack):
@@ -114,10 +115,12 @@ func main() {
 	tsdbDir := flag.String("tsdb-dir", "", "telemetry time-series store directory for /v1/ingest (empty disables the telemetry endpoints)")
 	tsdbFlush := flag.Int("tsdb-flush", 0, "buffered samples per vehicle before a chunk seals (0 = default 256)")
 	tsdbFsync := flag.Bool("tsdb-fsync", true, "fsync each sealed telemetry chunk (false trades crash durability of the newest chunk for throughput)")
+	nodeName := flag.String("node-name", "", "stamp every response with X-Tyresys-Node (the worker's identity behind a tyredisp dispatcher)")
 	flag.Parse()
 
 	opts := serve.Options{
 		Workers:          *workers,
+		NodeName:         *nodeName,
 		MaxInFlight:      *maxInFlight,
 		CacheEntries:     *cacheEntries,
 		RequestTimeout:   *timeout,

@@ -1,0 +1,858 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/jobs"
+)
+
+// analysisEndpoints is the client package's canonical endpoint list —
+// the same source of truth the worker registers handlers from, so the
+// dispatcher cannot route an endpoint the workers do not serve.
+var analysisEndpoints = client.Endpoints
+
+// MaxBodyBytes mirrors the worker's request-body cap: the dispatcher
+// enforces it at the edge so an oversized body is refused before any
+// upstream call.
+const MaxBodyBytes = 1 << 20
+
+// Options configure a Dispatcher. Targets is required; everything else
+// has defaults.
+type Options struct {
+	// Targets lists the workers, each "name=url" or a bare URL (the name
+	// then defaults to the URL's host:port). Names are shard identities:
+	// the ring hashes them, X-Tyresys-Shard reports them, and telemetry
+	// placement follows them — renaming a worker remaps its keys.
+	Targets []string
+	// HeartbeatInterval is the probe period (default 1s);
+	// HeartbeatTimeout bounds one probe (default 500ms);
+	// HeartbeatMisses is the consecutive-failure threshold that marks a
+	// worker dead (default 3). One success marks it live again.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	HeartbeatMisses   int
+	// Replicas is the virtual-node count per worker on the hash ring
+	// (default 128).
+	Replicas int
+	// RequestTimeout bounds one proxied call, including failover
+	// attempts (default 60s).
+	RequestTimeout time.Duration
+	// ProxyRetries is how many times one worker is attempted before
+	// failing over (default 1 — fail over immediately); RetryBackoff is
+	// the pause between chunk re-queue rounds (default 100ms).
+	ProxyRetries int
+	RetryBackoff time.Duration
+
+	// JobsDir / JobExecutors / MaxJobs / ChunkParallelism / JobsNoSync
+	// configure the dispatcher's own batch-job manager, exactly like the
+	// worker's serve.Options: jobs submitted here are planned and
+	// aggregated on workers but tracked, checkpointed and replayed by
+	// the dispatcher.
+	JobsDir          string
+	JobExecutors     int
+	MaxJobs          int
+	ChunkParallelism int
+	JobsNoSync       bool
+}
+
+// Dispatcher presents N tyresysd workers as one /v1 API. It implements
+// http.Handler; transport concerns belong to the enclosing http.Server.
+type Dispatcher struct {
+	opts    Options
+	pool    *client.Pool
+	byName  map[string]*client.Worker
+	ring    *hashRing
+	reg     *registry
+	metrics *dispMetrics
+	mux     *http.ServeMux
+
+	jobs          *jobs.Manager
+	jobsSubmitted atomic.Int64
+
+	mu       sync.Mutex
+	draining bool
+}
+
+// New builds a Dispatcher: parses targets, builds the ring, probes
+// every worker once (so routing starts from a real liveness picture),
+// starts the heartbeat loop and the job manager.
+func New(opts Options) (*Dispatcher, error) {
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = 60 * time.Second
+	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = 100 * time.Millisecond
+	}
+	if opts.JobExecutors == 0 {
+		opts.JobExecutors = 2
+	}
+	if opts.ChunkParallelism == 0 {
+		opts.ChunkParallelism = 4
+	}
+	pool, err := client.NewPool(opts.Targets)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	pool.Retries = opts.ProxyRetries
+	names := make([]string, len(pool.Workers))
+	byName := make(map[string]*client.Worker, len(pool.Workers))
+	for i, w := range pool.Workers {
+		names[i] = w.Name
+		byName[w.Name] = w
+	}
+	ring, err := newRing(names, opts.Replicas)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	d := &Dispatcher{
+		opts:   opts,
+		pool:   pool,
+		byName: byName,
+		ring:   ring,
+		mux:    http.NewServeMux(),
+	}
+	d.metrics = newDispMetrics(d, names)
+	d.reg = newRegistry(pool, opts.HeartbeatInterval, opts.HeartbeatTimeout, opts.HeartbeatMisses,
+		func(name string, live bool) { d.metrics.transition(live) })
+	mgr, err := jobs.New(jobs.Options{
+		Dir:              opts.JobsDir,
+		Executors:        opts.JobExecutors,
+		ChunkParallelism: opts.ChunkParallelism,
+		MaxJobs:          opts.MaxJobs,
+		NoSync:           opts.JobsNoSync,
+	}, d.planRemote)
+	if err != nil {
+		d.reg.Stop()
+		return nil, fmt.Errorf("dispatch: batch jobs: %w", err)
+	}
+	d.jobs = mgr
+
+	for _, name := range analysisEndpoints {
+		d.mux.HandleFunc("POST /v1/"+name, d.analysisHandler(name))
+	}
+	d.mux.HandleFunc("POST /v1/ingest", d.handleIngest)
+	d.mux.HandleFunc("GET /v1/series/{vehicle}", d.vehicleProxy("series"))
+	d.mux.HandleFunc("GET /v1/monitor/{vehicle}", d.vehicleProxy("monitor"))
+	d.mux.HandleFunc("POST /v1/jobs", d.handleJobSubmit)
+	d.mux.HandleFunc("GET /v1/jobs", d.handleJobList)
+	d.mux.HandleFunc("GET /v1/jobs/{id}", d.handleJobStatus)
+	d.mux.HandleFunc("GET /v1/jobs/{id}/result", d.handleJobResult)
+	d.mux.HandleFunc("DELETE /v1/jobs/{id}", d.handleJobCancel)
+	d.mux.HandleFunc("GET /v1/stats", d.handleStats)
+	d.mux.HandleFunc("GET /v1/metrics", d.handleMetrics)
+	d.mux.HandleFunc("GET /v1/workers", d.handleWorkers)
+	d.mux.HandleFunc("GET /v1/healthz", d.handleHealth)
+	return d, nil
+}
+
+// ServeHTTP dispatches to the routed /v1 surface.
+func (d *Dispatcher) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the dispatcher: new submissions and proxies answer
+// 503, the job manager checkpoints and stops (incomplete jobs replay on
+// the next New over the same JobsDir), the heartbeat loop stops. The
+// workers themselves are not touched — they are separate processes with
+// their own lifecycles.
+func (d *Dispatcher) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	d.draining = true
+	d.mu.Unlock()
+	err := d.jobs.Close(ctx)
+	d.reg.Stop()
+	return err
+}
+
+// ReplayedJobs reports how many incomplete batch jobs were resumed from
+// the checkpoint directory at construction (tyredisp logs it on boot).
+func (d *Dispatcher) ReplayedJobs() int { return d.jobs.Replayed() }
+
+// isDraining answers whether Shutdown has begun.
+func (d *Dispatcher) isDraining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// errorBody is the JSON error envelope, identical to the worker's.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{"error":"internal marshalling failure"}` + "\n")
+	}
+	return append(b, '\n')
+}
+
+// marshalBody renders a response exactly like the worker: compact JSON,
+// trailing newline.
+func marshalBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// requestCtx derives the upstream-call context: the request's own
+// context bounded by the configured timeout.
+func (d *Dispatcher) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), d.opts.RequestTimeout)
+}
+
+// --- Analysis proxying -------------------------------------------------
+
+// routingKey computes the shard key of one analysis request: the
+// default-filled typed request hashed exactly like the worker's
+// canonical cache key, so every spelling of the same request routes to
+// the same shard and lands in the same worker cache. The decode here is
+// deliberately lenient (no unknown-field rejection): the worker is the
+// authority on request validity, and a dispatcher that rejected what a
+// worker would accept could never be fixed by the worker. Emulate's
+// server-side fast default is NOT resolved here — the dispatcher does
+// not know worker flags — so requests differing only in an omitted
+// "fast" field share a shard, which is exactly right when the fleet
+// runs homogeneous flags (see OPERATIONS.md).
+func routingKey(endpoint string, body []byte) (string, error) {
+	fill := func(req interface {
+		Defaults()
+		Validate() error
+	}) (string, error) {
+		if err := json.Unmarshal(body, req); err != nil {
+			return "", fmt.Errorf("decoding request: %w", err)
+		}
+		req.Defaults()
+		blob, err := json.Marshal(req)
+		if err != nil {
+			return "", err
+		}
+		sum := sha256.Sum256(blob)
+		return endpoint + ":" + fmt.Sprintf("%x", sum[:16]), nil
+	}
+	switch endpoint {
+	case "balance":
+		return fill(&client.BalanceRequest{})
+	case "breakeven":
+		return fill(&client.BreakEvenRequest{})
+	case "montecarlo":
+		return fill(&client.MonteCarloRequest{})
+	case "optimize":
+		return fill(&client.OptimizeRequest{})
+	case "emulate":
+		return fill(&client.EmulateRequest{})
+	}
+	return "", fmt.Errorf("unknown endpoint %q", endpoint)
+}
+
+// analysisHandler proxies one analysis endpoint: compute the shard key,
+// walk the ring's live candidates, relay the first HTTP response
+// verbatim (any status — the owning worker's answer is authoritative;
+// only transport failures fail over, which is safe because analysis is
+// deterministic and idempotent).
+func (d *Dispatcher) analysisHandler(name string) http.HandlerFunc {
+	hist := d.metrics.latency[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		d.metrics.route(name)
+		start := time.Now()
+		defer func() { hist.Observe(time.Since(start).Seconds()) }()
+		if d.isDraining() {
+			writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"dispatcher shutting down"}))
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					mustMarshal(errorBody{fmt.Sprintf("request body exceeds %d bytes", MaxBodyBytes)}))
+				return
+			}
+			writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+			return
+		}
+		key, err := routingKey(name, body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+			return
+		}
+		candidates := d.ring.sequence(key, d.reg.alive, 0)
+		if len(candidates) == 0 {
+			writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"no live workers"}))
+			return
+		}
+		ctx, cancel := d.requestCtx(r)
+		defer cancel()
+		var lastErr error
+		for i, cand := range candidates {
+			if i > 0 {
+				d.metrics.proxyRetries.Inc()
+			}
+			wk := d.byName[cand]
+			res, err := wk.PostRaw(ctx, "/v1/"+name, body)
+			if err != nil {
+				d.metrics.upstream(cand, "error")
+				lastErr = fmt.Errorf("worker %s: %w", cand, err)
+				if ctx.Err() != nil {
+					break
+				}
+				continue
+			}
+			d.metrics.upstream(cand, "ok")
+			d.relay(w, cand, res)
+			return
+		}
+		writeJSON(w, http.StatusBadGateway,
+			mustMarshal(errorBody{fmt.Sprintf("all live workers failed: %v", lastErr)}))
+	}
+}
+
+// relay writes an upstream response through verbatim, stamping the
+// answering shard.
+func (d *Dispatcher) relay(w http.ResponseWriter, worker string, res client.RawResult) {
+	if ct := res.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if res.Source != "" {
+		w.Header().Set("X-Result-Source", res.Source)
+	}
+	if node := res.Header.Get("X-Tyresys-Node"); node != "" {
+		w.Header().Set("X-Tyresys-Node", node)
+	}
+	w.Header().Set("X-Tyresys-Shard", worker)
+	w.WriteHeader(res.Status)
+	w.Write(res.Body)
+}
+
+// --- Vehicle-routed telemetry ------------------------------------------
+
+// vehicleKey is the placement key of one vehicle's telemetry. Ingest
+// and series/monitor share it, so reads always land where writes went.
+func vehicleKey(vehicle string) string { return "vehicle:" + vehicle }
+
+// vehicleProxy relays GET /v1/{series,monitor}/{vehicle} to the shard
+// owning the vehicle. Single attempt, no failover: the data lives on
+// exactly one shard, so another worker's answer would be a confident
+// empty lie. A dead owner answers 503 — the honest state.
+func (d *Dispatcher) vehicleProxy(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d.metrics.route(kind)
+		vehicle := r.PathValue("vehicle")
+		if !client.ValidVehicle(vehicle) {
+			writeJSON(w, http.StatusBadRequest,
+				mustMarshal(errorBody{fmt.Sprintf("vehicle %q must match [A-Za-z0-9._-]{1,64}", vehicle)}))
+			return
+		}
+		owner, ok := d.ring.owner(vehicleKey(vehicle), d.reg.alive)
+		if !ok {
+			writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"no live workers"}))
+			return
+		}
+		ctx, cancel := d.requestCtx(r)
+		defer cancel()
+		path := "/v1/" + kind + "/" + vehicle
+		if r.URL.RawQuery != "" {
+			path += "?" + r.URL.RawQuery
+		}
+		res, err := d.byName[owner].GetRaw(ctx, path)
+		if err != nil {
+			d.metrics.upstream(owner, "error")
+			writeJSON(w, http.StatusBadGateway,
+				mustMarshal(errorBody{fmt.Sprintf("worker %s: %v", owner, err)}))
+			return
+		}
+		d.metrics.upstream(owner, "ok")
+		d.relay(w, owner, res)
+	}
+}
+
+// handleIngest validates the whole NDJSON batch up front (same grammar,
+// caps and line-numbered errors as a worker — nothing is forwarded from
+// a bad batch), groups verbatim line bytes per owning shard and appends
+// each group with one upstream call per shard. Appends are a single
+// attempt: ingest is not idempotent, and a retry after an ambiguous
+// transport failure could double-store samples. A shard failure
+// mid-batch therefore leaves other shards' groups appended — the
+// response says so; cross-shard atomicity is weaker than a single
+// node's all-or-nothing (see OPERATIONS.md).
+func (d *Dispatcher) handleIngest(w http.ResponseWriter, r *http.Request) {
+	d.metrics.route("ingest")
+	if d.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"dispatcher shutting down"}))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+
+	type group struct {
+		vehicles int
+		lines    []byte
+	}
+	groups := map[string]*group{}
+	seenVehicle := map[string]bool{}
+	total := 0
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 4096), 64<<10)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if total >= client.MaxIngestSamples {
+			writeJSON(w, http.StatusBadRequest,
+				mustMarshal(errorBody{fmt.Sprintf("too many samples: request caps at %d", client.MaxIngestSamples)}))
+			return
+		}
+		var smp client.IngestSample
+		if err := json.Unmarshal(line, &smp); err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				mustMarshal(errorBody{fmt.Sprintf("line %d: decoding request: %v", lineNo, err)}))
+			return
+		}
+		smp.Defaults()
+		if err := smp.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				mustMarshal(errorBody{fmt.Sprintf("line %d: %v", lineNo, err)}))
+			return
+		}
+		owner, ok := d.ring.owner(vehicleKey(smp.Vehicle), d.reg.alive)
+		if !ok {
+			writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"no live workers"}))
+			return
+		}
+		g := groups[owner]
+		if g == nil {
+			g = &group{}
+			groups[owner] = g
+		}
+		if !seenVehicle[smp.Vehicle] {
+			seenVehicle[smp.Vehicle] = true
+			g.vehicles++
+		}
+		g.lines = append(g.lines, line...)
+		g.lines = append(g.lines, '\n')
+		total++
+	}
+	if err := sc.Err(); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				mustMarshal(errorBody{fmt.Sprintf("request body exceeds %d bytes", MaxBodyBytes)}))
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	if total == 0 {
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{"empty ingest body: want NDJSON samples"}))
+		return
+	}
+
+	ctx, cancel := d.requestCtx(r)
+	defer cancel()
+	type result struct {
+		worker string
+		resp   client.IngestResponse
+		err    error
+	}
+	results := make([]result, 0, len(groups))
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for owner, g := range groups {
+		wg.Add(1)
+		go func(owner string, body []byte) {
+			defer wg.Done()
+			resp, err := d.byName[owner].IngestNDJSON(ctx, body)
+			mu.Lock()
+			results = append(results, result{worker: owner, resp: resp, err: err})
+			mu.Unlock()
+		}(owner, g.lines)
+	}
+	wg.Wait()
+
+	var (
+		out    client.IngestResponse
+		failed []string
+	)
+	for _, res := range results {
+		if res.err != nil {
+			d.metrics.upstream(res.worker, "error")
+			failed = append(failed, fmt.Sprintf("worker %s: %v", res.worker, res.err))
+			continue
+		}
+		d.metrics.upstream(res.worker, "ok")
+		out.Accepted += res.resp.Accepted
+		out.Vehicles += res.resp.Vehicles
+	}
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		writeJSON(w, http.StatusServiceUnavailable,
+			mustMarshal(errorBody{fmt.Sprintf("partial ingest: %d of %d samples appended; %s",
+				out.Accepted, total, strings.Join(failed, "; "))}))
+		return
+	}
+	body, err := marshalBody(out)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// --- Fan-out: stats, metrics, workers, health --------------------------
+
+// liveWorkers snapshots the currently-live pool members in pool order.
+func (d *Dispatcher) liveWorkers() []*client.Worker {
+	var out []*client.Worker
+	for _, w := range d.pool.Workers {
+		if d.reg.alive(w.Name) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// handleStats fans GET /v1/stats out to every live worker and sums the
+// snapshots field-wise — capacities, counters and per-endpoint stats
+// all render as cluster totals — then appends the dispatcher's own
+// section.
+func (d *Dispatcher) handleStats(w http.ResponseWriter, r *http.Request) {
+	d.metrics.route("stats")
+	ctx, cancel := d.requestCtx(r)
+	defer cancel()
+	merged, queried, err := d.mergedStats(ctx)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	merged.Dispatcher = &client.DispatcherStats{
+		Workers:       len(d.pool.Workers),
+		LiveWorkers:   d.reg.liveCount(),
+		QueriedShards: queried,
+		JobsSubmitted: d.jobsSubmitted.Load(),
+		Jobs:          d.dispatcherJobsStats(),
+	}
+	body, err := marshalBody(merged)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// mergedStats queries every live worker and sums the snapshots.
+func (d *Dispatcher) mergedStats(ctx context.Context) (client.StatsResponse, int, error) {
+	live := d.liveWorkers()
+	if len(live) == 0 {
+		return client.StatsResponse{}, 0, fmt.Errorf("no live workers")
+	}
+	snaps := make([]*client.StatsResponse, len(live))
+	var wg sync.WaitGroup
+	for i, wk := range live {
+		wg.Add(1)
+		go func(i int, wk *client.Worker) {
+			defer wg.Done()
+			st, err := wk.Stats(ctx)
+			if err != nil {
+				d.metrics.upstream(wk.Name, "error")
+				return
+			}
+			d.metrics.upstream(wk.Name, "ok")
+			snaps[i] = &st
+		}(i, wk)
+	}
+	wg.Wait()
+	var (
+		out     client.StatsResponse
+		queried int
+	)
+	out.Endpoints = make(map[string]client.EndpointStats, len(analysisEndpoints))
+	out.Jobs.States = make(map[string]int)
+	for _, st := range snaps {
+		if st == nil {
+			continue
+		}
+		queried++
+		out.InFlight += st.InFlight
+		out.MaxInFlight += st.MaxInFlight
+		out.CacheEntries += st.CacheEntries
+		out.CacheCapacity += st.CacheCapacity
+		out.Workers += st.Workers
+		for name, ep := range st.Endpoints {
+			agg := out.Endpoints[name]
+			agg.Requests += ep.Requests
+			agg.OK += ep.OK
+			agg.BadRequests += ep.BadRequests
+			agg.PayloadTooLarge += ep.PayloadTooLarge
+			agg.Rejected += ep.Rejected
+			agg.Errored += ep.Errored
+			agg.Coalesced += ep.Coalesced
+			agg.CacheHits += ep.CacheHits
+			agg.Computed += ep.Computed
+			agg.EvalMicros += ep.EvalMicros
+			out.Endpoints[name] = agg
+		}
+		out.Jobs.Submitted += st.Jobs.Submitted
+		out.Jobs.Replayed += st.Jobs.Replayed
+		out.Jobs.QueueDepth += st.Jobs.QueueDepth
+		out.Jobs.Quarantined += st.Jobs.Quarantined
+		out.Jobs.PersistFailures += st.Jobs.PersistFailures
+		for state, n := range st.Jobs.States {
+			out.Jobs.States[state] += n
+		}
+		if st.Tsdb != nil {
+			if out.Tsdb == nil {
+				out.Tsdb = &client.TsdbStats{}
+			}
+			out.Tsdb.Series += st.Tsdb.Series
+			out.Tsdb.Samples += st.Tsdb.Samples
+			out.Tsdb.BufferedSamples += st.Tsdb.BufferedSamples
+			out.Tsdb.Blocks += st.Tsdb.Blocks
+			out.Tsdb.DiskBytes += st.Tsdb.DiskBytes
+			out.Tsdb.Quarantined += st.Tsdb.Quarantined
+			out.Tsdb.IngestedSamples += st.Tsdb.IngestedSamples
+			out.Tsdb.IngestedBytes += st.Tsdb.IngestedBytes
+		}
+	}
+	if queried == 0 {
+		return out, 0, fmt.Errorf("all %d live workers failed to answer /v1/stats", len(live))
+	}
+	return out, queried, nil
+}
+
+// mergedWorkerMetrics scrapes every live worker and merges the parsed
+// expositions sample-wise (counters and histogram buckets sum; gauges
+// sum as cluster totals — see client.MergeMetrics).
+func (d *Dispatcher) mergedWorkerMetrics(ctx context.Context) (client.MetricSet, error) {
+	ctx, cancel := context.WithTimeout(ctx, d.opts.RequestTimeout)
+	defer cancel()
+	live := d.liveWorkers()
+	sets := make([]*client.MetricSet, len(live))
+	var wg sync.WaitGroup
+	for i, wk := range live {
+		wg.Add(1)
+		go func(i int, wk *client.Worker) {
+			defer wg.Done()
+			ms, err := wk.Metrics(ctx)
+			if err != nil {
+				d.metrics.upstream(wk.Name, "error")
+				return
+			}
+			d.metrics.upstream(wk.Name, "ok")
+			sets[i] = &ms
+		}(i, wk)
+	}
+	wg.Wait()
+	var ok []client.MetricSet
+	for _, ms := range sets {
+		if ms != nil {
+			ok = append(ok, *ms)
+		}
+	}
+	return client.MergeMetrics(ok...), nil
+}
+
+// workersResponse is the GET /v1/workers payload.
+type workersResponse struct {
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// handleWorkers renders the registry snapshot — the operator's view of
+// cluster membership and heartbeat state.
+func (d *Dispatcher) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	d.metrics.route("workers")
+	body, err := marshalBody(workersResponse{Workers: d.reg.snapshot()})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleHealth reports dispatcher liveness: 503 while draining or when
+// no worker is live (the cluster cannot serve), 200 otherwise.
+func (d *Dispatcher) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if d.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"draining"}))
+		return
+	}
+	if d.reg.liveCount() == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"no live workers"}))
+		return
+	}
+	writeJSON(w, http.StatusOK, []byte("{\"ok\":true}\n"))
+}
+
+// --- Batch jobs ---------------------------------------------------------
+
+// dispatcherJobsStats snapshots the dispatcher's own job manager.
+func (d *Dispatcher) dispatcherJobsStats() client.JobsStats {
+	js := client.JobsStats{
+		Submitted:       d.jobsSubmitted.Load(),
+		Replayed:        d.jobs.Replayed(),
+		QueueDepth:      d.jobs.QueueDepth(),
+		States:          make(map[string]int),
+		Quarantined:     len(d.jobs.Quarantined()),
+		PersistFailures: d.jobs.PersistFailures(),
+	}
+	for state, n := range d.jobs.StateCounts() {
+		js.States[string(state)] = n
+	}
+	return js
+}
+
+// handleJobSubmit accepts a batch job exactly like a worker — 202 +
+// Location, 429 on the incomplete-job bound, 503 while draining — but
+// the plan comes from a worker's /v1/plan and the chunks will run
+// remotely. Submission also answers 503 when no worker is live: the
+// plan itself needs one.
+func (d *Dispatcher) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	d.metrics.route("jobs")
+	if d.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"dispatcher shutting down"}))
+		return
+	}
+	if d.reg.liveCount() == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"no live workers"}))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	var req client.JobSubmitRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				mustMarshal(errorBody{fmt.Sprintf("request body exceeds %d bytes", MaxBodyBytes)}))
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{fmt.Sprintf("decoding request: %v", err)}))
+		return
+	}
+	if req.Kind == "" {
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{"kind is required"}))
+		return
+	}
+	job, err := d.jobs.Submit(req.Kind, req.Request)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			writeJSON(w, http.StatusTooManyRequests, mustMarshal(errorBody{err.Error()}))
+		case errors.Is(err, jobs.ErrPersistence):
+			writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{err.Error()}))
+		default:
+			writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+		}
+		return
+	}
+	d.jobsSubmitted.Add(1)
+	body, err := marshalBody(job.Status())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, body)
+}
+
+// jobListResponse is the GET /v1/jobs payload.
+type jobListResponse struct {
+	Jobs []jobs.Status `json:"jobs"`
+}
+
+func (d *Dispatcher) handleJobList(w http.ResponseWriter, r *http.Request) {
+	d.metrics.route("jobs")
+	list := d.jobs.List()
+	if list == nil {
+		list = []jobs.Status{}
+	}
+	body, err := marshalBody(jobListResponse{Jobs: list})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (d *Dispatcher) lookupJob(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	job, ok := d.jobs.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, mustMarshal(errorBody{fmt.Sprintf("no job %q", id)}))
+		return nil, false
+	}
+	return job, true
+}
+
+func (d *Dispatcher) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	d.metrics.route("jobs")
+	job, ok := d.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	body, err := marshalBody(job.Status())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (d *Dispatcher) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	d.metrics.route("jobs")
+	job, ok := d.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	var flush func()
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	_ = job.StreamResult(r.Context(), w, flush)
+}
+
+func (d *Dispatcher) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	d.metrics.route("jobs")
+	job, ok := d.lookupJob(w, r)
+	if !ok {
+		return
+	}
+	d.jobs.Cancel(job.ID())
+	body, err := marshalBody(job.Status())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}

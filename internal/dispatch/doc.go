@@ -1,0 +1,35 @@
+// Package dispatch is the tyredisp request router: it presents N
+// tyresysd workers as one single-system-image /v1 API.
+//
+// A Dispatcher keeps a worker registry fed by HTTP heartbeats
+// (GET /v1/healthz on a configurable interval; a configurable number of
+// consecutive misses marks a worker dead, one success marks it live
+// again) and routes every /v1 request over a consistent-hash ring of
+// the live workers:
+//
+//   - Synchronous analysis calls (/v1/balance … /v1/emulate) proxy to
+//     the shard owning the request's canonical key — the same
+//     default-filled-request hash tyresysd coalesces on — so duplicate
+//     requests from anywhere in the fleet land on one worker and share
+//     its cache and singleflight. Transport failures fail over to the
+//     next live shard; analysis is deterministic and idempotent, so the
+//     retry is safe.
+//   - Telemetry routes by vehicle: /v1/ingest splits an NDJSON batch
+//     per vehicle and appends each group to its owning shard;
+//     /v1/series and /v1/monitor read from that shard.
+//   - /v1/stats and /v1/metrics fan out to every live worker and merge
+//     (client.MergeMetrics; stats sum field-wise), with the
+//     dispatcher's own families and registry state added.
+//   - Batch jobs (/v1/jobs) run on the dispatcher's own jobs.Manager
+//     with a remote plan: the chunk grid comes from a worker's
+//     POST /v1/plan, each chunk executes on the shard the ring assigns
+//     via POST /v1/chunk (failing over and re-queueing across live
+//     workers when a shard dies mid-job), and the terminal fold runs
+//     worker-side via POST /v1/aggregate — so a distributed job's
+//     result stream is byte-identical to a single-process run.
+//
+// The dispatcher never links the analysis engine; it moves requests.
+// Consistent hashing keeps placement stable under membership change:
+// when a worker dies or joins, only the keys it owned (or now owns)
+// move, pinned by the ring tests.
+package dispatch

@@ -1,0 +1,398 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/serve"
+)
+
+// killSwitch wraps a worker handler with two failure modes the tests
+// flip: down aborts every connection (a crashed process), killOnChunk
+// arms a one-shot trap that crashes the worker the moment it receives
+// its first /v1/chunk — the deterministic "die mid-job" trigger.
+type killSwitch struct {
+	inner       http.Handler
+	down        atomic.Bool
+	killOnChunk atomic.Bool
+}
+
+func (k *killSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.down.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	if k.killOnChunk.Load() && r.URL.Path == "/v1/chunk" && k.down.CompareAndSwap(false, true) {
+		panic(http.ErrAbortHandler)
+	}
+	k.inner.ServeHTTP(w, r)
+}
+
+// cluster is a 3-worker tyresys deployment in one process: N serve
+// servers behind real loopback listeners, a Dispatcher routing them,
+// and a client pointed at the dispatcher.
+type cluster struct {
+	d       *Dispatcher
+	dispSrv *httptest.Server
+	c       *client.Client
+	names   []string
+	kills   map[string]*killSwitch
+	workers map[string]*serve.Server
+}
+
+// startCluster boots n workers (each with its own telemetry store) and
+// a dispatcher with test-speed heartbeats.
+func startCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	cl := &cluster{
+		kills:   make(map[string]*killSwitch, n),
+		workers: make(map[string]*serve.Server, n),
+	}
+	targets := make([]string, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%d", i)
+		srv, err := serve.NewServer(serve.Options{
+			Workers:           2,
+			NodeName:          name,
+			TSDBDir:           t.TempDir(),
+			TSDBFlushSamples:  8,
+			TSDBFlushInterval: -1,
+			TSDBNoSync:        true,
+		})
+		if err != nil {
+			t.Fatalf("worker %s: %v", name, err)
+		}
+		ks := &killSwitch{inner: srv}
+		hs := httptest.NewServer(ks)
+		t.Cleanup(hs.Close)
+		t.Cleanup(func() { srv.Shutdown(context.Background()) })
+		cl.names = append(cl.names, name)
+		cl.kills[name] = ks
+		cl.workers[name] = srv
+		targets[i] = name + "=" + hs.URL
+	}
+	d, err := New(Options{
+		Targets:           targets,
+		HeartbeatInterval: 25 * time.Millisecond,
+		HeartbeatTimeout:  250 * time.Millisecond,
+		HeartbeatMisses:   2,
+		RetryBackoff:      20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dispatcher: %v", err)
+	}
+	cl.d = d
+	cl.dispSrv = httptest.NewServer(d)
+	t.Cleanup(cl.dispSrv.Close)
+	t.Cleanup(func() { d.Shutdown(context.Background()) })
+	cl.c = client.New(cl.dispSrv.URL)
+	return cl
+}
+
+// runJob submits a job through c, waits for it and returns the
+// terminal aggregate bytes.
+func runJob(t *testing.T, c *client.Client, kind string, request json.RawMessage) []byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	st, err := c.SubmitJob(ctx, client.JobSubmitRequest{Kind: kind, Request: request})
+	if err != nil {
+		t.Fatalf("SubmitJob(%s): %v", kind, err)
+	}
+	if _, err := c.WaitJob(ctx, st.ID, 10*time.Millisecond); err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	lines, err := c.JobResult(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("JobResult: %v", err)
+	}
+	last := lines[len(lines)-1]
+	if last.State != client.JobDone {
+		t.Fatalf("%s job ended %s: %s", kind, last.State, last.Error)
+	}
+	return last.Aggregate
+}
+
+// refServer boots a plain single-process worker for reference results.
+func refServer(t *testing.T) *client.Client {
+	t.Helper()
+	srv, err := serve.NewServer(serve.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() { srv.Shutdown(context.Background()) })
+	return client.New(hs.URL)
+}
+
+// TestClusterSingleSystemImage drives the full /v1 surface through a
+// 3-worker dispatcher: analysis responses match a single-process
+// server byte for byte and carry shard attribution, routing is sticky
+// (same request → same shard → its cache), telemetry round-trips
+// through vehicle sharding, and stats/metrics/workers present one
+// merged cluster view.
+func TestClusterSingleSystemImage(t *testing.T) {
+	cl := startCluster(t, 3)
+	ref := refServer(t)
+	ctx := context.Background()
+
+	// Analysis: byte-identical to a single-process server, shard header
+	// stamped, and the second hit lands on the same shard's cache.
+	body := []byte(`{"points":120}`)
+	refRes, err := ref.PostRaw(ctx, "/v1/balance", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cl.c.PostRaw(ctx, "/v1/balance", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != http.StatusOK || !bytes.Equal(first.Body, refRes.Body) {
+		t.Fatalf("proxied balance (%d) differs from single-process response", first.Status)
+	}
+	shard := first.Header.Get("X-Tyresys-Shard")
+	if shard == "" {
+		t.Fatal("no X-Tyresys-Shard header on proxied response")
+	}
+	if node := first.Header.Get("X-Tyresys-Node"); node != shard {
+		t.Fatalf("X-Tyresys-Node %q != X-Tyresys-Shard %q — wrong worker answered", node, shard)
+	}
+	second, err := cl.c.PostRaw(ctx, "/v1/balance", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Header.Get("X-Tyresys-Shard"); got != shard {
+		t.Fatalf("routing not sticky: first %q, second %q", shard, got)
+	}
+	if second.Source != "cache" {
+		t.Fatalf("second identical request = %q, want cache (single-system-image caching)", second.Source)
+	}
+	if !bytes.Equal(second.Body, first.Body) {
+		t.Fatal("cached response differs from computed response")
+	}
+
+	// A malformed analysis request 400s at the dispatcher without an
+	// upstream call.
+	if res, err := cl.c.PostRaw(ctx, "/v1/montecarlo", []byte(`{"trials":`)); err != nil || res.Status != http.StatusBadRequest {
+		t.Fatalf("malformed analysis request = %d, %v; want 400", res.Status, err)
+	}
+
+	// Telemetry: ingest 24 samples over 6 vehicles in one batch, read
+	// every series back through the dispatcher.
+	var samples []client.IngestSample
+	for v := 0; v < 6; v++ {
+		for i := 0; i < 4; i++ {
+			samples = append(samples, client.IngestSample{
+				Vehicle:     fmt.Sprintf("truck-%d", v),
+				TSMS:        int64(1000 + 500*i),
+				SpeedKMH:    60,
+				HarvestedUJ: 40,
+				ConsumedUJ:  35,
+			})
+		}
+	}
+	ing, err := cl.c.Ingest(ctx, samples)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if ing.Accepted != 24 || ing.Vehicles != 6 {
+		t.Fatalf("ingest = %+v, want 24 samples / 6 vehicles", ing)
+	}
+	shards := map[string]bool{}
+	for v := 0; v < 6; v++ {
+		vehicle := fmt.Sprintf("truck-%d", v)
+		res, err := cl.c.GetRaw(ctx, "/v1/series/"+vehicle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != http.StatusOK {
+			t.Fatalf("series %s = %d (%s)", vehicle, res.Status, res.Body)
+		}
+		var sr client.SeriesResponse
+		if err := json.Unmarshal(res.Body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Count != 4 {
+			t.Fatalf("series %s count = %d, want 4 — samples landed on the wrong shard", vehicle, sr.Count)
+		}
+		shards[res.Header.Get("X-Tyresys-Shard")] = true
+		if _, err := cl.c.Monitor(ctx, vehicle, 4); err != nil {
+			t.Fatalf("monitor %s: %v", vehicle, err)
+		}
+	}
+	if len(shards) < 2 {
+		t.Fatalf("all 6 vehicles routed to %d shard(s) — sharding is not spreading", len(shards))
+	}
+
+	// Stats: one merged snapshot with the dispatcher's own section.
+	stats, err := cl.c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tsdb == nil || stats.Tsdb.IngestedSamples != 24 {
+		t.Fatalf("merged tsdb stats = %+v, want 24 ingested across the cluster", stats.Tsdb)
+	}
+	if stats.Dispatcher == nil || stats.Dispatcher.Workers != 3 || stats.Dispatcher.LiveWorkers != 3 {
+		t.Fatalf("dispatcher stats = %+v, want 3/3 workers", stats.Dispatcher)
+	}
+
+	// Metrics: tyredisp families plus merged tyresysd samples.
+	ms, err := cl.c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ms.Value("tyredisp_workers", client.Label{Key: "state", Value: "live"}); !ok || v != 3 {
+		t.Fatalf("tyredisp_workers{state=live} = %v, %v", v, ok)
+	}
+	if v, ok := ms.Value("tyresysd_ingest_samples_total"); !ok || v != 24 {
+		t.Fatalf("merged tyresysd_ingest_samples_total = %v, %v; want 24", v, ok)
+	}
+
+	// Workers endpoint: three live rows.
+	res, err := cl.c.GetRaw(ctx, "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr struct {
+		Workers []WorkerStatus `json:"workers"`
+	}
+	if err := json.Unmarshal(res.Body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Workers) != 3 {
+		t.Fatalf("workers = %+v, want 3", wr.Workers)
+	}
+	for _, w := range wr.Workers {
+		if !w.Live {
+			t.Fatalf("worker %s not live: %+v", w.Name, w)
+		}
+	}
+}
+
+// TestClusterJobsByteIdentical runs one job of every distributed shape
+// through the dispatcher — independent chunks (montecarlo), sequential
+// carry threading (emulate), fleet fan-out — and demands the aggregate
+// bytes of a single-process run.
+func TestClusterJobsByteIdentical(t *testing.T) {
+	cl := startCluster(t, 3)
+	ref := refServer(t)
+	for _, tc := range []struct {
+		kind    string
+		request string
+	}{
+		{"montecarlo", `{"trials":9000,"speed_kmh":60,"seed":7}`},
+		{"emulate", `{"minutes":12,"speed_kmh":60}`},
+		{"fleet", `{"minutes":4,"speed_kmh":50}`},
+	} {
+		t.Run(tc.kind, func(t *testing.T) {
+			req := json.RawMessage(tc.request)
+			want := runJob(t, ref, tc.kind, req)
+			got := runJob(t, cl.c, tc.kind, req)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("distributed aggregate differs from single-process run:\nlocal:  %s\nremote: %s", want, got)
+			}
+		})
+	}
+}
+
+// TestClusterKillWorkerMidJob is the acceptance e2e: the worker that
+// owns the job's first chunk crashes the moment that chunk reaches it.
+// The dispatcher must fail the chunk over to a live shard, the
+// heartbeat loop must mark the worker dead, the job must complete, and
+// the aggregate must be byte-identical to an undisturbed
+// single-process run.
+func TestClusterKillWorkerMidJob(t *testing.T) {
+	cl := startCluster(t, 3)
+	ref := refServer(t)
+
+	kind := "montecarlo"
+	req := json.RawMessage(`{"trials":13000,"speed_kmh":70,"seed":3}`)
+
+	// The chunk→shard mapping is deterministic (it hashes only worker
+	// names and the job spec), so compute the victim the same way
+	// planRemote will: the owner of chunk 0's routing key.
+	sum := sha256.Sum256(append([]byte(kind+"\x00"), req...))
+	baseKey := fmt.Sprintf("job:%x", sum[:16])
+	victim, ok := cl.d.ring.owner(baseKey+":chunk:0", nil)
+	if !ok {
+		t.Fatal("no ring owner for chunk 0")
+	}
+	cl.kills[victim].killOnChunk.Store(true)
+
+	want := runJob(t, ref, kind, req)
+	got := runJob(t, cl.c, kind, req)
+	if !bytes.Equal(want, got) {
+		t.Fatalf("aggregate after worker loss differs from single-process run:\nlocal:  %s\nremote: %s", want, got)
+	}
+	if !cl.kills[victim].down.Load() {
+		t.Fatalf("victim %s never received a chunk — the kill trigger did not fire", victim)
+	}
+
+	// The crash must be visible: the victim transport-errored at least
+	// once and the registry marked it dead.
+	ctx := context.Background()
+	ms, err := cl.c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ms.Value("tyredisp_proxied_total",
+		client.Label{Key: "worker", Value: victim}, client.Label{Key: "outcome", Value: "error"}); !ok || v < 1 {
+		t.Fatalf("tyredisp_proxied_total{worker=%s,outcome=error} = %v, %v; want >= 1", victim, v, ok)
+	}
+	waitFor(t, victim+" marked dead", func() bool { return !cl.d.reg.alive(victim) })
+
+	// The cluster keeps serving everything else with one worker down.
+	if _, err := cl.c.BreakEven(ctx, client.BreakEvenRequest{}); err != nil {
+		t.Fatalf("analysis after worker loss: %v", err)
+	}
+
+	// Recovery: the worker comes back, one heartbeat success rejoins it.
+	cl.kills[victim].down.Store(false)
+	cl.kills[victim].killOnChunk.Store(false)
+	waitFor(t, victim+" rejoined", func() bool { return cl.d.reg.alive(victim) })
+}
+
+// TestClusterNoLiveWorkers pins the cluster-down surface: every route
+// answers 503 with a JSON envelope, never a hang or a 500.
+func TestClusterNoLiveWorkers(t *testing.T) {
+	cl := startCluster(t, 2)
+	ctx := context.Background()
+	for _, name := range cl.names {
+		cl.kills[name].down.Store(true)
+	}
+	waitFor(t, "all workers dead", func() bool { return cl.d.reg.liveCount() == 0 })
+
+	for _, probe := range []func() (client.RawResult, error){
+		func() (client.RawResult, error) { return cl.c.PostRaw(ctx, "/v1/balance", []byte(`{}`)) },
+		func() (client.RawResult, error) {
+			return cl.c.PostRaw(ctx, "/v1/ingest",
+				[]byte(`{"vehicle":"t","ts_ms":1,"speed_kmh":1,"harvested_uj":1,"consumed_uj":1}`))
+		},
+		func() (client.RawResult, error) { return cl.c.GetRaw(ctx, "/v1/series/t") },
+		func() (client.RawResult, error) {
+			return cl.c.PostRaw(ctx, "/v1/jobs", []byte(`{"kind":"breakeven","request":{}}`))
+		},
+		func() (client.RawResult, error) { return cl.c.GetRaw(ctx, "/v1/healthz") },
+	} {
+		res, err := probe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != http.StatusServiceUnavailable {
+			t.Fatalf("cluster-down response = %d (%s), want 503", res.Status, res.Body)
+		}
+		if !strings.Contains(string(res.Body), `"error"`) && !strings.Contains(string(res.Body), "draining") {
+			t.Fatalf("cluster-down body %q is not the JSON error envelope", res.Body)
+		}
+	}
+}

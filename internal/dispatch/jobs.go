@@ -1,0 +1,209 @@
+package dispatch
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/client"
+	"repro/internal/jobs"
+)
+
+// Remote batch-job execution. The dispatcher's jobs.Manager owns the
+// lifecycle — checkpointing, result streaming, replay-on-restart — but
+// the plan is remote: its chunk grid comes from a worker's /v1/plan,
+// each RunChunk is a worker's /v1/chunk, and Aggregate is a worker's
+// /v1/aggregate. Because the worker-side endpoints run the exact
+// single-process planning and aggregation code, a distributed job's
+// checkpoint log and result stream are byte-identical to a local run's
+// (pinned by the e2e tests), and the dispatcher's chunk re-queue on
+// worker loss composes with the manager's crash-resume for free.
+
+// permanentError marks a worker's 4xx answer: retrying the same bytes
+// elsewhere cannot succeed, so the chunk (or plan) fails now.
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// permanent classifies an upstream error: a 4xx APIError is the
+// worker authoritatively rejecting the request; anything else
+// (transport failure, 5xx, timeout) is worth retrying elsewhere.
+func permanent(err error) bool {
+	var api *client.APIError
+	return errors.As(err, &api) && api.Status >= 400 && api.Status < 500
+}
+
+// planRemote is the dispatcher's jobs.PlanFunc: ask a live worker for
+// the chunk decomposition. Planning is deterministic — every worker
+// answers the same grid for the same spec — so any live worker serves,
+// and a restart re-plans identically (the manager's replay contract).
+// jobs.PlanFunc carries no context, so the call runs under its own
+// RequestTimeout.
+func (d *Dispatcher) planRemote(kind string, request json.RawMessage) (jobs.Plan, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d.opts.RequestTimeout)
+	defer cancel()
+	var (
+		resp    client.PlanResponse
+		lastErr error
+	)
+	planned := false
+	for _, wk := range d.liveWorkers() {
+		r, err := wk.PlanJob(ctx, client.PlanRequest{Kind: kind, Request: request})
+		if err != nil {
+			d.metrics.upstream(wk.Name, "error")
+			if permanent(err) {
+				return nil, err
+			}
+			lastErr = fmt.Errorf("worker %s: %w", wk.Name, err)
+			continue
+		}
+		d.metrics.upstream(wk.Name, "ok")
+		resp = r
+		planned = true
+		break
+	}
+	if !planned {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("no live workers")
+		}
+		return nil, fmt.Errorf("planning %s job: %w", kind, lastErr)
+	}
+	if resp.Chunks < 1 || len(resp.Weights) != resp.Chunks {
+		return nil, fmt.Errorf("planning %s job: worker returned %d chunks with %d weights",
+			kind, resp.Chunks, len(resp.Weights))
+	}
+	sum := sha256.Sum256(append([]byte(kind+"\x00"), request...))
+	return &remotePlan{
+		d:          d,
+		kind:       kind,
+		request:    append(json.RawMessage(nil), request...),
+		baseKey:    fmt.Sprintf("job:%x", sum[:16]),
+		chunks:     resp.Chunks,
+		sequential: resp.Sequential,
+		weights:    resp.Weights,
+	}, nil
+}
+
+// remotePlan satisfies jobs.Plan by delegating chunk execution and
+// aggregation to workers over the ring.
+type remotePlan struct {
+	d          *Dispatcher
+	kind       string
+	request    json.RawMessage
+	baseKey    string
+	chunks     int
+	sequential bool
+	weights    []int64
+}
+
+func (p *remotePlan) NumChunks() int          { return p.chunks }
+func (p *remotePlan) ChunkWeight(i int) int64 { return p.weights[i] }
+func (p *remotePlan) Sequential() bool        { return p.sequential }
+
+// RunChunk executes chunk i on the shard the ring assigns its key,
+// failing over through the live candidates and re-queueing with backoff
+// until the chunk lands or ctx ends. The candidate list is re-read from
+// the registry every round, so a worker the heartbeat loop marks dead
+// mid-job is skipped and a rejoined worker is used again — this loop IS
+// the "re-queue chunks on heartbeat loss" behaviour the kill-worker
+// test pins. A 4xx from any worker is permanent: same bytes, same
+// verdict everywhere.
+func (p *remotePlan) RunChunk(ctx context.Context, i int, carry []byte) ([]byte, []byte, error) {
+	req := client.ChunkRequest{Kind: p.kind, Request: p.request, Chunk: i, Carry: carry}
+	key := fmt.Sprintf("%s:chunk:%d", p.baseKey, i)
+	var lastErr error
+	for round := 0; ; round++ {
+		if round > 0 {
+			p.d.metrics.chunk("retried")
+			select {
+			case <-time.After(p.d.opts.RetryBackoff):
+			case <-ctx.Done():
+				p.d.metrics.chunk("failed")
+				return nil, nil, ctx.Err()
+			}
+		}
+		for _, name := range p.d.ring.sequence(key, p.d.reg.alive, 0) {
+			wk := p.d.byName[name]
+			res, err := wk.RunChunk(ctx, req)
+			if err != nil {
+				p.d.metrics.upstream(name, "error")
+				if permanent(err) {
+					p.d.metrics.chunk("failed")
+					return nil, nil, err
+				}
+				lastErr = fmt.Errorf("worker %s: %w", name, err)
+				if ctx.Err() != nil {
+					p.d.metrics.chunk("failed")
+					return nil, nil, lastErr
+				}
+				continue
+			}
+			p.d.metrics.upstream(name, "ok")
+			p.d.metrics.chunk("ok")
+			return res.Result, res.Carry, nil
+		}
+		if ctx.Err() != nil {
+			p.d.metrics.chunk("failed")
+			if lastErr == nil {
+				lastErr = ctx.Err()
+			}
+			return nil, nil, lastErr
+		}
+	}
+}
+
+// Aggregate folds the chunk results on a worker — the exact
+// single-process Plan.Aggregate code path, so the final line's bytes
+// match a local run. Any live worker serves (aggregation is a pure
+// function of its inputs), and the walk uses the same re-queue rounds
+// as RunChunk: the registry's liveness picture can be transiently
+// empty (every probe timing out on a loaded machine) even though a
+// worker just answered the last chunk, and a job that ran its chunks
+// to completion must not fail on that blink.
+func (p *remotePlan) Aggregate(ctx context.Context, results [][]byte, finalCarry []byte) ([]byte, error) {
+	raw := make([]json.RawMessage, len(results))
+	for i, r := range results {
+		raw[i] = r
+	}
+	req := client.AggregateRequest{Kind: p.kind, Request: p.request, Results: raw, FinalCarry: finalCarry}
+	var lastErr error
+	for round := 0; ; round++ {
+		if round > 0 {
+			select {
+			case <-time.After(p.d.opts.RetryBackoff):
+			case <-ctx.Done():
+				if lastErr == nil {
+					lastErr = ctx.Err()
+				}
+				return nil, fmt.Errorf("aggregating %s job: %w", p.kind, lastErr)
+			}
+		}
+		for _, name := range p.d.ring.sequence(p.baseKey+":aggregate", p.d.reg.alive, 0) {
+			wk := p.d.byName[name]
+			res, err := wk.AggregateJob(ctx, req)
+			if err != nil {
+				p.d.metrics.upstream(name, "error")
+				if permanent(err) {
+					return nil, err
+				}
+				lastErr = fmt.Errorf("worker %s: %w", name, err)
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("aggregating %s job: %w", p.kind, lastErr)
+				}
+				continue
+			}
+			p.d.metrics.upstream(name, "ok")
+			return res.Aggregate, nil
+		}
+		if ctx.Err() != nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("no live workers")
+			}
+			return nil, fmt.Errorf("aggregating %s job: %w", p.kind, lastErr)
+		}
+	}
+}

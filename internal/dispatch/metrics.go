@@ -1,0 +1,157 @@
+package dispatch
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// metricsContentType is the Prometheus text exposition media type.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// dispRoutes names the routed request classes of tyredisp_requests_total,
+// in exposition order: the five analysis proxies, then the telemetry and
+// control routes.
+var dispRoutes = []string{
+	"balance", "breakeven", "montecarlo", "optimize", "emulate",
+	"ingest", "series", "monitor", "stats", "metrics", "jobs", "workers",
+}
+
+// dispMetrics owns the dispatcher's own registry — the families
+// GET /v1/metrics renders *before* the merged worker samples, all
+// prefixed tyredisp_ so they never collide with a worker family.
+// Registration order is fixed: families render in first-registration
+// order, and new families must append.
+type dispMetrics struct {
+	reg *obs.Registry
+
+	// routeReqs counts requests per routed class, before any proxying.
+	routeReqs map[string]*obs.Counter
+	// transitions counts registry flips by direction ("live" / "dead").
+	transitions map[string]*obs.Counter
+	// proxied counts relayed upstream responses per worker by outcome
+	// ("ok" = any HTTP response relayed, "error" = transport failure).
+	proxied map[string]map[string]*obs.Counter
+	// proxyRetries counts analysis failovers to the next ring candidate.
+	proxyRetries *obs.Counter
+	// chunks counts remote job chunk executions by outcome.
+	chunks map[string]*obs.Counter
+	// latency observes end-to-end proxied analysis latency per endpoint.
+	latency map[string]*obs.Histogram
+}
+
+// newDispMetrics wires the registry against a dispatcher's internals.
+// The worker gauges read d.reg lazily (nil-checked: the registry is
+// assigned right after this constructor, before any scrape can happen).
+func newDispMetrics(d *Dispatcher, workerNames []string) *dispMetrics {
+	m := &dispMetrics{
+		reg:         obs.NewRegistry(),
+		routeReqs:   make(map[string]*obs.Counter, len(dispRoutes)),
+		transitions: make(map[string]*obs.Counter, 2),
+		proxied:     make(map[string]map[string]*obs.Counter, len(workerNames)),
+		chunks:      make(map[string]*obs.Counter, 3),
+		latency:     make(map[string]*obs.Histogram, len(analysisEndpoints)),
+	}
+	r := m.reg
+
+	r.GaugeFunc("tyredisp_workers",
+		"Registered workers by heartbeat state.",
+		func() float64 {
+			if d.reg == nil {
+				return 0
+			}
+			return float64(d.reg.liveCount())
+		}, obs.Label{Key: "state", Value: "live"})
+	r.GaugeFunc("tyredisp_workers",
+		"Registered workers by heartbeat state.",
+		func() float64 {
+			if d.reg == nil {
+				return 0
+			}
+			return float64(len(d.pool.Workers) - d.reg.liveCount())
+		}, obs.Label{Key: "state", Value: "dead"})
+	for _, to := range []string{"live", "dead"} {
+		m.transitions[to] = r.Counter("tyredisp_heartbeat_transitions_total",
+			"Worker liveness flips observed by the heartbeat loop, by new state.",
+			obs.Label{Key: "to", Value: to})
+	}
+	for _, route := range dispRoutes {
+		m.routeReqs[route] = r.Counter("tyredisp_requests_total",
+			"Requests per routed class, before any proxying.",
+			obs.Label{Key: "route", Value: route})
+	}
+	for _, name := range workerNames {
+		m.proxied[name] = make(map[string]*obs.Counter, 2)
+		for _, oc := range []string{"ok", "error"} {
+			m.proxied[name][oc] = r.Counter("tyredisp_proxied_total",
+				"Upstream calls per worker: ok (an HTTP response was relayed or consumed) or error (transport failure, triggers failover).",
+				obs.Label{Key: "worker", Value: name},
+				obs.Label{Key: "outcome", Value: oc})
+		}
+	}
+	m.proxyRetries = r.Counter("tyredisp_proxy_retries_total",
+		"Analysis requests failed over to the next live ring candidate after a transport error.")
+	for _, oc := range []string{"ok", "retried", "failed"} {
+		m.chunks[oc] = r.Counter("tyredisp_chunks_total",
+			"Remote job chunk executions: ok (completed), retried (re-queued after a worker loss or transport error), failed (permanent).",
+			obs.Label{Key: "outcome", Value: oc})
+	}
+	for _, ep := range analysisEndpoints {
+		m.latency[ep] = r.Histogram("tyredisp_request_seconds",
+			"End-to-end proxied analysis latency: routing, upstream call(s), relay.",
+			obs.DefLatencyBuckets, obs.Label{Key: "endpoint", Value: ep})
+	}
+	return m
+}
+
+// route counts one request on a routed class.
+func (m *dispMetrics) route(name string) {
+	if c, ok := m.routeReqs[name]; ok {
+		c.Inc()
+	}
+}
+
+// upstream counts one upstream call's outcome against a worker.
+func (m *dispMetrics) upstream(worker, outcome string) {
+	if w, ok := m.proxied[worker]; ok {
+		if c, ok := w[outcome]; ok {
+			c.Inc()
+		}
+	}
+}
+
+// chunk counts one remote chunk execution outcome.
+func (m *dispMetrics) chunk(outcome string) {
+	if c, ok := m.chunks[outcome]; ok {
+		c.Inc()
+	}
+}
+
+// transition counts one worker liveness flip.
+func (m *dispMetrics) transition(live bool) {
+	to := "dead"
+	if live {
+		to = "live"
+	}
+	m.transitions[to].Inc()
+}
+
+// handleMetrics renders the dispatcher's own families followed by the
+// merged (sample-wise summed) exposition of every live worker — one
+// scrape shows the whole cluster. Worker samples render bare (no
+// HELP/TYPE); their names all carry the tyresysd_ prefix, so the two
+// sections cannot collide.
+func (d *Dispatcher) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	d.metrics.route("metrics")
+	merged, err := d.mergedWorkerMetrics(r.Context())
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	w.Header().Set("Content-Type", metricsContentType)
+	w.WriteHeader(http.StatusOK)
+	if err := d.metrics.reg.WriteText(w); err != nil {
+		return
+	}
+	_ = merged.WriteText(w)
+}

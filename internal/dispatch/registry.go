@@ -1,0 +1,194 @@
+package dispatch
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/client"
+)
+
+// registry tracks worker liveness by active heartbeat: every interval
+// it probes each worker's GET /v1/healthz with its own timeout. A
+// worker is dead after `misses` consecutive failures and live again
+// after one success. Liveness is heartbeat-only — proxy failures
+// trigger failover but never flip registry state, so one slow request
+// cannot evict a healthy shard.
+type registry struct {
+	pool     *client.Pool
+	interval time.Duration
+	timeout  time.Duration
+	misses   int
+
+	// onTransition, when set, observes every live<->dead flip (for the
+	// tyredisp_heartbeat_transitions_total counter).
+	onTransition func(name string, live bool)
+
+	mu    sync.RWMutex
+	state map[string]*workerState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+type workerState struct {
+	live     bool
+	misses   int
+	lastSeen time.Time
+	lastErr  string
+}
+
+// WorkerStatus is one row of GET /v1/workers.
+type WorkerStatus struct {
+	Name     string `json:"name"`
+	URL      string `json:"url"`
+	Live     bool   `json:"live"`
+	Misses   int    `json:"misses,omitempty"`
+	LastSeen string `json:"last_seen,omitempty"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+const (
+	defaultHeartbeatInterval = time.Second
+	defaultHeartbeatTimeout  = 500 * time.Millisecond
+	defaultHeartbeatMisses   = 3
+)
+
+// newRegistry probes every worker once synchronously (so the
+// dispatcher starts with a real liveness picture instead of assuming
+// everyone is up) and then runs the heartbeat loop until Stop.
+func newRegistry(pool *client.Pool, interval, timeout time.Duration, misses int, onTransition func(string, bool)) *registry {
+	if interval <= 0 {
+		interval = defaultHeartbeatInterval
+	}
+	if timeout <= 0 {
+		timeout = defaultHeartbeatTimeout
+	}
+	if misses < 1 {
+		misses = defaultHeartbeatMisses
+	}
+	r := &registry{
+		pool:         pool,
+		interval:     interval,
+		timeout:      timeout,
+		misses:       misses,
+		onTransition: onTransition,
+		state:        make(map[string]*workerState, len(pool.Workers)),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	for _, w := range pool.Workers {
+		// Workers start live-until-proven-dead so a slow first probe does
+		// not blank the whole cluster; the synchronous checkAll below
+		// corrects this immediately for workers that are really down.
+		r.state[w.Name] = &workerState{live: true}
+	}
+	r.checkAll()
+	go r.loop()
+	return r
+}
+
+func (r *registry) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.checkAll()
+		}
+	}
+}
+
+// Stop halts the heartbeat loop and waits for it to exit.
+func (r *registry) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// checkAll probes every worker concurrently and applies the results.
+func (r *registry) checkAll() {
+	var wg sync.WaitGroup
+	for _, w := range r.pool.Workers {
+		wg.Add(1)
+		go func(w *client.Worker) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+			defer cancel()
+			r.observe(w.Name, w.Health(ctx))
+		}(w)
+	}
+	wg.Wait()
+}
+
+// observe folds one heartbeat result into the worker's state.
+func (r *registry) observe(name string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state[name]
+	if st == nil {
+		return
+	}
+	if err == nil {
+		st.misses = 0
+		st.lastSeen = time.Now()
+		st.lastErr = ""
+		if !st.live {
+			st.live = true
+			if r.onTransition != nil {
+				r.onTransition(name, true)
+			}
+		}
+		return
+	}
+	st.misses++
+	st.lastErr = err.Error()
+	if st.live && st.misses >= r.misses {
+		st.live = false
+		if r.onTransition != nil {
+			r.onTransition(name, false)
+		}
+	}
+}
+
+// alive reports whether a worker is currently considered live.
+func (r *registry) alive(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := r.state[name]
+	return st != nil && st.live
+}
+
+// liveCount returns how many workers are currently live.
+func (r *registry) liveCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, st := range r.state {
+		if st.live {
+			n++
+		}
+	}
+	return n
+}
+
+// snapshot returns every worker's status, sorted by name.
+func (r *registry) snapshot() []WorkerStatus {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]WorkerStatus, 0, len(r.pool.Workers))
+	for _, w := range r.pool.Workers {
+		st := r.state[w.Name]
+		row := WorkerStatus{Name: w.Name, URL: w.BaseURL, Live: st.live, Misses: st.misses, LastErr: st.lastErr}
+		if !st.lastSeen.IsZero() {
+			row.LastSeen = st.lastSeen.UTC().Format(time.RFC3339Nano)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

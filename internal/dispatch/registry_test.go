@@ -1,0 +1,102 @@
+package dispatch
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// toggleWorker is a fake worker whose /v1/healthz can be switched off.
+type toggleWorker struct {
+	down atomic.Bool
+}
+
+func (tw *toggleWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if tw.down.Load() {
+		// Abort the connection: the probe sees a transport error, the
+		// same signature as a crashed process.
+		panic(http.ErrAbortHandler)
+	}
+	w.Write([]byte(`{"ok":true}` + "\n"))
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRegistryDeathAndRejoin drives the full liveness cycle: live at
+// boot, dead after the miss threshold, live again after one successful
+// probe — with every transition observed.
+func TestRegistryDeathAndRejoin(t *testing.T) {
+	var tw toggleWorker
+	srv := httptest.NewServer(&tw)
+	defer srv.Close()
+	healthy := httptest.NewServer(&toggleWorker{})
+	defer healthy.Close()
+
+	pool, err := client.NewPool([]string{"flappy=" + srv.URL, "steady=" + healthy.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var toLive, toDead atomic.Int64
+	reg := newRegistry(pool, 10*time.Millisecond, 100*time.Millisecond, 2,
+		func(name string, live bool) {
+			if name != "flappy" {
+				t.Errorf("unexpected transition for %s", name)
+			}
+			if live {
+				toLive.Add(1)
+			} else {
+				toDead.Add(1)
+			}
+		})
+	defer reg.Stop()
+
+	if !reg.alive("flappy") || !reg.alive("steady") {
+		t.Fatalf("workers not live after synchronous initial check: %+v", reg.snapshot())
+	}
+	if reg.liveCount() != 2 {
+		t.Fatalf("liveCount = %d, want 2", reg.liveCount())
+	}
+
+	// Kill: two consecutive misses mark it dead.
+	tw.down.Store(true)
+	waitFor(t, "flappy marked dead", func() bool { return !reg.alive("flappy") })
+	if !reg.alive("steady") {
+		t.Fatal("steady worker flipped dead alongside")
+	}
+	if got := toDead.Load(); got != 1 {
+		t.Fatalf("dead transitions = %d, want 1", got)
+	}
+
+	// One miss alone must NOT kill: verified implicitly — the threshold
+	// is 2 and the flip above required two probe rounds.
+
+	// Recover: one success marks it live again.
+	tw.down.Store(false)
+	waitFor(t, "flappy rejoined", func() bool { return reg.alive("flappy") })
+	if got := toLive.Load(); got != 1 {
+		t.Fatalf("live transitions = %d, want 1", got)
+	}
+
+	snap := reg.snapshot()
+	if len(snap) != 2 || snap[0].Name != "flappy" || snap[1].Name != "steady" {
+		t.Fatalf("snapshot order/content wrong: %+v", snap)
+	}
+	if !snap[0].Live || snap[0].LastSeen == "" {
+		t.Fatalf("rejoined worker snapshot: %+v", snap[0])
+	}
+}

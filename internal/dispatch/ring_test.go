@@ -1,0 +1,148 @@
+package dispatch
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keysOwnedBy maps n synthetic vehicle keys to owners under the given
+// liveness predicate.
+func ownersOf(r *hashRing, n int, alive func(string) bool) map[string]string {
+	out := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("vehicle:truck-%d", i)
+		owner, ok := r.owner(key, alive)
+		if !ok {
+			owner = ""
+		}
+		out[key] = owner
+	}
+	return out
+}
+
+// TestRingDistribution checks the vnode count spreads keys usefully:
+// with 3 workers every worker owns a substantial share of 10k keys —
+// no worker starves, none dominates.
+func TestRingDistribution(t *testing.T) {
+	r, err := newRing([]string{"w0", "w1", "w2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 10000
+	for _, owner := range ownersOf(r, n, nil) {
+		counts[owner]++
+	}
+	for _, w := range []string{"w0", "w1", "w2"} {
+		share := float64(counts[w]) / n
+		if share < 0.20 || share > 0.50 {
+			t.Fatalf("worker %s owns %.1f%% of keys (counts: %v) — outside [20%%, 50%%]", w, share*100, counts)
+		}
+	}
+}
+
+// TestRingRemapStability pins the acceptance contract: membership
+// change moves only the affected worker's keys.
+//
+//   - Removing w1 (marking it dead): every key owned by w0 or w2 keeps
+//     its owner; only w1's keys remap (and only onto live workers).
+//   - Adding w3: every key either keeps its previous owner or moves to
+//     w3 — no key shuffles between the old workers.
+func TestRingRemapStability(t *testing.T) {
+	const n = 5000
+	r3, err := newRing([]string{"w0", "w1", "w2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ownersOf(r3, n, nil)
+
+	// Leave: w1 dies.
+	withoutW1 := ownersOf(r3, n, func(name string) bool { return name != "w1" })
+	moved := 0
+	for key, owner := range before {
+		after := withoutW1[key]
+		if owner != "w1" {
+			if after != owner {
+				t.Fatalf("key %s moved %s -> %s although %s stayed alive", key, owner, after, owner)
+			}
+			continue
+		}
+		moved++
+		if after == "w1" || after == "" {
+			t.Fatalf("key %s still owned by dead/no worker (%q)", key, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("w1 owned no keys — distribution test should have caught this")
+	}
+
+	// Join: w3 appears. The 4-worker ring's points for w0..w2 are the
+	// same as the 3-worker ring's (point positions depend only on
+	// names), so ownership can only change toward w3.
+	r4, err := newRing([]string{"w0", "w1", "w2", "w3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withW3 := ownersOf(r4, n, nil)
+	gained := 0
+	for key, owner := range before {
+		after := withW3[key]
+		if after == owner {
+			continue
+		}
+		if after != "w3" {
+			t.Fatalf("key %s moved %s -> %s on join — only moves to the new worker are allowed", key, owner, after)
+		}
+		gained++
+	}
+	if gained == 0 {
+		t.Fatal("w3 gained no keys on join")
+	}
+}
+
+// TestRingSequence checks failover order properties: the first entry is
+// the owner, entries are distinct, and dead workers are skipped.
+func TestRingSequence(t *testing.T) {
+	r, err := newRing([]string{"w0", "w1", "w2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := r.sequence("vehicle:truck-7", nil, 0)
+	if len(seq) != 3 {
+		t.Fatalf("sequence = %v, want all 3 workers", seq)
+	}
+	owner, ok := r.owner("vehicle:truck-7", nil)
+	if !ok || owner != seq[0] {
+		t.Fatalf("owner %q != sequence head %q", owner, seq[0])
+	}
+	seen := map[string]bool{}
+	for _, name := range seq {
+		if seen[name] {
+			t.Fatalf("sequence %v repeats %s", seq, name)
+		}
+		seen[name] = true
+	}
+	// Killing the owner promotes the next candidate.
+	alive := func(name string) bool { return name != seq[0] }
+	promoted, ok := r.owner("vehicle:truck-7", alive)
+	if !ok || promoted != seq[1] {
+		t.Fatalf("owner with %s dead = %q, want %q", seq[0], promoted, seq[1])
+	}
+	// No live workers at all.
+	if _, ok := r.owner("vehicle:truck-7", func(string) bool { return false }); ok {
+		t.Fatal("owner() reported a live worker on an all-dead ring")
+	}
+}
+
+// TestRingErrors pins constructor validation.
+func TestRingErrors(t *testing.T) {
+	if _, err := newRing(nil, 0); err == nil {
+		t.Fatal("empty ring built")
+	}
+	if _, err := newRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if _, err := newRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}

@@ -268,9 +268,27 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
 		return
 	}
+	// Stored timestamps are positive Unix milliseconds (ingest validates
+	// ts_ms > 0), so a negative bound — like a non-integer one — is a
+	// malformed query, not an empty range: 400, never a silent [].
+	if fromMS < 0 {
+		writeJSON(w, http.StatusBadRequest,
+			mustMarshal(errorBody{fmt.Sprintf("from_ms: %d must be non-negative", fromMS)}))
+		return
+	}
+	if toMS < 0 {
+		writeJSON(w, http.StatusBadRequest,
+			mustMarshal(errorBody{fmt.Sprintf("to_ms: %d must be non-negative", toMS)}))
+		return
+	}
 	queryTo := toMS
 	if !toSet || toMS == 0 {
 		queryTo = int64(1<<63 - 1)
+	}
+	if fromMS > queryTo {
+		writeJSON(w, http.StatusBadRequest,
+			mustMarshal(errorBody{fmt.Sprintf("from_ms %d exceeds to_ms %d: inverted range", fromMS, toMS)}))
+		return
 	}
 	samples, ok, err := s.tsdb.Query(vehicle, fromMS, queryTo)
 	if err != nil {

@@ -55,6 +55,11 @@ type serveMetrics struct {
 	// ingestFlush observes one telemetry-store block seal (buffer →
 	// fsynced chunk on disk); the store calls it through OnFlush.
 	ingestFlush *obs.Histogram
+
+	// clusterReqs counts the internal cluster endpoints (/v1/plan,
+	// /v1/chunk, /v1/aggregate) by outcome — the worker-side view of
+	// dispatcher traffic.
+	clusterReqs map[string]*obs.Counter
 }
 
 // nodeMemoTables names the node memo tables in exposition order.
@@ -268,7 +273,23 @@ func newServeMetrics(s *Server) *serveMetrics {
 	m.ingestFlush = r.Histogram("tyresysd_ingest_flush_seconds",
 		"Wall time of one telemetry chunk seal: encode, append, fsync.",
 		obs.DefLatencyBuckets)
+
+	// Cluster-endpoint metrics, appended after the ingest families for
+	// the same offset-stability reason as every family block above.
+	m.clusterReqs = make(map[string]*obs.Counter, 3)
+	for _, oc := range []string{"ok", "bad_request", "error"} {
+		m.clusterReqs[oc] = r.Counter("tyresysd_cluster_requests_total",
+			"Internal cluster requests (/v1/plan, /v1/chunk, /v1/aggregate) by outcome: ok (200), bad_request (400/413), error (5xx/504).",
+			obs.Label{Key: "outcome", Value: oc})
+	}
 	return m
+}
+
+// cluster counts one internal cluster request's outcome.
+func (m *serveMetrics) cluster(outcome string) {
+	if c, ok := m.clusterReqs[outcome]; ok {
+		c.Inc()
+	}
 }
 
 // absorb folds one completed evaluation's engine memo counters into the

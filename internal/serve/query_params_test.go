@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/client"
+)
+
+// TestSeriesMonitorBadParams pins the query-parameter contract of
+// GET /v1/series/{vehicle} and GET /v1/monitor/{vehicle}: every
+// malformed from_ms / to_ms / window value answers 400 with a JSON
+// error envelope — never a 404 (which means "unknown vehicle" / "no
+// samples") and never a 500. The vehicle exists and has data, so any
+// non-400 here would be the handler misclassifying client error as
+// something else.
+func TestSeriesMonitorBadParams(t *testing.T) {
+	_, srv := testServer(t, tsdbOptions(t))
+	c := apiClient(srv.URL)
+	ctx := context.Background()
+
+	if _, err := c.Ingest(ctx, []client.IngestSample{
+		{Vehicle: "truck-1", TSMS: 1000, SpeedKMH: 60, HarvestedUJ: 40, ConsumedUJ: 35},
+		{Vehicle: "truck-1", TSMS: 2000, SpeedKMH: 62, HarvestedUJ: 41, ConsumedUJ: 35},
+	}); err != nil {
+		t.Fatalf("seed ingest: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		path string
+		want string // substring of the error message
+	}{
+		{"series from_ms not a number", "/v1/series/truck-1?from_ms=abc", "not an integer"},
+		{"series from_ms float", "/v1/series/truck-1?from_ms=1.5", "not an integer"},
+		{"series from_ms overflow", "/v1/series/truck-1?from_ms=99999999999999999999", "not an integer"},
+		{"series from_ms negative", "/v1/series/truck-1?from_ms=-5", "non-negative"},
+		{"series to_ms not a number", "/v1/series/truck-1?to_ms=later", "not an integer"},
+		{"series to_ms hex", "/v1/series/truck-1?to_ms=0x10", "not an integer"},
+		{"series to_ms negative", "/v1/series/truck-1?to_ms=-1", "non-negative"},
+		{"series inverted range", "/v1/series/truck-1?from_ms=2000&to_ms=1000", "inverted range"},
+		{"series empty-string from_ms ok, bad to_ms", "/v1/series/truck-1?from_ms=&to_ms=x", "not an integer"},
+		{"monitor window not a number", "/v1/monitor/truck-1?window=abc", "window"},
+		{"monitor window float", "/v1/monitor/truck-1?window=2.5", "window"},
+		{"monitor window zero", "/v1/monitor/truck-1?window=0", "window"},
+		{"monitor window negative", "/v1/monitor/truck-1?window=-3", "window"},
+		{"monitor window over cap", "/v1/monitor/truck-1?window=5000", "window"},
+		{"monitor window overflow", "/v1/monitor/truck-1?window=99999999999999999999", "window"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := c.GetRaw(ctx, tc.path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", tc.path, err)
+			}
+			if res.Status != http.StatusBadRequest {
+				t.Fatalf("GET %s = %d (%s), want 400", tc.path, res.Status, res.Body)
+			}
+			if !strings.Contains(string(res.Body), tc.want) {
+				t.Fatalf("GET %s error %q does not mention %q", tc.path, res.Body, tc.want)
+			}
+			if !strings.Contains(string(res.Body), `"error"`) {
+				t.Fatalf("GET %s body %q is not the JSON error envelope", tc.path, res.Body)
+			}
+		})
+	}
+
+	// Well-formed edge values keep working: zero bounds are open, an
+	// equal from/to pair is a valid single-point range, and the window
+	// cap itself is accepted.
+	for _, path := range []string{
+		"/v1/series/truck-1?from_ms=0&to_ms=0",
+		"/v1/series/truck-1?from_ms=2000&to_ms=2000",
+		"/v1/series/truck-1?from_ms=1000",
+		"/v1/monitor/truck-1?window=1",
+		"/v1/monitor/truck-1?window=4096",
+	} {
+		res, err := c.GetRaw(ctx, path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if res.Status != http.StatusOK {
+			t.Fatalf("GET %s = %d (%s), want 200", path, res.Status, res.Body)
+		}
+	}
+}

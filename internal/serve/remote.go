@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/client"
+)
+
+// The internal cluster endpoints behind a tyredisp dispatcher:
+// POST /v1/plan decomposes a job request into its chunk grid,
+// POST /v1/chunk evaluates one chunk, POST /v1/aggregate folds ordered
+// chunk results into the terminal aggregate. All three delegate to the
+// exact planner the local job runner uses (planJob and the jobs.Plan it
+// returns), so a job distributed across workers produces the same chunk
+// results and the same aggregate bytes as a single-process run — the
+// dispatcher never re-implements engine logic, it only moves requests.
+//
+// Chunk work runs outside the interactive admission semaphore, like the
+// local batch executors: a worker saturated with remote chunks still
+// answers its own sync analysis calls, and remote chunk load can never
+// 429 interactive traffic.
+
+// Cluster wire types, aliased from the client package like all /v1
+// documents.
+type (
+	// PlanRequest is the POST /v1/plan payload.
+	PlanRequest = client.PlanRequest
+	// PlanResponse is the chunk grid POST /v1/plan answers.
+	PlanResponse = client.PlanResponse
+	// ChunkRequest is the POST /v1/chunk payload.
+	ChunkRequest = client.ChunkRequest
+	// ChunkResponse is one evaluated chunk.
+	ChunkResponse = client.ChunkResponse
+	// AggregateRequest is the POST /v1/aggregate payload.
+	AggregateRequest = client.AggregateRequest
+	// AggregateResponse carries the terminal aggregate verbatim.
+	AggregateResponse = client.AggregateResponse
+)
+
+// decodeClusterBody strict-decodes an internal-endpoint body with the
+// shared size cap, mapping oversized bodies to 413 like every other
+// endpoint. Returns false after writing the error response.
+func (s *Server) decodeClusterBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	if err := decodeStrict(r.Body, dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.cluster("bad_request")
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				mustMarshal(errorBody{fmt.Sprintf("request body exceeds %d bytes", MaxBodyBytes)}))
+			return false
+		}
+		s.metrics.cluster("bad_request")
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+		return false
+	}
+	return true
+}
+
+// handlePlan answers the chunk grid for a job request. Planning is a
+// pure function of (kind, request), so every worker returns the same
+// grid and a dispatcher may plan on any of them.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !s.decodeClusterBody(w, r, &req) {
+		return
+	}
+	plan, err := s.planJob(req.Kind, req.Request)
+	if err != nil {
+		s.metrics.cluster("bad_request")
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	resp := PlanResponse{
+		Kind:       req.Kind,
+		Chunks:     plan.NumChunks(),
+		Sequential: plan.Sequential(),
+		Weights:    make([]int64, plan.NumChunks()),
+	}
+	for i := range resp.Weights {
+		resp.Weights[i] = plan.ChunkWeight(i)
+	}
+	body, err := marshalBody(resp)
+	if err != nil {
+		s.metrics.cluster("error")
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	s.metrics.cluster("ok")
+	writeJSON(w, http.StatusOK, body)
+}
+
+// chunkContext derives the context a remote chunk (or aggregate) runs
+// under: the server base (so Shutdown aborts stragglers), cancelled
+// when the dispatcher's request goes away (it has retried elsewhere —
+// nobody wants this result anymore), bounded by RequestTimeout.
+func (s *Server) chunkContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(s.base)
+	stop := context.AfterFunc(r.Context(), cancel)
+	if s.opts.RequestTimeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		return ctx, func() { tcancel(); cancel(); stop() }
+	}
+	return ctx, func() { cancel(); stop() }
+}
+
+// clusterError maps a chunk/aggregate evaluation error onto the shared
+// status vocabulary (the same mapping evaluate applies).
+func (s *Server) clusterError(w http.ResponseWriter, err error) {
+	var bad badRequestError
+	switch {
+	case errors.As(err, &bad):
+		s.metrics.cluster("bad_request")
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.cluster("error")
+		writeJSON(w, http.StatusGatewayTimeout, mustMarshal(errorBody{"evaluation deadline exceeded"}))
+	case errors.Is(err, context.Canceled):
+		s.metrics.cluster("error")
+		writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"evaluation cancelled"}))
+	default:
+		s.metrics.cluster("error")
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+	}
+}
+
+// handleChunk evaluates one chunk of a job. The worker re-plans from
+// the verbatim request — deterministic, so chunk i here is chunk i
+// everywhere — and runs it under the draining-aware base context.
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	var req ChunkRequest
+	if !s.decodeClusterBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.cluster("error")
+		writeJSON(w, http.StatusServiceUnavailable, mustMarshal(errorBody{"server shutting down"}))
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+
+	plan, err := s.planJob(req.Kind, req.Request)
+	if err != nil {
+		s.metrics.cluster("bad_request")
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	if req.Chunk < 0 || req.Chunk >= plan.NumChunks() {
+		s.metrics.cluster("bad_request")
+		writeJSON(w, http.StatusBadRequest,
+			mustMarshal(errorBody{fmt.Sprintf("chunk %d out of range [0, %d)", req.Chunk, plan.NumChunks())}))
+		return
+	}
+	ctx, cancel := s.chunkContext(r)
+	defer cancel()
+	result, carry, err := plan.RunChunk(ctx, req.Chunk, req.Carry)
+	if err != nil {
+		s.clusterError(w, err)
+		return
+	}
+	body, err := marshalBody(ChunkResponse{Chunk: req.Chunk, Result: result, Carry: carry})
+	if err != nil {
+		s.metrics.cluster("error")
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	s.metrics.cluster("ok")
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleAggregate folds ordered chunk results into the job's terminal
+// aggregate via the plan's own Aggregate — the byte-identity hinge: the
+// distributed job's final bytes come from the same fold as a local run.
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	var req AggregateRequest
+	if !s.decodeClusterBody(w, r, &req) {
+		return
+	}
+	plan, err := s.planJob(req.Kind, req.Request)
+	if err != nil {
+		s.metrics.cluster("bad_request")
+		writeJSON(w, http.StatusBadRequest, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	if len(req.Results) != plan.NumChunks() {
+		s.metrics.cluster("bad_request")
+		writeJSON(w, http.StatusBadRequest,
+			mustMarshal(errorBody{fmt.Sprintf("want %d chunk results, got %d", plan.NumChunks(), len(req.Results))}))
+		return
+	}
+	results := make([][]byte, len(req.Results))
+	for i, raw := range req.Results {
+		results[i] = raw
+	}
+	ctx, cancel := s.chunkContext(r)
+	defer cancel()
+	agg, err := plan.Aggregate(ctx, results, req.FinalCarry)
+	if err != nil {
+		s.clusterError(w, err)
+		return
+	}
+	body, err := marshalBody(AggregateResponse{Aggregate: agg})
+	if err != nil {
+		s.metrics.cluster("error")
+		writeJSON(w, http.StatusInternalServerError, mustMarshal(errorBody{err.Error()}))
+		return
+	}
+	s.metrics.cluster("ok")
+	writeJSON(w, http.StatusOK, body)
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/client"
+)
+
+// The worker-side cluster endpoints are the engine half of a tyredisp
+// deployment: /v1/plan must expose exactly the decomposition the local
+// job runner uses, and chunk results folded through /v1/aggregate must
+// reproduce the local job's aggregate bytes — that equality is what
+// makes a distributed job byte-identical to a single-process run.
+
+// runLocalJob submits a job and returns its terminal aggregate bytes.
+func runLocalJob(t *testing.T, c *client.Client, kind string, request json.RawMessage) []byte {
+	t.Helper()
+	ctx := context.Background()
+	st, err := c.SubmitJob(ctx, client.JobSubmitRequest{Kind: kind, Request: request})
+	if err != nil {
+		t.Fatalf("SubmitJob(%s): %v", kind, err)
+	}
+	lines, err := c.JobResult(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("JobResult: %v", err)
+	}
+	last := lines[len(lines)-1]
+	if last.State != client.JobDone {
+		t.Fatalf("job ended %s: %s", last.State, last.Error)
+	}
+	return last.Aggregate
+}
+
+// runRemoteJob drives the same job through the cluster endpoints the
+// way a dispatcher would: plan, run every chunk (threading the carry
+// for sequential plans), aggregate.
+func runRemoteJob(t *testing.T, c *client.Client, kind string, request json.RawMessage) []byte {
+	t.Helper()
+	ctx := context.Background()
+	plan, err := c.PlanJob(ctx, client.PlanRequest{Kind: kind, Request: request})
+	if err != nil {
+		t.Fatalf("PlanJob(%s): %v", kind, err)
+	}
+	if plan.Chunks < 1 || len(plan.Weights) != plan.Chunks {
+		t.Fatalf("PlanResponse = %+v: want >=1 chunks with matching weights", plan)
+	}
+	results := make([]json.RawMessage, plan.Chunks)
+	var carry json.RawMessage
+	for i := 0; i < plan.Chunks; i++ {
+		cr, err := c.RunChunk(ctx, client.ChunkRequest{
+			Kind: kind, Request: request, Chunk: i, Carry: carry,
+		})
+		if err != nil {
+			t.Fatalf("RunChunk(%d): %v", i, err)
+		}
+		results[i] = cr.Result
+		carry = cr.Carry
+	}
+	if !plan.Sequential {
+		carry = nil
+	}
+	agg, err := c.AggregateJob(ctx, client.AggregateRequest{
+		Kind: kind, Request: request, Results: results, FinalCarry: carry,
+	})
+	if err != nil {
+		t.Fatalf("AggregateJob: %v", err)
+	}
+	return agg.Aggregate
+}
+
+// TestClusterEndpointsByteIdentical pins the hinge equality for one
+// independent multi-chunk kind (montecarlo, merged via mc.Merge), one
+// sequential kind (emulate, snapshot carry threading) and the fleet
+// fan-out: remote plan+chunks+aggregate ≡ the local job's aggregate.
+func TestClusterEndpointsByteIdentical(t *testing.T) {
+	api, srv := testServer(t, Options{Workers: 2})
+	_ = api
+	c := apiClient(srv.URL)
+
+	cases := []struct {
+		kind    string
+		request string
+	}{
+		{"montecarlo", `{"trials":9000,"speed_kmh":60,"seed":7}`},
+		{"emulate", `{"minutes":12,"speed_kmh":60}`},
+		{"fleet", `{"minutes":4,"speed_kmh":50}`},
+		{"balance", `{"points":150}`},
+		{"breakeven", `{}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			req := json.RawMessage(tc.request)
+			local := runLocalJob(t, c, tc.kind, req)
+			remote := runRemoteJob(t, c, tc.kind, req)
+			if !bytes.Equal(local, remote) {
+				t.Fatalf("remote aggregate differs from local job:\nlocal:  %s\nremote: %s", local, remote)
+			}
+		})
+	}
+}
+
+// TestClusterEndpointErrors pins the error surface a dispatcher
+// depends on: bad kinds and malformed requests 400 (permanent — never
+// retried), out-of-range chunk indexes 400, and result-count mismatches
+// on aggregate 400.
+func TestClusterEndpointErrors(t *testing.T) {
+	_, srv := testServer(t, Options{Workers: 2})
+	c := apiClient(srv.URL)
+	ctx := context.Background()
+
+	post := func(path, body string) int {
+		res, err := c.PostRaw(ctx, path, []byte(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		return res.Status
+	}
+	for _, tc := range []struct {
+		path, body string
+	}{
+		{"/v1/plan", `{"kind":"nope","request":{}}`},
+		{"/v1/plan", `{"kind":"balance","request":{"points":-1}}`},
+		{"/v1/plan", `not json`},
+		{"/v1/chunk", `{"kind":"balance","request":{"points":100},"chunk":99}`},
+		{"/v1/chunk", `{"kind":"balance","request":{"points":100},"chunk":-1}`},
+		{"/v1/aggregate", `{"kind":"breakeven","request":{},"results":[]}`},
+	} {
+		if got := post(tc.path, tc.body); got != http.StatusBadRequest {
+			t.Fatalf("POST %s %q = %d, want 400", tc.path, tc.body, got)
+		}
+	}
+}

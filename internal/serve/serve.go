@@ -70,6 +70,12 @@ type Options struct {
 	// tyresysd exposes this as -emu-fast. Off by default: the exact
 	// kernel is bit-identical to the pre-kernel evaluation.
 	EmuFast bool
+	// NodeName, when set, is stamped on every response as the
+	// X-Tyresys-Node header — behind a tyredisp dispatcher it tells a
+	// client (and an operator reading curl output) which shard actually
+	// answered. Empty (the default) adds no header; response bodies are
+	// never affected. tyresysd exposes this as -node-name.
+	NodeName string
 	// JobsNoSync skips the fsync after each batch-job chunk append,
 	// trading the durability of a job's most recent chunks against a
 	// crash for append throughput. Job specs and terminal records stay
@@ -238,6 +244,9 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("POST /v1/chunk", s.handleChunk)
+	s.mux.HandleFunc("POST /v1/aggregate", s.handleAggregate)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/series/{vehicle}", s.handleSeries)
 	s.mux.HandleFunc("GET /v1/monitor/{vehicle}", s.handleMonitor)
@@ -266,8 +275,14 @@ func (s *Server) QuarantinedSeries() []string {
 	return s.tsdb.Quarantined()
 }
 
-// ServeHTTP dispatches to the v1 routes.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches to the v1 routes, stamping the shard identity
+// header first when the server runs with a node name.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.opts.NodeName != "" {
+		w.Header().Set("X-Tyresys-Node", s.opts.NodeName)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // Shutdown drains the server: new evaluations and job submissions are
 // refused with 503, in-flight evaluations are waited for until ctx

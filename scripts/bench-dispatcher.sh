@@ -1,0 +1,34 @@
+#!/bin/sh
+# Dispatcher-scaling measurement, reproducing BENCH_PR9.json:
+#
+#   sh scripts/bench-dispatcher.sh
+#
+# Runs tyreload's default mixed profile (five sync analyses + batch
+# jobs + telemetry ingest, deterministic seed) against an in-process
+# dispatcher fronting 1, 2 and 4 in-process workers, and assembles the
+# three reports into BENCH_PR9.json. The knobs are fixed so the only
+# variable across the three runs is the worker count.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_PR9.json
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for n in 1 2 4; do
+    echo "== $n worker(s)" >&2
+    go run ./cmd/tyreload -inproc-workers "$n" \
+        -rate 120 -duration 4s -variants 3 -seed 1 \
+        -out "$tmp/w$n.json" > /dev/null
+done
+
+{
+    printf '{"workers_1":'
+    cat "$tmp/w1.json"
+    printf ',"workers_2":'
+    cat "$tmp/w2.json"
+    printf ',"workers_4":'
+    cat "$tmp/w4.json"
+    printf '}\n'
+} > "$out"
+echo "wrote $out" >&2

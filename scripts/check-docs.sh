@@ -7,8 +7,9 @@
 # 2. Every internal package must carry a doc.go whose comment starts
 #    with the canonical "// Package <name>" form, so `go doc
 #    repro/internal/<pkg>` always has something to say.
-# 3. Every relative link in README.md and ARCHITECTURE.md must point at
-#    a file that exists, so the docs can't silently rot as files move.
+# 3. Every relative link in README.md, ARCHITECTURE.md and
+#    OPERATIONS.md must point at a file that exists, so the docs can't
+#    silently rot as files move.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -33,7 +34,7 @@ done
 echo "   all internal packages documented"
 
 echo "== relative links"
-for doc in README.md ARCHITECTURE.md; do
+for doc in README.md ARCHITECTURE.md OPERATIONS.md; do
     # Pull out markdown link targets, keep only relative file paths
     # (skip URLs and intra-page #anchors), drop any #fragment suffix.
     grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//' |
