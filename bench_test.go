@@ -432,7 +432,7 @@ func BenchmarkEmulatorKernelDirtyRatio(b *testing.B) {
 	}{
 		{"cruise80", profile.Constant(KMH(80), Minutes(30))},
 		{"urban", profile.Repeat(profile.Urban(), 8)},
-		{"highway", profile.Highway(10)},
+		{"highway", profile.MustHighway(10)},
 		{"mixed", profile.Mixed()},
 	}
 	for _, c := range cycles {

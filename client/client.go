@@ -161,6 +161,13 @@ func (c *Client) Emulate(ctx context.Context, req EmulateRequest) (EmulateRespon
 	return out, err
 }
 
+// Scenarios runs POST /v1/scenarios.
+func (c *Client) Scenarios(ctx context.Context, req ScenarioRequest) (ScenarioResponse, error) {
+	var out ScenarioResponse
+	err := c.postJSON(ctx, "/v1/scenarios", req, &out)
+	return out, err
+}
+
 // SubmitJob POSTs /v1/jobs and returns the accepted job's status.
 func (c *Client) SubmitJob(ctx context.Context, req JobSubmitRequest) (JobStatus, error) {
 	var out JobStatus

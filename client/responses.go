@@ -1,6 +1,10 @@
 package client
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"repro/internal/scenario"
+)
 
 // Response documents of the /v1 analysis endpoints. Field order is load-
 // bearing: the server marshals these structs directly, responses are
@@ -77,6 +81,30 @@ type EmulateResponse struct {
 	LeakedUJ       float64 `json:"leaked_uj"`
 	FinalVoltageV  float64 `json:"final_voltage_v"`
 	MinVoltageV    float64 `json:"min_voltage_v"`
+}
+
+// ScenarioResponse is the /v1/scenarios payload: the compiled profile's
+// fingerprint and summary, the emulation outcome, the rule firings with
+// the final reaction factors, and the optional battery verdict.
+type ScenarioResponse struct {
+	Family        string  `json:"family"`
+	Seed          int64   `json:"seed"`
+	AmbientC      float64 `json:"ambient_c"`
+	ProfileSHA256 string  `json:"profile_sha256"`
+	// Profile summary on a 1 s grid.
+	MaxSpeedKMH  float64 `json:"max_speed_kmh"`
+	MeanSpeedKMH float64 `json:"mean_speed_kmh"`
+	DistanceM    float64 `json:"distance_m"`
+	StoppedS     float64 `json:"stopped_s"`
+	// Emulate is the run outcome in the same shape as /v1/emulate.
+	Emulate EmulateResponse `json:"emulate"`
+	// Firings lists every rule activation in time order; TxFactor and
+	// SampleFactor are the cumulative reaction scalars at run end.
+	Firings      []scenario.Firing `json:"firings"`
+	TxFactor     float64           `json:"tx_factor"`
+	SampleFactor float64           `json:"sample_factor"`
+	// Battery is present when the request carried a battery spec.
+	Battery *scenario.BatteryVerdict `json:"battery,omitempty"`
 }
 
 // FleetWheelResult is one wheel's emulation outcome within a fleet job.

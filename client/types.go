@@ -6,12 +6,13 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/config"
+	"repro/internal/scenario"
 )
 
 // Endpoints names the POST analysis routes, in route-registration order.
 // The serving layer iterates this same slice, so an endpoint added here
 // without a handler (or vice versa) fails tests immediately.
-var Endpoints = []string{"balance", "breakeven", "montecarlo", "optimize", "emulate"}
+var Endpoints = []string{"balance", "breakeven", "montecarlo", "optimize", "emulate", "scenarios"}
 
 // Request parameter ceilings. They bound the work one request can
 // demand, so the server's admission control reasons about request counts
@@ -314,6 +315,26 @@ func (r *FleetRequest) Validate() error {
 	}
 	return nil
 }
+
+// ScenarioRequest asks /v1/scenarios to compile a declarative driving
+// scenario, emulate it with the reactive rules engine, and (optionally)
+// size a backup battery. The embedded scenario.Spec carries the
+// scenario itself; Scenario optionally swaps the hardware stack, like
+// every other analysis request.
+type ScenarioRequest struct {
+	Scenario *config.Scenario `json:"scenario,omitempty"`
+	scenario.Spec
+}
+
+// Defaults fills unset spec fields.
+func (r *ScenarioRequest) Defaults() { r.Spec.Defaults() }
+
+// ResolveFast fills an omitted fast field with the server's default
+// emulation mode; see EmulateRequest.ResolveFast.
+func (r *ScenarioRequest) ResolveFast(serverDefault bool) { r.Spec.ResolveFast(serverDefault) }
+
+// Validate reports the first request-shape problem.
+func (r *ScenarioRequest) Validate() error { return r.Spec.Validate() }
 
 // Float64 / Int64 / Bool build the pointer values the presence-tracked
 // request fields take: client.Float64(0) is an explicit zero, nil is an

@@ -1,5 +1,5 @@
 // Command tyreload is an open-loop load generator for tyresysd. It
-// replays a configurable traffic mix — the five synchronous analysis
+// replays a configurable traffic mix — the six synchronous analysis
 // endpoints, batch-job submissions with NDJSON result streaming, and
 // NDJSON telemetry ingest into the embedded time-series store — against
 // a running daemon (or an in-process engine with -inproc), scrapes
@@ -12,7 +12,7 @@
 //
 //	tyreload [-target http://host:8080 | -targets a=URL,b=URL |
 //	          -inproc | -inproc-workers N] [-rate 50] [-duration 5s]
-//	         [-requests 0] [-mix balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,jobs=1,ingest=2]
+//	         [-requests 0] [-mix balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,scenarios=1,jobs=1,ingest=2]
 //	         [-variants 3] [-seed 1] [-scenarios examples/scenarios]
 //	         [-timeout 30s] [-out report.json] [-slo scripts/slo.json]
 //	         [-inject-latency 0]
@@ -68,8 +68,8 @@ func main() {
 	rate := flag.Float64("rate", 50, "arrival rate, requests/second (open loop)")
 	duration := flag.Duration("duration", 5*time.Second, "schedule length; total = rate × duration")
 	requests := flag.Int("requests", 0, "total arrivals (overrides -duration when > 0)")
-	mixSpec := flag.String("mix", "balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,jobs=1,ingest=2",
-		"traffic mix as name=weight pairs over balance, breakeven, montecarlo, optimize, emulate, jobs, ingest")
+	mixSpec := flag.String("mix", "balance=2,breakeven=2,montecarlo=2,optimize=1,emulate=2,scenarios=1,jobs=1,ingest=2",
+		"traffic mix as name=weight pairs over balance, breakeven, montecarlo, optimize, emulate, scenarios, jobs, ingest")
 	variants := flag.Int("variants", 3, "distinct request bodies per endpoint; further draws duplicate them")
 	seed := flag.Int64("seed", 1, "schedule RNG seed; same flags + seed = identical request sequence")
 	scenarios := flag.String("scenarios", "examples/scenarios", "directory with the *-request.json templates")
@@ -330,6 +330,9 @@ func runJob(ctx context.Context, c *client.Client, job client.JobSubmitRequest) 
 			return ae.Status, err
 		}
 		return 0, err
+	}
+	if len(lines) == 0 {
+		return 200, fmt.Errorf("job %s: empty result stream", st.ID)
 	}
 	last := lines[len(lines)-1]
 	if last.State != client.JobDone {

@@ -12,9 +12,10 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/scenario"
 )
 
-// A traffic mix is a weighted blend of the five synchronous analysis
+// A traffic mix is a weighted blend of the six synchronous analysis
 // endpoints plus two pseudo-endpoints: "jobs" (submit a fleet batch job
 // and stream its NDJSON result to the terminal line) and "ingest" (POST
 // an NDJSON telemetry batch into the embedded time-series store). Each
@@ -164,6 +165,17 @@ func variantPools(dir string, variants int) (map[string][][]byte, error) {
 		if err := appendVariant(pools, "emulate", emu); err != nil {
 			return nil, err
 		}
+
+		// Scenario variants are code-built (like breakeven): short runs
+		// cycling through the families, each with a distinct seed so
+		// variants hit distinct canonical keys.
+		scen := client.ScenarioRequest{}
+		scen.Family = scenario.Families()[v%len(scenario.Families())]
+		scen.DurationS = 300
+		scen.Seed = client.Int64(int64(v))
+		if err := appendVariant(pools, "scenarios", scen); err != nil {
+			return nil, err
+		}
 	}
 	return pools, nil
 }
@@ -214,6 +226,8 @@ func validateFilled(endpoint string, req any) error {
 		return check(&client.OptimizeRequest{})
 	case "emulate":
 		return check(&client.EmulateRequest{})
+	case "scenarios":
+		return check(&client.ScenarioRequest{})
 	default:
 		return nil
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"time"
@@ -122,6 +123,21 @@ func percentile(sorted []time.Duration, p int) float64 {
 	return float64(sorted[rank-1]) / float64(time.Millisecond)
 }
 
+// safeRatio returns num/den, or 0 when the denominator is not strictly
+// positive or either operand is not finite. Every ratio field in the
+// report goes through it: a NaN or ±Inf would make encoding/json fail
+// to write the report at all, and would turn the SLO gate's >=
+// comparisons into silent no-ops (every comparison against NaN is
+// false). A run with an empty leg — no OK responses, nothing sealed to
+// disk yet, a zero wall clock — reports 0 for the affected ratios
+// instead.
+func safeRatio(num, den float64) float64 {
+	if math.IsNaN(num) || math.IsInf(num, 0) || math.IsInf(den, 0) || !(den > 0) {
+		return 0
+	}
+	return num / den
+}
+
 // buildReport folds the per-request outcomes and the two metric scrapes
 // into the run report.
 func buildReport(outcomes []outcome, before, after client.MetricSet, wall time.Duration) Report {
@@ -173,9 +189,7 @@ func buildReport(outcomes []outcome, before, after client.MetricSet, wall time.D
 		rep.Errors += er.Errors
 	}
 	rep.WallSeconds = wall.Seconds()
-	if rep.WallSeconds > 0 {
-		rep.ThroughputRPS = float64(rep.Requests) / rep.WallSeconds
-	}
+	rep.ThroughputRPS = safeRatio(float64(rep.Requests), rep.WallSeconds)
 
 	d := MetricsDelta{
 		ResponsesOK: after.Delta(before, "tyresysd_responses_total", client.Label{Key: "outcome", Value: "ok"}),
@@ -184,11 +198,9 @@ func buildReport(outcomes []outcome, before, after client.MetricSet, wall time.D
 		Computed:    after.Delta(before, "tyresysd_computed_total"),
 		Rejected:    after.Delta(before, "tyresysd_responses_total", client.Label{Key: "outcome", Value: "rejected"}),
 	}
-	if d.ResponsesOK > 0 {
-		d.CoalesceRate = d.Coalesced / d.ResponsesOK
-		d.CacheHitRate = d.CacheHits / d.ResponsesOK
-		d.ReuseRate = d.CoalesceRate + d.CacheHitRate
-	}
+	d.CoalesceRate = safeRatio(d.Coalesced, d.ResponsesOK)
+	d.CacheHitRate = safeRatio(d.CacheHits, d.ResponsesOK)
+	d.ReuseRate = d.CoalesceRate + d.CacheHitRate
 	rep.Metrics = d
 
 	if samples := after.Delta(before, "tyresysd_ingest_samples_total"); samples > 0 {
@@ -198,15 +210,9 @@ func buildReport(outcomes []outcome, before, after client.MetricSet, wall time.D
 			SealedSamples: after.Delta(before, "tyresysd_tsdb_samples"),
 			DiskBytes:     after.Delta(before, "tyresysd_tsdb_disk_bytes"),
 		}
-		if ing.SealedSamples > 0 {
-			ing.DiskBytesPerSample = ing.DiskBytes / ing.SealedSamples
-			if ing.DiskBytesPerSample > 0 {
-				ing.CompressionRatio = (ing.RawBytes / ing.Samples) / ing.DiskBytesPerSample
-			}
-		}
-		if rep.WallSeconds > 0 {
-			ing.SamplesPerSec = samples / rep.WallSeconds
-		}
+		ing.DiskBytesPerSample = safeRatio(ing.DiskBytes, ing.SealedSamples)
+		ing.CompressionRatio = safeRatio(safeRatio(ing.RawBytes, ing.Samples), ing.DiskBytesPerSample)
+		ing.SamplesPerSec = safeRatio(samples, rep.WallSeconds)
 		if er, ok := rep.Endpoints["ingest"]; ok {
 			ing.Errors = er.Errors + er.Rejected
 		}

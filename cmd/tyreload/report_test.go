@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"math"
 	"testing"
 	"time"
+
+	"repro/client"
 )
 
 // ladder returns n sorted durations 1ms, 2ms, …, n ms, so the k-th
@@ -72,4 +77,84 @@ func boolInt(b bool) int {
 		return 1
 	}
 	return 0
+}
+
+// TestSafeRatioGuards pins the guard: no operand combination yields a
+// non-finite ratio.
+func TestSafeRatioGuards(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		num, den, want float64
+	}{
+		{10, 4, 2.5},
+		{0, 5, 0},
+		{10, 0, 0},   // zero denominator: the report's empty-leg case
+		{10, -3, 0},  // negative delta (counter reset between scrapes)
+		{nan, 5, 0},  // NaN numerator from a poisoned scrape
+		{10, nan, 0}, // every comparison with NaN is false → guarded
+		{inf, 5, 0},
+		{10, inf, 0},
+	}
+	for _, c := range cases {
+		if got := safeRatio(c.num, c.den); got != c.want {
+			t.Errorf("safeRatio(%v, %v) = %v, want %v", c.num, c.den, got, c.want)
+		}
+	}
+}
+
+// TestReportRatiosFiniteOnEmptyRun is the regression test for the
+// NaN-in-report bug class: a run where every leg is empty (no outcomes,
+// identical metric scrapes, zero wall clock) must still build a report
+// whose ratio fields are all finite — encoding/json refuses NaN/Inf, so
+// the strongest proof is that the report marshals at all.
+func TestReportRatiosFiniteOnEmptyRun(t *testing.T) {
+	rep := buildReport(nil, client.MetricSet{}, client.MetricSet{}, 0)
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("empty-run report does not marshal: %v", err)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if bytes.Contains(blob, []byte(bad)) {
+			t.Errorf("empty-run report contains %s: %s", bad, blob)
+		}
+	}
+	if rep.ThroughputRPS != 0 || rep.Metrics.ReuseRate != 0 {
+		t.Errorf("empty-run ratios non-zero: %+v", rep)
+	}
+	// The SLO gate must evaluate (and fail cleanly, not NaN-pass) on it.
+	res := evaluateSLO(rep, SLOPolicy{MinReuseRate: 0.5, MaxP99MS: 100})
+	if res.Pass {
+		t.Error("gate passed an empty run that cannot meet min_reuse_rate")
+	}
+}
+
+// TestReportIngestRatiosWithUnsealedTail pins the zero-denominator
+// ingest case: samples were accepted but none sealed to disk yet, so
+// bytes-per-sample and compression have no denominator and must report
+// 0, not +Inf.
+func TestReportIngestRatiosWithUnsealedTail(t *testing.T) {
+	before, err := client.ParseMetrics([]byte(
+		"tyresysd_ingest_samples_total 0\ntyresysd_ingest_bytes_total 0\ntyresysd_tsdb_samples 0\ntyresysd_tsdb_disk_bytes 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := client.ParseMetrics([]byte(
+		"tyresysd_ingest_samples_total 48\ntyresysd_ingest_bytes_total 4096\ntyresysd_tsdb_samples 0\ntyresysd_tsdb_disk_bytes 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := buildReport(nil, before, after, 2*time.Second)
+	if rep.Ingest == nil {
+		t.Fatal("ingest leg missing from report")
+	}
+	if rep.Ingest.DiskBytesPerSample != 0 || rep.Ingest.CompressionRatio != 0 {
+		t.Errorf("unsealed-tail ratios must be 0, got per-sample %v ratio %v",
+			rep.Ingest.DiskBytesPerSample, rep.Ingest.CompressionRatio)
+	}
+	if rep.Ingest.SamplesPerSec != 24 {
+		t.Errorf("samples/sec = %v, want 24", rep.Ingest.SamplesPerSec)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
 }

@@ -35,7 +35,7 @@ func main() {
 	}
 	commute, err := profile.NewSequence(
 		profile.Urban(),
-		profile.Highway(6),
+		profile.MustHighway(6),
 		profile.Urban(),
 	)
 	if err != nil {

@@ -34,13 +34,17 @@ func main() {
 	}
 	fmt.Printf("optimized with: %v\n\n", optRes.Applied)
 
+	highway, err := tyresys.HighwayCycle(4)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cycles := []struct {
 		name    string
 		profile tyresys.Profile
 	}{
 		{"urban (stop-and-go)", tyresys.UrbanCycle()},
 		{"extra-urban", tyresys.ExtraUrbanCycle()},
-		{"highway", tyresys.HighwayCycle(4)},
+		{"highway", highway},
 		{"mixed", tyresys.MixedCycle()},
 	}
 

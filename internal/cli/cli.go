@@ -110,7 +110,7 @@ func Cycle(name string, repeat int) (profile.Profile, error) {
 	case "extraurban":
 		base = profile.ExtraUrban()
 	case "highway":
-		base = profile.Highway(3)
+		base = profile.MustHighway(3)
 	case "wltp":
 		base = profile.WLTP()
 	case "mixed", "":

@@ -265,6 +265,8 @@ func routingKey(endpoint string, body []byte) (string, error) {
 		return fill(&client.OptimizeRequest{})
 	case "emulate":
 		return fill(&client.EmulateRequest{})
+	case "scenarios":
+		return fill(&client.ScenarioRequest{})
 	}
 	return "", fmt.Errorf("unknown endpoint %q", endpoint)
 }

@@ -217,7 +217,7 @@ func TestUrbanVsHighwayCoverage(t *testing.T) {
 	if err != nil {
 		t.Fatalf("urban Run: %v", err)
 	}
-	highway, err := e.Run(profile.Highway(6))
+	highway, err := e.Run(profile.MustHighway(6))
 	if err != nil {
 		t.Fatalf("highway Run: %v", err)
 	}

@@ -207,7 +207,7 @@ func E4(w io.Writer) (*E4Result, error) {
 	}{
 		{"urban ×6", profile.Repeat(profile.Urban(), 6)},
 		{"extra-urban ×3", profile.Repeat(profile.ExtraUrban(), 3)},
-		{"highway", profile.Highway(8)},
+		{"highway", profile.MustHighway(8)},
 		{"mixed", profile.Mixed()},
 		{"WLTP", profile.WLTP()},
 	}

@@ -1,0 +1,93 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestPiecewiseBoundaryConvention pins the lookup semantics at exact
+// segment boundaries so scenario-compiled profiles can rely on them:
+//
+//   - t ≤ 0 returns the first segment's From, exactly;
+//   - a time landing exactly on a segment boundary belongs to the
+//     EARLIER segment and returns exactly that segment's To;
+//   - a zero-duration setpoint segment takes effect only strictly
+//     after its boundary;
+//   - t ≥ Duration returns the final To, exactly.
+//
+// "Exactly" means ==, not AlmostEqual: the scenario compiler hashes
+// sampled profiles byte-for-byte, so boundary samples must not wobble
+// by an ulp depending on how the lookup rounds.
+func TestPiecewiseBoundaryConvention(t *testing.T) {
+	p := mustPiecewise(
+		Segment{From: 0, To: kmh(50), Dur: units.Sec(10)},
+		Segment{From: kmh(50), To: kmh(80), Dur: units.Sec(20)},
+		Segment{From: kmh(80), To: kmh(30), Dur: units.Sec(10)},
+	)
+	exact := []struct {
+		name string
+		at   units.Seconds
+		want units.Speed
+	}{
+		{"before start clamps to first From", -5, 0},
+		{"t=0 is the first From", 0, 0},
+		{"first boundary belongs to segment 0", 10, kmh(50)},
+		{"second boundary belongs to segment 1", 30, kmh(80)},
+		{"exact end returns the final To", 40, kmh(30)},
+		{"past the end clamps to the final To", 100, kmh(30)},
+	}
+	for _, c := range exact {
+		if got := p.SpeedAt(c.at); got != c.want {
+			t.Errorf("%s: SpeedAt(%v) = %v, want exactly %v", c.name, c.at, got, c.want)
+		}
+	}
+	// Interior samples interpolate (approximately — fp Lerp).
+	if got := p.SpeedAt(units.Sec(5)); !units.AlmostEqual(got.KMH(), 25, 1e-9) {
+		t.Errorf("interior SpeedAt(5s) = %v, want ≈25 km/h", got)
+	}
+	if got := p.SpeedAt(units.Sec(20)); !units.AlmostEqual(got.KMH(), 65, 1e-9) {
+		t.Errorf("interior SpeedAt(20s) = %v, want ≈65 km/h", got)
+	}
+}
+
+// TestPiecewiseZeroDurationBoundary pins that an instantaneous setpoint
+// change is invisible AT its boundary (the earlier segment owns the
+// boundary sample) and fully in effect strictly after it. The existing
+// TestPiecewiseZeroDurationSegment checks either side of the jump; this
+// one pins the boundary sample itself.
+func TestPiecewiseZeroDurationBoundary(t *testing.T) {
+	p := mustPiecewise(
+		Segment{From: 0, To: kmh(50), Dur: units.Sec(10)},
+		Segment{From: kmh(50), To: kmh(70), Dur: 0}, // instantaneous jump
+		Segment{From: kmh(70), To: kmh(70), Dur: units.Sec(10)},
+	)
+	if got := p.SpeedAt(units.Sec(10)); got != kmh(50) {
+		t.Errorf("SpeedAt at jump boundary = %v, want exactly %v (earlier segment owns it)", got, kmh(50))
+	}
+	if got := p.SpeedAt(units.Sec(10.001)); !units.AlmostEqual(got.KMH(), 70, 1e-9) {
+		t.Errorf("SpeedAt just past jump = %v, want ≈70 km/h", got)
+	}
+	if p.Duration() != units.Sec(20) {
+		t.Errorf("zero-duration segment changed total duration: %v", p.Duration())
+	}
+}
+
+// TestSequenceBoundaryConvention pins the same convention one level up:
+// a time landing exactly on a part boundary belongs to the earlier
+// part, evaluated at its full duration.
+func TestSequenceBoundaryConvention(t *testing.T) {
+	s := mustSequence(
+		Constant(kmh(30), units.Sec(10)),
+		Constant(kmh(90), units.Sec(10)),
+	)
+	if got := s.SpeedAt(units.Sec(10)); got != kmh(30) {
+		t.Errorf("Sequence boundary = %v, want exactly %v (earlier part owns it)", got, kmh(30))
+	}
+	if got := s.SpeedAt(units.Sec(20)); got != kmh(90) {
+		t.Errorf("Sequence end = %v, want exactly %v", got, kmh(90))
+	}
+	if got := s.SpeedAt(units.Sec(25)); got != kmh(90) {
+		t.Errorf("Sequence past end = %v, want exactly %v", got, kmh(90))
+	}
+}

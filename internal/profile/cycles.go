@@ -1,6 +1,10 @@
 package profile
 
-import "repro/internal/units"
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
 
 // kmh abbreviates the speed constructor for the cycle tables below.
 func kmh(v float64) units.Speed { return units.KilometersPerHour(v) }
@@ -54,10 +58,13 @@ func ExtraUrban() *Piecewise {
 // Highway returns a synthetic motorway cruise: entry ramp to 120 km/h,
 // then the requested number of 160 s cruise blocks alternating between
 // 110 and 130 km/h, then an exit ramp. Always above break-even — the
-// energy-surplus case.
-func Highway(cruiseBlocks int) *Sequence {
+// energy-surplus case. cruiseBlocks must be ≥ 1: a cycle parameter out
+// of range is an error at construction, the same contract as an unknown
+// cycle name, so callers surface it instead of silently getting a
+// different cycle than they asked for.
+func Highway(cruiseBlocks int) (*Sequence, error) {
 	if cruiseBlocks < 1 {
-		cruiseBlocks = 1
+		return nil, fmt.Errorf("profile: highway cruiseBlocks must be >= 1, got %d", cruiseBlocks)
 	}
 	entry := mustPiecewise(Segment{From: 0, To: kmh(120), Dur: units.Sec(30)})
 	block := mustPiecewise(
@@ -73,14 +80,25 @@ func Highway(cruiseBlocks int) *Sequence {
 		parts = append(parts, block)
 	}
 	parts = append(parts, exit)
-	return mustSequence(parts...)
+	return NewSequence(parts...)
+}
+
+// MustHighway is Highway for statically valid block counts: it panics
+// on error, for use in tables, examples and composite cycles where the
+// argument is a literal.
+func MustHighway(cruiseBlocks int) *Sequence {
+	s, err := Highway(cruiseBlocks)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // Mixed returns the composite type-approval-style cycle the long-window
 // experiments use: four urban repetitions, one extra-urban leg, and a
 // highway stretch (≈ 26 minutes).
 func Mixed() *Sequence {
-	return mustSequence(Repeat(Urban(), 4), ExtraUrban(), Highway(3))
+	return mustSequence(Repeat(Urban(), 4), ExtraUrban(), MustHighway(3))
 }
 
 // WLTP returns a synthetic cycle modelled on the WLTP Class 3 profile:

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -34,6 +35,83 @@ func FuzzReadCSV(f *testing.F) {
 			if v := tb.SpeedAt(at); v < 0 {
 				t.Fatalf("accepted table with negative speed %v at %v", v, at)
 			}
+		}
+	})
+}
+
+// FuzzPiecewiseBoundaries pins the boundary convention under arbitrary
+// three-segment profiles: a sample landing exactly on a segment
+// boundary returns exactly the earlier segment's To, t ≤ 0 returns the
+// first From, past-the-end returns the final To, and interior samples
+// stay within the segment's speed envelope. Durations are clamped to
+// small non-negative integers so cumulative boundary times are exact in
+// floating point — the convention under test is the lookup's, not the
+// caller's summation error.
+func FuzzPiecewiseBoundaries(f *testing.F) {
+	f.Add(10.0, 50.0, 0.0, 70.0, 10.0, 30.0)
+	f.Add(1.0, 1.0, 1.0, 2.0, 1.0, 3.0)
+	f.Add(0.0, 5.0, 0.0, 6.0, 0.0, 7.0)
+	f.Add(3.0, 120.5, 7.0, 0.25, 2.0, 99.9)
+	f.Fuzz(func(t *testing.T, d1, v1, d2, v2, d3, v3 float64) {
+		// Sanitise: durations become integers in [0, 1000], speeds
+		// finite non-negative km/h in [0, 1000].
+		durs := []float64{d1, d2, d3}
+		vels := []float64{v1, v2, v3}
+		for i := range durs {
+			if math.IsNaN(durs[i]) || math.IsInf(durs[i], 0) {
+				t.Skip()
+			}
+			durs[i] = math.Trunc(math.Abs(durs[i]))
+			if durs[i] > 1000 {
+				durs[i] = math.Mod(durs[i], 1000)
+			}
+			if math.IsNaN(vels[i]) || math.IsInf(vels[i], 0) {
+				t.Skip()
+			}
+			vels[i] = math.Abs(vels[i])
+			if vels[i] > 1000 {
+				vels[i] = math.Mod(vels[i], 1000)
+			}
+		}
+		// Chain segments so From picks up the previous To — the shape
+		// scenario compilers emit.
+		segs := make([]Segment, len(durs))
+		prev := units.Speed(0)
+		for i := range durs {
+			to := units.KilometersPerHour(vels[i])
+			segs[i] = Segment{From: prev, To: to, Dur: units.Sec(durs[i])}
+			prev = to
+		}
+		p, err := NewPiecewise(segs...)
+		if err != nil {
+			t.Fatalf("rejected sanitised segments: %v", err)
+		}
+		if got := p.SpeedAt(-1); got != segs[0].From {
+			t.Fatalf("SpeedAt(-1) = %v, want first From %v", got, segs[0].From)
+		}
+		if got := p.SpeedAt(0); got != segs[0].From {
+			t.Fatalf("SpeedAt(0) = %v, want first From %v", got, segs[0].From)
+		}
+		end := 0.0
+		for i, s := range segs {
+			start := end
+			end += s.Dur.Seconds() // exact: integer durations
+			if s.Dur > 0 {
+				if got := p.SpeedAt(units.Seconds(end)); got != s.To {
+					t.Fatalf("segment %d boundary at %gs: SpeedAt = %v, want exactly To %v", i, end, got, s.To)
+				}
+				mid := units.Seconds(start + s.Dur.Seconds()/2)
+				lo, hi := s.From, s.To
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if got := p.SpeedAt(mid); got < lo-1e-9 || got > hi+1e-9 {
+					t.Fatalf("segment %d interior at %v: SpeedAt = %v outside [%v, %v]", i, mid, got, lo, hi)
+				}
+			}
+		}
+		if got := p.SpeedAt(units.Seconds(end + 5)); got != segs[len(segs)-1].To {
+			t.Fatalf("past-the-end SpeedAt = %v, want final To %v", got, segs[len(segs)-1].To)
 		}
 	})
 }

@@ -61,6 +61,13 @@ func mustPiecewise(segs ...Segment) *Piecewise {
 func (p *Piecewise) Duration() units.Seconds { return p.total }
 
 // SpeedAt evaluates the profile at time t.
+//
+// Boundary convention (pinned by TestPiecewiseBoundaryConvention and
+// FuzzPiecewiseBoundaries): a time landing exactly on a segment
+// boundary belongs to the EARLIER segment and returns exactly that
+// segment's To — not the Lerp at frac=1, which differs by an ulp for
+// speeds that aren't exactly representable. A zero-duration setpoint
+// segment therefore takes effect only strictly after its boundary.
 func (p *Piecewise) SpeedAt(t units.Seconds) units.Speed {
 	if len(p.segs) == 0 {
 		return 0
@@ -71,7 +78,9 @@ func (p *Piecewise) SpeedAt(t units.Seconds) units.Speed {
 	rem := t
 	for _, s := range p.segs {
 		if rem <= s.Dur {
-			if s.Dur == 0 {
+			if rem == s.Dur {
+				// Exact boundary: the endpoint speed, exactly. This also
+				// covers rem == s.Dur == 0, so the division below is safe.
 				return s.To
 			}
 			frac := rem.Seconds() / s.Dur.Seconds()

@@ -201,7 +201,7 @@ func TestExtraUrbanCycleShape(t *testing.T) {
 }
 
 func TestHighwayCycleShape(t *testing.T) {
-	h := Highway(3)
+	h := MustHighway(3)
 	st, err := Summarize(h, units.Sec(0.5))
 	if err != nil {
 		t.Fatalf("Summarize: %v", err)
@@ -212,15 +212,20 @@ func TestHighwayCycleShape(t *testing.T) {
 	if st.MeanSpeed.KMH() < 100 {
 		t.Errorf("highway mean = %v, want >100km/h", st.MeanSpeed)
 	}
-	// Degenerate argument clamps to one block.
-	if got := Highway(0).Duration(); got != Highway(1).Duration() {
-		t.Errorf("Highway(0) duration %v != Highway(1) %v", got, Highway(1).Duration())
+	// Degenerate arguments are errors, not a silent clamp to one block.
+	for _, blocks := range []int{0, -1, -100} {
+		if _, err := Highway(blocks); err == nil {
+			t.Errorf("Highway(%d) = nil error, want invalid-parameter error", blocks)
+		}
+	}
+	if one, err := Highway(1); err != nil || one == nil {
+		t.Errorf("Highway(1) = %v, %v; want valid cycle", one, err)
 	}
 }
 
 func TestMixedCycle(t *testing.T) {
 	m := Mixed()
-	want := 4*Urban().Duration() + ExtraUrban().Duration() + Highway(3).Duration()
+	want := 4*Urban().Duration() + ExtraUrban().Duration() + MustHighway(3).Duration()
 	if m.Duration() != want {
 		t.Errorf("mixed duration = %v, want %v", m.Duration(), want)
 	}
@@ -283,7 +288,7 @@ func TestWLTPCycleShape(t *testing.T) {
 
 func TestCyclesNonNegativeSpeed(t *testing.T) {
 	for name, p := range map[string]Profile{
-		"urban": Urban(), "extraurban": ExtraUrban(), "highway": Highway(2), "mixed": Mixed(),
+		"urban": Urban(), "extraurban": ExtraUrban(), "highway": MustHighway(2), "mixed": Mixed(),
 		"wltp": WLTP(),
 	} {
 		s, err := Sample(p, units.Sec(0.25))

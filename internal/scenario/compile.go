@@ -1,0 +1,279 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/profile"
+	"repro/internal/units"
+)
+
+// Compiled is the concrete output of Compile: a speed profile, the
+// ambient temperature, and enough metadata to pin and report the
+// result.
+type Compiled struct {
+	Family   string
+	Seed     int64
+	AmbientC float64
+	// Segments is the exact segment list the profile was built from;
+	// SHA256 is the hex digest of its JSON encoding together with the
+	// ambient — the determinism fingerprint golden tests pin.
+	Segments []profile.Segment
+	Profile  *profile.Piecewise
+	SHA256   string
+	// Stats summarises the profile on a 1 s grid.
+	Stats profile.Stats
+}
+
+// NumWindows returns how many rule-evaluation windows of the given
+// length cover the profile (the last window may be shorter).
+func (c *Compiled) NumWindows(windowS float64) int {
+	return int(math.Ceil(c.Profile.Duration().Seconds() / windowS))
+}
+
+// vehicleParams scales the generators per archetype: peak speeds
+// multiply by speedScale, and accel is the comfortable ramp rate in
+// km/h per second before aggressiveness scaling.
+type vehicleParams struct {
+	speedScale float64
+	accel      float64
+}
+
+func vehicle(name string) vehicleParams {
+	switch name {
+	case "van":
+		return vehicleParams{speedScale: 0.92, accel: 6}
+	case "truck":
+		return vehicleParams{speedScale: 0.80, accel: 4.5}
+	default: // car
+		return vehicleParams{speedScale: 1.0, accel: 8}
+	}
+}
+
+// weatherBase returns the preset's nominal ambient in °C.
+func weatherBase(name string) float64 {
+	switch name {
+	case "hot":
+		return 35
+	case "cold":
+		return -5
+	case "alpine":
+		return 5
+	default: // temperate
+		return 20
+	}
+}
+
+// Compile turns a spec into a concrete profile and ambient. It applies
+// Defaults and Validate itself, so it is safe to call on raw specs; the
+// same spec always compiles to byte-identical Segments.
+func Compile(spec Spec) (*Compiled, error) {
+	spec.Defaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := newRNG(*spec.Seed)
+
+	// Ambient is drawn first so the speed profile is invariant to
+	// overriding it: the jitter draw happens either way.
+	jitter := math.Round((r.rangef(-3, 3))*10) / 10
+	amb := weatherBase(spec.Weather) + jitter
+	if spec.AmbientC != nil {
+		amb = *spec.AmbientC
+	}
+
+	b := &builder{
+		r:    r,
+		vp:   vehicle(spec.Vehicle),
+		agg:  *spec.Aggressiveness,
+		traf: *spec.Traffic,
+	}
+	switch spec.Family {
+	case "urban":
+		b.urban(spec.DurationS)
+	case "extraurban":
+		b.extraUrban(spec.DurationS)
+	case "highway":
+		b.highway(spec.DurationS)
+	case "mountain":
+		b.mountain(spec.DurationS)
+	case "commute":
+		// Urban leg to work's ring road, highway stretch, urban arrival.
+		b.urban(0.3 * spec.DurationS)
+		b.highway(0.75 * spec.DurationS)
+		b.urban(spec.DurationS)
+	default:
+		return nil, fmt.Errorf("scenario: unknown family %q", spec.Family)
+	}
+	b.stop()
+
+	p, err := profile.NewPiecewise(b.segs...)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: compiled invalid profile: %w", err)
+	}
+	stats, err := profile.Summarize(p, units.Sec(1))
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Family:   spec.Family,
+		Seed:     *spec.Seed,
+		AmbientC: amb,
+		Segments: b.segs,
+		Profile:  p,
+		SHA256:   fingerprint(b.segs, amb),
+		Stats:    stats,
+	}, nil
+}
+
+// fingerprint hashes the segment list and ambient. Go's JSON encoding
+// of float64 is the shortest round-trip form, so equal profiles hash
+// equal and any ulp of drift changes the digest.
+func fingerprint(segs []profile.Segment, ambientC float64) string {
+	payload := struct {
+		Segments []profile.Segment `json:"segments"`
+		AmbientC float64           `json:"ambient_c"`
+	}{segs, ambientC}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		// profile.Segment is floats only; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// builder accumulates chained segments: every segment starts at the
+// previous one's end speed, the shape the boundary convention in
+// profile.Piecewise was pinned for.
+type builder struct {
+	r    *rng
+	vp   vehicleParams
+	agg  float64
+	traf float64
+	segs []profile.Segment
+	cur  float64 // current speed, km/h
+	t    float64 // elapsed, seconds
+}
+
+// to appends a linear segment from the current speed to kmh over dur
+// whole seconds. Speeds are quantised to 0.1 km/h so goldens stay
+// readable; durations are whole seconds so cumulative boundary times
+// are exact in floating point.
+func (b *builder) to(kmh float64, dur int) {
+	if dur < 1 {
+		dur = 1
+	}
+	kmh = math.Round(kmh*10) / 10
+	if kmh < 0 {
+		kmh = 0
+	}
+	b.segs = append(b.segs, profile.Segment{
+		From: units.KilometersPerHour(b.cur),
+		To:   units.KilometersPerHour(kmh),
+		Dur:  units.Sec(float64(dur)),
+	})
+	b.cur = kmh
+	b.t += float64(dur)
+}
+
+// ramp appends a speed change to kmh at the vehicle's ramp rate scaled
+// by aggressiveness (aggressive drivers ramp up to ~40% faster).
+func (b *builder) ramp(kmh float64) {
+	rate := b.vp.accel * (0.6 + 0.8*b.agg)
+	dur := int(math.Ceil(math.Abs(kmh-b.cur) / rate))
+	b.to(kmh, dur)
+}
+
+// cruise holds near the current speed for dur seconds with a light
+// ±2 km/h wander so cruises are not perfectly flat.
+func (b *builder) cruise(dur int) {
+	b.to(b.cur+b.r.rangef(-2, 2), dur)
+}
+
+// stop ends the scenario at standstill.
+func (b *builder) stop() {
+	if b.cur != 0 {
+		b.ramp(0)
+	}
+	if len(b.segs) == 0 {
+		b.to(0, 1)
+	}
+}
+
+// urban generates stop-and-go city traffic until the elapsed time
+// reaches the until mark: idle at a light, pulse to a street-speed
+// peak, brake back to a stop.
+func (b *builder) urban(until float64) {
+	if b.cur != 0 {
+		b.ramp(0)
+	}
+	b.to(0, b.r.rangei(3, 12))
+	for b.t < until {
+		peak := b.r.rangef(18, 55) * b.vp.speedScale
+		// Congestion caps the achievable peak.
+		peak *= 1 - 0.35*b.traf*b.r.f()
+		b.ramp(peak)
+		b.cruise(b.r.rangei(5, 25))
+		b.ramp(0)
+		idle := b.r.rangei(4, 18) + int(b.traf*b.r.rangef(0, 20))
+		b.to(0, idle)
+	}
+}
+
+// extraUrban generates rolling inter-town driving: sustained cruises
+// between 45 and 95 km/h with occasional traffic slowdowns.
+func (b *builder) extraUrban(until float64) {
+	for b.t < until {
+		target := b.r.rangef(45, 95) * b.vp.speedScale
+		b.ramp(target)
+		b.cruise(b.r.rangei(20, 60))
+		if b.r.chance(0.5 * b.traf) {
+			b.ramp(target * b.r.rangef(0.35, 0.6))
+			b.cruise(b.r.rangei(10, 30))
+		}
+	}
+	b.ramp(0)
+}
+
+// highway generates an entry ramp, long cruise blocks with stochastic
+// jams, and an exit ramp.
+func (b *builder) highway(until float64) {
+	entry := (95 + 30*b.agg) * b.vp.speedScale
+	b.ramp(entry)
+	for b.t < until {
+		target := b.r.rangef(95, 130) * b.vp.speedScale
+		b.ramp(target)
+		b.cruise(b.r.rangei(40, 120))
+		if b.r.chance(0.4 * b.traf) {
+			// Jam: drop well below cruise, crawl, recover.
+			b.ramp(b.r.rangef(30, 60))
+			b.cruise(b.r.rangei(15, 45))
+		}
+	}
+	b.ramp(0)
+}
+
+// mountain alternates slow climbs and faster descents punctuated by
+// hairpins.
+func (b *builder) mountain(until float64) {
+	climbing := true
+	for b.t < until {
+		var target float64
+		if climbing {
+			target = b.r.rangef(25, 50) * b.vp.speedScale
+		} else {
+			target = b.r.rangef(45, 85) * b.vp.speedScale
+		}
+		b.ramp(target)
+		b.cruise(b.r.rangei(30, 90))
+		// Hairpin between legs.
+		b.ramp(b.r.rangef(12, 20))
+		b.cruise(b.r.rangei(4, 8))
+		climbing = !climbing
+	}
+	b.ramp(0)
+}

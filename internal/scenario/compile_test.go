@@ -1,0 +1,217 @@
+package scenario
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/profile"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpec is the fixed spec each family's golden artifact pins:
+// short enough to keep the segment lists reviewable, long enough that
+// every generator loop runs several iterations.
+func goldenSpec(family string) Spec {
+	return Spec{Family: family, Seed: i64(7), DurationS: 600}
+}
+
+// goldenScenario is the committed artifact shape: the fingerprint plus
+// the full segment list, so a drift diff shows exactly which draw
+// moved.
+type goldenScenario struct {
+	Family    string            `json:"family"`
+	Seed      int64             `json:"seed"`
+	AmbientC  float64           `json:"ambient_c"`
+	SHA256    string            `json:"sha256"`
+	DurationS float64           `json:"duration_s"`
+	Segments  []profile.Segment `json:"segments"`
+}
+
+// TestCompileDeterminism pins the core contract: the same spec and
+// seed compile to byte-identical segments and fingerprints, and a
+// different seed moves the fingerprint.
+func TestCompileDeterminism(t *testing.T) {
+	for _, fam := range Families() {
+		spec := goldenSpec(fam)
+		a, err := Compile(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		b, err := Compile(goldenSpec(fam))
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if a.SHA256 != b.SHA256 {
+			t.Errorf("%s: same seed, different fingerprints %s vs %s", fam, a.SHA256, b.SHA256)
+		}
+		if !reflect.DeepEqual(a.Segments, b.Segments) {
+			t.Errorf("%s: same seed, different segments", fam)
+		}
+		other := goldenSpec(fam)
+		other.Seed = i64(8)
+		c, err := Compile(other)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if c.SHA256 == a.SHA256 {
+			t.Errorf("%s: seeds 7 and 8 compiled to the same fingerprint", fam)
+		}
+	}
+}
+
+// TestCompileProfileShape pins structural invariants every family must
+// satisfy: the profile starts and ends at standstill, covers at least
+// the requested duration, chains exactly (each segment starts at the
+// previous end speed), and uses whole-second durations so boundary
+// times are exact in floating point.
+func TestCompileProfileShape(t *testing.T) {
+	for _, fam := range Families() {
+		comp, err := Compile(goldenSpec(fam))
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		segs := comp.Segments
+		if len(segs) == 0 {
+			t.Fatalf("%s: no segments", fam)
+		}
+		if segs[0].From != 0 {
+			t.Errorf("%s: starts at %v, want standstill", fam, segs[0].From)
+		}
+		if last := segs[len(segs)-1].To; last != 0 {
+			t.Errorf("%s: ends at %v, want standstill", fam, last)
+		}
+		if dur := comp.Profile.Duration().Seconds(); dur < 600 {
+			t.Errorf("%s: duration %gs under the 600s target", fam, dur)
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].From != segs[i-1].To {
+				t.Errorf("%s: segment %d starts at %v, previous ended at %v", fam, i, segs[i].From, segs[i-1].To)
+			}
+		}
+		for i, s := range segs {
+			if sec := s.Dur.Seconds(); sec != float64(int(sec)) || sec < 1 {
+				t.Errorf("%s: segment %d duration %gs is not a whole second", fam, i, sec)
+			}
+		}
+		if comp.Stats.MaxSpeed.KMH() <= 0 {
+			t.Errorf("%s: max speed %g", fam, comp.Stats.MaxSpeed.KMH())
+		}
+	}
+}
+
+// TestCompileAmbientOverride pins that overriding ambient_c changes
+// only the ambient: the jitter draw still happens, so the speed
+// profile is invariant — and the fingerprint moves because it covers
+// the ambient.
+func TestCompileAmbientOverride(t *testing.T) {
+	base, err := Compile(goldenSpec("urban"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := goldenSpec("urban")
+	spec.AmbientC = f64(-10)
+	over, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.AmbientC != -10 {
+		t.Errorf("AmbientC = %g, want -10", over.AmbientC)
+	}
+	if !reflect.DeepEqual(base.Segments, over.Segments) {
+		t.Error("ambient override changed the speed profile")
+	}
+	if base.SHA256 == over.SHA256 {
+		t.Error("ambient override did not move the fingerprint")
+	}
+}
+
+// TestCompileVehicleScaling pins the archetype effect: a truck's peak
+// speed stays under the car's for the same seed and family.
+func TestCompileVehicleScaling(t *testing.T) {
+	car, err := Compile(goldenSpec("highway"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := goldenSpec("highway")
+	spec.Vehicle = "truck"
+	truck, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truck.Stats.MaxSpeed.KMH() >= car.Stats.MaxSpeed.KMH() {
+		t.Errorf("truck max %g >= car max %g", truck.Stats.MaxSpeed.KMH(), car.Stats.MaxSpeed.KMH())
+	}
+}
+
+// TestScenarioGoldens compares every family's compiled profile against
+// the committed artifact in testdata/. Run with -update after a
+// deliberate generator change; CI's golden-drift job runs this test so
+// an accidental drift (RNG reorder, quantisation change, new draw)
+// fails loudly instead of silently invalidating published results.
+func TestScenarioGoldens(t *testing.T) {
+	for _, fam := range Families() {
+		comp, err := Compile(goldenSpec(fam))
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		got := goldenScenario{
+			Family:    comp.Family,
+			Seed:      comp.Seed,
+			AmbientC:  comp.AmbientC,
+			SHA256:    comp.SHA256,
+			DurationS: comp.Profile.Duration().Seconds(),
+			Segments:  comp.Segments,
+		}
+		path := filepath.Join("testdata", fam+".golden.json")
+		if *updateGolden {
+			blob, err := json.MarshalIndent(got, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with -update): %v", fam, err)
+		}
+		var want goldenScenario
+		if err := json.Unmarshal(raw, &want); err != nil {
+			t.Fatalf("%s: corrupt golden: %v", fam, err)
+		}
+		if got.SHA256 != want.SHA256 {
+			t.Errorf("%s: fingerprint drifted: got %s, golden %s", fam, got.SHA256, want.SHA256)
+		}
+		if got.AmbientC != want.AmbientC {
+			t.Errorf("%s: ambient drifted: got %g, golden %g", fam, got.AmbientC, want.AmbientC)
+		}
+		if !reflect.DeepEqual(got.Segments, want.Segments) {
+			t.Errorf("%s: segments drifted from golden (diff testdata/%s.golden.json after -update)", fam, fam)
+		}
+	}
+}
+
+// TestRNGStability pins the splitmix64 stream itself: the generators
+// depend on this exact sequence, so a change here moves every golden.
+func TestRNGStability(t *testing.T) {
+	r := newRNG(1)
+	want := []uint64{0x910a2dec89025cc1, 0xbeeb8da1658eec67, 0xf893a2eefb32555e}
+	for i, w := range want {
+		if got := r.next(); got != w {
+			t.Fatalf("splitmix64(seed 1) draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

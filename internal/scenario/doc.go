@@ -1,0 +1,25 @@
+// Package scenario compiles declarative driving-scenario specs into
+// deterministic emulation runs.
+//
+// A Spec names a scenario family (urban, extraurban, highway, mountain,
+// commute), a vehicle archetype, driver aggressiveness, a weather
+// preset and a traffic level, plus an explicit RNG seed. Compile turns
+// it into a concrete speed profile (a profile.Piecewise) and an ambient
+// temperature; the same spec and seed always produce byte-identical
+// segments, pinned by a SHA-256 over their JSON encoding.
+//
+// Runner then drives the emu engine through the compiled profile in
+// fixed evaluation windows. At each window boundary a small rules
+// engine inspects per-window metrics (net energy, coverage, buffer
+// voltage, tyre temperature, brown-outs) and can react mid-run by
+// scaling the node's TX policy or acquisition rate — e.g. backing off
+// telemetry when the scavenger underperforms. Reactions are folded
+// into scalar Mods and the node is always rebuilt from the base
+// architecture, so replaying a run from any checkpoint reproduces it
+// exactly; the chunked batch path (internal/serve jobs) and the
+// continuous path return byte-identical results.
+//
+// When the spec carries a BatterySpec, Finish additionally sizes a
+// hypothetical backup battery for the observed mission profile via
+// internal/battery and reports a per-cell feasibility verdict.
+package scenario

@@ -1,0 +1,54 @@
+package scenario
+
+// rng is a splitmix64 generator. The compiler cannot use math/rand: its
+// stream is not guaranteed stable across Go releases, and scenario
+// profiles must stay byte-identical wherever they are compiled.
+// splitmix64 is a fixed published algorithm (Steele, Lea, Flood 2014)
+// with a 2⁶⁴ period — more than enough for a few hundred draws per
+// profile.
+type rng struct {
+	s uint64
+}
+
+// newRNG seeds the generator. Distinct seeds (including 0 vs 1) give
+// unrelated streams.
+func newRNG(seed int64) *rng {
+	return &rng{s: uint64(seed)}
+}
+
+// next returns the next 64 uniformly distributed bits.
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// f returns a uniform float64 in [0, 1).
+func (r *rng) f() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// rangef returns a uniform float64 in [lo, hi).
+func (r *rng) rangef(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.f()
+}
+
+// rangei returns a uniform integer in [lo, hi]. The modulo bias is
+// irrelevant here (ranges are tiny against 2⁶⁴) and the draw is exactly
+// reproducible, which is what matters.
+func (r *rng) rangei(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + int(r.next()%uint64(hi-lo+1))
+}
+
+// chance returns true with probability p.
+func (r *rng) chance(p float64) bool {
+	return r.f() < p
+}

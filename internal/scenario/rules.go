@@ -1,0 +1,285 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/node"
+	"repro/internal/rf"
+	"repro/internal/units"
+)
+
+// Caps on the cumulative reaction scalars: repeated backoffs saturate
+// instead of growing without bound (a TX interval of 64× the policy's
+// is already effectively muted telemetry).
+const (
+	MaxTxFactor     = 64
+	MaxSampleFactor = 32
+	maxRuleFactor   = 16
+)
+
+// Metrics returns the window metrics rules can trigger on.
+//
+//	net_j       harvested minus consumed over the window, joules
+//	coverage    fraction of the window's wheel rounds monitored
+//	voltage_v   buffer voltage at the window boundary
+//	tyre_temp_c tyre temperature at the window boundary
+//	buffer_j    buffer energy at the window boundary
+//	brownouts   brown-outs during the window
+func Metrics() []string {
+	return []string{"net_j", "coverage", "voltage_v", "tyre_temp_c", "buffer_j", "brownouts"}
+}
+
+// Actions returns the node reactions a rule can take.
+func Actions() []string {
+	return []string{"tx_backoff", "tx_restore", "sample_throttle", "sample_restore"}
+}
+
+// Triggers returns the comparison modes: below/above compare the
+// metric against Threshold; falling/rising compare it against the
+// previous window's value, firing when the change exceeds Threshold.
+func Triggers() []string { return []string{"below", "above", "falling", "rising"} }
+
+// Rule is one reactive trigger, evaluated at every window boundary.
+type Rule struct {
+	// Name labels the rule in firing reports (default ruleN).
+	Name string `json:"name,omitempty"`
+	// Metric is one of Metrics.
+	Metric string `json:"metric"`
+	// When is one of Triggers.
+	When string `json:"when"`
+	// Threshold is the comparison value (below/above) or the minimum
+	// per-window change (falling/rising).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Windows is how many consecutive matching windows arm the rule
+	// before it fires (default 1).
+	Windows int `json:"windows,omitempty"`
+	// Action is one of Actions.
+	Action string `json:"action"`
+	// Factor scales the backoff/throttle per firing (default 2;
+	// ignored by the restore actions).
+	Factor float64 `json:"factor,omitempty"`
+	// CooldownWindows suppresses the rule for that many windows after
+	// it fires (default 0: it can re-arm immediately).
+	CooldownWindows int `json:"cooldown_windows,omitempty"`
+}
+
+func (r *Rule) defaults() {
+	if r.Windows == 0 {
+		r.Windows = 1
+	}
+	if r.Factor == 0 {
+		r.Factor = 2
+	}
+}
+
+func (r *Rule) validate() error {
+	if !contains(Metrics(), r.Metric) {
+		return fmt.Errorf("unknown metric %q (known: %v)", r.Metric, Metrics())
+	}
+	if !contains(Triggers(), r.When) {
+		return fmt.Errorf("unknown trigger %q (known: %v)", r.When, Triggers())
+	}
+	if !isFinite(r.Threshold) {
+		return fmt.Errorf("non-finite threshold")
+	}
+	if (r.When == "falling" || r.When == "rising") && r.Threshold < 0 {
+		return fmt.Errorf("trend threshold %g must be >= 0", r.Threshold)
+	}
+	if r.Windows < 1 || r.Windows > 100 {
+		return fmt.Errorf("windows %d outside [1, 100]", r.Windows)
+	}
+	if !contains(Actions(), r.Action) {
+		return fmt.Errorf("unknown action %q (known: %v)", r.Action, Actions())
+	}
+	if !isFinite(r.Factor) || r.Factor <= 1 || r.Factor > maxRuleFactor {
+		return fmt.Errorf("factor %g outside (1, %d]", r.Factor, maxRuleFactor)
+	}
+	if r.CooldownWindows < 0 || r.CooldownWindows > 100 {
+		return fmt.Errorf("cooldown_windows %d outside [0, 100]", r.CooldownWindows)
+	}
+	return nil
+}
+
+// Mods are the cumulative node reactions: scalar factors the base
+// architecture is re-derived from. Folding actions into scalars (rather
+// than mutating the node incrementally) keeps replay trivial — the node
+// is always f(base, Mods), so a resumed run rebuilds the identical
+// node.
+type Mods struct {
+	// TxFactor multiplies the TX policy's rounds-between-packets.
+	TxFactor float64 `json:"tx_factor"`
+	// SampleFactor divides the per-round sample count.
+	SampleFactor float64 `json:"sample_factor"`
+}
+
+func baseMods() Mods { return Mods{TxFactor: 1, SampleFactor: 1} }
+
+// IsBase reports whether the mods leave the node unchanged.
+func (m Mods) IsBase() bool { return m.TxFactor == 1 && m.SampleFactor == 1 }
+
+// RuleState is one rule's persistent trigger state, serialised into
+// the chunk carry so the chunked and continuous paths evaluate
+// identically.
+type RuleState struct {
+	// Streak counts consecutive matching windows.
+	Streak int `json:"streak,omitempty"`
+	// Cooldown is how many windows remain suppressed.
+	Cooldown int `json:"cooldown,omitempty"`
+	// Prev and HasPrev carry the previous window's metric for the
+	// trend triggers.
+	Prev    float64 `json:"prev,omitempty"`
+	HasPrev bool    `json:"has_prev,omitempty"`
+}
+
+// Firing records one rule activation.
+type Firing struct {
+	TS     float64 `json:"t_s"`
+	Rule   string  `json:"rule"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Action string  `json:"action"`
+	// TxFactor and SampleFactor are the cumulative mods after this
+	// firing.
+	TxFactor     float64 `json:"tx_factor"`
+	SampleFactor float64 `json:"sample_factor"`
+}
+
+// engine evaluates the rules at each window boundary and folds firings
+// into Mods.
+type engine struct {
+	rules   []Rule
+	names   []string
+	st      []RuleState
+	mods    Mods
+	firings []Firing
+}
+
+func newEngine(rules []Rule) *engine {
+	e := &engine{
+		rules: rules,
+		names: make([]string, len(rules)),
+		st:    make([]RuleState, len(rules)),
+		mods:  baseMods(),
+	}
+	for i, r := range rules {
+		if r.Name != "" {
+			e.names[i] = r.Name
+		} else {
+			e.names[i] = fmt.Sprintf("rule%d", i)
+		}
+	}
+	return e
+}
+
+// observe evaluates every rule against the window metrics and returns
+// whether the cumulative mods changed (the caller then rebuilds the
+// node). Rules are evaluated in spec order; later rules see earlier
+// rules' mods within the same window.
+func (e *engine) observe(ts float64, metrics map[string]float64) bool {
+	before := e.mods
+	for i := range e.rules {
+		r := &e.rules[i]
+		st := &e.st[i]
+		v := metrics[r.Metric]
+		cond := false
+		switch r.When {
+		case "below":
+			cond = v < r.Threshold
+		case "above":
+			cond = v > r.Threshold
+		case "falling":
+			cond = st.HasPrev && st.Prev-v > r.Threshold
+		case "rising":
+			cond = st.HasPrev && v-st.Prev > r.Threshold
+		}
+		st.Prev = v
+		st.HasPrev = true
+		if st.Cooldown > 0 {
+			st.Cooldown--
+			st.Streak = 0
+			continue
+		}
+		if !cond {
+			st.Streak = 0
+			continue
+		}
+		st.Streak++
+		if st.Streak < r.Windows {
+			continue
+		}
+		st.Streak = 0
+		st.Cooldown = r.CooldownWindows
+		e.apply(r)
+		e.firings = append(e.firings, Firing{
+			TS:           ts,
+			Rule:         e.names[i],
+			Metric:       r.Metric,
+			Value:        v,
+			Action:       r.Action,
+			TxFactor:     e.mods.TxFactor,
+			SampleFactor: e.mods.SampleFactor,
+		})
+	}
+	return e.mods != before
+}
+
+func (e *engine) apply(r *Rule) {
+	switch r.Action {
+	case "tx_backoff":
+		e.mods.TxFactor = math.Min(e.mods.TxFactor*r.Factor, MaxTxFactor)
+	case "tx_restore":
+		e.mods.TxFactor = 1
+	case "sample_throttle":
+		e.mods.SampleFactor = math.Min(e.mods.SampleFactor*r.Factor, MaxSampleFactor)
+	case "sample_restore":
+		e.mods.SampleFactor = 1
+	}
+}
+
+// scaledTxPolicy wraps the node's base TX policy, multiplying the
+// rounds between packets by the cumulative backoff factor.
+type scaledTxPolicy struct {
+	base   rf.Policy
+	factor float64
+}
+
+func (p scaledTxPolicy) Name() string {
+	return fmt.Sprintf("%s x%g", p.base.Name(), p.factor)
+}
+
+func (p scaledTxPolicy) RoundsBetweenTx(roundPeriod units.Seconds) int {
+	n := int(math.Round(float64(p.base.RoundsBetweenTx(roundPeriod)) * p.factor))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// applyMods re-derives the reacting node from the base architecture.
+// The base node is never mutated; a given (base, Mods) pair always
+// yields the same node, which is what makes checkpoint replay exact.
+func applyMods(base *node.Node, m Mods) (*node.Node, error) {
+	nd := base
+	if m.TxFactor != 1 {
+		var err error
+		nd, err = nd.WithTxPolicy(scaledTxPolicy{base: base.Config().TxPolicy, factor: m.TxFactor})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: tx backoff: %w", err)
+		}
+	}
+	if m.SampleFactor != 1 {
+		acq := base.Config().Acq
+		sp := int(math.Round(float64(acq.SamplesPerRound) / m.SampleFactor))
+		if sp < 1 {
+			sp = 1
+		}
+		acq.SamplesPerRound = sp
+		var err error
+		nd, err = nd.WithAcquisition(acq)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: sample throttle: %w", err)
+		}
+	}
+	return nd, nil
+}

@@ -1,0 +1,194 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/rf"
+	"repro/internal/units"
+	"repro/internal/wheel"
+)
+
+// obs feeds the engine one window with a single metric value and
+// returns whether the mods changed.
+func obs(e *engine, ts float64, metric string, v float64) bool {
+	return e.observe(ts, map[string]float64{metric: v})
+}
+
+// TestEngineStreakArming pins the consecutive-window arming: a rule
+// with Windows=2 must see two matching windows in a row, and a
+// non-matching window in between resets the streak.
+func TestEngineStreakArming(t *testing.T) {
+	e := newEngine([]Rule{{
+		Metric: "coverage", When: "below", Threshold: 0.5,
+		Windows: 2, Action: "tx_backoff", Factor: 2,
+	}})
+	if obs(e, 60, "coverage", 0.4) {
+		t.Fatal("fired after one matching window (Windows=2)")
+	}
+	if !obs(e, 120, "coverage", 0.4) {
+		t.Fatal("did not fire after two consecutive matching windows")
+	}
+	if e.mods.TxFactor != 2 {
+		t.Fatalf("TxFactor = %g, want 2", e.mods.TxFactor)
+	}
+	// Streak reset: match, break, match must not fire.
+	if obs(e, 180, "coverage", 0.4) {
+		t.Fatal("fired on first window of a new streak")
+	}
+	obs(e, 240, "coverage", 0.9) // breaks the streak
+	if obs(e, 300, "coverage", 0.4) {
+		t.Fatal("fired despite the streak being broken")
+	}
+}
+
+// TestEngineCooldown pins the post-firing suppression window.
+func TestEngineCooldown(t *testing.T) {
+	e := newEngine([]Rule{{
+		Metric: "net_j", When: "below", Threshold: 0,
+		Windows: 1, Action: "tx_backoff", Factor: 2, CooldownWindows: 2,
+	}})
+	if !obs(e, 60, "net_j", -1) {
+		t.Fatal("did not fire on the first matching window")
+	}
+	if obs(e, 120, "net_j", -1) || obs(e, 180, "net_j", -1) {
+		t.Fatal("fired during cooldown")
+	}
+	if !obs(e, 240, "net_j", -1) {
+		t.Fatal("did not re-fire after cooldown expired")
+	}
+	if got := len(e.firings); got != 2 {
+		t.Fatalf("firings = %d, want 2", got)
+	}
+	if e.firings[1].TxFactor != 4 {
+		t.Errorf("cumulative TxFactor after second firing = %g, want 4", e.firings[1].TxFactor)
+	}
+}
+
+// TestEngineTrendTriggers pins falling/rising semantics: the change
+// versus the previous window must exceed the threshold, and the first
+// window (no previous value) never fires.
+func TestEngineTrendTriggers(t *testing.T) {
+	e := newEngine([]Rule{{
+		Metric: "voltage_v", When: "falling", Threshold: 0.5,
+		Windows: 1, Action: "sample_throttle", Factor: 2,
+	}})
+	if obs(e, 60, "voltage_v", 3.0) {
+		t.Fatal("falling fired with no previous window")
+	}
+	if obs(e, 120, "voltage_v", 2.6) {
+		t.Fatal("fired on a 0.4 drop with threshold 0.5")
+	}
+	if !obs(e, 180, "voltage_v", 2.0) {
+		t.Fatal("did not fire on a 0.6 drop")
+	}
+
+	r := newEngine([]Rule{{
+		Metric: "tyre_temp_c", When: "rising", Threshold: 5,
+		Windows: 1, Action: "tx_backoff", Factor: 2,
+	}})
+	obs(r, 60, "tyre_temp_c", 30)
+	if obs(r, 120, "tyre_temp_c", 34) {
+		t.Fatal("rising fired on a 4° rise with threshold 5")
+	}
+	if !obs(r, 180, "tyre_temp_c", 40) {
+		t.Fatal("rising did not fire on a 6° rise")
+	}
+}
+
+// TestEngineCapsAndRestore pins factor saturation and the restore
+// actions.
+func TestEngineCapsAndRestore(t *testing.T) {
+	e := newEngine([]Rule{{
+		Metric: "brownouts", When: "above", Threshold: 0,
+		Windows: 1, Action: "tx_backoff", Factor: 16,
+	}})
+	for i := 0; i < 5; i++ {
+		obs(e, float64(60*(i+1)), "brownouts", 1)
+	}
+	if e.mods.TxFactor != MaxTxFactor {
+		t.Fatalf("TxFactor = %g, want saturated at %d", e.mods.TxFactor, MaxTxFactor)
+	}
+
+	// A saturated re-fire does not change mods, so observe reports false.
+	if obs(e, 400, "brownouts", 1) {
+		t.Error("saturated firing reported a mods change")
+	}
+
+	rest := newEngine([]Rule{
+		{Metric: "net_j", When: "below", Threshold: 0, Windows: 1, Action: "tx_backoff", Factor: 4},
+		{Metric: "net_j", When: "above", Threshold: 10, Windows: 1, Action: "tx_restore", Factor: 2},
+	})
+	obs(rest, 60, "net_j", -1)
+	if rest.mods.TxFactor != 4 {
+		t.Fatalf("TxFactor = %g, want 4", rest.mods.TxFactor)
+	}
+	if !obs(rest, 120, "net_j", 20) {
+		t.Fatal("restore did not report a mods change")
+	}
+	if !rest.mods.IsBase() {
+		t.Errorf("mods after restore = %+v, want base", rest.mods)
+	}
+}
+
+// TestScaledTxPolicy pins the wrapper arithmetic: the base interval
+// multiplies by the factor, rounds, and clamps at 1.
+func TestScaledTxPolicy(t *testing.T) {
+	base := rf.EveryN{N: 8}
+	p := scaledTxPolicy{base: base, factor: 2.5}
+	if got := p.RoundsBetweenTx(units.Sec(0.1)); got != 20 {
+		t.Errorf("RoundsBetweenTx = %d, want 20", got)
+	}
+	tiny := scaledTxPolicy{base: rf.EveryN{N: 1}, factor: 0.1}
+	if got := tiny.RoundsBetweenTx(units.Sec(0.1)); got != 1 {
+		t.Errorf("sub-round interval not clamped to 1, got %d", got)
+	}
+}
+
+// TestApplyMods pins that the reacting node is a pure function of
+// (base, Mods): base mods return the base node untouched, and non-base
+// mods rescale the TX interval and sample count without mutating the
+// base.
+func TestApplyMods(t *testing.T) {
+	base, err := node.Default(wheel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSamples := base.Config().Acq.SamplesPerRound
+	baseRounds := base.Config().TxPolicy.RoundsBetweenTx(units.Sec(0.1))
+
+	same, err := applyMods(base, baseMods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base {
+		t.Error("base mods must return the base node itself")
+	}
+
+	mod, err := applyMods(base, Mods{TxFactor: 4, SampleFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mod.Config().TxPolicy.RoundsBetweenTx(units.Sec(0.1)); got != baseRounds*4 {
+		t.Errorf("scaled RoundsBetweenTx = %d, want %d", got, baseRounds*4)
+	}
+	want := baseSamples / 2
+	if want < 1 {
+		want = 1
+	}
+	if got := mod.Config().Acq.SamplesPerRound; got != want {
+		t.Errorf("throttled SamplesPerRound = %d, want %d", got, want)
+	}
+	if base.Config().Acq.SamplesPerRound != baseSamples {
+		t.Error("applyMods mutated the base node")
+	}
+
+	// The throttle floor: a huge factor still leaves one sample per round.
+	floor, err := applyMods(base, Mods{TxFactor: 1, SampleFactor: MaxSampleFactor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := floor.Config().Acq.SamplesPerRound; got < 1 {
+		t.Errorf("SamplesPerRound = %d, want >= 1", got)
+	}
+}

@@ -1,0 +1,368 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/battery"
+	"repro/internal/cli"
+	"repro/internal/emu"
+	"repro/internal/units"
+)
+
+// Tallies are the cumulative counters the window metrics are deltas
+// of, carried across chunk boundaries.
+type Tallies struct {
+	HarvestedJ   float64 `json:"harvested_j"`
+	ConsumedJ    float64 `json:"consumed_j"`
+	Rounds       int64   `json:"rounds"`
+	ActiveRounds int64   `json:"active_rounds"`
+	BrownOuts    int     `json:"brownouts"`
+}
+
+// Carry is the complete mid-run state handed between job chunks: the
+// emulator snapshot plus the rules-engine state. Every field is plain
+// numbers and bools, so it JSON round-trips exactly and a resumed run
+// is bit-identical to a continuous one.
+type Carry struct {
+	Snap    emu.Snapshot `json:"snap"`
+	Window  int          `json:"window"`
+	Mods    Mods         `json:"mods"`
+	States  []RuleState  `json:"rule_states,omitempty"`
+	Firings []Firing     `json:"firings,omitempty"`
+	Prev    Tallies      `json:"prev"`
+}
+
+// Runner drives a compiled scenario through the emulator one
+// rule-evaluation window at a time.
+type Runner struct {
+	st       cli.Stack
+	spec     Spec
+	comp     *Compiled
+	eng      *engine
+	sess     *emu.Session
+	window   int
+	nWindows int
+	prev     Tallies
+}
+
+// Outcome is a finished scenario run.
+type Outcome struct {
+	Compiled *Compiled
+	Result   *emu.Result
+	Firings  []Firing
+	Mods     Mods
+	Battery  *BatteryVerdict
+}
+
+// NewRunner compiles the spec and starts an emulation session against
+// the stack's node, harvester and buffer. The stack's own ambient is
+// ignored: the scenario's weather model provides it.
+func NewRunner(st cli.Stack, spec Spec) (*Runner, error) {
+	r, err := prepare(st, spec)
+	if err != nil {
+		return nil, err
+	}
+	em, err := r.emulator(baseMods())
+	if err != nil {
+		return nil, err
+	}
+	r.sess, err = em.Start(r.comp.Profile)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ResumeRunner reconstructs a runner from a chunk carry. The spec must
+// be the one the carry was produced from (the batch path re-decodes it
+// from the persisted request).
+func ResumeRunner(st cli.Stack, spec Spec, c Carry) (*Runner, error) {
+	r, err := prepare(st, spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.States) != 0 && len(c.States) != len(r.spec.Rules) {
+		return nil, fmt.Errorf("scenario: carry has %d rule states, spec has %d rules", len(c.States), len(r.spec.Rules))
+	}
+	if c.Mods.TxFactor != 0 {
+		r.eng.mods = c.Mods
+	}
+	if len(c.States) != 0 {
+		copy(r.eng.st, c.States)
+	}
+	r.eng.firings = c.Firings
+	r.window = c.Window
+	r.prev = c.Prev
+	em, err := r.emulator(r.eng.mods)
+	if err != nil {
+		return nil, err
+	}
+	r.sess, err = em.Resume(r.comp.Profile, c.Snap)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func prepare(st cli.Stack, spec Spec) (*Runner, error) {
+	spec.Defaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	comp, err := Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		st:       st,
+		spec:     spec,
+		comp:     comp,
+		eng:      newEngine(spec.Rules),
+		nWindows: comp.NumWindows(spec.WindowS),
+	}, nil
+}
+
+// emulator builds the emulation engine for the node derived from the
+// base architecture and the cumulative mods.
+func (r *Runner) emulator(m Mods) (*emu.Emulator, error) {
+	nd, err := applyMods(r.st.Node, m)
+	if err != nil {
+		return nil, err
+	}
+	initial := r.st.Buffer.VRestart
+	if r.spec.InitialV != nil {
+		initial = units.Volts(*r.spec.InitialV)
+	}
+	return emu.New(emu.Config{
+		Node:           nd,
+		Harvester:      r.st.Harvester,
+		Buffer:         r.st.Buffer,
+		InitialVoltage: initial,
+		Ambient:        units.DegC(r.comp.AmbientC),
+		Base:           r.st.Base,
+		Fast:           r.spec.Fast != nil && *r.spec.Fast,
+	})
+}
+
+// Compiled returns the compiled scenario.
+func (r *Runner) Compiled() *Compiled { return r.comp }
+
+// NumWindows returns the total window count.
+func (r *Runner) NumWindows() int { return r.nWindows }
+
+// Window returns how many windows have completed.
+func (r *Runner) Window() int { return r.window }
+
+// Done reports whether the whole profile has been emulated.
+func (r *Runner) Done() bool { return r.window >= r.nWindows }
+
+// Progress reports the underlying session's cumulative counters.
+func (r *Runner) Progress() emu.Progress { return r.sess.Progress() }
+
+// Advance emulates one window, then evaluates the rules at its
+// boundary. When a rule changes the cumulative mods, the session is
+// checkpointed, the node rebuilt from the base architecture, and the
+// run resumed bit-exactly — the same snapshot/resume mechanism the
+// batch path uses for chunking, so reactions cost nothing extra in
+// determinism.
+func (r *Runner) Advance(ctx context.Context) error {
+	if r.Done() {
+		return nil
+	}
+	until := units.Seconds(float64(r.window+1) * r.spec.WindowS)
+	if err := r.sess.RunUntil(ctx, until); err != nil {
+		return err
+	}
+	r.window++
+	if r.window >= r.nWindows || r.sess.Done() {
+		// Final window: nothing left to react to.
+		r.window = r.nWindows
+		return nil
+	}
+	snap, err := r.sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	cov := 1.0
+	if d := snap.Rounds - r.prev.Rounds; d > 0 {
+		cov = float64(snap.ActiveRounds-r.prev.ActiveRounds) / float64(d)
+	}
+	metrics := map[string]float64{
+		"net_j":       (snap.HarvestedJ - r.prev.HarvestedJ) - (snap.ConsumedJ - r.prev.ConsumedJ),
+		"coverage":    cov,
+		"voltage_v":   r.sess.Progress().VoltageV,
+		"tyre_temp_c": snap.TyreTempC,
+		"buffer_j":    snap.BufferJ,
+		"brownouts":   float64(snap.BrownOuts - r.prev.BrownOuts),
+	}
+	changed := r.eng.observe(snap.TS, metrics)
+	r.prev = Tallies{
+		HarvestedJ:   snap.HarvestedJ,
+		ConsumedJ:    snap.ConsumedJ,
+		Rounds:       snap.Rounds,
+		ActiveRounds: snap.ActiveRounds,
+		BrownOuts:    snap.BrownOuts,
+	}
+	if changed {
+		em, err := r.emulator(r.eng.mods)
+		if err != nil {
+			return err
+		}
+		r.sess, err = em.Resume(r.comp.Profile, snap)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Carry checkpoints the run for the next job chunk. Only valid on an
+// unfinished run.
+func (r *Runner) Carry() (Carry, error) {
+	if r.Done() {
+		return Carry{}, fmt.Errorf("scenario: run complete; use Finish")
+	}
+	snap, err := r.sess.Snapshot()
+	if err != nil {
+		return Carry{}, err
+	}
+	return Carry{
+		Snap:    snap,
+		Window:  r.window,
+		Mods:    r.eng.mods,
+		States:  r.eng.st,
+		Firings: r.eng.firings,
+		Prev:    r.prev,
+	}, nil
+}
+
+// Finish finalises the session and assembles the outcome, including
+// the battery verdict when the spec asks for one.
+func (r *Runner) Finish() (*Outcome, error) {
+	if !r.Done() {
+		return nil, fmt.Errorf("scenario: run incomplete (%d/%d windows)", r.window, r.nWindows)
+	}
+	res, err := r.sess.Result()
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Compiled: r.comp,
+		Result:   res,
+		Firings:  r.eng.firings,
+		Mods:     r.eng.mods,
+	}
+	if r.spec.Battery != nil {
+		out.Battery, err = assessBattery(r.st, r.comp, res, *r.spec.Battery)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Run compiles and emulates the whole scenario in one call — the
+// continuous path the synchronous API uses.
+func Run(ctx context.Context, st cli.Stack, spec Spec) (*Outcome, error) {
+	r, err := NewRunner(st, spec)
+	if err != nil {
+		return nil, err
+	}
+	for !r.Done() {
+		if err := r.Advance(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return r.Finish()
+}
+
+// lifetimeCapYears bounds the reported battery lifetime: beyond this
+// the projection is meaningless (and ±Inf would not survive JSON).
+const lifetimeCapYears = 1000
+
+// BatteryVerdict sizes a backup battery for the mission the scenario
+// exhibited.
+type BatteryVerdict struct {
+	// DrivingPowerUW is the node's mean draw over the scenario.
+	DrivingPowerUW float64 `json:"driving_power_uw"`
+	// ParkedPowerUW is the node's rest draw at ambient.
+	ParkedPowerUW float64 `json:"parked_power_uw"`
+	// PeakPowerMW is the radio burst load.
+	PeakPowerMW float64 `json:"peak_power_mw"`
+	// WorstCaseTempC derates cell capacity (tyre at max speed).
+	WorstCaseTempC float64 `json:"worst_case_temp_c"`
+	// GLoad is the centripetal load at max speed, in g.
+	GLoad float64 `json:"g_load"`
+	// Cells are the per-cell assessments, in StandardCells order.
+	Cells []CellVerdict `json:"cells"`
+	// BestCell is the lightest feasible cell, empty when none passes.
+	BestCell string `json:"best_cell,omitempty"`
+}
+
+// CellVerdict is one cell's assessment against the mission.
+type CellVerdict struct {
+	Name string `json:"name"`
+	// LifetimeYears is capped at 1000 (projections beyond that are
+	// noise and ±Inf would break JSON encoding).
+	LifetimeYears float64 `json:"lifetime_years"`
+	MeetsLifetime bool    `json:"meets_lifetime"`
+	MassOK        bool    `json:"mass_ok"`
+	GLoadOK       bool    `json:"g_load_ok"`
+	PulseOK       bool    `json:"pulse_ok"`
+	Feasible      bool    `json:"feasible"`
+}
+
+func assessBattery(st cli.Stack, comp *Compiled, res *emu.Result, bs BatterySpec) (*BatteryVerdict, error) {
+	tyre := st.Node.Tyre()
+	amb := units.DegC(comp.AmbientC)
+	parked, err := st.Node.RestPower(st.Base.WithTemp(amb))
+	if err != nil {
+		return nil, err
+	}
+	driving := units.Power(res.Consumed.Joules() / res.Duration.Seconds())
+	mission := battery.Mission{
+		TyreLifeYears:      bs.TyreLifeYears,
+		DrivingHoursPerDay: bs.DrivingHoursPerDay,
+		DrivingPower:       driving,
+		ParkedPower:        parked,
+		PeakPower:          st.Node.Config().Radio.TxPower,
+		MaxSpeed:           comp.Stats.MaxSpeed,
+		TyreRadius:         tyre.Radius,
+		WorstCaseTemp:      tyre.SteadyTemperature(amb, comp.Stats.MaxSpeed),
+		MassBudgetGrams:    bs.MassBudgetGrams,
+	}
+	assessments, err := battery.AssessAll(battery.StandardCells(), mission)
+	if err != nil {
+		return nil, err
+	}
+	v := &BatteryVerdict{
+		DrivingPowerUW: driving.Microwatts(),
+		ParkedPowerUW:  parked.Microwatts(),
+		PeakPowerMW:    mission.PeakPower.Milliwatts(),
+		WorstCaseTempC: mission.WorstCaseTemp.DegC(),
+	}
+	bestMass := math.Inf(1)
+	for _, a := range assessments {
+		v.GLoad = a.GLoad
+		life := a.LifetimeYears
+		if !isFinite(life) || life > lifetimeCapYears {
+			life = lifetimeCapYears
+		}
+		v.Cells = append(v.Cells, CellVerdict{
+			Name:          a.Cell.Name,
+			LifetimeYears: life,
+			MeetsLifetime: a.MeetsLifetime,
+			MassOK:        a.MassOK,
+			GLoadOK:       a.GLoadOK,
+			PulseOK:       a.PulseOK,
+			Feasible:      a.Feasible(),
+		})
+		if a.Feasible() && a.Cell.MassGrams < bestMass {
+			bestMass = a.Cell.MassGrams
+			v.BestCell = a.Cell.Name
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,218 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/cli"
+)
+
+// testStack builds the reference architecture every runner test drives.
+func testStack(t *testing.T) cli.Stack {
+	t.Helper()
+	st, err := cli.DefaultStack(0, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// testSpec is a short urban run on the fast kernel — quick enough to
+// emulate several times per test.
+func testSpec() Spec {
+	fast := true
+	return Spec{Family: "urban", Seed: i64(3), DurationS: 300, WindowS: 60, Fast: &fast}
+}
+
+// outcomeBlob serialises the parts of an outcome the determinism
+// contract covers — emulation result, firings, cumulative mods and the
+// profile fingerprint — so byte comparison is exact.
+func outcomeBlob(t *testing.T, out *Outcome) []byte {
+	t.Helper()
+	blob, err := json.Marshal(struct {
+		SHA     string   `json:"sha"`
+		Result  any      `json:"result"`
+		Firings []Firing `json:"firings"`
+		Mods    Mods     `json:"mods"`
+	}{out.Compiled.SHA256, out.Result, out.Firings, out.Mods})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestRunDeterministic pins run-level determinism: the same spec and
+// seed produce byte-identical outcomes across independent runs.
+func TestRunDeterministic(t *testing.T) {
+	ctx := context.Background()
+	a, err := Run(ctx, testStack(t), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(ctx, testStack(t), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba, bb := outcomeBlob(t, a), outcomeBlob(t, b); string(ba) != string(bb) {
+		t.Errorf("same spec+seed, different outcomes:\n%s\n%s", ba, bb)
+	}
+}
+
+// TestChunkedEqualsContinuous pins the batch contract: a run split at
+// window boundaries via Carry → JSON → ResumeRunner reproduces the
+// continuous outcome byte for byte, including with active rules (the
+// carry must transport the trigger state, not just the emulator
+// snapshot).
+func TestChunkedEqualsContinuous(t *testing.T) {
+	for _, fast := range []bool{true, false} {
+		fast := fast
+		name := "exact"
+		if fast {
+			name = "fast"
+		}
+		t.Run(name, func(t *testing.T) {
+			testChunkedEqualsContinuous(t, fast)
+		})
+	}
+}
+
+func testChunkedEqualsContinuous(t *testing.T, fast bool) {
+	ctx := context.Background()
+	spec := testSpec()
+	spec.Fast = &fast
+	spec.Rules = []Rule{{
+		Name: "starve", Metric: "net_j", When: "below", Threshold: 1e9,
+		Windows: 2, Action: "tx_backoff", Factor: 2, CooldownWindows: 1,
+	}}
+
+	cont, err := Run(ctx, testStack(t), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chunked: advance windows in pairs, serialising the carry through
+	// JSON between chunks exactly like the jobs path does.
+	r, err := NewRunner(testStack(t), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for chunk := 0; !r.Done(); chunk++ {
+		target := r.Window() + 2
+		for !r.Done() && r.Window() < target {
+			if err := r.Advance(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r.Done() {
+			break
+		}
+		c, err := r.Carry()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Carry
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatal(err)
+		}
+		r, err = ResumeRunner(testStack(t), spec, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	chunked, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if bc, bk := outcomeBlob(t, cont), outcomeBlob(t, chunked); string(bc) != string(bk) {
+		t.Errorf("chunked and continuous outcomes differ:\n%s\n%s", bc, bk)
+	}
+}
+
+// TestRulesReact pins the reaction path end to end: an always-true
+// starvation rule must fire, back the TX policy off, and measurably cut
+// consumption versus the same scenario without rules.
+func TestRulesReact(t *testing.T) {
+	ctx := context.Background()
+	base, err := Run(ctx, testStack(t), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := testSpec()
+	spec.Rules = []Rule{{
+		Name: "backoff", Metric: "net_j", When: "below", Threshold: 1e9,
+		Action: "tx_backoff", Factor: 4,
+	}}
+	out, err := Run(ctx, testStack(t), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Firings) == 0 {
+		t.Fatal("always-true rule never fired")
+	}
+	if out.Mods.TxFactor <= 1 {
+		t.Fatalf("TxFactor = %g after %d firings", out.Mods.TxFactor, len(out.Firings))
+	}
+	for _, f := range out.Firings {
+		if f.Rule != "backoff" || f.Action != "tx_backoff" {
+			t.Errorf("unexpected firing %+v", f)
+		}
+	}
+	if got, was := out.Result.Consumed.Joules(), base.Result.Consumed.Joules(); got >= was {
+		t.Errorf("tx backoff did not cut consumption: %g J with rules, %g J without", got, was)
+	}
+	if base.Firings != nil && len(base.Firings) != 0 {
+		t.Errorf("rule-free run reported firings: %v", base.Firings)
+	}
+}
+
+// TestBatteryVerdict pins the lifetime wiring: a battery spec yields a
+// verdict covering every standard cell with finite, capped lifetimes.
+func TestBatteryVerdict(t *testing.T) {
+	spec := testSpec()
+	spec.Battery = &BatterySpec{}
+	out, err := Run(context.Background(), testStack(t), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := out.Battery
+	if v == nil {
+		t.Fatal("battery spec produced no verdict")
+	}
+	if len(v.Cells) != len(battery.StandardCells()) {
+		t.Fatalf("%d cell verdicts, want %d", len(v.Cells), len(battery.StandardCells()))
+	}
+	for _, c := range v.Cells {
+		if math.IsNaN(c.LifetimeYears) || math.IsInf(c.LifetimeYears, 0) || c.LifetimeYears > lifetimeCapYears {
+			t.Errorf("cell %s lifetime %g breaks the cap", c.Name, c.LifetimeYears)
+		}
+	}
+	if v.DrivingPowerUW <= 0 || v.PeakPowerMW <= 0 {
+		t.Errorf("non-positive powers: driving %g µW, peak %g mW", v.DrivingPowerUW, v.PeakPowerMW)
+	}
+	if v.WorstCaseTempC <= out.Compiled.AmbientC {
+		t.Errorf("worst-case temp %g not above ambient %g", v.WorstCaseTempC, out.Compiled.AmbientC)
+	}
+	if _, err := json.Marshal(out.Battery); err != nil {
+		t.Fatalf("verdict does not marshal: %v", err)
+	}
+}
+
+// TestRunNoBatteryByDefault pins that the verdict is opt-in.
+func TestRunNoBatteryByDefault(t *testing.T) {
+	out, err := Run(context.Background(), testStack(t), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Battery != nil {
+		t.Error("battery verdict present without a battery spec")
+	}
+}

@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+)
+
+// Limits and defaults for scenario specs. Durations are bounded so a
+// single request cannot pin a worker on a multi-day emulation; windows
+// are bounded below so the rules engine is not evaluated per wheel
+// round.
+const (
+	DefaultDurationS = 1800
+	MinDurationS     = 60
+	MaxDurationS     = 4 * 3600
+	DefaultWindowS   = 60
+	MinWindowS       = 10
+	MaxRules         = 16
+
+	defaultAggressiveness = 0.5
+	defaultTraffic        = 0.3
+	defaultSeed           = 1
+)
+
+// Families returns the scenario family names, in presentation order.
+func Families() []string {
+	return []string{"urban", "extraurban", "highway", "mountain", "commute"}
+}
+
+// KnownFamily reports whether name is a scenario family.
+func KnownFamily(name string) bool {
+	for _, f := range Families() {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Vehicles returns the vehicle archetype names.
+func Vehicles() []string { return []string{"car", "van", "truck"} }
+
+// Weathers returns the weather preset names.
+func Weathers() []string { return []string{"temperate", "hot", "cold", "alpine"} }
+
+// Spec is a declarative driving scenario. The zero value (after
+// Defaults) is a 30-minute urban run in temperate weather with seed 1,
+// no reactive rules and no battery sizing.
+type Spec struct {
+	// Family picks the route shape: urban, extraurban, highway,
+	// mountain or commute (urban–highway–urban).
+	Family string `json:"family,omitempty"`
+	// Vehicle is the archetype (car, van, truck); it scales peak speeds
+	// and ramp rates.
+	Vehicle string `json:"vehicle,omitempty"`
+	// Aggressiveness in [0, 1] shortens ramps and raises cruise targets
+	// (default 0.5).
+	Aggressiveness *float64 `json:"aggressiveness,omitempty"`
+	// Traffic in [0, 1] is the stochastic congestion level: higher
+	// values insert more and deeper slowdowns (default 0.3).
+	Traffic *float64 `json:"traffic,omitempty"`
+	// Weather picks the ambient preset (temperate, hot, cold, alpine).
+	// Empty means temperate, or alpine for the mountain family.
+	Weather string `json:"weather,omitempty"`
+	// AmbientC overrides the weather preset with an exact ambient
+	// temperature in °C (no jitter applied).
+	AmbientC *float64 `json:"ambient_c,omitempty"`
+	// Seed drives every stochastic choice. The same spec and seed
+	// always compile to byte-identical profiles; an explicit 0 is a
+	// distinct stream from the default 1.
+	Seed *int64 `json:"seed,omitempty"`
+	// DurationS is the target scenario length in seconds (default
+	// 1800). The compiled profile ends at the first natural stop at or
+	// after the target.
+	DurationS float64 `json:"duration_s,omitempty"`
+	// WindowS is the rules-engine evaluation window (default 60).
+	WindowS float64 `json:"window_s,omitempty"`
+	// InitialV optionally overrides the buffer's starting voltage.
+	InitialV *float64 `json:"initial_v,omitempty"`
+	// Fast selects the interpolated emulator kernel; nil defers to the
+	// server default.
+	Fast *bool `json:"fast,omitempty"`
+	// Rules are evaluated at every window boundary, in order.
+	Rules []Rule `json:"rules,omitempty"`
+	// Battery, when present, sizes a backup battery for the observed
+	// mission profile.
+	Battery *BatterySpec `json:"battery,omitempty"`
+}
+
+// BatterySpec parameterises the battery-lifetime verdict.
+type BatterySpec struct {
+	// TyreLifeYears is the required service life (default 6).
+	TyreLifeYears float64 `json:"tyre_life_years,omitempty"`
+	// DrivingHoursPerDay extrapolates the scenario's mean driving draw
+	// over the mission (default 1.5).
+	DrivingHoursPerDay float64 `json:"driving_hours_per_day,omitempty"`
+	// MassBudgetGrams is the tread-mounting mass limit (default 12).
+	MassBudgetGrams float64 `json:"mass_budget_grams,omitempty"`
+}
+
+// Defaults fills unset fields in place. It is idempotent and runs
+// before canonical request hashing, so a spec and its explicit-default
+// twin coalesce to the same cache entry.
+func (s *Spec) Defaults() {
+	if s.Family == "" {
+		s.Family = "urban"
+	}
+	if s.Vehicle == "" {
+		s.Vehicle = "car"
+	}
+	if s.Aggressiveness == nil {
+		v := defaultAggressiveness
+		s.Aggressiveness = &v
+	}
+	if s.Traffic == nil {
+		v := defaultTraffic
+		s.Traffic = &v
+	}
+	if s.Weather == "" {
+		if s.Family == "mountain" {
+			s.Weather = "alpine"
+		} else {
+			s.Weather = "temperate"
+		}
+	}
+	if s.Seed == nil {
+		v := int64(defaultSeed)
+		s.Seed = &v
+	}
+	if s.DurationS == 0 {
+		s.DurationS = DefaultDurationS
+	}
+	if s.WindowS == 0 {
+		s.WindowS = DefaultWindowS
+	}
+	for i := range s.Rules {
+		s.Rules[i].defaults()
+	}
+	if s.Battery != nil {
+		s.Battery.defaults()
+	}
+}
+
+// ResolveFast fills the Fast flag from the server default when the
+// request left it unset. Runs after Defaults and before canonical
+// hashing, so requests against fast and exact servers cache separately.
+func (s *Spec) ResolveFast(serverDefault bool) {
+	if s.Fast == nil {
+		v := serverDefault
+		s.Fast = &v
+	}
+}
+
+func (b *BatterySpec) defaults() {
+	if b.TyreLifeYears == 0 {
+		b.TyreLifeYears = 6
+	}
+	if b.DrivingHoursPerDay == 0 {
+		b.DrivingHoursPerDay = 1.5
+	}
+	if b.MassBudgetGrams == 0 {
+		b.MassBudgetGrams = 12
+	}
+}
+
+// Validate reports the first invalid field. It assumes Defaults has
+// run; the serve layer maps the error to HTTP 400.
+func (s *Spec) Validate() error {
+	if !KnownFamily(s.Family) {
+		return fmt.Errorf("scenario: unknown family %q (known: %v)", s.Family, Families())
+	}
+	if !contains(Vehicles(), s.Vehicle) {
+		return fmt.Errorf("scenario: unknown vehicle %q (known: %v)", s.Vehicle, Vehicles())
+	}
+	if err := checkUnit("aggressiveness", *s.Aggressiveness); err != nil {
+		return err
+	}
+	if err := checkUnit("traffic", *s.Traffic); err != nil {
+		return err
+	}
+	if !contains(Weathers(), s.Weather) {
+		return fmt.Errorf("scenario: unknown weather %q (known: %v)", s.Weather, Weathers())
+	}
+	if s.AmbientC != nil {
+		if !isFinite(*s.AmbientC) || *s.AmbientC < -60 || *s.AmbientC > 80 {
+			return fmt.Errorf("scenario: ambient_c %g outside [-60, 80]", *s.AmbientC)
+		}
+	}
+	if !isFinite(s.DurationS) || s.DurationS < MinDurationS || s.DurationS > MaxDurationS {
+		return fmt.Errorf("scenario: duration_s %g outside [%d, %d]", s.DurationS, MinDurationS, MaxDurationS)
+	}
+	if !isFinite(s.WindowS) || s.WindowS < MinWindowS || s.WindowS > s.DurationS {
+		return fmt.Errorf("scenario: window_s %g outside [%d, duration_s]", s.WindowS, MinWindowS)
+	}
+	if s.InitialV != nil {
+		if !isFinite(*s.InitialV) || *s.InitialV <= 0 || *s.InitialV > 12 {
+			return fmt.Errorf("scenario: initial_v %g outside (0, 12]", *s.InitialV)
+		}
+	}
+	if len(s.Rules) > MaxRules {
+		return fmt.Errorf("scenario: %d rules exceed the limit of %d", len(s.Rules), MaxRules)
+	}
+	for i := range s.Rules {
+		if err := s.Rules[i].validate(); err != nil {
+			return fmt.Errorf("scenario: rule %d: %w", i, err)
+		}
+	}
+	if s.Battery != nil {
+		if err := s.Battery.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *BatterySpec) validate() error {
+	if !isFinite(b.TyreLifeYears) || b.TyreLifeYears <= 0 || b.TyreLifeYears > 30 {
+		return fmt.Errorf("scenario: battery tyre_life_years %g outside (0, 30]", b.TyreLifeYears)
+	}
+	if !isFinite(b.DrivingHoursPerDay) || b.DrivingHoursPerDay <= 0 || b.DrivingHoursPerDay > 24 {
+		return fmt.Errorf("scenario: battery driving_hours_per_day %g outside (0, 24]", b.DrivingHoursPerDay)
+	}
+	if !isFinite(b.MassBudgetGrams) || b.MassBudgetGrams <= 0 || b.MassBudgetGrams > 1000 {
+		return fmt.Errorf("scenario: battery mass_budget_grams %g outside (0, 1000]", b.MassBudgetGrams)
+	}
+	return nil
+}
+
+func contains(set []string, v string) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func checkUnit(name string, v float64) error {
+	if !isFinite(v) || v < 0 || v > 1 {
+		return fmt.Errorf("scenario: %s %g outside [0, 1]", name, v)
+	}
+	return nil
+}

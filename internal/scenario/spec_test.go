@@ -1,0 +1,115 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func f64(v float64) *float64 { return &v }
+func i64(v int64) *int64     { return &v }
+
+// TestDefaultsIdempotent pins that Defaults is a fixed point: running
+// it twice must not move any field, because the serve layer hashes the
+// defaulted spec for coalescing and a drifting default would split the
+// cache.
+func TestDefaultsIdempotent(t *testing.T) {
+	s := Spec{Family: "mountain", Rules: []Rule{{Metric: "net_j", When: "below", Action: "tx_backoff"}}}
+	s.Defaults()
+	if s.Weather != "alpine" {
+		t.Errorf("mountain default weather = %q, want alpine", s.Weather)
+	}
+	if s.Rules[0].Windows != 1 || s.Rules[0].Factor != 2 {
+		t.Errorf("rule defaults not applied: %+v", s.Rules[0])
+	}
+	twice := s
+	twice.Defaults()
+	if *twice.Aggressiveness != *s.Aggressiveness || twice.DurationS != s.DurationS ||
+		twice.WindowS != s.WindowS || *twice.Seed != *s.Seed || twice.Weather != s.Weather {
+		t.Errorf("Defaults is not idempotent: %+v vs %+v", twice, s)
+	}
+	if s.DurationS != DefaultDurationS || s.WindowS != DefaultWindowS {
+		t.Errorf("duration/window defaults = %g/%g", s.DurationS, s.WindowS)
+	}
+}
+
+// TestValidateRejections walks the 400 surface: every malformed field
+// must produce an error mentioning the field, so API users can tell
+// what to fix.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"unknown family", func(s *Spec) { s.Family = "lunar" }, "family"},
+		{"unknown vehicle", func(s *Spec) { s.Vehicle = "hovercraft" }, "vehicle"},
+		{"unknown weather", func(s *Spec) { s.Weather = "plasma" }, "weather"},
+		{"aggressiveness high", func(s *Spec) { s.Aggressiveness = f64(1.5) }, "aggressiveness"},
+		{"aggressiveness NaN", func(s *Spec) { s.Aggressiveness = f64(math.NaN()) }, "aggressiveness"},
+		{"traffic negative", func(s *Spec) { s.Traffic = f64(-0.1) }, "traffic"},
+		{"ambient low", func(s *Spec) { s.AmbientC = f64(-100) }, "ambient_c"},
+		{"ambient inf", func(s *Spec) { s.AmbientC = f64(math.Inf(1)) }, "ambient_c"},
+		{"duration short", func(s *Spec) { s.DurationS = 5 }, "duration_s"},
+		{"duration long", func(s *Spec) { s.DurationS = 7 * 24 * 3600 }, "duration_s"},
+		{"window short", func(s *Spec) { s.WindowS = 1 }, "window_s"},
+		{"window past end", func(s *Spec) { s.WindowS = s.DurationS + 1 }, "window_s"},
+		{"initial_v zero", func(s *Spec) { s.InitialV = f64(0) }, "initial_v"},
+		{"initial_v high", func(s *Spec) { s.InitialV = f64(24) }, "initial_v"},
+		{"too many rules", func(s *Spec) {
+			for i := 0; i <= MaxRules; i++ {
+				s.Rules = append(s.Rules, Rule{Metric: "net_j", When: "below", Action: "tx_backoff", Windows: 1, Factor: 2})
+			}
+		}, "rules"},
+		{"rule bad metric", func(s *Spec) {
+			s.Rules = []Rule{{Metric: "vibes", When: "below", Action: "tx_backoff", Windows: 1, Factor: 2}}
+		}, "metric"},
+		{"rule bad trigger", func(s *Spec) {
+			s.Rules = []Rule{{Metric: "net_j", When: "sideways", Action: "tx_backoff", Windows: 1, Factor: 2}}
+		}, "trigger"},
+		{"rule bad action", func(s *Spec) {
+			s.Rules = []Rule{{Metric: "net_j", When: "below", Action: "explode", Windows: 1, Factor: 2}}
+		}, "action"},
+		{"rule factor at 1", func(s *Spec) {
+			s.Rules = []Rule{{Metric: "net_j", When: "below", Action: "tx_backoff", Windows: 1, Factor: 1}}
+		}, "factor"},
+		{"rule factor over cap", func(s *Spec) {
+			s.Rules = []Rule{{Metric: "net_j", When: "below", Action: "tx_backoff", Windows: 1, Factor: 64}}
+		}, "factor"},
+		{"rule negative trend threshold", func(s *Spec) {
+			s.Rules = []Rule{{Metric: "net_j", When: "falling", Threshold: -1, Action: "tx_backoff", Windows: 1, Factor: 2}}
+		}, "threshold"},
+		{"rule cooldown negative", func(s *Spec) {
+			s.Rules = []Rule{{Metric: "net_j", When: "below", Action: "tx_backoff", Windows: 1, Factor: 2, CooldownWindows: -1}}
+		}, "cooldown"},
+		{"battery zero life", func(s *Spec) { s.Battery = &BatterySpec{TyreLifeYears: -1, DrivingHoursPerDay: 1, MassBudgetGrams: 10} }, "tyre_life_years"},
+		{"battery heavy", func(s *Spec) {
+			s.Battery = &BatterySpec{TyreLifeYears: 6, DrivingHoursPerDay: 1, MassBudgetGrams: 5000}
+		}, "mass_budget_grams"},
+	}
+	for _, tc := range cases {
+		s := Spec{}
+		s.Defaults()
+		tc.mut(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the spec", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestValidateAcceptsDefaults pins that a zero spec, once defaulted, is
+// valid — the empty-body `{}` request must work.
+func TestValidateAcceptsDefaults(t *testing.T) {
+	for _, fam := range Families() {
+		s := Spec{Family: fam}
+		s.Defaults()
+		if err := s.Validate(); err != nil {
+			t.Errorf("defaulted %s spec invalid: %v", fam, err)
+		}
+	}
+}

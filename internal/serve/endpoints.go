@@ -13,6 +13,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/profile"
 	"repro/internal/scavenger"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
@@ -48,6 +49,8 @@ type (
 	OptimizeResponse = client.OptimizeResponse
 	// EmulateResponse is the /v1/emulate payload.
 	EmulateResponse = client.EmulateResponse
+	// ScenarioResponse is the /v1/scenarios payload.
+	ScenarioResponse = client.ScenarioResponse
 )
 
 // runBalance evaluates the Fig 2 sweep for one request.
@@ -257,6 +260,44 @@ func emulateResponse(res *emu.Result) EmulateResponse {
 		LeakedUJ:       res.Leaked.Microjoules(),
 		FinalVoltageV:  res.FinalVoltage.Volts(),
 		MinVoltageV:    res.MinVoltage.Volts(),
+	}
+}
+
+// runScenarios compiles the declarative scenario and emulates it with
+// the reactive rules engine — the continuous path. The batch path
+// (scenariosPlan) chunks the same windowed runner; the two return
+// byte-identical payloads.
+func runScenarios(ctx context.Context, st cli.Stack, req ScenarioRequest) (any, error) {
+	out, err := scenario.Run(ctx, st, req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return scenarioResponse(out), nil
+}
+
+// scenarioResponse shapes a scenario outcome into the response payload
+// — shared by the synchronous handler and the batch aggregate so the
+// two cannot drift.
+func scenarioResponse(out *scenario.Outcome) ScenarioResponse {
+	firings := out.Firings
+	if firings == nil {
+		// Pin "no firings" to [] so the empty case has one wire form.
+		firings = []scenario.Firing{}
+	}
+	return ScenarioResponse{
+		Family:        out.Compiled.Family,
+		Seed:          out.Compiled.Seed,
+		AmbientC:      out.Compiled.AmbientC,
+		ProfileSHA256: out.Compiled.SHA256,
+		MaxSpeedKMH:   out.Compiled.Stats.MaxSpeed.KMH(),
+		MeanSpeedKMH:  out.Compiled.Stats.MeanSpeed.KMH(),
+		DistanceM:     out.Compiled.Stats.Distance,
+		StoppedS:      out.Compiled.Stats.StoppedTime.Seconds(),
+		Emulate:       emulateResponse(out.Result),
+		Firings:       firings,
+		TxFactor:      out.Mods.TxFactor,
+		SampleFactor:  out.Mods.SampleFactor,
+		Battery:       out.Battery,
 	}
 }
 

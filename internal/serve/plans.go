@@ -13,6 +13,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/jobs"
 	"repro/internal/mc"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -111,6 +112,33 @@ func (s *Server) planJob(kind string, request json.RawMessage) (jobs.Plan, error
 			n = 1
 		}
 		return &emulatePlan{req: req, st: st, end: p.Duration().Seconds(), seg: seg, n: n}, nil
+	case "scenarios":
+		var req ScenarioRequest
+		if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
+			return nil, err
+		}
+		req.Defaults()
+		req.ResolveFast(s.opts.EmuFast)
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		st, err := buildStack(req.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		// Compiling is cheap and deterministic; the plan only needs the
+		// window count. Chunks are whole windows so the chunked run
+		// evaluates rules on the identical boundary grid as the
+		// continuous one.
+		comp, err := scenario.Compile(req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		perChunk := int(s.emuChunkSeconds / req.WindowS)
+		if perChunk < 1 {
+			perChunk = 1
+		}
+		return &scenariosPlan{req: req, st: st, nWindows: comp.NumWindows(req.WindowS), perChunk: perChunk}, nil
 	case "fleet":
 		var req FleetRequest
 		if err := decodeStrict(bytes.NewReader(request), &req); err != nil {
@@ -136,7 +164,7 @@ func (s *Server) planJob(kind string, request json.RawMessage) (jobs.Plan, error
 		sort.Strings(names)
 		return &fleetPlan{req: req, st: st, names: names, durS: p.Duration().Seconds()}, nil
 	default:
-		return nil, fmt.Errorf("unknown job kind %q (one of: balance, breakeven, montecarlo, optimize, emulate, fleet)", kind)
+		return nil, fmt.Errorf("unknown job kind %q (one of: balance, breakeven, montecarlo, optimize, emulate, scenarios, fleet)", kind)
 	}
 }
 
@@ -399,6 +427,99 @@ func (p *emulatePlan) RunChunk(ctx context.Context, i int, carry []byte) ([]byte
 func (p *emulatePlan) Aggregate(_ context.Context, _ [][]byte, finalCarry []byte) ([]byte, error) {
 	if len(finalCarry) == 0 {
 		return nil, fmt.Errorf("emulate: final chunk carried no response")
+	}
+	return finalCarry, nil
+}
+
+// scenariosPlan decomposes a scenario run into sequential chunks of
+// whole rule-evaluation windows. Each chunk resumes the windowed
+// runner from the previous chunk's Carry (emulator snapshot plus
+// rules-engine state), advances its windows, and checkpoints; the
+// final chunk finishes the run and carries the complete
+// ScenarioResponse, which Aggregate returns verbatim. Window
+// boundaries are the same in both paths and snapshot/resume is
+// bit-exact, so the aggregate is byte-identical to the synchronous
+// /v1/scenarios answer.
+type scenariosPlan struct {
+	req      ScenarioRequest
+	st       cli.Stack
+	nWindows int
+	perChunk int
+}
+
+func (p *scenariosPlan) NumChunks() int {
+	return (p.nWindows + p.perChunk - 1) / p.perChunk
+}
+
+func (p *scenariosPlan) Sequential() bool { return true }
+
+func (p *scenariosPlan) ChunkWeight(i int) int64 {
+	lo := i * p.perChunk
+	hi := lo + p.perChunk
+	if hi > p.nWindows {
+		hi = p.nWindows
+	}
+	w := int64(float64(hi-lo) * p.req.WindowS)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (p *scenariosPlan) RunChunk(ctx context.Context, i int, carry []byte) ([]byte, []byte, error) {
+	var r *scenario.Runner
+	var err error
+	if i == 0 {
+		r, err = scenario.NewRunner(p.st, p.req.Spec)
+	} else {
+		var c scenario.Carry
+		if err := json.Unmarshal(carry, &c); err != nil {
+			return nil, nil, fmt.Errorf("scenarios chunk %d: bad carry: %w", i, err)
+		}
+		if c.Snap.DurationS == 0 {
+			// The run finished a chunk early (the emulator's last step
+			// overshot the profile end inside the previous chunk) and
+			// the carry is already the final response: forward it
+			// unchanged so the aggregate stays byte-identical.
+			return carry, carry, nil
+		}
+		r, err = scenario.ResumeRunner(p.st, p.req.Spec, c)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	target := (i + 1) * p.perChunk
+	if target > p.nWindows {
+		target = p.nWindows
+	}
+	for r.Window() < target && !r.Done() {
+		if err := r.Advance(ctx); err != nil {
+			return nil, nil, err
+		}
+	}
+	result, err := compactJSON(r.Progress())
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.Done() {
+		out, err := r.Finish()
+		if err != nil {
+			return nil, nil, err
+		}
+		next, err := compactJSON(scenarioResponse(out))
+		return result, next, err
+	}
+	c, err := r.Carry()
+	if err != nil {
+		return nil, nil, err
+	}
+	next, err := compactJSON(c)
+	return result, next, err
+}
+
+func (p *scenariosPlan) Aggregate(_ context.Context, _ [][]byte, finalCarry []byte) ([]byte, error) {
+	if len(finalCarry) == 0 {
+		return nil, fmt.Errorf("scenarios: final chunk carried no response")
 	}
 	return finalCarry, nil
 }

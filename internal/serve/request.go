@@ -29,6 +29,9 @@ type (
 	OptimizeRequest = client.OptimizeRequest
 	// EmulateRequest asks for a long-timing-window emulation.
 	EmulateRequest = client.EmulateRequest
+	// ScenarioRequest asks for a compiled driving scenario with the
+	// reactive rules engine.
+	ScenarioRequest = client.ScenarioRequest
 )
 
 // Request size and parameter ceilings. The parameter ceilings live with

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/client"
+)
+
+// The /v1/scenarios contract: an empty body compiles the default
+// scenario, malformed specs are 400s counted before admission, and a
+// job-chunked run aggregates to exactly the synchronous bytes.
+
+func TestScenarioEndpointDefaults(t *testing.T) {
+	_, srv := testServer(t, Options{})
+	code, body, _ := post(t, srv.URL, "/v1/scenarios", `{"duration_s":120}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var res client.ScenarioResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if res.Family != "urban" || res.Seed != 1 {
+		t.Errorf("defaults: family %q seed %d, want urban/1", res.Family, res.Seed)
+	}
+	if len(res.ProfileSHA256) != 64 {
+		t.Errorf("profile_sha256 %q is not a sha256 hex digest", res.ProfileSHA256)
+	}
+	if res.Emulate.DurationS < 120 {
+		t.Errorf("emulated %gs, want >= 120", res.Emulate.DurationS)
+	}
+	if res.TxFactor != 1 || res.SampleFactor != 1 {
+		t.Errorf("rule-free run mods = %g/%g, want 1/1", res.TxFactor, res.SampleFactor)
+	}
+	// A rule-free run still pins firings as [], never null — consumers
+	// range over it without a nil check.
+	if !bytes.Contains(body, []byte(`"firings":[]`)) {
+		t.Errorf("response does not pin empty firings: %s", body)
+	}
+}
+
+func TestScenarioBadRequests(t *testing.T) {
+	_, srv := testServer(t, Options{})
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"unknown family", `{"family":"lunar"}`, "family"},
+		{"unknown vehicle", `{"vehicle":"hovercraft"}`, "vehicle"},
+		{"unknown weather", `{"weather":"plasma"}`, "weather"},
+		{"window too small", `{"window_s":1}`, "window_s"},
+		{"duration too long", `{"duration_s":999999}`, "duration_s"},
+		{"aggressiveness range", `{"aggressiveness":2}`, "aggressiveness"},
+		{"bad rule action", `{"rules":[{"metric":"net_j","when":"below","action":"explode"}]}`, "action"},
+		{"bad rule metric", `{"rules":[{"metric":"vibes","when":"below","action":"tx_backoff"}]}`, "metric"},
+		{"unknown field", `{"bogus":1}`, "bogus"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body, _ := post(t, srv.URL, "/v1/scenarios", tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", status, body)
+			}
+			if !strings.Contains(string(body), tc.wantErr) {
+				t.Fatalf("error body %q does not mention %q", body, tc.wantErr)
+			}
+		})
+	}
+	st := statsFor(t, srv.URL, "scenarios")
+	if st.BadRequests != int64(len(cases)) {
+		t.Errorf("bad_requests = %d, want %d", st.BadRequests, len(cases))
+	}
+	if st.Computed != 0 {
+		t.Errorf("computed = %d after rejections, want 0", st.Computed)
+	}
+}
+
+// TestJobScenariosByteIdentity extends the batch acceptance contract to
+// scenarios: a run split into window-sized chunks — rules state and
+// emulator snapshot carried through the job log as JSON — aggregates to
+// exactly the bytes /v1/scenarios returns, including mid-run rule
+// firings.
+func TestJobScenariosByteIdentity(t *testing.T) {
+	req := `{"duration_s":300,"window_s":60,"seed":5,` +
+		`"rules":[{"name":"starve","metric":"net_j","when":"below","threshold":1e9,` +
+		`"windows":2,"action":"tx_backoff","factor":2,"cooldown_windows":1}]}`
+	opts := Options{Workers: 2}
+	opts.emuChunkSeconds = 120 // 2 windows per chunk
+	_, srv := testServer(t, opts)
+
+	code, syncBody, _ := post(t, srv.URL, "/v1/scenarios", req)
+	if code != http.StatusOK {
+		t.Fatalf("sync scenarios: status %d: %s", code, syncBody)
+	}
+	var syncRes client.ScenarioResponse
+	if err := json.Unmarshal(syncBody, &syncRes); err != nil {
+		t.Fatal(err)
+	}
+	if len(syncRes.Firings) == 0 {
+		t.Fatal("the always-true rule never fired — the test would not exercise carry state")
+	}
+
+	st := submitJob(t, srv.URL, "scenarios", req)
+	if st.Chunks < 2 {
+		t.Fatalf("chunks = %d, want at least 2 so the carry path runs", st.Chunks)
+	}
+	final := waitJob(t, srv.URL, st.ID)
+	if final.State != client.JobDone {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	lines := streamLines(t, srv.URL, st.ID)
+	last := lines[len(lines)-1]
+	got := append([]byte(last.Aggregate), '\n')
+	if !bytes.Equal(got, syncBody) {
+		t.Errorf("job aggregate differs from sync /v1/scenarios response\njob:  %s\nsync: %s", got, syncBody)
+	}
+}
+
+// TestScenarioFastKnobDistinctKeys pins the cache story: the fast and
+// exact kernels must not share a canonical key, and explicit fast=false
+// on a fast-default server must run the exact kernel.
+func TestScenarioFastKnobDistinctKeys(t *testing.T) {
+	_, srv := testServer(t, Options{})
+	a := postOK(t, srv.URL, "/v1/scenarios", `{"duration_s":120}`)
+	b := postOK(t, srv.URL, "/v1/scenarios", `{"duration_s":120,"fast":true}`)
+	_ = a
+	_ = b
+	st := statsFor(t, srv.URL, "scenarios")
+	if st.Computed != 2 {
+		t.Errorf("computed = %d, want 2 (fast and exact must not coalesce)", st.Computed)
+	}
+}
+
+func postOK(t *testing.T, url, path, body string) []byte {
+	t.Helper()
+	code, b, _ := post(t, url, path, body)
+	if code != http.StatusOK {
+		t.Fatalf("POST %s: status %d: %s", path, code, b)
+	}
+	return b
+}

@@ -239,6 +239,7 @@ func NewServer(opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/montecarlo", s.analysisHandler("montecarlo", decodeMonteCarlo))
 	s.mux.HandleFunc("/v1/optimize", s.analysisHandler("optimize", decodeOptimize))
 	s.mux.HandleFunc("/v1/emulate", s.analysisHandler("emulate", s.decodeEmulate))
+	s.mux.HandleFunc("/v1/scenarios", s.analysisHandler("scenarios", s.decodeScenarios))
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
@@ -675,5 +676,31 @@ func (s *Server) decodeEmulate(body io.Reader) (string, cli.Stack, evaluator, er
 	}
 	return key, st, func(ctx context.Context, workers int) (any, error) {
 		return runEmulate(ctx, st, req, workers)
+	}, nil
+}
+
+// decodeScenarios mirrors decodeEmulate for the scenario engine; the
+// fast-mode server default resolves into the canonical key the same
+// way.
+func (s *Server) decodeScenarios(body io.Reader) (string, cli.Stack, evaluator, error) {
+	var req ScenarioRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return "", cli.Stack{}, nil, err
+	}
+	req.Defaults()
+	req.ResolveFast(s.opts.EmuFast)
+	if err := req.Validate(); err != nil {
+		return "", cli.Stack{}, nil, err
+	}
+	key, err := canonicalKey("scenarios", req)
+	if err != nil {
+		return "", cli.Stack{}, nil, err
+	}
+	st, err := buildStack(req.Scenario)
+	if err != nil {
+		return "", cli.Stack{}, nil, err
+	}
+	return key, st, func(ctx context.Context, workers int) (any, error) {
+		return runScenarios(ctx, st, req)
 	}, nil
 }

@@ -3,7 +3,7 @@
 #
 #   sh scripts/bench-dispatcher.sh
 #
-# Runs tyreload's default mixed profile (five sync analyses + batch
+# Runs tyreload's default mixed profile (six sync analyses + batch
 # jobs + telemetry ingest, deterministic seed) against an in-process
 # dispatcher fronting 1, 2 and 4 in-process workers, and assembles the
 # three reports into BENCH_PR9.json. The knobs are fixed so the only

@@ -274,7 +274,11 @@ func NewDefaultFlow() (Flow, error) { return core.DefaultFlow() }
 // Driving-cycle profiles.
 func UrbanCycle() Profile      { return profile.Urban() }
 func ExtraUrbanCycle() Profile { return profile.ExtraUrban() }
-func HighwayCycle(blocks int) Profile {
+
+// HighwayCycle builds the motorway cruise with the given number of
+// cruise blocks; blocks < 1 is an error (invalid cycle parameters are
+// rejected at construction, not silently clamped).
+func HighwayCycle(blocks int) (Profile, error) {
 	return profile.Highway(blocks)
 }
 func MixedCycle() Profile { return profile.Mixed() }

@@ -135,16 +135,23 @@ func TestFacadeBatteryAndFriction(t *testing.T) {
 }
 
 func TestFacadeCycles(t *testing.T) {
+	hw, err := HighwayCycle(2)
+	if err != nil {
+		t.Fatalf("HighwayCycle(2): %v", err)
+	}
 	for name, p := range map[string]Profile{
 		"urban":   UrbanCycle(),
 		"extra":   ExtraUrbanCycle(),
-		"highway": HighwayCycle(2),
+		"highway": hw,
 		"mixed":   MixedCycle(),
 		"wltp":    WLTPCycle(),
 	} {
 		if p.Duration() <= 0 {
 			t.Errorf("%s cycle has no duration", name)
 		}
+	}
+	if _, err := HighwayCycle(0); err == nil {
+		t.Error("HighwayCycle(0) did not reject the invalid block count")
 	}
 }
 
